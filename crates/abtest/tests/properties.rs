@@ -1,0 +1,62 @@
+//! Property tests: A/B run invariants.
+
+use kscope_abtest::{AbTest, Variant};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arms partition the visitors exactly; conversions stay in [0,1];
+    /// arrivals are sorted.
+    #[test]
+    fn run_invariants(n in 1usize..400, pa in 0.0f64..1.0, pb in 0.0f64..1.0, seed in 0u64..500) {
+        let test = AbTest::new(Variant::new("A", pa), Variant::new("B", pb), 50.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let run = test.run_until_visitors(n, &mut rng);
+        let a = run.control_counts();
+        let b = run.variation_counts();
+        prop_assert_eq!((a.visitors + b.visitors) as usize, n);
+        prop_assert!(a.clicks <= a.visitors);
+        prop_assert!(b.clicks <= b.visitors);
+        prop_assert!((0.0..=1.0).contains(&a.conversion()));
+        prop_assert!(run.visits().windows(2).all(|w| w[0].t_ms <= w[1].t_ms));
+        // Cumulative curves end at the totals.
+        if let Some(&(_, ca, cb)) = run.cumulative_by_arm().last() {
+            prop_assert_eq!(ca, a.visitors);
+            prop_assert_eq!(cb, b.visitors);
+        }
+        if let Some(&(total, clicks_a, clicks_b)) = run.click_curve().last() {
+            prop_assert_eq!(total, n);
+            prop_assert_eq!(clicks_a, a.clicks);
+            prop_assert_eq!(clicks_b, b.clicks);
+        }
+    }
+
+    /// Extreme click probabilities produce extreme counts.
+    #[test]
+    fn degenerate_click_probabilities(n in 10usize..100, seed in 0u64..200) {
+        let all = AbTest::new(Variant::new("A", 1.0), Variant::new("B", 1.0), 10.0);
+        let none = AbTest::new(Variant::new("A", 0.0), Variant::new("B", 0.0), 10.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let r_all = all.run_until_visitors(n, &mut rng);
+        prop_assert_eq!(
+            r_all.control_counts().clicks + r_all.variation_counts().clicks,
+            n as u64
+        );
+        let r_none = none.run_until_visitors(n, &mut rng);
+        prop_assert_eq!(r_none.control_counts().clicks + r_none.variation_counts().clicks, 0);
+    }
+
+    /// Doubling traffic roughly halves elapsed time.
+    #[test]
+    fn traffic_scales_duration(rate in 5.0f64..100.0, seed in 0u64..100) {
+        let slow = AbTest::new(Variant::new("A", 0.1), Variant::new("B", 0.1), rate);
+        let fast = AbTest::new(Variant::new("A", 0.1), Variant::new("B", 0.1), rate * 4.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d_slow = slow.run_until_visitors(200, &mut rng).days_elapsed();
+        let d_fast = fast.run_until_visitors(200, &mut rng).days_elapsed();
+        // 4x traffic: expect roughly 4x faster; allow wide slack for noise.
+        prop_assert!(d_fast < d_slow / 2.0, "{d_fast} vs {d_slow}");
+    }
+}

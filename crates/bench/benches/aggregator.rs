@@ -1,0 +1,42 @@
+//! Aggregator throughput: preparing a whole test (compress + inject +
+//! integrate + store) as N versions grow — the paper's C(N,2) blow-up.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use kscope_core::{Aggregator, TestParams, WebpageSpec};
+use kscope_singlefile::ResourceStore;
+use kscope_store::{Database, GridStore};
+use rand::{rngs::StdRng, SeedableRng};
+use std::hint::black_box;
+
+fn setup(n: usize) -> (ResourceStore, TestParams) {
+    let mut store = ResourceStore::new();
+    let mut pages = Vec::new();
+    for i in 0..n {
+        let folder = format!("pages/v{i}");
+        kscope_core::corpus::write_wikipedia_article(&mut store, &folder, 10.0 + i as f64);
+        pages.push(WebpageSpec::new(&folder, "index.html", 3000));
+    }
+    let params = TestParams::new("bench", 10, vec!["q"], pages);
+    (store, params)
+}
+
+fn bench_aggregator(c: &mut Criterion) {
+    for n in [2usize, 5, 8] {
+        let (store, params) = setup(n);
+        c.bench_function(&format!("aggregator/prepare_n{n}"), |b| {
+            b.iter_batched(
+                || (Database::new(), GridStore::new(), StdRng::seed_from_u64(1)),
+                |(db, grid, mut rng)| {
+                    let prepared = Aggregator::new(db, grid)
+                        .prepare(&params, &store, &mut rng)
+                        .unwrap();
+                    black_box(prepared.pages.len())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+criterion_group!(benches, bench_aggregator);
+criterion_main!(benches);

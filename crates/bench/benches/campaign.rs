@@ -1,0 +1,29 @@
+//! End-to-end campaign throughput: how many simulated participant sessions
+//! per second the whole pipeline sustains.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use kscope_bench::{run_font_study, run_uplt_study, Cohort};
+use std::hint::black_box;
+
+fn bench_campaign(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(10);
+    group.bench_function("font_study_20_workers", |b| {
+        b.iter_batched(
+            || (),
+            |()| black_box(run_font_study(20, Cohort::paper_crowd(), 1).outcome.sessions.len()),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("uplt_study_20_workers", |b| {
+        b.iter_batched(
+            || (),
+            |()| black_box(run_uplt_study(20, Cohort::paper_crowd(), 1).outcome.sessions.len()),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! HTML substrate benchmarks: tokenize/parse, selector matching, and
+//! serialization on the corpus article.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use kscope_html::{parse_document, Selector};
+use kscope_singlefile::ResourceStore;
+use std::hint::black_box;
+
+fn article_html() -> String {
+    let mut store = ResourceStore::new();
+    kscope_core::corpus::write_wikipedia_article(&mut store, "w", 12.0);
+    store.get_text("w/index.html").expect("corpus page")
+}
+
+fn bench_html(c: &mut Criterion) {
+    let html = article_html();
+    let doc = parse_document(&html);
+    let selector: Selector = "#mw-content-text > p".parse().unwrap();
+    let deep: Selector = "div .infobox table td".parse().unwrap();
+
+    c.bench_function("html/parse_article", |b| {
+        b.iter(|| parse_document(black_box(&html)))
+    });
+    c.bench_function("html/select_child", |b| {
+        b.iter(|| black_box(doc.select(&selector).len()))
+    });
+    c.bench_function("html/select_descendant", |b| {
+        b.iter(|| black_box(doc.select(&deep).len()))
+    });
+    c.bench_function("html/serialize", |b| b.iter(|| black_box(doc.to_html().len())));
+    c.bench_function("html/roundtrip", |b| {
+        b.iter_batched(
+            || html.clone(),
+            |h| parse_document(&parse_document(&h).to_html()),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_html);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Page-load machinery: layout, reveal-plan construction, timeline
+//! execution, and metric computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kscope_html::parse_document;
+use kscope_pageload::metrics::{speed_index, UpltWeights};
+use kscope_pageload::{Layout, LoadSpec, PaintTimeline, RevealPlan, Viewport};
+use rand::{rngs::StdRng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_pageload(c: &mut Criterion) {
+    let mut store = kscope_singlefile::ResourceStore::new();
+    kscope_core::corpus::write_wikipedia_article(&mut store, "w", 12.0);
+    let html = store.get_text("w/index.html").unwrap();
+    let doc = parse_document(&html);
+    let viewport = Viewport::desktop();
+    let layout = Layout::compute(&doc, viewport);
+    let spec = LoadSpec::Uniform(3000);
+    let mut rng = StdRng::seed_from_u64(1);
+    let plan = RevealPlan::build(&doc, &layout, &spec, &mut rng);
+    let tl = PaintTimeline::from_plan(&doc, &layout, &plan);
+
+    c.bench_function("pageload/layout", |b| {
+        b.iter(|| black_box(Layout::compute(&doc, viewport).total_area()))
+    });
+    c.bench_function("pageload/plan_uniform", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| black_box(RevealPlan::build(&doc, &layout, &spec, &mut rng).len()))
+    });
+    c.bench_function("pageload/timeline", |b| {
+        b.iter(|| black_box(PaintTimeline::from_plan(&doc, &layout, &plan).last_paint_ms()))
+    });
+    c.bench_function("pageload/speed_index", |b| b.iter(|| black_box(speed_index(&tl))));
+    c.bench_function("pageload/uplt", |b| {
+        let w = UpltWeights::reader_defaults();
+        b.iter(|| black_box(w.uplt_ms(&tl, &layout)))
+    });
+}
+
+criterion_group!(benches, bench_pageload);
+criterion_main!(benches);

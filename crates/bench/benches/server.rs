@@ -1,0 +1,37 @@
+//! Core-server wire performance: request round-trips over loopback TCP.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kscope_server::api::CoreServerApi;
+use kscope_server::{client, HttpServer};
+use kscope_store::{Database, GridStore};
+use serde_json::json;
+use std::hint::black_box;
+
+fn bench_server(c: &mut Criterion) {
+    let db = Database::new();
+    let grid = GridStore::new();
+    grid.put("t", "page.html", vec![b'x'; 16 * 1024]);
+    db.collection("tests").insert_one(json!({"test_id": "t"}));
+    let api = CoreServerApi::new(db, grid);
+    let server = HttpServer::bind("127.0.0.1:0", api.into_router(), 4).unwrap();
+    let addr = server.local_addr();
+
+    c.bench_function("server/healthz_roundtrip", |b| {
+        b.iter(|| black_box(client::get(addr, "/healthz").unwrap().status))
+    });
+    c.bench_function("server/serve_16k_page", |b| {
+        b.iter(|| black_box(client::get(addr, "/api/tests/t/pages/page.html").unwrap().body.len()))
+    });
+    c.bench_function("server/post_response", |b| {
+        let body = json!({"contributor_id": "w", "answers": {"q": "Left"}});
+        b.iter(|| {
+            black_box(
+                client::post_json(addr, "/api/tests/t/responses", &body).unwrap().status,
+            )
+        })
+    });
+    server.shutdown();
+}
+
+criterion_group!(benches, bench_server);
+criterion_main!(benches);

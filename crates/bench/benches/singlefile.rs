@@ -1,0 +1,33 @@
+//! SingleFile-compression throughput on the corpus pages.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kscope_singlefile::{Inliner, ResourceStore};
+use std::hint::black_box;
+
+fn bench_singlefile(c: &mut Criterion) {
+    let mut store = ResourceStore::new();
+    kscope_core::corpus::write_wikipedia_article(&mut store, "w", 12.0);
+    kscope_core::corpus::write_group_page(
+        &mut store,
+        "g",
+        kscope_core::corpus::GroupPageVersion::Variant,
+    );
+    // A page with a larger binary payload, close to a real saved page.
+    store.insert("w/img/big.jpg", "image/jpeg", vec![0xab; 64 * 1024]);
+
+    c.bench_function("singlefile/inline_article", |b| {
+        let inliner = Inliner::new(&store);
+        b.iter(|| black_box(inliner.inline("w/index.html").unwrap().html.len()))
+    });
+    c.bench_function("singlefile/inline_group_page", |b| {
+        let inliner = Inliner::new(&store);
+        b.iter(|| black_box(inliner.inline("g/index.html").unwrap().html.len()))
+    });
+    c.bench_function("singlefile/base64_64k", |b| {
+        let payload = vec![0x5a_u8; 64 * 1024];
+        b.iter(|| black_box(kscope_singlefile::base64::encode(&payload).len()))
+    });
+}
+
+criterion_group!(benches, bench_singlefile);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! The §III-D comparison reduction: time per strategy (the *comparison
+//! counts* — the quantity that costs money — are printed by the
+//! `sorting_ablation` binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kscope_core::sorting::{sort_versions, SortAlgo};
+use kscope_stats::rank::Preference;
+use std::hint::black_box;
+
+fn bench_sorting(c: &mut Criterion) {
+    let n = 24;
+    let values: Vec<f64> = (0..n).map(|i| ((i * 13) % n) as f64).collect();
+    for algo in [SortAlgo::FullPairwise, SortAlgo::Bubble, SortAlgo::Insertion, SortAlgo::Merge] {
+        c.bench_function(&format!("sorting/{algo:?}_n24"), |b| {
+            b.iter(|| {
+                let out = sort_versions(n, algo, |a, b2| {
+                    if values[a] > values[b2] {
+                        Preference::Left
+                    } else if values[a] < values[b2] {
+                        Preference::Right
+                    } else {
+                        Preference::Same
+                    }
+                });
+                black_box(out.comparisons)
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_sorting);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Statistics kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kscope_stats::rank::{bradley_terry, PairwiseMatrix, Preference};
+use kscope_stats::tests::{two_proportion_z_test, Tail};
+use kscope_stats::{Ecdf, Normal};
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn bench_stats(c: &mut Criterion) {
+    c.bench_function("stats/normal_cdf", |b| {
+        let n = Normal::standard();
+        b.iter(|| black_box(n.cdf(1.2345)))
+    });
+    c.bench_function("stats/z_test", |b| {
+        b.iter(|| black_box(two_proportion_z_test(14, 100, 46, 100, Tail::OneSidedGreater)))
+    });
+    c.bench_function("stats/quantile", |b| {
+        let n = Normal::standard();
+        b.iter(|| black_box(n.quantile(0.975)))
+    });
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut m = PairwiseMatrix::new(8);
+    for _ in 0..2000 {
+        let a = rng.random_range(0..8);
+        let b2 = (a + 1 + rng.random_range(0..7)) % 8;
+        let p = match rng.random_range(0..3) {
+            0 => Preference::Left,
+            1 => Preference::Right,
+            _ => Preference::Same,
+        };
+        m.record(a, b2, p);
+    }
+    c.bench_function("stats/bradley_terry_8x2000", |b| {
+        b.iter(|| black_box(bradley_terry(&m, 100, 1e-9)[0]))
+    });
+
+    let sample: Vec<f64> = (0..5000).map(|_| rng.random::<f64>() * 10.0).collect();
+    c.bench_function("stats/ecdf_build_5k", |b| {
+        b.iter(|| black_box(Ecdf::new(sample.clone()).len()))
+    });
+    let e = Ecdf::new(sample);
+    c.bench_function("stats/ecdf_eval", |b| b.iter(|| black_box(e.eval(5.0))));
+}
+
+criterion_group!(benches, bench_stats);
+criterion_main!(benches);

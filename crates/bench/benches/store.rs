@@ -1,0 +1,52 @@
+//! Document-store operations (the MongoDB substitute).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use kscope_store::{Collection, Database};
+use serde_json::json;
+use std::hint::black_box;
+
+fn filled(n: usize) -> Collection {
+    let c = Collection::new();
+    for i in 0..n {
+        c.insert_one(json!({
+            "test_id": format!("t{}", i % 10),
+            "contributor_id": format!("w{i}"),
+            "answers": {"q": if i % 3 == 0 { "Left" } else { "Right" }},
+            "duration_ms": i * 31,
+        }));
+    }
+    c
+}
+
+fn bench_store(c: &mut Criterion) {
+    let coll = filled(10_000);
+    c.bench_function("store/insert_1k", |b| {
+        b.iter_batched(
+            Collection::new,
+            |c| {
+                for i in 0..1000 {
+                    c.insert_one(json!({"i": i}));
+                }
+                c.len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("store/find_eq_10k", |b| {
+        b.iter(|| black_box(coll.find(&json!({"test_id": "t3"})).len()))
+    });
+    c.bench_function("store/find_range_10k", |b| {
+        b.iter(|| black_box(coll.count(&json!({"duration_ms": {"$gt": 100_000}}))))
+    });
+    c.bench_function("store/find_nested_10k", |b| {
+        b.iter(|| black_box(coll.count(&json!({"answers.q": "Left"}))))
+    });
+    c.bench_function("store/database_collection_lookup", |b| {
+        let db = Database::new();
+        db.collection("responses");
+        b.iter(|| black_box(db.collection("responses").len()))
+    });
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Channel ablation: the §IV-A remark that FigureEight's "historically
+//! trustworthy feature does well in recruiting trusted participants",
+//! quantified — what happens to quality control and result fidelity when
+//! the same study runs on the open channel instead?
+
+use kscope_core::corpus::{self, FONT_STUDY_SIZES};
+use kscope_core::{Aggregator, Campaign, QuestionKind};
+use kscope_crowd::platform::{Channel, JobSpec, Platform};
+use kscope_crowd::WorkerProfile;
+use kscope_store::{Database, GridStore};
+use rand::{rngs::StdRng, SeedableRng};
+
+const QUESTION: &str = "Which webpage's font size is more suitable (easier) for reading?";
+
+fn run(channel: Channel, seed: u64) -> (kscope_core::CampaignOutcome, f64) {
+    let (store, params) = corpus::font_size_study(100);
+    let db = Database::new();
+    let grid = GridStore::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let prepared =
+        Aggregator::new(db.clone(), grid.clone()).prepare(&params, &store, &mut rng).unwrap();
+    let recruitment =
+        Platform.post_job(&JobSpec::new(&params.test_id, 0.11, 100, channel), &mut rng);
+    let spam_share = recruitment
+        .assignments
+        .iter()
+        .filter(|a| matches!(a.worker.profile, WorkerProfile::Spammer(_)))
+        .count() as f64
+        / 100.0;
+    let outcome = Campaign::new(db, grid)
+        .with_question(QUESTION, QuestionKind::FontReadability)
+        .run(&params, &prepared, &recruitment, &mut rng)
+        .unwrap();
+    (outcome, spam_share)
+}
+
+fn main() {
+    println!("Same font study, two recruitment channels (100 testers each)\n");
+    println!(
+        "{:<26} {:>10} {:>10} {:>10} {:>10} {:>22}",
+        "channel", "spam in", "kept", "kappa raw", "kappa QC", "QC rank-A order"
+    );
+    for (label, channel, seed) in [
+        ("historically trustworthy", Channel::HistoricallyTrustworthy, 52),
+        ("open channel", Channel::Open, 52),
+    ] {
+        let (outcome, spam_share) = run(channel, seed);
+        let kappa = |filtered: bool| {
+            outcome
+                .question_analysis(QUESTION, filtered)
+                .agreement_kappa()
+                .map(|k| format!("{k:.2}"))
+                .unwrap_or_else(|| "n/a".into())
+        };
+        let dist = outcome.rank_distribution(QUESTION, true);
+        let order: Vec<String> = dist
+            .order_by_top_votes()
+            .iter()
+            .take(3)
+            .map(|&v| format!("{:.0}pt", FONT_STUDY_SIZES[v]))
+            .collect();
+        println!(
+            "{label:<26} {:>9.0}% {:>10} {:>10} {:>10} {:>22}",
+            spam_share * 100.0,
+            outcome.quality.kept.len(),
+            kappa(false),
+            kappa(true),
+            order.join(" "),
+        );
+    }
+    println!(
+        "\nthe open channel delivers faster but dirtier: quality control drops far \
+         more sessions to reach the same verdict — paying for the vetted pool buys \
+         statistical power per recruited participant."
+    );
+}

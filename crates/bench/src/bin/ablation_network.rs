@@ -1,0 +1,68 @@
+//! Network-profile ablation: the same page replayed under different
+//! simulated connections (§III-A's "network profiles").
+//!
+//! The waterfall simulator converts the page's resource sizes into a
+//! per-selector reveal schedule; the visual metrics then show how each
+//! connection class experiences the same page.
+
+use kscope_core::corpus;
+use kscope_html::parse_document;
+use kscope_pageload::metrics::UpltWeights;
+use kscope_pageload::network::{article_resources, NetworkProfile, Waterfall};
+use kscope_pageload::{Layout, PaintTimeline, RevealPlan, Viewport, VisualMetrics};
+use kscope_singlefile::{Inliner, ResourceStore};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    // Build the corpus article and measure its real resource sizes.
+    let mut store = ResourceStore::new();
+    corpus::write_wikipedia_article(&mut store, "w", 12.0);
+    // Give the images realistic weights.
+    store.insert("w/img/hyrax.jpg", "image/jpeg", vec![0xaa; 180_000]);
+    store.insert("w/img/map.png", "image/png", vec![0xbb; 90_000]);
+    let html_bytes = store.get("w/index.html").unwrap().data.len();
+    let css_bytes = store.get("w/style.css").unwrap().data.len();
+    let resources = article_resources(
+        html_bytes,
+        css_bytes,
+        &[
+            ("#infobox img".to_string(), 180_000),
+            ("#infobox table".to_string(), 90_000),
+        ],
+    );
+
+    let single = Inliner::new(&store).inline("w/index.html").unwrap();
+    let doc = parse_document(&single.html);
+    let layout = Layout::compute(&doc, Viewport::desktop());
+    let weights = UpltWeights::reader_defaults();
+
+    println!("Same page, five connections (waterfall-derived reveal schedules)\n");
+    println!(
+        "{:<8} {:>10} {:>10} {:>12} {:>10} {:>10}",
+        "profile", "TTFP", "ATF", "SpeedIndex", "PLT", "uPLT"
+    );
+    for profile in [
+        NetworkProfile::fiber(),
+        NetworkProfile::cable(),
+        NetworkProfile::lte(),
+        NetworkProfile::three_g(),
+        NetworkProfile::two_g(),
+    ] {
+        let waterfall = Waterfall::simulate(&profile, &resources);
+        let spec = waterfall.to_load_spec();
+        let mut rng = StdRng::seed_from_u64(1);
+        let plan = RevealPlan::build(&doc, &layout, &spec, &mut rng);
+        let tl = PaintTimeline::from_plan(&doc, &layout, &plan);
+        let m = VisualMetrics::from_timeline(&tl);
+        let uplt = weights.uplt_ms(&tl, &layout);
+        println!(
+            "{:<8} {:>8}ms {:>8}ms {:>10.0}ms {:>8}ms {:>8}ms",
+            profile.name, m.ttfp_ms, m.atf_ms, m.speed_index_ms, m.plt_ms, uplt
+        );
+    }
+    println!(
+        "\nthis is how Kaleidoscope gives every participant the *same* \
+         simulated connection, regardless of their real one: record the \
+         waterfall once, replay it as a reveal schedule everywhere."
+    );
+}

@@ -1,0 +1,63 @@
+//! uPLT-weighting ablation: how the perceived-readiness verdict of the
+//! Fig. 9 pair depends on the attention model.
+//!
+//! The paper's commenters disagree about what "ready to use" means ("the
+//! main text was available to read first" vs "browsing and moving are done
+//! with the same degree"). This sweep makes that disagreement precise: as
+//! the main-text weight grows, the text-first version's uPLT advantage
+//! appears and widens; a pure visual-change metric (area weighting) sees no
+//! difference at all.
+
+use kscope_core::corpus;
+use kscope_html::parse_document;
+use kscope_pageload::metrics::UpltWeights;
+use kscope_pageload::{ContentClass, Layout, PaintTimeline, RevealPlan, Viewport};
+use rand::{rngs::StdRng, SeedableRng};
+use std::collections::HashMap;
+
+fn version_timelines() -> Vec<(Layout, PaintTimeline)> {
+    let (store, params) = corpus::uplt_case_study(1);
+    params
+        .webpages
+        .iter()
+        .map(|spec| {
+            let html = store.get_text(&spec.main_file_path()).expect("corpus page");
+            let doc = parse_document(&html);
+            let layout = Layout::compute(&doc, Viewport::desktop());
+            let mut rng = StdRng::seed_from_u64(0);
+            let plan = RevealPlan::build(&doc, &layout, &spec.load_spec().unwrap(), &mut rng);
+            let tl = PaintTimeline::from_plan(&doc, &layout, &plan);
+            (layout, tl)
+        })
+        .collect()
+}
+
+fn main() {
+    let versions = version_timelines();
+    println!("uPLT of the Fig. 9 pair as the main-text attention weight varies\n");
+    println!(
+        "{:<14} {:>16} {:>16} {:>12}",
+        "text weight", "A (nav first)", "B (text first)", "B advantage"
+    );
+    for text_w in [0.05, 0.2, 0.4, 0.6, 0.8, 0.95] {
+        let mut w = HashMap::new();
+        w.insert(ContentClass::MainText, text_w);
+        w.insert(ContentClass::Navigation, (1.0 - text_w) * 0.4);
+        w.insert(ContentClass::Media, (1.0 - text_w) * 0.4);
+        w.insert(ContentClass::Auxiliary, (1.0 - text_w) * 0.2);
+        let weights = UpltWeights::new(w, 0.8);
+        let uplt_a = weights.uplt_ms(&versions[0].1, &versions[0].0);
+        let uplt_b = weights.uplt_ms(&versions[1].1, &versions[1].0);
+        println!(
+            "{text_w:<14.2} {uplt_a:>14}ms {uplt_b:>14}ms {:>10}ms",
+            uplt_a as i64 - uplt_b as i64
+        );
+    }
+
+    let area = UpltWeights::area_uniform();
+    let a = area.uplt_ms(&versions[0].1, &versions[0].0);
+    let b = area.uplt_ms(&versions[1].1, &versions[1].0);
+    println!("\npure visual-change weighting (the ATF/SpeedIndex world view):");
+    println!("  A {a} ms vs B {b} ms — the versions are indistinguishable,");
+    println!("  which is exactly why the paper argues uPLT needs content weights.");
+}

@@ -1,0 +1,38 @@
+//! Figure 7(a) — evolution over time of the total number of testers:
+//! Kaleidoscope vs A/B testing.
+//!
+//! Paper shape: ~1 day to recruit 100 testers via Kaleidoscope, 12 days to
+//! collect 100 visitors via A/B on the group page — roughly 12× faster.
+
+use kscope_abtest::{AbTest, Variant, MS_PER_DAY};
+use kscope_bench::{human_duration, run_expand_study, Cohort};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    println!("Figure 7(a): cumulative testers over time");
+
+    let study = run_expand_study(100, Cohort::paper_crowd(), 42);
+    let kscope_curve = study.outcome.recruitment_curve();
+
+    let ab = AbTest::new(Variant::new("A", 0.059), Variant::new("B", 0.122), 100.0 / 12.0);
+    let mut rng = StdRng::seed_from_u64(361);
+    let run = ab.run_until_visitors(100, &mut rng);
+
+    println!("\n{:<8} {:>22} {:>22}", "day", "Kaleidoscope testers", "A/B visitors");
+    for day in 0..=14u64 {
+        let t = day * MS_PER_DAY;
+        let k = kscope_curve.iter().filter(|&&(at, _)| at <= t).count();
+        let a = run.visits().iter().filter(|v| v.t_ms <= t).count();
+        println!("{day:<8} {k:>22} {a:>22}");
+    }
+
+    let k_done = kscope_curve.last().map(|&(t, _)| t).unwrap_or(0);
+    let ab_done = run.visits().last().map(|v| v.t_ms).unwrap_or(0);
+    println!("\ntime to 100 participants:");
+    println!("  Kaleidoscope: {}   (paper: ~12 h)", human_duration(k_done));
+    println!("  A/B testing:  {}   (paper: ~12 days)", human_duration(ab_done));
+    println!(
+        "  speedup: {:.1}x   (paper: >12x)",
+        ab_done as f64 / k_done.max(1) as f64
+    );
+}

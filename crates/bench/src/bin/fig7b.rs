@@ -1,0 +1,44 @@
+//! Figure 7(b) — the A/B testing result on the group page.
+//!
+//! Paper numbers: 51 visitors saw the original (A) with 3 "Expand" clicks;
+//! 49 saw the variant (B) with 6 clicks; the one-tailed two-proportion
+//! p-value is 0.133 — not significant, despite B doubling the click rate.
+
+use kscope_abtest::{AbTest, Variant};
+use kscope_stats::tests::required_sample_size;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    println!("Figure 7(b): A/B testing result (100 visitors)");
+
+    let ab = AbTest::new(Variant::new("A", 0.059), Variant::new("B", 0.122), 100.0 / 12.0);
+    let mut rng = StdRng::seed_from_u64(361);
+    let run = ab.run_until_visitors(100, &mut rng);
+
+    println!("\n{:<22} {:>10} {:>10}", "cumulative visitors", "A clicks", "B clicks");
+    for (n, a, b) in run.click_curve().iter().filter(|(n, _, _)| n % 10 == 0) {
+        println!("{n:<22} {a:>10} {b:>10}");
+    }
+
+    let a = run.control_counts();
+    let b = run.variation_counts();
+    println!("\nfinal: A {} visitors / {} clicks ({:.1}%), B {} visitors / {} clicks ({:.1}%)",
+        a.visitors, a.clicks, 100.0 * a.conversion(),
+        b.visitors, b.clicks, 100.0 * b.conversion());
+    println!("paper: A 51 / 3 (5.9%), B 49 / 6 (12.2%)");
+
+    let sig = run.significance();
+    println!(
+        "\none-tailed two-proportion z = {:.2}, p = {:.3}  (paper: p = 0.133)",
+        sig.statistic, sig.p_value
+    );
+    println!(
+        "significant at 0.05? {}  — \"we cannot say (yet) that the new button is more visible\"",
+        sig.significant_at(0.05)
+    );
+    let needed = required_sample_size(0.059, 0.122, 0.05, 0.2);
+    println!(
+        "\nsample size needed per arm for 80% power at this effect: {needed} \
+         (the paper's 100 total visitors were far short)"
+    );
+}

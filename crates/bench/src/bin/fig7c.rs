@@ -1,0 +1,56 @@
+//! Figure 7(c) — Kaleidoscope's answer to question C ("which Expand button
+//! is more visible?") as participants accumulate.
+//!
+//! Paper numbers: of 100 participants, 46 prefer the new design (B), only
+//! 14 the original, 40 judge them the same; p = 6.8e-8, so the redesign is
+//! more visible at 99% confidence — the same question A/B testing could
+//! not settle with the same headcount.
+
+use kscope_bench::{run_expand_study, Cohort, EXPAND_QUESTIONS};
+use kscope_core::analysis::parse_preference;
+use kscope_stats::rank::Preference;
+
+fn main() {
+    println!("Figure 7(c): Kaleidoscope result of question C (100 participants)");
+    let study = run_expand_study(100, Cohort::paper_crowd(), 42);
+    let question = EXPAND_QUESTIONS[2];
+
+    // Cumulative preference counts in arrival order (raw, as in the figure).
+    let mut prefer_a = 0u64;
+    let mut prefer_b = 0u64;
+    println!("\n{:<22} {:>12} {:>12}", "cumulative testers", "prefer A", "prefer B");
+    for (i, session) in study.outcome.sessions.iter().enumerate() {
+        for page in &session.record.pages {
+            if page.page_name != "integrated-000.html" {
+                continue;
+            }
+            match page.answers.get(question).and_then(|a| parse_preference(a)) {
+                Some(Preference::Left) => prefer_a += 1,
+                Some(Preference::Right) => prefer_b += 1,
+                _ => {}
+            }
+        }
+        if (i + 1) % 10 == 0 {
+            println!("{:<22} {prefer_a:>12} {prefer_b:>12}", i + 1);
+        }
+    }
+
+    let votes = study
+        .outcome
+        .question_analysis(question, false)
+        .two_version_votes()
+        .expect("two-version study");
+    println!(
+        "\nfinal (raw): A {} / Same {} / B {}   (paper: 14 / 40 / 46)",
+        votes.left, votes.same, votes.right
+    );
+    let sig = votes.significance();
+    println!(
+        "one-tailed two-proportion z = {:.2}, p = {:.2e}   (paper: 6.8e-8)",
+        sig.statistic, sig.p_value
+    );
+    println!(
+        "new button more visible at 99% confidence? {}",
+        sig.significant_at(0.01)
+    );
+}

@@ -1,0 +1,58 @@
+//! Figure 8 — responses to all three §IV-B questions via Kaleidoscope.
+//!
+//! Paper shape: question A ("graphically more appealing?") — 50% Same, the
+//! tiny redesign doesn't change the page's look; question B ("looks
+//! better?") — Same (45%) narrowly edges the variant (42%); question C
+//! ("more visible?") — the variant wins decisively (46 vs 14).
+
+use kscope_bench::{run_expand_study, Cohort, EXPAND_QUESTIONS};
+
+fn main() {
+    println!("Figure 8: responses of all questions in Kaleidoscope (100 participants)");
+    let study = run_expand_study(100, Cohort::paper_crowd(), 42);
+
+    println!(
+        "\n{:<12} {:>14} {:>10} {:>14} {:>12}",
+        "question", "original (A)", "Same", "variant (B)", "p-value"
+    );
+    let paper = [(19.0, 50.0, 31.0), (13.0, 45.0, 42.0), (14.0, 40.0, 46.0)];
+    for (i, q) in EXPAND_QUESTIONS.iter().enumerate() {
+        let votes = study
+            .outcome
+            .question_analysis(q, false)
+            .two_version_votes()
+            .expect("two-version study");
+        let (a, same, b) = votes.percentages();
+        let sig = votes.significance();
+        println!(
+            "{:<12} {a:>13.0}% {same:>9.0}% {b:>13.0}% {:>12.2e}",
+            ["A", "B", "C"][i],
+            sig.p_value
+        );
+        println!(
+            "{:<12} {:>13.0}% {:>9.0}% {:>13.0}%   (paper)",
+            "", paper[i].0, paper[i].1, paper[i].2
+        );
+    }
+
+    println!("\nshape checks:");
+    let get = |i: usize| {
+        study
+            .outcome
+            .question_analysis(EXPAND_QUESTIONS[i], false)
+            .two_version_votes()
+            .expect("two-version study")
+    };
+    let (qa, qb, qc) = (get(0), get(1), get(2));
+    println!(
+        "  A: 'Same' is the modal answer ........ {}",
+        qa.same >= qa.left && qa.same >= qa.right
+    );
+    println!(
+        "  B: variant gains ground vs A ......... {}",
+        (qb.right as f64 / qb.total() as f64) > (qa.right as f64 / qa.total() as f64)
+    );
+    println!("  C: variant wins outright .............. {}", qc.right > qc.left * 2);
+    println!("  C is significant, A is not ............ {}",
+        qc.significance().significant_at(0.01) && !qa.significance().significant_at(0.01));
+}

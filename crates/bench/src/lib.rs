@@ -1,0 +1,194 @@
+//! Experiment harness: shared runners behind the figure binaries and the
+//! Criterion benches.
+//!
+//! Every table and figure of the paper's evaluation maps to one binary in
+//! `src/bin/` (see DESIGN.md §4); the runners here set up the corpora,
+//! aggregate the tests, recruit the simulated crowds, and hand back the
+//! campaign outcomes the binaries print.
+
+#![forbid(unsafe_code)]
+
+use kscope_core::corpus;
+use kscope_core::{Aggregator, Campaign, CampaignOutcome, QuestionKind, TestParams};
+use kscope_crowd::platform::{Channel, InLabRecruiter, JobSpec, Platform, Recruitment};
+use kscope_store::{Database, GridStore};
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Who performs the test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Cohort {
+    /// Paid crowd workers from the given channel at the given reward.
+    Crowd {
+        /// Recruitment channel.
+        channel: Channel,
+        /// Reward per participant, USD.
+        reward_usd: f64,
+    },
+    /// Trusted in-lab participants recruited over `days`.
+    InLab {
+        /// Recruitment window in days.
+        days: f64,
+    },
+}
+
+impl Cohort {
+    /// The paper's FigureEight setting: historically trustworthy, $0.11.
+    pub fn paper_crowd() -> Self {
+        Cohort::Crowd { channel: Channel::HistoricallyTrustworthy, reward_usd: 0.11 }
+    }
+
+    /// The paper's in-lab setting: one week of recruiting.
+    pub fn paper_lab() -> Self {
+        Cohort::InLab { days: 7.0 }
+    }
+}
+
+/// A fully-run study: parameters, recruitment, and campaign outcome.
+#[derive(Debug)]
+pub struct Study {
+    /// The test parameters used.
+    pub params: TestParams,
+    /// The recruitment that supplied the participants.
+    pub recruitment: Recruitment,
+    /// The campaign outcome (sessions, QC, analyses).
+    pub outcome: CampaignOutcome,
+}
+
+fn run_study(
+    build: impl FnOnce(usize) -> (kscope_singlefile::ResourceStore, TestParams),
+    questions: &[(&str, QuestionKind)],
+    participants: usize,
+    cohort: Cohort,
+    seed: u64,
+) -> Study {
+    let (store, params) = build(participants);
+    let db = Database::new();
+    let grid = GridStore::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let prepared = Aggregator::new(db.clone(), grid.clone())
+        .prepare(&params, &store, &mut rng)
+        .expect("corpus pages always prepare");
+    let recruitment = match cohort {
+        Cohort::Crowd { channel, reward_usd } => Platform.post_job(
+            &JobSpec::new(&params.test_id, reward_usd, participants, channel),
+            &mut rng,
+        ),
+        Cohort::InLab { days } => InLabRecruiter::new(participants, days).recruit(&mut rng),
+    };
+    let mut campaign = Campaign::new(db, grid);
+    for (q, kind) in questions {
+        campaign = campaign.with_question(q, *kind);
+    }
+    if matches!(cohort, Cohort::InLab { .. }) {
+        campaign = campaign.in_lab();
+    }
+    let outcome = campaign
+        .run(&params, &prepared, &recruitment, &mut rng)
+        .expect("campaign over prepared test");
+    Study { params, recruitment, outcome }
+}
+
+/// Runs the §IV-A font-size study (5 Wikipedia versions, 10–22 pt).
+pub fn run_font_study(participants: usize, cohort: Cohort, seed: u64) -> Study {
+    run_study(
+        corpus::font_size_study,
+        &[(
+            "Which webpage's font size is more suitable (easier) for reading?",
+            QuestionKind::FontReadability,
+        )],
+        participants,
+        cohort,
+        seed,
+    )
+}
+
+/// Runs the §IV-B expand-button study (A/B group page, three questions).
+pub fn run_expand_study(participants: usize, cohort: Cohort, seed: u64) -> Study {
+    run_study(
+        corpus::expand_button_study,
+        &[
+            ("Which webpage is graphically more appealing?", QuestionKind::Appeal),
+            ("Which version of the 'Expand' button looks better?", QuestionKind::StyleBetter),
+            ("Which version of the 'Expand' button is more visible?", QuestionKind::Visibility),
+        ],
+        participants,
+        cohort,
+        seed,
+    )
+}
+
+/// Runs the §IV-C uPLT case study (nav-first vs text-first loading).
+pub fn run_uplt_study(participants: usize, cohort: Cohort, seed: u64) -> Study {
+    run_study(
+        corpus::uplt_case_study,
+        &[("Which version of the webpage seems ready to use first?", QuestionKind::ReadyToUse)],
+        participants,
+        cohort,
+        seed,
+    )
+}
+
+/// The standard question text of the font study.
+pub const FONT_QUESTION: &str =
+    "Which webpage's font size is more suitable (easier) for reading?";
+/// The three §IV-B questions, A/B/C in paper order.
+pub const EXPAND_QUESTIONS: [&str; 3] = [
+    "Which webpage is graphically more appealing?",
+    "Which version of the 'Expand' button looks better?",
+    "Which version of the 'Expand' button is more visible?",
+];
+/// The §IV-C question.
+pub const UPLT_QUESTION: &str = "Which version of the webpage seems ready to use first?";
+
+/// Pretty-prints a two-column series.
+pub fn print_series(title: &str, header: (&str, &str), rows: &[(String, String)]) {
+    println!("\n== {title} ==");
+    println!("{:<28} {}", header.0, header.1);
+    for (x, y) in rows {
+        println!("{x:<28} {y}");
+    }
+}
+
+/// Formats a millisecond duration as hours or days.
+pub fn human_duration(ms: u64) -> String {
+    let hours = ms as f64 / 3_600_000.0;
+    if hours < 48.0 {
+        format!("{hours:.1} h")
+    } else {
+        format!("{:.1} days", hours / 24.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn font_study_runs_end_to_end() {
+        let study = run_font_study(12, Cohort::paper_crowd(), 1);
+        assert_eq!(study.outcome.sessions.len(), 12);
+        assert!(!study.outcome.quality.kept.is_empty());
+    }
+
+    #[test]
+    fn expand_study_runs_all_three_questions() {
+        let study = run_expand_study(12, Cohort::paper_crowd(), 2);
+        for q in EXPAND_QUESTIONS {
+            let qa = study.outcome.question_analysis(q, true);
+            assert!(qa.two_version_votes().is_some(), "missing votes for {q}");
+        }
+    }
+
+    #[test]
+    fn uplt_study_runs() {
+        let study = run_uplt_study(12, Cohort::paper_lab(), 3);
+        let qa = study.outcome.question_analysis(UPLT_QUESTION, false);
+        assert_eq!(qa.two_version_votes().unwrap().total(), 12);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(human_duration(3_600_000), "1.0 h");
+        assert_eq!(human_duration(3 * 86_400_000), "3.0 days");
+    }
+}

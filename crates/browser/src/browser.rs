@@ -1,0 +1,127 @@
+//! Tabs and behaviour telemetry.
+
+use crate::page::LoadedPage;
+
+/// Identifies a tab within a [`Browser`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TabId(usize);
+
+/// Counters matching what the extension records (Fig. 5's axes).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Telemetry {
+    /// Tabs created during the session.
+    pub created_tabs: u32,
+    /// Active-tab changes (including the activation of a new tab).
+    pub active_tab_switches: u32,
+}
+
+/// A minimal tabbed browser: open pages, switch between them, and count
+/// what the extension's behaviour monitor would see.
+#[derive(Debug, Default)]
+pub struct Browser {
+    tabs: Vec<(String, LoadedPage)>,
+    active: Option<usize>,
+    telemetry: Telemetry,
+}
+
+impl Browser {
+    /// A browser with no tabs.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens `page` in a new tab (named for logging) and makes it active.
+    pub fn open_tab(&mut self, name: &str, page: LoadedPage) -> TabId {
+        self.tabs.push((name.to_string(), page));
+        let id = TabId(self.tabs.len() - 1);
+        self.telemetry.created_tabs += 1;
+        self.activate(id);
+        id
+    }
+
+    /// Switches the active tab.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tab does not exist.
+    pub fn activate(&mut self, id: TabId) {
+        assert!(id.0 < self.tabs.len(), "no such tab");
+        if self.active != Some(id.0) {
+            self.active = Some(id.0);
+            self.telemetry.active_tab_switches += 1;
+        }
+    }
+
+    /// The active tab's page.
+    pub fn active_page(&self) -> Option<&LoadedPage> {
+        self.active.map(|i| &self.tabs[i].1)
+    }
+
+    /// The active tab's name.
+    pub fn active_name(&self) -> Option<&str> {
+        self.active.map(|i| self.tabs[i].0.as_str())
+    }
+
+    /// A tab's page by id.
+    pub fn page(&self, id: TabId) -> Option<&LoadedPage> {
+        self.tabs.get(id.0).map(|(_, p)| p)
+    }
+
+    /// Number of open tabs.
+    pub fn tab_count(&self) -> usize {
+        self.tabs.len()
+    }
+
+    /// The session telemetry so far.
+    pub fn telemetry(&self) -> Telemetry {
+        self.telemetry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page() -> LoadedPage {
+        LoadedPage::from_html("<p>x</p>")
+    }
+
+    #[test]
+    fn open_and_switch() {
+        let mut b = Browser::new();
+        let t1 = b.open_tab("page-0", page());
+        let t2 = b.open_tab("page-1", page());
+        assert_eq!(b.tab_count(), 2);
+        assert_eq!(b.active_name(), Some("page-1"));
+        b.activate(t1);
+        assert_eq!(b.active_name(), Some("page-0"));
+        assert!(b.page(t2).is_some());
+    }
+
+    #[test]
+    fn telemetry_counts() {
+        let mut b = Browser::new();
+        let t1 = b.open_tab("a", page());
+        let _t2 = b.open_tab("b", page());
+        b.activate(t1); // switch
+        b.activate(t1); // no-op: already active
+        let t = b.telemetry();
+        assert_eq!(t.created_tabs, 2);
+        // open a (1) + open b (2) + switch back (3); the no-op not counted.
+        assert_eq!(t.active_tab_switches, 3);
+    }
+
+    #[test]
+    fn empty_browser_has_no_active_page() {
+        let b = Browser::new();
+        assert!(b.active_page().is_none());
+        assert_eq!(b.telemetry(), Telemetry::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "no such tab")]
+    fn activate_missing_tab_panics() {
+        let mut b = Browser::new();
+        b.activate(TabId(3));
+    }
+}

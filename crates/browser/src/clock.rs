@@ -1,0 +1,85 @@
+//! Deterministic virtual time.
+
+/// A simulated millisecond clock. All session timing (page visits,
+/// comparison durations, arrival offsets) runs on this clock so campaigns
+/// are reproducible and can simulate days of wall time instantly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimClock {
+    now_ms: u64,
+}
+
+impl SimClock {
+    /// A clock starting at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A clock starting at an offset (e.g. a worker's arrival time).
+    pub fn starting_at(now_ms: u64) -> Self {
+        Self { now_ms }
+    }
+
+    /// Current time in milliseconds.
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms
+    }
+
+    /// Advances the clock.
+    pub fn advance_ms(&mut self, delta: u64) {
+        self.now_ms += delta;
+    }
+
+    /// Advances by fractional minutes (used by the behaviour models, which
+    /// speak minutes like the paper's figures).
+    pub fn advance_minutes(&mut self, minutes: f64) {
+        assert!(minutes >= 0.0 && minutes.is_finite(), "time cannot go backwards");
+        self.now_ms += (minutes * 60_000.0).round() as u64;
+    }
+
+    /// Elapsed milliseconds since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is in the future.
+    pub fn since_ms(&self, earlier: SimClock) -> u64 {
+        self.now_ms
+            .checked_sub(earlier.now_ms)
+            .expect("`earlier` must not be in the future")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances() {
+        let mut c = SimClock::new();
+        assert_eq!(c.now_ms(), 0);
+        c.advance_ms(250);
+        c.advance_minutes(1.5);
+        assert_eq!(c.now_ms(), 250 + 90_000);
+    }
+
+    #[test]
+    fn since() {
+        let start = SimClock::starting_at(1000);
+        let mut later = start;
+        later.advance_ms(234);
+        assert_eq!(later.since_ms(start), 234);
+    }
+
+    #[test]
+    #[should_panic(expected = "future")]
+    fn since_rejects_future() {
+        let a = SimClock::starting_at(10);
+        let b = SimClock::starting_at(20);
+        let _ = a.since_ms(b);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn negative_minutes_rejected() {
+        SimClock::new().advance_minutes(-1.0);
+    }
+}

@@ -1,0 +1,530 @@
+//! The extension's test flow (paper Fig. 3) with hard-rule enforcement.
+//!
+//! Flow: provide test id + contributor id + demographics → for each
+//! integrated webpage: download it, visit it in a new tab (revisits
+//! allowed), answer every comparison question → after the last page, the
+//! collected results are uploaded. The hard rules of §III-D are enforced
+//! here: a participant cannot advance without answering all questions, and
+//! cannot upload before finishing every page.
+
+use crate::browser::Browser;
+use crate::clock::SimClock;
+use crate::page::LoadedPage;
+use serde_json::{json, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One entry of the session's audit log: what the extension did and when
+/// (virtual milliseconds). The real extension "monitors participants'
+/// behavior and uploads the test data"; the event log is that monitor's
+/// raw record, and the telemetry counters are derived views of it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowEvent {
+    /// Virtual time of the event.
+    pub at_ms: u64,
+    /// What happened.
+    pub kind: FlowEventKind,
+}
+
+/// The kinds of extension events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlowEventKind {
+    /// Session registered (test id, contributor id, demographics given).
+    Registered,
+    /// An integrated page was downloaded and opened in a tab.
+    Visited {
+        /// The page name.
+        page: String,
+        /// 1 for the first visit, 2 for the first revisit, …
+        visit: u32,
+    },
+    /// A comparison question was answered.
+    Answered {
+        /// The page name.
+        page: String,
+        /// The question text.
+        question: String,
+        /// The answer given.
+        answer: String,
+    },
+    /// The participant moved on from a page.
+    PageCompleted {
+        /// The page name.
+        page: String,
+    },
+    /// The session finished and was uploaded.
+    Uploaded,
+}
+
+/// The answers and telemetry for one integrated webpage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PageResult {
+    /// The page's name (as served by the core server).
+    pub page_name: String,
+    /// Answer per question text.
+    pub answers: BTreeMap<String, String>,
+    /// Total time spent on this comparison, milliseconds.
+    pub duration_ms: u64,
+    /// How many times the page was (re)visited.
+    pub visits: u32,
+}
+
+/// Everything the extension uploads at the end of a session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionRecord {
+    /// The Kaleidoscope test id.
+    pub test_id: String,
+    /// The contributor (worker) id from the crowdsourcing platform.
+    pub contributor_id: String,
+    /// Demographics as a JSON object (coarse, per §III-D).
+    pub demographics: Value,
+    /// Per-page results in presentation order.
+    pub pages: Vec<PageResult>,
+    /// Tabs created during the session.
+    pub created_tabs: u32,
+    /// Active-tab switches during the session.
+    pub active_tab_switches: u32,
+}
+
+impl SessionRecord {
+    /// Total session duration in milliseconds.
+    pub fn total_duration_ms(&self) -> u64 {
+        self.pages.iter().map(|p| p.duration_ms).sum()
+    }
+
+    /// Serializes to the JSON document POSTed to the core server.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "test_id": self.test_id,
+            "contributor_id": self.contributor_id,
+            "demographics": self.demographics,
+            "created_tabs": self.created_tabs,
+            "active_tabs": self.active_tab_switches,
+            "pages": self.pages.iter().map(|p| json!({
+                "page": p.page_name,
+                "answers": p.answers,
+                "duration_ms": p.duration_ms,
+                "visits": p.visits,
+            })).collect::<Vec<_>>(),
+        })
+    }
+}
+
+/// The only answers the extension's UI offers (§III-B: "the response from
+/// the participant must be one of the three").
+pub const VALID_ANSWERS: [&str; 3] = ["Left", "Right", "Same"];
+
+/// Hard-rule violations and sequencing errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlowError {
+    /// An answer other than Left/Right/Same was submitted.
+    InvalidAnswer(String),
+    /// Tried to answer/advance before visiting the current page.
+    PageNotVisited,
+    /// Tried to advance without answering every question.
+    UnansweredQuestions(Vec<String>),
+    /// Tried to act after the session finished.
+    SessionFinished,
+    /// Tried to finish with pages remaining.
+    PagesRemaining(usize),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::InvalidAnswer(a) => {
+                write!(f, "'{a}' is not one of Left/Right/Same")
+            }
+            FlowError::PageNotVisited => write!(f, "current page has not been visited"),
+            FlowError::UnansweredQuestions(qs) => {
+                write!(f, "unanswered questions: {}", qs.join("; "))
+            }
+            FlowError::SessionFinished => write!(f, "session already finished"),
+            FlowError::PagesRemaining(n) => write!(f, "{n} pages still to test"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+/// The Fig. 3 state machine.
+#[derive(Debug)]
+pub struct TestFlow {
+    test_id: String,
+    contributor_id: String,
+    demographics: Value,
+    questions: Vec<String>,
+    page_names: Vec<String>,
+    browser: Browser,
+    clock: SimClock,
+    current: usize,
+    current_visits: u32,
+    current_answers: BTreeMap<String, String>,
+    page_started_ms: u64,
+    results: Vec<PageResult>,
+    finished: bool,
+    events: Vec<FlowEvent>,
+}
+
+impl TestFlow {
+    /// Registers a participant for a test: the extension collects the test
+    /// id and contributor id "acquired from the crowdsourcing platform" and
+    /// the standard demographic information, then receives the list of
+    /// integrated pages and the comparison questions.
+    pub fn register(
+        test_id: &str,
+        contributor_id: &str,
+        demographics: Value,
+        questions: Vec<String>,
+        page_names: Vec<String>,
+    ) -> Self {
+        Self {
+            test_id: test_id.to_string(),
+            contributor_id: contributor_id.to_string(),
+            demographics,
+            questions,
+            page_names,
+            browser: Browser::new(),
+            clock: SimClock::new(),
+            current: 0,
+            current_visits: 0,
+            current_answers: BTreeMap::new(),
+            page_started_ms: 0,
+            results: Vec::new(),
+            finished: false,
+            events: vec![FlowEvent { at_ms: 0, kind: FlowEventKind::Registered }],
+        }
+    }
+
+    /// The audit log so far, in chronological order.
+    pub fn events(&self) -> &[FlowEvent] {
+        &self.events
+    }
+
+    /// The name of the integrated page the participant must test next, or
+    /// `None` when all pages are done.
+    pub fn current_page_name(&self) -> Option<&str> {
+        self.page_names.get(self.current).map(String::as_str)
+    }
+
+    /// The comparison questions.
+    pub fn questions(&self) -> &[String] {
+        &self.questions
+    }
+
+    /// Visits (or revisits) the current page: opens it in a new tab and
+    /// spends `dwell_ms` of session time looking at it. "The integrated
+    /// webpage can be revisited as many times as one wants."
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::SessionFinished`] after the last page was completed.
+    pub fn visit(&mut self, page: LoadedPage, dwell_ms: u64) -> Result<(), FlowError> {
+        if self.finished {
+            return Err(FlowError::SessionFinished);
+        }
+        let name = self
+            .current_page_name()
+            .ok_or(FlowError::SessionFinished)?
+            .to_string();
+        if self.current_visits == 0 {
+            self.page_started_ms = self.clock.now_ms();
+        }
+        self.events.push(FlowEvent {
+            at_ms: self.clock.now_ms(),
+            kind: FlowEventKind::Visited { page: name.clone(), visit: self.current_visits + 1 },
+        });
+        self.browser.open_tab(&name, page);
+        self.clock.advance_ms(dwell_ms);
+        self.current_visits += 1;
+        Ok(())
+    }
+
+    /// Records the answer to one question on the current page.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::PageNotVisited`] before the first visit;
+    /// [`FlowError::SessionFinished`] after completion.
+    pub fn answer(&mut self, question: &str, answer: &str) -> Result<(), FlowError> {
+        if self.finished {
+            return Err(FlowError::SessionFinished);
+        }
+        if self.current_visits == 0 {
+            return Err(FlowError::PageNotVisited);
+        }
+        if !VALID_ANSWERS.contains(&answer) {
+            return Err(FlowError::InvalidAnswer(answer.to_string()));
+        }
+        self.events.push(FlowEvent {
+            at_ms: self.clock.now_ms(),
+            kind: FlowEventKind::Answered {
+                page: self.page_names[self.current].clone(),
+                question: question.to_string(),
+                answer: answer.to_string(),
+            },
+        });
+        self.current_answers.insert(question.to_string(), answer.to_string());
+        Ok(())
+    }
+
+    /// Moves to the next integrated page, enforcing the hard rule that all
+    /// comparison questions are answered first.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::UnansweredQuestions`] listing what is missing;
+    /// [`FlowError::PageNotVisited`] / [`FlowError::SessionFinished`] on
+    /// sequencing violations.
+    pub fn next_page(&mut self) -> Result<(), FlowError> {
+        if self.finished {
+            return Err(FlowError::SessionFinished);
+        }
+        if self.current_visits == 0 {
+            return Err(FlowError::PageNotVisited);
+        }
+        let missing: Vec<String> = self
+            .questions
+            .iter()
+            .filter(|q| !self.current_answers.contains_key(*q))
+            .cloned()
+            .collect();
+        if !missing.is_empty() {
+            return Err(FlowError::UnansweredQuestions(missing));
+        }
+        let name = self.page_names[self.current].clone();
+        self.events.push(FlowEvent {
+            at_ms: self.clock.now_ms(),
+            kind: FlowEventKind::PageCompleted { page: name.clone() },
+        });
+        self.results.push(PageResult {
+            page_name: name,
+            answers: std::mem::take(&mut self.current_answers),
+            duration_ms: self.clock.now_ms() - self.page_started_ms,
+            visits: self.current_visits,
+        });
+        self.current += 1;
+        self.current_visits = 0;
+        if self.current >= self.page_names.len() {
+            self.finished = true;
+        }
+        Ok(())
+    }
+
+    /// Whether every page has been completed.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Uploads the session: consumes the flow and returns the record.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::PagesRemaining`] if pages are left untested.
+    pub fn upload(mut self) -> Result<SessionRecord, FlowError> {
+        if !self.finished {
+            return Err(FlowError::PagesRemaining(self.page_names.len() - self.current));
+        }
+        self.events.push(FlowEvent {
+            at_ms: self.clock.now_ms(),
+            kind: FlowEventKind::Uploaded,
+        });
+        let telemetry = self.browser.telemetry();
+        Ok(SessionRecord {
+            test_id: self.test_id,
+            contributor_id: self.contributor_id,
+            demographics: self.demographics,
+            pages: self.results,
+            created_tabs: telemetry.created_tabs,
+            active_tab_switches: telemetry.active_tab_switches,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page() -> LoadedPage {
+        LoadedPage::from_html("<iframe src='a.html'></iframe><iframe src='b.html'></iframe>")
+    }
+
+    fn flow() -> TestFlow {
+        TestFlow::register(
+            "t1",
+            "w-1",
+            json!({"age": "25-34"}),
+            vec!["Which is better?".to_string()],
+            vec!["p0.html".to_string(), "p1.html".to_string()],
+        )
+    }
+
+    #[test]
+    fn happy_path() {
+        let mut f = flow();
+        assert_eq!(f.current_page_name(), Some("p0.html"));
+        f.visit(page(), 30_000).unwrap();
+        f.answer("Which is better?", "Left").unwrap();
+        f.next_page().unwrap();
+        assert_eq!(f.current_page_name(), Some("p1.html"));
+        f.visit(page(), 45_000).unwrap();
+        f.answer("Which is better?", "Same").unwrap();
+        f.next_page().unwrap();
+        assert!(f.is_finished());
+        let rec = f.upload().unwrap();
+        assert_eq!(rec.pages.len(), 2);
+        assert_eq!(rec.pages[0].answers["Which is better?"], "Left");
+        assert_eq!(rec.pages[0].duration_ms, 30_000);
+        assert_eq!(rec.total_duration_ms(), 75_000);
+        assert_eq!(rec.created_tabs, 2);
+    }
+
+    #[test]
+    fn hard_rule_all_questions_required() {
+        let mut f = TestFlow::register(
+            "t",
+            "w",
+            json!({}),
+            vec!["q1".to_string(), "q2".to_string()],
+            vec!["p".to_string()],
+        );
+        f.visit(page(), 1000).unwrap();
+        f.answer("q1", "Left").unwrap();
+        match f.next_page() {
+            Err(FlowError::UnansweredQuestions(missing)) => {
+                assert_eq!(missing, vec!["q2".to_string()]);
+            }
+            other => panic!("expected hard-rule violation, got {other:?}"),
+        }
+        f.answer("q2", "Right").unwrap();
+        f.next_page().unwrap();
+        assert!(f.is_finished());
+    }
+
+    #[test]
+    fn only_the_three_answers_are_accepted() {
+        let mut f = flow();
+        f.visit(page(), 1000).unwrap();
+        assert_eq!(
+            f.answer("Which is better?", "Both"),
+            Err(FlowError::InvalidAnswer("Both".into()))
+        );
+        for ok in ["Left", "Right", "Same"] {
+            f.answer("Which is better?", ok).unwrap();
+        }
+    }
+
+    #[test]
+    fn cannot_answer_before_visiting() {
+        let mut f = flow();
+        assert_eq!(f.answer("Which is better?", "Left"), Err(FlowError::PageNotVisited));
+        assert_eq!(f.next_page(), Err(FlowError::PageNotVisited));
+    }
+
+    #[test]
+    fn revisits_accumulate_time_and_visits() {
+        let mut f = flow();
+        f.visit(page(), 10_000).unwrap();
+        f.visit(page(), 5_000).unwrap();
+        f.answer("Which is better?", "Right").unwrap();
+        f.next_page().unwrap();
+        f.visit(page(), 1_000).unwrap();
+        f.answer("Which is better?", "Same").unwrap();
+        f.next_page().unwrap();
+        let rec = f.upload().unwrap();
+        assert_eq!(rec.pages[0].visits, 2);
+        assert_eq!(rec.pages[0].duration_ms, 15_000);
+        assert_eq!(rec.created_tabs, 3);
+    }
+
+    #[test]
+    fn upload_requires_completion() {
+        let mut f = flow();
+        f.visit(page(), 100).unwrap();
+        f.answer("Which is better?", "Left").unwrap();
+        f.next_page().unwrap();
+        let err = f.upload().unwrap_err();
+        assert_eq!(err, FlowError::PagesRemaining(1));
+    }
+
+    #[test]
+    fn acting_after_finish_is_an_error() {
+        let mut f = TestFlow::register(
+            "t",
+            "w",
+            json!({}),
+            vec![],
+            vec!["p".to_string()],
+        );
+        f.visit(page(), 100).unwrap();
+        f.next_page().unwrap();
+        assert!(f.is_finished());
+        assert_eq!(f.visit(page(), 1), Err(FlowError::SessionFinished));
+        assert_eq!(f.answer("q", "a"), Err(FlowError::SessionFinished));
+        assert_eq!(f.next_page(), Err(FlowError::SessionFinished));
+    }
+
+    #[test]
+    fn record_serializes_to_server_document() {
+        let mut f = flow();
+        f.visit(page(), 100).unwrap();
+        f.answer("Which is better?", "Left").unwrap();
+        f.next_page().unwrap();
+        f.visit(page(), 100).unwrap();
+        f.answer("Which is better?", "Right").unwrap();
+        f.next_page().unwrap();
+        let doc = f.upload().unwrap().to_json();
+        assert_eq!(doc["test_id"], json!("t1"));
+        assert_eq!(doc["pages"].as_array().unwrap().len(), 2);
+        assert_eq!(doc["pages"][1]["answers"]["Which is better?"], json!("Right"));
+    }
+
+    #[test]
+    fn event_log_records_the_fig3_flow() {
+        let mut f = flow();
+        f.visit(page(), 10_000).unwrap();
+        f.answer("Which is better?", "Left").unwrap();
+        f.visit(page(), 5_000).unwrap(); // revisit
+        f.next_page().unwrap();
+        f.visit(page(), 2_000).unwrap();
+        f.answer("Which is better?", "Same").unwrap();
+        f.next_page().unwrap();
+        let events: Vec<FlowEventKind> =
+            f.events().iter().map(|e| e.kind.clone()).collect();
+        // Registered first, then visit/answer/complete per page.
+        assert_eq!(events[0], FlowEventKind::Registered);
+        assert!(matches!(
+            &events[1],
+            FlowEventKind::Visited { page, visit: 1 } if page == "p0.html"
+        ));
+        assert!(matches!(&events[2], FlowEventKind::Answered { answer, .. } if answer == "Left"));
+        assert!(matches!(&events[3], FlowEventKind::Visited { visit: 2, .. }));
+        assert!(matches!(&events[4], FlowEventKind::PageCompleted { page } if page == "p0.html"));
+        // Timestamps are monotone.
+        assert!(f.events().windows(2).all(|w| w[0].at_ms <= w[1].at_ms));
+    }
+
+    #[test]
+    fn upload_appends_final_event() {
+        let mut f = TestFlow::register("t", "w", json!({}), vec![], vec!["p".to_string()]);
+        f.visit(page(), 100).unwrap();
+        f.next_page().unwrap();
+        let n_before = f.events().len();
+        let clock_end = f.events().last().unwrap().at_ms;
+        let rec = f.upload().unwrap();
+        let _ = (n_before, clock_end, rec);
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            FlowError::InvalidAnswer("Maybe".into()),
+            FlowError::PageNotVisited,
+            FlowError::UnansweredQuestions(vec!["q".into()]),
+            FlowError::SessionFinished,
+            FlowError::PagesRemaining(2),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

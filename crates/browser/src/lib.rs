@@ -1,0 +1,31 @@
+//! Virtual browser and browser-extension test flow.
+//!
+//! The paper's testers run a Chrome extension that downloads integrated
+//! webpages, shows them in sequence, enforces hard rules ("participants
+//! must answer all comparison questions in order to move to the next
+//! integrated webpage"), allows revisits, records behaviour telemetry (tabs
+//! created, active-tab switches, per-comparison time), and uploads results
+//! (Fig. 3). Rendering fidelity is irrelevant to every reported result, so
+//! we substitute Chrome with a virtual browser:
+//!
+//! * [`SimClock`] — deterministic virtual time in milliseconds.
+//! * [`Browser`] — tabs + telemetry counters.
+//! * [`LoadedPage`] — a parsed page that *executes the injected
+//!   `kscope-reveal` script*: the plan is parsed back out of the page's own
+//!   script element, laid out, and turned into a paint timeline, so the
+//!   artifact the aggregator produced is what actually drives perception.
+//! * [`extension::TestFlow`] — the Fig. 3 state machine with hard-rule
+//!   enforcement.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod browser;
+pub mod clock;
+pub mod extension;
+pub mod page;
+
+pub use browser::{Browser, TabId};
+pub use clock::SimClock;
+pub use extension::{FlowError, FlowEvent, FlowEventKind, PageResult, SessionRecord, TestFlow};
+pub use page::LoadedPage;

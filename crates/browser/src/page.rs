@@ -1,0 +1,400 @@
+//! Loading a page: parse, lay out, and execute the injected reveal plan.
+
+use kscope_html::style::{computed_property, document_stylesheets, Stylesheet};
+use kscope_html::{parse_document, Document, NodeId, Selector};
+use kscope_pageload::{
+    ContentClass, Layout, PaintTimeline, RevealEvent, RevealPlan, Viewport, VisualMetrics,
+    REVEAL_SCRIPT_ID,
+};
+
+/// A page as the virtual browser sees it after navigation: the DOM, its
+/// layout, the reveal plan recovered from the page's own injected
+/// `kscope-reveal` script (instant reveal if none), and the resulting paint
+/// timeline.
+#[derive(Debug, Clone)]
+pub struct LoadedPage {
+    doc: Document,
+    layout: Layout,
+    plan: RevealPlan,
+    timeline: PaintTimeline,
+    sheets: Vec<Stylesheet>,
+}
+
+impl LoadedPage {
+    /// Loads a page from HTML under the default desktop viewport.
+    pub fn from_html(html: &str) -> Self {
+        Self::from_html_with_viewport(html, Viewport::desktop())
+    }
+
+    /// Loads a page under an explicit viewport.
+    pub fn from_html_with_viewport(html: &str, viewport: Viewport) -> Self {
+        let doc = parse_document(html);
+        let layout = Layout::compute(&doc, viewport);
+        let plan = extract_reveal_plan(&doc, &layout);
+        let timeline = PaintTimeline::from_plan(&doc, &layout, &plan);
+        let sheets = document_stylesheets(&doc);
+        Self { doc, layout, plan, timeline, sheets }
+    }
+
+    /// The parsed DOM.
+    pub fn document(&self) -> &Document {
+        &self.doc
+    }
+
+    /// The computed layout.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// The reveal plan the page executes.
+    pub fn plan(&self) -> &RevealPlan {
+        &self.plan
+    }
+
+    /// The paint timeline produced by executing the plan.
+    pub fn timeline(&self) -> &PaintTimeline {
+        &self.timeline
+    }
+
+    /// Visual metrics of this load.
+    pub fn metrics(&self) -> VisualMetrics {
+        VisualMetrics::from_timeline(&self.timeline)
+    }
+
+    /// `src` attributes of the page's iframes in document order — the two
+    /// test-webpage panes of an integrated page.
+    pub fn iframe_refs(&self) -> Vec<String> {
+        self.doc
+            .elements()
+            .into_iter()
+            .filter_map(|id| {
+                let el = self.doc.element(id)?;
+                if el.name == "iframe" {
+                    el.attr("src").map(str::to_string)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// The font size (in points) of the element matched by `selector`,
+    /// computed through the CSS cascade: inline style first, then the
+    /// page's `<style>` rules by specificity, then inheritance from
+    /// ancestors — real pages set typography in stylesheets, not inline.
+    pub fn font_size_pt(&self, selector: &Selector) -> Option<f64> {
+        let node = self.doc.select_first(selector)?;
+        computed_property(&self.doc, &self.sheets, node, "font-size")
+            .and_then(|v| parse_pt(&v))
+    }
+
+    /// Clicks the first element matching `selector`, honouring the page's
+    /// declarative `data-toggles` wiring: the clicked element's target
+    /// (another selector) has its `display: none` toggled — the "Expand"
+    /// button mechanic of the §IV-B group page. Returns whether anything
+    /// changed. Layout and paint timeline are recomputed afterwards, so
+    /// metrics reflect the expanded page.
+    ///
+    /// This is the abstract's "allows a participant to interact with each
+    /// webpage version": interaction works because the page is a real DOM,
+    /// not a video.
+    pub fn click(&mut self, selector: &Selector) -> bool {
+        let Some(button) = self.doc.select_first(selector) else {
+            return false;
+        };
+        let Some(target_sel) = self
+            .doc
+            .attr(button, "data-toggles")
+            .and_then(|s| s.parse::<Selector>().ok())
+        else {
+            return false;
+        };
+        let Some(target) = self.doc.select_first(&target_sel) else {
+            return false;
+        };
+        let hidden = self
+            .doc
+            .style_property(target, "display")
+            .map(|d| d == "none")
+            .unwrap_or(false);
+        self.doc
+            .set_style_property(target, "display", if hidden { "block" } else { "none" });
+        // Geometry changed: recompute the derived state.
+        let viewport = self.layout.viewport();
+        self.layout = Layout::compute(&self.doc, viewport);
+        self.plan = extract_reveal_plan(&self.doc, &self.layout);
+        self.timeline = PaintTimeline::from_plan(&self.doc, &self.layout, &self.plan);
+        true
+    }
+
+    /// The readiness curve for perception models: step samples of
+    /// `(t_ms, main-text painted fraction, other painted fraction)`.
+    pub fn readiness_curve(&self) -> Vec<(u64, f64, f64)> {
+        let text_total = self
+            .layout
+            .area_by_class()
+            .get(&ContentClass::MainText)
+            .copied()
+            .unwrap_or(0.0);
+        let total = self.layout.total_area();
+        let other_total = (total - text_total).max(0.0);
+        self.timeline
+            .samples()
+            .iter()
+            .map(|s| {
+                let text_painted =
+                    s.class_area.get(&ContentClass::MainText).copied().unwrap_or(0.0);
+                let all_painted = s.completeness * total;
+                let other_painted = (all_painted - text_painted).max(0.0);
+                let text_frac =
+                    if text_total > 0.0 { (text_painted / text_total).min(1.0) } else { 1.0 };
+                let other_frac = if other_total > 0.0 {
+                    (other_painted / other_total).min(1.0)
+                } else {
+                    1.0
+                };
+                (s.t_ms, text_frac, other_frac)
+            })
+            .collect()
+    }
+}
+
+/// Parses the JSON plan back out of the injected `kscope-reveal` script.
+/// The plan addresses elements by document-order ordinal (see
+/// `RevealPlan::inject`). Falls back to "everything visible at t = 0" when
+/// no script is present (plain pages without simulated loading).
+fn extract_reveal_plan(doc: &Document, layout: &Layout) -> RevealPlan {
+    let script_text = doc.get_element_by_id(REVEAL_SCRIPT_ID).map(|id| doc.text_content(id));
+    let entries: Vec<(usize, u64)> = script_text
+        .as_deref()
+        .and_then(parse_plan_json)
+        .unwrap_or_default();
+    if entries.is_empty() {
+        // Instant reveal of every laid-out element.
+        return doc
+            .elements()
+            .into_iter()
+            .filter_map(|id| {
+                let b = layout.get(id)?;
+                Some(RevealEvent {
+                    node: id,
+                    at_ms: 0,
+                    area: b.area,
+                    above_fold_area: b.above_fold_area,
+                })
+            })
+            .collect();
+    }
+    let elements: Vec<NodeId> = doc.elements();
+    entries
+        .into_iter()
+        .filter_map(|(ordinal, at_ms)| {
+            let node = *elements.get(ordinal)?;
+            let b = layout.get(node)?;
+            Some(RevealEvent { node, at_ms, area: b.area, above_fold_area: b.above_fold_area })
+        })
+        .collect()
+}
+
+/// Extracts `var plan = [...];` from the loader script.
+fn parse_plan_json(script: &str) -> Option<Vec<(usize, u64)>> {
+    let start = script.find("var plan = ")? + "var plan = ".len();
+    let rest = &script[start..];
+    let end = rest.find("];")? + 1;
+    let json: serde_json::Value = serde_json::from_str(&rest[..end]).ok()?;
+    let arr = json.as_array()?;
+    let mut out = Vec::with_capacity(arr.len());
+    for item in arr {
+        let node = item.get("node")?.as_u64()? as usize;
+        let at_ms = item.get("at_ms")?.as_u64()?;
+        out.push((node, at_ms));
+    }
+    Some(out)
+}
+
+fn parse_pt(value: &str) -> Option<f64> {
+    let v = value.trim();
+    if let Some(pt) = v.strip_suffix("pt") {
+        pt.trim().parse().ok()
+    } else if let Some(px) = v.strip_suffix("px") {
+        // 1 pt = 4/3 px.
+        px.trim().parse::<f64>().ok().map(|x| x * 0.75)
+    } else {
+        v.parse().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kscope_pageload::LoadSpec;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    /// Builds a page with an injected plan, serializes it, and reloads it —
+    /// the exact artifact round-trip the real tool performs.
+    fn page_with_plan(html: &str, spec_json: serde_json::Value) -> LoadedPage {
+        let mut doc = parse_document(html);
+        let layout = Layout::compute(&doc, Viewport::desktop());
+        let spec = LoadSpec::from_json(&spec_json).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let plan = RevealPlan::build(&doc, &layout, &spec, &mut rng);
+        plan.inject(&mut doc);
+        LoadedPage::from_html(&doc.to_html())
+    }
+
+    const PAGE: &str = r#"<html><head></head><body>
+        <nav id="topnav"><a>home</a></nav>
+        <div id="content"><p>The article text goes here and continues for a
+        while so the main content has real area.</p></div>
+    </body></html>"#;
+
+    #[test]
+    fn executes_injected_plan() {
+        let page = page_with_plan(PAGE, serde_json::json!({"#topnav": 1000, "#content": 3000}));
+        assert_eq!(page.timeline().last_paint_ms(), 3000);
+        let m = page.metrics();
+        assert_eq!(m.plt_ms, 3000);
+        // Unscheduled containers (body, html) reveal at t = 0, so the first
+        // paint is immediate even though the scheduled content comes later.
+        assert_eq!(m.ttfp_ms, 0);
+        assert!(page.timeline().completeness_at(999) < page.timeline().completeness_at(1000));
+    }
+
+    #[test]
+    fn page_without_plan_paints_instantly() {
+        let page = LoadedPage::from_html(PAGE);
+        assert_eq!(page.timeline().last_paint_ms(), 0);
+        assert!(!page.plan().is_empty());
+    }
+
+    #[test]
+    fn injection_roundtrip_preserves_schedule() {
+        // The plan recovered from the serialized page must equal the one
+        // injected (same node indices survive parse→serialize→parse because
+        // the aggregator injects into the final DOM shape).
+        let mut doc = parse_document(PAGE);
+        let layout = Layout::compute(&doc, Viewport::desktop());
+        let spec = LoadSpec::from_json(&serde_json::json!({"#content": 2500})).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let plan = RevealPlan::build(&doc, &layout, &spec, &mut rng);
+        plan.inject(&mut doc);
+        let reloaded = LoadedPage::from_html(&doc.to_html());
+        assert_eq!(reloaded.timeline().last_paint_ms(), 2500);
+    }
+
+    #[test]
+    fn iframe_refs_in_order() {
+        let page = LoadedPage::from_html(
+            r#"<iframe src="page-0.html"></iframe><iframe src="page-1.html"></iframe>"#,
+        );
+        assert_eq!(page.iframe_refs(), vec!["page-0.html", "page-1.html"]);
+    }
+
+    #[test]
+    fn font_size_from_inline_style() {
+        let page = LoadedPage::from_html(
+            r#"<div id="content" style="font-size: 14pt"><p>x</p></div>"#,
+        );
+        let sel: Selector = "#content p".parse().unwrap();
+        assert_eq!(page.font_size_pt(&sel), Some(14.0));
+    }
+
+    #[test]
+    fn font_size_px_converted() {
+        let page =
+            LoadedPage::from_html(r#"<p id="t" style="font-size: 16px">x</p>"#);
+        let sel: Selector = "#t".parse().unwrap();
+        assert_eq!(page.font_size_pt(&sel), Some(12.0));
+    }
+
+    #[test]
+    fn font_size_from_stylesheet_cascade() {
+        let page = LoadedPage::from_html(
+            "<style>#content { font-size: 13pt } p { font-size: 9pt }</style>\
+             <div id='content'><p class='x'>t</p><span>u</span></div>",
+        );
+        // The p rule (tag) applies directly to the paragraph.
+        let p_sel: Selector = "#content p".parse().unwrap();
+        assert_eq!(page.font_size_pt(&p_sel), Some(9.0));
+        // The span has no own rule and inherits from #content.
+        let span_sel: Selector = "#content span".parse().unwrap();
+        assert_eq!(page.font_size_pt(&span_sel), Some(13.0));
+    }
+
+    #[test]
+    fn inline_style_beats_stylesheet() {
+        let page = LoadedPage::from_html(
+            "<style>p { font-size: 9pt }</style><p id='t' style='font-size: 21pt'>x</p>",
+        );
+        let sel: Selector = "#t".parse().unwrap();
+        assert_eq!(page.font_size_pt(&sel), Some(21.0));
+    }
+
+    #[test]
+    fn font_size_missing_is_none() {
+        let page = LoadedPage::from_html("<p id='t'>x</p>");
+        let sel: Selector = "#t".parse().unwrap();
+        assert_eq!(page.font_size_pt(&sel), None);
+    }
+
+    #[test]
+    fn readiness_curve_tracks_text_separately() {
+        let page = page_with_plan(PAGE, serde_json::json!({"#topnav": 1000, "#content": 3000}));
+        let curve = page.readiness_curve();
+        assert_eq!(curve.first().map(|&(t, _, _)| t), Some(0));
+        // At the nav reveal, other-content fraction jumps but text stays 0.
+        let at_nav = curve.iter().find(|&&(t, _, _)| t == 1000).unwrap();
+        assert_eq!(at_nav.1, 0.0);
+        assert!(at_nav.2 > 0.0);
+        // Fully painted at the end.
+        let last = curve.last().unwrap();
+        assert!((last.1 - 1.0).abs() < 1e-9);
+        assert!((last.2 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn click_toggles_declared_target() {
+        let html = r##"<button class="expand-btn" data-toggles="#more">Expand</button>
+                      <div id="more" style="display:none"><p>hidden details of the section
+                      with enough text to have real area once revealed</p></div>"##;
+        let mut page = LoadedPage::from_html(html);
+        let sel: Selector = ".expand-btn".parse().unwrap();
+        let doc_target = page.document().get_element_by_id("more").unwrap();
+        assert_eq!(
+            page.document().style_property(doc_target, "display").as_deref(),
+            Some("none")
+        );
+        assert!(page.click(&sel));
+        let doc_target = page.document().get_element_by_id("more").unwrap();
+        assert_eq!(
+            page.document().style_property(doc_target, "display").as_deref(),
+            Some("block")
+        );
+        // Clicking again collapses it back.
+        assert!(page.click(&sel));
+        let doc_target = page.document().get_element_by_id("more").unwrap();
+        assert_eq!(
+            page.document().style_property(doc_target, "display").as_deref(),
+            Some("none")
+        );
+    }
+
+    #[test]
+    fn click_without_wiring_is_a_noop() {
+        let mut page = LoadedPage::from_html("<button class='x'>plain</button>");
+        let sel: Selector = ".x".parse().unwrap();
+        assert!(!page.click(&sel));
+        let missing: Selector = ".nope".parse().unwrap();
+        assert!(!page.click(&missing));
+    }
+
+    #[test]
+    fn malformed_plan_script_falls_back_to_instant() {
+        let html = format!(
+            r#"<html><head><script id="{REVEAL_SCRIPT_ID}">var plan = garbage;</script></head>
+               <body><p>x</p></body></html>"#
+        );
+        let page = LoadedPage::from_html(&html);
+        assert_eq!(page.timeline().last_paint_ms(), 0);
+    }
+}

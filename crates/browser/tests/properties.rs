@@ -1,0 +1,54 @@
+//! Property tests: the virtual browser must be total over arbitrary HTML.
+
+use kscope_browser::{LoadedPage, TestFlow};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Loading any string as a page never panics, and the timeline is
+    /// always well-formed (monotone completeness ending at or before 1).
+    #[test]
+    fn loaded_page_total(html in ".{0,400}") {
+        let page = LoadedPage::from_html(&html);
+        let mut prev = -1.0;
+        for s in page.timeline().samples() {
+            prop_assert!(s.completeness >= prev);
+            prop_assert!(s.completeness <= 1.0 + 1e-9);
+            prev = s.completeness;
+        }
+        let m = page.metrics();
+        prop_assert!(m.ttfp_ms <= m.plt_ms);
+        prop_assert!(m.atf_ms <= m.plt_ms);
+    }
+
+    /// A corrupted reveal script never breaks loading.
+    #[test]
+    fn corrupt_reveal_script_tolerated(garbage in "[a-z0-9{}\\[\\];=, ]{0,120}") {
+        let html = format!(
+            "<html><head><script id=\"kscope-reveal\">var plan = {garbage};</script></head>\
+             <body><p>x</p></body></html>"
+        );
+        let page = LoadedPage::from_html(&html);
+        // Fallback: instant reveal.
+        prop_assert!(page.metrics().plt_ms == 0 || !page.plan().is_empty());
+    }
+
+    /// The test flow accepts any dwell times and question strings without
+    /// breaking its own invariants.
+    #[test]
+    fn flow_invariants(dwells in prop::collection::vec(0u64..100_000, 1..5),
+                        q in "[ -~]{1,40}") {
+        let pages: Vec<String> = (0..dwells.len()).map(|i| format!("p{i}.html")).collect();
+        let mut flow = TestFlow::register("t", "w", serde_json::json!({}), vec![q.clone()], pages);
+        for &d in &dwells {
+            flow.visit(LoadedPage::from_html("<p>x</p>"), d).unwrap();
+            flow.answer(&q, "Same").unwrap();
+            flow.next_page().unwrap();
+        }
+        prop_assert!(flow.is_finished());
+        let rec = flow.upload().unwrap();
+        prop_assert_eq!(rec.total_duration_ms(), dwells.iter().sum::<u64>());
+        prop_assert_eq!(rec.pages.len(), dwells.len());
+    }
+}

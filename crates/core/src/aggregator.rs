@@ -1,0 +1,469 @@
+//! The aggregator (paper §III-B): test-data preparation.
+//!
+//! "Two kinds of test data should be prepared and stored in the system —
+//! test information and integrated webpages." For each test webpage the
+//! aggregator (1) compresses the saved folder into one self-contained HTML
+//! file (SingleFile), (2) injects the page-load reveal script built from
+//! the webpage's `web_page_load` parameter, and (3) composes every pair of
+//! versions into an integrated webpage: an initial HTML document with two
+//! side-by-side iframes (Fig. 1). Quality-control pages — an identical
+//! pair and a significantly-different pair with known answers — are added
+//! for §III-D's control questions. Everything lands in the database and
+//! the per-test file store.
+
+use crate::params::TestParams;
+use kscope_html::parse_document;
+use kscope_pageload::{Layout, RevealPlan, Viewport};
+use kscope_singlefile::{InlineError, Inliner, ResourceStore};
+use kscope_store::{Database, GridStore};
+use rand::Rng;
+use serde_json::json;
+use std::fmt;
+
+/// What a control page checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlKind {
+    /// Two copies of the same version: a genuine tester must answer "Same".
+    IdenticalPair,
+    /// A deliberately ruined version against a normal one: a genuine tester
+    /// must prefer the normal side (always presented on the right).
+    ExtremePair,
+}
+
+/// Metadata of one integrated webpage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntegratedPageMeta {
+    /// File name under the test's folder in the grid store.
+    pub name: String,
+    /// Index of the version shown in the left iframe.
+    pub left: usize,
+    /// Index of the version shown in the right iframe.
+    pub right: usize,
+    /// `Some` when this is a quality-control page.
+    pub control: Option<ControlKind>,
+}
+
+impl IntegratedPageMeta {
+    /// Whether this page contributes to the real measurement (not QC).
+    pub fn is_real(&self) -> bool {
+        self.control.is_none()
+    }
+}
+
+/// The product of [`Aggregator::prepare`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PreparedTest {
+    /// The test id everything is stored under.
+    pub test_id: String,
+    /// All integrated pages in presentation order (real pairs first, then
+    /// control pages).
+    pub pages: Vec<IntegratedPageMeta>,
+}
+
+impl PreparedTest {
+    /// Page names in presentation order.
+    pub fn page_names(&self) -> Vec<String> {
+        self.pages.iter().map(|p| p.name.clone()).collect()
+    }
+
+    /// The real (non-control) pairs.
+    pub fn real_pairs(&self) -> Vec<&IntegratedPageMeta> {
+        self.pages.iter().filter(|p| p.is_real()).collect()
+    }
+
+    /// Looks up a page's metadata by name.
+    pub fn page(&self, name: &str) -> Option<&IntegratedPageMeta> {
+        self.pages.iter().find(|p| p.name == name)
+    }
+}
+
+/// Errors during test preparation.
+#[derive(Debug)]
+pub enum AggregateError {
+    /// The test parameters failed validation.
+    InvalidParams(crate::params::ValidateParamsError),
+    /// A webpage folder was missing or incomplete.
+    Inline(InlineError),
+}
+
+impl fmt::Display for AggregateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggregateError::InvalidParams(e) => write!(f, "{e}"),
+            AggregateError::Inline(e) => write!(f, "webpage preparation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AggregateError {}
+
+impl From<crate::params::ValidateParamsError> for AggregateError {
+    fn from(e: crate::params::ValidateParamsError) -> Self {
+        AggregateError::InvalidParams(e)
+    }
+}
+
+impl From<InlineError> for AggregateError {
+    fn from(e: InlineError) -> Self {
+        AggregateError::Inline(e)
+    }
+}
+
+/// The aggregator: prepares and stores a test's data.
+#[derive(Debug, Clone)]
+pub struct Aggregator {
+    db: Database,
+    grid: GridStore,
+    viewport: Viewport,
+}
+
+impl Aggregator {
+    /// Creates an aggregator over the shared storage.
+    pub fn new(db: Database, grid: GridStore) -> Self {
+        Self { db, grid, viewport: Viewport::desktop() }
+    }
+
+    /// Overrides the viewport used for layout/reveal planning.
+    pub fn with_viewport(mut self, viewport: Viewport) -> Self {
+        self.viewport = viewport;
+        self
+    }
+
+    /// Prepares a test: compresses versions, injects reveal scripts,
+    /// generates `C(N,2)` integrated pages plus two control pages, stores
+    /// everything, and records the test information.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AggregateError`] on invalid parameters or missing webpage
+    /// folders.
+    pub fn prepare<R: Rng + ?Sized>(
+        &self,
+        params: &TestParams,
+        store: &ResourceStore,
+        rng: &mut R,
+    ) -> Result<PreparedTest, AggregateError> {
+        params.validate()?;
+        let test_id = params.test_id.clone();
+
+        // 1. Compress each version and inject its reveal plan.
+        let inliner = Inliner::new(store);
+        let mut version_files = Vec::with_capacity(params.webpages.len());
+        for (i, spec) in params.webpages.iter().enumerate() {
+            let out = inliner.inline(&spec.main_file_path())?;
+            let mut doc = parse_document(&out.html);
+            let layout = Layout::compute(&doc, self.viewport);
+            let load = spec.load_spec().expect("validated above");
+            let plan = RevealPlan::build(&doc, &layout, &load, rng);
+            plan.inject(&mut doc);
+            let name = format!("version-{i}.html");
+            self.grid.put(&test_id, &name, doc.to_html().into_bytes());
+            version_files.push(name);
+        }
+
+        // 2. Integrated pages for every pair (i < j), in index order.
+        let questions: Vec<String> =
+            params.question.iter().map(|q| q.text().to_string()).collect();
+        let mut pages = Vec::new();
+        let n = params.webpages.len();
+        let mut k = 0usize;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let name = format!("integrated-{k:03}.html");
+                let html = integrated_html_with_questions(
+                    &version_files[i],
+                    &version_files[j],
+                    &questions,
+                );
+                self.grid.put(&test_id, &name, html.into_bytes());
+                pages.push(IntegratedPageMeta { name, left: i, right: j, control: None });
+                k += 1;
+            }
+        }
+
+        // 3. Control pages. "We occasionally show two copies of the same
+        // version webpage, or two significantly different webpages."
+        let identical = IntegratedPageMeta {
+            name: "control-identical.html".to_string(),
+            left: 0,
+            right: 0,
+            control: Some(ControlKind::IdenticalPair),
+        };
+        self.grid.put(
+            &test_id,
+            &identical.name,
+            integrated_html(&version_files[0], &version_files[0]).into_bytes(),
+        );
+        pages.push(identical);
+
+        let ruined_name = "version-ruined.html".to_string();
+        let ruined = ruin_version(&self.grid.get_text(&test_id, &version_files[0]).expect("just stored"));
+        self.grid.put(&test_id, &ruined_name, ruined.into_bytes());
+        let extreme = IntegratedPageMeta {
+            name: "control-extreme.html".to_string(),
+            // The ruined copy is always the left pane; the honest answer is
+            // therefore "Right".
+            left: usize::MAX,
+            right: 0,
+            control: Some(ControlKind::ExtremePair),
+        };
+        self.grid.put(
+            &test_id,
+            &extreme.name,
+            integrated_html(&ruined_name, &version_files[0]).into_bytes(),
+        );
+        pages.push(extreme);
+
+        // 4. Record test information and page metadata — the paper's three
+        // collections: integrated webpages, basic test information, and
+        // (later, from the server) participant responses.
+        let page_doc = |p: &IntegratedPageMeta| {
+            json!({
+                "test_id": test_id,
+                "name": p.name,
+                "left": p.left as i64,
+                "right": p.right as i64,
+                "control": match p.control {
+                    None => serde_json::Value::Null,
+                    Some(ControlKind::IdenticalPair) => json!("identical"),
+                    Some(ControlKind::ExtremePair) => json!("extreme"),
+                },
+            })
+        };
+        let integrated = self.db.collection("integrated_pages");
+        for p in &pages {
+            integrated.insert_one(page_doc(p));
+        }
+        let tests = self.db.collection(kserver_tests());
+        tests.insert_one(json!({
+            "test_id": test_id,
+            "params": serde_json::to_value(params).expect("params serialize"),
+            "pages": pages.iter().map(page_doc).collect::<Vec<_>>(),
+        }));
+
+        Ok(PreparedTest { test_id, pages })
+    }
+
+    /// The backing file store.
+    pub fn grid(&self) -> &GridStore {
+        &self.grid
+    }
+
+    /// The backing database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+}
+
+/// Name of the tests collection (matches the core server's).
+fn kserver_tests() -> &'static str {
+    "tests"
+}
+
+/// The initial HTML document with two side-by-side iframes (Fig. 1),
+/// topped by the comparison-question banner the extension renders.
+pub fn integrated_html(left_file: &str, right_file: &str) -> String {
+    integrated_html_with_questions(left_file, right_file, &[])
+}
+
+/// Like [`integrated_html`], with the comparison questions listed in the
+/// banner (the extension collects the Left/Right/Same answers itself).
+pub fn integrated_html_with_questions(
+    left_file: &str,
+    right_file: &str,
+    questions: &[String],
+) -> String {
+    let banner = if questions.is_empty() {
+        String::new()
+    } else {
+        let items: String = questions
+            .iter()
+            .map(|q| format!("<li>{}</li>", kscope_html::tokenizer::escape_text(q)))
+            .collect();
+        format!(
+            "<div id=\"kscope-questions\"><ul>{items}</ul>\
+             <p>Answer each question with Left, Right, or Same.</p></div>"
+        )
+    };
+    format!(
+        r#"<!DOCTYPE html><html><head><title>Kaleidoscope comparison</title>
+<style>
+#kscope-questions {{ background: #f5f5f5; padding: 4px 8px; font: 13px sans-serif }}
+.kscope-pane {{ width: 49.5%; height: 92vh; float: left; border: 1px solid #ccc }}
+</style></head><body>
+{banner}<iframe class="kscope-pane" id="kscope-left" src="{left_file}"></iframe>
+<iframe class="kscope-pane" id="kscope-right" src="{right_file}"></iframe>
+</body></html>"#
+    )
+}
+
+/// Produces the "significantly different" (deliberately ruined) variant for
+/// the extreme control pair: unreadably small text (the paper's 4 pt
+/// example) *and* a crawling page load, so the control has a known answer
+/// under every question kind — style, readability, and readiness alike.
+fn ruin_version(html: &str) -> String {
+    let mut doc = parse_document(html);
+    if let Some(body) = doc.find_tag("body") {
+        doc.set_style_property(body, "font-size", "4pt");
+        doc.set_style_property(body, "letter-spacing", "-1px");
+    }
+    // Override any inline font sizes below the body.
+    let sel: kscope_html::Selector = "[style]".parse().expect("valid selector");
+    for node in doc.select(&sel) {
+        if doc.style_property(node, "font-size").is_some() {
+            doc.set_style_property(node, "font-size", "4pt");
+        }
+    }
+    // Replace the reveal plan: everything under <body> appears only after
+    // 8 seconds.
+    if let Some(script) = doc.get_element_by_id(kscope_pageload::REVEAL_SCRIPT_ID) {
+        doc.detach(script);
+    }
+    let layout = Layout::compute(&doc, Viewport::desktop());
+    let slow = kscope_pageload::LoadSpec::PerSelector(vec![kscope_pageload::SelectorTiming {
+        selector: "body".to_string(),
+        at_ms: 8000,
+    }]);
+    // The per-selector form is deterministic, so the seed is irrelevant.
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0);
+    let plan = RevealPlan::build(&doc, &layout, &slow, &mut rng);
+    plan.inject(&mut doc);
+    doc.to_html()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn prepare_font_study() -> (Aggregator, PreparedTest, TestParams) {
+        let (store, params) = corpus::font_size_study(50);
+        let agg = Aggregator::new(Database::new(), GridStore::new());
+        let mut rng = StdRng::seed_from_u64(1);
+        let prepared = agg.prepare(&params, &store, &mut rng).unwrap();
+        (agg, prepared, params)
+    }
+
+    #[test]
+    fn prepares_versions_pairs_and_controls() {
+        let (agg, prepared, params) = prepare_font_study();
+        // C(5,2) = 10 real pairs + 2 control pages.
+        assert_eq!(prepared.pages.len(), 12);
+        assert_eq!(prepared.real_pairs().len(), 10);
+        assert_eq!(params.integrated_page_count(), 10);
+        // All files exist in the grid store.
+        let files = agg.grid().list(&prepared.test_id);
+        assert!(files.iter().any(|f| f == "version-0.html"));
+        assert!(files.iter().any(|f| f == "version-4.html"));
+        assert!(files.iter().any(|f| f == "integrated-009.html"));
+        assert!(files.iter().any(|f| f == "control-identical.html"));
+        assert!(files.iter().any(|f| f == "control-extreme.html"));
+        assert!(files.iter().any(|f| f == "version-ruined.html"));
+    }
+
+    #[test]
+    fn pairs_enumerate_in_index_order() {
+        let (_, prepared, _) = prepare_font_study();
+        let real = prepared.real_pairs();
+        assert_eq!((real[0].left, real[0].right), (0, 1));
+        assert_eq!((real[1].left, real[1].right), (0, 2));
+        assert_eq!((real[9].left, real[9].right), (3, 4));
+        // Left pane always holds the lower index — the presentation-order
+        // fact behind the AlwaysLeft-spammer artifact in Fig. 4 (raw).
+        assert!(real.iter().all(|p| p.left < p.right));
+    }
+
+    #[test]
+    fn version_files_are_self_contained_with_reveal_script() {
+        let (agg, prepared, _) = prepare_font_study();
+        let html = agg.grid().get_text(&prepared.test_id, "version-0.html").unwrap();
+        assert!(html.contains("kscope-reveal"), "reveal script must be injected");
+        assert!(html.contains("data:image/"), "images must be inlined");
+        assert!(!html.contains("style.css"), "stylesheet must be folded in");
+    }
+
+    #[test]
+    fn integrated_page_references_both_versions() {
+        let (agg, prepared, params) = prepare_font_study();
+        let html = agg.grid().get_text(&prepared.test_id, "integrated-000.html").unwrap();
+        assert!(html.contains(r#"src="version-0.html""#));
+        assert!(html.contains(r#"src="version-1.html""#));
+        let doc = parse_document(&html);
+        let sel: kscope_html::Selector = "iframe".parse().unwrap();
+        assert_eq!(doc.select(&sel).len(), 2);
+        // The Fig. 1 banner lists the comparison question.
+        let banner = doc.get_element_by_id("kscope-questions").expect("question banner");
+        assert!(doc.text_content(banner).contains(params.question[0].text()));
+    }
+
+    #[test]
+    fn ruined_version_has_tiny_font() {
+        let (agg, prepared, _) = prepare_font_study();
+        let html = agg.grid().get_text(&prepared.test_id, "version-ruined.html").unwrap();
+        assert!(html.contains("font-size: 4pt"));
+    }
+
+    #[test]
+    fn test_info_recorded_in_database() {
+        let (agg, prepared, params) = prepare_font_study();
+        let doc = agg
+            .database()
+            .collection("tests")
+            .find_one(&json!({"test_id": prepared.test_id}))
+            .unwrap();
+        assert_eq!(doc["params"]["participant_num"], json!(params.participant_num));
+        assert_eq!(doc["pages"].as_array().unwrap().len(), 12);
+        // The paper's dedicated integrated-pages collection is populated
+        // too, queryable by test id and control kind.
+        let integrated = agg.database().collection("integrated_pages");
+        assert_eq!(integrated.count(&json!({"test_id": prepared.test_id})), 12);
+        assert_eq!(
+            integrated.count(&json!({"test_id": prepared.test_id, "control": "identical"})),
+            1
+        );
+        assert_eq!(integrated.count(&json!({"control": null})), 10);
+    }
+
+    #[test]
+    fn reveal_plans_deterministic_per_seed() {
+        let (store, params) = corpus::font_size_study(10);
+        let a = Aggregator::new(Database::new(), GridStore::new());
+        let b = Aggregator::new(Database::new(), GridStore::new());
+        a.prepare(&params, &store, &mut StdRng::seed_from_u64(7)).unwrap();
+        b.prepare(&params, &store, &mut StdRng::seed_from_u64(7)).unwrap();
+        assert_eq!(
+            a.grid().get_text(&params.test_id, "version-2.html"),
+            b.grid().get_text(&params.test_id, "version-2.html")
+        );
+    }
+
+    #[test]
+    fn missing_folder_is_an_error() {
+        let params = TestParams::new(
+            "t",
+            10,
+            vec!["q"],
+            vec![
+                crate::params::WebpageSpec::new("ghost-a", "index.html", 0),
+                crate::params::WebpageSpec::new("ghost-b", "index.html", 0),
+            ],
+        );
+        let agg = Aggregator::new(Database::new(), GridStore::new());
+        let err = agg
+            .prepare(&params, &ResourceStore::new(), &mut StdRng::seed_from_u64(0))
+            .unwrap_err();
+        assert!(matches!(err, AggregateError::Inline(_)));
+        assert!(err.to_string().contains("ghost-a"));
+    }
+
+    #[test]
+    fn invalid_params_rejected_before_work() {
+        let (store, mut params) = corpus::font_size_study(10);
+        params.webpage_num = 99;
+        let agg = Aggregator::new(Database::new(), GridStore::new());
+        let err =
+            agg.prepare(&params, &store, &mut StdRng::seed_from_u64(0)).unwrap_err();
+        assert!(matches!(err, AggregateError::InvalidParams(_)));
+    }
+}

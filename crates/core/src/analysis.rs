@@ -1,0 +1,559 @@
+//! Result analysis: vote aggregation, rankings, behaviour distributions,
+//! and significance.
+
+use crate::aggregator::PreparedTest;
+use kscope_browser::SessionRecord;
+use kscope_stats::rank::{borda_ranking, borda_ranking_resolved, ranking_to_positions, PairwiseMatrix, Preference};
+use kscope_stats::tests::{two_proportion_z_test, Tail, TestResult};
+use kscope_stats::Ecdf;
+
+/// Canonical answer labels.
+pub const LEFT: &str = "Left";
+/// Canonical answer labels.
+pub const RIGHT: &str = "Right";
+/// Canonical answer labels.
+pub const SAME: &str = "Same";
+
+/// Converts a [`Preference`] to its wire label.
+pub fn preference_label(p: Preference) -> &'static str {
+    match p {
+        Preference::Left => LEFT,
+        Preference::Right => RIGHT,
+        Preference::Same => SAME,
+    }
+}
+
+/// Parses a wire label back to a [`Preference`].
+pub fn parse_preference(s: &str) -> Option<Preference> {
+    match s {
+        LEFT => Some(Preference::Left),
+        RIGHT => Some(Preference::Right),
+        SAME => Some(Preference::Same),
+        _ => None,
+    }
+}
+
+/// Vote tallies for one question on one pair (or over a whole two-version
+/// test).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VoteCounts {
+    /// Votes for the left / "A" version.
+    pub left: u64,
+    /// Votes for the right / "B" version.
+    pub right: u64,
+    /// "Same" votes.
+    pub same: u64,
+}
+
+impl VoteCounts {
+    /// Total votes.
+    pub fn total(&self) -> u64 {
+        self.left + self.right + self.same
+    }
+
+    /// Percentages `(left, same, right)` in the order Fig. 8 plots.
+    ///
+    /// # Panics
+    ///
+    /// Panics when there are no votes.
+    pub fn percentages(&self) -> (f64, f64, f64) {
+        let t = self.total();
+        assert!(t > 0, "no votes recorded");
+        (
+            100.0 * self.left as f64 / t as f64,
+            100.0 * self.same as f64 / t as f64,
+            100.0 * self.right as f64 / t as f64,
+        )
+    }
+
+    /// The VWO-style one-tailed significance that the right/"B" version is
+    /// preferred over the left/"A" version: a two-proportion test of
+    /// `left/total` vs `right/total` (the paper's question-C analysis,
+    /// which yielded p = 6.8e-8 on a 14-vs-46 split of 100).
+    pub fn significance(&self) -> TestResult {
+        let n = self.total();
+        two_proportion_z_test(self.left, n, self.right, n, Tail::OneSidedGreater)
+    }
+}
+
+/// Analysis of a single question across the kept sessions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuestionAnalysis {
+    /// The question text.
+    pub question: String,
+    /// Per-pair tallies `((left_version, right_version), votes)` for real
+    /// pages, in presentation order.
+    pub pair_votes: Vec<((usize, usize), VoteCounts)>,
+    /// The pairwise win matrix over versions.
+    pub matrix: PairwiseMatrix,
+}
+
+impl QuestionAnalysis {
+    /// Aggregates one question over the kept records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the test has fewer than two versions.
+    pub fn aggregate(
+        records: &[&SessionRecord],
+        prepared: &PreparedTest,
+        question: &str,
+        n_versions: usize,
+    ) -> Self {
+        let mut matrix = PairwiseMatrix::new(n_versions);
+        let mut pair_votes: Vec<((usize, usize), VoteCounts)> = prepared
+            .real_pairs()
+            .iter()
+            .map(|m| ((m.left, m.right), VoteCounts::default()))
+            .collect();
+        for rec in records {
+            for page in &rec.pages {
+                let meta = match prepared.page(&page.page_name) {
+                    Some(m) if m.is_real() => m,
+                    _ => continue,
+                };
+                let answer = match page.answers.get(question).and_then(|a| parse_preference(a))
+                {
+                    Some(p) => p,
+                    None => continue,
+                };
+                matrix.record(meta.left, meta.right, answer);
+                if let Some((_, votes)) = pair_votes
+                    .iter_mut()
+                    .find(|((l, r), _)| *l == meta.left && *r == meta.right)
+                {
+                    match answer {
+                        Preference::Left => votes.left += 1,
+                        Preference::Right => votes.right += 1,
+                        Preference::Same => votes.same += 1,
+                    }
+                }
+            }
+        }
+        Self { question: question.to_string(), pair_votes, matrix }
+    }
+
+    /// Overall best-first ranking by Borda score.
+    pub fn ranking(&self) -> Vec<usize> {
+        borda_ranking(&self.matrix)
+    }
+
+    /// Fleiss' kappa over the real pairs: chance-corrected inter-rater
+    /// agreement on the Left/Right/Same votes (each pair is a "subject",
+    /// each participant a "rater"). `None` when the pairs were rated by
+    /// different numbers of participants (kappa requires a balanced
+    /// design) or when there are no votes.
+    pub fn agreement_kappa(&self) -> Option<f64> {
+        let counts: Vec<Vec<u64>> = self
+            .pair_votes
+            .iter()
+            .map(|(_, v)| vec![v.left, v.same, v.right])
+            .collect();
+        if counts.is_empty() {
+            return None;
+        }
+        let n: u64 = counts[0].iter().sum();
+        if n < 2 || counts.iter().any(|row| row.iter().sum::<u64>() != n) {
+            return None;
+        }
+        Some(kscope_stats::fleiss_kappa(&counts))
+    }
+
+    /// For a two-version test, the A-vs-B tallies (there is exactly one
+    /// real pair).
+    pub fn two_version_votes(&self) -> Option<VoteCounts> {
+        if self.pair_votes.len() == 1 {
+            Some(self.pair_votes[0].1)
+        } else {
+            None
+        }
+    }
+}
+
+/// The Fig. 4 data: for each version, how often each rank (A = best … E =
+/// worst) was assigned by individual participants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankDistribution {
+    /// `counts[version][rank]` = number of participants assigning that rank.
+    pub counts: Vec<Vec<u64>>,
+}
+
+impl RankDistribution {
+    /// Computes per-participant rankings (each participant's own pairwise
+    /// answers → Borda ranking) and tallies rank positions per version.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_versions < 2`.
+    pub fn from_records(
+        records: &[&SessionRecord],
+        prepared: &PreparedTest,
+        question: &str,
+        n_versions: usize,
+    ) -> Self {
+        let mut counts = vec![vec![0u64; n_versions]; n_versions];
+        for rec in records {
+            let mut matrix = PairwiseMatrix::new(n_versions);
+            let mut any = false;
+            for page in &rec.pages {
+                let meta = match prepared.page(&page.page_name) {
+                    Some(m) if m.is_real() => m,
+                    _ => continue,
+                };
+                if let Some(p) = page.answers.get(question).and_then(|a| parse_preference(a)) {
+                    matrix.record(meta.left, meta.right, p);
+                    any = true;
+                }
+            }
+            if !any {
+                continue;
+            }
+            let ranking = borda_ranking_resolved(&matrix);
+            for (version, rank) in ranking_to_positions(&ranking).into_iter().enumerate() {
+                counts[version][rank] += 1;
+            }
+        }
+        Self { counts }
+    }
+
+    /// Percentage of participants assigning `rank` to `version`.
+    pub fn percentage(&self, version: usize, rank: usize) -> f64 {
+        let total: u64 = self.counts[version].iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * self.counts[version][rank] as f64 / total as f64
+        }
+    }
+
+    /// The version most often ranked at `rank` (ties → lower index).
+    pub fn modal_version_at_rank(&self, rank: usize) -> usize {
+        (0..self.counts.len())
+            .max_by(|&a, &b| {
+                self.counts[a][rank]
+                    .cmp(&self.counts[b][rank])
+                    .then(b.cmp(&a))
+            })
+            .expect("at least one version")
+    }
+
+    /// Versions ordered by how often they won rank "A" (best), descending.
+    pub fn order_by_top_votes(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.counts.len()).collect();
+        order.sort_by(|&a, &b| self.counts[b][0].cmp(&self.counts[a][0]).then(a.cmp(&b)));
+        order
+    }
+}
+
+/// Vote tallies for one question broken down by a demographic facet —
+/// the per-segment view an experimenter uses once the overall verdict is
+/// in ("does the redesign win with older readers too?").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DemographicBreakdown {
+    /// `(facet value, tallies)` sorted by facet value.
+    pub segments: Vec<(String, VoteCounts)>,
+}
+
+impl DemographicBreakdown {
+    /// Splits a two-version test's votes by a demographic field of the
+    /// uploaded records (`"age"`, `"country"`, `"gender"`, or
+    /// `"tech_ability"`). Records without the field land in `"unknown"`.
+    pub fn split(
+        records: &[&SessionRecord],
+        prepared: &PreparedTest,
+        question: &str,
+        facet: &str,
+    ) -> Self {
+        let mut map: std::collections::BTreeMap<String, VoteCounts> =
+            std::collections::BTreeMap::new();
+        for rec in records {
+            let value = rec
+                .demographics
+                .get(facet)
+                .map(|v| match v {
+                    serde_json::Value::String(s) => s.clone(),
+                    other => other.to_string(),
+                })
+                .unwrap_or_else(|| "unknown".to_string());
+            let votes = map.entry(value).or_default();
+            for page in &rec.pages {
+                let is_real = prepared
+                    .page(&page.page_name)
+                    .map(|m| m.is_real())
+                    .unwrap_or(false);
+                if !is_real {
+                    continue;
+                }
+                match page.answers.get(question).and_then(|a| parse_preference(a)) {
+                    Some(Preference::Left) => votes.left += 1,
+                    Some(Preference::Right) => votes.right += 1,
+                    Some(Preference::Same) => votes.same += 1,
+                    None => {}
+                }
+            }
+        }
+        Self { segments: map.into_iter().collect() }
+    }
+
+    /// The segment with the most votes.
+    pub fn largest_segment(&self) -> Option<&(String, VoteCounts)> {
+        self.segments.iter().max_by_key(|(_, v)| v.total())
+    }
+}
+
+/// Behaviour observables pulled out of session records — the Fig. 5 CDFs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BehaviorSamples {
+    /// Per-comparison durations, minutes.
+    pub comparison_minutes: Vec<f64>,
+    /// Total time per overall task, minutes.
+    pub task_minutes: Vec<f64>,
+    /// Tabs created per session.
+    pub created_tabs: Vec<f64>,
+    /// Active-tab switches per session.
+    pub active_tabs: Vec<f64>,
+}
+
+impl BehaviorSamples {
+    /// Extracts behaviour samples from records.
+    pub fn from_records(records: &[&SessionRecord]) -> Self {
+        let mut comparison_minutes = Vec::new();
+        let mut task_minutes = Vec::new();
+        let mut created_tabs = Vec::new();
+        let mut active_tabs = Vec::new();
+        for rec in records {
+            for page in &rec.pages {
+                comparison_minutes.push(page.duration_ms as f64 / 60_000.0);
+            }
+            task_minutes.push(rec.total_duration_ms() as f64 / 60_000.0);
+            created_tabs.push(f64::from(rec.created_tabs));
+            active_tabs.push(f64::from(rec.active_tab_switches));
+        }
+        Self { comparison_minutes, task_minutes, created_tabs, active_tabs }
+    }
+
+    /// ECDF of per-comparison durations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no records were supplied.
+    pub fn comparison_ecdf(&self) -> Ecdf {
+        Ecdf::new(self.comparison_minutes.clone())
+    }
+
+    /// ECDF of time per overall task (Fig. 5c).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no records were supplied.
+    pub fn task_ecdf(&self) -> Ecdf {
+        Ecdf::new(self.task_minutes.clone())
+    }
+
+    /// ECDF of created tabs (Fig. 5b).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no records were supplied.
+    pub fn created_tabs_ecdf(&self) -> Ecdf {
+        Ecdf::new(self.created_tabs.clone())
+    }
+
+    /// ECDF of active-tab switches (Fig. 5a).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no records were supplied.
+    pub fn active_tabs_ecdf(&self) -> Ecdf {
+        Ecdf::new(self.active_tabs.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregator::{ControlKind, IntegratedPageMeta};
+    use kscope_browser::PageResult;
+    use std::collections::BTreeMap;
+
+    fn prepared3() -> PreparedTest {
+        // Three versions -> 3 real pairs + identical control.
+        let pair = |k: usize, l: usize, r: usize| IntegratedPageMeta {
+            name: format!("integrated-{k:03}.html"),
+            left: l,
+            right: r,
+            control: None,
+        };
+        PreparedTest {
+            test_id: "t".into(),
+            pages: vec![
+                pair(0, 0, 1),
+                pair(1, 0, 2),
+                pair(2, 1, 2),
+                IntegratedPageMeta {
+                    name: "control-identical.html".into(),
+                    left: 0,
+                    right: 0,
+                    control: Some(ControlKind::IdenticalPair),
+                },
+            ],
+        }
+    }
+
+    /// A record answering the three real pairs with the given labels.
+    fn record(answers: [&str; 3]) -> SessionRecord {
+        let page = |name: String, answer: &str| PageResult {
+            page_name: name,
+            answers: {
+                let mut m = BTreeMap::new();
+                m.insert("q".to_string(), answer.to_string());
+                m
+            },
+            duration_ms: 30_000,
+            visits: 1,
+        };
+        SessionRecord {
+            test_id: "t".into(),
+            contributor_id: "w".into(),
+            demographics: serde_json::json!({}),
+            pages: vec![
+                page("integrated-000.html".into(), answers[0]),
+                page("integrated-001.html".into(), answers[1]),
+                page("integrated-002.html".into(), answers[2]),
+                page("control-identical.html".into(), "Same"),
+            ],
+            created_tabs: 4,
+            active_tab_switches: 6,
+        }
+    }
+
+    #[test]
+    fn label_roundtrip() {
+        for p in [Preference::Left, Preference::Right, Preference::Same] {
+            assert_eq!(parse_preference(preference_label(p)), Some(p));
+        }
+        assert_eq!(parse_preference("Both"), None);
+    }
+
+    #[test]
+    fn aggregate_counts_real_pages_only() {
+        // Version 1 beats 0 and 2; version 0 beats 2.
+        let r1 = record(["Right", "Left", "Left"]);
+        let r2 = record(["Right", "Left", "Left"]);
+        let r3 = record(["Same", "Left", "Left"]);
+        let records: Vec<&SessionRecord> = vec![&r1, &r2, &r3];
+        let qa = QuestionAnalysis::aggregate(&records, &prepared3(), "q", 3);
+        assert_eq!(qa.pair_votes[0].1, VoteCounts { left: 0, right: 2, same: 1 });
+        assert_eq!(qa.pair_votes[1].1, VoteCounts { left: 3, right: 0, same: 0 });
+        // Control page answers never enter the matrix.
+        assert_eq!(qa.matrix.total(0, 1), 3);
+        assert_eq!(qa.ranking(), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn agreement_kappa_computed_when_balanced() {
+        // Unanimous votes on every pair -> perfect agreement.
+        let r1 = record(["Right", "Left", "Left"]);
+        let r2 = record(["Right", "Left", "Left"]);
+        let records: Vec<&SessionRecord> = vec![&r1, &r2];
+        let qa = QuestionAnalysis::aggregate(&records, &prepared3(), "q", 3);
+        let k = qa.agreement_kappa().unwrap();
+        assert!((k - 1.0).abs() < 1e-9, "k = {k}");
+        // A single rater: kappa undefined.
+        let solo: Vec<&SessionRecord> = vec![&r1];
+        let qa = QuestionAnalysis::aggregate(&solo, &prepared3(), "q", 3);
+        assert!(qa.agreement_kappa().is_none());
+    }
+
+    #[test]
+    fn two_version_votes_only_for_pairs() {
+        let r = record(["Left", "Left", "Left"]);
+        let records = vec![&r];
+        let qa = QuestionAnalysis::aggregate(&records, &prepared3(), "q", 3);
+        assert!(qa.two_version_votes().is_none());
+    }
+
+    #[test]
+    fn vote_percentages_and_significance() {
+        let v = VoteCounts { left: 14, right: 46, same: 40 };
+        let (l, s, r) = v.percentages();
+        assert_eq!((l, s, r), (14.0, 40.0, 46.0));
+        // The paper's question C: decisively significant.
+        let t = v.significance();
+        assert!(t.p_value < 1e-5, "p = {}", t.p_value);
+        // A balanced outcome is not significant.
+        let flat = VoteCounts { left: 30, right: 32, same: 38 };
+        assert!(!flat.significance().significant_at(0.05));
+    }
+
+    #[test]
+    fn rank_distribution_counts_each_participant_once() {
+        // Both participants rank 1 > 0 > 2.
+        let r1 = record(["Right", "Left", "Left"]);
+        let r2 = record(["Right", "Left", "Left"]);
+        let records: Vec<&SessionRecord> = vec![&r1, &r2];
+        let d = RankDistribution::from_records(&records, &prepared3(), "q", 3);
+        assert_eq!(d.counts[1][0], 2); // version 1 ranked best twice
+        assert_eq!(d.counts[0][1], 2);
+        assert_eq!(d.counts[2][2], 2);
+        assert_eq!(d.percentage(1, 0), 100.0);
+        assert_eq!(d.modal_version_at_rank(0), 1);
+        assert_eq!(d.order_by_top_votes()[0], 1);
+    }
+
+    #[test]
+    fn rank_distribution_skips_nonparticipants() {
+        let r1 = record(["Right", "Left", "Left"]);
+        let mut r2 = record(["Right", "Left", "Left"]);
+        for p in &mut r2.pages {
+            p.answers.clear();
+        }
+        let records: Vec<&SessionRecord> = vec![&r1, &r2];
+        let d = RankDistribution::from_records(&records, &prepared3(), "q", 3);
+        let total: u64 = d.counts[0].iter().sum();
+        assert_eq!(total, 1, "only the answering participant counts");
+    }
+
+    #[test]
+    fn demographic_breakdown_splits_and_totals() {
+        let mut r1 = record(["Right", "Left", "Left"]);
+        r1.demographics = serde_json::json!({"age": "Under25"});
+        let mut r2 = record(["Left", "Left", "Left"]);
+        r2.demographics = serde_json::json!({"age": "Age50Plus"});
+        let mut r3 = record(["Right", "Right", "Right"]);
+        r3.demographics = serde_json::json!({"age": "Under25"});
+        let records: Vec<&SessionRecord> = vec![&r1, &r2, &r3];
+        let b = DemographicBreakdown::split(&records, &prepared3(), "q", "age");
+        assert_eq!(b.segments.len(), 2);
+        let under = &b.segments.iter().find(|(k, _)| k == "Under25").unwrap().1;
+        // r1: R,L,L  r3: R,R,R -> left 2, right 4 over the 3 real pages each.
+        assert_eq!(under.total(), 6);
+        assert_eq!(under.right, 4);
+        let senior = &b.segments.iter().find(|(k, _)| k == "Age50Plus").unwrap().1;
+        assert_eq!(senior.total(), 3);
+        assert_eq!(b.largest_segment().unwrap().0, "Under25");
+    }
+
+    #[test]
+    fn demographic_breakdown_unknown_bucket() {
+        let r = record(["Left", "Left", "Left"]);
+        let records: Vec<&SessionRecord> = vec![&r];
+        let b = DemographicBreakdown::split(&records, &prepared3(), "q", "nonexistent");
+        assert_eq!(b.segments.len(), 1);
+        assert_eq!(b.segments[0].0, "unknown");
+    }
+
+    #[test]
+    fn behavior_samples_extracted() {
+        let r1 = record(["Left", "Left", "Left"]);
+        let r2 = record(["Right", "Right", "Right"]);
+        let records: Vec<&SessionRecord> = vec![&r1, &r2];
+        let b = BehaviorSamples::from_records(&records);
+        assert_eq!(b.comparison_minutes.len(), 8); // 4 pages x 2 records
+        assert_eq!(b.task_minutes.len(), 2);
+        assert!((b.task_minutes[0] - 2.0).abs() < 1e-9); // 4 x 30s
+        assert_eq!(b.created_tabs, vec![4.0, 4.0]);
+        let e = b.active_tabs_ecdf();
+        assert_eq!(e.eval(6.0), 1.0);
+    }
+}

@@ -1,0 +1,639 @@
+//! The end-to-end campaign orchestrator (paper Fig. 2).
+//!
+//! A campaign takes a prepared test, a recruitment (crowd platform or
+//! in-lab), and a mapping from each comparison question to the perception
+//! model that answers it. For every recruited participant it runs the full
+//! extension session in the virtual browser — download pages, visit,
+//! answer, upload — storing responses in the database, then applies the
+//! quality-control pipeline and exposes the analyses the figures need.
+
+use crate::aggregator::PreparedTest;
+use crate::analysis::{preference_label, BehaviorSamples, QuestionAnalysis, RankDistribution};
+use crate::corpus::{ExpandButtonMetrics, MAIN_TEXT_SELECTOR};
+use crate::params::TestParams;
+use crate::quality::{apply_quality_control, QualityConfig, QualityReport};
+use kscope_browser::{LoadedPage, SessionRecord, TestFlow};
+use kscope_crowd::behavior::BehaviorModel;
+use kscope_crowd::perception::{judge_pair, FontSizeModel, ReadinessModel};
+use kscope_crowd::platform::{CostReport, Recruitment};
+use kscope_crowd::{SessionBehavior, Worker};
+use kscope_html::Selector;
+use kscope_store::{Database, GridStore};
+use rand::Rng;
+use serde_json::json;
+use std::collections::HashMap;
+use std::fmt;
+
+/// How workers answer one comparison question.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuestionKind {
+    /// "Which webpage's font size is more suitable for reading?" — judged
+    /// by each worker's font-size readability model on the main text.
+    FontReadability,
+    /// "Which version seems ready to use first?" — judged by the weighted
+    /// readiness model over each version's paint timeline.
+    ReadyToUse,
+    /// "Which webpage is graphically more appealing?" — tiny utility gap.
+    Appeal,
+    /// "Which version of the button looks better?" — moderate gap.
+    StyleBetter,
+    /// "Which version of the button is more visible?" — large gap.
+    Visibility,
+    /// "Which webpage is more pleasant to read?" — judged by ad clutter
+    /// (the abstract's "with vs without ads" example).
+    AdClutter,
+}
+
+/// One participant's complete simulated session.
+#[derive(Debug, Clone)]
+pub struct SessionResult {
+    /// The participant (including latent traits — useful for evaluation,
+    /// invisible to the pipeline).
+    pub worker: Worker,
+    /// When the participant arrived (ms after the job was posted).
+    pub arrival_ms: u64,
+    /// What the extension uploaded.
+    pub record: SessionRecord,
+    /// The generated behaviour (durations and tab activity).
+    pub behavior: SessionBehavior,
+}
+
+/// A campaign failure.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// A stored page was missing from the grid store.
+    MissingPage(String),
+    /// A question had no registered [`QuestionKind`].
+    UnmappedQuestion(String),
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::MissingPage(name) => write!(f, "page '{name}' not in store"),
+            CampaignError::UnmappedQuestion(q) => {
+                write!(f, "question '{q}' has no answer model")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+/// The campaign runner.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    db: Database,
+    grid: GridStore,
+    kinds: Vec<(String, QuestionKind)>,
+    behavior: BehaviorModel,
+    quality: QualityConfig,
+    font_model: FontSizeModel,
+    readiness_model: ReadinessModel,
+    /// Indifference threshold for the appeal/style/visibility judgments.
+    style_indifference: f64,
+    in_lab: bool,
+    viewport: kscope_pageload::Viewport,
+}
+
+impl Campaign {
+    /// Creates a campaign over shared storage.
+    pub fn new(db: Database, grid: GridStore) -> Self {
+        Self {
+            db,
+            grid,
+            kinds: Vec::new(),
+            behavior: BehaviorModel::default(),
+            quality: QualityConfig::default(),
+            font_model: FontSizeModel::default(),
+            readiness_model: ReadinessModel::default(),
+            style_indifference: 0.5,
+            in_lab: false,
+            viewport: kscope_pageload::Viewport::desktop(),
+        }
+    }
+
+    /// Overrides the viewport testers' virtual browsers render under
+    /// (builder style) — e.g. [`kscope_pageload::Viewport::mobile`] for a
+    /// phone-sized campaign.
+    pub fn with_viewport(mut self, viewport: kscope_pageload::Viewport) -> Self {
+        self.viewport = viewport;
+        self
+    }
+
+    /// Registers the answer model for a question (builder style).
+    pub fn with_question(mut self, question: &str, kind: QuestionKind) -> Self {
+        self.kinds.push((question.to_string(), kind));
+        self
+    }
+
+    /// Switches to in-lab behaviour (trusted, guided participants).
+    pub fn in_lab(mut self) -> Self {
+        self.in_lab = true;
+        self
+    }
+
+    /// Overrides the quality-control thresholds.
+    pub fn with_quality(mut self, quality: QualityConfig) -> Self {
+        self.quality = quality;
+        self
+    }
+
+    /// The registered answer model for a question, if any.
+    pub fn question_kind(&self, question: &str) -> Option<QuestionKind> {
+        self.kinds
+            .iter()
+            .find(|(text, _)| text == question)
+            .map(|&(_, kind)| kind)
+    }
+
+    /// The backing file store.
+    pub fn grid(&self) -> &GridStore {
+        &self.grid
+    }
+
+    /// Judges a pair of loaded pages under a question kind — the shared
+    /// perception step used by both the full and the sorting-reduction
+    /// campaign modes.
+    pub fn judge_pages<R: Rng + ?Sized>(
+        &self,
+        kind: QuestionKind,
+        worker: &Worker,
+        left: &LoadedPage,
+        right: &LoadedPage,
+        rng: &mut R,
+    ) -> kscope_stats::rank::Preference {
+        self.judge(kind, worker, left, right, rng)
+    }
+
+    /// Runs every recruited participant through the extension flow and
+    /// applies quality control.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError`] if pages are missing from storage or a
+    /// question in `params` has no registered answer model.
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        params: &TestParams,
+        prepared: &PreparedTest,
+        recruitment: &Recruitment,
+        rng: &mut R,
+    ) -> Result<CampaignOutcome, CampaignError> {
+        for q in &params.question {
+            if !self.kinds.iter().any(|(text, _)| text == q.text()) {
+                return Err(CampaignError::UnmappedQuestion(q.text().to_string()));
+            }
+        }
+        // Load every integrated page and its two panes once.
+        let mut pages: HashMap<String, (LoadedPage, LoadedPage, LoadedPage)> = HashMap::new();
+        for meta in &prepared.pages {
+            let html = self
+                .grid
+                .get_text(&prepared.test_id, &meta.name)
+                .ok_or_else(|| CampaignError::MissingPage(meta.name.clone()))?;
+            let integrated = LoadedPage::from_html_with_viewport(&html, self.viewport);
+            let refs = integrated.iframe_refs();
+            if refs.len() != 2 {
+                return Err(CampaignError::MissingPage(format!(
+                    "{} does not have two panes",
+                    meta.name
+                )));
+            }
+            let pane = |file: &str| -> Result<LoadedPage, CampaignError> {
+                let html = self
+                    .grid
+                    .get_text(&prepared.test_id, file)
+                    .ok_or_else(|| CampaignError::MissingPage(file.to_string()))?;
+                Ok(LoadedPage::from_html_with_viewport(&html, self.viewport))
+            };
+            let left = pane(&refs[0])?;
+            let right = pane(&refs[1])?;
+            pages.insert(meta.name.clone(), (integrated, left, right));
+        }
+
+        let questions: Vec<String> =
+            params.question.iter().map(|q| q.text().to_string()).collect();
+        let page_names = prepared.page_names();
+        let responses = self.db.collection("responses");
+        let mut sessions = Vec::with_capacity(recruitment.assignments.len());
+        for assignment in &recruitment.assignments {
+            let worker = &assignment.worker;
+            let behavior = if self.in_lab {
+                self.behavior.in_lab_session(worker, page_names.len(), rng)
+            } else {
+                self.behavior.remote_session(worker, page_names.len(), rng)
+            };
+            let mut flow = TestFlow::register(
+                &prepared.test_id,
+                &worker.id.0,
+                json!({
+                    "gender": format!("{:?}", worker.demographics.gender),
+                    "age": format!("{:?}", worker.demographics.age),
+                    "country": format!("{:?}", worker.demographics.country),
+                    "tech_ability": worker.demographics.tech_ability,
+                }),
+                questions.clone(),
+                page_names.clone(),
+            );
+            for (i, name) in page_names.iter().enumerate() {
+                let (integrated, left, right) = &pages[name];
+                let dwell_ms = (behavior.comparison_minutes[i] * 60_000.0).round() as u64;
+                flow.visit(integrated.clone(), dwell_ms).expect("flow sequencing");
+                for (question, kind) in &self.kinds {
+                    if !questions.iter().any(|q| q == question) {
+                        continue;
+                    }
+                    let judged = self.judge(*kind, worker, left, right, rng);
+                    flow.answer(question, preference_label(judged)).expect("visited above");
+                }
+                flow.next_page().expect("all questions answered");
+            }
+            let mut record = flow.upload().expect("all pages completed");
+            // The behaviour model supplies the side-browsing telemetry the
+            // bare flow cannot know about: extra tabs and extra switches on
+            // top of the test pages the extension itself opened.
+            record.created_tabs += behavior.created_tabs.saturating_sub(1);
+            record.active_tab_switches +=
+                behavior.active_tabs.saturating_sub(1);
+            responses.insert_one(record.to_json());
+            sessions.push(SessionResult {
+                worker: worker.clone(),
+                arrival_ms: assignment.arrival_ms,
+                record,
+                behavior,
+            });
+        }
+
+        let records: Vec<SessionRecord> =
+            sessions.iter().map(|s| s.record.clone()).collect();
+        let quality = apply_quality_control(&records, prepared, &self.quality);
+        Ok(CampaignOutcome {
+            test_id: prepared.test_id.clone(),
+            prepared: prepared.clone(),
+            n_versions: params.webpages.len(),
+            sessions,
+            quality,
+            cost: recruitment.cost,
+        })
+    }
+
+    fn judge<R: Rng + ?Sized>(
+        &self,
+        kind: QuestionKind,
+        worker: &Worker,
+        left: &LoadedPage,
+        right: &LoadedPage,
+        rng: &mut R,
+    ) -> kscope_stats::rank::Preference {
+        match kind {
+            QuestionKind::FontReadability => {
+                let sel: Selector = MAIN_TEXT_SELECTOR.parse().expect("valid selector");
+                let lpt = left.font_size_pt(&sel).unwrap_or(12.0);
+                let rpt = right.font_size_pt(&sel).unwrap_or(12.0);
+                self.font_model.judge(worker, lpt, rpt, rng).preference
+            }
+            QuestionKind::ReadyToUse => {
+                let lc = left.readiness_curve();
+                let rc = right.readiness_curve();
+                self.readiness_model.judge(worker, &lc, &rc, rng).preference
+            }
+            QuestionKind::AdClutter => {
+                // "Pleasant to read" weighs ad clutter AND legibility: the
+                // ruined control version (4 pt body text) must lose to the
+                // intact side even though both carry the same ads.
+                let utility = |page: &LoadedPage| {
+                    let ads = crate::corpus::AdMetrics::extract(page.document());
+                    let sel: Selector = "#content".parse().expect("valid selector");
+                    let font = page.font_size_pt(&sel).unwrap_or(12.0);
+                    let legibility = if font < 8.0 { -3.0 } else { 0.0 };
+                    ads.reading_utility(worker.text_focus) + legibility
+                };
+                judge_pair(worker, utility(left), utility(right), self.style_indifference, rng)
+                    .preference
+            }
+            QuestionKind::Appeal | QuestionKind::StyleBetter | QuestionKind::Visibility => {
+                let metric = |page: &LoadedPage| {
+                    ExpandButtonMetrics::extract(page.document()).unwrap_or(
+                        ExpandButtonMetrics {
+                            font_pt: 12.0,
+                            has_icon: false,
+                            near_text: false,
+                        },
+                    )
+                };
+                let (ml, mr) = (metric(left), metric(right));
+                let (ul, ur) = match kind {
+                    QuestionKind::Appeal => (ml.appeal_utility(), mr.appeal_utility()),
+                    QuestionKind::StyleBetter => (ml.style_utility(), mr.style_utility()),
+                    _ => (ml.visibility_utility(), mr.visibility_utility()),
+                };
+                judge_pair(worker, ul, ur, self.style_indifference, rng).preference
+            }
+        }
+    }
+}
+
+/// Everything a finished campaign produced.
+#[derive(Debug, Clone)]
+pub struct CampaignOutcome {
+    /// The test id.
+    pub test_id: String,
+    /// The prepared test (page metadata).
+    pub prepared: PreparedTest,
+    /// Number of versions under test.
+    pub n_versions: usize,
+    /// Every participant session in arrival order.
+    pub sessions: Vec<SessionResult>,
+    /// The quality-control verdicts.
+    pub quality: QualityReport,
+    /// Recruitment cost.
+    pub cost: CostReport,
+}
+
+impl CampaignOutcome {
+    /// All records (raw).
+    pub fn raw_records(&self) -> Vec<&SessionRecord> {
+        self.sessions.iter().map(|s| &s.record).collect()
+    }
+
+    /// Records that survived quality control.
+    pub fn kept_records(&self) -> Vec<&SessionRecord> {
+        self.quality.kept.iter().map(|&i| &self.sessions[i].record).collect()
+    }
+
+    /// Question analysis over kept (`filtered = true`) or raw records.
+    pub fn question_analysis(&self, question: &str, filtered: bool) -> QuestionAnalysis {
+        let records = if filtered { self.kept_records() } else { self.raw_records() };
+        QuestionAnalysis::aggregate(&records, &self.prepared, question, self.n_versions)
+    }
+
+    /// Rank distribution (Fig. 4) over kept or raw records.
+    pub fn rank_distribution(&self, question: &str, filtered: bool) -> RankDistribution {
+        let records = if filtered { self.kept_records() } else { self.raw_records() };
+        RankDistribution::from_records(&records, &self.prepared, question, self.n_versions)
+    }
+
+    /// Behaviour samples (Fig. 5) over kept or raw records.
+    pub fn behavior_samples(&self, filtered: bool) -> BehaviorSamples {
+        let records = if filtered { self.kept_records() } else { self.raw_records() };
+        BehaviorSamples::from_records(&records)
+    }
+
+    /// Cumulative `(t_ms, responses so far)` — arrivals, Fig. 7(a).
+    pub fn recruitment_curve(&self) -> Vec<(u64, usize)> {
+        self.sessions
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.arrival_ms, i + 1))
+            .collect()
+    }
+
+    /// Wall time from job posting to the last uploaded session (ms).
+    pub fn duration_ms(&self) -> u64 {
+        self.sessions
+            .iter()
+            .map(|s| s.arrival_ms + s.record.total_duration_ms())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The full campaign report as one JSON document — what the core
+    /// server's "conclude the final results" step hands back to the
+    /// experimenter. Includes per-question tallies (or rankings for
+    /// multi-version tests), quality-control accounting, cost, and timing.
+    pub fn to_report_json(&self, questions: &[crate::params::Question]) -> serde_json::Value {
+        let mut question_reports = Vec::new();
+        for q in questions {
+            let qa = self.question_analysis(q.text(), true);
+            let entry = match qa.two_version_votes() {
+                Some(v) => {
+                    let sig = v.significance();
+                    json!({
+                        "question": q.text(),
+                        "votes": { "left": v.left, "same": v.same, "right": v.right },
+                        "z": sig.statistic,
+                        "p_value": sig.p_value,
+                    })
+                }
+                None => json!({
+                    "question": q.text(),
+                    "ranking_best_first": qa.ranking(),
+                }),
+            };
+            question_reports.push(entry);
+        }
+        let dropped: Vec<serde_json::Value> = self
+            .quality
+            .dropped
+            .iter()
+            .map(|(i, reason)| {
+                json!({
+                    "contributor_id": self.sessions[*i].record.contributor_id,
+                    "reason": reason.to_string(),
+                })
+            })
+            .collect();
+        json!({
+            "test_id": self.test_id,
+            "participants": self.sessions.len(),
+            "kept": self.quality.kept.len(),
+            "dropped": dropped,
+            "cost_usd": self.cost.total_usd(),
+            "duration_ms": self.duration_ms(),
+            "questions": question_reports,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregator::Aggregator;
+    use crate::corpus;
+    use kscope_crowd::platform::{Channel, JobSpec, Platform};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn run_font_campaign(participants: usize, seed: u64) -> CampaignOutcome {
+        let (store, params) = corpus::font_size_study(participants);
+        let db = Database::new();
+        let grid = GridStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let prepared =
+            Aggregator::new(db.clone(), grid.clone()).prepare(&params, &store, &mut rng).unwrap();
+        let recruitment = Platform.post_job(
+            &JobSpec::new(&params.test_id, 0.11, participants, Channel::HistoricallyTrustworthy),
+            &mut rng,
+        );
+        Campaign::new(db, grid)
+            .with_question(params.question[0].text(), QuestionKind::FontReadability)
+            .run(&params, &prepared, &recruitment, &mut rng)
+            .unwrap()
+    }
+
+    #[test]
+    fn end_to_end_font_campaign() {
+        let outcome = run_font_campaign(30, 42);
+        assert_eq!(outcome.sessions.len(), 30);
+        // Every session tested all 12 pages (10 pairs + 2 controls).
+        assert!(outcome.sessions.iter().all(|s| s.record.pages.len() == 12));
+        // QC keeps a solid majority of the trustworthy channel.
+        assert!(outcome.quality.kept.len() >= 15, "kept {}", outcome.quality.kept.len());
+        // Responses are persisted like the core server stores them.
+        assert_eq!(
+            outcome.sessions.len(),
+            30
+        );
+    }
+
+    #[test]
+    fn twelve_pt_wins_after_quality_control() {
+        let outcome = run_font_campaign(60, 7);
+        let question = "Which webpage's font size is more suitable (easier) for reading?";
+        let qa = outcome.question_analysis(question, true);
+        let ranking = qa.ranking();
+        // Versions are [10, 12, 14, 18, 22] pt; 12pt (index 1) must win,
+        // with 22pt (index 4) last — the CHI-consensus shape of Fig. 4.
+        assert_eq!(ranking[0], 1, "12pt should rank first: {ranking:?}");
+        assert_eq!(*ranking.last().unwrap(), 4, "22pt should rank last: {ranking:?}");
+        let dist = outcome.rank_distribution(question, true);
+        assert_eq!(dist.modal_version_at_rank(0), 1);
+    }
+
+    #[test]
+    fn quality_control_sharpens_the_raw_result() {
+        let outcome = run_font_campaign(80, 11);
+        let question = "Which webpage's font size is more suitable (easier) for reading?";
+        let raw = outcome.rank_distribution(question, false);
+        let filtered = outcome.rank_distribution(question, true);
+        // The fraction of participants putting 12pt on top grows after QC.
+        let top_share = |d: &RankDistribution| d.percentage(1, 0);
+        assert!(
+            top_share(&filtered) >= top_share(&raw),
+            "QC should not weaken the consensus: {} vs {}",
+            top_share(&filtered),
+            top_share(&raw)
+        );
+    }
+
+    #[test]
+    fn recruitment_curve_and_duration() {
+        let outcome = run_font_campaign(20, 3);
+        let curve = outcome.recruitment_curve();
+        assert_eq!(curve.len(), 20);
+        assert!(curve.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert!(outcome.duration_ms() >= curve.last().unwrap().0);
+        assert!(outcome.cost.total_usd() > 0.0);
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let outcome = run_font_campaign(15, 2);
+        let q = crate::params::Question(
+            "Which webpage's font size is more suitable (easier) for reading?".into(),
+        );
+        let report = outcome.to_report_json(&[q]);
+        assert_eq!(report["participants"], serde_json::json!(15));
+        assert!(report["kept"].as_u64().unwrap() <= 15);
+        assert!(report["cost_usd"].as_f64().unwrap() > 0.0);
+        // Five versions -> a ranking, not a vote split.
+        assert_eq!(
+            report["questions"][0]["ranking_best_first"].as_array().unwrap().len(),
+            5
+        );
+        assert_eq!(
+            report["dropped"].as_array().unwrap().len() + report["kept"].as_u64().unwrap() as usize,
+            15
+        );
+    }
+
+    #[test]
+    fn mobile_viewport_campaign_runs() {
+        let (store, params) = corpus::font_size_study(8);
+        let db = Database::new();
+        let grid = GridStore::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let prepared = Aggregator::new(db.clone(), grid.clone())
+            .with_viewport(kscope_pageload::Viewport::mobile())
+            .prepare(&params, &store, &mut rng)
+            .unwrap();
+        let recruitment = Platform.post_job(
+            &JobSpec::new(&params.test_id, 0.11, 8, Channel::HistoricallyTrustworthy),
+            &mut rng,
+        );
+        let outcome = Campaign::new(db, grid)
+            .with_viewport(kscope_pageload::Viewport::mobile())
+            .with_question(params.question[0].text(), QuestionKind::FontReadability)
+            .run(&params, &prepared, &recruitment, &mut rng)
+            .unwrap();
+        assert_eq!(outcome.sessions.len(), 8);
+    }
+
+    #[test]
+    fn ads_campaign_prefers_ad_free() {
+        let (store, params) = corpus::ads_study(40);
+        let db = Database::new();
+        let grid = GridStore::new();
+        let mut rng = StdRng::seed_from_u64(6);
+        let prepared = Aggregator::new(db.clone(), grid.clone())
+            .prepare(&params, &store, &mut rng)
+            .unwrap();
+        let recruitment = Platform.post_job(
+            &JobSpec::new(&params.test_id, 0.11, 40, Channel::HistoricallyTrustworthy),
+            &mut rng,
+        );
+        let outcome = Campaign::new(db, grid)
+            .with_question(params.question[0].text(), QuestionKind::AdClutter)
+            .run(&params, &prepared, &recruitment, &mut rng)
+            .unwrap();
+        // Genuine workers must survive the controls...
+        assert!(outcome.quality.kept.len() >= 25, "kept {}", outcome.quality.kept.len());
+        // ...and the ad-free version (right pane) must win decisively.
+        let votes = outcome
+            .question_analysis(params.question[0].text(), true)
+            .two_version_votes()
+            .unwrap();
+        assert!(votes.right > votes.left * 3, "{votes:?}");
+        assert!(votes.significance().significant_at(0.01));
+    }
+
+    #[test]
+    fn unmapped_question_is_an_error() {
+        let (store, params) = corpus::font_size_study(5);
+        let db = Database::new();
+        let grid = GridStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let prepared =
+            Aggregator::new(db.clone(), grid.clone()).prepare(&params, &store, &mut rng).unwrap();
+        let recruitment = Platform.post_job(
+            &JobSpec::new(&params.test_id, 0.1, 5, Channel::Open),
+            &mut rng,
+        );
+        let err = Campaign::new(db, grid)
+            .run(&params, &prepared, &recruitment, &mut rng)
+            .unwrap_err();
+        assert!(matches!(err, CampaignError::UnmappedQuestion(_)));
+    }
+
+    #[test]
+    fn in_lab_campaign_has_tighter_times() {
+        let (store, params) = corpus::font_size_study(20);
+        let db = Database::new();
+        let grid = GridStore::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let prepared =
+            Aggregator::new(db.clone(), grid.clone()).prepare(&params, &store, &mut rng).unwrap();
+        let lab_recruitment =
+            kscope_crowd::platform::InLabRecruiter::new(20, 7.0).recruit(&mut rng);
+        let outcome = Campaign::new(db, grid)
+            .with_question(params.question[0].text(), QuestionKind::FontReadability)
+            .in_lab()
+            .run(&params, &prepared, &lab_recruitment, &mut rng)
+            .unwrap();
+        let behavior = outcome.behavior_samples(false);
+        let max_cmp =
+            behavior.comparison_minutes.iter().copied().fold(0.0f64, f64::max);
+        assert!(max_cmp <= 2.3, "in-lab comparisons stay short, got {max_cmp}");
+        assert_eq!(outcome.cost.total_usd(), 0.0);
+    }
+}

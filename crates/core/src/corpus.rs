@@ -1,0 +1,586 @@
+//! Synthetic test webpages.
+//!
+//! The paper's experiments run on two real pages we cannot redistribute:
+//! the Wikipedia "rock hyrax" article (text-heavy, used for the font-size
+//! study and the uPLT case study) and the authors' research-group landing
+//! page (nine expandable sections with an "Expand" button, used for the
+//! A/B comparison). This module generates structurally equivalent pages:
+//! same content classes (navigation bar vs main text vs infobox), same
+//! variant axes (main-text font size; Expand-button size/icon/position).
+
+use crate::params::{TestParams, WebpageSpec};
+use kscope_html::Document;
+use kscope_pageload::{LoadSpec, SelectorTiming};
+use kscope_singlefile::ResourceStore;
+
+/// CSS selector addressing the article's main text, used by the font-size
+/// variants and by the browser's stimulus extraction.
+pub const MAIN_TEXT_SELECTOR: &str = "#mw-content-text";
+
+/// Paragraphs of the encyclopedia-style article (our own text; the paper
+/// used the Wikipedia "rock hyrax" page because "it relates to a topic of
+/// general interest, neither technical nor purely academic").
+const ARTICLE_PARAGRAPHS: [&str; 5] = [
+    "The rock hyrax is a medium-sized terrestrial mammal found across \
+     sub-Saharan Africa and the Middle East. Despite its rodent-like \
+     appearance, its closest living relatives are elephants and manatees, \
+     a kinship revealed by details of its feet, teeth, and skull.",
+    "Rock hyraxes live in colonies of up to eighty animals among boulder \
+     fields and rocky outcrops, where crevices offer shelter from eagles \
+     and leopards. A dominant male watches for predators from a high perch \
+     and warns the colony with a sharp bark.",
+    "The species is a generalist herbivore. Feeding bouts are short and \
+     intense: a colony fans out over the grass, eats for twenty minutes \
+     while sentries watch, and retreats to the rocks to digest in the sun. \
+     Their stomachs host complex microbial communities that ferment coarse \
+     vegetation.",
+    "Hyraxes regulate body temperature behaviourally, basking in the \
+     morning and huddling in groups at night. Their feet have rubbery pads \
+     kept moist by glandular secretions, which act like suction cups on \
+     steep rock faces.",
+    "Vocal communication is elaborate; males sing long structured songs \
+     whose syntax varies regionally, and playback studies show colonies \
+     respond differently to neighbouring dialects. The fossil record of \
+     the group stretches back more than thirty million years.",
+];
+
+/// Navigation links of the article's chrome.
+const NAV_LINKS: [&str; 6] =
+    ["Main page", "Contents", "Current events", "Random article", "About", "Donate"];
+
+/// Writes the encyclopedia article into `store` under `folder/`, with the
+/// main text at `font_pt` points. Produces `index.html`, `style.css`, and
+/// two image resources — a realistic multi-file saved page for the
+/// single-file compressor to fold.
+pub fn write_wikipedia_article(store: &mut ResourceStore, folder: &str, font_pt: f64) {
+    let folder = folder.trim_end_matches('/');
+    let nav_items: String = NAV_LINKS
+        .iter()
+        .map(|l| format!("<li><a href=\"#\">{l}</a></li>"))
+        .collect();
+    let paragraphs: String = ARTICLE_PARAGRAPHS
+        .iter()
+        .map(|p| format!("<p>{p}</p>"))
+        .collect();
+    let html = format!(
+        r#"<!DOCTYPE html><html><head>
+<title>Rock hyrax - The Free Encyclopedia</title>
+<link rel="stylesheet" href="style.css">
+</head><body>
+<nav id="mw-navigation" class="navbar"><ul>{nav_items}</ul></nav>
+<div id="content" class="page-body">
+  <h1>Rock hyrax</h1>
+  <div class="infobox" id="infobox">
+    <img src="img/hyrax.jpg" width="220" height="160">
+    <table><tr><td>Kingdom</td><td>Animalia</td></tr>
+    <tr><td>Order</td><td>Hyracoidea</td></tr></table>
+  </div>
+  <div id="mw-content-text" style="font-size: {font_pt}pt">
+    {paragraphs}
+  </div>
+</div>
+<footer id="footer"><p>Content available under a free license.</p></footer>
+</body></html>"#
+    );
+    store.insert(&format!("{folder}/index.html"), "text/html", html.into_bytes());
+    store.insert(
+        &format!("{folder}/style.css"),
+        "text/css",
+        b".navbar { background: #f6f6f6 } .infobox { float: right; width: 240px }\n\
+          .page-body { max-width: 960px; margin: 0 auto }"
+            .to_vec(),
+    );
+    // Tiny placeholder JPEG/PNG payloads (content is irrelevant; size is
+    // what the inliner and storage paths exercise).
+    store.insert(&format!("{folder}/img/hyrax.jpg"), "image/jpeg", vec![0xff, 0xd8, 0xff, 0xe0]);
+    store.insert(&format!("{folder}/img/map.png"), "image/png", vec![0x89, 0x50, 0x4e, 0x47]);
+}
+
+/// Builds the five font-size versions of the paper's first experiment
+/// (10/12/14/18/22 pt) and the matching [`TestParams`].
+///
+/// Every version shares the same 3-second uniform page-load setting, "as
+/// the original page load time when accessing the original page from our
+/// premises".
+pub fn font_size_study(participants: usize) -> (ResourceStore, TestParams) {
+    let sizes = [10.0, 12.0, 14.0, 18.0, 22.0];
+    let mut store = ResourceStore::new();
+    let mut webpages = Vec::new();
+    for pt in sizes {
+        let folder = format!("pages/font-{pt:.0}");
+        write_wikipedia_article(&mut store, &folder, pt);
+        webpages.push(
+            WebpageSpec::new(&folder, "index.html", 3000)
+                .with_description(&format!("{pt:.0}pt main text")),
+        );
+    }
+    let params = TestParams::new(
+        "font-size-study",
+        participants,
+        vec!["Which webpage's font size is more suitable (easier) for reading?"],
+        webpages,
+    );
+    (store, params)
+}
+
+/// The font sizes of [`font_size_study`], in version order.
+pub const FONT_STUDY_SIZES: [f64; 5] = [10.0, 12.0, 14.0, 18.0, 22.0];
+
+/// The uPLT case study of §IV-C: two visually identical article versions
+/// whose parts load in opposite order. Version A shows the navigation bar
+/// at 2 s and the main text at 4 s; version B reverses them. Both complete
+/// at 4 s, so their above-the-fold time is identical.
+pub fn uplt_case_study(participants: usize) -> (ResourceStore, TestParams) {
+    let mut store = ResourceStore::new();
+    write_wikipedia_article(&mut store, "pages/uplt-a", 12.0);
+    write_wikipedia_article(&mut store, "pages/uplt-b", 12.0);
+    let schedule = |nav_ms: u64, text_ms: u64| {
+        LoadSpec::PerSelector(vec![
+            SelectorTiming { selector: "#mw-navigation".into(), at_ms: nav_ms },
+            SelectorTiming { selector: "#content".into(), at_ms: text_ms },
+            SelectorTiming { selector: "#footer".into(), at_ms: text_ms },
+        ])
+    };
+    let webpages = vec![
+        WebpageSpec::new("pages/uplt-a", "index.html", 0)
+            .with_page_load(&schedule(2000, 4000))
+            .with_description("navigation first (2s), main text last (4s)"),
+        WebpageSpec::new("pages/uplt-b", "index.html", 0)
+            .with_page_load(&schedule(4000, 2000))
+            .with_description("main text first (2s), navigation last (4s)"),
+    ];
+    let params = TestParams::new(
+        "uplt-case-study",
+        participants,
+        vec!["Which version of the webpage seems ready to use first?"],
+        webpages,
+    );
+    (store, params)
+}
+
+/// Which version of the research-group page to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupPageVersion {
+    /// The original: a small, plain "Expand" button at the right end of
+    /// each section header.
+    Original,
+    /// The §IV-B redesign: button text 1.5× larger, enriched with a
+    /// captivating symbol, positioned closer to the main text.
+    Variant,
+}
+
+/// Section titles of the group landing page ("our official group webpage
+/// includes 9 sections").
+const GROUP_SECTIONS: [&str; 9] = [
+    "About",
+    "News",
+    "People",
+    "Selected Publications",
+    "Selected Talks",
+    "Projects",
+    "Teaching",
+    "Press",
+    "Contact",
+];
+
+/// Writes one version of the research-group page into `store` under
+/// `folder/`.
+pub fn write_group_page(store: &mut ResourceStore, folder: &str, version: GroupPageVersion) {
+    let folder = folder.trim_end_matches('/');
+    let (btn_style, icon, near) = match version {
+        GroupPageVersion::Original => ("font-size: 12pt", "", false),
+        GroupPageVersion::Variant => ("font-size: 18pt", "<span class=\"icon\">▾</span> ", true),
+    };
+    let sections: String = GROUP_SECTIONS
+        .iter()
+        .enumerate()
+        .map(|(i, title)| {
+            let button = format!(
+                "<button class=\"expand-btn\" style=\"{btn_style}\" \
+                 data-near-text=\"{near}\" data-toggles=\"#collapsed-{i}\">\
+                 {icon}Expand</button>"
+            );
+            let (before, after) =
+                if near { (String::new(), button.clone()) } else { (button, String::new()) };
+            format!(
+                "<section id=\"sec-{i}\"><h2>{title} {before}</h2>\
+                 <p>Summary of the {title} section with enough words to \
+                 occupy a couple of lines on the landing page layout.</p>{after}\
+                 <div class=\"collapsed\" id=\"collapsed-{i}\" style=\"display:none\">\
+                 Hidden details of {title} shown after expanding.</div></section>"
+            )
+        })
+        .collect();
+    let html = format!(
+        r#"<!DOCTYPE html><html><head>
+<title>Networks Research Group</title><link rel="stylesheet" href="group.css">
+</head><body>
+<header id="masthead"><h1>Networks Research Group</h1></header>
+<div id="content" class="sections">{sections}</div>
+<footer><p>Department of Computer Science</p></footer>
+</body></html>"#
+    );
+    store.insert(&format!("{folder}/index.html"), "text/html", html.into_bytes());
+    store.insert(
+        &format!("{folder}/group.css"),
+        "text/css",
+        b"section { border-bottom: 1px solid #ddd } .expand-btn { float: right }".to_vec(),
+    );
+}
+
+/// Builds the A/B pair of the §IV-B experiment and the three questions of
+/// Fig. 8, with the paper's 3-second page-load setting.
+pub fn expand_button_study(participants: usize) -> (ResourceStore, TestParams) {
+    let mut store = ResourceStore::new();
+    write_group_page(&mut store, "pages/group-a", GroupPageVersion::Original);
+    write_group_page(&mut store, "pages/group-b", GroupPageVersion::Variant);
+    let params = TestParams::new(
+        "expand-button-study",
+        participants,
+        vec![
+            "Which webpage is graphically more appealing?",
+            "Which version of the 'Expand' button looks better?",
+            "Which version of the 'Expand' button is more visible?",
+        ],
+        vec![
+            WebpageSpec::new("pages/group-a", "index.html", 3000)
+                .with_description("original Expand button"),
+            WebpageSpec::new("pages/group-b", "index.html", 3000)
+                .with_description("larger Expand button with symbol, near text"),
+        ],
+    );
+    (store, params)
+}
+
+/// Section bodies of the news page.
+const NEWS_PARAGRAPHS: [&str; 4] = [
+    "City council approves the riverfront redevelopment plan after a \
+     six-hour session, clearing the way for construction to begin in the \
+     spring.",
+    "The plan sets aside a third of the corridor for public parkland and \
+     requires ground-floor retail along the new promenade.",
+    "Opponents argued the projected traffic studies understated peak \
+     volumes; the council attached a monitoring clause that re-opens the \
+     permit if thresholds are exceeded.",
+    "Funding combines municipal bonds with a state infrastructure grant \
+     awarded earlier this year.",
+];
+
+/// Writes a news-article page into `store` under `folder/`, optionally
+/// interleaved with ad blocks — the abstract's "with vs without ads"
+/// example. Ads are `<div class="ad">` blocks a real ad slot would occupy.
+pub fn write_news_page(store: &mut ResourceStore, folder: &str, with_ads: bool) {
+    let folder = folder.trim_end_matches('/');
+    let ad = |i: usize| {
+        format!(
+            "<div class=\"ad\" id=\"ad-{i}\"><p>SPONSORED: Limited-time offer on \
+             products you did not ask about. Click now.</p></div>"
+        )
+    };
+    let mut body = String::new();
+    for (i, p) in NEWS_PARAGRAPHS.iter().enumerate() {
+        body.push_str(&format!("<p>{p}</p>"));
+        if with_ads && i < 3 {
+            body.push_str(&ad(i));
+        }
+    }
+    if with_ads {
+        body.push_str(&ad(3));
+    }
+    let html = format!(
+        r##"<!DOCTYPE html><html><head>
+<title>Riverfront plan approved - The Daily Ledger</title>
+<link rel="stylesheet" href="news.css">
+</head><body>
+<nav id="site-nav"><a href="#">Home</a> <a href="#">Local</a> <a href="#">Business</a></nav>
+<div id="content" class="article" style="font-size: 12pt">
+  <h1>Riverfront plan approved</h1>
+  {body}
+</div>
+<footer><p>The Daily Ledger</p></footer>
+</body></html>"##
+    );
+    store.insert(&format!("{folder}/index.html"), "text/html", html.into_bytes());
+    store.insert(
+        &format!("{folder}/news.css"),
+        "text/css",
+        b".ad { border: 1px solid #f90; background: #ffe }".to_vec(),
+    );
+}
+
+/// Builds the "with vs without ads" A/B pair from the abstract.
+pub fn ads_study(participants: usize) -> (ResourceStore, TestParams) {
+    let mut store = ResourceStore::new();
+    write_news_page(&mut store, "pages/with-ads", true);
+    write_news_page(&mut store, "pages/ad-free", false);
+    let params = TestParams::new(
+        "ads-study",
+        participants,
+        vec!["Which webpage is more pleasant to read?"],
+        vec![
+            WebpageSpec::new("pages/with-ads", "index.html", 3000)
+                .with_description("article with four ad blocks"),
+            WebpageSpec::new("pages/ad-free", "index.html", 3000)
+                .with_description("ad-free article"),
+        ],
+    );
+    (store, params)
+}
+
+/// Ad-load stimulus of a page version: how many ad blocks it carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdMetrics {
+    /// Number of `.ad` blocks.
+    pub ad_count: usize,
+}
+
+impl AdMetrics {
+    /// Counts the ad blocks in a page's DOM.
+    pub fn extract(doc: &Document) -> Self {
+        let sel: kscope_html::Selector = ".ad".parse().expect("valid selector");
+        Self { ad_count: doc.select(&sel).len() }
+    }
+
+    /// Latent reading-pleasantness utility: each ad costs attention, and
+    /// readers who came for the text (high `text_focus`) mind more. Ad
+    /// load saturates — the fifth banner hurts less than the first.
+    pub fn reading_utility(&self, text_focus: f64) -> f64 {
+        -(self.ad_count.min(6) as f64) * 0.35 * (0.4 + text_focus)
+    }
+}
+
+/// Style attributes of a version's Expand button, extracted from its DOM —
+/// the stimulus the perception models judge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExpandButtonMetrics {
+    /// Button font size in points.
+    pub font_pt: f64,
+    /// Whether the button carries the symbol.
+    pub has_icon: bool,
+    /// Whether the button sits next to the main text.
+    pub near_text: bool,
+}
+
+impl ExpandButtonMetrics {
+    /// Reads the metrics from a page's DOM; `None` when the page has no
+    /// Expand button.
+    pub fn extract(doc: &Document) -> Option<Self> {
+        let sel: kscope_html::Selector = ".expand-btn".parse().expect("valid selector");
+        let btn = doc.select_first(&sel)?;
+        let font_pt = doc
+            .style_property(btn, "font-size")
+            .and_then(|v| v.trim_end_matches("pt").trim().parse().ok())
+            .unwrap_or(12.0);
+        let has_icon = {
+            let icon_sel: kscope_html::Selector =
+                ".expand-btn .icon".parse().expect("valid selector");
+            doc.select_first(&icon_sel).is_some()
+        };
+        let near_text = doc.attr(btn, "data-near-text") == Some("true");
+        Some(Self { font_pt, has_icon, near_text })
+    }
+
+    /// A crushing penalty for unreadably small text (the ruined control
+    /// version sets every font to 4 pt): whatever the question, a genuine
+    /// tester prefers the legible side.
+    fn legibility_penalty(&self) -> f64 {
+        if self.font_pt < 8.0 {
+            -3.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Latent utility for "is more visible": dominated by size, helped by
+    /// the icon and placement. Calibrated so the paper's variant beats the
+    /// original decisively (Fig. 8, question C: 46 B / 14 A / 40 Same).
+    pub fn visibility_utility(&self) -> f64 {
+        1.3 * (self.font_pt / 12.0 - 1.0).clamp(-1.0, 1.0)
+            + 0.04 * f64::from(self.has_icon)
+            + 0.01 * f64::from(self.near_text)
+            + self.legibility_penalty()
+    }
+
+    /// Latent utility for "looks better": weaker and more subjective, so
+    /// "Same" narrowly edges the variant (Fig. 8, question B: 45 % Same vs
+    /// 42 % B).
+    pub fn style_utility(&self) -> f64 {
+        0.8 * (self.font_pt / 12.0 - 1.0).clamp(-1.0, 1.0)
+            + 0.04 * f64::from(self.has_icon)
+            + 0.01 * f64::from(self.near_text)
+            + self.legibility_penalty()
+    }
+
+    /// Latent utility for whole-page appeal: "the very small variation
+    /// introduced does not alter the overall look and feel of the page"
+    /// (Fig. 8, question A: 50 % Same), so the difference is tiny.
+    pub fn appeal_utility(&self) -> f64 {
+        0.25 * (self.font_pt / 12.0 - 1.0).clamp(-1.0, 1.0) + self.legibility_penalty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kscope_html::parse_document;
+    use kscope_singlefile::Inliner;
+
+    #[test]
+    fn article_is_multi_file_and_inlines() {
+        let mut store = ResourceStore::new();
+        write_wikipedia_article(&mut store, "w", 12.0);
+        assert!(store.contains("w/index.html"));
+        assert!(store.contains("w/style.css"));
+        assert!(store.contains("w/img/hyrax.jpg"));
+        let out = Inliner::new(&store).inline("w/index.html").unwrap();
+        assert!(out.report.missing.is_empty(), "missing: {:?}", out.report.missing);
+        assert!(out.report.inlined >= 2);
+        assert!(out.html.contains("Rock hyrax"));
+    }
+
+    #[test]
+    fn article_font_size_is_parameterized() {
+        let mut store = ResourceStore::new();
+        write_wikipedia_article(&mut store, "w", 18.0);
+        let doc = parse_document(&store.get_text("w/index.html").unwrap());
+        let sel: kscope_html::Selector = MAIN_TEXT_SELECTOR.parse().unwrap();
+        let node = doc.select_first(&sel).unwrap();
+        assert_eq!(doc.style_property(node, "font-size").as_deref(), Some("18pt"));
+    }
+
+    #[test]
+    fn font_study_has_five_versions() {
+        let (store, params) = font_size_study(100);
+        assert_eq!(params.webpages.len(), 5);
+        assert_eq!(params.integrated_page_count(), 10);
+        params.validate().unwrap();
+        for w in &params.webpages {
+            assert!(store.contains(&w.main_file_path()), "missing {}", w.main_file_path());
+        }
+    }
+
+    #[test]
+    fn uplt_versions_have_opposite_schedules() {
+        let (_, params) = uplt_case_study(100);
+        params.validate().unwrap();
+        let a = params.webpages[0].load_spec().unwrap();
+        let b = params.webpages[1].load_spec().unwrap();
+        let time_of = |spec: &LoadSpec, sel: &str| match spec {
+            LoadSpec::PerSelector(ts) => {
+                ts.iter().find(|t| t.selector == sel).map(|t| t.at_ms).unwrap()
+            }
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(time_of(&a, "#mw-navigation"), 2000);
+        assert_eq!(time_of(&a, "#content"), 4000);
+        assert_eq!(time_of(&b, "#mw-navigation"), 4000);
+        assert_eq!(time_of(&b, "#content"), 2000);
+        // Both complete at the same time (same ATF, as the paper stresses).
+        assert_eq!(a.duration_ms(), b.duration_ms());
+    }
+
+    #[test]
+    fn group_page_versions_differ_as_described() {
+        let mut store = ResourceStore::new();
+        write_group_page(&mut store, "a", GroupPageVersion::Original);
+        write_group_page(&mut store, "b", GroupPageVersion::Variant);
+        let doc_a = parse_document(&store.get_text("a/index.html").unwrap());
+        let doc_b = parse_document(&store.get_text("b/index.html").unwrap());
+        let ma = ExpandButtonMetrics::extract(&doc_a).unwrap();
+        let mb = ExpandButtonMetrics::extract(&doc_b).unwrap();
+        // 1) text 1.5x larger, 2) enriched with a symbol, 3) closer to text.
+        assert!((mb.font_pt / ma.font_pt - 1.5).abs() < 1e-9);
+        assert!(!ma.has_icon && mb.has_icon);
+        assert!(!ma.near_text && mb.near_text);
+        // Nine sections each.
+        let sel: kscope_html::Selector = "section".parse().unwrap();
+        assert_eq!(doc_a.select(&sel).len(), 9);
+        assert_eq!(doc_b.select(&sel).len(), 9);
+    }
+
+    #[test]
+    fn group_page_expand_buttons_are_interactive() {
+        // The §IV-B mechanic end-to-end: clicking an Expand button in the
+        // virtual browser reveals its section's collapsed details.
+        let mut store = ResourceStore::new();
+        write_group_page(&mut store, "g", GroupPageVersion::Variant);
+        let single = Inliner::new(&store).inline("g/index.html").unwrap();
+        let mut page = kscope_browser::LoadedPage::from_html(&single.html);
+        let area_before = page.layout().total_area();
+        let btn: kscope_html::Selector = "#sec-0 .expand-btn".parse().unwrap();
+        assert!(page.click(&btn), "button must be wired via data-toggles");
+        let revealed = page.document().get_element_by_id("collapsed-0").unwrap();
+        assert_eq!(
+            page.document().style_property(revealed, "display").as_deref(),
+            Some("block")
+        );
+        // Revealing content grows the painted page.
+        assert!(page.layout().total_area() >= area_before);
+    }
+
+    #[test]
+    fn button_utilities_ordered() {
+        let a = ExpandButtonMetrics { font_pt: 12.0, has_icon: false, near_text: false };
+        let b = ExpandButtonMetrics { font_pt: 18.0, has_icon: true, near_text: true };
+        assert!(b.visibility_utility() > b.style_utility());
+        assert!(b.style_utility() > b.appeal_utility());
+        assert!(a.visibility_utility().abs() < 1e-9);
+        // Visibility gap large, appeal gap tiny — the Fig. 8 gradient.
+        assert!(b.visibility_utility() - a.visibility_utility() > 0.6);
+        assert!(b.appeal_utility() - a.appeal_utility() < 0.3);
+        // The ruined control version loses on every axis.
+        let ruined = ExpandButtonMetrics { font_pt: 4.0, has_icon: false, near_text: false };
+        assert!(ruined.appeal_utility() < -2.0);
+        assert!(ruined.visibility_utility() < -2.0);
+    }
+
+    #[test]
+    fn news_page_ads_toggle() {
+        let mut store = ResourceStore::new();
+        write_news_page(&mut store, "a", true);
+        write_news_page(&mut store, "b", false);
+        let with_ads = parse_document(&store.get_text("a/index.html").unwrap());
+        let ad_free = parse_document(&store.get_text("b/index.html").unwrap());
+        assert_eq!(AdMetrics::extract(&with_ads).ad_count, 4);
+        assert_eq!(AdMetrics::extract(&ad_free).ad_count, 0);
+        // Same article text either way.
+        let text = |d: &kscope_html::Document| {
+            let sel: kscope_html::Selector = "#content > p".parse().unwrap();
+            d.select(&sel).len()
+        };
+        assert_eq!(text(&with_ads), text(&ad_free));
+        let out = Inliner::new(&store).inline("a/index.html").unwrap();
+        assert!(out.report.missing.is_empty());
+    }
+
+    #[test]
+    fn ad_utility_monotone_and_saturating() {
+        let u = |n: usize| AdMetrics { ad_count: n }.reading_utility(0.8);
+        assert_eq!(u(0), 0.0);
+        assert!(u(1) < u(0));
+        assert!(u(4) < u(1));
+        // Saturation: 7 ads no worse than 6.
+        assert_eq!(u(7), u(6));
+        // Text-focused readers mind more.
+        let m = AdMetrics { ad_count: 3 };
+        assert!(m.reading_utility(0.9) < m.reading_utility(0.5));
+    }
+
+    #[test]
+    fn ads_study_params_valid() {
+        let (store, params) = ads_study(50);
+        params.validate().unwrap();
+        assert!(store.contains("pages/with-ads/index.html"));
+        assert_eq!(params.integrated_page_count(), 1);
+    }
+
+    #[test]
+    fn expand_study_params_valid() {
+        let (store, params) = expand_button_study(100);
+        params.validate().unwrap();
+        assert_eq!(params.question.len(), 3);
+        assert_eq!(params.integrated_page_count(), 1);
+        let out = Inliner::new(&store).inline("pages/group-a/index.html").unwrap();
+        assert!(out.report.missing.is_empty());
+    }
+}

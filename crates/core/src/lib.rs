@@ -1,0 +1,41 @@
+//! Kaleidoscope core — the paper's primary contribution.
+//!
+//! Wires the substrates into the system of Fig. 2:
+//!
+//! * [`params`] — the Table-I test parameters (JSON in, JSON out).
+//! * [`corpus`] — synthetic test webpages standing in for the paper's
+//!   Wikipedia "rock hyrax" article and the authors' research-group page.
+//! * [`aggregator`] — compresses each test webpage into a single file,
+//!   injects the page-load reveal script, composes every pair into a
+//!   side-by-side integrated webpage (plus quality-control pages), and
+//!   stores everything in the database + file store.
+//! * [`sorting`] — the §III-D comparison reduction: when only one
+//!   comparison question is asked, a sorting algorithm with a human
+//!   comparator replaces the full `C(N,2)` sweep.
+//! * [`quality`] — hard rules, engagement screening, control questions,
+//!   and crowd-wisdom majority filtering.
+//! * [`campaign`] — the end-to-end orchestrator: recruit (platform or
+//!   in-lab), run each participant's extension session in the virtual
+//!   browser, collect, filter, analyze.
+//! * [`analysis`] — vote aggregation, rank distributions (Fig. 4),
+//!   behaviour CDFs (Fig. 5), and significance tests (Fig. 7/8).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregator;
+pub mod analysis;
+pub mod campaign;
+pub mod corpus;
+pub mod params;
+pub mod quality;
+pub mod sorted_campaign;
+pub mod sorting;
+
+pub use aggregator::{Aggregator, PreparedTest};
+pub use analysis::{DemographicBreakdown, QuestionAnalysis, RankDistribution, VoteCounts};
+pub use campaign::{Campaign, CampaignOutcome, QuestionKind, SessionResult};
+pub use params::{Question, TestParams, ValidateParamsError, WebpageSpec};
+pub use quality::{DropReason, QualityConfig, QualityReport};
+pub use sorted_campaign::{SortedOutcome, SortedSession};
+pub use sorting::{sort_versions, SortAlgo};

@@ -1,0 +1,317 @@
+//! The Table-I test parameters.
+//!
+//! "We adopt JavaScript Object Notation (JSON) format to store test
+//! parameters since it is easy for humans to read and write, meanwhile easy
+//! for machines to parse and generate." The field names below follow
+//! Table I exactly (`test_id`, `webpage_num`, `test_description`,
+//! `participant_num`, `question`, `webpages`, and per-webpage `web_path`,
+//! `web_page_load`, `web_main_file`, `web_description`).
+
+use kscope_pageload::LoadSpec;
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+use std::fmt;
+
+/// One comparison question asked after each integrated webpage. The
+/// response must be one of "Left", "Right", "Same" (§III-B).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Question(pub String);
+
+impl Question {
+    /// The question text.
+    pub fn text(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Question {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Per-webpage parameters (the `webpages` array of Table I).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WebpageSpec {
+    /// "The relative folder path of a test webpage".
+    pub web_path: String,
+    /// "The page load simulating value": an integer or a locator map; see
+    /// [`LoadSpec`]. Stored as raw JSON to match the paper's format.
+    pub web_page_load: Value,
+    /// "The initial html file name of a test webpage".
+    pub web_main_file: String,
+    /// "The description of a test webpage".
+    #[serde(default)]
+    pub web_description: String,
+}
+
+impl WebpageSpec {
+    /// Creates a spec with a uniform page-load window.
+    pub fn new(web_path: &str, main_file: &str, page_load_ms: u64) -> Self {
+        Self {
+            web_path: web_path.to_string(),
+            web_page_load: Value::from(page_load_ms),
+            web_main_file: main_file.to_string(),
+            web_description: String::new(),
+        }
+    }
+
+    /// Sets the description (builder style).
+    pub fn with_description(mut self, description: &str) -> Self {
+        self.web_description = description.to_string();
+        self
+    }
+
+    /// Sets a detailed per-selector page-load schedule (builder style).
+    pub fn with_page_load(mut self, spec: &LoadSpec) -> Self {
+        self.web_page_load = spec.to_json();
+        self
+    }
+
+    /// The parsed page-load spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`kscope_pageload::SpecError`] for malformed
+    /// values.
+    pub fn load_spec(&self) -> Result<LoadSpec, kscope_pageload::SpecError> {
+        LoadSpec::from_json(&self.web_page_load)
+    }
+
+    /// Path of the main file inside the resource store.
+    pub fn main_file_path(&self) -> String {
+        format!("{}/{}", self.web_path.trim_end_matches('/'), self.web_main_file)
+    }
+}
+
+/// The full test parameters (Table I).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TestParams {
+    /// "The test identification".
+    pub test_id: String,
+    /// "The number of test webpages".
+    pub webpage_num: usize,
+    /// "The description of a test".
+    #[serde(default)]
+    pub test_description: String,
+    /// "The number of participants involved in the test".
+    pub participant_num: usize,
+    /// "The asked questions during the test".
+    pub question: Vec<Question>,
+    /// "The basic information of all test webpages".
+    pub webpages: Vec<WebpageSpec>,
+}
+
+impl TestParams {
+    /// Creates parameters, deriving `webpage_num` from the list.
+    pub fn new(
+        test_id: &str,
+        participant_num: usize,
+        questions: Vec<&str>,
+        webpages: Vec<WebpageSpec>,
+    ) -> Self {
+        Self {
+            test_id: test_id.to_string(),
+            webpage_num: webpages.len(),
+            test_description: String::new(),
+            participant_num,
+            question: questions.into_iter().map(|q| Question(q.to_string())).collect(),
+            webpages,
+        }
+    }
+
+    /// Parses parameters from their JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateParamsError`] for malformed JSON or inconsistent
+    /// parameters.
+    pub fn from_json(json: &str) -> Result<Self, ValidateParamsError> {
+        let params: TestParams = serde_json::from_str(json)
+            .map_err(|e| ValidateParamsError::new(format!("malformed JSON: {e}")))?;
+        params.validate()?;
+        Ok(params)
+    }
+
+    /// Serializes to the JSON parameter file.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("TestParams always serializes")
+    }
+
+    /// Number of integrated webpages a full pairwise test produces:
+    /// `C(N, 2)` (§III-B).
+    pub fn integrated_page_count(&self) -> usize {
+        let n = self.webpages.len();
+        n * (n - 1) / 2
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateParamsError`] describing the first problem found.
+    pub fn validate(&self) -> Result<(), ValidateParamsError> {
+        if self.test_id.trim().is_empty() {
+            return Err(ValidateParamsError::new("test_id must not be empty"));
+        }
+        if self.webpages.len() < 2 {
+            return Err(ValidateParamsError::new(
+                "a comparison test needs at least two webpages",
+            ));
+        }
+        if self.webpage_num != self.webpages.len() {
+            return Err(ValidateParamsError::new(format!(
+                "webpage_num is {} but {} webpages are listed",
+                self.webpage_num,
+                self.webpages.len()
+            )));
+        }
+        if self.participant_num == 0 {
+            return Err(ValidateParamsError::new("participant_num must be positive"));
+        }
+        if self.question.is_empty() {
+            return Err(ValidateParamsError::new("at least one question is required"));
+        }
+        for (i, page) in self.webpages.iter().enumerate() {
+            if page.web_path.trim().is_empty() || page.web_main_file.trim().is_empty() {
+                return Err(ValidateParamsError::new(format!(
+                    "webpage {i} is missing web_path or web_main_file"
+                )));
+            }
+            page.load_spec().map_err(|e| {
+                ValidateParamsError::new(format!("webpage {i}: {e}"))
+            })?;
+        }
+        Ok(())
+    }
+}
+
+/// Error describing invalid test parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidateParamsError {
+    message: String,
+}
+
+impl ValidateParamsError {
+    fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+}
+
+impl fmt::Display for ValidateParamsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid test parameters: {}", self.message)
+    }
+}
+
+impl std::error::Error for ValidateParamsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TestParams {
+        TestParams::new(
+            "font-study-1",
+            100,
+            vec!["Which webpage's font size is more suitable (easier) for reading?"],
+            vec![
+                WebpageSpec::new("pages/font-10", "index.html", 3000)
+                    .with_description("10pt main text"),
+                WebpageSpec::new("pages/font-12", "index.html", 3000),
+                WebpageSpec::new("pages/font-14", "index.html", 3000),
+            ],
+        )
+    }
+
+    #[test]
+    fn json_roundtrip_matches_table_one() {
+        let p = sample();
+        let json = p.to_json();
+        // Table I field names appear verbatim.
+        for field in [
+            "test_id",
+            "webpage_num",
+            "participant_num",
+            "question",
+            "webpages",
+            "web_path",
+            "web_page_load",
+            "web_main_file",
+        ] {
+            assert!(json.contains(field), "missing field {field} in\n{json}");
+        }
+        let back = TestParams::from_json(&json).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn integrated_count_is_n_choose_2() {
+        assert_eq!(sample().integrated_page_count(), 3);
+        let mut five = sample();
+        five.webpages.push(WebpageSpec::new("pages/font-18", "index.html", 3000));
+        five.webpages.push(WebpageSpec::new("pages/font-22", "index.html", 3000));
+        five.webpage_num = 5;
+        assert_eq!(five.integrated_page_count(), 10);
+    }
+
+    #[test]
+    fn detailed_page_load_accepted() {
+        let spec = LoadSpec::from_json(&serde_json::json!({"#main": 1000, "#content p": 1500}))
+            .unwrap();
+        let page = WebpageSpec::new("p", "index.html", 0).with_page_load(&spec);
+        assert_eq!(page.load_spec().unwrap(), spec);
+        let mut params = sample();
+        params.webpages[0] = page;
+        params.validate().unwrap();
+    }
+
+    #[test]
+    fn main_file_path_joins() {
+        let w = WebpageSpec::new("pages/font-10/", "index.html", 0);
+        assert_eq!(w.main_file_path(), "pages/font-10/index.html");
+    }
+
+    #[test]
+    fn validation_failures() {
+        let mut p = sample();
+        p.test_id = " ".into();
+        assert!(p.validate().is_err());
+
+        let mut p = sample();
+        p.webpage_num = 7;
+        let err = p.validate().unwrap_err();
+        assert!(err.to_string().contains("webpage_num"));
+
+        let mut p = sample();
+        p.webpages.truncate(1);
+        p.webpage_num = 1;
+        assert!(p.validate().is_err());
+
+        let mut p = sample();
+        p.participant_num = 0;
+        assert!(p.validate().is_err());
+
+        let mut p = sample();
+        p.question.clear();
+        assert!(p.validate().is_err());
+
+        let mut p = sample();
+        p.webpages[1].web_page_load = serde_json::json!("soon");
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(TestParams::from_json("{not json").is_err());
+        assert!(TestParams::from_json("{}").is_err());
+    }
+
+    #[test]
+    fn question_display() {
+        let q = Question("Which is better?".into());
+        assert_eq!(q.to_string(), "Which is better?");
+        assert_eq!(q.text(), "Which is better?");
+    }
+}

@@ -1,0 +1,521 @@
+//! Quality control (paper §III-D).
+//!
+//! Four mechanisms, applied server-side to uploaded sessions:
+//!
+//! 1. **Hard rules** — every integrated page visited, every question
+//!    answered (the extension enforces this client-side; the server
+//!    re-checks because clients cannot be trusted).
+//! 2. **Engagement** — "a short time indicates an unengaged worker; a long
+//!    time might indicate that the worker is distracted."
+//! 3. **Control questions** — pages with known answers: two copies of the
+//!    same version (must answer "Same") and a pair with one deliberately
+//!    ruined version (must prefer the intact side).
+//! 4. **Crowd wisdom** — "the majority vote of all responses presents the
+//!    pseudo-ground truth. Participants whose responses deviate from it
+//!    significantly can be dropped."
+
+use crate::aggregator::{ControlKind, PreparedTest};
+use kscope_browser::SessionRecord;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Why a session was dropped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DropReason {
+    /// Pages or answers missing.
+    HardRuleViolation(String),
+    /// Median comparison time under the floor — an unengaged click-through.
+    TooFast,
+    /// A comparison exceeded the ceiling — a distracted worker.
+    TooSlow,
+    /// Too many control questions answered wrongly.
+    FailedControl,
+    /// Agreement with the crowd's majority vote below the threshold.
+    CrowdDeviation,
+}
+
+impl fmt::Display for DropReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DropReason::HardRuleViolation(what) => write!(f, "hard rule violated: {what}"),
+            DropReason::TooFast => write!(f, "too fast (unengaged)"),
+            DropReason::TooSlow => write!(f, "too slow (distracted)"),
+            DropReason::FailedControl => write!(f, "failed control questions"),
+            DropReason::CrowdDeviation => write!(f, "deviates from the crowd majority"),
+        }
+    }
+}
+
+/// Thresholds of the quality pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityConfig {
+    /// Floor on the *median* per-comparison time (minutes).
+    pub min_comparison_minutes: f64,
+    /// Ceiling on any single comparison (minutes). The paper's filtered
+    /// data tops out at 2.5 minutes.
+    pub max_comparison_minutes: f64,
+    /// Minimum fraction of control answers that must be correct.
+    pub min_control_accuracy: f64,
+    /// Minimum agreement with the majority vote on real pages.
+    pub min_crowd_agreement: f64,
+}
+
+impl Default for QualityConfig {
+    fn default() -> Self {
+        Self {
+            min_comparison_minutes: 0.10,
+            max_comparison_minutes: 2.5,
+            min_control_accuracy: 0.75,
+            min_crowd_agreement: 0.45,
+        }
+    }
+}
+
+/// Outcome of the pipeline over a batch of sessions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QualityReport {
+    /// Indices (into the input slice) of sessions that passed.
+    pub kept: Vec<usize>,
+    /// Dropped sessions with the first reason that fired.
+    pub dropped: Vec<(usize, DropReason)>,
+}
+
+impl QualityReport {
+    /// Fraction of sessions kept.
+    pub fn keep_rate(&self) -> f64 {
+        let total = self.kept.len() + self.dropped.len();
+        if total == 0 {
+            0.0
+        } else {
+            self.kept.len() as f64 / total as f64
+        }
+    }
+
+    /// Selects the kept records out of the original slice.
+    pub fn kept_records<'a>(&self, records: &'a [SessionRecord]) -> Vec<&'a SessionRecord> {
+        self.kept.iter().map(|&i| &records[i]).collect()
+    }
+}
+
+/// Applies the full §III-D pipeline to a batch of uploaded sessions.
+///
+/// The order matters and matches the paper's narrative: hard rules, then
+/// engagement, then control questions, then crowd wisdom (computed over the
+/// sessions that survived the first three stages, so spam does not poison
+/// the pseudo-ground truth).
+pub fn apply_quality_control(
+    records: &[SessionRecord],
+    prepared: &PreparedTest,
+    config: &QualityConfig,
+) -> QualityReport {
+    let mut dropped: Vec<(usize, DropReason)> = Vec::new();
+    let mut survivors: Vec<usize> = Vec::new();
+
+    for (idx, rec) in records.iter().enumerate() {
+        if let Some(reason) = check_hard_rules(rec, prepared)
+            .or_else(|| check_engagement(rec, config))
+            .or_else(|| check_controls(rec, prepared, config))
+        {
+            dropped.push((idx, reason));
+        } else {
+            survivors.push(idx);
+        }
+    }
+
+    // Crowd wisdom over the survivors.
+    let majority = majority_votes(records, &survivors, prepared);
+    let mut kept = Vec::new();
+    for idx in survivors {
+        let agreement = agreement_rate(&records[idx], &majority);
+        if agreement < config.min_crowd_agreement {
+            dropped.push((idx, DropReason::CrowdDeviation));
+        } else {
+            kept.push(idx);
+        }
+    }
+    QualityReport { kept, dropped }
+}
+
+fn check_hard_rules(rec: &SessionRecord, prepared: &PreparedTest) -> Option<DropReason> {
+    for meta in &prepared.pages {
+        let page = match rec.pages.iter().find(|p| p.page_name == meta.name) {
+            Some(p) => p,
+            None => {
+                return Some(DropReason::HardRuleViolation(format!(
+                    "page {} not tested",
+                    meta.name
+                )))
+            }
+        };
+        if page.answers.is_empty() {
+            return Some(DropReason::HardRuleViolation(format!(
+                "page {} has no answers",
+                meta.name
+            )));
+        }
+        if page.visits == 0 {
+            return Some(DropReason::HardRuleViolation(format!(
+                "page {} never visited",
+                meta.name
+            )));
+        }
+    }
+    None
+}
+
+fn check_engagement(rec: &SessionRecord, config: &QualityConfig) -> Option<DropReason> {
+    let mut minutes: Vec<f64> =
+        rec.pages.iter().map(|p| p.duration_ms as f64 / 60_000.0).collect();
+    if minutes.is_empty() {
+        return Some(DropReason::HardRuleViolation("empty session".to_string()));
+    }
+    minutes.sort_by(|a, b| a.partial_cmp(b).expect("finite durations"));
+    let median = minutes[minutes.len() / 2];
+    if median < config.min_comparison_minutes {
+        return Some(DropReason::TooFast);
+    }
+    if *minutes.last().expect("non-empty") > config.max_comparison_minutes {
+        return Some(DropReason::TooSlow);
+    }
+    None
+}
+
+fn check_controls(
+    rec: &SessionRecord,
+    prepared: &PreparedTest,
+    config: &QualityConfig,
+) -> Option<DropReason> {
+    let mut total = 0u32;
+    let mut correct = 0u32;
+    for meta in &prepared.pages {
+        let expected = match meta.control {
+            Some(ControlKind::IdenticalPair) => "Same",
+            Some(ControlKind::ExtremePair) => "Right",
+            None => continue,
+        };
+        if let Some(page) = rec.pages.iter().find(|p| p.page_name == meta.name) {
+            for answer in page.answers.values() {
+                total += 1;
+                if answer == expected {
+                    correct += 1;
+                }
+            }
+        }
+    }
+    if total == 0 {
+        return None; // no control pages in this test
+    }
+    if f64::from(correct) / f64::from(total) < config.min_control_accuracy {
+        Some(DropReason::FailedControl)
+    } else {
+        None
+    }
+}
+
+/// Majority answer per (real page, question) over the given sessions.
+fn majority_votes(
+    records: &[SessionRecord],
+    indices: &[usize],
+    prepared: &PreparedTest,
+) -> HashMap<(String, String), String> {
+    let mut tallies: HashMap<(String, String), HashMap<String, usize>> = HashMap::new();
+    for &idx in indices {
+        for page in &records[idx].pages {
+            let meta = match prepared.page(&page.page_name) {
+                Some(m) if m.is_real() => m,
+                _ => continue,
+            };
+            for (question, answer) in &page.answers {
+                *tallies
+                    .entry((meta.name.clone(), question.clone()))
+                    .or_default()
+                    .entry(answer.clone())
+                    .or_insert(0) += 1;
+            }
+        }
+    }
+    tallies
+        .into_iter()
+        .filter_map(|(key, votes)| {
+            votes
+                .into_iter()
+                .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
+                .map(|(answer, _)| (key, answer))
+        })
+        .collect()
+}
+
+/// Agreement with the majority, with partial credit: matching the majority
+/// scores 1, a "Same" vote against a decided majority (or any vote against
+/// a "Same" majority) scores 0.5 — hedging is not deviance — and voting for
+/// the *opposite* side scores 0. Workers with fewer than three scoreable
+/// answers are exempt (a single-pair test would otherwise make agreement
+/// all-or-nothing).
+fn agreement_rate(
+    rec: &SessionRecord,
+    majority: &HashMap<(String, String), String>,
+) -> f64 {
+    let mut total = 0u32;
+    let mut credit = 0.0f64;
+    for page in &rec.pages {
+        for (question, answer) in &page.answers {
+            if let Some(maj) = majority.get(&(page.page_name.clone(), question.clone())) {
+                total += 1;
+                credit += if answer == maj {
+                    1.0
+                } else if answer == "Same" || maj == "Same" {
+                    0.5
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+    if total < 3 {
+        1.0 // too little signal to judge deviation
+    } else {
+        credit / f64::from(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregator::IntegratedPageMeta;
+    use kscope_browser::PageResult;
+    use std::collections::BTreeMap;
+
+    fn prepared() -> PreparedTest {
+        PreparedTest {
+            test_id: "t".into(),
+            pages: vec![
+                IntegratedPageMeta {
+                    name: "integrated-000.html".into(),
+                    left: 0,
+                    right: 1,
+                    control: None,
+                },
+                IntegratedPageMeta {
+                    name: "control-identical.html".into(),
+                    left: 0,
+                    right: 0,
+                    control: Some(ControlKind::IdenticalPair),
+                },
+                IntegratedPageMeta {
+                    name: "control-extreme.html".into(),
+                    left: usize::MAX,
+                    right: 0,
+                    control: Some(ControlKind::ExtremePair),
+                },
+            ],
+        }
+    }
+
+    /// A session answering `real` on the real page, with given control
+    /// answers and per-page minutes.
+    fn session(real: &str, identical: &str, extreme: &str, minutes: f64) -> SessionRecord {
+        let page = |name: &str, answer: &str| PageResult {
+            page_name: name.to_string(),
+            answers: {
+                let mut m = BTreeMap::new();
+                m.insert("q".to_string(), answer.to_string());
+                m
+            },
+            duration_ms: (minutes * 60_000.0) as u64,
+            visits: 1,
+        };
+        SessionRecord {
+            test_id: "t".into(),
+            contributor_id: "w".into(),
+            demographics: serde_json::json!({}),
+            pages: vec![
+                page("integrated-000.html", real),
+                page("control-identical.html", identical),
+                page("control-extreme.html", extreme),
+            ],
+            created_tabs: 3,
+            active_tab_switches: 3,
+        }
+    }
+
+    fn good() -> SessionRecord {
+        session("Left", "Same", "Right", 0.5)
+    }
+
+    #[test]
+    fn clean_batch_all_kept() {
+        let records = vec![good(), good(), good()];
+        let report =
+            apply_quality_control(&records, &prepared(), &QualityConfig::default());
+        assert_eq!(report.kept.len(), 3);
+        assert!(report.dropped.is_empty());
+        assert_eq!(report.keep_rate(), 1.0);
+        assert_eq!(report.kept_records(&records).len(), 3);
+    }
+
+    #[test]
+    fn hard_rule_missing_page() {
+        let mut bad = good();
+        bad.pages.remove(0);
+        let records = vec![good(), bad];
+        let report =
+            apply_quality_control(&records, &prepared(), &QualityConfig::default());
+        assert_eq!(report.kept, vec![0]);
+        assert!(matches!(report.dropped[0].1, DropReason::HardRuleViolation(_)));
+    }
+
+    #[test]
+    fn hard_rule_missing_answers() {
+        let mut bad = good();
+        bad.pages[0].answers.clear();
+        let report = apply_quality_control(
+            &[bad],
+            &prepared(),
+            &QualityConfig::default(),
+        );
+        assert!(matches!(report.dropped[0].1, DropReason::HardRuleViolation(_)));
+    }
+
+    #[test]
+    fn engagement_too_fast_and_too_slow() {
+        let fast = session("Left", "Same", "Right", 0.03);
+        let slow = session("Left", "Same", "Right", 3.2);
+        let report = apply_quality_control(
+            &[good(), fast, slow],
+            &prepared(),
+            &QualityConfig::default(),
+        );
+        assert_eq!(report.kept, vec![0]);
+        let reasons: Vec<&DropReason> = report.dropped.iter().map(|(_, r)| r).collect();
+        assert!(reasons.contains(&&DropReason::TooFast));
+        assert!(reasons.contains(&&DropReason::TooSlow));
+    }
+
+    #[test]
+    fn control_failures_dropped() {
+        // AlwaysLeft spammer: answers Left everywhere, including both
+        // controls — exactly the pattern the controls are built to catch.
+        let spammer = session("Left", "Left", "Left", 0.5);
+        let report = apply_quality_control(
+            &[good(), spammer],
+            &prepared(),
+            &QualityConfig::default(),
+        );
+        assert_eq!(report.kept, vec![0]);
+        assert_eq!(report.dropped[0].1, DropReason::FailedControl);
+    }
+
+    #[test]
+    fn always_same_spammer_caught_by_extreme_control() {
+        let spammer = session("Same", "Same", "Same", 0.5);
+        // Only half the control answers are right (identical yes, extreme
+        // no) — below the 0.75 default.
+        let report = apply_quality_control(
+            &[good(), spammer],
+            &prepared(),
+            &QualityConfig::default(),
+        );
+        assert_eq!(report.dropped[0].1, DropReason::FailedControl);
+    }
+
+    /// A variant of [`prepared`] with three real pages, so the crowd-wisdom
+    /// filter has enough answers to act on.
+    fn prepared_wide() -> PreparedTest {
+        let mut p = prepared();
+        for k in 1..3 {
+            p.pages.push(IntegratedPageMeta {
+                name: format!("integrated-00{k}.html"),
+                left: 0,
+                right: 1,
+                control: None,
+            });
+        }
+        p
+    }
+
+    fn wide_session(real: &str, minutes: f64) -> SessionRecord {
+        let mut s = session(real, "Same", "Right", minutes);
+        for k in 1..3 {
+            let mut extra = s.pages[0].clone();
+            extra.page_name = format!("integrated-00{k}.html");
+            s.pages.push(extra);
+        }
+        s
+    }
+
+    #[test]
+    fn crowd_deviation_dropped() {
+        // Four agree on Left across three pages; one contrarian says Right
+        // everywhere (passes controls).
+        let records = vec![
+            wide_session("Left", 0.5),
+            wide_session("Left", 0.5),
+            wide_session("Left", 0.5),
+            wide_session("Left", 0.5),
+            wide_session("Right", 0.5),
+        ];
+        let report =
+            apply_quality_control(&records, &prepared_wide(), &QualityConfig::default());
+        assert_eq!(report.kept.len(), 4);
+        assert_eq!(report.dropped[0].1, DropReason::CrowdDeviation);
+    }
+
+    #[test]
+    fn hedging_is_not_deviation() {
+        // A worker answering "Same" against a decided majority gets partial
+        // credit and survives.
+        let records = vec![
+            wide_session("Left", 0.5),
+            wide_session("Left", 0.5),
+            wide_session("Left", 0.5),
+            wide_session("Same", 0.5),
+        ];
+        let report =
+            apply_quality_control(&records, &prepared_wide(), &QualityConfig::default());
+        assert_eq!(report.kept.len(), 4);
+    }
+
+    #[test]
+    fn single_answer_workers_exempt_from_crowd_filter() {
+        // Only one real page: agreement is all-or-nothing, so the filter
+        // must not fire.
+        let records =
+            vec![good(), good(), good(), session("Right", "Same", "Right", 0.5)];
+        let report =
+            apply_quality_control(&records, &prepared(), &QualityConfig::default());
+        assert_eq!(report.kept.len(), 4);
+    }
+
+    #[test]
+    fn crowd_wisdom_excludes_already_dropped_sessions() {
+        // Three spammers voting Right would flip the majority if they were
+        // counted — but they fail controls first, so the honest pair
+        // survives.
+        let spam = || session("Right", "Left", "Left", 0.5);
+        let records = vec![good(), good(), spam(), spam(), spam()];
+        let report =
+            apply_quality_control(&records, &prepared(), &QualityConfig::default());
+        assert_eq!(report.kept, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let report = apply_quality_control(&[], &prepared(), &QualityConfig::default());
+        assert!(report.kept.is_empty());
+        assert!(report.dropped.is_empty());
+        assert_eq!(report.keep_rate(), 0.0);
+    }
+
+    #[test]
+    fn drop_reasons_display() {
+        for r in [
+            DropReason::HardRuleViolation("x".into()),
+            DropReason::TooFast,
+            DropReason::TooSlow,
+            DropReason::FailedControl,
+            DropReason::CrowdDeviation,
+        ] {
+            assert!(!r.to_string().is_empty());
+        }
+    }
+}

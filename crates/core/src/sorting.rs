@@ -1,0 +1,258 @@
+//! Comparison reduction via sorting with a human comparator (§III-D).
+//!
+//! "We also utilize sorting algorithms (e.g., bubble sort, insertion sort,
+//! etc.) to reduce the number of integrated webpages when only one
+//! comparison question is asked." Instead of showing every `C(N,2)` pair,
+//! the tester (the *oracle*) only answers the comparisons a sorting
+//! algorithm requests — `O(N log N)` for merge sort. This module provides
+//! the algorithms, the comparison counter, and the full-pairwise baseline
+//! so the bench harness can quantify the saving.
+
+use kscope_stats::rank::Preference;
+
+/// Which sorting strategy drives the comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SortAlgo {
+    /// Every pair is asked — the default Kaleidoscope behaviour, needed
+    /// when several questions are asked per page.
+    FullPairwise,
+    /// Bubble sort with early exit.
+    Bubble,
+    /// Insertion sort (binary-search placement would ask even less, but
+    /// the paper names plain insertion sort).
+    Insertion,
+    /// Merge sort — the asymptotically optimal choice.
+    Merge,
+}
+
+/// The outcome of a human-driven sort.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SortOutcome {
+    /// Version indices, best first.
+    pub ranking: Vec<usize>,
+    /// How many side-by-side comparisons the tester had to answer.
+    pub comparisons: usize,
+}
+
+/// Ranks `n` versions best-first by asking `oracle(left, right)` which of a
+/// pair is better. `Preference::Same` keeps the current relative order
+/// (stable algorithms are used throughout, so ties behave consistently).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn sort_versions<F>(n: usize, algo: SortAlgo, mut oracle: F) -> SortOutcome
+where
+    F: FnMut(usize, usize) -> Preference,
+{
+    assert!(n >= 2, "need at least two versions to rank");
+    let mut comparisons = 0usize;
+    // `better(a, b)` = "is a strictly better than b?"
+    let mut better = |a: usize, b: usize| -> bool {
+        comparisons += 1;
+        matches!(oracle(a, b), Preference::Left)
+    };
+    let ranking = match algo {
+        SortAlgo::FullPairwise => full_pairwise(n, &mut better),
+        SortAlgo::Bubble => bubble(n, &mut better),
+        SortAlgo::Insertion => insertion(n, &mut better),
+        SortAlgo::Merge => {
+            let items: Vec<usize> = (0..n).collect();
+            merge_sort(&items, &mut better)
+        }
+    };
+    SortOutcome { ranking, comparisons }
+}
+
+/// Asks every pair and ranks by win count (ties split by index).
+fn full_pairwise<F: FnMut(usize, usize) -> bool>(n: usize, better: &mut F) -> Vec<usize> {
+    let mut wins = vec![0usize; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if better(i, j) {
+                wins[i] += 1;
+            } else if better(j, i) {
+                wins[j] += 1;
+            }
+        }
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| wins[b].cmp(&wins[a]).then(a.cmp(&b)));
+    order
+}
+
+fn bubble<F: FnMut(usize, usize) -> bool>(n: usize, better: &mut F) -> Vec<usize> {
+    let mut items: Vec<usize> = (0..n).collect();
+    // A consistent oracle needs at most n passes; the cap keeps an
+    // inconsistent (noisy human) oracle from cycling forever.
+    for _ in 0..n {
+        let mut swapped = false;
+        for i in 0..items.len() - 1 {
+            // If the later item is strictly better, bubble it up.
+            if better(items[i + 1], items[i]) {
+                items.swap(i, i + 1);
+                swapped = true;
+            }
+        }
+        if !swapped {
+            break;
+        }
+    }
+    items
+}
+
+fn insertion<F: FnMut(usize, usize) -> bool>(n: usize, better: &mut F) -> Vec<usize> {
+    let mut items: Vec<usize> = Vec::with_capacity(n);
+    for v in 0..n {
+        let mut pos = items.len();
+        // Walk left while the new item beats the resident.
+        while pos > 0 && better(v, items[pos - 1]) {
+            pos -= 1;
+        }
+        items.insert(pos, v);
+    }
+    items
+}
+
+fn merge_sort<F: FnMut(usize, usize) -> bool>(items: &[usize], better: &mut F) -> Vec<usize> {
+    if items.len() <= 1 {
+        return items.to_vec();
+    }
+    let mid = items.len() / 2;
+    let left = merge_sort(&items[..mid], better);
+    let right = merge_sort(&items[mid..], better);
+    let mut out = Vec::with_capacity(items.len());
+    let (mut i, mut j) = (0, 0);
+    while i < left.len() && j < right.len() {
+        // Stable: take from the left run unless the right item is strictly
+        // better.
+        if better(right[j], left[i]) {
+            out.push(right[j]);
+            j += 1;
+        } else {
+            out.push(left[i]);
+            i += 1;
+        }
+    }
+    out.extend_from_slice(&left[i..]);
+    out.extend_from_slice(&right[j..]);
+    out
+}
+
+/// The comparison count of the full pairwise sweep: `C(n, 2)`.
+pub fn full_pairwise_comparisons(n: usize) -> usize {
+    n * (n - 1) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A perfectly consistent oracle ranking smaller "distance from ideal"
+    /// higher; `values[i]` is item i's quality.
+    fn oracle_for(values: &[f64]) -> impl FnMut(usize, usize) -> Preference + '_ {
+        move |a, b| {
+            if (values[a] - values[b]).abs() < 1e-12 {
+                Preference::Same
+            } else if values[a] > values[b] {
+                Preference::Left
+            } else {
+                Preference::Right
+            }
+        }
+    }
+
+    const QUALITIES: [f64; 5] = [2.0, 5.0, 4.0, 1.0, 3.0]; // best: 1,2,4,0,3
+
+    #[test]
+    fn all_algorithms_agree_on_consistent_oracle() {
+        let expected = vec![1, 2, 4, 0, 3];
+        for algo in [SortAlgo::FullPairwise, SortAlgo::Bubble, SortAlgo::Insertion, SortAlgo::Merge]
+        {
+            // Full pairwise asks both directions for wins; wrap values each
+            // time because the closure captures by reference.
+            let out = sort_versions(5, algo, oracle_for(&QUALITIES));
+            assert_eq!(out.ranking, expected, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn merge_sort_asks_fewer_questions_than_pairwise() {
+        let n = 16;
+        let values: Vec<f64> = (0..n).map(|i| ((i * 7) % n) as f64).collect();
+        let full = sort_versions(n, SortAlgo::FullPairwise, oracle_for(&values));
+        let merge = sort_versions(n, SortAlgo::Merge, oracle_for(&values));
+        assert!(full.comparisons >= full_pairwise_comparisons(n));
+        assert!(
+            merge.comparisons < full_pairwise_comparisons(n) / 2,
+            "merge used {} vs C(n,2) = {}",
+            merge.comparisons,
+            full_pairwise_comparisons(n)
+        );
+        assert_eq!(merge.ranking, full.ranking);
+    }
+
+    #[test]
+    fn insertion_beats_pairwise_on_sorted_input() {
+        // Already-best-first input: insertion asks n-1 comparisons.
+        let values = [5.0, 4.0, 3.0, 2.0, 1.0];
+        let out = sort_versions(5, SortAlgo::Insertion, oracle_for(&values));
+        assert_eq!(out.ranking, vec![0, 1, 2, 3, 4]);
+        assert_eq!(out.comparisons, 4);
+    }
+
+    #[test]
+    fn bubble_early_exit_on_sorted_input() {
+        let values = [5.0, 4.0, 3.0, 2.0, 1.0];
+        let out = sort_versions(5, SortAlgo::Bubble, oracle_for(&values));
+        assert_eq!(out.ranking, vec![0, 1, 2, 3, 4]);
+        // One clean pass.
+        assert_eq!(out.comparisons, 4);
+    }
+
+    #[test]
+    fn ties_keep_stable_order() {
+        let values = [1.0, 1.0, 1.0];
+        for algo in [SortAlgo::Bubble, SortAlgo::Insertion, SortAlgo::Merge] {
+            let out = sort_versions(3, algo, oracle_for(&values));
+            assert_eq!(out.ranking, vec![0, 1, 2], "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn two_items_one_comparison() {
+        for algo in [SortAlgo::Bubble, SortAlgo::Insertion, SortAlgo::Merge] {
+            let values = [1.0, 2.0];
+            let out = sort_versions(2, algo, oracle_for(&values));
+            assert_eq!(out.ranking, vec![1, 0], "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn noisy_oracle_still_returns_permutation() {
+        // An inconsistent (random) oracle must still terminate and produce
+        // a permutation for every algorithm.
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        for algo in [SortAlgo::FullPairwise, SortAlgo::Bubble, SortAlgo::Insertion, SortAlgo::Merge]
+        {
+            let out = sort_versions(8, algo, |_a, _b| match rng.random_range(0..3) {
+                0 => Preference::Left,
+                1 => Preference::Right,
+                _ => Preference::Same,
+            });
+            let mut sorted = out.ranking.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..8).collect::<Vec<_>>(), "{algo:?}");
+            // Bubble sort with a random oracle could in principle run long,
+            // but must stay bounded in practice for the test sizes.
+            assert!(out.comparisons < 5000);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_single_item() {
+        let _ = sort_versions(1, SortAlgo::Merge, |_, _| Preference::Same);
+    }
+}

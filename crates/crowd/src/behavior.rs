@@ -1,0 +1,246 @@
+//! Tester behaviour models: time on task and tab activity.
+//!
+//! §III-D: "the engagement time a worker spends on a test is a rough
+//! indication of the quality of their work … a short time indicates an
+//! unengaged worker; a long time might indicate that the worker is
+//! distracted. We record how long participants spend on each test, how many
+//! times they open the test tabs and the active tabs." Figure 5 plots the
+//! resulting CDFs. This module generates those observables per worker.
+
+use crate::worker::{Worker, WorkerProfile};
+use kscope_stats::dist::LogNormal;
+use rand::{Rng, RngExt};
+
+/// The behaviour telemetry of one tester session, matching Fig. 5's axes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionBehavior {
+    /// Duration of each side-by-side comparison, minutes.
+    pub comparison_minutes: Vec<f64>,
+    /// Number of tabs the tester created during the session.
+    pub created_tabs: u32,
+    /// Number of active-tab switches observed.
+    pub active_tabs: u32,
+}
+
+impl SessionBehavior {
+    /// Total time on task in minutes.
+    pub fn total_minutes(&self) -> f64 {
+        self.comparison_minutes.iter().sum()
+    }
+
+    /// Longest single comparison, minutes (0 for an empty session).
+    pub fn max_comparison_minutes(&self) -> f64 {
+        self.comparison_minutes.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// Parameters of the behaviour model (medians in minutes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BehaviorModel {
+    /// Median per-comparison time of a diligent remote worker.
+    pub diligent_median_min: f64,
+    /// Log-scale sigma for diligent workers.
+    pub diligent_sigma: f64,
+    /// Median per-comparison time of in-lab participants (they are guided
+    /// and focused, so slightly faster with less spread).
+    pub in_lab_median_min: f64,
+    /// Log-scale sigma for in-lab participants.
+    pub in_lab_sigma: f64,
+}
+
+impl Default for BehaviorModel {
+    fn default() -> Self {
+        Self {
+            diligent_median_min: 0.55,
+            diligent_sigma: 0.45,
+            in_lab_median_min: 0.50,
+            in_lab_sigma: 0.35,
+        }
+    }
+}
+
+impl BehaviorModel {
+    /// Generates the behaviour of one remote (crowdsourced) session with
+    /// `comparisons` side-by-side pages.
+    pub fn remote_session<R: Rng + ?Sized>(
+        &self,
+        worker: &Worker,
+        comparisons: usize,
+        rng: &mut R,
+    ) -> SessionBehavior {
+        let (dist, lapse_extra): (LogNormal, f64) = match worker.profile {
+            WorkerProfile::Diligent { .. } => {
+                (LogNormal::from_median(self.diligent_median_min, self.diligent_sigma), 0.02)
+            }
+            WorkerProfile::Casual { .. } => {
+                // Casual workers are slower on average and heavier-tailed
+                // (they get distracted mid-comparison).
+                (LogNormal::from_median(self.diligent_median_min * 1.25, 0.65), 0.10)
+            }
+            WorkerProfile::Spammer(_) => {
+                // Spammers race through; a distracted few leave a long tail.
+                (LogNormal::from_median(self.diligent_median_min * 0.25, 0.55), 0.15)
+            }
+        };
+        let comparison_minutes = (0..comparisons)
+            .map(|_| {
+                let mut t = dist.sample(rng);
+                if rng.random::<f64>() < lapse_extra {
+                    // A distraction pause.
+                    t += rng.random::<f64>() * 2.5;
+                }
+                t.clamp(0.02, 6.0)
+            })
+            .collect();
+        let (created_tabs, active_tabs) = self.tab_activity(worker, comparisons, rng);
+        SessionBehavior { comparison_minutes, created_tabs, active_tabs }
+    }
+
+    /// Generates the behaviour of one in-lab session (trusted participants,
+    /// experimenter present).
+    pub fn in_lab_session<R: Rng + ?Sized>(
+        &self,
+        _worker: &Worker,
+        comparisons: usize,
+        rng: &mut R,
+    ) -> SessionBehavior {
+        let dist = LogNormal::from_median(self.in_lab_median_min, self.in_lab_sigma);
+        let comparison_minutes =
+            (0..comparisons).map(|_| dist.sample(rng).clamp(0.05, 2.2)).collect();
+        // In-lab participants stay on the test tab.
+        let created_tabs = 1 + u32::from(rng.random::<f64>() < 0.2);
+        let active_tabs = created_tabs + rng.random_range(0..2);
+        SessionBehavior { comparison_minutes, created_tabs, active_tabs }
+    }
+
+    fn tab_activity<R: Rng + ?Sized>(
+        &self,
+        worker: &Worker,
+        _comparisons: usize,
+        rng: &mut R,
+    ) -> (u32, u32) {
+        // These are *extra* tabs beyond the test pages the extension opens
+        // itself: side browsing and back-and-forth switching, both heavier
+        // for less engaged workers (the Fig. 5 telemetry).
+        let (extra_rate, switch_rate) = match worker.profile {
+            WorkerProfile::Diligent { .. } => (0.5, 1.5),
+            WorkerProfile::Casual { .. } => (2.5, 5.0),
+            WorkerProfile::Spammer(_) => (5.0, 9.0),
+        };
+        let created = 1 + poisson_like(extra_rate, rng);
+        let active = created + poisson_like(switch_rate, rng);
+        (created, active)
+    }
+}
+
+fn poisson_like<R: Rng + ?Sized>(mean: f64, rng: &mut R) -> u32 {
+    kscope_stats::dist::poisson_sample(rng, mean.max(0.0)) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worker::{PopulationMix, SpammerKind};
+    use kscope_stats::Ecdf;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn workers_of(profile_pred: fn(&WorkerProfile) -> bool, n: usize, seed: u64) -> Vec<Worker> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::new();
+        let mut i = 0u64;
+        while out.len() < n {
+            let w = Worker::generate(i, &PopulationMix::open_channel(), &mut rng);
+            i += 1;
+            if profile_pred(&w.profile) {
+                out.push(w);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn session_has_requested_comparisons() {
+        let model = BehaviorModel::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = &workers_of(|p| p.is_genuine(), 1, 1)[0];
+        let s = model.remote_session(w, 11, &mut rng);
+        assert_eq!(s.comparison_minutes.len(), 11);
+        assert!(s.total_minutes() > 0.0);
+        assert!(s.max_comparison_minutes() <= 6.0);
+        assert!(s.created_tabs >= 1);
+        assert!(s.active_tabs >= s.created_tabs);
+    }
+
+    #[test]
+    fn spammers_faster_than_diligent() {
+        let model = BehaviorModel::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        let diligent = workers_of(|p| matches!(p, WorkerProfile::Diligent { .. }), 60, 3);
+        let spammers =
+            workers_of(|p| matches!(p, WorkerProfile::Spammer(SpammerKind::Random)
+                | WorkerProfile::Spammer(SpammerKind::AlwaysLeft)
+                | WorkerProfile::Spammer(SpammerKind::AlwaysSame)), 60, 4);
+        let med = |ws: &[Worker], rng: &mut StdRng| {
+            let mut xs: Vec<f64> = ws
+                .iter()
+                .flat_map(|w| model.remote_session(w, 5, rng).comparison_minutes)
+                .collect();
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            xs[xs.len() / 2]
+        };
+        let dm = med(&diligent, &mut rng);
+        let sm = med(&spammers, &mut rng);
+        assert!(sm < dm / 1.5, "spammer median {sm} vs diligent {dm}");
+    }
+
+    #[test]
+    fn in_lab_tail_shorter_than_remote() {
+        // The paper: max comparison 3.3 min raw vs 1.9 min in-lab.
+        let model = BehaviorModel::default();
+        let mut rng = StdRng::seed_from_u64(5);
+        let ws = workers_of(|p| p.is_genuine(), 80, 6);
+        let remote: Vec<f64> = ws
+            .iter()
+            .flat_map(|w| model.remote_session(w, 10, &mut rng).comparison_minutes)
+            .collect();
+        let lab: Vec<f64> = ws
+            .iter()
+            .flat_map(|w| model.in_lab_session(w, 10, &mut rng).comparison_minutes)
+            .collect();
+        let remote_max = remote.iter().copied().fold(0.0, f64::max);
+        let lab_max = lab.iter().copied().fold(0.0, f64::max);
+        assert!(lab_max < remote_max, "lab max {lab_max} vs remote {remote_max}");
+        assert!(lab_max <= 2.2);
+    }
+
+    #[test]
+    fn spammer_tab_activity_heavier() {
+        let model = BehaviorModel::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        let diligent = workers_of(|p| matches!(p, WorkerProfile::Diligent { .. }), 100, 8);
+        let spam = workers_of(|p| !p.is_genuine(), 100, 9);
+        let mean_tabs = |ws: &[Worker], rng: &mut StdRng| {
+            ws.iter()
+                .map(|w| model.remote_session(w, 10, rng).active_tabs as f64)
+                .sum::<f64>()
+                / ws.len() as f64
+        };
+        let d = mean_tabs(&diligent, &mut rng);
+        let s = mean_tabs(&spam, &mut rng);
+        assert!(s > d, "spam tabs {s} vs diligent {d}");
+    }
+
+    #[test]
+    fn behaviour_cdfs_are_plottable() {
+        let model = BehaviorModel::default();
+        let mut rng = StdRng::seed_from_u64(10);
+        let ws = workers_of(|_| true, 50, 11);
+        let times: Vec<f64> = ws
+            .iter()
+            .map(|w| model.remote_session(w, 10, &mut rng).total_minutes())
+            .collect();
+        let ecdf = Ecdf::new(times);
+        assert!(ecdf.quantile(0.5) > 0.0);
+        assert!(ecdf.max() > ecdf.min());
+    }
+}

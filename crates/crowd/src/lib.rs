@@ -1,0 +1,42 @@
+//! Crowdsourcing platform simulator — the FigureEight substitute.
+//!
+//! The paper recruits paid testers from FigureEight ("historically
+//! trustworthy" channel, $0.11 per participant, ~12 hours to collect 100
+//! responses) and trusted in-lab participants (50 friends and colleagues
+//! over one week). Every quantitative claim in the evaluation is a property
+//! of those populations: the rank distributions of Fig. 4, the behaviour
+//! CDFs of Fig. 5, the recruitment curves of Fig. 7(a), and the vote splits
+//! of Fig. 7(c)/8/9.
+//!
+//! This crate models that world:
+//!
+//! * [`worker`] — demographics, quality profiles (diligent / casual /
+//!   spammer), and population mixes per recruitment channel.
+//! * [`perception`] — psychometric answer models: noisy utility comparison
+//!   for style questions (font size peaked near 12 pt, per the CHI studies
+//!   the paper cites) and a weighted-readiness model for the uPLT question.
+//! * [`behavior`] — time-on-task and tab-activity models (log-normal
+//!   durations; spammers too fast or distracted).
+//! * [`platform`] — job posting, Poisson recruitment, the in-lab recruiter,
+//!   and cost accounting.
+//!
+//! Everything is driven by caller-supplied `rand` RNGs so campaigns are
+//! reproducible from a seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod behavior;
+pub mod perception;
+pub mod platform;
+pub mod targeting;
+pub mod worker;
+
+pub use behavior::SessionBehavior;
+pub use perception::{FontSizeModel, JudgedPair, ReadinessModel};
+pub use platform::{
+    Assignment, Channel, CostReport, CrowdsourcingPlatform, InLabRecruiter, JobSpec, MturkLike,
+    Platform, Recruitment,
+};
+pub use targeting::DemographicTarget;
+pub use worker::{Demographics, PopulationMix, SpammerKind, Worker, WorkerId, WorkerProfile};

@@ -1,0 +1,420 @@
+//! Psychometric answer models.
+//!
+//! Every side-by-side comparison in Kaleidoscope ends with a forced choice
+//! among "Left" / "Right" / "Same". We model a genuine worker's choice with
+//! a Thurstonian comparison: each version has a latent utility for this
+//! worker; the worker perceives each utility plus Gaussian noise and
+//! answers "Same" when the perceived difference falls under an
+//! indifference threshold. Spammers bypass perception entirely.
+
+use crate::worker::{gaussian, SpammerKind, Worker, WorkerProfile};
+use kscope_stats::rank::Preference;
+use rand::{Rng, RngExt};
+
+/// The outcome of one judged pair along with the latent utilities —
+/// exposed for calibration tests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JudgedPair {
+    /// The answer given.
+    pub preference: Preference,
+    /// The worker's true (noise-free) utility for the left version.
+    pub utility_left: f64,
+    /// The worker's true utility for the right version.
+    pub utility_right: f64,
+}
+
+/// Core Thurstonian choice: compares two utilities under a worker profile.
+///
+/// `indifference` is the threshold on the perceived difference below which
+/// the worker answers "Same".
+pub fn judge_pair<R: Rng + ?Sized>(
+    worker: &Worker,
+    utility_left: f64,
+    utility_right: f64,
+    indifference: f64,
+    rng: &mut R,
+) -> JudgedPair {
+    let preference = match worker.profile {
+        WorkerProfile::Spammer(kind) => spam_answer(kind, rng),
+        WorkerProfile::Diligent { noise } => {
+            perceive(utility_left, utility_right, noise, indifference, rng)
+        }
+        WorkerProfile::Casual { noise, lapse_rate, left_bias } => {
+            if rng.random::<f64>() < lapse_rate {
+                random_answer(rng)
+            } else if utility_left == utility_right {
+                // Identical stimuli are visibly identical; anchoring bias
+                // only distorts judgments between *different* stimuli.
+                Preference::Same
+            } else {
+                perceive(utility_left + left_bias, utility_right, noise, indifference, rng)
+            }
+        }
+    };
+    JudgedPair { preference, utility_left, utility_right }
+}
+
+fn perceive<R: Rng + ?Sized>(
+    left: f64,
+    right: f64,
+    noise: f64,
+    indifference: f64,
+    rng: &mut R,
+) -> Preference {
+    // Literally identical stimuli produce identical percepts: a genuine
+    // worker looking at two copies of the same page sees no difference at
+    // all. (Thurstonian noise models *evaluation* of differing stimuli.)
+    // This is what makes the paper's identical-pair control question fair.
+    if left == right {
+        return Preference::Same;
+    }
+    let perceived_left = left + gaussian(rng) * noise;
+    let perceived_right = right + gaussian(rng) * noise;
+    let diff = perceived_left - perceived_right;
+    if diff.abs() < indifference {
+        Preference::Same
+    } else if diff > 0.0 {
+        Preference::Left
+    } else {
+        Preference::Right
+    }
+}
+
+fn spam_answer<R: Rng + ?Sized>(kind: SpammerKind, rng: &mut R) -> Preference {
+    match kind {
+        SpammerKind::Random => random_answer(rng),
+        SpammerKind::AlwaysLeft => Preference::Left,
+        SpammerKind::AlwaysSame => Preference::Same,
+    }
+}
+
+fn random_answer<R: Rng + ?Sized>(rng: &mut R) -> Preference {
+    match rng.random_range(0..3) {
+        0 => Preference::Left,
+        1 => Preference::Right,
+        _ => Preference::Same,
+    }
+}
+
+/// Font-size readability model — the latent trait behind the paper's CHI
+/// question "What is the best font size for online reading?".
+///
+/// A worker's utility for a font of `pt` points is a quadratic loss around
+/// their personal ideal (population mean 12.8 pt, per the CHI studies
+/// \[16, 19, 36, 41\] the paper cites).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FontSizeModel {
+    /// Width (in points) over which readability degrades; larger = flatter
+    /// preferences.
+    pub tolerance_pt: f64,
+    /// Indifference threshold for "Same" answers.
+    pub indifference: f64,
+}
+
+impl Default for FontSizeModel {
+    fn default() -> Self {
+        Self { tolerance_pt: 3.0, indifference: 0.5 }
+    }
+}
+
+impl FontSizeModel {
+    /// The worker's utility for a given font size.
+    pub fn utility(&self, worker: &Worker, pt: f64) -> f64 {
+        let d = (pt - worker.ideal_font_pt) / self.tolerance_pt;
+        -d * d
+    }
+
+    /// Judges a side-by-side pair of font sizes.
+    pub fn judge<R: Rng + ?Sized>(
+        &self,
+        worker: &Worker,
+        left_pt: f64,
+        right_pt: f64,
+        rng: &mut R,
+    ) -> JudgedPair {
+        judge_pair(
+            worker,
+            self.utility(worker, left_pt),
+            self.utility(worker, right_pt),
+            self.indifference,
+            rng,
+        )
+    }
+}
+
+/// Readiness perception for the page-load question "Which version of the
+/// webpage seems ready to use first?" (paper §IV-C).
+///
+/// The worker tracks weighted readiness over time — weight `text_focus` on
+/// the main text content, the remainder on everything else — and perceives
+/// the instant each version crosses a readiness threshold. Utilities are
+/// negative perceived-ready times, so an earlier-ready page wins.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadinessModel {
+    /// Population floor on the readiness threshold; each worker's own
+    /// [`Worker::readiness_threshold`] applies above this floor.
+    pub threshold: f64,
+    /// Indifference window in milliseconds: versions whose perceived ready
+    /// times fall within it are judged "Same".
+    pub indifference_ms: f64,
+    /// Perceptual noise on ready times, in milliseconds.
+    pub noise_ms: f64,
+}
+
+impl Default for ReadinessModel {
+    fn default() -> Self {
+        Self { threshold: 0.8, indifference_ms: 500.0, noise_ms: 350.0 }
+    }
+}
+
+/// The readiness trajectory of one page version, as `(t_ms, text_fraction,
+/// other_fraction)` step samples. Produced by the virtual browser from a
+/// paint timeline.
+pub type ReadinessCurve = Vec<(u64, f64, f64)>;
+
+impl ReadinessModel {
+    /// When this worker perceives the page as "ready to use", given its
+    /// readiness curve.
+    pub fn perceived_ready_ms(&self, worker: &Worker, curve: &ReadinessCurve) -> f64 {
+        let w = worker.text_focus;
+        let threshold = worker.readiness_threshold.max(self.threshold);
+        for &(t, text, other) in curve {
+            let readiness = w * text + (1.0 - w) * other;
+            if readiness >= threshold {
+                return t as f64;
+            }
+        }
+        curve.last().map(|&(t, _, _)| t as f64).unwrap_or(0.0)
+    }
+
+    /// Judges which of two versions seems ready first.
+    pub fn judge<R: Rng + ?Sized>(
+        &self,
+        worker: &Worker,
+        left: &ReadinessCurve,
+        right: &ReadinessCurve,
+        rng: &mut R,
+    ) -> JudgedPair {
+        let ready_left = self.perceived_ready_ms(worker, left);
+        let ready_right = self.perceived_ready_ms(worker, right);
+        // Utilities in "indifference units": dividing by the indifference
+        // window lets the Same-threshold below be the constant 1.0.
+        let scale = self.indifference_ms.max(1.0);
+        let u_left = -(ready_left + gaussian(rng) * self.noise_ms) / scale;
+        let u_right = -(ready_right + gaussian(rng) * self.noise_ms) / scale;
+        let pref = match worker.profile {
+            WorkerProfile::Spammer(kind) => spam_answer(kind, rng),
+            WorkerProfile::Casual { lapse_rate, .. } if rng.random::<f64>() < lapse_rate => {
+                random_answer(rng)
+            }
+            // Identical reveal schedules look identical — see `perceive`.
+            _ if ready_left == ready_right => Preference::Same,
+            profile => {
+                let bias = match profile {
+                    WorkerProfile::Casual { left_bias, .. } => left_bias,
+                    _ => 0.0,
+                };
+                let diff = u_left + bias - u_right;
+                if diff.abs() < 1.0 {
+                    Preference::Same
+                } else if diff > 0.0 {
+                    Preference::Left
+                } else {
+                    Preference::Right
+                }
+            }
+        };
+        JudgedPair { preference: pref, utility_left: -ready_left, utility_right: -ready_right }
+    }
+}
+
+/// A generic scalar-appeal model for style questions such as "which webpage
+/// is graphically more appealing?" — each version gets an experimenter-
+/// assigned appeal score and workers compare them with noise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppealModel {
+    /// Indifference threshold.
+    pub indifference: f64,
+}
+
+impl Default for AppealModel {
+    fn default() -> Self {
+        Self { indifference: 0.5 }
+    }
+}
+
+impl AppealModel {
+    /// Judges a pair of appeal scores.
+    pub fn judge<R: Rng + ?Sized>(
+        &self,
+        worker: &Worker,
+        left_appeal: f64,
+        right_appeal: f64,
+        rng: &mut R,
+    ) -> JudgedPair {
+        judge_pair(worker, left_appeal, right_appeal, self.indifference, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worker::PopulationMix;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn diligent_worker(rng: &mut StdRng) -> Worker {
+        loop {
+            let w = Worker::generate(0, &PopulationMix::in_lab(), rng);
+            if matches!(w.profile, WorkerProfile::Diligent { .. }) {
+                return w;
+            }
+        }
+    }
+
+    #[test]
+    fn strong_preference_wins_consistently() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = diligent_worker(&mut rng);
+        let mut left_wins = 0;
+        for _ in 0..200 {
+            let j = judge_pair(&w, 5.0, -5.0, 0.3, &mut rng);
+            if j.preference == Preference::Left {
+                left_wins += 1;
+            }
+        }
+        assert!(left_wins > 190, "left won {left_wins}/200");
+    }
+
+    #[test]
+    fn equal_utilities_mostly_same() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = diligent_worker(&mut rng);
+        let mut same = 0;
+        for _ in 0..300 {
+            // Indifference window wide relative to noise.
+            if judge_pair(&w, 1.0, 1.0, 2.0, &mut rng).preference == Preference::Same {
+                same += 1;
+            }
+        }
+        assert!(same > 250, "same {same}/300");
+    }
+
+    #[test]
+    fn spammer_kinds_behave() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut w = diligent_worker(&mut rng);
+        w.profile = WorkerProfile::Spammer(SpammerKind::AlwaysLeft);
+        for _ in 0..10 {
+            assert_eq!(judge_pair(&w, -9.0, 9.0, 0.1, &mut rng).preference, Preference::Left);
+        }
+        w.profile = WorkerProfile::Spammer(SpammerKind::AlwaysSame);
+        for _ in 0..10 {
+            assert_eq!(judge_pair(&w, -9.0, 9.0, 0.1, &mut rng).preference, Preference::Same);
+        }
+    }
+
+    #[test]
+    fn font_model_prefers_population_consensus() {
+        // Across many workers, 12pt must beat 22pt decisively.
+        let mut rng = StdRng::seed_from_u64(4);
+        let model = FontSizeModel::default();
+        let mut twelve_wins = 0;
+        let mut n = 0;
+        for i in 0..400 {
+            let w = Worker::generate(i, &PopulationMix::in_lab(), &mut rng);
+            let j = model.judge(&w, 12.0, 22.0, &mut rng);
+            match j.preference {
+                Preference::Left => twelve_wins += 1,
+                Preference::Right => {}
+                Preference::Same => continue,
+            }
+            n += 1;
+        }
+        assert!(
+            twelve_wins as f64 > 0.85 * n as f64,
+            "12pt won {twelve_wins}/{n}"
+        );
+    }
+
+    #[test]
+    fn font_model_close_sizes_often_tie() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let model = FontSizeModel::default();
+        let mut same = 0;
+        for i in 0..400 {
+            let w = Worker::generate(i, &PopulationMix::in_lab(), &mut rng);
+            if model.judge(&w, 12.0, 12.0, &mut rng).preference == Preference::Same {
+                same += 1;
+            }
+        }
+        // Identical stimuli: "Same" must be the typical answer for genuine
+        // workers (this is exactly the paper's identical-pair control).
+        assert!(same > 300, "same = {same}/400");
+    }
+
+    #[test]
+    fn readiness_text_first_preferred() {
+        // Version L: text ready at 4000, nav at 2000. Version R: reversed.
+        let left: ReadinessCurve = vec![(0, 0.0, 0.0), (2000, 0.0, 1.0), (4000, 1.0, 1.0)];
+        let right: ReadinessCurve = vec![(0, 0.0, 0.0), (2000, 1.0, 0.0), (4000, 1.0, 1.0)];
+        let model = ReadinessModel::default();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut right_wins = 0;
+        let mut left_wins = 0;
+        for i in 0..300 {
+            let w = Worker::generate(i, &PopulationMix::in_lab(), &mut rng);
+            match model.judge(&w, &left, &right, &mut rng).preference {
+                Preference::Right => right_wins += 1,
+                Preference::Left => left_wins += 1,
+                Preference::Same => {}
+            }
+        }
+        assert!(
+            right_wins > left_wins * 2,
+            "text-first version should dominate: {right_wins} vs {left_wins}"
+        );
+    }
+
+    #[test]
+    fn readiness_identical_curves_tie() {
+        let curve: ReadinessCurve = vec![(0, 0.0, 0.0), (1000, 1.0, 1.0)];
+        let model = ReadinessModel::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut same = 0;
+        for i in 0..200 {
+            let w = Worker::generate(i, &PopulationMix::in_lab(), &mut rng);
+            if model.judge(&w, &curve, &curve, &mut rng).preference == Preference::Same {
+                same += 1;
+            }
+        }
+        assert!(same > 120, "same = {same}/200");
+    }
+
+    #[test]
+    fn perceived_ready_uses_text_focus() {
+        let model = ReadinessModel::default();
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut w = diligent_worker(&mut rng);
+        // Text ready late; nav early.
+        let curve: ReadinessCurve = vec![(0, 0.0, 0.0), (1000, 0.0, 1.0), (5000, 1.0, 1.0)];
+        w.text_focus = 0.95;
+        let focused = model.perceived_ready_ms(&w, &curve);
+        w.text_focus = 0.05;
+        let unfocused = model.perceived_ready_ms(&w, &curve);
+        assert!(focused > unfocused, "{focused} vs {unfocused}");
+    }
+
+    #[test]
+    fn appeal_model_orders() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let model = AppealModel::default();
+        let mut b_wins = 0;
+        for i in 0..300 {
+            let w = Worker::generate(i, &PopulationMix::in_lab(), &mut rng);
+            if model.judge(&w, 0.0, 2.0, &mut rng).preference == Preference::Right {
+                b_wins += 1;
+            }
+        }
+        assert!(b_wins > 180, "b wins = {b_wins}");
+    }
+}

@@ -1,0 +1,531 @@
+//! Job posting, recruitment processes, and cost accounting.
+//!
+//! Calibration targets from the paper:
+//!
+//! * FigureEight, "historically trustworthy" channel, $0.11/participant:
+//!   100 responses in ~12 hours (Fig. 7(a) shows all 100 within about a
+//!   day).
+//! * In-lab: 50 trusted participants recruited over one week.
+//! * Higher rewards and parallel campaigns speed Kaleidoscope up (§IV-B
+//!   explicitly lists this as untapped speedup).
+
+use crate::targeting::DemographicTarget;
+use crate::worker::{PopulationMix, Worker};
+use kscope_stats::dist::exponential_sample;
+use rand::Rng;
+
+/// Milliseconds per hour.
+pub const MS_PER_HOUR: u64 = 3_600_000;
+/// Milliseconds per day.
+pub const MS_PER_DAY: u64 = 24 * MS_PER_HOUR;
+
+/// Which worker population a job recruits from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Channel {
+    /// FigureEight's vetted pool: slower arrivals, much better quality.
+    HistoricallyTrustworthy,
+    /// The open pool: faster arrivals, heavy spam.
+    Open,
+}
+
+impl Channel {
+    /// The population mix this channel draws from.
+    pub fn mix(&self) -> PopulationMix {
+        match self {
+            Channel::HistoricallyTrustworthy => PopulationMix::historically_trustworthy(),
+            Channel::Open => PopulationMix::open_channel(),
+        }
+    }
+
+    /// Baseline arrival rate (workers per hour) at the reference reward of
+    /// $0.10.
+    fn base_rate_per_hour(&self) -> f64 {
+        match self {
+            Channel::HistoricallyTrustworthy => 8.3,
+            Channel::Open => 20.0,
+        }
+    }
+}
+
+/// A crowdsourcing job posting — what the core server sends to the
+/// platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// The Kaleidoscope test this job recruits for.
+    pub test_id: String,
+    /// Payment per participant in USD.
+    pub reward_usd: f64,
+    /// Number of participants to recruit.
+    pub quota: usize,
+    /// Recruitment channel.
+    pub channel: Channel,
+    /// Demographic targeting (the "target demographics" input of §I).
+    pub target: DemographicTarget,
+}
+
+impl JobSpec {
+    /// Creates an untargeted job spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reward is negative or the quota is zero.
+    pub fn new(test_id: &str, reward_usd: f64, quota: usize, channel: Channel) -> Self {
+        assert!(reward_usd >= 0.0, "reward cannot be negative");
+        assert!(quota > 0, "quota must be positive");
+        Self {
+            test_id: test_id.to_string(),
+            reward_usd,
+            quota,
+            channel,
+            target: DemographicTarget::any(),
+        }
+    }
+
+    /// Restricts recruitment to a demographic target (builder style).
+    /// Targeted jobs recruit proportionally slower: only the qualifying
+    /// share of the pool can accept them.
+    pub fn with_target(mut self, target: DemographicTarget) -> Self {
+        self.target = target;
+        self
+    }
+}
+
+/// One recruited participant with their arrival time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    /// The recruited worker.
+    pub worker: Worker,
+    /// Arrival time in milliseconds after the job was posted.
+    pub arrival_ms: u64,
+}
+
+/// Money spent on a campaign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostReport {
+    /// Total paid to workers, USD.
+    pub worker_payments_usd: f64,
+    /// Platform fee (FigureEight charges a markup), USD.
+    pub platform_fee_usd: f64,
+}
+
+impl CostReport {
+    /// Total campaign cost.
+    pub fn total_usd(&self) -> f64 {
+        self.worker_payments_usd + self.platform_fee_usd
+    }
+
+    /// Cost per participant.
+    pub fn per_participant_usd(&self, participants: usize) -> f64 {
+        if participants == 0 {
+            0.0
+        } else {
+            self.total_usd() / participants as f64
+        }
+    }
+}
+
+/// The result of posting a job: who arrives when, and at what cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recruitment {
+    /// Participants in arrival order.
+    pub assignments: Vec<Assignment>,
+    /// Campaign cost.
+    pub cost: CostReport,
+}
+
+impl Recruitment {
+    /// Time until the last participant arrived (ms); 0 if empty.
+    pub fn completion_ms(&self) -> u64 {
+        self.assignments.last().map(|a| a.arrival_ms).unwrap_or(0)
+    }
+
+    /// The cumulative-recruitment curve: `(t_ms, participants so far)` —
+    /// Fig. 7(a)'s series.
+    pub fn cumulative_curve(&self) -> Vec<(u64, usize)> {
+        self.assignments
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a.arrival_ms, i + 1))
+            .collect()
+    }
+
+    /// Participants recruited within the first `t_ms`.
+    pub fn recruited_by(&self, t_ms: u64) -> usize {
+        self.assignments.iter().filter(|a| a.arrival_ms <= t_ms).count()
+    }
+}
+
+/// Anything that can recruit participants for a posted job — "it is easy
+/// to extend Kaleidoscope to other crowdsourcing platforms since the
+/// development processes are similar for different platforms" (§III-C).
+/// The campaign code only needs a [`Recruitment`] back.
+pub trait CrowdsourcingPlatform {
+    /// Human-readable platform name.
+    fn name(&self) -> &str;
+    /// Posts a job and returns the recruited participants.
+    fn recruit(&self, spec: &JobSpec, rng: &mut dyn rand::Rng) -> Recruitment;
+}
+
+/// The crowdsourcing platform simulator (FigureEight substitute).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Platform;
+
+impl CrowdsourcingPlatform for Platform {
+    fn name(&self) -> &str {
+        "figure-eight"
+    }
+
+    fn recruit(&self, spec: &JobSpec, rng: &mut dyn rand::Rng) -> Recruitment {
+        self.post_job(spec, rng)
+    }
+}
+
+/// A second platform with Mechanical-Turk-like economics: a bigger pool
+/// (faster arrivals) but a steeper fee, demonstrating the multi-platform
+/// extension point (and feeding `post_job_parallel`-style campaigns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MturkLike;
+
+impl MturkLike {
+    /// MTurk's classic fee on top of worker payments.
+    pub const FEE_RATE: f64 = 0.40;
+    /// Pool-size advantage over the reference platform.
+    pub const RATE_MULTIPLIER: f64 = 1.8;
+}
+
+impl CrowdsourcingPlatform for MturkLike {
+    fn name(&self) -> &str {
+        "mturk-like"
+    }
+
+    fn recruit(&self, spec: &JobSpec, rng: &mut dyn rand::Rng) -> Recruitment {
+        let mut r = Platform.post_job(spec, rng);
+        for a in &mut r.assignments {
+            a.arrival_ms = (a.arrival_ms as f64 / Self::RATE_MULTIPLIER) as u64;
+        }
+        r.cost.platform_fee_usd = r.cost.worker_payments_usd * Self::FEE_RATE;
+        r
+    }
+}
+
+impl Platform {
+    /// FigureEight's fee multiplier on worker payments.
+    pub const FEE_RATE: f64 = 0.20;
+
+    /// Posts a job: draws Poisson arrivals whose rate scales with the
+    /// reward (diminishing returns above the reference $0.10) and shrinks
+    /// with the demographic target's selectivity, and samples one
+    /// qualifying worker per arrival from the channel's population mix.
+    pub fn post_job<R: Rng + ?Sized>(&self, spec: &JobSpec, rng: &mut R) -> Recruitment {
+        let selectivity =
+            if spec.target.is_any() { 1.0 } else { spec.target.selectivity(4000, rng) };
+        let rate_per_hour = spec.channel.base_rate_per_hour()
+            * reward_multiplier(spec.reward_usd)
+            * selectivity;
+        let rate_per_ms = rate_per_hour / MS_PER_HOUR as f64;
+        let mut t = 0.0f64;
+        let mix = spec.channel.mix();
+        let assignments: Vec<Assignment> = (0..spec.quota)
+            .map(|i| {
+                t += exponential_sample(rng, rate_per_ms);
+                Assignment {
+                    worker: spec.target.sample_worker(i as u64, &mix, rng),
+                    arrival_ms: t.round() as u64,
+                }
+            })
+            .collect();
+        let worker_payments = spec.reward_usd * spec.quota as f64;
+        Recruitment {
+            assignments,
+            cost: CostReport {
+                worker_payments_usd: worker_payments,
+                platform_fee_usd: worker_payments * Self::FEE_RATE,
+            },
+        }
+    }
+
+    /// Runs the same job on `campaigns` platforms in parallel and merges
+    /// the arrivals — the §IV-B note that Kaleidoscope speeds up "via
+    /// additional crowdsourcing websites and parallel campaigns". The quota
+    /// fills from whichever platform delivers first; cost covers exactly
+    /// the recruited quota.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `campaigns == 0`.
+    pub fn post_job_parallel<R: Rng + ?Sized>(
+        &self,
+        spec: &JobSpec,
+        campaigns: usize,
+        rng: &mut R,
+    ) -> Recruitment {
+        assert!(campaigns > 0, "need at least one campaign");
+        let mut merged: Vec<Assignment> = Vec::with_capacity(spec.quota * campaigns);
+        for c in 0..campaigns {
+            let mut r = self.post_job(spec, rng);
+            for (k, a) in r.assignments.iter_mut().enumerate() {
+                // Re-tag ids so parallel platforms do not collide.
+                a.worker.id = crate::worker::WorkerId(format!(
+                    "w-{c}-{k:05}"
+                ));
+            }
+            merged.extend(r.assignments);
+        }
+        merged.sort_by_key(|a| a.arrival_ms);
+        merged.truncate(spec.quota);
+        let worker_payments = spec.reward_usd * merged.len() as f64;
+        Recruitment {
+            assignments: merged,
+            cost: CostReport {
+                worker_payments_usd: worker_payments,
+                platform_fee_usd: worker_payments * Self::FEE_RATE,
+            },
+        }
+    }
+}
+
+/// How much a reward above/below the $0.10 reference scales arrival rates:
+/// square-root growth (doubling pay does not double throughput).
+fn reward_multiplier(reward_usd: f64) -> f64 {
+    const REFERENCE: f64 = 0.10;
+    (reward_usd.max(0.01) / REFERENCE).sqrt()
+}
+
+/// Recruits trusted in-lab participants: `n` friends/colleagues spread
+/// uniformly over `days` (the paper took one week for 50).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InLabRecruiter {
+    /// Number of participants.
+    pub n: usize,
+    /// Recruitment window in days.
+    pub days: f64,
+}
+
+impl InLabRecruiter {
+    /// Creates a recruiter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `days <= 0`.
+    pub fn new(n: usize, days: f64) -> Self {
+        assert!(n > 0 && days > 0.0, "need participants and a positive window");
+        Self { n, days }
+    }
+
+    /// Runs recruitment: arrival times uniform over the window, all workers
+    /// from the in-lab mix. In-lab tests cost no per-judgment reward but
+    /// the experimenter's time is the (unaccounted) price.
+    pub fn recruit<R: Rng + ?Sized>(&self, rng: &mut R) -> Recruitment {
+        use rand::RngExt;
+        let window_ms = (self.days * MS_PER_DAY as f64) as u64;
+        let mut arrivals: Vec<u64> =
+            (0..self.n).map(|_| rng.random_range(0..=window_ms)).collect();
+        arrivals.sort_unstable();
+        let mix = PopulationMix::in_lab();
+        let assignments = arrivals
+            .into_iter()
+            .enumerate()
+            .map(|(i, arrival_ms)| Assignment {
+                worker: Worker::generate(i as u64, &mix, rng),
+                arrival_ms,
+            })
+            .collect();
+        Recruitment {
+            assignments,
+            cost: CostReport { worker_payments_usd: 0.0, platform_fee_usd: 0.0 },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn paper_calibration_hundred_workers_in_half_day() {
+        // $0.11, trustworthy channel, quota 100 -> ~12h (the paper's run).
+        let spec = JobSpec::new("t", 0.11, 100, Channel::HistoricallyTrustworthy);
+        let mut total = 0.0;
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let r = Platform.post_job(&spec, &mut rng);
+            total += r.completion_ms() as f64;
+        }
+        let mean_hours = total / 10.0 / MS_PER_HOUR as f64;
+        assert!(
+            (8.0..20.0).contains(&mean_hours),
+            "expected ~12h to recruit 100, got {mean_hours:.1}h"
+        );
+    }
+
+    #[test]
+    fn cost_accounting_matches_paper() {
+        let spec = JobSpec::new("t", 0.11, 100, Channel::HistoricallyTrustworthy);
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = Platform.post_job(&spec, &mut rng);
+        assert!((r.cost.worker_payments_usd - 11.0).abs() < 1e-9);
+        assert!((r.cost.per_participant_usd(100) - 0.132).abs() < 1e-9);
+        assert!(r.cost.total_usd() > 11.0);
+    }
+
+    #[test]
+    fn higher_reward_recruits_faster() {
+        let mut quick_total = 0u64;
+        let mut slow_total = 0u64;
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let slow = Platform.post_job(
+                &JobSpec::new("t", 0.05, 50, Channel::HistoricallyTrustworthy),
+                &mut rng,
+            );
+            let quick = Platform.post_job(
+                &JobSpec::new("t", 0.50, 50, Channel::HistoricallyTrustworthy),
+                &mut rng,
+            );
+            slow_total += slow.completion_ms();
+            quick_total += quick.completion_ms();
+        }
+        assert!(quick_total < slow_total, "higher reward must be faster");
+    }
+
+    #[test]
+    fn open_channel_faster_but_dirtier() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let trusted = Platform.post_job(
+            &JobSpec::new("t", 0.10, 200, Channel::HistoricallyTrustworthy),
+            &mut rng,
+        );
+        let open =
+            Platform.post_job(&JobSpec::new("t", 0.10, 200, Channel::Open), &mut rng);
+        assert!(open.completion_ms() < trusted.completion_ms());
+        let genuine = |r: &Recruitment| {
+            r.assignments.iter().filter(|a| a.worker.profile.is_genuine()).count()
+        };
+        assert!(genuine(&open) < genuine(&trusted));
+    }
+
+    #[test]
+    fn cumulative_curve_monotone() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let r = Platform.post_job(
+            &JobSpec::new("t", 0.11, 30, Channel::HistoricallyTrustworthy),
+            &mut rng,
+        );
+        let curve = r.cumulative_curve();
+        assert_eq!(curve.len(), 30);
+        assert!(curve.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 < w[1].1));
+        assert_eq!(r.recruited_by(r.completion_ms()), 30);
+        assert_eq!(r.recruited_by(0), 0);
+    }
+
+    #[test]
+    fn in_lab_takes_days_not_hours() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let r = InLabRecruiter::new(50, 7.0).recruit(&mut rng);
+        assert_eq!(r.assignments.len(), 50);
+        assert!(r.completion_ms() > 3 * MS_PER_DAY, "in-lab should span days");
+        assert_eq!(r.cost.total_usd(), 0.0);
+        // Sorted arrivals.
+        assert!(r.assignments.windows(2).all(|w| w[0].arrival_ms <= w[1].arrival_ms));
+    }
+
+    #[test]
+    fn kaleidoscope_vs_in_lab_speed_gap() {
+        // The headline comparison: Kaleidoscope gets 100 paid testers faster
+        // than the lab gets 50 friends.
+        let mut rng = StdRng::seed_from_u64(6);
+        let crowd = Platform.post_job(
+            &JobSpec::new("t", 0.11, 100, Channel::HistoricallyTrustworthy),
+            &mut rng,
+        );
+        let lab = InLabRecruiter::new(50, 7.0).recruit(&mut rng);
+        assert!(crowd.completion_ms() * 4 < lab.completion_ms());
+    }
+
+    #[test]
+    fn reward_multiplier_shape() {
+        assert!((reward_multiplier(0.10) - 1.0).abs() < 1e-12);
+        assert!(reward_multiplier(0.40) < 4.0 * reward_multiplier(0.10));
+        assert!(reward_multiplier(0.40) > reward_multiplier(0.10));
+    }
+
+    #[test]
+    fn platform_trait_objects_are_interchangeable() {
+        let platforms: Vec<Box<dyn CrowdsourcingPlatform>> =
+            vec![Box::new(Platform), Box::new(MturkLike)];
+        let spec = JobSpec::new("t", 0.11, 30, Channel::HistoricallyTrustworthy);
+        let mut rng = StdRng::seed_from_u64(8);
+        let recruitments: Vec<Recruitment> =
+            platforms.iter().map(|p| p.recruit(&spec, &mut rng)).collect();
+        assert!(recruitments.iter().all(|r| r.assignments.len() == 30));
+        // The MTurk-like pool recruits faster but charges more.
+        let mut rng = StdRng::seed_from_u64(9);
+        let fe = Platform.recruit(&spec, &mut rng);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mt = MturkLike.recruit(&spec, &mut rng);
+        assert!(mt.completion_ms() < fe.completion_ms());
+        assert!(mt.cost.total_usd() > fe.cost.total_usd());
+        assert_eq!(Platform.name(), "figure-eight");
+        assert_eq!(MturkLike.name(), "mturk-like");
+    }
+
+    #[test]
+    #[should_panic(expected = "quota must be positive")]
+    fn job_spec_rejects_zero_quota() {
+        let _ = JobSpec::new("t", 0.1, 0, Channel::Open);
+    }
+
+    #[test]
+    fn targeted_jobs_recruit_matching_workers_slower() {
+        use crate::targeting::DemographicTarget;
+        use crate::worker::AgeRange;
+        let mut rng = StdRng::seed_from_u64(11);
+        let open = JobSpec::new("t", 0.11, 50, Channel::HistoricallyTrustworthy);
+        let targeted = open.clone().with_target(DemographicTarget {
+            ages: vec![AgeRange::Under25],
+            ..Default::default()
+        });
+        let r_open = Platform.post_job(&open, &mut rng);
+        let r_tgt = Platform.post_job(&targeted, &mut rng);
+        // Everyone recruited satisfies the target.
+        assert!(r_tgt
+            .assignments
+            .iter()
+            .all(|a| a.worker.demographics.age == AgeRange::Under25));
+        // And it takes meaningfully longer (~2.5x at 40% selectivity).
+        assert!(
+            r_tgt.completion_ms() > r_open.completion_ms() * 3 / 2,
+            "targeted {} vs open {}",
+            r_tgt.completion_ms(),
+            r_open.completion_ms()
+        );
+    }
+
+    #[test]
+    fn parallel_campaigns_speed_up_recruitment() {
+        let spec = JobSpec::new("t", 0.11, 100, Channel::HistoricallyTrustworthy);
+        let mut one_total = 0u64;
+        let mut four_total = 0u64;
+        for seed in 0..5 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            one_total += Platform.post_job_parallel(&spec, 1, &mut rng).completion_ms();
+            four_total += Platform.post_job_parallel(&spec, 4, &mut rng).completion_ms();
+        }
+        assert!(
+            four_total * 3 < one_total,
+            "4 platforms should be ~4x faster: {four_total} vs {one_total}"
+        );
+        // Cost covers exactly the quota regardless of parallelism.
+        let mut rng = StdRng::seed_from_u64(9);
+        let r = Platform.post_job_parallel(&spec, 4, &mut rng);
+        assert_eq!(r.assignments.len(), 100);
+        assert!((r.cost.worker_payments_usd - 11.0).abs() < 1e-9);
+        // Worker ids are unique across platforms.
+        let mut ids: Vec<&str> =
+            r.assignments.iter().map(|a| a.worker.id.0.as_str()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 100);
+    }
+}

@@ -1,0 +1,157 @@
+//! Demographic targeting.
+//!
+//! The paper's tool "should take as input N versions of a website, *target
+//! demographics*, target Web page load, and a questionnaire" (§I). This
+//! module lets a job restrict who is recruited — crowdsourcing platforms
+//! expose exactly these coarse filters — at the price of a slower arrival
+//! rate proportional to how selective the target is.
+
+use crate::worker::{AgeRange, Demographics, Gender, Region, Worker};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A demographic filter; `None` fields match everyone.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DemographicTarget {
+    /// Restrict to these age brackets (empty = any).
+    #[serde(default)]
+    pub ages: Vec<AgeRange>,
+    /// Restrict to these regions (empty = any).
+    #[serde(default)]
+    pub regions: Vec<Region>,
+    /// Restrict to these genders (empty = any).
+    #[serde(default)]
+    pub genders: Vec<Gender>,
+    /// Minimum self-assessed technical ability (1–5).
+    #[serde(default)]
+    pub min_tech_ability: u8,
+}
+
+impl DemographicTarget {
+    /// A target matching everyone.
+    pub fn any() -> Self {
+        Self::default()
+    }
+
+    /// Whether a worker's demographics satisfy the target.
+    pub fn matches(&self, d: &Demographics) -> bool {
+        (self.ages.is_empty() || self.ages.contains(&d.age))
+            && (self.regions.is_empty() || self.regions.contains(&d.country))
+            && (self.genders.is_empty() || self.genders.contains(&d.gender))
+            && d.tech_ability >= self.min_tech_ability
+    }
+
+    /// Whether the target is unrestricted.
+    pub fn is_any(&self) -> bool {
+        self.ages.is_empty()
+            && self.regions.is_empty()
+            && self.genders.is_empty()
+            && self.min_tech_ability <= 1
+    }
+
+    /// Estimates the fraction of the platform population that qualifies by
+    /// Monte-Carlo over the demographics sampler. Used to slow down the
+    /// arrival rate of targeted jobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples == 0`.
+    pub fn selectivity<R: Rng + ?Sized>(&self, samples: usize, rng: &mut R) -> f64 {
+        assert!(samples > 0, "need at least one sample");
+        if self.is_any() {
+            return 1.0;
+        }
+        let hits = (0..samples)
+            .filter(|_| self.matches(&Demographics::sample(rng)))
+            .count();
+        (hits as f64 / samples as f64).max(1e-3)
+    }
+
+    /// Rejection-samples a worker that satisfies the target.
+    pub fn sample_worker<R: Rng + ?Sized>(
+        &self,
+        seq: u64,
+        mix: &crate::worker::PopulationMix,
+        rng: &mut R,
+    ) -> Worker {
+        loop {
+            let w = Worker::generate(seq, mix, rng);
+            if self.matches(&w.demographics) {
+                return w;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worker::PopulationMix;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn any_matches_everything() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = DemographicTarget::any();
+        assert!(t.is_any());
+        for _ in 0..50 {
+            assert!(t.matches(&Demographics::sample(&mut rng)));
+        }
+        assert_eq!(t.selectivity(100, &mut rng), 1.0);
+    }
+
+    #[test]
+    fn age_filter() {
+        let t = DemographicTarget { ages: vec![AgeRange::Under25], ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let w = t.sample_worker(0, &PopulationMix::open_channel(), &mut rng);
+            assert_eq!(w.demographics.age, AgeRange::Under25);
+        }
+        assert!(!t.is_any());
+    }
+
+    #[test]
+    fn tech_floor() {
+        let t = DemographicTarget { min_tech_ability: 4, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let w = t.sample_worker(0, &PopulationMix::in_lab(), &mut rng);
+            assert!(w.demographics.tech_ability >= 4);
+        }
+    }
+
+    #[test]
+    fn selectivity_tracks_population_share() {
+        // Under25 is 40% of the sampler's population.
+        let t = DemographicTarget { ages: vec![AgeRange::Under25], ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = t.selectivity(20_000, &mut rng);
+        assert!((s - 0.4).abs() < 0.03, "selectivity = {s}");
+    }
+
+    #[test]
+    fn compound_filters_multiply_down() {
+        let narrow = DemographicTarget {
+            ages: vec![AgeRange::Age50Plus],
+            regions: vec![Region::Oceania],
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        // Oceania never appears in the sampler: selectivity floors at 1e-3.
+        assert_eq!(narrow.selectivity(5000, &mut rng), 1e-3);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = DemographicTarget {
+            ages: vec![AgeRange::Age25To34],
+            regions: vec![Region::Europe],
+            genders: vec![Gender::Female],
+            min_tech_ability: 3,
+        };
+        let json = serde_json::to_string(&t).unwrap();
+        let back: DemographicTarget = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,379 @@
+//! Workers: identity, demographics, and quality profiles.
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A worker (participant) identifier — the "contributor id" the browser
+/// extension collects.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct WorkerId(pub String);
+
+impl fmt::Display for WorkerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Coarse demographics, "collected at a coarse enough granularity so there
+/// is no danger of identifying individual people" (§III-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Demographics {
+    /// Self-reported gender.
+    pub gender: Gender,
+    /// Age bracket.
+    pub age: AgeRange,
+    /// Country group.
+    pub country: Region,
+    /// Self-assessed technical ability, 1 (novice) to 5 (expert).
+    pub tech_ability: u8,
+}
+
+/// Self-reported gender categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Gender {
+    Female,
+    Male,
+    Other,
+}
+
+/// Age brackets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum AgeRange {
+    Under25,
+    Age25To34,
+    Age35To49,
+    Age50Plus,
+}
+
+/// Coarse regions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Region {
+    NorthAmerica,
+    Europe,
+    Asia,
+    SouthAmerica,
+    Africa,
+    Oceania,
+}
+
+impl Demographics {
+    /// Samples demographics with a crowd-platform-like skew (younger,
+    /// global-south-heavy).
+    pub fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        let gender = match rng.random_range(0..10) {
+            0..=4 => Gender::Male,
+            5..=8 => Gender::Female,
+            _ => Gender::Other,
+        };
+        let age = match rng.random_range(0..10) {
+            0..=3 => AgeRange::Under25,
+            4..=6 => AgeRange::Age25To34,
+            7..=8 => AgeRange::Age35To49,
+            _ => AgeRange::Age50Plus,
+        };
+        let country = match rng.random_range(0..12) {
+            0..=2 => Region::NorthAmerica,
+            3..=5 => Region::Europe,
+            6..=9 => Region::Asia,
+            10 => Region::SouthAmerica,
+            _ => Region::Africa,
+        };
+        let tech_ability = rng.random_range(1..=5);
+        Self { gender, age, country, tech_ability }
+    }
+}
+
+/// How a spammer answers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpammerKind {
+    /// Uniformly random answers.
+    Random,
+    /// Always picks "Left" (position bias — the classic crowd artifact).
+    AlwaysLeft,
+    /// Always answers "Same" (minimal-effort satisficing).
+    AlwaysSame,
+}
+
+/// A worker's quality profile: how faithfully their answers track their
+/// true perception, and how they spend time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum WorkerProfile {
+    /// Engaged tester; small judgment noise.
+    Diligent {
+        /// Standard deviation of utility noise (Thurstonian).
+        noise: f64,
+    },
+    /// Less careful: more noise, occasional lapses where the answer is
+    /// random regardless of the stimulus, and a left-anchoring position
+    /// bias (skimming testers favour the pane they read first).
+    Casual {
+        /// Standard deviation of utility noise.
+        noise: f64,
+        /// Probability of an attention lapse per judgment.
+        lapse_rate: f64,
+        /// Additive utility bonus for the left pane.
+        left_bias: f64,
+    },
+    /// Not actually doing the task.
+    Spammer(SpammerKind),
+}
+
+impl WorkerProfile {
+    /// Whether this profile represents a genuine attempt at the task.
+    pub fn is_genuine(&self) -> bool {
+        !matches!(self, WorkerProfile::Spammer(_))
+    }
+}
+
+/// A participant: identity + demographics + profile + platform trust.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Worker {
+    /// Contributor id.
+    pub id: WorkerId,
+    /// Coarse demographics.
+    pub demographics: Demographics,
+    /// Quality profile (latent — the experimenter never sees this).
+    pub profile: WorkerProfile,
+    /// The platform's historical trust score in `[0, 1]` ("historically
+    /// trustworthy" channels filter on this).
+    pub trust_score: f64,
+    /// The worker's ideal font size in points (drawn from the CHI-study
+    /// population distribution) — the latent trait behind Fig. 4.
+    pub ideal_font_pt: f64,
+    /// The worker's attention weight on main-text content in `[0, 1]` — the
+    /// latent trait behind the Fig. 9 uPLT split.
+    pub text_focus: f64,
+    /// When a page "seems ready to use" for this worker: the weighted
+    /// painted fraction that must be reached. Workers near 1.0 only call a
+    /// page ready once nothing changes anymore ("browsing and moving are
+    /// done with the same degree", as one of the paper's commenters put
+    /// it), which turns the Fig. 9 comparison into a tie for them.
+    pub readiness_threshold: f64,
+}
+
+/// Fractions of each profile in a recruited population.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PopulationMix {
+    /// Fraction of diligent workers.
+    pub diligent: f64,
+    /// Fraction of casual workers.
+    pub casual: f64,
+    /// Fraction of spammers.
+    pub spammer: f64,
+}
+
+impl PopulationMix {
+    /// Creates a mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the fractions are non-negative and sum to 1 (±1e-9).
+    pub fn new(diligent: f64, casual: f64, spammer: f64) -> Self {
+        assert!(
+            diligent >= 0.0 && casual >= 0.0 && spammer >= 0.0,
+            "fractions must be non-negative"
+        );
+        assert!(
+            ((diligent + casual + spammer) - 1.0).abs() < 1e-9,
+            "fractions must sum to 1"
+        );
+        Self { diligent, casual, spammer }
+    }
+
+    /// FigureEight's "historically trustworthy" channel: mostly engaged
+    /// workers, a residue of spam the quality-control pipeline must catch.
+    pub fn historically_trustworthy() -> Self {
+        Self::new(0.70, 0.22, 0.08)
+    }
+
+    /// An unfiltered open channel.
+    pub fn open_channel() -> Self {
+        Self::new(0.45, 0.30, 0.25)
+    }
+
+    /// Trusted in-lab participants: committed friends and colleagues.
+    pub fn in_lab() -> Self {
+        Self::new(0.95, 0.05, 0.0)
+    }
+
+    /// Samples one profile from the mix.
+    pub fn sample_profile<R: Rng + ?Sized>(&self, rng: &mut R) -> WorkerProfile {
+        let x: f64 = rng.random();
+        if x < self.diligent {
+            WorkerProfile::Diligent { noise: 0.35 + rng.random::<f64>() * 0.25 }
+        } else if x < self.diligent + self.casual {
+            WorkerProfile::Casual {
+                noise: 0.8 + rng.random::<f64>() * 0.6,
+                lapse_rate: 0.08 + rng.random::<f64>() * 0.12,
+                left_bias: 0.35 + rng.random::<f64>() * 0.35,
+            }
+        } else {
+            // Position bias is by far the most common spam pattern.
+            let kind = match rng.random_range(0..10) {
+                0..=4 => SpammerKind::AlwaysLeft,
+                5..=7 => SpammerKind::Random,
+                _ => SpammerKind::AlwaysSame,
+            };
+            WorkerProfile::Spammer(kind)
+        }
+    }
+}
+
+impl Worker {
+    /// Generates one worker from a population mix.
+    ///
+    /// The ideal font size is drawn `N(12.75, 1.0)` clamped to `[9, 20]`,
+    /// matching the CHI consensus that 12–14 pt reads best online with a
+    /// minority (e.g. dyslexic readers) preferring larger sizes. The
+    /// text-focus trait is `0.75 ± 0.12` for most workers — "people usually
+    /// look for related articles … so they focus on the main text content
+    /// more" — with a minority near 0.5 who "only care about the visual
+    /// changes of the webpage".
+    pub fn generate<R: Rng + ?Sized>(seq: u64, mix: &PopulationMix, rng: &mut R) -> Self {
+        let profile = mix.sample_profile(rng);
+        let trust_score = match profile {
+            WorkerProfile::Diligent { .. } => 0.80 + rng.random::<f64>() * 0.20,
+            WorkerProfile::Casual { .. } => 0.55 + rng.random::<f64>() * 0.35,
+            WorkerProfile::Spammer(_) => 0.30 + rng.random::<f64>() * 0.50,
+        };
+        let ideal_font_pt = (12.75 + gaussian(rng) * 1.0).clamp(9.0, 20.0);
+        let text_focus = if rng.random::<f64>() < 0.85 {
+            (0.78 + gaussian(rng) * 0.10).clamp(0.5, 0.98)
+        } else {
+            // The "I only care about visual changes" minority.
+            (0.50 + gaussian(rng) * 0.05).clamp(0.35, 0.6)
+        };
+        let readiness_threshold = (0.80 + rng.random::<f64>() * 0.26).min(1.0);
+        Self {
+            id: WorkerId(format!("w-{seq:05}")),
+            demographics: Demographics::sample(rng),
+            profile,
+            trust_score,
+            ideal_font_pt,
+            text_focus,
+            readiness_threshold,
+        }
+    }
+
+    /// Generates a pool of `n` workers.
+    pub fn generate_pool<R: Rng + ?Sized>(
+        n: usize,
+        mix: &PopulationMix,
+        rng: &mut R,
+    ) -> Vec<Worker> {
+        (0..n).map(|i| Worker::generate(i as u64, mix, rng)).collect()
+    }
+}
+
+/// One standard-normal draw (Box–Muller, cosine branch).
+pub(crate) fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn mix_fractions_validated() {
+        let m = PopulationMix::new(0.5, 0.3, 0.2);
+        assert_eq!(m.diligent, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn mix_rejects_bad_sum() {
+        let _ = PopulationMix::new(0.5, 0.3, 0.3);
+    }
+
+    #[test]
+    fn trustworthy_channel_mostly_genuine() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pool = Worker::generate_pool(2000, &PopulationMix::historically_trustworthy(), &mut rng);
+        let genuine = pool.iter().filter(|w| w.profile.is_genuine()).count() as f64
+            / pool.len() as f64;
+        assert!(genuine > 0.85 && genuine < 0.97, "genuine = {genuine}");
+    }
+
+    #[test]
+    fn in_lab_has_no_spammers() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pool = Worker::generate_pool(500, &PopulationMix::in_lab(), &mut rng);
+        assert!(pool.iter().all(|w| w.profile.is_genuine()));
+    }
+
+    #[test]
+    fn ids_unique_and_sequential() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pool = Worker::generate_pool(10, &PopulationMix::in_lab(), &mut rng);
+        assert_eq!(pool[0].id.0, "w-00000");
+        assert_eq!(pool[9].id.0, "w-00009");
+    }
+
+    #[test]
+    fn ideal_font_centered_on_chi_consensus() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let pool = Worker::generate_pool(5000, &PopulationMix::in_lab(), &mut rng);
+        let mean: f64 =
+            pool.iter().map(|w| w.ideal_font_pt).sum::<f64>() / pool.len() as f64;
+        assert!((mean - 12.75).abs() < 0.2, "mean ideal font = {mean}");
+        assert!(pool.iter().all(|w| (9.0..=20.0).contains(&w.ideal_font_pt)));
+    }
+
+    #[test]
+    fn text_focus_bimodal_majority_high() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let pool = Worker::generate_pool(5000, &PopulationMix::in_lab(), &mut rng);
+        let high = pool.iter().filter(|w| w.text_focus > 0.65).count() as f64
+            / pool.len() as f64;
+        assert!(high > 0.7, "high-focus fraction = {high}");
+        assert!(pool.iter().all(|w| (0.0..=1.0).contains(&w.text_focus)));
+    }
+
+    #[test]
+    fn trust_scores_ordered_by_profile() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let pool = Worker::generate_pool(3000, &PopulationMix::open_channel(), &mut rng);
+        let avg = |pred: fn(&WorkerProfile) -> bool| {
+            let xs: Vec<f64> = pool
+                .iter()
+                .filter(|w| pred(&w.profile))
+                .map(|w| w.trust_score)
+                .collect();
+            xs.iter().sum::<f64>() / xs.len() as f64
+        };
+        let diligent = avg(|p| matches!(p, WorkerProfile::Diligent { .. }));
+        let spam = avg(|p| matches!(p, WorkerProfile::Spammer(_)));
+        assert!(diligent > spam, "diligent {diligent} vs spam {spam}");
+    }
+
+    #[test]
+    fn demographics_sampled_within_domains() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let d = Demographics::sample(&mut rng);
+            assert!((1..=5).contains(&d.tech_ability));
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let w = Worker::generate(0, &PopulationMix::open_channel(), &mut rng);
+        let json = serde_json::to_string(&w).unwrap();
+        let back: Worker = serde_json::from_str(&json).unwrap();
+        // f64 JSON round-trips can differ in the last ulp; compare fields.
+        assert_eq!(back.id, w.id);
+        assert_eq!(back.demographics, w.demographics);
+        assert!((back.trust_score - w.trust_score).abs() < 1e-9);
+        assert!((back.ideal_font_pt - w.ideal_font_pt).abs() < 1e-9);
+        assert!((back.text_focus - w.text_focus).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,529 @@
+//! Arena-based DOM tree.
+//!
+//! Nodes live in a flat `Vec` inside [`Document`] and are addressed by
+//! [`NodeId`]; this keeps the tree cheap to clone and free of interior
+//! mutability, which matters because the aggregator clones a parsed page
+//! once per variant.
+
+use crate::selector::Selector;
+
+/// Index of a node within its [`Document`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The arena index as a plain `usize` (useful as a map key).
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Reconstructs a `NodeId` from an arena index, e.g. when reading back
+    /// an injected reveal plan that stores node indices in JSON. The caller
+    /// is responsible for pairing it with the right [`Document`].
+    pub fn from_index(index: usize) -> Self {
+        Self(index)
+    }
+}
+
+/// The payload of a DOM node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// The synthetic root of the document.
+    Document,
+    /// A `<!DOCTYPE ...>` node (raw contents after `<!`).
+    Doctype(String),
+    /// An element with a tag name and attributes.
+    Element(ElementData),
+    /// Character data.
+    Text(String),
+    /// An HTML comment.
+    Comment(String),
+}
+
+/// Tag name and attributes of an element node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElementData {
+    /// Lowercased tag name.
+    pub name: String,
+    attrs: Vec<(String, String)>,
+}
+
+impl ElementData {
+    /// Creates element data with the given (lowercased) tag name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into().to_ascii_lowercase(), attrs: Vec::new() }
+    }
+
+    /// Creates element data with attributes.
+    pub fn with_attrs(name: impl Into<String>, attrs: Vec<(String, String)>) -> Self {
+        Self { name: name.into().to_ascii_lowercase(), attrs }
+    }
+
+    /// Attribute value by (case-insensitive) name.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All attributes in document order.
+    pub fn attrs(&self) -> &[(String, String)] {
+        &self.attrs
+    }
+
+    /// Sets (or replaces) an attribute.
+    pub fn set_attr(&mut self, name: &str, value: &str) {
+        let name_lc = name.to_ascii_lowercase();
+        match self.attrs.iter_mut().find(|(n, _)| *n == name_lc) {
+            Some(slot) => slot.1 = value.to_string(),
+            None => self.attrs.push((name_lc, value.to_string())),
+        }
+    }
+
+    /// Removes an attribute, returning its previous value.
+    pub fn remove_attr(&mut self, name: &str) -> Option<String> {
+        let name_lc = name.to_ascii_lowercase();
+        let idx = self.attrs.iter().position(|(n, _)| *n == name_lc)?;
+        Some(self.attrs.remove(idx).1)
+    }
+
+    /// The element's `id` attribute.
+    pub fn id(&self) -> Option<&str> {
+        self.attr("id")
+    }
+
+    /// Whether `class` contains the given class name.
+    pub fn has_class(&self, class: &str) -> bool {
+        self.attr("class")
+            .map(|c| c.split_ascii_whitespace().any(|p| p == class))
+            .unwrap_or(false)
+    }
+}
+
+/// One node of the tree: payload plus links.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// The node payload.
+    pub kind: NodeKind,
+    pub(crate) parent: Option<NodeId>,
+    pub(crate) children: Vec<NodeId>,
+}
+
+/// An HTML document: an arena of [`Node`]s under a synthetic root.
+///
+/// Removal is tombstone-based (detached nodes stay in the arena but are
+/// unreachable), so `NodeId`s remain stable across mutations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    nodes: Vec<Node>,
+}
+
+impl Document {
+    /// Creates an empty document (just the root node).
+    pub fn new() -> Self {
+        Self {
+            nodes: vec![Node { kind: NodeKind::Document, parent: None, children: Vec::new() }],
+        }
+    }
+
+    /// The synthetic root node id.
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Total nodes ever allocated (including detached ones).
+    pub fn arena_len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Borrow a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this document.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.0]
+    }
+
+    /// Element data of a node, if it is an element.
+    pub fn element(&self, id: NodeId) -> Option<&ElementData> {
+        match &self.node(id).kind {
+            NodeKind::Element(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Mutable element data of a node, if it is an element.
+    pub fn element_mut(&mut self, id: NodeId) -> Option<&mut ElementData> {
+        match &mut self.node_mut(id).kind {
+            NodeKind::Element(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Parent of a node (None for the root or detached nodes).
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.node(id).parent
+    }
+
+    /// Children of a node in document order.
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.node(id).children
+    }
+
+    /// Allocates a new element node (detached until appended).
+    pub fn create_element(&mut self, name: &str) -> NodeId {
+        self.push_node(NodeKind::Element(ElementData::new(name)))
+    }
+
+    /// Allocates a new element with attributes (detached until appended).
+    pub fn create_element_with_attrs(
+        &mut self,
+        name: &str,
+        attrs: Vec<(String, String)>,
+    ) -> NodeId {
+        self.push_node(NodeKind::Element(ElementData::with_attrs(name, attrs)))
+    }
+
+    /// Allocates a new text node (detached until appended).
+    pub fn create_text(&mut self, text: &str) -> NodeId {
+        self.push_node(NodeKind::Text(text.to_string()))
+    }
+
+    /// Allocates a new comment node (detached until appended).
+    pub fn create_comment(&mut self, text: &str) -> NodeId {
+        self.push_node(NodeKind::Comment(text.to_string()))
+    }
+
+    /// Allocates a doctype node (detached until appended).
+    pub fn create_doctype(&mut self, text: &str) -> NodeId {
+        self.push_node(NodeKind::Doctype(text.to_string()))
+    }
+
+    fn push_node(&mut self, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node { kind, parent: None, children: Vec::new() });
+        id
+    }
+
+    /// Appends `child` as the last child of `parent`, detaching it from any
+    /// previous parent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the move would create a cycle (`child` is an ancestor of
+    /// `parent`) or if `child` is the root.
+    pub fn append_child(&mut self, parent: NodeId, child: NodeId) {
+        assert_ne!(child, self.root(), "cannot re-parent the root");
+        assert!(!self.is_ancestor(child, parent), "append would create a cycle");
+        self.detach(child);
+        self.node_mut(parent).children.push(child);
+        self.node_mut(child).parent = Some(parent);
+    }
+
+    /// Inserts `child` before `sibling` under the sibling's parent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sibling` has no parent or the move would create a cycle.
+    pub fn insert_before(&mut self, sibling: NodeId, child: NodeId) {
+        let parent = self.parent(sibling).expect("sibling must have a parent");
+        assert!(!self.is_ancestor(child, parent), "insert would create a cycle");
+        self.detach(child);
+        let idx = self
+            .node(parent)
+            .children
+            .iter()
+            .position(|&c| c == sibling)
+            .expect("sibling is a child of its parent");
+        self.node_mut(parent).children.insert(idx, child);
+        self.node_mut(child).parent = Some(parent);
+    }
+
+    /// Detaches a node from its parent (the node and its subtree remain
+    /// valid but unreachable from the root).
+    pub fn detach(&mut self, id: NodeId) {
+        if let Some(p) = self.node(id).parent {
+            self.node_mut(p).children.retain(|&c| c != id);
+            self.node_mut(id).parent = None;
+        }
+    }
+
+    /// Whether `anc` is `node` or one of its ancestors.
+    pub fn is_ancestor(&self, anc: NodeId, node: NodeId) -> bool {
+        let mut cur = Some(node);
+        while let Some(id) = cur {
+            if id == anc {
+                return true;
+            }
+            cur = self.parent(id);
+        }
+        false
+    }
+
+    /// Pre-order traversal of the subtree rooted at `id` (inclusive).
+    pub fn descendants(&self, id: NodeId) -> Descendants<'_> {
+        Descendants { doc: self, stack: vec![id] }
+    }
+
+    /// All element node ids in document order.
+    pub fn elements(&self) -> Vec<NodeId> {
+        self.descendants(self.root())
+            .filter(|&id| matches!(self.node(id).kind, NodeKind::Element(_)))
+            .collect()
+    }
+
+    /// First element with the given tag name, in document order.
+    pub fn find_tag(&self, name: &str) -> Option<NodeId> {
+        self.descendants(self.root()).find(|&id| {
+            matches!(&self.node(id).kind, NodeKind::Element(e) if e.name == name)
+        })
+    }
+
+    /// Element with the given `id` attribute.
+    pub fn get_element_by_id(&self, dom_id: &str) -> Option<NodeId> {
+        self.descendants(self.root()).find(|&id| {
+            matches!(&self.node(id).kind, NodeKind::Element(e) if e.id() == Some(dom_id))
+        })
+    }
+
+    /// All elements matching a selector, in document order.
+    pub fn select(&self, selector: &Selector) -> Vec<NodeId> {
+        self.elements()
+            .into_iter()
+            .filter(|&id| selector.matches(self, id))
+            .collect()
+    }
+
+    /// First element matching a selector.
+    pub fn select_first(&self, selector: &Selector) -> Option<NodeId> {
+        self.elements().into_iter().find(|&id| selector.matches(self, id))
+    }
+
+    /// Concatenated text of the subtree rooted at `id` (raw, no whitespace
+    /// normalization).
+    pub fn text_content(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        for n in self.descendants(id) {
+            if let NodeKind::Text(t) = &self.node(n).kind {
+                out.push_str(t);
+            }
+        }
+        out
+    }
+
+    /// Attribute shortcut: value of `name` on element `id`.
+    pub fn attr(&self, id: NodeId, name: &str) -> Option<&str> {
+        self.element(id).and_then(|e| e.attr(name))
+    }
+
+    /// Attribute shortcut: sets `name=value` on element `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not an element.
+    pub fn set_attr(&mut self, id: NodeId, name: &str, value: &str) {
+        self.element_mut(id).expect("set_attr target must be an element").set_attr(name, value);
+    }
+
+    /// Reads a property out of the element's inline `style` attribute.
+    pub fn style_property(&self, id: NodeId, prop: &str) -> Option<String> {
+        let style = self.attr(id, "style")?;
+        for decl in style.split(';') {
+            let mut parts = decl.splitn(2, ':');
+            let name = parts.next()?.trim();
+            if name.eq_ignore_ascii_case(prop) {
+                return parts.next().map(|v| v.trim().to_string());
+            }
+        }
+        None
+    }
+
+    /// Sets (or replaces) a property in the element's inline `style`
+    /// attribute, preserving other declarations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not an element.
+    pub fn set_style_property(&mut self, id: NodeId, prop: &str, value: &str) {
+        let existing = self.attr(id, "style").unwrap_or("").to_string();
+        let mut decls: Vec<String> = existing
+            .split(';')
+            .map(str::trim)
+            .filter(|d| !d.is_empty())
+            .filter(|d| {
+                d.split(':')
+                    .next()
+                    .map(|n| !n.trim().eq_ignore_ascii_case(prop))
+                    .unwrap_or(true)
+            })
+            .map(str::to_string)
+            .collect();
+        decls.push(format!("{prop}: {value}"));
+        let style = decls.join("; ");
+        self.set_attr(id, "style", &style);
+    }
+
+    /// Number of nodes reachable from the root.
+    pub fn reachable_len(&self) -> usize {
+        self.descendants(self.root()).count()
+    }
+}
+
+impl Default for Document {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Pre-order iterator over a subtree; see [`Document::descendants`].
+#[derive(Debug)]
+pub struct Descendants<'a> {
+    doc: &'a Document,
+    stack: Vec<NodeId>,
+}
+
+impl Iterator for Descendants<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.stack.pop()?;
+        let children = &self.doc.node(id).children;
+        self.stack.extend(children.iter().rev().copied());
+        Some(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree() -> (Document, NodeId, NodeId, NodeId) {
+        let mut d = Document::new();
+        let body = d.create_element("body");
+        let div = d.create_element("div");
+        let p = d.create_element("p");
+        let txt = d.create_text("hi");
+        let root = d.root();
+        d.append_child(root, body);
+        d.append_child(body, div);
+        d.append_child(div, p);
+        d.append_child(p, txt);
+        (d, body, div, p)
+    }
+
+    #[test]
+    fn build_and_traverse() {
+        let (d, body, div, p) = tree();
+        assert_eq!(d.parent(div), Some(body));
+        assert_eq!(d.children(div), &[p]);
+        assert_eq!(d.text_content(body), "hi");
+        // root, body, div, p, text
+        assert_eq!(d.reachable_len(), 5);
+    }
+
+    #[test]
+    fn descendants_preorder() {
+        let (d, body, div, p) = tree();
+        let order: Vec<NodeId> = d.descendants(d.root()).collect();
+        assert_eq!(&order[..4], &[d.root(), body, div, p]);
+    }
+
+    #[test]
+    fn detach_subtree() {
+        let (mut d, body, div, _) = tree();
+        d.detach(div);
+        assert_eq!(d.children(body), &[] as &[NodeId]);
+        assert_eq!(d.parent(div), None);
+        assert_eq!(d.text_content(body), "");
+        // The detached subtree still exists in the arena.
+        assert_eq!(d.text_content(div), "hi");
+    }
+
+    #[test]
+    fn insert_before_orders_siblings() {
+        let (mut d, body, div, _) = tree();
+        let header = d.create_element("header");
+        d.insert_before(div, header);
+        assert_eq!(d.children(body), &[header, div]);
+    }
+
+    #[test]
+    fn append_reparents() {
+        let (mut d, body, div, p) = tree();
+        d.append_child(body, p); // move p from div to body
+        assert_eq!(d.children(div), &[] as &[NodeId]);
+        assert_eq!(d.children(body), &[div, p]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn append_rejects_cycles() {
+        let (mut d, _, div, p) = tree();
+        d.append_child(p, div);
+    }
+
+    #[test]
+    fn attrs_case_insensitive() {
+        let mut e = ElementData::new("DIV");
+        assert_eq!(e.name, "div");
+        e.set_attr("ID", "main");
+        assert_eq!(e.attr("id"), Some("main"));
+        assert_eq!(e.attr("Id"), Some("main"));
+        assert_eq!(e.remove_attr("iD"), Some("main".to_string()));
+        assert_eq!(e.attr("id"), None);
+    }
+
+    #[test]
+    fn has_class_splits_whitespace() {
+        let mut e = ElementData::new("div");
+        e.set_attr("class", "a  b\tc");
+        assert!(e.has_class("a"));
+        assert!(e.has_class("b"));
+        assert!(e.has_class("c"));
+        assert!(!e.has_class("d"));
+        assert!(!e.has_class("ab"));
+    }
+
+    #[test]
+    fn get_element_by_id() {
+        let (mut d, _, div, _) = tree();
+        d.set_attr(div, "id", "content");
+        assert_eq!(d.get_element_by_id("content"), Some(div));
+        assert_eq!(d.get_element_by_id("nope"), None);
+    }
+
+    #[test]
+    fn style_property_roundtrip() {
+        let (mut d, _, div, _) = tree();
+        d.set_style_property(div, "font-size", "12pt");
+        d.set_style_property(div, "color", "red");
+        assert_eq!(d.style_property(div, "font-size").as_deref(), Some("12pt"));
+        assert_eq!(d.style_property(div, "color").as_deref(), Some("red"));
+        // Replacement keeps the other property.
+        d.set_style_property(div, "font-size", "18pt");
+        assert_eq!(d.style_property(div, "font-size").as_deref(), Some("18pt"));
+        assert_eq!(d.style_property(div, "color").as_deref(), Some("red"));
+    }
+
+    #[test]
+    fn style_property_parses_existing_attribute() {
+        let (mut d, _, div, _) = tree();
+        d.set_attr(div, "style", "display:none; margin: 0 auto");
+        assert_eq!(d.style_property(div, "display").as_deref(), Some("none"));
+        assert_eq!(d.style_property(div, "margin").as_deref(), Some("0 auto"));
+        assert_eq!(d.style_property(div, "padding"), None);
+    }
+
+    #[test]
+    fn find_tag_document_order() {
+        let (d, body, _, _) = tree();
+        assert_eq!(d.find_tag("body"), Some(body));
+        assert_eq!(d.find_tag("table"), None);
+    }
+}

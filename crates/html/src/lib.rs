@@ -1,0 +1,57 @@
+//! HTML substrate for the Kaleidoscope reproduction: tokenizer, arena DOM,
+//! forgiving parser, CSS selector engine, and serializer.
+//!
+//! The paper's aggregator rewrites saved webpages (font-size variants,
+//! reveal-script injection, iframe composition) and its browser extension
+//! schedules DOM visibility by CSS locator (`"#main": 1000`). Both need a
+//! real DOM with selector support; this crate provides one, built from
+//! scratch.
+//!
+//! # Example
+//!
+//! ```
+//! use kscope_html::{parse_document, Selector};
+//!
+//! let mut doc = parse_document("<div id=main><p class=lead>Hello</p></div>");
+//! let sel: Selector = "#main > p.lead".parse()?;
+//! let hits = doc.select(&sel);
+//! assert_eq!(hits.len(), 1);
+//! assert_eq!(doc.text_content(hits[0]), "Hello");
+//!
+//! doc.set_attr(hits[0], "style", "font-size: 14pt");
+//! assert!(doc.to_html().contains("font-size: 14pt"));
+//! # Ok::<(), kscope_html::SelectorParseError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dom;
+pub mod parser;
+pub mod selector;
+pub mod serialize;
+pub mod style;
+pub mod tokenizer;
+
+pub use dom::{Document, ElementData, Node, NodeId, NodeKind};
+pub use parser::parse_document;
+pub use selector::{Selector, SelectorParseError};
+pub use style::{computed_property, document_stylesheets, Stylesheet};
+pub use tokenizer::{tokenize, Token};
+
+/// Elements that never have children or end tags (HTML void elements).
+pub(crate) const VOID_ELEMENTS: &[&str] = &[
+    "area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta", "param",
+    "source", "track", "wbr",
+];
+
+/// Elements whose content is raw text (no nested markup).
+pub(crate) const RAW_TEXT_ELEMENTS: &[&str] = &["script", "style"];
+
+pub(crate) fn is_void(name: &str) -> bool {
+    VOID_ELEMENTS.contains(&name)
+}
+
+pub(crate) fn is_raw_text(name: &str) -> bool {
+    RAW_TEXT_ELEMENTS.contains(&name)
+}

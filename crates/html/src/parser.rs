@@ -1,0 +1,270 @@
+//! Tree construction: token stream → [`Document`].
+//!
+//! Forgiving, stack-based construction in the spirit of the WHATWG
+//! algorithm but much smaller: void elements never push, raw-text elements
+//! swallow their contents, mismatched end tags pop to the nearest open
+//! match (or are dropped), and a handful of implied-end-tag rules keep
+//! `<p>`/`<li>` soup from nesting absurdly.
+
+use crate::dom::{Document, NodeId};
+use crate::tokenizer::{tokenize, Token};
+use crate::{is_raw_text, is_void};
+
+/// Maximum open-element depth: deeper start tags are treated as siblings
+/// rather than children, which keeps pathological inputs (e.g. a hundred
+/// thousand nested `<div>`s) from producing trees whose recursive
+/// serialization would overflow the stack. Browsers apply the same kind of
+/// cap (WebKit: 512).
+const MAX_DEPTH: usize = 256;
+
+/// Tags that implicitly close an open `<p>` when they start.
+const CLOSES_P: &[&str] = &[
+    "address", "article", "aside", "blockquote", "div", "dl", "fieldset", "footer", "form",
+    "h1", "h2", "h3", "h4", "h5", "h6", "header", "hr", "main", "nav", "ol", "p", "pre",
+    "section", "table", "ul",
+];
+
+/// Parses an HTML string into a [`Document`]. Never fails; malformed input
+/// produces a best-effort tree, like a browser.
+///
+/// ```
+/// let doc = kscope_html::parse_document("<ul><li>a<li>b</ul>");
+/// let lis = doc.elements().into_iter()
+///     .filter(|&id| doc.element(id).map(|e| e.name == "li").unwrap_or(false))
+///     .count();
+/// assert_eq!(lis, 2);
+/// ```
+pub fn parse_document(input: &str) -> Document {
+    let mut doc = Document::new();
+    let root = doc.root();
+    let mut stack: Vec<(String, NodeId)> = vec![("#root".to_string(), root)];
+    // Start tags beyond MAX_DEPTH are recorded here (names only) so their
+    // matching end tags are consumed instead of popping real ancestors.
+    let mut overflow: Vec<String> = Vec::new();
+
+    for token in tokenize(input) {
+        match token {
+            Token::Doctype(text) => {
+                let node = doc.create_doctype(&text);
+                doc.append_child(root, node);
+            }
+            Token::Comment(text) => {
+                let node = doc.create_comment(&text);
+                let parent = stack.last().expect("stack never empties").1;
+                doc.append_child(parent, node);
+            }
+            Token::Text(text) => {
+                if text.is_empty() {
+                    continue;
+                }
+                let parent = stack.last().expect("stack never empties").1;
+                let node = doc.create_text(&text);
+                doc.append_child(parent, node);
+            }
+            Token::StartTag { name, attrs, self_closing } => {
+                apply_implied_end_tags(&mut stack, &name);
+                let parent = stack.last().expect("stack never empties").1;
+                let node = doc.create_element_with_attrs(&name, attrs);
+                doc.append_child(parent, node);
+                let leaf = self_closing || is_void(&name);
+                let below_cap = stack.len() < MAX_DEPTH;
+                if !leaf && !is_raw_text(&name) {
+                    if below_cap {
+                        stack.push((name, node));
+                    } else {
+                        // At the cap the element is kept but stays
+                        // childless: subsequent content becomes its
+                        // sibling, and its end tag must be swallowed.
+                        overflow.push(name);
+                    }
+                } else if is_raw_text(&name) && !self_closing && below_cap {
+                    // Raw-text content arrives as a single Text token next;
+                    // push so it lands inside the element.
+                    stack.push((name, node));
+                }
+            }
+            Token::EndTag { name } => {
+                // End tags of over-cap elements are consumed here so they
+                // cannot pop real ancestors.
+                if let Some(pos) = overflow.iter().rposition(|n| *n == name) {
+                    overflow.truncate(pos);
+                } else if let Some(pos) = stack.iter().rposition(|(n, _)| *n == name) {
+                    if pos > 0 {
+                        stack.truncate(pos);
+                        overflow.clear();
+                    }
+                }
+                // Unmatched end tags are silently dropped.
+            }
+        }
+    }
+    doc
+}
+
+fn apply_implied_end_tags(stack: &mut Vec<(String, NodeId)>, incoming: &str) {
+    let top = match stack.last() {
+        Some((name, _)) => name.as_str(),
+        None => return,
+    };
+    let close = match top {
+        "p" => CLOSES_P.contains(&incoming),
+        "li" => incoming == "li",
+        "dt" | "dd" => incoming == "dt" || incoming == "dd",
+        "tr" => incoming == "tr",
+        "td" | "th" => matches!(incoming, "td" | "th" | "tr"),
+        "option" => incoming == "option",
+        _ => false,
+    };
+    if close && stack.len() > 1 {
+        stack.pop();
+        // `td`/`th` under a closing `tr` needs a second pop.
+        if incoming == "tr" {
+            if let Some((name, _)) = stack.last() {
+                if name == "tr" && stack.len() > 1 {
+                    stack.pop();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::NodeKind;
+
+    fn tag_of(doc: &Document, id: NodeId) -> String {
+        doc.element(id).map(|e| e.name.clone()).unwrap_or_default()
+    }
+
+    #[test]
+    fn nested_structure() {
+        let doc = parse_document("<html><body><div><p>x</p></div></body></html>");
+        let html = doc.children(doc.root())[0];
+        assert_eq!(tag_of(&doc, html), "html");
+        let body = doc.children(html)[0];
+        assert_eq!(tag_of(&doc, body), "body");
+        let div = doc.children(body)[0];
+        let p = doc.children(div)[0];
+        assert_eq!(tag_of(&doc, p), "p");
+        assert_eq!(doc.text_content(p), "x");
+    }
+
+    #[test]
+    fn void_elements_do_not_nest() {
+        let doc = parse_document("<div><br><img src=x><span>y</span></div>");
+        let div = doc.find_tag("div").unwrap();
+        let kids: Vec<String> = doc.children(div).iter().map(|&c| tag_of(&doc, c)).collect();
+        assert_eq!(kids, vec!["br", "img", "span"]);
+    }
+
+    #[test]
+    fn implied_li_end_tags() {
+        let doc = parse_document("<ul><li>a<li>b<li>c</ul>");
+        let ul = doc.find_tag("ul").unwrap();
+        assert_eq!(doc.children(ul).len(), 3);
+        for &li in doc.children(ul) {
+            assert_eq!(tag_of(&doc, li), "li");
+        }
+    }
+
+    #[test]
+    fn implied_p_end_tags() {
+        let doc = parse_document("<p>one<p>two<div>three</div>");
+        let body_level: Vec<String> =
+            doc.children(doc.root()).iter().map(|&c| tag_of(&doc, c)).collect();
+        assert_eq!(body_level, vec!["p", "p", "div"]);
+    }
+
+    #[test]
+    fn table_row_and_cell_implied_ends() {
+        let doc = parse_document("<table><tr><td>a<td>b<tr><td>c</table>");
+        let table = doc.find_tag("table").unwrap();
+        let rows: Vec<NodeId> = doc.children(table).to_vec();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(doc.children(rows[0]).len(), 2);
+        assert_eq!(doc.children(rows[1]).len(), 1);
+    }
+
+    #[test]
+    fn unmatched_end_tag_is_ignored() {
+        let doc = parse_document("<div>a</span>b</div>");
+        let div = doc.find_tag("div").unwrap();
+        assert_eq!(doc.text_content(div), "ab");
+    }
+
+    #[test]
+    fn stray_end_tag_does_not_pop_everything() {
+        let doc = parse_document("<div><p>a</div></p>");
+        // After </div>, the trailing </p> has no open <p>; it must not panic
+        // or corrupt the tree.
+        assert_eq!(doc.text_content(doc.root()), "a");
+    }
+
+    #[test]
+    fn script_content_is_one_text_node() {
+        let doc = parse_document("<script>var a = '<div>not a tag</div>';</script>");
+        let script = doc.find_tag("script").unwrap();
+        let kids = doc.children(script);
+        assert_eq!(kids.len(), 1);
+        assert!(matches!(
+            &doc.node(kids[0]).kind,
+            NodeKind::Text(t) if t.contains("<div>not a tag</div>")
+        ));
+    }
+
+    #[test]
+    fn doctype_preserved() {
+        let doc = parse_document("<!DOCTYPE html><html></html>");
+        assert!(matches!(
+            &doc.node(doc.children(doc.root())[0]).kind,
+            NodeKind::Doctype(t) if t.contains("html")
+        ));
+    }
+
+    #[test]
+    fn comments_preserved_in_place() {
+        let doc = parse_document("<div><!-- hello --></div>");
+        let div = doc.find_tag("div").unwrap();
+        assert!(matches!(
+            &doc.node(doc.children(div)[0]).kind,
+            NodeKind::Comment(t) if t.trim() == "hello"
+        ));
+    }
+
+    #[test]
+    fn deeply_nested_does_not_overflow() {
+        // 100k nested divs: the depth cap keeps the tree shallow enough for
+        // the recursive serializer, and no content is lost.
+        let depth = 100_000;
+        let mut s = String::with_capacity(depth * 5 + 1);
+        for _ in 0..depth {
+            s.push_str("<div>");
+        }
+        s.push('x');
+        let doc = parse_document(&s);
+        assert_eq!(doc.text_content(doc.root()), "x");
+        // Serialization must not overflow either.
+        let html = doc.to_html();
+        assert!(html.contains("x"), "content must survive serialization");
+        // The reparse of the serialization is stable.
+        let again = parse_document(&html).to_html();
+        assert_eq!(html, again);
+    }
+
+    #[test]
+    fn empty_and_whitespace_inputs() {
+        assert_eq!(parse_document("").reachable_len(), 1);
+        let doc = parse_document("   \n  ");
+        assert_eq!(doc.text_content(doc.root()), "   \n  ");
+    }
+
+    #[test]
+    fn self_closing_foreign_style() {
+        let doc = parse_document("<div/><span>x</span>");
+        // A self-closed div takes no children; span is a sibling.
+        let top: Vec<String> =
+            doc.children(doc.root()).iter().map(|&c| tag_of(&doc, c)).collect();
+        assert_eq!(top, vec!["div", "span"]);
+    }
+}

@@ -1,0 +1,663 @@
+//! CSS selector parsing and matching.
+//!
+//! Supports the selector grammar Kaleidoscope's page-load locators and
+//! aggregator rewrites use: type/`*`, `#id`, `.class`, `[attr]`,
+//! `[attr=v]`, `[attr^=v]`, `[attr$=v]`, `[attr*=v]`, `[attr~=v]`,
+//! compound selectors, descendant and child (`>`) combinators, and
+//! comma-separated selector lists.
+
+use crate::dom::{Document, NodeId};
+use std::fmt;
+use std::str::FromStr;
+
+/// Error produced when a selector string cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectorParseError {
+    message: String,
+}
+
+impl SelectorParseError {
+    fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+}
+
+impl fmt::Display for SelectorParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid selector: {}", self.message)
+    }
+}
+
+impl std::error::Error for SelectorParseError {}
+
+/// Attribute match operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AttrOp {
+    /// `[attr=v]`
+    Equals,
+    /// `[attr*=v]`
+    Contains,
+    /// `[attr^=v]`
+    StartsWith,
+    /// `[attr$=v]`
+    EndsWith,
+    /// `[attr~=v]` — whitespace-separated word match.
+    Word,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct AttrSelector {
+    name: String,
+    op: Option<(AttrOp, String)>,
+}
+
+/// One compound selector: everything between combinators.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct Compound {
+    tag: Option<String>,
+    id: Option<String>,
+    classes: Vec<String>,
+    attrs: Vec<AttrSelector>,
+    /// `:nth-child(n)` — 1-based position among element siblings.
+    nth_child: Option<usize>,
+}
+
+impl Compound {
+    fn is_empty(&self) -> bool {
+        self.tag.is_none()
+            && self.id.is_none()
+            && self.classes.is_empty()
+            && self.attrs.is_empty()
+            && self.nth_child.is_none()
+    }
+
+    fn matches(&self, doc: &Document, id: NodeId) -> bool {
+        let el = match doc.element(id) {
+            Some(e) => e,
+            None => return false,
+        };
+        if let Some(tag) = &self.tag {
+            if tag != "*" && el.name != *tag {
+                return false;
+            }
+        }
+        if let Some(want) = &self.id {
+            if el.id() != Some(want.as_str()) {
+                return false;
+            }
+        }
+        for class in &self.classes {
+            if !el.has_class(class) {
+                return false;
+            }
+        }
+        if let Some(n) = self.nth_child {
+            let position = doc
+                .parent(id)
+                .map(|p| {
+                    doc.children(p)
+                        .iter()
+                        .filter(|&&c| doc.element(c).is_some())
+                        .position(|&c| c == id)
+                        .map(|i| i + 1)
+                        .unwrap_or(0)
+                })
+                .unwrap_or(0);
+            if position != n {
+                return false;
+            }
+        }
+        for a in &self.attrs {
+            let value = el.attr(&a.name);
+            match (&a.op, value) {
+                (None, Some(_)) => {}
+                (None, None) => return false,
+                (Some(_), None) => return false,
+                (Some((op, want)), Some(v)) => {
+                    let ok = match op {
+                        AttrOp::Equals => v == want,
+                        AttrOp::Contains => v.contains(want.as_str()),
+                        AttrOp::StartsWith => v.starts_with(want.as_str()),
+                        AttrOp::EndsWith => v.ends_with(want.as_str()),
+                        AttrOp::Word => v.split_ascii_whitespace().any(|w| w == want),
+                    };
+                    if !ok {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+/// How a compound relates to the one on its right.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Combinator {
+    Descendant,
+    Child,
+}
+
+/// A single complex selector (no commas).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Complex {
+    /// Compounds left-to-right; `combinators[i]` sits between
+    /// `compounds[i]` and `compounds[i+1]`.
+    compounds: Vec<Compound>,
+    combinators: Vec<Combinator>,
+}
+
+impl Complex {
+    /// Right-to-left matching against ancestors.
+    fn matches(&self, doc: &Document, id: NodeId) -> bool {
+        let last = self.compounds.len() - 1;
+        if !self.compounds[last].matches(doc, id) {
+            return false;
+        }
+        self.match_prefix(doc, id, last)
+    }
+
+    fn match_prefix(&self, doc: &Document, id: NodeId, idx: usize) -> bool {
+        if idx == 0 {
+            return true;
+        }
+        let comb = self.combinators[idx - 1];
+        let target = &self.compounds[idx - 1];
+        match comb {
+            Combinator::Child => match doc.parent(id) {
+                Some(p) => target.matches(doc, p) && self.match_prefix(doc, p, idx - 1),
+                None => false,
+            },
+            Combinator::Descendant => {
+                let mut cur = doc.parent(id);
+                while let Some(p) = cur {
+                    if target.matches(doc, p) && self.match_prefix(doc, p, idx - 1) {
+                        return true;
+                    }
+                    cur = doc.parent(p);
+                }
+                false
+            }
+        }
+    }
+}
+
+/// A parsed CSS selector (possibly a comma-separated list).
+///
+/// ```
+/// use kscope_html::{parse_document, Selector};
+/// let doc = parse_document(r#"<div class="nav"><a href="/x">x</a></div>"#);
+/// let sel: Selector = ".nav a[href^='/']".parse()?;
+/// assert_eq!(doc.select(&sel).len(), 1);
+/// # Ok::<(), kscope_html::SelectorParseError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Selector {
+    complexes: Vec<Complex>,
+    source: String,
+}
+
+impl Selector {
+    /// Parses a selector string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SelectorParseError`] on empty input or malformed syntax.
+    pub fn parse(input: &str) -> Result<Self, SelectorParseError> {
+        let source = input.trim().to_string();
+        if source.is_empty() {
+            return Err(SelectorParseError::new("empty selector"));
+        }
+        let mut complexes = Vec::new();
+        for part in split_top_level_commas(&source) {
+            complexes.push(parse_complex(part.trim())?);
+        }
+        Ok(Self { complexes, source })
+    }
+
+    /// Whether element `id` of `doc` matches this selector.
+    pub fn matches(&self, doc: &Document, id: NodeId) -> bool {
+        self.complexes.iter().any(|c| c.matches(doc, id))
+    }
+
+    /// The original selector text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// CSS specificity, encoded as `ids * 10_000 + (classes + attributes) *
+    /// 100 + tags`. For selector lists, the most specific member counts
+    /// (an approximation of per-complex matching that is exact whenever a
+    /// list's members target disjoint elements, as in practice they do).
+    pub fn specificity(&self) -> u32 {
+        self.complexes.iter().map(complex_specificity).max().unwrap_or(0)
+    }
+}
+
+fn complex_specificity(c: &Complex) -> u32 {
+    let mut ids = 0u32;
+    let mut classes = 0u32;
+    let mut tags = 0u32;
+    for comp in &c.compounds {
+        if comp.id.is_some() {
+            ids += 1;
+        }
+        classes += comp.classes.len() as u32
+            + comp.attrs.len() as u32
+            + u32::from(comp.nth_child.is_some());
+        if comp.tag.as_deref().is_some_and(|t| t != "*") {
+            tags += 1;
+        }
+    }
+    ids * 10_000 + classes * 100 + tags
+}
+
+impl FromStr for Selector {
+    type Err = SelectorParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Selector::parse(s)
+    }
+}
+
+impl fmt::Display for Selector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.source)
+    }
+}
+
+/// Splits on commas that are not inside `[...]` brackets or quotes.
+fn split_top_level_commas(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut quote: Option<char> = None;
+    let mut start = 0;
+    for (i, c) in s.char_indices() {
+        match (quote, c) {
+            (Some(q), _) if c == q => quote = None,
+            (Some(_), _) => {}
+            (None, '\'' | '"') => quote = Some(c),
+            (None, '[') => depth += 1,
+            (None, ']') => depth = depth.saturating_sub(1),
+            (None, ',') if depth == 0 => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+fn parse_complex(input: &str) -> Result<Complex, SelectorParseError> {
+    if input.is_empty() {
+        return Err(SelectorParseError::new("empty complex selector"));
+    }
+    let mut compounds = Vec::new();
+    let mut combinators = Vec::new();
+    let mut chars = input.chars().peekable();
+    loop {
+        // Skip leading whitespace; a '>' here is a child combinator marker
+        // already consumed below.
+        while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+            chars.next();
+        }
+        if chars.peek().is_none() {
+            break;
+        }
+        let compound = parse_compound(&mut chars)?;
+        if compound.is_empty() {
+            return Err(SelectorParseError::new(format!("dangling combinator in '{input}'")));
+        }
+        compounds.push(compound);
+        // Determine the combinator to the next compound, if any.
+        let mut saw_space = false;
+        while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+            saw_space = true;
+            chars.next();
+        }
+        match chars.peek() {
+            None => break,
+            Some('>') => {
+                chars.next();
+                combinators.push(Combinator::Child);
+            }
+            Some(_) if saw_space => combinators.push(Combinator::Descendant),
+            Some(c) => {
+                return Err(SelectorParseError::new(format!("unexpected character '{c}'")));
+            }
+        }
+    }
+    if compounds.is_empty() {
+        return Err(SelectorParseError::new("no compound selectors"));
+    }
+    if combinators.len() != compounds.len() - 1 {
+        return Err(SelectorParseError::new(format!("dangling combinator in '{input}'")));
+    }
+    Ok(Complex { compounds, combinators })
+}
+
+fn parse_compound(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+) -> Result<Compound, SelectorParseError> {
+    let mut compound = Compound::default();
+    loop {
+        match chars.peek().copied() {
+            Some('*') => {
+                chars.next();
+                compound.tag = Some("*".to_string());
+            }
+            Some('#') => {
+                chars.next();
+                let name = take_ident(chars);
+                if name.is_empty() {
+                    return Err(SelectorParseError::new("'#' without an id"));
+                }
+                compound.id = Some(name);
+            }
+            Some('.') => {
+                chars.next();
+                let name = take_ident(chars);
+                if name.is_empty() {
+                    return Err(SelectorParseError::new("'.' without a class"));
+                }
+                compound.classes.push(name);
+            }
+            Some('[') => {
+                chars.next();
+                compound.attrs.push(parse_attr_selector(chars)?);
+            }
+            Some(':') => {
+                chars.next();
+                let name = take_ident(chars);
+                if name != "nth-child" {
+                    return Err(SelectorParseError::new(format!(
+                        "unsupported pseudo-class ':{name}'"
+                    )));
+                }
+                if chars.next() != Some('(') {
+                    return Err(SelectorParseError::new(":nth-child needs an argument"));
+                }
+                let mut digits = String::new();
+                loop {
+                    match chars.next() {
+                        Some(')') => break,
+                        Some(c) if c.is_ascii_digit() => digits.push(c),
+                        _ => {
+                            return Err(SelectorParseError::new(
+                                ":nth-child takes a positive integer",
+                            ))
+                        }
+                    }
+                }
+                let n: usize = digits
+                    .parse()
+                    .map_err(|_| SelectorParseError::new(":nth-child takes a positive integer"))?;
+                if n == 0 {
+                    return Err(SelectorParseError::new(":nth-child is 1-based"));
+                }
+                compound.nth_child = Some(n);
+            }
+            Some(c) if c.is_ascii_alphanumeric() || c == '-' || c == '_' => {
+                let name = take_ident(chars).to_ascii_lowercase();
+                if compound.tag.is_some() {
+                    return Err(SelectorParseError::new("two tag names in one compound"));
+                }
+                compound.tag = Some(name);
+            }
+            _ => break,
+        }
+    }
+    Ok(compound)
+}
+
+fn take_ident(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> String {
+    let mut out = String::new();
+    while let Some(&c) = chars.peek() {
+        if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+            out.push(c);
+            chars.next();
+        } else {
+            break;
+        }
+    }
+    out
+}
+
+fn parse_attr_selector(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+) -> Result<AttrSelector, SelectorParseError> {
+    // Inside '[', up to ']'.
+    let mut body = String::new();
+    let mut quote: Option<char> = None;
+    loop {
+        match chars.next() {
+            None => return Err(SelectorParseError::new("unterminated attribute selector")),
+            Some(c) => match (quote, c) {
+                (Some(q), _) if c == q => {
+                    quote = None;
+                    body.push(c);
+                }
+                (Some(_), _) => body.push(c),
+                (None, '\'' | '"') => {
+                    quote = Some(c);
+                    body.push(c);
+                }
+                (None, ']') => break,
+                (None, _) => body.push(c),
+            },
+        }
+    }
+    let body = body.trim();
+    if body.is_empty() {
+        return Err(SelectorParseError::new("empty attribute selector"));
+    }
+    // Find the operator.
+    for (needle, op) in [
+        ("^=", AttrOp::StartsWith),
+        ("$=", AttrOp::EndsWith),
+        ("*=", AttrOp::Contains),
+        ("~=", AttrOp::Word),
+        ("=", AttrOp::Equals),
+    ] {
+        if let Some(pos) = body.find(needle) {
+            let name = body[..pos].trim().to_ascii_lowercase();
+            if name.is_empty() {
+                return Err(SelectorParseError::new("attribute selector without a name"));
+            }
+            let raw = body[pos + needle.len()..].trim();
+            let value = strip_quotes(raw).to_string();
+            return Ok(AttrSelector { name, op: Some((op, value)) });
+        }
+    }
+    Ok(AttrSelector { name: body.to_ascii_lowercase(), op: None })
+}
+
+fn strip_quotes(s: &str) -> &str {
+    let b = s.as_bytes();
+    if b.len() >= 2 && (b[0] == b'"' || b[0] == b'\'') && b[b.len() - 1] == b[0] {
+        &s[1..s.len() - 1]
+    } else {
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_document;
+
+    fn sel(s: &str) -> Selector {
+        s.parse().unwrap()
+    }
+
+    fn count(doc_src: &str, selector: &str) -> usize {
+        let doc = parse_document(doc_src);
+        doc.select(&sel(selector)).len()
+    }
+
+    const PAGE: &str = r#"
+        <div id="main" class="content wide">
+          <p class="lead">first</p>
+          <p>second</p>
+          <section>
+            <p class="lead note">third</p>
+            <a href="https://example.com/page">link</a>
+          </section>
+        </div>
+        <div id="aside"><p>fourth</p></div>
+    "#;
+
+    #[test]
+    fn tag_selector() {
+        assert_eq!(count(PAGE, "p"), 4);
+        assert_eq!(count(PAGE, "section"), 1);
+        assert_eq!(count(PAGE, "table"), 0);
+    }
+
+    #[test]
+    fn universal_selector() {
+        let doc = parse_document("<div><p>x</p></div>");
+        assert_eq!(doc.select(&sel("*")).len(), 2);
+    }
+
+    #[test]
+    fn id_selector() {
+        assert_eq!(count(PAGE, "#main"), 1);
+        assert_eq!(count(PAGE, "#nope"), 0);
+        assert_eq!(count(PAGE, "div#aside"), 1);
+    }
+
+    #[test]
+    fn class_selectors() {
+        assert_eq!(count(PAGE, ".lead"), 2);
+        assert_eq!(count(PAGE, ".lead.note"), 1);
+        assert_eq!(count(PAGE, "p.lead"), 2);
+        assert_eq!(count(PAGE, ".content"), 1);
+    }
+
+    #[test]
+    fn descendant_combinator() {
+        assert_eq!(count(PAGE, "#main p"), 3);
+        assert_eq!(count(PAGE, "#main section p"), 1);
+        assert_eq!(count(PAGE, "#aside p"), 1);
+    }
+
+    #[test]
+    fn child_combinator() {
+        assert_eq!(count(PAGE, "#main > p"), 2);
+        assert_eq!(count(PAGE, "#main > section > p"), 1);
+        assert_eq!(count(PAGE, "#main > a"), 0);
+    }
+
+    #[test]
+    fn attribute_selectors() {
+        assert_eq!(count(PAGE, "[href]"), 1);
+        assert_eq!(count(PAGE, "a[href^='https://']"), 1);
+        assert_eq!(count(PAGE, "a[href$='page']"), 1);
+        assert_eq!(count(PAGE, "a[href*='example']"), 1);
+        assert_eq!(count(PAGE, "a[href='https://example.com/page']"), 1);
+        assert_eq!(count(PAGE, "a[href='nope']"), 0);
+        assert_eq!(count(PAGE, "div[class~='wide']"), 1);
+        assert_eq!(count(PAGE, "div[class~='wid']"), 0);
+    }
+
+    #[test]
+    fn selector_lists() {
+        assert_eq!(count(PAGE, "#main, #aside"), 2);
+        assert_eq!(count(PAGE, "a, section"), 2);
+    }
+
+    #[test]
+    fn comma_inside_attr_value_not_a_list() {
+        let doc = parse_document(r#"<div data-x="a,b">t</div>"#);
+        assert_eq!(doc.select(&sel(r#"[data-x="a,b"]"#)).len(), 1);
+    }
+
+    #[test]
+    fn whitespace_tolerance() {
+        assert_eq!(count(PAGE, "  #main   >    p "), 2);
+        assert_eq!(count(PAGE, "#main>p"), 2);
+    }
+
+    #[test]
+    fn tag_case_insensitive() {
+        assert_eq!(count(PAGE, "DIV"), 2);
+        assert_eq!(count(PAGE, "P"), 4);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Selector::parse("").is_err());
+        assert!(Selector::parse("#").is_err());
+        assert!(Selector::parse(".").is_err());
+        assert!(Selector::parse("div >").is_err());
+        assert!(Selector::parse("> div").is_err());
+        assert!(Selector::parse("[unclosed").is_err());
+        assert!(Selector::parse("div div2 div3 !").is_err());
+    }
+
+    #[test]
+    fn nth_child_selector() {
+        let doc = parse_document(
+            "<ul><li>a</li><li>b</li><li>c</li></ul><ol><li>x</li></ol>",
+        );
+        assert_eq!(doc.select(&sel("ul > li:nth-child(2)")).len(), 1);
+        let hit = doc.select(&sel("ul > li:nth-child(2)"))[0];
+        assert_eq!(doc.text_content(hit), "b");
+        // Text nodes do not count as children.
+        let doc2 = parse_document("<div>text<p>first</p><p>second</p></div>");
+        let hits = doc2.select(&sel("p:nth-child(1)"));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(doc2.text_content(hits[0]), "first");
+        // Out-of-range positions match nothing.
+        assert!(doc.select(&sel("li:nth-child(9)")).is_empty());
+    }
+
+    #[test]
+    fn nth_child_parse_errors() {
+        assert!(Selector::parse("p:nth-child(0)").is_err());
+        assert!(Selector::parse("p:nth-child()").is_err());
+        assert!(Selector::parse("p:nth-child(abc)").is_err());
+        assert!(Selector::parse("p:nth-child(2").is_err());
+        assert!(Selector::parse("p:hover").is_err());
+    }
+
+    #[test]
+    fn specificity_ordering() {
+        let spec = |s: &str| Selector::parse(s).unwrap().specificity();
+        assert!(spec("#a") > spec(".a"));
+        assert!(spec(".a") > spec("div"));
+        assert!(spec("div.a") > spec(".a"));
+        assert!(spec("#a .b") > spec("#a"));
+        assert!(spec("[href]") == spec(".x"));
+        assert_eq!(spec("*"), 0);
+        // Lists take the most specific member.
+        assert_eq!(spec("div, #a"), spec("#a"));
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let s = sel("#main > p.lead");
+        assert_eq!(s.to_string(), "#main > p.lead");
+        assert_eq!(s.source(), "#main > p.lead");
+    }
+
+    #[test]
+    fn select_first_document_order() {
+        let doc = parse_document(PAGE);
+        let first = doc.select_first(&sel("p")).unwrap();
+        assert_eq!(doc.text_content(first), "first");
+    }
+
+    #[test]
+    fn descendant_backtracking() {
+        // `div p` where the direct parent div does not complete the match
+        // but a higher div does: <div id=a><section><div><p> — selector
+        // "#a > section p" must match via backtracking.
+        let src = "<div id='a'><section><div><p>x</p></div></section></div>";
+        assert_eq!(count(src, "#a > section p"), 1);
+        assert_eq!(count(src, "#a > div p"), 0);
+    }
+}

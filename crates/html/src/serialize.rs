@@ -1,0 +1,175 @@
+//! DOM → HTML text serialization.
+
+use crate::dom::{Document, NodeId, NodeKind};
+use crate::tokenizer::{escape_attr, escape_text};
+use crate::{is_raw_text, is_void};
+
+impl Document {
+    /// Serializes the whole document back to HTML text.
+    ///
+    /// Raw-text elements (`script`, `style`) emit their contents verbatim;
+    /// other text is entity-escaped, so `parse → serialize → parse` is
+    /// structure-preserving.
+    pub fn to_html(&self) -> String {
+        let mut out = String::new();
+        for &child in self.children(self.root()) {
+            self.write_node(child, &mut out);
+        }
+        out
+    }
+
+    /// Serializes the subtree rooted at `id` (including `id` itself).
+    pub fn outer_html(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        self.write_node(id, &mut out);
+        out
+    }
+
+    /// Serializes the children of `id` (excluding `id` itself).
+    pub fn inner_html(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        let raw = matches!(&self.node(id).kind, NodeKind::Element(e) if is_raw_text(&e.name));
+        for &child in self.children(id) {
+            if raw {
+                self.write_raw(child, &mut out);
+            } else {
+                self.write_node(child, &mut out);
+            }
+        }
+        out
+    }
+
+    fn write_node(&self, id: NodeId, out: &mut String) {
+        match &self.node(id).kind {
+            NodeKind::Document => {
+                for &child in self.children(id) {
+                    self.write_node(child, out);
+                }
+            }
+            NodeKind::Doctype(text) => {
+                out.push_str("<!");
+                out.push_str(text);
+                out.push('>');
+            }
+            NodeKind::Comment(text) => {
+                out.push_str("<!--");
+                out.push_str(text);
+                out.push_str("-->");
+            }
+            NodeKind::Text(text) => out.push_str(&escape_text(text)),
+            NodeKind::Element(el) => {
+                out.push('<');
+                out.push_str(&el.name);
+                for (name, value) in el.attrs() {
+                    out.push(' ');
+                    out.push_str(name);
+                    if !value.is_empty() {
+                        out.push_str("=\"");
+                        out.push_str(&escape_attr(value));
+                        out.push('"');
+                    }
+                }
+                out.push('>');
+                if is_void(&el.name) {
+                    return;
+                }
+                if is_raw_text(&el.name) {
+                    for &child in self.children(id) {
+                        self.write_raw(child, out);
+                    }
+                } else {
+                    for &child in self.children(id) {
+                        self.write_node(child, out);
+                    }
+                }
+                out.push_str("</");
+                out.push_str(&el.name);
+                out.push('>');
+            }
+        }
+    }
+
+    fn write_raw(&self, id: NodeId, out: &mut String) {
+        if let NodeKind::Text(text) = &self.node(id).kind {
+            out.push_str(text);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse_document;
+
+    #[test]
+    fn roundtrip_simple() {
+        let src = r#"<!DOCTYPE html><html><body><p id="x">hi</p></body></html>"#;
+        let doc = parse_document(src);
+        assert_eq!(doc.to_html(), src);
+    }
+
+    #[test]
+    fn roundtrip_is_stable() {
+        // Serialize → parse → serialize must be a fixed point.
+        let src = "<div class=a data-x='1'><p>a &amp; b</p><br><img src=pic.png></div>";
+        let once = parse_document(src).to_html();
+        let twice = parse_document(&once).to_html();
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn void_elements_not_closed() {
+        let html = parse_document("<br><hr><img src=x>").to_html();
+        assert_eq!(html, r#"<br><hr><img src="x">"#);
+        assert!(!html.contains("</br>"));
+    }
+
+    #[test]
+    fn text_is_escaped() {
+        let mut doc = parse_document("<p></p>");
+        let p = doc.find_tag("p").unwrap();
+        let t = doc.create_text("a < b & c");
+        doc.append_child(p, t);
+        assert_eq!(doc.to_html(), "<p>a &lt; b &amp; c</p>");
+    }
+
+    #[test]
+    fn attr_quotes_escaped() {
+        let mut doc = parse_document("<div></div>");
+        let d = doc.find_tag("div").unwrap();
+        doc.set_attr(d, "title", r#"say "hi""#);
+        assert_eq!(doc.to_html(), r#"<div title="say &quot;hi&quot;">x</div>"#.replace("x", ""));
+    }
+
+    #[test]
+    fn script_contents_verbatim() {
+        let src = "<script>if (a < b) { go(); }</script>";
+        let doc = parse_document(src);
+        assert_eq!(doc.to_html(), src);
+    }
+
+    #[test]
+    fn style_contents_verbatim() {
+        let src = "<style>p > a { color: #fff }</style>";
+        assert_eq!(parse_document(src).to_html(), src);
+    }
+
+    #[test]
+    fn outer_and_inner_html() {
+        let doc = parse_document("<div><p>a</p><p>b</p></div>");
+        let div = doc.find_tag("div").unwrap();
+        assert_eq!(doc.outer_html(div), "<div><p>a</p><p>b</p></div>");
+        assert_eq!(doc.inner_html(div), "<p>a</p><p>b</p>");
+    }
+
+    #[test]
+    fn boolean_attribute_serialization() {
+        let doc = parse_document("<input disabled>");
+        assert_eq!(doc.to_html(), "<input disabled>");
+    }
+
+    #[test]
+    fn comments_roundtrip() {
+        let src = "<div><!-- keep me --></div>";
+        assert_eq!(parse_document(src).to_html(), src);
+    }
+}

@@ -1,0 +1,353 @@
+//! A small CSS cascade: parse `<style>` rules and compute effective
+//! property values with specificity and inheritance.
+//!
+//! Real test webpages set their typography in stylesheets, not inline
+//! `style` attributes; the aggregator's variants and the virtual browser's
+//! stimulus extraction therefore need an actual cascade: inline styles win,
+//! then the most specific matching rule (ids > classes/attributes > tags,
+//! later rules break ties), then inheritance from the parent for inherited
+//! properties like `font-size`.
+
+use crate::dom::{Document, NodeId, NodeKind};
+use crate::selector::Selector;
+
+/// One parsed rule: selector, declarations, and source order.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    /// The rule's selector (may be a selector list).
+    pub selector: Selector,
+    /// `(property, value)` pairs, lowercased property names.
+    pub declarations: Vec<(String, String)>,
+    order: usize,
+}
+
+/// A parsed stylesheet.
+#[derive(Debug, Clone, Default)]
+pub struct Stylesheet {
+    rules: Vec<Rule>,
+}
+
+impl Stylesheet {
+    /// Parses CSS text, tolerantly: unparseable selectors or declarations
+    /// are skipped (never an error), at-rules (`@media`, `@import`) are
+    /// ignored, comments are stripped.
+    pub fn parse(css: &str) -> Self {
+        let css = strip_comments(css);
+        let mut rules = Vec::new();
+        let mut order = 0;
+        for block in split_blocks(&css) {
+            let (selector_text, body) = (block.0.trim(), block.1);
+            if selector_text.is_empty() || selector_text.starts_with('@') {
+                continue;
+            }
+            let selector: Selector = match selector_text.parse() {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let declarations: Vec<(String, String)> = body
+                .split(';')
+                .filter_map(|decl| {
+                    let (prop, value) = decl.split_once(':')?;
+                    let prop = prop.trim().to_ascii_lowercase();
+                    let value = value.trim().trim_end_matches("!important").trim();
+                    if prop.is_empty() || value.is_empty() {
+                        None
+                    } else {
+                        Some((prop, value.to_string()))
+                    }
+                })
+                .collect();
+            if declarations.is_empty() {
+                continue;
+            }
+            rules.push(Rule { selector, declarations, order });
+            order += 1;
+        }
+        Self { rules }
+    }
+
+    /// All rules in source order.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the sheet has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+}
+
+/// Collects and parses every `<style>` element of a document, in document
+/// order.
+pub fn document_stylesheets(doc: &Document) -> Vec<Stylesheet> {
+    doc.elements()
+        .into_iter()
+        .filter(|&id| doc.element(id).map(|e| e.name == "style").unwrap_or(false))
+        .map(|id| Stylesheet::parse(&doc.text_content(id)))
+        .collect()
+}
+
+/// Properties that inherit down the tree (the subset the pipeline uses).
+fn is_inherited(prop: &str) -> bool {
+    matches!(
+        prop,
+        "font-size" | "font-family" | "font-weight" | "color" | "line-height"
+            | "letter-spacing" | "text-align"
+    )
+}
+
+/// Computes the effective value of `prop` on `node`: inline `style` wins,
+/// then the highest-specificity matching rule across `sheets` (later rules
+/// break ties), then — for inherited properties — the parent's computed
+/// value.
+pub fn computed_property(
+    doc: &Document,
+    sheets: &[Stylesheet],
+    node: NodeId,
+    prop: &str,
+) -> Option<String> {
+    let mut cur = Some(node);
+    while let Some(id) = cur {
+        if matches!(doc.node(id).kind, NodeKind::Element(_)) {
+            if let Some(v) = own_property(doc, sheets, id, prop) {
+                return Some(v);
+            }
+            if !is_inherited(prop) {
+                return None;
+            }
+        }
+        cur = doc.parent(id);
+    }
+    None
+}
+
+/// The value `prop` takes on `node` from its own declarations (inline or
+/// matched rules), ignoring inheritance.
+fn own_property(
+    doc: &Document,
+    sheets: &[Stylesheet],
+    node: NodeId,
+    prop: &str,
+) -> Option<String> {
+    if let Some(v) = doc.style_property(node, prop) {
+        return Some(v);
+    }
+    let mut best: Option<(u32, usize, usize, String)> = None; // (spec, sheet, order, value)
+    for (sheet_idx, sheet) in sheets.iter().enumerate() {
+        for rule in &sheet.rules {
+            if !rule.selector.matches(doc, node) {
+                continue;
+            }
+            let spec = rule.selector.specificity();
+            for (p, v) in &rule.declarations {
+                if p == prop {
+                    let candidate = (spec, sheet_idx, rule.order, v.clone());
+                    let better = match &best {
+                        None => true,
+                        Some((bs, bsi, bo, _)) => {
+                            (candidate.0, candidate.1, candidate.2) >= (*bs, *bsi, *bo)
+                        }
+                    };
+                    if better {
+                        best = Some(candidate);
+                    }
+                }
+            }
+        }
+    }
+    best.map(|(_, _, _, v)| v)
+}
+
+fn strip_comments(css: &str) -> String {
+    let mut out = String::with_capacity(css.len());
+    let mut rest = css;
+    while let Some(start) = rest.find("/*") {
+        out.push_str(&rest[..start]);
+        match rest[start..].find("*/") {
+            Some(end) => rest = &rest[start + end + 2..],
+            None => return out,
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Splits CSS into `(selector, body)` blocks with brace-depth tracking, so
+/// nested at-rule bodies (`@media … { rule { … } }`) are consumed as one
+/// block (and later skipped by the `@` check) instead of desynchronizing
+/// the scan.
+fn split_blocks(css: &str) -> Vec<(&str, &str)> {
+    let mut out = Vec::new();
+    let bytes = css.as_bytes();
+    let mut i = 0;
+    let mut sel_start = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'{' {
+            let selector = &css[sel_start..i];
+            let body_start = i + 1;
+            let mut depth = 1usize;
+            let mut j = body_start;
+            while j < bytes.len() && depth > 0 {
+                match bytes[j] {
+                    b'{' => depth += 1,
+                    b'}' => depth -= 1,
+                    _ => {}
+                }
+                j += 1;
+            }
+            let body_end = if depth == 0 { j - 1 } else { j };
+            out.push((selector, &css[body_start..body_end]));
+            sel_start = j;
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_document;
+
+    const PAGE: &str = r#"<html><head><style>
+        p { font-size: 10pt; color: black }
+        .lead { font-size: 14pt }
+        #hero { font-size: 20pt }
+        div { margin: 4px }
+    </style></head><body>
+        <div id="box"><p>plain</p><p class="lead">lead</p>
+        <p class="lead" id="hero">hero</p>
+        <p style="font-size: 30pt">inline</p>
+        <span>span inherits</span></div>
+    </body></html>"#;
+
+    fn setup() -> (Document, Vec<Stylesheet>) {
+        let doc = parse_document(PAGE);
+        let sheets = document_stylesheets(&doc);
+        (doc, sheets)
+    }
+
+    fn font_of(doc: &Document, sheets: &[Stylesheet], text: &str) -> Option<String> {
+        let node = doc
+            .elements()
+            .into_iter()
+            .find(|&id| doc.text_content(id) == text && doc.children(id).len() == 1)
+            .unwrap_or_else(|| panic!("no element with text {text}"));
+        computed_property(doc, sheets, node, "font-size")
+    }
+
+    #[test]
+    fn parses_document_stylesheets() {
+        let (_, sheets) = setup();
+        assert_eq!(sheets.len(), 1);
+        assert_eq!(sheets[0].len(), 4);
+    }
+
+    #[test]
+    fn tag_rule_applies() {
+        let (doc, sheets) = setup();
+        assert_eq!(font_of(&doc, &sheets, "plain").as_deref(), Some("10pt"));
+    }
+
+    #[test]
+    fn class_beats_tag() {
+        let (doc, sheets) = setup();
+        assert_eq!(font_of(&doc, &sheets, "lead").as_deref(), Some("14pt"));
+    }
+
+    #[test]
+    fn id_beats_class() {
+        let (doc, sheets) = setup();
+        assert_eq!(font_of(&doc, &sheets, "hero").as_deref(), Some("20pt"));
+    }
+
+    #[test]
+    fn inline_beats_everything() {
+        let (doc, sheets) = setup();
+        assert_eq!(font_of(&doc, &sheets, "inline").as_deref(), Some("30pt"));
+    }
+
+    #[test]
+    fn later_rule_breaks_specificity_ties() {
+        let doc = parse_document(
+            "<style>p { font-size: 10pt } p { font-size: 12pt }</style><p>x</p>",
+        );
+        let sheets = document_stylesheets(&doc);
+        let p = doc.find_tag("p").unwrap();
+        assert_eq!(
+            computed_property(&doc, &sheets, p, "font-size").as_deref(),
+            Some("12pt")
+        );
+    }
+
+    #[test]
+    fn inherited_property_flows_down() {
+        let doc = parse_document(
+            "<style>#box { font-size: 18pt }</style><div id='box'><span><b>deep</b></span></div>",
+        );
+        let sheets = document_stylesheets(&doc);
+        let b = doc.find_tag("b").unwrap();
+        assert_eq!(
+            computed_property(&doc, &sheets, b, "font-size").as_deref(),
+            Some("18pt")
+        );
+    }
+
+    #[test]
+    fn non_inherited_property_does_not_flow() {
+        let (doc, sheets) = setup();
+        let span = doc.find_tag("span").unwrap();
+        // margin set on div must not inherit to the span...
+        assert_eq!(computed_property(&doc, &sheets, span, "margin"), None);
+        // ...but font-size (from the p rule? no — span isn't a p; inherits
+        // nothing here since body/div set no font-size).
+        assert_eq!(computed_property(&doc, &sheets, span, "font-size"), None);
+    }
+
+    #[test]
+    fn comments_and_at_rules_ignored() {
+        let sheet = Stylesheet::parse(
+            "/* c1 */ @media screen { ignored {} } p { /* c2 */ font-size: 11pt }",
+        );
+        // The @media block's inner braces confuse no one fatally: the outer
+        // "@media…{" block is skipped; the p rule survives.
+        assert!(sheet.rules().iter().any(|r| r
+            .declarations
+            .iter()
+            .any(|(p, v)| p == "font-size" && v == "11pt")));
+    }
+
+    #[test]
+    fn important_marker_stripped() {
+        let sheet = Stylesheet::parse("p { color: red !important }");
+        assert_eq!(sheet.rules()[0].declarations[0].1, "red");
+    }
+
+    #[test]
+    fn malformed_css_is_skipped_not_fatal() {
+        let sheet = Stylesheet::parse("]]garbage{{ p { font-size }; q { : nothing } x {}");
+        // Nothing usable, nothing panicking.
+        assert!(sheet.is_empty() || sheet.len() <= 1);
+    }
+
+    #[test]
+    fn selector_lists_apply_to_all_members() {
+        let doc = parse_document("<style>h1, h2 { color: blue }</style><h1>a</h1><h2>b</h2>");
+        let sheets = document_stylesheets(&doc);
+        for tag in ["h1", "h2"] {
+            let n = doc.find_tag(tag).unwrap();
+            assert_eq!(
+                computed_property(&doc, &sheets, n, "color").as_deref(),
+                Some("blue"),
+                "{tag}"
+            );
+        }
+    }
+}

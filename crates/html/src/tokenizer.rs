@@ -1,0 +1,535 @@
+//! A forgiving HTML tokenizer.
+//!
+//! Produces a flat stream of [`Token`]s from HTML text. It follows the parts
+//! of the WHATWG tokenizer the Kaleidoscope pipeline needs: tags with
+//! quoted/unquoted/bare attributes, comments, doctype, character references
+//! in text and attribute values, and raw-text handling for `<script>` /
+//! `<style>` so CSS braces and JS comparisons never confuse the tag scanner.
+
+use crate::is_raw_text;
+
+/// One lexical token of an HTML document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// `<!DOCTYPE ...>` with the raw contents after `<!`.
+    Doctype(String),
+    /// An opening tag, e.g. `<div id="x">`. Attribute names are lowercased.
+    StartTag {
+        /// Lowercased tag name.
+        name: String,
+        /// Attributes in document order; values are entity-decoded.
+        attrs: Vec<(String, String)>,
+        /// Whether the tag ended with `/>`.
+        self_closing: bool,
+    },
+    /// A closing tag, e.g. `</div>`.
+    EndTag {
+        /// Lowercased tag name.
+        name: String,
+    },
+    /// A run of character data (entity-decoded).
+    Text(String),
+    /// `<!-- ... -->` contents.
+    Comment(String),
+}
+
+/// Tokenizes an HTML string. Never fails: malformed markup degrades into
+/// text, matching browser behaviour.
+///
+/// ```
+/// use kscope_html::tokenize;
+/// let toks = tokenize("<p>hi</p>");
+/// assert_eq!(toks.len(), 3);
+/// ```
+pub fn tokenize(input: &str) -> Vec<Token> {
+    Tokenizer::new(input).run()
+}
+
+struct Tokenizer<'a> {
+    input: &'a [u8],
+    pos: usize,
+    tokens: Vec<Token>,
+    /// When inside `<script>`/`<style>`, the element name we must see closed.
+    raw_text_until: Option<String>,
+}
+
+impl<'a> Tokenizer<'a> {
+    fn new(input: &'a str) -> Self {
+        Self { input: input.as_bytes(), pos: 0, tokens: Vec::new(), raw_text_until: None }
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.input.len() {
+            if let Some(name) = self.raw_text_until.take() {
+                self.consume_raw_text(&name);
+                continue;
+            }
+            if self.peek() == Some(b'<') {
+                self.consume_markup();
+            } else {
+                self.consume_text();
+            }
+        }
+        self.tokens
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.input.get(self.pos + off).copied()
+    }
+
+    fn rest(&self) -> &[u8] {
+        &self.input[self.pos..]
+    }
+
+    fn starts_with_ci(&self, prefix: &str) -> bool {
+        let rest = self.rest();
+        rest.len() >= prefix.len()
+            && rest[..prefix.len()].eq_ignore_ascii_case(prefix.as_bytes())
+    }
+
+    fn consume_text(&mut self) {
+        let start = self.pos;
+        while self.pos < self.input.len() && self.input[self.pos] != b'<' {
+            self.pos += 1;
+        }
+        let raw = std::str::from_utf8(&self.input[start..self.pos]).unwrap_or_default();
+        if !raw.is_empty() {
+            self.tokens.push(Token::Text(decode_entities(raw)));
+        }
+    }
+
+    /// Consumes raw text until `</name` (case-insensitive), emitting it
+    /// verbatim (no entity decoding, as in browser raw-text states).
+    fn consume_raw_text(&mut self, name: &str) {
+        let close = format!("</{name}");
+        let start = self.pos;
+        loop {
+            if self.pos >= self.input.len() {
+                break;
+            }
+            if self.input[self.pos] == b'<' && self.starts_with_ci(&close) {
+                break;
+            }
+            self.pos += 1;
+        }
+        let raw = std::str::from_utf8(&self.input[start..self.pos]).unwrap_or_default();
+        if !raw.is_empty() {
+            self.tokens.push(Token::Text(raw.to_string()));
+        }
+        // The closing tag (if present) is handled by the main loop.
+    }
+
+    fn consume_markup(&mut self) {
+        debug_assert_eq!(self.peek(), Some(b'<'));
+        match self.peek_at(1) {
+            Some(b'!') => {
+                if self.starts_with_ci("<!--") {
+                    self.consume_comment();
+                } else {
+                    self.consume_doctype_or_bogus();
+                }
+            }
+            Some(b'/') => self.consume_end_tag(),
+            Some(c) if c.is_ascii_alphabetic() => self.consume_start_tag(),
+            _ => {
+                // A lone '<' is text.
+                self.tokens.push(Token::Text("<".to_string()));
+                self.pos += 1;
+            }
+        }
+    }
+
+    fn consume_comment(&mut self) {
+        self.pos += 4; // past "<!--"
+        let start = self.pos;
+        while self.pos < self.input.len() {
+            if self.input[self.pos] == b'-' && self.rest().starts_with(b"-->") {
+                break;
+            }
+            self.pos += 1;
+        }
+        let body = std::str::from_utf8(&self.input[start..self.pos]).unwrap_or_default();
+        self.tokens.push(Token::Comment(body.to_string()));
+        self.pos = (self.pos + 3).min(self.input.len());
+    }
+
+    fn consume_doctype_or_bogus(&mut self) {
+        self.pos += 2; // past "<!"
+        let start = self.pos;
+        while self.pos < self.input.len() && self.input[self.pos] != b'>' {
+            self.pos += 1;
+        }
+        let body = std::str::from_utf8(&self.input[start..self.pos]).unwrap_or_default();
+        self.tokens.push(Token::Doctype(body.trim().to_string()));
+        self.pos = (self.pos + 1).min(self.input.len());
+    }
+
+    fn consume_end_tag(&mut self) {
+        self.pos += 2; // past "</"
+        let name = self.consume_tag_name();
+        // Skip anything up to '>'.
+        while self.pos < self.input.len() && self.input[self.pos] != b'>' {
+            self.pos += 1;
+        }
+        self.pos = (self.pos + 1).min(self.input.len());
+        if !name.is_empty() {
+            self.tokens.push(Token::EndTag { name });
+        }
+    }
+
+    fn consume_start_tag(&mut self) {
+        self.pos += 1; // past "<"
+        let name = self.consume_tag_name();
+        let mut attrs: Vec<(String, String)> = Vec::new();
+        let mut self_closing = false;
+        loop {
+            self.skip_whitespace();
+            match self.peek() {
+                None => break,
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.peek() == Some(b'>') {
+                        self.pos += 1;
+                        self_closing = true;
+                        break;
+                    }
+                }
+                Some(_) => {
+                    if let Some(attr) = self.consume_attribute() {
+                        // First occurrence wins, as in browsers.
+                        if !attrs.iter().any(|(n, _)| *n == attr.0) {
+                            attrs.push(attr);
+                        }
+                    }
+                }
+            }
+        }
+        if is_raw_text(&name) && !self_closing {
+            self.raw_text_until = Some(name.clone());
+        }
+        self.tokens.push(Token::StartTag { name, attrs, self_closing });
+    }
+
+    fn consume_tag_name(&mut self) -> String {
+        let start = self.pos;
+        while self.pos < self.input.len() {
+            let c = self.input[self.pos];
+            if c.is_ascii_alphanumeric() || c == b'-' || c == b'_' || c == b':' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        std::str::from_utf8(&self.input[start..self.pos])
+            .unwrap_or_default()
+            .to_ascii_lowercase()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn consume_attribute(&mut self) -> Option<(String, String)> {
+        let start = self.pos;
+        while self.pos < self.input.len() {
+            let c = self.input[self.pos];
+            if c.is_ascii_whitespace() || c == b'=' || c == b'>' || c == b'/' {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.pos == start {
+            // Not a valid attribute start; skip one byte to make progress.
+            self.pos += 1;
+            return None;
+        }
+        let name = std::str::from_utf8(&self.input[start..self.pos])
+            .unwrap_or_default()
+            .to_ascii_lowercase();
+        self.skip_whitespace();
+        if self.peek() != Some(b'=') {
+            return Some((name, String::new()));
+        }
+        self.pos += 1; // past '='
+        self.skip_whitespace();
+        let value = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => {
+                self.pos += 1;
+                let vstart = self.pos;
+                while self.pos < self.input.len() && self.input[self.pos] != q {
+                    self.pos += 1;
+                }
+                let v = std::str::from_utf8(&self.input[vstart..self.pos]).unwrap_or_default();
+                self.pos = (self.pos + 1).min(self.input.len());
+                v.to_string()
+            }
+            _ => {
+                let vstart = self.pos;
+                while self.pos < self.input.len() {
+                    let c = self.input[self.pos];
+                    if c.is_ascii_whitespace() || c == b'>' {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                std::str::from_utf8(&self.input[vstart..self.pos])
+                    .unwrap_or_default()
+                    .to_string()
+            }
+        };
+        Some((name, decode_entities(&value)))
+    }
+}
+
+/// Decodes the named character references the pipeline encounters plus
+/// decimal/hex numeric references. Unknown entities pass through verbatim.
+pub fn decode_entities(s: &str) -> String {
+    if !s.contains('&') {
+        return s.to_string();
+    }
+    let mut out = String::with_capacity(s.len());
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'&' {
+            if let Some(semi) = s[i..].find(';').map(|k| i + k) {
+                let entity = &s[i + 1..semi];
+                if let Some(decoded) = decode_one_entity(entity) {
+                    out.push_str(&decoded);
+                    i = semi + 1;
+                    continue;
+                }
+            }
+        }
+        let ch_len = utf8_len(bytes[i]);
+        out.push_str(&s[i..i + ch_len]);
+        i += ch_len;
+    }
+    out
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+fn decode_one_entity(entity: &str) -> Option<String> {
+    // Bail on absurdly long candidates — real entities are short.
+    if entity.len() > 10 {
+        return None;
+    }
+    match entity {
+        "amp" => Some("&".into()),
+        "lt" => Some("<".into()),
+        "gt" => Some(">".into()),
+        "quot" => Some("\"".into()),
+        "apos" => Some("'".into()),
+        "nbsp" => Some("\u{a0}".into()),
+        "copy" => Some("\u{a9}".into()),
+        "mdash" => Some("\u{2014}".into()),
+        "ndash" => Some("\u{2013}".into()),
+        "hellip" => Some("\u{2026}".into()),
+        _ => {
+            let code = if let Some(hex) = entity.strip_prefix("#x").or(entity.strip_prefix("#X")) {
+                u32::from_str_radix(hex, 16).ok()?
+            } else if let Some(dec) = entity.strip_prefix('#') {
+                dec.parse::<u32>().ok()?
+            } else {
+                return None;
+            };
+            char::from_u32(code).map(|c| c.to_string())
+        }
+    }
+}
+
+/// Escapes text for safe inclusion as HTML character data.
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes a string for use inside a double-quoted attribute value.
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            '<' => out.push_str("&lt;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_paragraph() {
+        let t = tokenize("<p>hi</p>");
+        assert_eq!(
+            t,
+            vec![
+                Token::StartTag { name: "p".into(), attrs: vec![], self_closing: false },
+                Token::Text("hi".into()),
+                Token::EndTag { name: "p".into() },
+            ]
+        );
+    }
+
+    #[test]
+    fn attributes_all_quote_styles() {
+        let t = tokenize(r#"<a href="x" title='y' id=z disabled>"#);
+        match &t[0] {
+            Token::StartTag { name, attrs, .. } => {
+                assert_eq!(name, "a");
+                assert_eq!(
+                    attrs,
+                    &vec![
+                        ("href".to_string(), "x".to_string()),
+                        ("title".to_string(), "y".to_string()),
+                        ("id".to_string(), "z".to_string()),
+                        ("disabled".to_string(), String::new()),
+                    ]
+                );
+            }
+            other => panic!("unexpected token {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_attributes_first_wins() {
+        let t = tokenize(r#"<div class="a" class="b">"#);
+        match &t[0] {
+            Token::StartTag { attrs, .. } => {
+                assert_eq!(attrs, &vec![("class".to_string(), "a".to_string())]);
+            }
+            other => panic!("unexpected token {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tag_names_lowercased() {
+        let t = tokenize("<DIV Id=A></DIV>");
+        assert!(matches!(&t[0], Token::StartTag { name, .. } if name == "div"));
+        assert!(matches!(&t[1], Token::EndTag { name } if name == "div"));
+    }
+
+    #[test]
+    fn self_closing_tag() {
+        let t = tokenize("<br/>");
+        assert!(matches!(&t[0], Token::StartTag { self_closing: true, .. }));
+    }
+
+    #[test]
+    fn comment_and_doctype() {
+        let t = tokenize("<!DOCTYPE html><!-- note -->");
+        assert_eq!(t[0], Token::Doctype("DOCTYPE html".into()));
+        assert_eq!(t[1], Token::Comment(" note ".into()));
+    }
+
+    #[test]
+    fn unterminated_comment_does_not_hang() {
+        let t = tokenize("<!-- open forever");
+        assert_eq!(t, vec![Token::Comment(" open forever".into())]);
+    }
+
+    #[test]
+    fn script_raw_text_keeps_angle_brackets() {
+        let src = "<script>if (a < b && c > d) { x(); }</script><p>after</p>";
+        let t = tokenize(src);
+        assert!(matches!(&t[0], Token::StartTag { name, .. } if name == "script"));
+        assert_eq!(t[1], Token::Text("if (a < b && c > d) { x(); }".into()));
+        assert_eq!(t[2], Token::EndTag { name: "script".into() });
+        assert!(matches!(&t[3], Token::StartTag { name, .. } if name == "p"));
+    }
+
+    #[test]
+    fn style_raw_text() {
+        let t = tokenize("<style>p > a { color: red }</style>");
+        assert_eq!(t[1], Token::Text("p > a { color: red }".into()));
+    }
+
+    #[test]
+    fn case_insensitive_raw_text_close() {
+        let t = tokenize("<script>x</SCRIPT>");
+        assert_eq!(t[1], Token::Text("x".into()));
+        assert_eq!(t[2], Token::EndTag { name: "script".into() });
+    }
+
+    #[test]
+    fn entities_in_text_and_attrs() {
+        let t = tokenize(r#"<a title="a &amp; b">x &lt; y &#65; &#x42;</a>"#);
+        match &t[0] {
+            Token::StartTag { attrs, .. } => assert_eq!(attrs[0].1, "a & b"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(t[1], Token::Text("x < y A B".into()));
+    }
+
+    #[test]
+    fn unknown_entity_passes_through() {
+        let t = tokenize("a &bogus; b");
+        assert_eq!(t, vec![Token::Text("a &bogus; b".into())]);
+    }
+
+    #[test]
+    fn lone_angle_bracket_is_text() {
+        let t = tokenize("1 < 2");
+        let text: String = t
+            .iter()
+            .map(|tok| match tok {
+                Token::Text(s) => s.clone(),
+                _ => String::new(),
+            })
+            .collect();
+        assert_eq!(text, "1 < 2");
+    }
+
+    #[test]
+    fn multibyte_text_survives() {
+        let t = tokenize("<p>岩狸 – rock hyrax &mdash; Προκόβια</p>");
+        assert_eq!(t[1], Token::Text("岩狸 – rock hyrax \u{2014} Προκόβια".into()));
+    }
+
+    #[test]
+    fn escape_roundtrip() {
+        let original = "a < b & \"c\" > d";
+        let escaped = escape_text(original);
+        assert_eq!(decode_entities(&escaped), original);
+    }
+
+    #[test]
+    fn escape_attr_protects_quotes() {
+        assert_eq!(escape_attr(r#"say "hi" & go"#), "say &quot;hi&quot; &amp; go");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(tokenize("").is_empty());
+    }
+}

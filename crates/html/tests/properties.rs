@@ -1,0 +1,66 @@
+//! Property tests: the parser and selector engine must be total (never
+//! panic) and structurally stable on arbitrary input.
+
+use kscope_html::{parse_document, tokenize, Selector};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The tokenizer accepts any string without panicking.
+    #[test]
+    fn tokenizer_is_total(input in ".{0,300}") {
+        let _ = tokenize(&input);
+    }
+
+    /// The parser accepts any string without panicking, and serialization
+    /// of the result reparses to the same serialization (fixed point).
+    #[test]
+    fn parser_is_total_and_stable(input in ".{0,300}") {
+        let doc = parse_document(&input);
+        let once = doc.to_html();
+        let twice = parse_document(&once).to_html();
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Angle-bracket soup in particular must not break framing.
+    #[test]
+    fn tag_soup_stable(input in "[<>a-z/\"'= ]{0,120}") {
+        let once = parse_document(&input).to_html();
+        let twice = parse_document(&once).to_html();
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Selector parsing never panics; parsed selectors never panic when
+    /// matched against a document.
+    #[test]
+    fn selector_parse_total(input in "[#.a-z0-9 >,\\[\\]='\"*~^$-]{0,60}") {
+        if let Ok(sel) = input.parse::<Selector>() {
+            let doc = parse_document("<div id='a' class='b c'><p data-x='1'>t</p></div>");
+            let _ = doc.select(&sel);
+        }
+    }
+
+    /// Entity escaping round-trips arbitrary text content exactly.
+    #[test]
+    fn text_content_roundtrip(text in "[^<&]{0,80}") {
+        let mut doc = parse_document("<p></p>");
+        let p = doc.find_tag("p").unwrap();
+        let t = doc.create_text(&text);
+        doc.append_child(p, t);
+        let reparsed = parse_document(&doc.to_html());
+        let p2 = reparsed.find_tag("p").unwrap();
+        prop_assert_eq!(reparsed.text_content(p2), text);
+    }
+
+    /// Attribute values round-trip through escaping (quotes and all).
+    #[test]
+    fn attr_value_roundtrip(value in "[a-zA-Z0-9 '\"&<>]{0,40}") {
+        let mut doc = parse_document("<div></div>");
+        let d = doc.find_tag("div").unwrap();
+        doc.set_attr(d, "title", &value);
+        let reparsed = parse_document(&doc.to_html());
+        let d2 = reparsed.find_tag("div").unwrap();
+        prop_assert_eq!(reparsed.attr(d2, "title"), Some(value.as_str()));
+    }
+}

@@ -1,0 +1,402 @@
+//! Approximate layout: assigns each element a box (top, height, area) and a
+//! content class.
+//!
+//! The visual page-load metrics (Speed Index, ATF, uPLT) are integrals over
+//! *visible area*, so the simulator needs per-element geometry. Real
+//! Kaleidoscope gets this for free from the browser; we estimate it with a
+//! simple vertical flow model: block elements stack, text height follows
+//! from its length at a fixed characters-per-line, and images use their
+//! `width`/`height` attributes (or a default). The estimate does not need
+//! to be pixel-faithful — only the *relative* areas and fold positions
+//! matter for the metrics' shape.
+
+use kscope_html::{Document, NodeId, NodeKind};
+use std::collections::HashMap;
+
+/// Viewport geometry used by the flow model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Viewport {
+    /// CSS pixels across.
+    pub width: f64,
+    /// Fold position: content above this y-coordinate is "above the fold".
+    pub fold_y: f64,
+}
+
+impl Viewport {
+    /// The default desktop viewport (1280 px wide, fold at 800 px).
+    pub fn desktop() -> Self {
+        Self { width: 1280.0, fold_y: 800.0 }
+    }
+
+    /// A phone-ish viewport.
+    pub fn mobile() -> Self {
+        Self { width: 390.0, fold_y: 740.0 }
+    }
+}
+
+impl Default for Viewport {
+    fn default() -> Self {
+        Self::desktop()
+    }
+}
+
+/// Coarse content classification used by the uPLT weighting model
+/// (the paper's case study contrasts the navigation bar with the main text
+/// content).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ContentClass {
+    /// Navigation chrome: `nav`, elements under a `nav`/`header`.
+    Navigation,
+    /// Main textual content: paragraphs, headings, articles.
+    MainText,
+    /// Images and other media.
+    Media,
+    /// Everything else (footers, sidebars, infoboxes, scripts' containers).
+    Auxiliary,
+}
+
+/// The computed box of one element.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayoutBox {
+    /// Top edge (CSS px from document top).
+    pub top: f64,
+    /// Height in CSS px.
+    pub height: f64,
+    /// Occupied area in px².
+    pub area: f64,
+    /// Portion of the area above the fold, in px².
+    pub above_fold_area: f64,
+    /// Content classification.
+    pub class: ContentClass,
+}
+
+/// Layout of a whole document: per-element boxes plus totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Layout {
+    boxes: HashMap<usize, LayoutBox>,
+    viewport: Viewport,
+    total_area: f64,
+    total_above_fold: f64,
+}
+
+const LINE_HEIGHT: f64 = 22.0;
+const CHAR_WIDTH: f64 = 8.0;
+const DEFAULT_IMG_W: f64 = 300.0;
+const DEFAULT_IMG_H: f64 = 200.0;
+const NAV_HEIGHT: f64 = 60.0;
+
+impl Layout {
+    /// Computes the layout of a document under a viewport.
+    pub fn compute(doc: &Document, viewport: Viewport) -> Self {
+        let mut layout = Layout {
+            boxes: HashMap::new(),
+            viewport,
+            total_area: 0.0,
+            total_above_fold: 0.0,
+        };
+        let mut y = 0.0;
+        for &child in doc.children(doc.root()) {
+            y += layout.flow(doc, child, y, ContentClass::Auxiliary);
+        }
+        layout.total_area = layout.boxes.values().map(|b| b.area).sum();
+        layout.total_above_fold = layout.boxes.values().map(|b| b.above_fold_area).sum();
+        layout
+    }
+
+    /// Flows one node starting at `top`; returns the height it consumes.
+    fn flow(&mut self, doc: &Document, id: NodeId, top: f64, inherited: ContentClass) -> f64 {
+        match &doc.node(id).kind {
+            NodeKind::Element(el) => {
+                if matches!(el.name.as_str(), "script" | "style" | "head" | "meta" | "link" | "title")
+                {
+                    return 0.0;
+                }
+                // display:none subtrees are not painted at all (the
+                // group page's collapsed sections, for example).
+                if doc
+                    .style_property(id, "display")
+                    .map(|d| d == "none")
+                    .unwrap_or(false)
+                {
+                    return 0.0;
+                }
+                let class = classify(el.name.as_str(), el.attr("id"), el.attr("class"))
+                    .unwrap_or(inherited);
+                let mut height = base_height(el.name.as_str());
+                if el.name == "img" {
+                    let w = attr_px(el.attr("width")).unwrap_or(DEFAULT_IMG_W);
+                    let h = attr_px(el.attr("height")).unwrap_or(DEFAULT_IMG_H);
+                    let area = w * h;
+                    let above = overlap_above_fold(top, h, self.viewport.fold_y) * w;
+                    self.boxes.insert(
+                        id.index(),
+                        LayoutBox { top, height: h, area, above_fold_area: above, class: ContentClass::Media },
+                    );
+                    return h;
+                }
+                let mut child_y = top + height;
+                for &child in doc.children(id) {
+                    child_y += self.flow(doc, child, child_y, class);
+                }
+                height = child_y - top;
+                if height == 0.0 && is_block(el.name.as_str()) {
+                    // Empty block elements still paint a sliver.
+                    height = 2.0;
+                }
+                let area = self.viewport.width * height;
+                let above = overlap_above_fold(top, height, self.viewport.fold_y)
+                    * self.viewport.width;
+                self.boxes.insert(
+                    id.index(),
+                    LayoutBox { top, height, area, above_fold_area: above, class },
+                );
+                height
+            }
+            NodeKind::Text(t) => {
+                // Free-standing text flows like an anonymous block.
+                let len = t.trim().len();
+                if len == 0 {
+                    return 0.0;
+                }
+                let chars_per_line = (self.viewport.width / CHAR_WIDTH).max(1.0);
+                (len as f64 / chars_per_line).ceil() * LINE_HEIGHT
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Box of one element, if it was laid out.
+    pub fn get(&self, id: NodeId) -> Option<&LayoutBox> {
+        self.boxes.get(&id.index())
+    }
+
+    /// Total painted area of the page (px²). Note that nested elements
+    /// overlap, as in real pages; the metrics normalize by this total.
+    pub fn total_area(&self) -> f64 {
+        self.total_area
+    }
+
+    /// Total painted area above the fold (px²).
+    pub fn total_above_fold(&self) -> f64 {
+        self.total_above_fold
+    }
+
+    /// The viewport the layout used.
+    pub fn viewport(&self) -> Viewport {
+        self.viewport
+    }
+
+    /// Number of elements with boxes.
+    pub fn len(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// Whether no element got a box.
+    pub fn is_empty(&self) -> bool {
+        self.boxes.is_empty()
+    }
+
+    /// Sum of area per content class — the uPLT model's denominators.
+    pub fn area_by_class(&self) -> HashMap<ContentClass, f64> {
+        let mut out = HashMap::new();
+        for b in self.boxes.values() {
+            *out.entry(b.class).or_insert(0.0) += b.area;
+        }
+        out
+    }
+}
+
+fn overlap_above_fold(top: f64, height: f64, fold: f64) -> f64 {
+    (fold - top).clamp(0.0, height)
+}
+
+fn attr_px(v: Option<&str>) -> Option<f64> {
+    v.and_then(|s| s.trim().trim_end_matches("px").parse::<f64>().ok())
+        .filter(|&x| x > 0.0)
+}
+
+fn base_height(tag: &str) -> f64 {
+    match tag {
+        "nav" => NAV_HEIGHT,
+        "hr" | "br" => 10.0,
+        "h1" => 40.0,
+        "h2" => 32.0,
+        "h3" => 26.0,
+        _ => 0.0,
+    }
+}
+
+fn is_block(tag: &str) -> bool {
+    matches!(
+        tag,
+        "div" | "p" | "section" | "article" | "aside" | "footer" | "header" | "nav" | "main"
+            | "ul" | "ol" | "li" | "table" | "tr" | "td" | "th" | "h1" | "h2" | "h3" | "h4"
+            | "h5" | "h6" | "blockquote" | "pre" | "form" | "body" | "html"
+    )
+}
+
+/// Classifies an element by tag/id/class hints; `None` means inherit.
+fn classify(tag: &str, id: Option<&str>, class: Option<&str>) -> Option<ContentClass> {
+    let hint = |s: &str| {
+        let s = s.to_ascii_lowercase();
+        if s.contains("nav") || s.contains("menu") || s.contains("toolbar") {
+            Some(ContentClass::Navigation)
+        } else if s.contains("content") || s.contains("main") || s.contains("article")
+            || s.contains("body-text")
+        {
+            Some(ContentClass::MainText)
+        } else if s.contains("infobox") || s.contains("sidebar") || s.contains("footer") {
+            Some(ContentClass::Auxiliary)
+        } else {
+            None
+        }
+    };
+    match tag {
+        "nav" => Some(ContentClass::Navigation),
+        "header" => Some(ContentClass::Navigation),
+        "p" | "article" | "h1" | "h2" | "h3" | "h4" | "h5" | "h6" | "blockquote" => {
+            Some(ContentClass::MainText)
+        }
+        "img" | "video" | "picture" | "canvas" => Some(ContentClass::Media),
+        "footer" | "aside" => Some(ContentClass::Auxiliary),
+        _ => id.and_then(hint).or_else(|| class.and_then(hint)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kscope_html::parse_document;
+
+    #[test]
+    fn vertical_stacking() {
+        let doc = parse_document("<div><p>aaaa</p><p>bbbb</p></div>");
+        let l = Layout::compute(&doc, Viewport::desktop());
+        let ps = doc.elements();
+        let p1 = ps.iter().copied().find(|&id| doc.element(id).unwrap().name == "p").unwrap();
+        let p2 = ps.iter().copied().rev().find(|&id| doc.element(id).unwrap().name == "p").unwrap();
+        let b1 = l.get(p1).unwrap();
+        let b2 = l.get(p2).unwrap();
+        assert!(b2.top >= b1.top + b1.height, "second paragraph below first");
+    }
+
+    #[test]
+    fn longer_text_is_taller() {
+        let short = parse_document("<p>tiny</p>");
+        let long_text = "x".repeat(2000);
+        let long = parse_document(&format!("<p>{long_text}</p>"));
+        let ls = Layout::compute(&short, Viewport::desktop());
+        let ll = Layout::compute(&long, Viewport::desktop());
+        let ps = short.find_tag("p").unwrap();
+        let pl = long.find_tag("p").unwrap();
+        assert!(ll.get(pl).unwrap().height > ls.get(ps).unwrap().height);
+    }
+
+    #[test]
+    fn image_uses_attrs() {
+        let doc = parse_document(r#"<img width="100" height="50">"#);
+        let img = doc.find_tag("img").unwrap();
+        let l = Layout::compute(&doc, Viewport::desktop());
+        let b = l.get(img).unwrap();
+        assert_eq!(b.area, 5000.0);
+        assert_eq!(b.class, ContentClass::Media);
+    }
+
+    #[test]
+    fn image_default_size() {
+        let doc = parse_document("<img>");
+        let img = doc.find_tag("img").unwrap();
+        let l = Layout::compute(&doc, Viewport::desktop());
+        assert_eq!(l.get(img).unwrap().area, DEFAULT_IMG_W * DEFAULT_IMG_H);
+    }
+
+    #[test]
+    fn above_fold_split() {
+        // A very tall element straddles the fold.
+        let text = "y".repeat(20_000);
+        let doc = parse_document(&format!("<div>{text}</div>"));
+        let div = doc.find_tag("div").unwrap();
+        let l = Layout::compute(&doc, Viewport::desktop());
+        let b = l.get(div).unwrap();
+        assert!(b.height > 800.0);
+        assert!(b.above_fold_area > 0.0);
+        assert!(b.above_fold_area < b.area);
+        // Above-fold part is exactly fold_y * width for a top-anchored box.
+        assert!((b.above_fold_area - 800.0 * 1280.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn classification() {
+        let doc = parse_document(
+            r#"<nav><a>home</a></nav><div id="mw-content-text"><p>body</p></div>
+               <div class="infobox">box</div><footer>f</footer>"#,
+        );
+        let l = Layout::compute(&doc, Viewport::desktop());
+        let by_name = |tag: &str| l.get(doc.find_tag(tag).unwrap()).unwrap().class;
+        assert_eq!(by_name("nav"), ContentClass::Navigation);
+        assert_eq!(by_name("p"), ContentClass::MainText);
+        assert_eq!(by_name("footer"), ContentClass::Auxiliary);
+        // The anchor inside nav inherits Navigation.
+        let a = doc.find_tag("a").unwrap();
+        assert_eq!(l.get(a).unwrap().class, ContentClass::Navigation);
+    }
+
+    #[test]
+    fn display_none_subtrees_are_not_painted() {
+        let doc = parse_document(
+            "<div id='visible'><p>shown</p></div>\
+             <div id='hidden' style='display:none'><p>not painted</p></div>",
+        );
+        let l = Layout::compute(&doc, Viewport::desktop());
+        assert!(l.get(doc.get_element_by_id("visible").unwrap()).is_some());
+        assert!(l.get(doc.get_element_by_id("hidden").unwrap()).is_none());
+        // Children of the hidden subtree have no boxes either.
+        let hidden_p = doc
+            .elements()
+            .into_iter()
+            .find(|&id| {
+                doc.element(id).map(|e| e.name == "p").unwrap_or(false)
+                    && doc.text_content(id) == "not painted"
+            })
+            .unwrap();
+        assert!(l.get(hidden_p).is_none());
+    }
+
+    #[test]
+    fn head_children_are_not_painted() {
+        let doc = parse_document("<head><title>t</title><style>x{}</style></head><body><p>a</p></body>");
+        let l = Layout::compute(&doc, Viewport::desktop());
+        assert!(l.get(doc.find_tag("title").unwrap()).is_none());
+        assert!(l.get(doc.find_tag("style").unwrap()).is_none());
+        assert!(l.get(doc.find_tag("p").unwrap()).is_some());
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let doc = parse_document("<p>hello world</p><img width=10 height=10>");
+        let l = Layout::compute(&doc, Viewport::desktop());
+        assert!(l.total_area() > 0.0);
+        assert!(l.total_above_fold() > 0.0);
+        assert!(l.total_above_fold() <= l.total_area());
+        assert!(!l.is_empty());
+    }
+
+    #[test]
+    fn area_by_class_sums_to_total() {
+        let doc = parse_document("<nav>n</nav><p>text here</p><img>");
+        let l = Layout::compute(&doc, Viewport::desktop());
+        let by_class = l.area_by_class();
+        let sum: f64 = by_class.values().sum();
+        assert!((sum - l.total_area()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mobile_viewport_narrower() {
+        let text = "z".repeat(1000);
+        let doc = parse_document(&format!("<p>{text}</p>"));
+        let p = doc.find_tag("p").unwrap();
+        let desk = Layout::compute(&doc, Viewport::desktop());
+        let mob = Layout::compute(&doc, Viewport::mobile());
+        assert!(mob.get(p).unwrap().height > desk.get(p).unwrap().height);
+    }
+}

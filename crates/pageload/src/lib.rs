@@ -1,0 +1,41 @@
+//! Page-load replay: the paper's signature mechanism.
+//!
+//! Kaleidoscope is "the first testing tool to replay page loading by
+//! controlling visual changes on a webpage": a JavaScript function injected
+//! into each compressed test page first hides every DOM element, then
+//! reveals them on a schedule given by the `web_page_load` test parameter —
+//! either a single number (`2000` = all elements appear at random times
+//! within 2 s) or per-locator times (`{"#main": 1000, "#content p": 1500}`).
+//!
+//! This crate reproduces that machinery:
+//!
+//! * [`LoadSpec`] — the `web_page_load` parameter, JSON-compatible with the
+//!   paper's two forms.
+//! * [`layout`] — an approximate box model assigning each element an area
+//!   and fold position (needed by the visual metrics).
+//! * [`RevealPlan`] — the per-element reveal schedule; it can be physically
+//!   injected into the page as the `kscope-reveal` script, and executed by
+//!   the virtual browser.
+//! * [`PaintTimeline`] + [`metrics`] — visual-completeness samples and the
+//!   metrics the paper discusses: TTFP, Above-the-fold time, Speed Index,
+//!   PLT, and a weighted user-perceived readiness model for uPLT.
+//! * [`recorder`] — turns an observed timeline back into a [`LoadSpec`],
+//!   reproducing the "record a real page load, then replay it" workflow.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod layout;
+pub mod metrics;
+pub mod network;
+pub mod recorder;
+pub mod reveal;
+pub mod spec;
+pub mod timeline;
+
+pub use layout::{ContentClass, Layout, LayoutBox, Viewport};
+pub use metrics::VisualMetrics;
+pub use network::{NetworkProfile, Waterfall, WaterfallResource};
+pub use reveal::{RevealEvent, RevealPlan, REVEAL_SCRIPT_ID};
+pub use spec::{LoadSpec, SelectorTiming, SpecError};
+pub use timeline::{PaintSample, PaintTimeline};

@@ -1,0 +1,286 @@
+//! Visual page-load metrics.
+//!
+//! The paper (§III-B, §V) frames page-load quality through visual metrics:
+//! Time to First Paint, Above-the-fold time, Speed Index, and user-perceived
+//! page load time (uPLT). All are functionals of the paint curve in
+//! [`PaintTimeline`]. The uPLT model here is the
+//! weighted-readiness formalization of the paper's case-study finding: users
+//! weight the main text content far more than auxiliary content, so two
+//! pages with identical ATF can have very different uPLT.
+
+use crate::layout::{ContentClass, Layout};
+use crate::timeline::PaintTimeline;
+use std::collections::HashMap;
+
+/// The visual metrics of one page load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VisualMetrics {
+    /// Time to First Paint: first instant with any painted area (ms).
+    pub ttfp_ms: u64,
+    /// Above-the-fold time: first instant the viewport area is fully
+    /// painted (ms).
+    pub atf_ms: u64,
+    /// Speed Index: `∫ (1 - completeness(t)) dt` over the load (ms).
+    pub speed_index_ms: f64,
+    /// Visual load completion — last paint event (the "PLT" analogue, ms).
+    pub plt_ms: u64,
+}
+
+impl VisualMetrics {
+    /// Computes all metrics from a paint timeline.
+    pub fn from_timeline(tl: &PaintTimeline) -> Self {
+        Self {
+            ttfp_ms: ttfp(tl),
+            atf_ms: atf(tl),
+            speed_index_ms: speed_index(tl),
+            plt_ms: tl.last_paint_ms(),
+        }
+    }
+}
+
+/// Time to First Paint: the first sample with non-zero completeness.
+pub fn ttfp(tl: &PaintTimeline) -> u64 {
+    tl.samples()
+        .iter()
+        .find(|s| s.completeness > 0.0)
+        .map(|s| s.t_ms)
+        .unwrap_or_else(|| tl.last_paint_ms())
+}
+
+/// Above-the-fold time: the first sample where the above-fold area is fully
+/// painted.
+pub fn atf(tl: &PaintTimeline) -> u64 {
+    tl.samples()
+        .iter()
+        .find(|s| s.atf_completeness >= 1.0 - 1e-9)
+        .map(|s| s.t_ms)
+        .unwrap_or_else(|| tl.last_paint_ms())
+}
+
+/// Speed Index: the area above the completeness curve,
+/// `∫₀^end (1 - completeness(t)) dt`, in milliseconds. Lower is better; a
+/// page that paints everything instantly scores 0.
+pub fn speed_index(tl: &PaintTimeline) -> f64 {
+    let samples = tl.samples();
+    let mut si = 0.0;
+    for w in samples.windows(2) {
+        let dt = (w[1].t_ms - w[0].t_ms) as f64;
+        si += (1.0 - w[0].completeness) * dt;
+    }
+    si
+}
+
+/// Weights for the perceived-readiness (uPLT) model. Each content class
+/// contributes its painted fraction scaled by the user's attention weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpltWeights {
+    weights: HashMap<ContentClass, f64>,
+    /// Readiness threshold in `[0, 1]`: the page "seems ready to use" when
+    /// the weighted painted fraction crosses this value.
+    pub threshold: f64,
+}
+
+impl UpltWeights {
+    /// Builds a weight table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if weights are not all positive or the threshold is outside
+    /// `(0, 1]`.
+    pub fn new(weights: HashMap<ContentClass, f64>, threshold: f64) -> Self {
+        assert!(!weights.is_empty(), "need at least one class weight");
+        assert!(weights.values().all(|&w| w > 0.0), "weights must be positive");
+        assert!(threshold > 0.0 && threshold <= 1.0, "threshold must be in (0,1]");
+        Self { weights, threshold }
+    }
+
+    /// The paper's finding as defaults: main text dominates perception
+    /// (weight 0.6), media 0.2, navigation 0.12, auxiliary 0.08; a page
+    /// feels ready at 80% weighted readiness.
+    pub fn reader_defaults() -> Self {
+        let mut w = HashMap::new();
+        w.insert(ContentClass::MainText, 0.60);
+        w.insert(ContentClass::Media, 0.20);
+        w.insert(ContentClass::Navigation, 0.12);
+        w.insert(ContentClass::Auxiliary, 0.08);
+        Self::new(w, 0.8)
+    }
+
+    /// A control model that weights every class purely by its area — this is
+    /// what a pure visual-change metric (like Speed Index) implicitly
+    /// assumes, and the "I only care about visual changes" commenter in the
+    /// paper.
+    pub fn area_uniform() -> Self {
+        let mut w = HashMap::new();
+        w.insert(ContentClass::MainText, 1.0);
+        w.insert(ContentClass::Media, 1.0);
+        w.insert(ContentClass::Navigation, 1.0);
+        w.insert(ContentClass::Auxiliary, 1.0);
+        Self::new(w, 0.8)
+    }
+
+    /// The weight for a class (0 if absent).
+    pub fn weight(&self, class: ContentClass) -> f64 {
+        self.weights.get(&class).copied().unwrap_or(0.0)
+    }
+
+    /// Weighted readiness at time `t`: `Σ w_c · painted_c(t) / Σ w_c` over
+    /// classes that actually have area on the page.
+    pub fn readiness_at(&self, tl: &PaintTimeline, layout: &Layout, t_ms: u64) -> f64 {
+        let present = layout.area_by_class();
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (&class, &weight) in &self.weights {
+            if present.get(&class).copied().unwrap_or(0.0) <= 0.0 {
+                continue;
+            }
+            num += weight * tl.class_completeness_at(class, t_ms, layout);
+            den += weight;
+        }
+        if den == 0.0 {
+            // Page has none of the weighted classes; fall back to raw area.
+            tl.completeness_at(t_ms)
+        } else {
+            num / den
+        }
+    }
+
+    /// User-perceived page load time: the earliest paint event at which the
+    /// weighted readiness crosses the threshold.
+    pub fn uplt_ms(&self, tl: &PaintTimeline, layout: &Layout) -> u64 {
+        for s in tl.samples() {
+            if self.readiness_at(tl, layout, s.t_ms) >= self.threshold {
+                return s.t_ms;
+            }
+        }
+        tl.last_paint_ms()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::Viewport;
+    use crate::reveal::RevealPlan;
+    use crate::spec::LoadSpec;
+    use kscope_html::parse_document;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn load(html: &str, spec_json: serde_json::Value) -> (Layout, PaintTimeline) {
+        let doc = parse_document(html);
+        let layout = Layout::compute(&doc, Viewport::desktop());
+        let spec = LoadSpec::from_json(&spec_json).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let plan = RevealPlan::build(&doc, &layout, &spec, &mut rng);
+        let tl = PaintTimeline::from_plan(&doc, &layout, &plan);
+        (layout, tl)
+    }
+
+    const TWO_PART_PAGE: &str = r#"
+        <nav id="navbar"><a>home</a><a>about</a></nav>
+        <div id="content"><p>The main article text, long enough to matter for
+        any reader who came to this page to actually read something.</p></div>"#;
+
+    #[test]
+    fn instant_page_scores_zero_speed_index() {
+        let (_, tl) = load("<p>x</p>", serde_json::json!(0));
+        let m = VisualMetrics::from_timeline(&tl);
+        assert_eq!(m.ttfp_ms, 0);
+        assert_eq!(m.atf_ms, 0);
+        assert_eq!(m.speed_index_ms, 0.0);
+        assert_eq!(m.plt_ms, 0);
+    }
+
+    #[test]
+    fn staged_page_metrics() {
+        let (_, tl) = load(TWO_PART_PAGE, serde_json::json!({"#navbar": 1000, "#content": 3000}));
+        let m = VisualMetrics::from_timeline(&tl);
+        assert_eq!(m.ttfp_ms, 1000);
+        assert_eq!(m.atf_ms, 3000);
+        assert_eq!(m.plt_ms, 3000);
+        assert!(m.speed_index_ms > 0.0 && m.speed_index_ms < 3000.0);
+    }
+
+    #[test]
+    fn speed_index_rewards_early_paint() {
+        // Same completion time, but one page paints the (dominant) main
+        // content early. Make the article long enough to dominate the nav.
+        let body = "lorem ipsum dolor sit amet ".repeat(80);
+        let page = format!(
+            r#"<nav id="navbar"><a>home</a></nav><div id="content"><p>{body}</p></div>"#
+        );
+        let early = load(&page, serde_json::json!({"#navbar": 3000, "#content": 500})).1;
+        let late = load(&page, serde_json::json!({"#navbar": 500, "#content": 3000})).1;
+        assert!(
+            speed_index(&early) < speed_index(&late),
+            "painting the large main content early must lower Speed Index"
+        );
+    }
+
+    #[test]
+    fn paper_case_study_uplt_shape() {
+        // Version A: nav at 2s, main text at 4s.
+        // Version B: nav at 4s, main text at 2s. Both complete at 4s (same ATF).
+        let (layout_a, tl_a) =
+            load(TWO_PART_PAGE, serde_json::json!({"#navbar": 2000, "#content": 4000}));
+        let (layout_b, tl_b) =
+            load(TWO_PART_PAGE, serde_json::json!({"#navbar": 4000, "#content": 2000}));
+        assert_eq!(atf(&tl_a), atf(&tl_b), "paper: both versions share ATF");
+        let w = UpltWeights::reader_defaults();
+        let uplt_a = w.uplt_ms(&tl_a, &layout_a);
+        let uplt_b = w.uplt_ms(&tl_b, &layout_b);
+        assert!(
+            uplt_b < uplt_a,
+            "text-first version must feel ready sooner: {uplt_b} vs {uplt_a}"
+        );
+    }
+
+    #[test]
+    fn readiness_monotone_and_bounded() {
+        let (layout, tl) =
+            load(TWO_PART_PAGE, serde_json::json!({"#navbar": 1000, "#content": 2000}));
+        let w = UpltWeights::reader_defaults();
+        let mut prev = -1.0;
+        for t in [0u64, 500, 1000, 1500, 2000, 5000] {
+            let r = w.readiness_at(&tl, &layout, t);
+            assert!((0.0..=1.0 + 1e-9).contains(&r));
+            assert!(r >= prev);
+            prev = r;
+        }
+        assert!((w.readiness_at(&tl, &layout, 2000) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn area_uniform_matches_raw_completeness_shape() {
+        let (layout, tl) =
+            load(TWO_PART_PAGE, serde_json::json!({"#navbar": 1000, "#content": 2000}));
+        let w = UpltWeights::area_uniform();
+        // With equal class weights the readiness still differs from raw area
+        // (classes are normalized), but it must be complete when the page is.
+        assert!((w.readiness_at(&tl, &layout, 2000) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ttfp_of_never_painting_page() {
+        // A page with no laid-out elements (only head content).
+        let (_, tl) = load("<head><title>t</title></head>", serde_json::json!(1000));
+        let m = VisualMetrics::from_timeline(&tl);
+        assert_eq!(m.ttfp_ms, m.plt_ms);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be in (0,1]")]
+    fn weights_reject_bad_threshold() {
+        let mut w = HashMap::new();
+        w.insert(ContentClass::MainText, 1.0);
+        let _ = UpltWeights::new(w, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be positive")]
+    fn weights_reject_nonpositive() {
+        let mut w = HashMap::new();
+        w.insert(ContentClass::MainText, 0.0);
+        let _ = UpltWeights::new(w, 0.5);
+    }
+}

@@ -1,0 +1,369 @@
+//! Network profiles: derive a reveal schedule from connection conditions.
+//!
+//! §I/§III-A: storing test pages locally "allows fine-grained control on
+//! the 'speed' at which Web objects are loaded thus emulating different
+//! testing conditions (e.g., 'network profiles')". This module closes that
+//! loop: given the resources of a saved page and a [`NetworkProfile`], a
+//! waterfall simulator computes when each object would finish downloading
+//! over that connection, and emits the corresponding per-selector
+//! [`LoadSpec`] — which the aggregator then injects like any hand-written
+//! schedule.
+
+use crate::spec::{LoadSpec, SelectorTiming};
+
+/// A simulated connection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkProfile {
+    /// Human-readable name.
+    pub name: String,
+    /// Round-trip time per request, milliseconds.
+    pub rtt_ms: f64,
+    /// Downstream bandwidth, kilobits per second.
+    pub bandwidth_kbps: f64,
+    /// Number of parallel connections the browser opens (classic HTTP/1.1
+    /// browsers use 6 per origin).
+    pub parallel_connections: usize,
+}
+
+impl NetworkProfile {
+    /// Creates a profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive rtt/bandwidth or zero connections.
+    pub fn new(name: &str, rtt_ms: f64, bandwidth_kbps: f64, parallel: usize) -> Self {
+        assert!(rtt_ms > 0.0 && bandwidth_kbps > 0.0, "rtt and bandwidth must be positive");
+        assert!(parallel > 0, "need at least one connection");
+        Self {
+            name: name.to_string(),
+            rtt_ms,
+            bandwidth_kbps,
+            parallel_connections: parallel,
+        }
+    }
+
+    /// Fast broadband: 10 ms RTT, 100 Mbit/s.
+    pub fn fiber() -> Self {
+        Self::new("fiber", 10.0, 100_000.0, 6)
+    }
+
+    /// Typical cable: 28 ms RTT, 20 Mbit/s.
+    pub fn cable() -> Self {
+        Self::new("cable", 28.0, 20_000.0, 6)
+    }
+
+    /// Fast 4G: 70 ms RTT, 9 Mbit/s.
+    pub fn lte() -> Self {
+        Self::new("4g", 70.0, 9_000.0, 6)
+    }
+
+    /// Regular 3G: 300 ms RTT, 1.6 Mbit/s.
+    pub fn three_g() -> Self {
+        Self::new("3g", 300.0, 1_600.0, 6)
+    }
+
+    /// 2G/EDGE-class: 800 ms RTT, 280 kbit/s.
+    pub fn two_g() -> Self {
+        Self::new("2g", 800.0, 280.0, 6)
+    }
+
+    /// Time to fetch one resource of `bytes` over an idle connection:
+    /// one RTT of latency plus serialized transfer time.
+    pub fn fetch_ms(&self, bytes: usize) -> f64 {
+        self.rtt_ms + (bytes as f64 * 8.0 / 1000.0) / self.bandwidth_kbps * 1000.0
+    }
+}
+
+/// One object of the page, as the waterfall sees it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaterfallResource {
+    /// The CSS locator of the element(s) this resource unlocks
+    /// (e.g. `#infobox img` for an image, `body` for the main document).
+    pub selector: String,
+    /// Transfer size in bytes.
+    pub bytes: usize,
+    /// Whether the resource blocks first paint (the main document and
+    /// stylesheets do; images do not).
+    pub render_blocking: bool,
+}
+
+/// The computed waterfall: per-resource completion times plus the derived
+/// reveal schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Waterfall {
+    /// `(selector, completion_ms)` per resource, in completion order.
+    pub completions: Vec<(String, u64)>,
+    /// When the render-blocking set finished (first-paint gate).
+    pub blocking_done_ms: u64,
+}
+
+impl Waterfall {
+    /// Simulates the download of `resources` over `profile` as an HTTP/1.1
+    /// waterfall.
+    ///
+    /// Render-blocking resources are fetched first (in input order), then
+    /// the rest. The parallel connections *share* the link bandwidth —
+    /// transfers are serialized at the link rate — so parallelism only
+    /// overlaps the per-request round trips: a resource in request round
+    /// `r` (rounds of `parallel_connections` requests each) completes at
+    /// `(r + 1) · RTT + cumulative_bytes / bandwidth`. Simplified (no
+    /// priorities or preloading) but with the right shape: latency-bound on
+    /// many small objects, bandwidth-bound on large ones.
+    pub fn simulate(profile: &NetworkProfile, resources: &[WaterfallResource]) -> Self {
+        let mut completions: Vec<(String, u64)> = Vec::with_capacity(resources.len());
+        let mut blocking_done = 0.0f64;
+        let mut transferred_ms = 0.0f64;
+        let ordered = resources
+            .iter()
+            .filter(|r| r.render_blocking)
+            .chain(resources.iter().filter(|r| !r.render_blocking));
+        for (idx, res) in ordered.enumerate() {
+            let round = idx / profile.parallel_connections;
+            transferred_ms +=
+                (res.bytes as f64 * 8.0 / 1000.0) / profile.bandwidth_kbps * 1000.0;
+            let done = (round + 1) as f64 * profile.rtt_ms + transferred_ms;
+            if res.render_blocking {
+                blocking_done = blocking_done.max(done);
+            }
+            completions.push((res.selector.clone(), done.round() as u64));
+        }
+        completions.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        Self { completions, blocking_done_ms: blocking_done.round() as u64 }
+    }
+
+    /// Simulates an HTTP/2-style download: one multiplexed connection, a
+    /// single connection-setup round trip, and all resources sharing the
+    /// link bandwidth in priority order (render-blocking first). Compared
+    /// to the HTTP/1.1 waterfall this saves one RTT *per object* — the
+    /// difference Kaleidoscope's page-load replay can expose to real
+    /// testers ("comparing http/1.1 and http/2.0", §IV-C).
+    pub fn simulate_h2(profile: &NetworkProfile, resources: &[WaterfallResource]) -> Self {
+        let mut completions: Vec<(String, u64)> = Vec::with_capacity(resources.len());
+        let mut blocking_done = 0.0f64;
+        let mut elapsed = profile.rtt_ms; // one setup round trip for all
+        let ordered = resources
+            .iter()
+            .filter(|r| r.render_blocking)
+            .chain(resources.iter().filter(|r| !r.render_blocking));
+        for res in ordered {
+            elapsed += (res.bytes as f64 * 8.0 / 1000.0) / profile.bandwidth_kbps * 1000.0;
+            if res.render_blocking {
+                blocking_done = blocking_done.max(elapsed);
+            }
+            completions.push((res.selector.clone(), elapsed.round() as u64));
+        }
+        completions.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        Self { completions, blocking_done_ms: blocking_done.round() as u64 }
+    }
+
+    /// Converts the waterfall into a per-selector [`LoadSpec`]: an element
+    /// appears when its resource finished, but never before the
+    /// render-blocking set is done (the browser cannot paint earlier).
+    pub fn to_load_spec(&self) -> LoadSpec {
+        let timings = self
+            .completions
+            .iter()
+            .map(|(selector, done)| SelectorTiming {
+                selector: selector.clone(),
+                at_ms: (*done).max(self.blocking_done_ms),
+            })
+            .collect();
+        LoadSpec::PerSelector(timings)
+    }
+
+    /// Total time until everything is fetched (ms).
+    pub fn total_ms(&self) -> u64 {
+        self.completions.iter().map(|&(_, t)| t).max().unwrap_or(0)
+    }
+}
+
+/// The default resource breakdown of a page like the corpus article: the
+/// HTML document and stylesheet are render-blocking; images are not.
+pub fn article_resources(html_bytes: usize, css_bytes: usize, images: &[(String, usize)]) -> Vec<WaterfallResource> {
+    let mut out = vec![
+        WaterfallResource {
+            selector: "body".to_string(),
+            bytes: html_bytes,
+            render_blocking: true,
+        },
+        WaterfallResource {
+            selector: "#content".to_string(),
+            bytes: css_bytes,
+            render_blocking: true,
+        },
+    ];
+    for (selector, bytes) in images {
+        out.push(WaterfallResource {
+            selector: selector.clone(),
+            bytes: *bytes,
+            render_blocking: false,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_resources() -> Vec<WaterfallResource> {
+        article_resources(
+            40_000,
+            8_000,
+            &[
+                ("#infobox img".to_string(), 120_000),
+                ("#content img".to_string(), 60_000),
+            ],
+        )
+    }
+
+    #[test]
+    fn fetch_time_decomposes() {
+        let p = NetworkProfile::new("t", 100.0, 1_000.0, 6);
+        // 100 ms RTT + 1000 bytes = 8 kbit over 1000 kbps = 8 ms.
+        assert!((p.fetch_ms(1000) - 108.0).abs() < 1e-9);
+        // Zero bytes still costs a round trip.
+        assert!((p.fetch_ms(0) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slower_profiles_are_strictly_slower() {
+        let resources = sample_resources();
+        let mut last = 0u64;
+        for p in [
+            NetworkProfile::fiber(),
+            NetworkProfile::cable(),
+            NetworkProfile::lte(),
+            NetworkProfile::three_g(),
+            NetworkProfile::two_g(),
+        ] {
+            let w = Waterfall::simulate(&p, &resources);
+            assert!(w.total_ms() > last, "{} not slower than previous", p.name);
+            last = w.total_ms();
+        }
+    }
+
+    #[test]
+    fn blocking_resources_gate_first_paint() {
+        let w = Waterfall::simulate(&NetworkProfile::three_g(), &sample_resources());
+        let spec = w.to_load_spec();
+        match &spec {
+            LoadSpec::PerSelector(ts) => {
+                for t in ts {
+                    assert!(
+                        t.at_ms >= w.blocking_done_ms,
+                        "{} revealed before render-blocking set finished",
+                        t.selector
+                    );
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parallelism_helps_on_many_objects() {
+        let many: Vec<WaterfallResource> = (0..12)
+            .map(|i| WaterfallResource {
+                selector: format!("#img-{i}"),
+                bytes: 10_000,
+                render_blocking: false,
+            })
+            .collect();
+        let serial = NetworkProfile::new("serial", 100.0, 10_000.0, 1);
+        let parallel = NetworkProfile::new("parallel", 100.0, 10_000.0, 6);
+        let ws = Waterfall::simulate(&serial, &many);
+        let wp = Waterfall::simulate(&parallel, &many);
+        assert!(
+            wp.total_ms() * 3 < ws.total_ms(),
+            "6 lanes should be much faster: {} vs {}",
+            wp.total_ms(),
+            ws.total_ms()
+        );
+    }
+
+    #[test]
+    fn bandwidth_dominates_large_transfers() {
+        // One huge image: halving bandwidth roughly doubles total time.
+        let big = vec![WaterfallResource {
+            selector: "#hero".to_string(),
+            bytes: 2_000_000,
+            render_blocking: false,
+        }];
+        let fast = NetworkProfile::new("fast", 10.0, 10_000.0, 6);
+        let slow = NetworkProfile::new("slow", 10.0, 5_000.0, 6);
+        let tf = Waterfall::simulate(&fast, &big).total_ms() as f64;
+        let ts = Waterfall::simulate(&slow, &big).total_ms() as f64;
+        assert!((ts / tf - 2.0).abs() < 0.1, "ratio {}", ts / tf);
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let w = Waterfall::simulate(&NetworkProfile::cable(), &sample_resources());
+        let spec = w.to_load_spec();
+        let back = LoadSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back.duration_ms(), spec.duration_ms());
+    }
+
+    #[test]
+    fn completions_sorted() {
+        let w = Waterfall::simulate(&NetworkProfile::lte(), &sample_resources());
+        assert!(w.completions.windows(2).all(|p| p[0].1 <= p[1].1));
+        assert_eq!(w.completions.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn profile_rejects_zero_bandwidth() {
+        let _ = NetworkProfile::new("x", 10.0, 0.0, 1);
+    }
+
+    #[test]
+    fn h2_beats_h1_on_many_small_objects() {
+        // 30 small objects on a high-latency link: h1 pays an RTT per
+        // object (amortized over 6 lanes); h2 pays one RTT total.
+        let many: Vec<WaterfallResource> = (0..30)
+            .map(|i| WaterfallResource {
+                selector: format!("#o{i}"),
+                bytes: 4_000,
+                render_blocking: false,
+            })
+            .collect();
+        let profile = NetworkProfile::new("satellite", 400.0, 8_000.0, 6);
+        let h1 = Waterfall::simulate(&profile, &many);
+        let h2 = Waterfall::simulate_h2(&profile, &many);
+        assert!(
+            h2.total_ms() * 2 < h1.total_ms(),
+            "h2 {} vs h1 {}",
+            h2.total_ms(),
+            h1.total_ms()
+        );
+    }
+
+    #[test]
+    fn h2_gains_shrink_for_one_large_object() {
+        // A single big transfer is bandwidth-bound: protocols tie within
+        // one round trip.
+        let big = vec![WaterfallResource {
+            selector: "#hero".into(),
+            bytes: 1_000_000,
+            render_blocking: false,
+        }];
+        let profile = NetworkProfile::cable();
+        let h1 = Waterfall::simulate(&profile, &big);
+        let h2 = Waterfall::simulate_h2(&profile, &big);
+        assert!(h2.total_ms() <= h1.total_ms());
+        assert!(h1.total_ms() - h2.total_ms() <= profile.rtt_ms as u64 + 1);
+    }
+
+    #[test]
+    fn h2_respects_blocking_gate() {
+        let w = Waterfall::simulate_h2(&NetworkProfile::three_g(), &sample_resources());
+        match w.to_load_spec() {
+            LoadSpec::PerSelector(ts) => {
+                assert!(ts.iter().all(|t| t.at_ms >= w.blocking_done_ms));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Filmstrip recorder: from an observed load back to a replayable spec.
+//!
+//! §III-B: "one can first record the video of loading a real world webpage
+//! within a browser … then the values of `web_page_load` are set according
+//! to the display times of the real world page load — which parts are shown
+//! at what time." This module closes that loop: given an executed
+//! [`RevealPlan`], it reconstructs a per-selector [`LoadSpec`] using stable
+//! CSS locators derived from the DOM, quantized to a frame interval the way
+//! a real video-derived filmstrip would be.
+
+use crate::reveal::RevealPlan;
+use crate::spec::{LoadSpec, SelectorTiming};
+use kscope_html::{Document, NodeId, NodeKind};
+
+/// Reconstructs a per-selector load spec from an observed plan.
+///
+/// `frame_ms` models the filmstrip frame interval (e.g. 100 ms at 10 fps):
+/// every reveal time is quantized *up* to the next frame boundary, because a
+/// video only shows that an element had appeared by the frame after it
+/// painted.
+///
+/// # Panics
+///
+/// Panics if `frame_ms == 0`.
+pub fn record_spec(doc: &Document, plan: &RevealPlan, frame_ms: u64) -> LoadSpec {
+    assert!(frame_ms > 0, "frame interval must be positive");
+    let mut timings: Vec<SelectorTiming> = plan
+        .events()
+        .iter()
+        .map(|e| SelectorTiming {
+            selector: css_locator(doc, e.node),
+            at_ms: quantize_up(e.at_ms, frame_ms),
+        })
+        .collect();
+    timings.sort_by(|a, b| a.at_ms.cmp(&b.at_ms).then_with(|| a.selector.cmp(&b.selector)));
+    timings.dedup();
+    LoadSpec::PerSelector(timings)
+}
+
+fn quantize_up(t: u64, frame: u64) -> u64 {
+    t.div_ceil(frame) * frame
+}
+
+/// Derives a stable CSS locator for an element: prefers `#id`; otherwise
+/// builds a `parent > tag:nth-child(k)` path up to the nearest ancestor
+/// with an id (or the root). The `:nth-child` step disambiguates between
+/// same-tag siblings, so the recorded spec re-targets exactly the elements
+/// that were observed.
+pub fn css_locator(doc: &Document, node: NodeId) -> String {
+    if let Some(el) = doc.element(node) {
+        if let Some(id) = el.id() {
+            if !id.is_empty() {
+                return format!("#{id}");
+            }
+        }
+    }
+    let mut parts: Vec<String> = Vec::new();
+    let mut cur = Some(node);
+    while let Some(id) = cur {
+        match &doc.node(id).kind {
+            NodeKind::Element(el) => {
+                if let Some(dom_id) = el.id() {
+                    if !dom_id.is_empty() {
+                        parts.push(format!("#{dom_id}"));
+                        break;
+                    }
+                }
+                // Position among element siblings (1-based); omit the
+                // suffix when the element is an only child of its kind.
+                let step = match doc.parent(id) {
+                    Some(p) => {
+                        let siblings: Vec<NodeId> = doc
+                            .children(p)
+                            .iter()
+                            .copied()
+                            .filter(|&c| doc.element(c).is_some())
+                            .collect();
+                        if siblings.len() > 1 {
+                            let pos = siblings
+                                .iter()
+                                .position(|&c| c == id)
+                                .expect("node is its parent's child")
+                                + 1;
+                            format!("{}:nth-child({pos})", el.name)
+                        } else {
+                            el.name.clone()
+                        }
+                    }
+                    None => el.name.clone(),
+                };
+                parts.push(step);
+            }
+            NodeKind::Document => break,
+            _ => {}
+        }
+        cur = doc.parent(id);
+    }
+    parts.reverse();
+    parts.join(" > ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{Layout, Viewport};
+    use crate::timeline::PaintTimeline;
+    use kscope_html::parse_document;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn quantization_rounds_up() {
+        assert_eq!(quantize_up(0, 100), 0);
+        assert_eq!(quantize_up(1, 100), 100);
+        assert_eq!(quantize_up(100, 100), 100);
+        assert_eq!(quantize_up(101, 100), 200);
+    }
+
+    #[test]
+    fn locator_prefers_id() {
+        let doc = parse_document(r#"<div id="main"><p>t</p></div>"#);
+        let div = doc.get_element_by_id("main").unwrap();
+        assert_eq!(css_locator(&doc, div), "#main");
+    }
+
+    #[test]
+    fn locator_builds_path_to_nearest_id() {
+        let doc = parse_document(r#"<div id="main"><section><p>t</p></section></div>"#);
+        let p = doc.find_tag("p").unwrap();
+        assert_eq!(css_locator(&doc, p), "#main > section > p");
+    }
+
+    #[test]
+    fn locator_without_ids_is_tag_path() {
+        let doc = parse_document("<div><p>t</p></div>");
+        let p = doc.find_tag("p").unwrap();
+        assert_eq!(css_locator(&doc, p), "div > p");
+    }
+
+    #[test]
+    fn locator_disambiguates_siblings() {
+        let doc = parse_document("<div><p>a</p><p>b</p></div>");
+        let second = *doc
+            .elements()
+            .iter()
+            .filter(|&&id| doc.element(id).map(|e| e.name == "p").unwrap_or(false))
+            .nth(1)
+            .unwrap();
+        let locator = css_locator(&doc, second);
+        assert_eq!(locator, "div > p:nth-child(2)");
+        // The locator resolves back to exactly that element.
+        let sel: kscope_html::Selector = locator.parse().unwrap();
+        assert_eq!(doc.select(&sel), vec![second]);
+    }
+
+    #[test]
+    fn recorded_locators_resolve_uniquely() {
+        // Every locator the recorder emits re-selects exactly one element
+        // (or a set with identical reveal times).
+        let doc = parse_document(
+            "<div id='a'><p>x</p><p>y</p><span>z</span></div><div><p>w</p></div>",
+        );
+        for id in doc.elements() {
+            let locator = css_locator(&doc, id);
+            let sel: kscope_html::Selector = locator.parse().unwrap();
+            let hits = doc.select(&sel);
+            assert!(hits.contains(&id), "locator '{locator}' lost its element");
+            assert_eq!(hits.len(), 1, "locator '{locator}' is ambiguous: {hits:?}");
+        }
+    }
+
+    #[test]
+    fn record_replay_roundtrip_preserves_paint_curve() {
+        // Build a random plan, record it at 100ms frames, replay the
+        // recorded spec: the replayed curve must complete no earlier and at
+        // most one frame later.
+        let html = r#"<div id="nav"><a>x</a></div><div id="body"><p>text</p><p>more</p></div>"#;
+        let doc = parse_document(html);
+        let layout = Layout::compute(&doc, Viewport::desktop());
+        let mut rng = StdRng::seed_from_u64(21);
+        let original =
+            RevealPlan::build(&doc, &layout, &LoadSpec::Uniform(2000), &mut rng);
+        let spec = record_spec(&doc, &original, 100);
+        let mut rng2 = StdRng::seed_from_u64(0);
+        let replayed = RevealPlan::build(&doc, &layout, &spec, &mut rng2);
+        let tl_orig = PaintTimeline::from_plan(&doc, &layout, &original);
+        let tl_rep = PaintTimeline::from_plan(&doc, &layout, &replayed);
+        assert!(tl_rep.last_paint_ms() >= tl_orig.last_paint_ms());
+        assert!(tl_rep.last_paint_ms() <= tl_orig.last_paint_ms() + 100);
+        // Completeness at any frame boundary in the replay never exceeds the
+        // original's (video can only under-report speed).
+        for t in (0..=2200).step_by(100) {
+            assert!(tl_rep.completeness_at(t) <= tl_orig.completeness_at(t) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn recorded_spec_is_per_selector() {
+        let doc = parse_document(r#"<div id="a">x</div>"#);
+        let layout = Layout::compute(&doc, Viewport::desktop());
+        let mut rng = StdRng::seed_from_u64(2);
+        let plan = RevealPlan::build(&doc, &layout, &LoadSpec::Uniform(1000), &mut rng);
+        match record_spec(&doc, &plan, 50) {
+            LoadSpec::PerSelector(ts) => {
+                assert!(!ts.is_empty());
+                assert!(ts.iter().any(|t| t.selector == "#a"));
+            }
+            other => panic!("expected per-selector spec, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "frame interval must be positive")]
+    fn zero_frame_rejected() {
+        let doc = parse_document("<p>x</p>");
+        let plan = RevealPlan::default();
+        let _ = record_spec(&doc, &plan, 0);
+    }
+}

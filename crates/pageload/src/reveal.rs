@@ -1,0 +1,324 @@
+//! Reveal plans: the injected "hide all, then show on schedule" function.
+//!
+//! The paper injects a JavaScript function into each compressed test page
+//! that first hides all DOM elements and then reveals them according to the
+//! `web_page_load` parameter. [`RevealPlan`] is the materialized schedule;
+//! [`RevealPlan::inject`] physically embeds it (plus the loader stub) into
+//! the document so the produced single-file page carries the same artifact
+//! a real Kaleidoscope page would.
+
+use crate::layout::Layout;
+use crate::spec::LoadSpec;
+use kscope_html::{Document, NodeId, Selector};
+use rand::{Rng, RngExt};
+use serde_json::json;
+
+/// The DOM id of the injected reveal script.
+pub const REVEAL_SCRIPT_ID: &str = "kscope-reveal";
+
+/// One scheduled reveal: an element becomes visible at `at_ms`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RevealEvent {
+    /// The element being revealed.
+    pub node: NodeId,
+    /// Reveal time (ms from navigation start).
+    pub at_ms: u64,
+    /// Painted area of the element (px²), from the layout.
+    pub area: f64,
+    /// Above-the-fold portion of that area (px²).
+    pub above_fold_area: f64,
+}
+
+/// A complete reveal schedule for one page.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RevealPlan {
+    events: Vec<RevealEvent>,
+}
+
+impl RevealPlan {
+    /// Builds a reveal plan from a load spec.
+    ///
+    /// * `Uniform(t)` — every laid-out element gets an independent
+    ///   `U[0, t]` reveal time drawn from `rng`.
+    /// * `PerSelector` — elements matching a locator reveal at its time
+    ///   (the latest time wins if several locators match); descendants of a
+    ///   scheduled element inherit its time unless they match their own
+    ///   locator; unmatched elements reveal at t = 0.
+    ///
+    /// Selectors that fail to parse are skipped (the paper's tool treats
+    /// locator typos as "no such element").
+    pub fn build<R: Rng + ?Sized>(
+        doc: &Document,
+        layout: &Layout,
+        spec: &LoadSpec,
+        rng: &mut R,
+    ) -> Self {
+        let elements: Vec<NodeId> =
+            doc.elements().into_iter().filter(|&id| layout.get(id).is_some()).collect();
+        let mut times: Vec<(NodeId, u64)> = Vec::with_capacity(elements.len());
+        match spec {
+            LoadSpec::Uniform(t) => {
+                for &id in &elements {
+                    let at = if *t == 0 { 0 } else { rng.random_range(0..=*t) };
+                    times.push((id, at));
+                }
+            }
+            LoadSpec::PerSelector(timings) => {
+                // Resolve each locator to its element set once.
+                let mut scheduled: Vec<(NodeId, u64)> = Vec::new();
+                for timing in timings {
+                    if let Ok(sel) = timing.selector.parse::<Selector>() {
+                        for id in doc.select(&sel) {
+                            scheduled.push((id, timing.at_ms));
+                        }
+                    }
+                }
+                for &id in &elements {
+                    // Own schedule (latest wins), else nearest scheduled
+                    // ancestor, else 0.
+                    let own = scheduled
+                        .iter()
+                        .filter(|(n, _)| *n == id)
+                        .map(|&(_, t)| t)
+                        .max();
+                    let at = own.unwrap_or_else(|| {
+                        let mut cur = doc.parent(id);
+                        while let Some(p) = cur {
+                            if let Some(t) = scheduled
+                                .iter()
+                                .filter(|(n, _)| *n == p)
+                                .map(|&(_, t)| t)
+                                .max()
+                            {
+                                return t;
+                            }
+                            cur = doc.parent(p);
+                        }
+                        0
+                    });
+                    times.push((id, at));
+                }
+            }
+        }
+        let mut events: Vec<RevealEvent> = times
+            .into_iter()
+            .map(|(node, at_ms)| {
+                let b = layout.get(node).expect("filtered to laid-out elements");
+                RevealEvent { node, at_ms, area: b.area, above_fold_area: b.above_fold_area }
+            })
+            .collect();
+        events.sort_by_key(|e| (e.at_ms, e.node));
+        Self { events }
+    }
+
+    /// The scheduled events, sorted by reveal time.
+    pub fn events(&self) -> &[RevealEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled elements.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Time of the last reveal (ms); 0 for an empty plan.
+    pub fn completion_ms(&self) -> u64 {
+        self.events.last().map(|e| e.at_ms).unwrap_or(0)
+    }
+
+    /// Injects the plan into the document as the `kscope-reveal` script —
+    /// a JSON payload plus the loader that hides everything and reveals on
+    /// schedule, mirroring the paper's injected JavaScript function.
+    ///
+    /// Elements are addressed by their *document-order element ordinal*
+    /// (the index `document.querySelectorAll('*')` would give them), which
+    /// survives serialize → parse round-trips; arena node ids do not.
+    ///
+    /// Returns the id of the created script element.
+    pub fn inject(&self, doc: &mut Document) -> NodeId {
+        // Create and attach the script first so the ordinals we embed match
+        // the final document shape.
+        let script = doc.create_element("script");
+        doc.set_attr(script, "id", REVEAL_SCRIPT_ID);
+        if let Some(head) = doc.find_tag("head") {
+            doc.append_child(head, script);
+        } else {
+            let root = doc.root();
+            match doc.children(root).first().copied() {
+                Some(first) => doc.insert_before(first, script),
+                None => doc.append_child(root, script),
+            }
+        }
+        let ordinal_of: std::collections::HashMap<usize, usize> = doc
+            .elements()
+            .into_iter()
+            .enumerate()
+            .map(|(ordinal, id)| (id.index(), ordinal))
+            .collect();
+        let payload: Vec<serde_json::Value> = self
+            .events
+            .iter()
+            .filter_map(|e| {
+                ordinal_of
+                    .get(&e.node.index())
+                    .map(|ord| json!({ "node": ord, "at_ms": e.at_ms }))
+            })
+            .collect();
+        let plan_json = serde_json::Value::Array(payload).to_string();
+        let loader = format!(
+            "(function() {{\n  var plan = {plan_json};\n  \
+             var all = document.querySelectorAll('*');\n  \
+             for (var i = 0; i < all.length; i++) all[i].style.visibility = 'hidden';\n  \
+             plan.forEach(function(e) {{\n    \
+             setTimeout(function() {{ kscopeReveal(e.node); }}, e.at_ms);\n  }});\n}})();"
+        );
+        let text = doc.create_text(&loader);
+        doc.append_child(script, text);
+        script
+    }
+}
+
+impl FromIterator<RevealEvent> for RevealPlan {
+    fn from_iter<I: IntoIterator<Item = RevealEvent>>(iter: I) -> Self {
+        let mut events: Vec<RevealEvent> = iter.into_iter().collect();
+        events.sort_by_key(|e| (e.at_ms, e.node));
+        Self { events }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::Viewport;
+    use kscope_html::parse_document;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn setup(html: &str) -> (Document, Layout) {
+        let doc = parse_document(html);
+        let layout = Layout::compute(&doc, Viewport::desktop());
+        (doc, layout)
+    }
+
+    #[test]
+    fn uniform_within_window() {
+        let (doc, layout) = setup("<div><p>a</p><p>b</p><p>c</p></div>");
+        let mut rng = StdRng::seed_from_u64(1);
+        let plan = RevealPlan::build(&doc, &layout, &LoadSpec::Uniform(2000), &mut rng);
+        assert_eq!(plan.len(), 4);
+        assert!(plan.events().iter().all(|e| e.at_ms <= 2000));
+        assert!(plan.completion_ms() <= 2000);
+    }
+
+    #[test]
+    fn uniform_zero_is_instant() {
+        let (doc, layout) = setup("<p>a</p>");
+        let mut rng = StdRng::seed_from_u64(1);
+        let plan = RevealPlan::build(&doc, &layout, &LoadSpec::Uniform(0), &mut rng);
+        assert!(plan.events().iter().all(|e| e.at_ms == 0));
+    }
+
+    #[test]
+    fn uniform_deterministic_per_seed() {
+        let (doc, layout) = setup("<div><p>a</p><p>b</p></div>");
+        let p1 = RevealPlan::build(
+            &doc, &layout, &LoadSpec::Uniform(500), &mut StdRng::seed_from_u64(7));
+        let p2 = RevealPlan::build(
+            &doc, &layout, &LoadSpec::Uniform(500), &mut StdRng::seed_from_u64(7));
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn per_selector_schedules_matches_and_descendants() {
+        let (doc, layout) =
+            setup(r#"<div id="nav"><a>x</a></div><div id="main"><p>body</p></div>"#);
+        let spec = LoadSpec::from_json(&serde_json::json!({"#nav": 2000, "#main": 4000})).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let plan = RevealPlan::build(&doc, &layout, &spec, &mut rng);
+        let time_of = |tag: &str| {
+            let id = doc.find_tag(tag).unwrap();
+            plan.events().iter().find(|e| e.node == id).unwrap().at_ms
+        };
+        assert_eq!(time_of("a"), 2000); // inherits #nav
+        assert_eq!(time_of("p"), 4000); // inherits #main
+    }
+
+    #[test]
+    fn per_selector_unmatched_reveals_immediately() {
+        let (doc, layout) = setup(r#"<div id="x">a</div><div id="y">b</div>"#);
+        let spec = LoadSpec::from_json(&serde_json::json!({"#x": 1000})).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let plan = RevealPlan::build(&doc, &layout, &spec, &mut rng);
+        let y = doc.get_element_by_id("y").unwrap();
+        assert_eq!(plan.events().iter().find(|e| e.node == y).unwrap().at_ms, 0);
+    }
+
+    #[test]
+    fn own_schedule_overrides_ancestor() {
+        let (doc, layout) = setup(r#"<div id="outer"><p id="inner">t</p></div>"#);
+        let spec =
+            LoadSpec::from_json(&serde_json::json!({"#outer": 3000, "#inner": 500})).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let plan = RevealPlan::build(&doc, &layout, &spec, &mut rng);
+        let inner = doc.get_element_by_id("inner").unwrap();
+        assert_eq!(plan.events().iter().find(|e| e.node == inner).unwrap().at_ms, 500);
+    }
+
+    #[test]
+    fn invalid_selector_skipped() {
+        let (doc, layout) = setup("<p>a</p>");
+        let spec = LoadSpec::from_json(&serde_json::json!({"#": 1000})).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let plan = RevealPlan::build(&doc, &layout, &spec, &mut rng);
+        assert!(plan.events().iter().all(|e| e.at_ms == 0));
+    }
+
+    #[test]
+    fn events_sorted_by_time() {
+        let (doc, layout) = setup("<div><p>a</p><p>b</p><p>c</p><p>d</p></div>");
+        let mut rng = StdRng::seed_from_u64(3);
+        let plan = RevealPlan::build(&doc, &layout, &LoadSpec::Uniform(5000), &mut rng);
+        assert!(plan.events().windows(2).all(|w| w[0].at_ms <= w[1].at_ms));
+    }
+
+    #[test]
+    fn inject_produces_script_artifact() {
+        let (mut doc, layout) = setup("<html><head></head><body><p>a</p></body></html>");
+        let mut rng = StdRng::seed_from_u64(1);
+        let plan = RevealPlan::build(&doc, &layout, &LoadSpec::Uniform(1000), &mut rng);
+        let script = plan.inject(&mut doc);
+        assert_eq!(doc.attr(script, "id"), Some(REVEAL_SCRIPT_ID));
+        let html = doc.to_html();
+        assert!(html.contains("kscope-reveal"));
+        assert!(html.contains("visibility = 'hidden'"));
+        assert!(html.contains("setTimeout"));
+        // Script landed inside <head>.
+        let head = doc.find_tag("head").unwrap();
+        assert!(doc.children(head).contains(&script));
+    }
+
+    #[test]
+    fn inject_without_head_prepends() {
+        let (mut doc, layout) = setup("<p>a</p>");
+        let mut rng = StdRng::seed_from_u64(1);
+        let plan = RevealPlan::build(&doc, &layout, &LoadSpec::Uniform(10), &mut rng);
+        let script = plan.inject(&mut doc);
+        assert_eq!(doc.children(doc.root())[0], script);
+    }
+
+    #[test]
+    fn from_iterator_sorts() {
+        let plan: RevealPlan = vec![
+            RevealEvent { node: NodeId::from_index(2), at_ms: 500, area: 1.0, above_fold_area: 1.0 },
+            RevealEvent { node: NodeId::from_index(1), at_ms: 100, area: 1.0, above_fold_area: 1.0 },
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(plan.events()[0].at_ms, 100);
+        assert_eq!(plan.completion_ms(), 500);
+    }
+}

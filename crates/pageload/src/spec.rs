@@ -1,0 +1,234 @@
+//! The `web_page_load` test parameter (paper Table I).
+//!
+//! Two forms, exactly as in §III-B:
+//!
+//! * a plain integer — "all DOMs will be displayed randomly within 2000
+//!   milliseconds when `web_page_load` is set to 2000";
+//! * per-locator timings — `["#main": 1000, "#content p": 1500]` shows
+//!   `#main` after 1 s and every `#content p` after 1.5 s.
+
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+use std::fmt;
+
+/// One locator → reveal-time entry of the detailed form.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SelectorTiming {
+    /// CSS locator of the DOM element(s).
+    pub selector: String,
+    /// Reveal time in milliseconds from navigation start.
+    pub at_ms: u64,
+}
+
+/// The page-load simulation parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadSpec {
+    /// Every element appears at an independent uniform-random time within
+    /// the given window (milliseconds).
+    Uniform(u64),
+    /// Specific locators appear at specific times; elements not matched by
+    /// any locator appear immediately (t = 0).
+    PerSelector(Vec<SelectorTiming>),
+}
+
+impl LoadSpec {
+    /// Total duration of the schedule in milliseconds (the time after which
+    /// no further visual change happens).
+    pub fn duration_ms(&self) -> u64 {
+        match self {
+            LoadSpec::Uniform(t) => *t,
+            LoadSpec::PerSelector(timings) => {
+                timings.iter().map(|t| t.at_ms).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// Parses the JSON forms used in test parameters: a number, or an
+    /// object/array of `selector: ms` entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] if the JSON shape is neither form.
+    pub fn from_json(value: &Value) -> Result<Self, SpecError> {
+        match value {
+            Value::Number(n) => n
+                .as_u64()
+                .map(LoadSpec::Uniform)
+                .ok_or_else(|| SpecError::new("page load must be a non-negative integer")),
+            Value::Object(map) => {
+                let mut timings = Vec::with_capacity(map.len());
+                for (selector, v) in map {
+                    let at_ms = v.as_u64().ok_or_else(|| {
+                        SpecError::new(format!("timing for '{selector}' must be an integer"))
+                    })?;
+                    timings.push(SelectorTiming { selector: selector.clone(), at_ms });
+                }
+                Ok(LoadSpec::PerSelector(timings))
+            }
+            Value::Array(items) => {
+                // The paper writes the detailed form as an array of
+                // single-entry objects.
+                let mut timings = Vec::with_capacity(items.len());
+                for item in items {
+                    let obj = item.as_object().ok_or_else(|| {
+                        SpecError::new("array form must contain selector:ms objects")
+                    })?;
+                    for (selector, v) in obj {
+                        let at_ms = v.as_u64().ok_or_else(|| {
+                            SpecError::new(format!("timing for '{selector}' must be an integer"))
+                        })?;
+                        timings.push(SelectorTiming { selector: selector.clone(), at_ms });
+                    }
+                }
+                Ok(LoadSpec::PerSelector(timings))
+            }
+            _ => Err(SpecError::new("page load must be a number or selector map")),
+        }
+    }
+
+    /// Serializes back to the JSON parameter form.
+    pub fn to_json(&self) -> Value {
+        match self {
+            LoadSpec::Uniform(t) => Value::from(*t),
+            LoadSpec::PerSelector(timings) => {
+                let mut map = serde_json::Map::new();
+                for t in timings {
+                    map.insert(t.selector.clone(), Value::from(t.at_ms));
+                }
+                Value::Object(map)
+            }
+        }
+    }
+}
+
+impl Default for LoadSpec {
+    /// No simulated delay: everything visible at t = 0.
+    fn default() -> Self {
+        LoadSpec::Uniform(0)
+    }
+}
+
+impl fmt::Display for LoadSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadSpec::Uniform(t) => write!(f, "uniform({t}ms)"),
+            LoadSpec::PerSelector(ts) => {
+                write!(f, "per-selector(")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}@{}ms", t.selector, t.at_ms)?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// Error for malformed `web_page_load` values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    message: String,
+}
+
+impl SpecError {
+    fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid web_page_load: {}", self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn uniform_from_number() {
+        let spec = LoadSpec::from_json(&json!(2000)).unwrap();
+        assert_eq!(spec, LoadSpec::Uniform(2000));
+        assert_eq!(spec.duration_ms(), 2000);
+    }
+
+    #[test]
+    fn per_selector_from_object() {
+        let spec = LoadSpec::from_json(&json!({"#main": 1000, "#content p": 1500})).unwrap();
+        match &spec {
+            LoadSpec::PerSelector(ts) => {
+                assert_eq!(ts.len(), 2);
+                assert!(ts.iter().any(|t| t.selector == "#main" && t.at_ms == 1000));
+                assert!(ts.iter().any(|t| t.selector == "#content p" && t.at_ms == 1500));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(spec.duration_ms(), 1500);
+    }
+
+    #[test]
+    fn per_selector_from_paper_array_form() {
+        // The paper writes: ["#main":1000, "#content p":1500] — as JSON,
+        // an array of single-entry objects.
+        let spec =
+            LoadSpec::from_json(&json!([{"#main": 1000}, {"#content p": 1500}])).unwrap();
+        assert_eq!(spec.duration_ms(), 1500);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        for spec in [
+            LoadSpec::Uniform(3000),
+            LoadSpec::PerSelector(vec![
+                SelectorTiming { selector: "#nav".into(), at_ms: 2000 },
+                SelectorTiming { selector: "#main".into(), at_ms: 4000 },
+            ]),
+        ] {
+            let back = LoadSpec::from_json(&spec.to_json()).unwrap();
+            // JSON objects do not preserve entry order; compare as sets.
+            match (back, spec) {
+                (LoadSpec::Uniform(a), LoadSpec::Uniform(b)) => assert_eq!(a, b),
+                (LoadSpec::PerSelector(mut a), LoadSpec::PerSelector(mut b)) => {
+                    a.sort_by(|x, y| x.selector.cmp(&y.selector));
+                    b.sort_by(|x, y| x.selector.cmp(&y.selector));
+                    assert_eq!(a, b);
+                }
+                (a, b) => panic!("shape changed: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_negative_and_wrong_types() {
+        assert!(LoadSpec::from_json(&json!(-5)).is_err());
+        assert!(LoadSpec::from_json(&json!("2000")).is_err());
+        assert!(LoadSpec::from_json(&json!({"#a": "soon"})).is_err());
+        assert!(LoadSpec::from_json(&json!([1, 2])).is_err());
+    }
+
+    #[test]
+    fn default_is_instant() {
+        assert_eq!(LoadSpec::default().duration_ms(), 0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(LoadSpec::Uniform(2000).to_string(), "uniform(2000ms)");
+        let s = LoadSpec::PerSelector(vec![SelectorTiming {
+            selector: "#m".into(),
+            at_ms: 10,
+        }]);
+        assert_eq!(s.to_string(), "per-selector(#m@10ms)");
+    }
+
+    #[test]
+    fn empty_per_selector_duration_zero() {
+        assert_eq!(LoadSpec::PerSelector(vec![]).duration_ms(), 0);
+    }
+}

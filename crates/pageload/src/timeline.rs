@@ -1,0 +1,236 @@
+//! Paint timelines: visual completeness as a function of time.
+//!
+//! Executing a [`RevealPlan`] produces a step function of
+//! "how much of the page is painted"; the visual metrics (Speed Index, ATF,
+//! uPLT) are all functionals of this curve. A [`PaintTimeline`] also carries
+//! the per-class visible areas so the uPLT weighting model can distinguish
+//! navigation chrome from main text.
+
+use crate::layout::{ContentClass, Layout};
+use crate::reveal::RevealPlan;
+use kscope_html::Document;
+use std::collections::HashMap;
+
+/// Visible-area snapshot at one instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PaintSample {
+    /// Milliseconds since navigation start.
+    pub t_ms: u64,
+    /// Painted fraction of total page area, in `[0, 1]`.
+    pub completeness: f64,
+    /// Painted fraction of above-the-fold area, in `[0, 1]`.
+    pub atf_completeness: f64,
+    /// Painted area per content class (px²), cumulative.
+    pub class_area: HashMap<ContentClass, f64>,
+}
+
+/// The full paint history of one page load: one sample per distinct reveal
+/// time, plus an implicit `(0, …)` start.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PaintTimeline {
+    samples: Vec<PaintSample>,
+    total_area: f64,
+    total_atf: f64,
+}
+
+impl PaintTimeline {
+    /// Executes a reveal plan against its layout, producing the paint curve.
+    ///
+    /// `doc` is unused today but kept in the signature because a future
+    /// incremental-layout executor needs it; passing it also documents that
+    /// plan and layout must come from the same document.
+    pub fn from_plan(_doc: &Document, layout: &Layout, plan: &RevealPlan) -> Self {
+        let total_area = layout.total_area().max(f64::MIN_POSITIVE);
+        let total_atf = layout.total_above_fold().max(f64::MIN_POSITIVE);
+        let mut samples: Vec<PaintSample> = Vec::new();
+        let mut painted = 0.0;
+        let mut painted_atf = 0.0;
+        let mut class_area: HashMap<ContentClass, f64> = HashMap::new();
+        // Initial state: nothing painted (the injected script hides all).
+        samples.push(PaintSample {
+            t_ms: 0,
+            completeness: 0.0,
+            atf_completeness: 0.0,
+            class_area: class_area.clone(),
+        });
+        let mut idx = 0;
+        let events = plan.events();
+        while idx < events.len() {
+            let t = events[idx].at_ms;
+            while idx < events.len() && events[idx].at_ms == t {
+                let e = &events[idx];
+                painted += e.area;
+                painted_atf += e.above_fold_area;
+                if let Some(b) = layout.get(e.node) {
+                    *class_area.entry(b.class).or_insert(0.0) += e.area;
+                }
+                idx += 1;
+            }
+            let sample = PaintSample {
+                t_ms: t,
+                completeness: (painted / total_area).min(1.0),
+                atf_completeness: (painted_atf / total_atf).min(1.0),
+                class_area: class_area.clone(),
+            };
+            if samples.last().map(|s| s.t_ms == t).unwrap_or(false) {
+                *samples.last_mut().expect("just checked") = sample;
+            } else {
+                samples.push(sample);
+            }
+        }
+        Self { samples, total_area, total_atf }
+    }
+
+    /// The samples in time order (first is always `t = 0`).
+    pub fn samples(&self) -> &[PaintSample] {
+        &self.samples
+    }
+
+    /// Completeness at time `t` (step interpolation).
+    pub fn completeness_at(&self, t_ms: u64) -> f64 {
+        self.samples
+            .iter()
+            .rev()
+            .find(|s| s.t_ms <= t_ms)
+            .map(|s| s.completeness)
+            .unwrap_or(0.0)
+    }
+
+    /// Above-the-fold completeness at time `t`.
+    pub fn atf_completeness_at(&self, t_ms: u64) -> f64 {
+        self.samples
+            .iter()
+            .rev()
+            .find(|s| s.t_ms <= t_ms)
+            .map(|s| s.atf_completeness)
+            .unwrap_or(0.0)
+    }
+
+    /// Painted fraction of one content class at time `t` (relative to the
+    /// class's own total area; 1.0 if the class has no area at all).
+    pub fn class_completeness_at(&self, class: ContentClass, t_ms: u64, layout: &Layout) -> f64 {
+        let total = layout.area_by_class().get(&class).copied().unwrap_or(0.0);
+        if total <= 0.0 {
+            return 1.0;
+        }
+        let painted = self
+            .samples
+            .iter()
+            .rev()
+            .find(|s| s.t_ms <= t_ms)
+            .and_then(|s| s.class_area.get(&class).copied())
+            .unwrap_or(0.0);
+        (painted / total).min(1.0)
+    }
+
+    /// Time of the final paint event (the visual load completion).
+    pub fn last_paint_ms(&self) -> u64 {
+        self.samples.last().map(|s| s.t_ms).unwrap_or(0)
+    }
+
+    /// Total page area the timeline normalizes by (px²).
+    pub fn total_area(&self) -> f64 {
+        self.total_area
+    }
+
+    /// Total above-the-fold area (px²).
+    pub fn total_above_fold(&self) -> f64 {
+        self.total_atf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::Viewport;
+    use crate::spec::LoadSpec;
+    use kscope_html::parse_document;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn timeline_for(html: &str, spec: &LoadSpec, seed: u64) -> (Document, Layout, PaintTimeline) {
+        let doc = parse_document(html);
+        let layout = Layout::compute(&doc, Viewport::desktop());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let plan = RevealPlan::build(&doc, &layout, spec, &mut rng);
+        let tl = PaintTimeline::from_plan(&doc, &layout, &plan);
+        (doc, layout, tl)
+    }
+
+    use kscope_html::Document;
+
+    #[test]
+    fn starts_empty_ends_complete() {
+        let (_, _, tl) =
+            timeline_for("<div><p>abc</p><p>def</p></div>", &LoadSpec::Uniform(1000), 4);
+        assert_eq!(tl.samples()[0].completeness, 0.0);
+        let last = tl.samples().last().unwrap();
+        assert!((last.completeness - 1.0).abs() < 1e-9);
+        assert!((last.atf_completeness - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn completeness_monotone() {
+        let (_, _, tl) = timeline_for(
+            "<div><p>a</p><p>b</p><p>c</p><p>d</p><p>e</p></div>",
+            &LoadSpec::Uniform(3000),
+            9,
+        );
+        let mut prev = -1.0;
+        for s in tl.samples() {
+            assert!(s.completeness >= prev);
+            prev = s.completeness;
+        }
+    }
+
+    #[test]
+    fn step_interpolation() {
+        let spec = LoadSpec::from_json(&serde_json::json!({"#a": 1000, "#b": 2000})).unwrap();
+        let (_, _, tl) =
+            timeline_for(r#"<div id="a">x</div><div id="b">y</div>"#, &spec, 1);
+        assert_eq!(tl.completeness_at(0), 0.0);
+        let mid = tl.completeness_at(1500);
+        assert!(mid > 0.0 && mid < 1.0, "mid = {mid}");
+        assert!((tl.completeness_at(2000) - 1.0).abs() < 1e-9);
+        assert!((tl.completeness_at(99_999) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn last_paint_matches_spec() {
+        let spec = LoadSpec::from_json(&serde_json::json!({"#a": 700})).unwrap();
+        let (_, _, tl) = timeline_for(r#"<div id="a">x</div>"#, &spec, 1);
+        assert_eq!(tl.last_paint_ms(), 700);
+    }
+
+    #[test]
+    fn class_completeness_tracks_schedule() {
+        // Nav at 2s, main text at 4s — the paper's uPLT case study shape.
+        let html = r#"<nav id="navbar"><a>home</a></nav>
+                      <div id="content"><p>main text body</p></div>"#;
+        let spec =
+            LoadSpec::from_json(&serde_json::json!({"#navbar": 2000, "#content": 4000})).unwrap();
+        let (_, layout, tl) = timeline_for(html, &spec, 1);
+        // At 2.5s: nav fully painted, main text not yet.
+        assert!(
+            tl.class_completeness_at(ContentClass::Navigation, 2500, &layout) > 0.99,
+            "nav should be complete"
+        );
+        assert!(
+            tl.class_completeness_at(ContentClass::MainText, 2500, &layout) < 0.5,
+            "main text should be mostly unpainted"
+        );
+        assert!(tl.class_completeness_at(ContentClass::MainText, 4000, &layout) > 0.99);
+    }
+
+    #[test]
+    fn missing_class_counts_complete() {
+        let (_, layout, tl) = timeline_for("<p>text only</p>", &LoadSpec::Uniform(0), 1);
+        assert_eq!(tl.class_completeness_at(ContentClass::Media, 0, &layout), 1.0);
+    }
+
+    #[test]
+    fn instant_load_single_step() {
+        let (_, _, tl) = timeline_for("<p>a</p>", &LoadSpec::Uniform(0), 1);
+        assert_eq!(tl.last_paint_ms(), 0);
+        assert!((tl.completeness_at(0) - 1.0).abs() < 1e-9);
+    }
+}

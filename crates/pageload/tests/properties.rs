@@ -1,0 +1,92 @@
+//! Property tests: reveal/timeline/metric invariants over random schedules.
+
+use kscope_html::parse_document;
+use kscope_pageload::metrics::{atf, speed_index, ttfp, UpltWeights};
+use kscope_pageload::network::{NetworkProfile, Waterfall, WaterfallResource};
+use kscope_pageload::recorder::record_spec;
+use kscope_pageload::{Layout, LoadSpec, PaintTimeline, RevealPlan, SelectorTiming, Viewport};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+const PAGE: &str = r#"<html><body>
+  <nav id="nav"><a>a</a><a>b</a></nav>
+  <div id="main"><p>first paragraph of body text</p><p>second paragraph</p></div>
+  <img width="100" height="80">
+  <footer id="foot">end</footer>
+</body></html>"#;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// For any schedule: ttfp <= atf <= plt, and speed index is bounded by
+    /// the completion time.
+    #[test]
+    fn metric_ordering(times in prop::collection::vec(0u64..6000, 1..4), seed in 0u64..500) {
+        let doc = parse_document(PAGE);
+        let layout = Layout::compute(&doc, Viewport::desktop());
+        let selectors = ["#nav", "#main", "#foot"];
+        let timings: Vec<SelectorTiming> = times
+            .iter()
+            .zip(selectors.iter())
+            .map(|(&t, s)| SelectorTiming { selector: (*s).to_string(), at_ms: t })
+            .collect();
+        let spec = LoadSpec::PerSelector(timings);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let plan = RevealPlan::build(&doc, &layout, &spec, &mut rng);
+        let tl = PaintTimeline::from_plan(&doc, &layout, &plan);
+        let (t_first, t_atf, t_last) = (ttfp(&tl), atf(&tl), tl.last_paint_ms());
+        prop_assert!(t_first <= t_atf);
+        prop_assert!(t_atf <= t_last);
+        let si = speed_index(&tl);
+        prop_assert!(si >= 0.0);
+        prop_assert!(si <= t_last as f64 + 1e-9);
+        // uPLT is also bracketed by first and last paint.
+        let uplt = UpltWeights::reader_defaults().uplt_ms(&tl, &layout);
+        prop_assert!(uplt >= t_first && uplt <= t_last);
+    }
+
+    /// Recording and replaying a schedule never speeds the page up, and
+    /// delays completion by at most one frame.
+    #[test]
+    fn recorder_is_conservative(window in 1u64..4000, frame in 1u64..400, seed in 0u64..500) {
+        let doc = parse_document(PAGE);
+        let layout = Layout::compute(&doc, Viewport::desktop());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let original = RevealPlan::build(&doc, &layout, &LoadSpec::Uniform(window), &mut rng);
+        let recorded = record_spec(&doc, &original, frame);
+        let mut rng2 = StdRng::seed_from_u64(0);
+        let replayed = RevealPlan::build(&doc, &layout, &recorded, &mut rng2);
+        prop_assert!(replayed.completion_ms() >= original.completion_ms());
+        prop_assert!(replayed.completion_ms() <= original.completion_ms() + frame);
+    }
+
+    /// Waterfalls: total time is monotone in every resource size, and the
+    /// derived spec's duration equals the waterfall's gated total.
+    #[test]
+    fn waterfall_monotone_in_size(extra in 0usize..200_000) {
+        let profile = NetworkProfile::three_g();
+        let base = vec![
+            WaterfallResource { selector: "body".into(), bytes: 30_000, render_blocking: true },
+            WaterfallResource { selector: "#main img".into(), bytes: 50_000, render_blocking: false },
+        ];
+        let mut bigger = base.clone();
+        bigger[1].bytes += extra;
+        let w1 = Waterfall::simulate(&profile, &base);
+        let w2 = Waterfall::simulate(&profile, &bigger);
+        prop_assert!(w2.total_ms() >= w1.total_ms());
+        let spec = w2.to_load_spec();
+        prop_assert!(spec.duration_ms() >= w2.blocking_done_ms);
+    }
+
+    /// Layout: total area is invariant under re-computation and above-fold
+    /// never exceeds the total.
+    #[test]
+    fn layout_totals_consistent(font in 8.0f64..30.0) {
+        let html = format!("<div style=\"font-size: {font}pt\"><p>{}</p></div>", "x".repeat(500));
+        let doc = parse_document(&html);
+        let a = Layout::compute(&doc, Viewport::desktop());
+        let b = Layout::compute(&doc, Viewport::desktop());
+        prop_assert_eq!(a.total_area(), b.total_area());
+        prop_assert!(a.total_above_fold() <= a.total_area() + 1e-9);
+    }
+}

@@ -1,0 +1,421 @@
+//! The core server's REST API.
+//!
+//! Maps the paper's four core-server functions onto routes:
+//!
+//! | Function | Route |
+//! |---|---|
+//! | post the test task to the crowdsourcing platform | `POST /api/platform/jobs`, `GET /api/platform/jobs` |
+//! | provide test resources to the browser extension | `GET /api/tests/:id`, `GET /api/tests/:id/pages`, `GET /api/tests/:id/pages/*file` |
+//! | collect responses from participants | `POST /api/tests/:id/responses`, `GET /api/tests/:id/responses` |
+//! | conclude the final results | `GET /api/tests/:id/results` |
+
+use crate::http::Response;
+use crate::router::Router;
+use kscope_store::{Database, GridStore};
+use serde_json::{json, Value};
+use std::collections::BTreeMap;
+
+/// Collection holding test information documents.
+pub const TESTS_COLLECTION: &str = "tests";
+/// Collection holding integrated-webpage metadata.
+pub const PAGES_COLLECTION: &str = "integrated_pages";
+/// Collection holding participant responses.
+pub const RESPONSES_COLLECTION: &str = "responses";
+/// Collection holding crowdsourcing-platform job postings.
+pub const JOBS_COLLECTION: &str = "jobs";
+
+/// The core-server API: a [`Database`] + [`GridStore`] pair exposed over
+/// HTTP routes.
+#[derive(Debug, Clone)]
+pub struct CoreServerApi {
+    db: Database,
+    grid: GridStore,
+}
+
+impl CoreServerApi {
+    /// Creates the API over existing storage.
+    pub fn new(db: Database, grid: GridStore) -> Self {
+        Self { db, grid }
+    }
+
+    /// The backing database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The backing file store.
+    pub fn grid(&self) -> &GridStore {
+        &self.grid
+    }
+
+    /// Builds the router exposing all endpoints.
+    pub fn into_router(self) -> Router {
+        let mut router = Router::new();
+        let db = self.db.clone();
+        let grid = self.grid.clone();
+
+        router.get("/healthz", |_req, _p| Response::json(&json!({ "ok": true })));
+
+        // --- Test information -------------------------------------------
+        {
+            let db = db.clone();
+            router.post("/api/tests", move |req, _p| {
+                let body = match req.json() {
+                    Ok(v) => v,
+                    Err(_) => return Response::bad_request("body must be JSON"),
+                };
+                let test_id = match body.get("test_id").and_then(Value::as_str) {
+                    Some(id) if !id.is_empty() => id.to_string(),
+                    _ => return Response::bad_request("test_id is required"),
+                };
+                let tests = db.collection(TESTS_COLLECTION);
+                if tests.find_one(&json!({ "test_id": test_id })).is_some() {
+                    return Response::bad_request("test_id already exists");
+                }
+                let oid = tests.insert_one(body);
+                Response::json_with_status(
+                    crate::http::StatusCode::CREATED,
+                    &json!({ "_id": oid.as_str(), "test_id": test_id }),
+                )
+            });
+        }
+        {
+            let db = db.clone();
+            router.get("/api/tests", move |_req, _p| {
+                let ids: Vec<Value> = db
+                    .collection(TESTS_COLLECTION)
+                    .all()
+                    .into_iter()
+                    .filter_map(|d| d.get("test_id").cloned())
+                    .collect();
+                Response::json(&json!({ "tests": ids }))
+            });
+        }
+        {
+            let db = db.clone();
+            router.get("/api/tests/:id", move |_req, p| {
+                let id = p.get("id").unwrap_or("");
+                match db.collection(TESTS_COLLECTION).find_one(&json!({ "test_id": id })) {
+                    Some(doc) => Response::json(&doc),
+                    None => Response::not_found("no such test"),
+                }
+            });
+        }
+
+        // --- Integrated pages (resources for the extension) --------------
+        {
+            let db = db.clone();
+            router.get("/api/tests/:id/pairs", move |_req, p| {
+                let id = p.get("id").unwrap_or("");
+                let docs =
+                    db.collection(PAGES_COLLECTION).find(&json!({ "test_id": id }));
+                Response::json(&json!({ "test_id": id, "pairs": docs }))
+            });
+        }
+        {
+            let grid = grid.clone();
+            router.get("/api/tests/:id/pages", move |_req, p| {
+                let id = p.get("id").unwrap_or("");
+                Response::json(&json!({ "test_id": id, "pages": grid.list(id) }))
+            });
+        }
+        {
+            let grid = grid.clone();
+            router.get("/api/tests/:id/pages/*file", move |_req, p| {
+                let id = p.get("id").unwrap_or("");
+                let file = p.get("file").unwrap_or("");
+                match grid.get(id, file) {
+                    Some(bytes) => Response::content("text/html; charset=utf-8", bytes.to_vec()),
+                    None => Response::not_found("no such page"),
+                }
+            });
+        }
+
+        // --- Participant responses ---------------------------------------
+        {
+            let db = db.clone();
+            router.post("/api/tests/:id/responses", move |req, p| {
+                let id = p.get("id").unwrap_or("").to_string();
+                let mut body = match req.json() {
+                    Ok(v) => v,
+                    Err(_) => return Response::bad_request("body must be JSON"),
+                };
+                if !body.is_object() {
+                    return Response::bad_request("response must be a JSON object");
+                }
+                if db
+                    .collection(TESTS_COLLECTION)
+                    .find_one(&json!({ "test_id": id }))
+                    .is_none()
+                {
+                    return Response::not_found("no such test");
+                }
+                body.as_object_mut()
+                    .expect("checked is_object")
+                    .insert("test_id".to_string(), Value::String(id.clone()));
+                let oid = db.collection(RESPONSES_COLLECTION).insert_one(body);
+                Response::json_with_status(
+                    crate::http::StatusCode::CREATED,
+                    &json!({ "_id": oid.as_str() }),
+                )
+            });
+        }
+        {
+            let db = db.clone();
+            router.get("/api/tests/:id/responses", move |req, p| {
+                let id = p.get("id").unwrap_or("");
+                let mut docs = db
+                    .collection(RESPONSES_COLLECTION)
+                    .find(&json!({ "test_id": id }));
+                // Pagination: ?offset=N&limit=M (insertion order).
+                let offset: usize = req
+                    .query_param("offset")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(0);
+                let limit: usize = req
+                    .query_param("limit")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(usize::MAX);
+                let total = docs.len();
+                docs = docs.into_iter().skip(offset).take(limit).collect();
+                Response::json(&json!({
+                    "total": total,
+                    "offset": offset,
+                    "responses": docs,
+                }))
+            });
+        }
+
+        // --- Result conclusion --------------------------------------------
+        {
+            let db = db.clone();
+            router.get("/api/tests/:id/results", move |_req, p| {
+                let id = p.get("id").unwrap_or("");
+                let docs = db
+                    .collection(RESPONSES_COLLECTION)
+                    .find(&json!({ "test_id": id }));
+                Response::json(&summarize_responses(id, &docs))
+            });
+        }
+
+        // --- Crowdsourcing platform hand-off ------------------------------
+        {
+            let db = db.clone();
+            router.post("/api/platform/jobs", move |req, _p| {
+                let body = match req.json() {
+                    Ok(v) => v,
+                    Err(_) => return Response::bad_request("body must be JSON"),
+                };
+                if body.get("test_id").and_then(Value::as_str).is_none() {
+                    return Response::bad_request("job must reference a test_id");
+                }
+                let oid = db.collection(JOBS_COLLECTION).insert_one(body);
+                Response::json_with_status(
+                    crate::http::StatusCode::CREATED,
+                    &json!({ "job_id": oid.as_str() }),
+                )
+            });
+        }
+        {
+            let db = db.clone();
+            router.get("/api/platform/jobs", move |_req, _p| {
+                Response::json(&Value::Array(db.collection(JOBS_COLLECTION).all()))
+            });
+        }
+
+        router
+    }
+}
+
+/// Aggregates raw responses into per-question answer counts — the core
+/// server's "conclude the final results" step. Returns
+/// `{test_id, total, questions: {q: {answer: count}}}`.
+pub fn summarize_responses(test_id: &str, responses: &[Value]) -> Value {
+    let mut questions: BTreeMap<String, BTreeMap<String, u64>> = BTreeMap::new();
+    for resp in responses {
+        let answers = match resp.get("answers").and_then(Value::as_object) {
+            Some(a) => a,
+            None => continue,
+        };
+        for (question, answer) in answers {
+            let answer_text = match answer {
+                Value::String(s) => s.clone(),
+                other => other.to_string(),
+            };
+            *questions
+                .entry(question.clone())
+                .or_default()
+                .entry(answer_text)
+                .or_insert(0) += 1;
+        }
+    }
+    json!({
+        "test_id": test_id,
+        "total": responses.len(),
+        "questions": questions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client;
+    use crate::server::HttpServer;
+    use std::net::SocketAddr;
+
+    fn start() -> (HttpServer, SocketAddr, Database, GridStore) {
+        let db = Database::new();
+        let grid = GridStore::new();
+        let api = CoreServerApi::new(db.clone(), grid.clone());
+        let server = HttpServer::bind("127.0.0.1:0", api.into_router(), 2).unwrap();
+        let addr = server.local_addr();
+        (server, addr, db, grid)
+    }
+
+    #[test]
+    fn health_check() {
+        let (server, addr, _, _) = start();
+        let resp = client::get(addr, "/healthz").unwrap();
+        assert_eq!(resp.json_body().unwrap()["ok"], json!(true));
+        server.shutdown();
+    }
+
+    #[test]
+    fn create_and_fetch_test() {
+        let (server, addr, _, _) = start();
+        let body = json!({"test_id": "font-study", "participant_num": 100});
+        let resp = client::post_json(addr, "/api/tests", &body).unwrap();
+        assert_eq!(resp.status.0, 201);
+        let fetched = client::get(addr, "/api/tests/font-study").unwrap();
+        assert_eq!(fetched.json_body().unwrap()["participant_num"], json!(100));
+        // Duplicate id rejected.
+        let dup = client::post_json(addr, "/api/tests", &body).unwrap();
+        assert_eq!(dup.status.0, 400);
+        server.shutdown();
+    }
+
+    #[test]
+    fn pairs_endpoint_reads_integrated_pages_collection() {
+        let (server, addr, db, _) = start();
+        db.collection(PAGES_COLLECTION).insert_one(json!({
+            "test_id": "t1", "name": "integrated-000.html", "left": 0, "right": 1,
+            "control": null,
+        }));
+        db.collection(PAGES_COLLECTION).insert_one(json!({
+            "test_id": "other", "name": "integrated-000.html", "left": 0, "right": 1,
+            "control": null,
+        }));
+        let resp = client::get(addr, "/api/tests/t1/pairs").unwrap();
+        let body = resp.json_body().unwrap();
+        assert_eq!(body["pairs"].as_array().unwrap().len(), 1);
+        assert_eq!(body["pairs"][0]["name"], json!("integrated-000.html"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn list_tests_endpoint() {
+        let (server, addr, _, _) = start();
+        client::post_json(addr, "/api/tests", &json!({"test_id": "alpha"})).unwrap();
+        client::post_json(addr, "/api/tests", &json!({"test_id": "beta"})).unwrap();
+        let listing = client::get(addr, "/api/tests").unwrap();
+        assert_eq!(listing.json_body().unwrap()["tests"], json!(["alpha", "beta"]));
+        server.shutdown();
+    }
+
+    #[test]
+    fn create_test_requires_id() {
+        let (server, addr, _, _) = start();
+        let resp = client::post_json(addr, "/api/tests", &json!({"x": 1})).unwrap();
+        assert_eq!(resp.status.0, 400);
+        server.shutdown();
+    }
+
+    #[test]
+    fn pages_served_from_grid() {
+        let (server, addr, _, grid) = start();
+        grid.put("t1", "integrated-0.html", b"<html>pair 0</html>".to_vec());
+        grid.put("t1", "integrated-1.html", b"<html>pair 1</html>".to_vec());
+        let list = client::get(addr, "/api/tests/t1/pages").unwrap();
+        assert_eq!(
+            list.json_body().unwrap()["pages"],
+            json!(["integrated-0.html", "integrated-1.html"])
+        );
+        let page = client::get(addr, "/api/tests/t1/pages/integrated-1.html").unwrap();
+        assert_eq!(page.text(), "<html>pair 1</html>");
+        let missing = client::get(addr, "/api/tests/t1/pages/zzz.html").unwrap();
+        assert_eq!(missing.status.0, 404);
+        server.shutdown();
+    }
+
+    #[test]
+    fn responses_roundtrip_and_results() {
+        let (server, addr, _, _) = start();
+        client::post_json(addr, "/api/tests", &json!({"test_id": "t9"})).unwrap();
+        for answer in ["Left", "Right", "Right"] {
+            let body = json!({
+                "worker_id": "w",
+                "answers": { "Which font is more readable?": answer }
+            });
+            let resp = client::post_json(addr, "/api/tests/t9/responses", &body).unwrap();
+            assert_eq!(resp.status.0, 201);
+        }
+        let all = client::get(addr, "/api/tests/t9/responses").unwrap();
+        let body = all.json_body().unwrap();
+        assert_eq!(body["total"], json!(3));
+        assert_eq!(body["responses"].as_array().unwrap().len(), 3);
+        // Pagination slices in insertion order.
+        let page = client::get(addr, "/api/tests/t9/responses?offset=1&limit=1").unwrap();
+        let page_body = page.json_body().unwrap();
+        assert_eq!(page_body["total"], json!(3));
+        assert_eq!(page_body["responses"].as_array().unwrap().len(), 1);
+        let results = client::get(addr, "/api/tests/t9/results").unwrap();
+        let body = results.json_body().unwrap();
+        assert_eq!(body["total"], json!(3));
+        assert_eq!(body["questions"]["Which font is more readable?"]["Right"], json!(2));
+        server.shutdown();
+    }
+
+    #[test]
+    fn response_to_unknown_test_is_404() {
+        let (server, addr, _, _) = start();
+        let resp = client::post_json(
+            addr,
+            "/api/tests/ghost/responses",
+            &json!({"answers": {}}),
+        )
+        .unwrap();
+        assert_eq!(resp.status.0, 404);
+        server.shutdown();
+    }
+
+    #[test]
+    fn platform_jobs() {
+        let (server, addr, db, _) = start();
+        let resp = client::post_json(
+            addr,
+            "/api/platform/jobs",
+            &json!({"test_id": "t1", "reward_usd": 0.11, "quota": 100}),
+        )
+        .unwrap();
+        assert_eq!(resp.status.0, 201);
+        assert_eq!(db.collection(JOBS_COLLECTION).len(), 1);
+        let listing = client::get(addr, "/api/platform/jobs").unwrap();
+        assert_eq!(listing.json_body().unwrap().as_array().unwrap().len(), 1);
+        let bad = client::post_json(addr, "/api/platform/jobs", &json!({"quota": 5})).unwrap();
+        assert_eq!(bad.status.0, 400);
+        server.shutdown();
+    }
+
+    #[test]
+    fn summarize_ignores_malformed_responses() {
+        let docs = vec![
+            json!({"answers": {"q": "Left"}}),
+            json!({"no_answers": true}),
+            json!({"answers": {"q": "Left", "q2": "Same"}}),
+        ];
+        let summary = summarize_responses("t", &docs);
+        assert_eq!(summary["total"], json!(3));
+        assert_eq!(summary["questions"]["q"]["Left"], json!(2));
+        assert_eq!(summary["questions"]["q2"]["Same"], json!(1));
+    }
+}

@@ -1,0 +1,69 @@
+//! A small blocking HTTP client for the extension simulator and tests.
+
+use crate::http::{HttpParseError, Method, Request, Response};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Error performing a client request.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Could not connect or transmit.
+    Io(std::io::Error),
+    /// The response could not be parsed.
+    Parse(HttpParseError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "client i/o error: {e}"),
+            ClientError::Parse(e) => write!(f, "client parse error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// Sends `req` to `addr` and reads the response (one request per
+/// connection; the server speaks `connection: close`).
+///
+/// # Errors
+///
+/// Returns [`ClientError`] on connection or parse failures.
+pub fn request(addr: SocketAddr, req: Request) -> Result<Response, ClientError> {
+    let stream =
+        TcpStream::connect_timeout(&addr, CLIENT_TIMEOUT).map_err(ClientError::Io)?;
+    stream.set_read_timeout(Some(CLIENT_TIMEOUT)).map_err(ClientError::Io)?;
+    stream.set_write_timeout(Some(CLIENT_TIMEOUT)).map_err(ClientError::Io)?;
+    let mut writer = stream.try_clone().map_err(ClientError::Io)?;
+    req.write_to(&mut writer).map_err(ClientError::Io)?;
+    let mut reader = BufReader::new(stream);
+    Response::read_from(&mut reader).map_err(ClientError::Parse)
+}
+
+/// GET a path.
+///
+/// # Errors
+///
+/// Returns [`ClientError`] on connection or parse failures.
+pub fn get(addr: SocketAddr, path: &str) -> Result<Response, ClientError> {
+    request(addr, Request::new(Method::Get, path))
+}
+
+/// POST a JSON body to a path.
+///
+/// # Errors
+///
+/// Returns [`ClientError`] on connection or parse failures.
+pub fn post_json(
+    addr: SocketAddr,
+    path: &str,
+    body: &serde_json::Value,
+) -> Result<Response, ClientError> {
+    let mut req = Request::new(Method::Post, path).with_body(body.to_string().into_bytes());
+    req.headers.insert("content-type".into(), "application/json".into());
+    request(addr, req)
+}

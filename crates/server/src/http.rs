@@ -1,0 +1,535 @@
+//! HTTP/1.1 message types, parsing, and serialization.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Request methods the core server supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// HTTP GET.
+    Get,
+    /// HTTP POST.
+    Post,
+    /// HTTP PUT.
+    Put,
+    /// HTTP DELETE.
+    Delete,
+}
+
+impl Method {
+    /// Parses a method token.
+    pub fn from_token(token: &str) -> Option<Self> {
+        match token {
+            "GET" => Some(Method::Get),
+            "POST" => Some(Method::Post),
+            "PUT" => Some(Method::Put),
+            "DELETE" => Some(Method::Delete),
+            _ => None,
+        }
+    }
+
+    /// The wire token.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Put => "PUT",
+            Method::Delete => "DELETE",
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Response status codes the API uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StatusCode(pub u16);
+
+impl StatusCode {
+    /// 200.
+    pub const OK: StatusCode = StatusCode(200);
+    /// 201.
+    pub const CREATED: StatusCode = StatusCode(201);
+    /// 400.
+    pub const BAD_REQUEST: StatusCode = StatusCode(400);
+    /// 404.
+    pub const NOT_FOUND: StatusCode = StatusCode(404);
+    /// 405.
+    pub const METHOD_NOT_ALLOWED: StatusCode = StatusCode(405);
+    /// 500.
+    pub const INTERNAL_SERVER_ERROR: StatusCode = StatusCode(500);
+
+    /// Standard reason phrase.
+    pub fn reason(&self) -> &'static str {
+        match self.0 {
+            200 => "OK",
+            201 => "Created",
+            204 => "No Content",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            413 => "Payload Too Large",
+            500 => "Internal Server Error",
+            _ => "Unknown",
+        }
+    }
+}
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The request method.
+    pub method: Method,
+    /// Decoded path (no query string).
+    pub path: String,
+    /// Query parameters in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Headers, lower-cased names.
+    pub headers: BTreeMap<String, String>,
+    /// Request body.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Builds a request for client use.
+    pub fn new(method: Method, path: &str) -> Self {
+        let (path, query) = split_query(path);
+        Self { method, path, query, headers: BTreeMap::new(), body: Vec::new() }
+    }
+
+    /// Sets the body (client side).
+    pub fn with_body(mut self, body: impl Into<Vec<u8>>) -> Self {
+        self.body = body.into();
+        self
+    }
+
+    /// First query value by name.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Parses the body as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `serde_json` errors for malformed bodies.
+    pub fn json(&self) -> Result<serde_json::Value, serde_json::Error> {
+        serde_json::from_slice(&self.body)
+    }
+
+    /// Reads one request from a stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HttpParseError`] on malformed framing, unknown methods, or
+    /// bodies above `max_body` bytes.
+    pub fn read_from<R: Read>(
+        reader: &mut BufReader<R>,
+        max_body: usize,
+    ) -> Result<Self, HttpParseError> {
+        let mut line = String::new();
+        reader.read_line(&mut line).map_err(HttpParseError::Io)?;
+        if line.is_empty() {
+            return Err(HttpParseError::ConnectionClosed);
+        }
+        let mut parts = line.split_whitespace();
+        let method = parts
+            .next()
+            .and_then(Method::from_token)
+            .ok_or(HttpParseError::BadRequestLine)?;
+        let target = parts.next().ok_or(HttpParseError::BadRequestLine)?;
+        let _version = parts.next().ok_or(HttpParseError::BadRequestLine)?;
+        let (path, query) = split_query(target);
+
+        let mut headers = BTreeMap::new();
+        loop {
+            let mut hline = String::new();
+            reader.read_line(&mut hline).map_err(HttpParseError::Io)?;
+            let trimmed = hline.trim_end();
+            if trimmed.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = trimmed.split_once(':') {
+                headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+            }
+        }
+        let len: usize = headers
+            .get("content-length")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        if len > max_body {
+            return Err(HttpParseError::BodyTooLarge(len));
+        }
+        let mut body = vec![0u8; len];
+        reader.read_exact(&mut body).map_err(HttpParseError::Io)?;
+        Ok(Self { method, path, query, headers, body })
+    }
+
+    /// Serializes the request for sending (client side).
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    pub fn write_to<W: Write>(&self, writer: &mut W) -> std::io::Result<()> {
+        let query = if self.query.is_empty() {
+            String::new()
+        } else {
+            let pairs: Vec<String> = self
+                .query
+                .iter()
+                .map(|(n, v)| format!("{}={}", url_encode(n), url_encode(v)))
+                .collect();
+            format!("?{}", pairs.join("&"))
+        };
+        write!(writer, "{} {}{} HTTP/1.1\r\n", self.method, encode_path(&self.path), query)?;
+        for (name, value) in &self.headers {
+            write!(writer, "{name}: {value}\r\n")?;
+        }
+        write!(writer, "content-length: {}\r\n", self.body.len())?;
+        write!(writer, "connection: close\r\n\r\n")?;
+        writer.write_all(&self.body)?;
+        writer.flush()
+    }
+}
+
+/// An HTTP response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: StatusCode,
+    /// Headers, lower-cased names.
+    pub headers: BTreeMap<String, String>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// An empty response with the given status.
+    pub fn with_status(status: StatusCode) -> Self {
+        Self { status, headers: BTreeMap::new(), body: Vec::new() }
+    }
+
+    /// A 200 JSON response.
+    pub fn json(value: &serde_json::Value) -> Self {
+        let mut r = Self::with_status(StatusCode::OK);
+        r.headers.insert("content-type".into(), "application/json".into());
+        r.body = value.to_string().into_bytes();
+        r
+    }
+
+    /// A JSON response with an explicit status.
+    pub fn json_with_status(status: StatusCode, value: &serde_json::Value) -> Self {
+        let mut r = Self::json(value);
+        r.status = status;
+        r
+    }
+
+    /// A 200 response with arbitrary content.
+    pub fn content(mime: &str, body: impl Into<Vec<u8>>) -> Self {
+        let mut r = Self::with_status(StatusCode::OK);
+        r.headers.insert("content-type".into(), mime.to_string());
+        r.body = body.into();
+        r
+    }
+
+    /// A 404 with a JSON error body.
+    pub fn not_found(message: &str) -> Self {
+        Self::json_with_status(
+            StatusCode::NOT_FOUND,
+            &serde_json::json!({ "error": message }),
+        )
+    }
+
+    /// A 400 with a JSON error body.
+    pub fn bad_request(message: &str) -> Self {
+        Self::json_with_status(
+            StatusCode::BAD_REQUEST,
+            &serde_json::json!({ "error": message }),
+        )
+    }
+
+    /// Parses the body as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `serde_json` errors for malformed bodies.
+    pub fn json_body(&self) -> Result<serde_json::Value, serde_json::Error> {
+        serde_json::from_slice(&self.body)
+    }
+
+    /// Body as UTF-8 text (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// Serializes the response to a stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    pub fn write_to<W: Write>(&self, writer: &mut W) -> std::io::Result<()> {
+        write!(writer, "HTTP/1.1 {} {}\r\n", self.status.0, self.status.reason())?;
+        for (name, value) in &self.headers {
+            write!(writer, "{name}: {value}\r\n")?;
+        }
+        write!(writer, "content-length: {}\r\n", self.body.len())?;
+        write!(writer, "connection: close\r\n\r\n")?;
+        writer.write_all(&self.body)?;
+        writer.flush()
+    }
+
+    /// Reads one response from a stream (client side).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HttpParseError`] on malformed framing.
+    pub fn read_from<R: Read>(reader: &mut BufReader<R>) -> Result<Self, HttpParseError> {
+        let mut line = String::new();
+        reader.read_line(&mut line).map_err(HttpParseError::Io)?;
+        if line.is_empty() {
+            return Err(HttpParseError::ConnectionClosed);
+        }
+        let mut parts = line.trim_end().splitn(3, ' ');
+        let _version = parts.next().ok_or(HttpParseError::BadRequestLine)?;
+        let status: u16 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or(HttpParseError::BadRequestLine)?;
+        let mut headers = BTreeMap::new();
+        loop {
+            let mut hline = String::new();
+            reader.read_line(&mut hline).map_err(HttpParseError::Io)?;
+            let trimmed = hline.trim_end();
+            if trimmed.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = trimmed.split_once(':') {
+                headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+            }
+        }
+        let len: usize = headers
+            .get("content-length")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        let mut body = vec![0u8; len];
+        reader.read_exact(&mut body).map_err(HttpParseError::Io)?;
+        Ok(Self { status: StatusCode(status), headers, body })
+    }
+}
+
+/// Errors raised while parsing HTTP messages.
+#[derive(Debug)]
+pub enum HttpParseError {
+    /// The peer closed the connection before a full message arrived.
+    ConnectionClosed,
+    /// Malformed request/status line or unknown method.
+    BadRequestLine,
+    /// Declared content length above the configured limit.
+    BodyTooLarge(usize),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for HttpParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpParseError::ConnectionClosed => write!(f, "connection closed"),
+            HttpParseError::BadRequestLine => write!(f, "malformed request line"),
+            HttpParseError::BodyTooLarge(n) => write!(f, "declared body of {n} bytes too large"),
+            HttpParseError::Io(e) => write!(f, "http i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpParseError {}
+
+fn split_query(target: &str) -> (String, Vec<(String, String)>) {
+    match target.split_once('?') {
+        None => (url_decode(target), Vec::new()),
+        Some((path, qs)) => {
+            let query = qs
+                .split('&')
+                .filter(|p| !p.is_empty())
+                .map(|pair| match pair.split_once('=') {
+                    Some((n, v)) => (url_decode(n), url_decode(v)),
+                    None => (url_decode(pair), String::new()),
+                })
+                .collect();
+            (url_decode(path), query)
+        }
+    }
+}
+
+/// Percent-decodes a URL component (also folds `+` to space in queries).
+pub fn url_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                // Work on raw bytes: slicing the &str here could split a
+                // UTF-8 character and panic.
+                let hex = (i + 2 < bytes.len())
+                    .then(|| (hex_val(bytes[i + 1]), hex_val(bytes[i + 2])));
+                if let Some((Some(hi), Some(lo))) = hex {
+                    out.push(hi * 16 + lo);
+                    i += 3;
+                } else {
+                    out.push(b'%');
+                    i += 1;
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn hex_val(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// Percent-encodes a query component.
+pub fn url_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for &b in s.as_bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// Percent-encodes a path, preserving `/` separators.
+fn encode_path(path: &str) -> String {
+    path.split('/').map(url_encode).collect::<Vec<_>>().join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse_request(raw: &str) -> Result<Request, HttpParseError> {
+        let mut reader = BufReader::new(Cursor::new(raw.as_bytes().to_vec()));
+        Request::read_from(&mut reader, 1 << 20)
+    }
+
+    #[test]
+    fn parse_get() {
+        let req = parse_request("GET /api/tests/t1?full=1 HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, Method::Get);
+        assert_eq!(req.path, "/api/tests/t1");
+        assert_eq!(req.query_param("full"), Some("1"));
+        assert_eq!(req.headers.get("host").map(String::as_str), Some("x"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parse_post_with_body() {
+        let req = parse_request(
+            "POST /api/responses HTTP/1.1\r\ncontent-length: 7\r\n\r\n{\"a\":1}",
+        )
+        .unwrap();
+        assert_eq!(req.method, Method::Post);
+        assert_eq!(req.json().unwrap()["a"], serde_json::json!(1));
+    }
+
+    #[test]
+    fn parse_rejects_unknown_method() {
+        assert!(matches!(
+            parse_request("BREW /pot HTTP/1.1\r\n\r\n"),
+            Err(HttpParseError::BadRequestLine)
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_oversized_body() {
+        let raw = "POST / HTTP/1.1\r\ncontent-length: 10\r\n\r\n0123456789";
+        let mut reader = BufReader::new(Cursor::new(raw.as_bytes().to_vec()));
+        assert!(matches!(
+            Request::read_from(&mut reader, 5),
+            Err(HttpParseError::BodyTooLarge(10))
+        ));
+    }
+
+    #[test]
+    fn parse_empty_stream_is_closed() {
+        assert!(matches!(parse_request(""), Err(HttpParseError::ConnectionClosed)));
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let req = Request::new(Method::Post, "/a/b?x=1&y=two words")
+            .with_body(br#"{"k":true}"#.to_vec());
+        let mut buf = Vec::new();
+        req.write_to(&mut buf).unwrap();
+        let mut reader = BufReader::new(Cursor::new(buf));
+        let parsed = Request::read_from(&mut reader, 1 << 20).unwrap();
+        assert_eq!(parsed.method, Method::Post);
+        assert_eq!(parsed.path, "/a/b");
+        assert_eq!(parsed.query_param("y"), Some("two words"));
+        assert_eq!(parsed.body, br#"{"k":true}"#);
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resp = Response::json(&serde_json::json!({"ok": true}));
+        let mut buf = Vec::new();
+        resp.write_to(&mut buf).unwrap();
+        let mut reader = BufReader::new(Cursor::new(buf));
+        let parsed = Response::read_from(&mut reader).unwrap();
+        assert_eq!(parsed.status, StatusCode::OK);
+        assert_eq!(parsed.json_body().unwrap()["ok"], serde_json::json!(true));
+        assert_eq!(
+            parsed.headers.get("content-type").map(String::as_str),
+            Some("application/json")
+        );
+    }
+
+    #[test]
+    fn error_response_helpers() {
+        let nf = Response::not_found("no such test");
+        assert_eq!(nf.status, StatusCode::NOT_FOUND);
+        assert!(nf.text().contains("no such test"));
+        let br = Response::bad_request("bad json");
+        assert_eq!(br.status, StatusCode::BAD_REQUEST);
+    }
+
+    #[test]
+    fn url_codec() {
+        assert_eq!(url_encode("a b/c"), "a%20b%2Fc");
+        assert_eq!(url_decode("a%20b%2Fc"), "a b/c");
+        assert_eq!(url_decode("x+y"), "x y");
+        assert_eq!(url_decode("bad%zz"), "bad%zz");
+        let original = "worker-42 &?=/x";
+        assert_eq!(url_decode(&url_encode(original)), original);
+    }
+
+    #[test]
+    fn status_reasons() {
+        assert_eq!(StatusCode::OK.reason(), "OK");
+        assert_eq!(StatusCode(599).reason(), "Unknown");
+    }
+}

@@ -1,0 +1,43 @@
+//! The Kaleidoscope core server.
+//!
+//! §III-C: "The core server is the key element connecting the test
+//! resources, browser extension, and crowdsourcing platform. It has four
+//! main functions: post the test task to the crowdsourcing platform, provide
+//! test resources to the browser extension, collect responses from
+//! participants, and analyze the final results. The core server is built as
+//! a Web server using NodeJS — an event-driven architecture capable of
+//! asynchronous I/O."
+//!
+//! We substitute NodeJS with a from-scratch threaded HTTP/1.1 server over
+//! `std::net` (see DESIGN.md): [`HttpServer`] accepts connections on a
+//! worker pool fed by a crossbeam channel, [`Router`] dispatches by method
+//! and path pattern, and [`api::CoreServerApi`] wires the four functions to
+//! a [`kscope_store::Database`] + [`kscope_store::GridStore`]. A small
+//! blocking [`client`] lets the browser-extension simulator and the tests
+//! speak the real wire protocol over loopback TCP.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use kscope_server::{api::CoreServerApi, HttpServer};
+//! use kscope_store::{Database, GridStore};
+//!
+//! let api = CoreServerApi::new(Database::new(), GridStore::new());
+//! let server = HttpServer::bind("127.0.0.1:0", api.into_router(), 4)?;
+//! println!("core server on {}", server.local_addr());
+//! server.shutdown();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod client;
+pub mod http;
+pub mod router;
+pub mod server;
+
+pub use http::{Method, Request, Response, StatusCode};
+pub use router::{Params, Router};
+pub use server::HttpServer;

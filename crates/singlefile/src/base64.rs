@@ -1,0 +1,139 @@
+//! Minimal standard-alphabet base64 (RFC 4648) for `data:` URIs.
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encodes bytes as padded standard base64.
+///
+/// ```
+/// assert_eq!(kscope_singlefile::base64::encode(b"Man"), "TWFu");
+/// assert_eq!(kscope_singlefile::base64::encode(b"Ma"), "TWE=");
+/// ```
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let triple = (b0 << 16) | (b1 << 8) | b2;
+        out.push(ALPHABET[(triple >> 18) as usize & 0x3f] as char);
+        out.push(ALPHABET[(triple >> 12) as usize & 0x3f] as char);
+        out.push(if chunk.len() > 1 {
+            ALPHABET[(triple >> 6) as usize & 0x3f] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 { ALPHABET[triple as usize & 0x3f] as char } else { '=' });
+    }
+    out
+}
+
+/// Error returned by [`decode`] for malformed input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeBase64Error {
+    /// Byte offset of the offending character.
+    pub position: usize,
+}
+
+impl std::fmt::Display for DecodeBase64Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid base64 at byte {}", self.position)
+    }
+}
+
+impl std::error::Error for DecodeBase64Error {}
+
+/// Decodes padded standard base64.
+///
+/// # Errors
+///
+/// Returns [`DecodeBase64Error`] on characters outside the alphabet or a
+/// length that is not a multiple of four.
+pub fn decode(text: &str) -> Result<Vec<u8>, DecodeBase64Error> {
+    let bytes = text.as_bytes();
+    if !bytes.len().is_multiple_of(4) {
+        return Err(DecodeBase64Error { position: bytes.len() });
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for (chunk_idx, chunk) in bytes.chunks(4).enumerate() {
+        let mut vals = [0u32; 4];
+        let mut pad = 0;
+        for (i, &b) in chunk.iter().enumerate() {
+            if b == b'=' {
+                pad += 1;
+                vals[i] = 0;
+            } else {
+                if pad > 0 {
+                    // Data after padding is malformed.
+                    return Err(DecodeBase64Error { position: chunk_idx * 4 + i });
+                }
+                vals[i] = decode_char(b)
+                    .ok_or(DecodeBase64Error { position: chunk_idx * 4 + i })?;
+            }
+        }
+        let triple = (vals[0] << 18) | (vals[1] << 12) | (vals[2] << 6) | vals[3];
+        out.push((triple >> 16) as u8);
+        if pad < 2 {
+            out.push((triple >> 8) as u8);
+        }
+        if pad < 1 {
+            out.push(triple as u8);
+        }
+    }
+    Ok(out)
+}
+
+fn decode_char(c: u8) -> Option<u32> {
+    match c {
+        b'A'..=b'Z' => Some((c - b'A') as u32),
+        b'a'..=b'z' => Some((c - b'a' + 26) as u32),
+        b'0'..=b'9' => Some((c - b'0' + 52) as u32),
+        b'+' => Some(62),
+        b'/' => Some(63),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc4648_vectors() {
+        assert_eq!(encode(b""), "");
+        assert_eq!(encode(b"f"), "Zg==");
+        assert_eq!(encode(b"fo"), "Zm8=");
+        assert_eq!(encode(b"foo"), "Zm9v");
+        assert_eq!(encode(b"foob"), "Zm9vYg==");
+        assert_eq!(encode(b"fooba"), "Zm9vYmE=");
+        assert_eq!(encode(b"foobar"), "Zm9vYmFy");
+    }
+
+    #[test]
+    fn decode_vectors() {
+        assert_eq!(decode("Zm9vYmFy").unwrap(), b"foobar");
+        assert_eq!(decode("Zg==").unwrap(), b"f");
+        assert_eq!(decode("").unwrap(), b"");
+    }
+
+    #[test]
+    fn roundtrip_binary() {
+        let data: Vec<u8> = (0u16..=255).map(|b| b as u8).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn decode_rejects_bad_length() {
+        assert!(decode("abc").is_err());
+    }
+
+    #[test]
+    fn decode_rejects_bad_chars() {
+        let err = decode("Zm9!").unwrap_err();
+        assert_eq!(err.position, 3);
+    }
+
+    #[test]
+    fn decode_rejects_data_after_padding() {
+        assert!(decode("Zg=a").is_err());
+    }
+}

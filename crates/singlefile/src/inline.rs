@@ -1,0 +1,464 @@
+//! The single-file inliner.
+//!
+//! Walks the parsed main document and folds every external reference into
+//! the document itself:
+//!
+//! * `<link rel="stylesheet" href=…>` → `<style>…</style>` (with nested
+//!   `url(...)` and one-level `@import` resolution),
+//! * `<script src=…>` → `<script>…</script>`,
+//! * `<img src=…>` / `<source src=…>` / `<input type=image src=…>` →
+//!   `data:` URIs,
+//! * inline `style="background-image: url(...)"` → `data:` URIs.
+//!
+//! Missing resources are recorded in the report rather than failing the
+//! whole page — saved webpages routinely have dead references.
+
+use crate::base64;
+use crate::store::{guess_mime, resolve_relative, ResourceStore};
+use kscope_html::{parse_document, Document, NodeId};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Error returned when the main document itself cannot be loaded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InlineError {
+    /// The main HTML file was not present in the store.
+    MissingMainFile(String),
+}
+
+impl fmt::Display for InlineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InlineError::MissingMainFile(path) => {
+                write!(f, "main file '{path}' not found in resource store")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InlineError {}
+
+/// Statistics about one inlining run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InlineReport {
+    /// Number of external references successfully folded in.
+    pub inlined: usize,
+    /// Paths that were referenced but absent from the store.
+    pub missing: Vec<String>,
+    /// Size of the main HTML before inlining, in bytes.
+    pub bytes_before: usize,
+    /// Size of the produced single file, in bytes.
+    pub bytes_after: usize,
+}
+
+/// The product of [`Inliner::inline`]: the self-contained HTML plus a
+/// report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InlineOutput {
+    /// The single-file HTML document.
+    pub html: String,
+    /// What was inlined and what was missing.
+    pub report: InlineReport,
+}
+
+/// Folds a saved webpage (main file + resources) into one HTML document.
+#[derive(Debug)]
+pub struct Inliner<'a> {
+    store: &'a ResourceStore,
+}
+
+impl<'a> Inliner<'a> {
+    /// Creates an inliner over a resource store.
+    pub fn new(store: &'a ResourceStore) -> Self {
+        Self { store }
+    }
+
+    /// Inlines the page whose main HTML file lives at `main_path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InlineError::MissingMainFile`] if `main_path` is absent.
+    /// Missing *sub*-resources are reported, not fatal.
+    pub fn inline(&self, main_path: &str) -> Result<InlineOutput, InlineError> {
+        let main = self
+            .store
+            .get_text(main_path)
+            .ok_or_else(|| InlineError::MissingMainFile(main_path.to_string()))?;
+        let mut report = InlineReport { bytes_before: main.len(), ..Default::default() };
+        let mut doc = parse_document(&main);
+
+        self.inline_stylesheets(&mut doc, main_path, &mut report);
+        self.inline_scripts(&mut doc, main_path, &mut report);
+        self.inline_images(&mut doc, main_path, &mut report);
+        self.inline_style_attr_urls(&mut doc, main_path, &mut report);
+
+        let html = doc.to_html();
+        report.bytes_after = html.len();
+        Ok(InlineOutput { html, report })
+    }
+
+    fn inline_stylesheets(&self, doc: &mut Document, base: &str, report: &mut InlineReport) {
+        let links: Vec<NodeId> = doc
+            .elements()
+            .into_iter()
+            .filter(|&id| {
+                let el = doc.element(id).expect("elements() yields elements");
+                el.name == "link"
+                    && el
+                        .attr("rel")
+                        .map(|r| r.eq_ignore_ascii_case("stylesheet"))
+                        .unwrap_or(false)
+                    && el.attr("href").is_some()
+            })
+            .collect();
+        for link in links {
+            let href = doc.attr(link, "href").expect("filtered on href").to_string();
+            let path = resolve_relative(base, &href);
+            match self.store.get_text(&path) {
+                Some(css) => {
+                    let mut seen = HashSet::new();
+                    seen.insert(path.clone());
+                    let css = self.process_css(&css, &path, &mut seen, report);
+                    let style = doc.create_element("style");
+                    let text = doc.create_text(&css);
+                    doc.append_child(style, text);
+                    doc.insert_before(link, style);
+                    doc.detach(link);
+                    report.inlined += 1;
+                }
+                None => report.missing.push(path),
+            }
+        }
+    }
+
+    fn inline_scripts(&self, doc: &mut Document, base: &str, report: &mut InlineReport) {
+        let scripts: Vec<NodeId> = doc
+            .elements()
+            .into_iter()
+            .filter(|&id| {
+                let el = doc.element(id).expect("elements() yields elements");
+                el.name == "script" && el.attr("src").is_some()
+            })
+            .collect();
+        for script in scripts {
+            let src = doc.attr(script, "src").expect("filtered on src").to_string();
+            if is_external_url(&src) {
+                report.missing.push(src);
+                continue;
+            }
+            let path = resolve_relative(base, &src);
+            match self.store.get_text(&path) {
+                Some(js) => {
+                    if let Some(el) = doc.element_mut(script) {
+                        el.remove_attr("src");
+                    }
+                    let text = doc.create_text(&js);
+                    doc.append_child(script, text);
+                    report.inlined += 1;
+                }
+                None => report.missing.push(path),
+            }
+        }
+    }
+
+    fn inline_images(&self, doc: &mut Document, base: &str, report: &mut InlineReport) {
+        let imgs: Vec<NodeId> = doc
+            .elements()
+            .into_iter()
+            .filter(|&id| {
+                let el = doc.element(id).expect("elements() yields elements");
+                matches!(el.name.as_str(), "img" | "source" | "input") && el.attr("src").is_some()
+            })
+            .collect();
+        for img in imgs {
+            let src = doc.attr(img, "src").expect("filtered on src").to_string();
+            if src.starts_with("data:") {
+                continue;
+            }
+            if is_external_url(&src) {
+                report.missing.push(src);
+                continue;
+            }
+            let path = resolve_relative(base, &src);
+            match self.data_uri(&path) {
+                Some(uri) => {
+                    doc.set_attr(img, "src", &uri);
+                    report.inlined += 1;
+                }
+                None => report.missing.push(path),
+            }
+        }
+    }
+
+    fn inline_style_attr_urls(&self, doc: &mut Document, base: &str, report: &mut InlineReport) {
+        let styled: Vec<NodeId> = doc
+            .elements()
+            .into_iter()
+            .filter(|&id| doc.attr(id, "style").map(|s| s.contains("url(")).unwrap_or(false))
+            .collect();
+        for id in styled {
+            let style = doc.attr(id, "style").expect("filtered on style").to_string();
+            let rewritten = self.rewrite_css_urls(&style, base, report);
+            doc.set_attr(id, "style", &rewritten);
+        }
+    }
+
+    /// Rewrites `url(...)` references and flattens `@import` lines inside a
+    /// stylesheet fetched from `css_path`.
+    fn process_css(
+        &self,
+        css: &str,
+        css_path: &str,
+        seen: &mut HashSet<String>,
+        report: &mut InlineReport,
+    ) -> String {
+        let flattened = self.flatten_imports(css, css_path, seen, report);
+        self.rewrite_css_urls(&flattened, css_path, report)
+    }
+
+    fn flatten_imports(
+        &self,
+        css: &str,
+        css_path: &str,
+        seen: &mut HashSet<String>,
+        report: &mut InlineReport,
+    ) -> String {
+        let mut out = String::with_capacity(css.len());
+        for line in css.lines() {
+            let trimmed = line.trim_start();
+            if let Some(rest) = trimmed.strip_prefix("@import") {
+                if let Some(target) = parse_import_target(rest) {
+                    let path = resolve_relative(css_path, &target);
+                    if seen.insert(path.clone()) {
+                        match self.store.get_text(&path) {
+                            Some(nested) => {
+                                let nested = self.flatten_imports(&nested, &path, seen, report);
+                                out.push_str(&self.rewrite_css_urls(&nested, &path, report));
+                                out.push('\n');
+                                report.inlined += 1;
+                                continue;
+                            }
+                            None => {
+                                report.missing.push(path);
+                                continue;
+                            }
+                        }
+                    } else {
+                        // Import cycle: drop the repeated import.
+                        continue;
+                    }
+                }
+            }
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+
+    fn rewrite_css_urls(&self, css: &str, base: &str, report: &mut InlineReport) -> String {
+        let mut out = String::with_capacity(css.len());
+        let mut rest = css;
+        while let Some(pos) = rest.find("url(") {
+            out.push_str(&rest[..pos + 4]);
+            rest = &rest[pos + 4..];
+            let close = match rest.find(')') {
+                Some(c) => c,
+                None => break,
+            };
+            let raw = rest[..close].trim();
+            let target = raw.trim_matches(|c| c == '"' || c == '\'');
+            if target.starts_with("data:") || is_external_url(target) || target.is_empty() {
+                out.push_str(raw);
+            } else {
+                let path = resolve_relative(base, target);
+                match self.data_uri(&path) {
+                    Some(uri) => {
+                        out.push_str(&uri);
+                        report.inlined += 1;
+                    }
+                    None => {
+                        report.missing.push(path);
+                        out.push_str(raw);
+                    }
+                }
+            }
+            out.push(')');
+            rest = &rest[close + 1..];
+        }
+        out.push_str(rest);
+        out
+    }
+
+    fn data_uri(&self, path: &str) -> Option<String> {
+        let res = self.store.get(path)?;
+        let mime = if res.mime.is_empty() { guess_mime(path) } else { res.mime.as_str() };
+        Some(format!("data:{mime};base64,{}", base64::encode(&res.data)))
+    }
+}
+
+fn is_external_url(s: &str) -> bool {
+    s.starts_with("http://") || s.starts_with("https://") || s.starts_with("//")
+}
+
+/// Extracts the target of `@import "x.css";` or `@import url(x.css);`.
+fn parse_import_target(rest: &str) -> Option<String> {
+    let rest = rest.trim().trim_end_matches(';').trim();
+    let inner = if let Some(stripped) = rest.strip_prefix("url(") {
+        stripped.strip_suffix(')')?
+    } else {
+        rest
+    };
+    let target = inner.trim().trim_matches(|c| c == '"' || c == '\'').to_string();
+    if target.is_empty() {
+        None
+    } else {
+        Some(target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> ResourceStore {
+        let mut s = ResourceStore::new();
+        s.insert(
+            "page/index.html",
+            "text/html",
+            br#"<html><head>
+                <link rel="stylesheet" href="css/main.css">
+                <script src="js/app.js"></script>
+                </head><body>
+                <img src="img/photo.jpg">
+                <div style="background-image: url('img/bg.png')">x</div>
+                </body></html>"#
+                .to_vec(),
+        );
+        s.insert(
+            "page/css/main.css",
+            "text/css",
+            b"body { background: url(../img/bg.png); }".to_vec(),
+        );
+        s.insert("page/js/app.js", "text/javascript", b"console.log(1);".to_vec(),);
+        s.insert("page/img/photo.jpg", "image/jpeg", vec![0xff, 0xd8, 0xff]);
+        s.insert("page/img/bg.png", "image/png", vec![0x89, 0x50]);
+        s
+    }
+
+    #[test]
+    fn inlines_everything() {
+        let s = store();
+        let out = Inliner::new(&s).inline("page/index.html").unwrap();
+        assert!(out.html.contains("<style>"));
+        assert!(!out.html.contains("main.css"));
+        assert!(out.html.contains("console.log(1);"));
+        assert!(!out.html.contains("js/app.js"));
+        assert!(out.html.contains("data:image/jpeg;base64,/9j/"));
+        assert!(out.html.contains("data:image/png;base64,"));
+        assert!(out.report.missing.is_empty());
+        // link + script + img + css url + style-attr url = 5
+        assert_eq!(out.report.inlined, 5);
+        assert_eq!(out.report.bytes_after, out.html.len());
+    }
+
+    #[test]
+    fn output_is_self_contained() {
+        let s = store();
+        let out = Inliner::new(&s).inline("page/index.html").unwrap();
+        // Re-inlining against an EMPTY store must find nothing left to fetch.
+        let mut empty = ResourceStore::new();
+        empty.insert("page/index.html", "text/html", out.html.clone().into_bytes());
+        let again = Inliner::new(&empty).inline("page/index.html").unwrap();
+        assert_eq!(again.report.inlined, 0);
+        assert!(again.report.missing.is_empty(), "missing: {:?}", again.report.missing);
+    }
+
+    #[test]
+    fn missing_main_file_is_an_error() {
+        let s = ResourceStore::new();
+        let err = Inliner::new(&s).inline("nope.html").unwrap_err();
+        assert_eq!(err, InlineError::MissingMainFile("nope.html".into()));
+        assert!(err.to_string().contains("nope.html"));
+    }
+
+    #[test]
+    fn missing_subresource_is_reported_not_fatal() {
+        let mut s = ResourceStore::new();
+        s.insert(
+            "p/i.html",
+            "text/html",
+            br#"<img src="gone.png"><link rel=stylesheet href="gone.css">"#.to_vec(),
+        );
+        let out = Inliner::new(&s).inline("p/i.html").unwrap();
+        assert_eq!(out.report.inlined, 0);
+        // Stylesheets are processed before images.
+        assert_eq!(out.report.missing, vec!["p/gone.css".to_string(), "p/gone.png".to_string()]);
+    }
+
+    #[test]
+    fn external_urls_left_alone() {
+        let mut s = ResourceStore::new();
+        s.insert(
+            "p/i.html",
+            "text/html",
+            br#"<img src="https://cdn.example.com/x.png"><script src="//cdn/x.js"></script>"#
+                .to_vec(),
+        );
+        let out = Inliner::new(&s).inline("p/i.html").unwrap();
+        assert!(out.html.contains("https://cdn.example.com/x.png"));
+        assert_eq!(out.report.inlined, 0);
+        assert_eq!(out.report.missing.len(), 2);
+    }
+
+    #[test]
+    fn data_uris_not_reencoded() {
+        let mut s = ResourceStore::new();
+        s.insert("p/i.html", "text/html", br#"<img src="data:image/png;base64,AAAA">"#.to_vec());
+        let out = Inliner::new(&s).inline("p/i.html").unwrap();
+        assert!(out.html.contains("data:image/png;base64,AAAA"));
+        assert_eq!(out.report.inlined, 0);
+    }
+
+    #[test]
+    fn import_chains_flattened() {
+        let mut s = ResourceStore::new();
+        s.insert(
+            "p/i.html",
+            "text/html",
+            br#"<link rel="stylesheet" href="a.css">"#.to_vec(),
+        );
+        s.insert("p/a.css", "text/css", b"@import \"b.css\";\n.a { x: 1 }".to_vec());
+        s.insert("p/b.css", "text/css", b".b { y: 2 }".to_vec());
+        let out = Inliner::new(&s).inline("p/i.html").unwrap();
+        assert!(out.html.contains(".a { x: 1 }"));
+        assert!(out.html.contains(".b { y: 2 }"));
+        assert!(!out.html.contains("@import"));
+    }
+
+    #[test]
+    fn import_cycles_terminate() {
+        let mut s = ResourceStore::new();
+        s.insert("p/i.html", "text/html", br#"<link rel="stylesheet" href="a.css">"#.to_vec());
+        s.insert("p/a.css", "text/css", b"@import 'b.css';\n.a{}".to_vec());
+        s.insert("p/b.css", "text/css", b"@import 'a.css';\n.b{}".to_vec());
+        let out = Inliner::new(&s).inline("p/i.html").unwrap();
+        assert!(out.html.contains(".a{}"));
+        assert!(out.html.contains(".b{}"));
+    }
+
+    #[test]
+    fn import_url_form() {
+        assert_eq!(parse_import_target(" url(x.css);"), Some("x.css".to_string()));
+        assert_eq!(parse_import_target(" \"y.css\";"), Some("y.css".to_string()));
+        assert_eq!(parse_import_target(" ;"), None);
+    }
+
+    #[test]
+    fn css_url_without_close_paren_does_not_hang() {
+        let mut s = ResourceStore::new();
+        s.insert("p/i.html", "text/html", br#"<link rel="stylesheet" href="a.css">"#.to_vec());
+        s.insert("p/a.css", "text/css", b"body { background: url(broken".to_vec());
+        let out = Inliner::new(&s).inline("p/i.html").unwrap();
+        assert!(out.html.contains("url("));
+    }
+}

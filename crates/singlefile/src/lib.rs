@@ -1,0 +1,39 @@
+//! SingleFile substitute: compress a saved multi-file webpage into one
+//! self-contained HTML document.
+//!
+//! The paper's aggregator cannot hand a folder of resources to the browser
+//! extension ("browser extensions cannot access local files"), so every test
+//! webpage is compressed into a single HTML file using SingleFile. This
+//! crate reproduces that step over a virtual saved-webpage folder
+//! ([`ResourceStore`]): stylesheets and scripts are inlined, images become
+//! `data:` URIs, CSS `url(...)` references are rewritten, and one-level
+//! `@import` chains are flattened.
+//!
+//! # Example
+//!
+//! ```
+//! use kscope_singlefile::{Inliner, ResourceStore};
+//!
+//! let mut store = ResourceStore::new();
+//! store.insert("page/index.html", "text/html",
+//!     br#"<html><head><link rel="stylesheet" href="style.css"></head>
+//!         <body><img src="img/logo.png"></body></html>"#.to_vec());
+//! store.insert("page/style.css", "text/css", b"body { margin: 0 }".to_vec());
+//! store.insert("page/img/logo.png", "image/png", vec![1, 2, 3]);
+//!
+//! let out = Inliner::new(&store).inline("page/index.html")?;
+//! assert!(out.html.contains("<style>"));
+//! assert!(out.html.contains("data:image/png;base64,"));
+//! assert_eq!(out.report.inlined, 2);
+//! # Ok::<(), kscope_singlefile::InlineError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod base64;
+pub mod inline;
+pub mod store;
+
+pub use inline::{InlineError, InlineOutput, InlineReport, Inliner};
+pub use store::{normalize_path, resolve_relative, ResourceStore};

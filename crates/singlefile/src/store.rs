@@ -1,0 +1,262 @@
+//! A virtual saved-webpage folder.
+//!
+//! The paper organizes each test webpage the way "save page as" does: an
+//! initial HTML document plus a folder (and subfolders) of resources.
+//! [`ResourceStore`] models that folder as a map from normalized relative
+//! paths to typed byte blobs.
+
+use bytes::Bytes;
+use std::collections::BTreeMap;
+
+/// One stored resource: a MIME type and its bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Resource {
+    /// MIME type, e.g. `text/css`.
+    pub mime: String,
+    /// Raw contents.
+    pub data: Bytes,
+}
+
+/// A virtual folder of webpage resources keyed by normalized relative path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResourceStore {
+    entries: BTreeMap<String, Resource>,
+}
+
+impl ResourceStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a resource under a path (normalized). Replaces any previous
+    /// entry and returns it.
+    pub fn insert(
+        &mut self,
+        path: &str,
+        mime: &str,
+        data: impl Into<Bytes>,
+    ) -> Option<Resource> {
+        self.entries
+            .insert(normalize_path(path), Resource { mime: mime.to_string(), data: data.into() })
+    }
+
+    /// Inserts a text resource, guessing the MIME type from the extension.
+    pub fn insert_text(&mut self, path: &str, text: &str) -> Option<Resource> {
+        let mime = guess_mime(path);
+        self.insert(path, mime, text.as_bytes().to_vec())
+    }
+
+    /// Fetches a resource by path (normalized before lookup).
+    pub fn get(&self, path: &str) -> Option<&Resource> {
+        self.entries.get(&normalize_path(path))
+    }
+
+    /// Fetches a resource's contents as UTF-8 text.
+    pub fn get_text(&self, path: &str) -> Option<String> {
+        self.get(path).map(|r| String::from_utf8_lossy(&r.data).into_owned())
+    }
+
+    /// Whether a path exists.
+    pub fn contains(&self, path: &str) -> bool {
+        self.entries.contains_key(&normalize_path(path))
+    }
+
+    /// All stored paths in sorted order.
+    pub fn paths(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(String::as_str)
+    }
+
+    /// Paths under a folder prefix (normalized), e.g. `"page/"`.
+    pub fn paths_under<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        let norm = normalize_path(prefix);
+        self.entries
+            .keys()
+            .filter(move |k| k.starts_with(&norm))
+            .map(String::as_str)
+    }
+
+    /// Number of resources.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store holds no resources.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sum of resource sizes in bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.entries.values().map(|r| r.data.len()).sum()
+    }
+}
+
+impl FromIterator<(String, String, Vec<u8>)> for ResourceStore {
+    fn from_iter<I: IntoIterator<Item = (String, String, Vec<u8>)>>(iter: I) -> Self {
+        let mut store = Self::new();
+        for (path, mime, data) in iter {
+            store.insert(&path, &mime, data);
+        }
+        store
+    }
+}
+
+/// Normalizes a relative path: forward slashes, no leading `./`, resolved
+/// `..` segments (clamped at the root), collapsed `//`.
+///
+/// ```
+/// use kscope_singlefile::normalize_path;
+/// assert_eq!(normalize_path("./a//b/../c.css"), "a/c.css");
+/// assert_eq!(normalize_path("../../x"), "x");
+/// ```
+pub fn normalize_path(path: &str) -> String {
+    let unified = path.replace('\\', "/");
+    let mut parts: Vec<&str> = Vec::new();
+    for seg in unified.split('/') {
+        match seg {
+            "" | "." => {}
+            ".." => {
+                parts.pop();
+            }
+            s => parts.push(s),
+        }
+    }
+    parts.join("/")
+    // Note: `..` above the root is clamped, matching how a saved-page folder
+    // cannot reference outside itself.
+}
+
+/// Resolves `href` relative to the directory of `base_file`.
+///
+/// ```
+/// use kscope_singlefile::resolve_relative;
+/// assert_eq!(resolve_relative("page/index.html", "css/a.css"), "page/css/a.css");
+/// assert_eq!(resolve_relative("page/sub/f.html", "../img.png"), "page/img.png");
+/// assert_eq!(resolve_relative("index.html", "style.css"), "style.css");
+/// ```
+pub fn resolve_relative(base_file: &str, href: &str) -> String {
+    let base = normalize_path(base_file);
+    let dir = match base.rfind('/') {
+        Some(idx) => &base[..idx],
+        None => "",
+    };
+    if dir.is_empty() {
+        normalize_path(href)
+    } else {
+        normalize_path(&format!("{dir}/{href}"))
+    }
+}
+
+/// Guesses a MIME type from a file extension (the small set saved webpages
+/// contain).
+pub fn guess_mime(path: &str) -> &'static str {
+    let ext = path.rsplit('.').next().unwrap_or("").to_ascii_lowercase();
+    match ext.as_str() {
+        "html" | "htm" => "text/html",
+        "css" => "text/css",
+        "js" | "mjs" => "text/javascript",
+        "json" => "application/json",
+        "png" => "image/png",
+        "jpg" | "jpeg" => "image/jpeg",
+        "gif" => "image/gif",
+        "svg" => "image/svg+xml",
+        "webp" => "image/webp",
+        "ico" => "image/x-icon",
+        "woff" => "font/woff",
+        "woff2" => "font/woff2",
+        "ttf" => "font/ttf",
+        "txt" => "text/plain",
+        _ => "application/octet-stream",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut s = ResourceStore::new();
+        s.insert("a/b.css", "text/css", b"x{}".to_vec());
+        assert_eq!(s.get("a/b.css").unwrap().mime, "text/css");
+        assert_eq!(s.get_text("a/b.css").as_deref(), Some("x{}"));
+        assert!(s.contains("./a/b.css"));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.total_bytes(), 3);
+    }
+
+    #[test]
+    fn normalized_lookup() {
+        let mut s = ResourceStore::new();
+        s.insert("./page//style.css", "text/css", b"".to_vec());
+        assert!(s.contains("page/style.css"));
+        assert!(s.contains("page/sub/../style.css"));
+    }
+
+    #[test]
+    fn replace_returns_previous() {
+        let mut s = ResourceStore::new();
+        assert!(s.insert("x", "text/plain", b"1".to_vec()).is_none());
+        let prev = s.insert("x", "text/plain", b"2".to_vec()).unwrap();
+        assert_eq!(&prev.data[..], b"1");
+    }
+
+    #[test]
+    fn paths_under_prefix() {
+        let mut s = ResourceStore::new();
+        s.insert("p1/a", "text/plain", b"".to_vec());
+        s.insert("p1/sub/b", "text/plain", b"".to_vec());
+        s.insert("p2/c", "text/plain", b"".to_vec());
+        let under: Vec<&str> = s.paths_under("p1/").collect();
+        assert_eq!(under, vec!["p1/a", "p1/sub/b"]);
+    }
+
+    #[test]
+    fn normalize_cases() {
+        assert_eq!(normalize_path("a/b/c"), "a/b/c");
+        assert_eq!(normalize_path("./a"), "a");
+        assert_eq!(normalize_path("a/./b"), "a/b");
+        assert_eq!(normalize_path("a/../b"), "b");
+        assert_eq!(normalize_path("a/b/../../c"), "c");
+        assert_eq!(normalize_path("../x"), "x");
+        assert_eq!(normalize_path("a//b"), "a/b");
+        assert_eq!(normalize_path("a\\b"), "a/b");
+        assert_eq!(normalize_path(""), "");
+    }
+
+    #[test]
+    fn resolve_relative_cases() {
+        assert_eq!(resolve_relative("d/f.html", "x.css"), "d/x.css");
+        assert_eq!(resolve_relative("d/f.html", "./x.css"), "d/x.css");
+        assert_eq!(resolve_relative("d/f.html", "sub/x.css"), "d/sub/x.css");
+        assert_eq!(resolve_relative("d/e/f.html", "../x.css"), "d/x.css");
+        assert_eq!(resolve_relative("f.html", "x.css"), "x.css");
+    }
+
+    #[test]
+    fn mime_guessing() {
+        assert_eq!(guess_mime("a/b.CSS"), "text/css");
+        assert_eq!(guess_mime("p.png"), "image/png");
+        assert_eq!(guess_mime("script.js"), "text/javascript");
+        assert_eq!(guess_mime("noext"), "application/octet-stream");
+    }
+
+    #[test]
+    fn from_iterator() {
+        let s: ResourceStore = vec![
+            ("a".to_string(), "text/plain".to_string(), b"1".to_vec()),
+            ("b".to_string(), "text/plain".to_string(), b"2".to_vec()),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn insert_text_guesses_mime() {
+        let mut s = ResourceStore::new();
+        s.insert_text("style.css", "body{}");
+        assert_eq!(s.get("style.css").unwrap().mime, "text/css");
+    }
+}

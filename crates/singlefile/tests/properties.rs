@@ -1,0 +1,40 @@
+//! Property tests: base64 and path handling are total and reversible.
+
+use kscope_singlefile::base64::{decode, encode};
+use kscope_singlefile::{normalize_path, resolve_relative};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode/decode round-trips arbitrary bytes.
+    #[test]
+    fn base64_roundtrip(data in prop::collection::vec(any::<u8>(), 0..200)) {
+        let encoded = encode(&data);
+        prop_assert_eq!(decode(&encoded).unwrap(), data);
+        // Output alphabet is valid.
+        prop_assert!(encoded.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'+' || b == b'/' || b == b'='));
+        prop_assert_eq!(encoded.len() % 4, 0);
+    }
+
+    /// decode is total: arbitrary ASCII never panics.
+    #[test]
+    fn base64_decode_total(text in "[ -~]{0,100}") {
+        let _ = decode(&text);
+    }
+
+    /// Normalization removes every dot segment.
+    #[test]
+    fn normalize_removes_dots(path in "[a-z./]{0,40}") {
+        let norm = normalize_path(&path);
+        prop_assert!(!norm.split('/').any(|seg| seg == "." || seg == ".." || seg.is_empty())
+            || norm.is_empty());
+    }
+
+    /// Resolution against a base produces a normalized path.
+    #[test]
+    fn resolution_is_normalized(base in "[a-z]{1,6}/[a-z]{1,6}\\.html", href in "[a-z./]{0,30}") {
+        let r = resolve_relative(&base, &href);
+        prop_assert_eq!(normalize_path(&r), r);
+    }
+}

@@ -1,0 +1,106 @@
+//! Bootstrap resampling for confidence intervals on arbitrary statistics.
+
+use rand::{Rng, RngExt};
+
+/// A percentile-bootstrap confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapCi {
+    /// Point estimate on the original sample.
+    pub estimate: f64,
+    /// Lower confidence bound.
+    pub low: f64,
+    /// Upper confidence bound.
+    pub high: f64,
+}
+
+/// Percentile bootstrap: resamples `sample` with replacement `reps` times,
+/// applies `stat` to each resample, and returns the `(alpha/2, 1-alpha/2)`
+/// percentile interval.
+///
+/// # Panics
+///
+/// Panics if the sample is empty, `reps == 0`, or `alpha` not in `(0, 1)`.
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// let sample = [1.0, 2.0, 3.0, 4.0, 5.0];
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let ci = kscope_stats::bootstrap::bootstrap_ci(
+///     &sample, 500, 0.05, &mut rng,
+///     |xs| xs.iter().sum::<f64>() / xs.len() as f64,
+/// );
+/// assert!(ci.low <= ci.estimate && ci.estimate <= ci.high);
+/// ```
+pub fn bootstrap_ci<R, F>(
+    sample: &[f64],
+    reps: usize,
+    alpha: f64,
+    rng: &mut R,
+    stat: F,
+) -> BootstrapCi
+where
+    R: Rng + ?Sized,
+    F: Fn(&[f64]) -> f64,
+{
+    assert!(!sample.is_empty(), "bootstrap of empty sample");
+    assert!(reps > 0, "need at least one bootstrap replicate");
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+    let estimate = stat(sample);
+    let n = sample.len();
+    let mut stats: Vec<f64> = Vec::with_capacity(reps);
+    let mut resample = vec![0.0; n];
+    for _ in 0..reps {
+        for slot in resample.iter_mut() {
+            *slot = sample[rng.random_range(0..n)];
+        }
+        stats.push(stat(&resample));
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("finite statistics"));
+    let lo_idx = ((alpha / 2.0) * reps as f64).floor() as usize;
+    let hi_idx = (((1.0 - alpha / 2.0) * reps as f64).ceil() as usize).min(reps) - 1;
+    BootstrapCi { estimate, low: stats[lo_idx.min(reps - 1)], high: stats[hi_idx] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn mean(xs: &[f64]) -> f64 {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+
+    #[test]
+    fn ci_brackets_mean_for_symmetric_sample() {
+        let sample: Vec<f64> = (1..=50).map(|i| i as f64).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let ci = bootstrap_ci(&sample, 2000, 0.05, &mut rng, mean);
+        assert!(ci.low < 25.5 && 25.5 < ci.high);
+        assert!(ci.high - ci.low < 12.0, "interval too wide: {ci:?}");
+    }
+
+    #[test]
+    fn ci_is_degenerate_for_constant_sample() {
+        let sample = vec![4.0; 30];
+        let mut rng = StdRng::seed_from_u64(9);
+        let ci = bootstrap_ci(&sample, 200, 0.05, &mut rng, mean);
+        assert_eq!(ci.low, 4.0);
+        assert_eq!(ci.high, 4.0);
+        assert_eq!(ci.estimate, 4.0);
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let sample: Vec<f64> = (0..20).map(|i| (i * i) as f64).collect();
+        let a = bootstrap_ci(&sample, 300, 0.1, &mut StdRng::seed_from_u64(7), mean);
+        let b = bootstrap_ci(&sample, 300, 0.1, &mut StdRng::seed_from_u64(7), mean);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn rejects_empty_sample() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = bootstrap_ci(&[], 10, 0.05, &mut rng, mean);
+    }
+}

@@ -1,0 +1,134 @@
+//! Descriptive statistics for result reporting.
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n-1 denominator; 0 for singleton samples).
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median (average of the middle pair for even n).
+    pub median: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics over a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is empty or contains non-finite values.
+    ///
+    /// ```
+    /// let s = kscope_stats::Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+    /// assert_eq!(s.mean, 2.5);
+    /// assert_eq!(s.median, 2.5);
+    /// ```
+    pub fn of(sample: &[f64]) -> Self {
+        assert!(!sample.is_empty(), "summary of empty sample");
+        assert!(sample.iter().all(|x| x.is_finite()), "sample must be finite");
+        let n = sample.len();
+        let mean = sample.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            sample.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = sample.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        };
+        Self {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            median,
+            max: sorted[n - 1],
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} sd={:.3} min={:.3} med={:.3} max={:.3}",
+            self.n, self.mean, self.std_dev, self.min, self.median, self.max
+        )
+    }
+}
+
+/// Converts a slice of counts into percentages that sum to 100 (up to
+/// floating-point error). Used for the stacked-bar figures.
+///
+/// # Panics
+///
+/// Panics if the counts sum to zero.
+pub fn percentages(counts: &[u64]) -> Vec<f64> {
+    let total: u64 = counts.iter().sum();
+    assert!(total > 0, "cannot take percentages of all-zero counts");
+    counts.iter().map(|&c| 100.0 * c as f64 / total as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_odd_sample() {
+        let s = Summary::of(&[5.0, 1.0, 3.0]);
+        assert_eq!(s.n, 3);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.std_dev - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_even_sample_median() {
+        let s = Summary::of(&[4.0, 1.0, 2.0, 3.0]);
+        assert_eq!(s.median, 2.5);
+    }
+
+    #[test]
+    fn summary_singleton() {
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 7.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = Summary::of(&[1.0, 2.0]);
+        assert!(!format!("{s}").is_empty());
+    }
+
+    #[test]
+    fn percentages_sum_to_hundred() {
+        let p = percentages(&[1, 1, 2]);
+        assert_eq!(p, vec![25.0, 25.0, 50.0]);
+        assert!((p.iter().sum::<f64>() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero")]
+    fn percentages_reject_zero_total() {
+        let _ = percentages(&[0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn summary_rejects_empty() {
+        let _ = Summary::of(&[]);
+    }
+}

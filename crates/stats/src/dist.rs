@@ -1,0 +1,453 @@
+//! Probability distributions: normal, chi-square, binomial, log-normal.
+//!
+//! Only the pieces the Kaleidoscope pipeline needs: CDFs for p-values,
+//! quantiles for confidence intervals, and sampling for the simulators.
+
+use crate::special::{erfc, gamma_p, ln_factorial};
+use rand::{Rng, RngExt};
+
+/// A normal (Gaussian) distribution with mean `mu` and standard deviation
+/// `sigma`.
+///
+/// ```
+/// use kscope_stats::Normal;
+/// let n = Normal::standard();
+/// assert!((n.cdf(1.96) - 0.975).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma <= 0` or either parameter is non-finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(mu.is_finite() && sigma.is_finite(), "parameters must be finite");
+        assert!(sigma > 0.0, "sigma must be positive, got {sigma}");
+        Self { mu, sigma }
+    }
+
+    /// The standard normal `N(0, 1)`.
+    pub fn standard() -> Self {
+        Self { mu: 0.0, sigma: 1.0 }
+    }
+
+    /// Mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        self.mu
+    }
+
+    /// Standard deviation of the distribution.
+    pub fn std_dev(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Probability density function at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.sigma;
+        (-0.5 * z * z).exp() / (self.sigma * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    /// Cumulative distribution function at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.sigma;
+        0.5 * erfc(-z / std::f64::consts::SQRT_2)
+    }
+
+    /// Upper-tail probability `P(X > x)`, precise deep into the tail.
+    pub fn sf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.sigma;
+        0.5 * erfc(z / std::f64::consts::SQRT_2)
+    }
+
+    /// Inverse CDF (quantile function) via Acklam's rational approximation
+    /// refined with one Halley step; absolute error below 1e-9.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not strictly inside `(0, 1)`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile requires 0 < p < 1, got {p}");
+        self.mu + self.sigma * standard_quantile(p)
+    }
+
+    /// Draws one sample using the Box–Muller transform.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.random();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        self.mu + self.sigma * z
+    }
+}
+
+/// Standard-normal quantile (Acklam 2003 + one Halley refinement).
+fn standard_quantile(p: f64) -> f64 {
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+    // One step of Halley's method against the true CDF.
+    let std = Normal::standard();
+    let e = std.cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+/// A chi-square distribution with `k` degrees of freedom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChiSquared {
+    k: u32,
+}
+
+impl ChiSquared {
+    /// Creates a chi-square distribution with `k > 0` degrees of freedom.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: u32) -> Self {
+        assert!(k > 0, "degrees of freedom must be positive");
+        Self { k }
+    }
+
+    /// Degrees of freedom.
+    pub fn dof(&self) -> u32 {
+        self.k
+    }
+
+    /// CDF at `x >= 0` (zero for negative `x`).
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            gamma_p(self.k as f64 / 2.0, x / 2.0)
+        }
+    }
+
+    /// Upper-tail probability `P(X > x)`.
+    pub fn sf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            1.0
+        } else {
+            crate::special::gamma_q(self.k as f64 / 2.0, x / 2.0)
+        }
+    }
+}
+
+/// A binomial distribution with `n` trials and success probability `p`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+impl Binomial {
+    /// Creates a binomial distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn new(n: u64, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p must lie in [0,1], got {p}");
+        Self { n, p }
+    }
+
+    /// Number of trials.
+    pub fn trials(&self) -> u64 {
+        self.n
+    }
+
+    /// Success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Probability mass function `P(X = k)` computed in log space.
+    pub fn pmf(&self, k: u64) -> f64 {
+        if k > self.n {
+            return 0.0;
+        }
+        if self.p == 0.0 {
+            return if k == 0 { 1.0 } else { 0.0 };
+        }
+        if self.p == 1.0 {
+            return if k == self.n { 1.0 } else { 0.0 };
+        }
+        let ln = ln_factorial(self.n) - ln_factorial(k) - ln_factorial(self.n - k)
+            + k as f64 * self.p.ln()
+            + (self.n - k) as f64 * (1.0 - self.p).ln();
+        ln.exp()
+    }
+
+    /// Cumulative probability `P(X <= k)` by direct summation.
+    pub fn cdf(&self, k: u64) -> f64 {
+        if k >= self.n {
+            return 1.0;
+        }
+        (0..=k).map(|i| self.pmf(i)).sum::<f64>().min(1.0)
+    }
+
+    /// Upper tail `P(X >= k)`.
+    pub fn sf_inclusive(&self, k: u64) -> f64 {
+        if k == 0 {
+            return 1.0;
+        }
+        (k..=self.n).map(|i| self.pmf(i)).sum::<f64>().min(1.0)
+    }
+
+    /// Draws a sample by `n` Bernoulli trials (fine for the sizes we use).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        (0..self.n).filter(|_| rng.random_bool(self.p)).count() as u64
+    }
+}
+
+/// A log-normal distribution parameterised by the mean/σ of the underlying
+/// normal. Used for tester time-on-task models.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    /// Creates a log-normal whose logarithm is `N(mu, sigma)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma <= 0`.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        Self { norm: Normal::new(mu, sigma) }
+    }
+
+    /// Creates a log-normal from the desired *median* and a shape factor
+    /// (sigma of the log). `median > 0` required.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `median <= 0` or `sigma <= 0`.
+    pub fn from_median(median: f64, sigma: f64) -> Self {
+        assert!(median > 0.0, "median must be positive");
+        Self::new(median.ln(), sigma)
+    }
+
+    /// CDF at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            self.norm.cdf(x.ln())
+        }
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+/// Samples from a Poisson distribution with rate `lambda` (Knuth's method
+/// for small rates, normal approximation above 500). Used by visitor-arrival
+/// simulators.
+pub fn poisson_sample<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    assert!(lambda >= 0.0, "lambda must be non-negative");
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda > 500.0 {
+        let n = Normal::new(lambda, lambda.sqrt());
+        return n.sample(rng).round().max(0.0) as u64;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.random::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Samples an exponential inter-arrival time with rate `lambda` (per unit
+/// time). Returns the waiting time until the next event.
+pub fn exponential_sample<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> f64 {
+    assert!(lambda > 0.0, "lambda must be positive");
+    let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    -u.ln() / lambda
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn normal_cdf_known_values() {
+        let n = Normal::standard();
+        close(n.cdf(0.0), 0.5, 1e-12);
+        close(n.cdf(1.0), 0.8413447460685429, 1e-10);
+        close(n.cdf(-1.0), 0.15865525393145705, 1e-10);
+        close(n.cdf(1.959963984540054), 0.975, 1e-10);
+    }
+
+    #[test]
+    fn normal_sf_tail_precision() {
+        let n = Normal::standard();
+        // P(Z > 5.27) ~ 6.8e-8 — the paper's question-C significance level.
+        let p = n.sf(5.27);
+        assert!(p > 5e-8 && p < 9e-8, "sf(5.27) = {p}");
+    }
+
+    #[test]
+    fn normal_quantile_inverts_cdf() {
+        let n = Normal::new(3.0, 2.5);
+        for &p in &[0.001, 0.025, 0.2, 0.5, 0.8, 0.975, 0.999] {
+            close(n.cdf(n.quantile(p)), p, 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be positive")]
+    fn normal_rejects_zero_sigma() {
+        let _ = Normal::new(0.0, 0.0);
+    }
+
+    #[test]
+    fn normal_sampling_matches_moments() {
+        let n = Normal::new(10.0, 3.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let m = 20_000;
+        let xs: Vec<f64> = (0..m).map(|_| n.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / m as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / m as f64;
+        close(mean, 10.0, 0.1);
+        close(var.sqrt(), 3.0, 0.1);
+    }
+
+    #[test]
+    fn chi_square_critical_values() {
+        // Classic critical values at alpha = 0.05.
+        close(ChiSquared::new(1).cdf(3.841), 0.95, 1e-3);
+        close(ChiSquared::new(2).cdf(5.991), 0.95, 1e-3);
+        close(ChiSquared::new(10).cdf(18.307), 0.95, 1e-3);
+    }
+
+    #[test]
+    fn chi_square_cdf_sf_complement() {
+        let c = ChiSquared::new(4);
+        for &x in &[0.5, 2.0, 7.78, 20.0] {
+            close(c.cdf(x) + c.sf(x), 1.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn binomial_pmf_sums_to_one() {
+        let b = Binomial::new(30, 0.37);
+        let total: f64 = (0..=30).map(|k| b.pmf(k)).sum();
+        close(total, 1.0, 1e-10);
+    }
+
+    #[test]
+    fn binomial_known_pmf() {
+        let b = Binomial::new(10, 0.5);
+        close(b.pmf(5), 252.0 / 1024.0, 1e-12);
+        close(b.cdf(10), 1.0, 0.0);
+    }
+
+    #[test]
+    fn binomial_degenerate_probabilities() {
+        let b0 = Binomial::new(5, 0.0);
+        assert_eq!(b0.pmf(0), 1.0);
+        assert_eq!(b0.pmf(1), 0.0);
+        let b1 = Binomial::new(5, 1.0);
+        assert_eq!(b1.pmf(5), 1.0);
+        assert_eq!(b1.pmf(4), 0.0);
+    }
+
+    #[test]
+    fn binomial_sf_of_paper_sign_test() {
+        // 46 of 60 non-tied votes prefer B: P(X >= 46 | n=60, p=0.5).
+        let b = Binomial::new(60, 0.5);
+        let p = b.sf_inclusive(46);
+        assert!(p < 1e-4, "sign-test tail should be tiny, got {p}");
+    }
+
+    #[test]
+    fn lognormal_median() {
+        let ln = LogNormal::from_median(60.0, 0.5);
+        close(ln.cdf(60.0), 0.5, 1e-12);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut xs: Vec<f64> = (0..10_001).map(|_| ln.sample(&mut rng)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = xs[5000];
+        assert!((med - 60.0).abs() < 3.0, "sample median {med}");
+    }
+
+    #[test]
+    fn poisson_mean_matches_lambda() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let lambda = 8.3;
+        let n = 5000;
+        let total: u64 = (0..n).map(|_| poisson_sample(&mut rng, lambda)).sum();
+        let mean = total as f64 / n as f64;
+        close(mean, lambda, 0.15);
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let lambda = 2.0;
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| exponential_sample(&mut rng, lambda)).sum();
+        close(total / n as f64, 0.5, 0.02);
+    }
+}

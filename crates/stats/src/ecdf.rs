@@ -1,0 +1,207 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Figure 5 of the paper plots CDFs of tester behaviour (active tabs,
+//! created tabs, time on task) for raw/quality-controlled/in-lab
+//! populations. [`Ecdf`] provides evaluation, quantiles, and a plottable
+//! step-point series.
+
+/// An empirical CDF over a sample of `f64` observations.
+///
+/// ```
+/// use kscope_stats::Ecdf;
+/// let e = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(e.eval(2.5), 0.5);
+/// assert_eq!(e.quantile(0.5), 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from a sample. Non-finite values are rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is empty or contains NaN/infinite values.
+    pub fn new(mut sample: Vec<f64>) -> Self {
+        assert!(!sample.is_empty(), "ECDF requires at least one observation");
+        assert!(sample.iter().all(|x| x.is_finite()), "observations must be finite");
+        sample.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        Self { sorted: sample }
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the sample is empty (never true for a constructed `Ecdf`).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `F(x)`: fraction of observations `<= x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (`0 <= q <= 1`) using the inverse-ECDF convention:
+    /// the smallest observation `x` with `F(x) >= q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile requires q in [0,1]");
+        if q == 0.0 {
+            return self.sorted[0];
+        }
+        let n = self.sorted.len();
+        let idx = ((q * n as f64).ceil() as usize).clamp(1, n);
+        self.sorted[idx - 1]
+    }
+
+    /// Minimum observation.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Maximum observation.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty")
+    }
+
+    /// Step points `(x, F(x))` suitable for plotting, one per distinct value.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        let mut out: Vec<(f64, f64)> = Vec::new();
+        for (i, &x) in self.sorted.iter().enumerate() {
+            let y = (i + 1) as f64 / n;
+            match out.last_mut() {
+                Some(last) if last.0 == x => last.1 = y,
+                _ => out.push((x, y)),
+            }
+        }
+        out
+    }
+
+    /// Evaluates the ECDF on a fixed grid of `steps+1` points spanning
+    /// `[lo, hi]` — the form the figure binaries print.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `steps == 0`.
+    pub fn on_grid(&self, lo: f64, hi: f64, steps: usize) -> Vec<(f64, f64)> {
+        assert!(lo < hi && steps > 0, "invalid grid");
+        (0..=steps)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / steps as f64;
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+
+    /// Two-sample Kolmogorov–Smirnov statistic `D = sup |F1 - F2|`.
+    /// Used to quantify how close the quality-controlled behaviour CDF is to
+    /// the in-lab one (the paper's Fig. 5 argument).
+    pub fn ks_distance(&self, other: &Ecdf) -> f64 {
+        let mut d: f64 = 0.0;
+        for &x in self.sorted.iter().chain(other.sorted.iter()) {
+            d = d.max((self.eval(x) - other.eval(x)).abs());
+        }
+        d
+    }
+}
+
+impl FromIterator<f64> for Ecdf {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        Self::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_basic() {
+        let e = Ecdf::new(vec![3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(e.eval(0.0), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.5), 0.5);
+        assert_eq!(e.eval(4.0), 1.0);
+        assert_eq!(e.eval(100.0), 1.0);
+    }
+
+    #[test]
+    fn eval_with_ties() {
+        let e = Ecdf::new(vec![2.0, 2.0, 2.0, 5.0]);
+        assert_eq!(e.eval(1.9), 0.0);
+        assert_eq!(e.eval(2.0), 0.75);
+    }
+
+    #[test]
+    fn quantiles() {
+        let e = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(e.quantile(0.0), 1.0);
+        assert_eq!(e.quantile(0.2), 1.0);
+        assert_eq!(e.quantile(0.5), 3.0);
+        assert_eq!(e.quantile(1.0), 5.0);
+    }
+
+    #[test]
+    fn quantile_is_left_inverse_of_eval() {
+        let e = Ecdf::new(vec![0.5, 1.5, 2.5, 9.0, 12.0, 40.0]);
+        for i in 1..=e.len() {
+            let q = i as f64 / e.len() as f64;
+            let x = e.quantile(q);
+            assert!(e.eval(x) >= q);
+        }
+    }
+
+    #[test]
+    fn points_are_monotone_and_end_at_one() {
+        let e = Ecdf::new(vec![5.0, 1.0, 1.0, 3.0]);
+        let pts = e.points();
+        assert_eq!(pts.len(), 3); // 1, 3, 5
+        assert!(pts.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 < w[1].1));
+        assert_eq!(pts.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn grid_covers_range() {
+        let e = Ecdf::new(vec![1.0, 2.0]);
+        let g = e.on_grid(0.0, 3.0, 3);
+        assert_eq!(g.len(), 4);
+        assert_eq!(g[0], (0.0, 0.0));
+        assert_eq!(g[3], (3.0, 1.0));
+    }
+
+    #[test]
+    fn ks_distance_identical_is_zero() {
+        let a = Ecdf::new(vec![1.0, 2.0, 3.0]);
+        assert_eq!(a.ks_distance(&a), 0.0);
+    }
+
+    #[test]
+    fn ks_distance_disjoint_is_one() {
+        let a = Ecdf::new(vec![1.0, 2.0]);
+        let b = Ecdf::new(vec![10.0, 20.0]);
+        assert_eq!(a.ks_distance(&b), 1.0);
+        assert_eq!(b.ks_distance(&a), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one observation")]
+    fn rejects_empty() {
+        let _ = Ecdf::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn rejects_nan() {
+        let _ = Ecdf::new(vec![1.0, f64::NAN]);
+    }
+}

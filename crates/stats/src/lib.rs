@@ -1,0 +1,35 @@
+//! Statistics substrate for the Kaleidoscope reproduction.
+//!
+//! The paper's evaluation rests on a small set of statistical machinery:
+//! two-proportion significance tests (the VWO-style calculator used for the
+//! A/B "Expand button" experiment), empirical CDFs (tester-behaviour figures),
+//! majority-vote aggregation ("crowd wisdom" quality control), and ranking
+//! aggregation from pairwise comparisons (the font-size study). This crate
+//! implements all of it from scratch on top of `std` plus `rand`.
+//!
+//! # Example
+//!
+//! ```
+//! use kscope_stats::tests::{two_proportion_z_test, Tail};
+//!
+//! // Paper §IV-B: A/B test, 3/51 vs 6/49 clicks -> not significant.
+//! let r = two_proportion_z_test(3, 51, 6, 49, Tail::OneSidedGreater);
+//! assert!(r.p_value > 0.05);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bootstrap;
+pub mod describe;
+pub mod dist;
+pub mod ecdf;
+pub mod rank;
+pub mod special;
+pub mod tests;
+
+pub use describe::Summary;
+pub use dist::{Binomial, ChiSquared, Normal};
+pub use ecdf::Ecdf;
+pub use rank::{borda_ranking, bradley_terry, fleiss_kappa, kendall_tau, majority_vote, PairwiseMatrix};
+pub use tests::{two_proportion_z_test, Tail, TestResult};

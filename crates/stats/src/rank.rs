@@ -1,0 +1,546 @@
+//! Ranking aggregation from pairwise comparisons.
+//!
+//! The font-size study (paper Fig. 4) shows each tester `C(5,2)` side-by-side
+//! pairs and asks which is easier to read. Per-tester rankings ("A" best …
+//! "E" worst) are derived from the pairwise wins, and the figure reports the
+//! distribution of ranks per version. This module provides the pairwise win
+//! matrix, Borda ranking, majority vote, Bradley–Terry strength estimation,
+//! and Kendall-tau ranking comparison.
+
+use std::collections::HashMap;
+
+/// Outcome of a single side-by-side comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Preference {
+    /// The left (first) item won.
+    Left,
+    /// The right (second) item won.
+    Right,
+    /// The tester judged them the same.
+    Same,
+}
+
+impl Preference {
+    /// Mirrors the preference, as if left/right had been swapped.
+    pub fn flipped(self) -> Self {
+        match self {
+            Preference::Left => Preference::Right,
+            Preference::Right => Preference::Left,
+            Preference::Same => Preference::Same,
+        }
+    }
+}
+
+/// Accumulated pairwise results among `n` items.
+///
+/// `wins[i][j]` counts comparisons where item `i` beat item `j`; ties are
+/// tracked separately.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairwiseMatrix {
+    n: usize,
+    wins: Vec<Vec<u64>>,
+    ties: Vec<Vec<u64>>,
+}
+
+impl PairwiseMatrix {
+    /// Creates an empty matrix over `n` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "pairwise comparison needs at least two items");
+        Self { n, wins: vec![vec![0; n]; n], ties: vec![vec![0; n]; n] }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false: the matrix covers at least two items.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Records one comparison between items `left` and `right`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range or `left == right`.
+    pub fn record(&mut self, left: usize, right: usize, pref: Preference) {
+        assert!(left < self.n && right < self.n, "item index out of range");
+        assert_ne!(left, right, "cannot compare an item against itself");
+        match pref {
+            Preference::Left => self.wins[left][right] += 1,
+            Preference::Right => self.wins[right][left] += 1,
+            Preference::Same => {
+                self.ties[left][right] += 1;
+                self.ties[right][left] += 1;
+            }
+        }
+    }
+
+    /// Wins of `i` over `j`.
+    pub fn wins(&self, i: usize, j: usize) -> u64 {
+        self.wins[i][j]
+    }
+
+    /// Ties recorded between `i` and `j`.
+    pub fn ties(&self, i: usize, j: usize) -> u64 {
+        self.ties[i][j]
+    }
+
+    /// Total comparisons involving the pair `(i, j)`.
+    pub fn total(&self, i: usize, j: usize) -> u64 {
+        self.wins[i][j] + self.wins[j][i] + self.ties[i][j]
+    }
+
+    /// Borda score of each item: total wins plus half of ties.
+    pub fn borda_scores(&self) -> Vec<f64> {
+        (0..self.n)
+            .map(|i| {
+                let w: u64 = self.wins[i].iter().sum();
+                let t: u64 = self.ties[i].iter().sum();
+                w as f64 + t as f64 / 2.0
+            })
+            .collect()
+    }
+
+    /// Merges another matrix of the same size into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sizes differ.
+    pub fn merge(&mut self, other: &PairwiseMatrix) {
+        assert_eq!(self.n, other.n, "matrix sizes differ");
+        for i in 0..self.n {
+            for j in 0..self.n {
+                self.wins[i][j] += other.wins[i][j];
+                self.ties[i][j] += other.ties[i][j];
+            }
+        }
+    }
+}
+
+/// Ranks items best-first by Borda score (wins + ties/2), breaking score
+/// ties by lower index for determinism. Returns item indices.
+///
+/// ```
+/// use kscope_stats::rank::{PairwiseMatrix, Preference, borda_ranking};
+/// let mut m = PairwiseMatrix::new(3);
+/// m.record(0, 1, Preference::Left);   // 0 beats 1
+/// m.record(0, 2, Preference::Left);   // 0 beats 2
+/// m.record(1, 2, Preference::Left);   // 1 beats 2
+/// assert_eq!(borda_ranking(&m), vec![0, 1, 2]);
+/// ```
+pub fn borda_ranking(m: &PairwiseMatrix) -> Vec<usize> {
+    let scores = m.borda_scores();
+    let mut order: Vec<usize> = (0..m.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[b].partial_cmp(&scores[a]).expect("finite scores").then(a.cmp(&b))
+    });
+    order
+}
+
+/// Like [`borda_ranking`], but Borda-score ties are resolved by the
+/// head-to-head record between the tied items before falling back to the
+/// index. This matters for per-participant rankings built from a single
+/// pass over the pairs, where ties in score are common: a participant who
+/// answered "Right" on the pair `(a, b)` should rank `b` above `a` even if
+/// their Borda scores ended up equal.
+pub fn borda_ranking_resolved(m: &PairwiseMatrix) -> Vec<usize> {
+    let scores = m.borda_scores();
+    let mut order: Vec<usize> = (0..m.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .expect("finite scores")
+            .then_with(|| m.wins(b, a).cmp(&m.wins(a, b)))
+            .then(a.cmp(&b))
+    });
+    order
+}
+
+/// Converts a best-first ranking (e.g. `[2, 0, 1]` = item 2 best) into
+/// per-item rank positions (`result[item] = rank`, 0 = best).
+pub fn ranking_to_positions(ranking: &[usize]) -> Vec<usize> {
+    let mut pos = vec![0usize; ranking.len()];
+    for (rank, &item) in ranking.iter().enumerate() {
+        pos[item] = rank;
+    }
+    pos
+}
+
+/// Majority vote over hashable labels. Returns the winning label and its
+/// count; score ties are broken towards the label that first reached the
+/// winning count (deterministic for a fixed input order).
+///
+/// Returns `None` on empty input.
+pub fn majority_vote<T: Eq + std::hash::Hash + Clone>(votes: &[T]) -> Option<(T, usize)> {
+    let mut counts: HashMap<&T, usize> = HashMap::new();
+    let mut best: Option<(&T, usize)> = None;
+    for v in votes {
+        let c = counts.entry(v).or_insert(0);
+        *c += 1;
+        match best {
+            Some((_, bc)) if *c <= bc => {}
+            _ => best = Some((v, *c)),
+        }
+    }
+    best.map(|(v, c)| (v.clone(), c))
+}
+
+/// Fits a Bradley–Terry model to a pairwise win matrix using the standard
+/// minorization–maximization iteration. Returns per-item strengths
+/// normalized to sum to 1. Ties contribute half a win to each side.
+///
+/// Items with no comparisons keep a uniform strength. The iteration is run
+/// for at most `max_iter` rounds or until the largest relative change drops
+/// below `tol`.
+///
+/// # Panics
+///
+/// Panics if `max_iter == 0`.
+pub fn bradley_terry(m: &PairwiseMatrix, max_iter: usize, tol: f64) -> Vec<f64> {
+    assert!(max_iter > 0, "need at least one iteration");
+    let n = m.len();
+    // Effective win counts with ties split evenly.
+    let w = |i: usize, j: usize| m.wins(i, j) as f64 + m.ties(i, j) as f64 / 2.0;
+    let mut p = vec![1.0 / n as f64; n];
+    for _ in 0..max_iter {
+        let mut next = vec![0.0; n];
+        let mut max_rel = 0.0f64;
+        for i in 0..n {
+            let total_wins: f64 = (0..n).filter(|&j| j != i).map(|j| w(i, j)).sum();
+            if total_wins == 0.0 {
+                next[i] = p[i];
+                continue;
+            }
+            let denom: f64 = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| {
+                    let nij = w(i, j) + w(j, i);
+                    if nij == 0.0 {
+                        0.0
+                    } else {
+                        nij / (p[i] + p[j])
+                    }
+                })
+                .sum();
+            next[i] = if denom > 0.0 { total_wins / denom } else { p[i] };
+        }
+        let sum: f64 = next.iter().sum();
+        for v in next.iter_mut() {
+            *v /= sum;
+        }
+        for i in 0..n {
+            if p[i] > 0.0 {
+                max_rel = max_rel.max((next[i] - p[i]).abs() / p[i]);
+            }
+        }
+        p = next;
+        if max_rel < tol {
+            break;
+        }
+    }
+    p
+}
+
+/// Kendall tau-a rank correlation between two best-first rankings of the
+/// same items: `+1` for identical order, `-1` for reversed.
+///
+/// # Panics
+///
+/// Panics if the rankings have different lengths, are shorter than 2, or are
+/// not permutations of the same items.
+pub fn kendall_tau(a: &[usize], b: &[usize]) -> f64 {
+    assert_eq!(a.len(), b.len(), "rankings must have equal length");
+    let n = a.len();
+    assert!(n >= 2, "need at least two items");
+    let pos_a = positions_checked(a);
+    let pos_b = positions_checked(b);
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let da = pos_a[i] as i64 - pos_a[j] as i64;
+            let db = pos_b[i] as i64 - pos_b[j] as i64;
+            if da * db > 0 {
+                concordant += 1;
+            } else {
+                discordant += 1;
+            }
+        }
+    }
+    (concordant - discordant) as f64 / (n * (n - 1) / 2) as f64
+}
+
+/// Fleiss' kappa: chance-corrected agreement among raters assigning
+/// categorical labels to subjects. `counts[subject][category]` holds how
+/// many raters chose that category; every subject must have the same
+/// number of raters (`n >= 2`).
+///
+/// Returns a value in `[-1, 1]`: 1 = perfect agreement, 0 = chance-level.
+/// The crowdsourcing-QoE literature the paper builds on (Hossfeld et al.)
+/// reports this statistic for exactly our kind of Left/Right/Same votes.
+///
+/// # Panics
+///
+/// Panics if subjects are empty, rater counts differ across subjects, or
+/// fewer than two raters rated each subject.
+pub fn fleiss_kappa(counts: &[Vec<u64>]) -> f64 {
+    assert!(!counts.is_empty(), "need at least one subject");
+    let n: u64 = counts[0].iter().sum();
+    assert!(n >= 2, "need at least two raters per subject");
+    assert!(
+        counts.iter().all(|row| row.iter().sum::<u64>() == n),
+        "every subject needs the same number of raters"
+    );
+    let subjects = counts.len() as f64;
+    let categories = counts[0].len();
+    let n_f = n as f64;
+
+    // Per-subject agreement.
+    let p_bar: f64 = counts
+        .iter()
+        .map(|row| {
+            let sum_sq: f64 = row.iter().map(|&c| (c * c) as f64).sum();
+            (sum_sq - n_f) / (n_f * (n_f - 1.0))
+        })
+        .sum::<f64>()
+        / subjects;
+
+    // Chance agreement from the category marginals.
+    let p_e: f64 = (0..categories)
+        .map(|j| {
+            let share: f64 =
+                counts.iter().map(|row| row[j] as f64).sum::<f64>() / (subjects * n_f);
+            share * share
+        })
+        .sum();
+
+    if (1.0 - p_e).abs() < 1e-12 {
+        // Everyone always picks the same category: perfect by definition.
+        return 1.0;
+    }
+    (p_bar - p_e) / (1.0 - p_e)
+}
+
+fn positions_checked(ranking: &[usize]) -> Vec<usize> {
+    let n = ranking.len();
+    let mut pos = vec![usize::MAX; n];
+    for (rank, &item) in ranking.iter().enumerate() {
+        assert!(item < n, "ranking contains out-of-range item {item}");
+        assert_eq!(pos[item], usize::MAX, "ranking repeats item {item}");
+        pos[item] = rank;
+    }
+    pos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_read_back() {
+        let mut m = PairwiseMatrix::new(3);
+        m.record(0, 1, Preference::Left);
+        m.record(0, 1, Preference::Right);
+        m.record(0, 1, Preference::Same);
+        assert_eq!(m.wins(0, 1), 1);
+        assert_eq!(m.wins(1, 0), 1);
+        assert_eq!(m.ties(0, 1), 1);
+        assert_eq!(m.total(0, 1), 3);
+        assert_eq!(m.total(1, 0), 3);
+    }
+
+    #[test]
+    fn flipped_preferences() {
+        assert_eq!(Preference::Left.flipped(), Preference::Right);
+        assert_eq!(Preference::Right.flipped(), Preference::Left);
+        assert_eq!(Preference::Same.flipped(), Preference::Same);
+    }
+
+    #[test]
+    fn borda_total_order() {
+        // 2 > 0 > 1 by direct wins.
+        let mut m = PairwiseMatrix::new(3);
+        m.record(2, 0, Preference::Left);
+        m.record(2, 1, Preference::Left);
+        m.record(0, 1, Preference::Left);
+        assert_eq!(borda_ranking(&m), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn borda_ties_split_evenly() {
+        let mut m = PairwiseMatrix::new(2);
+        m.record(0, 1, Preference::Same);
+        let s = m.borda_scores();
+        assert_eq!(s[0], 0.5);
+        assert_eq!(s[1], 0.5);
+        // Deterministic tie-break on index.
+        assert_eq!(borda_ranking(&m), vec![0, 1]);
+    }
+
+    #[test]
+    fn resolved_ranking_uses_head_to_head() {
+        // One decisive answer, everything else Same: scores tie at the
+        // top, but 1 beat 0 directly so 1 must rank first.
+        let mut m = PairwiseMatrix::new(3);
+        m.record(0, 1, Preference::Right); // 1 beats 0
+        m.record(0, 2, Preference::Same);
+        m.record(1, 2, Preference::Same);
+        let plain = borda_ranking(&m);
+        let resolved = borda_ranking_resolved(&m);
+        assert_eq!(plain[0], 1); // 1 has the higher score outright here
+        assert_eq!(resolved[0], 1);
+        // Now force a score tie: 0 beats 2, 1 beats 0, 2 beats 1 is absent;
+        // give 0 and 1 equal scores with a direct 1-over-0 result.
+        let mut m = PairwiseMatrix::new(2);
+        m.record(0, 1, Preference::Right);
+        m.record(0, 1, Preference::Left);
+        // Scores tied 1-1; head-to-head tied too -> index order.
+        assert_eq!(borda_ranking_resolved(&m), vec![0, 1]);
+        let mut m = PairwiseMatrix::new(2);
+        m.record(0, 1, Preference::Right);
+        m.record(0, 1, Preference::Same);
+        m.record(0, 1, Preference::Left);
+        m.record(0, 1, Preference::Right);
+        // Scores: 0 has 1+0.5=1.5+... 0: 1 win + 0.5 = 1.5; 1: 2 wins + 0.5 = 2.5.
+        assert_eq!(borda_ranking_resolved(&m)[0], 1);
+    }
+
+    #[test]
+    fn ranking_positions_roundtrip() {
+        let ranking = vec![3, 1, 0, 2];
+        let pos = ranking_to_positions(&ranking);
+        assert_eq!(pos, vec![2, 1, 3, 0]);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = PairwiseMatrix::new(2);
+        a.record(0, 1, Preference::Left);
+        let mut b = PairwiseMatrix::new(2);
+        b.record(0, 1, Preference::Left);
+        b.record(0, 1, Preference::Same);
+        a.merge(&b);
+        assert_eq!(a.wins(0, 1), 2);
+        assert_eq!(a.ties(0, 1), 1);
+    }
+
+    #[test]
+    fn majority_vote_basic() {
+        let votes = vec!["left", "right", "right", "same", "right"];
+        assert_eq!(majority_vote(&votes), Some(("right", 3)));
+    }
+
+    #[test]
+    fn majority_vote_empty() {
+        let votes: Vec<u8> = vec![];
+        assert_eq!(majority_vote(&votes), None);
+    }
+
+    #[test]
+    fn majority_vote_tie_prefers_first_to_reach() {
+        // Both labels end on 2 votes, but 2 reached that count first.
+        let votes = vec![1, 2, 2, 1];
+        assert_eq!(majority_vote(&votes), Some((2, 2)));
+    }
+
+    #[test]
+    fn bradley_terry_recovers_order() {
+        // Item 0 dominates, item 2 weakest.
+        let mut m = PairwiseMatrix::new(3);
+        for _ in 0..9 {
+            m.record(0, 1, Preference::Left);
+            m.record(0, 2, Preference::Left);
+            m.record(1, 2, Preference::Left);
+        }
+        m.record(0, 1, Preference::Right);
+        m.record(1, 2, Preference::Right);
+        let p = bradley_terry(&m, 200, 1e-10);
+        assert!(p[0] > p[1] && p[1] > p[2], "{p:?}");
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bradley_terry_uniform_for_balanced_data() {
+        let mut m = PairwiseMatrix::new(2);
+        for _ in 0..5 {
+            m.record(0, 1, Preference::Left);
+            m.record(0, 1, Preference::Right);
+        }
+        let p = bradley_terry(&m, 100, 1e-12);
+        assert!((p[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kendall_tau_extremes() {
+        assert_eq!(kendall_tau(&[0, 1, 2, 3], &[0, 1, 2, 3]), 1.0);
+        assert_eq!(kendall_tau(&[0, 1, 2, 3], &[3, 2, 1, 0]), -1.0);
+    }
+
+    #[test]
+    fn kendall_tau_partial() {
+        // One adjacent swap in a 3-ranking flips 1 of 3 pairs: tau = 1/3.
+        let t = kendall_tau(&[0, 1, 2], &[0, 2, 1]);
+        assert!((t - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fleiss_kappa_perfect_agreement() {
+        // 3 subjects, 5 raters, everyone picks category 0 (or all cat 1).
+        let counts = vec![vec![5, 0, 0], vec![5, 0, 0], vec![0, 5, 0]];
+        let k = fleiss_kappa(&counts);
+        assert!((k - 1.0).abs() < 1e-12, "k = {k}");
+    }
+
+    #[test]
+    fn fleiss_kappa_chance_agreement_near_zero() {
+        // Votes spread uniformly: agreement at chance level.
+        let counts = vec![vec![2, 2, 2], vec![2, 2, 2], vec![2, 2, 2], vec![2, 2, 2]];
+        let k = fleiss_kappa(&counts);
+        assert!(k < 0.0, "uniform spread is below-chance corrected: k = {k}");
+    }
+
+    #[test]
+    fn fleiss_kappa_textbook_example() {
+        // The classic Fleiss (1971) worked example: 10 subjects, 14 raters,
+        // 5 categories; kappa = 0.21.
+        let counts = vec![
+            vec![0, 0, 0, 0, 14],
+            vec![0, 2, 6, 4, 2],
+            vec![0, 0, 3, 5, 6],
+            vec![0, 3, 9, 2, 0],
+            vec![2, 2, 8, 1, 1],
+            vec![7, 7, 0, 0, 0],
+            vec![3, 2, 6, 3, 0],
+            vec![2, 5, 3, 2, 2],
+            vec![6, 5, 2, 1, 0],
+            vec![0, 2, 2, 3, 7],
+        ];
+        let k = fleiss_kappa(&counts);
+        assert!((k - 0.21).abs() < 0.005, "k = {k}");
+    }
+
+    #[test]
+    #[should_panic(expected = "same number of raters")]
+    fn fleiss_kappa_rejects_ragged_counts() {
+        let _ = fleiss_kappa(&[vec![3, 2], vec![4, 2]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeats item")]
+    fn kendall_tau_rejects_non_permutation() {
+        let _ = kendall_tau(&[0, 0, 1], &[0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot compare an item against itself")]
+    fn record_rejects_self_comparison() {
+        let mut m = PairwiseMatrix::new(2);
+        m.record(1, 1, Preference::Left);
+    }
+}

@@ -1,0 +1,277 @@
+//! Hypothesis tests used by the Kaleidoscope analysis pipeline.
+//!
+//! The paper reports two significance numbers: the A/B "Expand button"
+//! test (p = 0.133 via a VWO-style one-tailed two-proportion z-test) and the
+//! Kaleidoscope question-C result (p = 6.8e-8). Both are two-proportion
+//! tests; we also provide the exact binomial (sign) test and a 2×2
+//! chi-square as cross-checks.
+
+use crate::dist::{Binomial, ChiSquared, Normal};
+
+/// Which tail of the distribution a test considers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tail {
+    /// `H1: p2 > p1` (the variant beats the control).
+    OneSidedGreater,
+    /// `H1: p2 < p1`.
+    OneSidedLess,
+    /// `H1: p2 != p1`.
+    TwoSided,
+}
+
+/// Outcome of a hypothesis test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TestResult {
+    /// The test statistic (z or chi-square value).
+    pub statistic: f64,
+    /// The p-value under the null hypothesis.
+    pub p_value: f64,
+}
+
+impl TestResult {
+    /// Whether the null hypothesis is rejected at significance level `alpha`.
+    ///
+    /// ```
+    /// use kscope_stats::tests::TestResult;
+    /// let r = TestResult { statistic: 5.0, p_value: 1e-7 };
+    /// assert!(r.significant_at(0.01));
+    /// ```
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Two-proportion z-test: compares success counts `x1/n1` vs `x2/n2` using
+/// the pooled-variance z statistic. This mirrors the VWO significance
+/// calculator the paper cites for its A/B analysis.
+///
+/// Returns the z statistic (positive when `p2 > p1`) and the requested tail
+/// probability.
+///
+/// # Panics
+///
+/// Panics if either sample size is zero or a count exceeds its sample size.
+///
+/// ```
+/// use kscope_stats::tests::{two_proportion_z_test, Tail};
+/// // Paper Fig. 7(b): 3/51 control clicks vs 6/49 variant clicks.
+/// let r = two_proportion_z_test(3, 51, 6, 49, Tail::OneSidedGreater);
+/// assert!((r.p_value - 0.133).abs() < 0.02);
+/// ```
+pub fn two_proportion_z_test(x1: u64, n1: u64, x2: u64, n2: u64, tail: Tail) -> TestResult {
+    assert!(n1 > 0 && n2 > 0, "sample sizes must be positive");
+    assert!(x1 <= n1 && x2 <= n2, "counts cannot exceed sample sizes");
+    let p1 = x1 as f64 / n1 as f64;
+    let p2 = x2 as f64 / n2 as f64;
+    let pooled = (x1 + x2) as f64 / (n1 + n2) as f64;
+    let se = (pooled * (1.0 - pooled) * (1.0 / n1 as f64 + 1.0 / n2 as f64)).sqrt();
+    if se == 0.0 {
+        // All successes or all failures in both groups: no evidence of any
+        // difference.
+        return TestResult { statistic: 0.0, p_value: 1.0 };
+    }
+    let z = (p2 - p1) / se;
+    let std = Normal::standard();
+    let p_value = match tail {
+        Tail::OneSidedGreater => std.sf(z),
+        Tail::OneSidedLess => std.cdf(z),
+        Tail::TwoSided => 2.0 * std.sf(z.abs()),
+    }
+    .min(1.0);
+    TestResult { statistic: z, p_value }
+}
+
+/// Exact binomial test: `P(X >= k)` (or the requested tail) for `k` successes
+/// in `n` trials under success probability `p0`.
+///
+/// Used as the sign test on pairwise preference votes, ignoring ties: the
+/// paper's question C saw 46 votes for B vs 14 for A.
+///
+/// # Panics
+///
+/// Panics if `k > n` or `p0` is outside `[0, 1]`.
+pub fn binomial_test(k: u64, n: u64, p0: f64, tail: Tail) -> TestResult {
+    assert!(k <= n, "successes cannot exceed trials");
+    let b = Binomial::new(n, p0);
+    let p_value = match tail {
+        Tail::OneSidedGreater => b.sf_inclusive(k),
+        Tail::OneSidedLess => b.cdf(k),
+        Tail::TwoSided => {
+            // Sum all outcomes at most as likely as the observed one.
+            let pk = b.pmf(k);
+            (0..=n)
+                .map(|i| b.pmf(i))
+                .filter(|&p| p <= pk * (1.0 + 1e-12))
+                .sum::<f64>()
+                .min(1.0)
+        }
+    };
+    TestResult { statistic: k as f64, p_value }
+}
+
+/// Chi-square test of independence on a 2×2 contingency table
+/// `[[a, b], [c, d]]` (without Yates correction, matching the common online
+/// calculators). One degree of freedom.
+///
+/// # Panics
+///
+/// Panics if any marginal total is zero.
+pub fn chi_square_2x2(a: u64, b: u64, c: u64, d: u64) -> TestResult {
+    let (a, b, c, d) = (a as f64, b as f64, c as f64, d as f64);
+    let n = a + b + c + d;
+    let r1 = a + b;
+    let r2 = c + d;
+    let c1 = a + c;
+    let c2 = b + d;
+    assert!(r1 > 0.0 && r2 > 0.0 && c1 > 0.0 && c2 > 0.0, "degenerate 2x2 table");
+    let stat = n * (a * d - b * c).powi(2) / (r1 * r2 * c1 * c2);
+    let p_value = ChiSquared::new(1).sf(stat);
+    TestResult { statistic: stat, p_value }
+}
+
+/// Wilson score interval for a binomial proportion at confidence `1 - alpha`.
+///
+/// Returns `(low, high)`. Preferred over the normal interval for the small
+/// click counts the A/B experiment produces.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `k > n`, or `alpha` is outside `(0, 1)`.
+pub fn wilson_interval(k: u64, n: u64, alpha: f64) -> (f64, f64) {
+    assert!(n > 0 && k <= n, "invalid counts");
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+    let z = Normal::standard().quantile(1.0 - alpha / 2.0);
+    let n_f = n as f64;
+    let p = k as f64 / n_f;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n_f;
+    let center = (p + z2 / (2.0 * n_f)) / denom;
+    let half = z * (p * (1.0 - p) / n_f + z2 / (4.0 * n_f * n_f)).sqrt() / denom;
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+/// Minimum per-arm sample size for a two-proportion test to reach power
+/// `1 - beta` at significance `alpha` (one-sided), given baseline `p1` and
+/// variant `p2`. This is the standard normal-approximation formula; the
+/// paper's motivation ("only 1 of 8 A/B tests is significant") boils down to
+/// running tests far below this size.
+///
+/// # Panics
+///
+/// Panics if the proportions are equal or any probability argument is
+/// outside `(0, 1)`.
+pub fn required_sample_size(p1: f64, p2: f64, alpha: f64, beta: f64) -> u64 {
+    for &v in &[p1, p2, alpha, beta] {
+        assert!(v > 0.0 && v < 1.0, "arguments must be in (0,1)");
+    }
+    assert!(p1 != p2, "effect size must be non-zero");
+    let std = Normal::standard();
+    let z_a = std.quantile(1.0 - alpha);
+    let z_b = std.quantile(1.0 - beta);
+    let p_bar = (p1 + p2) / 2.0;
+    let num = z_a * (2.0 * p_bar * (1.0 - p_bar)).sqrt()
+        + z_b * (p1 * (1.0 - p1) + p2 * (1.0 - p2)).sqrt();
+    let n = (num / (p2 - p1)).powi(2);
+    n.ceil() as u64
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    #[test]
+    fn paper_ab_test_is_not_significant() {
+        // Fig. 7(b): 51 visitors / 3 clicks (A) vs 49 visitors / 6 clicks (B).
+        let r = two_proportion_z_test(3, 51, 6, 49, Tail::OneSidedGreater);
+        assert!(r.statistic > 1.0 && r.statistic < 1.3, "z = {}", r.statistic);
+        assert!((r.p_value - 0.133).abs() < 0.02, "p = {}", r.p_value);
+        assert!(!r.significant_at(0.05));
+    }
+
+    #[test]
+    fn paper_question_c_is_significant() {
+        // Fig. 8 question C: 14/100 prefer A vs 46/100 prefer B.
+        let r = two_proportion_z_test(14, 100, 46, 100, Tail::OneSidedGreater);
+        assert!(r.significant_at(0.01), "p = {}", r.p_value);
+        assert!(r.p_value < 1e-5, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn z_test_symmetry() {
+        let a = two_proportion_z_test(10, 100, 20, 100, Tail::TwoSided);
+        let b = two_proportion_z_test(20, 100, 10, 100, Tail::TwoSided);
+        assert!((a.p_value - b.p_value).abs() < 1e-12);
+        assert!((a.statistic + b.statistic).abs() < 1e-12);
+    }
+
+    #[test]
+    fn z_test_no_difference_gives_p_one_ish() {
+        let r = two_proportion_z_test(10, 100, 10, 100, Tail::TwoSided);
+        assert!((r.p_value - 1.0).abs() < 1e-12);
+        let r = two_proportion_z_test(0, 50, 0, 50, Tail::TwoSided);
+        assert_eq!(r.p_value, 1.0);
+    }
+
+    #[test]
+    fn binomial_sign_test_on_question_c() {
+        // Ignoring the 40 ties: 46 of 60 votes for B.
+        let r = binomial_test(46, 60, 0.5, Tail::OneSidedGreater);
+        assert!(r.p_value < 1e-4, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn binomial_two_sided_contains_one_sided() {
+        let one = binomial_test(16, 20, 0.5, Tail::OneSidedGreater);
+        let two = binomial_test(16, 20, 0.5, Tail::TwoSided);
+        assert!(two.p_value >= one.p_value);
+        assert!(two.p_value <= 2.0 * one.p_value + 1e-12);
+    }
+
+    #[test]
+    fn binomial_test_fair_coin_median() {
+        let r = binomial_test(10, 20, 0.5, Tail::OneSidedGreater);
+        assert!(r.p_value > 0.5);
+    }
+
+    #[test]
+    fn chi_square_agrees_with_z_squared() {
+        // For 2x2 tables, chi2 statistic == z^2 of the two-proportion test.
+        let z = two_proportion_z_test(3, 51, 6, 49, Tail::TwoSided);
+        let c = chi_square_2x2(3, 48, 6, 43);
+        assert!((c.statistic - z.statistic * z.statistic).abs() < 1e-9);
+        assert!((c.p_value - z.p_value).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wilson_interval_brackets_mle() {
+        let (lo, hi) = wilson_interval(6, 49, 0.05);
+        let p = 6.0 / 49.0;
+        assert!(lo < p && p < hi);
+        assert!(lo > 0.0 && hi < 1.0);
+    }
+
+    #[test]
+    fn wilson_interval_extremes() {
+        let (lo, _) = wilson_interval(0, 20, 0.05);
+        assert!(lo.abs() < 1e-12, "lo = {lo}");
+        let (_, hi) = wilson_interval(20, 20, 0.05);
+        assert_eq!(hi, 1.0);
+    }
+
+    #[test]
+    fn sample_size_grows_with_smaller_effect() {
+        let big = required_sample_size(0.05, 0.15, 0.05, 0.2);
+        let small = required_sample_size(0.05, 0.07, 0.05, 0.2);
+        assert!(small > big, "{small} should exceed {big}");
+        // The paper's effect (5.9% vs 12.2%) needs a few hundred per arm —
+        // explaining why 100 total visitors was not enough.
+        let needed = required_sample_size(0.059, 0.122, 0.05, 0.2);
+        assert!(needed > 150 && needed < 600, "needed = {needed}");
+    }
+
+    #[test]
+    #[should_panic(expected = "counts cannot exceed sample sizes")]
+    fn z_test_rejects_bad_counts() {
+        let _ = two_proportion_z_test(10, 5, 1, 10, Tail::TwoSided);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests: distribution laws and ranking invariants.
+
+use kscope_stats::dist::LogNormal;
+use kscope_stats::rank::{borda_ranking, bradley_terry, PairwiseMatrix, Preference};
+use kscope_stats::tests::{binomial_test, two_proportion_z_test, Tail};
+use kscope_stats::{Binomial, ChiSquared, Normal};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Normal CDF is monotone and complements its survival function.
+    #[test]
+    fn normal_cdf_laws(mu in -50.0f64..50.0, sigma in 0.1f64..20.0,
+                        a in -100.0f64..100.0, b in -100.0f64..100.0) {
+        let n = Normal::new(mu, sigma);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(n.cdf(lo) <= n.cdf(hi) + 1e-12);
+        prop_assert!((n.cdf(a) + n.sf(a) - 1.0).abs() < 1e-9);
+    }
+
+    /// quantile is a right inverse of cdf across the open unit interval.
+    #[test]
+    fn normal_quantile_inverse(mu in -10.0f64..10.0, sigma in 0.1f64..5.0,
+                                p in 0.001f64..0.999) {
+        let n = Normal::new(mu, sigma);
+        prop_assert!((n.cdf(n.quantile(p)) - p).abs() < 1e-7);
+    }
+
+    /// Binomial PMF sums to one and CDF is monotone.
+    #[test]
+    fn binomial_laws(n in 1u64..80, p in 0.0f64..1.0) {
+        let b = Binomial::new(n, p);
+        let total: f64 = (0..=n).map(|k| b.pmf(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-8);
+        let mut prev = 0.0;
+        for k in 0..=n {
+            let c = b.cdf(k);
+            prop_assert!(c + 1e-12 >= prev);
+            prev = c;
+        }
+    }
+
+    /// Chi-square CDF is monotone in x and decreasing in dof at fixed x.
+    #[test]
+    fn chi_square_monotone(k in 1u32..30, x in 0.0f64..100.0) {
+        let c = ChiSquared::new(k);
+        prop_assert!(c.cdf(x) <= c.cdf(x + 1.0) + 1e-12);
+        if k > 1 {
+            prop_assert!(ChiSquared::new(k - 1).cdf(x) + 1e-9 >= c.cdf(x));
+        }
+    }
+
+    /// Two-proportion test: p-values live in [0,1] and the two-sided value
+    /// dominates each one-sided value.
+    #[test]
+    fn z_test_p_value_ranges(x1 in 0u64..50, x2 in 0u64..50) {
+        let n = 50;
+        let two = two_proportion_z_test(x1, n, x2, n, Tail::TwoSided);
+        let g = two_proportion_z_test(x1, n, x2, n, Tail::OneSidedGreater);
+        let l = two_proportion_z_test(x1, n, x2, n, Tail::OneSidedLess);
+        for r in [&two, &g, &l] {
+            prop_assert!((0.0..=1.0).contains(&r.p_value));
+        }
+        prop_assert!(two.p_value + 1e-12 >= g.p_value.min(l.p_value));
+        // One-sided tails are exactly complementary — except the degenerate
+        // all-equal case, where both report p = 1 (no evidence either way).
+        let degenerate = (x1 == x2) && (x1 == 0 || x1 == n);
+        if !degenerate {
+            prop_assert!((g.p_value + l.p_value - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Binomial test under the null has super-uniform one-sided p-values in
+    /// the sense p >= P(X >= k) exactly by construction; sanity: symmetric
+    /// cases agree.
+    #[test]
+    fn binomial_test_symmetry(n in 2u64..60) {
+        let k = n / 2;
+        let hi = binomial_test(n - k, n, 0.5, Tail::OneSidedGreater);
+        let lo = binomial_test(k, n, 0.5, Tail::OneSidedLess);
+        prop_assert!((hi.p_value - lo.p_value).abs() < 1e-9);
+    }
+
+    /// Log-normal samples are positive and its CDF is monotone.
+    #[test]
+    fn lognormal_laws(median in 0.1f64..100.0, sigma in 0.05f64..2.0, x in 0.0f64..500.0) {
+        let ln = LogNormal::from_median(median, sigma);
+        prop_assert!((ln.cdf(median) - 0.5).abs() < 1e-9);
+        prop_assert!(ln.cdf(x) <= ln.cdf(x + 1.0) + 1e-12);
+    }
+
+    /// Bradley–Terry strengths are a probability vector and respect a
+    /// dominant item.
+    #[test]
+    fn bradley_terry_laws(wins in 1u64..20) {
+        let mut m = PairwiseMatrix::new(3);
+        for _ in 0..wins {
+            m.record(0, 1, Preference::Left);
+            m.record(0, 2, Preference::Left);
+        }
+        m.record(1, 2, Preference::Same);
+        let p = bradley_terry(&m, 300, 1e-10);
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+        prop_assert!(p.iter().all(|&x| x >= 0.0));
+        prop_assert!(p[0] > p[1] && p[0] > p[2]);
+    }
+
+    /// Borda ranking respects strict dominance: an item that wins every
+    /// comparison ranks first.
+    #[test]
+    fn borda_respects_domination(n in 2usize..8, winner_seed in 0usize..8) {
+        let winner = winner_seed % n;
+        let mut m = PairwiseMatrix::new(n);
+        for other in 0..n {
+            if other != winner {
+                m.record(winner, other, Preference::Left);
+            }
+        }
+        prop_assert_eq!(borda_ranking(&m)[0], winner);
+    }
+}

@@ -1,0 +1,278 @@
+//! A schemaless collection of JSON documents.
+
+use crate::filter::{matches_filter, set_path};
+use parking_lot::RwLock;
+use serde_json::Value;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A document identifier assigned on insert (`_id` field).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectId(String);
+
+impl ObjectId {
+    /// The id as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<ObjectId> for Value {
+    fn from(id: ObjectId) -> Value {
+        Value::String(id.0)
+    }
+}
+
+/// A thread-safe, schemaless document collection.
+///
+/// Documents are JSON objects; inserting a non-object wraps it under a
+/// `value` key so every stored document can carry an `_id`.
+#[derive(Debug, Clone, Default)]
+pub struct Collection {
+    inner: Arc<CollectionInner>,
+}
+
+#[derive(Debug, Default)]
+struct CollectionInner {
+    docs: RwLock<Vec<Value>>,
+    next_id: AtomicU64,
+}
+
+impl Collection {
+    /// Creates an empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts one document, assigning and returning its `_id` (any `_id`
+    /// already present is preserved and returned instead).
+    pub fn insert_one(&self, mut doc: Value) -> ObjectId {
+        if !doc.is_object() {
+            doc = serde_json::json!({ "value": doc });
+        }
+        let obj = doc.as_object_mut().expect("wrapped to object above");
+        let id = match obj.get("_id").and_then(Value::as_str) {
+            Some(existing) => ObjectId(existing.to_string()),
+            None => {
+                let n = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+                let id = ObjectId(format!("oid-{n:08x}"));
+                obj.insert("_id".to_string(), Value::String(id.0.clone()));
+                id
+            }
+        };
+        self.inner.docs.write().push(doc);
+        id
+    }
+
+    /// Inserts many documents, returning their ids.
+    pub fn insert_many<I: IntoIterator<Item = Value>>(&self, docs: I) -> Vec<ObjectId> {
+        docs.into_iter().map(|d| self.insert_one(d)).collect()
+    }
+
+    /// All documents matching `filter`, in insertion order (cloned).
+    pub fn find(&self, filter: &Value) -> Vec<Value> {
+        self.inner
+            .docs
+            .read()
+            .iter()
+            .filter(|d| matches_filter(d, filter))
+            .cloned()
+            .collect()
+    }
+
+    /// The first matching document.
+    pub fn find_one(&self, filter: &Value) -> Option<Value> {
+        self.inner.docs.read().iter().find(|d| matches_filter(d, filter)).cloned()
+    }
+
+    /// Fetch by `_id`.
+    pub fn find_by_id(&self, id: &ObjectId) -> Option<Value> {
+        self.find_one(&serde_json::json!({ "_id": id.as_str() }))
+    }
+
+    /// Number of matching documents.
+    pub fn count(&self, filter: &Value) -> usize {
+        self.inner.docs.read().iter().filter(|d| matches_filter(d, filter)).count()
+    }
+
+    /// Total documents.
+    pub fn len(&self) -> usize {
+        self.inner.docs.read().len()
+    }
+
+    /// Whether the collection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Applies `{"$set": {...}}` to every matching document; plain objects
+    /// (no `$set`) replace matched documents wholesale, keeping their `_id`.
+    /// Returns the number of documents updated.
+    pub fn update_many(&self, filter: &Value, update: &Value) -> usize {
+        let mut docs = self.inner.docs.write();
+        let mut n = 0;
+        for doc in docs.iter_mut() {
+            if !matches_filter(doc, filter) {
+                continue;
+            }
+            if let Some(set) = update.get("$set").and_then(Value::as_object) {
+                for (path, v) in set {
+                    set_path(doc, path, v.clone());
+                }
+            } else if update.is_object() {
+                let id = doc.get("_id").cloned();
+                *doc = update.clone();
+                if let (Some(obj), Some(id)) = (doc.as_object_mut(), id) {
+                    obj.insert("_id".to_string(), id);
+                }
+            }
+            n += 1;
+        }
+        n
+    }
+
+    /// Deletes matching documents, returning how many were removed.
+    pub fn delete_many(&self, filter: &Value) -> usize {
+        let mut docs = self.inner.docs.write();
+        let before = docs.len();
+        docs.retain(|d| !matches_filter(d, filter));
+        before - docs.len()
+    }
+
+    /// Snapshot of all documents.
+    pub fn all(&self) -> Vec<Value> {
+        self.inner.docs.read().clone()
+    }
+
+    /// Replaces the whole contents (used by persistence loading).
+    pub(crate) fn replace_all(&self, docs: Vec<Value>) {
+        // Keep next_id ahead of any loaded oid to avoid collisions.
+        let mut max_seen = 0u64;
+        for d in &docs {
+            if let Some(id) = d.get("_id").and_then(Value::as_str) {
+                if let Some(hex) = id.strip_prefix("oid-") {
+                    if let Ok(n) = u64::from_str_radix(hex, 16) {
+                        max_seen = max_seen.max(n + 1);
+                    }
+                }
+            }
+        }
+        self.inner.next_id.fetch_max(max_seen, Ordering::Relaxed);
+        *self.inner.docs.write() = docs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn insert_assigns_unique_ids() {
+        let c = Collection::new();
+        let a = c.insert_one(json!({"x": 1}));
+        let b = c.insert_one(json!({"x": 2}));
+        assert_ne!(a, b);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.find_by_id(&a).unwrap()["x"], json!(1));
+    }
+
+    #[test]
+    fn insert_preserves_explicit_id() {
+        let c = Collection::new();
+        let id = c.insert_one(json!({"_id": "custom", "x": 1}));
+        assert_eq!(id.as_str(), "custom");
+        assert!(c.find_by_id(&id).is_some());
+    }
+
+    #[test]
+    fn insert_scalar_wraps() {
+        let c = Collection::new();
+        let id = c.insert_one(json!(42));
+        let doc = c.find_by_id(&id).unwrap();
+        assert_eq!(doc["value"], json!(42));
+    }
+
+    #[test]
+    fn find_and_count() {
+        let c = Collection::new();
+        c.insert_many(vec![json!({"k": 1}), json!({"k": 2}), json!({"k": 3})]);
+        assert_eq!(c.find(&json!({"k": {"$gte": 2}})).len(), 2);
+        assert_eq!(c.count(&json!({"k": {"$lt": 2}})), 1);
+        assert!(c.find_one(&json!({"k": 9})).is_none());
+    }
+
+    #[test]
+    fn update_set_and_replace() {
+        let c = Collection::new();
+        let id = c.insert_one(json!({"status": "open", "meta": {"tries": 0}}));
+        let n = c.update_many(&json!({"status": "open"}), &json!({"$set": {"status": "done", "meta.tries": 3}}));
+        assert_eq!(n, 1);
+        let doc = c.find_by_id(&id).unwrap();
+        assert_eq!(doc["status"], json!("done"));
+        assert_eq!(doc["meta"]["tries"], json!(3));
+        // Whole-document replace keeps _id.
+        c.update_many(&json!({"status": "done"}), &json!({"fresh": true}));
+        let doc = c.find_by_id(&id).unwrap();
+        assert_eq!(doc["fresh"], json!(true));
+        assert!(doc.get("status").is_none());
+    }
+
+    #[test]
+    fn delete_many() {
+        let c = Collection::new();
+        c.insert_many(vec![json!({"k": 1}), json!({"k": 2}), json!({"k": 2})]);
+        assert_eq!(c.delete_many(&json!({"k": 2})), 2);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.delete_many(&json!({})), 1);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let a = Collection::new();
+        let b = a.clone();
+        a.insert_one(json!({"via": "a"}));
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_inserts() {
+        let c = Collection::new();
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for i in 0..100 {
+                        c.insert_one(json!({"t": t, "i": i}));
+                    }
+                });
+            }
+        });
+        assert_eq!(c.len(), 800);
+        // All ids unique.
+        let mut ids: Vec<String> = c
+            .all()
+            .iter()
+            .map(|d| d["_id"].as_str().unwrap().to_string())
+            .collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 800);
+    }
+
+    #[test]
+    fn replace_all_bumps_id_counter() {
+        let c = Collection::new();
+        c.replace_all(vec![json!({"_id": "oid-000000ff"})]);
+        let id = c.insert_one(json!({}));
+        assert_eq!(id.as_str(), "oid-00000100");
+    }
+}

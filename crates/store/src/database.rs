@@ -1,0 +1,232 @@
+//! A named set of collections with JSONL persistence.
+
+use crate::collection::Collection;
+use parking_lot::RwLock;
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{BufRead, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+/// A database: named [`Collection`]s, thread-safe, optionally persisted to a
+/// directory of JSONL files (one per collection).
+///
+/// The paper's deployment creates three collections — integrated webpages,
+/// test information, and participant responses — which the core server
+/// reads and writes concurrently.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    collections: Arc<RwLock<BTreeMap<String, Collection>>>,
+}
+
+impl Database {
+    /// Creates an empty in-memory database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Gets (creating if needed) a collection by name.
+    pub fn collection(&self, name: &str) -> Collection {
+        if let Some(c) = self.collections.read().get(name) {
+            return c.clone();
+        }
+        self.collections.write().entry(name.to_string()).or_default().clone()
+    }
+
+    /// Names of existing collections (sorted).
+    pub fn collection_names(&self) -> Vec<String> {
+        self.collections.read().keys().cloned().collect()
+    }
+
+    /// Drops a collection; returns whether it existed.
+    pub fn drop_collection(&self, name: &str) -> bool {
+        self.collections.write().remove(name).is_some()
+    }
+
+    /// Persists every collection as `<dir>/<name>.jsonl`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] on any I/O failure.
+    pub fn save_to_dir(&self, dir: &Path) -> Result<(), PersistError> {
+        std::fs::create_dir_all(dir).map_err(PersistError::io)?;
+        for (name, coll) in self.collections.read().iter() {
+            let path = dir.join(format!("{name}.jsonl"));
+            let file = std::fs::File::create(&path).map_err(PersistError::io)?;
+            let mut w = std::io::BufWriter::new(file);
+            for doc in coll.all() {
+                serde_json::to_writer(&mut w, &doc).map_err(PersistError::json)?;
+                w.write_all(b"\n").map_err(PersistError::io)?;
+            }
+            w.flush().map_err(PersistError::io)?;
+        }
+        Ok(())
+    }
+
+    /// Loads a database from a directory written by [`Database::save_to_dir`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] on I/O failures or malformed JSON lines.
+    pub fn load_from_dir(dir: &Path) -> Result<Self, PersistError> {
+        let db = Database::new();
+        let entries = std::fs::read_dir(dir).map_err(PersistError::io)?;
+        for entry in entries {
+            let entry = entry.map_err(PersistError::io)?;
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("jsonl") {
+                continue;
+            }
+            let name = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("unnamed")
+                .to_string();
+            let file = std::fs::File::open(&path).map_err(PersistError::io)?;
+            let reader = std::io::BufReader::new(file);
+            let mut docs = Vec::new();
+            for line in reader.lines() {
+                let line = line.map_err(PersistError::io)?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                docs.push(serde_json::from_str::<Value>(&line).map_err(PersistError::json)?);
+            }
+            db.collection(&name).replace_all(docs);
+        }
+        Ok(db)
+    }
+}
+
+/// Error saving or loading a database.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// A stored line was not valid JSON.
+    Json(serde_json::Error),
+}
+
+impl PersistError {
+    fn io(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+
+    fn json(e: serde_json::Error) -> Self {
+        Self::Json(e)
+    }
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "database persistence I/O error: {e}"),
+            PersistError::Json(e) => write!(f, "database persistence JSON error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Json(e) => Some(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn tempdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "kscope-store-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn collection_identity() {
+        let db = Database::new();
+        let a = db.collection("tests");
+        a.insert_one(json!({"x": 1}));
+        // Fetching again returns the same storage.
+        assert_eq!(db.collection("tests").len(), 1);
+        assert_eq!(db.collection_names(), vec!["tests".to_string()]);
+    }
+
+    #[test]
+    fn drop_collection() {
+        let db = Database::new();
+        db.collection("gone").insert_one(json!({}));
+        assert!(db.drop_collection("gone"));
+        assert!(!db.drop_collection("gone"));
+        assert_eq!(db.collection("gone").len(), 0);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = tempdir("roundtrip");
+        let db = Database::new();
+        db.collection("tests").insert_one(json!({"test_id": "t1", "n": 3}));
+        db.collection("responses").insert_many(vec![
+            json!({"worker": "w1", "answer": "Left"}),
+            json!({"worker": "w2", "answer": "Same"}),
+        ]);
+        db.save_to_dir(&dir).unwrap();
+
+        let loaded = Database::load_from_dir(&dir).unwrap();
+        assert_eq!(loaded.collection("tests").len(), 1);
+        assert_eq!(loaded.collection("responses").len(), 2);
+        let doc = loaded
+            .collection("responses")
+            .find_one(&json!({"worker": "w2"}))
+            .unwrap();
+        assert_eq!(doc["answer"], json!("Same"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_continues_id_sequence() {
+        let dir = tempdir("ids");
+        let db = Database::new();
+        let first = db.collection("c").insert_one(json!({}));
+        db.save_to_dir(&dir).unwrap();
+        let loaded = Database::load_from_dir(&dir).unwrap();
+        let second = loaded.collection("c").insert_one(json!({}));
+        assert_ne!(first, second);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_rejects_bad_json() {
+        let dir = tempdir("bad");
+        std::fs::write(dir.join("broken.jsonl"), "{not json}\n").unwrap();
+        let err = Database::load_from_dir(&dir).unwrap_err();
+        assert!(matches!(err, PersistError::Json(_)));
+        assert!(err.to_string().contains("JSON"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_missing_dir_is_io_error() {
+        let err =
+            Database::load_from_dir(Path::new("/nonexistent/kscope-db")).unwrap_err();
+        assert!(matches!(err, PersistError::Io(_)));
+    }
+
+    #[test]
+    fn non_jsonl_files_ignored() {
+        let dir = tempdir("ignore");
+        std::fs::write(dir.join("README.txt"), "hello").unwrap();
+        let db = Database::load_from_dir(&dir).unwrap();
+        assert!(db.collection_names().is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,247 @@
+//! Mongo-style filter matching over JSON documents.
+//!
+//! Supported syntax (the subset Kaleidoscope's queries use):
+//!
+//! * `{field: value}` — deep equality (dotted paths descend into objects).
+//! * `{field: {"$gt": v}}` and `$gte`, `$lt`, `$lte`, `$ne`, `$in`,
+//!   `$exists`.
+//! * `{"$and": [f1, f2]}`, `{"$or": [f1, f2]}`, `{"$not": f}`.
+//! * Multiple top-level fields are an implicit `$and`.
+
+use serde_json::Value;
+use std::cmp::Ordering;
+
+/// Whether `doc` satisfies `filter`.
+///
+/// Unknown `$operators` never match (a conservative default: a typo'd query
+/// returns nothing rather than everything).
+///
+/// ```
+/// use serde_json::json;
+/// let doc = json!({"a": {"b": 3}});
+/// assert!(kscope_store::matches_filter(&doc, &json!({"a.b": {"$gt": 2}})));
+/// assert!(!kscope_store::matches_filter(&doc, &json!({"a.b": 4})));
+/// ```
+pub fn matches_filter(doc: &Value, filter: &Value) -> bool {
+    let obj = match filter.as_object() {
+        Some(o) => o,
+        // A non-object filter matches only by equality against the document.
+        None => return doc == filter,
+    };
+    obj.iter().all(|(key, cond)| match key.as_str() {
+        "$and" => cond
+            .as_array()
+            .map(|fs| fs.iter().all(|f| matches_filter(doc, f)))
+            .unwrap_or(false),
+        "$or" => cond
+            .as_array()
+            .map(|fs| fs.iter().any(|f| matches_filter(doc, f)))
+            .unwrap_or(false),
+        "$not" => !matches_filter(doc, cond),
+        _ => field_matches(lookup_path(doc, key), cond),
+    })
+}
+
+/// Resolves a dotted path inside a JSON value.
+pub fn lookup_path<'a>(doc: &'a Value, path: &str) -> Option<&'a Value> {
+    let mut cur = doc;
+    for seg in path.split('.') {
+        match cur {
+            Value::Object(map) => cur = map.get(seg)?,
+            Value::Array(items) => {
+                let idx: usize = seg.parse().ok()?;
+                cur = items.get(idx)?;
+            }
+            _ => return None,
+        }
+    }
+    Some(cur)
+}
+
+/// Sets a dotted path inside a JSON object, creating intermediate objects.
+/// Returns false (and leaves the doc unchanged) if a non-object intermediate
+/// blocks the path.
+pub fn set_path(doc: &mut Value, path: &str, value: Value) -> bool {
+    let mut cur = doc;
+    let segs: Vec<&str> = path.split('.').collect();
+    for (i, seg) in segs.iter().enumerate() {
+        let last = i == segs.len() - 1;
+        let map = match cur.as_object_mut() {
+            Some(m) => m,
+            None => return false,
+        };
+        if last {
+            map.insert((*seg).to_string(), value);
+            return true;
+        }
+        cur = map
+            .entry((*seg).to_string())
+            .or_insert_with(|| Value::Object(serde_json::Map::new()));
+    }
+    false
+}
+
+fn field_matches(actual: Option<&Value>, cond: &Value) -> bool {
+    // Operator object?
+    if let Some(ops) = cond.as_object() {
+        if ops.keys().any(|k| k.starts_with('$')) {
+            return ops.iter().all(|(op, rhs)| apply_op(actual, op, rhs));
+        }
+    }
+    // Plain equality.
+    match actual {
+        Some(v) => v == cond,
+        None => cond.is_null(),
+    }
+}
+
+fn apply_op(actual: Option<&Value>, op: &str, rhs: &Value) -> bool {
+    match op {
+        "$exists" => {
+            let want = rhs.as_bool().unwrap_or(true);
+            actual.is_some() == want
+        }
+        "$ne" => match actual {
+            Some(v) => v != rhs,
+            None => !rhs.is_null(),
+        },
+        "$in" => match (actual, rhs.as_array()) {
+            (Some(v), Some(items)) => items.contains(v),
+            _ => false,
+        },
+        "$gt" | "$gte" | "$lt" | "$lte" => {
+            let v = match actual {
+                Some(v) => v,
+                None => return false,
+            };
+            match compare(v, rhs) {
+                Some(ord) => match op {
+                    "$gt" => ord == Ordering::Greater,
+                    "$gte" => ord != Ordering::Less,
+                    "$lt" => ord == Ordering::Less,
+                    "$lte" => ord != Ordering::Greater,
+                    _ => unreachable!(),
+                },
+                None => false,
+            }
+        }
+        _ => false,
+    }
+}
+
+/// Orders two JSON scalars of compatible types.
+fn compare(a: &Value, b: &Value) -> Option<Ordering> {
+    match (a, b) {
+        (Value::Number(x), Value::Number(y)) => {
+            x.as_f64().and_then(|xf| y.as_f64().and_then(|yf| xf.partial_cmp(&yf)))
+        }
+        (Value::String(x), Value::String(y)) => Some(x.cmp(y)),
+        (Value::Bool(x), Value::Bool(y)) => Some(x.cmp(y)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn equality() {
+        let doc = json!({"name": "kaleidoscope", "n": 5});
+        assert!(matches_filter(&doc, &json!({"name": "kaleidoscope"})));
+        assert!(matches_filter(&doc, &json!({"n": 5})));
+        assert!(!matches_filter(&doc, &json!({"n": 6})));
+        assert!(!matches_filter(&doc, &json!({"missing": 1})));
+    }
+
+    #[test]
+    fn implicit_and() {
+        let doc = json!({"a": 1, "b": 2});
+        assert!(matches_filter(&doc, &json!({"a": 1, "b": 2})));
+        assert!(!matches_filter(&doc, &json!({"a": 1, "b": 3})));
+    }
+
+    #[test]
+    fn dotted_paths() {
+        let doc = json!({"test": {"id": "t1", "pages": [{"path": "a"}, {"path": "b"}]}});
+        assert!(matches_filter(&doc, &json!({"test.id": "t1"})));
+        assert!(matches_filter(&doc, &json!({"test.pages.1.path": "b"})));
+        assert!(!matches_filter(&doc, &json!({"test.pages.2.path": "c"})));
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let doc = json!({"n": 10, "s": "m"});
+        assert!(matches_filter(&doc, &json!({"n": {"$gt": 9}})));
+        assert!(matches_filter(&doc, &json!({"n": {"$gte": 10}})));
+        assert!(matches_filter(&doc, &json!({"n": {"$lt": 11}})));
+        assert!(matches_filter(&doc, &json!({"n": {"$lte": 10}})));
+        assert!(!matches_filter(&doc, &json!({"n": {"$gt": 10}})));
+        assert!(matches_filter(&doc, &json!({"s": {"$gt": "a", "$lt": "z"}})));
+    }
+
+    #[test]
+    fn mixed_type_comparison_never_matches() {
+        let doc = json!({"n": 10});
+        assert!(!matches_filter(&doc, &json!({"n": {"$gt": "9"}})));
+    }
+
+    #[test]
+    fn ne_in_exists() {
+        let doc = json!({"status": "done", "tags": "x"});
+        assert!(matches_filter(&doc, &json!({"status": {"$ne": "open"}})));
+        assert!(matches_filter(&doc, &json!({"status": {"$in": ["done", "open"]}})));
+        assert!(!matches_filter(&doc, &json!({"status": {"$in": ["open"]}})));
+        assert!(matches_filter(&doc, &json!({"status": {"$exists": true}})));
+        assert!(matches_filter(&doc, &json!({"nope": {"$exists": false}})));
+        assert!(!matches_filter(&doc, &json!({"nope": {"$exists": true}})));
+        // $ne on a missing field matches (field differs from the value).
+        assert!(matches_filter(&doc, &json!({"nope": {"$ne": 5}})));
+    }
+
+    #[test]
+    fn logical_operators() {
+        let doc = json!({"a": 1, "b": 2});
+        assert!(matches_filter(&doc, &json!({"$or": [{"a": 9}, {"b": 2}]})));
+        assert!(!matches_filter(&doc, &json!({"$or": [{"a": 9}, {"b": 9}]})));
+        assert!(matches_filter(&doc, &json!({"$and": [{"a": 1}, {"b": 2}]})));
+        assert!(matches_filter(&doc, &json!({"$not": {"a": 9}})));
+        assert!(!matches_filter(&doc, &json!({"$not": {"a": 1}})));
+    }
+
+    #[test]
+    fn unknown_operator_matches_nothing() {
+        let doc = json!({"a": 1});
+        assert!(!matches_filter(&doc, &json!({"a": {"$regex": "x"}})));
+    }
+
+    #[test]
+    fn empty_filter_matches_everything() {
+        assert!(matches_filter(&json!({"x": 1}), &json!({})));
+    }
+
+    #[test]
+    fn null_equality_for_missing_field() {
+        assert!(matches_filter(&json!({}), &json!({"gone": null})));
+    }
+
+    #[test]
+    fn set_path_creates_intermediates() {
+        let mut doc = json!({});
+        assert!(set_path(&mut doc, "a.b.c", json!(7)));
+        assert_eq!(doc, json!({"a": {"b": {"c": 7}}}));
+        // Blocked by a scalar intermediate.
+        let mut doc2 = json!({"a": 3});
+        assert!(!set_path(&mut doc2, "a.b", json!(1)));
+        assert_eq!(doc2, json!({"a": 3}));
+    }
+
+    #[test]
+    fn lookup_array_indices() {
+        let doc = json!({"xs": [10, 20]});
+        assert_eq!(lookup_path(&doc, "xs.0"), Some(&json!(10)));
+        assert_eq!(lookup_path(&doc, "xs.5"), None);
+        assert_eq!(lookup_path(&doc, "xs.notanum"), None);
+    }
+}

@@ -1,0 +1,201 @@
+//! The per-test file store.
+//!
+//! §III-B: "We create a new folder which is named after the test id, and all
+//! related files of integrated webpages are stored in it. The core server
+//! can access these resources, and serve them directly to participants."
+//! [`GridStore`] reproduces that: a two-level keyspace (test id → file name)
+//! of byte blobs, thread-safe, with directory persistence.
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
+
+/// A thread-safe test-id-keyed file store.
+#[derive(Debug, Clone, Default)]
+pub struct GridStore {
+    inner: Arc<RwLock<BTreeMap<String, BTreeMap<String, Bytes>>>>,
+}
+
+impl GridStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores a file under `test_id/name`, replacing any previous contents.
+    pub fn put(&self, test_id: &str, name: &str, data: impl Into<Bytes>) {
+        self.inner
+            .write()
+            .entry(test_id.to_string())
+            .or_default()
+            .insert(name.to_string(), data.into());
+    }
+
+    /// Fetches a file.
+    pub fn get(&self, test_id: &str, name: &str) -> Option<Bytes> {
+        self.inner.read().get(test_id)?.get(name).cloned()
+    }
+
+    /// Fetches a file as UTF-8 text.
+    pub fn get_text(&self, test_id: &str, name: &str) -> Option<String> {
+        self.get(test_id, name).map(|b| String::from_utf8_lossy(&b).into_owned())
+    }
+
+    /// Lists file names under a test id (sorted).
+    pub fn list(&self, test_id: &str) -> Vec<String> {
+        self.inner
+            .read()
+            .get(test_id)
+            .map(|files| files.keys().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Lists all test ids (sorted).
+    pub fn test_ids(&self) -> Vec<String> {
+        self.inner.read().keys().cloned().collect()
+    }
+
+    /// Deletes one file; returns whether it existed.
+    pub fn delete(&self, test_id: &str, name: &str) -> bool {
+        let mut inner = self.inner.write();
+        match inner.get_mut(test_id) {
+            Some(files) => files.remove(name).is_some(),
+            None => false,
+        }
+    }
+
+    /// Deletes a whole test folder; returns how many files were removed.
+    pub fn delete_test(&self, test_id: &str) -> usize {
+        self.inner.write().remove(test_id).map(|files| files.len()).unwrap_or(0)
+    }
+
+    /// Total bytes stored.
+    pub fn total_bytes(&self) -> usize {
+        self.inner
+            .read()
+            .values()
+            .flat_map(|files| files.values())
+            .map(|b| b.len())
+            .sum()
+    }
+
+    /// Writes every file to `<dir>/<test_id>/<name>`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error on failure.
+    pub fn save_to_dir(&self, dir: &Path) -> std::io::Result<()> {
+        for (test_id, files) in self.inner.read().iter() {
+            let test_dir = dir.join(test_id);
+            std::fs::create_dir_all(&test_dir)?;
+            for (name, data) in files {
+                std::fs::write(test_dir.join(name), data)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Loads a store from a directory written by [`GridStore::save_to_dir`]
+    /// (one subdirectory per test id; nested directories are skipped).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error on failure.
+    pub fn load_from_dir(dir: &Path) -> std::io::Result<Self> {
+        let store = GridStore::new();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            if !entry.file_type()?.is_dir() {
+                continue;
+            }
+            let test_id = entry.file_name().to_string_lossy().into_owned();
+            for file in std::fs::read_dir(entry.path())? {
+                let file = file?;
+                if !file.file_type()?.is_file() {
+                    continue;
+                }
+                let name = file.file_name().to_string_lossy().into_owned();
+                let data = std::fs::read(file.path())?;
+                store.put(&test_id, &name, data);
+            }
+        }
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let g = GridStore::new();
+        g.put("test-1", "page-0.html", b"<html>".to_vec());
+        assert_eq!(g.get("test-1", "page-0.html").unwrap(), Bytes::from_static(b"<html>"));
+        assert_eq!(g.get_text("test-1", "page-0.html").as_deref(), Some("<html>"));
+        assert!(g.get("test-1", "missing").is_none());
+        assert!(g.get("other", "page-0.html").is_none());
+    }
+
+    #[test]
+    fn listing() {
+        let g = GridStore::new();
+        g.put("t", "b", vec![1]);
+        g.put("t", "a", vec![2]);
+        g.put("u", "c", vec![3]);
+        assert_eq!(g.list("t"), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(g.test_ids(), vec!["t".to_string(), "u".to_string()]);
+        assert!(g.list("zzz").is_empty());
+    }
+
+    #[test]
+    fn delete_file_and_test() {
+        let g = GridStore::new();
+        g.put("t", "a", vec![1]);
+        g.put("t", "b", vec![2]);
+        assert!(g.delete("t", "a"));
+        assert!(!g.delete("t", "a"));
+        assert_eq!(g.delete_test("t"), 1);
+        assert_eq!(g.delete_test("t"), 0);
+    }
+
+    #[test]
+    fn totals() {
+        let g = GridStore::new();
+        g.put("t", "a", vec![0; 10]);
+        g.put("t", "b", vec![0; 5]);
+        assert_eq!(g.total_bytes(), 15);
+        g.put("t", "a", vec![0; 1]); // replace
+        assert_eq!(g.total_bytes(), 6);
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let a = GridStore::new();
+        let b = a.clone();
+        a.put("t", "x", vec![1]);
+        assert!(b.get("t", "x").is_some());
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir()
+            .join(format!("kscope-grid-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let g = GridStore::new();
+        g.put("test-abc", "integrated-0.html", b"<html>0".to_vec());
+        g.put("test-abc", "integrated-1.html", b"<html>1".to_vec());
+        g.put("test-def", "integrated-0.html", b"<html>x".to_vec());
+        g.save_to_dir(&dir).unwrap();
+
+        let loaded = GridStore::load_from_dir(&dir).unwrap();
+        assert_eq!(loaded.test_ids(), vec!["test-abc".to_string(), "test-def".to_string()]);
+        assert_eq!(
+            loaded.get_text("test-abc", "integrated-1.html").as_deref(),
+            Some("<html>1")
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

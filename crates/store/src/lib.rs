@@ -1,0 +1,41 @@
+//! Document database and file storage — the MongoDB substitute.
+//!
+//! The paper stores Kaleidoscope's test data in MongoDB: three schemaless
+//! collections (integrated webpages, basic test information, participant
+//! responses) plus a storage system holding each test's resource files in a
+//! folder named after the test id. This crate reproduces that surface:
+//!
+//! * [`Database`] / [`Collection`] — named collections of JSON documents
+//!   with auto-assigned `_id`s, Mongo-style filter queries (`$gt`, `$in`,
+//!   `$or`, dotted paths, …), `$set` updates, and JSONL persistence.
+//! * [`GridStore`] — the per-test file store ("we create a new folder which
+//!   is named after the test id, and all related files … are stored in it").
+//!
+//! Both are thread-safe (`parking_lot`) because the core server answers
+//! requests from a worker pool.
+//!
+//! # Example
+//!
+//! ```
+//! use kscope_store::Database;
+//! use serde_json::json;
+//!
+//! let db = Database::new();
+//! let tests = db.collection("tests");
+//! tests.insert_one(json!({"test_id": "t-1", "participant_num": 100}));
+//! let found = tests.find(&json!({"participant_num": {"$gte": 50}}));
+//! assert_eq!(found.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod database;
+pub mod filter;
+pub mod grid;
+
+pub use collection::{Collection, ObjectId};
+pub use database::{Database, PersistError};
+pub use filter::matches_filter;
+pub use grid::GridStore;

@@ -1,0 +1,81 @@
+//! Property tests: filter algebra and collection invariants.
+
+use kscope_store::{matches_filter, Collection};
+use proptest::prelude::*;
+use serde_json::{json, Value};
+
+/// A strategy for small scalar-valued documents.
+fn doc_strategy() -> impl Strategy<Value = Value> {
+    (0i64..20, "[a-c]{1}", any::<bool>()).prop_map(|(n, s, b)| json!({"n": n, "s": s, "b": b}))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// $not is an involution on matching.
+    #[test]
+    fn not_inverts(doc in doc_strategy(), n in 0i64..20) {
+        let f = json!({"n": n});
+        let not_f = json!({"$not": {"n": n}});
+        prop_assert_eq!(matches_filter(&doc, &f), !matches_filter(&doc, &not_f));
+    }
+
+    /// $and of a filter with itself is the filter; $or likewise.
+    #[test]
+    fn and_or_idempotent(doc in doc_strategy(), n in 0i64..20) {
+        let f = json!({"n": {"$gte": n}});
+        let and_ff = json!({"$and": [{"n": {"$gte": n}}, {"n": {"$gte": n}}]});
+        let or_ff = json!({"$or": [{"n": {"$gte": n}}, {"n": {"$gte": n}}]});
+        let m = matches_filter(&doc, &f);
+        prop_assert_eq!(matches_filter(&doc, &and_ff), m);
+        prop_assert_eq!(matches_filter(&doc, &or_ff), m);
+    }
+
+    /// De Morgan: not(a and b) == (not a) or (not b).
+    #[test]
+    fn de_morgan(doc in doc_strategy(), n in 0i64..20, s in "[a-c]{1}") {
+        let lhs = json!({"$not": {"$and": [{"n": {"$lt": n}}, {"s": s.clone()}]}});
+        let rhs = json!({"$or": [{"$not": {"n": {"$lt": n}}}, {"$not": {"s": s}}]});
+        prop_assert_eq!(matches_filter(&doc, &lhs), matches_filter(&doc, &rhs));
+    }
+
+    /// $gt and $lte partition the matching space for comparable values.
+    #[test]
+    fn gt_lte_partition(doc in doc_strategy(), n in 0i64..20) {
+        let gt = matches_filter(&doc, &json!({"n": {"$gt": n}}));
+        let lte = matches_filter(&doc, &json!({"n": {"$lte": n}}));
+        prop_assert!(gt ^ lte, "exactly one of $gt/$lte must hold for numeric n");
+    }
+
+    /// find(filter) returns exactly the documents matching the filter.
+    #[test]
+    fn find_agrees_with_matcher(docs in prop::collection::vec(doc_strategy(), 0..30), n in 0i64..20) {
+        let c = Collection::new();
+        for d in &docs {
+            c.insert_one(d.clone());
+        }
+        let filter = json!({"n": {"$gte": n}});
+        let found = c.find(&filter);
+        let expected = docs.iter().filter(|d| matches_filter(d, &filter)).count();
+        prop_assert_eq!(found.len(), expected);
+        for d in found {
+            prop_assert!(matches_filter(&d, &filter));
+        }
+    }
+
+    /// delete_many + count is consistent.
+    #[test]
+    fn delete_count_consistent(docs in prop::collection::vec(doc_strategy(), 0..30), b in any::<bool>()) {
+        let c = Collection::new();
+        for d in &docs {
+            c.insert_one(d.clone());
+        }
+        let filter = json!({"b": b});
+        let before = c.len();
+        let matching = c.count(&filter);
+        let deleted = c.delete_many(&filter);
+        prop_assert_eq!(deleted, matching);
+        prop_assert_eq!(c.len(), before - deleted);
+        prop_assert_eq!(c.count(&filter), 0);
+    }
+}

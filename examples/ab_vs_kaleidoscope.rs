@@ -1,0 +1,73 @@
+//! The paper's §IV-B head-to-head: testing an "Expand" button redesign via
+//! live A/B testing vs Kaleidoscope, with the same 100-person budget.
+//!
+//! ```text
+//! cargo run --release --example ab_vs_kaleidoscope
+//! ```
+
+use kaleidoscope::abtest::{AbTest, Variant};
+use kaleidoscope::core::corpus;
+use kaleidoscope::core::{Aggregator, Campaign, QuestionKind};
+use kaleidoscope::crowd::platform::{Channel, JobSpec, Platform};
+use kaleidoscope::store::{Database, GridStore};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Arm 1: classic A/B on the live site -----------------------------
+    // ~8.3 visitors/day; click probabilities calibrated to the paper's
+    // observed 3/51 vs 6/49.
+    let ab = AbTest::new(Variant::new("A", 0.059), Variant::new("B", 0.122), 100.0 / 12.0);
+    let mut rng = StdRng::seed_from_u64(361);
+    let run = ab.run_until_visitors(100, &mut rng);
+    let (a, b) = (run.control_counts(), run.variation_counts());
+    println!("A/B testing after {:.1} days:", run.days_elapsed());
+    println!(
+        "  A: {}/{} clicks ({:.1}%)   B: {}/{} clicks ({:.1}%)",
+        a.clicks,
+        a.visitors,
+        100.0 * a.conversion(),
+        b.clicks,
+        b.visitors,
+        100.0 * b.conversion()
+    );
+    println!("  p = {:.3} -> inconclusive", run.significance().p_value);
+
+    // --- Arm 2: Kaleidoscope, asking the question directly ---------------
+    let (store, params) = corpus::expand_button_study(100);
+    let db = Database::new();
+    let grid = GridStore::new();
+    let mut rng = StdRng::seed_from_u64(42);
+    let prepared = Aggregator::new(db.clone(), grid.clone()).prepare(&params, &store, &mut rng)?;
+    let recruitment = Platform.post_job(
+        &JobSpec::new(&params.test_id, 0.11, 100, Channel::HistoricallyTrustworthy),
+        &mut rng,
+    );
+    let outcome = Campaign::new(db, grid)
+        .with_question(params.question[0].text(), QuestionKind::Appeal)
+        .with_question(params.question[1].text(), QuestionKind::StyleBetter)
+        .with_question(params.question[2].text(), QuestionKind::Visibility)
+        .run(&params, &prepared, &recruitment, &mut rng)?;
+
+    println!(
+        "\nKaleidoscope after {:.1} hours (cost ${:.2}):",
+        outcome.duration_ms() as f64 / 3.6e6,
+        outcome.cost.total_usd()
+    );
+    for q in &params.question {
+        let votes = outcome
+            .question_analysis(q.text(), false)
+            .two_version_votes()
+            .expect("two versions");
+        let (va, same, vb) = votes.percentages();
+        println!(
+            "  {:<55} A {va:>3.0}%  Same {same:>3.0}%  B {vb:>3.0}%  (p = {:.1e})",
+            q.text(),
+            votes.significance().p_value
+        );
+    }
+    println!(
+        "\nsame budget, ~{:.0}x faster, and the visibility question is settled decisively.",
+        run.days_elapsed() * 24.0 / (outcome.duration_ms() as f64 / 3.6e6)
+    );
+    Ok(())
+}

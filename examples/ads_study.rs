@@ -1,0 +1,68 @@
+//! The abstract's opening example: testing a page "with vs without ads"
+//! without touching the live site's ad revenue.
+//!
+//! A/B testing this question on a real site costs real money (the test
+//! traffic sees no ads); Kaleidoscope runs it on stored copies, so "it
+//! does not impact websites' revenues and normal operations".
+//!
+//! ```text
+//! cargo run --release --example ads_study
+//! ```
+
+use kaleidoscope::core::corpus;
+use kaleidoscope::core::{Aggregator, Campaign, QuestionKind};
+use kaleidoscope::crowd::platform::{Channel, JobSpec, Platform};
+use kaleidoscope::store::{Database, GridStore};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (store, params) = corpus::ads_study(80);
+    let question = params.question[0].text().to_string();
+
+    let db = Database::new();
+    let grid = GridStore::new();
+    let mut rng = StdRng::seed_from_u64(23);
+    let prepared = Aggregator::new(db.clone(), grid.clone()).prepare(&params, &store, &mut rng)?;
+    let recruitment = Platform.post_job(
+        &JobSpec::new(&params.test_id, 0.11, 80, Channel::HistoricallyTrustworthy),
+        &mut rng,
+    );
+    let outcome = Campaign::new(db, grid)
+        .with_question(&question, QuestionKind::AdClutter)
+        .run(&params, &prepared, &recruitment, &mut rng)?;
+
+    let votes = outcome
+        .question_analysis(&question, true)
+        .two_version_votes()
+        .expect("two versions");
+    let (with_ads, same, ad_free) = votes.percentages();
+    println!("\"{question}\"");
+    println!(
+        "  with ads: {with_ads:.0}%   same: {same:.0}%   ad-free: {ad_free:.0}%   (p = {:.1e})",
+        votes.significance().p_value
+    );
+    println!(
+        "\nkept {}/{} sessions; total cost ${:.2}; zero impact on the live site's ad revenue.",
+        outcome.quality.kept.len(),
+        outcome.sessions.len(),
+        outcome.cost.total_usd()
+    );
+
+    // The per-segment view: do text-focused readers mind more?
+    let records = outcome.kept_records();
+    let breakdown = kaleidoscope::core::DemographicBreakdown::split(
+        &records,
+        &outcome.prepared,
+        &question,
+        "age",
+    );
+    println!("\nby age bracket:");
+    for (facet, v) in &breakdown.segments {
+        if v.total() == 0 {
+            continue;
+        }
+        let (_, _, b) = v.percentages();
+        println!("  {facet:<12} ad-free preferred by {b:.0}% of {} votes", v.total());
+    }
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! The paper's §IV-A experiment: "What is the best font size for online
+//! reading?" — five versions of a text-heavy article (10–22 pt), paid crowd
+//! vs trusted in-lab participants, with and without quality control.
+//!
+//! ```text
+//! cargo run --release --example font_size_study
+//! ```
+
+use kaleidoscope::core::corpus::{self, FONT_STUDY_SIZES};
+use kaleidoscope::core::{Aggregator, Campaign, QuestionKind};
+use kaleidoscope::crowd::platform::{Channel, InLabRecruiter, JobSpec, Platform};
+use kaleidoscope::store::{Database, GridStore};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let question = "Which webpage's font size is more suitable (easier) for reading?";
+
+    // Crowd arm: 100 historically-trustworthy workers at $0.11.
+    let (store, params) = corpus::font_size_study(100);
+    let db = Database::new();
+    let grid = GridStore::new();
+    let mut rng = StdRng::seed_from_u64(52);
+    let prepared = Aggregator::new(db.clone(), grid.clone()).prepare(&params, &store, &mut rng)?;
+    let recruitment = Platform.post_job(
+        &JobSpec::new(&params.test_id, 0.11, 100, Channel::HistoricallyTrustworthy),
+        &mut rng,
+    );
+    let crowd = Campaign::new(db, grid)
+        .with_question(question, QuestionKind::FontReadability)
+        .run(&params, &prepared, &recruitment, &mut rng)?;
+
+    // In-lab arm: 50 friends and colleagues over one week.
+    let (store2, params2) = corpus::font_size_study(50);
+    let db2 = Database::new();
+    let grid2 = GridStore::new();
+    let mut rng2 = StdRng::seed_from_u64(47);
+    let prepared2 =
+        Aggregator::new(db2.clone(), grid2.clone()).prepare(&params2, &store2, &mut rng2)?;
+    let lab_recruitment = InLabRecruiter::new(50, 7.0).recruit(&mut rng2);
+    let lab = Campaign::new(db2, grid2)
+        .with_question(question, QuestionKind::FontReadability)
+        .in_lab()
+        .run(&params2, &prepared2, &lab_recruitment, &mut rng2)?;
+
+    for (label, outcome, filtered) in [
+        ("Kaleidoscope (raw)", &crowd, false),
+        ("Kaleidoscope (quality control)", &crowd, true),
+        ("In-lab", &lab, true),
+    ] {
+        let dist = outcome.rank_distribution(question, filtered);
+        let order = dist.order_by_top_votes();
+        println!(
+            "{label:<32} best-font votes: {}",
+            order
+                .iter()
+                .map(|&v| format!(
+                    "{:.0}pt {:.0}%",
+                    FONT_STUDY_SIZES[v],
+                    dist.percentage(v, 0)
+                ))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+    }
+
+    println!(
+        "\ncrowd kept {}/{} after QC; crowd cost ${:.2} vs in-lab $0 (+ a week of labour)",
+        crowd.quality.kept.len(),
+        crowd.sessions.len(),
+        crowd.cost.total_usd()
+    );
+    let crowd_rank = crowd.question_analysis(question, true).ranking();
+    let lab_rank = lab.question_analysis(question, true).ranking();
+    let tau = kaleidoscope::stats::kendall_tau(&crowd_rank, &lab_rank);
+    println!("Kendall tau between crowd and in-lab rankings: {tau:.2}");
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! Run the Kaleidoscope core server for real: prepares a test, binds the
+//! HTTP API on an ephemeral port, and exercises it with the built-in
+//! client — the wire-level view of Fig. 2.
+//!
+//! ```text
+//! cargo run --example live_server
+//! ```
+
+use kaleidoscope::core::corpus;
+use kaleidoscope::core::Aggregator;
+use kaleidoscope::server::api::CoreServerApi;
+use kaleidoscope::server::{client, HttpServer};
+use kaleidoscope::store::{Database, GridStore};
+use rand::{rngs::StdRng, SeedableRng};
+use serde_json::json;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (store, params) = corpus::expand_button_study(10);
+    let db = Database::new();
+    let grid = GridStore::new();
+    let mut rng = StdRng::seed_from_u64(3);
+    let prepared = Aggregator::new(db.clone(), grid.clone()).prepare(&params, &store, &mut rng)?;
+
+    let api = CoreServerApi::new(db, grid);
+    let server = HttpServer::bind("127.0.0.1:0", api.into_router(), 4)?;
+    let addr = server.local_addr();
+    println!("core server listening on http://{addr}");
+
+    // Health check.
+    let health = client::get(addr, "/healthz")?;
+    println!("GET /healthz -> {}", health.text());
+
+    // What the crowdsourcing platform receives.
+    let job = client::post_json(
+        addr,
+        "/api/platform/jobs",
+        &json!({"test_id": prepared.test_id, "reward_usd": 0.11, "quota": 100}),
+    )?;
+    println!("POST /api/platform/jobs -> {}", job.text());
+
+    // What the browser extension downloads.
+    let pages = client::get(addr, &format!("/api/tests/{}/pages", prepared.test_id))?;
+    println!(
+        "GET /api/tests/{}/pages -> {} pages",
+        prepared.test_id,
+        pages.json_body()?["pages"].as_array().map(Vec::len).unwrap_or(0)
+    );
+    let first = client::get(
+        addr,
+        &format!("/api/tests/{}/pages/integrated-000.html", prepared.test_id),
+    )?;
+    println!("GET integrated-000.html -> {} bytes of HTML", first.body.len());
+
+    // What a participant uploads.
+    let upload = client::post_json(
+        addr,
+        &format!("/api/tests/{}/responses", prepared.test_id),
+        &json!({
+            "contributor_id": "demo-worker",
+            "answers": { params.question[2].text(): "Right" },
+            "pages": [],
+        }),
+    )?;
+    println!("POST responses -> {}", upload.text());
+
+    // The concluded results.
+    let results = client::get(addr, &format!("/api/tests/{}/results", prepared.test_id))?;
+    println!("GET results -> {}", results.text());
+
+    server.shutdown();
+    println!("server shut down cleanly");
+    Ok(())
+}

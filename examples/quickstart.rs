@@ -1,0 +1,77 @@
+//! Quickstart: test two versions of a webpage with a simulated crowd in
+//! under a minute of code.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use kaleidoscope::core::{Aggregator, Campaign, QuestionKind, TestParams, WebpageSpec};
+use kaleidoscope::crowd::platform::{Channel, JobSpec, Platform};
+use kaleidoscope::singlefile::ResourceStore;
+use kaleidoscope::store::{Database, GridStore};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Your test webpages: saved folders in a (virtual) directory. Here,
+    //    the same landing page with a small vs large main font.
+    let mut store = ResourceStore::new();
+    for (folder, pt) in [("pages/small", 11.0), ("pages/large", 16.0)] {
+        kaleidoscope::core::corpus::write_wikipedia_article(&mut store, folder, pt);
+    }
+
+    // 2. The Table-I test parameters: versions, question, headcount.
+    let params = TestParams::new(
+        "quickstart",
+        30,
+        vec!["Which webpage's font size is more suitable (easier) for reading?"],
+        vec![
+            WebpageSpec::new("pages/small", "index.html", 2000)
+                .with_description("11pt body text"),
+            WebpageSpec::new("pages/large", "index.html", 2000)
+                .with_description("16pt body text"),
+        ],
+    );
+    println!("test parameters:\n{}\n", params.to_json());
+
+    // 3. Aggregate: single-file compression, reveal-script injection,
+    //    side-by-side integrated pages, control pages.
+    let db = Database::new();
+    let grid = GridStore::new();
+    let mut rng = StdRng::seed_from_u64(7);
+    let prepared = Aggregator::new(db.clone(), grid.clone()).prepare(&params, &store, &mut rng)?;
+    println!(
+        "aggregator produced {} integrated pages ({} real, 2 control)",
+        prepared.pages.len(),
+        prepared.real_pairs().len()
+    );
+
+    // 4. Recruit 30 crowd workers and run the campaign.
+    let recruitment = Platform.post_job(
+        &JobSpec::new(&params.test_id, 0.11, 30, Channel::HistoricallyTrustworthy),
+        &mut rng,
+    );
+    let outcome = Campaign::new(db, grid)
+        .with_question(params.question[0].text(), QuestionKind::FontReadability)
+        .run(&params, &prepared, &recruitment, &mut rng)?;
+
+    // 5. Read the verdict.
+    let votes = outcome
+        .question_analysis(params.question[0].text(), true)
+        .two_version_votes()
+        .expect("two versions");
+    let (small, same, large) = votes.percentages();
+    println!(
+        "\nafter quality control ({} of {} sessions kept):",
+        outcome.quality.kept.len(),
+        outcome.sessions.len()
+    );
+    println!("  prefer 11pt: {small:.0}%   same: {same:.0}%   prefer 16pt: {large:.0}%");
+    let sig = votes.significance();
+    println!("  one-tailed p that 16pt reads better: {:.3}", sig.p_value);
+    println!(
+        "\ncampaign cost ${:.2}, wall time {:.1} h",
+        outcome.cost.total_usd(),
+        outcome.duration_ms() as f64 / 3.6e6
+    );
+    Ok(())
+}

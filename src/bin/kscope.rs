@@ -1,0 +1,294 @@
+//! The `kscope` command-line tool: validate test parameters, prepare tests
+//! from saved webpage folders, run simulated campaigns, and serve the core
+//! server — the operational surface a Web developer would actually touch.
+//!
+//! ```text
+//! kscope validate params.json
+//! kscope prepare params.json --pages ./saved-pages --out ./kscope-data
+//! kscope demo font --participants 60 --seed 7
+//! kscope serve --data ./kscope-data --addr 127.0.0.1:8080
+//! ```
+
+use kaleidoscope::core::corpus;
+use kaleidoscope::core::{Aggregator, Campaign, QuestionKind, TestParams};
+use kaleidoscope::crowd::platform::{Channel, JobSpec, Platform};
+use kaleidoscope::server::api::CoreServerApi;
+use kaleidoscope::server::HttpServer;
+use kaleidoscope::singlefile::ResourceStore;
+use kaleidoscope::store::{Database, GridStore};
+use rand::{rngs::StdRng, SeedableRng};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("init") => cmd_init(&args[1..]),
+        Some("validate") => cmd_validate(&args[1..]),
+        Some("prepare") => cmd_prepare(&args[1..]),
+        Some("demo") => cmd_demo(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("help") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}' (try `kscope help`)").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn print_usage() {
+    println!(
+        "kscope — crowdsourced Web-QoE testing (Kaleidoscope reproduction)\n\n\
+         USAGE:\n  \
+         kscope init [--versions N] [--participants N] [--out params.json]\n  \
+         kscope validate <params.json>\n  \
+         kscope prepare <params.json> --pages <dir> --out <dir> [--seed N]\n  \
+         kscope demo <font|expand|uplt|ads> [--participants N] [--seed N] [--in-lab] [--json]\n  \
+         kscope serve --data <dir> [--addr HOST:PORT] [--workers N]\n"
+    );
+}
+
+/// Reads `--flag value` style options.
+fn opt<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// Generates a Table-I parameter template — the paper's "Web interface to
+/// help users generate such format test parameters", as a CLI.
+fn cmd_init(args: &[String]) -> CliResult {
+    let versions: usize = opt(args, "--versions").unwrap_or("2").parse()?;
+    if versions < 2 {
+        return Err("a comparison test needs at least two versions".into());
+    }
+    let participants: usize = opt(args, "--participants").unwrap_or("100").parse()?;
+    let out = opt(args, "--out").unwrap_or("params.json");
+    let webpages: Vec<kaleidoscope::core::WebpageSpec> = (0..versions)
+        .map(|i| {
+            kaleidoscope::core::WebpageSpec::new(
+                &format!("pages/version-{i}"),
+                "index.html",
+                3000,
+            )
+            .with_description(&format!("describe version {i} here"))
+        })
+        .collect();
+    let params = TestParams::new(
+        "my-test",
+        participants,
+        vec!["Which version do you prefer?"],
+        webpages,
+    );
+    std::fs::write(out, params.to_json())?;
+    println!("wrote a template for {versions} versions and {participants} participants to {out}");
+    println!("edit the test_id, question, and web_path fields, then:");
+    println!("  kscope validate {out}");
+    println!("  kscope prepare {out} --pages <dir-with-saved-pages> --out ./kscope-data");
+    Ok(())
+}
+
+fn cmd_validate(args: &[String]) -> CliResult {
+    let path = args.first().ok_or("usage: kscope validate <params.json>")?;
+    let json = std::fs::read_to_string(path)?;
+    let params = TestParams::from_json(&json)?;
+    println!("OK: test '{}' is valid", params.test_id);
+    println!("  versions:          {}", params.webpage_num);
+    println!("  integrated pages:  {} (C(N,2))", params.integrated_page_count());
+    println!("  questions:         {}", params.question.len());
+    println!("  participants:      {}", params.participant_num);
+    for (i, w) in params.webpages.iter().enumerate() {
+        println!(
+            "  webpage {i}: {} ({}), load = {}",
+            w.web_path,
+            if w.web_description.is_empty() { "no description" } else { &w.web_description },
+            w.load_spec().expect("validated")
+        );
+    }
+    Ok(())
+}
+
+/// Loads a directory tree into a [`ResourceStore`], guessing MIME types
+/// from extensions, exactly the shape of a "save page as" folder.
+fn load_pages_dir(root: &Path) -> std::io::Result<ResourceStore> {
+    fn walk(
+        store: &mut ResourceStore,
+        root: &Path,
+        dir: &Path,
+    ) -> std::io::Result<()> {
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            if entry.file_type()?.is_dir() {
+                walk(store, root, &path)?;
+            } else {
+                let rel = path
+                    .strip_prefix(root)
+                    .expect("walked paths live under root")
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                let mime = kaleidoscope::singlefile::store::guess_mime(&rel);
+                store.insert(&rel, mime, std::fs::read(&path)?);
+            }
+        }
+        Ok(())
+    }
+    let mut store = ResourceStore::new();
+    walk(&mut store, root, root)?;
+    Ok(store)
+}
+
+fn cmd_prepare(args: &[String]) -> CliResult {
+    let params_path = args.first().ok_or("usage: kscope prepare <params.json> --pages <dir> --out <dir>")?;
+    let pages_dir = opt(args, "--pages").ok_or("--pages <dir> is required")?;
+    let out_dir = opt(args, "--out").ok_or("--out <dir> is required")?;
+    let seed: u64 = opt(args, "--seed").unwrap_or("0").parse()?;
+
+    let params = TestParams::from_json(&std::fs::read_to_string(params_path)?)?;
+    let store = load_pages_dir(Path::new(pages_dir))?;
+    println!("loaded {} resources ({} bytes) from {pages_dir}", store.len(), store.total_bytes());
+
+    let db = Database::new();
+    let grid = GridStore::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let prepared = Aggregator::new(db.clone(), grid.clone()).prepare(&params, &store, &mut rng)?;
+    println!(
+        "prepared test '{}': {} integrated pages ({} real pairs + 2 control)",
+        prepared.test_id,
+        prepared.pages.len(),
+        prepared.real_pairs().len()
+    );
+
+    let out = PathBuf::from(out_dir);
+    db.save_to_dir(&out.join("db"))?;
+    grid.save_to_dir(&out.join("files"))?;
+    println!("stored database and page files under {out_dir}");
+    println!("next: kscope serve --data {out_dir}");
+    Ok(())
+}
+
+fn cmd_demo(args: &[String]) -> CliResult {
+    let which = args.first().map(String::as_str).unwrap_or("font");
+    let participants: usize = opt(args, "--participants").unwrap_or("60").parse()?;
+    let seed: u64 = opt(args, "--seed").unwrap_or("42").parse()?;
+    let in_lab = has_flag(args, "--in-lab");
+
+    let (store, params, kinds): (_, _, Vec<(&str, QuestionKind)>) = match which {
+        "font" => {
+            let (s, p) = corpus::font_size_study(participants);
+            (s, p, vec![(
+                "Which webpage's font size is more suitable (easier) for reading?",
+                QuestionKind::FontReadability,
+            )])
+        }
+        "expand" => {
+            let (s, p) = corpus::expand_button_study(participants);
+            (s, p, vec![
+                ("Which webpage is graphically more appealing?", QuestionKind::Appeal),
+                ("Which version of the 'Expand' button looks better?", QuestionKind::StyleBetter),
+                ("Which version of the 'Expand' button is more visible?", QuestionKind::Visibility),
+            ])
+        }
+        "uplt" => {
+            let (s, p) = corpus::uplt_case_study(participants);
+            (s, p, vec![(
+                "Which version of the webpage seems ready to use first?",
+                QuestionKind::ReadyToUse,
+            )])
+        }
+        "ads" => {
+            let (s, p) = corpus::ads_study(participants);
+            (s, p, vec![(
+                "Which webpage is more pleasant to read?",
+                QuestionKind::AdClutter,
+            )])
+        }
+        other => return Err(format!("unknown demo '{other}' (font|expand|uplt|ads)").into()),
+    };
+
+    let db = Database::new();
+    let grid = GridStore::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let prepared = Aggregator::new(db.clone(), grid.clone()).prepare(&params, &store, &mut rng)?;
+    let recruitment = if in_lab {
+        kaleidoscope::crowd::platform::InLabRecruiter::new(participants, 7.0).recruit(&mut rng)
+    } else {
+        Platform.post_job(
+            &JobSpec::new(&params.test_id, 0.11, participants, Channel::HistoricallyTrustworthy),
+            &mut rng,
+        )
+    };
+    let mut campaign = Campaign::new(db, grid);
+    for (q, k) in &kinds {
+        campaign = campaign.with_question(q, *k);
+    }
+    if in_lab {
+        campaign = campaign.in_lab();
+    }
+    let outcome = campaign.run(&params, &prepared, &recruitment, &mut rng)?;
+
+    if has_flag(args, "--json") {
+        let report = outcome.to_report_json(&params.question);
+        println!("{}", serde_json::to_string_pretty(&report)?);
+        return Ok(());
+    }
+    println!(
+        "demo '{which}': {} sessions, {} kept after quality control, cost ${:.2}, {:.1} h wall time",
+        outcome.sessions.len(),
+        outcome.quality.kept.len(),
+        outcome.cost.total_usd(),
+        outcome.duration_ms() as f64 / 3.6e6
+    );
+    for q in &params.question {
+        let qa = outcome.question_analysis(q.text(), true);
+        match qa.two_version_votes() {
+            Some(v) => {
+                let (a, same, b) = v.percentages();
+                println!(
+                    "  {:<58} A {a:.0}% / Same {same:.0}% / B {b:.0}%  (p = {:.2e})",
+                    q.text(),
+                    v.significance().p_value
+                );
+            }
+            None => {
+                println!("  {:<58} ranking: {:?}", q.text(), qa.ranking());
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> CliResult {
+    let data_dir = opt(args, "--data").ok_or("--data <dir> is required")?;
+    let addr = opt(args, "--addr").unwrap_or("127.0.0.1:8080");
+    let workers: usize = opt(args, "--workers").unwrap_or("4").parse()?;
+    let data = PathBuf::from(data_dir);
+    let db = Database::load_from_dir(&data.join("db"))?;
+    let grid = GridStore::load_from_dir(&data.join("files"))?;
+    println!(
+        "loaded {} collections and {} test folders from {data_dir}",
+        db.collection_names().len(),
+        grid.test_ids().len()
+    );
+    let api = CoreServerApi::new(db, grid);
+    let server = HttpServer::bind(addr, api.into_router(), workers)?;
+    println!("core server on http://{} — Ctrl-C to stop", server.local_addr());
+    // Serve until interrupted.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,29 @@
+//! Kaleidoscope — a crowdsourcing testing tool for Web Quality of Experience.
+//!
+//! This facade crate re-exports the whole workspace under one roof. See the
+//! individual crates for details:
+//!
+//! * [`core`] — the paper's contribution: test parameters, aggregator,
+//!   quality control, analysis, and the campaign orchestrator.
+//! * [`html`] / [`singlefile`] / [`pageload`] — the web substrate: DOM,
+//!   single-file compression, and page-load replay with visual metrics.
+//! * [`store`] / [`server`] — persistence (document DB + file store) and the
+//!   HTTP core server.
+//! * [`crowd`] / [`browser`] — the simulated crowdsourcing platform and the
+//!   virtual browser/extension testers run in.
+//! * [`stats`] — significance tests, ECDFs, and ranking aggregation.
+//! * [`abtest`] — the live-site A/B testing baseline Kaleidoscope is
+//!   compared against.
+
+#![forbid(unsafe_code)]
+
+pub use kscope_abtest as abtest;
+pub use kscope_browser as browser;
+pub use kscope_core as core;
+pub use kscope_crowd as crowd;
+pub use kscope_html as html;
+pub use kscope_pageload as pageload;
+pub use kscope_server as server;
+pub use kscope_singlefile as singlefile;
+pub use kscope_stats as stats;
+pub use kscope_store as store;

@@ -1,0 +1,167 @@
+//! End-to-end integration: the aggregator prepares a test, the core server
+//! serves it over real loopback HTTP, a simulated extension performs the
+//! Fig. 3 flow against the wire protocol, and the server concludes results.
+
+use kaleidoscope::browser::TestFlow;
+use kaleidoscope::core::corpus;
+use kaleidoscope::core::{Aggregator, QuestionKind};
+use kaleidoscope::server::api::CoreServerApi;
+use kaleidoscope::server::{client, HttpServer};
+use kaleidoscope::store::{Database, GridStore};
+use rand::{rngs::StdRng, SeedableRng};
+use serde_json::json;
+
+#[test]
+fn extension_session_over_real_http() {
+    // 1. Prepare the expand-button test.
+    let (store, params) = corpus::expand_button_study(10);
+    let db = Database::new();
+    let grid = GridStore::new();
+    let mut rng = StdRng::seed_from_u64(1);
+    let prepared = Aggregator::new(db.clone(), grid.clone())
+        .prepare(&params, &store, &mut rng)
+        .expect("prepare");
+
+    // 2. Start the core server.
+    let api = CoreServerApi::new(db.clone(), grid.clone());
+    let server = HttpServer::bind("127.0.0.1:0", api.into_router(), 4).expect("bind");
+    let addr = server.local_addr();
+
+    // 3. Register the test over HTTP (the aggregator already stored it in
+    // the DB; the API exposes it).
+    let info = client::get(addr, &format!("/api/tests/{}", prepared.test_id)).unwrap();
+    assert_eq!(info.status.0, 200);
+    // The pair metadata lives in its own collection, served separately.
+    let pairs = client::get(addr, &format!("/api/tests/{}/pairs", prepared.test_id)).unwrap();
+    assert_eq!(
+        pairs.json_body().unwrap()["pairs"].as_array().unwrap().len(),
+        prepared.pages.len()
+    );
+    let listing =
+        client::get(addr, &format!("/api/tests/{}/pages", prepared.test_id)).unwrap();
+    let pages: Vec<String> = listing.json_body().unwrap()["pages"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|v| v.as_str().unwrap().to_string())
+        .collect();
+    assert!(pages.iter().any(|p| p.starts_with("integrated-")));
+
+    // 4. Run one extension session, downloading every page over HTTP.
+    let questions: Vec<String> =
+        params.question.iter().map(|q| q.text().to_string()).collect();
+    let page_names = prepared.page_names();
+    let mut flow = TestFlow::register(
+        &prepared.test_id,
+        "contributor-77",
+        json!({"age": "25-34"}),
+        questions.clone(),
+        page_names.clone(),
+    );
+    while let Some(name) = flow.current_page_name().map(str::to_string) {
+        let resp = client::get(
+            addr,
+            &format!("/api/tests/{}/pages/{}", prepared.test_id, name),
+        )
+        .unwrap();
+        assert_eq!(resp.status.0, 200, "page {name} must be served");
+        let page = kaleidoscope::browser::LoadedPage::from_html(&resp.text());
+        assert_eq!(page.iframe_refs().len(), 2, "integrated page has two panes");
+        flow.visit(page, 20_000).unwrap();
+        for q in &questions {
+            flow.answer(q, "Same").unwrap();
+        }
+        flow.next_page().unwrap();
+    }
+    let record = flow.upload().unwrap();
+
+    // 5. Upload the session and read back the concluded results.
+    let resp = client::post_json(
+        addr,
+        &format!("/api/tests/{}/responses", prepared.test_id),
+        &record.to_json(),
+    )
+    .unwrap();
+    assert_eq!(resp.status.0, 201);
+
+    let results =
+        client::get(addr, &format!("/api/tests/{}/results", prepared.test_id)).unwrap();
+    let body = results.json_body().unwrap();
+    assert_eq!(body["total"], json!(1));
+    // Responses are keyed under "answers" per page; the server-side
+    // summary aggregates by question across pages.
+    server.shutdown();
+}
+
+#[test]
+fn server_round_trip_matches_database_contents() {
+    let db = Database::new();
+    let grid = GridStore::new();
+    grid.put("t-x", "integrated-000.html", b"<html><body>x</body></html>".to_vec());
+    db.collection("tests").insert_one(json!({"test_id": "t-x"}));
+
+    let api = CoreServerApi::new(db.clone(), grid.clone());
+    let server = HttpServer::bind("127.0.0.1:0", api.into_router(), 2).unwrap();
+    let addr = server.local_addr();
+
+    // Post a job the way the core server hands the task to FigureEight.
+    let job = client::post_json(
+        addr,
+        "/api/platform/jobs",
+        &json!({"test_id": "t-x", "reward_usd": 0.11, "quota": 100}),
+    )
+    .unwrap();
+    assert_eq!(job.status.0, 201);
+    assert_eq!(db.collection("jobs").len(), 1);
+
+    // Responses posted over HTTP appear in the shared database.
+    for i in 0..5 {
+        let r = client::post_json(
+            addr,
+            "/api/tests/t-x/responses",
+            &json!({"contributor_id": format!("w{i}"), "answers": {"q": "Left"}}),
+        )
+        .unwrap();
+        assert_eq!(r.status.0, 201);
+    }
+    assert_eq!(db.collection("responses").count(&json!({"test_id": "t-x"})), 5);
+    server.shutdown();
+}
+
+#[test]
+fn campaign_results_retrievable_through_server() {
+    // Run a whole simulated campaign, then serve its stored responses.
+    let (store, params) = corpus::uplt_case_study(8);
+    let db = Database::new();
+    let grid = GridStore::new();
+    let mut rng = StdRng::seed_from_u64(9);
+    let prepared = Aggregator::new(db.clone(), grid.clone())
+        .prepare(&params, &store, &mut rng)
+        .unwrap();
+    let recruitment = kaleidoscope::crowd::platform::Platform.post_job(
+        &kaleidoscope::crowd::platform::JobSpec::new(
+            &params.test_id,
+            0.11,
+            8,
+            kaleidoscope::crowd::platform::Channel::HistoricallyTrustworthy,
+        ),
+        &mut rng,
+    );
+    let outcome = kaleidoscope::core::Campaign::new(db.clone(), grid.clone())
+        .with_question(params.question[0].text(), QuestionKind::ReadyToUse)
+        .run(&params, &prepared, &recruitment, &mut rng)
+        .unwrap();
+    assert_eq!(outcome.sessions.len(), 8);
+
+    let api = CoreServerApi::new(db, grid);
+    let server = HttpServer::bind("127.0.0.1:0", api.into_router(), 2).unwrap();
+    let resp = client::get(
+        server.local_addr(),
+        &format!("/api/tests/{}/responses", prepared.test_id),
+    )
+    .unwrap();
+    let stored = resp.json_body().unwrap();
+    assert_eq!(stored["total"], serde_json::json!(8));
+    assert_eq!(stored["responses"].as_array().unwrap().len(), 8);
+    server.shutdown();
+}

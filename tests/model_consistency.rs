@@ -1,0 +1,86 @@
+//! Cross-model consistency: the analytical uPLT model (pageload crate) and
+//! the simulated crowd (crowd + core crates) must tell the same story on
+//! the paper's case study — two independent implementations of "when does
+//! this page feel ready" agreeing is strong evidence neither is rigged.
+
+use kaleidoscope::core::corpus;
+use kaleidoscope::core::{Aggregator, Campaign, QuestionKind};
+use kaleidoscope::crowd::platform::InLabRecruiter;
+use kaleidoscope::html::parse_document;
+use kaleidoscope::pageload::metrics::UpltWeights;
+use kaleidoscope::pageload::{Layout, PaintTimeline, RevealPlan, Viewport};
+use kaleidoscope::store::{Database, GridStore};
+use rand::{rngs::StdRng, SeedableRng};
+
+#[test]
+fn uplt_model_predicts_crowd_majority() {
+    // Analytical side: reader-default weights on the two versions.
+    let (store, params) = corpus::uplt_case_study(60);
+    let mut uplts = Vec::new();
+    for spec in &params.webpages {
+        let html = store.get_text(&spec.main_file_path()).unwrap();
+        let doc = parse_document(&html);
+        let layout = Layout::compute(&doc, Viewport::desktop());
+        let mut rng = StdRng::seed_from_u64(0);
+        let plan = RevealPlan::build(&doc, &layout, &spec.load_spec().unwrap(), &mut rng);
+        let tl = PaintTimeline::from_plan(&doc, &layout, &plan);
+        uplts.push(UpltWeights::reader_defaults().uplt_ms(&tl, &layout));
+    }
+    let model_prefers_b = uplts[1] < uplts[0];
+
+    // Crowd side: a trusted in-lab cohort votes.
+    let db = Database::new();
+    let grid = GridStore::new();
+    let mut rng = StdRng::seed_from_u64(77);
+    let prepared =
+        Aggregator::new(db.clone(), grid.clone()).prepare(&params, &store, &mut rng).unwrap();
+    let recruitment = InLabRecruiter::new(60, 7.0).recruit(&mut rng);
+    let outcome = Campaign::new(db, grid)
+        .with_question(params.question[0].text(), QuestionKind::ReadyToUse)
+        .in_lab()
+        .run(&params, &prepared, &recruitment, &mut rng)
+        .unwrap();
+    let votes = outcome
+        .question_analysis(params.question[0].text(), true)
+        .two_version_votes()
+        .unwrap();
+    let crowd_prefers_b = votes.right > votes.left;
+
+    assert!(model_prefers_b, "analytical uPLT must favour the text-first version");
+    assert_eq!(
+        model_prefers_b, crowd_prefers_b,
+        "model and crowd must agree: uplts {uplts:?}, votes {votes:?}"
+    );
+}
+
+#[test]
+fn visibility_utilities_predict_question_c_direction() {
+    // The button metrics' visibility gap and the crowd's question-C verdict
+    // must point the same way.
+    use kaleidoscope::core::corpus::ExpandButtonMetrics;
+    let (store, params) = corpus::expand_button_study(60);
+    let doc_a = parse_document(&store.get_text("pages/group-a/index.html").unwrap());
+    let doc_b = parse_document(&store.get_text("pages/group-b/index.html").unwrap());
+    let ua = ExpandButtonMetrics::extract(&doc_a).unwrap().visibility_utility();
+    let ub = ExpandButtonMetrics::extract(&doc_b).unwrap().visibility_utility();
+    assert!(ub > ua);
+
+    let db = Database::new();
+    let grid = GridStore::new();
+    let mut rng = StdRng::seed_from_u64(31);
+    let prepared =
+        Aggregator::new(db.clone(), grid.clone()).prepare(&params, &store, &mut rng).unwrap();
+    let recruitment = InLabRecruiter::new(60, 7.0).recruit(&mut rng);
+    let outcome = Campaign::new(db, grid)
+        .with_question(params.question[0].text(), QuestionKind::Appeal)
+        .with_question(params.question[1].text(), QuestionKind::StyleBetter)
+        .with_question(params.question[2].text(), QuestionKind::Visibility)
+        .in_lab()
+        .run(&params, &prepared, &recruitment, &mut rng)
+        .unwrap();
+    let votes = outcome
+        .question_analysis(params.question[2].text(), true)
+        .two_version_votes()
+        .unwrap();
+    assert!(votes.right > votes.left, "B must win visibility: {votes:?}");
+}

@@ -1,0 +1,101 @@
+//! Storage durability: a campaign's artifacts survive a save/load cycle,
+//! like the paper's MongoDB + file-store deployment surviving a restart.
+
+use kaleidoscope::core::corpus;
+use kaleidoscope::core::{Aggregator, Campaign, QuestionKind};
+use kaleidoscope::crowd::platform::{Channel, JobSpec, Platform};
+use kaleidoscope::store::{Database, GridStore};
+use rand::{rngs::StdRng, SeedableRng};
+use serde_json::json;
+
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("kscope-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn campaign_artifacts_survive_restart() {
+    let (store, params) = corpus::expand_button_study(6);
+    let db = Database::new();
+    let grid = GridStore::new();
+    let mut rng = StdRng::seed_from_u64(4);
+    let prepared = Aggregator::new(db.clone(), grid.clone())
+        .prepare(&params, &store, &mut rng)
+        .unwrap();
+    let recruitment = Platform.post_job(
+        &JobSpec::new(&params.test_id, 0.11, 6, Channel::HistoricallyTrustworthy),
+        &mut rng,
+    );
+    let _ = Campaign::new(db.clone(), grid.clone())
+        .with_question(params.question[0].text(), QuestionKind::Appeal)
+        .with_question(params.question[1].text(), QuestionKind::StyleBetter)
+        .with_question(params.question[2].text(), QuestionKind::Visibility)
+        .run(&params, &prepared, &recruitment, &mut rng)
+        .unwrap();
+
+    // Save both stores.
+    let db_dir = tempdir("db");
+    let grid_dir = tempdir("grid");
+    db.save_to_dir(&db_dir).unwrap();
+    grid.save_to_dir(&grid_dir).unwrap();
+
+    // "Restart": load fresh instances.
+    let db2 = Database::load_from_dir(&db_dir).unwrap();
+    let grid2 = GridStore::load_from_dir(&grid_dir).unwrap();
+
+    // Responses, test info, and every integrated page must be intact.
+    assert_eq!(db2.collection("responses").len(), 6);
+    assert_eq!(
+        db2.collection("tests").count(&json!({"test_id": params.test_id})),
+        1
+    );
+    assert_eq!(grid2.list(&params.test_id), grid.list(&params.test_id));
+    for name in grid.list(&params.test_id) {
+        assert_eq!(
+            grid2.get(&params.test_id, &name),
+            grid.get(&params.test_id, &name),
+            "file {name} corrupted by round-trip"
+        );
+    }
+
+    // The reloaded pages still drive a virtual browser: same paint curve.
+    let html = grid2
+        .get_text(&params.test_id, "version-0.html")
+        .expect("page reloaded");
+    let page = kaleidoscope::browser::LoadedPage::from_html(&html);
+    // The 3-second uniform reveal plan survived the round-trip: the last
+    // paint falls inside the window, not at t = 0.
+    let last = page.timeline().last_paint_ms();
+    assert!(last > 0 && last <= 3000, "reveal plan survived, last paint {last}");
+
+    std::fs::remove_dir_all(&db_dir).unwrap();
+    std::fs::remove_dir_all(&grid_dir).unwrap();
+}
+
+#[test]
+fn database_queries_work_after_reload() {
+    let db = Database::new();
+    let responses = db.collection("responses");
+    for i in 0..20 {
+        responses.insert_one(json!({
+            "test_id": "t",
+            "contributor_id": format!("w{i}"),
+            "created_tabs": i,
+        }));
+    }
+    let dir = tempdir("queries");
+    db.save_to_dir(&dir).unwrap();
+    let db2 = Database::load_from_dir(&dir).unwrap();
+    let heavy = db2
+        .collection("responses")
+        .find(&json!({"created_tabs": {"$gte": 15}}));
+    assert_eq!(heavy.len(), 5);
+    // Updates still work post-reload.
+    let n = db2
+        .collection("responses")
+        .update_many(&json!({"created_tabs": {"$lt": 3}}), &json!({"$set": {"flagged": true}}));
+    assert_eq!(n, 3);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

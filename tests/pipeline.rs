@@ -1,0 +1,167 @@
+//! Cross-crate invariants of the full Kaleidoscope pipeline.
+
+use kaleidoscope::core::analysis::parse_preference;
+use kaleidoscope::core::corpus;
+use kaleidoscope::core::{Aggregator, Campaign, CampaignOutcome, QuestionKind};
+use kaleidoscope::crowd::platform::{Channel, InLabRecruiter, JobSpec, Platform};
+use kaleidoscope::store::{Database, GridStore};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn font_campaign(n: usize, seed: u64) -> CampaignOutcome {
+    let (store, params) = corpus::font_size_study(n);
+    let db = Database::new();
+    let grid = GridStore::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let prepared = Aggregator::new(db.clone(), grid.clone())
+        .prepare(&params, &store, &mut rng)
+        .unwrap();
+    let recruitment = Platform.post_job(
+        &JobSpec::new(&params.test_id, 0.11, n, Channel::HistoricallyTrustworthy),
+        &mut rng,
+    );
+    Campaign::new(db, grid)
+        .with_question(params.question[0].text(), QuestionKind::FontReadability)
+        .run(&params, &prepared, &recruitment, &mut rng)
+        .unwrap()
+}
+
+const FONT_Q: &str = "Which webpage's font size is more suitable (easier) for reading?";
+
+#[test]
+fn same_seed_same_outcome() {
+    let a = font_campaign(20, 5);
+    let b = font_campaign(20, 5);
+    assert_eq!(a.quality.kept, b.quality.kept);
+    let ra: Vec<_> = a.raw_records().iter().map(|r| r.to_json()).collect();
+    let rb: Vec<_> = b.raw_records().iter().map(|r| r.to_json()).collect();
+    assert_eq!(ra, rb, "campaigns must be bit-reproducible from the seed");
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = font_campaign(20, 5);
+    let b = font_campaign(20, 6);
+    let ra: Vec<_> = a.raw_records().iter().map(|r| r.to_json()).collect();
+    let rb: Vec<_> = b.raw_records().iter().map(|r| r.to_json()).collect();
+    assert_ne!(ra, rb);
+}
+
+#[test]
+fn every_answer_is_a_valid_label() {
+    let outcome = font_campaign(25, 11);
+    for rec in outcome.raw_records() {
+        for page in &rec.pages {
+            for answer in page.answers.values() {
+                assert!(
+                    parse_preference(answer).is_some(),
+                    "invalid answer label {answer}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn quality_control_never_invents_sessions() {
+    let outcome = font_campaign(30, 13);
+    let total = outcome.sessions.len();
+    assert_eq!(outcome.quality.kept.len() + outcome.quality.dropped.len(), total);
+    // Indices are unique and in range.
+    let mut all: Vec<usize> = outcome
+        .quality
+        .kept
+        .iter()
+        .copied()
+        .chain(outcome.quality.dropped.iter().map(|(i, _)| *i))
+        .collect();
+    all.sort_unstable();
+    all.dedup();
+    assert_eq!(all.len(), total);
+    assert!(all.iter().all(|&i| i < total));
+}
+
+#[test]
+fn consensus_is_stable_across_seeds() {
+    // The headline result must not be a seed artifact: 22pt always loses,
+    // the winner is always in the CHI-consensus band (12 or 14 pt), and
+    // 12pt takes the majority of runs — the 12-vs-14 margin is genuinely
+    // narrow, as in the literature the paper cites.
+    let mut twelve_wins = 0;
+    for seed in [1u64, 2, 3, 4, 5] {
+        let outcome = font_campaign(60, seed);
+        let ranking = outcome.question_analysis(FONT_Q, true).ranking();
+        assert!(
+            ranking[0] == 1 || ranking[0] == 2,
+            "winner must be 12 or 14pt under seed {seed}: {ranking:?}"
+        );
+        if ranking[0] == 1 {
+            twelve_wins += 1;
+        }
+        assert_eq!(
+            *ranking.last().unwrap(),
+            4,
+            "22pt must lose under seed {seed}: {ranking:?}"
+        );
+    }
+    assert!(twelve_wins >= 3, "12pt should win most seeds, won {twelve_wins}/5");
+}
+
+#[test]
+fn in_lab_and_crowd_agree_on_the_winner() {
+    let crowd = font_campaign(60, 21);
+    let (store, params) = corpus::font_size_study(30);
+    let db = Database::new();
+    let grid = GridStore::new();
+    let mut rng = StdRng::seed_from_u64(22);
+    let prepared = Aggregator::new(db.clone(), grid.clone())
+        .prepare(&params, &store, &mut rng)
+        .unwrap();
+    let lab_recruitment = InLabRecruiter::new(30, 7.0).recruit(&mut rng);
+    let lab = Campaign::new(db, grid)
+        .with_question(params.question[0].text(), QuestionKind::FontReadability)
+        .in_lab()
+        .run(&params, &prepared, &lab_recruitment, &mut rng)
+        .unwrap();
+    let crowd_rank = crowd.question_analysis(FONT_Q, true).ranking();
+    let lab_rank = lab.question_analysis(FONT_Q, true).ranking();
+    // Both cohorts crown a winner in the CHI-consensus band (12 or 14 pt) —
+    // the 12-vs-14 margin is within sampling noise at these sizes, exactly
+    // as in the literature the paper cites.
+    assert!(matches!(crowd_rank[0], 1 | 2), "crowd winner {crowd_rank:?}");
+    assert!(matches!(lab_rank[0], 1 | 2), "lab winner {lab_rank:?}");
+    // The full rankings correlate strongly (the paper's Fig. 4 claim).
+    let tau = kaleidoscope::stats::kendall_tau(&crowd_rank, &lab_rank);
+    assert!(tau >= 0.6, "rankings should agree, tau = {tau}");
+}
+
+#[test]
+fn behaviour_telemetry_present_in_all_sessions() {
+    let outcome = font_campaign(15, 31);
+    for s in &outcome.sessions {
+        assert!(s.record.created_tabs >= 1);
+        assert!(s.record.active_tab_switches >= s.record.created_tabs);
+        assert!(s.record.total_duration_ms() > 0);
+        assert_eq!(s.record.pages.len(), outcome.prepared.pages.len());
+    }
+}
+
+#[test]
+fn responses_persisted_in_database() {
+    let (store, params) = corpus::font_size_study(6);
+    let db = Database::new();
+    let grid = GridStore::new();
+    let mut rng = StdRng::seed_from_u64(2);
+    let prepared = Aggregator::new(db.clone(), grid.clone())
+        .prepare(&params, &store, &mut rng)
+        .unwrap();
+    let recruitment = Platform.post_job(
+        &JobSpec::new(&params.test_id, 0.11, 6, Channel::HistoricallyTrustworthy),
+        &mut rng,
+    );
+    let _ = Campaign::new(db.clone(), grid)
+        .with_question(params.question[0].text(), QuestionKind::FontReadability)
+        .run(&params, &prepared, &recruitment, &mut rng)
+        .unwrap();
+    assert_eq!(db.collection("responses").len(), 6);
+    assert_eq!(db.collection("tests").len(), 1);
+}

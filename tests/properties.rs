@@ -1,0 +1,155 @@
+//! Property-based tests over cross-crate invariants.
+
+use kaleidoscope::html::parse_document;
+use kaleidoscope::pageload::{Layout, LoadSpec, PaintTimeline, RevealPlan, Viewport};
+use kaleidoscope::singlefile::{normalize_path, resolve_relative, Inliner, ResourceStore};
+use kaleidoscope::stats::rank::{borda_ranking, PairwiseMatrix, Preference};
+use kaleidoscope::stats::Ecdf;
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// A generator of small well-formed-ish HTML fragments.
+fn html_fragment() -> impl Strategy<Value = String> {
+    let text = "[a-zA-Z0-9 ]{0,20}";
+    let leaf = prop_oneof![
+        text.prop_map(|t| t),
+        text.prop_map(|t| format!("<p>{t}</p>")),
+        text.prop_map(|t| format!("<span class=\"x\">{t}</span>")),
+        Just("<br>".to_string()),
+        Just("<img src=\"pic.png\">".to_string()),
+    ];
+    prop::collection::vec(leaf, 0..6).prop_map(|parts| {
+        format!("<div id=\"root\">{}</div>", parts.join(""))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// parse → serialize → parse is a fixed point (structure stability).
+    #[test]
+    fn html_serialization_is_stable(src in html_fragment()) {
+        let once = parse_document(&src).to_html();
+        let twice = parse_document(&once).to_html();
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Text content survives the round-trip.
+    #[test]
+    fn html_text_content_preserved(src in html_fragment()) {
+        let doc = parse_document(&src);
+        let text1 = doc.text_content(doc.root());
+        let doc2 = parse_document(&doc.to_html());
+        prop_assert_eq!(text1, doc2.text_content(doc2.root()));
+    }
+
+    /// Path normalization is idempotent.
+    #[test]
+    fn normalize_path_idempotent(path in "[a-z./]{0,30}") {
+        let once = normalize_path(&path);
+        prop_assert_eq!(normalize_path(&once), once);
+    }
+
+    /// Resolving a normalized name against a base stays inside the root
+    /// (no escaping via ..).
+    #[test]
+    fn resolve_relative_never_escapes(base in "[a-z]{1,8}/[a-z]{1,8}\\.html",
+                                       href in "(\\.\\./){0,4}[a-z]{1,8}\\.css") {
+        let resolved = resolve_relative(&base, &href);
+        prop_assert!(!resolved.contains(".."));
+        prop_assert!(!resolved.starts_with('/'));
+    }
+
+    /// Reveal plans never schedule beyond the spec duration, and the paint
+    /// timeline ends exactly at the last reveal.
+    #[test]
+    fn reveal_plan_bounded_by_spec(window in 0u64..5000, seed in 0u64..1000) {
+        let doc = parse_document(
+            "<div><p>alpha</p><p>beta</p><img><section><p>gamma</p></section></div>");
+        let layout = Layout::compute(&doc, Viewport::desktop());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let plan = RevealPlan::build(&doc, &layout, &LoadSpec::Uniform(window), &mut rng);
+        prop_assert!(plan.completion_ms() <= window);
+        let tl = PaintTimeline::from_plan(&doc, &layout, &plan);
+        prop_assert_eq!(tl.last_paint_ms(), plan.completion_ms());
+        // Completeness is monotone and ends at 1.
+        let mut prev = -1.0;
+        for s in tl.samples() {
+            prop_assert!(s.completeness >= prev);
+            prev = s.completeness;
+        }
+        prop_assert!((prev - 1.0).abs() < 1e-9);
+    }
+
+    /// The single-file inliner is idempotent: inlining its own output finds
+    /// nothing more to do.
+    #[test]
+    fn singlefile_idempotent(css in "[a-z]{1,10}", img_bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let mut store = ResourceStore::new();
+        store.insert(
+            "p/i.html",
+            "text/html",
+            "<link rel=\"stylesheet\" href=\"s.css\"><img src=\"i.png\">".to_string()
+                .into_bytes(),
+        );
+        store.insert("p/s.css", "text/css", format!(".{css} {{ color: red }}").into_bytes());
+        store.insert("p/i.png", "image/png", img_bytes);
+        let out = Inliner::new(&store).inline("p/i.html").unwrap();
+        prop_assert!(out.report.missing.is_empty());
+
+        let mut store2 = ResourceStore::new();
+        store2.insert("p/i.html", "text/html", out.html.clone().into_bytes());
+        let again = Inliner::new(&store2).inline("p/i.html").unwrap();
+        prop_assert_eq!(again.report.inlined, 0);
+        prop_assert!(again.report.missing.is_empty());
+        prop_assert_eq!(again.html, out.html);
+    }
+
+    /// Borda ranking is always a permutation, and reversing every
+    /// preference reverses the winner/loser relationship.
+    #[test]
+    fn borda_is_permutation_and_antisymmetric(
+        prefs in prop::collection::vec((0usize..4, 0usize..4, 0u8..3), 0..30),
+    ) {
+        let mut m = PairwiseMatrix::new(4);
+        let mut flipped = PairwiseMatrix::new(4);
+        for (a, b, p) in prefs {
+            if a == b { continue; }
+            let pref = match p { 0 => Preference::Left, 1 => Preference::Right, _ => Preference::Same };
+            m.record(a, b, pref);
+            flipped.record(a, b, pref.flipped());
+        }
+        let r = borda_ranking(&m);
+        let mut sorted = r.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, vec![0, 1, 2, 3]);
+        // Scores of flipped matrix are mirrored: sum stays constant per pair.
+        let s: f64 = m.borda_scores().iter().sum();
+        let sf: f64 = flipped.borda_scores().iter().sum();
+        prop_assert!((s - sf).abs() < 1e-9);
+    }
+
+    /// ECDF evaluation is monotone and hits 0/1 at the extremes.
+    #[test]
+    fn ecdf_monotone(sample in prop::collection::vec(-1000.0f64..1000.0, 1..50)) {
+        let e = Ecdf::new(sample.clone());
+        prop_assert_eq!(e.eval(e.min() - 1.0), 0.0);
+        prop_assert_eq!(e.eval(e.max()), 1.0);
+        let mut prev = 0.0;
+        for i in -10..=10 {
+            let x = i as f64 * 100.0;
+            let y = e.eval(x);
+            prop_assert!(y >= prev);
+            prev = y;
+        }
+    }
+
+    /// LoadSpec JSON round-trips for arbitrary selector maps.
+    #[test]
+    fn load_spec_roundtrip(entries in prop::collection::btree_map("#[a-z]{1,6}", 0u64..10_000, 0..5)) {
+        let json = serde_json::to_value(&entries).unwrap();
+        let spec = LoadSpec::from_json(&json).unwrap();
+        let back = LoadSpec::from_json(&spec.to_json()).unwrap();
+        prop_assert_eq!(spec, back);
+    }
+}
