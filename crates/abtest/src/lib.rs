@@ -112,7 +112,8 @@ impl AbTest {
             .map(|_| {
                 t += kscope_stats::dist::exponential_sample(rng, rate_per_ms);
                 let variant = u8::from(rng.random_bool(0.5));
-                let p = if variant == 0 { self.control.click_prob } else { self.variation.click_prob };
+                let p =
+                    if variant == 0 { self.control.click_prob } else { self.variation.click_prob };
                 Visit { t_ms: t.round() as u64, variant, clicked: rng.random_bool(p) }
             })
             .collect();
@@ -241,13 +242,7 @@ impl AbTestRun {
     pub fn significance(&self) -> TestResult {
         let a = self.control_counts();
         let b = self.variation_counts();
-        two_proportion_z_test(
-            a.clicks,
-            a.visitors,
-            b.clicks,
-            b.visitors,
-            Tail::OneSidedGreater,
-        )
+        two_proportion_z_test(a.clicks, a.visitors, b.clicks, b.visitors, Tail::OneSidedGreater)
     }
 
     /// Cumulative visitors per arm over time: `(t_ms, control_so_far,

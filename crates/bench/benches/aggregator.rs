@@ -27,9 +27,8 @@ fn bench_aggregator(c: &mut Criterion) {
             b.iter_batched(
                 || (Database::new(), GridStore::new(), StdRng::seed_from_u64(1)),
                 |(db, grid, mut rng)| {
-                    let prepared = Aggregator::new(db, grid)
-                        .prepare(&params, &store, &mut rng)
-                        .unwrap();
+                    let prepared =
+                        Aggregator::new(db, grid).prepare(&params, &store, &mut rng).unwrap();
                     black_box(prepared.pages.len())
                 },
                 BatchSize::SmallInput,

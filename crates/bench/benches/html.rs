@@ -18,15 +18,9 @@ fn bench_html(c: &mut Criterion) {
     let selector: Selector = "#mw-content-text > p".parse().unwrap();
     let deep: Selector = "div .infobox table td".parse().unwrap();
 
-    c.bench_function("html/parse_article", |b| {
-        b.iter(|| parse_document(black_box(&html)))
-    });
-    c.bench_function("html/select_child", |b| {
-        b.iter(|| black_box(doc.select(&selector).len()))
-    });
-    c.bench_function("html/select_descendant", |b| {
-        b.iter(|| black_box(doc.select(&deep).len()))
-    });
+    c.bench_function("html/parse_article", |b| b.iter(|| parse_document(black_box(&html))));
+    c.bench_function("html/select_child", |b| b.iter(|| black_box(doc.select(&selector).len())));
+    c.bench_function("html/select_descendant", |b| b.iter(|| black_box(doc.select(&deep).len())));
     c.bench_function("html/serialize", |b| b.iter(|| black_box(doc.to_html().len())));
     c.bench_function("html/roundtrip", |b| {
         b.iter_batched(

@@ -25,9 +25,7 @@ fn bench_server(c: &mut Criterion) {
     c.bench_function("server/post_response", |b| {
         let body = json!({"contributor_id": "w", "answers": {"q": "Left"}});
         b.iter(|| {
-            black_box(
-                client::post_json(addr, "/api/tests/t/responses", &body).unwrap().status,
-            )
+            black_box(client::post_json(addr, "/api/tests/t/responses", &body).unwrap().status)
         })
     });
     server.shutdown();

@@ -25,10 +25,7 @@ fn main() {
     let resources = article_resources(
         html_bytes,
         css_bytes,
-        &[
-            ("#infobox img".to_string(), 180_000),
-            ("#infobox table".to_string(), 90_000),
-        ],
+        &[("#infobox img".to_string(), 180_000), ("#infobox table".to_string(), 90_000)],
     );
 
     let single = Inliner::new(&store).inline("w/index.html").unwrap();

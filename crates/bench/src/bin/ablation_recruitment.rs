@@ -43,10 +43,9 @@ fn main() {
     println!("\ndemographic targeting at $0.11 (trustworthy channel):");
     let base = JobSpec::new("t", 0.11, 100, Channel::HistoricallyTrustworthy);
     println!("  untargeted: {}", human_duration(mean_completion(&base, 1)));
-    let under25 = base.clone().with_target(DemographicTarget {
-        ages: vec![AgeRange::Under25],
-        ..Default::default()
-    });
+    let under25 = base
+        .clone()
+        .with_target(DemographicTarget { ages: vec![AgeRange::Under25], ..Default::default() });
     println!("  under-25 only: {}", human_duration(mean_completion(&under25, 1)));
     let senior_experts = base.with_target(DemographicTarget {
         ages: vec![AgeRange::Age50Plus],

@@ -37,9 +37,8 @@ fn main() {
         let db = Database::new();
         let grid = GridStore::new();
         let mut rng = StdRng::seed_from_u64(52);
-        let prepared = Aggregator::new(db.clone(), grid.clone())
-            .prepare(&params, &store, &mut rng)
-            .unwrap();
+        let prepared =
+            Aggregator::new(db.clone(), grid.clone()).prepare(&params, &store, &mut rng).unwrap();
         let recruitment = Platform.post_job(
             &JobSpec::new(&params.test_id, 0.11, participants, Channel::HistoricallyTrustworthy),
             &mut rng,

@@ -2,7 +2,10 @@
 //! are demonstrations; this binary reports how stable each claim is over
 //! many simulated replications, with bootstrap confidence intervals.
 
-use kscope_bench::{run_expand_study, run_font_study, run_uplt_study, Cohort, EXPAND_QUESTIONS, FONT_QUESTION, UPLT_QUESTION};
+use kscope_bench::{
+    run_expand_study, run_font_study, run_uplt_study, Cohort, EXPAND_QUESTIONS, FONT_QUESTION,
+    UPLT_QUESTION,
+};
 use kscope_stats::bootstrap::bootstrap_ci;
 use kscope_stats::Summary;
 use rand::{rngs::StdRng, SeedableRng};

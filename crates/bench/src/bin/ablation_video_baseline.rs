@@ -46,7 +46,9 @@ fn run_arm(video: bool, workers: usize, seed: u64) -> (Vec<usize>, f64) {
 fn main() {
     println!("Testing font size through videos (Eyeorg-style) vs in-browser pages\n");
     let workers = 150;
-    for (label, video) in [("Kaleidoscope (true-size pages)", false), ("video platform (scaled players)", true)] {
+    for (label, video) in
+        [("Kaleidoscope (true-size pages)", false), ("video platform (scaled players)", true)]
+    {
         let (ranking, stability) = run_arm(video, workers, 7);
         println!(
             "{label:<34} ranking: {:?}   12pt-beats-22pt consistency: {:.0}%",

@@ -47,10 +47,7 @@ fn main() {
     let run = ab.run_until_visitors(100, &mut rng);
     let ab_ms = run.visits().last().map(|v| v.t_ms).unwrap_or(0);
     println!("\nA/B testing (same 100-person budget): {}", human_duration(ab_ms));
-    println!(
-        "speedup: {:.1}x   (paper: >12x)",
-        ab_ms as f64 / duration.max(1) as f64
-    );
+    println!("speedup: {:.1}x   (paper: >12x)", ab_ms as f64 / duration.max(1) as f64);
 
     // --- quality control effectiveness -------------------------------------
     let font = run_font_study(200, Cohort::paper_crowd(), 7);

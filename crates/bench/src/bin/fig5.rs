@@ -47,9 +47,7 @@ fn main() {
     print_cdf("(b) number of created tabs", &panel(BehaviorSamples::created_tabs_ecdf));
     print_cdf("(c) time on task (minutes)", &panel(BehaviorSamples::task_ecdf));
 
-    let longest = |b: &BehaviorSamples| {
-        b.comparison_minutes.iter().copied().fold(0.0f64, f64::max)
-    };
+    let longest = |b: &BehaviorSamples| b.comparison_minutes.iter().copied().fold(0.0f64, f64::max);
     println!("\nlongest single side-by-side comparison (minutes):");
     println!("  raw      {:.2}   (paper: 3.3)", longest(&raw));
     println!("  filtered {:.2}   (paper: 2.5)", longest(&qc));

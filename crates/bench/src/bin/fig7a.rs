@@ -31,8 +31,5 @@ fn main() {
     println!("\ntime to 100 participants:");
     println!("  Kaleidoscope: {}   (paper: ~12 h)", human_duration(k_done));
     println!("  A/B testing:  {}   (paper: ~12 days)", human_duration(ab_done));
-    println!(
-        "  speedup: {:.1}x   (paper: >12x)",
-        ab_done as f64 / k_done.max(1) as f64
-    );
+    println!("  speedup: {:.1}x   (paper: >12x)", ab_done as f64 / k_done.max(1) as f64);
 }

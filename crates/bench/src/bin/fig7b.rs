@@ -22,9 +22,15 @@ fn main() {
 
     let a = run.control_counts();
     let b = run.variation_counts();
-    println!("\nfinal: A {} visitors / {} clicks ({:.1}%), B {} visitors / {} clicks ({:.1}%)",
-        a.visitors, a.clicks, 100.0 * a.conversion(),
-        b.visitors, b.clicks, 100.0 * b.conversion());
+    println!(
+        "\nfinal: A {} visitors / {} clicks ({:.1}%), B {} visitors / {} clicks ({:.1}%)",
+        a.visitors,
+        a.clicks,
+        100.0 * a.conversion(),
+        b.visitors,
+        b.clicks,
+        100.0 * b.conversion()
+    );
     println!("paper: A 51 / 3 (5.9%), B 49 / 6 (12.2%)");
 
     let sig = run.significance();

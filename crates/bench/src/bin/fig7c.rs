@@ -49,8 +49,5 @@ fn main() {
         "one-tailed two-proportion z = {:.2}, p = {:.2e}   (paper: 6.8e-8)",
         sig.statistic, sig.p_value
     );
-    println!(
-        "new button more visible at 99% confidence? {}",
-        sig.significant_at(0.01)
-    );
+    println!("new button more visible at 99% confidence? {}", sig.significant_at(0.01));
 }

@@ -53,6 +53,8 @@ fn main() {
         (qb.right as f64 / qb.total() as f64) > (qa.right as f64 / qa.total() as f64)
     );
     println!("  C: variant wins outright .............. {}", qc.right > qc.left * 2);
-    println!("  C is significant, A is not ............ {}",
-        qc.significance().significant_at(0.01) && !qa.significance().significant_at(0.01));
+    println!(
+        "  C is significant, A is not ............ {}",
+        qc.significance().significant_at(0.01) && !qa.significance().significant_at(0.01)
+    );
 }

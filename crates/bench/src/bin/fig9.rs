@@ -40,11 +40,7 @@ fn main() {
     println!("\nsetup check (visual metrics of the two versions):");
     println!("  version A (nav@2s, text@4s): ATF = {} ms, uPLT = {} ms", m[0].0, m[0].1);
     println!("  version B (text@2s, nav@4s): ATF = {} ms, uPLT = {} ms", m[1].0, m[1].1);
-    println!(
-        "  same ATF? {}   B feels ready earlier? {}",
-        m[0].0 == m[1].0,
-        m[1].1 < m[0].1
-    );
+    println!("  same ATF? {}   B feels ready earlier? {}", m[0].0 == m[1].0, m[1].1 < m[0].1);
 
     let study = run_uplt_study(100, Cohort::paper_crowd(), 52);
     for (filtered, label, paper_b) in [(false, "raw", 46.0), (true, "quality control", 54.0)] {

@@ -36,8 +36,16 @@ fn main() {
     let h1 = Waterfall::simulate(&link, &resources);
     let h2 = Waterfall::simulate_h2(&link, &resources);
     println!("simulated 3G waterfalls over the same page:");
-    println!("  http/1.1: blocking done {} ms, all objects {} ms", h1.blocking_done_ms, h1.total_ms());
-    println!("  http/2:   blocking done {} ms, all objects {} ms", h2.blocking_done_ms, h2.total_ms());
+    println!(
+        "  http/1.1: blocking done {} ms, all objects {} ms",
+        h1.blocking_done_ms,
+        h1.total_ms()
+    );
+    println!(
+        "  http/2:   blocking done {} ms, all objects {} ms",
+        h2.blocking_done_ms,
+        h2.total_ms()
+    );
 
     let params = TestParams::new(
         "h1-vs-h2",

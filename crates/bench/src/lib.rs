@@ -69,10 +69,8 @@ fn run_study(
         .prepare(&params, &store, &mut rng)
         .expect("corpus pages always prepare");
     let recruitment = match cohort {
-        Cohort::Crowd { channel, reward_usd } => Platform.post_job(
-            &JobSpec::new(&params.test_id, reward_usd, participants, channel),
-            &mut rng,
-        ),
+        Cohort::Crowd { channel, reward_usd } => Platform
+            .post_job(&JobSpec::new(&params.test_id, reward_usd, participants, channel), &mut rng),
         Cohort::InLab { days } => InLabRecruiter::new(participants, days).recruit(&mut rng),
     };
     let mut campaign = Campaign::new(db, grid);
@@ -129,8 +127,7 @@ pub fn run_uplt_study(participants: usize, cohort: Cohort, seed: u64) -> Study {
 }
 
 /// The standard question text of the font study.
-pub const FONT_QUESTION: &str =
-    "Which webpage's font size is more suitable (easier) for reading?";
+pub const FONT_QUESTION: &str = "Which webpage's font size is more suitable (easier) for reading?";
 /// The three §IV-B questions, A/B/C in paper order.
 pub const EXPAND_QUESTIONS: [&str; 3] = [
     "Which webpage is graphically more appealing?",

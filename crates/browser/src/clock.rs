@@ -42,9 +42,7 @@ impl SimClock {
     ///
     /// Panics if `earlier` is in the future.
     pub fn since_ms(&self, earlier: SimClock) -> u64 {
-        self.now_ms
-            .checked_sub(earlier.now_ms)
-            .expect("`earlier` must not be in the future")
+        self.now_ms.checked_sub(earlier.now_ms).expect("`earlier` must not be in the future")
     }
 }
 

@@ -223,10 +223,7 @@ impl TestFlow {
         if self.finished {
             return Err(FlowError::SessionFinished);
         }
-        let name = self
-            .current_page_name()
-            .ok_or(FlowError::SessionFinished)?
-            .to_string();
+        let name = self.current_page_name().ok_or(FlowError::SessionFinished)?.to_string();
         if self.current_visits == 0 {
             self.page_started_ms = self.clock.now_ms();
         }
@@ -325,10 +322,7 @@ impl TestFlow {
         if !self.finished {
             return Err(FlowError::PagesRemaining(self.page_names.len() - self.current));
         }
-        self.events.push(FlowEvent {
-            at_ms: self.clock.now_ms(),
-            kind: FlowEventKind::Uploaded,
-        });
+        self.events.push(FlowEvent { at_ms: self.clock.now_ms(), kind: FlowEventKind::Uploaded });
         let telemetry = self.browser.telemetry();
         Ok(SessionRecord {
             test_id: self.test_id,
@@ -449,13 +443,7 @@ mod tests {
 
     #[test]
     fn acting_after_finish_is_an_error() {
-        let mut f = TestFlow::register(
-            "t",
-            "w",
-            json!({}),
-            vec![],
-            vec!["p".to_string()],
-        );
+        let mut f = TestFlow::register("t", "w", json!({}), vec![], vec!["p".to_string()]);
         f.visit(page(), 100).unwrap();
         f.next_page().unwrap();
         assert!(f.is_finished());
@@ -489,8 +477,7 @@ mod tests {
         f.visit(page(), 2_000).unwrap();
         f.answer("Which is better?", "Same").unwrap();
         f.next_page().unwrap();
-        let events: Vec<FlowEventKind> =
-            f.events().iter().map(|e| e.kind.clone()).collect();
+        let events: Vec<FlowEventKind> = f.events().iter().map(|e| e.kind.clone()).collect();
         // Registered first, then visit/answer/complete per page.
         assert_eq!(events[0], FlowEventKind::Registered);
         assert!(matches!(

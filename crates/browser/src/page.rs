@@ -84,8 +84,7 @@ impl LoadedPage {
     /// ancestors — real pages set typography in stylesheets, not inline.
     pub fn font_size_pt(&self, selector: &Selector) -> Option<f64> {
         let node = self.doc.select_first(selector)?;
-        computed_property(&self.doc, &self.sheets, node, "font-size")
-            .and_then(|v| parse_pt(&v))
+        computed_property(&self.doc, &self.sheets, node, "font-size").and_then(|v| parse_pt(&v))
     }
 
     /// Clicks the first element matching `selector`, honouring the page's
@@ -102,23 +101,17 @@ impl LoadedPage {
         let Some(button) = self.doc.select_first(selector) else {
             return false;
         };
-        let Some(target_sel) = self
-            .doc
-            .attr(button, "data-toggles")
-            .and_then(|s| s.parse::<Selector>().ok())
+        let Some(target_sel) =
+            self.doc.attr(button, "data-toggles").and_then(|s| s.parse::<Selector>().ok())
         else {
             return false;
         };
         let Some(target) = self.doc.select_first(&target_sel) else {
             return false;
         };
-        let hidden = self
-            .doc
-            .style_property(target, "display")
-            .map(|d| d == "none")
-            .unwrap_or(false);
-        self.doc
-            .set_style_property(target, "display", if hidden { "block" } else { "none" });
+        let hidden =
+            self.doc.style_property(target, "display").map(|d| d == "none").unwrap_or(false);
+        self.doc.set_style_property(target, "display", if hidden { "block" } else { "none" });
         // Geometry changed: recompute the derived state.
         let viewport = self.layout.viewport();
         self.layout = Layout::compute(&self.doc, viewport);
@@ -130,12 +123,8 @@ impl LoadedPage {
     /// The readiness curve for perception models: step samples of
     /// `(t_ms, main-text painted fraction, other painted fraction)`.
     pub fn readiness_curve(&self) -> Vec<(u64, f64, f64)> {
-        let text_total = self
-            .layout
-            .area_by_class()
-            .get(&ContentClass::MainText)
-            .copied()
-            .unwrap_or(0.0);
+        let text_total =
+            self.layout.area_by_class().get(&ContentClass::MainText).copied().unwrap_or(0.0);
         let total = self.layout.total_area();
         let other_total = (total - text_total).max(0.0);
         self.timeline
@@ -148,11 +137,8 @@ impl LoadedPage {
                 let other_painted = (all_painted - text_painted).max(0.0);
                 let text_frac =
                     if text_total > 0.0 { (text_painted / text_total).min(1.0) } else { 1.0 };
-                let other_frac = if other_total > 0.0 {
-                    (other_painted / other_total).min(1.0)
-                } else {
-                    1.0
-                };
+                let other_frac =
+                    if other_total > 0.0 { (other_painted / other_total).min(1.0) } else { 1.0 };
                 (s.t_ms, text_frac, other_frac)
             })
             .collect()
@@ -165,10 +151,8 @@ impl LoadedPage {
 /// no script is present (plain pages without simulated loading).
 fn extract_reveal_plan(doc: &Document, layout: &Layout) -> RevealPlan {
     let script_text = doc.get_element_by_id(REVEAL_SCRIPT_ID).map(|id| doc.text_content(id));
-    let entries: Vec<(usize, u64)> = script_text
-        .as_deref()
-        .and_then(parse_plan_json)
-        .unwrap_or_default();
+    let entries: Vec<(usize, u64)> =
+        script_text.as_deref().and_then(parse_plan_json).unwrap_or_default();
     if entries.is_empty() {
         // Instant reveal of every laid-out element.
         return doc
@@ -292,17 +276,15 @@ mod tests {
 
     #[test]
     fn font_size_from_inline_style() {
-        let page = LoadedPage::from_html(
-            r#"<div id="content" style="font-size: 14pt"><p>x</p></div>"#,
-        );
+        let page =
+            LoadedPage::from_html(r#"<div id="content" style="font-size: 14pt"><p>x</p></div>"#);
         let sel: Selector = "#content p".parse().unwrap();
         assert_eq!(page.font_size_pt(&sel), Some(14.0));
     }
 
     #[test]
     fn font_size_px_converted() {
-        let page =
-            LoadedPage::from_html(r#"<p id="t" style="font-size: 16px">x</p>"#);
+        let page = LoadedPage::from_html(r#"<p id="t" style="font-size: 16px">x</p>"#);
         let sel: Selector = "#t".parse().unwrap();
         assert_eq!(page.font_size_pt(&sel), Some(12.0));
     }
@@ -360,23 +342,14 @@ mod tests {
         let mut page = LoadedPage::from_html(html);
         let sel: Selector = ".expand-btn".parse().unwrap();
         let doc_target = page.document().get_element_by_id("more").unwrap();
-        assert_eq!(
-            page.document().style_property(doc_target, "display").as_deref(),
-            Some("none")
-        );
+        assert_eq!(page.document().style_property(doc_target, "display").as_deref(), Some("none"));
         assert!(page.click(&sel));
         let doc_target = page.document().get_element_by_id("more").unwrap();
-        assert_eq!(
-            page.document().style_property(doc_target, "display").as_deref(),
-            Some("block")
-        );
+        assert_eq!(page.document().style_property(doc_target, "display").as_deref(), Some("block"));
         // Clicking again collapses it back.
         assert!(page.click(&sel));
         let doc_target = page.document().get_element_by_id("more").unwrap();
-        assert_eq!(
-            page.document().style_property(doc_target, "display").as_deref(),
-            Some("none")
-        );
+        assert_eq!(page.document().style_property(doc_target, "display").as_deref(), Some("none"));
     }
 
     #[test]

@@ -16,9 +16,11 @@ use kscope_html::parse_document;
 use kscope_pageload::{Layout, RevealPlan, Viewport};
 use kscope_singlefile::{InlineError, Inliner, ResourceStore};
 use kscope_store::{Database, GridStore};
+use kscope_telemetry::Registry;
 use rand::Rng;
 use serde_json::json;
 use std::fmt;
+use std::sync::Arc;
 
 /// What a control page checks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,18 +117,34 @@ pub struct Aggregator {
     db: Database,
     grid: GridStore,
     viewport: Viewport,
+    telemetry: Option<Arc<Registry>>,
 }
 
 impl Aggregator {
     /// Creates an aggregator over the shared storage.
     pub fn new(db: Database, grid: GridStore) -> Self {
-        Self { db, grid, viewport: Viewport::desktop() }
+        Self { db, grid, viewport: Viewport::desktop(), telemetry: None }
     }
 
     /// Overrides the viewport used for layout/reveal planning.
     pub fn with_viewport(mut self, viewport: Viewport) -> Self {
         self.viewport = viewport;
         self
+    }
+
+    /// Attaches a metric registry (builder style). [`Aggregator::prepare`]
+    /// then records `core.version_inline_us` (per-version inline + reveal
+    /// injection time), `core.compose_us` (per-integrated-page compose
+    /// time), and the `core.versions_prepared_total` /
+    /// `core.pages_prepared_total` / `core.tests_prepared_total` counters.
+    pub fn with_telemetry(mut self, registry: Arc<Registry>) -> Self {
+        self.telemetry = Some(registry);
+        self
+    }
+
+    /// The attached registry, if any.
+    pub fn telemetry(&self) -> Option<&Arc<Registry>> {
+        self.telemetry.as_ref()
     }
 
     /// Prepares a test: compresses versions, injects reveal scripts,
@@ -145,11 +163,13 @@ impl Aggregator {
     ) -> Result<PreparedTest, AggregateError> {
         params.validate()?;
         let test_id = params.test_id.clone();
+        let metrics = self.telemetry.as_deref().map(PrepareMetrics::register);
 
         // 1. Compress each version and inject its reveal plan.
         let inliner = Inliner::new(store);
         let mut version_files = Vec::with_capacity(params.webpages.len());
         for (i, spec) in params.webpages.iter().enumerate() {
+            let timer = metrics.as_ref().map(|m| m.inline_us.start_timer());
             let out = inliner.inline(&spec.main_file_path())?;
             let mut doc = parse_document(&out.html);
             let layout = Layout::compute(&doc, self.viewport);
@@ -159,16 +179,20 @@ impl Aggregator {
             let name = format!("version-{i}.html");
             self.grid.put(&test_id, &name, doc.to_html().into_bytes());
             version_files.push(name);
+            drop(timer);
+            if let Some(m) = &metrics {
+                m.versions.inc();
+            }
         }
 
         // 2. Integrated pages for every pair (i < j), in index order.
-        let questions: Vec<String> =
-            params.question.iter().map(|q| q.text().to_string()).collect();
+        let questions: Vec<String> = params.question.iter().map(|q| q.text().to_string()).collect();
         let mut pages = Vec::new();
         let n = params.webpages.len();
         let mut k = 0usize;
         for i in 0..n {
             for j in (i + 1)..n {
+                let timer = metrics.as_ref().map(|m| m.compose_us.start_timer());
                 let name = format!("integrated-{k:03}.html");
                 let html = integrated_html_with_questions(
                     &version_files[i],
@@ -178,6 +202,7 @@ impl Aggregator {
                 self.grid.put(&test_id, &name, html.into_bytes());
                 pages.push(IntegratedPageMeta { name, left: i, right: j, control: None });
                 k += 1;
+                drop(timer);
             }
         }
 
@@ -197,7 +222,8 @@ impl Aggregator {
         pages.push(identical);
 
         let ruined_name = "version-ruined.html".to_string();
-        let ruined = ruin_version(&self.grid.get_text(&test_id, &version_files[0]).expect("just stored"));
+        let ruined =
+            ruin_version(&self.grid.get_text(&test_id, &version_files[0]).expect("just stored"));
         self.grid.put(&test_id, &ruined_name, ruined.into_bytes());
         let extreme = IntegratedPageMeta {
             name: "control-extreme.html".to_string(),
@@ -241,6 +267,11 @@ impl Aggregator {
             "pages": pages.iter().map(page_doc).collect::<Vec<_>>(),
         }));
 
+        if let Some(m) = &metrics {
+            m.pages.add(pages.len() as u64);
+            m.tests.inc();
+        }
+
         Ok(PreparedTest { test_id, pages })
     }
 
@@ -258,6 +289,28 @@ impl Aggregator {
 /// Name of the tests collection (matches the core server's).
 fn kserver_tests() -> &'static str {
     "tests"
+}
+
+/// Handles registered once per [`Aggregator::prepare`] call; all updates
+/// afterwards are plain atomics.
+struct PrepareMetrics {
+    inline_us: kscope_telemetry::Histogram,
+    compose_us: kscope_telemetry::Histogram,
+    versions: kscope_telemetry::Counter,
+    pages: kscope_telemetry::Counter,
+    tests: kscope_telemetry::Counter,
+}
+
+impl PrepareMetrics {
+    fn register(registry: &Registry) -> Self {
+        Self {
+            inline_us: registry.histogram("core.version_inline_us"),
+            compose_us: registry.histogram("core.compose_us"),
+            versions: registry.counter("core.versions_prepared_total"),
+            pages: registry.counter("core.pages_prepared_total"),
+            tests: registry.counter("core.tests_prepared_total"),
+        }
+    }
 }
 
 /// The initial HTML document with two side-by-side iframes (Fig. 1),
@@ -439,6 +492,28 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_times_prepare_stages() {
+        let (store, params) = corpus::font_size_study(20);
+        let registry = Arc::new(Registry::new());
+        let agg = Aggregator::new(Database::new(), GridStore::new())
+            .with_telemetry(Arc::clone(&registry));
+        let prepared = agg.prepare(&params, &store, &mut StdRng::seed_from_u64(3)).unwrap();
+
+        assert_eq!(registry.counter_value("core.versions_prepared_total", &[]), Some(5));
+        assert_eq!(
+            registry.counter_value("core.pages_prepared_total", &[]),
+            Some(prepared.pages.len() as u64)
+        );
+        assert_eq!(registry.counter_value("core.tests_prepared_total", &[]), Some(1));
+        // One inline timing per version, one compose timing per real pair.
+        assert_eq!(registry.histogram("core.version_inline_us").snapshot().count(), 5);
+        assert_eq!(
+            registry.histogram("core.compose_us").snapshot().count(),
+            prepared.real_pairs().len() as u64
+        );
+    }
+
+    #[test]
     fn missing_folder_is_an_error() {
         let params = TestParams::new(
             "t",
@@ -450,9 +525,8 @@ mod tests {
             ],
         );
         let agg = Aggregator::new(Database::new(), GridStore::new());
-        let err = agg
-            .prepare(&params, &ResourceStore::new(), &mut StdRng::seed_from_u64(0))
-            .unwrap_err();
+        let err =
+            agg.prepare(&params, &ResourceStore::new(), &mut StdRng::seed_from_u64(0)).unwrap_err();
         assert!(matches!(err, AggregateError::Inline(_)));
         assert!(err.to_string().contains("ghost-a"));
     }
@@ -462,8 +536,7 @@ mod tests {
         let (store, mut params) = corpus::font_size_study(10);
         params.webpage_num = 99;
         let agg = Aggregator::new(Database::new(), GridStore::new());
-        let err =
-            agg.prepare(&params, &store, &mut StdRng::seed_from_u64(0)).unwrap_err();
+        let err = agg.prepare(&params, &store, &mut StdRng::seed_from_u64(0)).unwrap_err();
         assert!(matches!(err, AggregateError::InvalidParams(_)));
     }
 }

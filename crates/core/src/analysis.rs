@@ -3,7 +3,9 @@
 
 use crate::aggregator::PreparedTest;
 use kscope_browser::SessionRecord;
-use kscope_stats::rank::{borda_ranking, borda_ranking_resolved, ranking_to_positions, PairwiseMatrix, Preference};
+use kscope_stats::rank::{
+    borda_ranking, borda_ranking_resolved, ranking_to_positions, PairwiseMatrix, Preference,
+};
 use kscope_stats::tests::{two_proportion_z_test, Tail, TestResult};
 use kscope_stats::Ecdf;
 
@@ -112,15 +114,13 @@ impl QuestionAnalysis {
                     Some(m) if m.is_real() => m,
                     _ => continue,
                 };
-                let answer = match page.answers.get(question).and_then(|a| parse_preference(a))
-                {
+                let answer = match page.answers.get(question).and_then(|a| parse_preference(a)) {
                     Some(p) => p,
                     None => continue,
                 };
                 matrix.record(meta.left, meta.right, answer);
-                if let Some((_, votes)) = pair_votes
-                    .iter_mut()
-                    .find(|((l, r), _)| *l == meta.left && *r == meta.right)
+                if let Some((_, votes)) =
+                    pair_votes.iter_mut().find(|((l, r), _)| *l == meta.left && *r == meta.right)
                 {
                     match answer {
                         Preference::Left => votes.left += 1,
@@ -144,11 +144,8 @@ impl QuestionAnalysis {
     /// different numbers of participants (kappa requires a balanced
     /// design) or when there are no votes.
     pub fn agreement_kappa(&self) -> Option<f64> {
-        let counts: Vec<Vec<u64>> = self
-            .pair_votes
-            .iter()
-            .map(|(_, v)| vec![v.left, v.same, v.right])
-            .collect();
+        let counts: Vec<Vec<u64>> =
+            self.pair_votes.iter().map(|(_, v)| vec![v.left, v.same, v.right]).collect();
         if counts.is_empty() {
             return None;
         }
@@ -229,11 +226,7 @@ impl RankDistribution {
     /// The version most often ranked at `rank` (ties → lower index).
     pub fn modal_version_at_rank(&self, rank: usize) -> usize {
         (0..self.counts.len())
-            .max_by(|&a, &b| {
-                self.counts[a][rank]
-                    .cmp(&self.counts[b][rank])
-                    .then(b.cmp(&a))
-            })
+            .max_by(|&a, &b| self.counts[a][rank].cmp(&self.counts[b][rank]).then(b.cmp(&a)))
             .expect("at least one version")
     }
 
@@ -277,10 +270,7 @@ impl DemographicBreakdown {
                 .unwrap_or_else(|| "unknown".to_string());
             let votes = map.entry(value).or_default();
             for page in &rec.pages {
-                let is_real = prepared
-                    .page(&page.page_name)
-                    .map(|m| m.is_real())
-                    .unwrap_or(false);
+                let is_real = prepared.page(&page.page_name).map(|m| m.is_real()).unwrap_or(false);
                 if !is_real {
                     continue;
                 }

@@ -19,10 +19,12 @@ use kscope_crowd::platform::{CostReport, Recruitment};
 use kscope_crowd::{SessionBehavior, Worker};
 use kscope_html::Selector;
 use kscope_store::{Database, GridStore};
+use kscope_telemetry::Registry;
 use rand::Rng;
 use serde_json::json;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// How workers answer one comparison question.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,6 +96,7 @@ pub struct Campaign {
     style_indifference: f64,
     in_lab: bool,
     viewport: kscope_pageload::Viewport,
+    telemetry: Option<Arc<Registry>>,
 }
 
 impl Campaign {
@@ -110,7 +113,24 @@ impl Campaign {
             style_indifference: 0.5,
             in_lab: false,
             viewport: kscope_pageload::Viewport::desktop(),
+            telemetry: None,
         }
+    }
+
+    /// Attaches a metric registry (builder style). [`Campaign::run`] then
+    /// maintains the `core.campaign_sessions_target` /
+    /// `core.campaign_sessions_done` progress gauges, counts
+    /// `core.sessions_total` and `core.responses_total`, times each
+    /// session (`core.session_us`), and accounts quality control in
+    /// `core.qc_kept_total` and `core.qc_rejects_total{reason=...}`.
+    pub fn with_telemetry(mut self, registry: Arc<Registry>) -> Self {
+        self.telemetry = Some(registry);
+        self
+    }
+
+    /// The attached registry, if any.
+    pub fn telemetry(&self) -> Option<&Arc<Registry>> {
+        self.telemetry.as_ref()
     }
 
     /// Overrides the viewport testers' virtual browsers render under
@@ -141,10 +161,7 @@ impl Campaign {
 
     /// The registered answer model for a question, if any.
     pub fn question_kind(&self, question: &str) -> Option<QuestionKind> {
-        self.kinds
-            .iter()
-            .find(|(text, _)| text == question)
-            .map(|&(_, kind)| kind)
+        self.kinds.iter().find(|(text, _)| text == question).map(|&(_, kind)| kind)
     }
 
     /// The backing file store.
@@ -212,12 +229,17 @@ impl Campaign {
             pages.insert(meta.name.clone(), (integrated, left, right));
         }
 
-        let questions: Vec<String> =
-            params.question.iter().map(|q| q.text().to_string()).collect();
+        let questions: Vec<String> = params.question.iter().map(|q| q.text().to_string()).collect();
         let page_names = prepared.page_names();
         let responses = self.db.collection("responses");
+        let metrics = self.telemetry.as_deref().map(CampaignMetrics::register);
+        if let Some(m) = &metrics {
+            m.sessions_target.set(recruitment.assignments.len() as i64);
+            m.sessions_done.set(0);
+        }
         let mut sessions = Vec::with_capacity(recruitment.assignments.len());
         for assignment in &recruitment.assignments {
+            let session_timer = metrics.as_ref().map(|m| m.session_us.start_timer());
             let worker = &assignment.worker;
             let behavior = if self.in_lab {
                 self.behavior.in_lab_session(worker, page_names.len(), rng)
@@ -254,8 +276,7 @@ impl Campaign {
             // bare flow cannot know about: extra tabs and extra switches on
             // top of the test pages the extension itself opened.
             record.created_tabs += behavior.created_tabs.saturating_sub(1);
-            record.active_tab_switches +=
-                behavior.active_tabs.saturating_sub(1);
+            record.active_tab_switches += behavior.active_tabs.saturating_sub(1);
             responses.insert_one(record.to_json());
             sessions.push(SessionResult {
                 worker: worker.clone(),
@@ -263,11 +284,25 @@ impl Campaign {
                 record,
                 behavior,
             });
+            drop(session_timer);
+            if let Some(m) = &metrics {
+                m.sessions_total.inc();
+                m.responses_total.inc();
+                m.sessions_done.inc();
+            }
         }
 
-        let records: Vec<SessionRecord> =
-            sessions.iter().map(|s| s.record.clone()).collect();
+        let records: Vec<SessionRecord> = sessions.iter().map(|s| s.record.clone()).collect();
         let quality = apply_quality_control(&records, prepared, &self.quality);
+        if let Some(registry) = self.telemetry.as_deref() {
+            let m = metrics.as_ref().expect("registered above");
+            m.qc_kept.add(quality.kept.len() as u64);
+            for (_, reason) in &quality.dropped {
+                registry
+                    .counter_with("core.qc_rejects_total", &[("reason", reason.metric_label())])
+                    .inc();
+            }
+        }
         Ok(CampaignOutcome {
             test_id: prepared.test_id.clone(),
             prepared: prepared.clone(),
@@ -314,13 +349,11 @@ impl Campaign {
             }
             QuestionKind::Appeal | QuestionKind::StyleBetter | QuestionKind::Visibility => {
                 let metric = |page: &LoadedPage| {
-                    ExpandButtonMetrics::extract(page.document()).unwrap_or(
-                        ExpandButtonMetrics {
-                            font_pt: 12.0,
-                            has_icon: false,
-                            near_text: false,
-                        },
-                    )
+                    ExpandButtonMetrics::extract(page.document()).unwrap_or(ExpandButtonMetrics {
+                        font_pt: 12.0,
+                        has_icon: false,
+                        near_text: false,
+                    })
                 };
                 let (ml, mr) = (metric(left), metric(right));
                 let (ul, ur) = match kind {
@@ -330,6 +363,32 @@ impl Campaign {
                 };
                 judge_pair(worker, ul, ur, self.style_indifference, rng).preference
             }
+        }
+    }
+}
+
+/// Handles registered once per [`Campaign::run`] call; per-session updates
+/// afterwards are plain atomics. The per-reason reject counters are
+/// registered lazily from the quality report instead (labels depend on
+/// which reasons actually fire).
+struct CampaignMetrics {
+    sessions_target: kscope_telemetry::Gauge,
+    sessions_done: kscope_telemetry::Gauge,
+    sessions_total: kscope_telemetry::Counter,
+    responses_total: kscope_telemetry::Counter,
+    session_us: kscope_telemetry::Histogram,
+    qc_kept: kscope_telemetry::Counter,
+}
+
+impl CampaignMetrics {
+    fn register(registry: &Registry) -> Self {
+        Self {
+            sessions_target: registry.gauge("core.campaign_sessions_target"),
+            sessions_done: registry.gauge("core.campaign_sessions_done"),
+            sessions_total: registry.counter("core.sessions_total"),
+            responses_total: registry.counter("core.responses_total"),
+            session_us: registry.histogram("core.session_us"),
+            qc_kept: registry.counter("core.qc_kept_total"),
         }
     }
 }
@@ -382,20 +441,12 @@ impl CampaignOutcome {
 
     /// Cumulative `(t_ms, responses so far)` — arrivals, Fig. 7(a).
     pub fn recruitment_curve(&self) -> Vec<(u64, usize)> {
-        self.sessions
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (s.arrival_ms, i + 1))
-            .collect()
+        self.sessions.iter().enumerate().map(|(i, s)| (s.arrival_ms, i + 1)).collect()
     }
 
     /// Wall time from job posting to the last uploaded session (ms).
     pub fn duration_ms(&self) -> u64 {
-        self.sessions
-            .iter()
-            .map(|s| s.arrival_ms + s.record.total_duration_ms())
-            .max()
-            .unwrap_or(0)
+        self.sessions.iter().map(|s| s.arrival_ms + s.record.total_duration_ms()).max().unwrap_or(0)
     }
 
     /// The full campaign report as one JSON document — what the core
@@ -480,10 +531,7 @@ mod tests {
         // QC keeps a solid majority of the trustworthy channel.
         assert!(outcome.quality.kept.len() >= 15, "kept {}", outcome.quality.kept.len());
         // Responses are persisted like the core server stores them.
-        assert_eq!(
-            outcome.sessions.len(),
-            30
-        );
+        assert_eq!(outcome.sessions.len(), 30);
     }
 
     #[test]
@@ -537,10 +585,7 @@ mod tests {
         assert!(report["kept"].as_u64().unwrap() <= 15);
         assert!(report["cost_usd"].as_f64().unwrap() > 0.0);
         // Five versions -> a ranking, not a vote split.
-        assert_eq!(
-            report["questions"][0]["ranking_best_first"].as_array().unwrap().len(),
-            5
-        );
+        assert_eq!(report["questions"][0]["ranking_best_first"].as_array().unwrap().len(), 5);
         assert_eq!(
             report["dropped"].as_array().unwrap().len() + report["kept"].as_u64().unwrap() as usize,
             15
@@ -575,9 +620,8 @@ mod tests {
         let db = Database::new();
         let grid = GridStore::new();
         let mut rng = StdRng::seed_from_u64(6);
-        let prepared = Aggregator::new(db.clone(), grid.clone())
-            .prepare(&params, &store, &mut rng)
-            .unwrap();
+        let prepared =
+            Aggregator::new(db.clone(), grid.clone()).prepare(&params, &store, &mut rng).unwrap();
         let recruitment = Platform.post_job(
             &JobSpec::new(&params.test_id, 0.11, 40, Channel::HistoricallyTrustworthy),
             &mut rng,
@@ -589,12 +633,47 @@ mod tests {
         // Genuine workers must survive the controls...
         assert!(outcome.quality.kept.len() >= 25, "kept {}", outcome.quality.kept.len());
         // ...and the ad-free version (right pane) must win decisively.
-        let votes = outcome
-            .question_analysis(params.question[0].text(), true)
-            .two_version_votes()
-            .unwrap();
+        let votes =
+            outcome.question_analysis(params.question[0].text(), true).two_version_votes().unwrap();
         assert!(votes.right > votes.left * 3, "{votes:?}");
         assert!(votes.significance().significant_at(0.01));
+    }
+
+    #[test]
+    fn telemetry_tracks_campaign_progress_and_quality_control() {
+        let (store, params) = corpus::font_size_study(25);
+        let registry = Arc::new(Registry::new());
+        let db = Database::new().with_telemetry(&registry);
+        let grid = GridStore::new();
+        let mut rng = StdRng::seed_from_u64(42);
+        let prepared =
+            Aggregator::new(db.clone(), grid.clone()).prepare(&params, &store, &mut rng).unwrap();
+        let recruitment =
+            Platform.post_job(&JobSpec::new(&params.test_id, 0.11, 25, Channel::Open), &mut rng);
+        let outcome = Campaign::new(db, grid)
+            .with_telemetry(Arc::clone(&registry))
+            .with_question(params.question[0].text(), QuestionKind::FontReadability)
+            .run(&params, &prepared, &recruitment, &mut rng)
+            .unwrap();
+
+        assert_eq!(registry.gauge_value("core.campaign_sessions_target", &[]), Some(25));
+        assert_eq!(registry.gauge_value("core.campaign_sessions_done", &[]), Some(25));
+        assert_eq!(registry.counter_value("core.sessions_total", &[]), Some(25));
+        assert_eq!(registry.counter_value("core.responses_total", &[]), Some(25));
+        assert_eq!(registry.histogram("core.session_us").snapshot().count(), 25);
+
+        // QC accounting: kept + per-reason rejects == participants.
+        let kept = registry.counter_value("core.qc_kept_total", &[]).unwrap();
+        assert_eq!(kept, outcome.quality.kept.len() as u64);
+        let rejects = registry.snapshot().counter_total("core.qc_rejects_total");
+        assert_eq!(kept + rejects, 25);
+        assert_eq!(rejects, outcome.quality.dropped.len() as u64);
+
+        // The instrumented database counted the response inserts too.
+        assert_eq!(
+            registry.counter_value("store.inserts_total", &[("collection", "responses")]),
+            Some(25)
+        );
     }
 
     #[test]
@@ -605,13 +684,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let prepared =
             Aggregator::new(db.clone(), grid.clone()).prepare(&params, &store, &mut rng).unwrap();
-        let recruitment = Platform.post_job(
-            &JobSpec::new(&params.test_id, 0.1, 5, Channel::Open),
-            &mut rng,
-        );
-        let err = Campaign::new(db, grid)
-            .run(&params, &prepared, &recruitment, &mut rng)
-            .unwrap_err();
+        let recruitment =
+            Platform.post_job(&JobSpec::new(&params.test_id, 0.1, 5, Channel::Open), &mut rng);
+        let err =
+            Campaign::new(db, grid).run(&params, &prepared, &recruitment, &mut rng).unwrap_err();
         assert!(matches!(err, CampaignError::UnmappedQuestion(_)));
     }
 
@@ -631,8 +707,7 @@ mod tests {
             .run(&params, &prepared, &lab_recruitment, &mut rng)
             .unwrap();
         let behavior = outcome.behavior_samples(false);
-        let max_cmp =
-            behavior.comparison_minutes.iter().copied().fold(0.0f64, f64::max);
+        let max_cmp = behavior.comparison_minutes.iter().copied().fold(0.0f64, f64::max);
         assert!(max_cmp <= 2.3, "in-lab comparisons stay short, got {max_cmp}");
         assert_eq!(outcome.cost.total_usd(), 0.0);
     }

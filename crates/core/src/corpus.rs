@@ -54,14 +54,9 @@ const NAV_LINKS: [&str; 6] =
 /// single-file compressor to fold.
 pub fn write_wikipedia_article(store: &mut ResourceStore, folder: &str, font_pt: f64) {
     let folder = folder.trim_end_matches('/');
-    let nav_items: String = NAV_LINKS
-        .iter()
-        .map(|l| format!("<li><a href=\"#\">{l}</a></li>"))
-        .collect();
-    let paragraphs: String = ARTICLE_PARAGRAPHS
-        .iter()
-        .map(|p| format!("<p>{p}</p>"))
-        .collect();
+    let nav_items: String =
+        NAV_LINKS.iter().map(|l| format!("<li><a href=\"#\">{l}</a></li>")).collect();
+    let paragraphs: String = ARTICLE_PARAGRAPHS.iter().map(|p| format!("<p>{p}</p>")).collect();
     let html = format!(
         r#"<!DOCTYPE html><html><head>
 <title>Rock hyrax - The Free Encyclopedia</title>
@@ -510,10 +505,7 @@ mod tests {
         let btn: kscope_html::Selector = "#sec-0 .expand-btn".parse().unwrap();
         assert!(page.click(&btn), "button must be wired via data-toggles");
         let revealed = page.document().get_element_by_id("collapsed-0").unwrap();
-        assert_eq!(
-            page.document().style_property(revealed, "display").as_deref(),
-            Some("block")
-        );
+        assert_eq!(page.document().style_property(revealed, "display").as_deref(), Some("block"));
         // Revealing content grows the painted page.
         assert!(page.layout().total_area() >= area_before);
     }

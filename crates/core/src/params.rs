@@ -156,9 +156,7 @@ impl TestParams {
             return Err(ValidateParamsError::new("test_id must not be empty"));
         }
         if self.webpages.len() < 2 {
-            return Err(ValidateParamsError::new(
-                "a comparison test needs at least two webpages",
-            ));
+            return Err(ValidateParamsError::new("a comparison test needs at least two webpages"));
         }
         if self.webpage_num != self.webpages.len() {
             return Err(ValidateParamsError::new(format!(
@@ -179,9 +177,7 @@ impl TestParams {
                     "webpage {i} is missing web_path or web_main_file"
                 )));
             }
-            page.load_spec().map_err(|e| {
-                ValidateParamsError::new(format!("webpage {i}: {e}"))
-            })?;
+            page.load_spec().map_err(|e| ValidateParamsError::new(format!("webpage {i}: {e}")))?;
         }
         Ok(())
     }
@@ -258,8 +254,8 @@ mod tests {
 
     #[test]
     fn detailed_page_load_accepted() {
-        let spec = LoadSpec::from_json(&serde_json::json!({"#main": 1000, "#content p": 1500}))
-            .unwrap();
+        let spec =
+            LoadSpec::from_json(&serde_json::json!({"#main": 1000, "#content p": 1500})).unwrap();
         let page = WebpageSpec::new("p", "index.html", 0).with_page_load(&spec);
         assert_eq!(page.load_spec().unwrap(), spec);
         let mut params = sample();

@@ -34,6 +34,21 @@ pub enum DropReason {
     CrowdDeviation,
 }
 
+impl DropReason {
+    /// Stable label for the `core.qc_rejects_total{reason=...}` metric.
+    /// Unlike [`DropReason`]'s `Display`, this never embeds free-form
+    /// detail, so label cardinality stays bounded.
+    pub fn metric_label(&self) -> &'static str {
+        match self {
+            DropReason::HardRuleViolation(_) => "hard_rule",
+            DropReason::TooFast => "too_fast",
+            DropReason::TooSlow => "too_slow",
+            DropReason::FailedControl => "failed_control",
+            DropReason::CrowdDeviation => "crowd_deviation",
+        }
+    }
+}
+
 impl fmt::Display for DropReason {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -164,8 +179,7 @@ fn check_hard_rules(rec: &SessionRecord, prepared: &PreparedTest) -> Option<Drop
 }
 
 fn check_engagement(rec: &SessionRecord, config: &QualityConfig) -> Option<DropReason> {
-    let mut minutes: Vec<f64> =
-        rec.pages.iter().map(|p| p.duration_ms as f64 / 60_000.0).collect();
+    let mut minutes: Vec<f64> = rec.pages.iter().map(|p| p.duration_ms as f64 / 60_000.0).collect();
     if minutes.is_empty() {
         return Some(DropReason::HardRuleViolation("empty session".to_string()));
     }
@@ -251,10 +265,7 @@ fn majority_votes(
 /// the *opposite* side scores 0. Workers with fewer than three scoreable
 /// answers are exempt (a single-pair test would otherwise make agreement
 /// all-or-nothing).
-fn agreement_rate(
-    rec: &SessionRecord,
-    majority: &HashMap<(String, String), String>,
-) -> f64 {
+fn agreement_rate(rec: &SessionRecord, majority: &HashMap<(String, String), String>) -> f64 {
     let mut total = 0u32;
     let mut credit = 0.0f64;
     for page in &rec.pages {
@@ -345,8 +356,7 @@ mod tests {
     #[test]
     fn clean_batch_all_kept() {
         let records = vec![good(), good(), good()];
-        let report =
-            apply_quality_control(&records, &prepared(), &QualityConfig::default());
+        let report = apply_quality_control(&records, &prepared(), &QualityConfig::default());
         assert_eq!(report.kept.len(), 3);
         assert!(report.dropped.is_empty());
         assert_eq!(report.keep_rate(), 1.0);
@@ -358,8 +368,7 @@ mod tests {
         let mut bad = good();
         bad.pages.remove(0);
         let records = vec![good(), bad];
-        let report =
-            apply_quality_control(&records, &prepared(), &QualityConfig::default());
+        let report = apply_quality_control(&records, &prepared(), &QualityConfig::default());
         assert_eq!(report.kept, vec![0]);
         assert!(matches!(report.dropped[0].1, DropReason::HardRuleViolation(_)));
     }
@@ -368,11 +377,7 @@ mod tests {
     fn hard_rule_missing_answers() {
         let mut bad = good();
         bad.pages[0].answers.clear();
-        let report = apply_quality_control(
-            &[bad],
-            &prepared(),
-            &QualityConfig::default(),
-        );
+        let report = apply_quality_control(&[bad], &prepared(), &QualityConfig::default());
         assert!(matches!(report.dropped[0].1, DropReason::HardRuleViolation(_)));
     }
 
@@ -380,11 +385,8 @@ mod tests {
     fn engagement_too_fast_and_too_slow() {
         let fast = session("Left", "Same", "Right", 0.03);
         let slow = session("Left", "Same", "Right", 3.2);
-        let report = apply_quality_control(
-            &[good(), fast, slow],
-            &prepared(),
-            &QualityConfig::default(),
-        );
+        let report =
+            apply_quality_control(&[good(), fast, slow], &prepared(), &QualityConfig::default());
         assert_eq!(report.kept, vec![0]);
         let reasons: Vec<&DropReason> = report.dropped.iter().map(|(_, r)| r).collect();
         assert!(reasons.contains(&&DropReason::TooFast));
@@ -396,11 +398,8 @@ mod tests {
         // AlwaysLeft spammer: answers Left everywhere, including both
         // controls — exactly the pattern the controls are built to catch.
         let spammer = session("Left", "Left", "Left", 0.5);
-        let report = apply_quality_control(
-            &[good(), spammer],
-            &prepared(),
-            &QualityConfig::default(),
-        );
+        let report =
+            apply_quality_control(&[good(), spammer], &prepared(), &QualityConfig::default());
         assert_eq!(report.kept, vec![0]);
         assert_eq!(report.dropped[0].1, DropReason::FailedControl);
     }
@@ -410,11 +409,8 @@ mod tests {
         let spammer = session("Same", "Same", "Same", 0.5);
         // Only half the control answers are right (identical yes, extreme
         // no) — below the 0.75 default.
-        let report = apply_quality_control(
-            &[good(), spammer],
-            &prepared(),
-            &QualityConfig::default(),
-        );
+        let report =
+            apply_quality_control(&[good(), spammer], &prepared(), &QualityConfig::default());
         assert_eq!(report.dropped[0].1, DropReason::FailedControl);
     }
 
@@ -454,8 +450,7 @@ mod tests {
             wide_session("Left", 0.5),
             wide_session("Right", 0.5),
         ];
-        let report =
-            apply_quality_control(&records, &prepared_wide(), &QualityConfig::default());
+        let report = apply_quality_control(&records, &prepared_wide(), &QualityConfig::default());
         assert_eq!(report.kept.len(), 4);
         assert_eq!(report.dropped[0].1, DropReason::CrowdDeviation);
     }
@@ -470,8 +465,7 @@ mod tests {
             wide_session("Left", 0.5),
             wide_session("Same", 0.5),
         ];
-        let report =
-            apply_quality_control(&records, &prepared_wide(), &QualityConfig::default());
+        let report = apply_quality_control(&records, &prepared_wide(), &QualityConfig::default());
         assert_eq!(report.kept.len(), 4);
     }
 
@@ -479,10 +473,8 @@ mod tests {
     fn single_answer_workers_exempt_from_crowd_filter() {
         // Only one real page: agreement is all-or-nothing, so the filter
         // must not fire.
-        let records =
-            vec![good(), good(), good(), session("Right", "Same", "Right", 0.5)];
-        let report =
-            apply_quality_control(&records, &prepared(), &QualityConfig::default());
+        let records = vec![good(), good(), good(), session("Right", "Same", "Right", 0.5)];
+        let report = apply_quality_control(&records, &prepared(), &QualityConfig::default());
         assert_eq!(report.kept.len(), 4);
     }
 
@@ -493,8 +485,7 @@ mod tests {
         // survives.
         let spam = || session("Right", "Left", "Left", 0.5);
         let records = vec![good(), good(), spam(), spam(), spam()];
-        let report =
-            apply_quality_control(&records, &prepared(), &QualityConfig::default());
+        let report = apply_quality_control(&records, &prepared(), &QualityConfig::default());
         assert_eq!(report.kept, vec![0, 1]);
     }
 

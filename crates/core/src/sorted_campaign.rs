@@ -82,11 +82,7 @@ impl SortedOutcome {
             if total == 0 {
                 return f64::MAX;
             }
-            counts[v]
-                .iter()
-                .enumerate()
-                .map(|(rank, &c)| rank as f64 * c as f64)
-                .sum::<f64>()
+            counts[v].iter().enumerate().map(|(rank, &c)| rank as f64 * c as f64).sum::<f64>()
                 / total as f64
         };
         order.sort_by(|&a, &b| {
@@ -201,9 +197,8 @@ mod tests {
         let db = Database::new();
         let grid = GridStore::new();
         let mut rng = StdRng::seed_from_u64(seed);
-        let prepared = Aggregator::new(db.clone(), grid.clone())
-            .prepare(&params, &store, &mut rng)
-            .unwrap();
+        let prepared =
+            Aggregator::new(db.clone(), grid.clone()).prepare(&params, &store, &mut rng).unwrap();
         let recruitment = Platform.post_job(
             &JobSpec::new(&params.test_id, 0.11, participants, Channel::HistoricallyTrustworthy),
             &mut rng,
@@ -219,10 +214,7 @@ mod tests {
         let outcome = run(SortAlgo::Merge, 60, 5);
         assert!(outcome.kept().len() >= 40, "kept {}", outcome.kept().len());
         let consensus = outcome.consensus_ranking();
-        assert!(
-            consensus[0] == 1 || consensus[0] == 2,
-            "winner should be 12/14pt: {consensus:?}"
-        );
+        assert!(consensus[0] == 1 || consensus[0] == 2, "winner should be 12/14pt: {consensus:?}");
         assert_eq!(*consensus.last().unwrap(), 4, "22pt last: {consensus:?}");
     }
 
@@ -236,8 +228,7 @@ mod tests {
             outcome.full_pairwise_comparisons()
         );
         // At N = 5 merge sort needs at most 8 comparisons per worker.
-        let max_per_worker =
-            outcome.kept().iter().map(|s| s.comparisons).max().unwrap_or(0);
+        let max_per_worker = outcome.kept().iter().map(|s| s.comparisons).max().unwrap_or(0);
         assert!(max_per_worker <= 8, "merge used {max_per_worker} on 5 items");
     }
 

@@ -176,10 +176,18 @@ mod tests {
         let model = BehaviorModel::default();
         let mut rng = StdRng::seed_from_u64(2);
         let diligent = workers_of(|p| matches!(p, WorkerProfile::Diligent { .. }), 60, 3);
-        let spammers =
-            workers_of(|p| matches!(p, WorkerProfile::Spammer(SpammerKind::Random)
-                | WorkerProfile::Spammer(SpammerKind::AlwaysLeft)
-                | WorkerProfile::Spammer(SpammerKind::AlwaysSame)), 60, 4);
+        let spammers = workers_of(
+            |p| {
+                matches!(
+                    p,
+                    WorkerProfile::Spammer(SpammerKind::Random)
+                        | WorkerProfile::Spammer(SpammerKind::AlwaysLeft)
+                        | WorkerProfile::Spammer(SpammerKind::AlwaysSame)
+                )
+            },
+            60,
+            4,
+        );
         let med = |ws: &[Worker], rng: &mut StdRng| {
             let mut xs: Vec<f64> = ws
                 .iter()
@@ -220,9 +228,7 @@ mod tests {
         let diligent = workers_of(|p| matches!(p, WorkerProfile::Diligent { .. }), 100, 8);
         let spam = workers_of(|p| !p.is_genuine(), 100, 9);
         let mean_tabs = |ws: &[Worker], rng: &mut StdRng| {
-            ws.iter()
-                .map(|w| model.remote_session(w, 10, rng).active_tabs as f64)
-                .sum::<f64>()
+            ws.iter().map(|w| model.remote_session(w, 10, rng).active_tabs as f64).sum::<f64>()
                 / ws.len() as f64
         };
         let d = mean_tabs(&diligent, &mut rng);
@@ -235,10 +241,8 @@ mod tests {
         let model = BehaviorModel::default();
         let mut rng = StdRng::seed_from_u64(10);
         let ws = workers_of(|_| true, 50, 11);
-        let times: Vec<f64> = ws
-            .iter()
-            .map(|w| model.remote_session(w, 10, &mut rng).total_minutes())
-            .collect();
+        let times: Vec<f64> =
+            ws.iter().map(|w| model.remote_session(w, 10, &mut rng).total_minutes()).collect();
         let ecdf = Ecdf::new(times);
         assert!(ecdf.quantile(0.5) > 0.0);
         assert!(ecdf.max() > ecdf.min());

@@ -330,10 +330,7 @@ mod tests {
             }
             n += 1;
         }
-        assert!(
-            twelve_wins as f64 > 0.85 * n as f64,
-            "12pt won {twelve_wins}/{n}"
-        );
+        assert!(twelve_wins as f64 > 0.85 * n as f64, "12pt won {twelve_wins}/{n}");
     }
 
     #[test]

@@ -142,11 +142,7 @@ impl Recruitment {
     /// The cumulative-recruitment curve: `(t_ms, participants so far)` —
     /// Fig. 7(a)'s series.
     pub fn cumulative_curve(&self) -> Vec<(u64, usize)> {
-        self.assignments
-            .iter()
-            .enumerate()
-            .map(|(i, a)| (a.arrival_ms, i + 1))
-            .collect()
+        self.assignments.iter().enumerate().map(|(i, a)| (a.arrival_ms, i + 1)).collect()
     }
 
     /// Participants recruited within the first `t_ms`.
@@ -219,9 +215,8 @@ impl Platform {
     pub fn post_job<R: Rng + ?Sized>(&self, spec: &JobSpec, rng: &mut R) -> Recruitment {
         let selectivity =
             if spec.target.is_any() { 1.0 } else { spec.target.selectivity(4000, rng) };
-        let rate_per_hour = spec.channel.base_rate_per_hour()
-            * reward_multiplier(spec.reward_usd)
-            * selectivity;
+        let rate_per_hour =
+            spec.channel.base_rate_per_hour() * reward_multiplier(spec.reward_usd) * selectivity;
         let rate_per_ms = rate_per_hour / MS_PER_HOUR as f64;
         let mut t = 0.0f64;
         let mix = spec.channel.mix();
@@ -265,9 +260,7 @@ impl Platform {
             let mut r = self.post_job(spec, rng);
             for (k, a) in r.assignments.iter_mut().enumerate() {
                 // Re-tag ids so parallel platforms do not collide.
-                a.worker.id = crate::worker::WorkerId(format!(
-                    "w-{c}-{k:05}"
-                ));
+                a.worker.id = crate::worker::WorkerId(format!("w-{c}-{k:05}"));
             }
             merged.extend(r.assignments);
         }
@@ -318,8 +311,7 @@ impl InLabRecruiter {
     pub fn recruit<R: Rng + ?Sized>(&self, rng: &mut R) -> Recruitment {
         use rand::RngExt;
         let window_ms = (self.days * MS_PER_DAY as f64) as u64;
-        let mut arrivals: Vec<u64> =
-            (0..self.n).map(|_| rng.random_range(0..=window_ms)).collect();
+        let mut arrivals: Vec<u64> = (0..self.n).map(|_| rng.random_range(0..=window_ms)).collect();
         arrivals.sort_unstable();
         let mix = PopulationMix::in_lab();
         let assignments = arrivals
@@ -375,14 +367,10 @@ mod tests {
         let mut slow_total = 0u64;
         for seed in 0..10 {
             let mut rng = StdRng::seed_from_u64(seed);
-            let slow = Platform.post_job(
-                &JobSpec::new("t", 0.05, 50, Channel::HistoricallyTrustworthy),
-                &mut rng,
-            );
-            let quick = Platform.post_job(
-                &JobSpec::new("t", 0.50, 50, Channel::HistoricallyTrustworthy),
-                &mut rng,
-            );
+            let slow = Platform
+                .post_job(&JobSpec::new("t", 0.05, 50, Channel::HistoricallyTrustworthy), &mut rng);
+            let quick = Platform
+                .post_job(&JobSpec::new("t", 0.50, 50, Channel::HistoricallyTrustworthy), &mut rng);
             slow_total += slow.completion_ms();
             quick_total += quick.completion_ms();
         }
@@ -392,12 +380,9 @@ mod tests {
     #[test]
     fn open_channel_faster_but_dirtier() {
         let mut rng = StdRng::seed_from_u64(3);
-        let trusted = Platform.post_job(
-            &JobSpec::new("t", 0.10, 200, Channel::HistoricallyTrustworthy),
-            &mut rng,
-        );
-        let open =
-            Platform.post_job(&JobSpec::new("t", 0.10, 200, Channel::Open), &mut rng);
+        let trusted = Platform
+            .post_job(&JobSpec::new("t", 0.10, 200, Channel::HistoricallyTrustworthy), &mut rng);
+        let open = Platform.post_job(&JobSpec::new("t", 0.10, 200, Channel::Open), &mut rng);
         assert!(open.completion_ms() < trusted.completion_ms());
         let genuine = |r: &Recruitment| {
             r.assignments.iter().filter(|a| a.worker.profile.is_genuine()).count()
@@ -408,10 +393,8 @@ mod tests {
     #[test]
     fn cumulative_curve_monotone() {
         let mut rng = StdRng::seed_from_u64(4);
-        let r = Platform.post_job(
-            &JobSpec::new("t", 0.11, 30, Channel::HistoricallyTrustworthy),
-            &mut rng,
-        );
+        let r = Platform
+            .post_job(&JobSpec::new("t", 0.11, 30, Channel::HistoricallyTrustworthy), &mut rng);
         let curve = r.cumulative_curve();
         assert_eq!(curve.len(), 30);
         assert!(curve.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 < w[1].1));
@@ -435,10 +418,8 @@ mod tests {
         // The headline comparison: Kaleidoscope gets 100 paid testers faster
         // than the lab gets 50 friends.
         let mut rng = StdRng::seed_from_u64(6);
-        let crowd = Platform.post_job(
-            &JobSpec::new("t", 0.11, 100, Channel::HistoricallyTrustworthy),
-            &mut rng,
-        );
+        let crowd = Platform
+            .post_job(&JobSpec::new("t", 0.11, 100, Channel::HistoricallyTrustworthy), &mut rng);
         let lab = InLabRecruiter::new(50, 7.0).recruit(&mut rng);
         assert!(crowd.completion_ms() * 4 < lab.completion_ms());
     }
@@ -482,17 +463,13 @@ mod tests {
         use crate::worker::AgeRange;
         let mut rng = StdRng::seed_from_u64(11);
         let open = JobSpec::new("t", 0.11, 50, Channel::HistoricallyTrustworthy);
-        let targeted = open.clone().with_target(DemographicTarget {
-            ages: vec![AgeRange::Under25],
-            ..Default::default()
-        });
+        let targeted = open
+            .clone()
+            .with_target(DemographicTarget { ages: vec![AgeRange::Under25], ..Default::default() });
         let r_open = Platform.post_job(&open, &mut rng);
         let r_tgt = Platform.post_job(&targeted, &mut rng);
         // Everyone recruited satisfies the target.
-        assert!(r_tgt
-            .assignments
-            .iter()
-            .all(|a| a.worker.demographics.age == AgeRange::Under25));
+        assert!(r_tgt.assignments.iter().all(|a| a.worker.demographics.age == AgeRange::Under25));
         // And it takes meaningfully longer (~2.5x at 40% selectivity).
         assert!(
             r_tgt.completion_ms() > r_open.completion_ms() * 3 / 2,
@@ -522,8 +499,7 @@ mod tests {
         assert_eq!(r.assignments.len(), 100);
         assert!((r.cost.worker_payments_usd - 11.0).abs() < 1e-9);
         // Worker ids are unique across platforms.
-        let mut ids: Vec<&str> =
-            r.assignments.iter().map(|a| a.worker.id.0.as_str()).collect();
+        let mut ids: Vec<&str> = r.assignments.iter().map(|a| a.worker.id.0.as_str()).collect();
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), 100);

@@ -61,9 +61,7 @@ impl DemographicTarget {
         if self.is_any() {
             return 1.0;
         }
-        let hits = (0..samples)
-            .filter(|_| self.matches(&Demographics::sample(rng)))
-            .count();
+        let hits = (0..samples).filter(|_| self.matches(&Demographics::sample(rng))).count();
         (hits as f64 / samples as f64).max(1e-3)
     }
 

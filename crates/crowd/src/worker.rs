@@ -177,10 +177,7 @@ impl PopulationMix {
             diligent >= 0.0 && casual >= 0.0 && spammer >= 0.0,
             "fractions must be non-negative"
         );
-        assert!(
-            ((diligent + casual + spammer) - 1.0).abs() < 1e-9,
-            "fractions must sum to 1"
-        );
+        assert!(((diligent + casual + spammer) - 1.0).abs() < 1e-9, "fractions must sum to 1");
         Self { diligent, casual, spammer }
     }
 
@@ -296,9 +293,10 @@ mod tests {
     #[test]
     fn trustworthy_channel_mostly_genuine() {
         let mut rng = StdRng::seed_from_u64(1);
-        let pool = Worker::generate_pool(2000, &PopulationMix::historically_trustworthy(), &mut rng);
-        let genuine = pool.iter().filter(|w| w.profile.is_genuine()).count() as f64
-            / pool.len() as f64;
+        let pool =
+            Worker::generate_pool(2000, &PopulationMix::historically_trustworthy(), &mut rng);
+        let genuine =
+            pool.iter().filter(|w| w.profile.is_genuine()).count() as f64 / pool.len() as f64;
         assert!(genuine > 0.85 && genuine < 0.97, "genuine = {genuine}");
     }
 
@@ -321,8 +319,7 @@ mod tests {
     fn ideal_font_centered_on_chi_consensus() {
         let mut rng = StdRng::seed_from_u64(4);
         let pool = Worker::generate_pool(5000, &PopulationMix::in_lab(), &mut rng);
-        let mean: f64 =
-            pool.iter().map(|w| w.ideal_font_pt).sum::<f64>() / pool.len() as f64;
+        let mean: f64 = pool.iter().map(|w| w.ideal_font_pt).sum::<f64>() / pool.len() as f64;
         assert!((mean - 12.75).abs() < 0.2, "mean ideal font = {mean}");
         assert!(pool.iter().all(|w| (9.0..=20.0).contains(&w.ideal_font_pt)));
     }
@@ -331,8 +328,7 @@ mod tests {
     fn text_focus_bimodal_majority_high() {
         let mut rng = StdRng::seed_from_u64(5);
         let pool = Worker::generate_pool(5000, &PopulationMix::in_lab(), &mut rng);
-        let high = pool.iter().filter(|w| w.text_focus > 0.65).count() as f64
-            / pool.len() as f64;
+        let high = pool.iter().filter(|w| w.text_focus > 0.65).count() as f64 / pool.len() as f64;
         assert!(high > 0.7, "high-focus fraction = {high}");
         assert!(pool.iter().all(|w| (0.0..=1.0).contains(&w.text_focus)));
     }
@@ -342,11 +338,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let pool = Worker::generate_pool(3000, &PopulationMix::open_channel(), &mut rng);
         let avg = |pred: fn(&WorkerProfile) -> bool| {
-            let xs: Vec<f64> = pool
-                .iter()
-                .filter(|w| pred(&w.profile))
-                .map(|w| w.trust_score)
-                .collect();
+            let xs: Vec<f64> =
+                pool.iter().filter(|w| pred(&w.profile)).map(|w| w.trust_score).collect();
             xs.iter().sum::<f64>() / xs.len() as f64
         };
         let diligent = avg(|p| matches!(p, WorkerProfile::Diligent { .. }));

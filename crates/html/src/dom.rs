@@ -61,10 +61,7 @@ impl ElementData {
 
     /// Attribute value by (case-insensitive) name.
     pub fn attr(&self, name: &str) -> Option<&str> {
-        self.attrs
-            .iter()
-            .find(|(n, _)| n.eq_ignore_ascii_case(name))
-            .map(|(_, v)| v.as_str())
+        self.attrs.iter().find(|(n, _)| n.eq_ignore_ascii_case(name)).map(|(_, v)| v.as_str())
     }
 
     /// All attributes in document order.
@@ -95,9 +92,7 @@ impl ElementData {
 
     /// Whether `class` contains the given class name.
     pub fn has_class(&self, class: &str) -> bool {
-        self.attr("class")
-            .map(|c| c.split_ascii_whitespace().any(|p| p == class))
-            .unwrap_or(false)
+        self.attr("class").map(|c| c.split_ascii_whitespace().any(|p| p == class)).unwrap_or(false)
     }
 }
 
@@ -122,9 +117,7 @@ pub struct Document {
 impl Document {
     /// Creates an empty document (just the root node).
     pub fn new() -> Self {
-        Self {
-            nodes: vec![Node { kind: NodeKind::Document, parent: None, children: Vec::new() }],
-        }
+        Self { nodes: vec![Node { kind: NodeKind::Document, parent: None, children: Vec::new() }] }
     }
 
     /// The synthetic root node id.
@@ -280,24 +273,20 @@ impl Document {
 
     /// First element with the given tag name, in document order.
     pub fn find_tag(&self, name: &str) -> Option<NodeId> {
-        self.descendants(self.root()).find(|&id| {
-            matches!(&self.node(id).kind, NodeKind::Element(e) if e.name == name)
-        })
+        self.descendants(self.root())
+            .find(|&id| matches!(&self.node(id).kind, NodeKind::Element(e) if e.name == name))
     }
 
     /// Element with the given `id` attribute.
     pub fn get_element_by_id(&self, dom_id: &str) -> Option<NodeId> {
-        self.descendants(self.root()).find(|&id| {
-            matches!(&self.node(id).kind, NodeKind::Element(e) if e.id() == Some(dom_id))
-        })
+        self.descendants(self.root()).find(
+            |&id| matches!(&self.node(id).kind, NodeKind::Element(e) if e.id() == Some(dom_id)),
+        )
     }
 
     /// All elements matching a selector, in document order.
     pub fn select(&self, selector: &Selector) -> Vec<NodeId> {
-        self.elements()
-            .into_iter()
-            .filter(|&id| selector.matches(self, id))
-            .collect()
+        self.elements().into_iter().filter(|&id| selector.matches(self, id)).collect()
     }
 
     /// First element matching a selector.
@@ -357,10 +346,7 @@ impl Document {
             .map(str::trim)
             .filter(|d| !d.is_empty())
             .filter(|d| {
-                d.split(':')
-                    .next()
-                    .map(|n| !n.trim().eq_ignore_ascii_case(prop))
-                    .unwrap_or(true)
+                d.split(':').next().map(|n| !n.trim().eq_ignore_ascii_case(prop)).unwrap_or(true)
             })
             .map(str::to_string)
             .collect();

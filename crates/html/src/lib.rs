@@ -41,8 +41,8 @@ pub use tokenizer::{tokenize, Token};
 
 /// Elements that never have children or end tags (HTML void elements).
 pub(crate) const VOID_ELEMENTS: &[&str] = &[
-    "area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta", "param",
-    "source", "track", "wbr",
+    "area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta", "param", "source",
+    "track", "wbr",
 ];
 
 /// Elements whose content is raw text (no nested markup).

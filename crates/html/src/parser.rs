@@ -19,9 +19,31 @@ const MAX_DEPTH: usize = 256;
 
 /// Tags that implicitly close an open `<p>` when they start.
 const CLOSES_P: &[&str] = &[
-    "address", "article", "aside", "blockquote", "div", "dl", "fieldset", "footer", "form",
-    "h1", "h2", "h3", "h4", "h5", "h6", "header", "hr", "main", "nav", "ol", "p", "pre",
-    "section", "table", "ul",
+    "address",
+    "article",
+    "aside",
+    "blockquote",
+    "div",
+    "dl",
+    "fieldset",
+    "footer",
+    "form",
+    "h1",
+    "h2",
+    "h3",
+    "h4",
+    "h5",
+    "h6",
+    "header",
+    "hr",
+    "main",
+    "nav",
+    "ol",
+    "p",
+    "pre",
+    "section",
+    "table",
+    "ul",
 ];
 
 /// Parses an HTML string into a [`Document`]. Never fails; malformed input
@@ -263,8 +285,7 @@ mod tests {
     fn self_closing_foreign_style() {
         let doc = parse_document("<div/><span>x</span>");
         // A self-closed div takes no children; span is a sibling.
-        let top: Vec<String> =
-            doc.children(doc.root()).iter().map(|&c| tag_of(&doc, c)).collect();
+        let top: Vec<String> = doc.children(doc.root()).iter().map(|&c| tag_of(&doc, c)).collect();
         assert_eq!(top, vec!["div", "span"]);
     }
 }

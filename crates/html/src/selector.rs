@@ -600,9 +600,7 @@ mod tests {
 
     #[test]
     fn nth_child_selector() {
-        let doc = parse_document(
-            "<ul><li>a</li><li>b</li><li>c</li></ul><ol><li>x</li></ol>",
-        );
+        let doc = parse_document("<ul><li>a</li><li>b</li><li>c</li></ul><ol><li>x</li></ol>");
         assert_eq!(doc.select(&sel("ul > li:nth-child(2)")).len(), 1);
         let hit = doc.select(&sel("ul > li:nth-child(2)"))[0];
         assert_eq!(doc.text_content(hit), "b");

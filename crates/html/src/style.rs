@@ -96,8 +96,13 @@ pub fn document_stylesheets(doc: &Document) -> Vec<Stylesheet> {
 fn is_inherited(prop: &str) -> bool {
     matches!(
         prop,
-        "font-size" | "font-family" | "font-weight" | "color" | "line-height"
-            | "letter-spacing" | "text-align"
+        "font-size"
+            | "font-family"
+            | "font-weight"
+            | "color"
+            | "line-height"
+            | "letter-spacing"
+            | "text-align"
     )
 }
 
@@ -128,12 +133,7 @@ pub fn computed_property(
 
 /// The value `prop` takes on `node` from its own declarations (inline or
 /// matched rules), ignoring inheritance.
-fn own_property(
-    doc: &Document,
-    sheets: &[Stylesheet],
-    node: NodeId,
-    prop: &str,
-) -> Option<String> {
+fn own_property(doc: &Document, sheets: &[Stylesheet], node: NodeId, prop: &str) -> Option<String> {
     if let Some(v) = doc.style_property(node, prop) {
         return Some(v);
     }
@@ -276,15 +276,11 @@ mod tests {
 
     #[test]
     fn later_rule_breaks_specificity_ties() {
-        let doc = parse_document(
-            "<style>p { font-size: 10pt } p { font-size: 12pt }</style><p>x</p>",
-        );
+        let doc =
+            parse_document("<style>p { font-size: 10pt } p { font-size: 12pt }</style><p>x</p>");
         let sheets = document_stylesheets(&doc);
         let p = doc.find_tag("p").unwrap();
-        assert_eq!(
-            computed_property(&doc, &sheets, p, "font-size").as_deref(),
-            Some("12pt")
-        );
+        assert_eq!(computed_property(&doc, &sheets, p, "font-size").as_deref(), Some("12pt"));
     }
 
     #[test]
@@ -294,10 +290,7 @@ mod tests {
         );
         let sheets = document_stylesheets(&doc);
         let b = doc.find_tag("b").unwrap();
-        assert_eq!(
-            computed_property(&doc, &sheets, b, "font-size").as_deref(),
-            Some("18pt")
-        );
+        assert_eq!(computed_property(&doc, &sheets, b, "font-size").as_deref(), Some("18pt"));
     }
 
     #[test]
@@ -318,10 +311,10 @@ mod tests {
         );
         // The @media block's inner braces confuse no one fatally: the outer
         // "@media…{" block is skipped; the p rule survives.
-        assert!(sheet.rules().iter().any(|r| r
-            .declarations
+        assert!(sheet
+            .rules()
             .iter()
-            .any(|(p, v)| p == "font-size" && v == "11pt")));
+            .any(|r| r.declarations.iter().any(|(p, v)| p == "font-size" && v == "11pt")));
     }
 
     #[test]

@@ -87,8 +87,7 @@ impl<'a> Tokenizer<'a> {
 
     fn starts_with_ci(&self, prefix: &str) -> bool {
         let rest = self.rest();
-        rest.len() >= prefix.len()
-            && rest[..prefix.len()].eq_ignore_ascii_case(prefix.as_bytes())
+        rest.len() >= prefix.len() && rest[..prefix.len()].eq_ignore_ascii_case(prefix.as_bytes())
     }
 
     fn consume_text(&mut self) {
@@ -228,9 +227,7 @@ impl<'a> Tokenizer<'a> {
                 break;
             }
         }
-        std::str::from_utf8(&self.input[start..self.pos])
-            .unwrap_or_default()
-            .to_ascii_lowercase()
+        std::str::from_utf8(&self.input[start..self.pos]).unwrap_or_default().to_ascii_lowercase()
     }
 
     fn skip_whitespace(&mut self) {
@@ -282,9 +279,7 @@ impl<'a> Tokenizer<'a> {
                     }
                     self.pos += 1;
                 }
-                std::str::from_utf8(&self.input[vstart..self.pos])
-                    .unwrap_or_default()
-                    .to_string()
+                std::str::from_utf8(&self.input[vstart..self.pos]).unwrap_or_default().to_string()
             }
         };
         Some((name, decode_entities(&value)))

@@ -88,12 +88,8 @@ const NAV_HEIGHT: f64 = 60.0;
 impl Layout {
     /// Computes the layout of a document under a viewport.
     pub fn compute(doc: &Document, viewport: Viewport) -> Self {
-        let mut layout = Layout {
-            boxes: HashMap::new(),
-            viewport,
-            total_area: 0.0,
-            total_above_fold: 0.0,
-        };
+        let mut layout =
+            Layout { boxes: HashMap::new(), viewport, total_area: 0.0, total_above_fold: 0.0 };
         let mut y = 0.0;
         for &child in doc.children(doc.root()) {
             y += layout.flow(doc, child, y, ContentClass::Auxiliary);
@@ -107,17 +103,15 @@ impl Layout {
     fn flow(&mut self, doc: &Document, id: NodeId, top: f64, inherited: ContentClass) -> f64 {
         match &doc.node(id).kind {
             NodeKind::Element(el) => {
-                if matches!(el.name.as_str(), "script" | "style" | "head" | "meta" | "link" | "title")
-                {
+                if matches!(
+                    el.name.as_str(),
+                    "script" | "style" | "head" | "meta" | "link" | "title"
+                ) {
                     return 0.0;
                 }
                 // display:none subtrees are not painted at all (the
                 // group page's collapsed sections, for example).
-                if doc
-                    .style_property(id, "display")
-                    .map(|d| d == "none")
-                    .unwrap_or(false)
-                {
+                if doc.style_property(id, "display").map(|d| d == "none").unwrap_or(false) {
                     return 0.0;
                 }
                 let class = classify(el.name.as_str(), el.attr("id"), el.attr("class"))
@@ -130,7 +124,13 @@ impl Layout {
                     let above = overlap_above_fold(top, h, self.viewport.fold_y) * w;
                     self.boxes.insert(
                         id.index(),
-                        LayoutBox { top, height: h, area, above_fold_area: above, class: ContentClass::Media },
+                        LayoutBox {
+                            top,
+                            height: h,
+                            area,
+                            above_fold_area: above,
+                            class: ContentClass::Media,
+                        },
                     );
                     return h;
                 }
@@ -144,8 +144,8 @@ impl Layout {
                     height = 2.0;
                 }
                 let area = self.viewport.width * height;
-                let above = overlap_above_fold(top, height, self.viewport.fold_y)
-                    * self.viewport.width;
+                let above =
+                    overlap_above_fold(top, height, self.viewport.fold_y) * self.viewport.width;
                 self.boxes.insert(
                     id.index(),
                     LayoutBox { top, height, area, above_fold_area: above, class },
@@ -211,8 +211,7 @@ fn overlap_above_fold(top: f64, height: f64, fold: f64) -> f64 {
 }
 
 fn attr_px(v: Option<&str>) -> Option<f64> {
-    v.and_then(|s| s.trim().trim_end_matches("px").parse::<f64>().ok())
-        .filter(|&x| x > 0.0)
+    v.and_then(|s| s.trim().trim_end_matches("px").parse::<f64>().ok()).filter(|&x| x > 0.0)
 }
 
 fn base_height(tag: &str) -> f64 {
@@ -229,9 +228,33 @@ fn base_height(tag: &str) -> f64 {
 fn is_block(tag: &str) -> bool {
     matches!(
         tag,
-        "div" | "p" | "section" | "article" | "aside" | "footer" | "header" | "nav" | "main"
-            | "ul" | "ol" | "li" | "table" | "tr" | "td" | "th" | "h1" | "h2" | "h3" | "h4"
-            | "h5" | "h6" | "blockquote" | "pre" | "form" | "body" | "html"
+        "div"
+            | "p"
+            | "section"
+            | "article"
+            | "aside"
+            | "footer"
+            | "header"
+            | "nav"
+            | "main"
+            | "ul"
+            | "ol"
+            | "li"
+            | "table"
+            | "tr"
+            | "td"
+            | "th"
+            | "h1"
+            | "h2"
+            | "h3"
+            | "h4"
+            | "h5"
+            | "h6"
+            | "blockquote"
+            | "pre"
+            | "form"
+            | "body"
+            | "html"
     )
 }
 
@@ -241,7 +264,9 @@ fn classify(tag: &str, id: Option<&str>, class: Option<&str>) -> Option<ContentC
         let s = s.to_ascii_lowercase();
         if s.contains("nav") || s.contains("menu") || s.contains("toolbar") {
             Some(ContentClass::Navigation)
-        } else if s.contains("content") || s.contains("main") || s.contains("article")
+        } else if s.contains("content")
+            || s.contains("main")
+            || s.contains("article")
             || s.contains("body-text")
         {
             Some(ContentClass::MainText)
@@ -364,7 +389,8 @@ mod tests {
 
     #[test]
     fn head_children_are_not_painted() {
-        let doc = parse_document("<head><title>t</title><style>x{}</style></head><body><p>a</p></body>");
+        let doc =
+            parse_document("<head><title>t</title><style>x{}</style></head><body><p>a</p></body>");
         let l = Layout::compute(&doc, Viewport::desktop());
         assert!(l.get(doc.find_tag("title").unwrap()).is_none());
         assert!(l.get(doc.find_tag("style").unwrap()).is_none());

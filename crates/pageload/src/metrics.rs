@@ -206,9 +206,8 @@ mod tests {
         // Same completion time, but one page paints the (dominant) main
         // content early. Make the article long enough to dominate the nav.
         let body = "lorem ipsum dolor sit amet ".repeat(80);
-        let page = format!(
-            r#"<nav id="navbar"><a>home</a></nav><div id="content"><p>{body}</p></div>"#
-        );
+        let page =
+            format!(r#"<nav id="navbar"><a>home</a></nav><div id="content"><p>{body}</p></div>"#);
         let early = load(&page, serde_json::json!({"#navbar": 3000, "#content": 500})).1;
         let late = load(&page, serde_json::json!({"#navbar": 500, "#content": 3000})).1;
         assert!(
@@ -229,10 +228,7 @@ mod tests {
         let w = UpltWeights::reader_defaults();
         let uplt_a = w.uplt_ms(&tl_a, &layout_a);
         let uplt_b = w.uplt_ms(&tl_b, &layout_b);
-        assert!(
-            uplt_b < uplt_a,
-            "text-first version must feel ready sooner: {uplt_b} vs {uplt_a}"
-        );
+        assert!(uplt_b < uplt_a, "text-first version must feel ready sooner: {uplt_b} vs {uplt_a}");
     }
 
     #[test]

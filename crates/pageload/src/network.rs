@@ -34,12 +34,7 @@ impl NetworkProfile {
     pub fn new(name: &str, rtt_ms: f64, bandwidth_kbps: f64, parallel: usize) -> Self {
         assert!(rtt_ms > 0.0 && bandwidth_kbps > 0.0, "rtt and bandwidth must be positive");
         assert!(parallel > 0, "need at least one connection");
-        Self {
-            name: name.to_string(),
-            rtt_ms,
-            bandwidth_kbps,
-            parallel_connections: parallel,
-        }
+        Self { name: name.to_string(), rtt_ms, bandwidth_kbps, parallel_connections: parallel }
     }
 
     /// Fast broadband: 10 ms RTT, 100 Mbit/s.
@@ -119,8 +114,7 @@ impl Waterfall {
             .chain(resources.iter().filter(|r| !r.render_blocking));
         for (idx, res) in ordered.enumerate() {
             let round = idx / profile.parallel_connections;
-            transferred_ms +=
-                (res.bytes as f64 * 8.0 / 1000.0) / profile.bandwidth_kbps * 1000.0;
+            transferred_ms += (res.bytes as f64 * 8.0 / 1000.0) / profile.bandwidth_kbps * 1000.0;
             let done = (round + 1) as f64 * profile.rtt_ms + transferred_ms;
             if res.render_blocking {
                 blocking_done = blocking_done.max(done);
@@ -179,7 +173,11 @@ impl Waterfall {
 
 /// The default resource breakdown of a page like the corpus article: the
 /// HTML document and stylesheet are render-blocking; images are not.
-pub fn article_resources(html_bytes: usize, css_bytes: usize, images: &[(String, usize)]) -> Vec<WaterfallResource> {
+pub fn article_resources(
+    html_bytes: usize,
+    css_bytes: usize,
+    images: &[(String, usize)],
+) -> Vec<WaterfallResource> {
     let mut out = vec![
         WaterfallResource {
             selector: "body".to_string(),
@@ -210,10 +208,7 @@ mod tests {
         article_resources(
             40_000,
             8_000,
-            &[
-                ("#infobox img".to_string(), 120_000),
-                ("#content img".to_string(), 60_000),
-            ],
+            &[("#infobox img".to_string(), 120_000), ("#content img".to_string(), 60_000)],
         )
     }
 
@@ -332,12 +327,7 @@ mod tests {
         let profile = NetworkProfile::new("satellite", 400.0, 8_000.0, 6);
         let h1 = Waterfall::simulate(&profile, &many);
         let h2 = Waterfall::simulate_h2(&profile, &many);
-        assert!(
-            h2.total_ms() * 2 < h1.total_ms(),
-            "h2 {} vs h1 {}",
-            h2.total_ms(),
-            h1.total_ms()
-        );
+        assert!(h2.total_ms() * 2 < h1.total_ms(), "h2 {} vs h1 {}", h2.total_ms(), h1.total_ms());
     }
 
     #[test]

@@ -156,9 +156,8 @@ mod tests {
     fn recorded_locators_resolve_uniquely() {
         // Every locator the recorder emits re-selects exactly one element
         // (or a set with identical reveal times).
-        let doc = parse_document(
-            "<div id='a'><p>x</p><p>y</p><span>z</span></div><div><p>w</p></div>",
-        );
+        let doc =
+            parse_document("<div id='a'><p>x</p><p>y</p><span>z</span></div><div><p>w</p></div>");
         for id in doc.elements() {
             let locator = css_locator(&doc, id);
             let sel: kscope_html::Selector = locator.parse().unwrap();
@@ -177,8 +176,7 @@ mod tests {
         let doc = parse_document(html);
         let layout = Layout::compute(&doc, Viewport::desktop());
         let mut rng = StdRng::seed_from_u64(21);
-        let original =
-            RevealPlan::build(&doc, &layout, &LoadSpec::Uniform(2000), &mut rng);
+        let original = RevealPlan::build(&doc, &layout, &LoadSpec::Uniform(2000), &mut rng);
         let spec = record_spec(&doc, &original, 100);
         let mut rng2 = StdRng::seed_from_u64(0);
         let replayed = RevealPlan::build(&doc, &layout, &spec, &mut rng2);

@@ -76,19 +76,12 @@ impl RevealPlan {
                 for &id in &elements {
                     // Own schedule (latest wins), else nearest scheduled
                     // ancestor, else 0.
-                    let own = scheduled
-                        .iter()
-                        .filter(|(n, _)| *n == id)
-                        .map(|&(_, t)| t)
-                        .max();
+                    let own = scheduled.iter().filter(|(n, _)| *n == id).map(|&(_, t)| t).max();
                     let at = own.unwrap_or_else(|| {
                         let mut cur = doc.parent(id);
                         while let Some(p) = cur {
-                            if let Some(t) = scheduled
-                                .iter()
-                                .filter(|(n, _)| *n == p)
-                                .map(|&(_, t)| t)
-                                .max()
+                            if let Some(t) =
+                                scheduled.iter().filter(|(n, _)| *n == p).map(|&(_, t)| t).max()
                             {
                                 return t;
                             }
@@ -164,9 +157,7 @@ impl RevealPlan {
             .events
             .iter()
             .filter_map(|e| {
-                ordinal_of
-                    .get(&e.node.index())
-                    .map(|ord| json!({ "node": ord, "at_ms": e.at_ms }))
+                ordinal_of.get(&e.node.index()).map(|ord| json!({ "node": ord, "at_ms": e.at_ms }))
             })
             .collect();
         let plan_json = serde_json::Value::Array(payload).to_string();
@@ -226,9 +217,17 @@ mod tests {
     fn uniform_deterministic_per_seed() {
         let (doc, layout) = setup("<div><p>a</p><p>b</p></div>");
         let p1 = RevealPlan::build(
-            &doc, &layout, &LoadSpec::Uniform(500), &mut StdRng::seed_from_u64(7));
+            &doc,
+            &layout,
+            &LoadSpec::Uniform(500),
+            &mut StdRng::seed_from_u64(7),
+        );
         let p2 = RevealPlan::build(
-            &doc, &layout, &LoadSpec::Uniform(500), &mut StdRng::seed_from_u64(7));
+            &doc,
+            &layout,
+            &LoadSpec::Uniform(500),
+            &mut StdRng::seed_from_u64(7),
+        );
         assert_eq!(p1, p2);
     }
 
@@ -313,8 +312,18 @@ mod tests {
     #[test]
     fn from_iterator_sorts() {
         let plan: RevealPlan = vec![
-            RevealEvent { node: NodeId::from_index(2), at_ms: 500, area: 1.0, above_fold_area: 1.0 },
-            RevealEvent { node: NodeId::from_index(1), at_ms: 100, area: 1.0, above_fold_area: 1.0 },
+            RevealEvent {
+                node: NodeId::from_index(2),
+                at_ms: 500,
+                area: 1.0,
+                above_fold_area: 1.0,
+            },
+            RevealEvent {
+                node: NodeId::from_index(1),
+                at_ms: 100,
+                area: 1.0,
+                above_fold_area: 1.0,
+            },
         ]
         .into_iter()
         .collect();

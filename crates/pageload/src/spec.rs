@@ -37,9 +37,7 @@ impl LoadSpec {
     pub fn duration_ms(&self) -> u64 {
         match self {
             LoadSpec::Uniform(t) => *t,
-            LoadSpec::PerSelector(timings) => {
-                timings.iter().map(|t| t.at_ms).max().unwrap_or(0)
-            }
+            LoadSpec::PerSelector(timings) => timings.iter().map(|t| t.at_ms).max().unwrap_or(0),
         }
     }
 
@@ -176,8 +174,7 @@ mod tests {
     fn per_selector_from_paper_array_form() {
         // The paper writes: ["#main":1000, "#content p":1500] — as JSON,
         // an array of single-entry objects.
-        let spec =
-            LoadSpec::from_json(&json!([{"#main": 1000}, {"#content p": 1500}])).unwrap();
+        let spec = LoadSpec::from_json(&json!([{"#main": 1000}, {"#content p": 1500}])).unwrap();
         assert_eq!(spec.duration_ms(), 1500);
     }
 
@@ -220,10 +217,7 @@ mod tests {
     #[test]
     fn display_forms() {
         assert_eq!(LoadSpec::Uniform(2000).to_string(), "uniform(2000ms)");
-        let s = LoadSpec::PerSelector(vec![SelectorTiming {
-            selector: "#m".into(),
-            at_ms: 10,
-        }]);
+        let s = LoadSpec::PerSelector(vec![SelectorTiming { selector: "#m".into(), at_ms: 10 }]);
         assert_eq!(s.to_string(), "per-selector(#m@10ms)");
     }
 

@@ -88,12 +88,7 @@ impl PaintTimeline {
 
     /// Completeness at time `t` (step interpolation).
     pub fn completeness_at(&self, t_ms: u64) -> f64 {
-        self.samples
-            .iter()
-            .rev()
-            .find(|s| s.t_ms <= t_ms)
-            .map(|s| s.completeness)
-            .unwrap_or(0.0)
+        self.samples.iter().rev().find(|s| s.t_ms <= t_ms).map(|s| s.completeness).unwrap_or(0.0)
     }
 
     /// Above-the-fold completeness at time `t`.
@@ -185,8 +180,7 @@ mod tests {
     #[test]
     fn step_interpolation() {
         let spec = LoadSpec::from_json(&serde_json::json!({"#a": 1000, "#b": 2000})).unwrap();
-        let (_, _, tl) =
-            timeline_for(r#"<div id="a">x</div><div id="b">y</div>"#, &spec, 1);
+        let (_, _, tl) = timeline_for(r#"<div id="a">x</div><div id="b">y</div>"#, &spec, 1);
         assert_eq!(tl.completeness_at(0), 0.0);
         let mid = tl.completeness_at(1500);
         assert!(mid > 0.0 && mid < 1.0, "mid = {mid}");

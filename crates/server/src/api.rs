@@ -12,8 +12,10 @@
 use crate::http::Response;
 use crate::router::Router;
 use kscope_store::{Database, GridStore};
+use kscope_telemetry::Registry;
 use serde_json::{json, Value};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Collection holding test information documents.
 pub const TESTS_COLLECTION: &str = "tests";
@@ -25,17 +27,28 @@ pub const RESPONSES_COLLECTION: &str = "responses";
 pub const JOBS_COLLECTION: &str = "jobs";
 
 /// The core-server API: a [`Database`] + [`GridStore`] pair exposed over
-/// HTTP routes.
+/// HTTP routes, optionally instrumented on a shared [`Registry`].
 #[derive(Debug, Clone)]
 pub struct CoreServerApi {
     db: Database,
     grid: GridStore,
+    telemetry: Option<Arc<Registry>>,
 }
 
 impl CoreServerApi {
     /// Creates the API over existing storage.
     pub fn new(db: Database, grid: GridStore) -> Self {
-        Self { db, grid }
+        Self { db, grid, telemetry: None }
+    }
+
+    /// Attaches a metric registry (builder style). The router gains
+    /// `GET /metrics` (Prometheus text exposition) and `GET /healthz`
+    /// reports uptime and worker liveness; the database counts
+    /// per-collection operations; every route is counted and timed.
+    pub fn with_telemetry(mut self, registry: Arc<Registry>) -> Self {
+        self.db = self.db.clone().with_telemetry(&registry);
+        self.telemetry = Some(registry);
+        self
     }
 
     /// The backing database.
@@ -48,13 +61,60 @@ impl CoreServerApi {
         &self.grid
     }
 
+    /// The attached registry, if any.
+    pub fn telemetry(&self) -> Option<&Arc<Registry>> {
+        self.telemetry.as_ref()
+    }
+
     /// Builds the router exposing all endpoints.
     pub fn into_router(self) -> Router {
         let mut router = Router::new();
         let db = self.db.clone();
         let grid = self.grid.clone();
+        if let Some(registry) = &self.telemetry {
+            router.set_telemetry(registry);
+        }
 
-        router.get("/healthz", |_req, _p| Response::json(&json!({ "ok": true })));
+        // --- Observability -----------------------------------------------
+        {
+            let telemetry = self.telemetry.clone();
+            router.get("/healthz", move |_req, _p| {
+                let body = match &telemetry {
+                    Some(registry) => {
+                        let workers_total =
+                            registry.gauge_value("server.workers_total", &[]).unwrap_or(0);
+                        let workers_busy =
+                            registry.gauge_value("server.workers_busy", &[]).unwrap_or(0);
+                        json!({
+                            "ok": true,
+                            "uptime_s": registry.uptime().as_secs_f64(),
+                            "workers": {
+                                "total": workers_total,
+                                "busy": workers_busy,
+                                "idle": (workers_total - workers_busy).max(0),
+                            },
+                            "accept_queue_depth": registry
+                                .gauge_value("server.accept_queue_depth", &[])
+                                .unwrap_or(0),
+                            "handler_panics": registry
+                                .counter_value("server.handler_panics", &[])
+                                .unwrap_or(0),
+                        })
+                    }
+                    None => json!({ "ok": true }),
+                };
+                Response::json(&body)
+            });
+        }
+        if let Some(registry) = &self.telemetry {
+            let registry = Arc::clone(registry);
+            router.get("/metrics", move |_req, _p| {
+                Response::content(
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    registry.render_prometheus().into_bytes(),
+                )
+            });
+        }
 
         // --- Test information -------------------------------------------
         {
@@ -107,8 +167,7 @@ impl CoreServerApi {
             let db = db.clone();
             router.get("/api/tests/:id/pairs", move |_req, p| {
                 let id = p.get("id").unwrap_or("");
-                let docs =
-                    db.collection(PAGES_COLLECTION).find(&json!({ "test_id": id }));
+                let docs = db.collection(PAGES_COLLECTION).find(&json!({ "test_id": id }));
                 Response::json(&json!({ "test_id": id, "pairs": docs }))
             });
         }
@@ -143,11 +202,7 @@ impl CoreServerApi {
                 if !body.is_object() {
                     return Response::bad_request("response must be a JSON object");
                 }
-                if db
-                    .collection(TESTS_COLLECTION)
-                    .find_one(&json!({ "test_id": id }))
-                    .is_none()
-                {
+                if db.collection(TESTS_COLLECTION).find_one(&json!({ "test_id": id })).is_none() {
                     return Response::not_found("no such test");
                 }
                 body.as_object_mut()
@@ -164,18 +219,12 @@ impl CoreServerApi {
             let db = db.clone();
             router.get("/api/tests/:id/responses", move |req, p| {
                 let id = p.get("id").unwrap_or("");
-                let mut docs = db
-                    .collection(RESPONSES_COLLECTION)
-                    .find(&json!({ "test_id": id }));
+                let mut docs = db.collection(RESPONSES_COLLECTION).find(&json!({ "test_id": id }));
                 // Pagination: ?offset=N&limit=M (insertion order).
-                let offset: usize = req
-                    .query_param("offset")
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or(0);
-                let limit: usize = req
-                    .query_param("limit")
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or(usize::MAX);
+                let offset: usize =
+                    req.query_param("offset").and_then(|v| v.parse().ok()).unwrap_or(0);
+                let limit: usize =
+                    req.query_param("limit").and_then(|v| v.parse().ok()).unwrap_or(usize::MAX);
                 let total = docs.len();
                 docs = docs.into_iter().skip(offset).take(limit).collect();
                 Response::json(&json!({
@@ -191,9 +240,7 @@ impl CoreServerApi {
             let db = db.clone();
             router.get("/api/tests/:id/results", move |_req, p| {
                 let id = p.get("id").unwrap_or("");
-                let docs = db
-                    .collection(RESPONSES_COLLECTION)
-                    .find(&json!({ "test_id": id }));
+                let docs = db.collection(RESPONSES_COLLECTION).find(&json!({ "test_id": id }));
                 Response::json(&summarize_responses(id, &docs))
             });
         }
@@ -242,11 +289,7 @@ pub fn summarize_responses(test_id: &str, responses: &[Value]) -> Value {
                 Value::String(s) => s.clone(),
                 other => other.to_string(),
             };
-            *questions
-                .entry(question.clone())
-                .or_default()
-                .entry(answer_text)
-                .or_insert(0) += 1;
+            *questions.entry(question.clone()).or_default().entry(answer_text).or_insert(0) += 1;
         }
     }
     json!({
@@ -378,12 +421,8 @@ mod tests {
     #[test]
     fn response_to_unknown_test_is_404() {
         let (server, addr, _, _) = start();
-        let resp = client::post_json(
-            addr,
-            "/api/tests/ghost/responses",
-            &json!({"answers": {}}),
-        )
-        .unwrap();
+        let resp =
+            client::post_json(addr, "/api/tests/ghost/responses", &json!({"answers": {}})).unwrap();
         assert_eq!(resp.status.0, 404);
         server.shutdown();
     }

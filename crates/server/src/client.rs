@@ -34,8 +34,7 @@ impl std::error::Error for ClientError {}
 ///
 /// Returns [`ClientError`] on connection or parse failures.
 pub fn request(addr: SocketAddr, req: Request) -> Result<Response, ClientError> {
-    let stream =
-        TcpStream::connect_timeout(&addr, CLIENT_TIMEOUT).map_err(ClientError::Io)?;
+    let stream = TcpStream::connect_timeout(&addr, CLIENT_TIMEOUT).map_err(ClientError::Io)?;
     stream.set_read_timeout(Some(CLIENT_TIMEOUT)).map_err(ClientError::Io)?;
     stream.set_write_timeout(Some(CLIENT_TIMEOUT)).map_err(ClientError::Io)?;
     let mut writer = stream.try_clone().map_err(ClientError::Io)?;

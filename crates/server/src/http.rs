@@ -138,10 +138,8 @@ impl Request {
             return Err(HttpParseError::ConnectionClosed);
         }
         let mut parts = line.split_whitespace();
-        let method = parts
-            .next()
-            .and_then(Method::from_token)
-            .ok_or(HttpParseError::BadRequestLine)?;
+        let method =
+            parts.next().and_then(Method::from_token).ok_or(HttpParseError::BadRequestLine)?;
         let target = parts.next().ok_or(HttpParseError::BadRequestLine)?;
         let _version = parts.next().ok_or(HttpParseError::BadRequestLine)?;
         let (path, query) = split_query(target);
@@ -158,10 +156,7 @@ impl Request {
                 headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
             }
         }
-        let len: usize = headers
-            .get("content-length")
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(0);
+        let len: usize = headers.get("content-length").and_then(|v| v.parse().ok()).unwrap_or(0);
         if len > max_body {
             return Err(HttpParseError::BodyTooLarge(len));
         }
@@ -239,18 +234,12 @@ impl Response {
 
     /// A 404 with a JSON error body.
     pub fn not_found(message: &str) -> Self {
-        Self::json_with_status(
-            StatusCode::NOT_FOUND,
-            &serde_json::json!({ "error": message }),
-        )
+        Self::json_with_status(StatusCode::NOT_FOUND, &serde_json::json!({ "error": message }))
     }
 
     /// A 400 with a JSON error body.
     pub fn bad_request(message: &str) -> Self {
-        Self::json_with_status(
-            StatusCode::BAD_REQUEST,
-            &serde_json::json!({ "error": message }),
-        )
+        Self::json_with_status(StatusCode::BAD_REQUEST, &serde_json::json!({ "error": message }))
     }
 
     /// Parses the body as JSON.
@@ -296,10 +285,8 @@ impl Response {
         }
         let mut parts = line.trim_end().splitn(3, ' ');
         let _version = parts.next().ok_or(HttpParseError::BadRequestLine)?;
-        let status: u16 = parts
-            .next()
-            .and_then(|s| s.parse().ok())
-            .ok_or(HttpParseError::BadRequestLine)?;
+        let status: u16 =
+            parts.next().and_then(|s| s.parse().ok()).ok_or(HttpParseError::BadRequestLine)?;
         let mut headers = BTreeMap::new();
         loop {
             let mut hline = String::new();
@@ -312,10 +299,7 @@ impl Response {
                 headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
             }
         }
-        let len: usize = headers
-            .get("content-length")
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(0);
+        let len: usize = headers.get("content-length").and_then(|v| v.parse().ok()).unwrap_or(0);
         let mut body = vec![0u8; len];
         reader.read_exact(&mut body).map_err(HttpParseError::Io)?;
         Ok(Self { status: StatusCode(status), headers, body })
@@ -375,8 +359,8 @@ pub fn url_decode(s: &str) -> String {
             b'%' => {
                 // Work on raw bytes: slicing the &str here could split a
                 // UTF-8 character and panic.
-                let hex = (i + 2 < bytes.len())
-                    .then(|| (hex_val(bytes[i + 1]), hex_val(bytes[i + 2])));
+                let hex =
+                    (i + 2 < bytes.len()).then(|| (hex_val(bytes[i + 1]), hex_val(bytes[i + 2])));
                 if let Some((Some(hi), Some(lo))) = hex {
                     out.push(hi * 16 + lo);
                     i += 3;
@@ -448,10 +432,9 @@ mod tests {
 
     #[test]
     fn parse_post_with_body() {
-        let req = parse_request(
-            "POST /api/responses HTTP/1.1\r\ncontent-length: 7\r\n\r\n{\"a\":1}",
-        )
-        .unwrap();
+        let req =
+            parse_request("POST /api/responses HTTP/1.1\r\ncontent-length: 7\r\n\r\n{\"a\":1}")
+                .unwrap();
         assert_eq!(req.method, Method::Post);
         assert_eq!(req.json().unwrap()["a"], serde_json::json!(1));
     }
@@ -481,8 +464,8 @@ mod tests {
 
     #[test]
     fn request_roundtrip() {
-        let req = Request::new(Method::Post, "/a/b?x=1&y=two words")
-            .with_body(br#"{"k":true}"#.to_vec());
+        let req =
+            Request::new(Method::Post, "/a/b?x=1&y=two words").with_body(br#"{"k":true}"#.to_vec());
         let mut buf = Vec::new();
         req.write_to(&mut buf).unwrap();
         let mut reader = BufReader::new(Cursor::new(buf));

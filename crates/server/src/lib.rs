@@ -35,9 +35,11 @@
 pub mod api;
 pub mod client;
 pub mod http;
+pub mod metrics;
 pub mod router;
 pub mod server;
 
 pub use http::{Method, Request, Response, StatusCode};
+pub use metrics::ServerMetrics;
 pub use router::{Params, Router};
 pub use server::HttpServer;

@@ -1,0 +1,143 @@
+//! Server-level metrics: connection lifecycle, worker utilization, and
+//! error accounting.
+//!
+//! All handles are registered once at bind time and shared with the
+//! acceptor and worker threads, so per-request updates are single atomic
+//! operations — the request hot path never touches a lock.
+
+use kscope_telemetry::{Counter, EventLevel, Gauge, Registry};
+use std::sync::Arc;
+
+/// Pre-registered handles for everything [`crate::HttpServer`] measures.
+#[derive(Debug)]
+pub struct ServerMetrics {
+    registry: Arc<Registry>,
+    /// Connections accepted by the acceptor (`server.accepted_total`).
+    pub accepted_total: Counter,
+    /// Connections sitting in the worker channel, waiting for a free
+    /// worker (`server.accept_queue_depth`).
+    pub accept_queue_depth: Gauge,
+    /// Size of the worker pool (`server.workers_total`).
+    pub workers_total: Gauge,
+    /// Workers currently handling a connection (`server.workers_busy`).
+    pub workers_busy: Gauge,
+    /// Connections fully handled by workers (`server.connections_total`).
+    pub connections_total: Counter,
+    /// Handler panics converted to 500s (`server.handler_panics`).
+    pub handler_panics: Counter,
+    /// Malformed requests (`server.parse_errors_total`).
+    pub parse_errors_total: Counter,
+    /// Socket read/write timeouts (`server.timeout_errors_total`).
+    pub timeout_errors_total: Counter,
+    /// Requests rejected for declared bodies over the cap
+    /// (`server.body_too_large_total`).
+    pub body_too_large_total: Counter,
+    /// Responses by status class, index `status/100 - 1`
+    /// (`server.responses_total{class="2xx"}` …).
+    pub responses_by_class: [Counter; 5],
+}
+
+impl ServerMetrics {
+    /// Registers (or re-fetches) every server metric on `registry`.
+    pub fn register(registry: &Arc<Registry>) -> Arc<Self> {
+        let class_counter =
+            |class: &str| registry.counter_with("server.responses_total", &[("class", class)]);
+        Arc::new(Self {
+            registry: Arc::clone(registry),
+            accepted_total: registry.counter("server.accepted_total"),
+            accept_queue_depth: registry.gauge("server.accept_queue_depth"),
+            workers_total: registry.gauge("server.workers_total"),
+            workers_busy: registry.gauge("server.workers_busy"),
+            connections_total: registry.counter("server.connections_total"),
+            handler_panics: registry.counter("server.handler_panics"),
+            parse_errors_total: registry.counter("server.parse_errors_total"),
+            timeout_errors_total: registry.counter("server.timeout_errors_total"),
+            body_too_large_total: registry.counter("server.body_too_large_total"),
+            responses_by_class: [
+                class_counter("1xx"),
+                class_counter("2xx"),
+                class_counter("3xx"),
+                class_counter("4xx"),
+                class_counter("5xx"),
+            ],
+        })
+    }
+
+    /// The registry the metrics live in.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Counts a response under its status class.
+    pub fn record_response(&self, status: u16) {
+        let class = (status / 100).clamp(1, 5) as usize - 1;
+        self.responses_by_class[class].inc();
+    }
+
+    /// Counts a handler panic and records the evidence as a structured
+    /// event instead of silently converting it to a 500.
+    pub fn record_panic(&self, method: &str, path: &str, message: &str) {
+        self.handler_panics.inc();
+        self.registry.event(
+            EventLevel::Error,
+            "server",
+            "handler panicked",
+            &[("method", method), ("path", path), ("panic", message)],
+        );
+    }
+}
+
+/// Extracts a printable message from a panic payload.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_and_status_classes() {
+        let registry = Arc::new(Registry::new());
+        let m = ServerMetrics::register(&registry);
+        m.record_response(200);
+        m.record_response(201);
+        m.record_response(404);
+        m.record_response(500);
+        assert_eq!(registry.counter_value("server.responses_total", &[("class", "2xx")]), Some(2));
+        assert_eq!(registry.counter_value("server.responses_total", &[("class", "4xx")]), Some(1));
+        assert_eq!(registry.counter_value("server.responses_total", &[("class", "5xx")]), Some(1));
+        // Registering twice returns the same underlying counters.
+        let again = ServerMetrics::register(&registry);
+        again.record_response(204);
+        assert_eq!(registry.counter_value("server.responses_total", &[("class", "2xx")]), Some(3));
+    }
+
+    #[test]
+    fn panics_leave_evidence() {
+        let registry = Arc::new(Registry::new());
+        let m = ServerMetrics::register(&registry);
+        m.record_panic("GET", "/api/tests/t1", "index out of bounds");
+        assert_eq!(m.handler_panics.get(), 1);
+        let events = registry.events().all();
+        assert_eq!(events.len(), 1);
+        assert!(events[0].to_line().contains("handler panicked"));
+        assert!(events[0].to_line().contains("/api/tests/t1"));
+    }
+
+    #[test]
+    fn panic_message_extraction() {
+        let payload: Box<dyn std::any::Any + Send> = Box::new("boom");
+        assert_eq!(panic_message(payload.as_ref()), "boom");
+        let payload: Box<dyn std::any::Any + Send> = Box::new("fmt".to_string());
+        assert_eq!(panic_message(payload.as_ref()), "fmt");
+        let payload: Box<dyn std::any::Any + Send> = Box::new(42u32);
+        assert_eq!(panic_message(payload.as_ref()), "non-string panic payload");
+    }
+}

@@ -1,6 +1,7 @@
 //! Method + path-pattern routing.
 
 use crate::http::{Method, Request, Response, StatusCode};
+use kscope_telemetry::{Counter, Histogram, Registry};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -30,10 +31,30 @@ impl Params {
 /// A request handler.
 pub type Handler = Arc<dyn Fn(&Request, &Params) -> Response + Send + Sync>;
 
+/// Per-route telemetry handles, registered once when a registry is
+/// attached — request-time updates are pure atomics.
+#[derive(Debug, Clone)]
+struct RouteMetrics {
+    requests: Counter,
+    latency: Histogram,
+}
+
+impl RouteMetrics {
+    fn register(registry: &Registry, method: Method, pattern: &str) -> Self {
+        let labels = [("method", method.as_str()), ("route", pattern)];
+        Self {
+            requests: registry.counter_with("server.requests_total", &labels),
+            latency: registry.histogram_with("server.handler_latency_us", &labels),
+        }
+    }
+}
+
 struct Route {
     method: Method,
+    pattern: String,
     segments: Vec<Segment>,
     handler: Handler,
+    metrics: Option<RouteMetrics>,
 }
 
 enum Segment {
@@ -47,9 +68,15 @@ enum Segment {
 ///
 /// Patterns: literal segments, `:name` captures, and a trailing `*name`
 /// wildcard, e.g. `/api/tests/:id/pages/*file`.
+///
+/// Attach a [`Registry`] with [`Router::set_telemetry`] to count requests
+/// and time handlers per route (`server.requests_total` /
+/// `server.handler_latency_us`, labelled by method and route pattern).
 #[derive(Default)]
 pub struct Router {
     routes: Vec<Route>,
+    telemetry: Option<Arc<Registry>>,
+    unrouted: Option<Counter>,
 }
 
 impl std::fmt::Debug for Router {
@@ -90,8 +117,36 @@ impl Router {
         if let Some(pos) = segments.iter().position(|s| matches!(s, Segment::Wildcard(_))) {
             assert_eq!(pos, segments.len() - 1, "wildcard must be the last segment");
         }
-        self.routes.push(Route { method, segments, handler: Arc::new(handler) });
+        let metrics = self
+            .telemetry
+            .as_ref()
+            .map(|registry| RouteMetrics::register(registry, method, pattern));
+        self.routes.push(Route {
+            method,
+            pattern: pattern.to_string(),
+            segments,
+            handler: Arc::new(handler),
+            metrics,
+        });
         self
+    }
+
+    /// Attaches a metric registry: every already-registered route (and any
+    /// added later) gets a request counter and a handler-latency histogram
+    /// labelled `{method, route}`; unmatched requests are counted under
+    /// `server.unrouted_total`. Idempotent for a given registry — handles
+    /// are looked up by name, so re-attaching reuses the same metrics.
+    pub fn set_telemetry(&mut self, registry: &Arc<Registry>) {
+        for route in &mut self.routes {
+            route.metrics = Some(RouteMetrics::register(registry, route.method, &route.pattern));
+        }
+        self.unrouted = Some(registry.counter("server.unrouted_total"));
+        self.telemetry = Some(Arc::clone(registry));
+    }
+
+    /// The attached registry, if any.
+    pub fn telemetry(&self) -> Option<&Arc<Registry>> {
+        self.telemetry.as_ref()
     }
 
     /// Convenience for GET routes.
@@ -117,10 +172,19 @@ impl Router {
         for route in &self.routes {
             if let Some(params) = match_segments(&route.segments, &req.path) {
                 if route.method == req.method {
-                    return (route.handler)(req, &params);
+                    let timer = route.metrics.as_ref().map(|m| {
+                        m.requests.inc();
+                        m.latency.start_timer()
+                    });
+                    let response = (route.handler)(req, &params);
+                    drop(timer);
+                    return response;
                 }
                 saw_path_match = true;
             }
+        }
+        if let Some(unrouted) = &self.unrouted {
+            unrouted.inc();
         }
         if saw_path_match {
             Response::json_with_status(
@@ -271,5 +335,38 @@ mod tests {
         let mut r = Router::new();
         r.get("/files/*file", ok("files"));
         assert_eq!(r.dispatch(&req(Method::Get, "/files")).status, StatusCode::NOT_FOUND);
+    }
+
+    #[test]
+    fn telemetry_counts_per_route_and_unrouted() {
+        let registry = Arc::new(Registry::new());
+        let mut r = Router::new();
+        r.get("/a/:id", ok("a"));
+        r.set_telemetry(&registry);
+        // Routes added after attach are instrumented too.
+        r.get("/b", ok("b"));
+
+        r.dispatch(&req(Method::Get, "/a/1"));
+        r.dispatch(&req(Method::Get, "/a/2"));
+        r.dispatch(&req(Method::Get, "/b"));
+        r.dispatch(&req(Method::Get, "/nope"));
+
+        let route_a = [("method", "GET"), ("route", "/a/:id")];
+        assert_eq!(registry.counter_value("server.requests_total", &route_a), Some(2));
+        assert_eq!(
+            registry.counter_value("server.requests_total", &[("method", "GET"), ("route", "/b")]),
+            Some(1)
+        );
+        assert_eq!(registry.counter_value("server.unrouted_total", &[]), Some(1));
+        // Handler latency observed once per dispatch.
+        let snap = registry.snapshot();
+        let (_, hist) = snap
+            .histograms
+            .iter()
+            .find(|(k, _)| {
+                k.name == "server.handler_latency_us" && k.labels.iter().any(|(_, v)| v == "/a/:id")
+            })
+            .expect("latency histogram registered");
+        assert_eq!(hist.count(), 2);
     }
 }

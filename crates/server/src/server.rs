@@ -5,8 +5,10 @@
 //! for our request/response workload.
 
 use crate::http::{HttpParseError, Request, Response, StatusCode};
+use crate::metrics::{panic_message, ServerMetrics};
 use crate::router::Router;
 use crossbeam::channel::{bounded, Sender};
+use kscope_telemetry::Registry;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -43,7 +45,36 @@ impl HttpServer {
         router: Router,
         worker_count: usize,
     ) -> std::io::Result<Self> {
+        Self::bind_with_telemetry(addr, router, worker_count, None)
+    }
+
+    /// Like [`HttpServer::bind`], but instruments the server on `registry`
+    /// when one is given: per-route request counters and latency
+    /// histograms (via [`Router::set_telemetry`]), accept-queue depth,
+    /// worker utilization, status-class response counters, parse/timeout
+    /// error counters, and a handler-panic counter with structured panic
+    /// events.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker_count == 0`.
+    pub fn bind_with_telemetry<A: ToSocketAddrs>(
+        addr: A,
+        mut router: Router,
+        worker_count: usize,
+        registry: Option<Arc<Registry>>,
+    ) -> std::io::Result<Self> {
         assert!(worker_count > 0, "need at least one worker");
+        let metrics = registry.as_ref().map(|registry| {
+            router.set_telemetry(registry);
+            let m = ServerMetrics::register(registry);
+            m.workers_total.set(worker_count as i64);
+            m
+        });
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -54,9 +85,18 @@ impl HttpServer {
             .map(|_| {
                 let rx = rx.clone();
                 let router = Arc::clone(&router);
+                let metrics = metrics.clone();
                 std::thread::spawn(move || {
                     while let Ok(stream) = rx.recv() {
-                        handle_connection(stream, &router);
+                        if let Some(m) = &metrics {
+                            m.accept_queue_depth.dec();
+                            m.workers_busy.inc();
+                            m.connections_total.inc();
+                        }
+                        handle_connection(stream, &router, metrics.as_deref());
+                        if let Some(m) = &metrics {
+                            m.workers_busy.dec();
+                        }
                     }
                 })
             })
@@ -64,8 +104,9 @@ impl HttpServer {
 
         let acceptor = {
             let stop = Arc::clone(&stop);
+            let metrics = metrics.clone();
             std::thread::spawn(move || {
-                accept_loop(listener, tx, stop);
+                accept_loop(listener, tx, stop, metrics);
             })
         };
 
@@ -104,7 +145,12 @@ impl Drop for HttpServer {
     }
 }
 
-fn accept_loop(listener: TcpListener, tx: Sender<TcpStream>, stop: Arc<AtomicBool>) {
+fn accept_loop(
+    listener: TcpListener,
+    tx: Sender<TcpStream>,
+    stop: Arc<AtomicBool>,
+    metrics: Option<Arc<ServerMetrics>>,
+) {
     for stream in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
             break;
@@ -113,6 +159,10 @@ fn accept_loop(listener: TcpListener, tx: Sender<TcpStream>, stop: Arc<AtomicBoo
             Ok(s) => {
                 let _ = s.set_read_timeout(Some(IO_TIMEOUT));
                 let _ = s.set_write_timeout(Some(IO_TIMEOUT));
+                if let Some(m) = &metrics {
+                    m.accepted_total.inc();
+                    m.accept_queue_depth.inc();
+                }
                 if tx.send(s).is_err() {
                     break;
                 }
@@ -123,7 +173,7 @@ fn accept_loop(listener: TcpListener, tx: Sender<TcpStream>, stop: Arc<AtomicBoo
     // Dropping tx closes the channel and lets workers exit.
 }
 
-fn handle_connection(stream: TcpStream, router: &Router) {
+fn handle_connection(stream: TcpStream, router: &Router, metrics: Option<&ServerMetrics>) {
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
@@ -132,9 +182,18 @@ fn handle_connection(stream: TcpStream, router: &Router) {
     let response = match Request::read_from(&mut reader, MAX_BODY_BYTES) {
         Ok(req) => {
             // A panicking handler must not take the worker thread (and its
-            // slot in the pool) down with it: convert panics into 500s.
+            // slot in the pool) down with it: convert panics into 500s —
+            // but never silently. The panic is counted and its message
+            // kept as a structured event for the operator.
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| router.dispatch(&req)))
-                .unwrap_or_else(|_| {
+                .unwrap_or_else(|payload| {
+                    if let Some(m) = metrics {
+                        m.record_panic(
+                            req.method.as_str(),
+                            &req.path,
+                            &panic_message(payload.as_ref()),
+                        );
+                    }
                     Response::json_with_status(
                         StatusCode::INTERNAL_SERVER_ERROR,
                         &serde_json::json!({ "error": "internal server error" }),
@@ -142,12 +201,36 @@ fn handle_connection(stream: TcpStream, router: &Router) {
                 })
         }
         Err(HttpParseError::ConnectionClosed) => return,
-        Err(HttpParseError::BodyTooLarge(_)) => Response::json_with_status(
-            StatusCode(413),
-            &serde_json::json!({ "error": "body too large" }),
-        ),
-        Err(_) => Response::bad_request("malformed request"),
+        Err(HttpParseError::BodyTooLarge(_)) => {
+            if let Some(m) = metrics {
+                m.body_too_large_total.inc();
+            }
+            Response::json_with_status(
+                StatusCode(413),
+                &serde_json::json!({ "error": "body too large" }),
+            )
+        }
+        Err(HttpParseError::Io(e)) => {
+            if let Some(m) = metrics {
+                if matches!(e.kind(), std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock)
+                {
+                    m.timeout_errors_total.inc();
+                } else {
+                    m.parse_errors_total.inc();
+                }
+            }
+            Response::bad_request("malformed request")
+        }
+        Err(_) => {
+            if let Some(m) = metrics {
+                m.parse_errors_total.inc();
+            }
+            Response::bad_request("malformed request")
+        }
     };
+    if let Some(m) = metrics {
+        m.record_response(response.status.0);
+    }
     let _ = response.write_to(&mut writer);
 }
 

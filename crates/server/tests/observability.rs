@@ -1,0 +1,192 @@
+//! End-to-end observability: the instrumented server must expose accurate
+//! Prometheus metrics and health under real concurrent load over TCP.
+
+use kscope_server::api::CoreServerApi;
+use kscope_server::{client, HttpServer, Response, Router};
+use kscope_store::{Database, GridStore};
+use kscope_telemetry::Registry;
+use std::sync::Arc;
+
+const CLIENTS: usize = 8;
+const REQUESTS_PER_CLIENT: usize = 10;
+
+fn start_instrumented() -> (HttpServer, std::net::SocketAddr, Arc<Registry>) {
+    let registry = Arc::new(Registry::new());
+    let api =
+        CoreServerApi::new(Database::new(), GridStore::new()).with_telemetry(Arc::clone(&registry));
+    let server = HttpServer::bind_with_telemetry(
+        "127.0.0.1:0",
+        api.into_router(),
+        4,
+        Some(Arc::clone(&registry)),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    (server, addr, registry)
+}
+
+/// Pulls one metric sample line (`name{labels} value`) out of an
+/// exposition body.
+fn sample<'a>(body: &'a str, line_start: &str) -> Option<&'a str> {
+    body.lines().find(|l| l.starts_with(line_start))
+}
+
+fn sample_value(body: &str, line_start: &str) -> Option<f64> {
+    sample(body, line_start).and_then(|l| l.rsplit(' ').next()).and_then(|v| v.parse().ok())
+}
+
+#[test]
+fn metrics_endpoint_reports_concurrent_load() {
+    let (server, addr, _registry) = start_instrumented();
+
+    // 8 clients hammer /api/tests concurrently through the real TCP stack.
+    std::thread::scope(|s| {
+        for _ in 0..CLIENTS {
+            s.spawn(move || {
+                for _ in 0..REQUESTS_PER_CLIENT {
+                    let resp = client::get(addr, "/api/tests").unwrap();
+                    assert_eq!(resp.status.0, 200);
+                }
+            });
+        }
+    });
+
+    let resp = client::get(addr, "/metrics").unwrap();
+    assert_eq!(resp.status.0, 200);
+    let content_type = resp
+        .headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-type"))
+        .map(|(_, v)| v.as_str())
+        .unwrap_or_default();
+    assert!(content_type.starts_with("text/plain"), "got {content_type}");
+    let body = String::from_utf8(resp.body.clone()).unwrap();
+
+    let total = (CLIENTS * REQUESTS_PER_CLIENT) as f64;
+    // Per-route request counter: every one of the 80 requests is there.
+    assert_eq!(
+        sample_value(&body, "kscope_server_requests_total{method=\"GET\",route=\"/api/tests\"}"),
+        Some(total),
+        "exposition was:\n{body}"
+    );
+    // Per-route latency histogram: +Inf bucket and _count agree with the
+    // request count, and the sum line exists.
+    assert_eq!(
+        sample_value(
+            &body,
+            "kscope_server_handler_latency_us_bucket{method=\"GET\",route=\"/api/tests\",le=\"+Inf\"}"
+        ),
+        Some(total)
+    );
+    assert_eq!(
+        sample_value(
+            &body,
+            "kscope_server_handler_latency_us_count{method=\"GET\",route=\"/api/tests\"}"
+        ),
+        Some(total)
+    );
+    assert!(sample(
+        &body,
+        "kscope_server_handler_latency_us_sum{method=\"GET\",route=\"/api/tests\"}"
+    )
+    .is_some());
+    // Status-class accounting covers at least those 80 OK responses.
+    assert!(sample_value(&body, "kscope_server_responses_total{class=\"2xx\"}").unwrap() >= total);
+    // Server lifecycle metrics.
+    assert!(sample_value(&body, "kscope_server_accepted_total").unwrap() >= total);
+    assert_eq!(sample_value(&body, "kscope_server_workers_total"), Some(4.0));
+    assert!(sample_value(&body, "kscope_uptime_seconds").unwrap() >= 0.0);
+
+    // The exposition format itself is well-formed: every sample line is
+    // `name{labels} value` with a parseable number, every # line is HELP
+    // or TYPE.
+    for line in body.lines() {
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            assert!(
+                rest.starts_with("HELP") || rest.starts_with("TYPE"),
+                "bad comment line: {line}"
+            );
+        } else {
+            let (name_part, value) = line.rsplit_once(' ').expect("sample has a value");
+            assert!(value.parse::<f64>().is_ok(), "unparseable value in line: {line}");
+            let name = name_part.split('{').next().unwrap();
+            assert!(
+                name.starts_with("kscope_")
+                    && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "bad metric name in line: {line}"
+            );
+        }
+    }
+
+    // A second scrape shows the first one counted: /metrics is a route too.
+    let resp2 = client::get(addr, "/metrics").unwrap();
+    let body2 = String::from_utf8(resp2.body.clone()).unwrap();
+    assert!(
+        sample_value(&body2, "kscope_server_requests_total{method=\"GET\",route=\"/metrics\"}")
+            .unwrap()
+            >= 1.0
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn healthz_reports_workers_and_uptime() {
+    let (server, addr, _registry) = start_instrumented();
+    let resp = client::get(addr, "/healthz").unwrap();
+    assert_eq!(resp.status.0, 200);
+    let body = resp.json_body().unwrap();
+    assert_eq!(body["ok"], serde_json::json!(true));
+    assert!(body["uptime_s"].as_f64().unwrap() >= 0.0);
+    assert_eq!(body["workers"]["total"], serde_json::json!(4));
+    // The worker answering /healthz is busy right now; busy + idle = total.
+    let busy = body["workers"]["busy"].as_i64().unwrap();
+    let idle = body["workers"]["idle"].as_i64().unwrap();
+    assert!(busy >= 1, "the answering worker counts itself: {body}");
+    assert_eq!(busy + idle, 4);
+    assert_eq!(body["handler_panics"], serde_json::json!(0));
+    server.shutdown();
+}
+
+#[test]
+fn panics_and_unrouted_requests_are_counted() {
+    let registry = Arc::new(Registry::new());
+    let mut router = Router::new();
+    router.get("/boom", |_r, _p| -> Response { panic!("instrumented explosion") });
+    let server =
+        HttpServer::bind_with_telemetry("127.0.0.1:0", router, 2, Some(Arc::clone(&registry)))
+            .unwrap();
+    let addr = server.local_addr();
+
+    assert_eq!(client::get(addr, "/boom").unwrap().status.0, 500);
+    assert_eq!(client::get(addr, "/nowhere").unwrap().status.0, 404);
+
+    assert_eq!(registry.counter_value("server.handler_panics", &[]), Some(1));
+    assert_eq!(registry.counter_value("server.unrouted_total", &[]), Some(1));
+    // The panic left a structured event carrying the message.
+    let events = registry.events().recent(16);
+    assert!(
+        events.iter().any(|e| e.message.contains("panic")
+            && e.fields.iter().any(|(_, v)| v.contains("instrumented explosion"))),
+        "events were: {events:?}"
+    );
+    // 5xx and 4xx status classes both landed.
+    assert_eq!(registry.counter_value("server.responses_total", &[("class", "5xx")]), Some(1));
+    assert_eq!(registry.counter_value("server.responses_total", &[("class", "4xx")]), Some(1));
+    server.shutdown();
+}
+
+#[test]
+fn uninstrumented_server_still_serves() {
+    // The telemetry layer is strictly optional: HttpServer::bind keeps the
+    // seed behaviour, including the plain /healthz body.
+    let api = CoreServerApi::new(Database::new(), GridStore::new());
+    let server = HttpServer::bind("127.0.0.1:0", api.into_router(), 2).unwrap();
+    let addr = server.local_addr();
+    let health = client::get(addr, "/healthz").unwrap();
+    assert_eq!(health.json_body().unwrap(), serde_json::json!({ "ok": true }));
+    // Without a registry there is no /metrics route.
+    assert_eq!(client::get(addr, "/metrics").unwrap().status.0, 404);
+    server.shutdown();
+}

@@ -51,10 +51,7 @@ fn garbage_requests_get_400_or_closed() {
 #[test]
 fn oversized_body_is_rejected_cleanly() {
     let (server, addr) = start();
-    let huge = format!(
-        "POST /api/tests HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
-        usize::MAX / 2
-    );
+    let huge = format!("POST /api/tests HTTP/1.1\r\ncontent-length: {}\r\n\r\n", usize::MAX / 2);
     let reply = send_raw(addr, huge.as_bytes());
     let text = String::from_utf8_lossy(&reply);
     assert!(text.starts_with("HTTP/1.1 413"), "got: {text}");

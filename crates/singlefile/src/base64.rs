@@ -66,8 +66,8 @@ pub fn decode(text: &str) -> Result<Vec<u8>, DecodeBase64Error> {
                     // Data after padding is malformed.
                     return Err(DecodeBase64Error { position: chunk_idx * 4 + i });
                 }
-                vals[i] = decode_char(b)
-                    .ok_or(DecodeBase64Error { position: chunk_idx * 4 + i })?;
+                vals[i] =
+                    decode_char(b).ok_or(DecodeBase64Error { position: chunk_idx * 4 + i })?;
             }
         }
         let triple = (vals[0] << 18) | (vals[1] << 12) | (vals[2] << 6) | vals[3];

@@ -104,10 +104,7 @@ impl<'a> Inliner<'a> {
             .filter(|&id| {
                 let el = doc.element(id).expect("elements() yields elements");
                 el.name == "link"
-                    && el
-                        .attr("rel")
-                        .map(|r| r.eq_ignore_ascii_case("stylesheet"))
-                        .unwrap_or(false)
+                    && el.attr("rel").map(|r| r.eq_ignore_ascii_case("stylesheet")).unwrap_or(false)
                     && el.attr("href").is_some()
             })
             .collect();
@@ -339,7 +336,7 @@ mod tests {
             "text/css",
             b"body { background: url(../img/bg.png); }".to_vec(),
         );
-        s.insert("page/js/app.js", "text/javascript", b"console.log(1);".to_vec(),);
+        s.insert("page/js/app.js", "text/javascript", b"console.log(1);".to_vec());
         s.insert("page/img/photo.jpg", "image/jpeg", vec![0xff, 0xd8, 0xff]);
         s.insert("page/img/bg.png", "image/png", vec![0x89, 0x50]);
         s
@@ -422,11 +419,7 @@ mod tests {
     #[test]
     fn import_chains_flattened() {
         let mut s = ResourceStore::new();
-        s.insert(
-            "p/i.html",
-            "text/html",
-            br#"<link rel="stylesheet" href="a.css">"#.to_vec(),
-        );
+        s.insert("p/i.html", "text/html", br#"<link rel="stylesheet" href="a.css">"#.to_vec());
         s.insert("p/a.css", "text/css", b"@import \"b.css\";\n.a { x: 1 }".to_vec());
         s.insert("p/b.css", "text/css", b".b { y: 2 }".to_vec());
         let out = Inliner::new(&s).inline("p/i.html").unwrap();

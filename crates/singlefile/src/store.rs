@@ -31,12 +31,7 @@ impl ResourceStore {
 
     /// Inserts a resource under a path (normalized). Replaces any previous
     /// entry and returns it.
-    pub fn insert(
-        &mut self,
-        path: &str,
-        mime: &str,
-        data: impl Into<Bytes>,
-    ) -> Option<Resource> {
+    pub fn insert(&mut self, path: &str, mime: &str, data: impl Into<Bytes>) -> Option<Resource> {
         self.entries
             .insert(normalize_path(path), Resource { mime: mime.to_string(), data: data.into() })
     }
@@ -70,10 +65,7 @@ impl ResourceStore {
     /// Paths under a folder prefix (normalized), e.g. `"page/"`.
     pub fn paths_under<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a str> + 'a {
         let norm = normalize_path(prefix);
-        self.entries
-            .keys()
-            .filter(move |k| k.starts_with(&norm))
-            .map(String::as_str)
+        self.entries.keys().filter(move |k| k.starts_with(&norm)).map(String::as_str)
     }
 
     /// Number of resources.

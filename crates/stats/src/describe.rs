@@ -41,19 +41,9 @@ impl Summary {
         };
         let mut sorted = sample.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        let median = if n % 2 == 1 {
-            sorted[n / 2]
-        } else {
-            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
-        };
-        Self {
-            n,
-            mean,
-            std_dev: var.sqrt(),
-            min: sorted[0],
-            median,
-            max: sorted[n - 1],
-        }
+        let median =
+            if n % 2 == 1 { sorted[n / 2] } else { (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0 };
+        Self { n, mean, std_dev: var.sqrt(), min: sorted[0], median, max: sorted[n - 1] }
     }
 }
 

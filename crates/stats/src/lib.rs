@@ -31,5 +31,7 @@ pub mod tests;
 pub use describe::Summary;
 pub use dist::{Binomial, ChiSquared, Normal};
 pub use ecdf::Ecdf;
-pub use rank::{borda_ranking, bradley_terry, fleiss_kappa, kendall_tau, majority_vote, PairwiseMatrix};
+pub use rank::{
+    borda_ranking, bradley_terry, fleiss_kappa, kendall_tau, majority_vote, PairwiseMatrix,
+};
 pub use tests::{two_proportion_z_test, Tail, TestResult};

@@ -314,8 +314,7 @@ pub fn fleiss_kappa(counts: &[Vec<u64>]) -> f64 {
     // Chance agreement from the category marginals.
     let p_e: f64 = (0..categories)
         .map(|j| {
-            let share: f64 =
-                counts.iter().map(|row| row[j] as f64).sum::<f64>() / (subjects * n_f);
+            let share: f64 = counts.iter().map(|row| row[j] as f64).sum::<f64>() / (subjects * n_f);
             share * share
         })
         .sum();

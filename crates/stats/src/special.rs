@@ -78,7 +78,7 @@ fn erfc_positive(x: f64) -> f64 {
         d = ty * d - dd + c;
         dd = tmp;
     }
-    
+
     t * (-z * z + 0.5 * (COF[0] + ty * d) - dd).exp()
 }
 

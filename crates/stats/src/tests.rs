@@ -99,11 +99,7 @@ pub fn binomial_test(k: u64, n: u64, p0: f64, tail: Tail) -> TestResult {
         Tail::TwoSided => {
             // Sum all outcomes at most as likely as the observed one.
             let pk = b.pmf(k);
-            (0..=n)
-                .map(|i| b.pmf(i))
-                .filter(|&p| p <= pk * (1.0 + 1e-12))
-                .sum::<f64>()
-                .min(1.0)
+            (0..=n).map(|i| b.pmf(i)).filter(|&p| p <= pk * (1.0 + 1e-12)).sum::<f64>().min(1.0)
         }
     };
     TestResult { statistic: k as f64, p_value }

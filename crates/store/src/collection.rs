@@ -1,11 +1,12 @@
 //! A schemaless collection of JSON documents.
 
 use crate::filter::{matches_filter, set_path};
+use kscope_telemetry::{Counter, Histogram, Registry};
 use parking_lot::RwLock;
 use serde_json::Value;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// A document identifier assigned on insert (`_id` field).
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -30,6 +31,32 @@ impl From<ObjectId> for Value {
     }
 }
 
+/// Per-collection operation metrics, attached at most once per collection
+/// (see [`Collection::attach_metrics`]). Reads go through a `OnceLock`, so
+/// instrumented operations never take an extra lock — counter and
+/// histogram updates are plain atomics.
+#[derive(Debug)]
+pub(crate) struct CollectionMetrics {
+    inserts: Counter,
+    finds: Counter,
+    updates: Counter,
+    deletes: Counter,
+    op_latency: Histogram,
+}
+
+impl CollectionMetrics {
+    fn register(registry: &Registry, collection: &str) -> Self {
+        let labels = [("collection", collection)];
+        Self {
+            inserts: registry.counter_with("store.inserts_total", &labels),
+            finds: registry.counter_with("store.finds_total", &labels),
+            updates: registry.counter_with("store.updates_total", &labels),
+            deletes: registry.counter_with("store.deletes_total", &labels),
+            op_latency: registry.histogram_with("store.op_latency_us", &labels),
+        }
+    }
+}
+
 /// A thread-safe, schemaless document collection.
 ///
 /// Documents are JSON objects; inserting a non-object wraps it under a
@@ -43,6 +70,7 @@ pub struct Collection {
 struct CollectionInner {
     docs: RwLock<Vec<Value>>,
     next_id: AtomicU64,
+    metrics: OnceLock<CollectionMetrics>,
 }
 
 impl Collection {
@@ -51,9 +79,35 @@ impl Collection {
         Self::default()
     }
 
+    /// Attaches per-collection operation metrics (`store.inserts_total`,
+    /// `store.finds_total`, `store.updates_total`, `store.deletes_total`,
+    /// and the `store.op_latency_us` histogram, all labelled
+    /// `{collection}`). A no-op if metrics are already attached.
+    pub fn attach_metrics(&self, registry: &Registry, collection: &str) {
+        let _ = self.inner.metrics.set(CollectionMetrics::register(registry, collection));
+    }
+
+    /// Whether operation metrics are attached.
+    pub fn has_metrics(&self) -> bool {
+        self.inner.metrics.get().is_some()
+    }
+
+    /// Counts one op on `counter` and returns a latency timer for it, when
+    /// metrics are attached.
+    fn observe_op(
+        &self,
+        counter: impl Fn(&CollectionMetrics) -> &Counter,
+    ) -> Option<kscope_telemetry::ScopedTimer> {
+        self.inner.metrics.get().map(|m| {
+            counter(m).inc();
+            m.op_latency.start_timer()
+        })
+    }
+
     /// Inserts one document, assigning and returning its `_id` (any `_id`
     /// already present is preserved and returned instead).
     pub fn insert_one(&self, mut doc: Value) -> ObjectId {
+        let _timer = self.observe_op(|m| &m.inserts);
         if !doc.is_object() {
             doc = serde_json::json!({ "value": doc });
         }
@@ -78,17 +132,13 @@ impl Collection {
 
     /// All documents matching `filter`, in insertion order (cloned).
     pub fn find(&self, filter: &Value) -> Vec<Value> {
-        self.inner
-            .docs
-            .read()
-            .iter()
-            .filter(|d| matches_filter(d, filter))
-            .cloned()
-            .collect()
+        let _timer = self.observe_op(|m| &m.finds);
+        self.inner.docs.read().iter().filter(|d| matches_filter(d, filter)).cloned().collect()
     }
 
     /// The first matching document.
     pub fn find_one(&self, filter: &Value) -> Option<Value> {
+        let _timer = self.observe_op(|m| &m.finds);
         self.inner.docs.read().iter().find(|d| matches_filter(d, filter)).cloned()
     }
 
@@ -99,6 +149,7 @@ impl Collection {
 
     /// Number of matching documents.
     pub fn count(&self, filter: &Value) -> usize {
+        let _timer = self.observe_op(|m| &m.finds);
         self.inner.docs.read().iter().filter(|d| matches_filter(d, filter)).count()
     }
 
@@ -116,6 +167,7 @@ impl Collection {
     /// (no `$set`) replace matched documents wholesale, keeping their `_id`.
     /// Returns the number of documents updated.
     pub fn update_many(&self, filter: &Value, update: &Value) -> usize {
+        let _timer = self.observe_op(|m| &m.updates);
         let mut docs = self.inner.docs.write();
         let mut n = 0;
         for doc in docs.iter_mut() {
@@ -140,6 +192,7 @@ impl Collection {
 
     /// Deletes matching documents, returning how many were removed.
     pub fn delete_many(&self, filter: &Value) -> usize {
+        let _timer = self.observe_op(|m| &m.deletes);
         let mut docs = self.inner.docs.write();
         let before = docs.len();
         docs.retain(|d| !matches_filter(d, filter));
@@ -213,7 +266,10 @@ mod tests {
     fn update_set_and_replace() {
         let c = Collection::new();
         let id = c.insert_one(json!({"status": "open", "meta": {"tries": 0}}));
-        let n = c.update_many(&json!({"status": "open"}), &json!({"$set": {"status": "done", "meta.tries": 3}}));
+        let n = c.update_many(
+            &json!({"status": "open"}),
+            &json!({"$set": {"status": "done", "meta.tries": 3}}),
+        );
         assert_eq!(n, 1);
         let doc = c.find_by_id(&id).unwrap();
         assert_eq!(doc["status"], json!("done"));
@@ -258,14 +314,52 @@ mod tests {
         });
         assert_eq!(c.len(), 800);
         // All ids unique.
-        let mut ids: Vec<String> = c
-            .all()
-            .iter()
-            .map(|d| d["_id"].as_str().unwrap().to_string())
-            .collect();
+        let mut ids: Vec<String> =
+            c.all().iter().map(|d| d["_id"].as_str().unwrap().to_string()).collect();
         ids.sort();
         ids.dedup();
         assert_eq!(ids.len(), 800);
+    }
+
+    #[test]
+    fn metrics_count_operations() {
+        let registry = Registry::new();
+        let c = Collection::new();
+        c.attach_metrics(&registry, "tests");
+        assert!(c.has_metrics());
+        c.insert_one(json!({"k": 1}));
+        c.insert_many(vec![json!({"k": 2}), json!({"k": 3})]);
+        c.find(&json!({"k": {"$gte": 2}}));
+        c.find_one(&json!({"k": 1}));
+        c.count(&json!({}));
+        c.update_many(&json!({"k": 1}), &json!({"$set": {"k": 9}}));
+        c.delete_many(&json!({"k": 2}));
+
+        let labels = [("collection", "tests")];
+        assert_eq!(registry.counter_value("store.inserts_total", &labels), Some(3));
+        assert_eq!(registry.counter_value("store.finds_total", &labels), Some(3));
+        assert_eq!(registry.counter_value("store.updates_total", &labels), Some(1));
+        assert_eq!(registry.counter_value("store.deletes_total", &labels), Some(1));
+        let snap = registry.snapshot();
+        let (_, hist) = snap
+            .histograms
+            .iter()
+            .find(|(k, _)| k.name == "store.op_latency_us")
+            .expect("latency histogram registered");
+        // 3 inserts (insert_many delegates per-document) + find + find_one
+        // + count + update_many + delete_many = 8 observations.
+        assert_eq!(hist.count(), 8, "every instrumented op observes latency");
+        // Re-attaching is a no-op, not a reset.
+        c.attach_metrics(&registry, "tests");
+        assert_eq!(registry.counter_value("store.inserts_total", &labels), Some(3));
+    }
+
+    #[test]
+    fn uninstrumented_collections_pay_nothing() {
+        let c = Collection::new();
+        assert!(!c.has_metrics());
+        c.insert_one(json!({"x": 1}));
+        assert_eq!(c.len(), 1);
     }
 
     #[test]

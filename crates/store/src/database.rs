@@ -1,13 +1,14 @@
 //! A named set of collections with JSONL persistence.
 
 use crate::collection::Collection;
+use kscope_telemetry::Registry;
 use parking_lot::RwLock;
 use serde_json::Value;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::io::{BufRead, Write};
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// A database: named [`Collection`]s, thread-safe, optionally persisted to a
 /// directory of JSONL files (one per collection).
@@ -18,6 +19,7 @@ use std::sync::Arc;
 #[derive(Debug, Clone, Default)]
 pub struct Database {
     collections: Arc<RwLock<BTreeMap<String, Collection>>>,
+    telemetry: Arc<OnceLock<Arc<Registry>>>,
 }
 
 impl Database {
@@ -26,12 +28,36 @@ impl Database {
         Self::default()
     }
 
+    /// Attaches a metric registry (builder style): existing collections
+    /// and every collection created later get per-collection operation
+    /// counters and an op-latency histogram (see
+    /// [`Collection::attach_metrics`]). All clones of this database share
+    /// the attachment; attaching twice keeps the first registry.
+    pub fn with_telemetry(self, registry: &Arc<Registry>) -> Self {
+        let _ = self.telemetry.set(Arc::clone(registry));
+        if let Some(registry) = self.telemetry.get() {
+            for (name, collection) in self.collections.read().iter() {
+                collection.attach_metrics(registry, name);
+            }
+        }
+        self
+    }
+
+    /// The attached registry, if any.
+    pub fn telemetry(&self) -> Option<&Arc<Registry>> {
+        self.telemetry.get()
+    }
+
     /// Gets (creating if needed) a collection by name.
     pub fn collection(&self, name: &str) -> Collection {
         if let Some(c) = self.collections.read().get(name) {
             return c.clone();
         }
-        self.collections.write().entry(name.to_string()).or_default().clone()
+        let c = self.collections.write().entry(name.to_string()).or_default().clone();
+        if let Some(registry) = self.telemetry.get() {
+            c.attach_metrics(registry, name);
+        }
+        c
     }
 
     /// Names of existing collections (sorted).
@@ -78,11 +104,7 @@ impl Database {
             if path.extension().and_then(|e| e.to_str()) != Some("jsonl") {
                 continue;
             }
-            let name = path
-                .file_stem()
-                .and_then(|s| s.to_str())
-                .unwrap_or("unnamed")
-                .to_string();
+            let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("unnamed").to_string();
             let file = std::fs::File::open(&path).map_err(PersistError::io)?;
             let reader = std::io::BufReader::new(file);
             let mut docs = Vec::new();
@@ -142,10 +164,8 @@ mod tests {
     use serde_json::json;
 
     fn tempdir(tag: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "kscope-store-test-{tag}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("kscope-store-test-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         dir
@@ -184,10 +204,7 @@ mod tests {
         let loaded = Database::load_from_dir(&dir).unwrap();
         assert_eq!(loaded.collection("tests").len(), 1);
         assert_eq!(loaded.collection("responses").len(), 2);
-        let doc = loaded
-            .collection("responses")
-            .find_one(&json!({"worker": "w2"}))
-            .unwrap();
+        let doc = loaded.collection("responses").find_one(&json!({"worker": "w2"})).unwrap();
         assert_eq!(doc["answer"], json!("Same"));
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -216,9 +233,33 @@ mod tests {
 
     #[test]
     fn load_missing_dir_is_io_error() {
-        let err =
-            Database::load_from_dir(Path::new("/nonexistent/kscope-db")).unwrap_err();
+        let err = Database::load_from_dir(Path::new("/nonexistent/kscope-db")).unwrap_err();
         assert!(matches!(err, PersistError::Io(_)));
+    }
+
+    #[test]
+    fn telemetry_covers_existing_and_future_collections() {
+        let registry = Arc::new(Registry::new());
+        let db = Database::new();
+        db.collection("before").insert_one(json!({"n": 1}));
+        let db = db.with_telemetry(&registry);
+
+        // The pre-existing collection was instrumented retroactively…
+        db.collection("before").insert_one(json!({"n": 2}));
+        // …and collections created after attachment are instrumented too,
+        // including through clones of the database handle.
+        let clone = db.clone();
+        clone.collection("after").insert_one(json!({"n": 3}));
+        clone.collection("after").find(&json!({"n": 3}));
+
+        let inserts =
+            |coll: &str| registry.counter_value("store.inserts_total", &[("collection", coll)]);
+        assert_eq!(inserts("before"), Some(1));
+        assert_eq!(inserts("after"), Some(1));
+        assert_eq!(
+            registry.counter_value("store.finds_total", &[("collection", "after")]),
+            Some(1)
+        );
     }
 
     #[test]

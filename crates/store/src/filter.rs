@@ -29,14 +29,12 @@ pub fn matches_filter(doc: &Value, filter: &Value) -> bool {
         None => return doc == filter,
     };
     obj.iter().all(|(key, cond)| match key.as_str() {
-        "$and" => cond
-            .as_array()
-            .map(|fs| fs.iter().all(|f| matches_filter(doc, f)))
-            .unwrap_or(false),
-        "$or" => cond
-            .as_array()
-            .map(|fs| fs.iter().any(|f| matches_filter(doc, f)))
-            .unwrap_or(false),
+        "$and" => {
+            cond.as_array().map(|fs| fs.iter().all(|f| matches_filter(doc, f))).unwrap_or(false)
+        }
+        "$or" => {
+            cond.as_array().map(|fs| fs.iter().any(|f| matches_filter(doc, f))).unwrap_or(false)
+        }
         "$not" => !matches_filter(doc, cond),
         _ => field_matches(lookup_path(doc, key), cond),
     })
@@ -74,9 +72,8 @@ pub fn set_path(doc: &mut Value, path: &str, value: Value) -> bool {
             map.insert((*seg).to_string(), value);
             return true;
         }
-        cur = map
-            .entry((*seg).to_string())
-            .or_insert_with(|| Value::Object(serde_json::Map::new()));
+        cur =
+            map.entry((*seg).to_string()).or_insert_with(|| Value::Object(serde_json::Map::new()));
     }
     false
 }

@@ -73,12 +73,7 @@ impl GridStore {
 
     /// Total bytes stored.
     pub fn total_bytes(&self) -> usize {
-        self.inner
-            .read()
-            .values()
-            .flat_map(|files| files.values())
-            .map(|b| b.len())
-            .sum()
+        self.inner.read().values().flat_map(|files| files.values()).map(|b| b.len()).sum()
     }
 
     /// Writes every file to `<dir>/<test_id>/<name>`.
@@ -181,8 +176,7 @@ mod tests {
 
     #[test]
     fn save_load_roundtrip() {
-        let dir = std::env::temp_dir()
-            .join(format!("kscope-grid-test-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("kscope-grid-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let g = GridStore::new();
         g.put("test-abc", "integrated-0.html", b"<html>0".to_vec());
@@ -192,10 +186,7 @@ mod tests {
 
         let loaded = GridStore::load_from_dir(&dir).unwrap();
         assert_eq!(loaded.test_ids(), vec!["test-abc".to_string(), "test-def".to_string()]);
-        assert_eq!(
-            loaded.get_text("test-abc", "integrated-1.html").as_deref(),
-            Some("<html>1")
-        );
+        assert_eq!(loaded.get_text("test-abc", "integrated-1.html").as_deref(), Some("<html>1"));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -1,0 +1,228 @@
+//! A bounded ring buffer of structured events.
+//!
+//! Events record *rare* occurrences — handler panics, parse failures,
+//! campaign milestones — so they live off the metrics hot path and a plain
+//! mutex around the ring is fine (the lock-free guarantee applies to
+//! counter/histogram updates, which fire on every request).
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Severity of an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EventLevel {
+    /// Routine milestone (campaign started, test prepared).
+    Info,
+    /// Something degraded but survivable (slow request, dropped session).
+    Warn,
+    /// A defect worth paging over (handler panic, storage failure).
+    Error,
+}
+
+impl fmt::Display for EventLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            EventLevel::Info => "INFO",
+            EventLevel::Warn => "WARN",
+            EventLevel::Error => "ERROR",
+        })
+    }
+}
+
+/// One structured event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Monotonic sequence number (counts all events ever recorded, so gaps
+    /// after eviction are visible).
+    pub seq: u64,
+    /// Milliseconds since the ring was created.
+    pub at_ms: u64,
+    /// Severity.
+    pub level: EventLevel,
+    /// Emitting subsystem (`server`, `store`, `core`, …).
+    pub subsystem: String,
+    /// Human-readable message.
+    pub message: String,
+    /// Structured key/value context.
+    pub fields: Vec<(String, String)>,
+}
+
+impl Event {
+    /// Renders the event as a single log line.
+    pub fn to_line(&self) -> String {
+        let mut line =
+            format!("[{:>8}ms] {} {}: {}", self.at_ms, self.level, self.subsystem, self.message);
+        for (k, v) in &self.fields {
+            line.push_str(&format!(" {k}={v}"));
+        }
+        line
+    }
+}
+
+#[derive(Debug)]
+struct RingState {
+    buf: VecDeque<Event>,
+    next_seq: u64,
+    evicted: u64,
+}
+
+/// A bounded, thread-safe ring buffer of [`Event`]s. When full, the oldest
+/// event is evicted (and counted).
+#[derive(Debug)]
+pub struct EventRing {
+    capacity: usize,
+    start: Instant,
+    state: Mutex<RingState>,
+}
+
+impl EventRing {
+    /// Creates a ring holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "event ring needs capacity");
+        Self {
+            capacity,
+            start: Instant::now(),
+            state: Mutex::new(RingState {
+                buf: VecDeque::with_capacity(capacity),
+                next_seq: 0,
+                evicted: 0,
+            }),
+        }
+    }
+
+    /// Records an event, evicting the oldest if the ring is full.
+    pub fn record(
+        &self,
+        level: EventLevel,
+        subsystem: &str,
+        message: &str,
+        fields: &[(&str, &str)],
+    ) {
+        let at_ms = self.start.elapsed().as_millis().min(u64::MAX as u128) as u64;
+        let mut state = self.state.lock().expect("event ring poisoned");
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        if state.buf.len() == self.capacity {
+            state.buf.pop_front();
+            state.evicted += 1;
+        }
+        state.buf.push_back(Event {
+            seq,
+            at_ms,
+            level,
+            subsystem: subsystem.to_string(),
+            message: message.to_string(),
+            fields: fields.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+        });
+    }
+
+    /// The newest `n` events, oldest first.
+    pub fn recent(&self, n: usize) -> Vec<Event> {
+        let state = self.state.lock().expect("event ring poisoned");
+        let skip = state.buf.len().saturating_sub(n);
+        state.buf.iter().skip(skip).cloned().collect()
+    }
+
+    /// All retained events, oldest first.
+    pub fn all(&self) -> Vec<Event> {
+        let state = self.state.lock().expect("event ring poisoned");
+        state.buf.iter().cloned().collect()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("event ring poisoned").buf.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events ever recorded (including evicted ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.state.lock().expect("event ring poisoned").next_seq
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn evicted(&self) -> u64 {
+        self.state.lock().expect("event ring poisoned").evicted
+    }
+
+    /// The ring's capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_lists() {
+        let ring = EventRing::new(8);
+        ring.record(EventLevel::Info, "core", "campaign started", &[("test_id", "t1")]);
+        ring.record(EventLevel::Error, "server", "handler panicked", &[("route", "/x")]);
+        let all = ring.all();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].seq, 0);
+        assert_eq!(all[1].level, EventLevel::Error);
+        assert_eq!(all[1].fields, vec![("route".to_string(), "/x".to_string())]);
+        assert!(all[1].to_line().contains("handler panicked"));
+        assert!(all[1].to_line().contains("route=/x"));
+    }
+
+    #[test]
+    fn bounded_eviction() {
+        let ring = EventRing::new(3);
+        for i in 0..10 {
+            ring.record(EventLevel::Info, "t", &format!("e{i}"), &[]);
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.evicted(), 7);
+        assert_eq!(ring.total_recorded(), 10);
+        let all = ring.all();
+        assert_eq!(all[0].message, "e7");
+        assert_eq!(all[2].message, "e9");
+        // Sequence numbers survive eviction.
+        assert_eq!(all[0].seq, 7);
+    }
+
+    #[test]
+    fn recent_takes_newest() {
+        let ring = EventRing::new(10);
+        for i in 0..5 {
+            ring.record(EventLevel::Info, "t", &format!("e{i}"), &[]);
+        }
+        let recent = ring.recent(2);
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[0].message, "e3");
+        assert_eq!(recent[1].message, "e4");
+        assert_eq!(ring.recent(100).len(), 5);
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe() {
+        let ring = std::sync::Arc::new(EventRing::new(64));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let ring = std::sync::Arc::clone(&ring);
+                s.spawn(move || {
+                    for i in 0..100 {
+                        ring.record(EventLevel::Info, "t", &format!("{t}-{i}"), &[]);
+                    }
+                });
+            }
+        });
+        assert_eq!(ring.total_recorded(), 400);
+        assert_eq!(ring.len(), 64);
+        assert_eq!(ring.evicted(), 400 - 64);
+    }
+}

@@ -1,0 +1,58 @@
+//! Observability for the Kaleidoscope pipeline.
+//!
+//! The paper's core server must sustain a crowd of concurrent testers
+//! fetching integrated pages and posting questionnaire responses; EYEORG
+//! and VidPlat both stress that crowdsourced QoE platforms live or die by
+//! operational turnaround. This crate gives every layer of the pipeline a
+//! shared, dependency-free instrumentation substrate:
+//!
+//! * [`Counter`] / [`Gauge`] — single atomics, lock-free, `Clone`-cheap.
+//! * [`Histogram`] — fixed exponential (or caller-supplied) buckets with
+//!   atomic bucket counts; snapshots compute p50/p95/p99 by cumulative
+//!   interpolation. [`Histogram::start_timer`] returns an RAII
+//!   [`ScopedTimer`] that observes elapsed microseconds on drop.
+//! * [`Registry`] — a named metric registry. Handles are registered once
+//!   (the only place a lock is taken) and then shared across threads;
+//!   every subsequent update is a plain atomic operation, so the request
+//!   hot path never acquires a lock.
+//! * [`EventRing`] — a bounded ring buffer of structured events (panics,
+//!   parse errors, campaign milestones). Events are off the hot path by
+//!   design: they record rare occurrences, so the ring uses a plain mutex.
+//! * Prometheus text exposition ([`Registry::render_prometheus`]) and a
+//!   human-readable snapshot ([`Registry::render_human`]) for the CLI.
+//!
+//! # Naming scheme
+//!
+//! Metrics are named `<subsystem>.<name>` (e.g. `server.requests_total`,
+//! `store.inserts_total`, `core.compose_us`) with optional labels.
+//! Prometheus exposition maps dots to underscores under a `kscope_`
+//! prefix: `server.requests_total{route="/ping"}` becomes
+//! `kscope_server_requests_total{route="/ping"}`.
+//!
+//! # Example
+//!
+//! ```
+//! use kscope_telemetry::Registry;
+//! use std::sync::Arc;
+//!
+//! let registry = Arc::new(Registry::new());
+//! let requests = registry.counter_with("server.requests_total", &[("route", "/ping")]);
+//! let latency = registry.histogram("server.latency_us");
+//! {
+//!     let _timer = latency.start_timer(); // observes on drop
+//!     requests.inc();
+//! }
+//! assert_eq!(requests.get(), 1);
+//! assert!(registry.render_prometheus().contains("kscope_server_requests_total"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod events;
+pub mod metrics;
+pub mod registry;
+
+pub use events::{Event, EventLevel, EventRing};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, ScopedTimer};
+pub use registry::{MetricKey, Registry, Snapshot};

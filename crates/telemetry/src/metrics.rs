@@ -1,0 +1,412 @@
+//! Lock-free metric primitives: counters, gauges, and fixed-bucket
+//! histograms with RAII scoped timers.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonically increasing counter.
+///
+/// Cloning is cheap (an `Arc` bump) and all clones share the same value;
+/// updates are single relaxed atomic adds — no locks, ever.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Creates a counter starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down (queue depths, busy workers,
+/// campaign progress). Same sharing and ordering story as [`Counter`].
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    value: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Default histogram buckets: a 1-2-5 series in microseconds from 1 µs to
+/// 60 s — wide enough for handler latencies and aggregator compose times
+/// alike.
+pub const DEFAULT_LATENCY_BUCKETS_US: &[u64] = &[
+    1, 2, 5, 10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000,
+    200_000, 500_000, 1_000_000, 2_000_000, 5_000_000, 10_000_000, 30_000_000, 60_000_000,
+];
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// Upper bounds (inclusive) of each finite bucket, strictly increasing.
+    bounds: Vec<u64>,
+    /// One count per finite bucket plus a final overflow (+inf) bucket.
+    counts: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A fixed-bucket histogram of `u64` observations (conventionally
+/// microseconds for latency metrics, but any unit works).
+///
+/// `observe` is a binary search over immutable bounds plus two relaxed
+/// atomic adds — no locks on the hot path. Cloning shares the buckets.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// A histogram over [`DEFAULT_LATENCY_BUCKETS_US`].
+    pub fn new() -> Self {
+        Self::with_buckets(DEFAULT_LATENCY_BUCKETS_US)
+    }
+
+    /// A histogram over the given strictly-increasing upper bounds. An
+    /// overflow (+inf) bucket is always appended.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly increasing.
+    pub fn with_buckets(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let counts = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            inner: Arc::new(HistogramInner {
+                bounds: bounds.to_vec(),
+                counts,
+                sum: AtomicU64::new(0),
+                count: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        // partition_point returns the first bound >= value's bucket:
+        // bucket i holds values <= bounds[i]; the final slot is +inf.
+        let idx = self.inner.bounds.partition_point(|&b| b < value);
+        self.inner.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.inner.sum.fetch_add(value, Ordering::Relaxed);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a duration in whole microseconds.
+    pub fn observe_duration(&self, elapsed: std::time::Duration) {
+        self.observe(elapsed.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Starts an RAII timer that observes the elapsed microseconds into
+    /// this histogram when dropped.
+    pub fn start_timer(&self) -> ScopedTimer {
+        ScopedTimer { histogram: self.clone(), start: Instant::now(), observed: false }
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time snapshot (counts are read bucket-by-bucket without
+    /// stopping writers, so a snapshot taken under concurrent load is
+    /// approximate to within the in-flight observations).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> =
+            self.inner.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        HistogramSnapshot { bounds: self.inner.bounds.clone(), counts, sum: self.sum() }
+    }
+}
+
+/// RAII timer returned by [`Histogram::start_timer`].
+#[derive(Debug)]
+pub struct ScopedTimer {
+    histogram: Histogram,
+    start: Instant,
+    observed: bool,
+}
+
+impl ScopedTimer {
+    /// Stops the timer early, observing the elapsed time now instead of at
+    /// drop. Returns the elapsed duration.
+    pub fn stop(mut self) -> std::time::Duration {
+        let elapsed = self.start.elapsed();
+        self.histogram.observe_duration(elapsed);
+        self.observed = true;
+        elapsed
+    }
+}
+
+impl Drop for ScopedTimer {
+    fn drop(&mut self) {
+        if !self.observed {
+            self.histogram.observe_duration(self.start.elapsed());
+        }
+    }
+}
+
+/// An immutable view of a histogram's buckets, for quantile estimation and
+/// exposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Finite bucket upper bounds.
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts; one entry longer than `bounds` (the +inf bucket).
+    pub counts: Vec<u64>,
+    /// Sum of all observations.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Mean observation, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / n as f64
+        }
+    }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) by linear interpolation
+    /// within the bucket containing the target rank — the same estimator
+    /// Prometheus's `histogram_quantile` uses. Observations in the
+    /// overflow bucket clamp to the largest finite bound. Returns 0 for an
+    /// empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * total as f64;
+        let mut cumulative = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let next = cumulative + c;
+            if (next as f64) >= target && c > 0 {
+                let lower = if i == 0 { 0 } else { self.bounds[i - 1] };
+                let upper = match self.bounds.get(i) {
+                    Some(&b) => b,
+                    // +inf bucket: clamp to the largest finite bound.
+                    None => return *self.bounds.last().expect("non-empty bounds") as f64,
+                };
+                let into = (target - cumulative as f64) / c as f64;
+                return lower as f64 + (upper - lower) as f64 * into.clamp(0.0, 1.0);
+            }
+            cumulative = next;
+        }
+        *self.bounds.last().expect("non-empty bounds") as f64
+    }
+
+    /// The median (p50).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// The 95th percentile.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// The 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let c2 = c.clone();
+        c2.inc();
+        assert_eq!(c.get(), 6, "clones share the value");
+    }
+
+    #[test]
+    fn gauge_up_and_down() {
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.set(-7);
+        assert_eq!(g.get(), -7);
+        g.add(10);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn histogram_buckets_observations() {
+        let h = Histogram::with_buckets(&[10, 100, 1000]);
+        for v in [5, 10, 11, 100, 5000] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        // <=10: {5, 10}; <=100: {11, 100}; <=1000: {}; +inf: {5000}.
+        assert_eq!(snap.counts, vec![2, 2, 0, 1]);
+        assert_eq!(snap.count(), 5);
+        assert_eq!(snap.sum, 5126);
+    }
+
+    #[test]
+    fn quantiles_exact_on_linear_buckets() {
+        // 1000 unit-wide buckets and one observation per bucket make the
+        // interpolation exact: the q-quantile of 1..=1000 is 1000q.
+        let bounds: Vec<u64> = (1..=1000).collect();
+        let h = Histogram::with_buckets(&bounds);
+        for v in 1..=1000 {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.p50(), 500.0);
+        assert_eq!(snap.p95(), 950.0);
+        assert_eq!(snap.p99(), 990.0);
+        assert_eq!(snap.quantile(1.0), 1000.0);
+        assert_eq!(snap.mean(), 500.5);
+    }
+
+    #[test]
+    fn quantile_brackets_reference_computation() {
+        // Against a reference nearest-rank quantile on the raw data, the
+        // bucketed estimate must land within the bucket containing the
+        // true value.
+        let h = Histogram::new();
+        let mut raw: Vec<u64> = Vec::new();
+        let mut x = 3u64;
+        for i in 0..2000 {
+            // Deterministic spread over several orders of magnitude.
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let v = 1 + (x % 1_000_000) / (1 + i % 17);
+            raw.push(v);
+            h.observe(v);
+        }
+        raw.sort_unstable();
+        let snap = h.snapshot();
+        for q in [0.5, 0.95, 0.99] {
+            let rank = ((q * raw.len() as f64).ceil() as usize).clamp(1, raw.len());
+            let reference = raw[rank - 1];
+            let bucket_upper = DEFAULT_LATENCY_BUCKETS_US
+                .iter()
+                .copied()
+                .find(|&b| b >= reference)
+                .unwrap_or(u64::MAX);
+            let bucket_lower = DEFAULT_LATENCY_BUCKETS_US
+                .iter()
+                .copied()
+                .rev()
+                .find(|&b| b < reference)
+                .unwrap_or(0);
+            let est = snap.quantile(q);
+            assert!(
+                est >= bucket_lower as f64 && est <= bucket_upper as f64,
+                "q={q}: estimate {est} outside bucket [{bucket_lower}, {bucket_upper}] \
+                 around reference {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.snapshot().quantile(0.5), 0.0);
+        assert_eq!(h.snapshot().mean(), 0.0);
+    }
+
+    #[test]
+    fn overflow_bucket_clamps_to_last_bound() {
+        let h = Histogram::with_buckets(&[10, 20]);
+        h.observe(1_000_000);
+        assert_eq!(h.snapshot().quantile(0.99), 20.0);
+    }
+
+    #[test]
+    fn scoped_timer_observes_on_drop() {
+        let h = Histogram::new();
+        {
+            let _t = h.start_timer();
+        }
+        assert_eq!(h.count(), 1);
+        let t = h.start_timer();
+        t.stop();
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_rejected() {
+        let _ = Histogram::with_buckets(&[10, 5]);
+    }
+}

@@ -1,0 +1,544 @@
+//! The named metric registry and its exposition formats.
+
+use crate::events::{EventLevel, EventRing};
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+use std::collections::BTreeMap;
+use std::sync::RwLock;
+use std::time::{Duration, Instant};
+
+/// Default capacity of the registry's event ring.
+const DEFAULT_EVENT_CAPACITY: usize = 256;
+
+/// A metric's identity: dotted name plus sorted labels.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Dotted `<subsystem>.<name>` metric name.
+    pub name: String,
+    /// Label pairs, sorted by key.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> =
+            labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+        labels.sort();
+        Self { name: name.to_string(), labels }
+    }
+
+    /// Renders `name{k="v",...}` (no labels → just the name).
+    pub fn render(&self) -> String {
+        if self.labels.is_empty() {
+            self.name.clone()
+        } else {
+            let pairs: Vec<String> =
+                self.labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+            format!("{}{{{}}}", self.name, pairs.join(","))
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A named registry of metrics plus a structured-event ring.
+///
+/// Registration (`counter`, `gauge`, `histogram`, and their `_with` label
+/// variants) takes a write lock once per *new* metric and a read lock per
+/// lookup; callers are expected to register at wiring time and keep the
+/// returned handles, after which every update is purely atomic. Handles
+/// stay live even if the registry is dropped.
+#[derive(Debug)]
+pub struct Registry {
+    start: Instant,
+    metrics: RwLock<BTreeMap<MetricKey, Metric>>,
+    events: EventRing,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// Creates an empty registry (event capacity
+    /// [`DEFAULT_EVENT_CAPACITY`](crate::Registry::with_event_capacity)).
+    pub fn new() -> Self {
+        Self::with_event_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// Creates an empty registry retaining at most `capacity` events.
+    pub fn with_event_capacity(capacity: usize) -> Self {
+        Self {
+            start: Instant::now(),
+            metrics: RwLock::new(BTreeMap::new()),
+            events: EventRing::new(capacity),
+        }
+    }
+
+    /// Time since the registry was created.
+    pub fn uptime(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// The event ring.
+    pub fn events(&self) -> &EventRing {
+        &self.events
+    }
+
+    /// Records a structured event (see [`EventRing::record`]).
+    pub fn event(
+        &self,
+        level: EventLevel,
+        subsystem: &str,
+        message: &str,
+        fields: &[(&str, &str)],
+    ) {
+        self.events.record(level, subsystem, message, fields);
+    }
+
+    fn get_or_insert<F>(&self, key: MetricKey, make: F) -> Metric
+    where
+        F: FnOnce() -> Metric,
+    {
+        if let Some(m) = self.metrics.read().expect("registry poisoned").get(&key) {
+            return m.clone();
+        }
+        let mut metrics = self.metrics.write().expect("registry poisoned");
+        metrics.entry(key).or_insert_with(make).clone()
+    }
+
+    /// Gets or creates an unlabelled counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counter_with(name, &[])
+    }
+
+    /// Gets or creates a labelled counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is already registered as a different metric kind.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let key = MetricKey::new(name, labels);
+        match self.get_or_insert(key.clone(), || Metric::Counter(Counter::new())) {
+            Metric::Counter(c) => c,
+            other => panic!("metric {} already registered as {}", key.render(), other.kind()),
+        }
+    }
+
+    /// Gets or creates an unlabelled gauge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauge_with(name, &[])
+    }
+
+    /// Gets or creates a labelled gauge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is already registered as a different metric kind.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let key = MetricKey::new(name, labels);
+        match self.get_or_insert(key.clone(), || Metric::Gauge(Gauge::new())) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric {} already registered as {}", key.render(), other.kind()),
+        }
+    }
+
+    /// Gets or creates an unlabelled histogram with default latency
+    /// buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histogram_with(name, &[])
+    }
+
+    /// Gets or creates a labelled histogram with default latency buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is already registered as a different metric kind.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        let key = MetricKey::new(name, labels);
+        match self.get_or_insert(key.clone(), || Metric::Histogram(Histogram::new())) {
+            Metric::Histogram(h) => h,
+            other => panic!("metric {} already registered as {}", key.render(), other.kind()),
+        }
+    }
+
+    /// Looks up a counter's current value.
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        match self.metrics.read().expect("registry poisoned").get(&MetricKey::new(name, labels)) {
+            Some(Metric::Counter(c)) => Some(c.get()),
+            _ => None,
+        }
+    }
+
+    /// Looks up a gauge's current value.
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<i64> {
+        match self.metrics.read().expect("registry poisoned").get(&MetricKey::new(name, labels)) {
+            Some(Metric::Gauge(g)) => Some(g.get()),
+            _ => None,
+        }
+    }
+
+    /// A point-in-time snapshot of every metric, sorted by key.
+    pub fn snapshot(&self) -> Snapshot {
+        let metrics = self.metrics.read().expect("registry poisoned");
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut histograms = Vec::new();
+        for (key, metric) in metrics.iter() {
+            match metric {
+                Metric::Counter(c) => counters.push((key.clone(), c.get())),
+                Metric::Gauge(g) => gauges.push((key.clone(), g.get())),
+                Metric::Histogram(h) => histograms.push((key.clone(), h.snapshot())),
+            }
+        }
+        Snapshot { uptime: self.uptime(), counters, gauges, histograms }
+    }
+
+    /// Renders every metric in the Prometheus text exposition format
+    /// (`text/plain; version=0.0.4`). Dotted names become
+    /// `kscope_<subsystem>_<name>`.
+    pub fn render_prometheus(&self) -> String {
+        let snap = self.snapshot();
+        let mut out = String::new();
+        // Uptime first so scrapes always have at least one sample.
+        out.push_str("# HELP kscope_uptime_seconds Seconds since the registry was created.\n");
+        out.push_str("# TYPE kscope_uptime_seconds gauge\n");
+        out.push_str(&format!("kscope_uptime_seconds {}\n", snap.uptime.as_secs_f64()));
+
+        let mut last_name = String::new();
+        let mut emit_header = |out: &mut String, name: &str, kind: &str| {
+            if last_name != name {
+                out.push_str(&format!("# TYPE {name} {kind}\n"));
+                last_name = name.to_string();
+            }
+        };
+        for (key, value) in &snap.counters {
+            let name = prometheus_name(&key.name);
+            emit_header(&mut out, &name, "counter");
+            out.push_str(&format!("{}{} {}\n", name, prometheus_labels(&key.labels, &[]), value));
+        }
+        for (key, value) in &snap.gauges {
+            let name = prometheus_name(&key.name);
+            emit_header(&mut out, &name, "gauge");
+            out.push_str(&format!("{}{} {}\n", name, prometheus_labels(&key.labels, &[]), value));
+        }
+        for (key, hist) in &snap.histograms {
+            let name = prometheus_name(&key.name);
+            emit_header(&mut out, &name, "histogram");
+            let mut cumulative = 0u64;
+            for (i, &count) in hist.counts.iter().enumerate() {
+                cumulative += count;
+                let le = match hist.bounds.get(i) {
+                    Some(&b) => b.to_string(),
+                    None => "+Inf".to_string(),
+                };
+                out.push_str(&format!(
+                    "{}_bucket{} {}\n",
+                    name,
+                    prometheus_labels(&key.labels, &[("le", &le)]),
+                    cumulative
+                ));
+            }
+            out.push_str(&format!(
+                "{}_sum{} {}\n",
+                name,
+                prometheus_labels(&key.labels, &[]),
+                hist.sum
+            ));
+            out.push_str(&format!(
+                "{}_count{} {}\n",
+                name,
+                prometheus_labels(&key.labels, &[]),
+                cumulative
+            ));
+        }
+        out
+    }
+
+    /// Renders a human-readable snapshot: counters, gauges, histogram
+    /// quantiles, and the most recent events — the CLI's post-run report.
+    pub fn render_human(&self) -> String {
+        let snap = self.snapshot();
+        let mut out = String::new();
+        out.push_str(&format!("uptime: {:.3}s\n", snap.uptime.as_secs_f64()));
+        if !snap.counters.is_empty() {
+            out.push_str("\ncounters:\n");
+            for (key, value) in &snap.counters {
+                out.push_str(&format!("  {:<58} {value}\n", key.render()));
+            }
+        }
+        if !snap.gauges.is_empty() {
+            out.push_str("\ngauges:\n");
+            for (key, value) in &snap.gauges {
+                out.push_str(&format!("  {:<58} {value}\n", key.render()));
+            }
+        }
+        if !snap.histograms.is_empty() {
+            out.push_str("\nhistograms (count / mean / p50 / p95 / p99):\n");
+            for (key, hist) in &snap.histograms {
+                out.push_str(&format!(
+                    "  {:<58} {} / {:.0} / {:.0} / {:.0} / {:.0}\n",
+                    key.render(),
+                    hist.count(),
+                    hist.mean(),
+                    hist.p50(),
+                    hist.p95(),
+                    hist.p99()
+                ));
+            }
+        }
+        let events = self.events.recent(16);
+        if !events.is_empty() {
+            out.push_str("\nrecent events:\n");
+            for e in events {
+                out.push_str(&format!("  {}\n", e.to_line()));
+            }
+        }
+        out
+    }
+}
+
+/// A point-in-time view of a whole registry.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Registry uptime at snapshot time.
+    pub uptime: Duration,
+    /// All counters, sorted by key.
+    pub counters: Vec<(MetricKey, u64)>,
+    /// All gauges, sorted by key.
+    pub gauges: Vec<(MetricKey, i64)>,
+    /// All histograms, sorted by key.
+    pub histograms: Vec<(MetricKey, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// Sum of every counter whose dotted name matches, across labels.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters.iter().filter(|(k, _)| k.name == name).map(|(_, v)| v).sum()
+    }
+}
+
+/// Maps a dotted metric name to its Prometheus form:
+/// `server.requests_total` → `kscope_server_requests_total`. Characters
+/// outside `[a-zA-Z0-9_]` become underscores.
+pub(crate) fn prometheus_name(dotted: &str) -> String {
+    let mut name = String::with_capacity(dotted.len() + 7);
+    name.push_str("kscope_");
+    for ch in dotted.chars() {
+        if ch.is_ascii_alphanumeric() || ch == '_' {
+            name.push(ch);
+        } else {
+            name.push('_');
+        }
+    }
+    name
+}
+
+/// Renders a Prometheus label set, merging metric labels with extras
+/// (e.g. `le` for histogram buckets). Escapes `\`, `"`, and newlines.
+fn prometheus_labels(labels: &[(String, String)], extra: &[(&str, &str)]) -> String {
+    if labels.is_empty() && extra.is_empty() {
+        return String::new();
+    }
+    let escape = |v: &str| v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n");
+    let pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape(v)))
+        .chain(extra.iter().map(|(k, v)| format!("{k}=\"{}\"", escape(v))))
+        .collect();
+    format!("{{{}}}", pairs.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_returns_shared_handles() {
+        let r = Registry::new();
+        let a = r.counter("server.requests_total");
+        let b = r.counter("server.requests_total");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2, "same name returns the same counter");
+        // Different labels are distinct metrics.
+        let c = r.counter_with("server.requests_total", &[("route", "/x")]);
+        c.inc();
+        assert_eq!(a.get(), 2);
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let r = Registry::new();
+        let a = r.counter_with("m", &[("a", "1"), ("b", "2")]);
+        let b = r.counter_with("m", &[("b", "2"), ("a", "1")]);
+        a.inc();
+        assert_eq!(b.get(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_conflicts_panic() {
+        let r = Registry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+
+    #[test]
+    fn value_lookups() {
+        let r = Registry::new();
+        r.counter_with("store.inserts_total", &[("collection", "tests")]).add(3);
+        r.gauge("server.workers_busy").set(2);
+        assert_eq!(r.counter_value("store.inserts_total", &[("collection", "tests")]), Some(3));
+        assert_eq!(r.gauge_value("server.workers_busy", &[]), Some(2));
+        assert_eq!(r.counter_value("missing", &[]), None);
+        assert_eq!(r.gauge_value("store.inserts_total", &[]), None, "kind mismatch is None");
+    }
+
+    #[test]
+    fn snapshot_totals_across_labels() {
+        let r = Registry::new();
+        r.counter_with("server.requests_total", &[("route", "/a")]).add(2);
+        r.counter_with("server.requests_total", &[("route", "/b")]).add(3);
+        assert_eq!(r.snapshot().counter_total("server.requests_total"), 5);
+    }
+
+    #[test]
+    fn prometheus_name_mapping() {
+        assert_eq!(prometheus_name("server.requests_total"), "kscope_server_requests_total");
+        assert_eq!(prometheus_name("core.compose_us"), "kscope_core_compose_us");
+        assert_eq!(prometheus_name("weird-name"), "kscope_weird_name");
+    }
+
+    #[test]
+    fn prometheus_exposition_format() {
+        let r = Registry::new();
+        r.counter_with("server.requests_total", &[("route", "/ping"), ("method", "GET")]).add(3);
+        r.gauge("server.workers_busy").set(1);
+        let h = r.histogram_with("server.latency_us", &[("route", "/ping")]);
+        h.observe(15);
+        h.observe(70_000_000); // overflow bucket
+
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE kscope_uptime_seconds gauge"));
+        assert!(text.contains("# TYPE kscope_server_requests_total counter"));
+        assert!(text.contains("kscope_server_requests_total{method=\"GET\",route=\"/ping\"} 3"));
+        assert!(text.contains("kscope_server_workers_busy 1"));
+        assert!(text.contains("# TYPE kscope_server_latency_us histogram"));
+        assert!(text.contains("kscope_server_latency_us_bucket{route=\"/ping\",le=\"20\"} 1"));
+        assert!(text.contains("kscope_server_latency_us_bucket{route=\"/ping\",le=\"+Inf\"} 2"));
+        assert!(text.contains("kscope_server_latency_us_sum{route=\"/ping\"} 70000015"));
+        assert!(text.contains("kscope_server_latency_us_count{route=\"/ping\"} 2"));
+        // Bucket counts are cumulative.
+        let b20: u64 = extract_value(&text, "kscope_server_latency_us_bucket", "le=\"20\"");
+        let b50: u64 = extract_value(&text, "kscope_server_latency_us_bucket", "le=\"50\"");
+        assert!(b50 >= b20);
+    }
+
+    fn extract_value(text: &str, name: &str, label: &str) -> u64 {
+        text.lines()
+            .find(|l| l.starts_with(name) && l.contains(label))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+            .expect("metric line present")
+    }
+
+    #[test]
+    fn label_values_escaped() {
+        let r = Registry::new();
+        r.counter_with("m", &[("path", "a\"b\\c")]).inc();
+        let text = r.render_prometheus();
+        assert!(text.contains("kscope_m{path=\"a\\\"b\\\\c\"} 1"));
+    }
+
+    #[test]
+    fn human_rendering_mentions_everything() {
+        let r = Registry::new();
+        r.counter("server.requests_total").add(7);
+        r.gauge("core.campaign_sessions_done").set(4);
+        r.histogram("server.latency_us").observe(1000);
+        r.event(EventLevel::Warn, "server", "slow request", &[("route", "/x")]);
+        let text = r.render_human();
+        assert!(text.contains("server.requests_total"));
+        assert!(text.contains("core.campaign_sessions_done"));
+        assert!(text.contains("histograms"));
+        assert!(text.contains("slow request"));
+    }
+
+    #[test]
+    fn concurrent_counter_increments_sum_exactly() {
+        // The ISSUE's acceptance test: N threads × M increments, exact sum.
+        let r = std::sync::Arc::new(Registry::new());
+        const THREADS: usize = 8;
+        const PER_THREAD: u64 = 10_000;
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                let r = std::sync::Arc::clone(&r);
+                s.spawn(move || {
+                    // Half the threads re-register the handle each time to
+                    // exercise the read-lock lookup path too.
+                    let c = r.counter("concurrency.test_total");
+                    for i in 0..PER_THREAD {
+                        if i % 2 == 0 {
+                            c.inc();
+                        } else {
+                            r.counter("concurrency.test_total").inc();
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            r.counter_value("concurrency.test_total", &[]),
+            Some(THREADS as u64 * PER_THREAD)
+        );
+    }
+
+    #[test]
+    fn concurrent_histogram_observations_sum_exactly() {
+        let r = std::sync::Arc::new(Registry::new());
+        let h = r.histogram("concurrency.latency_us");
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..5_000u64 {
+                        h.observe(i % 100);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 40_000);
+        let expected_sum: u64 = 8 * (0..5_000u64).map(|i| i % 100).sum::<u64>();
+        assert_eq!(h.sum(), expected_sum);
+    }
+}

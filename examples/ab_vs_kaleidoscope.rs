@@ -54,10 +54,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         outcome.cost.total_usd()
     );
     for q in &params.question {
-        let votes = outcome
-            .question_analysis(q.text(), false)
-            .two_version_votes()
-            .expect("two versions");
+        let votes =
+            outcome.question_analysis(q.text(), false).two_version_votes().expect("two versions");
         let (va, same, vb) = votes.percentages();
         println!(
             "  {:<55} A {va:>3.0}%  Same {same:>3.0}%  B {vb:>3.0}%  (p = {:.1e})",

@@ -27,14 +27,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &JobSpec::new(&params.test_id, 0.11, 80, Channel::HistoricallyTrustworthy),
         &mut rng,
     );
-    let outcome = Campaign::new(db, grid)
-        .with_question(&question, QuestionKind::AdClutter)
-        .run(&params, &prepared, &recruitment, &mut rng)?;
+    let outcome = Campaign::new(db, grid).with_question(&question, QuestionKind::AdClutter).run(
+        &params,
+        &prepared,
+        &recruitment,
+        &mut rng,
+    )?;
 
-    let votes = outcome
-        .question_analysis(&question, true)
-        .two_version_votes()
-        .expect("two versions");
+    let votes =
+        outcome.question_analysis(&question, true).two_version_votes().expect("two versions");
     let (with_ads, same, ad_free) = votes.percentages();
     println!("\"{question}\"");
     println!(

@@ -53,11 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "{label:<32} best-font votes: {}",
             order
                 .iter()
-                .map(|&v| format!(
-                    "{:.0}pt {:.0}%",
-                    FONT_STUDY_SIZES[v],
-                    dist.percentage(v, 0)
-                ))
+                .map(|&v| format!("{:.0}pt {:.0}%", FONT_STUDY_SIZES[v], dist.percentage(v, 0)))
                 .collect::<Vec<_>>()
                 .join("  ")
         );

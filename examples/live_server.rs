@@ -45,10 +45,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         prepared.test_id,
         pages.json_body()?["pages"].as_array().map(Vec::len).unwrap_or(0)
     );
-    let first = client::get(
-        addr,
-        &format!("/api/tests/{}/pages/integrated-000.html", prepared.test_id),
-    )?;
+    let first =
+        client::get(addr, &format!("/api/tests/{}/pages/integrated-000.html", prepared.test_id))?;
     println!("GET integrated-000.html -> {} bytes of HTML", first.body.len());
 
     // What a participant uploads.

@@ -62,9 +62,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .two_version_votes()
         .expect("two versions");
     let (cable_pref, same, slow_pref) = votes.percentages();
-    println!("testers say ready first: cable {cable_pref:.0}%  same {same:.0}%  3G {slow_pref:.0}%");
+    println!(
+        "testers say ready first: cable {cable_pref:.0}%  same {same:.0}%  3G {slow_pref:.0}%"
+    );
     println!("one-tailed p (3G wins): {:.2e}", votes.significance().p_value);
-    println!("\n(unsurprising verdict — the point is that every tester saw the *same*\n\
-      simulated connections, wherever they really were.)");
+    println!(
+        "\n(unsurprising verdict — the point is that every tester saw the *same*\n\
+      simulated connections, wherever they really were.)"
+    );
     Ok(())
 }

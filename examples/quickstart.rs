@@ -25,10 +25,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         30,
         vec!["Which webpage's font size is more suitable (easier) for reading?"],
         vec![
-            WebpageSpec::new("pages/small", "index.html", 2000)
-                .with_description("11pt body text"),
-            WebpageSpec::new("pages/large", "index.html", 2000)
-                .with_description("16pt body text"),
+            WebpageSpec::new("pages/small", "index.html", 2000).with_description("11pt body text"),
+            WebpageSpec::new("pages/large", "index.html", 2000).with_description("16pt body text"),
         ],
     );
     println!("test parameters:\n{}\n", params.to_json());

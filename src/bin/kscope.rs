@@ -16,9 +16,11 @@ use kaleidoscope::server::api::CoreServerApi;
 use kaleidoscope::server::HttpServer;
 use kaleidoscope::singlefile::ResourceStore;
 use kaleidoscope::store::{Database, GridStore};
+use kscope_telemetry::Registry;
 use rand::{rngs::StdRng, SeedableRng};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,6 +29,7 @@ fn main() -> ExitCode {
         Some("validate") => cmd_validate(&args[1..]),
         Some("prepare") => cmd_prepare(&args[1..]),
         Some("demo") => cmd_demo(&args[1..]),
+        Some("snapshot") => cmd_snapshot(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("help") | None => {
             print_usage();
@@ -53,16 +56,18 @@ fn print_usage() {
          kscope validate <params.json>\n  \
          kscope prepare <params.json> --pages <dir> --out <dir> [--seed N]\n  \
          kscope demo <font|expand|uplt|ads> [--participants N] [--seed N] [--in-lab] [--json]\n  \
-         kscope serve --data <dir> [--addr HOST:PORT] [--workers N]\n"
+         kscope snapshot <font|expand|uplt|ads> [--participants N] [--seed N] [--in-lab]\n  \
+         kscope serve --data <dir> [--addr HOST:PORT] [--workers N]\n\n\
+         `snapshot` runs a demo with telemetry attached and prints the\n\
+         metric registry (counters, gauges, latency quantiles, events).\n\
+         `serve` exposes the same registry at GET /metrics (Prometheus\n\
+         text format) and GET /healthz.\n"
     );
 }
 
 /// Reads `--flag value` style options.
 fn opt<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
 }
 
 fn has_flag(args: &[String], flag: &str) -> bool {
@@ -80,20 +85,12 @@ fn cmd_init(args: &[String]) -> CliResult {
     let out = opt(args, "--out").unwrap_or("params.json");
     let webpages: Vec<kaleidoscope::core::WebpageSpec> = (0..versions)
         .map(|i| {
-            kaleidoscope::core::WebpageSpec::new(
-                &format!("pages/version-{i}"),
-                "index.html",
-                3000,
-            )
-            .with_description(&format!("describe version {i} here"))
+            kaleidoscope::core::WebpageSpec::new(&format!("pages/version-{i}"), "index.html", 3000)
+                .with_description(&format!("describe version {i} here"))
         })
         .collect();
-    let params = TestParams::new(
-        "my-test",
-        participants,
-        vec!["Which version do you prefer?"],
-        webpages,
-    );
+    let params =
+        TestParams::new("my-test", participants, vec!["Which version do you prefer?"], webpages);
     std::fs::write(out, params.to_json())?;
     println!("wrote a template for {versions} versions and {participants} participants to {out}");
     println!("edit the test_id, question, and web_path fields, then:");
@@ -125,11 +122,7 @@ fn cmd_validate(args: &[String]) -> CliResult {
 /// Loads a directory tree into a [`ResourceStore`], guessing MIME types
 /// from extensions, exactly the shape of a "save page as" folder.
 fn load_pages_dir(root: &Path) -> std::io::Result<ResourceStore> {
-    fn walk(
-        store: &mut ResourceStore,
-        root: &Path,
-        dir: &Path,
-    ) -> std::io::Result<()> {
+    fn walk(store: &mut ResourceStore, root: &Path, dir: &Path) -> std::io::Result<()> {
         for entry in std::fs::read_dir(dir)? {
             let entry = entry?;
             let path = entry.path();
@@ -153,7 +146,8 @@ fn load_pages_dir(root: &Path) -> std::io::Result<ResourceStore> {
 }
 
 fn cmd_prepare(args: &[String]) -> CliResult {
-    let params_path = args.first().ok_or("usage: kscope prepare <params.json> --pages <dir> --out <dir>")?;
+    let params_path =
+        args.first().ok_or("usage: kscope prepare <params.json> --pages <dir> --out <dir>")?;
     let pages_dir = opt(args, "--pages").ok_or("--pages <dir> is required")?;
     let out_dir = opt(args, "--out").ok_or("--out <dir> is required")?;
     let seed: u64 = opt(args, "--seed").unwrap_or("0").parse()?;
@@ -182,6 +176,21 @@ fn cmd_prepare(args: &[String]) -> CliResult {
 }
 
 fn cmd_demo(args: &[String]) -> CliResult {
+    run_demo(args, None)
+}
+
+/// Runs a demo campaign with telemetry attached, then prints the
+/// human-readable registry snapshot — operation counts, latency quantiles,
+/// campaign progress, quality-control accounting, and recent events.
+fn cmd_snapshot(args: &[String]) -> CliResult {
+    let registry = Arc::new(Registry::new());
+    run_demo(args, Some(Arc::clone(&registry)))?;
+    println!("\n=== telemetry snapshot ===");
+    print!("{}", registry.render_human());
+    Ok(())
+}
+
+fn run_demo(args: &[String], telemetry: Option<Arc<Registry>>) -> CliResult {
     let which = args.first().map(String::as_str).unwrap_or("font");
     let participants: usize = opt(args, "--participants").unwrap_or("60").parse()?;
     let seed: u64 = opt(args, "--seed").unwrap_or("42").parse()?;
@@ -190,40 +199,62 @@ fn cmd_demo(args: &[String]) -> CliResult {
     let (store, params, kinds): (_, _, Vec<(&str, QuestionKind)>) = match which {
         "font" => {
             let (s, p) = corpus::font_size_study(participants);
-            (s, p, vec![(
-                "Which webpage's font size is more suitable (easier) for reading?",
-                QuestionKind::FontReadability,
-            )])
+            (
+                s,
+                p,
+                vec![(
+                    "Which webpage's font size is more suitable (easier) for reading?",
+                    QuestionKind::FontReadability,
+                )],
+            )
         }
         "expand" => {
             let (s, p) = corpus::expand_button_study(participants);
-            (s, p, vec![
-                ("Which webpage is graphically more appealing?", QuestionKind::Appeal),
-                ("Which version of the 'Expand' button looks better?", QuestionKind::StyleBetter),
-                ("Which version of the 'Expand' button is more visible?", QuestionKind::Visibility),
-            ])
+            (
+                s,
+                p,
+                vec![
+                    ("Which webpage is graphically more appealing?", QuestionKind::Appeal),
+                    (
+                        "Which version of the 'Expand' button looks better?",
+                        QuestionKind::StyleBetter,
+                    ),
+                    (
+                        "Which version of the 'Expand' button is more visible?",
+                        QuestionKind::Visibility,
+                    ),
+                ],
+            )
         }
         "uplt" => {
             let (s, p) = corpus::uplt_case_study(participants);
-            (s, p, vec![(
-                "Which version of the webpage seems ready to use first?",
-                QuestionKind::ReadyToUse,
-            )])
+            (
+                s,
+                p,
+                vec![(
+                    "Which version of the webpage seems ready to use first?",
+                    QuestionKind::ReadyToUse,
+                )],
+            )
         }
         "ads" => {
             let (s, p) = corpus::ads_study(participants);
-            (s, p, vec![(
-                "Which webpage is more pleasant to read?",
-                QuestionKind::AdClutter,
-            )])
+            (s, p, vec![("Which webpage is more pleasant to read?", QuestionKind::AdClutter)])
         }
         other => return Err(format!("unknown demo '{other}' (font|expand|uplt|ads)").into()),
     };
 
-    let db = Database::new();
+    let mut db = Database::new();
+    if let Some(registry) = &telemetry {
+        db = db.with_telemetry(registry);
+    }
     let grid = GridStore::new();
     let mut rng = StdRng::seed_from_u64(seed);
-    let prepared = Aggregator::new(db.clone(), grid.clone()).prepare(&params, &store, &mut rng)?;
+    let mut aggregator = Aggregator::new(db.clone(), grid.clone());
+    if let Some(registry) = &telemetry {
+        aggregator = aggregator.with_telemetry(Arc::clone(registry));
+    }
+    let prepared = aggregator.prepare(&params, &store, &mut rng)?;
     let recruitment = if in_lab {
         kaleidoscope::crowd::platform::InLabRecruiter::new(participants, 7.0).recruit(&mut rng)
     } else {
@@ -233,6 +264,9 @@ fn cmd_demo(args: &[String]) -> CliResult {
         )
     };
     let mut campaign = Campaign::new(db, grid);
+    if let Some(registry) = &telemetry {
+        campaign = campaign.with_telemetry(Arc::clone(registry));
+    }
     for (q, k) in &kinds {
         campaign = campaign.with_question(q, *k);
     }
@@ -284,9 +318,11 @@ fn cmd_serve(args: &[String]) -> CliResult {
         db.collection_names().len(),
         grid.test_ids().len()
     );
-    let api = CoreServerApi::new(db, grid);
-    let server = HttpServer::bind(addr, api.into_router(), workers)?;
+    let registry = Arc::new(Registry::new());
+    let api = CoreServerApi::new(db, grid).with_telemetry(Arc::clone(&registry));
+    let server = HttpServer::bind_with_telemetry(addr, api.into_router(), workers, Some(registry))?;
     println!("core server on http://{} — Ctrl-C to stop", server.local_addr());
+    println!("metrics at GET /metrics (Prometheus text), health at GET /healthz");
     // Serve until interrupted.
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));

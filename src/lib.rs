@@ -14,6 +14,9 @@
 //! * [`stats`] — significance tests, ECDFs, and ranking aggregation.
 //! * [`abtest`] — the live-site A/B testing baseline Kaleidoscope is
 //!   compared against.
+//! * [`telemetry`] — lock-free metrics (counters, gauges, latency
+//!   histograms) and the structured-event ring behind `GET /metrics`,
+//!   `GET /healthz`, and `kscope snapshot`.
 
 #![forbid(unsafe_code)]
 
@@ -27,3 +30,4 @@ pub use kscope_server as server;
 pub use kscope_singlefile as singlefile;
 pub use kscope_stats as stats;
 pub use kscope_store as store;
+pub use kscope_telemetry as telemetry;

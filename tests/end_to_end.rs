@@ -33,12 +33,8 @@ fn extension_session_over_real_http() {
     assert_eq!(info.status.0, 200);
     // The pair metadata lives in its own collection, served separately.
     let pairs = client::get(addr, &format!("/api/tests/{}/pairs", prepared.test_id)).unwrap();
-    assert_eq!(
-        pairs.json_body().unwrap()["pairs"].as_array().unwrap().len(),
-        prepared.pages.len()
-    );
-    let listing =
-        client::get(addr, &format!("/api/tests/{}/pages", prepared.test_id)).unwrap();
+    assert_eq!(pairs.json_body().unwrap()["pairs"].as_array().unwrap().len(), prepared.pages.len());
+    let listing = client::get(addr, &format!("/api/tests/{}/pages", prepared.test_id)).unwrap();
     let pages: Vec<String> = listing.json_body().unwrap()["pages"]
         .as_array()
         .unwrap()
@@ -48,8 +44,7 @@ fn extension_session_over_real_http() {
     assert!(pages.iter().any(|p| p.starts_with("integrated-")));
 
     // 4. Run one extension session, downloading every page over HTTP.
-    let questions: Vec<String> =
-        params.question.iter().map(|q| q.text().to_string()).collect();
+    let questions: Vec<String> = params.question.iter().map(|q| q.text().to_string()).collect();
     let page_names = prepared.page_names();
     let mut flow = TestFlow::register(
         &prepared.test_id,
@@ -59,11 +54,8 @@ fn extension_session_over_real_http() {
         page_names.clone(),
     );
     while let Some(name) = flow.current_page_name().map(str::to_string) {
-        let resp = client::get(
-            addr,
-            &format!("/api/tests/{}/pages/{}", prepared.test_id, name),
-        )
-        .unwrap();
+        let resp =
+            client::get(addr, &format!("/api/tests/{}/pages/{}", prepared.test_id, name)).unwrap();
         assert_eq!(resp.status.0, 200, "page {name} must be served");
         let page = kaleidoscope::browser::LoadedPage::from_html(&resp.text());
         assert_eq!(page.iframe_refs().len(), 2, "integrated page has two panes");
@@ -84,8 +76,7 @@ fn extension_session_over_real_http() {
     .unwrap();
     assert_eq!(resp.status.0, 201);
 
-    let results =
-        client::get(addr, &format!("/api/tests/{}/results", prepared.test_id)).unwrap();
+    let results = client::get(addr, &format!("/api/tests/{}/results", prepared.test_id)).unwrap();
     let body = results.json_body().unwrap();
     assert_eq!(body["total"], json!(1));
     // Responses are keyed under "answers" per page; the server-side
@@ -135,9 +126,8 @@ fn campaign_results_retrievable_through_server() {
     let db = Database::new();
     let grid = GridStore::new();
     let mut rng = StdRng::seed_from_u64(9);
-    let prepared = Aggregator::new(db.clone(), grid.clone())
-        .prepare(&params, &store, &mut rng)
-        .unwrap();
+    let prepared =
+        Aggregator::new(db.clone(), grid.clone()).prepare(&params, &store, &mut rng).unwrap();
     let recruitment = kaleidoscope::crowd::platform::Platform.post_job(
         &kaleidoscope::crowd::platform::JobSpec::new(
             &params.test_id,
@@ -155,11 +145,9 @@ fn campaign_results_retrievable_through_server() {
 
     let api = CoreServerApi::new(db, grid);
     let server = HttpServer::bind("127.0.0.1:0", api.into_router(), 2).unwrap();
-    let resp = client::get(
-        server.local_addr(),
-        &format!("/api/tests/{}/responses", prepared.test_id),
-    )
-    .unwrap();
+    let resp =
+        client::get(server.local_addr(), &format!("/api/tests/{}/responses", prepared.test_id))
+            .unwrap();
     let stored = resp.json_body().unwrap();
     assert_eq!(stored["total"], serde_json::json!(8));
     assert_eq!(stored["responses"].as_array().unwrap().len(), 8);

@@ -40,10 +40,8 @@ fn uplt_model_predicts_crowd_majority() {
         .in_lab()
         .run(&params, &prepared, &recruitment, &mut rng)
         .unwrap();
-    let votes = outcome
-        .question_analysis(params.question[0].text(), true)
-        .two_version_votes()
-        .unwrap();
+    let votes =
+        outcome.question_analysis(params.question[0].text(), true).two_version_votes().unwrap();
     let crowd_prefers_b = votes.right > votes.left;
 
     assert!(model_prefers_b, "analytical uPLT must favour the text-first version");
@@ -78,9 +76,7 @@ fn visibility_utilities_predict_question_c_direction() {
         .in_lab()
         .run(&params, &prepared, &recruitment, &mut rng)
         .unwrap();
-    let votes = outcome
-        .question_analysis(params.question[2].text(), true)
-        .two_version_votes()
-        .unwrap();
+    let votes =
+        outcome.question_analysis(params.question[2].text(), true).two_version_votes().unwrap();
     assert!(votes.right > votes.left, "B must win visibility: {votes:?}");
 }

@@ -21,9 +21,8 @@ fn campaign_artifacts_survive_restart() {
     let db = Database::new();
     let grid = GridStore::new();
     let mut rng = StdRng::seed_from_u64(4);
-    let prepared = Aggregator::new(db.clone(), grid.clone())
-        .prepare(&params, &store, &mut rng)
-        .unwrap();
+    let prepared =
+        Aggregator::new(db.clone(), grid.clone()).prepare(&params, &store, &mut rng).unwrap();
     let recruitment = Platform.post_job(
         &JobSpec::new(&params.test_id, 0.11, 6, Channel::HistoricallyTrustworthy),
         &mut rng,
@@ -47,10 +46,7 @@ fn campaign_artifacts_survive_restart() {
 
     // Responses, test info, and every integrated page must be intact.
     assert_eq!(db2.collection("responses").len(), 6);
-    assert_eq!(
-        db2.collection("tests").count(&json!({"test_id": params.test_id})),
-        1
-    );
+    assert_eq!(db2.collection("tests").count(&json!({"test_id": params.test_id})), 1);
     assert_eq!(grid2.list(&params.test_id), grid.list(&params.test_id));
     for name in grid.list(&params.test_id) {
         assert_eq!(
@@ -61,9 +57,7 @@ fn campaign_artifacts_survive_restart() {
     }
 
     // The reloaded pages still drive a virtual browser: same paint curve.
-    let html = grid2
-        .get_text(&params.test_id, "version-0.html")
-        .expect("page reloaded");
+    let html = grid2.get_text(&params.test_id, "version-0.html").expect("page reloaded");
     let page = kaleidoscope::browser::LoadedPage::from_html(&html);
     // The 3-second uniform reveal plan survived the round-trip: the last
     // paint falls inside the window, not at t = 0.
@@ -88,9 +82,7 @@ fn database_queries_work_after_reload() {
     let dir = tempdir("queries");
     db.save_to_dir(&dir).unwrap();
     let db2 = Database::load_from_dir(&dir).unwrap();
-    let heavy = db2
-        .collection("responses")
-        .find(&json!({"created_tabs": {"$gte": 15}}));
+    let heavy = db2.collection("responses").find(&json!({"created_tabs": {"$gte": 15}}));
     assert_eq!(heavy.len(), 5);
     // Updates still work post-reload.
     let n = db2

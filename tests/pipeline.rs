@@ -12,9 +12,8 @@ fn font_campaign(n: usize, seed: u64) -> CampaignOutcome {
     let db = Database::new();
     let grid = GridStore::new();
     let mut rng = StdRng::seed_from_u64(seed);
-    let prepared = Aggregator::new(db.clone(), grid.clone())
-        .prepare(&params, &store, &mut rng)
-        .unwrap();
+    let prepared =
+        Aggregator::new(db.clone(), grid.clone()).prepare(&params, &store, &mut rng).unwrap();
     let recruitment = Platform.post_job(
         &JobSpec::new(&params.test_id, 0.11, n, Channel::HistoricallyTrustworthy),
         &mut rng,
@@ -52,10 +51,7 @@ fn every_answer_is_a_valid_label() {
     for rec in outcome.raw_records() {
         for page in &rec.pages {
             for answer in page.answers.values() {
-                assert!(
-                    parse_preference(answer).is_some(),
-                    "invalid answer label {answer}"
-                );
+                assert!(parse_preference(answer).is_some(), "invalid answer label {answer}");
             }
         }
     }
@@ -97,11 +93,7 @@ fn consensus_is_stable_across_seeds() {
         if ranking[0] == 1 {
             twelve_wins += 1;
         }
-        assert_eq!(
-            *ranking.last().unwrap(),
-            4,
-            "22pt must lose under seed {seed}: {ranking:?}"
-        );
+        assert_eq!(*ranking.last().unwrap(), 4, "22pt must lose under seed {seed}: {ranking:?}");
     }
     assert!(twelve_wins >= 3, "12pt should win most seeds, won {twelve_wins}/5");
 }
@@ -113,9 +105,8 @@ fn in_lab_and_crowd_agree_on_the_winner() {
     let db = Database::new();
     let grid = GridStore::new();
     let mut rng = StdRng::seed_from_u64(22);
-    let prepared = Aggregator::new(db.clone(), grid.clone())
-        .prepare(&params, &store, &mut rng)
-        .unwrap();
+    let prepared =
+        Aggregator::new(db.clone(), grid.clone()).prepare(&params, &store, &mut rng).unwrap();
     let lab_recruitment = InLabRecruiter::new(30, 7.0).recruit(&mut rng);
     let lab = Campaign::new(db, grid)
         .with_question(params.question[0].text(), QuestionKind::FontReadability)
@@ -151,9 +142,8 @@ fn responses_persisted_in_database() {
     let db = Database::new();
     let grid = GridStore::new();
     let mut rng = StdRng::seed_from_u64(2);
-    let prepared = Aggregator::new(db.clone(), grid.clone())
-        .prepare(&params, &store, &mut rng)
-        .unwrap();
+    let prepared =
+        Aggregator::new(db.clone(), grid.clone()).prepare(&params, &store, &mut rng).unwrap();
     let recruitment = Platform.post_job(
         &JobSpec::new(&params.test_id, 0.11, 6, Channel::HistoricallyTrustworthy),
         &mut rng,

@@ -18,9 +18,8 @@ fn html_fragment() -> impl Strategy<Value = String> {
         Just("<br>".to_string()),
         Just("<img src=\"pic.png\">".to_string()),
     ];
-    prop::collection::vec(leaf, 0..6).prop_map(|parts| {
-        format!("<div id=\"root\">{}</div>", parts.join(""))
-    })
+    prop::collection::vec(leaf, 0..6)
+        .prop_map(|parts| format!("<div id=\"root\">{}</div>", parts.join("")))
 }
 
 proptest! {
