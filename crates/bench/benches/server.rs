@@ -16,8 +16,14 @@ fn bench_server(c: &mut Criterion) {
     let server = HttpServer::bind("127.0.0.1:0", api.into_router(), 4).unwrap();
     let addr = server.local_addr();
 
-    c.bench_function("server/healthz_roundtrip", |b| {
+    // Connection-per-request vs keep-alive: the same round-trip with and
+    // without the TCP handshake in the measured path.
+    c.bench_function("server/healthz_roundtrip_close", |b| {
         b.iter(|| black_box(client::get(addr, "/healthz").unwrap().status))
+    });
+    c.bench_function("server/healthz_roundtrip_keepalive", |b| {
+        let mut session = client::Session::new(addr);
+        b.iter(|| black_box(session.get("/healthz").unwrap().status))
     });
     c.bench_function("server/serve_16k_page", |b| {
         b.iter(|| black_box(client::get(addr, "/api/tests/t/pages/page.html").unwrap().body.len()))

@@ -1,0 +1,147 @@
+//! The extension's HTTP side: fetching test resources from the core
+//! server and uploading session records.
+//!
+//! The paper's Chrome extension downloads every integrated webpage from
+//! the core server at test start and posts the collected answers back at
+//! the end (Fig. 3). [`ExtensionClient`] reproduces that traffic pattern
+//! over one keep-alive [`kscope_server::Session`]: a tester session makes
+//! many small requests in a burst, exactly the shape where
+//! connection-per-request pays a TCP handshake per page.
+
+use crate::extension::SessionRecord;
+use crate::page::LoadedPage;
+use kscope_server::client::{ClientError, SessionConfig, SessionStats};
+use kscope_server::Session;
+use std::net::SocketAddr;
+
+/// Error talking to the core server.
+#[derive(Debug)]
+pub enum FetchError {
+    /// Transport or parse failure from the underlying client.
+    Client(ClientError),
+    /// The server answered with a non-success status.
+    Status(u16, String),
+    /// The response body did not have the expected shape.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for FetchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FetchError::Client(e) => write!(f, "fetch failed: {e}"),
+            FetchError::Status(code, path) => write!(f, "server said {code} for {path}"),
+            FetchError::Malformed(what) => write!(f, "malformed server response: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FetchError {}
+
+impl From<ClientError> for FetchError {
+    fn from(e: ClientError) -> Self {
+        FetchError::Client(e)
+    }
+}
+
+/// The extension simulator's connection to the core server: one
+/// keep-alive socket for a whole tester session.
+pub struct ExtensionClient {
+    session: Session,
+}
+
+impl std::fmt::Debug for ExtensionClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ExtensionClient({:?})", self.session)
+    }
+}
+
+impl ExtensionClient {
+    /// A client for the core server at `addr` (connects lazily).
+    pub fn connect(addr: SocketAddr) -> Self {
+        Self { session: Session::new(addr) }
+    }
+
+    /// A client with explicit session tuning.
+    pub fn with_config(addr: SocketAddr, config: SessionConfig) -> Self {
+        Self { session: Session::with_config(addr, config) }
+    }
+
+    /// Connection-reuse counters of the underlying session.
+    pub fn stats(&self) -> SessionStats {
+        self.session.stats()
+    }
+
+    fn get_json(&mut self, path: &str) -> Result<serde_json::Value, FetchError> {
+        let resp = self.session.get(path)?;
+        if resp.status.0 != 200 {
+            return Err(FetchError::Status(resp.status.0, path.to_string()));
+        }
+        resp.json_body().map_err(|_| FetchError::Malformed("expected a JSON body"))
+    }
+
+    /// Test metadata as stored by the aggregator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FetchError`] on transport failures or non-200 statuses.
+    pub fn test_info(&mut self, test_id: &str) -> Result<serde_json::Value, FetchError> {
+        self.get_json(&format!("/api/tests/{test_id}"))
+    }
+
+    /// Names of the integrated webpages belonging to a test.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FetchError`] on transport failures, non-200 statuses, or
+    /// an unexpected body shape.
+    pub fn page_names(&mut self, test_id: &str) -> Result<Vec<String>, FetchError> {
+        let listing = self.get_json(&format!("/api/tests/{test_id}/pages"))?;
+        listing["pages"]
+            .as_array()
+            .ok_or(FetchError::Malformed("missing pages array"))?
+            .iter()
+            .map(|v| {
+                v.as_str().map(str::to_string).ok_or(FetchError::Malformed("non-string page name"))
+            })
+            .collect()
+    }
+
+    /// Downloads one integrated webpage and parses it into a
+    /// [`LoadedPage`] — the injected reveal script and all.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FetchError`] on transport failures or non-200 statuses.
+    pub fn fetch_page(&mut self, test_id: &str, name: &str) -> Result<LoadedPage, FetchError> {
+        Ok(LoadedPage::from_html(&self.fetch_page_html(test_id, name)?))
+    }
+
+    /// Downloads one integrated webpage as raw HTML.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FetchError`] on transport failures or non-200 statuses.
+    pub fn fetch_page_html(&mut self, test_id: &str, name: &str) -> Result<String, FetchError> {
+        let path = format!("/api/tests/{test_id}/pages/{name}");
+        let resp = self.session.get(&path)?;
+        if resp.status.0 != 200 {
+            return Err(FetchError::Status(resp.status.0, path));
+        }
+        Ok(resp.text())
+    }
+
+    /// Uploads a finished session's answers and behaviour telemetry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FetchError`] on transport failures or when the server
+    /// does not acknowledge with `201 Created`.
+    pub fn upload(&mut self, record: &SessionRecord) -> Result<serde_json::Value, FetchError> {
+        let path = format!("/api/tests/{}/responses", record.test_id);
+        let resp = self.session.post_json(&path, &record.to_json())?;
+        if resp.status.0 != 201 {
+            return Err(FetchError::Status(resp.status.0, path));
+        }
+        resp.json_body().map_err(|_| FetchError::Malformed("expected a JSON body"))
+    }
+}

@@ -16,6 +16,8 @@
 //!   artifact the aggregator produced is what actually drives perception.
 //! * [`extension::TestFlow`] — the Fig. 3 state machine with hard-rule
 //!   enforcement.
+//! * [`fetch::ExtensionClient`] — the extension's HTTP side: page
+//!   downloads and result upload over one keep-alive connection.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,9 +25,11 @@
 pub mod browser;
 pub mod clock;
 pub mod extension;
+pub mod fetch;
 pub mod page;
 
 pub use browser::{Browser, TabId};
 pub use clock::SimClock;
 pub use extension::{FlowError, FlowEvent, FlowEventKind, PageResult, SessionRecord, TestFlow};
+pub use fetch::{ExtensionClient, FetchError};
 pub use page::LoadedPage;

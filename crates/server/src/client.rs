@@ -1,4 +1,10 @@
 //! A small blocking HTTP client for the extension simulator and tests.
+//!
+//! Two shapes: the free functions ([`get`], [`post_json`], [`request`])
+//! open one `connection: close` socket per call, while [`Session`] keeps a
+//! single keep-alive socket across requests, reconnecting transparently
+//! when the server has closed it (idle timeout, request cap, drain) and
+//! retrying fresh-connection failures with bounded exponential backoff.
 
 use crate::http::{HttpParseError, Method, Request, Response};
 use std::io::BufReader;
@@ -6,6 +12,10 @@ use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
 const CLIENT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Largest response body the client will allocate for. An untrusted
+/// `content-length` must not drive an unbounded `vec![0; len]`.
+pub const MAX_RESPONSE_BYTES: usize = 64 << 20;
 
 /// Error performing a client request.
 #[derive(Debug)]
@@ -27,20 +37,21 @@ impl std::fmt::Display for ClientError {
 
 impl std::error::Error for ClientError {}
 
-/// Sends `req` to `addr` and reads the response (one request per
-/// connection; the server speaks `connection: close`).
+/// Sends `req` to `addr` on a fresh connection and reads the response
+/// (one request per connection; `connection: close` is sent explicitly).
 ///
 /// # Errors
 ///
 /// Returns [`ClientError`] on connection or parse failures.
-pub fn request(addr: SocketAddr, req: Request) -> Result<Response, ClientError> {
+pub fn request(addr: SocketAddr, mut req: Request) -> Result<Response, ClientError> {
+    req.headers.entry("connection".into()).or_insert_with(|| "close".into());
     let stream = TcpStream::connect_timeout(&addr, CLIENT_TIMEOUT).map_err(ClientError::Io)?;
     stream.set_read_timeout(Some(CLIENT_TIMEOUT)).map_err(ClientError::Io)?;
     stream.set_write_timeout(Some(CLIENT_TIMEOUT)).map_err(ClientError::Io)?;
     let mut writer = stream.try_clone().map_err(ClientError::Io)?;
     req.write_to(&mut writer).map_err(ClientError::Io)?;
     let mut reader = BufReader::new(stream);
-    Response::read_from(&mut reader).map_err(ClientError::Parse)
+    Response::read_from(&mut reader, MAX_RESPONSE_BYTES).map_err(ClientError::Parse)
 }
 
 /// GET a path.
@@ -65,4 +76,183 @@ pub fn post_json(
     let mut req = Request::new(Method::Post, path).with_body(body.to_string().into_bytes());
     req.headers.insert("content-type".into(), "application/json".into());
     request(addr, req)
+}
+
+/// Tuning for [`Session`].
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Connect/read/write timeout per socket operation.
+    pub timeout: Duration,
+    /// Retries after a failure on a *fresh* connection (a stale keep-alive
+    /// socket is renewed without consuming the retry budget).
+    pub retries: u32,
+    /// First backoff sleep; doubles per retry.
+    pub backoff: Duration,
+    /// Largest response body the session will allocate for.
+    pub max_response_bytes: usize,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        Self {
+            timeout: CLIENT_TIMEOUT,
+            retries: 2,
+            backoff: Duration::from_millis(25),
+            max_response_bytes: MAX_RESPONSE_BYTES,
+        }
+    }
+}
+
+/// Counters a [`Session`] keeps about its connection reuse.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Requests completed successfully.
+    pub requests: u64,
+    /// Requests that rode an already-used keep-alive socket — TCP
+    /// handshakes saved versus one-connection-per-request.
+    pub reuses: u64,
+    /// Sockets opened.
+    pub connects: u64,
+    /// Stale keep-alive sockets renewed after the server closed them.
+    pub reconnects: u64,
+    /// Fresh-connection failures retried with backoff.
+    pub retries: u64,
+}
+
+struct Conn {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    /// Requests already served on this socket.
+    served: u64,
+}
+
+/// A connection-reusing HTTP client: one keep-alive socket across
+/// requests, with reconnect-on-stale and bounded retry/backoff.
+pub struct Session {
+    addr: SocketAddr,
+    config: SessionConfig,
+    conn: Option<Conn>,
+    stats: SessionStats,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Session({}, connected: {})", self.addr, self.conn.is_some())
+    }
+}
+
+impl Session {
+    /// A session for `addr` with default tuning. Connects lazily on the
+    /// first request.
+    pub fn new(addr: SocketAddr) -> Self {
+        Self::with_config(addr, SessionConfig::default())
+    }
+
+    /// A session with explicit tuning.
+    pub fn with_config(addr: SocketAddr, config: SessionConfig) -> Self {
+        Self { addr, config, conn: None, stats: SessionStats::default() }
+    }
+
+    /// Connection-reuse counters.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Whether a socket is currently open.
+    pub fn is_connected(&self) -> bool {
+        self.conn.is_some()
+    }
+
+    /// Sends `req` over the kept connection, reconnecting and retrying as
+    /// configured. The request is sent with `connection: keep-alive`
+    /// unless the caller set the header explicitly.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last [`ClientError`] once the retry budget is spent.
+    pub fn request(&mut self, mut req: Request) -> Result<Response, ClientError> {
+        req.headers.entry("connection".into()).or_insert_with(|| "keep-alive".into());
+        let mut attempt = 0u32;
+        loop {
+            let reused = self.conn.as_ref().is_some_and(|c| c.served > 0);
+            match self.try_once(&req) {
+                Ok(response) => {
+                    self.stats.requests += 1;
+                    if reused {
+                        self.stats.reuses += 1;
+                    }
+                    if response.is_close() {
+                        self.conn = None;
+                    }
+                    return Ok(response);
+                }
+                Err(err) => {
+                    self.conn = None;
+                    if reused {
+                        // The server closed a keep-alive socket between
+                        // requests (idle timeout, request cap, drain).
+                        // Renewing it is routine, not a failure: retry
+                        // immediately without consuming the budget. The
+                        // next attempt runs on a fresh socket, so this
+                        // cannot loop.
+                        self.stats.reconnects += 1;
+                        continue;
+                    }
+                    if attempt >= self.config.retries {
+                        return Err(err);
+                    }
+                    std::thread::sleep(self.config.backoff * 2u32.saturating_pow(attempt));
+                    attempt += 1;
+                    self.stats.retries += 1;
+                }
+            }
+        }
+    }
+
+    /// GET a path over the kept connection.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last [`ClientError`] once the retry budget is spent.
+    pub fn get(&mut self, path: &str) -> Result<Response, ClientError> {
+        self.request(Request::new(Method::Get, path))
+    }
+
+    /// POST a JSON body over the kept connection.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last [`ClientError`] once the retry budget is spent.
+    pub fn post_json(
+        &mut self,
+        path: &str,
+        body: &serde_json::Value,
+    ) -> Result<Response, ClientError> {
+        let mut req = Request::new(Method::Post, path).with_body(body.to_string().into_bytes());
+        req.headers.insert("content-type".into(), "application/json".into());
+        self.request(req)
+    }
+
+    /// Closes the kept socket (the next request reconnects).
+    pub fn disconnect(&mut self) {
+        self.conn = None;
+    }
+
+    fn try_once(&mut self, req: &Request) -> Result<Response, ClientError> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, self.config.timeout)
+                .map_err(ClientError::Io)?;
+            stream.set_read_timeout(Some(self.config.timeout)).map_err(ClientError::Io)?;
+            stream.set_write_timeout(Some(self.config.timeout)).map_err(ClientError::Io)?;
+            let writer = stream.try_clone().map_err(ClientError::Io)?;
+            self.conn = Some(Conn { writer, reader: BufReader::new(stream), served: 0 });
+            self.stats.connects += 1;
+        }
+        let conn = self.conn.as_mut().expect("connection just ensured");
+        req.write_to(&mut conn.writer).map_err(ClientError::Io)?;
+        let response = Response::read_from(&mut conn.reader, self.config.max_response_bytes)
+            .map_err(ClientError::Parse)?;
+        conn.served += 1;
+        Ok(response)
+    }
 }

@@ -61,8 +61,16 @@ impl StatusCode {
     pub const NOT_FOUND: StatusCode = StatusCode(404);
     /// 405.
     pub const METHOD_NOT_ALLOWED: StatusCode = StatusCode(405);
+    /// 408.
+    pub const REQUEST_TIMEOUT: StatusCode = StatusCode(408);
+    /// 413.
+    pub const PAYLOAD_TOO_LARGE: StatusCode = StatusCode(413);
+    /// 431.
+    pub const HEADERS_TOO_LARGE: StatusCode = StatusCode(431);
     /// 500.
     pub const INTERNAL_SERVER_ERROR: StatusCode = StatusCode(500);
+    /// 503.
+    pub const SERVICE_UNAVAILABLE: StatusCode = StatusCode(503);
 
     /// Standard reason phrase.
     pub fn reason(&self) -> &'static str {
@@ -73,11 +81,57 @@ impl StatusCode {
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            408 => "Request Timeout",
             413 => "Payload Too Large",
+            431 => "Request Header Fields Too Large",
             500 => "Internal Server Error",
+            503 => "Service Unavailable",
             _ => "Unknown",
         }
     }
+}
+
+/// Cap on the cumulative size of one message's header block (request line
+/// excluded), shared by the server and client parsers. An untrusted peer
+/// must not be able to grow memory without bound by streaming header
+/// lines that never end.
+pub const MAX_HEADER_BYTES: usize = 32 << 10;
+
+/// Reads the `name: value` header block up to the blank line, enforcing
+/// [`MAX_HEADER_BYTES`] and treating EOF before the blank line as a
+/// truncated message rather than an empty header block.
+fn read_header_block<R: Read>(
+    reader: &mut BufReader<R>,
+) -> Result<BTreeMap<String, String>, HttpParseError> {
+    let mut headers = BTreeMap::new();
+    let mut total = 0usize;
+    loop {
+        let mut hline = String::new();
+        let n = reader.read_line(&mut hline).map_err(HttpParseError::Io)?;
+        if n == 0 {
+            // EOF mid-headers: the peer hung up before the blank line that
+            // ends the block. This must not parse as a complete message.
+            return Err(HttpParseError::ConnectionClosed);
+        }
+        total += n;
+        if total > MAX_HEADER_BYTES {
+            return Err(HttpParseError::HeadersTooLarge(total));
+        }
+        let trimmed = hline.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+        }
+    }
+    Ok(headers)
+}
+
+/// Whether a header map asks for the connection to be closed after this
+/// message (`connection: close`, case-insensitive).
+fn connection_close(headers: &BTreeMap<String, String>) -> bool {
+    headers.get("connection").is_some_and(|v| v.eq_ignore_ascii_case("close"))
 }
 
 /// A parsed HTTP request.
@@ -144,18 +198,7 @@ impl Request {
         let _version = parts.next().ok_or(HttpParseError::BadRequestLine)?;
         let (path, query) = split_query(target);
 
-        let mut headers = BTreeMap::new();
-        loop {
-            let mut hline = String::new();
-            reader.read_line(&mut hline).map_err(HttpParseError::Io)?;
-            let trimmed = hline.trim_end();
-            if trimmed.is_empty() {
-                break;
-            }
-            if let Some((name, value)) = trimmed.split_once(':') {
-                headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
-            }
-        }
+        let headers = read_header_block(reader)?;
         let len: usize = headers.get("content-length").and_then(|v| v.parse().ok()).unwrap_or(0);
         if len > max_body {
             return Err(HttpParseError::BodyTooLarge(len));
@@ -163,6 +206,13 @@ impl Request {
         let mut body = vec![0u8; len];
         reader.read_exact(&mut body).map_err(HttpParseError::Io)?;
         Ok(Self { method, path, query, headers, body })
+    }
+
+    /// Whether this request asks the server to close the connection after
+    /// responding. Absent a `connection` header, HTTP/1.1 defaults to
+    /// keep-alive.
+    pub fn wants_close(&self) -> bool {
+        connection_close(&self.headers)
     }
 
     /// Serializes the request for sending (client side).
@@ -183,10 +233,12 @@ impl Request {
         };
         write!(writer, "{} {}{} HTTP/1.1\r\n", self.method, encode_path(&self.path), query)?;
         for (name, value) in &self.headers {
+            if name == "content-length" {
+                continue;
+            }
             write!(writer, "{name}: {value}\r\n")?;
         }
-        write!(writer, "content-length: {}\r\n", self.body.len())?;
-        write!(writer, "connection: close\r\n\r\n")?;
+        write!(writer, "content-length: {}\r\n\r\n", self.body.len())?;
         writer.write_all(&self.body)?;
         writer.flush()
     }
@@ -264,20 +316,39 @@ impl Response {
     pub fn write_to<W: Write>(&self, writer: &mut W) -> std::io::Result<()> {
         write!(writer, "HTTP/1.1 {} {}\r\n", self.status.0, self.status.reason())?;
         for (name, value) in &self.headers {
+            if name == "content-length" {
+                continue;
+            }
             write!(writer, "{name}: {value}\r\n")?;
         }
-        write!(writer, "content-length: {}\r\n", self.body.len())?;
-        write!(writer, "connection: close\r\n\r\n")?;
+        write!(writer, "content-length: {}\r\n\r\n", self.body.len())?;
         writer.write_all(&self.body)?;
         writer.flush()
     }
 
-    /// Reads one response from a stream (client side).
+    /// Sets the `connection` header to `close` or `keep-alive`.
+    pub fn set_connection(&mut self, close: bool) -> &mut Self {
+        self.headers.insert("connection".into(), if close { "close" } else { "keep-alive" }.into());
+        self
+    }
+
+    /// Whether this response announces the connection will close after it.
+    pub fn is_close(&self) -> bool {
+        connection_close(&self.headers)
+    }
+
+    /// Reads one response from a stream (client side), rejecting declared
+    /// bodies above `max_body` bytes *before* allocating — an untrusted
+    /// `content-length` must not drive an unbounded allocation.
     ///
     /// # Errors
     ///
-    /// Returns [`HttpParseError`] on malformed framing.
-    pub fn read_from<R: Read>(reader: &mut BufReader<R>) -> Result<Self, HttpParseError> {
+    /// Returns [`HttpParseError`] on malformed framing or oversized
+    /// headers/bodies.
+    pub fn read_from<R: Read>(
+        reader: &mut BufReader<R>,
+        max_body: usize,
+    ) -> Result<Self, HttpParseError> {
         let mut line = String::new();
         reader.read_line(&mut line).map_err(HttpParseError::Io)?;
         if line.is_empty() {
@@ -287,19 +358,11 @@ impl Response {
         let _version = parts.next().ok_or(HttpParseError::BadRequestLine)?;
         let status: u16 =
             parts.next().and_then(|s| s.parse().ok()).ok_or(HttpParseError::BadRequestLine)?;
-        let mut headers = BTreeMap::new();
-        loop {
-            let mut hline = String::new();
-            reader.read_line(&mut hline).map_err(HttpParseError::Io)?;
-            let trimmed = hline.trim_end();
-            if trimmed.is_empty() {
-                break;
-            }
-            if let Some((name, value)) = trimmed.split_once(':') {
-                headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
-            }
-        }
+        let headers = read_header_block(reader)?;
         let len: usize = headers.get("content-length").and_then(|v| v.parse().ok()).unwrap_or(0);
+        if len > max_body {
+            return Err(HttpParseError::BodyTooLarge(len));
+        }
         let mut body = vec![0u8; len];
         reader.read_exact(&mut body).map_err(HttpParseError::Io)?;
         Ok(Self { status: StatusCode(status), headers, body })
@@ -315,6 +378,8 @@ pub enum HttpParseError {
     BadRequestLine,
     /// Declared content length above the configured limit.
     BodyTooLarge(usize),
+    /// Header block larger than [`MAX_HEADER_BYTES`].
+    HeadersTooLarge(usize),
     /// Underlying I/O failure.
     Io(std::io::Error),
 }
@@ -325,6 +390,9 @@ impl fmt::Display for HttpParseError {
             HttpParseError::ConnectionClosed => write!(f, "connection closed"),
             HttpParseError::BadRequestLine => write!(f, "malformed request line"),
             HttpParseError::BodyTooLarge(n) => write!(f, "declared body of {n} bytes too large"),
+            HttpParseError::HeadersTooLarge(n) => {
+                write!(f, "header block of {n} bytes too large")
+            }
             HttpParseError::Io(e) => write!(f, "http i/o error: {e}"),
         }
     }
@@ -334,7 +402,7 @@ impl std::error::Error for HttpParseError {}
 
 fn split_query(target: &str) -> (String, Vec<(String, String)>) {
     match target.split_once('?') {
-        None => (url_decode(target), Vec::new()),
+        None => (url_decode_path(target), Vec::new()),
         Some((path, qs)) => {
             let query = qs
                 .split('&')
@@ -344,13 +412,25 @@ fn split_query(target: &str) -> (String, Vec<(String, String)>) {
                     None => (url_decode(pair), String::new()),
                 })
                 .collect();
-            (url_decode(path), query)
+            (url_decode_path(path), query)
         }
     }
 }
 
-/// Percent-decodes a URL component (also folds `+` to space in queries).
+/// Percent-decodes a query component, folding `+` to space
+/// (`application/x-www-form-urlencoded` semantics).
 pub fn url_decode(s: &str) -> String {
+    url_decode_with(s, true)
+}
+
+/// Percent-decodes a path component. Unlike query components, a literal
+/// `+` in a path segment is just a plus sign — `/pages/a+b.html` must not
+/// become `/pages/a b.html`.
+pub fn url_decode_path(s: &str) -> String {
+    url_decode_with(s, false)
+}
+
+fn url_decode_with(s: &str, plus_as_space: bool) -> String {
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
@@ -369,7 +449,7 @@ pub fn url_decode(s: &str) -> String {
                     i += 1;
                 }
             }
-            b'+' => {
+            b'+' if plus_as_space => {
                 out.push(b' ');
                 i += 1;
             }
@@ -482,7 +562,7 @@ mod tests {
         let mut buf = Vec::new();
         resp.write_to(&mut buf).unwrap();
         let mut reader = BufReader::new(Cursor::new(buf));
-        let parsed = Response::read_from(&mut reader).unwrap();
+        let parsed = Response::read_from(&mut reader, 1 << 20).unwrap();
         assert_eq!(parsed.status, StatusCode::OK);
         assert_eq!(parsed.json_body().unwrap()["ok"], serde_json::json!(true));
         assert_eq!(
@@ -513,6 +593,119 @@ mod tests {
     #[test]
     fn status_reasons() {
         assert_eq!(StatusCode::OK.reason(), "OK");
+        assert_eq!(StatusCode::SERVICE_UNAVAILABLE.reason(), "Service Unavailable");
         assert_eq!(StatusCode(599).reason(), "Unknown");
+    }
+
+    // --- regression: EOF mid-headers must not parse as a complete message ---
+
+    #[test]
+    fn truncated_request_headers_are_rejected() {
+        // No blank line: the client died mid-headers. Before the fix,
+        // read_line returning 0 produced an empty line that ended the
+        // header block, and the truncated request was dispatched.
+        for raw in [
+            "GET /api/tests HTTP/1.1\r\nhost: x\r\n",
+            "GET /api/tests HTTP/1.1\r\n",
+            "POST /api/responses HTTP/1.1\r\ncontent-length: 5\r\nhost",
+        ] {
+            assert!(
+                matches!(parse_request(raw), Err(HttpParseError::ConnectionClosed)),
+                "raw {raw:?} must be treated as a truncated message"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_response_headers_are_rejected() {
+        let raw = "HTTP/1.1 200 OK\r\ncontent-type: text/html\r\n";
+        let mut reader = BufReader::new(Cursor::new(raw.as_bytes().to_vec()));
+        assert!(matches!(
+            Response::read_from(&mut reader, 1 << 20),
+            Err(HttpParseError::ConnectionClosed)
+        ));
+    }
+
+    // --- regression: `+` must survive in path segments ---
+
+    #[test]
+    fn plus_is_preserved_in_paths_but_folded_in_queries() {
+        let req = parse_request("GET /pages/a+b.html?q=x+y HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.path, "/pages/a+b.html");
+        assert_eq!(req.query_param("q"), Some("x y"));
+        assert_eq!(url_decode_path("a+b%20c"), "a+b c");
+    }
+
+    // --- regression: untrusted sizes must not drive unbounded allocations ---
+
+    #[test]
+    fn oversized_response_body_is_rejected_before_allocating() {
+        let raw = format!("HTTP/1.1 200 OK\r\ncontent-length: {}\r\n\r\n", usize::MAX / 2);
+        let mut reader = BufReader::new(Cursor::new(raw.into_bytes()));
+        assert!(matches!(
+            Response::read_from(&mut reader, 1 << 20),
+            Err(HttpParseError::BodyTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_header_block_is_rejected() {
+        let huge = format!("GET / HTTP/1.1\r\nx-filler: {}\r\n\r\n", "a".repeat(MAX_HEADER_BYTES));
+        assert!(matches!(parse_request(&huge), Err(HttpParseError::HeadersTooLarge(_))));
+        let huge_resp =
+            format!("HTTP/1.1 200 OK\r\nx-filler: {}\r\n\r\n", "a".repeat(MAX_HEADER_BYTES));
+        let mut reader = BufReader::new(Cursor::new(huge_resp.into_bytes()));
+        assert!(matches!(
+            Response::read_from(&mut reader, 1 << 20),
+            Err(HttpParseError::HeadersTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn many_small_headers_are_also_bounded() {
+        let mut raw = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..10_000 {
+            raw.push_str(&format!("x-h{i}: v\r\n"));
+        }
+        raw.push_str("\r\n");
+        assert!(matches!(parse_request(&raw), Err(HttpParseError::HeadersTooLarge(_))));
+    }
+
+    // --- connection header plumbing ---
+
+    #[test]
+    fn connection_header_is_honored_not_hardcoded() {
+        let mut req = Request::new(Method::Get, "/x");
+        assert!(!req.wants_close(), "HTTP/1.1 defaults to keep-alive");
+        req.headers.insert("connection".into(), "Close".into());
+        assert!(req.wants_close(), "case-insensitive close");
+
+        // write_to no longer injects `connection: close` behind the
+        // caller's back.
+        let req = Request::new(Method::Get, "/x");
+        let mut buf = Vec::new();
+        req.write_to(&mut buf).unwrap();
+        let wire = String::from_utf8(buf).unwrap();
+        assert!(!wire.to_ascii_lowercase().contains("connection:"), "wire: {wire}");
+
+        let mut resp = Response::with_status(StatusCode::OK);
+        resp.set_connection(false);
+        assert!(!resp.is_close());
+        resp.set_connection(true);
+        assert!(resp.is_close());
+        let mut buf = Vec::new();
+        resp.write_to(&mut buf).unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("connection: close"));
+    }
+
+    #[test]
+    fn explicit_content_length_header_is_not_duplicated() {
+        let mut req = Request::new(Method::Post, "/x").with_body(b"abc".to_vec());
+        req.headers.insert("content-length".into(), "999".into());
+        let mut buf = Vec::new();
+        req.write_to(&mut buf).unwrap();
+        let wire = String::from_utf8(buf).unwrap();
+        assert_eq!(wire.matches("content-length").count(), 1);
+        assert!(wire.contains("content-length: 3"), "computed length wins: {wire}");
     }
 }

@@ -39,7 +39,8 @@ pub mod metrics;
 pub mod router;
 pub mod server;
 
+pub use client::Session;
 pub use http::{Method, Request, Response, StatusCode};
 pub use metrics::ServerMetrics;
 pub use router::{Params, Router};
-pub use server::HttpServer;
+pub use server::{DrainReport, HttpServer, ServerConfig};

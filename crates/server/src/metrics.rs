@@ -5,8 +5,14 @@
 //! acceptor and worker threads, so per-request updates are single atomic
 //! operations — the request hot path never touches a lock.
 
-use kscope_telemetry::{Counter, EventLevel, Gauge, Registry};
+use kscope_telemetry::{Counter, EventLevel, Gauge, Histogram, Registry};
 use std::sync::Arc;
+
+/// Bucket bounds for `server.shutdown_duration_ms`: drains are expected
+/// in the tens-of-milliseconds to a-few-seconds range, far off the
+/// default microsecond latency series.
+const SHUTDOWN_BUCKETS_MS: &[u64] =
+    &[1, 2, 5, 10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 30_000, 60_000];
 
 /// Pre-registered handles for everything [`crate::HttpServer`] measures.
 #[derive(Debug)]
@@ -32,6 +38,22 @@ pub struct ServerMetrics {
     /// Requests rejected for declared bodies over the cap
     /// (`server.body_too_large_total`).
     pub body_too_large_total: Counter,
+    /// Requests rejected for header blocks over the cap
+    /// (`server.headers_too_large_total`).
+    pub headers_too_large_total: Counter,
+    /// Connections refused with a 503 because the worker queue was full
+    /// (`server.shed_total`).
+    pub shed_total: Counter,
+    /// 1 while the server is draining in-flight connections during
+    /// shutdown, else 0 (`server.draining`).
+    pub draining: Gauge,
+    /// Requests served on an already-used keep-alive connection — the
+    /// per-request TCP handshakes saved
+    /// (`server.keepalive_reuses_total`).
+    pub keepalive_reuses_total: Counter,
+    /// How long shutdown took to drain, milliseconds
+    /// (`server.shutdown_duration_ms`).
+    pub shutdown_duration_ms: Histogram,
     /// Responses by status class, index `status/100 - 1`
     /// (`server.responses_total{class="2xx"}` …).
     pub responses_by_class: [Counter; 5],
@@ -53,6 +75,15 @@ impl ServerMetrics {
             parse_errors_total: registry.counter("server.parse_errors_total"),
             timeout_errors_total: registry.counter("server.timeout_errors_total"),
             body_too_large_total: registry.counter("server.body_too_large_total"),
+            headers_too_large_total: registry.counter("server.headers_too_large_total"),
+            shed_total: registry.counter("server.shed_total"),
+            draining: registry.gauge("server.draining"),
+            keepalive_reuses_total: registry.counter("server.keepalive_reuses_total"),
+            shutdown_duration_ms: registry.histogram_with_buckets(
+                "server.shutdown_duration_ms",
+                &[],
+                SHUTDOWN_BUCKETS_MS,
+            ),
             responses_by_class: [
                 class_counter("1xx"),
                 class_counter("2xx"),

@@ -165,6 +165,22 @@ impl Router {
         self.add(Method::Post, pattern, handler)
     }
 
+    /// Convenience for PUT routes.
+    pub fn put<F>(&mut self, pattern: &str, handler: F) -> &mut Self
+    where
+        F: Fn(&Request, &Params) -> Response + Send + Sync + 'static,
+    {
+        self.add(Method::Put, pattern, handler)
+    }
+
+    /// Convenience for DELETE routes.
+    pub fn delete<F>(&mut self, pattern: &str, handler: F) -> &mut Self
+    where
+        F: Fn(&Request, &Params) -> Response + Send + Sync + 'static,
+    {
+        self.add(Method::Delete, pattern, handler)
+    }
+
     /// Dispatches a request: 404 if no pattern matches, 405 if a pattern
     /// matches under a different method.
     pub fn dispatch(&self, req: &Request) -> Response {
@@ -293,6 +309,19 @@ mod tests {
         assert_eq!(r.dispatch(&req(Method::Get, "/nope")).status, StatusCode::NOT_FOUND);
         assert_eq!(
             r.dispatch(&req(Method::Post, "/only-get")).status,
+            StatusCode::METHOD_NOT_ALLOWED
+        );
+    }
+
+    #[test]
+    fn put_and_delete_conveniences() {
+        let mut r = Router::new();
+        r.put("/api/tests/:id", ok("put"));
+        r.delete("/api/tests/:id", ok("delete"));
+        assert!(r.dispatch(&req(Method::Put, "/api/tests/t1")).text().contains("put"));
+        assert!(r.dispatch(&req(Method::Delete, "/api/tests/t1")).text().contains("delete"));
+        assert_eq!(
+            r.dispatch(&req(Method::Get, "/api/tests/t1")).status,
             StatusCode::METHOD_NOT_ALLOWED
         );
     }

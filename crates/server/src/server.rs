@@ -1,23 +1,88 @@
 //! The threaded HTTP server.
 //!
-//! An acceptor thread pushes connections into a crossbeam channel drained by
-//! a fixed worker pool — the thread-pool equivalent of NodeJS's event loop
-//! for our request/response workload.
+//! An acceptor thread pushes connections into a crossbeam channel drained
+//! by a fixed worker pool — the thread-pool equivalent of NodeJS's event
+//! loop for our request/response workload. Each worker runs a keep-alive
+//! loop over its connection: many requests ride one TCP socket until the
+//! client asks to close, the connection idles past the timeout, or the
+//! per-connection request cap is reached. When the queue is full the
+//! acceptor sheds load with an immediate `503` instead of stalling the
+//! accept loop, and [`HttpServer::shutdown`] drains in-flight connections
+//! up to a deadline before force-closing.
 
 use crate::http::{HttpParseError, Request, Response, StatusCode};
 use crate::metrics::{panic_message, ServerMetrics};
 use crate::router::Router;
-use crossbeam::channel::{bounded, Sender};
+use crossbeam::channel::{bounded, Sender, TrySendError};
 use kscope_telemetry::Registry;
-use std::io::BufReader;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::io::{BufReader, Read};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-const MAX_BODY_BYTES: usize = 32 << 20;
-const IO_TIMEOUT: Duration = Duration::from_secs(10);
+/// Tuning knobs for the connection lifecycle.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Number of worker threads (each owns one connection at a time).
+    pub worker_count: usize,
+    /// Bounded depth of the accepted-connection queue; when full, new
+    /// connections are shed with a `503`.
+    pub queue_capacity: usize,
+    /// Keep-alive cap: a connection is closed after serving this many
+    /// requests, so one client cannot pin a worker forever.
+    pub max_requests_per_connection: usize,
+    /// Socket read timeout — both the patience for a slow request and how
+    /// long an idle keep-alive connection is kept before disconnecting.
+    pub idle_timeout: Duration,
+    /// How long [`HttpServer::shutdown`] waits for in-flight connections
+    /// to finish before force-closing.
+    pub drain_deadline: Duration,
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            worker_count: 4,
+            queue_capacity: 16,
+            max_requests_per_connection: 1_000,
+            idle_timeout: Duration::from_secs(10),
+            drain_deadline: Duration::from_secs(5),
+            max_body_bytes: 32 << 20,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// A config sized for `worker_count` workers (queue = 4× workers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker_count == 0`.
+    pub fn with_workers(worker_count: usize) -> Self {
+        assert!(worker_count > 0, "need at least one worker");
+        Self { worker_count, queue_capacity: worker_count * 4, ..Self::default() }
+    }
+}
+
+/// What [`HttpServer::shutdown`] observed while draining.
+#[derive(Debug, Clone)]
+pub struct DrainReport {
+    /// Wall-clock time from the stop signal to the last joined thread (or
+    /// the drain deadline).
+    pub duration: Duration,
+    /// Worker threads that finished and were joined before the deadline.
+    pub workers_joined: usize,
+    /// Size of the worker pool.
+    pub workers_total: usize,
+    /// Whether every worker drained before the deadline (`false` means
+    /// stragglers were force-abandoned; their sockets die with the
+    /// process or their read timeout, whichever comes first).
+    pub completed: bool,
+}
 
 /// A running HTTP server; dropping it (or calling [`HttpServer::shutdown`])
 /// stops the acceptor and workers.
@@ -27,6 +92,8 @@ pub struct HttpServer {
     stop: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    metrics: Option<Arc<ServerMetrics>>,
+    drain_deadline: Duration,
 }
 
 impl HttpServer {
@@ -45,15 +112,15 @@ impl HttpServer {
         router: Router,
         worker_count: usize,
     ) -> std::io::Result<Self> {
-        Self::bind_with_telemetry(addr, router, worker_count, None)
+        Self::bind_with_config(addr, router, ServerConfig::with_workers(worker_count), None)
     }
 
     /// Like [`HttpServer::bind`], but instruments the server on `registry`
     /// when one is given: per-route request counters and latency
     /// histograms (via [`Router::set_telemetry`]), accept-queue depth,
     /// worker utilization, status-class response counters, parse/timeout
-    /// error counters, and a handler-panic counter with structured panic
-    /// events.
+    /// error counters, shed/keep-alive/drain lifecycle metrics, and a
+    /// handler-panic counter with structured panic events.
     ///
     /// # Errors
     ///
@@ -64,28 +131,50 @@ impl HttpServer {
     /// Panics if `worker_count == 0`.
     pub fn bind_with_telemetry<A: ToSocketAddrs>(
         addr: A,
-        mut router: Router,
+        router: Router,
         worker_count: usize,
         registry: Option<Arc<Registry>>,
     ) -> std::io::Result<Self> {
-        assert!(worker_count > 0, "need at least one worker");
+        Self::bind_with_config(addr, router, ServerConfig::with_workers(worker_count), registry)
+    }
+
+    /// Binds with explicit lifecycle tuning (see [`ServerConfig`]) and
+    /// optional telemetry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.worker_count == 0` or `config.queue_capacity == 0`.
+    pub fn bind_with_config<A: ToSocketAddrs>(
+        addr: A,
+        mut router: Router,
+        config: ServerConfig,
+        registry: Option<Arc<Registry>>,
+    ) -> std::io::Result<Self> {
+        assert!(config.worker_count > 0, "need at least one worker");
+        assert!(config.queue_capacity > 0, "need a non-empty accept queue");
         let metrics = registry.as_ref().map(|registry| {
             router.set_telemetry(registry);
             let m = ServerMetrics::register(registry);
-            m.workers_total.set(worker_count as i64);
+            m.workers_total.set(config.worker_count as i64);
             m
         });
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let router = Arc::new(router);
-        let (tx, rx) = bounded::<TcpStream>(worker_count * 4);
+        let (tx, rx) = bounded::<TcpStream>(config.queue_capacity);
 
-        let workers: Vec<JoinHandle<()>> = (0..worker_count)
+        let workers: Vec<JoinHandle<()>> = (0..config.worker_count)
             .map(|_| {
                 let rx = rx.clone();
                 let router = Arc::clone(&router);
                 let metrics = metrics.clone();
+                let stop = Arc::clone(&stop);
+                let config = config.clone();
                 std::thread::spawn(move || {
                     while let Ok(stream) = rx.recv() {
                         if let Some(m) = &metrics {
@@ -93,7 +182,7 @@ impl HttpServer {
                             m.workers_busy.inc();
                             m.connections_total.inc();
                         }
-                        handle_connection(stream, &router, metrics.as_deref());
+                        handle_connection(stream, &router, metrics.as_deref(), &config, &stop);
                         if let Some(m) = &metrics {
                             m.workers_busy.dec();
                         }
@@ -105,12 +194,20 @@ impl HttpServer {
         let acceptor = {
             let stop = Arc::clone(&stop);
             let metrics = metrics.clone();
+            let idle_timeout = config.idle_timeout;
             std::thread::spawn(move || {
-                accept_loop(listener, tx, stop, metrics);
+                accept_loop(listener, tx, stop, metrics, idle_timeout);
             })
         };
 
-        Ok(Self { addr: local, stop, acceptor: Some(acceptor), workers })
+        Ok(Self {
+            addr: local,
+            stop,
+            acceptor: Some(acceptor),
+            workers,
+            metrics,
+            drain_deadline: config.drain_deadline,
+        })
     }
 
     /// The bound address.
@@ -118,30 +215,65 @@ impl HttpServer {
         self.addr
     }
 
-    /// Stops accepting, drains the workers, and joins all threads.
-    /// Idempotent.
-    pub fn shutdown(mut self) {
-        self.stop_threads();
+    /// Stops accepting, lets in-flight connections finish up to the drain
+    /// deadline, then force-abandons stragglers. Idempotent (a second stop
+    /// — e.g. the `Drop` after this call — is a no-op).
+    pub fn shutdown(mut self) -> DrainReport {
+        self.stop_threads().unwrap_or(DrainReport {
+            duration: Duration::ZERO,
+            workers_joined: 0,
+            workers_total: 0,
+            completed: true,
+        })
     }
 
-    fn stop_threads(&mut self) {
+    fn stop_threads(&mut self) -> Option<DrainReport> {
         if self.stop.swap(true, Ordering::SeqCst) {
-            return;
+            return None;
         }
-        // Unblock the acceptor with a throwaway connection.
+        let start = Instant::now();
+        if let Some(m) = &self.metrics {
+            m.draining.set(1);
+        }
+        // Unblock the acceptor with a throwaway connection; its exit drops
+        // the channel sender, so workers stop once the queue drains.
         let _ = TcpStream::connect(self.addr);
         if let Some(handle) = self.acceptor.take() {
             let _ = handle.join();
         }
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
+        let deadline = start + self.drain_deadline;
+        let workers_total = self.workers.len();
+        let mut workers_joined = 0;
+        loop {
+            let (finished, still_running): (Vec<_>, Vec<_>) =
+                self.workers.drain(..).partition(JoinHandle::is_finished);
+            workers_joined += finished.len();
+            for handle in finished {
+                let _ = handle.join();
+            }
+            self.workers = still_running;
+            if self.workers.is_empty() || Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
         }
+        // Force-close: abandon stragglers past the deadline. Their sockets
+        // carry read timeouts, so the threads cannot outlive one
+        // idle-timeout period.
+        let completed = self.workers.is_empty();
+        self.workers.clear();
+        let duration = start.elapsed();
+        if let Some(m) = &self.metrics {
+            m.draining.set(0);
+            m.shutdown_duration_ms.observe(duration.as_millis() as u64);
+        }
+        Some(DrainReport { duration, workers_joined, workers_total, completed })
     }
 }
 
 impl Drop for HttpServer {
     fn drop(&mut self) {
-        self.stop_threads();
+        let _ = self.stop_threads();
     }
 }
 
@@ -150,6 +282,7 @@ fn accept_loop(
     tx: Sender<TcpStream>,
     stop: Arc<AtomicBool>,
     metrics: Option<Arc<ServerMetrics>>,
+    idle_timeout: Duration,
 ) {
     for stream in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
@@ -157,14 +290,22 @@ fn accept_loop(
         }
         match stream {
             Ok(s) => {
-                let _ = s.set_read_timeout(Some(IO_TIMEOUT));
-                let _ = s.set_write_timeout(Some(IO_TIMEOUT));
+                let _ = s.set_read_timeout(Some(idle_timeout));
+                let _ = s.set_write_timeout(Some(idle_timeout));
                 if let Some(m) = &metrics {
                     m.accepted_total.inc();
-                    m.accept_queue_depth.inc();
                 }
-                if tx.send(s).is_err() {
-                    break;
+                // Never block the acceptor on a full worker queue: shed
+                // the connection with an immediate 503 so bursts degrade
+                // into fast failures instead of unbounded queueing.
+                match tx.try_send(s) {
+                    Ok(()) => {
+                        if let Some(m) = &metrics {
+                            m.accept_queue_depth.inc();
+                        }
+                    }
+                    Err(TrySendError::Full(s)) => shed(s, metrics.as_deref()),
+                    Err(TrySendError::Disconnected(_)) => break,
                 }
             }
             Err(_) => continue,
@@ -173,24 +314,209 @@ fn accept_loop(
     // Dropping tx closes the channel and lets workers exit.
 }
 
-fn handle_connection(stream: TcpStream, router: &Router, metrics: Option<&ServerMetrics>) {
+/// Refuses one connection with a `503 Service Unavailable`.
+fn shed(mut stream: TcpStream, metrics: Option<&ServerMetrics>) {
+    if let Some(m) = metrics {
+        m.shed_total.inc();
+        m.record_response(StatusCode::SERVICE_UNAVAILABLE.0);
+    }
+    let mut response = Response::json_with_status(
+        StatusCode::SERVICE_UNAVAILABLE,
+        &serde_json::json!({ "error": "server overloaded, retry later" }),
+    );
+    response.headers.insert("retry-after".into(), "1".into());
+    response.set_connection(true);
+    let _ = response.write_to(&mut stream);
+    // Swallow whatever the client already sent before closing; closing
+    // with unread data in the receive buffer sends an RST, which can
+    // destroy the 503 in flight. Bounded: a few short reads at most.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut scratch = [0u8; 4096];
+    for _ in 0..8 {
+        match stream.read(&mut scratch) {
+            Ok(n) if n > 0 => continue,
+            _ => break,
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// What [`wait_for_data`] saw while a connection idled between requests.
+enum Wait {
+    /// Bytes are available: parse the next request.
+    Ready,
+    /// Idle past the timeout.
+    IdleExpired,
+    /// Peer closed (or the socket broke).
+    Closed,
+    /// The server started draining while the connection was idle.
+    Draining,
+}
+
+/// Waits for the next request's first byte without consuming it, polling
+/// the stop flag so idle keep-alive connections release their workers
+/// within one poll interval of a drain starting — not one idle timeout.
+fn wait_for_data(reader: &mut BufReader<TcpStream>, idle: Duration, stop: &AtomicBool) -> Wait {
+    if !reader.buffer().is_empty() {
+        // A pipelined request is already buffered; the socket has nothing
+        // to say about it.
+        return Wait::Ready;
+    }
+    let interval = (idle / 8).clamp(Duration::from_millis(5), Duration::from_millis(100));
+    if reader.get_ref().set_read_timeout(Some(interval)).is_err() {
+        return Wait::Closed;
+    }
+    let started = Instant::now();
+    let mut byte = [0u8; 1];
+    loop {
+        match reader.get_ref().peek(&mut byte) {
+            Ok(0) => return Wait::Closed,
+            Ok(_) => {
+                // Restore the full timeout for the actual parse.
+                if reader.get_ref().set_read_timeout(Some(idle)).is_err() {
+                    return Wait::Closed;
+                }
+                return Wait::Ready;
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+                ) =>
+            {
+                if stop.load(Ordering::SeqCst) {
+                    return Wait::Draining;
+                }
+                if started.elapsed() >= idle {
+                    return Wait::IdleExpired;
+                }
+            }
+            Err(_) => return Wait::Closed,
+        }
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    router: &Router,
+    metrics: Option<&ServerMetrics>,
+    config: &ServerConfig,
+    stop: &AtomicBool,
+) {
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
     let mut reader = BufReader::new(stream);
-    let response = match Request::read_from(&mut reader, MAX_BODY_BYTES) {
-        Ok(req) => {
-            // A panicking handler must not take the worker thread (and its
-            // slot in the pool) down with it: convert panics into 500s —
-            // but never silently. The panic is counted and its message
-            // kept as a structured event for the operator.
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| router.dispatch(&req)))
+    let mut served = 0usize;
+    // Keep-alive loop: requests ride this socket until the client asks to
+    // close, the idle timeout fires, the request cap is reached, or the
+    // server starts draining.
+    loop {
+        match wait_for_data(&mut reader, config.idle_timeout, stop) {
+            Wait::Ready => {}
+            Wait::Closed | Wait::Draining => {
+                let _ = writer.shutdown(Shutdown::Both);
+                return;
+            }
+            Wait::IdleExpired => {
+                if let Some(m) = metrics {
+                    m.timeout_errors_total.inc();
+                }
+                if served == 0 {
+                    // The client connected but never sent a request: tell
+                    // it why before hanging up.
+                    let response = Response::json_with_status(
+                        StatusCode::REQUEST_TIMEOUT,
+                        &serde_json::json!({ "error": "request timed out" }),
+                    );
+                    respond_and_close(response, &mut writer, metrics);
+                } else {
+                    // An idle keep-alive connection: close silently, as
+                    // every HTTP server does.
+                    let _ = writer.shutdown(Shutdown::Both);
+                }
+                return;
+            }
+        }
+        let request = match Request::read_from(&mut reader, config.max_body_bytes) {
+            Ok(request) => request,
+            Err(HttpParseError::ConnectionClosed) => return,
+            Err(HttpParseError::BodyTooLarge(_)) => {
+                if let Some(m) = metrics {
+                    m.body_too_large_total.inc();
+                }
+                let response = Response::json_with_status(
+                    StatusCode::PAYLOAD_TOO_LARGE,
+                    &serde_json::json!({ "error": "body too large" }),
+                );
+                respond_and_close(response, &mut writer, metrics);
+                return;
+            }
+            Err(HttpParseError::HeadersTooLarge(_)) => {
+                if let Some(m) = metrics {
+                    m.headers_too_large_total.inc();
+                }
+                let response = Response::json_with_status(
+                    StatusCode::HEADERS_TOO_LARGE,
+                    &serde_json::json!({ "error": "header block too large" }),
+                );
+                respond_and_close(response, &mut writer, metrics);
+                return;
+            }
+            Err(HttpParseError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+                ) =>
+            {
+                if let Some(m) = metrics {
+                    m.timeout_errors_total.inc();
+                }
+                if served == 0 {
+                    // The client never got a request out: tell it why
+                    // before hanging up.
+                    let response = Response::json_with_status(
+                        StatusCode::REQUEST_TIMEOUT,
+                        &serde_json::json!({ "error": "request timed out" }),
+                    );
+                    respond_and_close(response, &mut writer, metrics);
+                } else {
+                    // An idle keep-alive connection: close silently, as
+                    // every HTTP server does.
+                    let _ = writer.shutdown(Shutdown::Both);
+                }
+                return;
+            }
+            Err(_) => {
+                if let Some(m) = metrics {
+                    m.parse_errors_total.inc();
+                }
+                respond_and_close(Response::bad_request("malformed request"), &mut writer, metrics);
+                return;
+            }
+        };
+        served += 1;
+        if served > 1 {
+            if let Some(m) = metrics {
+                m.keepalive_reuses_total.inc();
+            }
+        }
+        let close = stop.load(Ordering::SeqCst)
+            || served >= config.max_requests_per_connection
+            || request.wants_close();
+
+        // A panicking handler must not take the worker thread (and its
+        // slot in the pool) down with it: convert panics into 500s — but
+        // never silently. The panic is counted and its message kept as a
+        // structured event for the operator.
+        let mut response =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| router.dispatch(&request)))
                 .unwrap_or_else(|payload| {
                     if let Some(m) = metrics {
                         m.record_panic(
-                            req.method.as_str(),
-                            &req.path,
+                            request.method.as_str(),
+                            &request.path,
                             &panic_message(payload.as_ref()),
                         );
                     }
@@ -198,40 +524,27 @@ fn handle_connection(stream: TcpStream, router: &Router, metrics: Option<&Server
                         StatusCode::INTERNAL_SERVER_ERROR,
                         &serde_json::json!({ "error": "internal server error" }),
                     )
-                })
+                });
+        response.set_connection(close);
+        if let Some(m) = metrics {
+            m.record_response(response.status.0);
         }
-        Err(HttpParseError::ConnectionClosed) => return,
-        Err(HttpParseError::BodyTooLarge(_)) => {
-            if let Some(m) = metrics {
-                m.body_too_large_total.inc();
-            }
-            Response::json_with_status(
-                StatusCode(413),
-                &serde_json::json!({ "error": "body too large" }),
-            )
+        if response.write_to(&mut writer).is_err() || close {
+            return;
         }
-        Err(HttpParseError::Io(e)) => {
-            if let Some(m) = metrics {
-                if matches!(e.kind(), std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock)
-                {
-                    m.timeout_errors_total.inc();
-                } else {
-                    m.parse_errors_total.inc();
-                }
-            }
-            Response::bad_request("malformed request")
-        }
-        Err(_) => {
-            if let Some(m) = metrics {
-                m.parse_errors_total.inc();
-            }
-            Response::bad_request("malformed request")
-        }
-    };
+    }
+}
+
+fn respond_and_close(
+    mut response: Response,
+    writer: &mut TcpStream,
+    metrics: Option<&ServerMetrics>,
+) {
+    response.set_connection(true);
     if let Some(m) = metrics {
         m.record_response(response.status.0);
     }
-    let _ = response.write_to(&mut writer);
+    let _ = response.write_to(writer);
 }
 
 #[cfg(test)]
@@ -306,14 +619,52 @@ mod tests {
     }
 
     #[test]
-    fn shutdown_is_idempotent_and_drop_safe() {
+    fn session_reuses_one_connection() {
         let server = HttpServer::bind("127.0.0.1:0", echo_router(), 1).unwrap();
-        let addr = server.local_addr();
+        let mut session = client::Session::new(server.local_addr());
+        for _ in 0..5 {
+            let resp = session.get("/ping").unwrap();
+            assert_eq!(resp.status, StatusCode::OK);
+        }
+        let stats = session.stats();
+        assert_eq!(stats.requests, 5);
+        assert_eq!(stats.reuses, 4, "4 of 5 requests must ride the first socket");
+        assert_eq!(stats.reconnects, 0);
         server.shutdown();
-        // After shutdown the port stops answering (connect may succeed
-        // briefly due to backlog, but a full request must fail).
+    }
+
+    #[test]
+    fn request_cap_closes_but_session_reconnects() {
+        let mut config = ServerConfig::with_workers(1);
+        config.max_requests_per_connection = 3;
+        let server =
+            HttpServer::bind_with_config("127.0.0.1:0", echo_router(), config, None).unwrap();
+        let mut session = client::Session::new(server.local_addr());
+        for _ in 0..7 {
+            assert_eq!(session.get("/ping").unwrap().status, StatusCode::OK);
+        }
+        // Connections are capped at 3 requests: 7 requests need ≥ 3
+        // connections, and the session must have renewed transparently.
+        assert!(session.stats().reconnects >= 1 || session.stats().connects >= 3);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_drop_safe() {
+        let server = HttpServer::bind("127.0.0.1:0", echo_router(), 2).unwrap();
+        let addr = server.local_addr();
+        // Prove the server worked before shutdown.
+        assert_eq!(client::get(addr, "/ping").unwrap().status, StatusCode::OK);
+        let report = server.shutdown();
+        // Every worker thread actually joined within the drain deadline.
+        assert_eq!(report.workers_total, 2);
+        assert_eq!(report.workers_joined, 2, "workers must join on shutdown");
+        assert!(report.completed);
+        // After shutdown the listener is gone: a full request must fail
+        // (the connect is refused once the acceptor thread has exited and
+        // dropped the listener).
         let result = client::request(addr, Request::new(Method::Get, "/ping"));
-        assert!(result.is_err() || result.is_ok(), "must not hang");
+        assert!(result.is_err(), "server must not serve requests after shutdown");
         // Dropping another server also shuts down cleanly.
         let s2 = HttpServer::bind("127.0.0.1:0", echo_router(), 1).unwrap();
         drop(s2);

@@ -2,11 +2,13 @@
 //! requests, and aggressive clients without hanging or crashing.
 
 use kscope_server::api::CoreServerApi;
-use kscope_server::{client, HttpServer, Response, Router};
+use kscope_server::{client, HttpServer, Response, Router, ServerConfig};
 use kscope_store::{Database, GridStore};
-use std::io::{Read, Write};
+use kscope_telemetry::Registry;
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 fn start() -> (HttpServer, std::net::SocketAddr) {
     let api = CoreServerApi::new(Database::new(), GridStore::new());
@@ -73,6 +75,231 @@ fn slow_loris_client_times_out_without_blocking_others() {
     }
     drop(idle);
     server.shutdown();
+}
+
+/// Reads exactly one framed HTTP response (status line + headers +
+/// `content-length` body) off a keep-alive socket.
+fn read_one_response(reader: &mut BufReader<&TcpStream>) -> (String, Vec<u8>) {
+    let mut status = String::new();
+    reader.read_line(&mut status).unwrap();
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().unwrap();
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).unwrap();
+    (status, body)
+}
+
+/// Polls `probe` until it returns true or `deadline` elapses.
+fn eventually(deadline: Duration, mut probe: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if probe() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    probe()
+}
+
+#[test]
+fn keepalive_serves_many_requests_on_one_socket() {
+    let api = CoreServerApi::new(Database::new(), GridStore::new());
+    let registry = Arc::new(Registry::new());
+    let server = HttpServer::bind_with_config(
+        "127.0.0.1:0",
+        api.into_router(),
+        ServerConfig::with_workers(1),
+        Some(Arc::clone(&registry)),
+    )
+    .unwrap();
+
+    // One raw TCP socket, three requests: HTTP/1.1 defaults to keep-alive,
+    // so all three must complete without reconnecting.
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut reader = BufReader::new(&stream);
+    for i in 0..3 {
+        (&stream).write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        let (status, body) = read_one_response(&mut reader);
+        assert!(status.starts_with("HTTP/1.1 200"), "request {i} got: {status}");
+        assert!(!body.is_empty());
+    }
+    drop(reader);
+    drop(stream);
+
+    assert_eq!(registry.counter_value("server.accepted_total", &[]), Some(1));
+    let reuses = registry.counter_value("server.keepalive_reuses_total", &[]).unwrap_or(0);
+    assert!(reuses >= 2, "expected >= 2 keep-alive reuses, saw {reuses}");
+    server.shutdown();
+}
+
+#[test]
+fn saturated_pool_sheds_with_503_without_stalling_acceptor() {
+    // One worker, one queue slot. The worker is parked inside a handler
+    // gated on a condvar, a second connection fills the queue, and every
+    // further connection must be shed with an immediate 503 — the acceptor
+    // must never stall behind the full queue.
+    let gate = Arc::new((Mutex::new(false), Condvar::new()));
+    let mut router = Router::new();
+    {
+        let gate = Arc::clone(&gate);
+        router.get("/block", move |_r, _p| {
+            let (lock, cvar) = &*gate;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cvar.wait(open).unwrap();
+            }
+            Response::json(&serde_json::json!({ "blocked": false }))
+        });
+    }
+    router.get("/fast", |_r, _p| Response::json(&serde_json::json!({ "ok": true })));
+
+    let mut config = ServerConfig::with_workers(1);
+    config.queue_capacity = 1;
+    let registry = Arc::new(Registry::new());
+    let server =
+        HttpServer::bind_with_config("127.0.0.1:0", router, config, Some(Arc::clone(&registry)))
+            .unwrap();
+    let addr = server.local_addr();
+
+    // Occupy the only worker.
+    let blocked = std::thread::spawn(move || client::get(addr, "/block").unwrap());
+    assert!(
+        eventually(Duration::from_secs(5), || {
+            registry.gauge_value("server.workers_busy", &[]) == Some(1)
+        }),
+        "worker never picked up the blocking request"
+    );
+
+    // Fill the single queue slot (half-close so the server finishes the
+    // connection once a worker frees up, instead of keeping it alive).
+    let mut queued = TcpStream::connect(addr).unwrap();
+    queued.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    queued.write_all(b"GET /fast HTTP/1.1\r\nconnection: close\r\n\r\n").unwrap();
+    assert!(
+        eventually(Duration::from_secs(5), || {
+            registry.gauge_value("server.accept_queue_depth", &[]) == Some(1)
+        }),
+        "second connection never entered the queue"
+    );
+
+    // Now the pool is saturated: these connections must be refused fast.
+    for _ in 0..3 {
+        let start = Instant::now();
+        let reply = send_raw(addr, b"GET /fast HTTP/1.1\r\nconnection: close\r\n\r\n");
+        let text = String::from_utf8_lossy(&reply);
+        assert!(text.starts_with("HTTP/1.1 503"), "expected a shed 503, got: {text}");
+        assert!(text.contains("retry-after"), "503 must carry retry-after: {text}");
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "shedding must be immediate, took {:?}",
+            start.elapsed()
+        );
+    }
+    assert_eq!(registry.counter_value("server.shed_total", &[]), Some(3));
+
+    // Release the gate: the blocked request and the queued one both finish.
+    {
+        let (lock, cvar) = &*gate;
+        *lock.lock().unwrap() = true;
+        cvar.notify_all();
+    }
+    assert_eq!(blocked.join().unwrap().status.0, 200);
+    let mut queued_reply = Vec::new();
+    queued.read_to_end(&mut queued_reply).unwrap();
+    assert!(String::from_utf8_lossy(&queued_reply).starts_with("HTTP/1.1 200"));
+    // And the server is healthy again: no lingering saturation.
+    assert_eq!(client::get(addr, "/fast").unwrap().status.0, 200);
+    server.shutdown();
+}
+
+#[test]
+fn idle_keepalive_connection_is_disconnected_by_the_server() {
+    let mut config = ServerConfig::with_workers(2);
+    config.idle_timeout = Duration::from_millis(200);
+    let api = CoreServerApi::new(Database::new(), GridStore::new());
+    let server =
+        HttpServer::bind_with_config("127.0.0.1:0", api.into_router(), config, None).unwrap();
+    let addr = server.local_addr();
+
+    // A client that connects and never speaks is cut loose with a 408
+    // around the idle timeout — not held forever.
+    let start = Instant::now();
+    let silent = TcpStream::connect(addr).unwrap();
+    silent.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut reply = Vec::new();
+    let _ = (&silent).read_to_end(&mut reply);
+    let elapsed = start.elapsed();
+    assert!(
+        String::from_utf8_lossy(&reply).starts_with("HTTP/1.1 408"),
+        "expected 408, got: {}",
+        String::from_utf8_lossy(&reply)
+    );
+    assert!(elapsed >= Duration::from_millis(150), "cut too early: {elapsed:?}");
+    assert!(elapsed < Duration::from_secs(2), "cut too late: {elapsed:?}");
+
+    // A session whose keep-alive socket went stale during a pause renews
+    // it transparently on the next request.
+    let mut session = client::Session::new(addr);
+    assert_eq!(session.get("/healthz").unwrap().status.0, 200);
+    std::thread::sleep(Duration::from_millis(500));
+    assert_eq!(session.get("/healthz").unwrap().status.0, 200);
+    let stats = session.stats();
+    assert_eq!(stats.requests, 2);
+    assert!(
+        stats.reconnects >= 1 || stats.connects >= 2,
+        "the second request must have renewed the stale socket: {stats:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_drains_inflight_requests_before_closing() {
+    let mut router = Router::new();
+    router.get("/slow", |_r, _p| {
+        std::thread::sleep(Duration::from_millis(300));
+        Response::json(&serde_json::json!({ "finished": true }))
+    });
+    let registry = Arc::new(Registry::new());
+    let server = HttpServer::bind_with_config(
+        "127.0.0.1:0",
+        router,
+        ServerConfig::with_workers(1),
+        Some(Arc::clone(&registry)),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let inflight = std::thread::spawn(move || client::get(addr, "/slow").unwrap());
+    assert!(
+        eventually(Duration::from_secs(5), || {
+            registry.gauge_value("server.workers_busy", &[]) == Some(1)
+        }),
+        "request never reached the handler"
+    );
+
+    // Shut down while the request is mid-handler: drain must let it finish.
+    let report = server.shutdown();
+    let resp = inflight.join().unwrap();
+    assert_eq!(resp.status.0, 200);
+    assert_eq!(resp.json_body().unwrap()["finished"], serde_json::json!(true));
+    assert!(report.completed, "drain must complete within the deadline: {report:?}");
+    assert_eq!(report.workers_joined, report.workers_total);
+    assert!(
+        report.duration >= Duration::from_millis(100),
+        "shutdown should have waited for the in-flight request: {report:?}"
+    );
+    assert_eq!(registry.gauge_value("server.draining", &[]), Some(0));
 }
 
 #[test]

@@ -190,6 +190,30 @@ impl Registry {
         }
     }
 
+    /// Gets or creates a labelled histogram over custom bucket bounds —
+    /// for observations that live on a different scale than the default
+    /// microsecond latency series (e.g. shutdown durations in
+    /// milliseconds). If the key is already registered, the existing
+    /// histogram (and its original buckets) is returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is already registered as a different metric kind,
+    /// or if `bounds` is empty or not strictly increasing.
+    pub fn histogram_with_buckets(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        bounds: &[u64],
+    ) -> Histogram {
+        let key = MetricKey::new(name, labels);
+        match self.get_or_insert(key.clone(), || Metric::Histogram(Histogram::with_buckets(bounds)))
+        {
+            Metric::Histogram(h) => h,
+            other => panic!("metric {} already registered as {}", key.render(), other.kind()),
+        }
+    }
+
     /// Looks up a counter's current value.
     pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
         match self.metrics.read().expect("registry poisoned").get(&MetricKey::new(name, labels)) {
@@ -380,6 +404,22 @@ fn prometheus_labels(labels: &[(String, String)], extra: &[(&str, &str)]) -> Str
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn custom_bucket_histograms() {
+        let r = Registry::new();
+        let h = r.histogram_with_buckets("server.shutdown_duration_ms", &[], &[10, 100, 1000]);
+        h.observe(5);
+        h.observe(50);
+        h.observe(5000);
+        let snap = h.snapshot();
+        assert_eq!(snap.counts, vec![1, 1, 0, 1]);
+        // Re-registering the same key returns the same histogram (original
+        // buckets kept), not a fresh one.
+        let again = r.histogram_with_buckets("server.shutdown_duration_ms", &[], &[1, 2]);
+        again.observe(50);
+        assert_eq!(h.count(), 4);
+    }
 
     #[test]
     fn registration_returns_shared_handles() {

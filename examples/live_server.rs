@@ -1,6 +1,6 @@
 //! Run the Kaleidoscope core server for real: prepares a test, binds the
 //! HTTP API on an ephemeral port, and exercises it with the built-in
-//! client — the wire-level view of Fig. 2.
+//! keep-alive client — the wire-level view of Fig. 2.
 //!
 //! ```text
 //! cargo run --example live_server
@@ -9,7 +9,7 @@
 use kaleidoscope::core::corpus;
 use kaleidoscope::core::Aggregator;
 use kaleidoscope::server::api::CoreServerApi;
-use kaleidoscope::server::{client, HttpServer};
+use kaleidoscope::server::{HttpServer, Session};
 use kaleidoscope::store::{Database, GridStore};
 use rand::{rngs::StdRng, SeedableRng};
 use serde_json::json;
@@ -26,32 +26,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let addr = server.local_addr();
     println!("core server listening on http://{addr}");
 
+    // One keep-alive session carries the whole conversation below.
+    let mut session = Session::new(addr);
+
     // Health check.
-    let health = client::get(addr, "/healthz")?;
+    let health = session.get("/healthz")?;
     println!("GET /healthz -> {}", health.text());
 
     // What the crowdsourcing platform receives.
-    let job = client::post_json(
-        addr,
+    let job = session.post_json(
         "/api/platform/jobs",
         &json!({"test_id": prepared.test_id, "reward_usd": 0.11, "quota": 100}),
     )?;
     println!("POST /api/platform/jobs -> {}", job.text());
 
     // What the browser extension downloads.
-    let pages = client::get(addr, &format!("/api/tests/{}/pages", prepared.test_id))?;
+    let pages = session.get(&format!("/api/tests/{}/pages", prepared.test_id))?;
     println!(
         "GET /api/tests/{}/pages -> {} pages",
         prepared.test_id,
         pages.json_body()?["pages"].as_array().map(Vec::len).unwrap_or(0)
     );
     let first =
-        client::get(addr, &format!("/api/tests/{}/pages/integrated-000.html", prepared.test_id))?;
+        session.get(&format!("/api/tests/{}/pages/integrated-000.html", prepared.test_id))?;
     println!("GET integrated-000.html -> {} bytes of HTML", first.body.len());
 
     // What a participant uploads.
-    let upload = client::post_json(
-        addr,
+    let upload = session.post_json(
         &format!("/api/tests/{}/responses", prepared.test_id),
         &json!({
             "contributor_id": "demo-worker",
@@ -62,10 +63,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("POST responses -> {}", upload.text());
 
     // The concluded results.
-    let results = client::get(addr, &format!("/api/tests/{}/results", prepared.test_id))?;
+    let results = session.get(&format!("/api/tests/{}/results", prepared.test_id))?;
     println!("GET results -> {}", results.text());
 
-    server.shutdown();
-    println!("server shut down cleanly");
+    let stats = session.stats();
+    println!(
+        "session stats: {} requests over {} connection(s), {} keep-alive reuses",
+        stats.requests, stats.connects, stats.reuses
+    );
+
+    let report = server.shutdown();
+    println!(
+        "server drained in {:?} ({} of {} workers joined)",
+        report.duration, report.workers_joined, report.workers_total
+    );
     Ok(())
 }

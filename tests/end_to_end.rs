@@ -2,7 +2,7 @@
 //! serves it over real loopback HTTP, a simulated extension performs the
 //! Fig. 3 flow against the wire protocol, and the server concludes results.
 
-use kaleidoscope::browser::TestFlow;
+use kaleidoscope::browser::{ExtensionClient, TestFlow};
 use kaleidoscope::core::corpus;
 use kaleidoscope::core::{Aggregator, QuestionKind};
 use kaleidoscope::server::api::CoreServerApi;
@@ -27,20 +27,16 @@ fn extension_session_over_real_http() {
     let server = HttpServer::bind("127.0.0.1:0", api.into_router(), 4).expect("bind");
     let addr = server.local_addr();
 
-    // 3. Register the test over HTTP (the aggregator already stored it in
-    // the DB; the API exposes it).
-    let info = client::get(addr, &format!("/api/tests/{}", prepared.test_id)).unwrap();
-    assert_eq!(info.status.0, 200);
+    // 3. The extension simulator speaks to the server over one keep-alive
+    // connection for the whole session, like the real extension's browser
+    // would.
+    let mut ext = ExtensionClient::connect(addr);
+    let info = ext.test_info(&prepared.test_id).unwrap();
+    assert_eq!(info["test_id"], json!(prepared.test_id));
     // The pair metadata lives in its own collection, served separately.
     let pairs = client::get(addr, &format!("/api/tests/{}/pairs", prepared.test_id)).unwrap();
     assert_eq!(pairs.json_body().unwrap()["pairs"].as_array().unwrap().len(), prepared.pages.len());
-    let listing = client::get(addr, &format!("/api/tests/{}/pages", prepared.test_id)).unwrap();
-    let pages: Vec<String> = listing.json_body().unwrap()["pages"]
-        .as_array()
-        .unwrap()
-        .iter()
-        .map(|v| v.as_str().unwrap().to_string())
-        .collect();
+    let pages = ext.page_names(&prepared.test_id).unwrap();
     assert!(pages.iter().any(|p| p.starts_with("integrated-")));
 
     // 4. Run one extension session, downloading every page over HTTP.
@@ -54,10 +50,7 @@ fn extension_session_over_real_http() {
         page_names.clone(),
     );
     while let Some(name) = flow.current_page_name().map(str::to_string) {
-        let resp =
-            client::get(addr, &format!("/api/tests/{}/pages/{}", prepared.test_id, name)).unwrap();
-        assert_eq!(resp.status.0, 200, "page {name} must be served");
-        let page = kaleidoscope::browser::LoadedPage::from_html(&resp.text());
+        let page = ext.fetch_page(&prepared.test_id, &name).unwrap();
         assert_eq!(page.iframe_refs().len(), 2, "integrated page has two panes");
         flow.visit(page, 20_000).unwrap();
         for q in &questions {
@@ -68,13 +61,17 @@ fn extension_session_over_real_http() {
     let record = flow.upload().unwrap();
 
     // 5. Upload the session and read back the concluded results.
-    let resp = client::post_json(
-        addr,
-        &format!("/api/tests/{}/responses", prepared.test_id),
-        &record.to_json(),
-    )
-    .unwrap();
-    assert_eq!(resp.status.0, 201);
+    ext.upload(&record).unwrap();
+
+    // The whole session — info, listing, pages, upload — rode keep-alive
+    // sockets: almost every request reused the previous connection.
+    let stats = ext.stats();
+    assert!(stats.requests >= 4);
+    assert!(
+        stats.reuses >= stats.requests - stats.connects,
+        "keep-alive reuse must dominate: {stats:?}"
+    );
+    assert!(stats.connects < stats.requests, "one socket must serve many requests: {stats:?}");
 
     let results = client::get(addr, &format!("/api/tests/{}/results", prepared.test_id)).unwrap();
     let body = results.json_body().unwrap();
