@@ -86,7 +86,6 @@ pub struct DrainReport {
 
 /// A running HTTP server; dropping it (or calling [`HttpServer::shutdown`])
 /// stops the acceptor and workers.
-#[derive(Debug)]
 pub struct HttpServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
@@ -94,6 +93,18 @@ pub struct HttpServer {
     workers: Vec<JoinHandle<()>>,
     metrics: Option<Arc<ServerMetrics>>,
     drain_deadline: Duration,
+    drain_hook: Option<Box<dyn FnOnce() + Send>>,
+}
+
+impl std::fmt::Debug for HttpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpServer")
+            .field("addr", &self.addr)
+            .field("workers", &self.workers.len())
+            .field("drain_deadline", &self.drain_deadline)
+            .field("drain_hook", &self.drain_hook.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl HttpServer {
@@ -207,12 +218,22 @@ impl HttpServer {
             workers,
             metrics,
             drain_deadline: config.drain_deadline,
+            drain_hook: None,
         })
     }
 
     /// The bound address.
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Registers a hook that runs exactly once after the last worker has
+    /// drained — on [`HttpServer::shutdown`] or on drop, whichever stops
+    /// the server. The deployment uses this to checkpoint the durable
+    /// database after the final in-flight write has landed. Registering
+    /// again replaces an unfired hook.
+    pub fn set_drain_hook(&mut self, hook: impl FnOnce() + Send + 'static) {
+        self.drain_hook = Some(Box::new(hook));
     }
 
     /// Stops accepting, lets in-flight connections finish up to the drain
@@ -262,6 +283,12 @@ impl HttpServer {
         // idle-timeout period.
         let completed = self.workers.is_empty();
         self.workers.clear();
+        // Workers are done (or abandoned): in-flight writes have landed,
+        // so this is the safe moment for the drain hook (e.g. a final
+        // database checkpoint).
+        if let Some(hook) = self.drain_hook.take() {
+            hook();
+        }
         let duration = start.elapsed();
         if let Some(m) = &self.metrics {
             m.draining.set(0);
@@ -574,6 +601,37 @@ mod tests {
         assert_eq!(resp.status, StatusCode::OK);
         assert_eq!(resp.json_body().unwrap()["pong"], serde_json::json!(true));
         server.shutdown();
+    }
+
+    #[test]
+    fn drain_hook_runs_once_after_workers_join() {
+        use std::sync::atomic::AtomicUsize;
+        let fired = Arc::new(AtomicUsize::new(0));
+        let mut server = HttpServer::bind("127.0.0.1:0", echo_router(), 2).unwrap();
+        let hook_fired = Arc::clone(&fired);
+        server.set_drain_hook(move || {
+            hook_fired.fetch_add(1, Ordering::SeqCst);
+        });
+        let resp = client::get(server.local_addr(), "/ping").unwrap();
+        assert_eq!(resp.status, StatusCode::OK);
+        assert_eq!(fired.load(Ordering::SeqCst), 0, "hook must not fire while serving");
+        let report = server.shutdown();
+        assert!(report.completed);
+        assert_eq!(fired.load(Ordering::SeqCst), 1, "hook fires exactly once on drain");
+    }
+
+    #[test]
+    fn drain_hook_fires_on_drop_too() {
+        use std::sync::atomic::AtomicUsize;
+        let fired = Arc::new(AtomicUsize::new(0));
+        {
+            let mut server = HttpServer::bind("127.0.0.1:0", echo_router(), 1).unwrap();
+            let hook_fired = Arc::clone(&fired);
+            server.set_drain_hook(move || {
+                hook_fired.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        assert_eq!(fired.load(Ordering::SeqCst), 1, "drop-path shutdown still checkpoints");
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! A schemaless collection of JSON documents.
 
+use crate::durable::Durability;
 use crate::filter::{matches_filter, set_path};
 use kscope_telemetry::{Counter, Histogram, Registry};
 use parking_lot::RwLock;
-use serde_json::Value;
+use serde_json::{json, Value};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -66,11 +67,20 @@ pub struct Collection {
     inner: Arc<CollectionInner>,
 }
 
+/// A collection's link to its database's durability engine: mutations are
+/// WAL-logged under `name` before they apply.
+#[derive(Debug)]
+struct CollectionDurability {
+    dur: Arc<Durability>,
+    name: String,
+}
+
 #[derive(Debug, Default)]
 struct CollectionInner {
     docs: RwLock<Vec<Value>>,
     next_id: AtomicU64,
     metrics: OnceLock<CollectionMetrics>,
+    durability: OnceLock<CollectionDurability>,
 }
 
 impl Collection {
@@ -90,6 +100,15 @@ impl Collection {
     /// Whether operation metrics are attached.
     pub fn has_metrics(&self) -> bool {
         self.inner.metrics.get().is_some()
+    }
+
+    /// Links this collection to a database's durability engine so every
+    /// mutation is WAL-logged before it applies. A no-op if already linked.
+    pub(crate) fn attach_durability(&self, dur: &Arc<Durability>, name: &str) {
+        let _ = self
+            .inner
+            .durability
+            .set(CollectionDurability { dur: Arc::clone(dur), name: name.to_string() });
     }
 
     /// Counts one op on `counter` and returns a latency timer for it, when
@@ -121,7 +140,13 @@ impl Collection {
                 id
             }
         };
-        self.inner.docs.write().push(doc);
+        if let Some(d) = self.inner.durability.get() {
+            // Log after id assignment so replay reproduces the exact doc.
+            let op = json!({"op": "insert", "coll": d.name.clone(), "doc": doc.clone()});
+            d.dur.commit(op, || self.inner.docs.write().push(doc));
+        } else {
+            self.inner.docs.write().push(doc);
+        }
         id
     }
 
@@ -168,6 +193,20 @@ impl Collection {
     /// Returns the number of documents updated.
     pub fn update_many(&self, filter: &Value, update: &Value) -> usize {
         let _timer = self.observe_op(|m| &m.updates);
+        if let Some(d) = self.inner.durability.get() {
+            let op = json!({
+                "op": "update",
+                "coll": d.name.clone(),
+                "filter": filter.clone(),
+                "update": update.clone(),
+            });
+            d.dur.commit(op, || self.apply_update(filter, update))
+        } else {
+            self.apply_update(filter, update)
+        }
+    }
+
+    fn apply_update(&self, filter: &Value, update: &Value) -> usize {
         let mut docs = self.inner.docs.write();
         let mut n = 0;
         for doc in docs.iter_mut() {
@@ -193,6 +232,15 @@ impl Collection {
     /// Deletes matching documents, returning how many were removed.
     pub fn delete_many(&self, filter: &Value) -> usize {
         let _timer = self.observe_op(|m| &m.deletes);
+        if let Some(d) = self.inner.durability.get() {
+            let op = json!({"op": "delete", "coll": d.name.clone(), "filter": filter.clone()});
+            d.dur.commit(op, || self.apply_delete(filter))
+        } else {
+            self.apply_delete(filter)
+        }
+    }
+
+    fn apply_delete(&self, filter: &Value) -> usize {
         let mut docs = self.inner.docs.write();
         let before = docs.len();
         docs.retain(|d| !matches_filter(d, filter));
@@ -206,9 +254,16 @@ impl Collection {
 
     /// Replaces the whole contents (used by persistence loading).
     pub(crate) fn replace_all(&self, docs: Vec<Value>) {
-        // Keep next_id ahead of any loaded oid to avoid collisions.
+        *self.inner.docs.write() = docs;
+        self.sync_next_id();
+    }
+
+    /// Moves the id allocator past every stored oid, so documents that
+    /// arrived with explicit `_id`s (persistence loads, WAL replay) can
+    /// never collide with a freshly assigned id.
+    pub(crate) fn sync_next_id(&self) {
         let mut max_seen = 0u64;
-        for d in &docs {
+        for d in self.inner.docs.read().iter() {
             if let Some(id) = d.get("_id").and_then(Value::as_str) {
                 if let Some(hex) = id.strip_prefix("oid-") {
                     if let Ok(n) = u64::from_str_radix(hex, 16) {
@@ -218,7 +273,6 @@ impl Collection {
             }
         }
         self.inner.next_id.fetch_max(max_seen, Ordering::Relaxed);
-        *self.inner.docs.write() = docs;
     }
 }
 

@@ -1,9 +1,11 @@
 //! A named set of collections with JSONL persistence.
 
 use crate::collection::Collection;
+use crate::durable::Durability;
+use crate::io::{escape_component, unescape_component};
 use kscope_telemetry::Registry;
 use parking_lot::RwLock;
-use serde_json::Value;
+use serde_json::{json, Value};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::io::{BufRead, Write};
@@ -20,6 +22,7 @@ use std::sync::{Arc, OnceLock};
 pub struct Database {
     collections: Arc<RwLock<BTreeMap<String, Collection>>>,
     telemetry: Arc<OnceLock<Arc<Registry>>>,
+    durability: Arc<OnceLock<Arc<Durability>>>,
 }
 
 impl Database {
@@ -39,6 +42,9 @@ impl Database {
             for (name, collection) in self.collections.read().iter() {
                 collection.attach_metrics(registry, name);
             }
+            if let Some(durability) = self.durability.get() {
+                durability.attach_metrics(registry);
+            }
         }
         self
     }
@@ -57,7 +63,35 @@ impl Database {
         if let Some(registry) = self.telemetry.get() {
             c.attach_metrics(registry, name);
         }
+        if let Some(durability) = self.durability.get() {
+            c.attach_durability(durability, name);
+        }
         c
+    }
+
+    /// Arms durability on this database: existing collections and every
+    /// collection created later log their mutations through `durability`.
+    pub(crate) fn attach_durability(&self, durability: &Arc<Durability>) {
+        let _ = self.durability.set(Arc::clone(durability));
+        if let Some(durability) = self.durability.get() {
+            for (name, collection) in self.collections.read().iter() {
+                collection.attach_durability(durability, name);
+            }
+            if let Some(registry) = self.telemetry.get() {
+                durability.attach_metrics(registry);
+            }
+        }
+    }
+
+    /// The attached durability engine, if this database was opened with
+    /// [`Database::open_durable`].
+    pub(crate) fn durability_handle(&self) -> Option<Arc<Durability>> {
+        self.durability.get().cloned()
+    }
+
+    /// Snapshot of `(name, collection)` pairs (used by checkpointing).
+    pub(crate) fn collections_snapshot(&self) -> Vec<(String, Collection)> {
+        self.collections.read().iter().map(|(n, c)| (n.clone(), c.clone())).collect()
     }
 
     /// Names of existing collections (sorted).
@@ -67,10 +101,21 @@ impl Database {
 
     /// Drops a collection; returns whether it existed.
     pub fn drop_collection(&self, name: &str) -> bool {
-        self.collections.write().remove(name).is_some()
+        if let Some(durability) = self.durability.get() {
+            let op = json!({"op": "drop", "coll": name.to_string()});
+            durability.commit(op, || self.collections.write().remove(name).is_some())
+        } else {
+            self.collections.write().remove(name).is_some()
+        }
     }
 
-    /// Persists every collection as `<dir>/<name>.jsonl`.
+    /// Persists every collection as `<dir>/<name>.jsonl` (names
+    /// percent-escaped so they cannot traverse out of `dir`).
+    ///
+    /// This is the legacy full-snapshot path: files are truncated in
+    /// place, so a crash mid-save can destroy the previous snapshot.
+    /// Prefer [`Database::open_durable`] + [`Database::checkpoint`] for
+    /// crash-safe persistence.
     ///
     /// # Errors
     ///
@@ -78,7 +123,7 @@ impl Database {
     pub fn save_to_dir(&self, dir: &Path) -> Result<(), PersistError> {
         std::fs::create_dir_all(dir).map_err(PersistError::io)?;
         for (name, coll) in self.collections.read().iter() {
-            let path = dir.join(format!("{name}.jsonl"));
+            let path = dir.join(format!("{}.jsonl", escape_component(name)));
             let file = std::fs::File::create(&path).map_err(PersistError::io)?;
             let mut w = std::io::BufWriter::new(file);
             for doc in coll.all() {
@@ -94,7 +139,10 @@ impl Database {
     ///
     /// # Errors
     ///
-    /// Returns [`PersistError`] on I/O failures or malformed JSON lines.
+    /// Returns [`PersistError`] on I/O failures, malformed JSON lines, or
+    /// a file whose stem is not valid UTF-8 ([`PersistError::InvalidName`]
+    /// — mapping such files to a placeholder would silently merge distinct
+    /// files into one collection).
     pub fn load_from_dir(dir: &Path) -> Result<Self, PersistError> {
         let db = Database::new();
         let entries = std::fs::read_dir(dir).map_err(PersistError::io)?;
@@ -104,7 +152,13 @@ impl Database {
             if path.extension().and_then(|e| e.to_str()) != Some("jsonl") {
                 continue;
             }
-            let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("unnamed").to_string();
+            let stem = path.file_stem().and_then(|s| s.to_str()).ok_or_else(|| {
+                PersistError::InvalidName(path.file_name().map_or_else(
+                    || path.display().to_string(),
+                    |n| n.to_string_lossy().into_owned(),
+                ))
+            })?;
+            let name = unescape_component(stem);
             let file = std::fs::File::open(&path).map_err(PersistError::io)?;
             let reader = std::io::BufReader::new(file);
             let mut docs = Vec::new();
@@ -128,6 +182,18 @@ pub enum PersistError {
     Io(std::io::Error),
     /// A stored line was not valid JSON.
     Json(serde_json::Error),
+    /// On-disk state is damaged in a way recovery cannot repair (e.g. a
+    /// checkpoint named by `CURRENT` is missing, or a WAL record carries
+    /// an unknown operation). Note a torn WAL *tail* is not corruption —
+    /// recovery truncates it and reports it instead.
+    Corrupt(String),
+    /// A stored file name could not be mapped back to a collection name
+    /// (non-UTF-8 stem). Loading it under a placeholder would silently
+    /// merge distinct files into one collection.
+    InvalidName(String),
+    /// A durability-only operation (e.g. [`Database::checkpoint`]) was
+    /// called on a database not opened with [`Database::open_durable`].
+    NotDurable,
 }
 
 impl PersistError {
@@ -145,6 +211,13 @@ impl fmt::Display for PersistError {
         match self {
             PersistError::Io(e) => write!(f, "database persistence I/O error: {e}"),
             PersistError::Json(e) => write!(f, "database persistence JSON error: {e}"),
+            PersistError::Corrupt(what) => write!(f, "database state corrupt: {what}"),
+            PersistError::InvalidName(name) => {
+                write!(f, "stored file name {name:?} is not a valid collection name")
+            }
+            PersistError::NotDurable => {
+                write!(f, "operation requires a database opened with open_durable")
+            }
         }
     }
 }
@@ -154,6 +227,7 @@ impl std::error::Error for PersistError {
         match self {
             PersistError::Io(e) => Some(e),
             PersistError::Json(e) => Some(e),
+            _ => None,
         }
     }
 }

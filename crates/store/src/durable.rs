@@ -1,0 +1,464 @@
+//! Crash-safe persistence: WAL-backed databases with atomic checkpoints.
+//!
+//! A durable [`Database`] lives in one directory:
+//!
+//! ```text
+//! <dir>/
+//!   CURRENT             # {"checkpoint":"ckpt-00000003","seq":3} — atomic pointer
+//!   ckpt-00000003/      # the checkpoint: one <name>.jsonl per collection
+//!   wal.log             # mutations appended since that checkpoint
+//! ```
+//!
+//! **Commit protocol.** Every mutation serializes its operation, appends
+//! it to `wal.log` (fsynced) *before* applying it in memory, all under one
+//! commit lock so WAL order equals apply order. A write is durable the
+//! moment its record is on disk.
+//!
+//! **Checkpoint protocol** ([`Database::checkpoint`]). Under the commit
+//! lock: write every collection into a fresh `ckpt-N.tmp/` directory
+//! (each file fsynced), rename it to `ckpt-N/`, then atomically replace
+//! `CURRENT` (temp file + fsync + rename + directory fsync) — that rename
+//! is the commit point — and finally truncate the WAL. Old checkpoint
+//! directories are garbage-collected afterwards. A crash at *any* step
+//! leaves either the old checkpoint + full WAL or the new checkpoint
+//! (stale WAL records are skipped on replay via their sequence number).
+//!
+//! **Recovery** ([`Database::open_durable`]). Load the checkpoint named
+//! by `CURRENT` (or legacy root `*.jsonl` files when no checkpoint
+//! exists), then replay the WAL. A torn or corrupt tail — the signature
+//! of a crash mid-append — is *tolerated*: replay stops at the last valid
+//! record, the tail is truncated away, and the [`RecoveryReport`] says
+//! exactly what was dropped. Acknowledged writes are never lost; the one
+//! in-flight unacknowledged record is the most a crash can cost.
+
+use crate::database::{Database, PersistError};
+use crate::io::{escape_component, unescape_component, RealIo, StoreIo};
+use crate::wal::{self, RecoveryReport, WAL_FILE};
+use kscope_telemetry::{Counter, EventLevel, Histogram, Registry};
+use parking_lot::Mutex;
+use serde_json::{json, Value};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Millisecond buckets for `store.checkpoint_duration_ms`.
+const CHECKPOINT_BUCKETS_MS: &[u64] =
+    &[1, 2, 5, 10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 30_000, 60_000];
+
+/// Outcome of one [`Database::checkpoint`].
+#[derive(Debug, Clone)]
+pub struct CheckpointStats {
+    /// Sequence number of the new checkpoint.
+    pub seq: u64,
+    /// Collections written.
+    pub collections: usize,
+    /// Documents written.
+    pub documents: usize,
+    /// Bytes of checkpoint data written.
+    pub bytes: u64,
+    /// WAL bytes truncated away (everything the checkpoint superseded).
+    pub wal_bytes_truncated: u64,
+    /// Wall-clock duration of the checkpoint.
+    pub duration: std::time::Duration,
+}
+
+impl std::fmt::Display for CheckpointStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "checkpoint seq {}: {} collections, {} documents, {} bytes ({} WAL bytes folded) in {:?}",
+            self.seq, self.collections, self.documents, self.bytes, self.wal_bytes_truncated,
+            self.duration
+        )
+    }
+}
+
+/// A point-in-time view of a durable database's health.
+#[derive(Debug, Clone)]
+pub struct DurabilityStatus {
+    /// Current checkpoint sequence number.
+    pub seq: u64,
+    /// `true` after a WAL append has failed (writes since then are in
+    /// memory but not on disk); a successful checkpoint clears it.
+    pub degraded: bool,
+    /// The directory backing this database.
+    pub dir: PathBuf,
+}
+
+#[derive(Debug)]
+struct WalState {
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct DurabilityMetrics {
+    registry: Arc<Registry>,
+    wal_appends: Counter,
+    wal_bytes: Counter,
+    wal_errors: Counter,
+    checkpoints: Counter,
+    checkpoint_ms: Histogram,
+}
+
+/// Shared durability engine attached to a [`Database`] and all its
+/// collections: the commit lock, WAL writer, and checkpoint machinery.
+#[derive(Debug)]
+pub(crate) struct Durability {
+    dir: PathBuf,
+    io: Arc<dyn StoreIo>,
+    state: Mutex<WalState>,
+    degraded: AtomicBool,
+    report: RecoveryReport,
+    metrics: OnceLock<DurabilityMetrics>,
+}
+
+impl Durability {
+    /// Appends `op` (stamped with the current checkpoint seq) to the WAL,
+    /// then applies the in-memory mutation — both under the commit lock,
+    /// so WAL order is exactly apply order. A failed append marks the
+    /// database degraded (counted + evented) but still applies the
+    /// mutation: availability over durability, loudly.
+    pub(crate) fn commit<R>(&self, mut op: Value, apply: impl FnOnce() -> R) -> R {
+        let state = self.state.lock();
+        if let Some(obj) = op.as_object_mut() {
+            obj.insert("seq".to_string(), json!(state.seq));
+        }
+        let payload = serde_json::to_string(&op).unwrap_or_default();
+        let frame = wal::encode_frame(payload.as_bytes());
+        match self.io.append(&self.dir.join(WAL_FILE), &frame) {
+            Ok(()) => {
+                if let Some(m) = self.metrics.get() {
+                    m.wal_appends.inc();
+                    m.wal_bytes.add(frame.len() as u64);
+                }
+            }
+            Err(e) => {
+                self.degraded.store(true, Ordering::SeqCst);
+                if let Some(m) = self.metrics.get() {
+                    m.wal_errors.inc();
+                    m.registry.event(
+                        EventLevel::Error,
+                        "store",
+                        "WAL append failed; database degraded until next checkpoint",
+                        &[("error", &e.to_string())],
+                    );
+                }
+            }
+        }
+        apply()
+    }
+
+    pub(crate) fn attach_metrics(&self, registry: &Arc<Registry>) {
+        let created = self.metrics.get().is_none();
+        let _ = self.metrics.set(DurabilityMetrics {
+            registry: Arc::clone(registry),
+            wal_appends: registry.counter("store.wal_appends_total"),
+            wal_bytes: registry.counter("store.wal_bytes"),
+            wal_errors: registry.counter("store.wal_append_errors_total"),
+            checkpoints: registry.counter("store.checkpoints_total"),
+            checkpoint_ms: registry.histogram_with_buckets(
+                "store.checkpoint_duration_ms",
+                &[],
+                CHECKPOINT_BUCKETS_MS,
+            ),
+        });
+        if created {
+            // Surface what recovery found on the operator's dashboards.
+            registry
+                .counter("store.recovery_dropped_records")
+                .add(self.report.dropped_records as u64);
+        }
+    }
+}
+
+fn ckpt_dir_name(seq: u64) -> String {
+    format!("ckpt-{seq:08}")
+}
+
+fn parse_ckpt_seq(name: &str) -> Option<u64> {
+    name.strip_prefix("ckpt-").and_then(|rest| rest.parse::<u64>().ok())
+}
+
+/// Loads every `<name>.jsonl` file of `dir` into `db` (strict parsing —
+/// checkpoints are written atomically, so damage here is real corruption,
+/// not a crash artifact).
+fn load_collections(io: &dyn StoreIo, dir: &Path, db: &Database) -> Result<(), PersistError> {
+    if !io.is_dir(dir) {
+        return Err(PersistError::Corrupt(format!(
+            "missing checkpoint directory {}",
+            dir.display()
+        )));
+    }
+    for entry in io.read_dir_names(dir).map_err(PersistError::Io)? {
+        let Some(stem) = entry.strip_suffix(".jsonl") else { continue };
+        let name = unescape_component(stem);
+        let bytes = io.read(&dir.join(&entry)).map_err(PersistError::Io)?;
+        let text = String::from_utf8_lossy(&bytes);
+        let mut docs = Vec::new();
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            docs.push(serde_json::from_str::<Value>(line).map_err(PersistError::Json)?);
+        }
+        db.collection(&name).replace_all(docs);
+    }
+    Ok(())
+}
+
+/// Applies one replayed WAL operation to `db` (durability is not yet
+/// attached, so nothing is re-logged).
+fn apply_wal_op(db: &Database, op: &Value) -> Result<(), PersistError> {
+    let kind = op.get("op").and_then(Value::as_str).unwrap_or("");
+    let coll = op.get("coll").and_then(Value::as_str).unwrap_or("");
+    match kind {
+        "insert" => {
+            let doc = op.get("doc").cloned().unwrap_or(Value::Null);
+            db.collection(coll).insert_one(doc);
+            Ok(())
+        }
+        "update" => {
+            let filter = op.get("filter").cloned().unwrap_or(json!({}));
+            let update = op.get("update").cloned().unwrap_or(json!({}));
+            db.collection(coll).update_many(&filter, &update);
+            Ok(())
+        }
+        "delete" => {
+            let filter = op.get("filter").cloned().unwrap_or(json!({}));
+            db.collection(coll).delete_many(&filter);
+            Ok(())
+        }
+        "drop" => {
+            db.drop_collection(coll);
+            Ok(())
+        }
+        other => Err(PersistError::Corrupt(format!("unknown WAL operation {other:?}"))),
+    }
+}
+
+impl Database {
+    /// Opens (creating if needed) a crash-safe database backed by `dir`:
+    /// loads the latest checkpoint, replays the write-ahead log on top —
+    /// tolerating a torn/corrupt tail by truncating to the last valid
+    /// record — and arms WAL-first commits for every future mutation.
+    ///
+    /// A directory of plain `*.jsonl` files (written by
+    /// [`Database::save_to_dir`] before durability existed) is imported as
+    /// the initial state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] on I/O failures or real corruption (a
+    /// checkpoint that does not parse). A torn WAL tail is *not* an error.
+    pub fn open_durable(dir: impl AsRef<Path>) -> Result<(Database, RecoveryReport), PersistError> {
+        Self::open_durable_with(dir, Arc::new(RealIo))
+    }
+
+    /// [`Database::open_durable`] with an explicit I/O layer — the hook
+    /// the fault-injection tests use.
+    ///
+    /// # Errors
+    ///
+    /// See [`Database::open_durable`].
+    pub fn open_durable_with(
+        dir: impl AsRef<Path>,
+        io: Arc<dyn StoreIo>,
+    ) -> Result<(Database, RecoveryReport), PersistError> {
+        let dir = dir.as_ref().to_path_buf();
+        io.create_dir_all(&dir).map_err(PersistError::Io)?;
+        let db = Database::new();
+        let mut report = RecoveryReport::default();
+        let current_path = dir.join("CURRENT");
+        let mut seq = 0u64;
+        if io.exists(&current_path) {
+            let bytes = io.read(&current_path).map_err(PersistError::Io)?;
+            let current: Value = serde_json::from_str(&String::from_utf8_lossy(&bytes))
+                .map_err(PersistError::Json)?;
+            let name = current
+                .get("checkpoint")
+                .and_then(Value::as_str)
+                .filter(|n| parse_ckpt_seq(n).is_some())
+                .ok_or_else(|| PersistError::Corrupt("CURRENT names no checkpoint".into()))?
+                .to_string();
+            seq = current.get("seq").and_then(Value::as_u64).unwrap_or(0);
+            load_collections(&*io, &dir.join(&name), &db)?;
+            report.checkpoint_seq = seq;
+        } else if io.is_dir(&dir) {
+            // Legacy import: a pre-durability snapshot directory.
+            for entry in io.read_dir_names(&dir).map_err(PersistError::Io)? {
+                let Some(stem) = entry.strip_suffix(".jsonl") else { continue };
+                if entry == WAL_FILE {
+                    continue;
+                }
+                report.legacy_import = true;
+                let name = unescape_component(stem);
+                let bytes = io.read(&dir.join(&entry)).map_err(PersistError::Io)?;
+                let text = String::from_utf8_lossy(&bytes);
+                let mut docs = Vec::new();
+                for line in text.lines() {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    docs.push(serde_json::from_str::<Value>(line).map_err(PersistError::Json)?);
+                }
+                db.collection(&name).replace_all(docs);
+            }
+        }
+
+        // Replay the WAL over the checkpoint, skipping records already
+        // folded into it (stale seq) and tolerating a torn tail.
+        let scanned = wal::read(&*io, &dir).map_err(PersistError::Io)?;
+        for record in &scanned.records {
+            if record.seq < seq {
+                report.stale_records += 1;
+                continue;
+            }
+            apply_wal_op(&db, &record.op)?;
+            report.replayed_records += 1;
+        }
+        if scanned.torn_bytes > 0 {
+            report.dropped_records = 1;
+            report.dropped_bytes = scanned.torn_bytes;
+        }
+        // Replayed inserts carry explicit `_id`s, which bypass the id
+        // allocator — resync it so fresh inserts cannot collide.
+        for name in db.collection_names() {
+            db.collection(&name).sync_next_id();
+        }
+        // Compact the log if recovery dropped a tail or skipped stale
+        // records: rewrite only the surviving frames, atomically.
+        if scanned.torn_bytes > 0 || report.stale_records > 0 {
+            let mut buf = Vec::new();
+            for record in &scanned.records {
+                if record.seq >= seq {
+                    let payload = serde_json::to_string(&record.op).unwrap_or_default();
+                    buf.extend_from_slice(&wal::encode_frame(payload.as_bytes()));
+                }
+            }
+            let tmp = dir.join("wal.log.tmp");
+            io.write(&tmp, &buf).map_err(PersistError::Io)?;
+            io.rename(&tmp, &dir.join(WAL_FILE)).map_err(PersistError::Io)?;
+            io.sync_dir(&dir).map_err(PersistError::Io)?;
+            report.wal_rewritten = true;
+        }
+
+        let durability = Arc::new(Durability {
+            dir,
+            io,
+            state: Mutex::new(WalState { seq }),
+            degraded: AtomicBool::new(false),
+            report: report.clone(),
+            metrics: OnceLock::new(),
+        });
+        db.attach_durability(&durability);
+        Ok((db, report))
+    }
+
+    /// Atomically checkpoints a durable database: writes every collection
+    /// into a fresh checkpoint directory (temp dir + fsync + rename),
+    /// flips the `CURRENT` pointer, truncates the WAL, and removes
+    /// superseded checkpoints. Blocks writers for the duration (reads
+    /// proceed). A successful checkpoint clears the degraded flag.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::NotDurable`] when the database was not opened with
+    /// [`Database::open_durable`]; otherwise I/O errors, after which the
+    /// on-disk state is still recoverable (old checkpoint + full WAL, or
+    /// new checkpoint + stale-skipped WAL, depending on where it failed).
+    pub fn checkpoint(&self) -> Result<CheckpointStats, PersistError> {
+        let d = self.durability_handle().ok_or(PersistError::NotDurable)?;
+        let start = Instant::now();
+        let mut state = d.state.lock();
+        let next_seq = state.seq + 1;
+        let name = ckpt_dir_name(next_seq);
+        let tmp = d.dir.join(format!("{name}.tmp"));
+        d.io.remove_dir_all(&tmp).map_err(PersistError::Io)?;
+        d.io.create_dir_all(&tmp).map_err(PersistError::Io)?;
+
+        let collections = self.collections_snapshot();
+        let mut documents = 0usize;
+        let mut bytes = 0u64;
+        for (coll_name, coll) in &collections {
+            let mut buf = String::new();
+            for doc in coll.all() {
+                buf.push_str(&serde_json::to_string(&doc).map_err(PersistError::Json)?);
+                buf.push('\n');
+                documents += 1;
+            }
+            let file = tmp.join(format!("{}.jsonl", escape_component(coll_name)));
+            d.io.write(&file, buf.as_bytes()).map_err(PersistError::Io)?;
+            bytes += buf.len() as u64;
+        }
+        d.io.sync_dir(&tmp).map_err(PersistError::Io)?;
+        let final_dir = d.dir.join(&name);
+        d.io.remove_dir_all(&final_dir).map_err(PersistError::Io)?;
+        d.io.rename(&tmp, &final_dir).map_err(PersistError::Io)?;
+        d.io.sync_dir(&d.dir).map_err(PersistError::Io)?;
+
+        // Commit point: atomically swing CURRENT to the new checkpoint.
+        let current = json!({ "checkpoint": name.clone(), "seq": next_seq });
+        let current_tmp = d.dir.join("CURRENT.tmp");
+        d.io.write(&current_tmp, serde_json::to_string(&current).unwrap_or_default().as_bytes())
+            .map_err(PersistError::Io)?;
+        d.io.rename(&current_tmp, &d.dir.join("CURRENT")).map_err(PersistError::Io)?;
+        d.io.sync_dir(&d.dir).map_err(PersistError::Io)?;
+
+        // Everything in the WAL is now folded into the checkpoint.
+        let wal_path = d.dir.join(WAL_FILE);
+        let wal_bytes_truncated = if d.io.exists(&wal_path) {
+            d.io.read(&wal_path).map(|b| b.len() as u64).unwrap_or(0)
+        } else {
+            0
+        };
+        d.io.write(&wal_path, b"").map_err(PersistError::Io)?;
+        state.seq = next_seq;
+        d.degraded.store(false, Ordering::SeqCst);
+        drop(state);
+
+        // Garbage-collect superseded checkpoints and stale temp dirs.
+        for entry in d.io.read_dir_names(&d.dir).unwrap_or_default() {
+            let stale_ckpt = parse_ckpt_seq(&entry).is_some_and(|s| s < next_seq);
+            let stale_tmp = entry.ends_with(".tmp") && entry.starts_with("ckpt-");
+            if stale_ckpt || (stale_tmp && entry != format!("{name}.tmp")) {
+                let _ = d.io.remove_dir_all(&d.dir.join(&entry));
+            }
+        }
+
+        let duration = start.elapsed();
+        if let Some(m) = d.metrics.get() {
+            m.checkpoints.inc();
+            m.checkpoint_ms.observe(duration.as_millis() as u64);
+        }
+        Ok(CheckpointStats {
+            seq: next_seq,
+            collections: collections.len(),
+            documents,
+            bytes,
+            wal_bytes_truncated,
+            duration,
+        })
+    }
+
+    /// Health of the durability layer, or `None` for an in-memory
+    /// database.
+    pub fn durability_status(&self) -> Option<DurabilityStatus> {
+        self.durability_handle().map(|d| DurabilityStatus {
+            seq: d.state.lock().seq,
+            degraded: d.degraded.load(Ordering::SeqCst),
+            dir: d.dir.clone(),
+        })
+    }
+
+    /// What recovery found when this database was opened, or `None` for
+    /// an in-memory database.
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.durability_handle().map(|d| d.report.clone())
+    }
+
+    /// Whether this database persists mutations through a WAL.
+    pub fn is_durable(&self) -> bool {
+        self.durability_handle().is_some()
+    }
+}

@@ -6,10 +6,11 @@
 //! [`GridStore`] reproduces that: a two-level keyspace (test id → file name)
 //! of byte blobs, thread-safe, with directory persistence.
 
+use crate::io::{escape_component, unescape_component, RealIo, StoreIo};
 use bytes::Bytes;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// A thread-safe test-id-keyed file store.
@@ -76,48 +77,105 @@ impl GridStore {
         self.inner.read().values().flat_map(|files| files.values()).map(|b| b.len()).sum()
     }
 
-    /// Writes every file to `<dir>/<test_id>/<name>`.
+    /// Writes every file to `<dir>/<test_id>/<name>`, with both path
+    /// components percent-escaped (a `..` or `/` in a test id or file name
+    /// can therefore never escape `dir`).
+    ///
+    /// The save is crash-atomic: everything is written into a fresh
+    /// sibling temp directory which then atomically replaces `dir`, so a
+    /// crash mid-save leaves the previous snapshot intact, and files
+    /// deleted since the last save do not resurrect on the next load.
     ///
     /// # Errors
     ///
     /// Returns the underlying I/O error on failure.
     pub fn save_to_dir(&self, dir: &Path) -> std::io::Result<()> {
+        self.save_to_dir_with(dir, &RealIo)
+    }
+
+    /// [`GridStore::save_to_dir`] with an explicit I/O layer (the hook the
+    /// fault-injection tests use).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error on failure.
+    pub fn save_to_dir_with(&self, dir: &Path, io: &dyn StoreIo) -> std::io::Result<()> {
+        let tmp = sibling(dir, ".tmp");
+        let old = sibling(dir, ".old");
+        io.remove_dir_all(&tmp)?;
+        io.create_dir_all(&tmp)?;
         for (test_id, files) in self.inner.read().iter() {
-            let test_dir = dir.join(test_id);
-            std::fs::create_dir_all(&test_dir)?;
+            let test_dir = tmp.join(escape_component(test_id));
+            io.create_dir_all(&test_dir)?;
             for (name, data) in files {
-                std::fs::write(test_dir.join(name), data)?;
+                io.write(&test_dir.join(escape_component(name)), data)?;
             }
+            io.sync_dir(&test_dir)?;
         }
+        io.sync_dir(&tmp)?;
+        // Swap: demote the current snapshot to `.old`, promote the fresh
+        // one, then discard `.old`. A crash between the renames leaves
+        // `.old` behind, which `load_from_dir` falls back to.
+        io.remove_dir_all(&old)?;
+        if io.exists(dir) {
+            io.rename(dir, &old)?;
+        }
+        io.rename(&tmp, dir)?;
+        if let Some(parent) = dir.parent() {
+            io.sync_dir(parent)?;
+        }
+        io.remove_dir_all(&old)?;
         Ok(())
     }
 
     /// Loads a store from a directory written by [`GridStore::save_to_dir`]
-    /// (one subdirectory per test id; nested directories are skipped).
+    /// (one subdirectory per test id; nested directories are skipped, and
+    /// escaped path components are decoded). When `dir` is missing but a
+    /// `<dir>.old` snapshot exists — a crash hit between the two renames of
+    /// an atomic save — the old snapshot is loaded instead.
     ///
     /// # Errors
     ///
     /// Returns the underlying I/O error on failure.
     pub fn load_from_dir(dir: &Path) -> std::io::Result<Self> {
+        Self::load_from_dir_with(dir, &RealIo)
+    }
+
+    /// [`GridStore::load_from_dir`] with an explicit I/O layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error on failure.
+    pub fn load_from_dir_with(dir: &Path, io: &dyn StoreIo) -> std::io::Result<Self> {
+        let old = sibling(dir, ".old");
+        let dir = if !io.is_dir(dir) && io.is_dir(&old) { old.as_path() } else { dir };
         let store = GridStore::new();
-        for entry in std::fs::read_dir(dir)? {
-            let entry = entry?;
-            if !entry.file_type()?.is_dir() {
+        for entry in io.read_dir_names(dir)? {
+            let test_path = dir.join(&entry);
+            if !io.is_dir(&test_path) {
                 continue;
             }
-            let test_id = entry.file_name().to_string_lossy().into_owned();
-            for file in std::fs::read_dir(entry.path())? {
-                let file = file?;
-                if !file.file_type()?.is_file() {
+            let test_id = unescape_component(&entry);
+            for file in io.read_dir_names(&test_path)? {
+                let file_path = test_path.join(&file);
+                if io.is_dir(&file_path) {
                     continue;
                 }
-                let name = file.file_name().to_string_lossy().into_owned();
-                let data = std::fs::read(file.path())?;
+                let name = unescape_component(&file);
+                let data = io.read(&file_path)?;
                 store.put(&test_id, &name, data);
             }
         }
         Ok(store)
     }
+}
+
+/// `<dir><suffix>` as a sibling path (e.g. `grid.tmp` next to `grid`).
+fn sibling(dir: &Path, suffix: &str) -> PathBuf {
+    let mut name =
+        dir.file_name().map_or_else(|| "grid".to_string(), |n| n.to_string_lossy().into_owned());
+    name.push_str(suffix);
+    dir.parent().unwrap_or_else(|| Path::new(".")).join(name)
 }
 
 #[cfg(test)]
@@ -172,6 +230,73 @@ mod tests {
         let b = a.clone();
         a.put("t", "x", vec![1]);
         assert!(b.get("t", "x").is_some());
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("kscope-grid-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn hostile_ids_cannot_escape_the_store_directory() {
+        let root = tempdir("traversal");
+        let dir = root.join("grid");
+        let g = GridStore::new();
+        g.put("../escape", "../../name", b"attack".to_vec());
+        g.put("..", "x", b"dotdot".to_vec());
+        g.put("a/b", "c\\d", b"separators".to_vec());
+        g.save_to_dir(&dir).unwrap();
+
+        // Nothing was written outside the store directory…
+        let mut outside: Vec<String> = std::fs::read_dir(&root)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        outside.sort();
+        assert_eq!(outside, vec!["grid".to_string()], "only the grid dir exists in {root:?}");
+
+        // …and the hostile names round-trip intact.
+        let loaded = GridStore::load_from_dir(&dir).unwrap();
+        assert_eq!(loaded.get_text("../escape", "../../name").as_deref(), Some("attack"));
+        assert_eq!(loaded.get_text("..", "x").as_deref(), Some("dotdot"));
+        assert_eq!(loaded.get_text("a/b", "c\\d").as_deref(), Some("separators"));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn deleted_files_do_not_resurrect_after_resave() {
+        let root = tempdir("resurrect");
+        let dir = root.join("grid");
+        let g = GridStore::new();
+        g.put("t", "keep.html", b"keep".to_vec());
+        g.put("t", "gone.html", b"gone".to_vec());
+        g.put("dead-test", "x.html", b"x".to_vec());
+        g.save_to_dir(&dir).unwrap();
+
+        g.delete("t", "gone.html");
+        g.delete_test("dead-test");
+        g.save_to_dir(&dir).unwrap();
+
+        let loaded = GridStore::load_from_dir(&dir).unwrap();
+        assert_eq!(loaded.test_ids(), vec!["t".to_string()]);
+        assert_eq!(loaded.list("t"), vec!["keep.html".to_string()]);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn load_falls_back_to_old_snapshot_after_interrupted_swap() {
+        let root = tempdir("oldfall");
+        let dir = root.join("grid");
+        let g = GridStore::new();
+        g.put("t", "a.html", b"v1".to_vec());
+        g.save_to_dir(&dir).unwrap();
+        // Model a crash between `dir -> dir.old` and `tmp -> dir`.
+        std::fs::rename(&dir, root.join("grid.old")).unwrap();
+        let loaded = GridStore::load_from_dir(&dir).unwrap();
+        assert_eq!(loaded.get_text("t", "a.html").as_deref(), Some("v1"));
+        std::fs::remove_dir_all(&root).unwrap();
     }
 
     #[test]

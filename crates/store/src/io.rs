@@ -1,0 +1,569 @@
+//! The pluggable storage I/O layer.
+//!
+//! Every durable-path filesystem operation in this crate goes through the
+//! [`StoreIo`] trait: [`RealIo`] is the production implementation (plain
+//! `std::fs` plus explicit fsync points), and — behind the `failpoints`
+//! feature — [`fault::FaultIo`] deterministically injects failures (error
+//! at the Nth operation, torn write, short write, simulated crash before
+//! or after a rename) so crash consistency is *tested*, not assumed.
+//!
+//! The trait is path-based rather than handle-based on purpose: it keeps
+//! implementations trivially stateless, makes failpoint accounting exact
+//! (one trait call = one countable operation), and matches the access
+//! pattern of a write-ahead log (append a frame, sync, done).
+
+use std::fmt;
+use std::fs;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Filesystem operations used by the durable store.
+///
+/// All write-like operations are expected to be durable when they return:
+/// [`StoreIo::append`] and [`StoreIo::write`] sync file contents,
+/// [`StoreIo::sync_dir`] persists directory entries (needed after renames
+/// and file creation for crash safety on POSIX systems).
+pub trait StoreIo: Send + Sync + fmt::Debug {
+    /// Reads a whole file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    fn read(&self, path: &Path) -> std::io::Result<Vec<u8>>;
+
+    /// Appends `data` to `path` (creating it if absent) and syncs the file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error. On error the file may contain
+    /// a prefix of `data` (a torn write) — callers must tolerate that.
+    fn append(&self, path: &Path, data: &[u8]) -> std::io::Result<()>;
+
+    /// Creates/truncates `path` with `data` and syncs the file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    fn write(&self, path: &Path, data: &[u8]) -> std::io::Result<()>;
+
+    /// Renames `from` to `to` (atomic on POSIX when same-filesystem).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()>;
+
+    /// Recursively creates a directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    fn create_dir_all(&self, path: &Path) -> std::io::Result<()>;
+
+    /// Removes a file; missing files are not an error.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unexpected I/O errors.
+    fn remove_file(&self, path: &Path) -> std::io::Result<()>;
+
+    /// Recursively removes a directory; missing directories are not an
+    /// error.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unexpected I/O errors.
+    fn remove_dir_all(&self, path: &Path) -> std::io::Result<()>;
+
+    /// Fsyncs a directory so renames/creations inside it are durable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    fn sync_dir(&self, path: &Path) -> std::io::Result<()>;
+
+    /// Whether the path exists.
+    fn exists(&self, path: &Path) -> bool;
+
+    /// Whether the path is a directory.
+    fn is_dir(&self, path: &Path) -> bool;
+
+    /// Entry names (not full paths) inside a directory, sorted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    fn read_dir_names(&self, path: &Path) -> std::io::Result<Vec<String>>;
+}
+
+/// The production [`StoreIo`]: `std::fs` with explicit durability points.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealIo;
+
+impl StoreIo for RealIo {
+    fn read(&self, path: &Path) -> std::io::Result<Vec<u8>> {
+        let mut buf = Vec::new();
+        fs::File::open(path)?.read_to_end(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn append(&self, path: &Path, data: &[u8]) -> std::io::Result<()> {
+        let mut file = fs::OpenOptions::new().create(true).append(true).open(path)?;
+        file.write_all(data)?;
+        file.sync_data()
+    }
+
+    fn write(&self, path: &Path, data: &[u8]) -> std::io::Result<()> {
+        let mut file = fs::File::create(path)?;
+        file.write_all(data)?;
+        file.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> std::io::Result<()> {
+        fs::create_dir_all(path)
+    }
+
+    fn remove_file(&self, path: &Path) -> std::io::Result<()> {
+        match fs::remove_file(path) {
+            Err(e) if e.kind() != std::io::ErrorKind::NotFound => Err(e),
+            _ => Ok(()),
+        }
+    }
+
+    fn remove_dir_all(&self, path: &Path) -> std::io::Result<()> {
+        match fs::remove_dir_all(path) {
+            Err(e) if e.kind() != std::io::ErrorKind::NotFound => Err(e),
+            _ => Ok(()),
+        }
+    }
+
+    fn sync_dir(&self, path: &Path) -> std::io::Result<()> {
+        // Directory fsync persists the entries (renames, creations)
+        // themselves; on non-POSIX platforms opening a directory can fail,
+        // which we treat as "nothing to do".
+        match fs::File::open(path) {
+            Ok(f) => f.sync_all(),
+            Err(_) => Ok(()),
+        }
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+
+    fn is_dir(&self, path: &Path) -> bool {
+        path.is_dir()
+    }
+
+    fn read_dir_names(&self, path: &Path) -> std::io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(path)? {
+            names.push(entry?.file_name().to_string_lossy().into_owned());
+        }
+        names.sort();
+        Ok(names)
+    }
+}
+
+/// Percent-escapes one path component so arbitrary collection names, test
+/// ids, and file names can never escape their store directory or collide
+/// with the store's own bookkeeping entries.
+///
+/// Escaped bytes: `%` (the escape itself), `/` and `\` (path separators),
+/// ASCII control characters; the bare components `.` and `..` are escaped
+/// wholesale, and the empty string encodes as `"%"` (which no other input
+/// can produce, since literal `%` always escapes to `%25`).
+pub fn escape_component(name: &str) -> String {
+    if name.is_empty() {
+        return "%".to_string();
+    }
+    if name == "." {
+        return "%2E".to_string();
+    }
+    if name == ".." {
+        return "%2E%2E".to_string();
+    }
+    let mut out = String::with_capacity(name.len());
+    for b in name.bytes() {
+        match b {
+            b'%' | b'/' | b'\\' => {
+                out.push('%');
+                out.push_str(&format!("{b:02X}"));
+            }
+            0x00..=0x1F | 0x7F => {
+                out.push('%');
+                out.push_str(&format!("{b:02X}"));
+            }
+            _ => out.push(b as char),
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape_component`]. Lenient: a `%` not followed by two hex
+/// digits is kept literally, so legacy directories written before escaping
+/// existed still load under their original names.
+pub fn unescape_component(name: &str) -> String {
+    if name == "%" {
+        return String::new();
+    }
+    let bytes = name.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = bytes.get(i + 1..i + 3).and_then(|h| std::str::from_utf8(h).ok());
+            if let Some(v) = hex.and_then(|h| u8::from_str_radix(h, 16).ok()) {
+                out.push(v);
+                i += 3;
+                continue;
+            }
+        }
+        out.push(bytes[i]);
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Deterministic fault injection (enabled with the `failpoints` feature).
+#[cfg(feature = "failpoints")]
+pub mod fault {
+    use super::StoreIo;
+    use parking_lot::Mutex;
+    use std::path::Path;
+    use std::sync::Arc;
+
+    /// Which [`StoreIo`] operation a [`Failpoint`] targets.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum OpKind {
+        /// [`StoreIo::read`].
+        Read,
+        /// [`StoreIo::append`].
+        Append,
+        /// [`StoreIo::write`].
+        Write,
+        /// [`StoreIo::rename`].
+        Rename,
+        /// [`StoreIo::remove_file`] / [`StoreIo::remove_dir_all`].
+        Remove,
+        /// [`StoreIo::sync_dir`].
+        SyncDir,
+        /// Any operation (counted across all kinds).
+        Any,
+    }
+
+    /// What happens when a failpoint fires.
+    #[derive(Debug, Clone, Copy)]
+    pub enum Fault {
+        /// Return an injected error (e.g. ENOSPC) without touching disk.
+        Err(&'static str),
+        /// Write only the first `keep` bytes, then return an error — the
+        /// classic torn write a crash mid-append produces.
+        Torn {
+            /// Bytes actually persisted before the failure.
+            keep: usize,
+        },
+        /// Write only the first `keep` bytes but report success — a
+        /// silently short write (buggy filesystem / lost ack).
+        Short {
+            /// Bytes actually persisted.
+            keep: usize,
+        },
+        /// Simulate a crash *before* the operation takes effect: nothing
+        /// is persisted and every subsequent operation fails.
+        CrashBefore,
+        /// Simulate a crash *after* the operation takes effect: the
+        /// operation persists, then every subsequent operation fails.
+        CrashAfter,
+    }
+
+    /// One armed failpoint: fire `fault` on the `nth` (0-based) operation
+    /// of `kind`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Failpoint {
+        /// Operation selector.
+        pub kind: OpKind,
+        /// 0-based occurrence index among operations of `kind`.
+        pub nth: u64,
+        /// Injected behaviour.
+        pub fault: Fault,
+    }
+
+    #[derive(Debug, Default)]
+    struct FaultState {
+        counts: std::collections::BTreeMap<&'static str, u64>,
+        total: u64,
+        plan: Vec<Failpoint>,
+        crashed: bool,
+    }
+
+    /// A [`StoreIo`] wrapper that injects deterministic faults.
+    ///
+    /// Operations are counted per kind and in total; when an armed
+    /// [`Failpoint`] matches the current count, its [`Fault`] fires. After
+    /// a crash fault, every subsequent operation fails with a "crashed"
+    /// error — the test then reopens the directory with a fresh I/O layer
+    /// to model a process restart.
+    #[derive(Debug, Clone)]
+    pub struct FaultIo {
+        inner: Arc<dyn StoreIo>,
+        state: Arc<Mutex<FaultState>>,
+    }
+
+    impl FaultIo {
+        /// Wraps `inner` with an empty fault plan.
+        pub fn new(inner: Arc<dyn StoreIo>) -> Self {
+            Self { inner, state: Arc::new(Mutex::new(FaultState::default())) }
+        }
+
+        /// Arms a failpoint (builder style).
+        #[must_use]
+        pub fn with(self, fp: Failpoint) -> Self {
+            self.state.lock().plan.push(fp);
+            self
+        }
+
+        /// Total operations performed so far (including failed ones).
+        pub fn ops_total(&self) -> u64 {
+            self.state.lock().total
+        }
+
+        /// Whether a crash fault has fired.
+        pub fn crashed(&self) -> bool {
+            self.state.lock().crashed
+        }
+
+        fn injected(msg: &str) -> std::io::Error {
+            std::io::Error::other(format!("injected fault: {msg}"))
+        }
+
+        /// Counts one operation and decides its fate. Returns `Some(fault)`
+        /// when a failpoint fires, or an error when already crashed.
+        fn check(&self, kind: OpKind, label: &'static str) -> std::io::Result<Option<Fault>> {
+            let mut st = self.state.lock();
+            if st.crashed {
+                return Err(Self::injected("process crashed"));
+            }
+            let n = *st.counts.get(label).unwrap_or(&0);
+            let total = st.total;
+            *st.counts.entry(label).or_insert(0) += 1;
+            st.total += 1;
+            let hit = st
+                .plan
+                .iter()
+                .find(|fp| {
+                    (fp.kind == kind && fp.nth == n) || (fp.kind == OpKind::Any && fp.nth == total)
+                })
+                .copied();
+            if let Some(fp) = hit {
+                if matches!(fp.fault, Fault::CrashBefore | Fault::CrashAfter) {
+                    st.crashed = true;
+                }
+                return Ok(Some(fp.fault));
+            }
+            Ok(None)
+        }
+    }
+
+    impl StoreIo for FaultIo {
+        fn read(&self, path: &Path) -> std::io::Result<Vec<u8>> {
+            match self.check(OpKind::Read, "read")? {
+                None => self.inner.read(path),
+                Some(Fault::CrashAfter) => {
+                    let out = self.inner.read(path);
+                    out.and(Err(Self::injected("crash after read")))
+                }
+                Some(_) => Err(Self::injected("read failed")),
+            }
+        }
+
+        fn append(&self, path: &Path, data: &[u8]) -> std::io::Result<()> {
+            match self.check(OpKind::Append, "append")? {
+                None => self.inner.append(path, data),
+                Some(Fault::Err(msg)) => Err(Self::injected(msg)),
+                Some(Fault::Torn { keep }) => {
+                    let keep = keep.min(data.len());
+                    let _ = self.inner.append(path, &data[..keep]);
+                    Err(Self::injected("torn append"))
+                }
+                Some(Fault::Short { keep }) => {
+                    let keep = keep.min(data.len());
+                    self.inner.append(path, &data[..keep])
+                }
+                Some(Fault::CrashBefore) => Err(Self::injected("crash before append")),
+                Some(Fault::CrashAfter) => {
+                    let _ = self.inner.append(path, data);
+                    Err(Self::injected("crash after append"))
+                }
+            }
+        }
+
+        fn write(&self, path: &Path, data: &[u8]) -> std::io::Result<()> {
+            match self.check(OpKind::Write, "write")? {
+                None => self.inner.write(path, data),
+                Some(Fault::Err(msg)) => Err(Self::injected(msg)),
+                Some(Fault::Torn { keep }) => {
+                    let keep = keep.min(data.len());
+                    let _ = self.inner.write(path, &data[..keep]);
+                    Err(Self::injected("torn write"))
+                }
+                Some(Fault::Short { keep }) => {
+                    let keep = keep.min(data.len());
+                    self.inner.write(path, &data[..keep])
+                }
+                Some(Fault::CrashBefore) => Err(Self::injected("crash before write")),
+                Some(Fault::CrashAfter) => {
+                    let _ = self.inner.write(path, data);
+                    Err(Self::injected("crash after write"))
+                }
+            }
+        }
+
+        fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()> {
+            match self.check(OpKind::Rename, "rename")? {
+                None => self.inner.rename(from, to),
+                Some(Fault::CrashBefore) => Err(Self::injected("crash before rename")),
+                Some(Fault::CrashAfter) => {
+                    let _ = self.inner.rename(from, to);
+                    Err(Self::injected("crash after rename"))
+                }
+                Some(Fault::Err(msg)) => Err(Self::injected(msg)),
+                Some(_) => Err(Self::injected("rename failed")),
+            }
+        }
+
+        fn create_dir_all(&self, path: &Path) -> std::io::Result<()> {
+            // Directory creation is not an interesting fault target on its
+            // own but still counts toward `Any` and dies after a crash.
+            match self.check(OpKind::Any, "create_dir")? {
+                None | Some(Fault::CrashAfter) => {
+                    let out = self.inner.create_dir_all(path);
+                    if self.crashed() {
+                        out.and(Err(Self::injected("crash after create_dir")))
+                    } else {
+                        out
+                    }
+                }
+                Some(Fault::CrashBefore) => Err(Self::injected("crash before create_dir")),
+                Some(Fault::Err(msg)) => Err(Self::injected(msg)),
+                Some(_) => Err(Self::injected("create_dir failed")),
+            }
+        }
+
+        fn remove_file(&self, path: &Path) -> std::io::Result<()> {
+            match self.check(OpKind::Remove, "remove_file")? {
+                None => self.inner.remove_file(path),
+                Some(Fault::CrashBefore) => Err(Self::injected("crash before remove")),
+                Some(Fault::CrashAfter) => {
+                    let _ = self.inner.remove_file(path);
+                    Err(Self::injected("crash after remove"))
+                }
+                Some(Fault::Err(msg)) => Err(Self::injected(msg)),
+                Some(_) => Err(Self::injected("remove failed")),
+            }
+        }
+
+        fn remove_dir_all(&self, path: &Path) -> std::io::Result<()> {
+            match self.check(OpKind::Remove, "remove_dir")? {
+                None => self.inner.remove_dir_all(path),
+                Some(Fault::CrashBefore) => Err(Self::injected("crash before remove")),
+                Some(Fault::CrashAfter) => {
+                    let _ = self.inner.remove_dir_all(path);
+                    Err(Self::injected("crash after remove"))
+                }
+                Some(Fault::Err(msg)) => Err(Self::injected(msg)),
+                Some(_) => Err(Self::injected("remove failed")),
+            }
+        }
+
+        fn sync_dir(&self, path: &Path) -> std::io::Result<()> {
+            match self.check(OpKind::SyncDir, "sync_dir")? {
+                None => self.inner.sync_dir(path),
+                Some(Fault::CrashBefore) => Err(Self::injected("crash before sync")),
+                Some(Fault::CrashAfter) => {
+                    let _ = self.inner.sync_dir(path);
+                    Err(Self::injected("crash after sync"))
+                }
+                Some(Fault::Err(msg)) => Err(Self::injected(msg)),
+                Some(_) => Err(Self::injected("sync failed")),
+            }
+        }
+
+        fn exists(&self, path: &Path) -> bool {
+            self.inner.exists(path)
+        }
+
+        fn is_dir(&self, path: &Path) -> bool {
+            self.inner.is_dir(path)
+        }
+
+        fn read_dir_names(&self, path: &Path) -> std::io::Result<Vec<String>> {
+            if self.state.lock().crashed {
+                return Err(Self::injected("process crashed"));
+            }
+            self.inner.read_dir_names(path)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_roundtrip() {
+        for name in
+            ["plain.html", "a/b.html", "..", ".", "", "%2E", "has%percent", "back\\slash", "x\ny"]
+        {
+            let enc = escape_component(name);
+            assert!(!enc.contains('/'), "{enc} must not contain a separator");
+            assert!(!enc.contains('\\'), "{enc} must not contain a separator");
+            assert_ne!(enc, "..");
+            assert_ne!(enc, ".");
+            assert!(!enc.is_empty());
+            assert_eq!(unescape_component(&enc), name, "round-trip of {name:?}");
+        }
+    }
+
+    #[test]
+    fn escape_is_injective_on_tricky_pairs() {
+        let pairs = [("..", "%2E%2E"), (".", "%2E"), ("", "%"), ("%2E", "%252E")];
+        for (input, expected) in pairs {
+            assert_eq!(escape_component(input), expected);
+        }
+    }
+
+    #[test]
+    fn unescape_is_lenient_on_legacy_names() {
+        // Names written before escaping existed pass through unchanged.
+        assert_eq!(unescape_component("plain-file.html"), "plain-file.html");
+        assert_eq!(unescape_component("50%done"), "50%done");
+    }
+
+    #[test]
+    fn real_io_basics() {
+        let dir = std::env::temp_dir().join(format!("kscope-io-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let io = RealIo;
+        io.create_dir_all(&dir).unwrap();
+        let f = dir.join("a.bin");
+        io.write(&f, b"hello").unwrap();
+        io.append(&f, b" world").unwrap();
+        assert_eq!(io.read(&f).unwrap(), b"hello world");
+        assert!(io.exists(&f));
+        assert!(io.is_dir(&dir));
+        assert_eq!(io.read_dir_names(&dir).unwrap(), vec!["a.bin".to_string()]);
+        let g = dir.join("b.bin");
+        io.rename(&f, &g).unwrap();
+        assert!(!io.exists(&f));
+        io.sync_dir(&dir).unwrap();
+        io.remove_file(&g).unwrap();
+        io.remove_file(&g).unwrap(); // missing file is fine
+        io.remove_dir_all(&dir).unwrap();
+        io.remove_dir_all(&dir).unwrap(); // missing dir is fine
+    }
+}

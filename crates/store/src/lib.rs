@@ -10,6 +10,11 @@
 //!   `$or`, dotted paths, …), `$set` updates, and JSONL persistence.
 //! * [`GridStore`] — the per-test file store ("we create a new folder which
 //!   is named after the test id, and all related files … are stored in it").
+//! * Crash-safe persistence — [`Database::open_durable`] arms a
+//!   CRC32-checksummed write-ahead log on every mutation,
+//!   [`Database::checkpoint`] takes atomic snapshots, and recovery
+//!   tolerates torn tails (see the [`wal`] and [`durable`] modules, and
+//!   the fault-injection layer in [`io`] behind the `failpoints` feature).
 //!
 //! Both are thread-safe (`parking_lot`) because the core server answers
 //! requests from a worker pool.
@@ -32,10 +37,16 @@
 
 pub mod collection;
 pub mod database;
+pub mod durable;
 pub mod filter;
 pub mod grid;
+pub mod io;
+pub mod wal;
 
 pub use collection::{Collection, ObjectId};
 pub use database::{Database, PersistError};
+pub use durable::{CheckpointStats, DurabilityStatus};
 pub use filter::matches_filter;
 pub use grid::GridStore;
+pub use io::{escape_component, unescape_component, RealIo, StoreIo};
+pub use wal::RecoveryReport;

@@ -1,0 +1,324 @@
+//! Crash-safety integration tests for the durable store: WAL replay,
+//! checkpoint atomicity, torn-tail tolerance (including the
+//! truncate-at-every-byte-offset sweep), and concurrent writers racing
+//! checkpoints.
+
+use kscope_store::wal;
+use kscope_store::{Database, RealIo, StoreIo};
+use serde_json::{json, Value};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("kscope-durable-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn ns(db: &Database, coll: &str) -> Vec<i64> {
+    let mut ns: Vec<i64> =
+        db.collection(coll).all().iter().filter_map(|d| d["n"].as_i64()).collect();
+    ns.sort_unstable();
+    ns
+}
+
+#[test]
+fn wal_replay_restores_uncheckpointed_writes() {
+    let dir = tempdir("replay");
+    {
+        let (db, report) = Database::open_durable(&dir).unwrap();
+        assert!(report.clean());
+        assert!(db.is_durable());
+        for i in 0..5 {
+            db.collection("responses").insert_one(json!({"n": i}));
+        }
+        // No checkpoint: dropping the handle models a hard crash.
+    }
+    let (db, report) = Database::open_durable(&dir).unwrap();
+    assert!(report.clean());
+    assert_eq!(report.replayed_records, 5);
+    assert_eq!(ns(&db, "responses"), vec![0, 1, 2, 3, 4]);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn checkpoint_plus_wal_tail_restores_everything() {
+    let dir = tempdir("ckpt-tail");
+    {
+        let (db, _) = Database::open_durable(&dir).unwrap();
+        db.collection("tests").insert_one(json!({"n": 0}));
+        db.collection("responses").insert_one(json!({"n": 1}));
+        let stats = db.checkpoint().unwrap();
+        assert_eq!(stats.seq, 1);
+        assert_eq!(stats.documents, 2);
+        db.collection("responses").insert_one(json!({"n": 2}));
+    }
+    let (db, report) = Database::open_durable(&dir).unwrap();
+    assert_eq!(report.checkpoint_seq, 1);
+    assert_eq!(report.replayed_records, 1);
+    assert_eq!(ns(&db, "tests"), vec![0]);
+    assert_eq!(ns(&db, "responses"), vec![1, 2]);
+    let status = db.durability_status().unwrap();
+    assert_eq!(status.seq, 1);
+    assert!(!status.degraded);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn all_mutation_kinds_replay() {
+    let dir = tempdir("ops");
+    {
+        let (db, _) = Database::open_durable(&dir).unwrap();
+        let c = db.collection("jobs");
+        c.insert_one(json!({"n": 0, "state": "open"}));
+        c.insert_one(json!({"n": 1, "state": "open"}));
+        c.insert_one(json!({"n": 2, "state": "open"}));
+        c.update_many(&json!({"n": 1}), &json!({"$set": {"state": "done"}}));
+        c.delete_many(&json!({"n": 2}));
+        db.collection("doomed").insert_one(json!({"n": 9}));
+        db.drop_collection("doomed");
+    }
+    let (db, report) = Database::open_durable(&dir).unwrap();
+    assert!(report.clean());
+    let c = db.collection("jobs");
+    assert_eq!(c.len(), 2);
+    assert_eq!(c.find_one(&json!({"n": 1})).unwrap()["state"], json!("done"));
+    assert!(c.find_one(&json!({"n": 2})).is_none());
+    assert!(!db.collection_names().contains(&"doomed".to_string()));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn replayed_ids_never_collide_with_fresh_inserts() {
+    let dir = tempdir("idsync");
+    let first_id;
+    {
+        let (db, _) = Database::open_durable(&dir).unwrap();
+        first_id = db.collection("c").insert_one(json!({"n": 0}));
+    }
+    let (db, _) = Database::open_durable(&dir).unwrap();
+    let second_id = db.collection("c").insert_one(json!({"n": 1}));
+    assert_ne!(first_id, second_id);
+    assert_eq!(db.collection("c").len(), 2);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The acceptance sweep: truncate the WAL at *every* byte offset, recover,
+/// and verify the database is exactly the prefix of writes whose records
+/// fully survived — never an error, never a partial document.
+#[test]
+fn truncate_wal_at_every_offset_yields_valid_prefix() {
+    let source = tempdir("sweep-src");
+    {
+        let (db, _) = Database::open_durable(&source).unwrap();
+        for i in 0..12 {
+            db.collection("c").insert_one(json!({"n": i, "payload": "x".repeat(i as usize)}));
+        }
+    }
+    let wal_bytes = std::fs::read(source.join("wal.log")).unwrap();
+    let boundaries: Vec<u64> = wal::scan(&wal_bytes).records.iter().map(|r| r.end_offset).collect();
+    assert_eq!(boundaries.len(), 12);
+
+    let target = tempdir("sweep-dst");
+    for offset in 0..=wal_bytes.len() {
+        let _ = std::fs::remove_dir_all(&target);
+        std::fs::create_dir_all(&target).unwrap();
+        std::fs::write(target.join("wal.log"), &wal_bytes[..offset]).unwrap();
+
+        let (db, report) = Database::open_durable(&target)
+            .unwrap_or_else(|e| panic!("recovery must not fail at offset {offset}: {e}"));
+        let expected = boundaries.iter().filter(|&&b| b <= offset as u64).count();
+        let docs = db.collection("c").all();
+        assert_eq!(docs.len(), expected, "prefix length at offset {offset}");
+        for (i, doc) in docs.iter().enumerate() {
+            assert_eq!(doc["n"], json!(i as i64), "document {i} intact at offset {offset}");
+            assert_eq!(
+                doc["payload"].as_str().map(str::len),
+                Some(i),
+                "payload intact at offset {offset}"
+            );
+            assert!(doc.get("_id").is_some(), "_id intact at offset {offset}");
+        }
+        assert_eq!(report.replayed_records, expected);
+        let at_boundary = offset == 0 || boundaries.contains(&(offset as u64));
+        assert_eq!(report.clean(), at_boundary, "clean() iff cut at a record boundary");
+
+        // A second open must be clean: recovery compacted the torn tail.
+        drop(db);
+        let (_, second) = Database::open_durable(&target).unwrap();
+        assert!(second.clean(), "offset {offset}: second recovery must be clean");
+        assert_eq!(second.replayed_records, expected);
+    }
+    std::fs::remove_dir_all(&source).unwrap();
+    std::fs::remove_dir_all(&target).unwrap();
+}
+
+#[test]
+fn stale_wal_records_after_checkpoint_commit_are_skipped() {
+    let dir = tempdir("stale");
+    {
+        let (db, _) = Database::open_durable(&dir).unwrap();
+        db.collection("c").insert_one(json!({"n": 0}));
+        db.checkpoint().unwrap();
+    }
+    // Model the crash window between the CURRENT rename (commit) and the
+    // WAL truncation: hand a stale record (seq 0 < checkpoint seq 1) back
+    // to the log, as if truncation never happened.
+    let stale = json!({"seq": 0, "op": "insert", "coll": "c",
+                       "doc": {"_id": "oid-00000000", "n": 0}});
+    let frame = wal::encode_frame(serde_json::to_string(&stale).unwrap().as_bytes());
+    let mut log = std::fs::read(dir.join("wal.log")).unwrap();
+    log.extend_from_slice(&frame);
+    std::fs::write(dir.join("wal.log"), &log).unwrap();
+
+    let (db, report) = Database::open_durable(&dir).unwrap();
+    assert_eq!(report.stale_records, 1, "already-checkpointed record skipped");
+    assert_eq!(report.replayed_records, 0);
+    assert!(report.wal_rewritten, "stale records compacted away");
+    assert_eq!(db.collection("c").len(), 1, "no duplicate from stale replay");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn legacy_snapshot_directory_imports() {
+    let dir = tempdir("legacy");
+    let db = Database::new();
+    db.collection("tests").insert_one(json!({"n": 0}));
+    db.save_to_dir(&dir).unwrap();
+
+    let (db, report) = Database::open_durable(&dir).unwrap();
+    assert!(report.legacy_import);
+    assert_eq!(ns(&db, "tests"), vec![0]);
+    db.collection("tests").insert_one(json!({"n": 1}));
+    drop(db);
+
+    let (db, report) = Database::open_durable(&dir).unwrap();
+    assert!(report.legacy_import, "still importing until a checkpoint exists");
+    assert_eq!(ns(&db, "tests"), vec![0, 1]);
+    db.checkpoint().unwrap();
+    drop(db);
+
+    let (db, report) = Database::open_durable(&dir).unwrap();
+    assert!(!report.legacy_import, "checkpoint supersedes the legacy files");
+    assert_eq!(ns(&db, "tests"), vec![0, 1]);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn collection_names_with_separators_survive_checkpoints() {
+    let dir = tempdir("names");
+    {
+        let (db, _) = Database::open_durable(&dir).unwrap();
+        db.collection("../evil").insert_one(json!({"n": 0}));
+        db.collection("a/b").insert_one(json!({"n": 1}));
+        db.checkpoint().unwrap();
+    }
+    let (db, _) = Database::open_durable(&dir).unwrap();
+    assert_eq!(ns(&db, "../evil"), vec![0]);
+    assert_eq!(ns(&db, "a/b"), vec![1]);
+    // Nothing escaped the database directory's checkpoint tree.
+    assert!(!std::env::temp_dir().join("evil").exists());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Satellite: multi-threaded writers hammering a durable database while
+/// checkpoints run concurrently — after a crash-and-recover, every
+/// acknowledged record is present exactly once.
+#[test]
+fn concurrent_writers_and_checkpoints_lose_nothing() {
+    let dir = tempdir("concurrent");
+    const WRITERS: usize = 4;
+    const PER_WRITER: usize = 50;
+    {
+        let (db, _) = Database::open_durable(&dir).unwrap();
+        std::thread::scope(|s| {
+            for w in 0..WRITERS {
+                let db = db.clone();
+                s.spawn(move || {
+                    for i in 0..PER_WRITER {
+                        db.collection("responses").insert_one(json!({"key": format!("{w}-{i}")}));
+                        if i % 10 == 0 {
+                            db.collection("responses").update_many(
+                                &json!({"key": format!("{w}-{i}")}),
+                                &json!({"$set": {"touched": true}}),
+                            );
+                        }
+                    }
+                });
+            }
+            let db = db.clone();
+            s.spawn(move || {
+                for _ in 0..5 {
+                    db.checkpoint().unwrap();
+                    std::thread::yield_now();
+                }
+            });
+        });
+        // Crash without a final checkpoint: the tail lives in the WAL.
+    }
+    let (db, report) = Database::open_durable(&dir).unwrap();
+    assert!(report.clean());
+    let docs = db.collection("responses").all();
+    assert_eq!(docs.len(), WRITERS * PER_WRITER, "no record lost");
+    let mut keys: Vec<&str> = docs.iter().filter_map(|d| d["key"].as_str()).collect();
+    keys.sort_unstable();
+    let before = keys.len();
+    keys.dedup();
+    assert_eq!(keys.len(), before, "no record duplicated");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn durability_metrics_are_registered() {
+    let dir = tempdir("metrics");
+    let registry = Arc::new(kscope_telemetry::Registry::new());
+    let (db, _) = Database::open_durable(&dir).unwrap();
+    let db = db.with_telemetry(&registry);
+    db.collection("c").insert_one(json!({"n": 0}));
+    db.collection("c").insert_one(json!({"n": 1}));
+    db.checkpoint().unwrap();
+
+    assert_eq!(registry.counter_value("store.wal_appends_total", &[]), Some(2));
+    assert!(registry.counter_value("store.wal_bytes", &[]).unwrap() > 0);
+    assert_eq!(registry.counter_value("store.checkpoints_total", &[]), Some(1));
+    assert_eq!(registry.counter_value("store.recovery_dropped_records", &[]), Some(0));
+    let rendered = registry.render_prometheus();
+    assert!(rendered.contains("store_checkpoint_duration_ms"), "histogram rendered:\n{rendered}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn torn_tail_reported_and_compacted() {
+    let dir = tempdir("torn");
+    {
+        let (db, _) = Database::open_durable(&dir).unwrap();
+        db.collection("c").insert_one(json!({"n": 0}));
+    }
+    // A crash mid-append leaves garbage after the last record.
+    let mut log = std::fs::read(dir.join("wal.log")).unwrap();
+    log.extend_from_slice(&[0xDE, 0xAD, 0xBE]);
+    std::fs::write(dir.join("wal.log"), &log).unwrap();
+
+    let (db, report) = Database::open_durable(&dir).unwrap();
+    assert!(!report.clean());
+    assert_eq!(report.dropped_records, 1);
+    assert_eq!(report.dropped_bytes, 3);
+    assert!(report.wal_rewritten);
+    assert_eq!(ns(&db, "c"), vec![0]);
+    drop(db);
+    let (_, report) = Database::open_durable(&dir).unwrap();
+    assert!(report.clean(), "compaction removed the torn tail");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn open_durable_with_accepts_custom_io() {
+    let dir = tempdir("customio");
+    let io: Arc<dyn StoreIo> = Arc::new(RealIo);
+    let (db, _) = Database::open_durable_with(&dir, io).unwrap();
+    db.collection("c").insert_one(json!({"n": 0}));
+    let all: Vec<Value> = db.collection("c").all();
+    assert_eq!(all.len(), 1);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,0 +1,273 @@
+//! Fault-injection crash-consistency tests (`--features failpoints`).
+//!
+//! Every test drives the durable store through [`FaultIo`], which injects
+//! a deterministic failure — an I/O error, a torn or silently-short
+//! write, or a simulated crash before/after an operation — then restarts
+//! with a clean I/O layer and asserts recovery lands on a valid prefix of
+//! acknowledged writes. The centerpiece enumerates a crash at *every*
+//! operation of a checkpoint.
+
+#![cfg(feature = "failpoints")]
+
+use kscope_store::io::fault::{Failpoint, Fault, FaultIo, OpKind};
+use kscope_store::{Database, GridStore, RealIo};
+use serde_json::json;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("kscope-fault-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn ns(db: &Database, coll: &str) -> Vec<i64> {
+    let mut ns: Vec<i64> =
+        db.collection(coll).all().iter().filter_map(|d| d["n"].as_i64()).collect();
+    ns.sort_unstable();
+    ns
+}
+
+#[test]
+fn enospc_on_wal_append_degrades_until_checkpoint() {
+    let dir = tempdir("enospc");
+    let fio = FaultIo::new(Arc::new(RealIo)).with(Failpoint {
+        kind: OpKind::Append,
+        nth: 0,
+        fault: Fault::Err("ENOSPC"),
+    });
+    let (db, _) = Database::open_durable_with(&dir, Arc::new(fio)).unwrap();
+
+    db.collection("c").insert_one(json!({"n": 0}));
+    // The write is served from memory, but durability is honest about it.
+    assert_eq!(db.collection("c").len(), 1);
+    assert!(db.durability_status().unwrap().degraded);
+
+    // A successful checkpoint captures the in-memory state and clears the
+    // degraded flag.
+    db.checkpoint().unwrap();
+    assert!(!db.durability_status().unwrap().degraded);
+    drop(db);
+
+    let (db, report) = Database::open_durable(&dir).unwrap();
+    assert!(report.clean());
+    assert_eq!(ns(&db, "c"), vec![0], "checkpoint persisted the degraded write");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn torn_wal_append_recovers_the_acknowledged_prefix() {
+    let dir = tempdir("torn-append");
+    let fio = FaultIo::new(Arc::new(RealIo)).with(Failpoint {
+        kind: OpKind::Append,
+        nth: 4,
+        fault: Fault::Torn { keep: 5 },
+    });
+    let (db, _) = Database::open_durable_with(&dir, Arc::new(fio)).unwrap();
+    for i in 0..5 {
+        db.collection("c").insert_one(json!({"n": i}));
+    }
+    assert!(db.durability_status().unwrap().degraded, "torn append flagged");
+    drop(db);
+
+    let (db, report) = Database::open_durable(&dir).unwrap();
+    assert!(!report.clean());
+    assert_eq!(report.dropped_bytes, 5);
+    assert_eq!(ns(&db, "c"), vec![0, 1, 2, 3], "durable prefix, torn record dropped");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn silently_short_wal_write_is_caught_on_recovery() {
+    let dir = tempdir("short-append");
+    let fio = FaultIo::new(Arc::new(RealIo)).with(Failpoint {
+        kind: OpKind::Append,
+        nth: 4,
+        fault: Fault::Short { keep: 7 },
+    });
+    let (db, _) = Database::open_durable_with(&dir, Arc::new(fio)).unwrap();
+    for i in 0..5 {
+        db.collection("c").insert_one(json!({"n": i}));
+    }
+    // The short write reported success, so the store cannot know yet…
+    assert!(!db.durability_status().unwrap().degraded);
+    drop(db);
+
+    // …but the checksum catches it on recovery instead of replaying junk.
+    let (db, report) = Database::open_durable(&dir).unwrap();
+    assert!(!report.clean());
+    assert_eq!(ns(&db, "c"), vec![0, 1, 2, 3]);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn enospc_during_checkpoint_leaves_state_fully_recoverable() {
+    let dir = tempdir("ckpt-enospc");
+    let fio = FaultIo::new(Arc::new(RealIo)).with(Failpoint {
+        kind: OpKind::Write,
+        nth: 0,
+        fault: Fault::Err("ENOSPC"),
+    });
+    let (db, _) = Database::open_durable_with(&dir, Arc::new(fio)).unwrap();
+    for i in 0..3 {
+        db.collection("c").insert_one(json!({"n": i}));
+    }
+    assert!(db.checkpoint().is_err(), "checkpoint write fails");
+    // The database keeps serving, and the WAL still covers every write.
+    assert_eq!(db.collection("c").len(), 3);
+    drop(db);
+
+    let (db, report) = Database::open_durable(&dir).unwrap();
+    assert_eq!(report.checkpoint_seq, 0, "failed checkpoint never committed");
+    assert_eq!(ns(&db, "c"), vec![0, 1, 2]);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn crash_after_current_rename_skips_stale_wal_records() {
+    let dir = tempdir("ckpt-current");
+    let fio = FaultIo::new(Arc::new(RealIo))
+        // Rename 0 promotes the checkpoint dir; rename 1 swings CURRENT.
+        .with(Failpoint { kind: OpKind::Rename, nth: 1, fault: Fault::CrashAfter });
+    let (db, _) = Database::open_durable_with(&dir, Arc::new(fio)).unwrap();
+    for i in 0..3 {
+        db.collection("c").insert_one(json!({"n": i}));
+    }
+    assert!(db.checkpoint().is_err(), "crash after the commit point");
+    drop(db);
+
+    // CURRENT committed but the WAL was never truncated: every record is
+    // stale and must be skipped, not replayed into duplicates.
+    let (db, report) = Database::open_durable(&dir).unwrap();
+    assert_eq!(report.checkpoint_seq, 1, "the new checkpoint won");
+    assert_eq!(report.stale_records, 3);
+    assert_eq!(report.replayed_records, 0);
+    assert_eq!(ns(&db, "c"), vec![0, 1, 2], "each record exactly once");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The acceptance enumeration: crash at *every* I/O operation of a
+/// checkpoint in turn; recovery must always land on the full acknowledged
+/// state — either from the old WAL or the new checkpoint, never a mix,
+/// never a loss.
+#[test]
+fn crash_at_every_op_during_checkpoint_preserves_all_writes() {
+    let mut exercised = 0;
+    for i in 0.. {
+        let dir = tempdir("ckpt-sweep");
+        let fio = FaultIo::new(Arc::new(RealIo));
+        let (db, _) = Database::open_durable_with(&dir, Arc::new(fio.clone())).unwrap();
+        for n in 0..3 {
+            db.collection("tests").insert_one(json!({"n": n}));
+            db.collection("responses").insert_one(json!({"n": n + 10}));
+        }
+        let base = fio.ops_total();
+        let _ = fio.clone().with(Failpoint {
+            kind: OpKind::Any,
+            nth: base + i,
+            fault: Fault::CrashBefore,
+        });
+        let result = db.checkpoint();
+        let crashed = fio.crashed();
+        drop(db);
+
+        let (db, _) = Database::open_durable(&dir)
+            .unwrap_or_else(|e| panic!("recovery after crash at op {i} must succeed: {e}"));
+        assert_eq!(ns(&db, "tests"), vec![0, 1, 2], "crash at op {i}");
+        assert_eq!(ns(&db, "responses"), vec![10, 11, 12], "crash at op {i}");
+        // The recovered database checkpoints cleanly despite any debris
+        // (half-written temp dirs) the crash left behind.
+        db.checkpoint().unwrap_or_else(|e| panic!("post-recovery checkpoint at op {i}: {e}"));
+        drop(db);
+        let (db, _) = Database::open_durable(&dir).unwrap();
+        assert_eq!(ns(&db, "tests"), vec![0, 1, 2]);
+        std::fs::remove_dir_all(&dir).unwrap();
+
+        if !crashed {
+            assert!(result.is_ok(), "iteration past the last op completes normally");
+            break;
+        }
+        exercised += 1;
+        assert!(i < 100, "runaway op count");
+    }
+    assert!(exercised >= 8, "sweep covered the checkpoint's operations, got {exercised}");
+}
+
+/// Satellite: the grid store's atomic swap under a crash at every
+/// operation — a load after the crash sees either the old snapshot or the
+/// new one, complete, never a blend and never a resurrection.
+#[test]
+fn grid_save_crash_at_every_op_yields_old_or_new_snapshot() {
+    fn snapshot(g: &GridStore) -> Vec<(String, String, String)> {
+        let mut out = Vec::new();
+        for t in g.test_ids() {
+            for f in g.list(&t) {
+                out.push((t.clone(), f.clone(), g.get_text(&t, &f).unwrap()));
+            }
+        }
+        out
+    }
+
+    let v1 = GridStore::new();
+    v1.put("t1", "a.html", b"v1-a".to_vec());
+    v1.put("t1", "b.html", b"v1-b".to_vec());
+    v1.put("dead", "x.html", b"v1-x".to_vec());
+    let v2 = GridStore::new();
+    v2.put("t1", "a.html", b"v2-a".to_vec());
+    v2.put("t2", "c.html", b"v2-c".to_vec());
+    let (v1_snap, v2_snap) = (snapshot(&v1), snapshot(&v2));
+
+    let mut exercised = 0;
+    for i in 0.. {
+        let root = tempdir("grid-sweep");
+        let dir = root.join("grid");
+        v1.save_to_dir(&dir).unwrap();
+
+        let fio = FaultIo::new(Arc::new(RealIo)).with(Failpoint {
+            kind: OpKind::Any,
+            nth: i,
+            fault: Fault::CrashBefore,
+        });
+        let result = v2.save_to_dir_with(&dir, &fio);
+        let crashed = fio.crashed();
+
+        let loaded = GridStore::load_from_dir(&dir)
+            .unwrap_or_else(|e| panic!("load after crash at op {i} must succeed: {e}"));
+        let got = snapshot(&loaded);
+        assert!(
+            got == v1_snap || got == v2_snap,
+            "crash at op {i}: load must see a complete snapshot, got {got:?}"
+        );
+        std::fs::remove_dir_all(&root).unwrap();
+
+        if !crashed {
+            assert!(result.is_ok());
+            assert_eq!(got, v2_snap, "uninterrupted save lands the new snapshot");
+            break;
+        }
+        exercised += 1;
+        assert!(i < 100, "runaway op count");
+    }
+    assert!(exercised >= 8, "sweep covered the grid save's operations, got {exercised}");
+}
+
+#[test]
+fn crash_before_wal_append_loses_only_the_unacknowledged_write() {
+    let dir = tempdir("crash-append");
+    let fio = FaultIo::new(Arc::new(RealIo)).with(Failpoint {
+        kind: OpKind::Append,
+        nth: 2,
+        fault: Fault::CrashBefore,
+    });
+    let (db, _) = Database::open_durable_with(&dir, Arc::new(fio)).unwrap();
+    db.collection("c").insert_one(json!({"n": 0}));
+    db.collection("c").insert_one(json!({"n": 1}));
+    db.collection("c").insert_one(json!({"n": 2})); // append dies here
+    drop(db);
+
+    let (db, report) = Database::open_durable(&dir).unwrap();
+    assert!(report.clean(), "a pre-write crash tears nothing");
+    assert_eq!(ns(&db, "c"), vec![0, 1], "exactly the acknowledged prefix");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -57,7 +57,7 @@ fn print_usage() {
          kscope prepare <params.json> --pages <dir> --out <dir> [--seed N]\n  \
          kscope demo <font|expand|uplt|ads> [--participants N] [--seed N] [--in-lab] [--json]\n  \
          kscope snapshot <font|expand|uplt|ads> [--participants N] [--seed N] [--in-lab]\n  \
-         kscope serve --data <dir> [--addr HOST:PORT] [--workers N]\n\n\
+         kscope serve --data <dir> [--addr HOST:PORT] [--workers N] [--checkpoint-secs N]\n\n\
          `snapshot` runs a demo with telemetry attached and prints the\n\
          metric registry (counters, gauges, latency quantiles, events).\n\
          `serve` exposes the same registry at GET /metrics (Prometheus\n\
@@ -156,7 +156,13 @@ fn cmd_prepare(args: &[String]) -> CliResult {
     let store = load_pages_dir(Path::new(pages_dir))?;
     println!("loaded {} resources ({} bytes) from {pages_dir}", store.len(), store.total_bytes());
 
-    let db = Database::new();
+    // Prepare straight into a durable database: every insert is
+    // WAL-logged, and the final checkpoint leaves a clean snapshot.
+    let out = PathBuf::from(out_dir);
+    let (db, report) = Database::open_durable(out.join("db"))?;
+    if !report.clean() {
+        eprintln!("warning: recovery dropped data from a previous run: {report}");
+    }
     let grid = GridStore::new();
     let mut rng = StdRng::seed_from_u64(seed);
     let prepared = Aggregator::new(db.clone(), grid.clone()).prepare(&params, &store, &mut rng)?;
@@ -167,10 +173,9 @@ fn cmd_prepare(args: &[String]) -> CliResult {
         prepared.real_pairs().len()
     );
 
-    let out = PathBuf::from(out_dir);
-    db.save_to_dir(&out.join("db"))?;
+    let stats = db.checkpoint()?;
     grid.save_to_dir(&out.join("files"))?;
-    println!("stored database and page files under {out_dir}");
+    println!("stored database ({stats}) and page files under {out_dir}");
     println!("next: kscope serve --data {out_dir}");
     Ok(())
 }
@@ -310,8 +315,18 @@ fn cmd_serve(args: &[String]) -> CliResult {
     let data_dir = opt(args, "--data").ok_or("--data <dir> is required")?;
     let addr = opt(args, "--addr").unwrap_or("127.0.0.1:8080");
     let workers: usize = opt(args, "--workers").unwrap_or("4").parse()?;
+    let checkpoint_secs: u64 = opt(args, "--checkpoint-secs").unwrap_or("60").parse()?;
     let data = PathBuf::from(data_dir);
-    let db = Database::load_from_dir(&data.join("db"))?;
+
+    // Crash-safe open: latest checkpoint + WAL replay, tolerating a torn
+    // tail from a previous crash. Legacy plain-JSONL snapshots import
+    // transparently and get checkpointed on the first cycle.
+    let (db, report) = Database::open_durable(data.join("db"))?;
+    if report.clean() {
+        println!("database recovered: {report}");
+    } else {
+        eprintln!("warning: database recovered with losses: {report}");
+    }
     let grid = GridStore::load_from_dir(&data.join("files"))?;
     println!(
         "loaded {} collections and {} test folders from {data_dir}",
@@ -319,12 +334,25 @@ fn cmd_serve(args: &[String]) -> CliResult {
         grid.test_ids().len()
     );
     let registry = Arc::new(Registry::new());
-    let api = CoreServerApi::new(db, grid).with_telemetry(Arc::clone(&registry));
-    let server = HttpServer::bind_with_telemetry(addr, api.into_router(), workers, Some(registry))?;
+    let api = CoreServerApi::new(db.clone(), grid).with_telemetry(Arc::clone(&registry));
+    let mut server =
+        HttpServer::bind_with_telemetry(addr, api.into_router(), workers, Some(registry))?;
+    // Final checkpoint once the last in-flight request has drained.
+    let drain_db = db.clone();
+    server.set_drain_hook(move || match drain_db.checkpoint() {
+        Ok(stats) => println!("drain checkpoint: {stats}"),
+        Err(e) => eprintln!("drain checkpoint failed (WAL still covers all writes): {e}"),
+    });
     println!("core server on http://{} — Ctrl-C to stop", server.local_addr());
     println!("metrics at GET /metrics (Prometheus text), health at GET /healthz");
-    // Serve until interrupted.
+    println!("checkpointing every {checkpoint_secs}s (--checkpoint-secs to change)");
+    // Periodic checkpoints bound WAL growth and recovery time; between
+    // them every write is already durable in the WAL.
     loop {
-        std::thread::sleep(std::time::Duration::from_secs(3600));
+        std::thread::sleep(std::time::Duration::from_secs(checkpoint_secs.max(1)));
+        match db.checkpoint() {
+            Ok(stats) => println!("{stats}"),
+            Err(e) => eprintln!("checkpoint failed (WAL still covers all writes): {e}"),
+        }
     }
 }

@@ -68,6 +68,70 @@ fn campaign_artifacts_survive_restart() {
     std::fs::remove_dir_all(&grid_dir).unwrap();
 }
 
+/// The durable path: a whole campaign runs against a WAL-backed database,
+/// the process "crashes" (handle dropped, no checkpoint, no save), and a
+/// restart recovers every response by WAL replay alone.
+#[test]
+fn campaign_survives_crash_without_checkpoint() {
+    let dir = tempdir("durable-crash");
+    let (store, params) = corpus::font_size_study(6);
+    let grid = GridStore::new();
+    {
+        let (db, report) = Database::open_durable(&dir).unwrap();
+        assert!(report.clean());
+        let mut rng = StdRng::seed_from_u64(11);
+        let prepared =
+            Aggregator::new(db.clone(), grid.clone()).prepare(&params, &store, &mut rng).unwrap();
+        let recruitment = Platform.post_job(
+            &JobSpec::new(&params.test_id, 0.11, 6, Channel::HistoricallyTrustworthy),
+            &mut rng,
+        );
+        let _ = Campaign::new(db.clone(), grid.clone())
+            .with_question(params.question[0].text(), QuestionKind::FontReadability)
+            .run(&params, &prepared, &recruitment, &mut rng)
+            .unwrap();
+        assert_eq!(db.collection("responses").len(), 6);
+        // Crash: no checkpoint, no save_to_dir.
+    }
+
+    let (db2, report) = Database::open_durable(&dir).unwrap();
+    assert!(report.clean(), "clean WAL tail after an orderly crash");
+    assert!(report.replayed_records > 0, "state came from WAL replay");
+    assert_eq!(db2.collection("responses").len(), 6);
+    assert_eq!(db2.collection("tests").count(&json!({"test_id": params.test_id})), 1);
+
+    // A checkpoint folds the WAL, and a third restart loads from it.
+    let stats = db2.checkpoint().unwrap();
+    assert!(stats.documents > 0);
+    drop(db2);
+    let (db3, report) = Database::open_durable(&dir).unwrap();
+    assert_eq!(report.checkpoint_seq, stats.seq);
+    assert_eq!(report.replayed_records, 0, "everything came from the checkpoint");
+    assert_eq!(db3.collection("responses").len(), 6);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A directory written by the legacy `save_to_dir` snapshot path opens
+/// durably: old `kscope prepare` output keeps working.
+#[test]
+fn legacy_snapshot_opens_durably() {
+    let dir = tempdir("durable-legacy");
+    let db = Database::new();
+    db.collection("tests").insert_one(json!({"test_id": "t-legacy"}));
+    db.save_to_dir(&dir).unwrap();
+
+    let (db2, report) = Database::open_durable(&dir).unwrap();
+    assert!(report.legacy_import);
+    assert_eq!(db2.collection("tests").count(&json!({"test_id": "t-legacy"})), 1);
+    db2.collection("responses").insert_one(json!({"worker": "w1"}));
+    drop(db2);
+
+    let (db3, _) = Database::open_durable(&dir).unwrap();
+    assert_eq!(db3.collection("responses").len(), 1, "new writes persisted over the import");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 #[test]
 fn database_queries_work_after_reload() {
     let db = Database::new();
