@@ -22,6 +22,10 @@
 //! directories are garbage-collected afterwards. A crash at *any* step
 //! leaves either the old checkpoint + full WAL or the new checkpoint
 //! (stale WAL records are skipped on replay via their sequence number).
+//! Once the `CURRENT` rename lands, the checkpoint *has happened*: the
+//! in-memory sequence advances immediately, and a failure in the
+//! remaining housekeeping (directory fsync, WAL truncation, GC) is
+//! reported but non-fatal — it is simply retried at the next checkpoint.
 //!
 //! **Recovery** ([`Database::open_durable`]). Load the checkpoint named
 //! by `CURRENT` (or legacy root `*.jsonl` files when no checkpoint
@@ -79,8 +83,10 @@ impl std::fmt::Display for CheckpointStats {
 pub struct DurabilityStatus {
     /// Current checkpoint sequence number.
     pub seq: u64,
-    /// `true` after a WAL append has failed (writes since then are in
-    /// memory but not on disk); a successful checkpoint clears it.
+    /// `true` after a WAL append has failed. Writes since then are
+    /// applied in memory but *not* logged (appending past a hole would
+    /// corrupt replay); a checkpoint that truncates the WAL captures them
+    /// and clears the flag.
     pub degraded: bool,
     /// The directory backing this database.
     pub dir: PathBuf,
@@ -118,9 +124,17 @@ impl Durability {
     /// then applies the in-memory mutation — both under the commit lock,
     /// so WAL order is exactly apply order. A failed append marks the
     /// database degraded (counted + evented) but still applies the
-    /// mutation: availability over durability, loudly.
+    /// mutation: availability over durability, loudly. Once degraded,
+    /// logging is *suspended* entirely until a checkpoint truncates the
+    /// WAL: appending records after a hole would let replay run a suffix
+    /// against state missing the unlogged op (a filter-based update could
+    /// match differently), reconstructing a state that never existed —
+    /// recovery must see a consistent prefix, not a log with gaps.
     pub(crate) fn commit<R>(&self, mut op: Value, apply: impl FnOnce() -> R) -> R {
         let state = self.state.lock();
+        if self.degraded.load(Ordering::SeqCst) {
+            return apply();
+        }
         if let Some(obj) = op.as_object_mut() {
             obj.insert("seq".to_string(), json!(state.seq));
         }
@@ -364,9 +378,12 @@ impl Database {
     /// # Errors
     ///
     /// [`PersistError::NotDurable`] when the database was not opened with
-    /// [`Database::open_durable`]; otherwise I/O errors, after which the
-    /// on-disk state is still recoverable (old checkpoint + full WAL, or
-    /// new checkpoint + stale-skipped WAL, depending on where it failed).
+    /// [`Database::open_durable`]; otherwise I/O errors from the steps
+    /// *before* the `CURRENT` rename, after which the on-disk state is
+    /// still the old checkpoint + full WAL. Failures after the rename
+    /// (directory fsync, WAL truncation, GC) do **not** fail the
+    /// checkpoint — the commit already happened, so the sequence number
+    /// advances and cleanup is retried at the next checkpoint.
     pub fn checkpoint(&self) -> Result<CheckpointStats, PersistError> {
         let d = self.durability_handle().ok_or(PersistError::NotDurable)?;
         let start = Instant::now();
@@ -403,26 +420,56 @@ impl Database {
         d.io.write(&current_tmp, serde_json::to_string(&current).unwrap_or_default().as_bytes())
             .map_err(PersistError::Io)?;
         d.io.rename(&current_tmp, &d.dir.join("CURRENT")).map_err(PersistError::Io)?;
-        d.io.sync_dir(&d.dir).map_err(PersistError::Io)?;
-
-        // Everything in the WAL is now folded into the checkpoint.
-        let wal_path = d.dir.join(WAL_FILE);
-        let wal_bytes_truncated = if d.io.exists(&wal_path) {
-            d.io.read(&wal_path).map(|b| b.len() as u64).unwrap_or(0)
-        } else {
-            0
-        };
-        d.io.write(&wal_path, b"").map_err(PersistError::Io)?;
+        // CURRENT now names the new checkpoint, so the in-memory sequence
+        // must advance with it before any fallible step below: returning
+        // Err with a stale seq would stamp every later write with a
+        // sequence number the next recovery skips as already folded in —
+        // silent loss of acknowledged writes.
         state.seq = next_seq;
-        d.degraded.store(false, Ordering::SeqCst);
+
+        // Post-commit housekeeping is best-effort; failures cannot unwind
+        // the committed checkpoint and are retried at the next one. If the
+        // directory fsync fails, the rename's durability is uncertain, so
+        // the WAL is left intact (replay skips its records as stale) and
+        // superseded checkpoints are kept in case the on-disk CURRENT
+        // still points at one.
+        let dir_synced = d.io.sync_dir(&d.dir).is_ok();
+        let wal_path = d.dir.join(WAL_FILE);
+        let mut wal_bytes_truncated = 0u64;
+        let mut wal_truncated = false;
+        if dir_synced {
+            if d.io.exists(&wal_path) {
+                wal_bytes_truncated = d.io.read(&wal_path).map(|b| b.len() as u64).unwrap_or(0);
+            }
+            wal_truncated = d.io.write(&wal_path, b"").is_ok();
+            if !wal_truncated {
+                wal_bytes_truncated = 0;
+            }
+        }
+        if wal_truncated {
+            // Only a truncated (hence hole-free) WAL re-arms logging.
+            d.degraded.store(false, Ordering::SeqCst);
+        }
         drop(state);
 
-        // Garbage-collect superseded checkpoints and stale temp dirs.
-        for entry in d.io.read_dir_names(&d.dir).unwrap_or_default() {
-            let stale_ckpt = parse_ckpt_seq(&entry).is_some_and(|s| s < next_seq);
-            let stale_tmp = entry.ends_with(".tmp") && entry.starts_with("ckpt-");
-            if stale_ckpt || (stale_tmp && entry != format!("{name}.tmp")) {
-                let _ = d.io.remove_dir_all(&d.dir.join(&entry));
+        if dir_synced {
+            // Garbage-collect superseded checkpoints and stale temp dirs.
+            for entry in d.io.read_dir_names(&d.dir).unwrap_or_default() {
+                let stale_ckpt = parse_ckpt_seq(&entry).is_some_and(|s| s < next_seq);
+                let stale_tmp = entry.ends_with(".tmp") && entry.starts_with("ckpt-");
+                if stale_ckpt || (stale_tmp && entry != format!("{name}.tmp")) {
+                    let _ = d.io.remove_dir_all(&d.dir.join(&entry));
+                }
+            }
+        }
+        if !wal_truncated {
+            if let Some(m) = d.metrics.get() {
+                m.registry.event(
+                    EventLevel::Warn,
+                    "store",
+                    "checkpoint committed but post-commit WAL truncation/GC failed; retrying at next checkpoint",
+                    &[("seq", &next_seq.to_string())],
+                );
             }
         }
 

@@ -187,21 +187,21 @@ pub fn escape_component(name: &str) -> String {
     if name == ".." {
         return "%2E%2E".to_string();
     }
-    let mut out = String::with_capacity(name.len());
+    // Build bytes, not chars: pushing an unescaped byte as a char would
+    // Latin-1-ize UTF-8 continuation bytes ("é" → "Ã©"), which unescape's
+    // byte-level decode cannot invert. Raw bytes round-trip exactly, and
+    // the result stays valid UTF-8 because only ASCII bytes are rewritten.
+    let mut out = Vec::with_capacity(name.len());
     for b in name.bytes() {
         match b {
-            b'%' | b'/' | b'\\' => {
-                out.push('%');
-                out.push_str(&format!("{b:02X}"));
+            b'%' | b'/' | b'\\' | 0x00..=0x1F | 0x7F => {
+                out.push(b'%');
+                out.extend_from_slice(format!("{b:02X}").as_bytes());
             }
-            0x00..=0x1F | 0x7F => {
-                out.push('%');
-                out.push_str(&format!("{b:02X}"));
-            }
-            _ => out.push(b as char),
+            _ => out.push(b),
         }
     }
-    out
+    String::from_utf8(out).expect("escaping rewrites only ASCII bytes")
 }
 
 /// Inverse of [`escape_component`]. Lenient: a `%` not followed by two hex
@@ -516,9 +516,20 @@ mod tests {
 
     #[test]
     fn escape_roundtrip() {
-        for name in
-            ["plain.html", "a/b.html", "..", ".", "", "%2E", "has%percent", "back\\slash", "x\ny"]
-        {
+        for name in [
+            "plain.html",
+            "a/b.html",
+            "..",
+            ".",
+            "",
+            "%2E",
+            "has%percent",
+            "back\\slash",
+            "x\ny",
+            "é",
+            "naïve/page.html",
+            "日本語",
+        ] {
             let enc = escape_component(name);
             assert!(!enc.contains('/'), "{enc} must not contain a separator");
             assert!(!enc.contains('\\'), "{enc} must not contain a separator");

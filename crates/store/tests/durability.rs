@@ -24,6 +24,25 @@ fn ns(db: &Database, coll: &str) -> Vec<i64> {
 }
 
 #[test]
+fn non_ascii_collection_names_survive_checkpoint_and_replay() {
+    let dir = tempdir("non-ascii");
+    {
+        let (db, _) = Database::open_durable(&dir).unwrap();
+        db.collection("réponses-日本語").insert_one(json!({"n": 0}));
+        db.checkpoint().unwrap();
+        // One doc from the checkpoint, one from WAL replay — both must
+        // land in the *same* collection after reopen (a lossy escape
+        // would split them between the original and a mangled name).
+        db.collection("réponses-日本語").insert_one(json!({"n": 1}));
+    }
+    let (db, report) = Database::open_durable(&dir).unwrap();
+    assert!(report.clean());
+    assert_eq!(db.collection_names(), vec!["réponses-日本語".to_string()]);
+    assert_eq!(ns(&db, "réponses-日本語"), vec![0, 1]);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn wal_replay_restores_uncheckpointed_writes() {
     let dir = tempdir("replay");
     {

@@ -44,15 +44,41 @@ fn enospc_on_wal_append_degrades_until_checkpoint() {
     assert_eq!(db.collection("c").len(), 1);
     assert!(db.durability_status().unwrap().degraded);
 
-    // A successful checkpoint captures the in-memory state and clears the
-    // degraded flag.
+    // A successful checkpoint captures the in-memory state, clears the
+    // degraded flag, and re-arms WAL logging.
     db.checkpoint().unwrap();
     assert!(!db.durability_status().unwrap().degraded);
+    db.collection("c").insert_one(json!({"n": 1}));
     drop(db);
 
     let (db, report) = Database::open_durable(&dir).unwrap();
     assert!(report.clean());
-    assert_eq!(ns(&db, "c"), vec![0], "checkpoint persisted the degraded write");
+    assert_eq!(ns(&db, "c"), vec![0, 1], "degraded write checkpointed, logging re-armed after");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn degraded_database_suspends_logging_to_keep_the_wal_hole_free() {
+    let dir = tempdir("wal-hole");
+    let fio = FaultIo::new(Arc::new(RealIo)).with(Failpoint {
+        kind: OpKind::Append,
+        nth: 1,
+        fault: Fault::Err("ENOSPC"),
+    });
+    let (db, _) = Database::open_durable_with(&dir, Arc::new(fio)).unwrap();
+    db.collection("c").insert_one(json!({"n": 0})); // logged
+    db.collection("c").insert_one(json!({"n": 1})); // append fails → degraded
+    db.collection("c").insert_one(json!({"n": 2})); // must NOT be logged past the hole
+    assert_eq!(db.collection("c").len(), 3, "all writes served from memory");
+    assert!(db.durability_status().unwrap().degraded);
+    drop(db);
+
+    // Recovery sees the consistent prefix up to the first failed append —
+    // never a log with a gap, which could replay into a state that never
+    // existed (e.g. a later filter-based update missing the unlogged doc).
+    let (db, report) = Database::open_durable(&dir).unwrap();
+    assert!(report.clean());
+    assert_eq!(ns(&db, "c"), vec![0], "prefix only: nothing logged after the hole");
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
@@ -121,6 +147,60 @@ fn enospc_during_checkpoint_leaves_state_fully_recoverable() {
     let (db, report) = Database::open_durable(&dir).unwrap();
     assert_eq!(report.checkpoint_seq, 0, "failed checkpoint never committed");
     assert_eq!(ns(&db, "c"), vec![0, 1, 2]);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn sync_failure_after_current_rename_does_not_lose_later_writes() {
+    let dir = tempdir("post-commit-sync");
+    // SyncDir 0 = ckpt temp dir, 1 = db dir after the ckpt rename,
+    // 2 = db dir after the CURRENT rename — the first post-commit step.
+    let fio = FaultIo::new(Arc::new(RealIo)).with(Failpoint {
+        kind: OpKind::SyncDir,
+        nth: 2,
+        fault: Fault::Err("EIO"),
+    });
+    let (db, _) = Database::open_durable_with(&dir, Arc::new(fio)).unwrap();
+    db.collection("c").insert_one(json!({"n": 0}));
+    // The commit point (CURRENT rename) already passed: the checkpoint
+    // must report success and the in-memory seq must advance with it —
+    // an Err with a stale seq would stamp every later write with a
+    // sequence number the next recovery skips as already folded in.
+    let stats = db.checkpoint().expect("post-commit sync failure is non-fatal");
+    assert_eq!(stats.seq, 1);
+    assert_eq!(db.durability_status().unwrap().seq, 1, "seq advanced with CURRENT");
+    db.collection("c").insert_one(json!({"n": 1}));
+    drop(db);
+
+    let (db, report) = Database::open_durable(&dir).unwrap();
+    assert_eq!(report.checkpoint_seq, 1);
+    assert_eq!(ns(&db, "c"), vec![0, 1], "write after the checkpoint replays, not stale-skips");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn wal_truncate_failure_after_current_rename_is_not_an_error() {
+    let dir = tempdir("post-commit-truncate");
+    // Write 0 = the one collection file, 1 = CURRENT.tmp, 2 = the
+    // post-commit WAL truncation.
+    let fio = FaultIo::new(Arc::new(RealIo)).with(Failpoint {
+        kind: OpKind::Write,
+        nth: 2,
+        fault: Fault::Err("EIO"),
+    });
+    let (db, _) = Database::open_durable_with(&dir, Arc::new(fio)).unwrap();
+    db.collection("c").insert_one(json!({"n": 0}));
+    let stats = db.checkpoint().expect("failed WAL truncation is retried next checkpoint");
+    assert_eq!(stats.seq, 1);
+    db.collection("c").insert_one(json!({"n": 1}));
+    drop(db);
+
+    // The untruncated record is stale-skipped, the post-checkpoint write
+    // replays: exactly-once either way.
+    let (db, report) = Database::open_durable(&dir).unwrap();
+    assert_eq!(report.stale_records, 1);
+    assert_eq!(report.replayed_records, 1);
+    assert_eq!(ns(&db, "c"), vec![0, 1]);
     std::fs::remove_dir_all(&dir).unwrap();
 }
 

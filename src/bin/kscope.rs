@@ -158,11 +158,15 @@ fn cmd_prepare(args: &[String]) -> CliResult {
 
     // Prepare straight into a durable database: every insert is
     // WAL-logged, and the final checkpoint leaves a clean snapshot.
+    // `prepare` *replaces* any previous dataset at --out — clear the
+    // database directory first, or the durable open would import the old
+    // checkpoint/WAL and merge the new run on top of it.
     let out = PathBuf::from(out_dir);
-    let (db, report) = Database::open_durable(out.join("db"))?;
-    if !report.clean() {
-        eprintln!("warning: recovery dropped data from a previous run: {report}");
+    let db_dir = out.join("db");
+    if db_dir.exists() {
+        std::fs::remove_dir_all(&db_dir)?;
     }
+    let (db, _report) = Database::open_durable(&db_dir)?;
     let grid = GridStore::new();
     let mut rng = StdRng::seed_from_u64(seed);
     let prepared = Aggregator::new(db.clone(), grid.clone()).prepare(&params, &store, &mut rng)?;
@@ -311,6 +315,32 @@ fn run_demo(args: &[String], telemetry: Option<Arc<Registry>>) -> CliResult {
     Ok(())
 }
 
+/// Set by the SIGINT/SIGTERM handler; the serve loop polls it so Ctrl-C
+/// drains in-flight requests and takes a final checkpoint instead of the
+/// default disposition killing the process mid-write.
+static SHUTDOWN: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_shutdown_handler() {
+    extern "C" fn on_signal(_signum: i32) {
+        // Only an atomic store: the handler must stay async-signal-safe.
+        SHUTDOWN.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler: extern "C" fn(i32) = on_signal;
+    unsafe {
+        signal(SIGINT, handler as usize);
+        signal(SIGTERM, handler as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_shutdown_handler() {}
+
 fn cmd_serve(args: &[String]) -> CliResult {
     let data_dir = opt(args, "--data").ok_or("--data <dir> is required")?;
     let addr = opt(args, "--addr").unwrap_or("127.0.0.1:8080");
@@ -343,16 +373,34 @@ fn cmd_serve(args: &[String]) -> CliResult {
         Ok(stats) => println!("drain checkpoint: {stats}"),
         Err(e) => eprintln!("drain checkpoint failed (WAL still covers all writes): {e}"),
     });
+    install_shutdown_handler();
     println!("core server on http://{} — Ctrl-C to stop", server.local_addr());
     println!("metrics at GET /metrics (Prometheus text), health at GET /healthz");
     println!("checkpointing every {checkpoint_secs}s (--checkpoint-secs to change)");
     // Periodic checkpoints bound WAL growth and recovery time; between
     // them every write is already durable in the WAL.
-    loop {
-        std::thread::sleep(std::time::Duration::from_secs(checkpoint_secs.max(1)));
-        match db.checkpoint() {
-            Ok(stats) => println!("{stats}"),
-            Err(e) => eprintln!("checkpoint failed (WAL still covers all writes): {e}"),
+    let interval = std::time::Duration::from_secs(checkpoint_secs.max(1));
+    let mut last_checkpoint = std::time::Instant::now();
+    while !SHUTDOWN.load(std::sync::atomic::Ordering::SeqCst) {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        if last_checkpoint.elapsed() >= interval {
+            match db.checkpoint() {
+                Ok(stats) => println!("{stats}"),
+                Err(e) => eprintln!("checkpoint failed (WAL still covers all writes): {e}"),
+            }
+            last_checkpoint = std::time::Instant::now();
         }
     }
+    println!("signal received: draining connections…");
+    // shutdown() joins the workers and fires the drain hook — the final
+    // checkpoint — after the last in-flight request has landed.
+    let report = server.shutdown();
+    println!(
+        "drained {}/{} workers in {:?}{}",
+        report.workers_joined,
+        report.workers_total,
+        report.duration,
+        if report.completed { "" } else { " (deadline hit; stragglers abandoned)" }
+    );
+    Ok(())
 }
