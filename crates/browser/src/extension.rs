@@ -54,6 +54,11 @@ pub enum FlowEventKind {
     },
     /// The session finished and was uploaded.
     Uploaded,
+    /// The session was interrupted (tab closed, browser crash) and
+    /// checkpointed as a [`PartialSession`].
+    Interrupted,
+    /// A checkpointed session was resumed in a fresh browser.
+    Resumed,
 }
 
 /// The answers and telemetry for one integrated webpage.
@@ -76,6 +81,11 @@ pub struct SessionRecord {
     pub test_id: String,
     /// The contributor (worker) id from the crowdsourcing platform.
     pub contributor_id: String,
+    /// Stable client-generated idempotency key: every upload attempt of
+    /// this session (including retries after a lost acknowledgment)
+    /// carries the same id, so the server can deduplicate replays on
+    /// `(test_id, contributor_id, submission_id)`.
+    pub submission_id: String,
     /// Demographics as a JSON object (coarse, per §III-D).
     pub demographics: Value,
     /// Per-page results in presentation order.
@@ -97,6 +107,7 @@ impl SessionRecord {
         json!({
             "test_id": self.test_id,
             "contributor_id": self.contributor_id,
+            "submission_id": self.submission_id,
             "demographics": self.demographics,
             "created_tabs": self.created_tabs,
             "active_tabs": self.active_tab_switches,
@@ -152,6 +163,7 @@ impl std::error::Error for FlowError {}
 pub struct TestFlow {
     test_id: String,
     contributor_id: String,
+    submission_id: String,
     demographics: Value,
     questions: Vec<String>,
     page_names: Vec<String>,
@@ -164,6 +176,26 @@ pub struct TestFlow {
     results: Vec<PageResult>,
     finished: bool,
     events: Vec<FlowEvent>,
+    /// Tab telemetry carried over from interrupted attempts of the same
+    /// session (the extension accumulates it across resumes).
+    prior_created_tabs: u32,
+    prior_tab_switches: u32,
+}
+
+/// Derives the client-side idempotency key for one session. The server
+/// dedupes on the full `(test_id, contributor_id, submission_id)` triple
+/// and a contributor registers once per test, so a deterministic digest
+/// of that pair is unique where it must be — and, unlike a process-wide
+/// counter, it is stable across client restarts *and* keeps same-seed
+/// campaigns bit-reproducible.
+fn next_submission_id(test_id: &str, contributor_id: &str) -> String {
+    // FNV-1a over "test_id\0contributor_id".
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_id.bytes().chain(std::iter::once(0)).chain(contributor_id.bytes()) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("sub-{contributor_id}-{h:016x}")
 }
 
 impl TestFlow {
@@ -181,6 +213,7 @@ impl TestFlow {
         Self {
             test_id: test_id.to_string(),
             contributor_id: contributor_id.to_string(),
+            submission_id: next_submission_id(test_id, contributor_id),
             demographics,
             questions,
             page_names,
@@ -193,7 +226,21 @@ impl TestFlow {
             results: Vec::new(),
             finished: false,
             events: vec![FlowEvent { at_ms: 0, kind: FlowEventKind::Registered }],
+            prior_created_tabs: 0,
+            prior_tab_switches: 0,
         }
+    }
+
+    /// Overrides the client-generated submission id (builder style) — for
+    /// tests that need a predictable idempotency key.
+    pub fn with_submission_id(mut self, submission_id: &str) -> Self {
+        self.submission_id = submission_id.to_string();
+        self
+    }
+
+    /// The stable idempotency key stamped on every upload attempt.
+    pub fn submission_id(&self) -> &str {
+        &self.submission_id
     }
 
     /// The audit log so far, in chronological order.
@@ -327,11 +374,116 @@ impl TestFlow {
         Ok(SessionRecord {
             test_id: self.test_id,
             contributor_id: self.contributor_id,
+            submission_id: self.submission_id,
             demographics: self.demographics,
             pages: self.results,
-            created_tabs: telemetry.created_tabs,
-            active_tab_switches: telemetry.active_tab_switches,
+            created_tabs: telemetry.created_tabs + self.prior_created_tabs,
+            active_tab_switches: telemetry.active_tab_switches + self.prior_tab_switches,
         })
+    }
+
+    /// Interrupts the session (tab closed, browser crash, network gone):
+    /// consumes the flow and returns a resumable [`PartialSession`]
+    /// checkpoint instead of panicking. Whatever the participant already
+    /// completed — finished pages, answers on the current page, tab
+    /// telemetry, the audit log — is preserved.
+    pub fn interrupt(mut self) -> PartialSession {
+        self.events
+            .push(FlowEvent { at_ms: self.clock.now_ms(), kind: FlowEventKind::Interrupted });
+        let telemetry = self.browser.telemetry();
+        PartialSession {
+            test_id: self.test_id,
+            contributor_id: self.contributor_id,
+            submission_id: self.submission_id,
+            demographics: self.demographics,
+            questions: self.questions,
+            page_names: self.page_names,
+            current: self.current,
+            current_answers: self.current_answers,
+            completed: self.results,
+            elapsed_ms: self.clock.now_ms(),
+            events: self.events,
+            created_tabs: telemetry.created_tabs + self.prior_created_tabs,
+            active_tab_switches: telemetry.active_tab_switches + self.prior_tab_switches,
+        }
+    }
+}
+
+/// A checkpoint of an interrupted [`TestFlow`]: everything needed to
+/// resume the session in a fresh browser, or to account for an abandoned
+/// one. The submission id survives the interruption, so a resumed
+/// session's upload deduplicates against any copy that did get through.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialSession {
+    /// The Kaleidoscope test id.
+    pub test_id: String,
+    /// The contributor id.
+    pub contributor_id: String,
+    /// The stable idempotency key of the interrupted attempt.
+    pub submission_id: String,
+    /// Demographics as given at registration.
+    pub demographics: Value,
+    /// The comparison questions.
+    pub questions: Vec<String>,
+    /// All integrated page names in presentation order.
+    pub page_names: Vec<String>,
+    /// Index of the page the participant was on when interrupted.
+    pub current: usize,
+    /// Answers already given on the interrupted page.
+    pub current_answers: BTreeMap<String, String>,
+    /// Fully completed pages.
+    pub completed: Vec<PageResult>,
+    /// Session time elapsed before the interruption, milliseconds.
+    pub elapsed_ms: u64,
+    /// The audit log up to and including the interruption.
+    pub events: Vec<FlowEvent>,
+    /// Tabs created before the interruption.
+    pub created_tabs: u32,
+    /// Active-tab switches before the interruption.
+    pub active_tab_switches: u32,
+}
+
+impl PartialSession {
+    /// Number of pages fully completed before the interruption.
+    pub fn completed_pages(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// Fraction of the test finished, in [0, 1].
+    pub fn progress(&self) -> f64 {
+        if self.page_names.is_empty() {
+            1.0
+        } else {
+            self.completed.len() as f64 / self.page_names.len() as f64
+        }
+    }
+
+    /// Resumes the session in a fresh browser. Completed pages, current
+    /// answers, the submission id, and the audit log carry over; the
+    /// interrupted page must be re-visited (its tab is gone), so its dwell
+    /// clock restarts.
+    pub fn resume(mut self) -> TestFlow {
+        self.events.push(FlowEvent { at_ms: self.elapsed_ms, kind: FlowEventKind::Resumed });
+        let finished = self.current >= self.page_names.len();
+        TestFlow {
+            test_id: self.test_id,
+            contributor_id: self.contributor_id,
+            submission_id: self.submission_id,
+            demographics: self.demographics,
+            questions: self.questions,
+            page_names: self.page_names,
+            browser: Browser::new(),
+            clock: SimClock::starting_at(self.elapsed_ms),
+            current: self.current,
+            current_visits: 0,
+            current_answers: self.current_answers,
+            page_started_ms: self.elapsed_ms,
+            results: self.completed,
+            finished,
+            events: self.events,
+            prior_created_tabs: self.created_tabs,
+            prior_tab_switches: self.active_tab_switches,
+        }
     }
 }
 
@@ -500,6 +652,117 @@ mod tests {
         let clock_end = f.events().last().unwrap().at_ms;
         let rec = f.upload().unwrap();
         let _ = (n_before, clock_end, rec);
+    }
+
+    #[test]
+    fn submission_id_is_stable_per_session() {
+        let f = flow();
+        let id = f.submission_id().to_string();
+        assert!(id.starts_with("sub-w-1-"));
+        // Re-registering the same session (a client restart before any
+        // upload) derives the same key, so the retry still dedupes.
+        assert_eq!(id, flow().submission_id());
+        // A different session gets a different key.
+        let other = TestFlow::register(
+            "t1",
+            "w-2",
+            json!({}),
+            vec!["Which is better?".to_string()],
+            vec!["p0.html".to_string()],
+        );
+        assert_ne!(id, other.submission_id());
+        let other_test = TestFlow::register(
+            "t2",
+            "w-1",
+            json!({}),
+            vec!["Which is better?".to_string()],
+            vec!["p0.html".to_string()],
+        );
+        assert_ne!(id, other_test.submission_id());
+        let doc_flow = flow().with_submission_id("sub-fixed");
+        assert_eq!(doc_flow.submission_id(), "sub-fixed");
+    }
+
+    #[test]
+    fn interrupt_checkpoints_and_resume_completes() {
+        let mut f = flow().with_submission_id("sub-x");
+        f.visit(page(), 30_000).unwrap();
+        f.answer("Which is better?", "Left").unwrap();
+        f.next_page().unwrap();
+        f.visit(page(), 10_000).unwrap();
+        let partial = f.interrupt();
+        assert_eq!(partial.completed_pages(), 1);
+        assert!((partial.progress() - 0.5).abs() < 1e-12);
+        assert_eq!(partial.submission_id, "sub-x");
+        assert_eq!(partial.elapsed_ms, 40_000);
+        assert!(matches!(partial.events.last().unwrap().kind, FlowEventKind::Interrupted));
+
+        let mut resumed = partial.resume();
+        assert_eq!(resumed.submission_id(), "sub-x");
+        assert_eq!(resumed.current_page_name(), Some("p1.html"));
+        // The interrupted page's tab is gone: it must be re-visited.
+        assert_eq!(resumed.answer("Which is better?", "Same"), Err(FlowError::PageNotVisited));
+        resumed.visit(page(), 5_000).unwrap();
+        resumed.answer("Which is better?", "Same").unwrap();
+        resumed.next_page().unwrap();
+        let rec = resumed.upload().unwrap();
+        assert_eq!(rec.submission_id, "sub-x");
+        assert_eq!(rec.pages.len(), 2);
+        assert_eq!(rec.pages[0].answers["Which is better?"], "Left");
+        // Tab telemetry accumulates across the interruption: two visits
+        // before the checkpoint plus the re-visit after resuming.
+        assert_eq!(rec.created_tabs, 3);
+    }
+
+    #[test]
+    fn resume_audit_log_spans_both_attempts() {
+        let mut f = flow();
+        f.visit(page(), 1_000).unwrap();
+        let mut resumed = f.interrupt().resume();
+        resumed.visit(page(), 1_000).unwrap();
+        let kinds: Vec<FlowEventKind> = resumed.events().iter().map(|e| e.kind.clone()).collect();
+        assert_eq!(kinds[0], FlowEventKind::Registered);
+        assert!(kinds.contains(&FlowEventKind::Interrupted));
+        assert!(kinds.contains(&FlowEventKind::Resumed));
+        assert!(resumed.events().windows(2).all(|w| w[0].at_ms <= w[1].at_ms));
+    }
+
+    #[test]
+    fn interrupt_mid_questionnaire_preserves_answers() {
+        let mut f = TestFlow::register(
+            "t",
+            "w",
+            json!({}),
+            vec!["q1".to_string(), "q2".to_string()],
+            vec!["p".to_string()],
+        )
+        .with_submission_id("sub-y");
+        f.visit(page(), 1_000).unwrap();
+        f.answer("q1", "Left").unwrap();
+        let partial = f.interrupt();
+        assert_eq!(partial.current_answers.len(), 1);
+        let mut resumed = partial.resume();
+        resumed.visit(page(), 500).unwrap();
+        // q1's answer survived; only q2 is still missing.
+        match resumed.next_page() {
+            Err(FlowError::UnansweredQuestions(missing)) => {
+                assert_eq!(missing, vec!["q2".to_string()]);
+            }
+            other => panic!("expected q2 missing, got {other:?}"),
+        }
+        resumed.answer("q2", "Right").unwrap();
+        resumed.next_page().unwrap();
+        assert!(resumed.is_finished());
+    }
+
+    #[test]
+    fn record_json_carries_submission_id() {
+        let mut f = TestFlow::register("t", "w", json!({}), vec![], vec!["p".to_string()])
+            .with_submission_id("sub-z");
+        f.visit(page(), 100).unwrap();
+        f.next_page().unwrap();
+        let doc = f.upload().unwrap().to_json();
+        assert_eq!(doc["submission_id"], json!("sub-z"));
     }
 
     #[test]

@@ -132,16 +132,61 @@ impl ExtensionClient {
 
     /// Uploads a finished session's answers and behaviour telemetry.
     ///
+    /// Accepts `201 Created` for a fresh store and `200 OK` for an
+    /// idempotent replay (the server already has this submission and
+    /// returns the original `_id`).
+    ///
     /// # Errors
     ///
-    /// Returns [`FetchError`] on transport failures or when the server
-    /// does not acknowledge with `201 Created`.
+    /// Returns [`FetchError`] on transport failures or any other status.
     pub fn upload(&mut self, record: &SessionRecord) -> Result<serde_json::Value, FetchError> {
         let path = format!("/api/tests/{}/responses", record.test_id);
         let resp = self.session.post_json(&path, &record.to_json())?;
-        if resp.status.0 != 201 {
+        if resp.status.0 != 201 && resp.status.0 != 200 {
             return Err(FetchError::Status(resp.status.0, path));
         }
         resp.json_body().map_err(|_| FetchError::Malformed("expected a JSON body"))
+    }
+
+    /// Uploads with capped exponential backoff: up to `max_attempts`
+    /// tries, sleeping `base_backoff * 2^attempt` (capped at 2 s) between
+    /// them. Safe to call repeatedly because the record carries a stable
+    /// `submission_id` — a retry of an upload whose acknowledgment was
+    /// lost is answered with the original document's `_id`, not a
+    /// duplicate row. Returns the server's acknowledgment and the number
+    /// of attempts made.
+    ///
+    /// Transport errors and 5xx statuses are retried; 4xx statuses are
+    /// returned immediately (retrying a rejected body cannot help).
+    ///
+    /// # Errors
+    ///
+    /// Returns the last [`FetchError`] once the attempt budget is spent.
+    pub fn upload_with_retry(
+        &mut self,
+        record: &SessionRecord,
+        max_attempts: u32,
+        base_backoff: std::time::Duration,
+    ) -> Result<(serde_json::Value, u32), FetchError> {
+        const BACKOFF_CAP: std::time::Duration = std::time::Duration::from_secs(2);
+        let max_attempts = max_attempts.max(1);
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            match self.upload(record) {
+                Ok(ack) => return Ok((ack, attempt)),
+                Err(e) if attempt >= max_attempts => return Err(e),
+                Err(FetchError::Status(code, _)) if (400..500).contains(&code) => {
+                    return Err(FetchError::Status(
+                        code,
+                        format!("/api/tests/{}/responses", record.test_id),
+                    ));
+                }
+                Err(_) => {
+                    let exp = base_backoff.saturating_mul(1 << (attempt - 1).min(16));
+                    std::thread::sleep(exp.min(BACKOFF_CAP));
+                }
+            }
+        }
     }
 }

@@ -30,6 +30,8 @@ pub mod page;
 
 pub use browser::{Browser, TabId};
 pub use clock::SimClock;
-pub use extension::{FlowError, FlowEvent, FlowEventKind, PageResult, SessionRecord, TestFlow};
+pub use extension::{
+    FlowError, FlowEvent, FlowEventKind, PageResult, PartialSession, SessionRecord, TestFlow,
+};
 pub use fetch::{ExtensionClient, FetchError};
 pub use page::LoadedPage;

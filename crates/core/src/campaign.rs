@@ -12,8 +12,9 @@ use crate::analysis::{preference_label, BehaviorSamples, QuestionAnalysis, RankD
 use crate::corpus::{ExpandButtonMetrics, MAIN_TEXT_SELECTOR};
 use crate::params::TestParams;
 use crate::quality::{apply_quality_control, QualityConfig, QualityReport};
-use kscope_browser::{LoadedPage, SessionRecord, TestFlow};
+use kscope_browser::{FlowError, LoadedPage, PartialSession, SessionRecord, TestFlow};
 use kscope_crowd::behavior::BehaviorModel;
+use kscope_crowd::faults::SessionFault;
 use kscope_crowd::perception::{judge_pair, FontSizeModel, ReadinessModel};
 use kscope_crowd::platform::{CostReport, Recruitment};
 use kscope_crowd::{SessionBehavior, Worker};
@@ -67,6 +68,10 @@ pub enum CampaignError {
     MissingPage(String),
     /// A question had no registered [`QuestionKind`].
     UnmappedQuestion(String),
+    /// A tester session violated the extension's sequencing rules (e.g. a
+    /// client skipped a question and tried to advance). The orchestrator
+    /// surfaces the fault instead of panicking.
+    FlowFault(FlowError),
 }
 
 impl fmt::Display for CampaignError {
@@ -76,11 +81,32 @@ impl fmt::Display for CampaignError {
             CampaignError::UnmappedQuestion(q) => {
                 write!(f, "question '{q}' has no answer model")
             }
+            CampaignError::FlowFault(e) => write!(f, "session flow fault: {e}"),
         }
     }
 }
 
 impl std::error::Error for CampaignError {}
+
+impl From<FlowError> for CampaignError {
+    fn from(e: FlowError) -> Self {
+        CampaignError::FlowFault(e)
+    }
+}
+
+/// The per-test page cache: integrated page name → (integrated, left
+/// pane, right pane), all parsed once.
+pub(crate) type PageSet = HashMap<String, (LoadedPage, LoadedPage, LoadedPage)>;
+
+/// What driving one tester session through the extension flow produced.
+#[derive(Debug)]
+pub(crate) enum DrivenSession {
+    /// The session finished and uploaded a record.
+    Completed(Box<SessionRecord>),
+    /// The tester abandoned partway; the flow checkpointed instead of
+    /// panicking.
+    Interrupted(Box<PartialSession>),
+}
 
 /// The campaign runner.
 #[derive(Debug, Clone)]
@@ -159,6 +185,13 @@ impl Campaign {
         self
     }
 
+    /// Overrides the behaviour model (builder style) — e.g. to raise
+    /// `question_skip_rate` and exercise the hard-rule fault path.
+    pub fn with_behavior(mut self, behavior: BehaviorModel) -> Self {
+        self.behavior = behavior;
+        self
+    }
+
     /// The registered answer model for a question, if any.
     pub fn question_kind(&self, question: &str) -> Option<QuestionKind> {
         self.kinds.iter().find(|(text, _)| text == question).map(|&(_, kind)| kind)
@@ -197,38 +230,8 @@ impl Campaign {
         recruitment: &Recruitment,
         rng: &mut R,
     ) -> Result<CampaignOutcome, CampaignError> {
-        for q in &params.question {
-            if !self.kinds.iter().any(|(text, _)| text == q.text()) {
-                return Err(CampaignError::UnmappedQuestion(q.text().to_string()));
-            }
-        }
-        // Load every integrated page and its two panes once.
-        let mut pages: HashMap<String, (LoadedPage, LoadedPage, LoadedPage)> = HashMap::new();
-        for meta in &prepared.pages {
-            let html = self
-                .grid
-                .get_text(&prepared.test_id, &meta.name)
-                .ok_or_else(|| CampaignError::MissingPage(meta.name.clone()))?;
-            let integrated = LoadedPage::from_html_with_viewport(&html, self.viewport);
-            let refs = integrated.iframe_refs();
-            if refs.len() != 2 {
-                return Err(CampaignError::MissingPage(format!(
-                    "{} does not have two panes",
-                    meta.name
-                )));
-            }
-            let pane = |file: &str| -> Result<LoadedPage, CampaignError> {
-                let html = self
-                    .grid
-                    .get_text(&prepared.test_id, file)
-                    .ok_or_else(|| CampaignError::MissingPage(file.to_string()))?;
-                Ok(LoadedPage::from_html_with_viewport(&html, self.viewport))
-            };
-            let left = pane(&refs[0])?;
-            let right = pane(&refs[1])?;
-            pages.insert(meta.name.clone(), (integrated, left, right));
-        }
-
+        self.validate_questions(params)?;
+        let pages = self.load_pages(prepared)?;
         let questions: Vec<String> = params.question.iter().map(|q| q.text().to_string()).collect();
         let page_names = prepared.page_names();
         let responses = self.db.collection("responses");
@@ -241,42 +244,27 @@ impl Campaign {
         for assignment in &recruitment.assignments {
             let session_timer = metrics.as_ref().map(|m| m.session_us.start_timer());
             let worker = &assignment.worker;
-            let behavior = if self.in_lab {
-                self.behavior.in_lab_session(worker, page_names.len(), rng)
-            } else {
-                self.behavior.remote_session(worker, page_names.len(), rng)
-            };
-            let mut flow = TestFlow::register(
+            let behavior = self.session_behavior(worker, page_names.len(), rng);
+            let driven = self.drive_flow(
                 &prepared.test_id,
-                &worker.id.0,
-                json!({
-                    "gender": format!("{:?}", worker.demographics.gender),
-                    "age": format!("{:?}", worker.demographics.age),
-                    "country": format!("{:?}", worker.demographics.country),
-                    "tech_ability": worker.demographics.tech_ability,
-                }),
-                questions.clone(),
-                page_names.clone(),
-            );
-            for (i, name) in page_names.iter().enumerate() {
-                let (integrated, left, right) = &pages[name];
-                let dwell_ms = (behavior.comparison_minutes[i] * 60_000.0).round() as u64;
-                flow.visit(integrated.clone(), dwell_ms).expect("flow sequencing");
-                for (question, kind) in &self.kinds {
-                    if !questions.iter().any(|q| q == question) {
-                        continue;
-                    }
-                    let judged = self.judge(*kind, worker, left, right, rng);
-                    flow.answer(question, preference_label(judged)).expect("visited above");
+                worker,
+                &behavior,
+                &pages,
+                &questions,
+                &page_names,
+                None,
+                rng,
+            )?;
+            let record = match driven {
+                DrivenSession::Completed(record) => *record,
+                // Without an injected fault the flow always runs to
+                // completion; abandonment is the supervisor's domain.
+                DrivenSession::Interrupted(partial) => {
+                    return Err(CampaignError::FlowFault(FlowError::PagesRemaining(
+                        partial.page_names.len() - partial.completed_pages(),
+                    )))
                 }
-                flow.next_page().expect("all questions answered");
-            }
-            let mut record = flow.upload().expect("all pages completed");
-            // The behaviour model supplies the side-browsing telemetry the
-            // bare flow cannot know about: extra tabs and extra switches on
-            // top of the test pages the extension itself opened.
-            record.created_tabs += behavior.created_tabs.saturating_sub(1);
-            record.active_tab_switches += behavior.active_tabs.saturating_sub(1);
+            };
             responses.insert_one(record.to_json());
             sessions.push(SessionResult {
                 worker: worker.clone(),
@@ -311,6 +299,152 @@ impl Campaign {
             quality,
             cost: recruitment.cost,
         })
+    }
+
+    /// Ensures every question in `params` has a registered answer model.
+    pub(crate) fn validate_questions(&self, params: &TestParams) -> Result<(), CampaignError> {
+        for q in &params.question {
+            if !self.kinds.iter().any(|(text, _)| text == q.text()) {
+                return Err(CampaignError::UnmappedQuestion(q.text().to_string()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Loads every integrated page and its two panes once.
+    pub(crate) fn load_pages(&self, prepared: &PreparedTest) -> Result<PageSet, CampaignError> {
+        let mut pages: PageSet = HashMap::new();
+        for meta in &prepared.pages {
+            let html = self
+                .grid
+                .get_text(&prepared.test_id, &meta.name)
+                .ok_or_else(|| CampaignError::MissingPage(meta.name.clone()))?;
+            let integrated = LoadedPage::from_html_with_viewport(&html, self.viewport);
+            let refs = integrated.iframe_refs();
+            if refs.len() != 2 {
+                return Err(CampaignError::MissingPage(format!(
+                    "{} does not have two panes",
+                    meta.name
+                )));
+            }
+            let pane = |file: &str| -> Result<LoadedPage, CampaignError> {
+                let html = self
+                    .grid
+                    .get_text(&prepared.test_id, file)
+                    .ok_or_else(|| CampaignError::MissingPage(file.to_string()))?;
+                Ok(LoadedPage::from_html_with_viewport(&html, self.viewport))
+            };
+            let left = pane(&refs[0])?;
+            let right = pane(&refs[1])?;
+            pages.insert(meta.name.clone(), (integrated, left, right));
+        }
+        Ok(pages)
+    }
+
+    /// Samples one worker's behaviour for this campaign's channel.
+    pub(crate) fn session_behavior<R: Rng + ?Sized>(
+        &self,
+        worker: &Worker,
+        comparisons: usize,
+        rng: &mut R,
+    ) -> SessionBehavior {
+        if self.in_lab {
+            self.behavior.in_lab_session(worker, comparisons, rng)
+        } else {
+            self.behavior.remote_session(worker, comparisons, rng)
+        }
+    }
+
+    /// The behaviour model driving session generation.
+    pub(crate) fn behavior_model(&self) -> &BehaviorModel {
+        &self.behavior
+    }
+
+    /// The backing database.
+    pub(crate) fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// The quality-control thresholds in force.
+    pub(crate) fn quality_config(&self) -> &QualityConfig {
+        &self.quality
+    }
+
+    /// Drives one tester session through the extension flow, honouring an
+    /// optionally injected [`SessionFault`]. Hard-rule violations (a
+    /// skipped answer, whether from `behavior.dropped_answer_pages` or a
+    /// [`SessionFault::SkipQuestion`]) surface as
+    /// [`CampaignError::FlowFault`]; abandonment faults checkpoint the
+    /// flow and return [`DrivenSession::Interrupted`].
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn drive_flow<R: Rng + ?Sized>(
+        &self,
+        test_id: &str,
+        worker: &Worker,
+        behavior: &SessionBehavior,
+        pages: &PageSet,
+        questions: &[String],
+        page_names: &[String],
+        fault: Option<&SessionFault>,
+        rng: &mut R,
+    ) -> Result<DrivenSession, CampaignError> {
+        let mut flow = TestFlow::register(
+            test_id,
+            &worker.id.0,
+            json!({
+                "gender": format!("{:?}", worker.demographics.gender),
+                "age": format!("{:?}", worker.demographics.age),
+                "country": format!("{:?}", worker.demographics.country),
+                "tech_ability": worker.demographics.tech_ability,
+            }),
+            questions.to_vec(),
+            page_names.to_vec(),
+        );
+        for (i, name) in page_names.iter().enumerate() {
+            if let Some(SessionFault::AbandonMidPage { page }) = fault {
+                if *page == i {
+                    // The tab closes before the page is even opened in
+                    // earnest: checkpoint with the pages finished so far.
+                    return Ok(DrivenSession::Interrupted(Box::new(flow.interrupt())));
+                }
+            }
+            let (integrated, left, right) = &pages[name];
+            let dwell_ms = (behavior.comparison_minutes[i] * 60_000.0).round() as u64;
+            flow.visit(integrated.clone(), dwell_ms)?;
+            let abandon_after = match fault {
+                Some(SessionFault::AbandonMidQuestionnaire { page, answered }) if *page == i => {
+                    Some(*answered)
+                }
+                _ => None,
+            };
+            let mut drop_one = behavior.dropped_answer_pages.contains(&i)
+                || matches!(fault, Some(SessionFault::SkipQuestion { page }) if *page == i);
+            let mut answered = 0usize;
+            for (question, kind) in &self.kinds {
+                if !questions.iter().any(|q| q == question) {
+                    continue;
+                }
+                if abandon_after == Some(answered) {
+                    return Ok(DrivenSession::Interrupted(Box::new(flow.interrupt())));
+                }
+                if drop_one {
+                    // The faulty client loses exactly one answer.
+                    drop_one = false;
+                    continue;
+                }
+                let judged = self.judge(*kind, worker, left, right, rng);
+                flow.answer(question, preference_label(judged))?;
+                answered += 1;
+            }
+            flow.next_page()?;
+        }
+        let mut record = flow.upload()?;
+        // The behaviour model supplies the side-browsing telemetry the
+        // bare flow cannot know about: extra tabs and extra switches on
+        // top of the test pages the extension itself opened.
+        record.created_tabs += behavior.created_tabs.saturating_sub(1);
+        record.active_tab_switches += behavior.active_tabs.saturating_sub(1);
+        Ok(DrivenSession::Completed(Box::new(record)))
     }
 
     fn judge<R: Rng + ?Sized>(
@@ -689,6 +823,31 @@ mod tests {
         let err =
             Campaign::new(db, grid).run(&params, &prepared, &recruitment, &mut rng).unwrap_err();
         assert!(matches!(err, CampaignError::UnmappedQuestion(_)));
+    }
+
+    #[test]
+    fn skipped_question_is_flow_fault_not_panic() {
+        // Regression: a behaviour model that skips a question used to trip
+        // `.expect("all questions answered")` and panic the orchestrator.
+        let (store, params) = corpus::font_size_study(5);
+        let db = Database::new();
+        let grid = GridStore::new();
+        let mut rng = StdRng::seed_from_u64(21);
+        let prepared =
+            Aggregator::new(db.clone(), grid.clone()).prepare(&params, &store, &mut rng).unwrap();
+        let recruitment =
+            Platform.post_job(&JobSpec::new(&params.test_id, 0.11, 5, Channel::Open), &mut rng);
+        let err = Campaign::new(db, grid)
+            .with_question(params.question[0].text(), QuestionKind::FontReadability)
+            .with_behavior(BehaviorModel { question_skip_rate: 1.0, ..BehaviorModel::default() })
+            .run(&params, &prepared, &recruitment, &mut rng)
+            .unwrap_err();
+        match err {
+            CampaignError::FlowFault(kscope_browser::FlowError::UnansweredQuestions(missing)) => {
+                assert!(!missing.is_empty());
+            }
+            other => panic!("expected a hard-rule FlowFault, got {other}"),
+        }
     }
 
     #[test]

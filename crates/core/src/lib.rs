@@ -17,6 +17,9 @@
 //! * [`campaign`] — the end-to-end orchestrator: recruit (platform or
 //!   in-lab), run each participant's extension session in the virtual
 //!   browser, collect, filter, analyze.
+//! * [`supervisor`] — fault-tolerant campaign supervision: session
+//!   leases, abandonment recovery, duplicate-upload dedupe, and quota
+//!   refill with deadline/budget-cap degradation.
 //! * [`analysis`] — vote aggregation, rank distributions (Fig. 4),
 //!   behaviour CDFs (Fig. 5), and significance tests (Fig. 7/8).
 
@@ -31,11 +34,16 @@ pub mod params;
 pub mod quality;
 pub mod sorted_campaign;
 pub mod sorting;
+pub mod supervisor;
 
 pub use aggregator::{Aggregator, PreparedTest};
 pub use analysis::{DemographicBreakdown, QuestionAnalysis, RankDistribution, VoteCounts};
-pub use campaign::{Campaign, CampaignOutcome, QuestionKind, SessionResult};
+pub use campaign::{Campaign, CampaignError, CampaignOutcome, QuestionKind, SessionResult};
 pub use params::{Question, TestParams, ValidateParamsError, WebpageSpec};
 pub use quality::{DropReason, QualityConfig, QualityReport};
 pub use sorted_campaign::{SortedOutcome, SortedSession};
 pub use sorting::{sort_versions, SortAlgo};
+pub use supervisor::{
+    AbandonPhase, CampaignHealth, CampaignSupervisor, LeaseOutcome, SessionLease,
+    SupervisedOutcome, SupervisorConfig,
+};

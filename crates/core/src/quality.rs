@@ -338,6 +338,7 @@ mod tests {
         SessionRecord {
             test_id: "t".into(),
             contributor_id: "w".into(),
+            submission_id: "sub-w".into(),
             demographics: serde_json::json!({}),
             pages: vec![
                 page("integrated-000.html", real),

@@ -1,0 +1,776 @@
+//! Fault-tolerant campaign supervision: leases, refill, graceful
+//! degradation.
+//!
+//! [`Campaign::run`] assumes every recruited participant completes
+//! flawlessly; real crowd testers abandon sessions mid-comparison,
+//! disconnect and re-upload, and straggle past any deadline. The
+//! [`CampaignSupervisor`] treats each tester session as a fallible,
+//! leased unit of work:
+//!
+//! * every accepted assignment gets a **lease** whose deadline is the
+//!   expected engagement time × a slack factor;
+//! * sessions that abandon (mid-page, mid-questionnaire) or never return
+//!   are reclaimed when their lease expires and their slots are requeued;
+//! * duplicate uploads from disconnect-then-retry clients are
+//!   deduplicated on `(test_id, contributor_id, submission_id)` via the
+//!   store's atomic unique-key insert, so the `responses` collection
+//!   never holds two rows for one session;
+//! * the quota is **refilled** by re-posting the job (optionally with an
+//!   escalating reward) until the QC-kept count reaches the target or a
+//!   campaign deadline / budget cap fires — at which point the supervisor
+//!   degrades gracefully, concluding with partial results and a
+//!   [`CampaignHealth`] report instead of erroring;
+//! * cost accounting pays **only completed sessions** — abandoned and
+//!   never-returning workers cost nothing.
+
+use crate::aggregator::PreparedTest;
+use crate::campaign::{Campaign, CampaignError, CampaignOutcome, DrivenSession, SessionResult};
+use crate::params::TestParams;
+use crate::quality::apply_quality_control;
+use kscope_browser::SessionRecord;
+use kscope_crowd::faults::{FaultModel, SessionFault};
+use kscope_crowd::platform::{CostReport, JobSpec, Platform};
+use kscope_crowd::worker::WorkerId;
+use rand::Rng;
+use serde_json::json;
+use std::fmt;
+
+/// Knobs governing supervision. Defaults are deliberately forgiving: a
+/// 3× engagement lease, up to 8 refill rounds with a 15% reward
+/// escalation per round, and no deadline or budget cap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupervisorConfig {
+    /// Stop once this many sessions survive quality control.
+    pub target_kept: usize,
+    /// Lease deadline = expected engagement × this slack factor.
+    pub lease_slack: f64,
+    /// Expected per-session engagement in ms; derived from the behaviour
+    /// model and page count when `None`.
+    pub expected_engagement_ms: Option<u64>,
+    /// Maximum number of refill rounds after the initial posting.
+    pub max_refill_rounds: usize,
+    /// Multiplier applied to the reward on each refill round (≥ 1.0
+    /// escalates; 1.0 keeps it flat).
+    pub reward_escalation: f64,
+    /// Hard spend ceiling in USD (worker payments + platform fees).
+    pub budget_cap_usd: Option<f64>,
+    /// Campaign deadline in virtual ms after the first job posting.
+    pub deadline_ms: Option<u64>,
+}
+
+impl SupervisorConfig {
+    /// A forgiving default configuration aiming for `target_kept`
+    /// QC-surviving sessions.
+    pub fn new(target_kept: usize) -> Self {
+        Self {
+            target_kept,
+            lease_slack: 3.0,
+            expected_engagement_ms: None,
+            max_refill_rounds: 8,
+            reward_escalation: 1.15,
+            budget_cap_usd: None,
+            deadline_ms: None,
+        }
+    }
+
+    /// Sets a campaign deadline (builder style).
+    pub fn with_deadline_ms(mut self, deadline_ms: u64) -> Self {
+        self.deadline_ms = Some(deadline_ms);
+        self
+    }
+
+    /// Sets a spend ceiling (builder style).
+    pub fn with_budget_cap_usd(mut self, cap: f64) -> Self {
+        self.budget_cap_usd = Some(cap);
+        self
+    }
+}
+
+/// Which phase of the session lifecycle a worker abandoned in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbandonPhase {
+    /// Closed the browser while viewing an integrated page.
+    MidPage,
+    /// Left partway through a page's questionnaire.
+    MidQuestionnaire,
+    /// Accepted the assignment and was never heard from again.
+    NeverReturned,
+    /// The client violated a hard rule (skipped answer) and the upload
+    /// was rejected.
+    FlowFault,
+}
+
+impl AbandonPhase {
+    /// The `phase` label used on `core.sessions_abandoned_total`.
+    pub fn metric_label(&self) -> &'static str {
+        match self {
+            AbandonPhase::MidPage => "mid_page",
+            AbandonPhase::MidQuestionnaire => "mid_questionnaire",
+            AbandonPhase::NeverReturned => "never_returned",
+            AbandonPhase::FlowFault => "flow_fault",
+        }
+    }
+}
+
+/// How one lease concluded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeaseOutcome {
+    /// Uploaded a clean single response.
+    Completed,
+    /// Completed, but the upload was retried and the duplicate suppressed
+    /// at intake.
+    CompletedDeduped,
+    /// The lease expired without a stored response; the slot was requeued.
+    Abandoned(AbandonPhase),
+}
+
+/// One session lease: a worker's claim on a campaign slot, bounded by a
+/// deadline after which the supervisor reclaims the slot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionLease {
+    /// The leased worker.
+    pub contributor_id: String,
+    /// Which posting round recruited this worker (0 = initial).
+    pub round: usize,
+    /// When the worker accepted, ms after the campaign started.
+    pub issued_ms: u64,
+    /// Lease expiry: `issued_ms` + expected engagement × slack.
+    pub deadline_ms: u64,
+    /// How the lease concluded.
+    pub outcome: LeaseOutcome,
+}
+
+/// The supervisor's accounting: every recruited worker ends in exactly
+/// one of `completed`, `deduped`, or `abandoned`, so
+/// `completed + deduped + abandoned == recruited` always holds.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CampaignHealth {
+    /// Workers who accepted a lease across all rounds.
+    pub recruited: usize,
+    /// Sessions that completed with a single clean upload.
+    pub completed: usize,
+    /// Sessions that completed but whose duplicate upload was suppressed.
+    pub deduped: usize,
+    /// Sessions reclaimed without a stored response (all phases).
+    pub abandoned: usize,
+    /// … of which abandoned while viewing a page.
+    pub abandoned_mid_page: usize,
+    /// … of which abandoned mid-questionnaire.
+    pub abandoned_mid_questionnaire: usize,
+    /// … of which never returned at all.
+    pub never_returned: usize,
+    /// … of which were rejected for hard-rule violations.
+    pub flow_faults: usize,
+    /// Upload retry attempts observed at intake.
+    pub upload_retries: usize,
+    /// Refill rounds actually run (0 = initial posting sufficed).
+    pub refill_rounds: usize,
+    /// Workers recruited by refill rounds.
+    pub refill_recruited: usize,
+    /// Sessions surviving quality control at conclusion.
+    pub qc_kept: usize,
+    /// The QC-kept target the campaign aimed for.
+    pub target_kept: usize,
+    /// Total spend (worker payments + fees), USD. Only completed (and
+    /// deduped) sessions are paid.
+    pub spend_usd: f64,
+    /// The configured spend ceiling, if any.
+    pub budget_cap_usd: Option<f64>,
+    /// Virtual campaign duration, ms.
+    pub duration_ms: u64,
+    /// Whether the campaign deadline fired before the target was met.
+    pub deadline_hit: bool,
+    /// Whether the budget cap blocked a needed refill.
+    pub budget_hit: bool,
+    /// Whether the refill-round safety valve stopped the campaign.
+    pub rounds_exhausted: bool,
+}
+
+impl CampaignHealth {
+    /// Whether every recruited worker is accounted for:
+    /// `completed + deduped + abandoned == recruited`.
+    pub fn accounted(&self) -> bool {
+        self.completed + self.deduped + self.abandoned == self.recruited
+    }
+
+    /// Whether the QC-kept target was reached.
+    pub fn reached_target(&self) -> bool {
+        self.qc_kept >= self.target_kept
+    }
+
+    /// Whether the campaign concluded degraded (partial results).
+    pub fn degraded(&self) -> bool {
+        !self.reached_target()
+    }
+
+    /// The health report as one JSON document.
+    pub fn to_json(&self) -> serde_json::Value {
+        json!({
+            "recruited": self.recruited,
+            "completed": self.completed,
+            "deduped": self.deduped,
+            "abandoned": {
+                "total": self.abandoned,
+                "mid_page": self.abandoned_mid_page,
+                "mid_questionnaire": self.abandoned_mid_questionnaire,
+                "never_returned": self.never_returned,
+                "flow_fault": self.flow_faults,
+            },
+            "upload_retries": self.upload_retries,
+            "refill": {
+                "rounds": self.refill_rounds,
+                "recruited": self.refill_recruited,
+            },
+            "qc_kept": self.qc_kept,
+            "target_kept": self.target_kept,
+            "spend_usd": self.spend_usd,
+            "budget_cap_usd": self.budget_cap_usd,
+            "duration_ms": self.duration_ms,
+            "deadline_hit": self.deadline_hit,
+            "budget_hit": self.budget_hit,
+            "rounds_exhausted": self.rounds_exhausted,
+            "reached_target": self.reached_target(),
+        })
+    }
+}
+
+impl fmt::Display for CampaignHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "campaign health: {}/{} kept (target {}){}",
+            self.qc_kept,
+            self.completed + self.deduped,
+            self.target_kept,
+            if self.reached_target() { "" } else { " — DEGRADED" },
+        )?;
+        writeln!(
+            f,
+            "  recruited {} = completed {} + deduped {} + abandoned {}",
+            self.recruited, self.completed, self.deduped, self.abandoned
+        )?;
+        writeln!(
+            f,
+            "  abandoned: mid-page {}, mid-questionnaire {}, never returned {}, flow faults {}",
+            self.abandoned_mid_page,
+            self.abandoned_mid_questionnaire,
+            self.never_returned,
+            self.flow_faults
+        )?;
+        writeln!(
+            f,
+            "  refill: {} rounds recruited {} extra; upload retries {}",
+            self.refill_rounds, self.refill_recruited, self.upload_retries
+        )?;
+        write!(
+            f,
+            "  spend ${:.2}{}; deadline_hit={} budget_hit={} rounds_exhausted={}",
+            self.spend_usd,
+            match self.budget_cap_usd {
+                Some(cap) => format!(" of ${cap:.2} cap"),
+                None => String::new(),
+            },
+            self.deadline_hit,
+            self.budget_hit,
+            self.rounds_exhausted,
+        )
+    }
+}
+
+/// A supervised campaign's conclusion: the (possibly partial) outcome,
+/// the health report, and every lease in issue order.
+#[derive(Debug, Clone)]
+pub struct SupervisedOutcome {
+    /// Analyses over the completed sessions (same shape as an
+    /// unsupervised campaign's outcome).
+    pub outcome: CampaignOutcome,
+    /// The supervisor's accounting.
+    pub health: CampaignHealth,
+    /// Every lease issued, in issue order.
+    pub leases: Vec<SessionLease>,
+}
+
+/// Runs a campaign under session leases with abandonment recovery and
+/// quota refill. Wraps a [`Campaign`] (which supplies storage, question
+/// models, behaviour, QC thresholds, and telemetry).
+#[derive(Debug, Clone)]
+pub struct CampaignSupervisor<'a> {
+    campaign: &'a Campaign,
+    config: SupervisorConfig,
+    faults: FaultModel,
+}
+
+struct SupervisorMetrics {
+    lease_expired: kscope_telemetry::Counter,
+    refill_rounds: kscope_telemetry::Gauge,
+    refill_recruited: kscope_telemetry::Counter,
+    deduped: kscope_telemetry::Counter,
+    retries: kscope_telemetry::Counter,
+    /// Spend in integer cents — the gauge is integer-valued.
+    budget_spent: kscope_telemetry::Gauge,
+    health: kscope_telemetry::Gauge,
+}
+
+impl SupervisorMetrics {
+    fn register(registry: &kscope_telemetry::Registry) -> Self {
+        Self {
+            lease_expired: registry.counter("core.session_lease_expired_total"),
+            refill_rounds: registry.gauge("core.refill_rounds"),
+            refill_recruited: registry.counter("core.refill_recruited_total"),
+            deduped: registry.counter("server.responses_deduped_total"),
+            retries: registry.counter("server.upload_retries_total"),
+            budget_spent: registry.gauge("core.campaign_budget_spent_usd"),
+            health: registry.gauge("core.campaign_health"),
+        }
+    }
+}
+
+impl<'a> CampaignSupervisor<'a> {
+    /// Creates a supervisor over an existing campaign with a reliable
+    /// population (no faults).
+    pub fn new(campaign: &'a Campaign, config: SupervisorConfig) -> Self {
+        Self { campaign, config, faults: FaultModel::none() }
+    }
+
+    /// Injects a fault model (builder style).
+    pub fn with_faults(mut self, faults: FaultModel) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Expected engagement per session in ms: configured value, or the
+    /// behaviour model's median comparison time × page count.
+    fn expected_engagement_ms(&self, pages: usize) -> u64 {
+        self.config.expected_engagement_ms.unwrap_or_else(|| {
+            let median_min = self.campaign.behavior_model().diligent_median_min;
+            ((median_min * pages.max(1) as f64) * 60_000.0).round() as u64
+        })
+    }
+
+    /// Runs the supervised campaign: post the job, lease every accepted
+    /// assignment, reclaim expired/abandoned slots, dedupe duplicate
+    /// uploads, refill the quota until `target_kept` sessions survive QC
+    /// or a deadline/budget cap fires, then conclude — degraded runs
+    /// return partial results, never an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError`] only for campaign *setup* faults
+    /// (missing pages, unmapped questions). Session-level faults are the
+    /// whole point and are absorbed into the [`CampaignHealth`] report.
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        params: &TestParams,
+        prepared: &PreparedTest,
+        spec: &JobSpec,
+        rng: &mut R,
+    ) -> Result<SupervisedOutcome, CampaignError> {
+        self.campaign.validate_questions(params)?;
+        let pages = self.campaign.load_pages(prepared)?;
+        let questions: Vec<String> = params.question.iter().map(|q| q.text().to_string()).collect();
+        let page_names = prepared.page_names();
+        let responses = self.campaign.db().collection("responses");
+        let registry = self.campaign.telemetry().cloned();
+        let metrics = registry.as_deref().map(SupervisorMetrics::register);
+        let abandon_metric = |phase: AbandonPhase| {
+            if let Some(r) = registry.as_deref() {
+                r.counter_with("core.sessions_abandoned_total", &[("phase", phase.metric_label())])
+                    .inc();
+            }
+        };
+
+        let engagement_ms = self.expected_engagement_ms(page_names.len());
+        let lease_ms = (engagement_ms as f64 * self.config.lease_slack).round() as u64;
+
+        let mut health = CampaignHealth {
+            target_kept: self.config.target_kept,
+            budget_cap_usd: self.config.budget_cap_usd,
+            ..CampaignHealth::default()
+        };
+        let mut leases: Vec<SessionLease> = Vec::new();
+        let mut sessions: Vec<SessionResult> = Vec::new();
+        let mut worker_payments = 0.0f64;
+        let mut platform_fees = 0.0f64;
+        let mut now_ms = 0u64;
+        let mut reward = spec.reward_usd;
+        let mut round = 0usize;
+        let mut quota = spec.quota;
+
+        loop {
+            let mut recruitment =
+                Platform.post_job(&JobSpec { quota, reward_usd: reward, ..spec.clone() }, rng);
+            if round > 0 {
+                // Re-tag refill recruits: `post_job` numbers every posting
+                // from w-00000, which would collide with round 0.
+                for (k, a) in recruitment.assignments.iter_mut().enumerate() {
+                    a.worker.id = WorkerId(format!("w-r{round}-{k:05}"));
+                }
+                health.refill_recruited += recruitment.assignments.len();
+                if let Some(m) = &metrics {
+                    m.refill_recruited.add(recruitment.assignments.len() as u64);
+                }
+            }
+
+            let round_t0 = now_ms;
+            for assignment in &recruitment.assignments {
+                let arrival = round_t0 + assignment.arrival_ms;
+                if self.config.deadline_ms.is_some_and(|d| arrival > d) {
+                    // The campaign closes before this worker shows up: the
+                    // posting is withdrawn, the worker never gets a lease.
+                    health.deadline_hit = true;
+                    break;
+                }
+                let worker = &assignment.worker;
+                health.recruited += 1;
+                let lease_deadline = arrival + lease_ms;
+                let fault = self.faults.sample(worker, page_names.len(), questions.len(), rng);
+                let mut lease = SessionLease {
+                    contributor_id: worker.id.0.clone(),
+                    round,
+                    issued_ms: arrival,
+                    deadline_ms: lease_deadline,
+                    outcome: LeaseOutcome::Abandoned(AbandonPhase::NeverReturned),
+                };
+
+                if fault == SessionFault::NeverReturns {
+                    health.abandoned += 1;
+                    health.never_returned += 1;
+                    abandon_metric(AbandonPhase::NeverReturned);
+                    if let Some(m) = &metrics {
+                        m.lease_expired.inc();
+                    }
+                    now_ms = now_ms.max(lease_deadline);
+                    leases.push(lease);
+                    continue;
+                }
+
+                let behavior = self.campaign.session_behavior(worker, page_names.len(), rng);
+                let driven = self.campaign.drive_flow(
+                    &prepared.test_id,
+                    worker,
+                    &behavior,
+                    &pages,
+                    &questions,
+                    &page_names,
+                    Some(&fault),
+                    rng,
+                );
+                match driven {
+                    Ok(DrivenSession::Completed(record)) => {
+                        let record = *record;
+                        let (retried, duplicate) = match fault {
+                            SessionFault::DisconnectRetry { duplicate_upload } => {
+                                (true, duplicate_upload)
+                            }
+                            _ => (false, false),
+                        };
+                        let key = json!({
+                            "test_id": record.test_id,
+                            "contributor_id": record.contributor_id,
+                            "submission_id": record.submission_id,
+                        });
+                        responses
+                            .insert_if_absent(&key, record.to_json())
+                            .expect("first upload of a fresh submission id");
+                        if retried {
+                            health.upload_retries += 1;
+                            if let Some(m) = &metrics {
+                                m.retries.inc();
+                            }
+                        }
+                        if duplicate {
+                            // The retry reached intake as a second copy;
+                            // the unique-key insert answers with the
+                            // original row instead of storing it twice.
+                            let deduped = responses.insert_if_absent(&key, record.to_json());
+                            assert!(deduped.is_err(), "duplicate upload must be suppressed");
+                            health.deduped += 1;
+                            if let Some(m) = &metrics {
+                                m.deduped.inc();
+                            }
+                            lease.outcome = LeaseOutcome::CompletedDeduped;
+                        } else {
+                            health.completed += 1;
+                            lease.outcome = LeaseOutcome::Completed;
+                        }
+                        // Pay the completed session: reward at this
+                        // round's rate plus the platform fee.
+                        worker_payments += reward;
+                        platform_fees += reward * Platform::FEE_RATE;
+                        now_ms = now_ms.max(arrival + record.total_duration_ms());
+                        sessions.push(SessionResult {
+                            worker: worker.clone(),
+                            arrival_ms: arrival,
+                            record,
+                            behavior,
+                        });
+                    }
+                    Ok(DrivenSession::Interrupted(partial)) => {
+                        let phase = if partial.current_answers.is_empty() {
+                            AbandonPhase::MidPage
+                        } else {
+                            AbandonPhase::MidQuestionnaire
+                        };
+                        health.abandoned += 1;
+                        match phase {
+                            AbandonPhase::MidPage => health.abandoned_mid_page += 1,
+                            _ => health.abandoned_mid_questionnaire += 1,
+                        }
+                        abandon_metric(phase);
+                        if let Some(m) = &metrics {
+                            m.lease_expired.inc();
+                        }
+                        lease.outcome = LeaseOutcome::Abandoned(phase);
+                        // The slot is only reclaimed when the lease runs
+                        // out — the supervisor cannot see a silent close.
+                        now_ms = now_ms.max(lease_deadline);
+                    }
+                    Err(CampaignError::FlowFault(_)) => {
+                        health.abandoned += 1;
+                        health.flow_faults += 1;
+                        abandon_metric(AbandonPhase::FlowFault);
+                        if let Some(m) = &metrics {
+                            m.lease_expired.inc();
+                        }
+                        lease.outcome = LeaseOutcome::Abandoned(AbandonPhase::FlowFault);
+                        now_ms = now_ms.max(lease_deadline);
+                    }
+                    Err(e) => return Err(e),
+                }
+                leases.push(lease);
+            }
+
+            let records: Vec<SessionRecord> = sessions.iter().map(|s| s.record.clone()).collect();
+            let report = apply_quality_control(&records, prepared, self.campaign.quality_config());
+            health.qc_kept = report.kept.len();
+            health.spend_usd = worker_payments + platform_fees;
+            if let Some(m) = &metrics {
+                m.budget_spent.set((health.spend_usd * 100.0).round() as i64);
+                m.refill_rounds.set(health.refill_rounds as i64);
+            }
+
+            if health.reached_target() || health.deadline_hit {
+                break;
+            }
+            if self.config.deadline_ms.is_some_and(|d| now_ms >= d) {
+                health.deadline_hit = true;
+                break;
+            }
+            if round >= self.config.max_refill_rounds {
+                health.rounds_exhausted = true;
+                break;
+            }
+
+            // Plan the next refill round: size the ask by the observed
+            // QC yield so one round usually closes the deficit.
+            let deficit = self.config.target_kept - health.qc_kept;
+            let processed = health.recruited.max(1);
+            let observed_yield = (health.qc_kept as f64 / processed as f64).max(0.25);
+            let mut ask = ((deficit as f64) / observed_yield).ceil() as usize;
+            ask = ask.clamp(1, self.config.target_kept.max(1) * 4);
+            round += 1;
+            reward = (reward * self.config.reward_escalation).min(spec.reward_usd * 10.0);
+            if let Some(cap) = self.config.budget_cap_usd {
+                let per_session = reward * (1.0 + Platform::FEE_RATE);
+                let affordable = ((cap - health.spend_usd) / per_session).floor();
+                if affordable < 1.0 {
+                    health.budget_hit = true;
+                    break;
+                }
+                ask = ask.min(affordable as usize);
+            }
+            quota = ask;
+            health.refill_rounds = round;
+        }
+
+        health.duration_ms = now_ms;
+        let records: Vec<SessionRecord> = sessions.iter().map(|s| s.record.clone()).collect();
+        let quality = apply_quality_control(&records, prepared, self.campaign.quality_config());
+        health.qc_kept = quality.kept.len();
+        if let Some(m) = &metrics {
+            m.refill_rounds.set(health.refill_rounds as i64);
+            m.budget_spent.set((health.spend_usd * 100.0).round() as i64);
+            m.health.set(i64::from(health.reached_target()));
+        }
+
+        let outcome = CampaignOutcome {
+            test_id: prepared.test_id.clone(),
+            prepared: prepared.clone(),
+            n_versions: params.webpages.len(),
+            sessions,
+            quality,
+            cost: CostReport {
+                worker_payments_usd: worker_payments,
+                platform_fee_usd: platform_fees,
+            },
+        };
+        Ok(SupervisedOutcome { outcome, health, leases })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregator::Aggregator;
+    use crate::campaign::QuestionKind;
+    use crate::corpus;
+    use kscope_crowd::platform::Channel;
+    use kscope_store::{Database, GridStore};
+    use rand::{rngs::StdRng, SeedableRng};
+    use std::sync::Arc;
+
+    struct Fixture {
+        params: crate::params::TestParams,
+        prepared: PreparedTest,
+        campaign: Campaign,
+        db: Database,
+    }
+
+    fn fixture(
+        participants: usize,
+        seed: u64,
+        registry: Option<Arc<kscope_telemetry::Registry>>,
+    ) -> (Fixture, StdRng) {
+        let (store, params) = corpus::font_size_study(participants);
+        let db = match &registry {
+            Some(r) => Database::new().with_telemetry(r),
+            None => Database::new(),
+        };
+        let grid = GridStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let prepared =
+            Aggregator::new(db.clone(), grid.clone()).prepare(&params, &store, &mut rng).unwrap();
+        let mut campaign = Campaign::new(db.clone(), grid)
+            .with_question(params.question[0].text(), QuestionKind::FontReadability);
+        if let Some(r) = registry {
+            campaign = campaign.with_telemetry(r);
+        }
+        (Fixture { params, prepared, campaign, db }, rng)
+    }
+
+    #[test]
+    fn clean_population_needs_no_refill() {
+        let (fx, mut rng) = fixture(40, 1, None);
+        let spec = JobSpec::new(&fx.params.test_id, 0.11, 40, Channel::HistoricallyTrustworthy);
+        let sup = CampaignSupervisor::new(&fx.campaign, SupervisorConfig::new(20));
+        let out = sup.run(&fx.params, &fx.prepared, &spec, &mut rng).unwrap();
+        assert!(out.health.reached_target());
+        assert!(out.health.accounted());
+        assert_eq!(out.health.refill_rounds, 0);
+        assert_eq!(out.health.abandoned, 0);
+        assert_eq!(out.health.deduped, 0);
+        assert_eq!(out.health.completed, out.health.recruited);
+        // Only completed sessions are paid.
+        let expected = 0.11 * out.health.completed as f64 * (1.0 + Platform::FEE_RATE);
+        assert!((out.outcome.cost.total_usd() - expected).abs() < 1e-9);
+        // Every lease concluded completed.
+        assert!(out.leases.iter().all(|l| l.outcome == LeaseOutcome::Completed));
+        assert!(out.leases.iter().all(|l| l.deadline_ms > l.issued_ms));
+    }
+
+    #[test]
+    fn faulty_population_refills_to_target_without_duplicates() {
+        let registry = Arc::new(kscope_telemetry::Registry::new());
+        let (fx, mut rng) = fixture(30, 7, Some(Arc::clone(&registry)));
+        let spec = JobSpec::new(&fx.params.test_id, 0.11, 30, Channel::Open);
+        let sup = CampaignSupervisor::new(&fx.campaign, SupervisorConfig::new(15))
+            .with_faults(FaultModel::flaky());
+        let out = sup.run(&fx.params, &fx.prepared, &spec, &mut rng).unwrap();
+
+        assert!(out.health.reached_target(), "refill must close the gap: {}", out.health);
+        assert!(out.health.accounted(), "accounting must balance: {}", out.health);
+        assert!(out.health.abandoned > 0, "a flaky open channel abandons: {}", out.health);
+
+        // Zero duplicate rows: every stored response has a unique
+        // (contributor, submission) pair.
+        let responses = fx.db.collection("responses");
+        let mut keys: Vec<String> = responses
+            .all()
+            .iter()
+            .map(|d| {
+                format!(
+                    "{}|{}",
+                    d["contributor_id"].as_str().unwrap(),
+                    d["submission_id"].as_str().unwrap()
+                )
+            })
+            .collect();
+        let total = keys.len();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), total, "responses must hold no duplicate rows");
+        assert_eq!(total, out.health.completed + out.health.deduped);
+
+        // Only completed sessions are paid (reward varies per round, so
+        // bound the spend instead of equating it).
+        let paid = out.health.completed + out.health.deduped;
+        assert!(out.health.spend_usd >= 0.11 * paid as f64 * (1.0 + Platform::FEE_RATE) - 1e-9);
+        assert!(out.health.spend_usd < 0.11 * 10.0 * paid as f64 * (1.0 + Platform::FEE_RATE));
+
+        // Metrics mirror the health report.
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter_total("core.sessions_abandoned_total"),
+            out.health.abandoned as u64
+        );
+        assert_eq!(
+            registry.counter_value("core.session_lease_expired_total", &[]),
+            Some(out.health.abandoned as u64)
+        );
+        assert_eq!(
+            registry.counter_value("server.responses_deduped_total", &[]),
+            Some(out.health.deduped as u64)
+        );
+        assert_eq!(
+            registry.counter_value("core.refill_recruited_total", &[]),
+            Some(out.health.refill_recruited as u64)
+        );
+        assert_eq!(registry.gauge_value("core.campaign_health", &[]), Some(1));
+        assert_eq!(
+            registry.gauge_value("core.campaign_budget_spent_usd", &[]),
+            Some((out.health.spend_usd * 100.0).round() as i64)
+        );
+    }
+
+    #[test]
+    fn budget_cap_degrades_gracefully() {
+        let (fx, mut rng) = fixture(10, 3, None);
+        let spec = JobSpec::new(&fx.params.test_id, 0.11, 10, Channel::Open);
+        // A cap that cannot possibly fund the target forces a degraded
+        // conclusion with partial results, not an error.
+        let config = SupervisorConfig::new(200).with_budget_cap_usd(2.0);
+        let sup = CampaignSupervisor::new(&fx.campaign, config).with_faults(FaultModel::flaky());
+        let out = sup.run(&fx.params, &fx.prepared, &spec, &mut rng).unwrap();
+        assert!(!out.health.reached_target());
+        assert!(out.health.budget_hit, "{}", out.health);
+        assert!(out.health.accounted());
+        assert!(out.health.spend_usd <= 2.0 + 1e-9, "spend {}", out.health.spend_usd);
+    }
+
+    #[test]
+    fn deadline_degrades_gracefully() {
+        let (fx, mut rng) = fixture(10, 4, None);
+        let spec = JobSpec::new(&fx.params.test_id, 0.11, 10, Channel::HistoricallyTrustworthy);
+        // One virtual minute: almost nobody arrives in time.
+        let config = SupervisorConfig::new(50).with_deadline_ms(60_000);
+        let sup = CampaignSupervisor::new(&fx.campaign, config);
+        let out = sup.run(&fx.params, &fx.prepared, &spec, &mut rng).unwrap();
+        assert!(out.health.deadline_hit, "{}", out.health);
+        assert!(!out.health.reached_target());
+        assert!(out.health.accounted());
+    }
+
+    #[test]
+    fn health_json_and_display_are_consistent() {
+        let (fx, mut rng) = fixture(20, 5, None);
+        let spec = JobSpec::new(&fx.params.test_id, 0.11, 20, Channel::Open);
+        let sup = CampaignSupervisor::new(&fx.campaign, SupervisorConfig::new(8))
+            .with_faults(FaultModel::flaky());
+        let out = sup.run(&fx.params, &fx.prepared, &spec, &mut rng).unwrap();
+        let j = out.health.to_json();
+        assert_eq!(j["recruited"].as_u64().unwrap() as usize, out.health.recruited);
+        assert_eq!(j["abandoned"]["total"].as_u64().unwrap() as usize, out.health.abandoned);
+        assert_eq!(j["reached_target"].as_bool().unwrap(), out.health.reached_target());
+        assert!(!out.health.to_string().is_empty());
+    }
+}

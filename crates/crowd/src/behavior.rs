@@ -20,6 +20,9 @@ pub struct SessionBehavior {
     pub created_tabs: u32,
     /// Number of active-tab switches observed.
     pub active_tabs: u32,
+    /// Pages (by index) where the client dropped one answer before trying
+    /// to advance — a hard-rule violation the orchestrator must survive.
+    pub dropped_answer_pages: Vec<usize>,
 }
 
 impl SessionBehavior {
@@ -46,6 +49,9 @@ pub struct BehaviorModel {
     pub in_lab_median_min: f64,
     /// Log-scale sigma for in-lab participants.
     pub in_lab_sigma: f64,
+    /// Probability (per page) that a remote client drops one answer and
+    /// tries to advance anyway — zero by default.
+    pub question_skip_rate: f64,
 }
 
 impl Default for BehaviorModel {
@@ -55,6 +61,7 @@ impl Default for BehaviorModel {
             diligent_sigma: 0.45,
             in_lab_median_min: 0.50,
             in_lab_sigma: 0.35,
+            question_skip_rate: 0.0,
         }
     }
 }
@@ -93,7 +100,9 @@ impl BehaviorModel {
             })
             .collect();
         let (created_tabs, active_tabs) = self.tab_activity(worker, comparisons, rng);
-        SessionBehavior { comparison_minutes, created_tabs, active_tabs }
+        let dropped_answer_pages =
+            (0..comparisons).filter(|_| rng.random::<f64>() < self.question_skip_rate).collect();
+        SessionBehavior { comparison_minutes, created_tabs, active_tabs, dropped_answer_pages }
     }
 
     /// Generates the behaviour of one in-lab session (trusted participants,
@@ -110,7 +119,13 @@ impl BehaviorModel {
         // In-lab participants stay on the test tab.
         let created_tabs = 1 + u32::from(rng.random::<f64>() < 0.2);
         let active_tabs = created_tabs + rng.random_range(0..2);
-        SessionBehavior { comparison_minutes, created_tabs, active_tabs }
+        // Guided in-lab participants never skip a questionnaire entry.
+        SessionBehavior {
+            comparison_minutes,
+            created_tabs,
+            active_tabs,
+            dropped_answer_pages: Vec::new(),
+        }
     }
 
     fn tab_activity<R: Rng + ?Sized>(
@@ -234,6 +249,24 @@ mod tests {
         let d = mean_tabs(&diligent, &mut rng);
         let s = mean_tabs(&spam, &mut rng);
         assert!(s > d, "spam tabs {s} vs diligent {d}");
+    }
+
+    #[test]
+    fn question_skip_rate_marks_pages() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let w = &workers_of(|p| p.is_genuine(), 1, 14)[0];
+        let clean = BehaviorModel::default().remote_session(w, 10, &mut rng);
+        assert!(clean.dropped_answer_pages.is_empty());
+        let flaky = BehaviorModel { question_skip_rate: 0.5, ..BehaviorModel::default() };
+        let mut any = false;
+        for _ in 0..20 {
+            let s = flaky.remote_session(w, 10, &mut rng);
+            assert!(s.dropped_answer_pages.iter().all(|&p| p < 10));
+            any |= !s.dropped_answer_pages.is_empty();
+        }
+        assert!(any, "a 50% skip rate must mark some pages");
+        // In-lab sessions never skip.
+        assert!(flaky.in_lab_session(w, 10, &mut rng).dropped_answer_pages.is_empty());
     }
 
     #[test]

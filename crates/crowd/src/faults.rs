@@ -1,0 +1,246 @@
+//! Session fault model: how real crowd testers fail.
+//!
+//! The paper's hard rules (§III-D) exist because crowd sessions are
+//! fallible: participants abandon a test mid-comparison, close the tab
+//! halfway through the questionnaire, disconnect and re-upload the same
+//! answers, or accept the job and never return. The EYEORG/VidPlat line of
+//! QoE crowdsourcing treats those incomplete and duplicate contributions
+//! as the dominant operational failure mode. This module samples one
+//! [`SessionFault`] per simulated session so the campaign supervisor can
+//! be exercised against every recovery path.
+
+use crate::worker::{Worker, WorkerProfile};
+use rand::{Rng, RngExt};
+
+/// What went wrong (if anything) in one tester session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionFault {
+    /// The session ran to completion with a single clean upload.
+    None,
+    /// The tester closed the browser while looking at page `page`
+    /// (0-based), before answering anything on it.
+    AbandonMidPage {
+        /// Index of the page being viewed when the tester left.
+        page: usize,
+    },
+    /// The tester left partway through a page's questionnaire: `answered`
+    /// of the page's questions were answered before the tab closed.
+    AbandonMidQuestionnaire {
+        /// Index of the page whose questionnaire was abandoned.
+        page: usize,
+        /// How many questions were answered before abandoning.
+        answered: usize,
+    },
+    /// A buggy or rushed client dropped one answer on `page` and then
+    /// tried to advance — the hard rules must reject the session instead
+    /// of panicking the orchestrator.
+    SkipQuestion {
+        /// Index of the page with the dropped answer.
+        page: usize,
+    },
+    /// The worker accepted the assignment and was never heard from again;
+    /// only a lease expiry can reclaim the slot.
+    NeverReturns,
+    /// The tester finished but the upload acknowledgment was lost, so the
+    /// client retried. With `duplicate_upload` the retry reaches intake as
+    /// a second copy of the same submission and must be deduplicated.
+    DisconnectRetry {
+        /// Whether the retry produced a duplicate row at intake.
+        duplicate_upload: bool,
+    },
+}
+
+impl SessionFault {
+    /// Whether the session still produces a stored, payable response.
+    pub fn completes(&self) -> bool {
+        matches!(self, SessionFault::None | SessionFault::DisconnectRetry { .. })
+    }
+}
+
+/// Per-session fault probabilities. All default to zero (a perfectly
+/// reliable population — the pre-supervisor behaviour).
+///
+/// Abandonment and straggling scale with the worker profile: casual
+/// workers and spammers walk away from a $0.11 task far more readily than
+/// diligent ones. Client-side faults (skip / disconnect) are
+/// profile-independent.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultModel {
+    /// Probability of abandoning while viewing a page.
+    pub abandon_mid_page: f64,
+    /// Probability of abandoning partway through a questionnaire.
+    pub abandon_mid_questionnaire: f64,
+    /// Probability the worker never returns after accepting.
+    pub straggler: f64,
+    /// Probability the client drops one answer and violates a hard rule.
+    pub skip_question: f64,
+    /// Probability the upload acknowledgment is lost and retried.
+    pub disconnect_retry: f64,
+    /// Probability (given a retry) that the retry reaches intake as a
+    /// duplicate row.
+    pub duplicate_upload: f64,
+}
+
+impl FaultModel {
+    /// A perfectly reliable population.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A realistically flaky open-channel population: ≥20% of sessions
+    /// abandon one way or another and ≥10% of completions retry their
+    /// upload with a duplicate.
+    pub fn flaky() -> Self {
+        Self {
+            abandon_mid_page: 0.10,
+            abandon_mid_questionnaire: 0.08,
+            straggler: 0.06,
+            skip_question: 0.02,
+            disconnect_retry: 0.18,
+            duplicate_upload: 0.75,
+        }
+    }
+
+    /// Fraction of sessions expected to abandon (before profile scaling).
+    pub fn abandonment_rate(&self) -> f64 {
+        self.abandon_mid_page + self.abandon_mid_questionnaire + self.straggler
+    }
+
+    /// Samples the fault (if any) for one worker's session over a test
+    /// with `pages` integrated pages and `questions` questions per page.
+    pub fn sample<R: Rng + ?Sized>(
+        &self,
+        worker: &Worker,
+        pages: usize,
+        questions: usize,
+        rng: &mut R,
+    ) -> SessionFault {
+        if pages == 0 {
+            return SessionFault::None;
+        }
+        let scale = match worker.profile {
+            WorkerProfile::Diligent { .. } => 0.6,
+            WorkerProfile::Casual { .. } => 1.3,
+            WorkerProfile::Spammer(_) => 1.6,
+        };
+        // One roll against the cumulative abandonment ladder so at most
+        // one terminal fault fires per session.
+        let p_straggle = (self.straggler * scale).min(0.95);
+        let p_mid_page = (self.abandon_mid_page * scale).min(0.95);
+        let p_mid_q = (self.abandon_mid_questionnaire * scale).min(0.95);
+        let roll: f64 = rng.random();
+        let mut cum = p_straggle;
+        if roll < cum {
+            return SessionFault::NeverReturns;
+        }
+        cum += p_mid_page;
+        if roll < cum {
+            return SessionFault::AbandonMidPage { page: rng.random_range(0..pages) };
+        }
+        cum += p_mid_q;
+        if roll < cum {
+            return SessionFault::AbandonMidQuestionnaire {
+                page: rng.random_range(0..pages),
+                answered: if questions == 0 { 0 } else { rng.random_range(0..questions) },
+            };
+        }
+        cum += self.skip_question;
+        if roll < cum {
+            return SessionFault::SkipQuestion { page: rng.random_range(0..pages) };
+        }
+        if rng.random::<f64>() < self.disconnect_retry {
+            return SessionFault::DisconnectRetry {
+                duplicate_upload: rng.random::<f64>() < self.duplicate_upload,
+            };
+        }
+        SessionFault::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worker::PopulationMix;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn population(n: usize, seed: u64) -> Vec<Worker> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| Worker::generate(i as u64, &PopulationMix::open_channel(), &mut rng))
+            .collect()
+    }
+
+    #[test]
+    fn zero_model_never_faults() {
+        let model = FaultModel::none();
+        let mut rng = StdRng::seed_from_u64(1);
+        for w in population(200, 2) {
+            assert_eq!(model.sample(&w, 12, 1, &mut rng), SessionFault::None);
+        }
+    }
+
+    #[test]
+    fn flaky_model_hits_every_fault_kind() {
+        let model = FaultModel::flaky();
+        assert!(model.abandonment_rate() >= 0.20);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut saw = [false; 5];
+        for w in population(600, 4) {
+            match model.sample(&w, 12, 2, &mut rng) {
+                SessionFault::None => {}
+                SessionFault::NeverReturns => saw[0] = true,
+                SessionFault::AbandonMidPage { page } => {
+                    assert!(page < 12);
+                    saw[1] = true;
+                }
+                SessionFault::AbandonMidQuestionnaire { page, answered } => {
+                    assert!(page < 12 && answered < 2);
+                    saw[2] = true;
+                }
+                SessionFault::SkipQuestion { page } => {
+                    assert!(page < 12);
+                    saw[3] = true;
+                }
+                SessionFault::DisconnectRetry { .. } => saw[4] = true,
+            }
+        }
+        assert!(saw.iter().all(|&s| s), "all fault kinds exercised: {saw:?}");
+    }
+
+    #[test]
+    fn spammers_abandon_more_than_diligent() {
+        let model = FaultModel { abandon_mid_page: 0.2, ..FaultModel::default() };
+        let mut rng = StdRng::seed_from_u64(5);
+        let abandon_share = |pred: fn(&WorkerProfile) -> bool, rng: &mut StdRng| {
+            let ws: Vec<Worker> =
+                population(2000, 6).into_iter().filter(|w| pred(&w.profile)).collect();
+            let n = ws.len();
+            let abandoned = ws
+                .iter()
+                .filter(|w| !matches!(model.sample(w, 5, 1, rng), SessionFault::None))
+                .count();
+            abandoned as f64 / n as f64
+        };
+        let diligent = abandon_share(|p| matches!(p, WorkerProfile::Diligent { .. }), &mut rng);
+        let spam = abandon_share(|p| matches!(p, WorkerProfile::Spammer(_)), &mut rng);
+        assert!(spam > diligent, "spammer rate {spam} vs diligent {diligent}");
+    }
+
+    #[test]
+    fn completes_classifies_terminal_faults() {
+        assert!(SessionFault::None.completes());
+        assert!(SessionFault::DisconnectRetry { duplicate_upload: true }.completes());
+        assert!(!SessionFault::NeverReturns.completes());
+        assert!(!SessionFault::AbandonMidPage { page: 0 }.completes());
+        assert!(!SessionFault::AbandonMidQuestionnaire { page: 0, answered: 0 }.completes());
+        assert!(!SessionFault::SkipQuestion { page: 0 }.completes());
+    }
+
+    #[test]
+    fn empty_test_cannot_fault() {
+        let model = FaultModel::flaky();
+        let mut rng = StdRng::seed_from_u64(9);
+        let w = &population(1, 1)[0];
+        assert_eq!(model.sample(w, 0, 1, &mut rng), SessionFault::None);
+    }
+}

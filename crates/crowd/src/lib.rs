@@ -27,12 +27,14 @@
 #![warn(missing_docs)]
 
 pub mod behavior;
+pub mod faults;
 pub mod perception;
 pub mod platform;
 pub mod targeting;
 pub mod worker;
 
 pub use behavior::SessionBehavior;
+pub use faults::{FaultModel, SessionFault};
 pub use perception::{FontSizeModel, JudgedPair, ReadinessModel};
 pub use platform::{
     Assignment, Channel, CostReport, CrowdsourcingPlatform, InLabRecruiter, JobSpec, MturkLike,

@@ -25,6 +25,11 @@ pub const PAGES_COLLECTION: &str = "integrated_pages";
 pub const RESPONSES_COLLECTION: &str = "responses";
 /// Collection holding crowdsourcing-platform job postings.
 pub const JOBS_COLLECTION: &str = "jobs";
+/// Collection holding in-flight session leases (heartbeat tracking).
+pub const SESSIONS_COLLECTION: &str = "sessions";
+
+/// Default session lease in ms when the heartbeat body names none.
+pub const DEFAULT_LEASE_MS: u64 = 120_000;
 
 /// The core-server API: a [`Database`] + [`GridStore`] pair exposed over
 /// HTTP routes, optionally instrumented on a shared [`Registry`].
@@ -128,15 +133,16 @@ impl CoreServerApi {
                     Some(id) if !id.is_empty() => id.to_string(),
                     _ => return Response::bad_request("test_id is required"),
                 };
+                // Atomic check-and-insert: two racing creates of the same
+                // test_id cannot both pass a separate existence check.
                 let tests = db.collection(TESTS_COLLECTION);
-                if tests.find_one(&json!({ "test_id": test_id })).is_some() {
-                    return Response::bad_request("test_id already exists");
+                match tests.insert_if_absent(&json!({ "test_id": test_id }), body) {
+                    Ok(oid) => Response::json_with_status(
+                        crate::http::StatusCode::CREATED,
+                        &json!({ "_id": oid.as_str(), "test_id": test_id }),
+                    ),
+                    Err(_) => Response::bad_request("test_id already exists"),
                 }
-                let oid = tests.insert_one(body);
-                Response::json_with_status(
-                    crate::http::StatusCode::CREATED,
-                    &json!({ "_id": oid.as_str(), "test_id": test_id }),
-                )
             });
         }
         {
@@ -193,6 +199,7 @@ impl CoreServerApi {
         // --- Participant responses ---------------------------------------
         {
             let db = db.clone();
+            let telemetry = self.telemetry.clone();
             router.post("/api/tests/:id/responses", move |req, p| {
                 let id = p.get("id").unwrap_or("").to_string();
                 let mut body = match req.json() {
@@ -208,6 +215,37 @@ impl CoreServerApi {
                 body.as_object_mut()
                     .expect("checked is_object")
                     .insert("test_id".to_string(), Value::String(id.clone()));
+                // Idempotency: an upload carrying (contributor_id,
+                // submission_id) is deduplicated against the same triple —
+                // a disconnect-then-retry client replaying the POST gets
+                // the original row back with 200, never a second 201.
+                let contributor = body.get("contributor_id").and_then(Value::as_str);
+                let submission = body.get("submission_id").and_then(Value::as_str);
+                if let (Some(contributor), Some(submission)) = (contributor, submission) {
+                    let key = json!({
+                        "test_id": id,
+                        "contributor_id": contributor,
+                        "submission_id": submission,
+                    });
+                    return match db.collection(RESPONSES_COLLECTION).insert_if_absent(&key, body) {
+                        Ok(oid) => Response::json_with_status(
+                            crate::http::StatusCode::CREATED,
+                            &json!({ "_id": oid.as_str() }),
+                        ),
+                        Err(existing) => {
+                            if let Some(registry) = &telemetry {
+                                registry.counter("server.responses_deduped_total").inc();
+                                registry.counter("server.upload_retries_total").inc();
+                            }
+                            Response::json(&json!({
+                                "_id": existing.as_str(),
+                                "deduped": true,
+                            }))
+                        }
+                    };
+                }
+                // Legacy clients without an idempotency key keep the old
+                // always-insert behaviour.
                 let oid = db.collection(RESPONSES_COLLECTION).insert_one(body);
                 Response::json_with_status(
                     crate::http::StatusCode::CREATED,
@@ -256,6 +294,26 @@ impl CoreServerApi {
                 if body.get("test_id").and_then(Value::as_str).is_none() {
                     return Response::bad_request("job must reference a test_id");
                 }
+                // A malformed posting would recruit nobody (or at a
+                // nonsense price) — reject it before it reaches the
+                // platform hand-off.
+                match body.get("quota") {
+                    Some(q) => match q.as_u64() {
+                        Some(n) if n > 0 => {}
+                        _ => return Response::bad_request("quota must be a positive integer"),
+                    },
+                    None => return Response::bad_request("quota must be a positive integer"),
+                }
+                if let Some(reward) = body.get("reward_usd") {
+                    match reward.as_f64() {
+                        Some(r) if r >= 0.0 => {}
+                        _ => {
+                            return Response::bad_request(
+                                "reward_usd must be a non-negative number",
+                            )
+                        }
+                    }
+                }
                 let oid = db.collection(JOBS_COLLECTION).insert_one(body);
                 Response::json_with_status(
                     crate::http::StatusCode::CREATED,
@@ -270,8 +328,108 @@ impl CoreServerApi {
             });
         }
 
+        // --- Session leases & heartbeats ----------------------------------
+        // The extension heartbeats while a tester works; the supervisor
+        // reads the listing to reclaim expired leases and requeue slots.
+        {
+            let db = db.clone();
+            router.post("/api/tests/:id/sessions/:cid/heartbeat", move |req, p| {
+                let id = p.get("id").unwrap_or("").to_string();
+                let cid = p.get("cid").unwrap_or("").to_string();
+                if cid.is_empty() {
+                    return Response::bad_request("contributor id is required");
+                }
+                if db.collection(TESTS_COLLECTION).find_one(&json!({ "test_id": id })).is_none() {
+                    return Response::not_found("no such test");
+                }
+                let lease_ms = req
+                    .json()
+                    .ok()
+                    .and_then(|b| b.get("lease_ms").and_then(Value::as_u64))
+                    .unwrap_or(DEFAULT_LEASE_MS);
+                let now_ms = epoch_ms();
+                let sessions = db.collection(SESSIONS_COLLECTION);
+                let key = json!({ "test_id": id, "contributor_id": cid });
+                let seed = json!({
+                    "test_id": id,
+                    "contributor_id": cid,
+                    "lease_ms": lease_ms,
+                    "heartbeats": 0u64,
+                    "first_seen_ms": now_ms,
+                    "last_heartbeat_ms": now_ms,
+                });
+                // First heartbeat registers the lease atomically; racing
+                // duplicates fall through to the refresh below.
+                let _ = sessions.insert_if_absent(&key, seed);
+                let beats = sessions
+                    .find_one(&key)
+                    .and_then(|d| d.get("heartbeats").and_then(Value::as_u64))
+                    .unwrap_or(0)
+                    + 1;
+                sessions.update_many(
+                    &key,
+                    &json!({ "$set": {
+                        "lease_ms": lease_ms,
+                        "heartbeats": beats,
+                        "last_heartbeat_ms": now_ms,
+                    }}),
+                );
+                Response::json(&json!({
+                    "test_id": id,
+                    "contributor_id": cid,
+                    "lease_ms": lease_ms,
+                    "heartbeats": beats,
+                    "deadline_ms": now_ms + lease_ms,
+                }))
+            });
+        }
+        {
+            let db = db.clone();
+            router.get("/api/tests/:id/sessions", move |_req, p| {
+                let id = p.get("id").unwrap_or("");
+                let now_ms = epoch_ms();
+                let mut in_flight = 0u64;
+                let mut expired = 0u64;
+                let docs: Vec<Value> = db
+                    .collection(SESSIONS_COLLECTION)
+                    .find(&json!({ "test_id": id }))
+                    .into_iter()
+                    .map(|mut d| {
+                        let last = d.get("last_heartbeat_ms").and_then(Value::as_u64).unwrap_or(0);
+                        let lease =
+                            d.get("lease_ms").and_then(Value::as_u64).unwrap_or(DEFAULT_LEASE_MS);
+                        let is_expired = now_ms > last.saturating_add(lease);
+                        if is_expired {
+                            expired += 1;
+                        } else {
+                            in_flight += 1;
+                        }
+                        if let Some(obj) = d.as_object_mut() {
+                            obj.insert("expired".to_string(), Value::Bool(is_expired));
+                        }
+                        d
+                    })
+                    .collect();
+                Response::json(&json!({
+                    "test_id": id,
+                    "in_flight": in_flight,
+                    "expired": expired,
+                    "sessions": docs,
+                }))
+            });
+        }
+
         router
     }
+}
+
+/// Wall-clock milliseconds since the Unix epoch, used to timestamp
+/// session heartbeats.
+fn epoch_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
 }
 
 /// Aggregates raw responses into per-question answer counts — the core
@@ -442,6 +600,140 @@ mod tests {
         assert_eq!(listing.json_body().unwrap().as_array().unwrap().len(), 1);
         let bad = client::post_json(addr, "/api/platform/jobs", &json!({"quota": 5})).unwrap();
         assert_eq!(bad.status.0, 400);
+        server.shutdown();
+    }
+
+    #[test]
+    fn response_replay_is_idempotent() {
+        let db = Database::new();
+        let grid = GridStore::new();
+        let registry = std::sync::Arc::new(Registry::new());
+        let api =
+            CoreServerApi::new(db.clone(), grid).with_telemetry(std::sync::Arc::clone(&registry));
+        let server = HttpServer::bind("127.0.0.1:0", api.into_router(), 2).unwrap();
+        let addr = server.local_addr();
+
+        client::post_json(addr, "/api/tests", &json!({"test_id": "t-idem"})).unwrap();
+        let body = json!({
+            "contributor_id": "w-1",
+            "submission_id": "sub-w-1-000001",
+            "answers": {"q": "Left"},
+        });
+        let first = client::post_json(addr, "/api/tests/t-idem/responses", &body).unwrap();
+        assert_eq!(first.status.0, 201);
+        let original_id = first.json_body().unwrap()["_id"].as_str().unwrap().to_string();
+
+        // The retry replays the exact same body: same row, 200 not 201.
+        let replay = client::post_json(addr, "/api/tests/t-idem/responses", &body).unwrap();
+        assert_eq!(replay.status.0, 200);
+        let replay_body = replay.json_body().unwrap();
+        assert_eq!(replay_body["_id"].as_str().unwrap(), original_id);
+        assert_eq!(replay_body["deduped"], json!(true));
+        assert_eq!(db.collection(RESPONSES_COLLECTION).len(), 1);
+        assert_eq!(registry.counter_value("server.responses_deduped_total", &[]), Some(1));
+        assert_eq!(registry.counter_value("server.upload_retries_total", &[]), Some(1));
+
+        // A different submission id from the same contributor is new work.
+        let second = json!({
+            "contributor_id": "w-1",
+            "submission_id": "sub-w-1-000002",
+            "answers": {"q": "Right"},
+        });
+        let resp = client::post_json(addr, "/api/tests/t-idem/responses", &second).unwrap();
+        assert_eq!(resp.status.0, 201);
+        assert_eq!(db.collection(RESPONSES_COLLECTION).len(), 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_test_creates_admit_exactly_one() {
+        let (server, addr, db, _) = start();
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            handles.push(std::thread::spawn(move || {
+                let resp = client::post_json(
+                    addr,
+                    "/api/tests",
+                    &json!({"test_id": "race", "participant_num": 10}),
+                )
+                .unwrap();
+                resp.status.0
+            }));
+        }
+        let statuses: Vec<u16> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(statuses.iter().filter(|s| **s == 201).count(), 1);
+        assert_eq!(statuses.iter().filter(|s| **s == 400).count(), 7);
+        assert_eq!(db.collection(TESTS_COLLECTION).find(&json!({"test_id": "race"})).len(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn job_validation_rejects_garbage() {
+        let (server, addr, db, _) = start();
+        for bad in [
+            json!({"test_id": "t", "quota": 0}),
+            json!({"test_id": "t", "quota": -3}),
+            json!({"test_id": "t", "quota": "many"}),
+            json!({"test_id": "t"}),
+            json!({"test_id": "t", "quota": 10, "reward_usd": -0.5}),
+            json!({"test_id": "t", "quota": 10, "reward_usd": "cheap"}),
+        ] {
+            let resp = client::post_json(addr, "/api/platform/jobs", &bad).unwrap();
+            assert_eq!(resp.status.0, 400, "payload should be rejected: {bad}");
+        }
+        assert_eq!(db.collection(JOBS_COLLECTION).len(), 0);
+        // A well-formed job without a reward is still acceptable.
+        let ok =
+            client::post_json(addr, "/api/platform/jobs", &json!({"test_id": "t", "quota": 10}))
+                .unwrap();
+        assert_eq!(ok.status.0, 201);
+        server.shutdown();
+    }
+
+    #[test]
+    fn heartbeat_tracks_session_leases() {
+        let (server, addr, _, _) = start();
+        client::post_json(addr, "/api/tests", &json!({"test_id": "t-hb"})).unwrap();
+
+        let ghost =
+            client::post_json(addr, "/api/tests/ghost/sessions/w-1/heartbeat", &json!({})).unwrap();
+        assert_eq!(ghost.status.0, 404);
+
+        let beat = client::post_json(
+            addr,
+            "/api/tests/t-hb/sessions/w-1/heartbeat",
+            &json!({"lease_ms": 60000}),
+        )
+        .unwrap();
+        assert_eq!(beat.status.0, 200);
+        let beat_body = beat.json_body().unwrap();
+        assert_eq!(beat_body["heartbeats"], json!(1));
+        assert_eq!(beat_body["lease_ms"], json!(60000));
+
+        let again = client::post_json(
+            addr,
+            "/api/tests/t-hb/sessions/w-1/heartbeat",
+            &json!({"lease_ms": 60000}),
+        )
+        .unwrap();
+        assert_eq!(again.json_body().unwrap()["heartbeats"], json!(2));
+
+        // A lease that has already run out is reported expired.
+        client::post_json(addr, "/api/tests/t-hb/sessions/w-2/heartbeat", &json!({"lease_ms": 0}))
+            .unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let listing = client::get(addr, "/api/tests/t-hb/sessions").unwrap();
+        let body = listing.json_body().unwrap();
+        assert_eq!(body["sessions"].as_array().unwrap().len(), 2);
+        assert_eq!(body["in_flight"], json!(1));
+        assert_eq!(body["expired"], json!(1));
+        let w2 = body["sessions"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|s| s["contributor_id"] == json!("w-2"))
+            .unwrap();
+        assert_eq!(w2["expired"], json!(true));
         server.shutdown();
     }
 

@@ -155,6 +155,45 @@ impl Collection {
         docs.into_iter().map(|d| self.insert_one(d)).collect()
     }
 
+    /// Atomically inserts `doc` unless a document matching the `unique`
+    /// filter already exists — the unique-key insert that closes the
+    /// `find_one`-then-`insert_one` TOCTOU race: the existence check and
+    /// the insert happen under one write lock, so two concurrent calls
+    /// with the same key can never both insert.
+    ///
+    /// Returns `Ok(id)` of the freshly inserted document, or `Err(id)` of
+    /// the already-present match (the idempotent-replay answer).
+    pub fn insert_if_absent(&self, unique: &Value, mut doc: Value) -> Result<ObjectId, ObjectId> {
+        let _timer = self.observe_op(|m| &m.inserts);
+        if !doc.is_object() {
+            doc = serde_json::json!({ "value": doc });
+        }
+        let mut docs = self.inner.docs.write();
+        if let Some(existing) = docs.iter().find(|d| matches_filter(d, unique)) {
+            let id = existing.get("_id").and_then(Value::as_str).unwrap_or_default().to_string();
+            return Err(ObjectId(id));
+        }
+        let obj = doc.as_object_mut().expect("wrapped to object above");
+        let id = match obj.get("_id").and_then(Value::as_str) {
+            Some(existing) => ObjectId(existing.to_string()),
+            None => {
+                let n = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+                let id = ObjectId(format!("oid-{n:08x}"));
+                obj.insert("_id".to_string(), Value::String(id.0.clone()));
+                id
+            }
+        };
+        if let Some(d) = self.inner.durability.get() {
+            // WAL-logged as a plain insert: the op was only admitted when
+            // the key was absent, so replay needs no uniqueness re-check.
+            let op = json!({"op": "insert", "coll": d.name.clone(), "doc": doc.clone()});
+            d.dur.commit(op, || docs.push(doc));
+        } else {
+            docs.push(doc);
+        }
+        Ok(id)
+    }
+
     /// All documents matching `filter`, in insertion order (cloned).
     pub fn find(&self, filter: &Value) -> Vec<Value> {
         let _timer = self.observe_op(|m| &m.finds);
@@ -343,6 +382,55 @@ mod tests {
         assert_eq!(c.len(), 1);
         assert_eq!(c.delete_many(&json!({})), 1);
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn insert_if_absent_is_idempotent() {
+        let c = Collection::new();
+        let key = json!({"test_id": "t", "contributor_id": "w", "submission_id": "s1"});
+        let first = c
+            .insert_if_absent(
+                &key,
+                json!({"test_id": "t", "contributor_id": "w", "submission_id": "s1", "x": 1}),
+            )
+            .expect("first insert goes through");
+        let replay = c
+            .insert_if_absent(
+                &key,
+                json!({"test_id": "t", "contributor_id": "w", "submission_id": "s1", "x": 2}),
+            )
+            .expect_err("replay must not insert");
+        assert_eq!(first, replay);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.find_by_id(&first).unwrap()["x"], json!(1), "original wins");
+        // A different key inserts fine.
+        let other = json!({"test_id": "t", "contributor_id": "w", "submission_id": "s2"});
+        assert!(c.insert_if_absent(&other, other.clone()).is_ok());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn insert_if_absent_survives_concurrent_racers() {
+        let c = Collection::new();
+        let key = json!({"k": "unique"});
+        let winners = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let c = c.clone();
+                let key = key.clone();
+                let winners = &winners;
+                s.spawn(move || {
+                    for i in 0..50 {
+                        if c.insert_if_absent(&key, json!({"k": "unique", "t": t, "i": i})).is_ok()
+                        {
+                            winners.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(winners.load(Ordering::Relaxed), 1, "exactly one racer inserts");
+        assert_eq!(c.len(), 1);
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //! ```
 
 use kaleidoscope::core::corpus;
+use kaleidoscope::core::supervisor::{CampaignSupervisor, SupervisorConfig};
 use kaleidoscope::core::{Aggregator, Campaign, QuestionKind, TestParams};
+use kaleidoscope::crowd::faults::FaultModel;
 use kaleidoscope::crowd::platform::{Channel, JobSpec, Platform};
 use kaleidoscope::server::api::CoreServerApi;
 use kaleidoscope::server::HttpServer;
@@ -58,6 +60,15 @@ fn print_usage() {
          kscope demo <font|expand|uplt|ads> [--participants N] [--seed N] [--in-lab] [--json]\n  \
          kscope snapshot <font|expand|uplt|ads> [--participants N] [--seed N] [--in-lab]\n  \
          kscope serve --data <dir> [--addr HOST:PORT] [--workers N] [--checkpoint-secs N]\n\n\
+         `demo`/`snapshot` supervision options (fault-tolerant campaign):\n  \
+         --supervised              lease sessions, recover abandonment, refill quota\n  \
+         --abandon R               total abandonment probability (default 0.2)\n  \
+         --duplicate R             duplicate-upload probability (default 0.1)\n  \
+         --straggler R             never-returning probability (default abandon/5)\n  \
+         --target-kept N           QC-kept sessions to aim for (default participants/2)\n  \
+         --deadline-hours H        campaign deadline in virtual hours\n  \
+         --budget USD              hard spend cap (payments + fees)\n  \
+         --reward-escalation X     reward multiplier per refill round (default 1.15)\n\n\
          `snapshot` runs a demo with telemetry attached and prints the\n\
          metric registry (counters, gauges, latency quantiles, events).\n\
          `serve` exposes the same registry at GET /metrics (Prometheus\n\
@@ -264,6 +275,87 @@ fn run_demo(args: &[String], telemetry: Option<Arc<Registry>>) -> CliResult {
         aggregator = aggregator.with_telemetry(Arc::clone(registry));
     }
     let prepared = aggregator.prepare(&params, &store, &mut rng)?;
+
+    if has_flag(args, "--supervised") {
+        if in_lab {
+            return Err("--supervised applies to platform recruitment, not --in-lab".into());
+        }
+        let mut campaign = Campaign::new(db.clone(), grid.clone());
+        if let Some(registry) = &telemetry {
+            campaign = campaign.with_telemetry(Arc::clone(registry));
+        }
+        for (q, k) in &kinds {
+            campaign = campaign.with_question(q, *k);
+        }
+        let abandon: f64 = opt(args, "--abandon").unwrap_or("0.2").parse()?;
+        let duplicate: f64 = opt(args, "--duplicate").unwrap_or("0.1").parse()?;
+        let straggler: f64 = match opt(args, "--straggler") {
+            Some(v) => v.parse()?,
+            None => abandon * 0.2,
+        };
+        let faults = FaultModel {
+            abandon_mid_page: abandon * 0.5,
+            abandon_mid_questionnaire: abandon * 0.3,
+            straggler,
+            skip_question: 0.02,
+            disconnect_retry: duplicate,
+            duplicate_upload: 1.0,
+        };
+        let target_kept: usize = match opt(args, "--target-kept") {
+            Some(v) => v.parse()?,
+            None => (participants / 2).max(1),
+        };
+        let mut config = SupervisorConfig::new(target_kept);
+        config.reward_escalation = opt(args, "--reward-escalation").unwrap_or("1.15").parse()?;
+        if let Some(h) = opt(args, "--deadline-hours") {
+            config.deadline_ms = Some((h.parse::<f64>()? * 3.6e6).round() as u64);
+        }
+        if let Some(b) = opt(args, "--budget") {
+            config.budget_cap_usd = Some(b.parse()?);
+        }
+        let spec =
+            JobSpec::new(&params.test_id, 0.11, participants, Channel::HistoricallyTrustworthy);
+        let supervised = CampaignSupervisor::new(&campaign, config)
+            .with_faults(faults)
+            .run(&params, &prepared, &spec, &mut rng)?;
+
+        if has_flag(args, "--json") {
+            let mut report = supervised.outcome.to_report_json(&params.question);
+            if let Some(obj) = report.as_object_mut() {
+                obj.insert("health".to_string(), supervised.health.to_json());
+            }
+            println!("{}", serde_json::to_string_pretty(&report)?);
+            return Ok(());
+        }
+        println!("{}", supervised.health);
+        if supervised.health.deadline_hit {
+            println!("  !! campaign deadline hit — concluded with partial results");
+        }
+        if supervised.health.budget_hit {
+            println!("  !! budget cap hit — refill stopped, concluded with partial results");
+        }
+        if supervised.health.rounds_exhausted {
+            println!("  !! refill rounds exhausted — concluded with partial results");
+        }
+        for q in &params.question {
+            let qa = supervised.outcome.question_analysis(q.text(), true);
+            match qa.two_version_votes() {
+                Some(v) => {
+                    let (a, same, b) = v.percentages();
+                    println!(
+                        "  {:<58} A {a:.0}% / Same {same:.0}% / B {b:.0}%  (p = {:.2e})",
+                        q.text(),
+                        v.significance().p_value
+                    );
+                }
+                None => {
+                    println!("  {:<58} ranking: {:?}", q.text(), qa.ranking());
+                }
+            }
+        }
+        return Ok(());
+    }
+
     let recruitment = if in_lab {
         kaleidoscope::crowd::platform::InLabRecruiter::new(participants, 7.0).recruit(&mut rng)
     } else {

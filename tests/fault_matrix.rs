@@ -1,0 +1,170 @@
+//! Fault-matrix end-to-end tests: a supervised campaign over an
+//! open-channel population with injected abandonment, stragglers, and
+//! duplicate uploads must still converge to the expected ranking while
+//! accounting for every recruited worker.
+//!
+//! The fault intensities are environment knobs so CI can sweep a matrix:
+//!
+//! * `KSCOPE_FAULT_ABANDON` — total abandonment probability (default 0.25)
+//! * `KSCOPE_FAULT_DUPLICATE` — duplicate-upload probability (default 0.15)
+
+use kaleidoscope::core::corpus;
+use kaleidoscope::core::supervisor::{CampaignSupervisor, SupervisorConfig};
+use kaleidoscope::core::{Aggregator, Campaign, QuestionKind};
+use kaleidoscope::crowd::faults::FaultModel;
+use kaleidoscope::crowd::platform::{Channel, JobSpec};
+use kaleidoscope::store::{Database, GridStore};
+use rand::{rngs::StdRng, SeedableRng};
+
+const FONT_Q: &str = "Which webpage's font size is more suitable (easier) for reading?";
+
+fn knob(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+/// The fault model under test, scaled by the environment knobs.
+fn matrix_faults() -> FaultModel {
+    let abandon = knob("KSCOPE_FAULT_ABANDON", 0.25);
+    let duplicate = knob("KSCOPE_FAULT_DUPLICATE", 0.15);
+    FaultModel {
+        abandon_mid_page: abandon * 0.45,
+        abandon_mid_questionnaire: abandon * 0.35,
+        straggler: abandon * 0.20,
+        skip_question: 0.02,
+        disconnect_retry: duplicate,
+        duplicate_upload: 1.0,
+    }
+}
+
+struct Supervised {
+    db: Database,
+    outcome: kaleidoscope::core::supervisor::SupervisedOutcome,
+}
+
+fn supervised_font_campaign(target_kept: usize, quota: usize, seed: u64) -> Supervised {
+    let (store, params) = corpus::font_size_study(quota);
+    let db = Database::new();
+    let grid = GridStore::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let prepared =
+        Aggregator::new(db.clone(), grid.clone()).prepare(&params, &store, &mut rng).unwrap();
+    let campaign = Campaign::new(db.clone(), grid)
+        .with_question(params.question[0].text(), QuestionKind::FontReadability);
+    let spec = JobSpec::new(&params.test_id, 0.11, quota, Channel::Open);
+    let outcome = CampaignSupervisor::new(&campaign, SupervisorConfig::new(target_kept))
+        .with_faults(matrix_faults())
+        .run(&params, &prepared, &spec, &mut rng)
+        .expect("a faulty population must not error the supervisor");
+    Supervised { db, outcome }
+}
+
+#[test]
+fn supervised_open_channel_converges_under_faults() {
+    let run = supervised_font_campaign(20, 30, 42);
+    let health = &run.outcome.health;
+
+    // Every recruited worker ends in exactly one bucket.
+    assert!(health.accounted(), "accounting must balance: {health}");
+    assert!(health.reached_target(), "refill must reach the QC target: {health}");
+    assert!(health.abandoned > 0, "a ≥20% abandonment model must produce abandonments: {health}");
+
+    // Zero duplicate rows survive intake.
+    let rows = run.db.collection("responses").all();
+    let mut keys: Vec<String> = rows
+        .iter()
+        .map(|d| {
+            format!(
+                "{}|{}",
+                d["contributor_id"].as_str().unwrap(),
+                d["submission_id"].as_str().unwrap()
+            )
+        })
+        .collect();
+    let total = keys.len();
+    keys.sort();
+    keys.dedup();
+    assert_eq!(keys.len(), total, "duplicate uploads must be deduplicated at intake");
+    assert_eq!(
+        total,
+        health.completed + health.deduped,
+        "each completed session stores exactly one row"
+    );
+
+    // Only completed sessions are paid.
+    assert!(run.outcome.outcome.cost.total_usd() > 0.0);
+    let paid = health.completed + health.deduped;
+    let base_per_session = 0.11 * 1.2;
+    assert!(
+        run.outcome.outcome.cost.total_usd() >= base_per_session * paid as f64 - 1e-9,
+        "every completed session is paid at least the base reward"
+    );
+    assert!(
+        run.outcome.outcome.cost.total_usd() < base_per_session * 10.0 * paid as f64,
+        "abandoned workers must not be paid"
+    );
+
+    // Despite the faults, the consensus still lands on the readable
+    // middle of the font range (12 or 14 pt) and 22 pt still loses.
+    let ranking = run.outcome.outcome.question_analysis(FONT_Q, true).ranking();
+    assert!(
+        ranking[0] == 1 || ranking[0] == 2,
+        "winner must be 12 or 14pt despite faults: {ranking:?}"
+    );
+    assert_eq!(*ranking.last().unwrap(), 4, "22pt must lose despite faults: {ranking:?}");
+}
+
+#[test]
+fn twelve_point_wins_most_seeds_under_faults() {
+    let mut twelve_wins = 0;
+    for seed in [3u64, 17, 29] {
+        let run = supervised_font_campaign(18, 25, seed);
+        assert!(run.outcome.health.accounted(), "seed {seed}: {}", run.outcome.health);
+        let ranking = run.outcome.outcome.question_analysis(FONT_Q, true).ranking();
+        if ranking[0] == 1 {
+            twelve_wins += 1;
+        }
+    }
+    assert!(twelve_wins >= 2, "12pt should win most seeds under faults, won {twelve_wins}/3");
+}
+
+#[test]
+fn accounting_balances_across_fault_grid() {
+    // A small in-test matrix independent of the environment knobs: the
+    // invariant must hold at every corner, including the fault-free one.
+    for (abandon, duplicate) in [(0.0, 0.0), (0.0, 0.3), (0.35, 0.0), (0.35, 0.3)] {
+        let (store, params) = corpus::font_size_study(15);
+        let db = Database::new();
+        let grid = GridStore::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let prepared =
+            Aggregator::new(db.clone(), grid.clone()).prepare(&params, &store, &mut rng).unwrap();
+        let campaign = Campaign::new(db.clone(), grid)
+            .with_question(params.question[0].text(), QuestionKind::FontReadability);
+        let faults = FaultModel {
+            abandon_mid_page: abandon * 0.5,
+            abandon_mid_questionnaire: abandon * 0.3,
+            straggler: abandon * 0.2,
+            skip_question: 0.0,
+            disconnect_retry: duplicate,
+            duplicate_upload: 1.0,
+        };
+        let spec = JobSpec::new(&params.test_id, 0.11, 15, Channel::Open);
+        let out = CampaignSupervisor::new(&campaign, SupervisorConfig::new(10))
+            .with_faults(faults)
+            .run(&params, &prepared, &spec, &mut rng)
+            .expect("no fault corner may error");
+        let health = &out.health;
+        assert!(health.accounted(), "corner ({abandon}, {duplicate}) must balance: {health}");
+        if abandon == 0.0 {
+            assert_eq!(health.abandoned, 0, "corner ({abandon}, {duplicate}): {health}");
+        }
+        if duplicate == 0.0 {
+            assert_eq!(health.deduped, 0, "corner ({abandon}, {duplicate}): {health}");
+        }
+        assert_eq!(
+            db.collection("responses").len(),
+            health.completed + health.deduped,
+            "corner ({abandon}, {duplicate}) row count: {health}"
+        );
+    }
+}
