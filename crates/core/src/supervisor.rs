@@ -397,6 +397,27 @@ impl<'a> CampaignSupervisor<'a> {
         let mut quota = spec.quota;
 
         loop {
+            // The budget cap is a *hard* spend ceiling: clamp every
+            // posting — the initial one included, which used to go out
+            // unchecked — to what the remaining budget can pay if every
+            // recruited worker completes at this round's reward.
+            if let Some(cap) = self.config.budget_cap_usd {
+                let per_session = reward * (1.0 + Platform::FEE_RATE);
+                let affordable = ((cap - health.spend_usd) / per_session).floor();
+                if affordable < 1.0 {
+                    health.budget_hit = true;
+                    break;
+                }
+                if quota as f64 > affordable {
+                    quota = affordable as usize;
+                    health.budget_hit = true;
+                }
+            }
+            if round > 0 {
+                // Count the refill round only once its posting is funded
+                // and actually goes out.
+                health.refill_rounds = round;
+            }
             let mut recruitment =
                 Platform.post_job(&JobSpec { quota, reward_usd: reward, ..spec.clone() }, rng);
             if round > 0 {
@@ -469,9 +490,14 @@ impl<'a> CampaignSupervisor<'a> {
                             "contributor_id": record.contributor_id,
                             "submission_id": record.submission_id,
                         });
-                        responses
-                            .insert_if_absent(&key, record.to_json())
-                            .expect("first upload of a fresh submission id");
+                        // `submission_id` is deterministic (FNV of test +
+                        // contributor), so a durable database that already
+                        // ran this campaign holds the key: the unique-key
+                        // insert answers with the original row and the
+                        // session is accounted as an idempotent dedupe,
+                        // never an error.
+                        let mut deduped =
+                            responses.insert_if_absent(&key, record.to_json()).is_err();
                         if retried {
                             health.upload_retries += 1;
                             if let Some(m) = &metrics {
@@ -482,8 +508,11 @@ impl<'a> CampaignSupervisor<'a> {
                             // The retry reached intake as a second copy;
                             // the unique-key insert answers with the
                             // original row instead of storing it twice.
-                            let deduped = responses.insert_if_absent(&key, record.to_json());
-                            assert!(deduped.is_err(), "duplicate upload must be suppressed");
+                            let replay = responses.insert_if_absent(&key, record.to_json());
+                            assert!(replay.is_err(), "duplicate upload must be suppressed");
+                            deduped = true;
+                        }
+                        if deduped {
                             health.deduped += 1;
                             if let Some(m) = &metrics {
                                 m.deduped.inc();
@@ -506,10 +535,19 @@ impl<'a> CampaignSupervisor<'a> {
                         });
                     }
                     Ok(DrivenSession::Interrupted(partial)) => {
-                        let phase = if partial.current_answers.is_empty() {
-                            AbandonPhase::MidPage
-                        } else {
-                            AbandonPhase::MidQuestionnaire
+                        // Classify from the sampled fault, not from how
+                        // many answers the checkpoint holds: a
+                        // mid-questionnaire abandonment with zero answers
+                        // recorded would otherwise be miscounted as
+                        // mid-page. The checkpoint-based inference stays
+                        // as a fallback for faults with no explicit phase.
+                        let phase = match fault {
+                            SessionFault::AbandonMidPage { .. } => AbandonPhase::MidPage,
+                            SessionFault::AbandonMidQuestionnaire { .. } => {
+                                AbandonPhase::MidQuestionnaire
+                            }
+                            _ if partial.current_answers.is_empty() => AbandonPhase::MidPage,
+                            _ => AbandonPhase::MidQuestionnaire,
                         };
                         health.abandoned += 1;
                         match phase {
@@ -570,17 +608,9 @@ impl<'a> CampaignSupervisor<'a> {
             ask = ask.clamp(1, self.config.target_kept.max(1) * 4);
             round += 1;
             reward = (reward * self.config.reward_escalation).min(spec.reward_usd * 10.0);
-            if let Some(cap) = self.config.budget_cap_usd {
-                let per_session = reward * (1.0 + Platform::FEE_RATE);
-                let affordable = ((cap - health.spend_usd) / per_session).floor();
-                if affordable < 1.0 {
-                    health.budget_hit = true;
-                    break;
-                }
-                ask = ask.min(affordable as usize);
-            }
+            // The budget gate at the top of the loop clamps (or blocks)
+            // this ask against the remaining budget at the new reward.
             quota = ask;
-            health.refill_rounds = round;
         }
 
         health.duration_ms = now_ms;
@@ -745,6 +775,57 @@ mod tests {
         assert!(out.health.budget_hit, "{}", out.health);
         assert!(out.health.accounted());
         assert!(out.health.spend_usd <= 2.0 + 1e-9, "spend {}", out.health.spend_usd);
+    }
+
+    #[test]
+    fn rerun_against_same_database_dedupes_instead_of_panicking() {
+        // submission_id is deterministic (FNV of test + contributor) and
+        // round-0 workers keep the platform's default ids, so a second
+        // supervised run over the same responses collection collides with
+        // every row the first run stored. That must be absorbed as an
+        // idempotent dedupe — never a panic.
+        let (fx, mut rng) = fixture(40, 11, None);
+        let spec = JobSpec::new(&fx.params.test_id, 0.11, 20, Channel::HistoricallyTrustworthy);
+        let sup = CampaignSupervisor::new(&fx.campaign, SupervisorConfig::new(10));
+        let first = sup.run(&fx.params, &fx.prepared, &spec, &mut rng).unwrap();
+        assert!(first.health.reached_target());
+        let rows_after_first = fx.db.collection("responses").len();
+
+        let replay = sup.run(&fx.params, &fx.prepared, &spec, &mut rng).unwrap();
+        assert!(replay.health.accounted(), "accounting balances: {}", replay.health);
+        assert!(replay.health.deduped > 0, "round-0 ids collide: {}", replay.health);
+        // Deduped uploads answer with the original row — no new rows for
+        // colliding (contributor, submission) pairs.
+        assert_eq!(
+            fx.db.collection("responses").len(),
+            rows_after_first + replay.health.completed,
+            "only fresh submissions add rows: {}",
+            replay.health
+        );
+    }
+
+    #[test]
+    fn budget_cap_clamps_the_initial_posting() {
+        let (fx, mut rng) = fixture(40, 6, None);
+        // quota 40 at $0.50 (+20% fee) would cost $24 up front — four
+        // times the cap. The round-0 posting must be clamped so spend can
+        // never exceed the ceiling, not just refill rounds.
+        let spec = JobSpec::new(&fx.params.test_id, 0.50, 40, Channel::HistoricallyTrustworthy);
+        let cap = 6.0;
+        let config = SupervisorConfig::new(100).with_budget_cap_usd(cap);
+        let sup = CampaignSupervisor::new(&fx.campaign, config);
+        let out = sup.run(&fx.params, &fx.prepared, &spec, &mut rng).unwrap();
+        let per_session = 0.50 * (1.0 + Platform::FEE_RATE);
+        let affordable = (cap / per_session).floor() as usize;
+        assert!(
+            out.health.recruited <= affordable,
+            "round 0 must be clamped to {} sessions: {}",
+            affordable,
+            out.health
+        );
+        assert!(out.health.budget_hit, "{}", out.health);
+        assert!(out.health.spend_usd <= cap + 1e-9, "spend {}", out.health.spend_usd);
+        assert!(out.health.accounted());
     }
 
     #[test]

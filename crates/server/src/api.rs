@@ -356,30 +356,34 @@ impl CoreServerApi {
                     "lease_ms": lease_ms,
                     "heartbeats": 0u64,
                     "first_seen_ms": now_ms,
-                    "last_heartbeat_ms": now_ms,
+                    "last_heartbeat_ms": 0u64,
                 });
-                // First heartbeat registers the lease atomically; racing
-                // duplicates fall through to the refresh below.
-                let _ = sessions.insert_if_absent(&key, seed);
-                let beats = sessions
-                    .find_one(&key)
-                    .and_then(|d| d.get("heartbeats").and_then(Value::as_u64))
-                    .unwrap_or(0)
-                    + 1;
-                sessions.update_many(
-                    &key,
-                    &json!({ "$set": {
-                        "lease_ms": lease_ms,
-                        "heartbeats": beats,
-                        "last_heartbeat_ms": now_ms,
-                    }}),
-                );
+                // Register-or-refresh is one atomic read-modify-write:
+                // concurrent heartbeats for the same session each land
+                // their increment, and `last_heartbeat_ms` only moves
+                // forward ($max semantics), so a slow request cannot roll
+                // the lease back to an older timestamp.
+                let doc = sessions.upsert_mutate(&key, seed, |d| {
+                    if let Some(obj) = d.as_object_mut() {
+                        let beats = obj.get("heartbeats").and_then(Value::as_u64).unwrap_or(0) + 1;
+                        obj.insert("heartbeats".to_string(), json!(beats));
+                        let last = obj
+                            .get("last_heartbeat_ms")
+                            .and_then(Value::as_u64)
+                            .unwrap_or(0)
+                            .max(now_ms);
+                        obj.insert("last_heartbeat_ms".to_string(), json!(last));
+                        obj.insert("lease_ms".to_string(), json!(lease_ms));
+                    }
+                });
+                let beats = doc.get("heartbeats").and_then(Value::as_u64).unwrap_or(1);
+                let last = doc.get("last_heartbeat_ms").and_then(Value::as_u64).unwrap_or(now_ms);
                 Response::json(&json!({
                     "test_id": id,
                     "contributor_id": cid,
                     "lease_ms": lease_ms,
                     "heartbeats": beats,
-                    "deadline_ms": now_ms + lease_ms,
+                    "deadline_ms": last + lease_ms,
                 }))
             });
         }
@@ -734,6 +738,35 @@ mod tests {
             .find(|s| s["contributor_id"] == json!("w-2"))
             .unwrap();
         assert_eq!(w2["expired"], json!(true));
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_heartbeats_lose_no_increments() {
+        let (server, addr, db, _) = start();
+        client::post_json(addr, "/api/tests", &json!({"test_id": "t-race"})).unwrap();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10 {
+                    let resp = client::post_json(
+                        addr,
+                        "/api/tests/t-race/sessions/w-1/heartbeat",
+                        &json!({"lease_ms": 60000}),
+                    )
+                    .unwrap();
+                    assert_eq!(resp.status.0, 200);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // The counter is a single atomic read-modify-write: 40 racing
+        // heartbeats must land exactly 40 increments on one document.
+        let docs = db.collection(SESSIONS_COLLECTION).find(&json!({"test_id": "t-race"}));
+        assert_eq!(docs.len(), 1, "one session document per (test, contributor)");
+        assert_eq!(docs[0]["heartbeats"], json!(40), "no lost heartbeat increments");
         server.shutdown();
     }
 

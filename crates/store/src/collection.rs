@@ -168,12 +168,35 @@ impl Collection {
         if !doc.is_object() {
             doc = serde_json::json!({ "value": doc });
         }
+        // On a durable database the commit (state) lock must be taken
+        // *before* the docs lock — the order every other mutation uses —
+        // or a concurrent insert_one/update_many deadlocks against us.
+        // The uniqueness check happens inside the commit closure, and the
+        // op is only WAL-logged when the insert was admitted, so replay
+        // needs no uniqueness re-check.
+        if let Some(d) = self.inner.durability.get() {
+            d.dur.commit_conditional(|| match self.admit_unique(unique, doc) {
+                Ok((id, stored)) => {
+                    let op = json!({"op": "insert", "coll": d.name.clone(), "doc": stored});
+                    (Some(op), Ok(id))
+                }
+                Err(id) => (None, Err(id)),
+            })
+        } else {
+            self.admit_unique(unique, doc).map(|(id, _)| id)
+        }
+    }
+
+    /// The check-and-push core of [`Collection::insert_if_absent`], under
+    /// one docs write lock. Returns the assigned id plus the stored
+    /// document (for WAL logging), or the existing match's id.
+    fn admit_unique(&self, unique: &Value, mut doc: Value) -> Result<(ObjectId, Value), ObjectId> {
         let mut docs = self.inner.docs.write();
         if let Some(existing) = docs.iter().find(|d| matches_filter(d, unique)) {
             let id = existing.get("_id").and_then(Value::as_str).unwrap_or_default().to_string();
             return Err(ObjectId(id));
         }
-        let obj = doc.as_object_mut().expect("wrapped to object above");
+        let obj = doc.as_object_mut().expect("caller ensured an object");
         let id = match obj.get("_id").and_then(Value::as_str) {
             Some(existing) => ObjectId(existing.to_string()),
             None => {
@@ -183,15 +206,74 @@ impl Collection {
                 id
             }
         };
+        let stored = doc.clone();
+        docs.push(doc);
+        Ok((id, stored))
+    }
+
+    /// Atomically upserts the document matching `unique`: when absent,
+    /// `seed` is inserted first (assigned an `_id` like any insert), then
+    /// `mutate` runs on the stored document — so a read-modify-write like
+    /// a heartbeat counter happens entirely under one write lock (and the
+    /// durability commit lock), closing the lost-update race between
+    /// concurrent find-then-update callers. Returns the document as
+    /// stored after mutation.
+    pub fn upsert_mutate(
+        &self,
+        unique: &Value,
+        seed: Value,
+        mutate: impl FnOnce(&mut Value),
+    ) -> Value {
+        let _timer = self.observe_op(|m| &m.updates);
         if let Some(d) = self.inner.durability.get() {
-            // WAL-logged as a plain insert: the op was only admitted when
-            // the key was absent, so replay needs no uniqueness re-check.
-            let op = json!({"op": "insert", "coll": d.name.clone(), "doc": doc.clone()});
-            d.dur.commit(op, || docs.push(doc));
+            // Commit lock before docs lock (see insert_if_absent). The
+            // closure's mutation cannot be serialized, so the WAL logs
+            // the *outcome*: a plain insert for a fresh document, or a
+            // whole-document replace of the unique match (replay keeps
+            // its `_id`, matching apply_update's replace semantics).
+            d.dur.commit_conditional(|| {
+                let (inserted, result) = self.apply_upsert_mutate(unique, seed, mutate);
+                let op = if inserted {
+                    json!({"op": "insert", "coll": d.name.clone(), "doc": result.clone()})
+                } else {
+                    json!({
+                        "op": "update",
+                        "coll": d.name.clone(),
+                        "filter": unique.clone(),
+                        "update": result.clone(),
+                    })
+                };
+                (Some(op), result)
+            })
         } else {
-            docs.push(doc);
+            self.apply_upsert_mutate(unique, seed, mutate).1
         }
-        Ok(id)
+    }
+
+    /// The locked core of [`Collection::upsert_mutate`]: returns whether a
+    /// fresh document was inserted, plus the post-mutation document.
+    fn apply_upsert_mutate(
+        &self,
+        unique: &Value,
+        mut seed: Value,
+        mutate: impl FnOnce(&mut Value),
+    ) -> (bool, Value) {
+        let mut docs = self.inner.docs.write();
+        if let Some(existing) = docs.iter_mut().find(|d| matches_filter(d, unique)) {
+            mutate(existing);
+            return (false, existing.clone());
+        }
+        if !seed.is_object() {
+            seed = serde_json::json!({ "value": seed });
+        }
+        let obj = seed.as_object_mut().expect("wrapped to object above");
+        if obj.get("_id").and_then(Value::as_str).is_none() {
+            let n = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+            obj.insert("_id".to_string(), Value::String(format!("oid-{n:08x}")));
+        }
+        mutate(&mut seed);
+        docs.push(seed.clone());
+        (true, seed)
     }
 
     /// All documents matching `filter`, in insertion order (cloned).
@@ -431,6 +513,44 @@ mod tests {
         });
         assert_eq!(winners.load(Ordering::Relaxed), 1, "exactly one racer inserts");
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn upsert_mutate_seeds_then_mutates_in_place() {
+        let c = Collection::new();
+        let key = json!({"sid": "s"});
+        let first = c.upsert_mutate(&key, json!({"sid": "s", "beats": 0}), |d| {
+            d["beats"] = json!(d["beats"].as_u64().unwrap_or(0) + 1);
+        });
+        assert_eq!(first["beats"], json!(1), "mutate runs on the seed too");
+        assert!(first.get("_id").is_some(), "seed gets an id like any insert");
+        let second = c.upsert_mutate(&key, json!({"sid": "s", "beats": 0}), |d| {
+            d["beats"] = json!(d["beats"].as_u64().unwrap_or(0) + 1);
+        });
+        assert_eq!(second["beats"], json!(2));
+        assert_eq!(second["_id"], first["_id"]);
+        assert_eq!(c.len(), 1, "upsert never duplicates the key");
+    }
+
+    #[test]
+    fn upsert_mutate_loses_no_concurrent_increments() {
+        let c = Collection::new();
+        let key = json!({"sid": "s"});
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                let key = key.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        c.upsert_mutate(&key, json!({"sid": "s", "beats": 0}), |d| {
+                            d["beats"] = json!(d["beats"].as_u64().unwrap_or(0) + 1);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.find_one(&key).unwrap()["beats"], json!(800), "no lost updates");
     }
 
     #[test]

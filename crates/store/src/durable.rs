@@ -130,13 +130,42 @@ impl Durability {
     /// against state missing the unlogged op (a filter-based update could
     /// match differently), reconstructing a state that never existed —
     /// recovery must see a consistent prefix, not a log with gaps.
-    pub(crate) fn commit<R>(&self, mut op: Value, apply: impl FnOnce() -> R) -> R {
+    pub(crate) fn commit<R>(&self, op: Value, apply: impl FnOnce() -> R) -> R {
         let state = self.state.lock();
+        self.append_locked(state.seq, op);
+        apply()
+    }
+
+    /// Commit variant for conditionally-admitted mutations (unique-key
+    /// inserts, atomic upserts): `attempt` runs under the commit lock —
+    /// it may acquire collection locks, which preserves the one global
+    /// lock order (commit lock → collection lock) that [`commit`] and
+    /// every other mutation path use — and returns the WAL op to log
+    /// *iff* the mutation was admitted, plus the caller's result. The op
+    /// is appended after apply, still under the commit lock, so WAL order
+    /// is exactly apply order; a crash in the gap can only lose the one
+    /// write that was never acknowledged.
+    ///
+    /// [`commit`]: Durability::commit
+    pub(crate) fn commit_conditional<R>(&self, attempt: impl FnOnce() -> (Option<Value>, R)) -> R {
+        let state = self.state.lock();
+        let (op, result) = attempt();
+        if let Some(op) = op {
+            self.append_locked(state.seq, op);
+        }
+        result
+    }
+
+    /// Stamps `op` with `seq` and appends it to the WAL. Must be called
+    /// with the commit (state) lock held. A failed append marks the
+    /// database degraded; once degraded, logging is suspended until a
+    /// checkpoint truncates the WAL (see [`Durability::commit`]).
+    fn append_locked(&self, seq: u64, mut op: Value) {
         if self.degraded.load(Ordering::SeqCst) {
-            return apply();
+            return;
         }
         if let Some(obj) = op.as_object_mut() {
-            obj.insert("seq".to_string(), json!(state.seq));
+            obj.insert("seq".to_string(), json!(seq));
         }
         let payload = serde_json::to_string(&op).unwrap_or_default();
         let frame = wal::encode_frame(payload.as_bytes());
@@ -160,7 +189,6 @@ impl Durability {
                 }
             }
         }
-        apply()
     }
 
     pub(crate) fn attach_metrics(&self, registry: &Arc<Registry>) {

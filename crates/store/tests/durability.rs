@@ -341,3 +341,99 @@ fn open_durable_with_accepts_custom_io() {
     assert_eq!(all.len(), 1);
     std::fs::remove_dir_all(&dir).unwrap();
 }
+
+#[test]
+fn unique_inserts_and_plain_mutations_interleave_without_deadlock() {
+    // Regression: insert_if_absent used to take the docs write lock and
+    // *then* the durability commit lock, while insert_one/update_many
+    // take them in the opposite order — two threads mixing the two paths
+    // could deadlock permanently. All mutation paths must now agree on
+    // commit-lock-first.
+    let dir = tempdir("lockorder");
+    let (db, _) = Database::open_durable(&dir).unwrap();
+    let coll = db.collection("mixed");
+    std::thread::scope(|s| {
+        for t in 0..4 {
+            let coll = coll.clone();
+            s.spawn(move || {
+                for i in 0..200 {
+                    let key = json!({"uniq": format!("k-{t}-{i}")});
+                    coll.insert_if_absent(&key, json!({"uniq": format!("k-{t}-{i}")})).unwrap();
+                }
+            });
+        }
+        for t in 0..4 {
+            let coll = coll.clone();
+            s.spawn(move || {
+                for i in 0..200 {
+                    coll.insert_one(json!({"plain": true, "t": t, "i": i}));
+                    coll.update_many(&json!({"t": t, "i": i}), &json!({"$set": {"seen": true}}));
+                    coll.upsert_mutate(
+                        &json!({"counter": t}),
+                        json!({"counter": t, "n": 0}),
+                        |d| {
+                            let n = d["n"].as_u64().unwrap_or(0) + 1;
+                            d["n"] = json!(n);
+                        },
+                    );
+                }
+            });
+        }
+    });
+    assert_eq!(coll.count(&json!({"plain": true})), 800);
+    for t in 0..4 {
+        let c = coll.find_one(&json!({"counter": t})).unwrap();
+        assert_eq!(c["n"], json!(200), "no lost counter increments");
+    }
+    drop(db);
+    // Everything that was acknowledged replays.
+    let (db, report) = Database::open_durable(&dir).unwrap();
+    assert!(report.clean());
+    let coll = db.collection("mixed");
+    assert_eq!(coll.count(&json!({"plain": true})), 800);
+    for t in 0..4 {
+        assert_eq!(coll.find_one(&json!({"counter": t})).unwrap()["n"], json!(200));
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn rejected_unique_insert_is_not_wal_logged() {
+    let dir = tempdir("uniq-nolog");
+    {
+        let (db, _) = Database::open_durable(&dir).unwrap();
+        let coll = db.collection("responses");
+        let key = json!({"submission_id": "s1"});
+        coll.insert_if_absent(&key, json!({"submission_id": "s1", "x": 1})).unwrap();
+        coll.insert_if_absent(&key, json!({"submission_id": "s1", "x": 2})).unwrap_err();
+    }
+    let (db, report) = Database::open_durable(&dir).unwrap();
+    assert!(report.clean());
+    assert_eq!(report.replayed_records, 1, "the rejected replay must not reach the WAL");
+    let docs = db.collection("responses").all();
+    assert_eq!(docs.len(), 1);
+    assert_eq!(docs[0]["x"], json!(1), "original wins across recovery");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn upsert_mutate_replays_insert_then_updates() {
+    let dir = tempdir("upsert-replay");
+    {
+        let (db, _) = Database::open_durable(&dir).unwrap();
+        let coll = db.collection("sessions");
+        let key = json!({"contributor_id": "w1"});
+        for _ in 0..3 {
+            coll.upsert_mutate(&key, json!({"contributor_id": "w1", "beats": 0}), |d| {
+                let beats = d["beats"].as_u64().unwrap_or(0) + 1;
+                d["beats"] = json!(beats);
+            });
+        }
+    }
+    let (db, report) = Database::open_durable(&dir).unwrap();
+    assert!(report.clean());
+    assert_eq!(report.replayed_records, 3, "one insert + two whole-doc updates");
+    let doc = db.collection("sessions").find_one(&json!({"contributor_id": "w1"})).unwrap();
+    assert_eq!(doc["beats"], json!(3));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
