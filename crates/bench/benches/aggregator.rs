@@ -3,10 +3,11 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use kscope_core::{Aggregator, TestParams, WebpageSpec};
-use kscope_singlefile::ResourceStore;
+use kscope_singlefile::{AssetCache, ResourceStore};
 use kscope_store::{Database, GridStore};
 use rand::{rngs::StdRng, SeedableRng};
 use std::hint::black_box;
+use std::sync::Arc;
 
 fn setup(n: usize) -> (ResourceStore, TestParams) {
     let mut store = ResourceStore::new();
@@ -37,5 +38,47 @@ fn bench_aggregator(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_aggregator);
+/// The parallel fan-out against the same corpus: one thread versus four,
+/// and four threads re-preparing over a pre-warmed shared asset cache.
+fn bench_aggregator_parallel(c: &mut Criterion) {
+    let n = 8usize;
+    let (store, params) = setup(n);
+    for threads in [1usize, 4] {
+        c.bench_function(&format!("aggregator/prepare_n{n}_t{threads}"), |b| {
+            b.iter_batched(
+                || (Database::new(), GridStore::new(), StdRng::seed_from_u64(1)),
+                |(db, grid, mut rng)| {
+                    let prepared = Aggregator::new(db, grid)
+                        .with_threads(threads)
+                        .prepare(&params, &store, &mut rng)
+                        .unwrap();
+                    black_box(prepared.pages.len())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    let warm = Arc::new(AssetCache::new());
+    Aggregator::new(Database::new(), GridStore::new())
+        .with_threads(4)
+        .with_shared_cache(Arc::clone(&warm))
+        .prepare(&params, &store, &mut StdRng::seed_from_u64(1))
+        .unwrap();
+    c.bench_function(&format!("aggregator/prepare_n{n}_t4_warm"), |b| {
+        b.iter_batched(
+            || (Database::new(), GridStore::new(), StdRng::seed_from_u64(1)),
+            |(db, grid, mut rng)| {
+                let prepared = Aggregator::new(db, grid)
+                    .with_threads(4)
+                    .with_shared_cache(Arc::clone(&warm))
+                    .prepare(&params, &store, &mut rng)
+                    .unwrap();
+                black_box(prepared.pages.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_aggregator, bench_aggregator_parallel);
 criterion_main!(benches);

@@ -1,0 +1,268 @@
+//! Aggregator benchmark: sequential-uncached baseline (the pre-parallel
+//! pipeline: one thread, no asset cache, one WAL commit per page doc)
+//! versus the current prepare (worker fan-out, content-addressed cache,
+//! batched insert), cold and warm, for N ∈ {2, 4, 8} versions.
+//!
+//! Emits `BENCH_aggregate.json` (override with `--out <path>`); `--quick`
+//! runs one repetition instead of three. Also verifies that sequential and
+//! parallel prepare produce byte-identical artifacts before reporting.
+
+use kscope_core::{corpus, Aggregator, TestParams, WebpageSpec};
+use kscope_html::parse_document;
+use kscope_pageload::{Layout, RevealPlan, Viewport};
+use kscope_singlefile::{AssetCache, Inliner, ResourceStore};
+use kscope_store::{Database, GridStore};
+use rand::{rngs::StdRng, SeedableRng};
+use serde_json::{json, Value};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Shared-asset corpus: N versions of the Wikipedia article differing only
+/// in font size, with realistically sized images that are byte-identical
+/// across versions — the common A/B shape the asset cache targets. The
+/// article references one image; real pages carry several, so three more
+/// shared photos are appended to each version's gallery.
+fn setup(n: usize) -> (ResourceStore, TestParams) {
+    let mut store = ResourceStore::new();
+    let mut pages = Vec::new();
+    let jpeg: Vec<u8> = (0..512 * 1024).map(|i| (i % 251) as u8).collect();
+    let png: Vec<u8> = (0..256 * 1024).map(|i| (i % 241) as u8).collect();
+    let photos: Vec<Vec<u8>> = (0..3u8)
+        .map(|p| (0..384 * 1024).map(|i| (i % (199 + p as usize)) as u8).collect())
+        .collect();
+    for i in 0..n {
+        let folder = format!("pages/v{i}");
+        corpus::write_wikipedia_article(&mut store, &folder, 10.0 + i as f64);
+        store.insert(&format!("{folder}/img/hyrax.jpg"), "image/jpeg", jpeg.clone());
+        store.insert(&format!("{folder}/img/map.png"), "image/png", png.clone());
+        for (p, bytes) in photos.iter().enumerate() {
+            store.insert(&format!("{folder}/img/photo-{p}.jpg"), "image/jpeg", bytes.clone());
+        }
+        let gallery: String = (0..photos.len())
+            .map(|p| format!("<img src=\"img/photo-{p}.jpg\" width=\"640\" height=\"480\">"))
+            .chain(["<img src=\"img/map.png\" width=\"400\" height=\"300\">".to_string()])
+            .collect();
+        let html = store
+            .get_text(&format!("{folder}/index.html"))
+            .expect("corpus wrote the article")
+            .replace("<footer", &format!("<div class=\"gallery\">{gallery}</div><footer"));
+        store.insert(&format!("{folder}/index.html"), "text/html", html.into_bytes());
+        pages.push(WebpageSpec::new(&folder, "index.html", 3000));
+    }
+    let params = TestParams::new(&format!("bench-n{n}"), 10, vec!["q"], pages);
+    (store, params)
+}
+
+/// The pre-optimization pipeline, reproduced verbatim for an honest
+/// baseline: sequential version loop with an uncached inliner and a single
+/// RNG threaded through, pair composition inline, and one `insert_one`
+/// (one WAL commit) per page document.
+fn baseline_prepare(db: &Database, grid: &GridStore, params: &TestParams, store: &ResourceStore) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let test_id = params.test_id.clone();
+    let inliner = Inliner::new(store);
+    let mut version_files = Vec::new();
+    for (i, spec) in params.webpages.iter().enumerate() {
+        let out = inliner.inline(&spec.main_file_path()).expect("corpus inlines");
+        let mut doc = parse_document(&out.html);
+        let layout = Layout::compute(&doc, Viewport::desktop());
+        let load = spec.load_spec().expect("valid");
+        let plan = RevealPlan::build(&doc, &layout, &load, &mut rng);
+        plan.inject(&mut doc);
+        let name = format!("version-{i}.html");
+        grid.put(&test_id, &name, doc.to_html().into_bytes());
+        version_files.push(name);
+    }
+    let questions: Vec<String> = params.question.iter().map(|q| q.text().to_string()).collect();
+    let n = params.webpages.len();
+    let mut docs = Vec::new();
+    let mut k = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let name = format!("integrated-{k:03}.html");
+            let html = kscope_core::aggregator::integrated_html_with_questions(
+                &version_files[i],
+                &version_files[j],
+                &questions,
+            );
+            grid.put(&test_id, &name, html.into_bytes());
+            docs.push(json!({"test_id": test_id, "name": name, "left": i, "right": j}));
+            k += 1;
+        }
+    }
+    // Control pages, exactly as the pre-optimization prepare built them.
+    grid.put(
+        &test_id,
+        "control-identical.html",
+        kscope_core::aggregator::integrated_html(&version_files[0], &version_files[0]).into_bytes(),
+    );
+    docs.push(json!({"test_id": test_id, "name": "control-identical.html",
+        "left": 0, "right": 0, "control": "identical"}));
+    let version0 = grid.get_text(&test_id, &version_files[0]).expect("stored");
+    let ruined = kscope_core::aggregator::ruin_version(&version0);
+    grid.put(&test_id, "version-ruined.html", ruined.into_bytes());
+    grid.put(
+        &test_id,
+        "control-extreme.html",
+        kscope_core::aggregator::integrated_html("version-ruined.html", &version_files[0])
+            .into_bytes(),
+    );
+    docs.push(json!({"test_id": test_id, "name": "control-extreme.html",
+        "left": -1, "right": 0, "control": "extreme"}));
+    let coll = db.collection("integrated_pages");
+    for d in docs.iter() {
+        coll.insert_one(d.clone());
+    }
+    db.collection("tests").insert_one(json!({
+        "test_id": test_id,
+        "params": serde_json::to_value(params).expect("params serialize"),
+        "pages": docs,
+    }));
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("kscope-bench-agg-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create bench tempdir");
+    dir
+}
+
+/// Times `f` over a fresh durable database per repetition (matching the
+/// `kscope prepare` deployment, where every WAL commit costs an fsync),
+/// returning the best-of-`reps` wall time in milliseconds.
+fn time_best(reps: usize, tag: &str, mut f: impl FnMut(&Database, &GridStore)) -> f64 {
+    let mut best = f64::INFINITY;
+    for r in 0..reps {
+        let dir = tempdir(&format!("{tag}-{r}"));
+        let (db, _) = Database::open_durable(&dir).expect("durable open");
+        let grid = GridStore::new();
+        let start = Instant::now();
+        f(&db, &grid);
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        drop(db);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    best
+}
+
+/// Byte-compares every artifact of two prepared grids.
+fn identical(a: &GridStore, b: &GridStore, test_id: &str) -> bool {
+    let files = a.list(test_id);
+    files == b.list(test_id) && files.iter().all(|f| a.get(test_id, f) == b.get(test_id, f))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let reps = if quick { 1 } else { 3 };
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_aggregate.json".to_string());
+    let par_threads = 4usize;
+    let available = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let mut runs = Vec::new();
+    for n in [2usize, 4, 8] {
+        let (store, params) = setup(n);
+
+        let baseline_ms = time_best(reps, &format!("base-n{n}"), |db, grid| {
+            baseline_prepare(db, grid, &params, &store)
+        });
+        let seq_cold_ms = time_best(reps, &format!("seq-n{n}"), |db, grid| {
+            Aggregator::new(db.clone(), grid.clone())
+                .with_threads(1)
+                .prepare(&params, &store, &mut StdRng::seed_from_u64(1))
+                .map(|_| ())
+                .expect("prepare");
+        });
+        let mut cache_stats = None;
+        let par_cold_ms = time_best(reps, &format!("par-n{n}"), |db, grid| {
+            let agg = Aggregator::new(db.clone(), grid.clone()).with_threads(par_threads);
+            agg.prepare(&params, &store, &mut StdRng::seed_from_u64(1)).expect("prepare");
+            cache_stats = Some(agg.cache().stats());
+        });
+        // Warm: the shared cache already holds every asset of this corpus.
+        let warm_cache = Arc::new(AssetCache::new());
+        {
+            let dir = tempdir(&format!("warmup-n{n}"));
+            let (db, _) = Database::open_durable(&dir).expect("durable open");
+            Aggregator::new(db, GridStore::new())
+                .with_threads(par_threads)
+                .with_shared_cache(Arc::clone(&warm_cache))
+                .prepare(&params, &store, &mut StdRng::seed_from_u64(1))
+                .expect("warmup prepare");
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        let par_warm_ms = time_best(reps, &format!("warm-n{n}"), |db, grid| {
+            Aggregator::new(db.clone(), grid.clone())
+                .with_threads(par_threads)
+                .with_shared_cache(Arc::clone(&warm_cache))
+                .prepare(&params, &store, &mut StdRng::seed_from_u64(1))
+                .map(|_| ())
+                .expect("prepare");
+        });
+
+        // Determinism check: sequential and parallel bytes must agree.
+        let (seq_db, seq_grid) = (Database::new(), GridStore::new());
+        let (par_db, par_grid) = (Database::new(), GridStore::new());
+        Aggregator::new(seq_db, seq_grid.clone())
+            .with_threads(1)
+            .prepare(&params, &store, &mut StdRng::seed_from_u64(1))
+            .expect("prepare");
+        Aggregator::new(par_db, par_grid.clone())
+            .with_threads(par_threads.max(available))
+            .prepare(&params, &store, &mut StdRng::seed_from_u64(1))
+            .expect("prepare");
+        let artifacts_identical = identical(&seq_grid, &par_grid, &params.test_id);
+
+        let stats = cache_stats.expect("parallel run recorded stats");
+        let run = json!({
+            "versions": n,
+            "baseline_seq_uncached_ms": baseline_ms,
+            "seq_cold_ms": seq_cold_ms,
+            "par_cold_ms": par_cold_ms,
+            "par_warm_ms": par_warm_ms,
+            "par_threads": par_threads,
+            "speedup_par_cold_vs_baseline": baseline_ms / par_cold_ms,
+            "speedup_par_warm_vs_baseline": baseline_ms / par_warm_ms,
+            "speedup_seq_cached_vs_baseline": baseline_ms / seq_cold_ms,
+            "cache": {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "entries": stats.entries,
+                "encoded_bytes": stats.encoded_bytes,
+                "saved_bytes": stats.saved_bytes,
+                "hit_ratio": stats.hit_ratio(),
+                // Machine-independent work metric: bytes the baseline
+                // encodes divided by bytes the cached path encodes.
+                "encode_work_avoided_ratio": (stats.encoded_bytes + stats.saved_bytes) as f64
+                    / stats.encoded_bytes.max(1) as f64,
+            },
+            "artifacts_identical_seq_vs_par": artifacts_identical,
+        });
+        println!(
+            "n={n}: baseline {baseline_ms:.1} ms, seq {seq_cold_ms:.1} ms, \
+             par({par_threads}) cold {par_cold_ms:.1} ms ({:.2}x), warm {par_warm_ms:.1} ms ({:.2}x), \
+             cache {}/{} hits, identical={artifacts_identical}",
+            baseline_ms / par_cold_ms,
+            baseline_ms / par_warm_ms,
+            stats.hits,
+            stats.hits + stats.misses,
+        );
+        runs.push(run);
+    }
+
+    let report = json!({
+        "bench": "aggregate",
+        "threads_available": available,
+        "repetitions": reps,
+        "runs": Value::Array(runs),
+    });
+    std::fs::write(&out_path, serde_json::to_string_pretty(&report).expect("serialize"))
+        .expect("write bench report");
+    println!("wrote {out_path}");
+}

@@ -14,13 +14,14 @@
 use crate::params::TestParams;
 use kscope_html::parse_document;
 use kscope_pageload::{Layout, RevealPlan, Viewport};
-use kscope_singlefile::{InlineError, Inliner, ResourceStore};
+use kscope_singlefile::{AssetCache, InlineError, Inliner, ResourceStore};
 use kscope_store::{Database, GridStore};
 use kscope_telemetry::Registry;
-use rand::Rng;
-use serde_json::json;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use serde_json::{json, Value};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// What a control page checks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,8 +38,10 @@ pub enum ControlKind {
 pub struct IntegratedPageMeta {
     /// File name under the test's folder in the grid store.
     pub name: String,
-    /// Index of the version shown in the left iframe.
-    pub left: usize,
+    /// Index of the version shown in the left iframe, or `None` when the
+    /// left pane holds the deliberately ruined copy of the extreme control
+    /// (which is no numbered version at all).
+    pub left: Option<usize>,
     /// Index of the version shown in the right iframe.
     pub right: usize,
     /// `Some` when this is a quality-control page.
@@ -49,6 +52,55 @@ impl IntegratedPageMeta {
     /// Whether this page contributes to the real measurement (not QC).
     pub fn is_real(&self) -> bool {
         self.control.is_none()
+    }
+
+    /// The left pane's version index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the extreme control page, whose left pane holds the
+    /// ruined copy rather than a numbered version.
+    pub fn left_index(&self) -> usize {
+        self.left.expect("page's left pane holds a numbered version")
+    }
+
+    /// The stored-document form of this metadata (the paper's
+    /// integrated-webpages collection). The ruined pane is persisted as an
+    /// explicit `"left": null` — never a cast sentinel — so the database
+    /// record always round-trips back to the in-memory metadata.
+    pub fn to_doc(&self, test_id: &str) -> Value {
+        json!({
+            "test_id": test_id,
+            "name": self.name,
+            "left": match self.left {
+                Some(i) => json!(i as i64),
+                None => Value::Null,
+            },
+            "right": self.right as i64,
+            "control": match self.control {
+                None => Value::Null,
+                Some(ControlKind::IdenticalPair) => json!("identical"),
+                Some(ControlKind::ExtremePair) => json!("extreme"),
+            },
+        })
+    }
+
+    /// Parses a document written by [`IntegratedPageMeta::to_doc`];
+    /// `None` when a required field is missing or malformed.
+    pub fn from_doc(doc: &Value) -> Option<Self> {
+        let name = doc.get("name")?.as_str()?.to_string();
+        let left = match doc.get("left")? {
+            Value::Null => None,
+            v => Some(usize::try_from(v.as_i64()?).ok()?),
+        };
+        let right = usize::try_from(doc.get("right")?.as_i64()?).ok()?;
+        let control = match doc.get("control")? {
+            Value::Null => None,
+            v if v.as_str() == Some("identical") => Some(ControlKind::IdenticalPair),
+            v if v.as_str() == Some("extreme") => Some(ControlKind::ExtremePair),
+            _ => return None,
+        };
+        Some(Self { name, left, right, control })
     }
 }
 
@@ -118,18 +170,63 @@ pub struct Aggregator {
     grid: GridStore,
     viewport: Viewport,
     telemetry: Option<Arc<Registry>>,
+    threads: usize,
+    cache: Arc<AssetCache>,
 }
 
 impl Aggregator {
-    /// Creates an aggregator over the shared storage.
+    /// Creates an aggregator over the shared storage. Preparation runs on
+    /// as many worker threads as the machine offers (see
+    /// [`Aggregator::with_threads`]) over a fresh content-addressed asset
+    /// cache (see [`Aggregator::with_shared_cache`]).
     pub fn new(db: Database, grid: GridStore) -> Self {
-        Self { db, grid, viewport: Viewport::desktop(), telemetry: None }
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Self {
+            db,
+            grid,
+            viewport: Viewport::desktop(),
+            telemetry: None,
+            threads,
+            cache: Arc::new(AssetCache::new()),
+        }
     }
 
     /// Overrides the viewport used for layout/reveal planning.
     pub fn with_viewport(mut self, viewport: Viewport) -> Self {
         self.viewport = viewport;
         self
+    }
+
+    /// Sets the worker-thread count for [`Aggregator::prepare`]'s fan-out
+    /// (`0` restores the machine default). The thread count never changes
+    /// the produced bytes — every version draws from its own seed-derived
+    /// RNG stream, so `with_threads(1)` and `with_threads(8)` emit
+    /// identical artifacts for the same campaign seed.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = if threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            threads
+        };
+        self
+    }
+
+    /// Replaces the content-addressed asset cache, e.g. to share one cache
+    /// across aggregators or to keep it warm between prepare runs (a warm
+    /// re-prepare re-encodes nothing).
+    pub fn with_shared_cache(mut self, cache: Arc<AssetCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// The content-addressed asset cache used while inlining.
+    pub fn cache(&self) -> &Arc<AssetCache> {
+        &self.cache
+    }
+
+    /// The configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Attaches a metric registry (builder style). [`Aggregator::prepare`]
@@ -151,6 +248,14 @@ impl Aggregator {
     /// generates `C(N,2)` integrated pages plus two control pages, stores
     /// everything, and records the test information.
     ///
+    /// Version compression and pair composition fan out across the
+    /// configured worker pool ([`Aggregator::with_threads`]). One draw
+    /// from `rng` seeds every per-version RNG stream (SplitMix-derived,
+    /// see [`derive_stream_seed`]), so the produced bytes depend only on
+    /// the campaign seed — never on thread count or scheduling order —
+    /// and shared assets are base64-encoded once through the
+    /// content-addressed cache no matter how many versions reference them.
+    ///
     /// # Errors
     ///
     /// Returns [`AggregateError`] on invalid parameters or missing webpage
@@ -164,53 +269,71 @@ impl Aggregator {
         params.validate()?;
         let test_id = params.test_id.clone();
         let metrics = self.telemetry.as_deref().map(PrepareMetrics::register);
+        if let Some(registry) = self.telemetry.as_deref() {
+            self.cache.attach_metrics(registry);
+        }
 
-        // 1. Compress each version and inject its reveal plan.
-        let inliner = Inliner::new(store);
-        let mut version_files = Vec::with_capacity(params.webpages.len());
-        for (i, spec) in params.webpages.iter().enumerate() {
+        // One draw from the caller's RNG seeds every per-version stream.
+        let base_seed = rng.next_u64();
+
+        // 1. Compress each version and inject its reveal plan — one job
+        // per version, fanned out over the worker pool. The grid store is
+        // keyed (order-independent), each job writes only its own file,
+        // and each job's randomness comes from its own derived stream, so
+        // the fan-out is invisible in the output.
+        let inliner = Inliner::new(store).with_cache(&self.cache);
+        let n = params.webpages.len();
+        let version_files: Vec<String> = (0..n).map(|i| format!("version-{i}.html")).collect();
+        run_jobs(self.threads, n, &|i: usize| -> Result<(), AggregateError> {
             let timer = metrics.as_ref().map(|m| m.inline_us.start_timer());
+            let spec = &params.webpages[i];
             let out = inliner.inline(&spec.main_file_path())?;
             let mut doc = parse_document(&out.html);
             let layout = Layout::compute(&doc, self.viewport);
             let load = spec.load_spec().expect("validated above");
-            let plan = RevealPlan::build(&doc, &layout, &load, rng);
+            let mut stream = StdRng::seed_from_u64(derive_stream_seed(base_seed, i as u64));
+            let plan = RevealPlan::build(&doc, &layout, &load, &mut stream);
             plan.inject(&mut doc);
-            let name = format!("version-{i}.html");
-            self.grid.put(&test_id, &name, doc.to_html().into_bytes());
-            version_files.push(name);
+            self.grid.put(&test_id, &version_files[i], doc.to_html().into_bytes());
             drop(timer);
             if let Some(m) = &metrics {
                 m.versions.inc();
             }
-        }
+            Ok(())
+        })?;
 
         // 2. Integrated pages for every pair (i < j), in index order.
+        // Composition is a pure function of the two file names and the
+        // question list, so pair jobs parallelize the same way.
         let questions: Vec<String> = params.question.iter().map(|q| q.text().to_string()).collect();
-        let mut pages = Vec::new();
-        let n = params.webpages.len();
-        let mut k = 0usize;
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let timer = metrics.as_ref().map(|m| m.compose_us.start_timer());
-                let name = format!("integrated-{k:03}.html");
-                let html = integrated_html_with_questions(
-                    &version_files[i],
-                    &version_files[j],
-                    &questions,
-                );
-                self.grid.put(&test_id, &name, html.into_bytes());
-                pages.push(IntegratedPageMeta { name, left: i, right: j, control: None });
-                k += 1;
-                drop(timer);
-            }
-        }
+        let pairs: Vec<(usize, usize)> =
+            (0..n).flat_map(|i| ((i + 1)..n).map(move |j| (i, j))).collect();
+        run_jobs(self.threads, pairs.len(), &|k: usize| -> Result<(), AggregateError> {
+            let timer = metrics.as_ref().map(|m| m.compose_us.start_timer());
+            let (i, j) = pairs[k];
+            let name = format!("integrated-{k:03}.html");
+            let html =
+                integrated_html_with_questions(&version_files[i], &version_files[j], &questions);
+            self.grid.put(&test_id, &name, html.into_bytes());
+            drop(timer);
+            Ok(())
+        })?;
+        let mut pages: Vec<IntegratedPageMeta> = pairs
+            .iter()
+            .enumerate()
+            .map(|(k, &(i, j))| IntegratedPageMeta {
+                name: format!("integrated-{k:03}.html"),
+                left: Some(i),
+                right: j,
+                control: None,
+            })
+            .collect();
 
         // 3. Control pages. "We occasionally show two copies of the same
         // version webpage, or two significantly different webpages."
         let identical = IntegratedPageMeta {
             name: "control-identical.html".to_string(),
-            left: 0,
+            left: Some(0),
             right: 0,
             control: Some(ControlKind::IdenticalPair),
         };
@@ -229,7 +352,7 @@ impl Aggregator {
             name: "control-extreme.html".to_string(),
             // The ruined copy is always the left pane; the honest answer is
             // therefore "Right".
-            left: usize::MAX,
+            left: None,
             right: 0,
             control: Some(ControlKind::ExtremePair),
         };
@@ -242,29 +365,16 @@ impl Aggregator {
 
         // 4. Record test information and page metadata — the paper's three
         // collections: integrated webpages, basic test information, and
-        // (later, from the server) participant responses.
-        let page_doc = |p: &IntegratedPageMeta| {
-            json!({
-                "test_id": test_id,
-                "name": p.name,
-                "left": p.left as i64,
-                "right": p.right as i64,
-                "control": match p.control {
-                    None => serde_json::Value::Null,
-                    Some(ControlKind::IdenticalPair) => json!("identical"),
-                    Some(ControlKind::ExtremePair) => json!("extreme"),
-                },
-            })
-        };
+        // (later, from the server) participant responses. All page docs
+        // commit as one atomic batch (a single WAL record on a durable
+        // database).
         let integrated = self.db.collection("integrated_pages");
-        for p in &pages {
-            integrated.insert_one(page_doc(p));
-        }
+        integrated.insert_many(pages.iter().map(|p| p.to_doc(&test_id)));
         let tests = self.db.collection(kserver_tests());
         tests.insert_one(json!({
             "test_id": test_id,
             "params": serde_json::to_value(params).expect("params serialize"),
-            "pages": pages.iter().map(page_doc).collect::<Vec<_>>(),
+            "pages": pages.iter().map(|p| p.to_doc(&test_id)).collect::<Vec<_>>(),
         }));
 
         if let Some(m) = &metrics {
@@ -289,6 +399,58 @@ impl Aggregator {
 /// Name of the tests collection (matches the core server's).
 fn kserver_tests() -> &'static str {
     "tests"
+}
+
+/// Derives the seed of one per-version RNG stream from the campaign-level
+/// base seed: the stream index is spread by the golden-ratio increment and
+/// the combination is finalized by SplitMix64, so neighbouring indices
+/// yield statistically independent streams and the mapping is a pure
+/// function — sequential and parallel prepare derive identical streams.
+pub fn derive_stream_seed(base: u64, stream: u64) -> u64 {
+    let mut z = base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs `jobs` indexed jobs over at most `threads` scoped workers (atomic
+/// work-stealing index; `threads <= 1` degenerates to a plain loop with
+/// fail-fast). Every job must be independent — when several fail, the
+/// lowest-indexed error is surfaced so the caller sees the same error a
+/// sequential sweep would have hit first.
+fn run_jobs<E: Send>(
+    threads: usize,
+    jobs: usize,
+    job: &(impl Fn(usize) -> Result<(), E> + Sync),
+) -> Result<(), E> {
+    if jobs == 0 {
+        return Ok(());
+    }
+    let workers = threads.clamp(1, jobs);
+    if workers == 1 {
+        return (0..jobs).try_for_each(job);
+    }
+    let next = AtomicUsize::new(0);
+    let failures: Mutex<Vec<(usize, E)>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs {
+                    break;
+                }
+                if let Err(e) = job(i) {
+                    failures.lock().expect("no panics hold this lock").push((i, e));
+                }
+            });
+        }
+    });
+    let mut failures = failures.into_inner().expect("workers joined");
+    failures.sort_by_key(|(i, _)| *i);
+    match failures.into_iter().next() {
+        Some((_, e)) => Err(e),
+        None => Ok(()),
+    }
 }
 
 /// Handles registered once per [`Aggregator::prepare`] call; all updates
@@ -354,7 +516,10 @@ pub fn integrated_html_with_questions(
 /// the extreme control pair: unreadably small text (the paper's 4 pt
 /// example) *and* a crawling page load, so the control has a known answer
 /// under every question kind — style, readability, and readiness alike.
-fn ruin_version(html: &str) -> String {
+///
+/// Public so the aggregator benchmark's pre-optimization baseline can
+/// reproduce the full prepare pipeline, control pages included.
+pub fn ruin_version(html: &str) -> String {
     let mut doc = parse_document(html);
     if let Some(body) = doc.find_tag("body") {
         doc.set_style_property(body, "font-size", "4pt");
@@ -419,12 +584,12 @@ mod tests {
     fn pairs_enumerate_in_index_order() {
         let (_, prepared, _) = prepare_font_study();
         let real = prepared.real_pairs();
-        assert_eq!((real[0].left, real[0].right), (0, 1));
-        assert_eq!((real[1].left, real[1].right), (0, 2));
-        assert_eq!((real[9].left, real[9].right), (3, 4));
+        assert_eq!((real[0].left_index(), real[0].right), (0, 1));
+        assert_eq!((real[1].left_index(), real[1].right), (0, 2));
+        assert_eq!((real[9].left_index(), real[9].right), (3, 4));
         // Left pane always holds the lower index — the presentation-order
         // fact behind the AlwaysLeft-spammer artifact in Fig. 4 (raw).
-        assert!(real.iter().all(|p| p.left < p.right));
+        assert!(real.iter().all(|p| p.left_index() < p.right));
     }
 
     #[test]
@@ -476,6 +641,115 @@ mod tests {
             1
         );
         assert_eq!(integrated.count(&json!({"control": null})), 10);
+    }
+
+    #[test]
+    fn extreme_control_round_trips_through_the_stored_doc() {
+        let (agg, prepared, _) = prepare_font_study();
+        let integrated = agg.database().collection("integrated_pages");
+        for page in &prepared.pages {
+            let doc = integrated
+                .find_one(&json!({"test_id": prepared.test_id, "name": page.name}))
+                .unwrap_or_else(|| panic!("{} stored", page.name));
+            let parsed = IntegratedPageMeta::from_doc(&doc).expect("stored doc parses");
+            assert_eq!(&parsed, page, "in-memory metadata and DB record agree");
+        }
+        // The ruined pane is an explicit null — never a cast sentinel.
+        let extreme = integrated
+            .find_one(&json!({"test_id": prepared.test_id, "control": "extreme"}))
+            .unwrap();
+        assert_eq!(extreme["left"], serde_json::Value::Null);
+        assert_eq!(prepared.page("control-extreme.html").unwrap().left, None);
+    }
+
+    #[test]
+    fn page_docs_commit_in_one_batch() {
+        let dir = std::env::temp_dir().join(format!("kscope-agg-batch-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let (store, params) = corpus::font_size_study(10);
+            let (db, _) = Database::open_durable(&dir).unwrap();
+            let agg = Aggregator::new(db, GridStore::new());
+            agg.prepare(&params, &store, &mut StdRng::seed_from_u64(1)).unwrap();
+        }
+        // Reopen: the batched page docs replay with the rest of the WAL.
+        let (db, report) = Database::open_durable(&dir).unwrap();
+        assert!(report.clean());
+        assert_eq!(db.collection("integrated_pages").len(), 12);
+        // 1 insert_many (12 page docs) + 1 test-info insert.
+        assert_eq!(report.replayed_records, 2, "page docs are one WAL record");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn thread_count_does_not_change_output() {
+        let (store, params) = corpus::font_size_study(25);
+        let seq = Aggregator::new(Database::new(), GridStore::new()).with_threads(1);
+        let par = Aggregator::new(Database::new(), GridStore::new()).with_threads(8);
+        let a = seq.prepare(&params, &store, &mut StdRng::seed_from_u64(42)).unwrap();
+        let b = par.prepare(&params, &store, &mut StdRng::seed_from_u64(42)).unwrap();
+        assert_eq!(a, b, "PreparedTest metadata identical across thread counts");
+        let files = seq.grid().list(&params.test_id);
+        assert_eq!(files, par.grid().list(&params.test_id));
+        for f in &files {
+            assert_eq!(
+                seq.grid().get(&params.test_id, f),
+                par.grid().get(&params.test_id, f),
+                "{f} must be byte-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_assets_encode_once_across_versions() {
+        let (store, params) = corpus::font_size_study(30);
+        let agg = Aggregator::new(Database::new(), GridStore::new());
+        agg.prepare(&params, &store, &mut StdRng::seed_from_u64(5)).unwrap();
+        let stats = agg.cache().stats();
+        // The font study's five versions share byte-identical images; only
+        // the stylesheet differs per version. Shared bytes encode once.
+        assert!(stats.hits > 0, "shared assets must hit the cache: {stats:?}");
+        assert!(
+            stats.misses < 5 * 3,
+            "five versions × three assets must not all be encoded: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn warm_cache_reprepare_is_identical() {
+        let (store, params) = corpus::font_size_study(15);
+        let cache = Arc::new(kscope_singlefile::AssetCache::new());
+        let cold = Aggregator::new(Database::new(), GridStore::new())
+            .with_shared_cache(Arc::clone(&cache));
+        cold.prepare(&params, &store, &mut StdRng::seed_from_u64(9)).unwrap();
+        let cold_stats = cache.stats();
+        let warm = Aggregator::new(Database::new(), GridStore::new())
+            .with_shared_cache(Arc::clone(&cache));
+        warm.prepare(&params, &store, &mut StdRng::seed_from_u64(9)).unwrap();
+        let warm_stats = cache.stats();
+        // No new blob was base64-encoded (the per-run CSS memo re-resolves
+        // sheets, but every data-URI comes straight from the cache).
+        assert_eq!(warm_stats.entries, cold_stats.entries, "warm run encodes no new blobs");
+        assert!(warm_stats.hits > cold_stats.hits, "warm run is served from the cache");
+        for f in cold.grid().list(&params.test_id) {
+            assert_eq!(
+                cold.grid().get(&params.test_id, &f),
+                warm.grid().get(&params.test_id, &f),
+                "{f} identical on a warm cache"
+            );
+        }
+    }
+
+    #[test]
+    fn stream_seed_derivation_is_stable_and_spread() {
+        // The derivation is part of the reproducibility contract: a new
+        // binary must replay old campaigns bit-for-bit.
+        assert_eq!(derive_stream_seed(0, 0), 0);
+        assert_ne!(derive_stream_seed(1, 0), derive_stream_seed(1, 1));
+        assert_ne!(derive_stream_seed(1, 0), derive_stream_seed(2, 0));
+        let spread: std::collections::HashSet<u64> =
+            (0..1000).map(|i| derive_stream_seed(7, i)).collect();
+        assert_eq!(spread.len(), 1000, "streams never collide in practice");
     }
 
     #[test]

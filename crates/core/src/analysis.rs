@@ -106,7 +106,7 @@ impl QuestionAnalysis {
         let mut pair_votes: Vec<((usize, usize), VoteCounts)> = prepared
             .real_pairs()
             .iter()
-            .map(|m| ((m.left, m.right), VoteCounts::default()))
+            .map(|m| ((m.left_index(), m.right), VoteCounts::default()))
             .collect();
         for rec in records {
             for page in &rec.pages {
@@ -118,9 +118,10 @@ impl QuestionAnalysis {
                     Some(p) => p,
                     None => continue,
                 };
-                matrix.record(meta.left, meta.right, answer);
-                if let Some((_, votes)) =
-                    pair_votes.iter_mut().find(|((l, r), _)| *l == meta.left && *r == meta.right)
+                matrix.record(meta.left_index(), meta.right, answer);
+                if let Some((_, votes)) = pair_votes
+                    .iter_mut()
+                    .find(|((l, r), _)| *l == meta.left_index() && *r == meta.right)
                 {
                     match answer {
                         Preference::Left => votes.left += 1,
@@ -198,7 +199,7 @@ impl RankDistribution {
                     _ => continue,
                 };
                 if let Some(p) = page.answers.get(question).and_then(|a| parse_preference(a)) {
-                    matrix.record(meta.left, meta.right, p);
+                    matrix.record(meta.left_index(), meta.right, p);
                     any = true;
                 }
             }
@@ -370,7 +371,7 @@ mod tests {
         // Three versions -> 3 real pairs + identical control.
         let pair = |k: usize, l: usize, r: usize| IntegratedPageMeta {
             name: format!("integrated-{k:03}.html"),
-            left: l,
+            left: Some(l),
             right: r,
             control: None,
         };
@@ -382,7 +383,7 @@ mod tests {
                 pair(2, 1, 2),
                 IntegratedPageMeta {
                     name: "control-identical.html".into(),
-                    left: 0,
+                    left: Some(0),
                     right: 0,
                     control: Some(ControlKind::IdenticalPair),
                 },

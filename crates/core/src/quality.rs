@@ -302,19 +302,19 @@ mod tests {
             pages: vec![
                 IntegratedPageMeta {
                     name: "integrated-000.html".into(),
-                    left: 0,
+                    left: Some(0),
                     right: 1,
                     control: None,
                 },
                 IntegratedPageMeta {
                     name: "control-identical.html".into(),
-                    left: 0,
+                    left: Some(0),
                     right: 0,
                     control: Some(ControlKind::IdenticalPair),
                 },
                 IntegratedPageMeta {
                     name: "control-extreme.html".into(),
-                    left: usize::MAX,
+                    left: None,
                     right: 0,
                     control: Some(ControlKind::ExtremePair),
                 },
@@ -422,7 +422,7 @@ mod tests {
         for k in 1..3 {
             p.pages.push(IntegratedPageMeta {
                 name: format!("integrated-00{k}.html"),
-                left: 0,
+                left: Some(0),
                 right: 1,
                 control: None,
             });

@@ -1,0 +1,292 @@
+//! Content-addressed asset cache.
+//!
+//! The common A/B-test corpus shares almost every asset between versions:
+//! the variants differ in one stylesheet rule or one button, while the
+//! images, fonts, and scripts are byte-identical copies saved under each
+//! version's folder. [`AssetCache`] deduplicates that work by *content*:
+//! an asset is base64-encoded into its `data:` URI exactly once per unique
+//! byte string, no matter how many paths, documents, or prepare runs
+//! reference it. The cache is thread-safe (the parallel aggregator shares
+//! one across its workers) and persistent across inlining runs (a warm
+//! re-prepare pays no encoding cost at all).
+//!
+//! Hit/miss counters are kept as plain atomics and optionally mirrored
+//! into a `kscope-telemetry` registry
+//! (`singlefile.asset_cache_{hits,misses}_total`,
+//! `singlefile.asset_cache_saved_bytes`).
+
+use crate::base64;
+use kscope_telemetry::{Counter, Registry};
+use parking_lot::RwLock;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Folds the high and low halves of a 64×64→128 multiply (the wyhash
+/// "mum" mixer) — one multiply diffuses a full 8-byte lane.
+#[inline]
+fn mum(a: u64, b: u64) -> u64 {
+    let r = u128::from(a) * u128::from(b);
+    (r >> 64) as u64 ^ r as u64
+}
+
+/// 128-bit content hash over a sequence of byte slices.
+///
+/// Two wyhash-style multiply-mix lanes consume 16 bytes per step, so
+/// hashing runs far faster than base64 encoding — essential, because a
+/// cache *hit* still hashes the full asset, and a hash as slow as the
+/// encode would cancel the savings. Each part's length is folded into its
+/// final mix so `("ab","c")` and `("a","bc")` hash apart. Not
+/// collision-resistant against adversaries; ample for deduplicating a
+/// test corpus.
+pub fn content_hash(parts: &[&[u8]]) -> u128 {
+    const P0: u64 = 0xa076_1d64_78bd_642f;
+    const P1: u64 = 0xe703_7ed1_a0b4_28db;
+    const P2: u64 = 0x8ebc_6af0_9c88_c6e3;
+    let mut h1: u64 = P0;
+    let mut h2: u64 = P1;
+    for part in parts {
+        let mut chunks = part.chunks_exact(16);
+        for c in &mut chunks {
+            let a = u64::from_le_bytes(c[0..8].try_into().expect("8-byte lane"));
+            let b = u64::from_le_bytes(c[8..16].try_into().expect("8-byte lane"));
+            h1 = mum(h1 ^ a, P2);
+            h2 = mum(h2 ^ b, P0);
+        }
+        let rest = chunks.remainder();
+        let mut tail = [0u8; 16];
+        tail[..rest.len()].copy_from_slice(rest);
+        let a = u64::from_le_bytes(tail[0..8].try_into().expect("8-byte lane"));
+        let b = u64::from_le_bytes(tail[8..16].try_into().expect("8-byte lane"));
+        h1 = mum(h1 ^ a ^ part.len() as u64, P1);
+        h2 = mum(h2 ^ b ^ 0x1f, P2);
+    }
+    u128::from(h1) << 64 | u128::from(h2)
+}
+
+/// Counters mirrored into a telemetry registry when attached.
+#[derive(Debug)]
+struct CacheCounters {
+    hits: Counter,
+    misses: Counter,
+    saved_bytes: Counter,
+}
+
+/// A point-in-time view of an [`AssetCache`]'s effectiveness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// References served from the cache (no re-encode).
+    pub hits: u64,
+    /// References that had to be encoded (and were then cached).
+    pub misses: u64,
+    /// Distinct cached blobs.
+    pub entries: usize,
+    /// Raw bytes actually encoded (miss-path work).
+    pub encoded_bytes: u64,
+    /// Raw bytes a hit spared from re-encoding.
+    pub saved_bytes: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]`; zero when the cache is untouched.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A thread-safe, content-addressed cache of encoded assets.
+///
+/// Keys are 128-bit [`content_hash`]es of `(mime, raw bytes)` — the encoding is
+/// a pure function of those inputs, so identical content cached under one
+/// path serves every other path, version, and prepare run that references
+/// the same bytes.
+#[derive(Debug, Default)]
+pub struct AssetCache {
+    data_uris: RwLock<HashMap<u128, Arc<OnceLock<Arc<str>>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    encoded_bytes: AtomicU64,
+    saved_bytes: AtomicU64,
+    counters: OnceLock<CacheCounters>,
+}
+
+impl AssetCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mirrors hit/miss/saved-bytes counts into `registry` from now on
+    /// (`singlefile.asset_cache_hits_total`,
+    /// `singlefile.asset_cache_misses_total`,
+    /// `singlefile.asset_cache_saved_bytes`). A no-op if already attached.
+    pub fn attach_metrics(&self, registry: &Registry) {
+        let _ = self.counters.set(CacheCounters {
+            hits: registry.counter("singlefile.asset_cache_hits_total"),
+            misses: registry.counter("singlefile.asset_cache_misses_total"),
+            saved_bytes: registry.counter("singlefile.asset_cache_saved_bytes"),
+        });
+    }
+
+    /// Returns the `data:{mime};base64,…` URI for `data`, encoding it
+    /// exactly once per unique `(mime, content)` pair: racing callers for
+    /// the same key block on a per-key cell while the first one encodes,
+    /// then share the finished allocation — no duplicate encode work, and
+    /// the miss counter ticks exactly once per distinct blob.
+    pub fn data_uri(&self, mime: &str, data: &[u8]) -> Arc<str> {
+        let key = content_hash(&[mime.as_bytes(), data]);
+        // Bind the fast-path lookup first so its read guard is released
+        // before the slow path takes the write lock.
+        let fast = self.data_uris.read().get(&key).map(Arc::clone);
+        let cell = match fast {
+            Some(cell) => cell,
+            None => match self.data_uris.write().entry(key) {
+                Entry::Occupied(e) => Arc::clone(e.get()),
+                Entry::Vacant(e) => Arc::clone(e.insert(Arc::new(OnceLock::new()))),
+            },
+        };
+        // The encode runs outside both map locks so distinct blobs encode
+        // concurrently; only same-key callers serialize on the cell.
+        let mut encoded = false;
+        let uri = Arc::clone(cell.get_or_init(|| {
+            encoded = true;
+            Arc::from(format!("data:{mime};base64,{}", base64::encode(data)))
+        }));
+        if encoded {
+            self.record_miss(data.len() as u64);
+        } else {
+            self.record_hit(data.len() as u64);
+        }
+        uri
+    }
+
+    /// Records a cache hit from an auxiliary memo (the per-run CSS memo)
+    /// so all dedup activity lands in one set of counters.
+    pub(crate) fn record_hit(&self, raw_bytes: u64) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.saved_bytes.fetch_add(raw_bytes, Ordering::Relaxed);
+        if let Some(c) = self.counters.get() {
+            c.hits.inc();
+            c.saved_bytes.add(raw_bytes);
+        }
+    }
+
+    /// Records a cache miss from an auxiliary memo.
+    pub(crate) fn record_miss(&self, raw_bytes: u64) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.encoded_bytes.fetch_add(raw_bytes, Ordering::Relaxed);
+        if let Some(c) = self.counters.get() {
+            c.misses.inc();
+        }
+    }
+
+    /// Current effectiveness counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.data_uris.read().len(),
+            encoded_bytes: self.encoded_bytes.load(Ordering::Relaxed),
+            saved_bytes: self.saved_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops every cached blob and zeroes the counters (telemetry
+    /// counters, being monotonic, are left alone).
+    pub fn clear(&self) {
+        self.data_uris.write().clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.encoded_bytes.store(0, Ordering::Relaxed);
+        self.saved_bytes.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_content_encoded_once() {
+        let cache = AssetCache::new();
+        let a = cache.data_uri("image/png", b"pixels");
+        let b = cache.data_uri("image/png", b"pixels");
+        assert_eq!(a, b);
+        assert!(Arc::ptr_eq(&a, &b), "hit must share the encoded allocation");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert_eq!(stats.encoded_bytes, 6);
+        assert_eq!(stats.saved_bytes, 6);
+    }
+
+    #[test]
+    fn mime_is_part_of_the_key() {
+        let cache = AssetCache::new();
+        let png = cache.data_uri("image/png", b"x");
+        let gif = cache.data_uri("image/gif", b"x");
+        assert_ne!(png, gif);
+        assert_eq!(cache.stats().entries, 2);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn different_content_different_entries() {
+        let cache = AssetCache::new();
+        cache.data_uri("image/png", b"a");
+        cache.data_uri("image/png", b"b");
+        assert_eq!(cache.stats().entries, 2);
+        assert_eq!(cache.stats().hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_references_share_one_encode() {
+        let cache = Arc::new(AssetCache::new());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let cache = Arc::clone(&cache);
+                s.spawn(move || {
+                    for i in 0..50 {
+                        let payload = [b"blob-", &[b'0' + (i % 4) as u8][..]].concat();
+                        cache.data_uri("image/png", &payload);
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 4, "4 unique payloads");
+        assert_eq!(stats.hits + stats.misses, 400);
+        assert_eq!(stats.misses, 4, "each unique payload encodes exactly once");
+    }
+
+    #[test]
+    fn telemetry_counters_mirror_activity() {
+        let registry = Registry::new();
+        let cache = AssetCache::new();
+        cache.attach_metrics(&registry);
+        cache.data_uri("image/png", b"shared");
+        cache.data_uri("image/png", b"shared");
+        assert_eq!(registry.counter_value("singlefile.asset_cache_hits_total", &[]), Some(1));
+        assert_eq!(registry.counter_value("singlefile.asset_cache_misses_total", &[]), Some(1));
+        assert_eq!(registry.counter_value("singlefile.asset_cache_saved_bytes", &[]), Some(6));
+    }
+
+    #[test]
+    fn clear_resets_stats() {
+        let cache = AssetCache::new();
+        cache.data_uri("image/png", b"x");
+        cache.clear();
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn content_hash_separates_parts() {
+        assert_ne!(content_hash(&[b"ab", b"c"]), content_hash(&[b"a", b"bc"]));
+        assert_eq!(content_hash(&[b"a", b"b"]), content_hash(&[b"a", b"b"]));
+    }
+}

@@ -14,10 +14,13 @@
 //! whole page — saved webpages routinely have dead references.
 
 use crate::base64;
-use crate::store::{guess_mime, resolve_relative, ResourceStore};
+use crate::cache::{content_hash, AssetCache};
+use crate::store::{classify_href, guess_mime, HrefTarget, ResourceStore};
 use kscope_html::{parse_document, Document, NodeId};
-use std::collections::HashSet;
+use parking_lot::RwLock;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::sync::Arc;
 
 /// Error returned when the main document itself cannot be loaded.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,10 +48,24 @@ pub struct InlineReport {
     pub inlined: usize,
     /// Paths that were referenced but absent from the store.
     pub missing: Vec<String>,
+    /// Remote URLs (`https://…`, `//cdn/…`) left in place by design — a
+    /// saved page legitimately references the live web; these are not
+    /// missing resources.
+    pub external: Vec<String>,
     /// Size of the main HTML before inlining, in bytes.
     pub bytes_before: usize,
     /// Size of the produced single file, in bytes.
     pub bytes_after: usize,
+}
+
+impl InlineReport {
+    /// Folds a nested report (a processed stylesheet's accounting) into
+    /// this one.
+    fn absorb(&mut self, other: &InlineReport) {
+        self.inlined += other.inlined;
+        self.missing.extend(other.missing.iter().cloned());
+        self.external.extend(other.external.iter().cloned());
+    }
 }
 
 /// The product of [`Inliner::inline`]: the self-contained HTML plus a
@@ -61,16 +78,40 @@ pub struct InlineOutput {
     pub report: InlineReport,
 }
 
+/// One memoized stylesheet: the processed CSS plus the report entries its
+/// processing produced, replayed on every reuse so per-document reports
+/// stay accurate.
+#[derive(Debug)]
+struct CssEntry {
+    css: Arc<str>,
+    report: InlineReport,
+}
+
 /// Folds a saved webpage (main file + resources) into one HTML document.
 #[derive(Debug)]
 pub struct Inliner<'a> {
     store: &'a ResourceStore,
+    cache: Option<&'a AssetCache>,
+    /// Per-inliner memo of processed stylesheets, keyed by
+    /// `(path, raw content)` hash — resolution is path-dependent, so the
+    /// path is part of the key. Lives only as long as the inliner (the
+    /// backing store is borrowed immutably, so entries cannot go stale).
+    css_memo: RwLock<HashMap<u128, CssEntry>>,
 }
 
 impl<'a> Inliner<'a> {
     /// Creates an inliner over a resource store.
     pub fn new(store: &'a ResourceStore) -> Self {
-        Self { store }
+        Self { store, cache: None, css_memo: RwLock::new(HashMap::new()) }
+    }
+
+    /// Attaches a content-addressed [`AssetCache`] (builder style): every
+    /// `data:` URI encode goes through it, and processed stylesheets are
+    /// memoized for the inliner's lifetime, so an asset referenced by
+    /// several documents — or twice by one — is encoded exactly once.
+    pub fn with_cache(mut self, cache: &'a AssetCache) -> Self {
+        self.cache = Some(cache);
+        self
     }
 
     /// Inlines the page whose main HTML file lives at `main_path`.
@@ -110,12 +151,17 @@ impl<'a> Inliner<'a> {
             .collect();
         for link in links {
             let href = doc.attr(link, "href").expect("filtered on href").to_string();
-            let path = resolve_relative(base, &href);
+            let path = match classify_href(base, &href) {
+                HrefTarget::Local(path) => path,
+                HrefTarget::Remote => {
+                    report.external.push(href);
+                    continue;
+                }
+                HrefTarget::DataUri | HrefTarget::Anchor => continue,
+            };
             match self.store.get_text(&path) {
                 Some(css) => {
-                    let mut seen = HashSet::new();
-                    seen.insert(path.clone());
-                    let css = self.process_css(&css, &path, &mut seen, report);
+                    let css = self.process_css_memoized(&css, &path, report);
                     let style = doc.create_element("style");
                     let text = doc.create_text(&css);
                     doc.append_child(style, text);
@@ -126,6 +172,39 @@ impl<'a> Inliner<'a> {
                 None => report.missing.push(path),
             }
         }
+    }
+
+    /// Processes a fetched stylesheet (flatten `@import`s, rewrite
+    /// `url(...)`s), memoizing the result by `(path, content)` when a
+    /// cache is attached so a sheet shared across documents — or linked
+    /// twice by one — is resolved once. The memo replays the first run's
+    /// report entries so every document's report stays complete.
+    fn process_css_memoized(&self, css: &str, path: &str, report: &mut InlineReport) -> Arc<str> {
+        let fresh = |report: &mut InlineReport| {
+            let mut seen = HashSet::new();
+            seen.insert(path.to_string());
+            Arc::<str>::from(self.process_css(css, path, &mut seen, report))
+        };
+        let Some(cache) = self.cache else {
+            return fresh(report);
+        };
+        let key = content_hash(&[path.as_bytes(), css.as_bytes()]);
+        if let Some(entry) = self.css_memo.read().get(&key) {
+            report.absorb(&entry.report);
+            cache.record_hit(css.len() as u64);
+            return Arc::clone(&entry.css);
+        }
+        let mut sub = InlineReport::default();
+        let processed = fresh(&mut sub);
+        cache.record_miss(css.len() as u64);
+        report.absorb(&sub);
+        // A racing worker may have memoized the same sheet meanwhile;
+        // both produced identical output, so either entry serves.
+        self.css_memo
+            .write()
+            .entry(key)
+            .or_insert(CssEntry { css: Arc::clone(&processed), report: sub });
+        processed
     }
 
     fn inline_scripts(&self, doc: &mut Document, base: &str, report: &mut InlineReport) {
@@ -139,11 +218,14 @@ impl<'a> Inliner<'a> {
             .collect();
         for script in scripts {
             let src = doc.attr(script, "src").expect("filtered on src").to_string();
-            if is_external_url(&src) {
-                report.missing.push(src);
-                continue;
-            }
-            let path = resolve_relative(base, &src);
+            let path = match classify_href(base, &src) {
+                HrefTarget::Local(path) => path,
+                HrefTarget::Remote => {
+                    report.external.push(src);
+                    continue;
+                }
+                HrefTarget::DataUri | HrefTarget::Anchor => continue,
+            };
             match self.store.get_text(&path) {
                 Some(js) => {
                     if let Some(el) = doc.element_mut(script) {
@@ -169,14 +251,14 @@ impl<'a> Inliner<'a> {
             .collect();
         for img in imgs {
             let src = doc.attr(img, "src").expect("filtered on src").to_string();
-            if src.starts_with("data:") {
-                continue;
-            }
-            if is_external_url(&src) {
-                report.missing.push(src);
-                continue;
-            }
-            let path = resolve_relative(base, &src);
+            let path = match classify_href(base, &src) {
+                HrefTarget::Local(path) => path,
+                HrefTarget::Remote => {
+                    report.external.push(src);
+                    continue;
+                }
+                HrefTarget::DataUri | HrefTarget::Anchor => continue,
+            };
             match self.data_uri(&path) {
                 Some(uri) => {
                     doc.set_attr(img, "src", &uri);
@@ -225,7 +307,14 @@ impl<'a> Inliner<'a> {
             let trimmed = line.trim_start();
             if let Some(rest) = trimmed.strip_prefix("@import") {
                 if let Some(target) = parse_import_target(rest) {
-                    let path = resolve_relative(css_path, &target);
+                    let path = match classify_href(css_path, &target) {
+                        HrefTarget::Local(path) => path,
+                        HrefTarget::Remote => {
+                            report.external.push(target);
+                            continue;
+                        }
+                        HrefTarget::DataUri | HrefTarget::Anchor => continue,
+                    };
                     if seen.insert(path.clone()) {
                         match self.store.get_text(&path) {
                             Some(nested) => {
@@ -264,11 +353,8 @@ impl<'a> Inliner<'a> {
             };
             let raw = rest[..close].trim();
             let target = raw.trim_matches(|c| c == '"' || c == '\'');
-            if target.starts_with("data:") || is_external_url(target) || target.is_empty() {
-                out.push_str(raw);
-            } else {
-                let path = resolve_relative(base, target);
-                match self.data_uri(&path) {
+            match classify_href(base, target) {
+                HrefTarget::Local(path) => match self.data_uri(&path) {
                     Some(uri) => {
                         out.push_str(&uri);
                         report.inlined += 1;
@@ -277,7 +363,12 @@ impl<'a> Inliner<'a> {
                         report.missing.push(path);
                         out.push_str(raw);
                     }
+                },
+                HrefTarget::Remote => {
+                    report.external.push(target.to_string());
+                    out.push_str(raw);
                 }
+                HrefTarget::DataUri | HrefTarget::Anchor => out.push_str(raw),
             }
             out.push(')');
             rest = &rest[close + 1..];
@@ -289,12 +380,11 @@ impl<'a> Inliner<'a> {
     fn data_uri(&self, path: &str) -> Option<String> {
         let res = self.store.get(path)?;
         let mime = if res.mime.is_empty() { guess_mime(path) } else { res.mime.as_str() };
-        Some(format!("data:{mime};base64,{}", base64::encode(&res.data)))
+        match self.cache {
+            Some(cache) => Some(cache.data_uri(mime, &res.data).to_string()),
+            None => Some(format!("data:{mime};base64,{}", base64::encode(&res.data))),
+        }
     }
-}
-
-fn is_external_url(s: &str) -> bool {
-    s.starts_with("http://") || s.starts_with("https://") || s.starts_with("//")
 }
 
 /// Extracts the target of `@import "x.css";` or `@import url(x.css);`.
@@ -404,7 +494,172 @@ mod tests {
         let out = Inliner::new(&s).inline("p/i.html").unwrap();
         assert!(out.html.contains("https://cdn.example.com/x.png"));
         assert_eq!(out.report.inlined, 0);
-        assert_eq!(out.report.missing.len(), 2);
+        // Remote URLs are external by design, not missing resources.
+        assert!(out.report.missing.is_empty(), "missing: {:?}", out.report.missing);
+        let mut external = out.report.external.clone();
+        external.sort();
+        assert_eq!(
+            external,
+            vec!["//cdn/x.js".to_string(), "https://cdn.example.com/x.png".to_string()]
+        );
+    }
+
+    #[test]
+    fn remote_stylesheet_link_is_external_not_missing() {
+        let mut s = ResourceStore::new();
+        s.insert(
+            "p/i.html",
+            "text/html",
+            br#"<link rel="stylesheet" href="https://fonts.example.com/css?family=X">"#.to_vec(),
+        );
+        let out = Inliner::new(&s).inline("p/i.html").unwrap();
+        assert!(out.html.contains("https://fonts.example.com/css?family=X"), "link left alone");
+        assert!(out.report.missing.is_empty(), "missing: {:?}", out.report.missing);
+        assert_eq!(out.report.external.len(), 1);
+    }
+
+    #[test]
+    fn query_and_fragment_suffixes_still_resolve() {
+        let mut s = ResourceStore::new();
+        s.insert(
+            "p/i.html",
+            "text/html",
+            br#"<link rel="stylesheet" href="a.css?v=2"><img src="img/x.png#frag">"#.to_vec(),
+        );
+        s.insert("p/a.css", "text/css", b".a { x: 1 }".to_vec());
+        s.insert("p/img/x.png", "image/png", vec![0x89, 0x50]);
+        let out = Inliner::new(&s).inline("p/i.html").unwrap();
+        assert!(out.html.contains(".a { x: 1 }"), "a.css?v=2 must hit the store");
+        assert!(out.html.contains("data:image/png;base64,"));
+        assert!(out.report.missing.is_empty(), "missing: {:?}", out.report.missing);
+        assert_eq!(out.report.inlined, 2);
+    }
+
+    #[test]
+    fn root_absolute_hrefs_resolve_against_store_root() {
+        let mut s = ResourceStore::new();
+        s.insert(
+            "pages/v0/index.html",
+            "text/html",
+            br#"<link rel="stylesheet" href="/shared/site.css"><img src="/shared/logo.png">"#
+                .to_vec(),
+        );
+        s.insert("shared/site.css", "text/css", b"body { margin: 0 }".to_vec());
+        s.insert("shared/logo.png", "image/png", vec![1, 2, 3]);
+        let out = Inliner::new(&s).inline("pages/v0/index.html").unwrap();
+        assert!(out.html.contains("body { margin: 0 }"));
+        assert!(out.html.contains("data:image/png;base64,"));
+        assert!(out.report.missing.is_empty(), "missing: {:?}", out.report.missing);
+        assert_eq!(out.report.inlined, 2);
+    }
+
+    #[test]
+    fn anchor_and_empty_hrefs_are_ignored() {
+        let mut s = ResourceStore::new();
+        s.insert("p/i.html", "text/html", br##"<img src="#top"><img src="">"##.to_vec());
+        let out = Inliner::new(&s).inline("p/i.html").unwrap();
+        assert_eq!(out.report.inlined, 0);
+        assert!(out.report.missing.is_empty());
+        assert!(out.report.external.is_empty());
+    }
+
+    #[test]
+    fn remote_import_is_external_not_garbage_lookup() {
+        let mut s = ResourceStore::new();
+        s.insert("p/i.html", "text/html", br#"<link rel="stylesheet" href="a.css">"#.to_vec());
+        s.insert(
+            "p/a.css",
+            "text/css",
+            b"@import url(https://fonts.example.com/x.css);\n.a{}".to_vec(),
+        );
+        let out = Inliner::new(&s).inline("p/i.html").unwrap();
+        assert!(out.html.contains(".a{}"));
+        assert!(out.report.missing.is_empty(), "missing: {:?}", out.report.missing);
+        assert_eq!(out.report.external, vec!["https://fonts.example.com/x.css".to_string()]);
+    }
+
+    #[test]
+    fn duplicate_references_encode_once_via_cache() {
+        let mut s = ResourceStore::new();
+        s.insert(
+            "p/i.html",
+            "text/html",
+            br#"<img src="img/a.png"><img src="img/a.png"><img src="img/a.png">"#.to_vec(),
+        );
+        s.insert("p/img/a.png", "image/png", vec![0x89, 0x50, 0x4e, 0x47]);
+        let cache = AssetCache::new();
+        let out = Inliner::new(&s).with_cache(&cache).inline("p/i.html").unwrap();
+        assert_eq!(out.report.inlined, 3, "every reference is rewritten");
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "thrice-referenced asset is encoded once");
+        assert_eq!(stats.hits, 2);
+    }
+
+    #[test]
+    fn duplicate_stylesheet_links_resolve_once() {
+        let mut s = ResourceStore::new();
+        s.insert(
+            "p/i.html",
+            "text/html",
+            br#"<link rel="stylesheet" href="a.css"><link rel="stylesheet" href="a.css">"#.to_vec(),
+        );
+        s.insert("p/a.css", "text/css", b".a { background: url(img/bg.png) }".to_vec());
+        s.insert("p/img/bg.png", "image/png", vec![9, 9, 9]);
+        let cache = AssetCache::new();
+        let out = Inliner::new(&s).with_cache(&cache).inline("p/i.html").unwrap();
+        // Both links fold in, both reports count the nested url() inline.
+        assert_eq!(out.report.inlined, 4, "2 links + 2 replayed url() inlines");
+        let stats = cache.stats();
+        // First pass: css miss + png miss. Second link: css memo hit.
+        assert_eq!(stats.misses, 2, "sheet and image each encoded/resolved once");
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn shared_import_assets_encode_once_across_sheets() {
+        let mut s = ResourceStore::new();
+        s.insert(
+            "p/i.html",
+            "text/html",
+            br#"<link rel="stylesheet" href="a.css"><link rel="stylesheet" href="b.css">"#.to_vec(),
+        );
+        s.insert("p/a.css", "text/css", b"@import 'common.css';\n.a{}".to_vec());
+        s.insert("p/b.css", "text/css", b"@import 'common.css';\n.b{}".to_vec());
+        s.insert("p/common.css", "text/css", b".c { background: url(img/c.png) }".to_vec());
+        s.insert("p/img/c.png", "image/png", vec![7; 64]);
+        let cache = AssetCache::new();
+        let out = Inliner::new(&s).with_cache(&cache).inline("p/i.html").unwrap();
+        assert!(out.report.missing.is_empty());
+        let stats = cache.stats();
+        // The shared import's image is base64-encoded exactly once even
+        // though two distinct sheets pull it in.
+        assert_eq!(stats.misses, 3, "a.css, b.css, c.png each resolved once: {stats:?}");
+        assert_eq!(stats.hits, 1, "second sheet's url(c.png) hits the data-uri cache");
+    }
+
+    #[test]
+    fn cache_shares_identical_content_across_documents() {
+        let mut s = ResourceStore::new();
+        for v in 0..3 {
+            s.insert(
+                &format!("v{v}/index.html"),
+                "text/html",
+                br#"<img src="img/logo.png">"#.to_vec(),
+            );
+            // Same bytes saved under three different folders.
+            s.insert(&format!("v{v}/img/logo.png"), "image/png", vec![0xAB; 256]);
+        }
+        let cache = AssetCache::new();
+        let inliner = Inliner::new(&s).with_cache(&cache);
+        let mut htmls = Vec::new();
+        for v in 0..3 {
+            htmls.push(inliner.inline(&format!("v{v}/index.html")).unwrap().html);
+        }
+        assert_eq!(htmls[0], htmls[1]);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "identical content under different paths encodes once");
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.saved_bytes, 512);
     }
 
     #[test]

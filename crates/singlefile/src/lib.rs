@@ -32,8 +32,12 @@
 #![warn(missing_docs)]
 
 pub mod base64;
+pub mod cache;
 pub mod inline;
 pub mod store;
 
+pub use cache::{content_hash, AssetCache, CacheStats};
 pub use inline::{InlineError, InlineOutput, InlineReport, Inliner};
-pub use store::{normalize_path, resolve_relative, ResourceStore};
+pub use store::{
+    classify_href, is_remote_url, normalize_path, resolve_relative, HrefTarget, ResourceStore,
+};

@@ -121,13 +121,24 @@ pub fn normalize_path(path: &str) -> String {
 
 /// Resolves `href` relative to the directory of `base_file`.
 ///
+/// `?query` and `#fragment` suffixes are stripped before resolution (a
+/// saved-page folder stores `x.css`, not `x.css?v=2`), and a root-absolute
+/// href (`/x.css`) resolves against the store root rather than being glued
+/// onto the base directory.
+///
 /// ```
 /// use kscope_singlefile::resolve_relative;
 /// assert_eq!(resolve_relative("page/index.html", "css/a.css"), "page/css/a.css");
 /// assert_eq!(resolve_relative("page/sub/f.html", "../img.png"), "page/img.png");
 /// assert_eq!(resolve_relative("index.html", "style.css"), "style.css");
+/// assert_eq!(resolve_relative("page/index.html", "a.css?v=2"), "page/a.css");
+/// assert_eq!(resolve_relative("page/index.html", "/x.css"), "x.css");
 /// ```
 pub fn resolve_relative(base_file: &str, href: &str) -> String {
+    let href = strip_query_fragment(href);
+    if let Some(rooted) = href.strip_prefix('/') {
+        return normalize_path(rooted);
+    }
     let base = normalize_path(base_file);
     let dir = match base.rfind('/') {
         Some(idx) => &base[..idx],
@@ -137,6 +148,70 @@ pub fn resolve_relative(base_file: &str, href: &str) -> String {
         normalize_path(href)
     } else {
         normalize_path(&format!("{dir}/{href}"))
+    }
+}
+
+/// Cuts `?query` and `#fragment` suffixes off an href.
+fn strip_query_fragment(href: &str) -> &str {
+    let end = href.find(['?', '#']).unwrap_or(href.len());
+    &href[..end]
+}
+
+/// How an href should be treated by the inliner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HrefTarget {
+    /// A store-resolvable path (already resolved against the base file).
+    Local(String),
+    /// A remote URL (`https://…`, `//cdn/…`, `mailto:`, …): external by
+    /// design, never a store lookup and never a "missing" resource.
+    Remote,
+    /// An already-inlined `data:` URI — nothing to do.
+    DataUri,
+    /// A pure `#fragment` / `?query` self-reference — nothing to fetch.
+    Anchor,
+}
+
+/// Classifies `href` (as found in a document at `base_file`) into the
+/// inliner's cases: local store path, remote-by-design URL, `data:` URI,
+/// or same-document anchor.
+///
+/// ```
+/// use kscope_singlefile::{classify_href, HrefTarget};
+/// assert_eq!(classify_href("d/f.html", "x.css?v=2"), HrefTarget::Local("d/x.css".into()));
+/// assert_eq!(classify_href("d/f.html", "https://cdn/x.css"), HrefTarget::Remote);
+/// assert_eq!(classify_href("d/f.html", "#top"), HrefTarget::Anchor);
+/// ```
+pub fn classify_href(base_file: &str, href: &str) -> HrefTarget {
+    let trimmed = href.trim();
+    if trimmed.starts_with("data:") {
+        return HrefTarget::DataUri;
+    }
+    if is_remote_url(trimmed) {
+        return HrefTarget::Remote;
+    }
+    if strip_query_fragment(trimmed).is_empty() {
+        return HrefTarget::Anchor;
+    }
+    HrefTarget::Local(resolve_relative(base_file, trimmed))
+}
+
+/// Whether an href points outside the saved-page folder by design:
+/// protocol-relative (`//cdn/x`) or carrying a URL scheme (`https:`,
+/// `mailto:`, …). Single letters before `:` are not treated as schemes so
+/// Windows-style `C:\` saved-page paths keep resolving locally.
+pub fn is_remote_url(s: &str) -> bool {
+    if s.starts_with("//") {
+        return true;
+    }
+    match s.find(':') {
+        Some(idx) if idx >= 2 => s[..idx].chars().enumerate().all(|(i, c)| {
+            if i == 0 {
+                c.is_ascii_alphabetic()
+            } else {
+                c.is_ascii_alphanumeric() || matches!(c, '+' | '.' | '-')
+            }
+        }),
+        _ => false,
     }
 }
 
@@ -224,6 +299,52 @@ mod tests {
         assert_eq!(resolve_relative("d/f.html", "sub/x.css"), "d/sub/x.css");
         assert_eq!(resolve_relative("d/e/f.html", "../x.css"), "d/x.css");
         assert_eq!(resolve_relative("f.html", "x.css"), "x.css");
+    }
+
+    #[test]
+    fn resolve_relative_strips_query_and_fragment() {
+        assert_eq!(resolve_relative("d/f.html", "x.css?v=2"), "d/x.css");
+        assert_eq!(resolve_relative("d/f.html", "x.css#section"), "d/x.css");
+        assert_eq!(resolve_relative("d/f.html", "x.css?v=2#frag"), "d/x.css");
+        assert_eq!(resolve_relative("f.html", "img/a.png?cache=1"), "img/a.png");
+    }
+
+    #[test]
+    fn resolve_relative_root_absolute_resolves_against_store_root() {
+        assert_eq!(resolve_relative("d/f.html", "/x.css"), "x.css");
+        assert_eq!(resolve_relative("d/e/f.html", "/img/a.png"), "img/a.png");
+        assert_eq!(resolve_relative("f.html", "/x.css?v=1"), "x.css");
+    }
+
+    #[test]
+    fn classify_href_cases() {
+        assert_eq!(classify_href("d/f.html", "x.css"), HrefTarget::Local("d/x.css".into()));
+        assert_eq!(classify_href("d/f.html", "x.css?v=2"), HrefTarget::Local("d/x.css".into()));
+        assert_eq!(classify_href("d/f.html", "/root.css"), HrefTarget::Local("root.css".into()));
+        assert_eq!(classify_href("d/f.html", "https://cdn.example.com/x.css"), HrefTarget::Remote);
+        assert_eq!(classify_href("d/f.html", "http://a/b.js"), HrefTarget::Remote);
+        assert_eq!(classify_href("d/f.html", "//cdn/x.js"), HrefTarget::Remote);
+        assert_eq!(classify_href("d/f.html", "mailto:a@b.c"), HrefTarget::Remote);
+        assert_eq!(classify_href("d/f.html", "data:image/png;base64,AA"), HrefTarget::DataUri);
+        assert_eq!(classify_href("d/f.html", "#top"), HrefTarget::Anchor);
+        assert_eq!(classify_href("d/f.html", "?page=2"), HrefTarget::Anchor);
+        // A colon later in the path is not a scheme.
+        assert_eq!(
+            classify_href("d/f.html", "img/a:b.png"),
+            HrefTarget::Local("d/img/a:b.png".into())
+        );
+    }
+
+    #[test]
+    fn remote_url_detection() {
+        assert!(is_remote_url("https://x"));
+        assert!(is_remote_url("//cdn/x"));
+        assert!(is_remote_url("ftp://x"));
+        assert!(is_remote_url("mailto:someone@example.com"));
+        // Windows drive letters are single-character "schemes" — local.
+        assert!(!is_remote_url("C:\\pages\\x.css"));
+        assert!(!is_remote_url("x.css"));
+        assert!(!is_remote_url("img/a:b.png"));
     }
 
     #[test]

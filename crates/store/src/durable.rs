@@ -260,6 +260,14 @@ fn apply_wal_op(db: &Database, op: &Value) -> Result<(), PersistError> {
             db.collection(coll).insert_one(doc);
             Ok(())
         }
+        "insert_many" => {
+            let docs = match op.get("docs") {
+                Some(Value::Array(docs)) => docs.clone(),
+                _ => Vec::new(),
+            };
+            db.collection(coll).insert_many(docs);
+            Ok(())
+        }
         "update" => {
             let filter = op.get("filter").cloned().unwrap_or(json!({}));
             let update = op.get("update").cloned().unwrap_or(json!({}));

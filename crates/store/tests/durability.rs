@@ -109,6 +109,78 @@ fn all_mutation_kinds_replay() {
 }
 
 #[test]
+fn insert_many_commits_one_wal_record_per_batch() {
+    let dir = tempdir("batch-wal");
+    {
+        let (db, _) = Database::open_durable(&dir).unwrap();
+        let ids = db.collection("pages").insert_many((0..8).map(|i| json!({"n": i})));
+        assert_eq!(ids.len(), 8);
+        // The whole batch is a single frame in the log.
+        let wal_bytes = std::fs::read(dir.join("wal.log")).unwrap();
+        let scan = wal::scan(&wal_bytes);
+        assert_eq!(scan.records.len(), 1, "8-doc batch must append exactly one WAL record");
+        // An empty batch appends nothing at all.
+        assert!(db.collection("pages").insert_many(std::iter::empty::<Value>()).is_empty());
+        let wal_bytes = std::fs::read(dir.join("wal.log")).unwrap();
+        assert_eq!(wal::scan(&wal_bytes).records.len(), 1, "empty batch is WAL-free");
+    }
+    let (db, report) = Database::open_durable(&dir).unwrap();
+    assert!(report.clean());
+    assert_eq!(report.replayed_records, 1);
+    assert_eq!(ns(&db, "pages"), (0..8).collect::<Vec<i64>>());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn insert_many_replay_is_atomic_and_preserves_ids() {
+    let dir = tempdir("batch-replay");
+    let ids;
+    {
+        let (db, _) = Database::open_durable(&dir).unwrap();
+        ids = db.collection("pages").insert_many(vec![
+            json!({"n": 0}),
+            json!({"_id": "custom-id", "n": 1}),
+            json!({"n": 2}),
+        ]);
+        assert_eq!(ids[1].as_str(), "custom-id");
+        // No checkpoint — reopen replays the batch from the WAL.
+    }
+    let (db, report) = Database::open_durable(&dir).unwrap();
+    assert!(report.clean());
+    let c = db.collection("pages");
+    assert_eq!(c.len(), 3, "all or nothing: the full batch replays");
+    for (i, id) in ids.iter().enumerate() {
+        let doc = c.find_by_id(id).expect("replay keeps assigned ids");
+        assert_eq!(doc["n"], json!(i as i64));
+    }
+    // Fresh inserts never collide with replayed batch ids.
+    let fresh = c.insert_one(json!({"n": 3}));
+    assert!(!ids.contains(&fresh));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn truncated_batch_record_drops_whole_batch() {
+    let dir = tempdir("batch-torn");
+    {
+        let (db, _) = Database::open_durable(&dir).unwrap();
+        db.collection("pages").insert_one(json!({"n": 0}));
+        db.collection("pages").insert_many((1..6).map(|i| json!({"n": i})));
+    }
+    let wal_bytes = std::fs::read(dir.join("wal.log")).unwrap();
+    let scan = wal::scan(&wal_bytes);
+    assert_eq!(scan.records.len(), 2);
+    // Cut mid-way through the batch record: the batch must vanish as a
+    // unit — readers never see half of it.
+    let cut = (scan.records[0].end_offset as usize + wal_bytes.len()) / 2;
+    std::fs::write(dir.join("wal.log"), &wal_bytes[..cut]).unwrap();
+    let (db, report) = Database::open_durable(&dir).unwrap();
+    assert!(!report.clean());
+    assert_eq!(ns(&db, "pages"), vec![0], "torn batch drops atomically");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn replayed_ids_never_collide_with_fresh_inserts() {
     let dir = tempdir("idsync");
     let first_id;

@@ -54,9 +54,9 @@ fn print_usage() {
     println!(
         "kscope — crowdsourced Web-QoE testing (Kaleidoscope reproduction)\n\n\
          USAGE:\n  \
-         kscope init [--versions N] [--participants N] [--out params.json]\n  \
+         kscope init [--versions N] [--participants N] [--out params.json] [--sample-pages <dir>]\n  \
          kscope validate <params.json>\n  \
-         kscope prepare <params.json> --pages <dir> --out <dir> [--seed N]\n  \
+         kscope prepare <params.json> --pages <dir> --out <dir> [--seed N] [--threads N]\n  \
          kscope demo <font|expand|uplt|ads> [--participants N] [--seed N] [--in-lab] [--json]\n  \
          kscope snapshot <font|expand|uplt|ads> [--participants N] [--seed N] [--in-lab]\n  \
          kscope serve --data <dir> [--addr HOST:PORT] [--workers N] [--checkpoint-secs N]\n\n\
@@ -94,6 +94,28 @@ fn cmd_init(args: &[String]) -> CliResult {
     }
     let participants: usize = opt(args, "--participants").unwrap_or("100").parse()?;
     let out = opt(args, "--out").unwrap_or("params.json");
+    // --sample-pages writes the paper's font-size study (five versions of
+    // the same article) to disk along with a matching params file, giving
+    // a corpus that `kscope prepare` can run on immediately.
+    if let Some(dir) = opt(args, "--sample-pages") {
+        let (store, params) = kaleidoscope::core::corpus::font_size_study(participants);
+        let root = Path::new(dir);
+        for path in store.paths().map(str::to_string).collect::<Vec<_>>() {
+            let resource = store.get(&path).expect("listed path resolves");
+            let file = root.join(&path);
+            if let Some(parent) = file.parent() {
+                std::fs::create_dir_all(parent)?;
+            }
+            std::fs::write(file, &resource.data)?;
+        }
+        std::fs::write(out, params.to_json())?;
+        println!(
+            "wrote the font-size-study sample ({} resources) to {dir} and its params to {out}",
+            store.len()
+        );
+        println!("next: kscope prepare {out} --pages {dir} --out ./kscope-data");
+        return Ok(());
+    }
     let webpages: Vec<kaleidoscope::core::WebpageSpec> = (0..versions)
         .map(|i| {
             kaleidoscope::core::WebpageSpec::new(&format!("pages/version-{i}"), "index.html", 3000)
@@ -162,6 +184,8 @@ fn cmd_prepare(args: &[String]) -> CliResult {
     let pages_dir = opt(args, "--pages").ok_or("--pages <dir> is required")?;
     let out_dir = opt(args, "--out").ok_or("--out <dir> is required")?;
     let seed: u64 = opt(args, "--seed").unwrap_or("0").parse()?;
+    // 0 = machine default. Artifacts are byte-identical for any value.
+    let threads: usize = opt(args, "--threads").unwrap_or("0").parse()?;
 
     let params = TestParams::from_json(&std::fs::read_to_string(params_path)?)?;
     let store = load_pages_dir(Path::new(pages_dir))?;
@@ -180,12 +204,23 @@ fn cmd_prepare(args: &[String]) -> CliResult {
     let (db, _report) = Database::open_durable(&db_dir)?;
     let grid = GridStore::new();
     let mut rng = StdRng::seed_from_u64(seed);
-    let prepared = Aggregator::new(db.clone(), grid.clone()).prepare(&params, &store, &mut rng)?;
+    let aggregator = Aggregator::new(db.clone(), grid.clone()).with_threads(threads);
+    let prepared = aggregator.prepare(&params, &store, &mut rng)?;
     println!(
-        "prepared test '{}': {} integrated pages ({} real pairs + 2 control)",
+        "prepared test '{}': {} integrated pages ({} real pairs + 2 control) on {} threads",
         prepared.test_id,
         prepared.pages.len(),
-        prepared.real_pairs().len()
+        prepared.real_pairs().len(),
+        aggregator.threads()
+    );
+    let cache = aggregator.cache().stats();
+    println!(
+        "asset cache: {} unique blobs, {} hits / {} misses ({:.0}% hit ratio), {} bytes spared",
+        cache.entries,
+        cache.hits,
+        cache.misses,
+        100.0 * cache.hit_ratio(),
+        cache.saved_bytes
     );
 
     let stats = db.checkpoint()?;
