@@ -4,8 +4,14 @@
 //! batched insert), cold and warm, for N ∈ {2, 4, 8} versions.
 //!
 //! Emits `BENCH_aggregate.json` (override with `--out <path>`); `--quick`
-//! runs one repetition instead of three. Also verifies that sequential and
-//! parallel prepare produce byte-identical artifacts before reporting.
+//! runs one repetition instead of three; `--threads N` sets the parallel
+//! worker count (default 4). Also verifies that sequential and parallel
+//! prepare produce byte-identical artifacts before reporting.
+//!
+//! Speedup numbers are only meaningful with real parallelism: when
+//! `available_parallelism()` is 1 the report carries
+//! `"degraded_single_core": true` and a loud warning is printed, so CI can
+//! refuse to treat the run as a measurement.
 
 use kscope_core::{corpus, Aggregator, TestParams, WebpageSpec};
 use kscope_html::parse_document;
@@ -162,8 +168,21 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_aggregate.json".to_string());
-    let par_threads = 4usize;
+    let par_threads: usize = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    assert!(par_threads >= 1, "--threads must be at least 1");
     let available = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let degraded_single_core = available == 1;
+    if degraded_single_core {
+        eprintln!(
+            "WARNING: available_parallelism() == 1 — parallel-vs-sequential speedups below \
+             measure scheduling overhead, not parallelism; treat this run as degraded."
+        );
+    }
 
     let mut runs = Vec::new();
     for n in [2usize, 4, 8] {
@@ -259,6 +278,8 @@ fn main() {
     let report = json!({
         "bench": "aggregate",
         "threads_available": available,
+        "degraded_single_core": degraded_single_core,
+        "par_threads": par_threads,
         "repetitions": reps,
         "runs": Value::Array(runs),
     });

@@ -1,0 +1,430 @@
+//! Server load benchmark: an event-driven load generator drives thousands
+//! of concurrent keep-alive HTTP sessions against an in-process
+//! [`kscope_server::HttpServer`] through the real wire protocol.
+//!
+//! The generator reuses the server's own readiness [`Poller`] so a single
+//! thread sustains every client socket: each session loops send → receive
+//! → think, exactly like a fleet of browser-extension testers polling the
+//! core server. The point being measured is the reactor's: N sessions are
+//! held open concurrently while the handler pool stays two orders of
+//! magnitude smaller (`sessions / workers ≥ 100`).
+//!
+//! Emits `BENCH_server.json` (override with `--out <path>`) with p50/p99
+//! request latency, shed rate, peak concurrently-established sessions, and
+//! sessions-per-worker. `--quick` shrinks the fleet and duration for CI
+//! smoke runs; `--sessions`, `--workers`, `--duration-secs`, `--think-ms`
+//! override individual knobs.
+
+use kscope_server::reactor::poller::{new_poller, Event, Interest, Poller};
+use kscope_server::{HttpServer, Response, Router, ServerConfig};
+use kscope_telemetry::{Histogram, Registry};
+use serde_json::json;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const REQUEST: &[u8] = b"GET /ping HTTP/1.1\r\nhost: bench\r\n\r\n";
+
+/// Where one session is in its send → receive → think loop.
+enum Phase {
+    /// Waiting out the think time (or the ramp stagger) before sending.
+    Thinking { until: Instant },
+    /// Request partially written.
+    Sending { written: usize },
+    /// Waiting for (the rest of) the response.
+    Receiving,
+}
+
+struct Session {
+    stream: Option<TcpStream>,
+    phase: Phase,
+    inbuf: Vec<u8>,
+    sent_at: Instant,
+    /// Completed requests on the current connection.
+    on_conn: u64,
+}
+
+struct Totals {
+    requests: u64,
+    sheds: u64,
+    reconnects: u64,
+    connects: u64,
+    connect_errors: u64,
+    io_errors: u64,
+    peak_connected: usize,
+}
+
+/// A parsed response frame: status and how many bytes it occupied.
+fn parse_frame(buf: &[u8]) -> Option<(u16, bool, usize)> {
+    let headers_end = buf.windows(4).position(|w| w == b"\r\n\r\n")? + 4;
+    let head = std::str::from_utf8(&buf[..headers_end]).ok()?;
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines.next()?.split_whitespace().nth(1)?.parse().ok()?;
+    let mut content_length = 0usize;
+    let mut close = false;
+    for line in lines {
+        let lower = line.to_ascii_lowercase();
+        if let Some(v) = lower.strip_prefix("content-length:") {
+            content_length = v.trim().parse().ok()?;
+        }
+        if lower.starts_with("connection:") && lower.contains("close") {
+            close = true;
+        }
+    }
+    let total = headers_end + content_length;
+    (buf.len() >= total).then_some((status, close, total))
+}
+
+struct LoadGen {
+    poller: Box<dyn Poller>,
+    sessions: Vec<Session>,
+    addr: SocketAddr,
+    latency: Histogram,
+    think: Duration,
+    totals: Totals,
+}
+
+impl LoadGen {
+    fn interest_of(phase: &Phase) -> Interest {
+        match phase {
+            Phase::Thinking { .. } => Interest::NONE,
+            Phase::Sending { .. } => Interest::WRITABLE,
+            Phase::Receiving => Interest::READABLE,
+        }
+    }
+
+    fn set_phase(&mut self, token: usize, phase: Phase) {
+        let session = &mut self.sessions[token];
+        let desired = Self::interest_of(&phase);
+        session.phase = phase;
+        if let Some(stream) = &session.stream {
+            let _ = self.poller.reregister(stream.as_raw_fd(), token as u64, desired);
+        }
+    }
+
+    /// (Re)connects a session; on failure the session retries after one
+    /// think period.
+    fn connect(&mut self, token: usize, now: Instant) {
+        self.disconnect(token);
+        match TcpStream::connect(self.addr) {
+            Ok(stream) => {
+                if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                    self.totals.connect_errors += 1;
+                    return;
+                }
+                let registered =
+                    self.poller.register(stream.as_raw_fd(), token as u64, Interest::NONE).is_ok();
+                if !registered {
+                    self.totals.connect_errors += 1;
+                    return;
+                }
+                self.totals.connects += 1;
+                let session = &mut self.sessions[token];
+                session.stream = Some(stream);
+                session.on_conn = 0;
+                let connected = self.sessions.iter().filter(|s| s.stream.is_some()).count();
+                self.totals.peak_connected = self.totals.peak_connected.max(connected);
+            }
+            Err(_) => {
+                self.totals.connect_errors += 1;
+                let _ = now;
+            }
+        }
+    }
+
+    fn disconnect(&mut self, token: usize) {
+        if let Some(stream) = self.sessions[token].stream.take() {
+            let _ = self.poller.deregister(stream.as_raw_fd());
+        }
+        self.sessions[token].inbuf.clear();
+    }
+
+    /// Begins one request, reconnecting first if the keep-alive socket is
+    /// gone.
+    fn start_request(&mut self, token: usize, now: Instant) {
+        if self.sessions[token].stream.is_none() {
+            self.connect(token, now);
+            if self.sessions[token].stream.is_none() {
+                // Connect failed: think again, retry later.
+                self.set_phase(token, Phase::Thinking { until: now + self.think });
+                return;
+            }
+        }
+        self.sessions[token].sent_at = now;
+        self.set_phase(token, Phase::Sending { written: 0 });
+        self.drive_send(token, now);
+    }
+
+    fn drive_send(&mut self, token: usize, now: Instant) {
+        let Phase::Sending { mut written } = self.sessions[token].phase else { return };
+        loop {
+            let Some(stream) = &mut self.sessions[token].stream else { return };
+            match stream.write(&REQUEST[written..]) {
+                Ok(n) => {
+                    written += n;
+                    if written >= REQUEST.len() {
+                        self.set_phase(token, Phase::Receiving);
+                        self.drive_receive(token, now);
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    self.set_phase(token, Phase::Sending { written });
+                    return;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.totals.io_errors += 1;
+                    self.totals.reconnects += 1;
+                    self.disconnect(token);
+                    self.start_request(token, now);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn drive_receive(&mut self, token: usize, now: Instant) {
+        let mut buf = [0u8; 4096];
+        loop {
+            let Some(stream) = &mut self.sessions[token].stream else { return };
+            match stream.read(&mut buf) {
+                Ok(0) => {
+                    // Server closed (idle timeout, request cap, shed):
+                    // reconnect on the next request.
+                    self.totals.reconnects += 1;
+                    self.disconnect(token);
+                    self.set_phase(token, Phase::Thinking { until: now + self.think });
+                    return;
+                }
+                Ok(n) => {
+                    self.sessions[token].inbuf.extend_from_slice(&buf[..n]);
+                    if let Some((status, close, frame_len)) =
+                        parse_frame(&self.sessions[token].inbuf)
+                    {
+                        let session = &mut self.sessions[token];
+                        session.inbuf.drain(..frame_len);
+                        session.on_conn += 1;
+                        self.totals.requests += 1;
+                        let elapsed = now.saturating_duration_since(session.sent_at);
+                        self.latency.observe(elapsed.as_micros() as u64);
+                        if status == 503 {
+                            self.totals.sheds += 1;
+                        }
+                        if close {
+                            self.totals.reconnects += 1;
+                            self.disconnect(token);
+                        }
+                        self.set_phase(token, Phase::Thinking { until: now + self.think });
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.totals.io_errors += 1;
+                    self.totals.reconnects += 1;
+                    self.disconnect(token);
+                    self.set_phase(token, Phase::Thinking { until: now + self.think });
+                    return;
+                }
+            }
+        }
+    }
+
+    fn on_event(&mut self, event: Event, now: Instant) {
+        let token = event.token as usize;
+        if token >= self.sessions.len() {
+            return;
+        }
+        match self.sessions[token].phase {
+            Phase::Sending { .. } if event.writable => self.drive_send(token, now),
+            Phase::Receiving if event.readable => self.drive_receive(token, now),
+            _ => {}
+        }
+    }
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let sessions: usize = flag_value(&args, "--sessions")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 600 } else { 5_000 });
+    let workers: usize = flag_value(&args, "--workers").and_then(|v| v.parse().ok()).unwrap_or(4);
+    let duration = Duration::from_secs(
+        flag_value(&args, "--duration-secs").and_then(|v| v.parse().ok()).unwrap_or(if quick {
+            3
+        } else {
+            10
+        }),
+    );
+    let think = Duration::from_millis(
+        flag_value(&args, "--think-ms").and_then(|v| v.parse().ok()).unwrap_or(1_000),
+    );
+    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_server.json".to_string());
+
+    let available = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let degraded_single_core = available == 1;
+    if degraded_single_core {
+        eprintln!(
+            "WARNING: available_parallelism() == 1 — load generator, reactor shards, and \
+             workers share one core; latency numbers are NOT representative."
+        );
+    }
+
+    let registry = Arc::new(Registry::new());
+    let mut router = Router::new();
+    router.get("/ping", |_req, _p| Response::json(&json!({ "pong": true })));
+    let mut config = ServerConfig::with_workers(workers);
+    // Sessions must stay keep-alive for the whole run.
+    config.max_requests_per_connection = usize::MAX;
+    config.idle_timeout = Duration::from_secs(30);
+    let server =
+        HttpServer::bind_with_config("127.0.0.1:0", router, config, Some(Arc::clone(&registry)))
+            .expect("bind bench server");
+    let addr = server.local_addr();
+
+    let start = Instant::now();
+    let mut gen = LoadGen {
+        poller: new_poller(false),
+        sessions: (0..sessions)
+            .map(|i| Session {
+                stream: None,
+                phase: Phase::Thinking {
+                    // Stagger first requests uniformly across one think
+                    // period so the fleet never phase-locks.
+                    until: start + think.mul_f64(i as f64 / sessions.max(1) as f64),
+                },
+                inbuf: Vec::new(),
+                sent_at: start,
+                on_conn: 0,
+            })
+            .collect(),
+        addr,
+        latency: Histogram::new(),
+        think,
+        totals: Totals {
+            requests: 0,
+            sheds: 0,
+            reconnects: 0,
+            connects: 0,
+            connect_errors: 0,
+            io_errors: 0,
+            peak_connected: 0,
+        },
+    };
+    let poller_name = gen.poller.name();
+
+    // Ramp: establish the whole fleet before the measurement window, paced
+    // so the listener backlog never overflows.
+    let mut next_to_connect = 0usize;
+    while next_to_connect < sessions {
+        let batch = (sessions - next_to_connect).min(64);
+        for token in next_to_connect..next_to_connect + batch {
+            gen.connect(token, Instant::now());
+        }
+        next_to_connect += batch;
+        // Give the server's acceptor a readiness cycle.
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let ramp = start.elapsed();
+    let established = gen.sessions.iter().filter(|s| s.stream.is_some()).count();
+
+    // Measurement loop.
+    let bench_start = Instant::now();
+    let deadline = bench_start + duration;
+    let mut events: Vec<Event> = Vec::with_capacity(1024);
+    let mut last_think_scan = bench_start;
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        events.clear();
+        let _ = gen.poller.wait(&mut events, Some(Duration::from_millis(2)));
+        let now = Instant::now();
+        for event in events.drain(..) {
+            gen.on_event(event, now);
+        }
+        // Wake thinkers whose pause has elapsed (scanned at ~1ms
+        // granularity; think times are tens of milliseconds and up).
+        if now.duration_since(last_think_scan) >= Duration::from_millis(1) {
+            last_think_scan = now;
+            for token in 0..gen.sessions.len() {
+                if let Phase::Thinking { until } = gen.sessions[token].phase {
+                    if now >= until {
+                        gen.start_request(token, now);
+                    }
+                }
+            }
+        }
+    }
+    let measured = bench_start.elapsed();
+    let connected_at_end = gen.sessions.iter().filter(|s| s.stream.is_some()).count();
+
+    let snapshot = gen.latency.snapshot();
+    let totals = &gen.totals;
+    let shed_rate = totals.sheds as f64 / totals.requests.max(1) as f64;
+    let throughput = totals.requests as f64 / measured.as_secs_f64();
+    let sessions_per_worker = totals.peak_connected as f64 / workers as f64;
+
+    let report = json!({
+        "bench": "server",
+        "poller": poller_name,
+        "threads_available": available,
+        "degraded_single_core": degraded_single_core,
+        "sessions": sessions,
+        "workers": workers,
+        "think_ms": think.as_millis() as u64,
+        "ramp_ms": ramp.as_millis() as u64,
+        "duration_ms": measured.as_millis() as u64,
+        "sessions_established": established,
+        "sessions_connected_at_end": connected_at_end,
+        "peak_concurrent_sessions": totals.peak_connected,
+        "sessions_per_worker": sessions_per_worker,
+        "requests_total": totals.requests,
+        "throughput_rps": throughput,
+        "latency_p50_us": snapshot.p50(),
+        "latency_p95_us": snapshot.p95(),
+        "latency_p99_us": snapshot.p99(),
+        "latency_mean_us": snapshot.mean(),
+        "shed_total": totals.sheds,
+        "shed_rate": shed_rate,
+        "reconnects": totals.reconnects,
+        "connects": totals.connects,
+        "connect_errors": totals.connect_errors,
+        "io_errors": totals.io_errors,
+        "server": {
+            "reactor_fds": registry.gauge("server.reactor_fds").get(),
+            "reactor_ready_peak": registry.gauge("server.reactor_ready_peak").get(),
+            "reactor_timer_entries": registry.gauge("server.reactor_timer_entries").get(),
+            "accepted_total": registry.counter_value("server.accepted_total", &[]),
+            "keepalive_reuses_total": registry.counter_value("server.keepalive_reuses_total", &[]),
+            "shed_total": registry.counter_value("server.shed_total", &[]),
+        },
+    });
+    println!(
+        "sessions {established}/{sessions} established (peak {peak}), {workers} workers \
+         ({sessions_per_worker:.0}x), {requests} requests in {secs:.1}s ({throughput:.0} rps), \
+         p50 {p50:.0}us p99 {p99:.0}us, shed rate {shed_rate:.4}, {reconnects} reconnects",
+        peak = totals.peak_connected,
+        requests = totals.requests,
+        secs = measured.as_secs_f64(),
+        p50 = snapshot.p50(),
+        p99 = snapshot.p99(),
+        reconnects = totals.reconnects,
+    );
+    std::fs::write(&out_path, serde_json::to_string_pretty(&report).expect("serialize"))
+        .expect("write bench report");
+    println!("wrote {out_path}");
+
+    let report_drain = server.shutdown();
+    assert!(report_drain.completed, "bench server must drain cleanly");
+}

@@ -369,6 +369,266 @@ impl Response {
     }
 }
 
+/// What one request-line/header/body parse is currently waiting for.
+#[derive(Debug)]
+enum ParsePhase {
+    /// Waiting for the `METHOD target HTTP/x.y` line.
+    RequestLine,
+    /// Waiting for the header block's terminating blank line.
+    Headers {
+        method: Method,
+        path: String,
+        query: Vec<(String, String)>,
+        headers: BTreeMap<String, String>,
+        /// Cumulative header-line bytes, for the [`MAX_HEADER_BYTES`] cap.
+        header_bytes: usize,
+    },
+    /// Waiting for `remaining` more body bytes.
+    Body {
+        method: Method,
+        path: String,
+        query: Vec<(String, String)>,
+        headers: BTreeMap<String, String>,
+        body: Vec<u8>,
+        remaining: usize,
+    },
+}
+
+/// An incremental, push-based request parser for nonblocking sockets.
+///
+/// The reactor feeds whatever bytes a readiness event produced via
+/// [`RequestParser::feed`] and asks for a complete message with
+/// [`RequestParser::poll`]; `Ok(None)` means "need more bytes". The state
+/// machine mirrors the blocking [`Request::read_from`] decision for
+/// decision — same [`MAX_HEADER_BYTES`] cap, same EOF-mid-message
+/// [`HttpParseError::ConnectionClosed`], same treatment of an unparseable
+/// `content-length` as zero — so a request parsed one byte per event is
+/// indistinguishable from one parsed off a blocking stream. Leftover bytes
+/// after a complete request stay buffered: pipelined requests parse on the
+/// next `poll`.
+#[derive(Debug)]
+pub struct RequestParser {
+    max_body: usize,
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by the state machine.
+    pos: usize,
+    phase: ParsePhase,
+    eof: bool,
+    /// Whether this parser has produced at least one byte of progress on
+    /// the current message (used to distinguish "clean close between
+    /// requests" from "truncated message").
+    started: bool,
+}
+
+/// Outcome of draining one line out of the parser's buffer.
+enum LineStep {
+    /// A complete line (terminator stripped, like `read_line` + trim).
+    Line(String),
+    /// No terminator yet; wait for more bytes.
+    NeedMore,
+    /// EOF with an empty buffer: the stream ended exactly here.
+    Eof,
+}
+
+impl RequestParser {
+    /// A parser enforcing `max_body` on declared request bodies.
+    pub fn new(max_body: usize) -> Self {
+        Self {
+            max_body,
+            buf: Vec::new(),
+            pos: 0,
+            phase: ParsePhase::RequestLine,
+            eof: false,
+            started: false,
+        }
+    }
+
+    /// Appends bytes received from the socket.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Marks the read side closed: an incomplete message becomes
+    /// [`HttpParseError::ConnectionClosed`] (or a final unterminated line,
+    /// exactly as `read_line` yields one at EOF).
+    pub fn set_eof(&mut self) {
+        self.eof = true;
+    }
+
+    /// Bytes buffered but not yet consumed by a completed parse.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether the current message has consumed any bytes — i.e. an EOF
+    /// now would truncate a message rather than close an idle connection.
+    pub fn mid_message(&self) -> bool {
+        self.started || self.buffered() > 0
+    }
+
+    /// Pulls the next `\n`-terminated line (mimicking `read_line`: at EOF a
+    /// trailing unterminated chunk counts as one final line). Returns the
+    /// raw byte length consumed alongside the trimmed text.
+    fn take_line(&mut self) -> Result<(LineStep, usize), HttpParseError> {
+        let rest = &self.buf[self.pos..];
+        let (raw_len, had_newline) = match rest.iter().position(|&b| b == b'\n') {
+            Some(i) => (i + 1, true),
+            None if self.eof && !rest.is_empty() => (rest.len(), false),
+            None if self.eof => return Ok((LineStep::Eof, 0)),
+            None => return Ok((LineStep::NeedMore, 0)),
+        };
+        let _ = had_newline;
+        let raw = &self.buf[self.pos..self.pos + raw_len];
+        let text = std::str::from_utf8(raw)
+            .map_err(|_| {
+                HttpParseError::Io(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "stream did not contain valid UTF-8",
+                ))
+            })?
+            .trim_end()
+            .to_string();
+        self.pos += raw_len;
+        Ok((LineStep::Line(text), raw_len))
+    }
+
+    /// Drops consumed bytes once they dominate the buffer.
+    fn compact(&mut self) {
+        if self.pos > 4096 && self.pos * 2 >= self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+
+    /// Tries to complete one request from the buffered bytes.
+    ///
+    /// # Errors
+    ///
+    /// The same [`HttpParseError`] variants, under the same conditions, as
+    /// the blocking [`Request::read_from`]. After an error the parser is
+    /// poisoned — the connection is expected to close.
+    pub fn poll(&mut self) -> Result<Option<Request>, HttpParseError> {
+        loop {
+            // Take the phase out so line extraction can borrow `self`
+            // freely; every early return below has either restored it or
+            // errored (errors poison the parser: the connection closes).
+            let phase = std::mem::replace(&mut self.phase, ParsePhase::RequestLine);
+            match phase {
+                ParsePhase::RequestLine => {
+                    // Bound a request line that never ends: reuse the
+                    // header-block cap.
+                    if self.buffered() > MAX_HEADER_BYTES {
+                        return Err(HttpParseError::HeadersTooLarge(self.buffered()));
+                    }
+                    match self.take_line()?.0 {
+                        LineStep::NeedMore => return Ok(None),
+                        LineStep::Eof => return Err(HttpParseError::ConnectionClosed),
+                        LineStep::Line(line) => {
+                            self.started = true;
+                            let mut parts = line.split_whitespace();
+                            let method = parts
+                                .next()
+                                .and_then(Method::from_token)
+                                .ok_or(HttpParseError::BadRequestLine)?;
+                            let target = parts.next().ok_or(HttpParseError::BadRequestLine)?;
+                            let _version = parts.next().ok_or(HttpParseError::BadRequestLine)?;
+                            let (path, query) = split_query(target);
+                            self.phase = ParsePhase::Headers {
+                                method,
+                                path,
+                                query,
+                                headers: BTreeMap::new(),
+                                header_bytes: 0,
+                            };
+                        }
+                    }
+                }
+                ParsePhase::Headers { method, path, query, mut headers, mut header_bytes } => {
+                    // A single header line longer than the whole cap can
+                    // be rejected before its newline ever arrives.
+                    if header_bytes + self.buffered() > MAX_HEADER_BYTES
+                        && !self.buf[self.pos..].contains(&b'\n')
+                    {
+                        return Err(HttpParseError::HeadersTooLarge(
+                            header_bytes + self.buffered(),
+                        ));
+                    }
+                    let (step, raw_len) = self.take_line()?;
+                    match step {
+                        LineStep::NeedMore => {
+                            self.phase =
+                                ParsePhase::Headers { method, path, query, headers, header_bytes };
+                            return Ok(None);
+                        }
+                        // EOF mid-headers: a truncated message, never an
+                        // empty header block.
+                        LineStep::Eof => return Err(HttpParseError::ConnectionClosed),
+                        LineStep::Line(line) => {
+                            header_bytes += raw_len;
+                            if header_bytes > MAX_HEADER_BYTES {
+                                return Err(HttpParseError::HeadersTooLarge(header_bytes));
+                            }
+                            if line.is_empty() {
+                                let len: usize = headers
+                                    .get("content-length")
+                                    .and_then(|v| v.parse().ok())
+                                    .unwrap_or(0);
+                                if len > self.max_body {
+                                    return Err(HttpParseError::BodyTooLarge(len));
+                                }
+                                self.phase = ParsePhase::Body {
+                                    method,
+                                    path,
+                                    query,
+                                    headers,
+                                    body: Vec::with_capacity(len.min(64 << 10)),
+                                    remaining: len,
+                                };
+                            } else {
+                                if let Some((name, value)) = line.split_once(':') {
+                                    headers.insert(
+                                        name.trim().to_ascii_lowercase(),
+                                        value.trim().to_string(),
+                                    );
+                                }
+                                self.phase = ParsePhase::Headers {
+                                    method,
+                                    path,
+                                    query,
+                                    headers,
+                                    header_bytes,
+                                };
+                            }
+                        }
+                    }
+                }
+                ParsePhase::Body { method, path, query, headers, mut body, mut remaining } => {
+                    let available = (self.buf.len() - self.pos).min(remaining);
+                    body.extend_from_slice(&self.buf[self.pos..self.pos + available]);
+                    self.pos += available;
+                    remaining -= available;
+                    if remaining > 0 {
+                        if self.eof {
+                            // read_exact would have failed with
+                            // UnexpectedEof here.
+                            return Err(HttpParseError::Io(std::io::Error::new(
+                                std::io::ErrorKind::UnexpectedEof,
+                                "connection closed mid-body",
+                            )));
+                        }
+                        self.phase =
+                            ParsePhase::Body { method, path, query, headers, body, remaining };
+                        return Ok(None);
+                    }
+                    self.started = false;
+                    self.compact();
+                    return Ok(Some(Request { method, path, query, headers, body }));
+                }
+            }
+        }
+    }
+}
+
 /// Errors raised while parsing HTTP messages.
 #[derive(Debug)]
 pub enum HttpParseError {
@@ -707,5 +967,125 @@ mod tests {
         let wire = String::from_utf8(buf).unwrap();
         assert_eq!(wire.matches("content-length").count(), 1);
         assert!(wire.contains("content-length: 3"), "computed length wins: {wire}");
+    }
+
+    /// Runs the incremental parser over `wire` one byte at a time (the
+    /// worst fragmentation a reactor can see) and returns everything it
+    /// produced plus its final error, if any.
+    fn drip_parse(wire: &[u8], max_body: usize) -> (Vec<Request>, Option<HttpParseError>) {
+        let mut parser = RequestParser::new(max_body);
+        let mut requests = Vec::new();
+        for &byte in wire {
+            parser.feed(&[byte]);
+            loop {
+                match parser.poll() {
+                    Ok(Some(request)) => requests.push(request),
+                    Ok(None) => break,
+                    Err(e) => return (requests, Some(e)),
+                }
+            }
+        }
+        parser.set_eof();
+        loop {
+            match parser.poll() {
+                Ok(Some(request)) => requests.push(request),
+                Ok(None) => break,
+                Err(e) => return (requests, Some(e)),
+            }
+        }
+        (requests, None)
+    }
+
+    /// Runs the blocking parser over the same bytes until it errors.
+    fn blocking_parse(wire: &[u8], max_body: usize) -> (Vec<Request>, Option<HttpParseError>) {
+        let mut reader = std::io::BufReader::new(wire);
+        let mut requests = Vec::new();
+        loop {
+            match Request::read_from(&mut reader, max_body) {
+                Ok(request) => requests.push(request),
+                Err(e) => return (requests, Some(e)),
+            }
+        }
+    }
+
+    fn same_error(a: &Option<HttpParseError>, b: &Option<HttpParseError>) -> bool {
+        match (a, b) {
+            (None, None) => true,
+            (Some(x), Some(y)) => std::mem::discriminant(x) == std::mem::discriminant(y),
+            _ => false,
+        }
+    }
+
+    #[test]
+    fn incremental_parser_matches_blocking_parser() {
+        let corpus: &[&[u8]] = &[
+            b"GET /ping HTTP/1.1\r\nhost: x\r\n\r\n",
+            b"POST /echo HTTP/1.1\r\ncontent-length: 5\r\n\r\nhello",
+            b"GET /a?x=1&y=2 HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\nconnection: close\r\n\r\n",
+            b"POST /u HTTP/1.1\r\nContent-Length: 3\r\nX-Mixed-Case: Yes\r\n\r\nabcGET /after HTTP/1.1\r\n\r\n",
+            b"\x00\x01\x02\x03\x04",
+            b"GARBAGE NONSENSE\r\n\r\n",
+            b"GET\r\n\r\n",
+            b"POST / HTTP/1.1\r\ncontent-length: notanumber\r\n\r\n",
+            b"",
+            b"GET /partial HTTP/1.1\r\nhost: x\r\n",
+            b"POST /t HTTP/1.1\r\ncontent-length: 10\r\n\r\nshort",
+            b"POST /big HTTP/1.1\r\ncontent-length: 9999999\r\n\r\n",
+            b"GET /nl-only HTTP/1.1\nhost: y\n\nGET /two HTTP/1.1\n\n",
+        ];
+        for wire in corpus {
+            let (inc_reqs, inc_err) = drip_parse(wire, 1024);
+            let (blk_reqs, blk_err) = blocking_parse(wire, 1024);
+            let label = String::from_utf8_lossy(wire);
+            assert_eq!(inc_reqs.len(), blk_reqs.len(), "request count diverged on: {label}");
+            for (a, b) in inc_reqs.iter().zip(&blk_reqs) {
+                assert_eq!(a.method, b.method, "method diverged on: {label}");
+                assert_eq!(a.path, b.path, "path diverged on: {label}");
+                assert_eq!(a.query, b.query, "query diverged on: {label}");
+                assert_eq!(a.headers, b.headers, "headers diverged on: {label}");
+                assert_eq!(a.body, b.body, "body diverged on: {label}");
+            }
+            assert!(
+                same_error(&inc_err, &blk_err),
+                "errors diverged on {label}: incremental={inc_err:?} blocking={blk_err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_parser_enforces_header_cap_before_newline() {
+        // A single endless header line must be rejected once the buffered
+        // bytes exceed the cap — without waiting for a newline that may
+        // never come (slow-loris defense).
+        let mut parser = RequestParser::new(1024);
+        parser.feed(b"GET / HTTP/1.1\r\nx-filler: ");
+        assert!(matches!(parser.poll(), Ok(None)));
+        parser.feed(&vec![b'a'; MAX_HEADER_BYTES + 1]);
+        assert!(matches!(parser.poll(), Err(HttpParseError::HeadersTooLarge(_))));
+    }
+
+    #[test]
+    fn incremental_parser_keeps_pipelined_leftovers() {
+        let mut parser = RequestParser::new(1024);
+        parser.feed(b"GET /one HTTP/1.1\r\n\r\nGET /two HTTP/1.1\r\n\r\n");
+        let one = parser.poll().unwrap().expect("first request complete");
+        assert_eq!(one.path, "/one");
+        let two = parser.poll().unwrap().expect("second request complete");
+        assert_eq!(two.path, "/two");
+        assert!(matches!(parser.poll(), Ok(None)));
+        assert_eq!(parser.buffered(), 0);
+    }
+
+    #[test]
+    fn incremental_parser_tracks_mid_message_state() {
+        let mut parser = RequestParser::new(1024);
+        assert!(!parser.mid_message());
+        parser.feed(b"GET /x HT");
+        assert!(parser.mid_message(), "buffered bytes mean a message is in progress");
+        let _ = parser.poll();
+        assert!(parser.mid_message(), "request line consumed but headers pending");
+        parser.feed(b"TP/1.1\r\n\r\n");
+        assert!(parser.poll().unwrap().is_some());
+        assert!(!parser.mid_message(), "complete request resets the parser");
     }
 }

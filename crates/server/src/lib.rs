@@ -8,13 +8,15 @@
 //! a Web server using NodeJS — an event-driven architecture capable of
 //! asynchronous I/O."
 //!
-//! We substitute NodeJS with a from-scratch threaded HTTP/1.1 server over
-//! `std::net` (see DESIGN.md): [`HttpServer`] accepts connections on a
-//! worker pool fed by a crossbeam channel, [`Router`] dispatches by method
-//! and path pattern, and [`api::CoreServerApi`] wires the four functions to
-//! a [`kscope_store::Database`] + [`kscope_store::GridStore`]. A small
-//! blocking [`client`] lets the browser-extension simulator and the tests
-//! speak the real wire protocol over loopback TCP.
+//! We substitute NodeJS with a from-scratch event-driven HTTP/1.1 server
+//! over nonblocking `std::net` (see DESIGN.md §13): [`HttpServer`] runs
+//! readiness-driven [`reactor`] shards that own every connection, parse
+//! requests incrementally, and dispatch complete requests to a small
+//! worker pool over a bounded crossbeam channel; [`Router`] dispatches by
+//! method and path pattern, and [`api::CoreServerApi`] wires the four
+//! functions to a [`kscope_store::Database`] + [`kscope_store::GridStore`].
+//! A small blocking [`client`] lets the browser-extension simulator and
+//! the tests speak the real wire protocol over loopback TCP.
 //!
 //! # Example
 //!
@@ -29,13 +31,17 @@
 //! # Ok::<(), std::io::Error>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` (not `forbid`) so the raw-syscall epoll shim — the one place the
+// crate needs `unsafe` — can opt in with a module-scoped `allow`; see
+// `reactor::sys`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod api;
 pub mod client;
 pub mod http;
 pub mod metrics;
+pub mod reactor;
 pub mod router;
 pub mod server;
 

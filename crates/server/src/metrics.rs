@@ -54,6 +54,15 @@ pub struct ServerMetrics {
     /// How long shutdown took to drain, milliseconds
     /// (`server.shutdown_duration_ms`).
     pub shutdown_duration_ms: Histogram,
+    /// Connections currently registered across all reactor shards
+    /// (`server.reactor_fds`).
+    pub reactor_fds: Gauge,
+    /// High-water mark of readiness events drained in one poll
+    /// (`server.reactor_ready_peak`).
+    pub reactor_ready_peak: Gauge,
+    /// Live idle-timeout entries across all shard timer wheels
+    /// (`server.reactor_timer_entries`).
+    pub reactor_timer_entries: Gauge,
     /// Responses by status class, index `status/100 - 1`
     /// (`server.responses_total{class="2xx"}` …).
     pub responses_by_class: [Counter; 5],
@@ -84,6 +93,9 @@ impl ServerMetrics {
                 &[],
                 SHUTDOWN_BUCKETS_MS,
             ),
+            reactor_fds: registry.gauge("server.reactor_fds"),
+            reactor_ready_peak: registry.gauge("server.reactor_ready_peak"),
+            reactor_timer_entries: registry.gauge("server.reactor_timer_entries"),
             responses_by_class: [
                 class_counter("1xx"),
                 class_counter("2xx"),

@@ -1,0 +1,167 @@
+//! Generation-checked slab: maps compact poller tokens to connection
+//! state, with stale-token detection.
+//!
+//! A token packs a 31-bit generation and a 32-bit slot index; the top bit
+//! is reserved for the reactor's special tokens (listener, waker). When a
+//! slot is reused its generation bumps, so a readiness or completion event
+//! carrying a token from a connection that has since been closed fails the
+//! generation check and is dropped instead of acting on the new tenant.
+
+/// Token bit reserved for non-connection registrations.
+pub const SPECIAL_BIT: u64 = 1 << 63;
+/// Poller token of the shard's listener registration.
+pub const LISTENER_TOKEN: u64 = SPECIAL_BIT;
+/// Poller token of the shard's wake pipe.
+pub const WAKER_TOKEN: u64 = SPECIAL_BIT | 1;
+
+struct Slot<T> {
+    gen: u32,
+    value: Option<T>,
+}
+
+/// A slab keyed by generation-checked tokens.
+pub struct Slab<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Slab<T> {
+    /// Creates an empty slab.
+    pub fn new() -> Slab<T> {
+        Slab { slots: Vec::new(), free: Vec::new(), len: 0 }
+    }
+
+    fn pack(gen: u32, idx: u32) -> u64 {
+        // Keep the top bit clear for SPECIAL_BIT.
+        ((gen as u64 & 0x7FFF_FFFF) << 32) | idx as u64
+    }
+
+    fn unpack(token: u64) -> Option<(u32, u32)> {
+        if token & SPECIAL_BIT != 0 {
+            return None;
+        }
+        Some(((token >> 32) as u32, token as u32))
+    }
+
+    /// Inserts a value and returns its token.
+    pub fn insert(&mut self, value: T) -> u64 {
+        self.len += 1;
+        if let Some(idx) = self.free.pop() {
+            let slot = &mut self.slots[idx as usize];
+            slot.value = Some(value);
+            return Self::pack(slot.gen, idx);
+        }
+        let idx = self.slots.len() as u32;
+        self.slots.push(Slot { gen: 0, value: Some(value) });
+        Self::pack(0, idx)
+    }
+
+    fn slot_for(&self, token: u64) -> Option<usize> {
+        let (gen, idx) = Self::unpack(token)?;
+        let slot = self.slots.get(idx as usize)?;
+        (slot.gen & 0x7FFF_FFFF == gen && slot.value.is_some()).then_some(idx as usize)
+    }
+
+    /// Looks up a live entry; stale or foreign tokens return None.
+    pub fn get_mut(&mut self, token: u64) -> Option<&mut T> {
+        let idx = self.slot_for(token)?;
+        self.slots[idx].value.as_mut()
+    }
+
+    /// Removes and returns a live entry, bumping the slot generation so
+    /// in-flight tokens for it become stale.
+    pub fn remove(&mut self, token: u64) -> Option<T> {
+        let idx = self.slot_for(token)?;
+        let slot = &mut self.slots[idx];
+        let value = slot.value.take();
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push(idx as u32);
+        self.len -= 1;
+        value
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the slab holds no live entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tokens of every live entry (used for drain sweeps).
+    pub fn tokens(&self) -> Vec<u64> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.value.is_some())
+            .map(|(idx, s)| Self::pack(s.gen, idx as u32))
+            .collect()
+    }
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Slab::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut slab = Slab::new();
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.get_mut(a), Some(&mut "a"));
+        assert_eq!(slab.get_mut(b), Some(&mut "b"));
+        assert_eq!(slab.remove(a), Some("a"));
+        assert_eq!(slab.len(), 1);
+        assert_eq!(slab.get_mut(a), None, "removed token must be dead");
+    }
+
+    #[test]
+    fn reused_slot_rejects_stale_token() {
+        let mut slab = Slab::new();
+        let old = slab.insert(1u32);
+        slab.remove(old);
+        let new = slab.insert(2u32);
+        // Same slot index, different generation.
+        assert_ne!(old, new);
+        assert_eq!(slab.get_mut(old), None);
+        assert_eq!(slab.remove(old), None);
+        assert_eq!(slab.get_mut(new), Some(&mut 2));
+    }
+
+    #[test]
+    fn special_tokens_never_alias_slab_tokens() {
+        let mut slab = Slab::new();
+        for _ in 0..100 {
+            let token = slab.insert(());
+            assert_eq!(token & SPECIAL_BIT, 0);
+            assert_ne!(token, LISTENER_TOKEN);
+            assert_ne!(token, WAKER_TOKEN);
+        }
+        assert_eq!(slab.get_mut(LISTENER_TOKEN), None);
+        assert_eq!(slab.get_mut(WAKER_TOKEN), None);
+    }
+
+    #[test]
+    fn tokens_lists_live_entries() {
+        let mut slab = Slab::new();
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        let c = slab.insert("c");
+        slab.remove(b);
+        let mut tokens = slab.tokens();
+        tokens.sort_unstable();
+        let mut expected = vec![a, c];
+        expected.sort_unstable();
+        assert_eq!(tokens, expected);
+    }
+}

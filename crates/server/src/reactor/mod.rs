@@ -1,0 +1,821 @@
+//! Readiness-driven connection reactor.
+//!
+//! The server's socket I/O runs on a small set of shard threads, each
+//! owning an event loop over nonblocking sockets: an epoll-backed poller
+//! (with a portable scan fallback — see [`poller`]), a generation-checked
+//! connection slab ([`conn`]), and a hashed timer wheel for idle deadlines
+//! ([`timer`]). Every shard registers the one shared nonblocking listener,
+//! so accepts spread across shards without a dedicated acceptor thread.
+//!
+//! Handlers still run on the worker pool: a shard parses a complete
+//! request, dispatches a [`Job`] over the bounded worker channel (shedding
+//! a `503` when it is full, exactly like the old accept-queue), mutes read
+//! interest while the request is in flight, and resumes when the worker's
+//! [`Completion`] comes back — announced through a [`Waker`] so responses
+//! are flushed within microseconds rather than a poll interval.
+//!
+//! One connection therefore never pins a thread: 10k idle keep-alive
+//! sessions cost 10k slab entries and timer-wheel slots, not 10k blocked
+//! worker threads.
+
+pub mod conn;
+pub mod poller;
+pub mod sys;
+pub mod timer;
+
+use crate::http::{HttpParseError, RequestParser, Response, StatusCode};
+use crate::metrics::ServerMetrics;
+use conn::{Slab, LISTENER_TOKEN, WAKER_TOKEN};
+use crossbeam::channel::{Receiver, Sender, TrySendError};
+use poller::{Interest, Poller};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use timer::TimerWheel;
+
+/// A parsed request handed from a shard to the worker pool.
+pub(crate) struct Job {
+    /// The complete parsed request.
+    pub(crate) request: crate::http::Request,
+    /// Slab token of the originating connection.
+    pub(crate) token: u64,
+    /// Whether the connection must close after this response.
+    pub(crate) close: bool,
+    /// Completion channel of the owning shard.
+    pub(crate) reply: Sender<Completion>,
+    /// Waker of the owning shard, rung after `reply.send`.
+    pub(crate) waker: Arc<Waker>,
+}
+
+/// A handler's response travelling back to the owning shard.
+pub(crate) struct Completion {
+    pub(crate) token: u64,
+    pub(crate) close: bool,
+    pub(crate) response: Response,
+}
+
+/// Wakes a shard blocked in `Poller::wait` from another thread.
+///
+/// Implemented as one side of a loopback TCP pair whose read end is
+/// registered in the shard's poller. The `pending` flag coalesces bursts:
+/// only the first wake between two drains writes a byte.
+pub struct Waker {
+    tx: TcpStream,
+    pending: AtomicBool,
+}
+
+impl Waker {
+    /// Builds a waker and the nonblocking read end the shard registers.
+    pub(crate) fn pair() -> std::io::Result<(Arc<Waker>, TcpStream)> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let tx = TcpStream::connect(listener.local_addr()?)?;
+        let (rx, _) = listener.accept()?;
+        rx.set_nonblocking(true)?;
+        tx.set_nodelay(true)?;
+        Ok((Arc::new(Waker { tx, pending: AtomicBool::new(false) }), rx))
+    }
+
+    /// Interrupts the shard's current (or next) poll.
+    pub fn wake(&self) {
+        if !self.pending.swap(true, Ordering::SeqCst) {
+            let _ = (&self.tx).write(&[1]);
+        }
+    }
+
+    /// Re-arms the waker; called by the shard after draining the pipe and
+    /// *before* draining the completion queue, so no wake is lost.
+    pub(crate) fn clear(&self) {
+        self.pending.store(false, Ordering::SeqCst);
+    }
+}
+
+/// What the accept loop should do after an `accept()` error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcceptDecision {
+    /// Transient per-connection error (e.g. `ECONNABORTED`): keep
+    /// accepting.
+    Retry,
+    /// Nothing pending (`EWOULDBLOCK`): wait for the next readiness event.
+    WaitForReadiness,
+    /// Resource exhaustion (`EMFILE`/`ENFILE`): stop accepting for the
+    /// given delay so existing connections can finish and release fds.
+    Backoff(Duration),
+}
+
+/// Pure accept-error policy: classifies errors and tracks exponential
+/// backoff under fd exhaustion. Separated from the event loop so the
+/// `EMFILE` path is unit-testable without actually exhausting fds.
+#[derive(Debug)]
+pub struct AcceptBackoff {
+    delay: Duration,
+    resume_at: Option<Instant>,
+}
+
+/// First backoff delay after an `EMFILE`/`ENFILE`.
+const BACKOFF_INITIAL: Duration = Duration::from_millis(10);
+/// Backoff ceiling.
+const BACKOFF_MAX: Duration = Duration::from_secs(1);
+
+impl AcceptBackoff {
+    /// Fresh policy: no backoff pending.
+    pub fn new() -> AcceptBackoff {
+        AcceptBackoff { delay: BACKOFF_INITIAL, resume_at: None }
+    }
+
+    /// Classifies an accept error, arming (and doubling) the backoff on
+    /// fd exhaustion.
+    pub fn on_error(&mut self, err: &std::io::Error, now: Instant) -> AcceptDecision {
+        if err.kind() == std::io::ErrorKind::WouldBlock {
+            return AcceptDecision::WaitForReadiness;
+        }
+        // EMFILE (24) / ENFILE (23): the process or system is out of fds.
+        // Accepting again immediately would spin on the same error; the
+        // pending connection stays in the backlog until we resume.
+        if matches!(err.raw_os_error(), Some(24) | Some(23)) {
+            let delay = self.delay;
+            self.resume_at = Some(now + delay);
+            self.delay = (delay * 2).min(BACKOFF_MAX);
+            return AcceptDecision::Backoff(delay);
+        }
+        AcceptDecision::Retry
+    }
+
+    /// Resets after a successful accept.
+    pub fn on_success(&mut self) {
+        self.delay = BACKOFF_INITIAL;
+        self.resume_at = None;
+    }
+
+    /// When accepting may resume, if currently backing off.
+    pub fn resume_at(&self) -> Option<Instant> {
+        self.resume_at
+    }
+
+    /// Whether a pending backoff has elapsed.
+    pub fn ready_to_resume(&self, now: Instant) -> bool {
+        self.resume_at.is_some_and(|at| now >= at)
+    }
+}
+
+impl Default for AcceptBackoff {
+    fn default() -> Self {
+        AcceptBackoff::new()
+    }
+}
+
+/// Connection-lifecycle knobs a shard needs (a subset of `ServerConfig`).
+#[derive(Clone)]
+pub(crate) struct ShardConfig {
+    pub(crate) idle_timeout: Duration,
+    pub(crate) max_requests_per_connection: usize,
+    pub(crate) max_body_bytes: usize,
+    pub(crate) drain_deadline: Duration,
+}
+
+/// Per-connection state owned by exactly one shard.
+struct Conn {
+    stream: TcpStream,
+    parser: RequestParser,
+    out: Vec<u8>,
+    written: usize,
+    served: usize,
+    in_flight: bool,
+    close_after_write: bool,
+    peer_eof: bool,
+    idle_deadline: Instant,
+    timer_armed: bool,
+    interest: Interest,
+}
+
+/// Upper bound on accepts drained per listener readiness event, so one
+/// connect burst cannot starve existing connections of loop iterations.
+const ACCEPT_BATCH: usize = 128;
+/// Upper bound on 16 KiB reads per readiness event per connection.
+const READ_BURSTS: usize = 16;
+/// Poll timeout ceiling: bounds how stale the stop-flag check can get even
+/// if a wake is lost.
+const POLL_CAP: Duration = Duration::from_millis(25);
+
+/// One reactor shard: an event loop over a private slab of connections.
+pub(crate) struct Shard {
+    poller: Box<dyn Poller>,
+    slab: Slab<Conn>,
+    wheel: TimerWheel,
+    listener: Option<Arc<TcpListener>>,
+    listener_registered: bool,
+    backoff: AcceptBackoff,
+    waker: Arc<Waker>,
+    waker_rx: TcpStream,
+    completions_tx: Sender<Completion>,
+    completions_rx: Receiver<Completion>,
+    dispatch: Sender<Job>,
+    stop: Arc<AtomicBool>,
+    metrics: Option<Arc<ServerMetrics>>,
+    config: ShardConfig,
+    draining: bool,
+    drain_until: Instant,
+}
+
+impl Shard {
+    /// Builds a shard: fresh poller, waker pair, completion channel, and
+    /// the shared listener registered for readiness.
+    pub(crate) fn new(
+        listener: Arc<TcpListener>,
+        dispatch: Sender<Job>,
+        stop: Arc<AtomicBool>,
+        metrics: Option<Arc<ServerMetrics>>,
+        config: ShardConfig,
+        force_scan_poller: bool,
+    ) -> std::io::Result<(Shard, Arc<Waker>)> {
+        let mut poller = poller::new_poller(force_scan_poller);
+        let (waker, waker_rx) = Waker::pair()?;
+        poller.register(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READABLE)?;
+        poller.register(waker_rx.as_raw_fd(), WAKER_TOKEN, Interest::READABLE)?;
+        let (completions_tx, completions_rx) = crossbeam::channel::unbounded();
+        let now = Instant::now();
+        let shard = Shard {
+            poller,
+            slab: Slab::new(),
+            wheel: TimerWheel::new(config.idle_timeout, now),
+            listener: Some(listener),
+            listener_registered: true,
+            backoff: AcceptBackoff::new(),
+            waker: Arc::clone(&waker),
+            waker_rx,
+            completions_tx,
+            completions_rx,
+            dispatch,
+            stop,
+            metrics,
+            config,
+            draining: false,
+            drain_until: now,
+        };
+        Ok((shard, waker))
+    }
+
+    /// The shard event loop; returns once draining finishes.
+    pub(crate) fn run(mut self) {
+        let mut events = Vec::with_capacity(256);
+        loop {
+            let now = Instant::now();
+            if self.stop.load(Ordering::SeqCst) && !self.draining {
+                self.begin_drain(now);
+            }
+            if self.draining {
+                if self.slab.is_empty() {
+                    break;
+                }
+                if now >= self.drain_until {
+                    self.force_close_all();
+                    break;
+                }
+            }
+            if !self.draining && self.listener.is_some() && !self.listener_registered {
+                // EMFILE backoff elapsed: resume accepting.
+                if self.backoff.ready_to_resume(now) {
+                    self.resume_listener();
+                }
+            }
+            let timeout = self.wheel.next_wakeup(now).min(POLL_CAP);
+            events.clear();
+            if self.poller.wait(&mut events, Some(timeout)).is_err() {
+                // A broken poller cannot make progress; treat as drain.
+                self.force_close_all();
+                break;
+            }
+            if let Some(m) = &self.metrics {
+                m.reactor_ready_peak.set_max(events.len() as i64);
+            }
+            let now = Instant::now();
+            for event in events.drain(..) {
+                match event.token {
+                    LISTENER_TOKEN => self.accept_burst(now),
+                    WAKER_TOKEN => self.drain_waker(),
+                    token => {
+                        if event.readable {
+                            self.on_readable(token, now);
+                        }
+                        if event.writable {
+                            self.after_io(token, now);
+                        }
+                    }
+                }
+            }
+            while let Ok(completion) = self.completions_rx.try_recv() {
+                self.on_completion(completion, now);
+            }
+            let mut fired = Vec::new();
+            self.wheel.expire(Instant::now(), &mut fired);
+            if let Some(m) = &self.metrics {
+                m.reactor_timer_entries.add(-(fired.len() as i64));
+            }
+            for token in fired {
+                self.on_timer(token, Instant::now());
+            }
+        }
+    }
+
+    /// Drains the wake pipe and re-arms the waker. The clear happens
+    /// before the caller drains completions, so a completion enqueued
+    /// between the two always produces a fresh wake byte.
+    fn drain_waker(&mut self) {
+        let mut scratch = [0u8; 64];
+        while matches!(self.waker_rx.read(&mut scratch), Ok(n) if n > 0) {}
+        self.waker.clear();
+    }
+
+    fn accept_burst(&mut self, now: Instant) {
+        if !self.listener_registered {
+            return;
+        }
+        let Some(listener) = self.listener.clone() else { return };
+        for _ in 0..ACCEPT_BATCH {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    self.backoff.on_success();
+                    // Accepted sockets do NOT inherit the listener's
+                    // nonblocking flag.
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    if let Some(m) = &self.metrics {
+                        m.accepted_total.inc();
+                    }
+                    let fd = stream.as_raw_fd();
+                    let token = self.slab.insert(Conn {
+                        stream,
+                        parser: RequestParser::new(self.config.max_body_bytes),
+                        out: Vec::new(),
+                        written: 0,
+                        served: 0,
+                        in_flight: false,
+                        close_after_write: false,
+                        peer_eof: false,
+                        idle_deadline: now,
+                        timer_armed: false,
+                        interest: Interest::READABLE,
+                    });
+                    if self.poller.register(fd, token, Interest::READABLE).is_err() {
+                        self.slab.remove(token);
+                        continue;
+                    }
+                    if let Some(m) = &self.metrics {
+                        m.reactor_fds.inc();
+                    }
+                    self.touch_timer(token, now);
+                    // The first request may already be on the wire.
+                    self.on_readable(token, now);
+                }
+                Err(e) => match self.backoff.on_error(&e, now) {
+                    AcceptDecision::Retry => continue,
+                    AcceptDecision::WaitForReadiness => break,
+                    AcceptDecision::Backoff(_) => {
+                        self.suspend_listener();
+                        break;
+                    }
+                },
+            }
+        }
+    }
+
+    /// Takes the listener out of the poller during EMFILE backoff.
+    fn suspend_listener(&mut self) {
+        if let Some(listener) = &self.listener {
+            if self.listener_registered {
+                let _ = self.poller.deregister(listener.as_raw_fd());
+                self.listener_registered = false;
+            }
+        }
+    }
+
+    /// Puts the listener back after backoff and drains the backlog that
+    /// piled up meanwhile.
+    fn resume_listener(&mut self) {
+        let Some(listener) = self.listener.clone() else { return };
+        if self.poller.register(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READABLE).is_ok() {
+            self.listener_registered = true;
+            self.backoff.on_success();
+            self.accept_burst(Instant::now());
+        }
+    }
+
+    fn on_readable(&mut self, token: u64, now: Instant) {
+        let mut buf = [0u8; 16 << 10];
+        let mut broken = false;
+        {
+            let Some(conn) = self.slab.get_mut(token) else { return };
+            if conn.close_after_write || conn.in_flight {
+                // Reads are muted in these states; a level-triggered
+                // straggler event is ignored.
+                return;
+            }
+            for _ in 0..READ_BURSTS {
+                match conn.stream.read(&mut buf) {
+                    Ok(0) => {
+                        conn.peer_eof = true;
+                        conn.parser.set_eof();
+                        break;
+                    }
+                    Ok(n) => conn.parser.feed(&buf[..n]),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        broken = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if broken {
+            self.close_conn(token);
+            return;
+        }
+        self.touch_timer(token, now);
+        self.try_advance(token, now);
+    }
+
+    /// Parses the next buffered request if the dispatch rules allow it
+    /// (at most one in flight per connection — the next parse happens when
+    /// its completion lands), then flushes.
+    fn try_advance(&mut self, token: u64, now: Instant) {
+        'advance: {
+            let Some(conn) = self.slab.get_mut(token) else { return };
+            if conn.in_flight || conn.close_after_write {
+                break 'advance;
+            }
+            match conn.parser.poll() {
+                Ok(None) => break 'advance,
+                Ok(Some(request)) => {
+                    conn.served += 1;
+                    if conn.served > 1 {
+                        if let Some(m) = &self.metrics {
+                            m.keepalive_reuses_total.inc();
+                        }
+                    }
+                    let close = self.stop.load(Ordering::SeqCst)
+                        || conn.served >= self.config.max_requests_per_connection
+                        || request.wants_close();
+                    let job = Job {
+                        request,
+                        token,
+                        close,
+                        reply: self.completions_tx.clone(),
+                        waker: Arc::clone(&self.waker),
+                    };
+                    match self.dispatch.try_send(job) {
+                        Ok(()) => {
+                            conn.in_flight = true;
+                            if let Some(m) = &self.metrics {
+                                m.accept_queue_depth.inc();
+                            }
+                            break 'advance;
+                        }
+                        Err(TrySendError::Full(_)) => {
+                            // Same load-shedding contract as the old
+                            // accept-queue: immediate 503 + retry-after,
+                            // then close.
+                            if let Some(m) = &self.metrics {
+                                m.shed_total.inc();
+                            }
+                            let mut response = Response::json_with_status(
+                                StatusCode::SERVICE_UNAVAILABLE,
+                                &serde_json::json!({ "error": "server overloaded, retry later" }),
+                            );
+                            response.headers.insert("retry-after".into(), "1".into());
+                            Self::queue_close_response(conn, self.metrics.as_deref(), response);
+                            break 'advance;
+                        }
+                        Err(TrySendError::Disconnected(_)) => {
+                            conn.close_after_write = true;
+                            break 'advance;
+                        }
+                    }
+                }
+                Err(HttpParseError::ConnectionClosed) => {
+                    conn.close_after_write = true;
+                    break 'advance;
+                }
+                Err(HttpParseError::BodyTooLarge(_)) => {
+                    if let Some(m) = &self.metrics {
+                        m.body_too_large_total.inc();
+                    }
+                    let response = Response::json_with_status(
+                        StatusCode::PAYLOAD_TOO_LARGE,
+                        &serde_json::json!({ "error": "body too large" }),
+                    );
+                    Self::queue_close_response(conn, self.metrics.as_deref(), response);
+                    break 'advance;
+                }
+                Err(HttpParseError::HeadersTooLarge(_)) => {
+                    if let Some(m) = &self.metrics {
+                        m.headers_too_large_total.inc();
+                    }
+                    let response = Response::json_with_status(
+                        StatusCode::HEADERS_TOO_LARGE,
+                        &serde_json::json!({ "error": "header block too large" }),
+                    );
+                    Self::queue_close_response(conn, self.metrics.as_deref(), response);
+                    break 'advance;
+                }
+                Err(_) => {
+                    if let Some(m) = &self.metrics {
+                        m.parse_errors_total.inc();
+                    }
+                    let response = Response::bad_request("malformed request");
+                    Self::queue_close_response(conn, self.metrics.as_deref(), response);
+                    break 'advance;
+                }
+            }
+        }
+        self.after_io(token, now);
+    }
+
+    /// Serializes a shard-generated (error/shed) response and marks the
+    /// connection to close once it is flushed.
+    fn queue_close_response(
+        conn: &mut Conn,
+        metrics: Option<&ServerMetrics>,
+        mut response: Response,
+    ) {
+        response.set_connection(true);
+        if let Some(m) = metrics {
+            m.record_response(response.status.0);
+        }
+        let _ = response.write_to(&mut conn.out);
+        conn.close_after_write = true;
+    }
+
+    /// Flushes pending output, closes if finished-and-closing (or the peer
+    /// is fully gone), and reconciles poller interest with the new state.
+    fn after_io(&mut self, token: u64, _now: Instant) {
+        let mut do_close = false;
+        {
+            let Some(conn) = self.slab.get_mut(token) else { return };
+            while conn.written < conn.out.len() {
+                match conn.stream.write(&conn.out[conn.written..]) {
+                    Ok(0) => {
+                        do_close = true;
+                        break;
+                    }
+                    Ok(n) => conn.written += n,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        do_close = true;
+                        break;
+                    }
+                }
+            }
+            if conn.written >= conn.out.len() {
+                conn.out.clear();
+                conn.written = 0;
+            }
+            let flushed = conn.out.is_empty();
+            if flushed && conn.close_after_write {
+                do_close = true;
+            }
+            // Peer half-closed and nothing left to do: mirror the blocking
+            // server, which treated peek() == 0 between requests as Closed.
+            if flushed
+                && conn.peer_eof
+                && !conn.in_flight
+                && !conn.parser.mid_message()
+                && conn.parser.buffered() == 0
+            {
+                do_close = true;
+            }
+            if !do_close {
+                let desired = Interest {
+                    readable: !conn.in_flight && !conn.close_after_write,
+                    writable: !conn.out.is_empty(),
+                };
+                if desired != conn.interest {
+                    let fd = conn.stream.as_raw_fd();
+                    conn.interest = desired;
+                    let _ = self.poller.reregister(fd, token, desired);
+                }
+            }
+        }
+        if do_close {
+            self.close_conn(token);
+        }
+    }
+
+    fn on_completion(&mut self, completion: Completion, now: Instant) {
+        let draining = self.draining;
+        {
+            let Some(conn) = self.slab.get_mut(completion.token) else {
+                // The connection died (force-closed) while its request was
+                // on the worker pool: drop the response.
+                return;
+            };
+            conn.in_flight = false;
+            let _ = completion.response.write_to(&mut conn.out);
+            if completion.close || draining {
+                conn.close_after_write = true;
+            }
+        }
+        self.touch_timer(completion.token, now);
+        // Flush this response and, if the client pipelined, dispatch the
+        // next buffered request.
+        self.try_advance(completion.token, now);
+    }
+
+    /// Pushes the connection's idle deadline out and makes sure exactly
+    /// one wheel entry is armed. Cancellation is lazy: stale entries fire,
+    /// notice the newer deadline, and re-arm (see [`timer`]).
+    fn touch_timer(&mut self, token: u64, now: Instant) {
+        let mut arm_at = None;
+        if let Some(conn) = self.slab.get_mut(token) {
+            conn.idle_deadline = now + self.config.idle_timeout;
+            if !conn.timer_armed {
+                conn.timer_armed = true;
+                arm_at = Some(conn.idle_deadline);
+            }
+        }
+        if let Some(deadline) = arm_at {
+            self.wheel.schedule(token, deadline);
+            if let Some(m) = &self.metrics {
+                m.reactor_timer_entries.inc();
+            }
+        }
+    }
+
+    /// A wheel entry fired: idle-close the connection, or re-arm if it was
+    /// active since the entry was scheduled.
+    fn on_timer(&mut self, token: u64, now: Instant) {
+        let mut rearm_at = None;
+        let mut expired = false;
+        {
+            let Some(conn) = self.slab.get_mut(token) else { return };
+            conn.timer_armed = false;
+            if conn.idle_deadline > now {
+                // Activity moved the deadline since this entry was armed.
+                rearm_at = Some(conn.idle_deadline);
+            } else if conn.in_flight || !conn.out.is_empty() {
+                // Never idle-kill a connection with work in progress — a
+                // response mid-write gets a full fresh idle period.
+                rearm_at = Some(now + self.config.idle_timeout);
+            } else {
+                expired = true;
+            }
+            if rearm_at.is_some() {
+                conn.timer_armed = true;
+            }
+        }
+        if let Some(deadline) = rearm_at {
+            self.wheel.schedule(token, deadline);
+            if let Some(m) = &self.metrics {
+                m.reactor_timer_entries.inc();
+            }
+            return;
+        }
+        if !expired {
+            return;
+        }
+        if let Some(m) = &self.metrics {
+            m.timeout_errors_total.inc();
+        }
+        let Some(conn) = self.slab.get_mut(token) else { return };
+        if conn.served == 0 {
+            // The client connected but never completed a request: tell it
+            // why before hanging up.
+            let response = Response::json_with_status(
+                StatusCode::REQUEST_TIMEOUT,
+                &serde_json::json!({ "error": "request timed out" }),
+            );
+            Self::queue_close_response(conn, self.metrics.as_deref(), response);
+        } else {
+            // An idle keep-alive connection: close silently, as every
+            // HTTP server does.
+            conn.close_after_write = true;
+        }
+        self.after_io(token, now);
+    }
+
+    fn close_conn(&mut self, token: u64) {
+        let Some(conn) = self.slab.remove(token) else { return };
+        let _ = self.poller.deregister(conn.stream.as_raw_fd());
+        if let Some(m) = &self.metrics {
+            m.connections_total.inc();
+            m.reactor_fds.dec();
+        }
+        // Dropping the stream closes the socket.
+    }
+
+    /// Stops accepting and closes idle connections; in-flight requests and
+    /// unflushed responses get until the drain deadline.
+    fn begin_drain(&mut self, now: Instant) {
+        self.draining = true;
+        self.drain_until = now + self.config.drain_deadline;
+        self.suspend_listener();
+        // Drop the listener Arc: once every shard has, the socket closes
+        // and new connects are refused.
+        self.listener = None;
+        let mut to_close = Vec::new();
+        for token in self.slab.tokens() {
+            let Some(conn) = self.slab.get_mut(token) else { continue };
+            if conn.in_flight || !conn.out.is_empty() {
+                conn.close_after_write = true;
+            } else {
+                to_close.push(token);
+            }
+        }
+        for token in to_close {
+            self.close_conn(token);
+        }
+    }
+
+    fn force_close_all(&mut self) {
+        for token in self.slab.tokens() {
+            self.close_conn(token);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn os_err(code: i32) -> std::io::Error {
+        std::io::Error::from_raw_os_error(code)
+    }
+
+    #[test]
+    fn backoff_classifies_accept_errors() {
+        let mut policy = AcceptBackoff::new();
+        let now = Instant::now();
+        assert_eq!(
+            policy.on_error(&std::io::Error::from(std::io::ErrorKind::WouldBlock), now),
+            AcceptDecision::WaitForReadiness
+        );
+        // ECONNABORTED (103 on Linux): the one connection is gone, keep
+        // accepting the rest of the burst.
+        assert_eq!(policy.on_error(&os_err(103), now), AcceptDecision::Retry);
+        assert!(policy.resume_at().is_none());
+    }
+
+    #[test]
+    fn emfile_backs_off_exponentially_and_resets_on_success() {
+        let mut policy = AcceptBackoff::new();
+        let now = Instant::now();
+        let AcceptDecision::Backoff(first) = policy.on_error(&os_err(24), now) else {
+            panic!("EMFILE must back off");
+        };
+        let AcceptDecision::Backoff(second) = policy.on_error(&os_err(24), now) else {
+            panic!("EMFILE must back off");
+        };
+        assert_eq!(second, first * 2, "delay doubles under sustained exhaustion");
+        assert!(policy.resume_at().is_some());
+        assert!(!policy.ready_to_resume(now), "must wait out the delay");
+        assert!(policy.ready_to_resume(now + second + Duration::from_millis(1)));
+
+        policy.on_success();
+        assert!(policy.resume_at().is_none());
+        let AcceptDecision::Backoff(after_reset) = policy.on_error(&os_err(24), now) else {
+            panic!("EMFILE must back off");
+        };
+        assert_eq!(after_reset, first, "success resets the delay ladder");
+    }
+
+    #[test]
+    fn enfile_is_treated_like_emfile() {
+        let mut policy = AcceptBackoff::new();
+        assert!(matches!(policy.on_error(&os_err(23), Instant::now()), AcceptDecision::Backoff(_)));
+    }
+
+    #[test]
+    fn backoff_delay_is_capped() {
+        let mut policy = AcceptBackoff::new();
+        let now = Instant::now();
+        let mut last = Duration::ZERO;
+        for _ in 0..20 {
+            if let AcceptDecision::Backoff(d) = policy.on_error(&os_err(24), now) {
+                last = d;
+            }
+        }
+        assert_eq!(last, BACKOFF_MAX);
+    }
+
+    #[test]
+    fn waker_coalesces_and_clears() {
+        let (waker, mut rx) = Waker::pair().unwrap();
+        waker.wake();
+        waker.wake();
+        waker.wake();
+        std::thread::sleep(Duration::from_millis(20));
+        let mut buf = [0u8; 16];
+        let n = rx.read(&mut buf).unwrap();
+        assert_eq!(n, 1, "coalesced wakes write a single byte");
+        waker.clear();
+        waker.wake();
+        std::thread::sleep(Duration::from_millis(20));
+        let n = rx.read(&mut buf).unwrap();
+        assert_eq!(n, 1, "after clear the next wake writes again");
+    }
+}

@@ -1,0 +1,289 @@
+//! Raw epoll bindings for Linux, implemented with stable inline assembly.
+//!
+//! The workspace builds fully offline, so `libc` is not available; the four
+//! syscalls the reactor needs (`epoll_create1`, `epoll_ctl`,
+//! `epoll_wait`/`epoll_pwait`, `close`) are invoked directly. Everything
+//! unsafe in the server crate lives in this module; the rest of the crate
+//! denies `unsafe_code`.
+//!
+//! On platforms without these bindings ([`SUPPORTED`] is `false`) the stub
+//! functions return `Unsupported` errors and the reactor falls back to the
+//! portable [`ScanPoller`](super::poller::ScanPoller).
+#![allow(unsafe_code)]
+
+use std::io;
+
+/// Whether raw epoll is available on this target.
+pub const SUPPORTED: bool =
+    cfg!(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")));
+
+/// `EPOLL_CLOEXEC` flag for [`epoll_create1`].
+pub const EPOLL_CLOEXEC: i32 = 0x8_0000;
+/// Add a new fd to the interest list.
+pub const EPOLL_CTL_ADD: i32 = 1;
+/// Remove an fd from the interest list.
+pub const EPOLL_CTL_DEL: i32 = 2;
+/// Change the event mask of a registered fd.
+pub const EPOLL_CTL_MOD: i32 = 3;
+/// Readable readiness.
+pub const EPOLLIN: u32 = 0x1;
+/// Writable readiness.
+pub const EPOLLOUT: u32 = 0x4;
+/// Error condition (always reported, no need to request).
+pub const EPOLLERR: u32 = 0x8;
+/// Hang-up (always reported, no need to request).
+pub const EPOLLHUP: u32 = 0x10;
+
+/// Mirror of the kernel's `struct epoll_event`.
+///
+/// The x86_64 ABI packs this struct to 12 bytes; other architectures use
+/// natural (16-byte) layout.
+#[derive(Clone, Copy, Default)]
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+pub struct EpollEvent {
+    /// Bitmask of `EPOLL*` readiness flags.
+    pub events: u32,
+    /// Caller-chosen token returned verbatim with the event.
+    pub data: u64,
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod imp {
+    use std::arch::asm;
+
+    const NR_CLOSE: u64 = 3;
+    const NR_EPOLL_WAIT: u64 = 232;
+    const NR_EPOLL_CTL: u64 = 233;
+    const NR_EPOLL_CREATE1: u64 = 291;
+
+    /// # Safety
+    /// Arguments must be valid for the given syscall number.
+    unsafe fn syscall4(nr: u64, a0: u64, a1: u64, a2: u64, a3: u64) -> i64 {
+        let ret: i64;
+        unsafe {
+            asm!(
+                "syscall",
+                inlateout("rax") nr => ret,
+                in("rdi") a0,
+                in("rsi") a1,
+                in("rdx") a2,
+                in("r10") a3,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+        ret
+    }
+
+    pub fn epoll_create1(flags: i32) -> i64 {
+        unsafe { syscall4(NR_EPOLL_CREATE1, flags as u64, 0, 0, 0) }
+    }
+
+    pub fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut super::EpollEvent) -> i64 {
+        unsafe { syscall4(NR_EPOLL_CTL, epfd as u64, op as u64, fd as u64, event as u64) }
+    }
+
+    pub fn epoll_wait(epfd: i32, events: *mut super::EpollEvent, max: i32, timeout_ms: i32) -> i64 {
+        unsafe {
+            syscall4(
+                NR_EPOLL_WAIT,
+                epfd as u64,
+                events as u64,
+                max as u64,
+                timeout_ms as i64 as u64,
+            )
+        }
+    }
+
+    pub fn close(fd: i32) -> i64 {
+        unsafe { syscall4(NR_CLOSE, fd as u64, 0, 0, 0) }
+    }
+}
+
+#[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+mod imp {
+    use std::arch::asm;
+
+    const NR_EPOLL_CREATE1: u64 = 20;
+    const NR_EPOLL_CTL: u64 = 21;
+    const NR_EPOLL_PWAIT: u64 = 22;
+    const NR_CLOSE: u64 = 57;
+
+    /// # Safety
+    /// Arguments must be valid for the given syscall number.
+    unsafe fn syscall5(nr: u64, a0: u64, a1: u64, a2: u64, a3: u64, a4: u64) -> i64 {
+        let ret: i64;
+        unsafe {
+            asm!(
+                "svc 0",
+                in("x8") nr,
+                inlateout("x0") a0 => ret,
+                in("x1") a1,
+                in("x2") a2,
+                in("x3") a3,
+                in("x4") a4,
+                options(nostack),
+            );
+        }
+        ret
+    }
+
+    pub fn epoll_create1(flags: i32) -> i64 {
+        unsafe { syscall5(NR_EPOLL_CREATE1, flags as u64, 0, 0, 0, 0) }
+    }
+
+    pub fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut super::EpollEvent) -> i64 {
+        unsafe { syscall5(NR_EPOLL_CTL, epfd as u64, op as u64, fd as u64, event as u64, 0) }
+    }
+
+    pub fn epoll_wait(epfd: i32, events: *mut super::EpollEvent, max: i32, timeout_ms: i32) -> i64 {
+        // aarch64 has no epoll_wait; epoll_pwait with a null sigmask is
+        // equivalent.
+        unsafe {
+            syscall5(
+                NR_EPOLL_PWAIT,
+                epfd as u64,
+                events as u64,
+                max as u64,
+                timeout_ms as i64 as u64,
+                0,
+            )
+        }
+    }
+
+    pub fn close(fd: i32) -> i64 {
+        unsafe { syscall5(NR_CLOSE, fd as u64, 0, 0, 0, 0) }
+    }
+}
+
+#[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+mod imp {
+    fn unsupported() -> i64 {
+        // ENOSYS, surfaced as io::Error below.
+        -38
+    }
+
+    pub fn epoll_create1(_flags: i32) -> i64 {
+        unsupported()
+    }
+
+    pub fn epoll_ctl(_epfd: i32, _op: i32, _fd: i32, _event: *mut super::EpollEvent) -> i64 {
+        unsupported()
+    }
+
+    pub fn epoll_wait(
+        _epfd: i32,
+        _events: *mut super::EpollEvent,
+        _max: i32,
+        _timeout_ms: i32,
+    ) -> i64 {
+        unsupported()
+    }
+
+    pub fn close(_fd: i32) -> i64 {
+        unsupported()
+    }
+}
+
+fn check(ret: i64) -> io::Result<i64> {
+    if ret < 0 {
+        Err(io::Error::from_raw_os_error(-ret as i32))
+    } else {
+        Ok(ret)
+    }
+}
+
+/// Creates a new epoll instance; returns its fd.
+///
+/// # Errors
+/// The raw OS error on failure, or `ENOSYS` on unsupported targets.
+pub fn epoll_create1(flags: i32) -> io::Result<i32> {
+    check(imp::epoll_create1(flags)).map(|fd| fd as i32)
+}
+
+/// Adds, modifies, or removes `fd` on the epoll interest list.
+///
+/// # Errors
+/// The raw OS error on failure (e.g. `EEXIST`, `ENOENT`).
+pub fn epoll_ctl(epfd: i32, op: i32, fd: i32, mut event: EpollEvent) -> io::Result<()> {
+    check(imp::epoll_ctl(epfd, op, fd, &mut event)).map(|_| ())
+}
+
+/// Waits up to `timeout_ms` (−1 = forever) for readiness events, filling
+/// `events`; returns how many were written.
+///
+/// # Errors
+/// The raw OS error on failure. `EINTR` is retried internally.
+pub fn epoll_wait(epfd: i32, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+    loop {
+        let ret = imp::epoll_wait(epfd, events.as_mut_ptr(), events.len() as i32, timeout_ms);
+        // EINTR: retry. (Timeout accuracy is not critical for the reactor;
+        // a full re-wait is acceptable.)
+        if ret == -4 {
+            continue;
+        }
+        return check(ret).map(|n| n as usize);
+    }
+}
+
+/// Closes a raw fd (used for the epoll fd itself).
+///
+/// # Errors
+/// The raw OS error on failure.
+pub fn close(fd: i32) -> io::Result<()> {
+    check(imp::close(fd)).map(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoll_create_and_close_roundtrip() {
+        if !SUPPORTED {
+            return;
+        }
+        let epfd = epoll_create1(EPOLL_CLOEXEC).expect("epoll_create1");
+        assert!(epfd >= 0);
+        // Empty wait with zero timeout returns immediately with no events.
+        let mut events = [EpollEvent::default(); 4];
+        let n = epoll_wait(epfd, &mut events, 0).expect("epoll_wait");
+        assert_eq!(n, 0);
+        close(epfd).expect("close");
+    }
+
+    #[test]
+    fn epoll_reports_readable_listener() {
+        if !SUPPORTED {
+            return;
+        }
+        use std::io::Write;
+        use std::net::{TcpListener, TcpStream};
+        use std::os::fd::AsRawFd;
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let epfd = epoll_create1(EPOLL_CLOEXEC).unwrap();
+        epoll_ctl(
+            epfd,
+            EPOLL_CTL_ADD,
+            listener.as_raw_fd(),
+            EpollEvent { events: EPOLLIN, data: 77 },
+        )
+        .unwrap();
+
+        // No pending connection: nothing ready.
+        let mut events = [EpollEvent::default(); 4];
+        assert_eq!(epoll_wait(epfd, &mut events, 0).unwrap(), 0);
+
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        client.write_all(b"x").unwrap();
+        let n = epoll_wait(epfd, &mut events, 2_000).unwrap();
+        assert_eq!(n, 1);
+        let ev = events[0];
+        assert_eq!({ ev.data }, 77);
+        assert_ne!({ ev.events } & EPOLLIN, 0);
+        close(epfd).unwrap();
+    }
+}

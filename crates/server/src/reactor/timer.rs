@@ -1,0 +1,185 @@
+//! Hashed timer wheel for connection idle deadlines.
+//!
+//! Each shard owns one wheel. Entries are `(token, deadline)` pairs hashed
+//! into a fixed ring of slots by deadline tick; [`TimerWheel::expire`]
+//! drains every slot the clock has passed since the previous call, firing
+//! entries whose deadline has arrived and re-hashing the rest (a deadline
+//! far in the future lands in its slot again until its final lap).
+//!
+//! Cancellation is lazy: connections keep at most one wheel entry alive and
+//! simply bump their own `idle_deadline` field on activity; when the stale
+//! entry fires the shard re-arms it at the connection's current deadline
+//! instead of killing the connection. This keeps activity O(1) with zero
+//! wheel traffic on the hot path.
+
+use std::time::{Duration, Instant};
+
+/// One scheduled timeout.
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    token: u64,
+    deadline: Instant,
+}
+
+/// A fixed-size hashed timer wheel.
+pub struct TimerWheel {
+    slots: Vec<Vec<Entry>>,
+    tick: Duration,
+    origin: Instant,
+    /// Next tick index to drain (ticks since `origin`).
+    cursor: u64,
+    len: usize,
+}
+
+impl TimerWheel {
+    /// Creates a wheel sized for deadlines around `horizon` (e.g. the
+    /// configured idle timeout): the tick is `horizon / 8` clamped to
+    /// [1ms, 50ms], so a 200ms idle timeout fires within tens of
+    /// milliseconds of its deadline while a 10s timeout costs almost no
+    /// wheel traffic.
+    pub fn new(horizon: Duration, now: Instant) -> TimerWheel {
+        let tick = (horizon / 8).max(Duration::from_millis(1)).min(Duration::from_millis(50));
+        TimerWheel {
+            slots: (0..64).map(|_| Vec::new()).collect(),
+            tick,
+            origin: now,
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    fn tick_of(&self, at: Instant) -> u64 {
+        let elapsed = at.saturating_duration_since(self.origin);
+        // Round up: an entry must never land in a slot the cursor has
+        // already passed this lap, or it would wait a full extra lap.
+        elapsed.as_nanos().div_ceil(self.tick.as_nanos().max(1)) as u64
+    }
+
+    /// Schedules `token` to fire at `deadline`. Duplicate tokens are the
+    /// caller's concern — the reactor keeps one live entry per connection.
+    pub fn schedule(&mut self, token: u64, deadline: Instant) {
+        let tick = self.tick_of(deadline).max(self.cursor);
+        let slot = (tick % self.slots.len() as u64) as usize;
+        self.slots[slot].push(Entry { token, deadline });
+        self.len += 1;
+    }
+
+    /// Number of live entries across all slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the wheel holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// How long until the next slot boundary — a suitable poll timeout so
+    /// the shard wakes in time to fire deadlines.
+    pub fn next_wakeup(&self, now: Instant) -> Duration {
+        let next_tick_at = self.origin + self.tick * (self.cursor as u32 + 1);
+        next_tick_at.saturating_duration_since(now).max(Duration::from_millis(1))
+    }
+
+    /// Drains every slot the clock has passed, appending fired tokens to
+    /// `fired`. Entries scheduled for a later lap are re-hashed.
+    pub fn expire(&mut self, now: Instant, fired: &mut Vec<u64>) {
+        let target = self.tick_of(now);
+        let nslots = self.slots.len() as u64;
+        // Cap the walk at one full lap: beyond that every slot has already
+        // been visited once and re-hashing handles the rest.
+        let steps = (target - self.cursor).min(nslots);
+        let mut requeue = Vec::new();
+        for i in 0..=steps {
+            let slot = ((self.cursor + i) % nslots) as usize;
+            let mut kept = Vec::new();
+            for entry in std::mem::take(&mut self.slots[slot]) {
+                if entry.deadline <= now {
+                    fired.push(entry.token);
+                    self.len -= 1;
+                } else if self.tick_of(entry.deadline) <= self.cursor + i {
+                    // Same slot, future lap that has now arrived — should
+                    // not happen given deadline > now, but keep it safe.
+                    kept.push(entry);
+                } else if (self.tick_of(entry.deadline) % nslots) as usize == slot {
+                    // Future lap, same slot: stays put.
+                    kept.push(entry);
+                } else {
+                    requeue.push(entry);
+                }
+            }
+            self.slots[slot] = kept;
+        }
+        self.cursor = target;
+        for entry in requeue {
+            self.len -= 1;
+            self.schedule(entry.token, entry.deadline);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_at_deadline_not_before() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(Duration::from_millis(200), t0);
+        wheel.schedule(1, t0 + Duration::from_millis(100));
+        wheel.schedule(2, t0 + Duration::from_millis(300));
+        assert_eq!(wheel.len(), 2);
+
+        let mut fired = Vec::new();
+        wheel.expire(t0 + Duration::from_millis(50), &mut fired);
+        assert!(fired.is_empty(), "nothing due yet: {fired:?}");
+
+        wheel.expire(t0 + Duration::from_millis(120), &mut fired);
+        assert_eq!(fired, vec![1]);
+
+        fired.clear();
+        wheel.expire(t0 + Duration::from_millis(400), &mut fired);
+        assert_eq!(fired, vec![2]);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn far_deadlines_survive_multiple_laps() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(Duration::from_millis(8), t0); // 1ms tick, 64 slots
+                                                                       // 5 laps out.
+        wheel.schedule(7, t0 + Duration::from_millis(320));
+        let mut fired = Vec::new();
+        for step in 1..=12 {
+            wheel.expire(t0 + Duration::from_millis(step * 30), &mut fired);
+            if step * 30 < 320 {
+                assert!(fired.is_empty(), "fired early at {}ms", step * 30);
+            }
+        }
+        assert_eq!(fired, vec![7]);
+    }
+
+    #[test]
+    fn expire_after_long_gap_fires_everything_due() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(Duration::from_millis(200), t0);
+        for token in 0..50u64 {
+            wheel.schedule(token, t0 + Duration::from_millis(10 + token));
+        }
+        let mut fired = Vec::new();
+        // One giant jump — several laps at once.
+        wheel.expire(t0 + Duration::from_secs(30), &mut fired);
+        fired.sort_unstable();
+        assert_eq!(fired, (0..50).collect::<Vec<_>>());
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn next_wakeup_is_bounded_by_tick() {
+        let t0 = Instant::now();
+        let wheel = TimerWheel::new(Duration::from_millis(200), t0);
+        let wakeup = wheel.next_wakeup(t0);
+        assert!(wakeup >= Duration::from_millis(1));
+        assert!(wakeup <= Duration::from_millis(50));
+    }
+}

@@ -1,22 +1,25 @@
-//! The threaded HTTP server.
+//! The event-driven HTTP server.
 //!
-//! An acceptor thread pushes connections into a crossbeam channel drained
-//! by a fixed worker pool — the thread-pool equivalent of NodeJS's event
-//! loop for our request/response workload. Each worker runs a keep-alive
-//! loop over its connection: many requests ride one TCP socket until the
-//! client asks to close, the connection idles past the timeout, or the
-//! per-connection request cap is reached. When the queue is full the
-//! acceptor sheds load with an immediate `503` instead of stalling the
-//! accept loop, and [`HttpServer::shutdown`] drains in-flight connections
-//! up to a deadline before force-closing.
+//! Socket I/O is readiness-driven: a small set of reactor shards (see
+//! [`crate::reactor`]) own every connection as nonblocking state behind an
+//! epoll-style poller, so thousands of idle keep-alive sessions cost slab
+//! entries and timer-wheel slots instead of blocked threads. Handlers
+//! still run on a fixed worker pool — a shard parses a complete request,
+//! dispatches it over a bounded channel (shedding with an immediate `503`
+//! when the pool is saturated, instead of queueing without bound), and
+//! flushes the worker's response when its completion comes back. Requests
+//! ride one TCP socket until the client asks to close, the connection
+//! idles past the timeout, or the per-connection request cap is reached,
+//! and [`HttpServer::shutdown`] drains in-flight requests up to a deadline
+//! before force-closing.
 
-use crate::http::{HttpParseError, Request, Response, StatusCode};
+use crate::http::{Response, StatusCode};
 use crate::metrics::{panic_message, ServerMetrics};
+use crate::reactor::{Completion, Job, Shard, ShardConfig, Waker};
 use crate::router::Router;
-use crossbeam::channel::{bounded, Sender, TrySendError};
+use crossbeam::channel::{bounded, Receiver};
 use kscope_telemetry::Registry;
-use std::io::{BufReader, Read};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -25,22 +28,29 @@ use std::time::{Duration, Instant};
 /// Tuning knobs for the connection lifecycle.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Number of worker threads (each owns one connection at a time).
+    /// Number of worker threads running request handlers.
     pub worker_count: usize,
-    /// Bounded depth of the accepted-connection queue; when full, new
-    /// connections are shed with a `503`.
+    /// Bounded depth of the parsed-request dispatch queue; when full, new
+    /// requests are shed with a `503`.
     pub queue_capacity: usize,
     /// Keep-alive cap: a connection is closed after serving this many
-    /// requests, so one client cannot pin a worker forever.
+    /// requests, so one client cannot monopolize the server forever.
     pub max_requests_per_connection: usize,
-    /// Socket read timeout — both the patience for a slow request and how
-    /// long an idle keep-alive connection is kept before disconnecting.
+    /// How long an idle keep-alive connection (or a connection stuck
+    /// mid-request) is kept before disconnecting.
     pub idle_timeout: Duration,
     /// How long [`HttpServer::shutdown`] waits for in-flight connections
     /// to finish before force-closing.
     pub drain_deadline: Duration,
     /// Largest accepted request body.
     pub max_body_bytes: usize,
+    /// Number of reactor shard threads (each runs an independent event
+    /// loop over its share of the connections). `0` picks a default from
+    /// the machine's parallelism.
+    pub reactor_shards: usize,
+    /// Force the portable scan poller even where epoll is available —
+    /// for tests and for diagnosing poller-specific behavior.
+    pub force_scan_poller: bool,
 }
 
 impl Default for ServerConfig {
@@ -52,6 +62,8 @@ impl Default for ServerConfig {
             idle_timeout: Duration::from_secs(10),
             drain_deadline: Duration::from_secs(5),
             max_body_bytes: 32 << 20,
+            reactor_shards: 0,
+            force_scan_poller: false,
         }
     }
 }
@@ -65,6 +77,16 @@ impl ServerConfig {
     pub fn with_workers(worker_count: usize) -> Self {
         assert!(worker_count > 0, "need at least one worker");
         Self { worker_count, queue_capacity: worker_count * 4, ..Self::default() }
+    }
+
+    /// Resolves `reactor_shards == 0` to a concrete shard count: enough to
+    /// spread readiness work across cores, but never more than four — the
+    /// shards do no handler work, so they saturate well before that.
+    pub fn resolved_shards(&self) -> usize {
+        if self.reactor_shards > 0 {
+            return self.reactor_shards;
+        }
+        std::thread::available_parallelism().map_or(1, |n| n.get().min(4))
     }
 }
 
@@ -80,16 +102,17 @@ pub struct DrainReport {
     pub workers_total: usize,
     /// Whether every worker drained before the deadline (`false` means
     /// stragglers were force-abandoned; their sockets die with the
-    /// process or their read timeout, whichever comes first).
+    /// process).
     pub completed: bool,
 }
 
 /// A running HTTP server; dropping it (or calling [`HttpServer::shutdown`])
-/// stops the acceptor and workers.
+/// stops the reactor shards and workers.
 pub struct HttpServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    acceptor: Option<JoinHandle<()>>,
+    shards: Vec<JoinHandle<()>>,
+    wakers: Vec<Arc<Waker>>,
     workers: Vec<JoinHandle<()>>,
     metrics: Option<Arc<ServerMetrics>>,
     drain_deadline: Duration,
@@ -100,6 +123,7 @@ impl std::fmt::Debug for HttpServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("HttpServer")
             .field("addr", &self.addr)
+            .field("shards", &self.shards.len())
             .field("workers", &self.workers.len())
             .field("drain_deadline", &self.drain_deadline)
             .field("drain_hook", &self.drain_hook.is_some())
@@ -128,10 +152,12 @@ impl HttpServer {
 
     /// Like [`HttpServer::bind`], but instruments the server on `registry`
     /// when one is given: per-route request counters and latency
-    /// histograms (via [`Router::set_telemetry`]), accept-queue depth,
+    /// histograms (via [`Router::set_telemetry`]), dispatch-queue depth,
     /// worker utilization, status-class response counters, parse/timeout
-    /// error counters, shed/keep-alive/drain lifecycle metrics, and a
-    /// handler-panic counter with structured panic events.
+    /// error counters, shed/keep-alive/drain lifecycle metrics, reactor
+    /// gauges (registered fds, readiness-batch high-water, timer-wheel
+    /// occupancy), and a handler-panic counter with structured panic
+    /// events.
     ///
     /// # Errors
     ///
@@ -166,7 +192,7 @@ impl HttpServer {
         registry: Option<Arc<Registry>>,
     ) -> std::io::Result<Self> {
         assert!(config.worker_count > 0, "need at least one worker");
-        assert!(config.queue_capacity > 0, "need a non-empty accept queue");
+        assert!(config.queue_capacity > 0, "need a non-empty dispatch queue");
         let metrics = registry.as_ref().map(|registry| {
             router.set_telemetry(registry);
             let m = ServerMetrics::register(registry);
@@ -174,47 +200,53 @@ impl HttpServer {
             m
         });
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
+        let listener = Arc::new(listener);
         let stop = Arc::new(AtomicBool::new(false));
         let router = Arc::new(router);
-        let (tx, rx) = bounded::<TcpStream>(config.queue_capacity);
+        let (tx, rx) = bounded::<Job>(config.queue_capacity);
 
         let workers: Vec<JoinHandle<()>> = (0..config.worker_count)
             .map(|_| {
                 let rx = rx.clone();
                 let router = Arc::clone(&router);
                 let metrics = metrics.clone();
-                let stop = Arc::clone(&stop);
-                let config = config.clone();
-                std::thread::spawn(move || {
-                    while let Ok(stream) = rx.recv() {
-                        if let Some(m) = &metrics {
-                            m.accept_queue_depth.dec();
-                            m.workers_busy.inc();
-                            m.connections_total.inc();
-                        }
-                        handle_connection(stream, &router, metrics.as_deref(), &config, &stop);
-                        if let Some(m) = &metrics {
-                            m.workers_busy.dec();
-                        }
-                    }
-                })
+                std::thread::spawn(move || worker_loop(&rx, &router, metrics.as_deref()))
             })
             .collect();
 
-        let acceptor = {
-            let stop = Arc::clone(&stop);
-            let metrics = metrics.clone();
-            let idle_timeout = config.idle_timeout;
-            std::thread::spawn(move || {
-                accept_loop(listener, tx, stop, metrics, idle_timeout);
-            })
+        let shard_config = ShardConfig {
+            idle_timeout: config.idle_timeout,
+            max_requests_per_connection: config.max_requests_per_connection,
+            max_body_bytes: config.max_body_bytes,
+            drain_deadline: config.drain_deadline,
         };
+        let mut shards = Vec::new();
+        let mut wakers = Vec::new();
+        for _ in 0..config.resolved_shards() {
+            let (shard, waker) = Shard::new(
+                Arc::clone(&listener),
+                tx.clone(),
+                Arc::clone(&stop),
+                metrics.clone(),
+                shard_config.clone(),
+                config.force_scan_poller,
+            )?;
+            wakers.push(waker);
+            shards.push(std::thread::spawn(move || shard.run()));
+        }
+        // The shards hold the only remaining dispatch senders (and
+        // listener Arcs): when the last shard exits, workers see a closed
+        // channel and drain out, and the listener socket closes.
+        drop(tx);
+        drop(listener);
 
         Ok(Self {
             addr: local,
             stop,
-            acceptor: Some(acceptor),
+            shards,
+            wakers,
             workers,
             metrics,
             drain_deadline: config.drain_deadline,
@@ -256,10 +288,14 @@ impl HttpServer {
         if let Some(m) = &self.metrics {
             m.draining.set(1);
         }
-        // Unblock the acceptor with a throwaway connection; its exit drops
-        // the channel sender, so workers stop once the queue drains.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(handle) = self.acceptor.take() {
+        // Interrupt every shard's poll so the stop flag is seen now, not
+        // at the next timeout.
+        for waker in self.wakers.drain(..) {
+            waker.wake();
+        }
+        // Shards drain themselves (bounded by the drain deadline) and drop
+        // their dispatch senders on exit, which lets the workers finish.
+        for handle in self.shards.drain(..) {
             let _ = handle.join();
         }
         let deadline = start + self.drain_deadline;
@@ -278,9 +314,8 @@ impl HttpServer {
             }
             std::thread::sleep(Duration::from_millis(2));
         }
-        // Force-close: abandon stragglers past the deadline. Their sockets
-        // carry read timeouts, so the threads cannot outlive one
-        // idle-timeout period.
+        // Force-close: abandon stragglers past the deadline; their sockets
+        // died when the shards force-closed the connections.
         let completed = self.workers.is_empty();
         self.workers.clear();
         // Workers are done (or abandoned): in-flight writes have landed,
@@ -304,281 +339,53 @@ impl Drop for HttpServer {
     }
 }
 
-fn accept_loop(
-    listener: TcpListener,
-    tx: Sender<TcpStream>,
-    stop: Arc<AtomicBool>,
-    metrics: Option<Arc<ServerMetrics>>,
-    idle_timeout: Duration,
-) {
-    for stream in listener.incoming() {
-        if stop.load(Ordering::SeqCst) {
-            break;
+/// Worker thread: runs handlers for dispatched requests and hands the
+/// responses back to the owning shard.
+fn worker_loop(rx: &Receiver<Job>, router: &Router, metrics: Option<&ServerMetrics>) {
+    while let Ok(job) = rx.recv() {
+        if let Some(m) = metrics {
+            m.accept_queue_depth.dec();
+            m.workers_busy.inc();
         }
-        match stream {
-            Ok(s) => {
-                let _ = s.set_read_timeout(Some(idle_timeout));
-                let _ = s.set_write_timeout(Some(idle_timeout));
-                if let Some(m) = &metrics {
-                    m.accepted_total.inc();
-                }
-                // Never block the acceptor on a full worker queue: shed
-                // the connection with an immediate 503 so bursts degrade
-                // into fast failures instead of unbounded queueing.
-                match tx.try_send(s) {
-                    Ok(()) => {
-                        if let Some(m) = &metrics {
-                            m.accept_queue_depth.inc();
-                        }
-                    }
-                    Err(TrySendError::Full(s)) => shed(s, metrics.as_deref()),
-                    Err(TrySendError::Disconnected(_)) => break,
-                }
-            }
-            Err(_) => continue,
-        }
-    }
-    // Dropping tx closes the channel and lets workers exit.
-}
-
-/// Refuses one connection with a `503 Service Unavailable`.
-fn shed(mut stream: TcpStream, metrics: Option<&ServerMetrics>) {
-    if let Some(m) = metrics {
-        m.shed_total.inc();
-        m.record_response(StatusCode::SERVICE_UNAVAILABLE.0);
-    }
-    let mut response = Response::json_with_status(
-        StatusCode::SERVICE_UNAVAILABLE,
-        &serde_json::json!({ "error": "server overloaded, retry later" }),
-    );
-    response.headers.insert("retry-after".into(), "1".into());
-    response.set_connection(true);
-    let _ = response.write_to(&mut stream);
-    // Swallow whatever the client already sent before closing; closing
-    // with unread data in the receive buffer sends an RST, which can
-    // destroy the 503 in flight. Bounded: a few short reads at most.
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
-    let mut scratch = [0u8; 4096];
-    for _ in 0..8 {
-        match stream.read(&mut scratch) {
-            Ok(n) if n > 0 => continue,
-            _ => break,
-        }
-    }
-    let _ = stream.shutdown(Shutdown::Both);
-}
-
-/// What [`wait_for_data`] saw while a connection idled between requests.
-enum Wait {
-    /// Bytes are available: parse the next request.
-    Ready,
-    /// Idle past the timeout.
-    IdleExpired,
-    /// Peer closed (or the socket broke).
-    Closed,
-    /// The server started draining while the connection was idle.
-    Draining,
-}
-
-/// Waits for the next request's first byte without consuming it, polling
-/// the stop flag so idle keep-alive connections release their workers
-/// within one poll interval of a drain starting — not one idle timeout.
-fn wait_for_data(reader: &mut BufReader<TcpStream>, idle: Duration, stop: &AtomicBool) -> Wait {
-    if !reader.buffer().is_empty() {
-        // A pipelined request is already buffered; the socket has nothing
-        // to say about it.
-        return Wait::Ready;
-    }
-    let interval = (idle / 8).clamp(Duration::from_millis(5), Duration::from_millis(100));
-    if reader.get_ref().set_read_timeout(Some(interval)).is_err() {
-        return Wait::Closed;
-    }
-    let started = Instant::now();
-    let mut byte = [0u8; 1];
-    loop {
-        match reader.get_ref().peek(&mut byte) {
-            Ok(0) => return Wait::Closed,
-            Ok(_) => {
-                // Restore the full timeout for the actual parse.
-                if reader.get_ref().set_read_timeout(Some(idle)).is_err() {
-                    return Wait::Closed;
-                }
-                return Wait::Ready;
-            }
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
-                ) =>
-            {
-                if stop.load(Ordering::SeqCst) {
-                    return Wait::Draining;
-                }
-                if started.elapsed() >= idle {
-                    return Wait::IdleExpired;
-                }
-            }
-            Err(_) => return Wait::Closed,
-        }
-    }
-}
-
-fn handle_connection(
-    stream: TcpStream,
-    router: &Router,
-    metrics: Option<&ServerMetrics>,
-    config: &ServerConfig,
-    stop: &AtomicBool,
-) {
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    let mut served = 0usize;
-    // Keep-alive loop: requests ride this socket until the client asks to
-    // close, the idle timeout fires, the request cap is reached, or the
-    // server starts draining.
-    loop {
-        match wait_for_data(&mut reader, config.idle_timeout, stop) {
-            Wait::Ready => {}
-            Wait::Closed | Wait::Draining => {
-                let _ = writer.shutdown(Shutdown::Both);
-                return;
-            }
-            Wait::IdleExpired => {
-                if let Some(m) = metrics {
-                    m.timeout_errors_total.inc();
-                }
-                if served == 0 {
-                    // The client connected but never sent a request: tell
-                    // it why before hanging up.
-                    let response = Response::json_with_status(
-                        StatusCode::REQUEST_TIMEOUT,
-                        &serde_json::json!({ "error": "request timed out" }),
-                    );
-                    respond_and_close(response, &mut writer, metrics);
-                } else {
-                    // An idle keep-alive connection: close silently, as
-                    // every HTTP server does.
-                    let _ = writer.shutdown(Shutdown::Both);
-                }
-                return;
-            }
-        }
-        let request = match Request::read_from(&mut reader, config.max_body_bytes) {
-            Ok(request) => request,
-            Err(HttpParseError::ConnectionClosed) => return,
-            Err(HttpParseError::BodyTooLarge(_)) => {
-                if let Some(m) = metrics {
-                    m.body_too_large_total.inc();
-                }
-                let response = Response::json_with_status(
-                    StatusCode::PAYLOAD_TOO_LARGE,
-                    &serde_json::json!({ "error": "body too large" }),
-                );
-                respond_and_close(response, &mut writer, metrics);
-                return;
-            }
-            Err(HttpParseError::HeadersTooLarge(_)) => {
-                if let Some(m) = metrics {
-                    m.headers_too_large_total.inc();
-                }
-                let response = Response::json_with_status(
-                    StatusCode::HEADERS_TOO_LARGE,
-                    &serde_json::json!({ "error": "header block too large" }),
-                );
-                respond_and_close(response, &mut writer, metrics);
-                return;
-            }
-            Err(HttpParseError::Io(e))
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
-                ) =>
-            {
-                if let Some(m) = metrics {
-                    m.timeout_errors_total.inc();
-                }
-                if served == 0 {
-                    // The client never got a request out: tell it why
-                    // before hanging up.
-                    let response = Response::json_with_status(
-                        StatusCode::REQUEST_TIMEOUT,
-                        &serde_json::json!({ "error": "request timed out" }),
-                    );
-                    respond_and_close(response, &mut writer, metrics);
-                } else {
-                    // An idle keep-alive connection: close silently, as
-                    // every HTTP server does.
-                    let _ = writer.shutdown(Shutdown::Both);
-                }
-                return;
-            }
-            Err(_) => {
-                if let Some(m) = metrics {
-                    m.parse_errors_total.inc();
-                }
-                respond_and_close(Response::bad_request("malformed request"), &mut writer, metrics);
-                return;
-            }
-        };
-        served += 1;
-        if served > 1 {
-            if let Some(m) = metrics {
-                m.keepalive_reuses_total.inc();
-            }
-        }
-        let close = stop.load(Ordering::SeqCst)
-            || served >= config.max_requests_per_connection
-            || request.wants_close();
-
         // A panicking handler must not take the worker thread (and its
         // slot in the pool) down with it: convert panics into 500s — but
         // never silently. The panic is counted and its message kept as a
         // structured event for the operator.
-        let mut response =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| router.dispatch(&request)))
-                .unwrap_or_else(|payload| {
-                    if let Some(m) = metrics {
-                        m.record_panic(
-                            request.method.as_str(),
-                            &request.path,
-                            &panic_message(payload.as_ref()),
-                        );
-                    }
-                    Response::json_with_status(
-                        StatusCode::INTERNAL_SERVER_ERROR,
-                        &serde_json::json!({ "error": "internal server error" }),
-                    )
-                });
-        response.set_connection(close);
+        let mut response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            router.dispatch(&job.request)
+        }))
+        .unwrap_or_else(|payload| {
+            if let Some(m) = metrics {
+                m.record_panic(
+                    job.request.method.as_str(),
+                    &job.request.path,
+                    &panic_message(payload.as_ref()),
+                );
+            }
+            Response::json_with_status(
+                StatusCode::INTERNAL_SERVER_ERROR,
+                &serde_json::json!({ "error": "internal server error" }),
+            )
+        });
+        response.set_connection(job.close);
         if let Some(m) = metrics {
             m.record_response(response.status.0);
         }
-        if response.write_to(&mut writer).is_err() || close {
-            return;
+        // A send error means the shard is gone (force-closed during
+        // drain); the response has nowhere to go.
+        let _ = job.reply.send(Completion { token: job.token, close: job.close, response });
+        job.waker.wake();
+        if let Some(m) = metrics {
+            m.workers_busy.dec();
         }
     }
-}
-
-fn respond_and_close(
-    mut response: Response,
-    writer: &mut TcpStream,
-    metrics: Option<&ServerMetrics>,
-) {
-    response.set_connection(true);
-    if let Some(m) = metrics {
-        m.record_response(response.status.0);
-    }
-    let _ = response.write_to(writer);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::client;
-    use crate::http::Method;
+    use crate::http::{Method, Request};
 
     fn echo_router() -> Router {
         let mut r = Router::new();
@@ -719,7 +526,7 @@ mod tests {
         assert_eq!(report.workers_joined, 2, "workers must join on shutdown");
         assert!(report.completed);
         // After shutdown the listener is gone: a full request must fail
-        // (the connect is refused once the acceptor thread has exited and
+        // (the connect is refused once the last shard has exited and
         // dropped the listener).
         let result = client::request(addr, Request::new(Method::Get, "/ping"));
         assert!(result.is_err(), "server must not serve requests after shutdown");

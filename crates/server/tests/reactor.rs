@@ -1,0 +1,177 @@
+//! Reactor edge cases: byte-trickled requests, idle timers racing
+//! in-progress writes, accept backoff policy, the portable scan poller,
+//! and multi-shard operation.
+
+use kscope_server::reactor::{AcceptBackoff, AcceptDecision};
+use kscope_server::{client, HttpServer, Response, Router, ServerConfig};
+use kscope_telemetry::Registry;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn ping_router() -> Router {
+    let mut r = Router::new();
+    r.get("/ping", |_req, _p| Response::json(&serde_json::json!({ "pong": true })));
+    r
+}
+
+fn read_all(stream: &mut TcpStream) -> String {
+    let mut out = Vec::new();
+    let _ = stream.read_to_end(&mut out);
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+#[test]
+fn slow_loris_headers_arrive_one_byte_per_readiness_event() {
+    let server = HttpServer::bind("127.0.0.1:0", ping_router(), 1).unwrap();
+    let addr = server.local_addr();
+
+    // Trickle a whole request one byte at a time: every byte is a separate
+    // readiness event and the incremental parser must reassemble across
+    // all of them — while the single worker keeps serving other clients
+    // (the trickler holds no worker, only a slab entry).
+    let wire = b"GET /ping HTTP/1.1\r\nhost: loris\r\n\r\n";
+    let mut loris = TcpStream::connect(addr).unwrap();
+    loris.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    for &byte in &wire[..wire.len() - 1] {
+        loris.write_all(&[byte]).unwrap();
+        loris.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+        // Interleaved fast clients are never blocked by the trickle.
+        let ok = client::get(addr, "/ping").unwrap();
+        assert_eq!(ok.status.0, 200);
+    }
+    loris.write_all(&wire[wire.len() - 1..]).unwrap();
+    let _ = loris.shutdown(std::net::Shutdown::Write);
+    let reply = read_all(&mut loris);
+    assert!(reply.starts_with("HTTP/1.1 200"), "trickled request must complete: {reply}");
+    server.shutdown();
+}
+
+#[test]
+fn stalled_partial_request_gets_408_not_a_hang() {
+    let mut config = ServerConfig::with_workers(1);
+    config.idle_timeout = Duration::from_millis(200);
+    let server = HttpServer::bind_with_config("127.0.0.1:0", ping_router(), config, None).unwrap();
+
+    // Half a request line, then silence: the idle wheel must fire and the
+    // server must explain the disconnect (served == 0 → 408).
+    let mut stalled = TcpStream::connect(server.local_addr()).unwrap();
+    stalled.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    stalled.write_all(b"GET /pi").unwrap();
+    let started = Instant::now();
+    let reply = read_all(&mut stalled);
+    let elapsed = started.elapsed();
+    assert!(reply.starts_with("HTTP/1.1 408"), "stalled request must get a 408: {reply}");
+    assert!(elapsed >= Duration::from_millis(150), "fired too early: {elapsed:?}");
+    assert!(elapsed < Duration::from_secs(2), "fired too late: {elapsed:?}");
+    server.shutdown();
+}
+
+#[test]
+fn idle_timer_firing_mid_write_does_not_kill_the_response() {
+    // A response much larger than the socket buffers, an idle timeout much
+    // shorter than the client's read pause: the timer wheel fires while
+    // the response is only partially flushed, and must re-arm instead of
+    // closing the connection mid-write.
+    let body_len = 8 << 20;
+    let mut router = Router::new();
+    router.get("/big", move |_req, _p| {
+        Response::content("application/octet-stream", vec![0x42u8; body_len])
+    });
+    let mut config = ServerConfig::with_workers(1);
+    config.idle_timeout = Duration::from_millis(100);
+    let server = HttpServer::bind_with_config("127.0.0.1:0", router, config, None).unwrap();
+
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    stream.write_all(b"GET /big HTTP/1.1\r\nhost: x\r\nconnection: close\r\n\r\n").unwrap();
+    // Let several idle periods elapse while the response is stuck in the
+    // server's out-buffer (we are not reading yet).
+    std::thread::sleep(Duration::from_millis(350));
+    let mut reply = Vec::new();
+    stream.read_to_end(&mut reply).unwrap();
+    let headers_end =
+        reply.windows(4).position(|w| w == b"\r\n\r\n").expect("complete header block");
+    assert!(
+        String::from_utf8_lossy(&reply[..headers_end]).starts_with("HTTP/1.1 200"),
+        "mid-write connection must survive idle timer fires"
+    );
+    assert_eq!(reply.len() - headers_end - 4, body_len, "body must arrive complete");
+    server.shutdown();
+}
+
+#[test]
+fn accept_backoff_policy_is_reachable_through_the_public_api() {
+    // The EMFILE path is impractical to trigger for real in a test (it
+    // needs global fd exhaustion), so the reactor keeps the policy pure
+    // and public: classify errors, back off exponentially, reset on
+    // success.
+    let now = Instant::now();
+    let mut policy = AcceptBackoff::new();
+    let emfile = std::io::Error::from_raw_os_error(24);
+    let AcceptDecision::Backoff(first) = policy.on_error(&emfile, now) else {
+        panic!("EMFILE must back off");
+    };
+    assert!(policy.resume_at().is_some());
+    assert!(policy.ready_to_resume(now + first));
+    let AcceptDecision::Backoff(second) = policy.on_error(&emfile, now) else {
+        panic!("EMFILE must keep backing off");
+    };
+    assert!(second > first, "sustained exhaustion must grow the delay");
+    policy.on_success();
+    assert!(policy.resume_at().is_none());
+    assert_eq!(
+        policy.on_error(&std::io::Error::from(std::io::ErrorKind::WouldBlock), now),
+        AcceptDecision::WaitForReadiness
+    );
+}
+
+#[test]
+fn scan_poller_fallback_serves_keepalive_sessions() {
+    let mut config = ServerConfig::with_workers(2);
+    config.force_scan_poller = true;
+    let server = HttpServer::bind_with_config("127.0.0.1:0", ping_router(), config, None).unwrap();
+    let mut session = client::Session::new(server.local_addr());
+    for _ in 0..5 {
+        assert_eq!(session.get("/ping").unwrap().status.0, 200);
+    }
+    assert_eq!(session.stats().reuses, 4, "keep-alive must work on the scan poller");
+    let report = server.shutdown();
+    assert!(report.completed);
+}
+
+#[test]
+fn multi_shard_reactor_serves_concurrent_clients_and_drains() {
+    let registry = Arc::new(Registry::new());
+    let mut config = ServerConfig::with_workers(2);
+    config.reactor_shards = 4;
+    let server = HttpServer::bind_with_config(
+        "127.0.0.1:0",
+        ping_router(),
+        config,
+        Some(Arc::clone(&registry)),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            s.spawn(move || {
+                let mut session = client::Session::new(addr);
+                for _ in 0..10 {
+                    assert_eq!(session.get("/ping").unwrap().status.0, 200);
+                }
+            });
+        }
+    });
+    // Every connection was registered with (and released from) a shard.
+    assert!(registry.gauge("server.reactor_fds").get() >= 0);
+    let report = server.shutdown();
+    assert!(report.completed);
+    assert_eq!(
+        registry.gauge("server.reactor_fds").get(),
+        0,
+        "all reactor-registered fds must be released after drain"
+    );
+}

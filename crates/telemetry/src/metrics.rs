@@ -69,6 +69,13 @@ impl Gauge {
         self.add(-1);
     }
 
+    /// Raises the gauge to `v` if `v` is larger than the current value —
+    /// a lock-free high-water mark (e.g. the deepest ready queue a
+    /// reactor shard has ever drained in one poll).
+    pub fn set_max(&self, v: i64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
     /// The current value.
     pub fn get(&self) -> i64 {
         self.value.load(Ordering::Relaxed)
@@ -306,6 +313,17 @@ mod tests {
         assert_eq!(g.get(), -7);
         g.add(10);
         assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn gauge_set_max_is_a_high_water_mark() {
+        let g = Gauge::new();
+        g.set_max(5);
+        assert_eq!(g.get(), 5);
+        g.set_max(3);
+        assert_eq!(g.get(), 5, "lower values must not pull the mark down");
+        g.set_max(11);
+        assert_eq!(g.get(), 11);
     }
 
     #[test]

@@ -59,7 +59,8 @@ fn print_usage() {
          kscope prepare <params.json> --pages <dir> --out <dir> [--seed N] [--threads N]\n  \
          kscope demo <font|expand|uplt|ads> [--participants N] [--seed N] [--in-lab] [--json]\n  \
          kscope snapshot <font|expand|uplt|ads> [--participants N] [--seed N] [--in-lab]\n  \
-         kscope serve --data <dir> [--addr HOST:PORT] [--workers N] [--checkpoint-secs N]\n\n\
+         kscope serve --data <dir> [--addr HOST:PORT] [--workers N] [--shards N]\n         \
+                      [--scan-poller] [--checkpoint-secs N]\n\n\
          `demo`/`snapshot` supervision options (fault-tolerant campaign):\n  \
          --supervised              lease sessions, recover abandonment, refill quota\n  \
          --abandon R               total abandonment probability (default 0.2)\n  \
@@ -472,6 +473,9 @@ fn cmd_serve(args: &[String]) -> CliResult {
     let data_dir = opt(args, "--data").ok_or("--data <dir> is required")?;
     let addr = opt(args, "--addr").unwrap_or("127.0.0.1:8080");
     let workers: usize = opt(args, "--workers").unwrap_or("4").parse()?;
+    // 0 = auto-size reactor shards from available parallelism.
+    let shards: usize = opt(args, "--shards").unwrap_or("0").parse()?;
+    let scan_poller = has_flag(args, "--scan-poller");
     let checkpoint_secs: u64 = opt(args, "--checkpoint-secs").unwrap_or("60").parse()?;
     let data = PathBuf::from(data_dir);
 
@@ -492,8 +496,10 @@ fn cmd_serve(args: &[String]) -> CliResult {
     );
     let registry = Arc::new(Registry::new());
     let api = CoreServerApi::new(db.clone(), grid).with_telemetry(Arc::clone(&registry));
-    let mut server =
-        HttpServer::bind_with_telemetry(addr, api.into_router(), workers, Some(registry))?;
+    let mut config = kaleidoscope::server::ServerConfig::with_workers(workers);
+    config.reactor_shards = shards;
+    config.force_scan_poller = scan_poller;
+    let mut server = HttpServer::bind_with_config(addr, api.into_router(), config, Some(registry))?;
     // Final checkpoint once the last in-flight request has drained.
     let drain_db = db.clone();
     server.set_drain_hook(move || match drain_db.checkpoint() {
