@@ -1,0 +1,201 @@
+//! Store scale-out benchmark: secondary-index point lookups vs fallback
+//! scans, and multi-writer intake throughput with WAL group commit on
+//! vs off.
+//!
+//! Two measurements, both over response-shaped documents:
+//!
+//! 1. **Lookup**: 10k documents, point lookups on the intake idempotency
+//!    triple `(test_id, contributor_id, submission_id)` through the
+//!    unique index vs the same filter on an unindexed twin collection
+//!    (cross-shard fallback scan). The CI gate asserts the index answers
+//!    ≥10× faster.
+//! 2. **Intake**: a durable database with the server's index
+//!    declarations; 1/4/16 writer threads hammer `insert_if_absent`
+//!    (each insert is one WAL commit), with the group-commit window off
+//!    and armed at 250µs.
+//!
+//! Emits `BENCH_store.json` (override with `--out <path>`). `--quick`
+//! shrinks doc counts and op counts for CI smoke runs.
+
+use kscope_server::api::declare_indexes;
+use kscope_store::{Collection, Database};
+use kscope_telemetry::Registry;
+use serde_json::{json, Value};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Deterministic 64-bit LCG so both collections hold identical docs.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+fn gen_doc(rng: &mut Lcg, i: usize) -> Value {
+    json!({
+        "test_id": format!("t-{}", rng.next() % 8),
+        "contributor_id": format!("w-{}", rng.next() % 512),
+        "submission_id": format!("s-{i:06}"),
+        "answers": {"q": if rng.next().is_multiple_of(2) { "Left" } else { "Right" }},
+        "deadline_ms": 1_700_000_000_000u64 + rng.next() % 1_000_000,
+    })
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("kscope-bench-store-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Point-lookup vs fallback-scan comparison over `docs` documents.
+fn bench_lookup(docs: usize, indexed_probes: usize, scan_probes: usize) -> Value {
+    let indexed = Collection::new();
+    indexed.ensure_index("by_submission", &["test_id", "contributor_id", "submission_id"], true);
+    let unindexed = Collection::new();
+    let mut rng = Lcg(7);
+    let mut keys: Vec<(String, String, String)> = Vec::with_capacity(docs);
+    for i in 0..docs {
+        let doc = gen_doc(&mut rng, i);
+        keys.push((
+            doc["test_id"].as_str().unwrap().to_string(),
+            doc["contributor_id"].as_str().unwrap().to_string(),
+            doc["submission_id"].as_str().unwrap().to_string(),
+        ));
+        indexed.insert_one(doc.clone());
+        unindexed.insert_one(doc);
+    }
+
+    let probe = |coll: &Collection, probes: usize| -> (Duration, usize) {
+        let mut rng = Lcg(99);
+        let mut found = 0usize;
+        let start = Instant::now();
+        for _ in 0..probes {
+            let (t, w, s) = &keys[(rng.next() as usize) % keys.len()];
+            let hits = coll.find(&json!({
+                "test_id": t, "contributor_id": w, "submission_id": s,
+            }));
+            found += hits.len();
+        }
+        (start.elapsed(), found)
+    };
+
+    let (indexed_time, indexed_found) = probe(&indexed, indexed_probes);
+    let (scan_time, scan_found) = probe(&unindexed, scan_probes);
+    assert!(indexed_found >= indexed_probes, "every probed key exists");
+    assert!(scan_found >= scan_probes, "every probed key exists");
+
+    let indexed_ns = indexed_time.as_nanos() as f64 / indexed_probes as f64;
+    let scan_ns = scan_time.as_nanos() as f64 / scan_probes as f64;
+    let speedup = scan_ns / indexed_ns.max(1.0);
+    println!(
+        "lookup @ {docs} docs: index {indexed_ns:.0} ns/lookup, \
+         fallback scan {scan_ns:.0} ns/lookup — {speedup:.1}x"
+    );
+    json!({
+        "docs": docs,
+        "indexed_probes": indexed_probes,
+        "scan_probes": scan_probes,
+        "point_lookup_ns": indexed_ns,
+        "fallback_scan_ns": scan_ns,
+        "speedup": speedup,
+    })
+}
+
+/// Multi-writer intake run: `threads` writers × `ops_per_thread`
+/// `insert_if_absent` commits against a durable database.
+fn bench_intake(threads: usize, ops_per_thread: usize, group_commit_us: u64) -> Value {
+    let dir = tempdir(&format!("intake-{threads}-{group_commit_us}"));
+    let registry = Arc::new(Registry::new());
+    let (db, _) = Database::open_durable(&dir).expect("open durable bench db");
+    let db = db.with_telemetry(&registry);
+    declare_indexes(&db);
+    if group_commit_us > 0 {
+        assert!(db.set_group_commit_window(Duration::from_micros(group_commit_us)));
+    }
+
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let db = db.clone();
+            s.spawn(move || {
+                let responses = db.collection("responses");
+                for i in 0..ops_per_thread {
+                    let key = json!({
+                        "test_id": "t-bench",
+                        "contributor_id": format!("w-{t}"),
+                        "submission_id": format!("s-{t}-{i:06}"),
+                    });
+                    let mut doc = key.clone();
+                    doc.as_object_mut().unwrap().insert("answers".into(), json!({"q": "Left"}));
+                    responses.insert_if_absent(&key, doc).expect("unique key admits");
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    let ops = threads * ops_per_thread;
+    assert_eq!(db.collection("responses").len(), ops, "every intake landed");
+    let throughput = ops as f64 / elapsed.as_secs_f64();
+    let batches = registry.counter_value("store.group_commit_batches", &[]).unwrap_or(0);
+    let group_ops = registry.counter_value("store.group_commit_ops", &[]).unwrap_or(0);
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+    println!(
+        "intake: {threads:>2} writers, group commit {}: {ops} ops in {:.2}s \
+         ({throughput:.0} ops/s, {batches} fsync batches)",
+        if group_commit_us > 0 { format!("{group_commit_us}us") } else { "off".to_string() },
+        elapsed.as_secs_f64(),
+    );
+    json!({
+        "threads": threads,
+        "group_commit_us": group_commit_us,
+        "ops": ops,
+        "duration_ms": elapsed.as_millis() as u64,
+        "throughput_ops_s": throughput,
+        "group_commit_batches": batches,
+        "group_commit_ops": group_ops,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_store.json".to_string());
+    let docs: usize = flag_value(&args, "--docs").and_then(|v| v.parse().ok()).unwrap_or(10_000);
+    let ops_per_thread: usize = flag_value(&args, "--ops-per-thread")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 150 } else { 500 });
+
+    // Lookup probes: the fallback side walks all shards per probe, so it
+    // gets fewer probes and both are reported per-lookup.
+    let (indexed_probes, scan_probes) = if quick { (2_000, 100) } else { (10_000, 400) };
+    let lookup = bench_lookup(docs, indexed_probes, scan_probes);
+
+    let mut intake = Vec::new();
+    for threads in [1usize, 4, 16] {
+        for group_commit_us in [0u64, 250] {
+            intake.push(bench_intake(threads, ops_per_thread, group_commit_us));
+        }
+    }
+
+    let report = json!({
+        "bench": "store",
+        "quick": quick,
+        "threads_available":
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        "lookup": lookup,
+        "intake": intake,
+    });
+    std::fs::write(&out_path, serde_json::to_string_pretty(&report).expect("serialize"))
+        .expect("write bench report");
+    println!("wrote {out_path}");
+}

@@ -32,8 +32,20 @@ use kscope_crowd::faults::{FaultModel, SessionFault};
 use kscope_crowd::platform::{CostReport, JobSpec, Platform};
 use kscope_crowd::worker::WorkerId;
 use rand::Rng;
-use serde_json::json;
+use serde_json::{json, Value};
 use std::fmt;
+
+/// Collection holding the supervisor's durable lease ledger: one document
+/// per `(test_id, contributor_id)` recording the lease window and how the
+/// session concluded (`leased`, `completed`, `deduped`, or `reclaimed`).
+pub const LEASES_COLLECTION: &str = "session_leases";
+/// Unique index on `(test_id, contributor_id)` — lease state updates are
+/// point lookups.
+pub const LEASES_BY_WORKER_INDEX: &str = "leases_by_worker";
+/// Ordered index on `(test_id, lease.deadline_ms)` — the expiry sweep is
+/// a range scan `[test_id .. (test_id, now)]`, earliest deadline first,
+/// instead of a linear pass over every lease ever issued.
+pub const LEASES_BY_DEADLINE_INDEX: &str = "leases_by_deadline";
 
 /// Knobs governing supervision. Defaults are deliberately forgiving: a
 /// 3× engagement lease, up to 8 refill rounds with a 15% reward
@@ -370,6 +382,33 @@ impl<'a> CampaignSupervisor<'a> {
         let questions: Vec<String> = params.question.iter().map(|q| q.text().to_string()).collect();
         let page_names = prepared.page_names();
         let responses = self.campaign.db().collection("responses");
+        // The lease ledger mirrors the in-memory accounting into the
+        // store, where operators (and restarts) can see it. Both writes
+        // and the expiry sweep go through secondary indexes.
+        let ledger = self.campaign.db().collection(LEASES_COLLECTION);
+        ledger.ensure_index(LEASES_BY_WORKER_INDEX, &["test_id", "contributor_id"], true);
+        ledger.ensure_index(LEASES_BY_DEADLINE_INDEX, &["test_id", "lease.deadline_ms"], false);
+        let stamp_lease = |contributor: &str, round: usize, issued: u64, deadline: u64| {
+            let key = json!({ "test_id": prepared.test_id, "contributor_id": contributor });
+            ledger.upsert_mutate(&key, key.clone(), |d| {
+                if let Some(obj) = d.as_object_mut() {
+                    obj.insert("round".to_string(), json!(round));
+                    obj.insert(
+                        "lease".to_string(),
+                        json!({ "issued_ms": issued, "deadline_ms": deadline }),
+                    );
+                    obj.insert("state".to_string(), json!("leased"));
+                }
+            });
+        };
+        let conclude_lease = |contributor: &str, state: &str| {
+            let key = json!({ "test_id": prepared.test_id, "contributor_id": contributor });
+            ledger.upsert_mutate(&key, key.clone(), |d| {
+                if let Some(obj) = d.as_object_mut() {
+                    obj.insert("state".to_string(), json!(state));
+                }
+            });
+        };
         let registry = self.campaign.telemetry().cloned();
         let metrics = registry.as_deref().map(SupervisorMetrics::register);
         let abandon_metric = |phase: AbandonPhase| {
@@ -452,6 +491,7 @@ impl<'a> CampaignSupervisor<'a> {
                     deadline_ms: lease_deadline,
                     outcome: LeaseOutcome::Abandoned(AbandonPhase::NeverReturned),
                 };
+                stamp_lease(&worker.id.0, round, arrival, lease_deadline);
 
                 if fault == SessionFault::NeverReturns {
                     health.abandoned += 1;
@@ -518,9 +558,11 @@ impl<'a> CampaignSupervisor<'a> {
                                 m.deduped.inc();
                             }
                             lease.outcome = LeaseOutcome::CompletedDeduped;
+                            conclude_lease(&worker.id.0, "deduped");
                         } else {
                             health.completed += 1;
                             lease.outcome = LeaseOutcome::Completed;
+                            conclude_lease(&worker.id.0, "completed");
                         }
                         // Pay the completed session: reward at this
                         // round's rate plus the platform fee.
@@ -576,6 +618,24 @@ impl<'a> CampaignSupervisor<'a> {
                     Err(e) => return Err(e),
                 }
                 leases.push(lease);
+            }
+
+            // Lease-expiry sweep: an ordered range scan over the
+            // (test_id, lease.deadline_ms) index picks out exactly the
+            // leases whose deadline has passed — abandoned and
+            // never-returned sessions — and reclaims their ledger rows.
+            // Completed sessions past their deadline are left alone.
+            let expired_leases = ledger.range_by_index(
+                LEASES_BY_DEADLINE_INDEX,
+                Some(&[json!(prepared.test_id)]),
+                Some(&[json!(prepared.test_id), json!(now_ms)]),
+            );
+            for doc in expired_leases {
+                if doc.get("state").and_then(Value::as_str) == Some("leased") {
+                    if let Some(cid) = doc.get("contributor_id").and_then(Value::as_str) {
+                        conclude_lease(cid, "reclaimed");
+                    }
+                }
             }
 
             let records: Vec<SessionRecord> = sessions.iter().map(|s| s.record.clone()).collect();
@@ -839,6 +899,42 @@ mod tests {
         assert!(out.health.deadline_hit, "{}", out.health);
         assert!(!out.health.reached_target());
         assert!(out.health.accounted());
+    }
+
+    #[test]
+    fn lease_ledger_mirrors_health_accounting() {
+        let registry = Arc::new(kscope_telemetry::Registry::new());
+        let (fx, mut rng) = fixture(30, 9, Some(Arc::clone(&registry)));
+        let spec = JobSpec::new(&fx.params.test_id, 0.11, 30, Channel::Open);
+        let sup = CampaignSupervisor::new(&fx.campaign, SupervisorConfig::new(12))
+            .with_faults(FaultModel::flaky());
+        let out = sup.run(&fx.params, &fx.prepared, &spec, &mut rng).unwrap();
+        assert!(out.health.abandoned > 0, "a flaky open channel abandons: {}", out.health);
+
+        // Every issued lease has exactly one ledger row, and the sweep
+        // reclaimed precisely the abandoned ones.
+        let ledger = fx.db.collection(LEASES_COLLECTION);
+        let rows = ledger.all();
+        assert_eq!(rows.len(), out.health.recruited);
+        let count =
+            |state: &str| rows.iter().filter(|d| d.get("state") == Some(&json!(state))).count();
+        assert_eq!(count("completed"), out.health.completed);
+        assert_eq!(count("deduped"), out.health.deduped);
+        assert_eq!(count("reclaimed"), out.health.abandoned);
+        assert_eq!(count("leased"), 0, "no lease left dangling after the final sweep");
+
+        // The sweep ran as ordered range scans over the deadline index,
+        // and lease updates were index point lookups — never a fallback
+        // scan over the ledger.
+        let labels = [("collection", LEASES_COLLECTION)];
+        assert!(registry
+            .counter_value("store.index_range_scans_total", &labels)
+            .is_some_and(|n| n > 0));
+        assert_eq!(
+            registry.counter_value("store.index_fallback_scans_total", &labels).unwrap_or(0),
+            0,
+            "ledger queries must all plan onto an index"
+        );
     }
 
     #[test]

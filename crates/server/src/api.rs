@@ -31,6 +31,41 @@ pub const SESSIONS_COLLECTION: &str = "sessions";
 /// Default session lease in ms when the heartbeat body names none.
 pub const DEFAULT_LEASE_MS: u64 = 120_000;
 
+/// Unique index answering `tests(test_id)` point lookups — test fetches
+/// and the create-test existence check.
+pub const TESTS_BY_ID_INDEX: &str = "tests_by_test_id";
+/// Unique index on the intake idempotency triple
+/// `responses(test_id, contributor_id, submission_id)`.
+pub const RESPONSES_BY_SUBMISSION_INDEX: &str = "responses_by_submission";
+/// Non-unique index answering per-test response listings and result
+/// conclusion without a full scan.
+pub const RESPONSES_BY_TEST_INDEX: &str = "responses_by_test";
+/// Unique index on `sessions(test_id, contributor_id)` — the heartbeat
+/// register-or-refresh key.
+pub const SESSIONS_BY_WORKER_INDEX: &str = "sessions_by_worker";
+/// Ordered index on `sessions(test_id, deadline_ms)` — lease-expiry
+/// sweeps become a range scan, earliest deadline first.
+pub const SESSIONS_BY_DEADLINE_INDEX: &str = "sessions_by_deadline";
+
+/// Declares the server's secondary indexes on `db`. Idempotent: reopened
+/// durable databases replay their `ensure_index` records and this becomes
+/// a no-op. Called from [`CoreServerApi::new`]; exposed so benches and
+/// tools hitting the collections directly can match the server's plan.
+pub fn declare_indexes(db: &Database) {
+    let tests = db.collection(TESTS_COLLECTION);
+    tests.ensure_index(TESTS_BY_ID_INDEX, &["test_id"], true);
+    let responses = db.collection(RESPONSES_COLLECTION);
+    responses.ensure_index(
+        RESPONSES_BY_SUBMISSION_INDEX,
+        &["test_id", "contributor_id", "submission_id"],
+        true,
+    );
+    responses.ensure_index(RESPONSES_BY_TEST_INDEX, &["test_id"], false);
+    let sessions = db.collection(SESSIONS_COLLECTION);
+    sessions.ensure_index(SESSIONS_BY_WORKER_INDEX, &["test_id", "contributor_id"], true);
+    sessions.ensure_index(SESSIONS_BY_DEADLINE_INDEX, &["test_id", "deadline_ms"], false);
+}
+
 /// The core-server API: a [`Database`] + [`GridStore`] pair exposed over
 /// HTTP routes, optionally instrumented on a shared [`Registry`].
 #[derive(Debug, Clone)]
@@ -41,8 +76,10 @@ pub struct CoreServerApi {
 }
 
 impl CoreServerApi {
-    /// Creates the API over existing storage.
+    /// Creates the API over existing storage and declares the secondary
+    /// indexes the handlers plan against (see [`declare_indexes`]).
     pub fn new(db: Database, grid: GridStore) -> Self {
+        declare_indexes(&db);
         Self { db, grid, telemetry: None }
     }
 
@@ -357,6 +394,7 @@ impl CoreServerApi {
                     "heartbeats": 0u64,
                     "first_seen_ms": now_ms,
                     "last_heartbeat_ms": 0u64,
+                    "deadline_ms": 0u64,
                 });
                 // Register-or-refresh is one atomic read-modify-write:
                 // concurrent heartbeats for the same session each land
@@ -374,16 +412,22 @@ impl CoreServerApi {
                             .max(now_ms);
                         obj.insert("last_heartbeat_ms".to_string(), json!(last));
                         obj.insert("lease_ms".to_string(), json!(lease_ms));
+                        // Materialize the expiry deadline on the document
+                        // so the (test_id, deadline_ms) index answers
+                        // "which leases expired?" as an ordered range scan
+                        // instead of recomputing last+lease per doc.
+                        obj.insert("deadline_ms".to_string(), json!(last + lease_ms));
                     }
                 });
                 let beats = doc.get("heartbeats").and_then(Value::as_u64).unwrap_or(1);
-                let last = doc.get("last_heartbeat_ms").and_then(Value::as_u64).unwrap_or(now_ms);
+                let deadline =
+                    doc.get("deadline_ms").and_then(Value::as_u64).unwrap_or(now_ms + lease_ms);
                 Response::json(&json!({
                     "test_id": id,
                     "contributor_id": cid,
                     "lease_ms": lease_ms,
                     "heartbeats": beats,
-                    "deadline_ms": last + lease_ms,
+                    "deadline_ms": deadline,
                 }))
             });
         }
@@ -394,15 +438,31 @@ impl CoreServerApi {
                 let now_ms = epoch_ms();
                 let mut in_flight = 0u64;
                 let mut expired = 0u64;
+                // Ordered range scan over (test_id, deadline_ms): all of
+                // this test's sessions, soonest-to-expire first — the
+                // supervisor reads expired leases off the front.
                 let docs: Vec<Value> = db
                     .collection(SESSIONS_COLLECTION)
-                    .find(&json!({ "test_id": id }))
+                    .range_by_index(
+                        SESSIONS_BY_DEADLINE_INDEX,
+                        Some(&[json!(id)]),
+                        Some(&[json!(id)]),
+                    )
                     .into_iter()
                     .map(|mut d| {
-                        let last = d.get("last_heartbeat_ms").and_then(Value::as_u64).unwrap_or(0);
-                        let lease =
-                            d.get("lease_ms").and_then(Value::as_u64).unwrap_or(DEFAULT_LEASE_MS);
-                        let is_expired = now_ms > last.saturating_add(lease);
+                        let deadline =
+                            d.get("deadline_ms").and_then(Value::as_u64).unwrap_or_else(|| {
+                                // Legacy docs from before deadlines were
+                                // materialized.
+                                let last =
+                                    d.get("last_heartbeat_ms").and_then(Value::as_u64).unwrap_or(0);
+                                let lease = d
+                                    .get("lease_ms")
+                                    .and_then(Value::as_u64)
+                                    .unwrap_or(DEFAULT_LEASE_MS);
+                                last.saturating_add(lease)
+                            });
+                        let is_expired = now_ms > deadline;
                         if is_expired {
                             expired += 1;
                         } else {
@@ -767,6 +827,47 @@ mod tests {
         let docs = db.collection(SESSIONS_COLLECTION).find(&json!({"test_id": "t-race"}));
         assert_eq!(docs.len(), 1, "one session document per (test, contributor)");
         assert_eq!(docs[0]["heartbeats"], json!(40), "no lost heartbeat increments");
+        server.shutdown();
+    }
+
+    #[test]
+    fn sessions_listing_is_deadline_ordered_and_indexed() {
+        let db = Database::new();
+        let registry = std::sync::Arc::new(Registry::new());
+        let api = CoreServerApi::new(db.clone(), GridStore::new())
+            .with_telemetry(std::sync::Arc::clone(&registry));
+        let server = HttpServer::bind("127.0.0.1:0", api.into_router(), 2).unwrap();
+        let addr = server.local_addr();
+        client::post_json(addr, "/api/tests", &json!({"test_id": "t-ord"})).unwrap();
+        // w-slow holds a long lease, w-fast a short one: the listing must
+        // come back soonest-deadline-first regardless of heartbeat order.
+        client::post_json(
+            addr,
+            "/api/tests/t-ord/sessions/w-slow/heartbeat",
+            &json!({"lease_ms": 3_600_000u64}),
+        )
+        .unwrap();
+        client::post_json(
+            addr,
+            "/api/tests/t-ord/sessions/w-fast/heartbeat",
+            &json!({"lease_ms": 1u64}),
+        )
+        .unwrap();
+        let listing = client::get(addr, "/api/tests/t-ord/sessions").unwrap();
+        let body = listing.json_body().unwrap();
+        let order: Vec<&str> = body["sessions"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|s| s["contributor_id"].as_str().unwrap())
+            .collect();
+        assert_eq!(order, vec!["w-fast", "w-slow"]);
+        // The listing went through the (test_id, deadline_ms) range
+        // index, not a fallback scan over the collection.
+        assert_eq!(
+            registry.counter_value("store.index_range_scans_total", &[("collection", "sessions")]),
+            Some(1)
+        );
         server.shutdown();
     }
 

@@ -1,13 +1,35 @@
-//! A schemaless collection of JSON documents.
+//! A schemaless collection of JSON documents, sharded for concurrency and
+//! fronted by optional secondary indexes.
+//!
+//! Documents live in [`SHARD_COUNT`] shards, each behind its own `RwLock`,
+//! keyed by the document's insertion sequence number. A document with a
+//! string `_id` is placed in the shard its id hashes to (so `_id` lookups
+//! touch exactly one lock); legacy documents without an id are placed by
+//! sequence number. Declared secondary indexes ([`Collection::ensure_index`])
+//! are maintained under the same shard write locks as the mutation they
+//! reflect, so index readers can never observe a key the documents don't
+//! back (stale postings are tolerated by re-verifying every candidate).
+//!
+//! Lock order, collection-internal: shard lock(s) → index lock. Combined
+//! with the durability engine's rule (commit/state lock before data locks)
+//! the global order is commit → shard → index; readers that probe the index
+//! first drop the index lock before touching any shard.
 
 use crate::durable::Durability;
-use crate::filter::{matches_filter, set_path};
+use crate::filter::{lookup_path, matches_filter, set_path};
+use crate::index::{pad, Index, IndexDef, IndexSet, KeyPart};
 use kscope_telemetry::{Counter, Histogram, Registry};
 use parking_lot::RwLock;
 use serde_json::{json, Value};
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::ops::{Bound, Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
+
+/// Number of document shards per collection. Writers touching different
+/// documents contend only when they hash to the same shard.
+pub const SHARD_COUNT: usize = 16;
 
 /// A document identifier assigned on insert (`_id` field).
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -32,6 +54,34 @@ impl From<ObjectId> for Value {
     }
 }
 
+/// FNV-1a over the id string — cheap, stable across runs (shard placement
+/// must be deterministic so WAL replay rebuilds identical shards).
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The shard a document belongs to: id hash when it has a string `_id`,
+/// else its sequence number.
+fn shard_of(id: Option<&str>, seq: u64) -> usize {
+    match id {
+        Some(id) => (fnv1a(id) % SHARD_COUNT as u64) as usize,
+        None => (seq % SHARD_COUNT as u64) as usize,
+    }
+}
+
+/// One shard: documents keyed by insertion sequence number, plus the
+/// id → sequence map that makes `_id` point lookups O(log n) in one shard.
+#[derive(Debug, Default)]
+pub(crate) struct Shard {
+    docs: BTreeMap<u64, Value>,
+    by_id: HashMap<String, u64>,
+}
+
 /// Per-collection operation metrics, attached at most once per collection
 /// (see [`Collection::attach_metrics`]). Reads go through a `OnceLock`, so
 /// instrumented operations never take an extra lock — counter and
@@ -43,6 +93,9 @@ pub(crate) struct CollectionMetrics {
     updates: Counter,
     deletes: Counter,
     op_latency: Histogram,
+    index_lookups: Counter,
+    index_range_scans: Counter,
+    fallback_scans: Counter,
 }
 
 impl CollectionMetrics {
@@ -54,6 +107,9 @@ impl CollectionMetrics {
             updates: registry.counter_with("store.updates_total", &labels),
             deletes: registry.counter_with("store.deletes_total", &labels),
             op_latency: registry.histogram_with("store.op_latency_us", &labels),
+            index_lookups: registry.counter_with("store.index_lookups_total", &labels),
+            index_range_scans: registry.counter_with("store.index_range_scans_total", &labels),
+            fallback_scans: registry.counter_with("store.index_fallback_scans_total", &labels),
         }
     }
 }
@@ -75,12 +131,42 @@ struct CollectionDurability {
     name: String,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct CollectionInner {
-    docs: RwLock<Vec<Value>>,
+    shards: Vec<RwLock<Shard>>,
+    indexes: RwLock<IndexSet>,
+    /// Fast-path flag so unindexed collections pay zero index overhead on
+    /// the mutation path. Set under all shard write locks, read under at
+    /// least one shard lock — the lock handoff orders the load.
+    has_indexes: AtomicBool,
+    next_seq: AtomicU64,
     next_id: AtomicU64,
     metrics: OnceLock<CollectionMetrics>,
     durability: OnceLock<CollectionDurability>,
+}
+
+impl Default for CollectionInner {
+    fn default() -> Self {
+        Self {
+            shards: (0..SHARD_COUNT).map(|_| RwLock::new(Shard::default())).collect(),
+            indexes: RwLock::new(IndexSet::default()),
+            has_indexes: AtomicBool::new(false),
+            next_seq: AtomicU64::new(0),
+            next_id: AtomicU64::new(0),
+            metrics: OnceLock::new(),
+            durability: OnceLock::new(),
+        }
+    }
+}
+
+/// How a query will be executed.
+enum Plan {
+    /// `_id` point lookup: one shard, one hash probe.
+    ById(String),
+    /// Bounded probe of a declared index.
+    Index { name: String, lo: Bound<Vec<KeyPart>>, hi: Bound<Vec<KeyPart>>, point: bool },
+    /// Cross-shard linear scan — the graceful degradation path.
+    Scan,
 }
 
 impl Collection {
@@ -91,8 +177,10 @@ impl Collection {
 
     /// Attaches per-collection operation metrics (`store.inserts_total`,
     /// `store.finds_total`, `store.updates_total`, `store.deletes_total`,
-    /// and the `store.op_latency_us` histogram, all labelled
-    /// `{collection}`). A no-op if metrics are already attached.
+    /// the `store.op_latency_us` histogram, and the query-plan counters
+    /// `store.index_lookups_total`, `store.index_range_scans_total`,
+    /// `store.index_fallback_scans_total`, all labelled `{collection}`).
+    /// A no-op if metrics are already attached.
     pub fn attach_metrics(&self, registry: &Registry, collection: &str) {
         let _ = self.inner.metrics.set(CollectionMetrics::register(registry, collection));
     }
@@ -123,10 +211,31 @@ impl Collection {
         })
     }
 
-    /// Inserts one document, assigning and returning its `_id` (any `_id`
-    /// already present is preserved and returned instead).
-    pub fn insert_one(&self, mut doc: Value) -> ObjectId {
-        let _timer = self.observe_op(|m| &m.inserts);
+    /// Counts which plan a query took (point lookup / range scan /
+    /// fallback scan), when metrics are attached.
+    fn note_plan(&self, plan: &Plan) {
+        if let Some(m) = self.inner.metrics.get() {
+            match plan {
+                Plan::ById(_) | Plan::Index { point: true, .. } => m.index_lookups.inc(),
+                Plan::Index { .. } => m.index_range_scans.inc(),
+                Plan::Scan => m.fallback_scans.inc(),
+            }
+        }
+    }
+
+    // ---- shard access ------------------------------------------------
+
+    fn lock_all_read(&self) -> Vec<impl Deref<Target = Shard> + '_> {
+        self.inner.shards.iter().map(|s| s.read()).collect()
+    }
+
+    fn lock_all_write(&self) -> Vec<impl DerefMut<Target = Shard> + '_> {
+        self.inner.shards.iter().map(|s| s.write()).collect()
+    }
+
+    /// Wraps non-objects and assigns an `_id` exactly like every insert
+    /// path always has, returning the id plus the finalized document.
+    fn prepare_doc(&self, mut doc: Value) -> (ObjectId, Value) {
         if !doc.is_object() {
             doc = serde_json::json!({ "value": doc });
         }
@@ -140,12 +249,330 @@ impl Collection {
                 id
             }
         };
+        (id, doc)
+    }
+
+    /// Places a prepared document, locking only its target shard. Index
+    /// postings are added under that shard's write lock, so a reader that
+    /// sees the posting will find the document once it gets the shard.
+    fn place_doc(&self, doc: Value) {
+        let seq = self.inner.next_seq.fetch_add(1, Ordering::Relaxed);
+        let sid = doc.get("_id").and_then(Value::as_str).map(str::to_string);
+        let shard_idx = shard_of(sid.as_deref(), seq);
+        let mut shard = self.inner.shards[shard_idx].write();
+        if self.inner.has_indexes.load(Ordering::SeqCst) {
+            self.inner.indexes.write().add_doc(&doc, (seq, shard_idx));
+        }
+        if let Some(sid) = sid {
+            shard.by_id.insert(sid, seq);
+        }
+        shard.docs.insert(seq, doc);
+    }
+
+    /// Places a prepared document while the caller already holds every
+    /// shard write lock.
+    fn place_doc_locked(&self, guards: &mut [impl DerefMut<Target = Shard>], doc: Value) {
+        if self.inner.has_indexes.load(Ordering::SeqCst) {
+            let mut ix = self.inner.indexes.write();
+            self.place_into(guards, Some(&mut ix), doc);
+        } else {
+            self.place_into(guards, None, doc);
+        }
+    }
+
+    fn place_into(
+        &self,
+        guards: &mut [impl DerefMut<Target = Shard>],
+        indexes: Option<&mut IndexSet>,
+        doc: Value,
+    ) {
+        let seq = self.inner.next_seq.fetch_add(1, Ordering::Relaxed);
+        let sid = doc.get("_id").and_then(Value::as_str).map(str::to_string);
+        let shard_idx = shard_of(sid.as_deref(), seq);
+        if let Some(ix) = indexes {
+            ix.add_doc(&doc, (seq, shard_idx));
+        }
+        let shard = &mut guards[shard_idx];
+        if let Some(sid) = sid {
+            shard.by_id.insert(sid, seq);
+        }
+        shard.docs.insert(seq, doc);
+    }
+
+    /// Replaces the document at (`shard_idx`, `seq`) with `new_doc`,
+    /// keeping its sequence number, re-keying every index, and rehoming
+    /// the document when its `_id` (and therefore its home shard) changed.
+    fn replace_doc_locked(
+        &self,
+        guards: &mut [impl DerefMut<Target = Shard>],
+        shard_idx: usize,
+        seq: u64,
+        new_doc: Value,
+    ) {
+        let Some(old) = guards[shard_idx].docs.remove(&seq) else { return };
+        if let Some(sid) = old.get("_id").and_then(Value::as_str) {
+            guards[shard_idx].by_id.remove(sid);
+        }
+        let new_sid = new_doc.get("_id").and_then(Value::as_str).map(str::to_string);
+        let new_shard = shard_of(new_sid.as_deref(), seq);
+        if self.inner.has_indexes.load(Ordering::SeqCst) {
+            self.inner.indexes.write().update_doc(
+                &old,
+                (seq, shard_idx),
+                &new_doc,
+                (seq, new_shard),
+            );
+        }
+        if let Some(sid) = new_sid {
+            guards[new_shard].by_id.insert(sid, seq);
+        }
+        guards[new_shard].docs.insert(seq, new_doc);
+    }
+
+    // ---- query planning ----------------------------------------------
+
+    /// Chooses how to execute `filter`: `_id` probe, the best-scoring
+    /// declared index, or a fallback scan. Candidates from any plan are
+    /// always re-verified with [`matches_filter`], so the planner only has
+    /// to guarantee a *superset* of the true matches.
+    fn plan_query(&self, filter: &Value) -> Plan {
+        let Some(obj) = filter.as_object() else { return Plan::Scan };
+        if obj.is_empty() {
+            return Plan::Scan;
+        }
+        if let Some(Value::String(id)) = obj.get("_id") {
+            return Plan::ById(id.clone());
+        }
+        if !self.inner.has_indexes.load(Ordering::SeqCst) {
+            return Plan::Scan;
+        }
+        // Classify top-level fields: exact scalar equalities (index
+        // columns), and `$gt`/`$gte`/`$lt`/`$lte` bounds with scalar
+        // operands (usable as a range on the column after the equality
+        // prefix). Everything else is left to re-verification.
+        let mut eq: BTreeMap<&str, &Value> = BTreeMap::new();
+        let mut range: BTreeMap<&str, (Bound<&Value>, Bound<&Value>)> = BTreeMap::new();
+        for (k, v) in obj {
+            if k.starts_with('$') {
+                continue;
+            }
+            match v {
+                Value::Object(ops) => {
+                    let mut lo = Bound::Unbounded;
+                    let mut hi = Bound::Unbounded;
+                    for (op, rhs) in ops {
+                        if rhs.is_array() || rhs.is_object() || rhs.is_null() {
+                            continue;
+                        }
+                        match op.as_str() {
+                            "$gt" => lo = Bound::Excluded(rhs),
+                            "$gte" => lo = Bound::Included(rhs),
+                            "$lt" => hi = Bound::Excluded(rhs),
+                            "$lte" => hi = Bound::Included(rhs),
+                            _ => {}
+                        }
+                    }
+                    if !matches!((&lo, &hi), (Bound::Unbounded, Bound::Unbounded)) {
+                        range.insert(k.as_str(), (lo, hi));
+                    }
+                }
+                Value::Array(_) => {}
+                v => {
+                    eq.insert(k.as_str(), v);
+                }
+            }
+        }
+        let indexes = self.inner.indexes.read();
+        let mut best: Option<(i32, Plan)> = None;
+        for idx in indexes.indexes.values() {
+            let keys = &idx.def.keys;
+            let mut prefix: Vec<KeyPart> = Vec::new();
+            for key in keys {
+                match eq.get(key.as_str()) {
+                    Some(v) => prefix.push(KeyPart::from_value(Some(v))),
+                    None => break,
+                }
+            }
+            let eq_len = prefix.len();
+            let range_col =
+                if eq_len < keys.len() { range.get(keys[eq_len].as_str()).copied() } else { None };
+            if eq_len == 0 && range_col.is_none() {
+                continue;
+            }
+            let mut score = (eq_len as i32) * 4;
+            if range_col.is_some() {
+                score += 2;
+            }
+            if eq_len == keys.len() {
+                score += 1;
+                if idx.def.unique {
+                    score += 2;
+                }
+            }
+            let klen = keys.len();
+            let mk = |v: &Value| KeyPart::from_value(Some(v));
+            let with = |prefix: &[KeyPart], v: &Value| {
+                let mut p = prefix.to_vec();
+                p.push(mk(v));
+                p
+            };
+            let (lo, hi, point) = match range_col {
+                Some((rlo, rhi)) => {
+                    // Keys past the range column are padded so the bound
+                    // sits below (Min) or above (Max) every real key with
+                    // that column value.
+                    let lo = match rlo {
+                        Bound::Included(v) => {
+                            Bound::Included(pad(with(&prefix, v), klen, KeyPart::Min))
+                        }
+                        Bound::Excluded(v) => {
+                            Bound::Excluded(pad(with(&prefix, v), klen, KeyPart::Max))
+                        }
+                        Bound::Unbounded => {
+                            Bound::Included(pad(prefix.clone(), klen, KeyPart::Min))
+                        }
+                    };
+                    let hi = match rhi {
+                        Bound::Included(v) => {
+                            Bound::Included(pad(with(&prefix, v), klen, KeyPart::Max))
+                        }
+                        Bound::Excluded(v) => {
+                            Bound::Excluded(pad(with(&prefix, v), klen, KeyPart::Min))
+                        }
+                        Bound::Unbounded => {
+                            Bound::Included(pad(prefix.clone(), klen, KeyPart::Max))
+                        }
+                    };
+                    (lo, hi, false)
+                }
+                None => (
+                    Bound::Included(pad(prefix.clone(), klen, KeyPart::Min)),
+                    Bound::Included(pad(prefix.clone(), klen, KeyPart::Max)),
+                    true,
+                ),
+            };
+            let plan = Plan::Index { name: idx.def.name.clone(), lo, hi, point };
+            if best.as_ref().is_none_or(|(s, _)| score > *s) {
+                best = Some((score, plan));
+            }
+        }
+        match best {
+            Some((_, plan)) => plan,
+            None => Plan::Scan,
+        }
+    }
+
+    /// Runs `f` on every matching document in insertion order until it
+    /// returns `false`. Acquires locks per the chosen plan; index probes
+    /// drop the index lock before touching shards (lock-order rule).
+    fn for_each_match(&self, filter: &Value, f: &mut dyn FnMut(&Value) -> bool) {
+        let plan = self.plan_query(filter);
+        self.note_plan(&plan);
+        match plan {
+            Plan::ById(id) => {
+                let shard = self.inner.shards[shard_of(Some(&id), 0)].read();
+                if let Some(seq) = shard.by_id.get(&id) {
+                    if let Some(doc) = shard.docs.get(seq) {
+                        if matches_filter(doc, filter) {
+                            f(doc);
+                        }
+                    }
+                }
+            }
+            Plan::Index { name, lo, hi, .. } => {
+                let mut postings = {
+                    let ix = self.inner.indexes.read();
+                    ix.get(&name).map(|i| i.range(lo, hi)).unwrap_or_default()
+                };
+                postings.sort_unstable();
+                for (seq, si) in postings {
+                    let shard = self.inner.shards[si].read();
+                    if let Some(doc) = shard.docs.get(&seq) {
+                        if matches_filter(doc, filter) && !f(doc) {
+                            return;
+                        }
+                    }
+                }
+            }
+            Plan::Scan => {
+                let guards = self.lock_all_read();
+                let mut all: Vec<(u64, usize)> = guards
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(i, g)| g.docs.keys().map(move |s| (*s, i)))
+                    .collect();
+                all.sort_unstable();
+                for (seq, i) in all {
+                    if let Some(doc) = guards[i].docs.get(&seq) {
+                        if matches_filter(doc, filter) && !f(doc) {
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Every match's (shard, seq) location in insertion order, while the
+    /// caller holds all shard locks (write paths plan under their locks).
+    fn candidates_locked<G: Deref<Target = Shard>>(
+        &self,
+        guards: &[G],
+        filter: &Value,
+    ) -> Vec<(usize, u64)> {
+        let plan = self.plan_query(filter);
+        self.note_plan(&plan);
+        match plan {
+            Plan::ById(id) => {
+                let si = shard_of(Some(&id), 0);
+                let Some(&seq) = guards[si].by_id.get(&id) else { return Vec::new() };
+                match guards[si].docs.get(&seq) {
+                    Some(doc) if matches_filter(doc, filter) => vec![(si, seq)],
+                    _ => Vec::new(),
+                }
+            }
+            Plan::Index { name, lo, hi, .. } => {
+                let mut postings = {
+                    let ix = self.inner.indexes.read();
+                    ix.get(&name).map(|i| i.range(lo, hi)).unwrap_or_default()
+                };
+                postings.sort_unstable();
+                postings
+                    .into_iter()
+                    .filter(|(seq, si)| {
+                        guards[*si].docs.get(seq).is_some_and(|d| matches_filter(d, filter))
+                    })
+                    .map(|(seq, si)| (si, seq))
+                    .collect()
+            }
+            Plan::Scan => {
+                let mut hits: Vec<(u64, usize)> = Vec::new();
+                for (i, g) in guards.iter().enumerate() {
+                    for (seq, doc) in g.docs.iter() {
+                        if matches_filter(doc, filter) {
+                            hits.push((*seq, i));
+                        }
+                    }
+                }
+                hits.sort_unstable();
+                hits.into_iter().map(|(seq, i)| (i, seq)).collect()
+            }
+        }
+    }
+
+    // ---- mutations ----------------------------------------------------
+
+    /// Inserts one document, assigning and returning its `_id` (any `_id`
+    /// already present is preserved and returned instead).
+    pub fn insert_one(&self, doc: Value) -> ObjectId {
+        let _timer = self.observe_op(|m| &m.inserts);
+        let (id, doc) = self.prepare_doc(doc);
         if let Some(d) = self.inner.durability.get() {
             // Log after id assignment so replay reproduces the exact doc.
             let op = json!({"op": "insert", "coll": d.name.clone(), "doc": doc.clone()});
-            d.dur.commit(op, || self.inner.docs.write().push(doc));
+            d.dur.commit(op, || self.place_doc(doc));
         } else {
-            self.inner.docs.write().push(doc);
+            self.place_doc(doc);
         }
         id
     }
@@ -153,28 +580,17 @@ impl Collection {
     /// Inserts many documents atomically, returning their ids.
     ///
     /// Unlike a per-document loop, the whole batch is committed under a
-    /// *single* WAL record (`op: "insert_many"`) and one docs-lock
-    /// extension: a crash either persists every document or none, readers
-    /// never observe a partial batch, and an N-document batch pays one
-    /// fsync instead of N. Each document still gets an `_id` exactly as
+    /// *single* WAL record (`op: "insert_many"`), all shard write locks,
+    /// and one index-lock extension: a crash either persists every
+    /// document or none, readers (scan or index probe) never observe a
+    /// partial batch, and an N-document batch pays one fsync instead of N.
+    /// Each document still gets an `_id` exactly as
     /// [`Collection::insert_one`] would assign it.
     pub fn insert_many<I: IntoIterator<Item = Value>>(&self, docs: I) -> Vec<ObjectId> {
         let mut batch: Vec<Value> = Vec::new();
         let mut ids = Vec::new();
-        for mut doc in docs {
-            if !doc.is_object() {
-                doc = serde_json::json!({ "value": doc });
-            }
-            let obj = doc.as_object_mut().expect("wrapped to object above");
-            let id = match obj.get("_id").and_then(Value::as_str) {
-                Some(existing) => ObjectId(existing.to_string()),
-                None => {
-                    let n = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
-                    let id = ObjectId(format!("oid-{n:08x}"));
-                    obj.insert("_id".to_string(), Value::String(id.0.clone()));
-                    id
-                }
-            };
+        for doc in docs {
+            let (id, doc) = self.prepare_doc(doc);
             ids.push(id);
             batch.push(doc);
         }
@@ -190,18 +606,34 @@ impl Collection {
         if let Some(d) = self.inner.durability.get() {
             // Ids are assigned above so replay reproduces the exact docs.
             let op = json!({"op": "insert_many", "coll": d.name.clone(), "docs": batch.clone()});
-            d.dur.commit(op, || self.inner.docs.write().extend(batch));
+            d.dur.commit(op, || self.apply_insert_batch(batch));
         } else {
-            self.inner.docs.write().extend(batch);
+            self.apply_insert_batch(batch);
         }
         ids
+    }
+
+    fn apply_insert_batch(&self, docs: Vec<Value>) {
+        let mut guards = self.lock_all_write();
+        if self.inner.has_indexes.load(Ordering::SeqCst) {
+            let mut ix = self.inner.indexes.write();
+            for doc in docs {
+                self.place_into(&mut guards, Some(&mut ix), doc);
+            }
+        } else {
+            for doc in docs {
+                self.place_into(&mut guards, None, doc);
+            }
+        }
     }
 
     /// Atomically inserts `doc` unless a document matching the `unique`
     /// filter already exists — the unique-key insert that closes the
     /// `find_one`-then-`insert_one` TOCTOU race: the existence check and
-    /// the insert happen under one write lock, so two concurrent calls
-    /// with the same key can never both insert.
+    /// the insert happen under one set of write locks, so two concurrent
+    /// calls with the same key can never both insert. With a declared
+    /// index covering the unique key the existence check is a point
+    /// lookup, not a scan.
     ///
     /// Returns `Ok(id)` of the freshly inserted document, or `Err(id)` of
     /// the already-present match (the idempotent-replay answer).
@@ -211,52 +643,70 @@ impl Collection {
             doc = serde_json::json!({ "value": doc });
         }
         // On a durable database the commit (state) lock must be taken
-        // *before* the docs lock — the order every other mutation uses —
+        // *before* the shard locks — the order every other mutation uses —
         // or a concurrent insert_one/update_many deadlocks against us.
         // The uniqueness check happens inside the commit closure, and the
         // op is only WAL-logged when the insert was admitted, so replay
         // needs no uniqueness re-check.
         if let Some(d) = self.inner.durability.get() {
             d.dur.commit_conditional(|| match self.admit_unique(unique, doc) {
-                Ok((id, stored)) => {
+                Admit::Fresh(id, stored) => {
                     let op = json!({"op": "insert", "coll": d.name.clone(), "doc": stored});
                     (Some(op), Ok(id))
                 }
-                Err(id) => (None, Err(id)),
+                Admit::Exists(id) => (None, Err(id)),
+                Admit::Repaired(id, stored) => {
+                    // The match had no `_id` (legacy import); persist the
+                    // id we just assigned so replay agrees with memory.
+                    let op = json!({
+                        "op": "update",
+                        "coll": d.name.clone(),
+                        "filter": unique.clone(),
+                        "update": stored,
+                    });
+                    (Some(op), Err(id))
+                }
             })
         } else {
-            self.admit_unique(unique, doc).map(|(id, _)| id)
+            match self.admit_unique(unique, doc) {
+                Admit::Fresh(id, _) => Ok(id),
+                Admit::Exists(id) | Admit::Repaired(id, _) => Err(id),
+            }
         }
     }
 
-    /// The check-and-push core of [`Collection::insert_if_absent`], under
-    /// one docs write lock. Returns the assigned id plus the stored
-    /// document (for WAL logging), or the existing match's id.
-    fn admit_unique(&self, unique: &Value, mut doc: Value) -> Result<(ObjectId, Value), ObjectId> {
-        let mut docs = self.inner.docs.write();
-        if let Some(existing) = docs.iter().find(|d| matches_filter(d, unique)) {
-            let id = existing.get("_id").and_then(Value::as_str).unwrap_or_default().to_string();
-            return Err(ObjectId(id));
-        }
-        let obj = doc.as_object_mut().expect("caller ensured an object");
-        let id = match obj.get("_id").and_then(Value::as_str) {
-            Some(existing) => ObjectId(existing.to_string()),
-            None => {
-                let n = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
-                let id = ObjectId(format!("oid-{n:08x}"));
-                obj.insert("_id".to_string(), Value::String(id.0.clone()));
-                id
+    /// The check-and-place core of [`Collection::insert_if_absent`], under
+    /// all shard write locks.
+    fn admit_unique(&self, unique: &Value, doc: Value) -> Admit {
+        let mut guards = self.lock_all_write();
+        if let Some(&(si, seq)) = self.candidates_locked(&guards, unique).first() {
+            let existing = guards[si].docs.get(&seq).expect("candidate verified under lock");
+            if let Some(id) = existing.get("_id").and_then(Value::as_str) {
+                return Admit::Exists(ObjectId(id.to_string()));
             }
-        };
-        let stored = doc.clone();
-        docs.push(doc);
-        Ok((id, stored))
+            // Legacy document without an `_id`: assign and store one now,
+            // under the same locks, so the caller gets a real idempotency
+            // token instead of an empty id.
+            let mut repaired = existing.clone();
+            let Some(obj) = repaired.as_object_mut() else {
+                // Non-object legacy value — nowhere to put an id.
+                return Admit::Exists(ObjectId(String::new()));
+            };
+            let n = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+            let id = ObjectId(format!("oid-{n:08x}"));
+            obj.insert("_id".to_string(), Value::String(id.0.clone()));
+            self.replace_doc_locked(&mut guards, si, seq, repaired.clone());
+            return Admit::Repaired(id, repaired);
+        }
+        let (id, doc) = self.prepare_doc(doc);
+        self.place_doc_locked(&mut guards, doc.clone());
+        Admit::Fresh(id, doc)
     }
 
     /// Atomically upserts the document matching `unique`: when absent,
     /// `seed` is inserted first (assigned an `_id` like any insert), then
     /// `mutate` runs on the stored document — so a read-modify-write like
-    /// a heartbeat counter happens entirely under one write lock (and the
+    /// a heartbeat counter happens entirely under the write locks (and the
     /// durability commit lock), closing the lost-update race between
     /// concurrent find-then-update callers. Returns the document as
     /// stored after mutation.
@@ -268,7 +718,7 @@ impl Collection {
     ) -> Value {
         let _timer = self.observe_op(|m| &m.updates);
         if let Some(d) = self.inner.durability.get() {
-            // Commit lock before docs lock (see insert_if_absent). The
+            // Commit lock before shard locks (see insert_if_absent). The
             // closure's mutation cannot be serialized, so the WAL logs
             // the *outcome*: a plain insert for a fresh document, or a
             // whole-document replace of the unique match (replay keeps
@@ -297,40 +747,47 @@ impl Collection {
     fn apply_upsert_mutate(
         &self,
         unique: &Value,
-        mut seed: Value,
+        seed: Value,
         mutate: impl FnOnce(&mut Value),
     ) -> (bool, Value) {
-        let mut docs = self.inner.docs.write();
-        if let Some(existing) = docs.iter_mut().find(|d| matches_filter(d, unique)) {
-            mutate(existing);
-            return (false, existing.clone());
+        let mut guards = self.lock_all_write();
+        if let Some(&(si, seq)) = self.candidates_locked(&guards, unique).first() {
+            let mut doc = guards[si].docs.get(&seq).expect("candidate under lock").clone();
+            mutate(&mut doc);
+            self.replace_doc_locked(&mut guards, si, seq, doc.clone());
+            return (false, doc);
         }
-        if !seed.is_object() {
-            seed = serde_json::json!({ "value": seed });
-        }
-        let obj = seed.as_object_mut().expect("wrapped to object above");
-        if obj.get("_id").and_then(Value::as_str).is_none() {
-            let n = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
-            obj.insert("_id".to_string(), Value::String(format!("oid-{n:08x}")));
-        }
+        let (_, mut seed) = self.prepare_doc(seed);
         mutate(&mut seed);
-        docs.push(seed.clone());
+        self.place_doc_locked(&mut guards, seed.clone());
         (true, seed)
     }
+
+    // ---- queries -------------------------------------------------------
 
     /// All documents matching `filter`, in insertion order (cloned).
     pub fn find(&self, filter: &Value) -> Vec<Value> {
         let _timer = self.observe_op(|m| &m.finds);
-        self.inner.docs.read().iter().filter(|d| matches_filter(d, filter)).cloned().collect()
+        let mut out = Vec::new();
+        self.for_each_match(filter, &mut |d| {
+            out.push(d.clone());
+            true
+        });
+        out
     }
 
     /// The first matching document.
     pub fn find_one(&self, filter: &Value) -> Option<Value> {
         let _timer = self.observe_op(|m| &m.finds);
-        self.inner.docs.read().iter().find(|d| matches_filter(d, filter)).cloned()
+        let mut out = None;
+        self.for_each_match(filter, &mut |d| {
+            out = Some(d.clone());
+            false
+        });
+        out
     }
 
-    /// Fetch by `_id`.
+    /// Fetch by `_id` — a single-shard hash probe, no scan.
     pub fn find_by_id(&self, id: &ObjectId) -> Option<Value> {
         self.find_one(&serde_json::json!({ "_id": id.as_str() }))
     }
@@ -338,12 +795,17 @@ impl Collection {
     /// Number of matching documents.
     pub fn count(&self, filter: &Value) -> usize {
         let _timer = self.observe_op(|m| &m.finds);
-        self.inner.docs.read().iter().filter(|d| matches_filter(d, filter)).count()
+        let mut n = 0;
+        self.for_each_match(filter, &mut |_| {
+            n += 1;
+            true
+        });
+        n
     }
 
     /// Total documents.
     pub fn len(&self) -> usize {
-        self.inner.docs.read().len()
+        self.inner.shards.iter().map(|s| s.read().docs.len()).sum()
     }
 
     /// Whether the collection is empty.
@@ -351,73 +813,275 @@ impl Collection {
         self.len() == 0
     }
 
+    // ---- secondary indexes ---------------------------------------------
+
+    /// Declares a secondary index over `keys` (dotted paths). Returns
+    /// `true` when the index was created (and, on a durable database,
+    /// WAL-logged), `false` when an index of that name already exists.
+    /// Building scans the collection once under the shard write locks;
+    /// subsequent mutations maintain the index transactionally.
+    pub fn ensure_index(&self, name: &str, keys: &[&str], unique: bool) -> bool {
+        let def = IndexDef {
+            name: name.to_string(),
+            keys: keys.iter().map(|k| (*k).to_string()).collect(),
+            unique,
+        };
+        if let Some(d) = self.inner.durability.get() {
+            d.dur.commit_conditional(|| {
+                if self.apply_ensure_index(def.clone()) {
+                    let op = json!({
+                        "op": "ensure_index",
+                        "coll": d.name.clone(),
+                        "index": def.to_json(),
+                    });
+                    (Some(op), true)
+                } else {
+                    (None, false)
+                }
+            })
+        } else {
+            self.apply_ensure_index(def)
+        }
+    }
+
+    /// Creates and builds an index from its declaration without WAL
+    /// logging — the apply side shared by [`Collection::ensure_index`],
+    /// WAL replay, and checkpoint loading. Idempotent by name.
+    pub(crate) fn apply_ensure_index(&self, def: IndexDef) -> bool {
+        let guards = self.lock_all_write();
+        let mut indexes = self.inner.indexes.write();
+        if indexes.indexes.contains_key(&def.name) {
+            return false;
+        }
+        let mut idx = Index::new(def);
+        for (i, g) in guards.iter().enumerate() {
+            for (seq, doc) in g.docs.iter() {
+                idx.add(doc, (*seq, i));
+            }
+        }
+        indexes.indexes.insert(idx.def.name.clone(), idx);
+        // Under all shard write locks: every later mutation acquires some
+        // shard lock and therefore observes the flag.
+        self.inner.has_indexes.store(true, Ordering::SeqCst);
+        true
+    }
+
+    /// The declarations of every index on this collection (persisted by
+    /// checkpoints).
+    pub fn index_defs(&self) -> Vec<IndexDef> {
+        self.inner.indexes.read().defs()
+    }
+
+    /// Point lookup through a declared index: documents whose key columns
+    /// start with `key` (a full key or a prefix), in insertion order.
+    /// Returns nothing when the index doesn't exist — callers declare
+    /// their indexes up front via [`Collection::ensure_index`].
+    pub fn find_by_index(&self, name: &str, key: &[Value]) -> Vec<Value> {
+        let _timer = self.observe_op(|m| &m.finds);
+        if let Some(m) = self.inner.metrics.get() {
+            m.index_lookups.inc();
+        }
+        let parts: Vec<KeyPart> = key.iter().map(|v| KeyPart::from_value(Some(v))).collect();
+        let (keys, postings) = {
+            let ix = self.inner.indexes.read();
+            let Some(i) = ix.get(name) else { return Vec::new() };
+            (i.def.keys.clone(), i.point(&parts))
+        };
+        let mut out = Vec::new();
+        for (seq, si) in postings {
+            let shard = self.inner.shards[si].read();
+            if let Some(doc) = shard.docs.get(&seq) {
+                // Re-verify against the probe: the posting may be stale
+                // (the doc changed between the index probe and here).
+                let dk: Vec<KeyPart> =
+                    keys.iter().map(|p| KeyPart::from_value(lookup_path(doc, p))).collect();
+                if dk.len() >= parts.len() && dk[..parts.len()] == parts[..] {
+                    out.push(doc.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Ordered range scan through a declared index: documents whose key
+    /// tuple lies in `[lo, hi]` (inclusive; `None` = unbounded; partial
+    /// keys are padded to cover every extension), in key order. Returns
+    /// nothing when the index doesn't exist.
+    pub fn range_by_index(
+        &self,
+        name: &str,
+        lo: Option<&[Value]>,
+        hi: Option<&[Value]>,
+    ) -> Vec<Value> {
+        let _timer = self.observe_op(|m| &m.finds);
+        if let Some(m) = self.inner.metrics.get() {
+            m.index_range_scans.inc();
+        }
+        let encode = |vs: &[Value], fill: KeyPart, klen: usize| {
+            pad(vs.iter().map(|v| KeyPart::from_value(Some(v))).collect(), klen, fill)
+        };
+        let (keys, lo_k, hi_k, postings) = {
+            let ix = self.inner.indexes.read();
+            let Some(i) = ix.get(name) else { return Vec::new() };
+            let klen = i.def.keys.len();
+            let lo_k = lo.map(|vs| encode(vs, KeyPart::Min, klen));
+            let hi_k = hi.map(|vs| encode(vs, KeyPart::Max, klen));
+            let lo_b = match &lo_k {
+                Some(k) => Bound::Included(k.clone()),
+                None => Bound::Unbounded,
+            };
+            let hi_b = match &hi_k {
+                Some(k) => Bound::Included(k.clone()),
+                None => Bound::Unbounded,
+            };
+            (i.def.keys.clone(), lo_k, hi_k, i.range(lo_b, hi_b))
+        };
+        let mut out = Vec::new();
+        for (seq, si) in postings {
+            let shard = self.inner.shards[si].read();
+            if let Some(doc) = shard.docs.get(&seq) {
+                // Re-verify the recomputed key is still inside the range.
+                let dk: Vec<KeyPart> =
+                    keys.iter().map(|p| KeyPart::from_value(lookup_path(doc, p))).collect();
+                if lo_k.as_ref().is_some_and(|lo| dk < *lo) {
+                    continue;
+                }
+                if hi_k.as_ref().is_some_and(|hi| dk > *hi) {
+                    continue;
+                }
+                out.push(doc.clone());
+            }
+        }
+        out
+    }
+
+    // ---- bulk updates / deletes ---------------------------------------
+
     /// Applies `{"$set": {...}}` to every matching document; plain objects
     /// (no `$set`) replace matched documents wholesale, keeping their `_id`.
-    /// Returns the number of documents updated.
+    /// Returns the number of documents updated. A zero-match update is not
+    /// WAL-logged — quiet sweeps pay no fsync.
     pub fn update_many(&self, filter: &Value, update: &Value) -> usize {
         let _timer = self.observe_op(|m| &m.updates);
         if let Some(d) = self.inner.durability.get() {
-            let op = json!({
-                "op": "update",
-                "coll": d.name.clone(),
-                "filter": filter.clone(),
-                "update": update.clone(),
-            });
-            d.dur.commit(op, || self.apply_update(filter, update))
+            d.dur.commit_conditional(|| {
+                let n = self.apply_update(filter, update);
+                if n == 0 {
+                    (None, 0)
+                } else {
+                    let op = json!({
+                        "op": "update",
+                        "coll": d.name.clone(),
+                        "filter": filter.clone(),
+                        "update": update.clone(),
+                    });
+                    (Some(op), n)
+                }
+            })
         } else {
             self.apply_update(filter, update)
         }
     }
 
     fn apply_update(&self, filter: &Value, update: &Value) -> usize {
-        let mut docs = self.inner.docs.write();
+        let mut guards = self.lock_all_write();
+        let matches = self.candidates_locked(&guards, filter);
         let mut n = 0;
-        for doc in docs.iter_mut() {
-            if !matches_filter(doc, filter) {
-                continue;
-            }
-            if let Some(set) = update.get("$set").and_then(Value::as_object) {
+        for (si, seq) in matches {
+            let Some(doc) = guards[si].docs.get(&seq) else { continue };
+            let new_doc = if let Some(set) = update.get("$set").and_then(Value::as_object) {
+                let mut d = doc.clone();
                 for (path, v) in set {
-                    set_path(doc, path, v.clone());
+                    set_path(&mut d, path, v.clone());
                 }
+                Some(d)
             } else if update.is_object() {
-                let id = doc.get("_id").cloned();
-                *doc = update.clone();
-                if let (Some(obj), Some(id)) = (doc.as_object_mut(), id) {
+                let mut d = update.clone();
+                if let (Some(obj), Some(id)) = (d.as_object_mut(), doc.get("_id").cloned()) {
                     obj.insert("_id".to_string(), id);
                 }
+                Some(d)
+            } else {
+                None
+            };
+            if let Some(new_doc) = new_doc {
+                self.replace_doc_locked(&mut guards, si, seq, new_doc);
             }
             n += 1;
         }
         n
     }
 
-    /// Deletes matching documents, returning how many were removed.
+    /// Deletes matching documents, returning how many were removed. A
+    /// zero-match delete is not WAL-logged — quiet sweeps pay no fsync.
     pub fn delete_many(&self, filter: &Value) -> usize {
         let _timer = self.observe_op(|m| &m.deletes);
         if let Some(d) = self.inner.durability.get() {
-            let op = json!({"op": "delete", "coll": d.name.clone(), "filter": filter.clone()});
-            d.dur.commit(op, || self.apply_delete(filter))
+            d.dur.commit_conditional(|| {
+                let n = self.apply_delete(filter);
+                if n == 0 {
+                    (None, 0)
+                } else {
+                    let op =
+                        json!({"op": "delete", "coll": d.name.clone(), "filter": filter.clone()});
+                    (Some(op), n)
+                }
+            })
         } else {
             self.apply_delete(filter)
         }
     }
 
     fn apply_delete(&self, filter: &Value) -> usize {
-        let mut docs = self.inner.docs.write();
-        let before = docs.len();
-        docs.retain(|d| !matches_filter(d, filter));
-        before - docs.len()
+        let mut guards = self.lock_all_write();
+        let victims = self.candidates_locked(&guards, filter);
+        let mut n = 0;
+        for (si, seq) in victims {
+            let Some(doc) = guards[si].docs.remove(&seq) else { continue };
+            if let Some(sid) = doc.get("_id").and_then(Value::as_str) {
+                guards[si].by_id.remove(sid);
+            }
+            if self.inner.has_indexes.load(Ordering::SeqCst) {
+                self.inner.indexes.write().remove_doc(&doc, (seq, si));
+            }
+            n += 1;
+        }
+        n
     }
 
-    /// Snapshot of all documents.
+    // ---- snapshots / loading -------------------------------------------
+
+    /// Snapshot of all documents, in insertion order.
     pub fn all(&self) -> Vec<Value> {
-        self.inner.docs.read().clone()
+        let guards = self.lock_all_read();
+        let mut all: Vec<(u64, &Value)> =
+            guards.iter().flat_map(|g| g.docs.iter().map(|(s, d)| (*s, d))).collect();
+        all.sort_unstable_by_key(|(s, _)| *s);
+        all.into_iter().map(|(_, d)| d.clone()).collect()
     }
 
-    /// Replaces the whole contents (used by persistence loading).
+    /// Replaces the whole contents (used by persistence loading). Index
+    /// declarations survive; their contents are rebuilt from the new docs.
     pub(crate) fn replace_all(&self, docs: Vec<Value>) {
-        *self.inner.docs.write() = docs;
+        let mut guards = self.lock_all_write();
+        for g in guards.iter_mut() {
+            g.docs.clear();
+            g.by_id.clear();
+        }
+        if self.inner.has_indexes.load(Ordering::SeqCst) {
+            let mut ix = self.inner.indexes.write();
+            for idx in ix.indexes.values_mut() {
+                idx.clear();
+            }
+            for doc in docs {
+                self.place_into(&mut guards, Some(&mut ix), doc);
+            }
+        } else {
+            for doc in docs {
+                self.place_into(&mut guards, None, doc);
+            }
+        }
+        drop(guards);
         self.sync_next_id();
     }
 
@@ -426,17 +1090,31 @@ impl Collection {
     /// never collide with a freshly assigned id.
     pub(crate) fn sync_next_id(&self) {
         let mut max_seen = 0u64;
-        for d in self.inner.docs.read().iter() {
-            if let Some(id) = d.get("_id").and_then(Value::as_str) {
-                if let Some(hex) = id.strip_prefix("oid-") {
-                    if let Ok(n) = u64::from_str_radix(hex, 16) {
-                        max_seen = max_seen.max(n + 1);
+        for g in self.lock_all_read() {
+            for d in g.docs.values() {
+                if let Some(id) = d.get("_id").and_then(Value::as_str) {
+                    if let Some(hex) = id.strip_prefix("oid-") {
+                        if let Ok(n) = u64::from_str_radix(hex, 16) {
+                            max_seen = max_seen.max(n + 1);
+                        }
                     }
                 }
             }
         }
         self.inner.next_id.fetch_max(max_seen, Ordering::Relaxed);
     }
+}
+
+/// Outcome of the locked uniqueness check in
+/// [`Collection::insert_if_absent`].
+enum Admit {
+    /// No match existed; the document was inserted (id, stored doc).
+    Fresh(ObjectId, Value),
+    /// A match with a real `_id` already exists.
+    Exists(ObjectId),
+    /// A legacy match without an `_id` was assigned one under the lock;
+    /// the repaired document must be WAL-logged.
+    Repaired(ObjectId, Value),
 }
 
 #[cfg(test)]
@@ -477,6 +1155,24 @@ mod tests {
         assert_eq!(c.find(&json!({"k": {"$gte": 2}})).len(), 2);
         assert_eq!(c.count(&json!({"k": {"$lt": 2}})), 1);
         assert!(c.find_one(&json!({"k": 9})).is_none());
+    }
+
+    #[test]
+    fn find_returns_insertion_order_across_shards() {
+        let c = Collection::new();
+        for i in 0..100 {
+            c.insert_one(json!({"i": i}));
+        }
+        let all = c.all();
+        assert_eq!(all.len(), 100);
+        for (i, d) in all.iter().enumerate() {
+            assert_eq!(d["i"], json!(i));
+        }
+        let found = c.find(&json!({"i": {"$gte": 50}}));
+        for (i, d) in found.iter().enumerate() {
+            assert_eq!(d["i"], json!(i + 50));
+        }
+        assert_eq!(c.find_one(&json!({"i": {"$gte": 50}})).unwrap()["i"], json!(50));
     }
 
     #[test]
@@ -531,6 +1227,32 @@ mod tests {
         let other = json!({"test_id": "t", "contributor_id": "w", "submission_id": "s2"});
         assert!(c.insert_if_absent(&other, other.clone()).is_ok());
         assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn insert_if_absent_repairs_legacy_docs_missing_id() {
+        // Regression: a matched document without an `_id` (legacy import)
+        // used to come back as Err(ObjectId("")) — an empty idempotency
+        // token. It must be assigned a real id under the same lock.
+        let c = Collection::new();
+        c.replace_all(vec![json!({"test_id": "t", "contributor_id": "w", "submission_id": "s"})]);
+        let key = json!({"test_id": "t", "contributor_id": "w", "submission_id": "s"});
+        let id = c
+            .insert_if_absent(
+                &key,
+                json!({"test_id": "t", "contributor_id": "w", "submission_id": "s"}),
+            )
+            .expect_err("match exists");
+        assert!(!id.as_str().is_empty(), "repaired id must not be empty");
+        assert!(id.as_str().starts_with("oid-"));
+        // The id was persisted into the stored document.
+        let doc = c.find_one(&key).unwrap();
+        assert_eq!(doc["_id"], json!(id.as_str()));
+        assert_eq!(c.find_by_id(&id).unwrap()["test_id"], json!("t"));
+        // Replaying again returns the same id.
+        let again = c.insert_if_absent(&key, json!({"x": 1})).expect_err("still exists");
+        assert_eq!(id, again);
+        assert_eq!(c.len(), 1);
     }
 
     #[test]
@@ -659,6 +1381,26 @@ mod tests {
     }
 
     #[test]
+    fn metrics_count_query_plans() {
+        let registry = Registry::new();
+        let c = Collection::new();
+        c.attach_metrics(&registry, "planned");
+        c.insert_many((0..20).map(|i| json!({"k": i, "g": i % 2})).collect::<Vec<_>>());
+        let labels = [("collection", "planned")];
+        // No index yet: everything is a fallback scan.
+        c.find(&json!({"k": 3}));
+        assert_eq!(registry.counter_value("store.index_fallback_scans_total", &labels), Some(1));
+        assert!(c.ensure_index("by_k", &["k"], false));
+        c.find(&json!({"k": 3}));
+        assert_eq!(registry.counter_value("store.index_lookups_total", &labels), Some(1));
+        c.find(&json!({"k": {"$gte": 10}}));
+        assert_eq!(registry.counter_value("store.index_range_scans_total", &labels), Some(1));
+        // Unindexed field still degrades to a scan.
+        c.find(&json!({"g": 1}));
+        assert_eq!(registry.counter_value("store.index_fallback_scans_total", &labels), Some(2));
+    }
+
+    #[test]
     fn uninstrumented_collections_pay_nothing() {
         let c = Collection::new();
         assert!(!c.has_metrics());
@@ -672,5 +1414,78 @@ mod tests {
         c.replace_all(vec![json!({"_id": "oid-000000ff"})]);
         let id = c.insert_one(json!({}));
         assert_eq!(id.as_str(), "oid-00000100");
+    }
+
+    #[test]
+    fn ensure_index_is_idempotent_and_answers_point_lookups() {
+        let c = Collection::new();
+        for i in 0..50 {
+            c.insert_one(json!({"test_id": format!("t-{}", i % 5), "sub": i}));
+        }
+        assert!(c.ensure_index("by_test", &["test_id", "sub"], false));
+        assert!(!c.ensure_index("by_test", &["test_id", "sub"], false), "second declare no-ops");
+        // Full-key point lookup.
+        let hit = c.find_by_index("by_test", &[json!("t-3"), json!(3)]);
+        assert_eq!(hit.len(), 1);
+        assert_eq!(hit[0]["sub"], json!(3));
+        // Prefix lookup returns every doc for the test, in insertion order.
+        let t0 = c.find_by_index("by_test", &[json!("t-0")]);
+        assert_eq!(t0.len(), 10);
+        assert!(t0.windows(2).all(|w| w[0]["sub"].as_u64() < w[1]["sub"].as_u64()));
+        // Unknown index answers nothing.
+        assert!(c.find_by_index("nope", &[json!("t-0")]).is_empty());
+    }
+
+    #[test]
+    fn indexes_track_updates_and_deletes() {
+        let c = Collection::new();
+        c.ensure_index("by_state", &["state"], false);
+        c.insert_many(vec![
+            json!({"w": 1, "state": "open"}),
+            json!({"w": 2, "state": "open"}),
+            json!({"w": 3, "state": "done"}),
+        ]);
+        assert_eq!(c.find_by_index("by_state", &[json!("open")]).len(), 2);
+        c.update_many(&json!({"w": 1}), &json!({"$set": {"state": "done"}}));
+        assert_eq!(c.find_by_index("by_state", &[json!("open")]).len(), 1);
+        assert_eq!(c.find_by_index("by_state", &[json!("done")]).len(), 2);
+        c.delete_many(&json!({"state": "done"}));
+        assert!(c.find_by_index("by_state", &[json!("done")]).is_empty());
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn range_by_index_is_ordered_and_inclusive() {
+        let c = Collection::new();
+        c.ensure_index("by_deadline", &["test_id", "deadline_ms"], false);
+        for (t, dl) in [("a", 30), ("a", 10), ("b", 20), ("a", 20), ("b", 40)] {
+            c.insert_one(json!({"test_id": t, "deadline_ms": dl}));
+        }
+        let within = c.range_by_index(
+            "by_deadline",
+            Some(&[json!("a"), json!(10)]),
+            Some(&[json!("a"), json!(20)]),
+        );
+        let dls: Vec<u64> = within.iter().map(|d| d["deadline_ms"].as_u64().unwrap()).collect();
+        assert_eq!(dls, vec![10, 20], "key order, inclusive bounds");
+        // Prefix-only bound covers the whole test.
+        let all_a = c.range_by_index("by_deadline", Some(&[json!("a")]), Some(&[json!("a")]));
+        assert_eq!(all_a.len(), 3);
+        // Unbounded high end.
+        let tail = c.range_by_index("by_deadline", Some(&[json!("b"), json!(25)]), None);
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0]["deadline_ms"], json!(40));
+    }
+
+    #[test]
+    fn index_equals_scan_on_mixed_filters() {
+        let c = Collection::new();
+        for i in 0..40 {
+            c.insert_one(json!({"k": i % 7, "extra": i}));
+        }
+        let scan = c.find(&json!({"k": 3, "extra": {"$gte": 10}}));
+        c.ensure_index("by_k", &["k"], false);
+        let indexed = c.find(&json!({"k": 3, "extra": {"$gte": 10}}));
+        assert_eq!(scan, indexed, "index candidates re-verified against full filter");
     }
 }

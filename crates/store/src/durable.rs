@@ -36,15 +36,21 @@
 //! in-flight unacknowledged record is the most a crash can cost.
 
 use crate::database::{Database, PersistError};
+use crate::index::IndexDef;
 use crate::io::{escape_component, unescape_component, RealIo, StoreIo};
 use crate::wal::{self, RecoveryReport, WAL_FILE};
 use kscope_telemetry::{Counter, EventLevel, Histogram, Registry};
 use parking_lot::Mutex;
 use serde_json::{json, Value};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, OnceLock};
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Checkpoint file persisting index *declarations* (contents are derived
+/// state, rebuilt from the loaded documents). The name cannot collide with
+/// a collection file: those always end in `.jsonl`.
+const INDEXES_FILE: &str = "_indexes.json";
 
 /// Millisecond buckets for `store.checkpoint_duration_ms`.
 const CHECKPOINT_BUCKETS_MS: &[u64] =
@@ -105,6 +111,18 @@ struct DurabilityMetrics {
     wal_errors: Counter,
     checkpoints: Counter,
     checkpoint_ms: Histogram,
+    group_batches: Counter,
+    group_ops: Counter,
+}
+
+/// Group-commit bookkeeping: appended vs fsynced log sequence numbers,
+/// guarded by a std mutex so the leader can block followers on the
+/// condvar while it sleeps out the window and fsyncs.
+#[derive(Debug, Default)]
+struct GroupSync {
+    appended_lsn: u64,
+    synced_lsn: u64,
+    leader_busy: bool,
 }
 
 /// Shared durability engine attached to a [`Database`] and all its
@@ -117,6 +135,11 @@ pub(crate) struct Durability {
     degraded: AtomicBool,
     report: RecoveryReport,
     metrics: OnceLock<DurabilityMetrics>,
+    /// Group-commit window in nanoseconds; 0 disables group commit (every
+    /// append fsyncs individually, the pre-group-commit behaviour).
+    window_ns: AtomicU64,
+    group: StdMutex<GroupSync>,
+    group_cv: Condvar,
 }
 
 impl Durability {
@@ -130,10 +153,27 @@ impl Durability {
     /// against state missing the unlogged op (a filter-based update could
     /// match differently), reconstructing a state that never existed —
     /// recovery must see a consistent prefix, not a log with gaps.
+    ///
+    /// With a group-commit window armed the append skips its own fsync;
+    /// the caller is instead blocked *after* releasing the commit lock
+    /// until a batch leader has fsynced past its record — same durability
+    /// guarantee at ack time, one fsync per window of concurrent commits.
     pub(crate) fn commit<R>(&self, op: Value, apply: impl FnOnce() -> R) -> R {
-        let state = self.state.lock();
-        self.append_locked(state.seq, op);
-        apply()
+        let window = self.window_ns.load(Ordering::SeqCst);
+        if window == 0 {
+            let state = self.state.lock();
+            self.append_locked(state.seq, op);
+            return apply();
+        }
+        let (lsn, result) = {
+            let state = self.state.lock();
+            let lsn = self.append_nosync_locked(state.seq, op);
+            (lsn, apply())
+        };
+        if let Some(lsn) = lsn {
+            self.wait_synced(lsn, window);
+        }
+        result
     }
 
     /// Commit variant for conditionally-admitted mutations (unique-key
@@ -144,16 +184,141 @@ impl Durability {
     /// *iff* the mutation was admitted, plus the caller's result. The op
     /// is appended after apply, still under the commit lock, so WAL order
     /// is exactly apply order; a crash in the gap can only lose the one
-    /// write that was never acknowledged.
+    /// write that was never acknowledged. Group commit applies exactly as
+    /// in [`commit`]: the ack blocks outside the lock until fsynced.
     ///
     /// [`commit`]: Durability::commit
     pub(crate) fn commit_conditional<R>(&self, attempt: impl FnOnce() -> (Option<Value>, R)) -> R {
-        let state = self.state.lock();
-        let (op, result) = attempt();
-        if let Some(op) = op {
-            self.append_locked(state.seq, op);
+        let window = self.window_ns.load(Ordering::SeqCst);
+        let (lsn, result) = {
+            let state = self.state.lock();
+            let (op, result) = attempt();
+            let lsn = match op {
+                Some(op) if window > 0 => self.append_nosync_locked(state.seq, op),
+                Some(op) => {
+                    self.append_locked(state.seq, op);
+                    None
+                }
+                None => None,
+            };
+            (lsn, result)
+        };
+        if let Some(lsn) = lsn {
+            self.wait_synced(lsn, window);
         }
         result
+    }
+
+    /// Sets the group-commit window; `Duration::ZERO` disables.
+    pub(crate) fn set_group_window(&self, window: Duration) {
+        let ns = u64::try_from(window.as_nanos()).unwrap_or(u64::MAX);
+        self.window_ns.store(ns, Ordering::SeqCst);
+    }
+
+    fn group_lock(&self) -> std::sync::MutexGuard<'_, GroupSync> {
+        self.group.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Appends without fsync (group-commit path), returning the record's
+    /// log sequence number to wait on — or `None` when the append failed
+    /// or logging is suspended (nothing to wait for).
+    fn append_nosync_locked(&self, seq: u64, mut op: Value) -> Option<u64> {
+        if self.degraded.load(Ordering::SeqCst) {
+            return None;
+        }
+        if let Some(obj) = op.as_object_mut() {
+            obj.insert("seq".to_string(), json!(seq));
+        }
+        let payload = serde_json::to_string(&op).unwrap_or_default();
+        let frame = wal::encode_frame(payload.as_bytes());
+        match self.io.append_nosync(&self.dir.join(WAL_FILE), &frame) {
+            Ok(()) => {
+                if let Some(m) = self.metrics.get() {
+                    m.wal_appends.inc();
+                    m.wal_bytes.add(frame.len() as u64);
+                }
+                let mut g = self.group_lock();
+                g.appended_lsn += 1;
+                Some(g.appended_lsn)
+            }
+            Err(e) => {
+                self.degraded.store(true, Ordering::SeqCst);
+                if let Some(m) = self.metrics.get() {
+                    m.wal_errors.inc();
+                    m.registry.event(
+                        EventLevel::Error,
+                        "store",
+                        "WAL append failed; database degraded until next checkpoint",
+                        &[("error", &e.to_string())],
+                    );
+                }
+                None
+            }
+        }
+    }
+
+    /// Blocks until the WAL is fsynced past `lsn`. The first arriving
+    /// waiter becomes the batch leader: it sleeps out the window so
+    /// concurrent commits can pile on, issues one fsync covering every
+    /// record appended by then, and wakes all followers. A failed fsync
+    /// degrades the database (durability can no longer be promised) and
+    /// releases the waiters rather than hanging them.
+    fn wait_synced(&self, lsn: u64, window_ns: u64) {
+        let mut g = self.group_lock();
+        loop {
+            if g.synced_lsn >= lsn {
+                return;
+            }
+            if g.leader_busy {
+                g = self.group_cv.wait(g).unwrap_or_else(std::sync::PoisonError::into_inner);
+                continue;
+            }
+            g.leader_busy = true;
+            drop(g);
+            if window_ns > 0 {
+                std::thread::sleep(Duration::from_nanos(window_ns));
+            }
+            let target = self.group_lock().appended_lsn;
+            let sync_res = self.io.sync_file(&self.dir.join(WAL_FILE));
+            let mut after = self.group_lock();
+            after.leader_busy = false;
+            match sync_res {
+                Ok(()) => {
+                    if target > after.synced_lsn {
+                        if let Some(m) = self.metrics.get() {
+                            m.group_batches.inc();
+                            m.group_ops.add(target - after.synced_lsn);
+                        }
+                        after.synced_lsn = target;
+                    }
+                }
+                Err(e) => {
+                    self.degraded.store(true, Ordering::SeqCst);
+                    if let Some(m) = self.metrics.get() {
+                        m.wal_errors.inc();
+                        m.registry.event(
+                            EventLevel::Error,
+                            "store",
+                            "WAL group fsync failed; database degraded until next checkpoint",
+                            &[("error", &e.to_string())],
+                        );
+                    }
+                    if target > after.synced_lsn {
+                        after.synced_lsn = target;
+                    }
+                }
+            }
+            self.group_cv.notify_all();
+            g = after;
+        }
+    }
+
+    /// Marks every appended record as synced (the checkpoint folded them
+    /// into durable state) and releases any group-commit waiters.
+    fn mark_all_synced(&self) {
+        let mut g = self.group_lock();
+        g.synced_lsn = g.appended_lsn;
+        self.group_cv.notify_all();
     }
 
     /// Stamps `op` with `seq` and appends it to the WAL. Must be called
@@ -204,6 +369,8 @@ impl Durability {
                 &[],
                 CHECKPOINT_BUCKETS_MS,
             ),
+            group_batches: registry.counter("store.group_commit_batches"),
+            group_ops: registry.counter("store.group_commit_ops"),
         });
         if created {
             // Surface what recovery found on the operator's dashboards.
@@ -283,6 +450,13 @@ fn apply_wal_op(db: &Database, op: &Value) -> Result<(), PersistError> {
             db.drop_collection(coll);
             Ok(())
         }
+        "ensure_index" => {
+            let def = op.get("index").and_then(IndexDef::from_json).ok_or_else(|| {
+                PersistError::Corrupt("ensure_index record carries no index definition".into())
+            })?;
+            db.collection(coll).apply_ensure_index(def);
+            Ok(())
+        }
         other => Err(PersistError::Corrupt(format!("unknown WAL operation {other:?}"))),
     }
 }
@@ -333,6 +507,28 @@ impl Database {
                 .to_string();
             seq = current.get("seq").and_then(Value::as_u64).unwrap_or(0);
             load_collections(&*io, &dir.join(&name), &db)?;
+            // Re-declare checkpointed indexes *before* WAL replay, so the
+            // replayed mutations maintain them exactly as live traffic
+            // did — rebuilding contents deterministically from the docs.
+            let idx_path = dir.join(&name).join(INDEXES_FILE);
+            if io.exists(&idx_path) {
+                let bytes = io.read(&idx_path).map_err(PersistError::Io)?;
+                let spec: Value = serde_json::from_str(&String::from_utf8_lossy(&bytes))
+                    .map_err(PersistError::Json)?;
+                let decls = spec.as_object().ok_or_else(|| {
+                    PersistError::Corrupt("checkpoint index file is not an object".into())
+                })?;
+                for (coll, defs) in decls {
+                    for dv in defs.as_array().map(Vec::as_slice).unwrap_or_default() {
+                        let def = IndexDef::from_json(dv).ok_or_else(|| {
+                            PersistError::Corrupt(format!(
+                                "checkpoint carries a malformed index definition for {coll:?}"
+                            ))
+                        })?;
+                        db.collection(coll).apply_ensure_index(def);
+                    }
+                }
+            }
             report.checkpoint_seq = seq;
         } else if io.is_dir(&dir) {
             // Legacy import: a pre-durability snapshot directory.
@@ -400,6 +596,9 @@ impl Database {
             degraded: AtomicBool::new(false),
             report: report.clone(),
             metrics: OnceLock::new(),
+            window_ns: AtomicU64::new(0),
+            group: StdMutex::new(GroupSync::default()),
+            group_cv: Condvar::new(),
         });
         db.attach_durability(&durability);
         Ok((db, report))
@@ -444,6 +643,23 @@ impl Database {
             d.io.write(&file, buf.as_bytes()).map_err(PersistError::Io)?;
             bytes += buf.len() as u64;
         }
+        // Persist index *declarations* (sorted, hence deterministic);
+        // contents are derived state, rebuilt from the documents on load.
+        let mut index_spec = serde_json::Map::new();
+        for (coll_name, coll) in &collections {
+            let defs = coll.index_defs();
+            if !defs.is_empty() {
+                index_spec.insert(
+                    coll_name.clone(),
+                    Value::Array(defs.iter().map(IndexDef::to_json).collect()),
+                );
+            }
+        }
+        if !index_spec.is_empty() {
+            let body = serde_json::to_string(&Value::Object(index_spec)).unwrap_or_default();
+            d.io.write(&tmp.join(INDEXES_FILE), body.as_bytes()).map_err(PersistError::Io)?;
+            bytes += body.len() as u64;
+        }
         d.io.sync_dir(&tmp).map_err(PersistError::Io)?;
         let final_dir = d.dir.join(&name);
         d.io.remove_dir_all(&final_dir).map_err(PersistError::Io)?;
@@ -485,6 +701,10 @@ impl Database {
         if wal_truncated {
             // Only a truncated (hence hole-free) WAL re-arms logging.
             d.degraded.store(false, Ordering::SeqCst);
+            // Every record appended so far is folded into the durable
+            // checkpoint — release group-commit waiters still queued for
+            // an fsync of WAL bytes that no longer exist.
+            d.mark_all_synced();
         }
         drop(state);
 
@@ -522,6 +742,23 @@ impl Database {
             wal_bytes_truncated,
             duration,
         })
+    }
+
+    /// Arms cross-collection WAL group commit: commits from *any*
+    /// collection arriving within `window` of each other coalesce into a
+    /// single fsync — a burst of 100 concurrent response uploads pays ~1
+    /// fsync, not 100. Each commit is still acknowledged only after its
+    /// record is on disk, so the durability guarantee is unchanged; the
+    /// window only adds (bounded) ack latency. `Duration::ZERO` restores
+    /// one-fsync-per-commit. Returns `false` on a non-durable database.
+    pub fn set_group_commit_window(&self, window: Duration) -> bool {
+        match self.durability_handle() {
+            Some(d) => {
+                d.set_group_window(window);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Health of the durability layer, or `None` for an in-memory

@@ -130,11 +130,80 @@ fn apply_op(actual: Option<&Value>, op: &str, rhs: &Value) -> bool {
 fn compare(a: &Value, b: &Value) -> Option<Ordering> {
     match (a, b) {
         (Value::Number(x), Value::Number(y)) => {
-            x.as_f64().and_then(|xf| y.as_f64().and_then(|yf| xf.partial_cmp(&yf)))
+            Some(cmp_numbers_exact(NumRepr::of(x), NumRepr::of(y)))
         }
         (Value::String(x), Value::String(y)) => Some(x.cmp(y)),
         (Value::Bool(x), Value::Bool(y)) => Some(x.cmp(y)),
         _ => None,
+    }
+}
+
+/// A JSON number classified for exact comparison: any value representable
+/// as an integer keeps full precision in an `i128` (covering the whole
+/// i64 and u64 ranges); only genuine floats use `f64`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum NumRepr {
+    /// An exact integer.
+    Int(i128),
+    /// A genuine float.
+    Float(f64),
+}
+
+impl NumRepr {
+    pub(crate) fn of(n: &serde_json::Number) -> NumRepr {
+        if let Some(u) = n.as_u64() {
+            NumRepr::Int(i128::from(u))
+        } else if let Some(i) = n.as_i64() {
+            NumRepr::Int(i128::from(i))
+        } else {
+            NumRepr::Float(n.as_f64().unwrap_or(0.0))
+        }
+    }
+}
+
+/// Compares two classified numbers *exactly*: integer pairs as i128
+/// (coercing `9007199254740993` and `9007199254740992` through f64 would
+/// call them equal), and int/float pairs by comparing the float's integer
+/// part and fraction separately, which is lossless because truncating an
+/// f64 is exact. Only float/float pairs use floating comparison.
+pub(crate) fn cmp_numbers_exact(a: NumRepr, b: NumRepr) -> Ordering {
+    match (a, b) {
+        (NumRepr::Int(x), NumRepr::Int(y)) => x.cmp(&y),
+        (NumRepr::Float(x), NumRepr::Float(y)) => x.total_cmp(&y),
+        (NumRepr::Int(x), NumRepr::Float(y)) => cmp_int_float(x, y),
+        (NumRepr::Float(x), NumRepr::Int(y)) => cmp_int_float(y, x).reverse(),
+    }
+}
+
+/// Exact ordering of an i128 against an f64 (no i128 → f64 rounding).
+fn cmp_int_float(i: i128, f: f64) -> Ordering {
+    if f.is_nan() {
+        // Unreachable for JSON-derived numbers; order ints below NaN so the
+        // relation stays total.
+        return Ordering::Less;
+    }
+    // 2^127 bounds: any float at or beyond them is outside i128's range.
+    if f >= 1.7014118346046923e38 {
+        return Ordering::Less;
+    }
+    if f <= -1.7014118346046923e38 {
+        return Ordering::Greater;
+    }
+    let trunc = f.trunc();
+    // |trunc| < 2^127, and truncating an f64 is exact, so this cast is too.
+    let t = trunc as i128;
+    match i.cmp(&t) {
+        Ordering::Equal => {
+            let frac = f - trunc;
+            if frac > 0.0 {
+                Ordering::Less
+            } else if frac < 0.0 {
+                Ordering::Greater
+            } else {
+                Ordering::Equal
+            }
+        }
+        other => other,
     }
 }
 
@@ -176,6 +245,34 @@ mod tests {
         assert!(matches_filter(&doc, &json!({"n": {"$lte": 10}})));
         assert!(!matches_filter(&doc, &json!({"n": {"$gt": 10}})));
         assert!(matches_filter(&doc, &json!({"s": {"$gt": "a", "$lt": "z"}})));
+    }
+
+    #[test]
+    fn integer_comparisons_are_exact_above_2_53() {
+        // 2^53 and 2^53 + 1 collapse to the same f64; comparing through
+        // as_f64 called them equal, so $gt missed and $lte lied.
+        let doc = json!({"n": 9_007_199_254_740_993u64});
+        assert!(matches_filter(&doc, &json!({"n": {"$gt": 9_007_199_254_740_992u64}})));
+        assert!(!matches_filter(&doc, &json!({"n": {"$lte": 9_007_199_254_740_992u64}})));
+        assert!(matches_filter(&doc, &json!({"n": {"$gte": 9_007_199_254_740_993u64}})));
+        // Large negative i64s have the same precision cliff.
+        let neg = json!({"n": -9_007_199_254_740_993i64});
+        assert!(matches_filter(&neg, &json!({"n": {"$lt": -9_007_199_254_740_992i64}})));
+        // u64 values beyond i64::MAX order correctly against small ints.
+        let big = json!({"n": u64::MAX});
+        assert!(matches_filter(&big, &json!({"n": {"$gt": 1}})));
+        assert!(matches_filter(&big, &json!({"n": {"$gt": -1}})));
+    }
+
+    #[test]
+    fn int_float_comparisons_are_exact() {
+        let doc = json!({"n": 9_007_199_254_740_993u64});
+        // The float 9007199254740992.0 is exactly representable; the doc's
+        // integer is one above it.
+        assert!(matches_filter(&doc, &json!({"n": {"$gt": 9_007_199_254_740_992.0}})));
+        assert!(matches_filter(&json!({"n": 3}), &json!({"n": {"$lt": 3.5}})));
+        assert!(matches_filter(&json!({"n": 4}), &json!({"n": {"$gt": 3.5}})));
+        assert!(matches_filter(&json!({"n": 3}), &json!({"n": {"$lte": 3.0}})));
     }
 
     #[test]

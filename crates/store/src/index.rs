@@ -1,0 +1,348 @@
+//! Secondary indexes over collections.
+//!
+//! An index is declared per collection ([`Collection::ensure_index`]) on a
+//! list of dotted field paths, e.g. `("test_id", "contributor_id",
+//! "submission_id")` for the intake dedup key or `("test_id",
+//! "deadline_ms")` for lease-expiry sweeps. Internally each document's key
+//! columns are encoded as a [`KeyPart`] tuple with a *total* order — the
+//! same numeric order the filter layer uses, exact for integers — and the
+//! index maps each key tuple to the postings (insertion sequence numbers)
+//! of the documents holding it.
+//!
+//! Indexes are maintained transactionally: every mutation updates postings
+//! while still holding the shard write locks of the documents it touched,
+//! under the same durability commit as the mutation itself. They are
+//! *derived* state — checkpoints persist only the declarations
+//! (`_indexes.json`), and recovery rebuilds contents deterministically
+//! from the loaded documents plus WAL replay.
+//!
+//! A missing field is encoded as [`KeyPart::Null`], matching the filter
+//! layer's `{field: null}` semantics; point lookups therefore find both
+//! explicit-null and absent values. Lookups through the planner always
+//! re-verify candidates against the full filter, so index order being
+//! *wider* than filter comparability (which never matches across types)
+//! costs a candidate check, never a wrong answer.
+//!
+//! [`Collection::ensure_index`]: crate::Collection::ensure_index
+
+use crate::filter::{cmp_numbers_exact, lookup_path, NumRepr};
+use serde_json::Value;
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Bound;
+
+/// Declaration of one secondary index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexDef {
+    /// Index name, unique within its collection.
+    pub name: String,
+    /// Dotted field paths forming the (composite) key, in order.
+    pub keys: Vec<String>,
+    /// Whether the key is intended to be unique. Uniqueness is enforced at
+    /// admission time by [`Collection::insert_if_absent`]; the flag lets
+    /// the planner prefer unique indexes for point lookups.
+    ///
+    /// [`Collection::insert_if_absent`]: crate::Collection::insert_if_absent
+    pub unique: bool,
+}
+
+impl IndexDef {
+    /// Serializes the declaration for checkpoints and WAL records.
+    pub(crate) fn to_json(&self) -> Value {
+        serde_json::json!({
+            "name": self.name.clone(),
+            "keys": self.keys.clone(),
+            "unique": self.unique,
+        })
+    }
+
+    /// Parses a declaration serialized by [`IndexDef::to_json`].
+    pub(crate) fn from_json(v: &Value) -> Option<IndexDef> {
+        let name = v.get("name")?.as_str()?.to_string();
+        let keys = v
+            .get("keys")?
+            .as_array()?
+            .iter()
+            .map(|k| k.as_str().map(str::to_string))
+            .collect::<Option<Vec<_>>>()?;
+        if keys.is_empty() {
+            return None;
+        }
+        let unique = v.get("unique").and_then(Value::as_bool).unwrap_or(false);
+        Some(IndexDef { name, keys, unique })
+    }
+}
+
+/// One column of an encoded index key, with a total order across all JSON
+/// scalar types: `Min < Null < Bool < Number < String < Other < Max`.
+/// `Min`/`Max` never come from documents — they pad partial keys into
+/// range bounds. Numbers compare *exactly* (integer vs integer as i128,
+/// integer vs float without rounding through f64), so keys derived from
+/// values above 2^53 order correctly.
+#[derive(Debug, Clone)]
+pub enum KeyPart {
+    /// Below every document-derived part (range-bound padding).
+    Min,
+    /// JSON `null`, or the field was absent.
+    Null,
+    /// JSON booleans (`false < true`).
+    Bool(bool),
+    /// An exact integer (covers the full i64 and u64 ranges).
+    Int(i128),
+    /// A genuine float.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// A non-scalar (array/object), keyed by its canonical serialization.
+    Other(String),
+    /// Above every document-derived part (range-bound padding).
+    Max,
+}
+
+impl KeyPart {
+    /// Encodes one document field value (or its absence) as a key column.
+    pub fn from_value(v: Option<&Value>) -> KeyPart {
+        match v {
+            None | Some(Value::Null) => KeyPart::Null,
+            Some(Value::Bool(b)) => KeyPart::Bool(*b),
+            Some(Value::Number(n)) => match NumRepr::of(n) {
+                NumRepr::Int(i) => KeyPart::Int(i),
+                NumRepr::Float(f) => KeyPart::Float(f),
+            },
+            Some(Value::String(s)) => KeyPart::Str(s.clone()),
+            Some(other) => KeyPart::Other(serde_json::to_string(other).unwrap_or_default()),
+        }
+    }
+
+    fn type_rank(&self) -> u8 {
+        match self {
+            KeyPart::Min => 0,
+            KeyPart::Null => 1,
+            KeyPart::Bool(_) => 2,
+            KeyPart::Int(_) | KeyPart::Float(_) => 3,
+            KeyPart::Str(_) => 4,
+            KeyPart::Other(_) => 5,
+            KeyPart::Max => 6,
+        }
+    }
+}
+
+impl PartialEq for KeyPart {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for KeyPart {}
+
+impl PartialOrd for KeyPart {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for KeyPart {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use KeyPart::{Bool, Float, Int, Other, Str};
+        match (self, other) {
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => cmp_numbers_exact(NumRepr::Int(*a), NumRepr::Float(*b)),
+            (Float(a), Int(b)) => cmp_numbers_exact(NumRepr::Float(*a), NumRepr::Int(*b)),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Other(a), Other(b)) => a.cmp(b),
+            _ => self.type_rank().cmp(&other.type_rank()),
+        }
+    }
+}
+
+/// A posting: where an indexed document lives — its insertion sequence
+/// number (which is also the collection-wide ordering key) and the shard
+/// holding it. Ordered by sequence, i.e. insertion order.
+pub(crate) type Posting = (u64, usize);
+
+/// One index: declaration plus the key → postings map.
+#[derive(Debug)]
+pub(crate) struct Index {
+    pub(crate) def: IndexDef,
+    map: BTreeMap<Vec<KeyPart>, BTreeSet<Posting>>,
+}
+
+impl Index {
+    pub(crate) fn new(def: IndexDef) -> Self {
+        Self { def, map: BTreeMap::new() }
+    }
+
+    /// Encodes `doc`'s key columns for this index.
+    pub(crate) fn key_for(&self, doc: &Value) -> Vec<KeyPart> {
+        self.def.keys.iter().map(|p| KeyPart::from_value(lookup_path(doc, p))).collect()
+    }
+
+    pub(crate) fn add(&mut self, doc: &Value, posting: Posting) {
+        self.map.entry(self.key_for(doc)).or_default().insert(posting);
+    }
+
+    pub(crate) fn remove(&mut self, doc: &Value, posting: Posting) {
+        let key = self.key_for(doc);
+        if let Some(set) = self.map.get_mut(&key) {
+            set.remove(&posting);
+            if set.is_empty() {
+                self.map.remove(&key);
+            }
+        }
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// Postings within `[lo, hi]`, in key order then insertion order.
+    pub(crate) fn range(&self, lo: Bound<Vec<KeyPart>>, hi: Bound<Vec<KeyPart>>) -> Vec<Posting> {
+        let mut out = Vec::new();
+        for (_, set) in self.map.range((lo, hi)) {
+            out.extend(set.iter().copied());
+        }
+        out
+    }
+
+    /// Postings for an exact (possibly partial-prefix) key, in insertion
+    /// order.
+    pub(crate) fn point(&self, prefix: &[KeyPart]) -> Vec<Posting> {
+        let lo = pad(prefix.to_vec(), self.def.keys.len(), KeyPart::Min);
+        let hi = pad(prefix.to_vec(), self.def.keys.len(), KeyPart::Max);
+        let mut out = self.range(Bound::Included(lo), Bound::Included(hi));
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Pads a partial key out to `len` columns with `fill` (range bounds for
+/// prefix lookups).
+pub(crate) fn pad(mut parts: Vec<KeyPart>, len: usize, fill: KeyPart) -> Vec<KeyPart> {
+    while parts.len() < len {
+        parts.push(fill.clone());
+    }
+    parts
+}
+
+/// Every index declared on one collection, by name.
+#[derive(Debug, Default)]
+pub(crate) struct IndexSet {
+    pub(crate) indexes: BTreeMap<String, Index>,
+}
+
+impl IndexSet {
+    pub(crate) fn get(&self, name: &str) -> Option<&Index> {
+        self.indexes.get(name)
+    }
+
+    /// Adds a posting for `doc` to every index.
+    pub(crate) fn add_doc(&mut self, doc: &Value, posting: Posting) {
+        for idx in self.indexes.values_mut() {
+            idx.add(doc, posting);
+        }
+    }
+
+    /// Removes `doc`'s posting from every index.
+    pub(crate) fn remove_doc(&mut self, doc: &Value, posting: Posting) {
+        for idx in self.indexes.values_mut() {
+            idx.remove(doc, posting);
+        }
+    }
+
+    /// Re-keys a document that changed in place (or moved shards).
+    pub(crate) fn update_doc(
+        &mut self,
+        old_doc: &Value,
+        old_posting: Posting,
+        new_doc: &Value,
+        new_posting: Posting,
+    ) {
+        for idx in self.indexes.values_mut() {
+            idx.remove(old_doc, old_posting);
+            idx.add(new_doc, new_posting);
+        }
+    }
+
+    pub(crate) fn defs(&self) -> Vec<IndexDef> {
+        self.indexes.values().map(|i| i.def.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn part(v: Value) -> KeyPart {
+        KeyPart::from_value(Some(&v))
+    }
+
+    #[test]
+    fn type_order_is_total() {
+        let ordered = vec![
+            KeyPart::Min,
+            KeyPart::Null,
+            KeyPart::Bool(false),
+            KeyPart::Bool(true),
+            part(json!(-5)),
+            part(json!(1.5)),
+            part(json!(2)),
+            part(json!("a")),
+            part(json!("b")),
+            part(json!([1, 2])),
+            KeyPart::Max,
+        ];
+        for (i, a) in ordered.iter().enumerate() {
+            for (j, b) in ordered.iter().enumerate() {
+                assert_eq!(a.cmp(b), i.cmp(&j), "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn numbers_compare_exactly_above_2_53() {
+        // Adjacent u64s that collapse to the same f64.
+        let a = part(json!(9_007_199_254_740_993u64));
+        let b = part(json!(9_007_199_254_740_992u64));
+        assert_eq!(a.cmp(&b), Ordering::Greater);
+        assert_ne!(a, b);
+        // Int/float cross-comparison is exact too.
+        assert_eq!(part(json!(3)).cmp(&part(json!(3.5))), Ordering::Less);
+        assert_eq!(part(json!(4)).cmp(&part(json!(3.5))), Ordering::Greater);
+        assert_eq!(part(json!(3)).cmp(&part(json!(3.0))), Ordering::Equal);
+    }
+
+    #[test]
+    fn missing_field_encodes_as_null() {
+        assert_eq!(KeyPart::from_value(None), KeyPart::Null);
+        assert_eq!(part(json!(null)), KeyPart::Null);
+    }
+
+    #[test]
+    fn point_lookup_honors_prefixes() {
+        let mut idx = Index::new(IndexDef {
+            name: "k".into(),
+            keys: vec!["a".into(), "b".into()],
+            unique: false,
+        });
+        idx.add(&json!({"a": "x", "b": 1}), (0, 0));
+        idx.add(&json!({"a": "x", "b": 2}), (1, 1));
+        idx.add(&json!({"a": "y", "b": 1}), (2, 2));
+        assert_eq!(idx.point(&[KeyPart::Str("x".into())]), vec![(0, 0), (1, 1)]);
+        assert_eq!(idx.point(&[KeyPart::Str("x".into()), KeyPart::Int(2)]), vec![(1, 1)]);
+        assert!(idx.point(&[KeyPart::Str("z".into())]).is_empty());
+    }
+
+    #[test]
+    fn def_roundtrips_through_json() {
+        let def = IndexDef {
+            name: "intake".into(),
+            keys: vec!["test_id".into(), "contributor_id".into(), "submission_id".into()],
+            unique: true,
+        };
+        assert_eq!(IndexDef::from_json(&def.to_json()), Some(def));
+        assert_eq!(IndexDef::from_json(&json!({"name": "x", "keys": []})), None);
+    }
+}

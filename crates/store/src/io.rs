@@ -39,6 +39,32 @@ pub trait StoreIo: Send + Sync + fmt::Debug {
     /// a prefix of `data` (a torn write) — callers must tolerate that.
     fn append(&self, path: &Path, data: &[u8]) -> std::io::Result<()>;
 
+    /// Appends `data` to `path` (creating it if absent) **without**
+    /// forcing it to disk — the group-commit fast path; a later
+    /// [`StoreIo::sync_file`] makes every appended byte durable. The
+    /// default delegates to [`StoreIo::append`] (durable immediately), so
+    /// implementations that don't split append from sync stay correct.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error; the file may hold a prefix of
+    /// `data` on error.
+    fn append_nosync(&self, path: &Path, data: &[u8]) -> std::io::Result<()> {
+        self.append(path, data)
+    }
+
+    /// Forces previously appended data of `path` to disk. The default is
+    /// a no-op, pairing with the default [`StoreIo::append_nosync`] which
+    /// already synced.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    fn sync_file(&self, path: &Path) -> std::io::Result<()> {
+        let _ = path;
+        Ok(())
+    }
+
     /// Creates/truncates `path` with `data` and syncs the file.
     ///
     /// # Errors
@@ -111,6 +137,21 @@ impl StoreIo for RealIo {
         let mut file = fs::OpenOptions::new().create(true).append(true).open(path)?;
         file.write_all(data)?;
         file.sync_data()
+    }
+
+    fn append_nosync(&self, path: &Path, data: &[u8]) -> std::io::Result<()> {
+        let mut file = fs::OpenOptions::new().create(true).append(true).open(path)?;
+        file.write_all(data)
+    }
+
+    fn sync_file(&self, path: &Path) -> std::io::Result<()> {
+        // A missing file has nothing to sync (the WAL may have just been
+        // truncated away by a concurrent checkpoint).
+        match fs::OpenOptions::new().write(true).open(path) {
+            Ok(f) => f.sync_data(),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
     }
 
     fn write(&self, path: &Path, data: &[u8]) -> std::io::Result<()> {
@@ -252,6 +293,8 @@ pub mod fault {
         Remove,
         /// [`StoreIo::sync_dir`].
         SyncDir,
+        /// [`StoreIo::sync_file`] (the group-commit fsync).
+        SyncFile,
         /// Any operation (counted across all kinds).
         Any,
     }
@@ -399,6 +442,42 @@ pub mod fault {
                     let _ = self.inner.append(path, data);
                     Err(Self::injected("crash after append"))
                 }
+            }
+        }
+
+        fn append_nosync(&self, path: &Path, data: &[u8]) -> std::io::Result<()> {
+            // Counted under the same label/kind as `append` so an armed
+            // Append failpoint fires whether or not group commit is on.
+            match self.check(OpKind::Append, "append")? {
+                None => self.inner.append_nosync(path, data),
+                Some(Fault::Err(msg)) => Err(Self::injected(msg)),
+                Some(Fault::Torn { keep }) => {
+                    let keep = keep.min(data.len());
+                    let _ = self.inner.append_nosync(path, &data[..keep]);
+                    Err(Self::injected("torn append"))
+                }
+                Some(Fault::Short { keep }) => {
+                    let keep = keep.min(data.len());
+                    self.inner.append_nosync(path, &data[..keep])
+                }
+                Some(Fault::CrashBefore) => Err(Self::injected("crash before append")),
+                Some(Fault::CrashAfter) => {
+                    let _ = self.inner.append_nosync(path, data);
+                    Err(Self::injected("crash after append"))
+                }
+            }
+        }
+
+        fn sync_file(&self, path: &Path) -> std::io::Result<()> {
+            match self.check(OpKind::SyncFile, "sync_file")? {
+                None => self.inner.sync_file(path),
+                Some(Fault::CrashBefore) => Err(Self::injected("crash before sync_file")),
+                Some(Fault::CrashAfter) => {
+                    let _ = self.inner.sync_file(path);
+                    Err(Self::injected("crash after sync_file"))
+                }
+                Some(Fault::Err(msg)) => Err(Self::injected(msg)),
+                Some(_) => Err(Self::injected("sync_file failed")),
             }
         }
 

@@ -40,13 +40,15 @@ pub mod database;
 pub mod durable;
 pub mod filter;
 pub mod grid;
+pub mod index;
 pub mod io;
 pub mod wal;
 
-pub use collection::{Collection, ObjectId};
+pub use collection::{Collection, ObjectId, SHARD_COUNT};
 pub use database::{Database, PersistError};
 pub use durable::{CheckpointStats, DurabilityStatus};
 pub use filter::matches_filter;
 pub use grid::GridStore;
+pub use index::{IndexDef, KeyPart};
 pub use io::{escape_component, unescape_component, RealIo, StoreIo};
 pub use wal::RecoveryReport;

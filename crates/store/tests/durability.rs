@@ -489,6 +489,88 @@ fn rejected_unique_insert_is_not_wal_logged() {
 }
 
 #[test]
+fn zero_match_mutations_leave_the_wal_untouched() {
+    // Regression: update_many/delete_many used to WAL-log (and fsync)
+    // their op even when no document matched — supervisor sweeps on
+    // quiet campaigns bloated the WAL with no-ops.
+    let dir = tempdir("nomatch-nolog");
+    let wal_path = dir.join(wal::WAL_FILE);
+    let (db, _) = Database::open_durable(&dir).unwrap();
+    let coll = db.collection("sessions");
+    coll.insert_one(json!({"n": 0, "state": "leased"}));
+    let before = std::fs::metadata(&wal_path).unwrap().len();
+
+    assert_eq!(coll.update_many(&json!({"state": "ghost"}), &json!({"$set": {"x": 1}})), 0);
+    assert_eq!(coll.delete_many(&json!({"state": "ghost"})), 0);
+    let after = std::fs::metadata(&wal_path).unwrap().len();
+    assert_eq!(after, before, "zero-match mutations must not append WAL records");
+
+    // Matching mutations still log…
+    assert_eq!(coll.update_many(&json!({"state": "leased"}), &json!({"$set": {"x": 1}})), 1);
+    assert!(std::fs::metadata(&wal_path).unwrap().len() > after);
+    drop(db);
+
+    // …and replay: exactly insert + update, no no-op records.
+    let (db, report) = Database::open_durable(&dir).unwrap();
+    assert!(report.clean());
+    assert_eq!(report.replayed_records, 2);
+    assert_eq!(db.collection("sessions").find_one(&json!({"n": 0})).unwrap()["x"], json!(1));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn group_commit_window_preserves_every_acknowledged_write() {
+    // Group commit trades one fsync per commit for one fsync per window,
+    // but the contract is unchanged: a commit only returns once its
+    // record is synced. Hammer the window from several threads across
+    // two collections, then reopen and demand every write back.
+    let dir = tempdir("group-commit");
+    let registry = Arc::new(kscope_telemetry::Registry::new());
+    let (db, _) = Database::open_durable(&dir).unwrap();
+    let db = db.with_telemetry(&registry);
+    assert!(db.set_group_commit_window(std::time::Duration::from_micros(200)));
+    std::thread::scope(|s| {
+        for t in 0..4 {
+            let db = db.clone();
+            s.spawn(move || {
+                let coll = db.collection(if t % 2 == 0 { "responses" } else { "sessions" });
+                for i in 0..100 {
+                    coll.insert_one(json!({"t": t, "i": i}));
+                }
+            });
+        }
+    });
+    assert_eq!(db.collection("responses").len() + db.collection("sessions").len(), 400);
+    // Every append was synced through the group path: ops sums to the
+    // commit count, and batching means (usually far) fewer fsync batches.
+    let batches = registry.counter_value("store.group_commit_batches", &[]).unwrap_or(0);
+    let ops = registry.counter_value("store.group_commit_ops", &[]).unwrap_or(0);
+    assert_eq!(ops, 400, "each commit synced exactly once via the group");
+    assert!((1..=400).contains(&batches), "got {batches} batches");
+    drop(db);
+
+    let (db, report) = Database::open_durable(&dir).unwrap();
+    assert!(report.clean());
+    assert_eq!(report.replayed_records, 400, "every acknowledged commit replays");
+    assert_eq!(db.collection("responses").len() + db.collection("sessions").len(), 400);
+
+    // The window can be disarmed again; plain per-commit fsync still works.
+    assert!(db.set_group_commit_window(std::time::Duration::ZERO));
+    db.collection("responses").insert_one(json!({"late": true}));
+    drop(db);
+    let (db, report) = Database::open_durable(&dir).unwrap();
+    assert!(report.clean());
+    assert_eq!(db.collection("responses").count(&json!({"late": true})), 1);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn in_memory_database_declines_group_commit() {
+    let db = Database::new();
+    assert!(!db.set_group_commit_window(std::time::Duration::from_micros(200)));
+}
+
+#[test]
 fn upsert_mutate_replays_insert_then_updates() {
     let dir = tempdir("upsert-replay");
     {

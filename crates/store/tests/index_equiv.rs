@@ -1,0 +1,288 @@
+//! Index/scan equivalence suite.
+//!
+//! Secondary indexes are an access path, not a second source of truth:
+//! for any document set, `find_by_index` and `range_by_index` must return
+//! exactly the documents a linear [`matches_filter`] scan returns, and
+//! the planner behind `find` must never change *what* a filter matches —
+//! only how fast. These tests drive randomized (seeded, deterministic)
+//! document sets through inserts, updates, and deletes and assert the
+//! equivalence at every probe, including across crash recovery where the
+//! indexes are rebuilt from checkpoint + WAL replay.
+
+use kscope_store::{matches_filter, Collection};
+use serde_json::{json, Value};
+
+/// Deterministic 64-bit LCG (Knuth constants) — keeps the "random" doc
+/// sets identical across runs and platforms.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+/// A response-shaped document. Deadlines straddle 2^53 so ordered scans
+/// exercise exact integer comparison, not f64 round-trips.
+fn gen_doc(rng: &mut Lcg) -> Value {
+    let t = format!("t-{}", rng.next() % 4);
+    let w = format!("w-{}", rng.next() % 8);
+    let base: u64 = if rng.next().is_multiple_of(2) { 1_000 } else { (1u64 << 53) - 8 };
+    let deadline = base + rng.next() % 16;
+    json!({
+        "test_id": t,
+        "contributor_id": w,
+        "deadline": deadline,
+        "payload": rng.next() % 100,
+    })
+}
+
+/// Order-insensitive canonical form for comparing result sets.
+fn canon(docs: &[Value]) -> Vec<String> {
+    let mut v: Vec<String> =
+        docs.iter().map(|d| serde_json::to_string(d).expect("serializable")).collect();
+    v.sort();
+    v
+}
+
+fn scan(all: &[Value], filter: &Value) -> Vec<Value> {
+    all.iter().filter(|d| matches_filter(d, filter)).cloned().collect()
+}
+
+#[test]
+fn find_by_index_matches_linear_scan_through_churn() {
+    for seed in 0..8u64 {
+        let c = Collection::new();
+        c.ensure_index("by_worker", &["test_id", "contributor_id"], false);
+        let mut rng = Lcg(seed * 2 + 1);
+        for _ in 0..200 {
+            c.insert_one(gen_doc(&mut rng));
+        }
+        // Churn: move some docs between index keys and delete others, so
+        // the equivalence covers posting maintenance, not just inserts.
+        c.update_many(
+            &json!({"payload": {"$lt": 10}}),
+            &json!({"$set": {"contributor_id": "w-moved"}}),
+        );
+        c.delete_many(&json!({"payload": {"$gte": 90}}));
+
+        let all = c.all();
+        for t in 0..4 {
+            let tid = format!("t-{t}");
+            // Prefix probe: every session of one test.
+            let by_test = c.find_by_index("by_worker", &[json!(tid.clone())]);
+            assert_eq!(
+                canon(&by_test),
+                canon(&scan(&all, &json!({"test_id": tid.clone()}))),
+                "seed {seed}: prefix probe on {tid}"
+            );
+            for w in ["w-0", "w-3", "w-7", "w-moved", "w-absent"] {
+                let via_index = c.find_by_index("by_worker", &[json!(tid.clone()), json!(w)]);
+                let filter = json!({"test_id": tid.clone(), "contributor_id": w});
+                assert_eq!(
+                    canon(&via_index),
+                    canon(&scan(&all, &filter)),
+                    "seed {seed}: point probe ({tid}, {w})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn range_by_index_matches_filtered_scan_and_is_ordered() {
+    for seed in [3u64, 17, 99] {
+        let c = Collection::new();
+        c.ensure_index("by_deadline", &["test_id", "deadline"], false);
+        let mut rng = Lcg(seed);
+        for _ in 0..300 {
+            c.insert_one(gen_doc(&mut rng));
+        }
+        let all = c.all();
+        let windows: [(u64, u64); 3] = [
+            (0, u64::MAX),
+            (1_000, 1_008),
+            // Adjacent integers above 2^53: an f64-coerced comparison
+            // would collapse these bounds.
+            ((1u64 << 53) - 6, (1u64 << 53) + 4),
+        ];
+        for t in 0..4 {
+            let tid = format!("t-{t}");
+            for (lo, hi) in windows {
+                let ranged = c.range_by_index(
+                    "by_deadline",
+                    Some(&[json!(tid.clone()), json!(lo)]),
+                    Some(&[json!(tid.clone()), json!(hi)]),
+                );
+                let filter = json!({"test_id": tid.clone(), "deadline": {"$gte": lo, "$lte": hi}});
+                assert_eq!(
+                    canon(&ranged),
+                    canon(&scan(&all, &filter)),
+                    "seed {seed}: range [{lo}, {hi}] on {tid}"
+                );
+                let ds: Vec<u64> = ranged.iter().map(|d| d["deadline"].as_u64().unwrap()).collect();
+                assert!(
+                    ds.windows(2).all(|w| w[0] <= w[1]),
+                    "seed {seed}: range results come back deadline-ordered, got {ds:?}"
+                );
+            }
+            // A short hi bound covers the whole test's key space.
+            let whole = c.range_by_index(
+                "by_deadline",
+                Some(&[json!(tid.clone())]),
+                Some(&[json!(tid.clone())]),
+            );
+            assert_eq!(
+                canon(&whole),
+                canon(&scan(&all, &json!({"test_id": tid}))),
+                "seed {seed}: short-bound range equals the test's docs"
+            );
+        }
+    }
+}
+
+#[test]
+fn planned_find_agrees_with_matcher_on_indexed_collections() {
+    for seed in [7u64, 21] {
+        let c = Collection::new();
+        c.ensure_index("by_worker", &["test_id", "contributor_id"], false);
+        c.ensure_index("by_deadline", &["test_id", "deadline"], false);
+        let mut rng = Lcg(seed);
+        for _ in 0..250 {
+            c.insert_one(gen_doc(&mut rng));
+        }
+        let all = c.all();
+        let filters = [
+            // Eq-prefix → index point lookup.
+            json!({"test_id": "t-1", "contributor_id": "w-2"}),
+            // Eq + range → index range scan.
+            json!({"test_id": "t-2", "deadline": {"$gte": (1u64 << 53) - 2}}),
+            json!({"test_id": "t-0", "deadline": {"$lt": 1_010u64}}),
+            // Unindexed field → graceful cross-shard fallback scan.
+            json!({"payload": {"$gte": 50}}),
+            // Operators the planner ignores → fallback, still correct.
+            json!({"$or": [{"test_id": "t-3"}, {"payload": 7}]}),
+            json!({"test_id": {"$in": ["t-0", "t-3"]}}),
+        ];
+        for filter in &filters {
+            assert_eq!(
+                canon(&c.find(filter)),
+                canon(&scan(&all, filter)),
+                "seed {seed}: find must agree with the matcher for {filter}"
+            );
+        }
+    }
+}
+
+/// Crash-recovery half of the suite: indexes rebuilt from checkpoint +
+/// WAL replay answer exactly like a fresh build over the recovered
+/// documents, with one index declared before the checkpoint (recovered
+/// from the checkpoint's index manifest) and one after (recovered from
+/// its WAL record).
+#[cfg(feature = "failpoints")]
+mod crash_recovery {
+    use super::*;
+    use kscope_store::io::fault::{Failpoint, Fault, FaultIo, OpKind};
+    use kscope_store::{Database, RealIo};
+    use std::path::PathBuf;
+    use std::sync::Arc;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("kscope-idx-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn probe_equivalence(c: &Collection, context: &str) {
+        let all = c.all();
+        for t in 0..4 {
+            let tid = format!("t-{t}");
+            for w in 0..8 {
+                let wid = format!("w-{w}");
+                let via_index =
+                    c.find_by_index("by_worker", &[json!(tid.clone()), json!(wid.clone())]);
+                let filter = json!({"test_id": tid.clone(), "contributor_id": wid});
+                assert_eq!(canon(&via_index), canon(&scan(&all, &filter)), "{context}");
+            }
+            // hi is the bare prefix: padded to the top of tid's key
+            // space, i.e. "deadline ≥ 2^53 within this test".
+            let ranged = c.range_by_index(
+                "by_deadline",
+                Some(&[json!(tid.clone()), json!(1u64 << 53)]),
+                Some(&[json!(tid.clone())]),
+            );
+            let filter = json!({"test_id": tid, "deadline": {"$gte": 1u64 << 53}});
+            assert_eq!(canon(&ranged), canon(&scan(&all, &filter)), "{context}");
+        }
+    }
+
+    #[test]
+    fn recovered_indexes_answer_like_a_fresh_build() {
+        let dir = tempdir("rebuild");
+        // Tear the 70th WAL append: recovery lands on the acknowledged
+        // prefix and must rebuild both indexes over exactly that prefix.
+        let fio = FaultIo::new(Arc::new(RealIo)).with(Failpoint {
+            kind: OpKind::Append,
+            nth: 70,
+            fault: Fault::Torn { keep: 9 },
+        });
+        {
+            let (db, _) = Database::open_durable_with(&dir, Arc::new(fio)).unwrap();
+            let c = db.collection("responses");
+            // Declared pre-checkpoint: persisted in the checkpoint's
+            // index manifest.
+            assert!(c.ensure_index("by_worker", &["test_id", "contributor_id"], false));
+            let mut rng = Lcg(41);
+            for _ in 0..40 {
+                c.insert_one(gen_doc(&mut rng));
+            }
+            db.checkpoint().unwrap();
+            // Declared post-checkpoint: recovered from its WAL record.
+            assert!(c.ensure_index("by_deadline", &["test_id", "deadline"], false));
+            for _ in 0..40 {
+                c.insert_one(gen_doc(&mut rng));
+            }
+            c.update_many(
+                &json!({"payload": {"$lt": 20}}),
+                &json!({"$set": {"contributor_id": "w-0"}}),
+            );
+            c.delete_many(&json!({"payload": {"$gte": 80}}));
+            // Crash: no checkpoint, handle dropped with a torn WAL tail.
+        }
+
+        let (db, report) = Database::open_durable(&dir).unwrap();
+        assert!(!report.clean(), "the torn tail was dropped");
+        let c = db.collection("responses");
+        let defs: Vec<String> = c.index_defs().iter().map(|d| d.name.clone()).collect();
+        assert_eq!(defs, vec!["by_deadline".to_string(), "by_worker".to_string()]);
+        probe_equivalence(&c, "after crash recovery");
+
+        // The rebuilt indexes agree with a from-scratch build over the
+        // recovered documents.
+        let fresh = Collection::new();
+        fresh.ensure_index("by_worker", &["test_id", "contributor_id"], false);
+        fresh.ensure_index("by_deadline", &["test_id", "deadline"], false);
+        for d in c.all() {
+            fresh.insert_one(d);
+        }
+        for t in 0..4 {
+            let tid = format!("t-{t}");
+            let recovered = c.find_by_index("by_worker", &[json!(tid.clone())]);
+            let rebuilt = fresh.find_by_index("by_worker", &[json!(tid)]);
+            assert_eq!(canon(&recovered), canon(&rebuilt));
+        }
+
+        // And the recovered state checkpoints (index manifest included)
+        // and reopens cleanly.
+        db.checkpoint().unwrap();
+        drop(db);
+        let (db, report) = Database::open_durable(&dir).unwrap();
+        assert!(report.clean());
+        let c = db.collection("responses");
+        assert_eq!(c.index_defs().len(), 2);
+        probe_equivalence(&c, "after post-recovery checkpoint");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -60,7 +60,7 @@ fn print_usage() {
          kscope demo <font|expand|uplt|ads> [--participants N] [--seed N] [--in-lab] [--json]\n  \
          kscope snapshot <font|expand|uplt|ads> [--participants N] [--seed N] [--in-lab]\n  \
          kscope serve --data <dir> [--addr HOST:PORT] [--workers N] [--shards N]\n         \
-                      [--scan-poller] [--checkpoint-secs N]\n\n\
+                      [--scan-poller] [--checkpoint-secs N] [--group-commit-us N]\n\n\
          `demo`/`snapshot` supervision options (fault-tolerant campaign):\n  \
          --supervised              lease sessions, recover abandonment, refill quota\n  \
          --abandon R               total abandonment probability (default 0.2)\n  \
@@ -477,6 +477,9 @@ fn cmd_serve(args: &[String]) -> CliResult {
     let shards: usize = opt(args, "--shards").unwrap_or("0").parse()?;
     let scan_poller = has_flag(args, "--scan-poller");
     let checkpoint_secs: u64 = opt(args, "--checkpoint-secs").unwrap_or("60").parse()?;
+    // WAL group-commit window: concurrent intake commits arriving within
+    // this many µs coalesce into one fsync. 0 = one fsync per commit.
+    let group_commit_us: u64 = opt(args, "--group-commit-us").unwrap_or("250").parse()?;
     let data = PathBuf::from(data_dir);
 
     // Crash-safe open: latest checkpoint + WAL replay, tolerating a torn
@@ -494,6 +497,12 @@ fn cmd_serve(args: &[String]) -> CliResult {
         db.collection_names().len(),
         grid.test_ids().len()
     );
+    if group_commit_us > 0 {
+        db.set_group_commit_window(std::time::Duration::from_micros(group_commit_us));
+        println!(
+            "WAL group commit armed: {group_commit_us}µs window (--group-commit-us 0 to disable)"
+        );
+    }
     let registry = Arc::new(Registry::new());
     let api = CoreServerApi::new(db.clone(), grid).with_telemetry(Arc::clone(&registry));
     let mut config = kaleidoscope::server::ServerConfig::with_workers(workers);
