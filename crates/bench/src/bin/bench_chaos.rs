@@ -1,0 +1,71 @@
+//! Chaos soak benchmark: a full supervised campaign replayed through the
+//! seeded network-fault transport (DESIGN.md §15), plus a total-outage
+//! probe of the client's retry budget and circuit breaker.
+//!
+//! Emits `BENCH_chaos.json` (override with `--out <path>`) with the
+//! campaign health accounting, exactly-once delivery verdicts, injected
+//! fault tallies, and the client/server overload telemetry. `--quick`
+//! shrinks the campaign for CI smoke runs; `--seed`, `--net-seed`, and
+//! `--fault-rate` pick the disturbance schedule.
+
+use kscope_bench::chaos::{run_chaos_campaign, run_outage_probe, ChaosConfig};
+use serde_json::json;
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let seed: u64 = flag_value(&args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+    let net_seed: u64 = flag_value(&args, "--net-seed").and_then(|v| v.parse().ok()).unwrap_or(1);
+    let fault_rate: f64 =
+        flag_value(&args, "--fault-rate").and_then(|v| v.parse().ok()).unwrap_or(0.25);
+    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_chaos.json".to_string());
+
+    let config = if quick {
+        ChaosConfig::quick(seed, net_seed, fault_rate)
+    } else {
+        ChaosConfig::soak(seed, net_seed, fault_rate)
+    };
+    let report = run_chaos_campaign(&config);
+    let outage = run_outage_probe(20, net_seed);
+
+    let doc = json!({
+        "bench": "chaos",
+        "seed": seed,
+        "net_seed": net_seed,
+        "fault_rate": fault_rate,
+        "quick": quick,
+        "campaign": report.to_json(),
+        "outage": outage.to_json(),
+    });
+    println!(
+        "campaign: {}/{} rows delivered exactly-once={} across {} injected faults \
+         ({} torn, {} reset, {} dup, {} refused, {} delayed); \
+         outage: {} attempts for {} requests (bound {}), breaker opened {} time(s)",
+        report.rows_server,
+        report.rows_source,
+        report.keys_match && report.summaries_match,
+        report.faults.total(),
+        report.faults.torn,
+        report.faults.reset,
+        report.faults.duplicated,
+        report.faults.refused,
+        report.faults.delayed,
+        outage.attempts,
+        outage.requests,
+        outage.bound,
+        outage.breaker_opens,
+    );
+    std::fs::write(&out_path, serde_json::to_string_pretty(&doc).expect("serialize"))
+        .expect("write chaos report");
+    println!("wrote {out_path}");
+
+    assert!(report.accounted, "campaign accounting must balance");
+    assert!(report.keys_match, "exactly-once delivery must hold");
+    assert!(report.summaries_match, "server aggregation must match");
+    assert!(outage.within_budget, "outage attempts must stay within the retry budget");
+    assert!(outage.breaker_opens >= 1, "the breaker must open under a full outage");
+}

@@ -1,0 +1,647 @@
+//! Deterministic network-fault chaos harness (DESIGN.md §15).
+//!
+//! [`FaultTransport`] wraps the client socket layer with a seeded
+//! [`NetFaultModel`]: connection refusals, injected delays, torn request
+//! writes, mid-body connection resets, and duplicate deliveries — every
+//! fault drawn from one `StdRng`, so a `(campaign seed, net seed)` pair
+//! replays the exact same disturbance schedule. [`run_chaos_campaign`]
+//! drives a full supervised campaign's worth of uploads through it
+//! against a real loopback server and checks that every acknowledged
+//! response is stored exactly once, while [`run_outage_probe`] verifies
+//! the client discipline — retry budget and circuit breaker — under a
+//! total outage.
+
+use kscope_browser::ExtensionClient;
+use kscope_core::corpus;
+use kscope_core::supervisor::{CampaignSupervisor, SupervisorConfig};
+use kscope_core::{Aggregator, Campaign, QuestionKind};
+use kscope_crowd::faults::{FaultModel, NetFault, NetFaultModel};
+use kscope_crowd::platform::{Channel, JobSpec};
+use kscope_server::api::{summarize_responses, CoreServerApi};
+use kscope_server::client::{self, SessionConfig, TcpTransport, Transport, Wire};
+use kscope_server::http::{Method, Request};
+use kscope_server::overload::{epoch_ms, DEADLINE_HEADER};
+use kscope_server::{HttpServer, Session};
+use kscope_store::{Database, GridStore};
+use kscope_telemetry::Registry;
+use rand::{rngs::StdRng, SeedableRng};
+use serde_json::{json, Value};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// The font study's comparison question (the soak campaign's subject).
+pub const FONT_QUESTION: &str = "Which webpage's font size is more suitable (easier) for reading?";
+
+fn reset_err() -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::ConnectionReset, "injected connection reset")
+}
+
+/// Tally of injected faults, by kind.
+#[derive(Debug, Default)]
+pub struct FaultCounts {
+    refused: AtomicU64,
+    delayed: AtomicU64,
+    torn: AtomicU64,
+    reset: AtomicU64,
+    duplicated: AtomicU64,
+}
+
+/// A point-in-time copy of [`FaultCounts`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultTally {
+    /// Connection attempts refused.
+    pub refused: u64,
+    /// Requests delivered late.
+    pub delayed: u64,
+    /// Request writes torn mid-frame.
+    pub torn: u64,
+    /// Connections reset mid-response.
+    pub reset: u64,
+    /// Requests delivered twice.
+    pub duplicated: u64,
+}
+
+impl FaultCounts {
+    fn snapshot(&self) -> FaultTally {
+        FaultTally {
+            refused: self.refused.load(Ordering::Relaxed),
+            delayed: self.delayed.load(Ordering::Relaxed),
+            torn: self.torn.load(Ordering::Relaxed),
+            reset: self.reset.load(Ordering::Relaxed),
+            duplicated: self.duplicated.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl FaultTally {
+    /// Total faults of every kind.
+    pub fn total(&self) -> u64 {
+        self.refused + self.delayed + self.torn + self.reset + self.duplicated
+    }
+
+    fn to_json(self) -> Value {
+        json!({
+            "refused": self.refused,
+            "delayed": self.delayed,
+            "torn_writes": self.torn,
+            "mid_body_resets": self.reset,
+            "duplicate_deliveries": self.duplicated,
+            "total": self.total(),
+        })
+    }
+}
+
+/// A [`Transport`] that interposes a seeded [`NetFaultModel`] between the
+/// client and the real TCP socket. All sessions sharing one transport
+/// draw faults from the same RNG stream, so a single seed fixes the
+/// whole disturbance schedule.
+pub struct FaultTransport {
+    model: NetFaultModel,
+    rng: Arc<Mutex<StdRng>>,
+    counts: Arc<FaultCounts>,
+}
+
+impl FaultTransport {
+    /// A transport injecting `model`'s faults from `seed`.
+    pub fn new(model: NetFaultModel, seed: u64) -> Self {
+        Self {
+            model,
+            rng: Arc::new(Mutex::new(StdRng::seed_from_u64(seed))),
+            counts: Arc::new(FaultCounts::default()),
+        }
+    }
+
+    /// Injected-fault tallies so far.
+    pub fn tally(&self) -> FaultTally {
+        self.counts.snapshot()
+    }
+}
+
+impl Transport for FaultTransport {
+    fn connect(&self, addr: SocketAddr, timeout: Duration) -> std::io::Result<Box<dyn Wire>> {
+        let refused = {
+            let mut rng = self.rng.lock().expect("fault rng poisoned");
+            self.model.sample_connect(&mut *rng)
+        };
+        if refused {
+            self.counts.refused.fetch_add(1, Ordering::Relaxed);
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionRefused,
+                "injected connection refusal",
+            ));
+        }
+        let inner = TcpTransport.connect(addr, timeout)?;
+        Ok(Box::new(FaultWire {
+            inner,
+            model: self.model,
+            rng: Arc::clone(&self.rng),
+            counts: Arc::clone(&self.counts),
+            buf: Vec::new(),
+            write_poisoned: false,
+            read_allowance: None,
+        }))
+    }
+}
+
+/// One faulty connection: buffers each outgoing request and applies a
+/// single sampled [`NetFault`] at delivery time (the first read or flush
+/// after the writes).
+struct FaultWire {
+    inner: Box<dyn Wire>,
+    model: NetFaultModel,
+    rng: Arc<Mutex<StdRng>>,
+    counts: Arc<FaultCounts>,
+    /// Request bytes written but not yet delivered.
+    buf: Vec<u8>,
+    /// A torn write or duplicate delivery killed this socket for further
+    /// requests; the next delivery fails with a reset so the session
+    /// reconnects instead of desynchronizing on stale bytes.
+    write_poisoned: bool,
+    /// Armed by [`NetFault::MidBodyReset`]: response bytes the client may
+    /// still read before the connection resets.
+    read_allowance: Option<usize>,
+}
+
+impl FaultWire {
+    fn deliver_pending(&mut self) -> std::io::Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        if self.write_poisoned {
+            self.buf.clear();
+            return Err(reset_err());
+        }
+        let frame = std::mem::take(&mut self.buf);
+        let fault = {
+            let mut rng = self.rng.lock().expect("fault rng poisoned");
+            self.model.sample_request(&mut *rng, frame.len())
+        };
+        match fault {
+            NetFault::None => self.inner.write_all(&frame)?,
+            NetFault::Delay { ms } => {
+                self.counts.delayed.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(ms));
+                self.inner.write_all(&frame)?;
+            }
+            NetFault::TornWrite { keep } => {
+                self.counts.torn.fetch_add(1, Ordering::Relaxed);
+                let keep = keep.min(frame.len());
+                self.inner.write_all(&frame[..keep])?;
+                let _ = self.inner.flush();
+                self.write_poisoned = true;
+                return Err(reset_err());
+            }
+            NetFault::MidBodyReset { after } => {
+                self.counts.reset.fetch_add(1, Ordering::Relaxed);
+                self.inner.write_all(&frame)?;
+                self.read_allowance = Some(after);
+            }
+            NetFault::DuplicateDelivery => {
+                // The server sees the request twice back-to-back (a
+                // retransmit-style duplicate its idempotent intake must
+                // collapse). The second response would desynchronize
+                // this keep-alive socket, so the wire dies on the next
+                // delivery and the session reconnects.
+                self.counts.duplicated.fetch_add(1, Ordering::Relaxed);
+                self.inner.write_all(&frame)?;
+                self.inner.write_all(&frame)?;
+                self.write_poisoned = true;
+            }
+        }
+        self.inner.flush()
+    }
+}
+
+impl std::io::Write for FaultWire {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.buf.extend_from_slice(data);
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.deliver_pending()
+    }
+}
+
+impl std::io::Read for FaultWire {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        self.deliver_pending()?;
+        match self.read_allowance {
+            Some(0) => Err(reset_err()),
+            Some(n) => {
+                let take = out.len().min(n);
+                let got = self.inner.read(&mut out[..take])?;
+                self.read_allowance = Some(n - got);
+                Ok(got)
+            }
+            None => self.inner.read(out),
+        }
+    }
+}
+
+impl Wire for FaultWire {
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.inner.set_read_timeout(timeout)
+    }
+}
+
+/// Knobs for [`run_chaos_campaign`].
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// QC-surviving sessions the supervisor must reach.
+    pub target_kept: usize,
+    /// Initial recruitment quota.
+    pub quota: usize,
+    /// Campaign seed: corpus prep, population, session faults.
+    pub seed: u64,
+    /// Network seed: the fault transport's RNG.
+    pub net_seed: u64,
+    /// Tester-level fault model for the supervised campaign.
+    pub session_faults: FaultModel,
+    /// Network-level fault model for the upload replay.
+    pub net: NetFaultModel,
+}
+
+impl ChaosConfig {
+    /// The standard soak: the fault-matrix campaign shape (target 20,
+    /// quota 30) with a flaky population, replayed through a lossy
+    /// network disturbing `net_rate` of exchanges.
+    pub fn soak(seed: u64, net_seed: u64, net_rate: f64) -> Self {
+        Self {
+            target_kept: 20,
+            quota: 30,
+            seed,
+            net_seed,
+            session_faults: FaultModel {
+                abandon_mid_page: 0.25 * 0.45,
+                abandon_mid_questionnaire: 0.25 * 0.35,
+                straggler: 0.25 * 0.20,
+                skip_question: 0.02,
+                disconnect_retry: 0.15,
+                duplicate_upload: 1.0,
+            },
+            net: NetFaultModel::lossy(net_rate),
+        }
+    }
+
+    /// A smaller, faster soak for `--quick` runs.
+    pub fn quick(seed: u64, net_seed: u64, net_rate: f64) -> Self {
+        Self { target_kept: 10, quota: 15, ..Self::soak(seed, net_seed, net_rate) }
+    }
+}
+
+/// Everything [`run_chaos_campaign`] measured and verified.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Workers recruited by the supervised campaign.
+    pub recruited: usize,
+    /// Sessions that completed cleanly.
+    pub completed: usize,
+    /// Sessions whose duplicate upload was suppressed.
+    pub deduped: usize,
+    /// Sessions reclaimed without a stored response.
+    pub abandoned: usize,
+    /// Whether `completed + deduped + abandoned == recruited`.
+    pub accounted: bool,
+    /// Response rows in the in-process campaign database.
+    pub rows_source: usize,
+    /// Response rows stored by the server after the faulty replay.
+    pub rows_server: usize,
+    /// Uploads acknowledged by the server (200 or 201).
+    pub acked: usize,
+    /// Fresh clients started after a session exhausted its retry budget.
+    pub restarts: u64,
+    /// GET requests (test info) attempted through the faulty network.
+    pub get_probes: u64,
+    /// Whether the server's `(contributor, submission)` key set equals
+    /// the source set exactly — no lost ack stored twice, none missing.
+    pub keys_match: bool,
+    /// Whether server-side result aggregation equals the in-process one.
+    pub summaries_match: bool,
+    /// Borda ranking from the supervised campaign (filtered sessions).
+    pub ranking: Vec<usize>,
+    /// Injected network faults, by kind.
+    pub faults: FaultTally,
+    /// `client.*` counters accumulated across all replay sessions.
+    pub client_attempts: u64,
+    /// `client.retries_total`.
+    pub client_retries: u64,
+    /// `client.retry_budget_spent_total`.
+    pub client_budget_spent: u64,
+    /// `client.retry_budget_denied_total`.
+    pub client_budget_denied: u64,
+    /// `client.breaker_open_total`.
+    pub client_breaker_opens: u64,
+    /// `server.shed_total`.
+    pub server_shed: u64,
+    /// `server.expired_admission_total`.
+    pub server_expired_admission: u64,
+    /// `server.expired_dequeued_total`.
+    pub server_expired_dequeued: u64,
+    /// `server.expired_handler_total`.
+    pub server_expired_handler: u64,
+    /// `server.responses_deduped_total`.
+    pub server_deduped: u64,
+    /// Status of the expired-deadline probe (must be 504).
+    pub expired_probe_status: u16,
+    /// `Retry-After` seconds carried by the expired-deadline probe.
+    pub expired_probe_retry_after_secs: Option<u64>,
+}
+
+impl ChaosReport {
+    /// The report as a JSON document (the shape `BENCH_chaos.json` uses).
+    pub fn to_json(&self) -> Value {
+        json!({
+            "health": {
+                "recruited": self.recruited,
+                "completed": self.completed,
+                "deduped": self.deduped,
+                "abandoned": self.abandoned,
+                "accounted": self.accounted,
+            },
+            "replay": {
+                "rows_source": self.rows_source,
+                "rows_server": self.rows_server,
+                "acked": self.acked,
+                "restarts": self.restarts,
+                "get_probes": self.get_probes,
+                "keys_match": self.keys_match,
+                "summaries_match": self.summaries_match,
+            },
+            "ranking": self.ranking.iter().map(|r| *r as u64).collect::<Vec<u64>>(),
+            "faults": self.faults.to_json(),
+            "client": {
+                "attempts": self.client_attempts,
+                "retries": self.client_retries,
+                "budget_spent": self.client_budget_spent,
+                "budget_denied": self.client_budget_denied,
+                "breaker_opens": self.client_breaker_opens,
+            },
+            "server": {
+                "shed": self.server_shed,
+                "expired_admission": self.server_expired_admission,
+                "expired_dequeued": self.server_expired_dequeued,
+                "expired_handler": self.server_expired_handler,
+                "deduped": self.server_deduped,
+            },
+            "expired_probe": {
+                "status": self.expired_probe_status,
+                "retry_after_secs": self.expired_probe_retry_after_secs,
+            },
+        })
+    }
+}
+
+/// The replay session tuning: fast, deterministic backoff, no hedging
+/// (hedge timing is wall-clock-dependent), short breaker cooldown so an
+/// unlucky fault burst stalls a session for milliseconds, not minutes.
+fn replay_config(jitter_seed: u64) -> SessionConfig {
+    SessionConfig {
+        timeout: Duration::from_secs(5),
+        retries: 2,
+        backoff: Duration::from_millis(1),
+        backoff_cap: Duration::from_millis(50),
+        jitter_seed,
+        breaker_cooldown: Duration::from_millis(10),
+        hedge_gets: false,
+        ..SessionConfig::default()
+    }
+}
+
+fn row_key(row: &Value) -> String {
+    format!(
+        "{}|{}",
+        row["contributor_id"].as_str().unwrap_or(""),
+        row["submission_id"].as_str().unwrap_or("")
+    )
+}
+
+/// Runs a supervised font campaign in process, then replays every stored
+/// response through a real loopback server over a [`FaultTransport`],
+/// and cross-checks the two stores: every acknowledged upload must be
+/// stored exactly once, and the server-side aggregation must equal the
+/// in-process one.
+///
+/// # Panics
+///
+/// Panics if the campaign itself errors or a row cannot be delivered
+/// after 50 fresh-client restarts (with any fault rate below 1.0 the
+/// retry discipline converges long before that).
+pub fn run_chaos_campaign(config: &ChaosConfig) -> ChaosReport {
+    // 1. The ground truth: a supervised campaign with tester-level
+    // faults, entirely in process (the PR 4 fault-matrix shape).
+    let (store, params) = corpus::font_size_study(config.quota);
+    let db_source = Database::new();
+    let grid_source = GridStore::new();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let prepared = Aggregator::new(db_source.clone(), grid_source.clone())
+        .prepare(&params, &store, &mut rng)
+        .expect("corpus pages always prepare");
+    let campaign = Campaign::new(db_source.clone(), grid_source)
+        .with_question(params.question[0].text(), QuestionKind::FontReadability);
+    let spec = JobSpec::new(&params.test_id, 0.11, config.quota, Channel::Open);
+    let outcome = CampaignSupervisor::new(&campaign, SupervisorConfig::new(config.target_kept))
+        .with_faults(config.session_faults)
+        .run(&params, &prepared, &spec, &mut rng)
+        .expect("a faulty population must not error the supervisor");
+
+    // 2. A second, pristine server-side store prepared from the same
+    // corpus and seed, behind a real loopback HTTP server.
+    let db_server = Database::new();
+    let grid_server = GridStore::new();
+    let mut server_rng = StdRng::seed_from_u64(config.seed);
+    Aggregator::new(db_server.clone(), grid_server.clone())
+        .prepare(&params, &store, &mut server_rng)
+        .expect("server-side prepare");
+    let registry = Arc::new(Registry::new());
+    let api =
+        CoreServerApi::new(db_server.clone(), grid_server).with_telemetry(Arc::clone(&registry));
+    let server = HttpServer::bind_with_telemetry(
+        "127.0.0.1:0",
+        api.into_router(),
+        4,
+        Some(Arc::clone(&registry)),
+    )
+    .expect("bind chaos server");
+    let addr = server.local_addr();
+
+    // 3. Replay every stored response through the faulty network, one
+    // extension client per tester session, each stamping its session
+    // lease's wall-clock deadline onto every request.
+    let transport = Arc::new(FaultTransport::new(config.net, config.net_seed));
+    let rows = db_source.collection("responses").all();
+    let now_ms = epoch_ms();
+    let mut acked = 0usize;
+    let mut restarts = 0u64;
+    let mut get_probes = 0u64;
+    for (i, row) in rows.iter().enumerate() {
+        let mut body = row.clone();
+        if let Some(obj) = body.as_object_mut() {
+            obj.remove("_id");
+        }
+        let contributor = row["contributor_id"].as_str().unwrap_or("");
+        let deadline = outcome
+            .leases
+            .iter()
+            .find(|l| l.contributor_id == contributor)
+            .map_or(now_ms + 120_000, |l| l.wall_deadline_ms(now_ms));
+        let mut delivered = false;
+        for restart in 0..50u32 {
+            if restart > 0 {
+                restarts += 1;
+            }
+            let jitter_seed = config.net_seed ^ ((i as u64) << 8) ^ u64::from(restart);
+            let mut ext = ExtensionClient::with_transport(
+                addr,
+                replay_config(jitter_seed),
+                Arc::clone(&transport) as Arc<dyn Transport>,
+            );
+            ext.set_telemetry(&registry);
+            ext.set_deadline_ms(Some(deadline));
+            if restart == 0 && i % 5 == 0 {
+                // Some GET traffic under faults: fetch the test metadata
+                // the way a starting extension session would.
+                get_probes += 1;
+                let _ = ext.test_info(&prepared.test_id);
+            }
+            if ext
+                .upload_json_with_retry(&prepared.test_id, &body, 4, Duration::from_millis(1))
+                .is_ok()
+            {
+                delivered = true;
+                break;
+            }
+        }
+        assert!(delivered, "row {i} undeliverable after 50 fresh-client restarts");
+        acked += 1;
+    }
+
+    // 4. The deadline-propagation probe: a request stamped with an
+    // already-expired deadline must be refused at admission with a 504
+    // carrying Retry-After, before any handler runs.
+    let mut expired_req =
+        Request::new(Method::Post, &format!("/api/tests/{}/responses", prepared.test_id))
+            .with_body(b"{}".to_vec());
+    expired_req
+        .headers
+        .insert(DEADLINE_HEADER.into(), epoch_ms().saturating_sub(5_000).to_string());
+    let expired_resp = client::request(addr, expired_req).expect("expired probe transmits");
+    let expired_probe_status = expired_resp.status.0;
+    let expired_probe_retry_after_secs = expired_resp.retry_after().map(|d| d.as_secs());
+
+    // 5. Cross-check the stores: exactly-once delivery and identical
+    // aggregation.
+    let server_rows = db_server.collection("responses").all();
+    let mut source_keys: Vec<String> = rows.iter().map(row_key).collect();
+    let mut server_keys: Vec<String> = server_rows.iter().map(row_key).collect();
+    source_keys.sort();
+    server_keys.sort();
+    let keys_match = source_keys == server_keys;
+    let summaries_match = summarize_responses(&prepared.test_id, &rows)
+        == summarize_responses(&prepared.test_id, &server_rows);
+
+    let counter = |name: &str| registry.counter_value(name, &[]).unwrap_or(0);
+    let report = ChaosReport {
+        recruited: outcome.health.recruited,
+        completed: outcome.health.completed,
+        deduped: outcome.health.deduped,
+        abandoned: outcome.health.abandoned,
+        accounted: outcome.health.accounted(),
+        rows_source: rows.len(),
+        rows_server: server_rows.len(),
+        acked,
+        restarts,
+        get_probes,
+        keys_match,
+        summaries_match,
+        ranking: outcome.outcome.question_analysis(FONT_QUESTION, true).ranking(),
+        faults: transport.tally(),
+        client_attempts: counter("client.attempts_total"),
+        client_retries: counter("client.retries_total"),
+        client_budget_spent: counter("client.retry_budget_spent_total"),
+        client_budget_denied: counter("client.retry_budget_denied_total"),
+        client_breaker_opens: counter("client.breaker_open_total"),
+        server_shed: counter("server.shed_total"),
+        server_expired_admission: counter("server.expired_admission_total"),
+        server_expired_dequeued: counter("server.expired_dequeued_total"),
+        server_expired_handler: counter("server.expired_handler_total"),
+        server_deduped: counter("server.responses_deduped_total"),
+        expired_probe_status,
+        expired_probe_retry_after_secs,
+    };
+    server.shutdown();
+    report
+}
+
+/// What [`run_outage_probe`] measured.
+#[derive(Debug, Clone, Copy)]
+pub struct OutageReport {
+    /// Requests the caller issued.
+    pub requests: u64,
+    /// Network attempts actually made (`client.attempts_total`).
+    pub attempts: u64,
+    /// The retry-budget bound: requests + banked budget.
+    pub bound: u64,
+    /// Whether `attempts <= bound` — the budget held.
+    pub within_budget: bool,
+    /// Retries denied by the empty budget.
+    pub budget_denied: u64,
+    /// Times the circuit breaker opened.
+    pub breaker_opens: u64,
+    /// Final `client.breaker_state` gauge (0 closed / 1 open / 2 half-open).
+    pub breaker_state: i64,
+}
+
+impl OutageReport {
+    /// The report as a JSON document.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "requests": self.requests,
+            "attempts": self.attempts,
+            "bound": self.bound,
+            "within_budget": self.within_budget,
+            "budget_denied": self.budget_denied,
+            "breaker_opens": self.breaker_opens,
+            "breaker_state": self.breaker_state,
+        })
+    }
+}
+
+/// Issues `requests` GETs into a total outage (every connect refused) and
+/// reports, from telemetry alone, whether the client discipline held:
+/// total network attempts bounded by the retry budget, and the circuit
+/// breaker open at the end.
+pub fn run_outage_probe(requests: u64, seed: u64) -> OutageReport {
+    let registry = Arc::new(Registry::new());
+    let transport = Arc::new(FaultTransport::new(NetFaultModel::outage(), seed));
+    // A long cooldown keeps the breaker open for the whole probe — no
+    // half-open probes sneak extra attempts in. The threshold is raised
+    // past the banked retry budget so the probe exercises the layering:
+    // the budget runs dry first (retries denied), then the accumulating
+    // failures trip the breaker, and the remaining requests never touch
+    // the network at all.
+    let config = SessionConfig {
+        breaker_threshold: 20,
+        breaker_cooldown: Duration::from_secs(60),
+        ..replay_config(seed)
+    };
+    let addr: SocketAddr = "127.0.0.1:1".parse().expect("static addr");
+    let mut session = Session::with_transport(addr, config.clone(), transport);
+    session.set_telemetry(&registry);
+    for _ in 0..requests {
+        let _ = session.get("/ping");
+    }
+    let attempts = registry.counter_value("client.attempts_total", &[]).unwrap_or(0);
+    let bound = requests + config.retry_budget_cap.ceil() as u64;
+    OutageReport {
+        requests,
+        attempts,
+        bound,
+        within_budget: attempts <= bound,
+        budget_denied: registry.counter_value("client.retry_budget_denied_total", &[]).unwrap_or(0),
+        breaker_opens: registry.counter_value("client.breaker_open_total", &[]).unwrap_or(0),
+        breaker_state: registry.gauge_value("client.breaker_state", &[]).unwrap_or(-1),
+    }
+}

@@ -8,6 +8,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod chaos;
+
 use kscope_core::corpus;
 use kscope_core::{Aggregator, Campaign, CampaignOutcome, QuestionKind, TestParams};
 use kscope_crowd::platform::{Channel, InLabRecruiter, JobSpec, Platform, Recruitment};

@@ -1,0 +1,80 @@
+//! Chaos soak: a full supervised campaign replayed through a seeded
+//! fault-injecting transport must converge to the same ranking with
+//! every acknowledged response stored exactly once, and a total outage
+//! must be contained by the client's retry budget and circuit breaker.
+//!
+//! The network disturbance is an environment matrix so CI can sweep it:
+//!
+//! * `KSCOPE_NET_SEED` — fault transport seed (default 1)
+//! * `KSCOPE_NET_FAULT_RATE` — fraction of exchanges disturbed (default 0.25)
+
+use kscope_bench::chaos::{run_chaos_campaign, run_outage_probe, ChaosConfig};
+
+fn knob(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn net_seed() -> u64 {
+    knob("KSCOPE_NET_SEED", 1.0) as u64
+}
+
+fn fault_rate() -> f64 {
+    knob("KSCOPE_NET_FAULT_RATE", 0.25)
+}
+
+#[test]
+fn chaos_campaign_converges_with_exactly_once_delivery() {
+    let config = ChaosConfig::soak(42, net_seed(), fault_rate().max(0.20));
+    let report = run_chaos_campaign(&config);
+
+    // The supervised campaign itself stays healthy.
+    assert!(report.accounted, "accounting must balance: {report:?}");
+
+    // The network really was hostile…
+    assert!(report.faults.total() > 0, "faults must actually be injected: {report:?}");
+
+    // …yet every acknowledged response landed exactly once.
+    assert_eq!(report.acked, report.rows_source, "every row must eventually be acked");
+    assert_eq!(report.rows_server, report.rows_source, "no lost or duplicated rows");
+    assert!(report.keys_match, "(contributor, submission) sets must match: {report:?}");
+    assert!(report.summaries_match, "server aggregation must equal in-process: {report:?}");
+
+    // The ranking still converges to the readable middle of the font
+    // range, with the oversized 22pt page last.
+    assert!(
+        report.ranking[0] == 1 || report.ranking[0] == 2,
+        "winner must be 12 or 14pt despite chaos: {:?}",
+        report.ranking
+    );
+    assert_eq!(*report.ranking.last().unwrap(), 4, "22pt must lose: {:?}", report.ranking);
+
+    // Deadline propagation is live end to end: the expired probe was
+    // refused at admission with a 504 carrying Retry-After.
+    assert_eq!(report.expired_probe_status, 504, "expired deadline must be refused");
+    assert!(report.expired_probe_retry_after_secs.is_some(), "504 must carry Retry-After");
+    assert!(report.server_expired_admission >= 1, "admission counter must record it");
+}
+
+#[test]
+fn outage_is_contained_by_retry_budget_and_breaker() {
+    let report = run_outage_probe(20, net_seed());
+    assert!(
+        report.within_budget,
+        "attempts {} must stay within {} (requests + banked budget)",
+        report.attempts, report.bound
+    );
+    assert!(report.breaker_opens >= 1, "the breaker must open under a full outage: {report:?}");
+    assert_eq!(report.breaker_state, 1, "the breaker must still be open at the end: {report:?}");
+    assert!(report.budget_denied > 0, "an outage must exhaust the retry budget: {report:?}");
+}
+
+#[test]
+fn chaos_schedule_is_deterministic_per_seed_pair() {
+    let run = |seed: u64, net: u64| {
+        let report = run_chaos_campaign(&ChaosConfig::quick(seed, net, 0.25));
+        (report.faults, report.rows_server, report.ranking.clone())
+    };
+    let a = run(7, 3);
+    let b = run(7, 3);
+    assert_eq!(a, b, "same (campaign, net) seeds must replay identically");
+}

@@ -10,9 +10,11 @@
 
 use crate::extension::SessionRecord;
 use crate::page::LoadedPage;
-use kscope_server::client::{ClientError, SessionConfig, SessionStats};
+use kscope_server::client::{ClientError, SessionConfig, SessionStats, Transport};
 use kscope_server::Session;
+use kscope_telemetry::Registry;
 use std::net::SocketAddr;
+use std::sync::Arc;
 
 /// Error talking to the core server.
 #[derive(Debug)]
@@ -64,6 +66,29 @@ impl ExtensionClient {
     /// A client with explicit session tuning.
     pub fn with_config(addr: SocketAddr, config: SessionConfig) -> Self {
         Self { session: Session::with_config(addr, config) }
+    }
+
+    /// A client speaking through a custom socket layer — the chaos
+    /// harness interposes its deterministic fault injector here.
+    pub fn with_transport(
+        addr: SocketAddr,
+        config: SessionConfig,
+        transport: Arc<dyn Transport>,
+    ) -> Self {
+        Self { session: Session::with_transport(addr, config, transport) }
+    }
+
+    /// Publishes the underlying session's `client.*` overload metrics on
+    /// `registry`.
+    pub fn set_telemetry(&mut self, registry: &Arc<Registry>) {
+        self.session.set_telemetry(registry);
+    }
+
+    /// Sets (or clears) the wall-clock deadline (epoch milliseconds)
+    /// stamped onto every request — derived from the tester's session
+    /// lease, so the server never works for an abandoned session.
+    pub fn set_deadline_ms(&mut self, deadline: Option<u64>) {
+        self.session.set_deadline_ms(deadline);
     }
 
     /// Connection-reuse counters of the underlying session.
@@ -140,17 +165,39 @@ impl ExtensionClient {
     ///
     /// Returns [`FetchError`] on transport failures or any other status.
     pub fn upload(&mut self, record: &SessionRecord) -> Result<serde_json::Value, FetchError> {
-        let path = format!("/api/tests/{}/responses", record.test_id);
-        let resp = self.session.post_json(&path, &record.to_json())?;
+        self.upload_json(&record.test_id, &record.to_json())
+    }
+
+    /// Uploads an arbitrary response document for `test_id` (same wire
+    /// call as [`ExtensionClient::upload`], for callers that already hold
+    /// the JSON row rather than a [`SessionRecord`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FetchError`] on transport failures or any status other
+    /// than 200/201.
+    pub fn upload_json(
+        &mut self,
+        test_id: &str,
+        body: &serde_json::Value,
+    ) -> Result<serde_json::Value, FetchError> {
+        let path = format!("/api/tests/{test_id}/responses");
+        let resp = self.session.post_json(&path, body)?;
         if resp.status.0 != 201 && resp.status.0 != 200 {
             return Err(FetchError::Status(resp.status.0, path));
         }
         resp.json_body().map_err(|_| FetchError::Malformed("expected a JSON body"))
     }
 
-    /// Uploads with capped exponential backoff: up to `max_attempts`
-    /// tries, sleeping `base_backoff * 2^attempt` (capped at 2 s) between
-    /// them. Safe to call repeatedly because the record carries a stable
+    /// Uploads with the session's shared retry discipline: up to
+    /// `max_attempts` tries, sleeping a full-jitter backoff between them
+    /// ([`Session::next_backoff`] — the same policy the transport-level
+    /// retries use, honoring any `Retry-After` the server sent on a
+    /// 503/504). Each retry must win a token from the session's retry
+    /// budget; when the bucket is empty the last error is returned
+    /// immediately rather than adding load to an overloaded server.
+    ///
+    /// Safe to call repeatedly because the record carries a stable
     /// `submission_id` — a retry of an upload whose acknowledgment was
     /// lost is answered with the original document's `_id`, not a
     /// duplicate row. Returns the server's acknowledgment and the number
@@ -168,23 +215,37 @@ impl ExtensionClient {
         max_attempts: u32,
         base_backoff: std::time::Duration,
     ) -> Result<(serde_json::Value, u32), FetchError> {
-        const BACKOFF_CAP: std::time::Duration = std::time::Duration::from_secs(2);
+        self.upload_json_with_retry(&record.test_id, &record.to_json(), max_attempts, base_backoff)
+    }
+
+    /// [`ExtensionClient::upload_with_retry`] for a raw JSON row.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last [`FetchError`] once the attempt budget is spent.
+    pub fn upload_json_with_retry(
+        &mut self,
+        test_id: &str,
+        body: &serde_json::Value,
+        max_attempts: u32,
+        base_backoff: std::time::Duration,
+    ) -> Result<(serde_json::Value, u32), FetchError> {
         let max_attempts = max_attempts.max(1);
         let mut attempt = 0;
         loop {
             attempt += 1;
-            match self.upload(record) {
+            match self.upload_json(test_id, body) {
                 Ok(ack) => return Ok((ack, attempt)),
                 Err(e) if attempt >= max_attempts => return Err(e),
-                Err(FetchError::Status(code, _)) if (400..500).contains(&code) => {
-                    return Err(FetchError::Status(
-                        code,
-                        format!("/api/tests/{}/responses", record.test_id),
-                    ));
+                Err(FetchError::Status(code, path)) if (400..500).contains(&code) => {
+                    return Err(FetchError::Status(code, path));
                 }
-                Err(_) => {
-                    let exp = base_backoff.saturating_mul(1 << (attempt - 1).min(16));
-                    std::thread::sleep(exp.min(BACKOFF_CAP));
+                Err(e) => {
+                    if !self.session.acquire_retry_token() {
+                        return Err(e);
+                    }
+                    let delay = self.session.next_backoff(attempt - 1, base_backoff, None);
+                    std::thread::sleep(delay);
                 }
             }
         }

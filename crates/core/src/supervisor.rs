@@ -152,6 +152,17 @@ pub struct SessionLease {
     pub outcome: LeaseOutcome,
 }
 
+impl SessionLease {
+    /// Re-anchors the lease window to wall-clock time: the absolute
+    /// epoch-milliseconds instant, measured from `epoch_now_ms`, at which
+    /// this lease expires. Clients stamp this onto every request as
+    /// `x-kscope-deadline-ms` so the server can refuse to work for a
+    /// session whose lease has already been reclaimed.
+    pub fn wall_deadline_ms(&self, epoch_now_ms: u64) -> u64 {
+        epoch_now_ms + self.deadline_ms.saturating_sub(self.issued_ms)
+    }
+}
+
 /// The supervisor's accounting: every recruited worker ends in exactly
 /// one of `completed`, `deduped`, or `abandoned`, so
 /// `completed + deduped + abandoned == recruited` always holds.

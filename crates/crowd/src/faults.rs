@@ -157,6 +157,127 @@ impl FaultModel {
     }
 }
 
+/// One network-level fault applied to a single HTTP exchange.
+///
+/// Where [`SessionFault`] models the *tester* failing (abandoning,
+/// skipping questions), `NetFault` models the *network* failing under the
+/// tester: packets delayed, writes torn mid-frame, connections reset
+/// while the response is in flight, and acknowledgments delivered twice.
+/// The chaos transport samples one per request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFault {
+    /// The exchange goes through untouched.
+    None,
+    /// The request is delivered after an extra `ms` milliseconds.
+    Delay {
+        /// Added latency, milliseconds.
+        ms: u64,
+    },
+    /// Only the first `keep` bytes of the request reach the server
+    /// before the connection dies — the server sees a truncated frame.
+    TornWrite {
+        /// Bytes of the request actually delivered.
+        keep: usize,
+    },
+    /// The request is delivered, but the connection is reset after the
+    /// client has read `after` bytes of the response — the
+    /// acknowledgment is lost in flight.
+    MidBodyReset {
+        /// Response bytes the client sees before the reset.
+        after: usize,
+    },
+    /// The request is delivered twice back-to-back on the same socket —
+    /// a retransmit-style duplicate the server's idempotent intake must
+    /// collapse to one stored row.
+    DuplicateDelivery,
+}
+
+/// Per-request network fault probabilities for the deterministic chaos
+/// transport. All default to zero (a perfect network).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct NetFaultModel {
+    /// Probability a connection attempt is refused outright.
+    pub refuse: f64,
+    /// Probability a request is delayed.
+    pub delay: f64,
+    /// Upper bound on the sampled delay, milliseconds.
+    pub delay_ms_max: u64,
+    /// Probability a request write is torn partway through.
+    pub torn_write: f64,
+    /// Probability the connection resets mid-response.
+    pub reset_mid_body: f64,
+    /// Probability a request is delivered twice.
+    pub duplicate: f64,
+}
+
+impl NetFaultModel {
+    /// A perfect network.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A lossy network where a total fraction `rate` of exchanges are
+    /// disturbed, split across every fault kind (10% refused connects,
+    /// 30% delays, 20% each torn writes / mid-body resets / duplicate
+    /// deliveries).
+    pub fn lossy(rate: f64) -> Self {
+        let rate = rate.clamp(0.0, 1.0);
+        Self {
+            refuse: rate * 0.10,
+            delay: rate * 0.30,
+            delay_ms_max: 20,
+            torn_write: rate * 0.20,
+            reset_mid_body: rate * 0.20,
+            duplicate: rate * 0.20,
+        }
+    }
+
+    /// A full outage: every connection attempt is refused. Used to
+    /// verify the client's retry budget and circuit breaker.
+    pub fn outage() -> Self {
+        Self { refuse: 1.0, ..Self::default() }
+    }
+
+    /// Total fraction of exchanges disturbed by some fault.
+    pub fn fault_rate(&self) -> f64 {
+        self.refuse + self.delay + self.torn_write + self.reset_mid_body + self.duplicate
+    }
+
+    /// Whether a connection attempt is refused.
+    pub fn sample_connect<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        self.refuse > 0.0 && rng.random::<f64>() < self.refuse
+    }
+
+    /// Samples the fault (if any) for one request of `request_len` bytes.
+    /// One roll against a cumulative ladder, so at most one fault fires
+    /// per exchange.
+    pub fn sample_request<R: Rng + ?Sized>(&self, rng: &mut R, request_len: usize) -> NetFault {
+        let roll: f64 = rng.random();
+        let mut cum = self.delay;
+        if roll < cum {
+            let ms =
+                if self.delay_ms_max == 0 { 0 } else { rng.random_range(0..self.delay_ms_max) };
+            return NetFault::Delay { ms };
+        }
+        cum += self.torn_write;
+        if roll < cum {
+            // Always tear strictly inside the frame so the server sees a
+            // truncated request, never an accidentally complete one.
+            let keep = if request_len <= 1 { 0 } else { rng.random_range(0..request_len) };
+            return NetFault::TornWrite { keep };
+        }
+        cum += self.reset_mid_body;
+        if roll < cum {
+            return NetFault::MidBodyReset { after: rng.random_range(0..64) };
+        }
+        cum += self.duplicate;
+        if roll < cum {
+            return NetFault::DuplicateDelivery;
+        }
+        NetFault::None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,5 +363,67 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let w = &population(1, 1)[0];
         assert_eq!(model.sample(w, 0, 1, &mut rng), SessionFault::None);
+    }
+
+    #[test]
+    fn net_model_none_is_silent() {
+        let model = NetFaultModel::none();
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..200 {
+            assert!(!model.sample_connect(&mut rng));
+            assert_eq!(model.sample_request(&mut rng, 512), NetFault::None);
+        }
+    }
+
+    #[test]
+    fn net_lossy_distributes_rate_and_hits_every_kind() {
+        let model = NetFaultModel::lossy(0.5);
+        assert!((model.fault_rate() - 0.5).abs() < 1e-9);
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut saw = [false; 4];
+        let mut refused = 0usize;
+        for _ in 0..2000 {
+            if model.sample_connect(&mut rng) {
+                refused += 1;
+            }
+            match model.sample_request(&mut rng, 300) {
+                NetFault::None => {}
+                NetFault::Delay { ms } => {
+                    assert!(ms < 20);
+                    saw[0] = true;
+                }
+                NetFault::TornWrite { keep } => {
+                    assert!(keep < 300);
+                    saw[1] = true;
+                }
+                NetFault::MidBodyReset { after } => {
+                    assert!(after < 64);
+                    saw[2] = true;
+                }
+                NetFault::DuplicateDelivery => saw[3] = true,
+            }
+        }
+        assert!(saw.iter().all(|&s| s), "all net fault kinds exercised: {saw:?}");
+        assert!(refused > 0, "refused connects exercised");
+    }
+
+    #[test]
+    fn net_outage_refuses_everything() {
+        let model = NetFaultModel::outage();
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..100 {
+            assert!(model.sample_connect(&mut rng));
+        }
+    }
+
+    #[test]
+    fn net_sampling_is_deterministic_per_seed() {
+        let model = NetFaultModel::lossy(0.35);
+        let run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..500).map(|_| model.sample_request(&mut rng, 256)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
     }
 }

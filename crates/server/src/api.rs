@@ -313,7 +313,22 @@ impl CoreServerApi {
         // --- Result conclusion --------------------------------------------
         {
             let db = db.clone();
-            router.get("/api/tests/:id/results", move |_req, p| {
+            let telemetry = self.telemetry.clone();
+            router.get("/api/tests/:id/results", move |req, p| {
+                // Result aggregation walks every stored response; if the
+                // caller's propagated deadline budget is already spent,
+                // bail before the scan rather than compute an answer
+                // nobody is waiting for.
+                if req.remaining_budget_ms().is_some_and(|ms| ms <= 0) {
+                    if let Some(registry) = &telemetry {
+                        registry.counter("server.expired_handler_total").inc();
+                    }
+                    return Response::overloaded(
+                        crate::http::StatusCode::GATEWAY_TIMEOUT,
+                        "deadline expired before aggregation",
+                        1,
+                    );
+                }
                 let id = p.get("id").unwrap_or("");
                 let docs = db.collection(RESPONSES_COLLECTION).find(&json!({ "test_id": id }));
                 Response::json(&summarize_responses(id, &docs))

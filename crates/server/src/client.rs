@@ -4,12 +4,24 @@
 //! open one `connection: close` socket per call, while [`Session`] keeps a
 //! single keep-alive socket across requests, reconnecting transparently
 //! when the server has closed it (idle timeout, request cap, drain) and
-//! retrying fresh-connection failures with bounded exponential backoff.
+//! retrying fresh-connection failures under the client discipline of
+//! DESIGN.md §15: full-jitter backoff, a token-bucket retry budget, a
+//! per-host circuit breaker, propagated deadlines, and a single hedged
+//! re-issue for slow idempotent GETs.
+//!
+//! The socket layer is pluggable via [`Transport`]/[`Wire`], so a test
+//! harness can interpose a deterministic fault injector (torn writes,
+//! mid-body resets, refused connects) without touching the retry logic.
 
 use crate::http::{HttpParseError, Method, Request, Response};
-use std::io::BufReader;
+use crate::overload::{
+    epoch_ms, BreakerState, CircuitBreaker, FullJitterBackoff, RetryBudget, DEADLINE_HEADER,
+};
+use kscope_telemetry::{Counter, Gauge, Registry};
+use std::io::{BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 const CLIENT_TIMEOUT: Duration = Duration::from_secs(10);
 
@@ -24,6 +36,13 @@ pub enum ClientError {
     Io(std::io::Error),
     /// The response could not be parsed.
     Parse(HttpParseError),
+    /// The propagated deadline had already passed before the request was
+    /// sent — working for it would only waste server capacity.
+    DeadlineExceeded,
+    /// The per-host circuit breaker is open after consecutive transport
+    /// failures; the request was rejected locally without touching the
+    /// network.
+    BreakerOpen,
 }
 
 impl std::fmt::Display for ClientError {
@@ -31,11 +50,58 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "client i/o error: {e}"),
             ClientError::Parse(e) => write!(f, "client parse error: {e}"),
+            ClientError::DeadlineExceeded => write!(f, "client deadline exceeded"),
+            ClientError::BreakerOpen => write!(f, "circuit breaker open"),
         }
     }
 }
 
 impl std::error::Error for ClientError {}
+
+/// A bidirectional byte stream a [`Session`] can speak HTTP over.
+///
+/// [`TcpStream`] is the production implementation; fault-injecting test
+/// transports wrap one and corrupt traffic deterministically.
+pub trait Wire: Read + Write + Send {
+    /// Adjusts the read timeout for subsequent reads (used by GET
+    /// hedging to shorten the wait to the observed p99).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying socket error, if any.
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()>;
+}
+
+impl Wire for TcpStream {
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        TcpStream::set_read_timeout(self, timeout)
+    }
+}
+
+/// Connection factory for [`Session`]: how to reach `addr`.
+pub trait Transport: Send + Sync {
+    /// Opens a new wire to `addr`, with `timeout` applied to the connect
+    /// and to subsequent reads/writes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error when the connection cannot be established.
+    fn connect(&self, addr: SocketAddr, timeout: Duration) -> std::io::Result<Box<dyn Wire>>;
+}
+
+/// The default [`Transport`]: a plain `TcpStream` with connect, read and
+/// write timeouts.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TcpTransport;
+
+impl Transport for TcpTransport {
+    fn connect(&self, addr: SocketAddr, timeout: Duration) -> std::io::Result<Box<dyn Wire>> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        Ok(Box::new(stream))
+    }
+}
 
 /// Sends `req` to `addr` on a fresh connection and reads the response
 /// (one request per connection; `connection: close` is sent explicitly).
@@ -86,8 +152,29 @@ pub struct SessionConfig {
     /// Retries after a failure on a *fresh* connection (a stale keep-alive
     /// socket is renewed without consuming the retry budget).
     pub retries: u32,
-    /// First backoff sleep; doubles per retry.
+    /// Base backoff sleep; attempt `n` sleeps a uniformly random duration
+    /// in `[0, min(backoff_cap, backoff * 2^n)]` (full jitter).
     pub backoff: Duration,
+    /// Ceiling on any single backoff sleep.
+    pub backoff_cap: Duration,
+    /// Seed for the jitter RNG — fixed per session so test schedules
+    /// replay deterministically.
+    pub jitter_seed: u64,
+    /// Token-bucket capacity for the retry budget: the most retries the
+    /// session can have "banked" at once.
+    pub retry_budget_cap: f64,
+    /// Tokens deposited per successful request; 0.1 keeps steady-state
+    /// retries at or below 10% of successes.
+    pub retry_budget_ratio: f64,
+    /// Consecutive transport failures before the circuit breaker opens.
+    pub breaker_threshold: u32,
+    /// How long an open breaker rejects locally before admitting one
+    /// half-open probe.
+    pub breaker_cooldown: Duration,
+    /// Whether idempotent GETs may hedge: after enough latency samples,
+    /// shorten the read timeout to the observed p99 and re-issue once on
+    /// timeout.
+    pub hedge_gets: bool,
     /// Largest response body the session will allocate for.
     pub max_response_bytes: usize,
 }
@@ -98,12 +185,20 @@ impl Default for SessionConfig {
             timeout: CLIENT_TIMEOUT,
             retries: 2,
             backoff: Duration::from_millis(25),
+            backoff_cap: Duration::from_secs(2),
+            jitter_seed: 0x6b73_636f_7065,
+            retry_budget_cap: 10.0,
+            retry_budget_ratio: 0.1,
+            breaker_threshold: 5,
+            breaker_cooldown: Duration::from_millis(250),
+            hedge_gets: true,
             max_response_bytes: MAX_RESPONSE_BYTES,
         }
     }
 }
 
-/// Counters a [`Session`] keeps about its connection reuse.
+/// Counters a [`Session`] keeps about its connection reuse and overload
+/// discipline.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SessionStats {
     /// Requests completed successfully.
@@ -117,27 +212,90 @@ pub struct SessionStats {
     pub reconnects: u64,
     /// Fresh-connection failures retried with backoff.
     pub retries: u64,
+    /// Retries refused because the token-bucket retry budget was empty.
+    pub budget_denied: u64,
+    /// Requests rejected locally because the circuit breaker was open.
+    pub breaker_rejections: u64,
+    /// Idempotent GETs re-issued after the shortened p99 read timeout.
+    pub hedges: u64,
+    /// Requests rejected locally because the propagated deadline had
+    /// already passed.
+    pub deadline_rejections: u64,
+}
+
+/// Telemetry handles published when [`Session::set_telemetry`] is called.
+struct ClientMetrics {
+    attempts_total: Counter,
+    retries_total: Counter,
+    budget_spent_total: Counter,
+    budget_denied_total: Counter,
+    budget_tokens: Gauge,
+    breaker_state: Gauge,
+    breaker_open_total: Counter,
+    hedges_total: Counter,
+    deadline_expired_total: Counter,
+}
+
+impl ClientMetrics {
+    fn register(registry: &Arc<Registry>) -> Self {
+        Self {
+            attempts_total: registry.counter("client.attempts_total"),
+            retries_total: registry.counter("client.retries_total"),
+            budget_spent_total: registry.counter("client.retry_budget_spent_total"),
+            budget_denied_total: registry.counter("client.retry_budget_denied_total"),
+            budget_tokens: registry.gauge("client.retry_budget_tokens"),
+            breaker_state: registry.gauge("client.breaker_state"),
+            breaker_open_total: registry.counter("client.breaker_open_total"),
+            hedges_total: registry.counter("client.hedges_total"),
+            deadline_expired_total: registry.counter("client.deadline_expired_total"),
+        }
+    }
 }
 
 struct Conn {
-    writer: TcpStream,
-    reader: BufReader<TcpStream>,
+    stream: BufReader<Box<dyn Wire>>,
     /// Requests already served on this socket.
     served: u64,
 }
 
+/// How many latency samples the hedger keeps (and needs before arming).
+const LATENCY_WINDOW: usize = 512;
+const HEDGE_MIN_SAMPLES: usize = 32;
+const HEDGE_FLOOR: Duration = Duration::from_millis(25);
+
 /// A connection-reusing HTTP client: one keep-alive socket across
-/// requests, with reconnect-on-stale and bounded retry/backoff.
+/// requests, with reconnect-on-stale, full-jitter retry/backoff under a
+/// token-bucket budget, a per-host circuit breaker, deadline propagation,
+/// and p99 GET hedging.
 pub struct Session {
     addr: SocketAddr,
     config: SessionConfig,
+    transport: Arc<dyn Transport>,
     conn: Option<Conn>,
     stats: SessionStats,
+    backoff: FullJitterBackoff,
+    budget: RetryBudget,
+    breaker: CircuitBreaker,
+    breaker_opens_seen: u64,
+    /// Absolute wall-clock deadline stamped onto outgoing requests.
+    deadline_ms: Option<u64>,
+    /// `Retry-After` from the most recent 503/504, consumed by the next
+    /// backoff computation.
+    retry_after_hint: Option<Duration>,
+    /// Recent request latencies (microseconds), ring-buffered.
+    latencies_us: Vec<u64>,
+    metrics: Option<ClientMetrics>,
 }
 
 impl std::fmt::Debug for Session {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Session({}, connected: {})", self.addr, self.conn.is_some())
+        write!(
+            f,
+            "Session({}, connected: {}, breaker: {:?})",
+            self.addr,
+            self.conn.is_some(),
+            self.breaker.state()
+        )
     }
 }
 
@@ -150,7 +308,49 @@ impl Session {
 
     /// A session with explicit tuning.
     pub fn with_config(addr: SocketAddr, config: SessionConfig) -> Self {
-        Self { addr, config, conn: None, stats: SessionStats::default() }
+        Self::with_transport(addr, config, Arc::new(TcpTransport))
+    }
+
+    /// A session with explicit tuning and a custom socket layer — the
+    /// hook the chaos harness uses to interpose deterministic faults.
+    pub fn with_transport(
+        addr: SocketAddr,
+        config: SessionConfig,
+        transport: Arc<dyn Transport>,
+    ) -> Self {
+        let backoff = FullJitterBackoff::new(config.backoff_cap, config.jitter_seed);
+        let budget = RetryBudget::new(config.retry_budget_cap, config.retry_budget_ratio);
+        let breaker = CircuitBreaker::new(config.breaker_threshold, config.breaker_cooldown);
+        Self {
+            addr,
+            config,
+            transport,
+            conn: None,
+            stats: SessionStats::default(),
+            backoff,
+            budget,
+            breaker,
+            breaker_opens_seen: 0,
+            deadline_ms: None,
+            retry_after_hint: None,
+            latencies_us: Vec::new(),
+            metrics: None,
+        }
+    }
+
+    /// Publishes the session's overload counters/gauges on `registry`
+    /// under the `client.*` namespace.
+    pub fn set_telemetry(&mut self, registry: &Arc<Registry>) {
+        self.metrics = Some(ClientMetrics::register(registry));
+        self.publish_gauges();
+    }
+
+    /// Sets (or clears) the absolute epoch-milliseconds deadline stamped
+    /// onto every outgoing request as `x-kscope-deadline-ms`. Requests
+    /// issued after the deadline fail locally with
+    /// [`ClientError::DeadlineExceeded`].
+    pub fn set_deadline_ms(&mut self, deadline: Option<u64>) {
+        self.deadline_ms = deadline;
     }
 
     /// Connection-reuse counters.
@@ -158,28 +358,106 @@ impl Session {
         self.stats
     }
 
+    /// Current circuit-breaker state.
+    pub fn breaker_state(&self) -> BreakerState {
+        self.breaker.state()
+    }
+
+    /// Retry-budget tokens currently banked.
+    pub fn retry_budget_tokens(&self) -> f64 {
+        self.budget.tokens()
+    }
+
     /// Whether a socket is currently open.
     pub fn is_connected(&self) -> bool {
         self.conn.is_some()
     }
 
+    /// The next full-jitter backoff sleep for `attempt`, honoring (and
+    /// consuming) any `Retry-After` hint captured from a 503/504
+    /// response. Shared by [`Session::request`] and the browser
+    /// extension's upload retry loop so there is exactly one backoff
+    /// policy.
+    pub fn next_backoff(
+        &mut self,
+        attempt: u32,
+        base: Duration,
+        hint: Option<Duration>,
+    ) -> Duration {
+        let hint = hint.or_else(|| self.retry_after_hint.take());
+        self.backoff.delay(base, attempt, hint)
+    }
+
+    /// Tries to withdraw one retry token. `false` means the budget is
+    /// exhausted — retries would exceed ~10% of successes — and the
+    /// caller must fail fast instead of retrying.
+    pub fn acquire_retry_token(&mut self) -> bool {
+        if self.budget.try_spend() {
+            if let Some(m) = &self.metrics {
+                m.budget_spent_total.inc();
+            }
+            self.publish_gauges();
+            true
+        } else {
+            self.stats.budget_denied += 1;
+            if let Some(m) = &self.metrics {
+                m.budget_denied_total.inc();
+            }
+            false
+        }
+    }
+
     /// Sends `req` over the kept connection, reconnecting and retrying as
     /// configured. The request is sent with `connection: keep-alive`
-    /// unless the caller set the header explicitly.
+    /// unless the caller set the header explicitly, and carries the
+    /// session deadline as `x-kscope-deadline-ms` when one is set.
     ///
     /// # Errors
     ///
-    /// Returns the last [`ClientError`] once the retry budget is spent.
+    /// Returns the last [`ClientError`] once retries or the retry budget
+    /// are spent, [`ClientError::DeadlineExceeded`] when the deadline has
+    /// already passed, or [`ClientError::BreakerOpen`] when the circuit
+    /// breaker rejects the request locally.
     pub fn request(&mut self, mut req: Request) -> Result<Response, ClientError> {
+        if let Some(deadline) = self.deadline_ms {
+            if epoch_ms() >= deadline {
+                self.stats.deadline_rejections += 1;
+                if let Some(m) = &self.metrics {
+                    m.deadline_expired_total.inc();
+                }
+                return Err(ClientError::DeadlineExceeded);
+            }
+            req.headers.entry(DEADLINE_HEADER.into()).or_insert_with(|| deadline.to_string());
+        }
+        if !self.breaker.admit(Instant::now()) {
+            self.stats.breaker_rejections += 1;
+            self.publish_gauges();
+            return Err(ClientError::BreakerOpen);
+        }
         req.headers.entry("connection".into()).or_insert_with(|| "keep-alive".into());
+
+        // Hedge arming: idempotent GETs with enough history shorten the
+        // first read to the observed p99 and get one free re-issue.
+        let mut hedge_timeout = self.hedge_timeout(&req);
         let mut attempt = 0u32;
         loop {
             let reused = self.conn.as_ref().is_some_and(|c| c.served > 0);
-            match self.try_once(&req) {
+            if let Some(m) = &self.metrics {
+                m.attempts_total.inc();
+            }
+            let started = Instant::now();
+            match self.try_once(&req, hedge_timeout) {
                 Ok(response) => {
                     self.stats.requests += 1;
                     if reused {
                         self.stats.reuses += 1;
+                    }
+                    self.record_latency(started.elapsed());
+                    self.budget.on_success();
+                    self.breaker.on_success();
+                    self.publish_gauges();
+                    if matches!(response.status.0, 503 | 504) {
+                        self.retry_after_hint = response.retry_after();
                     }
                     if response.is_close() {
                         self.conn = None;
@@ -198,12 +476,39 @@ impl Session {
                         self.stats.reconnects += 1;
                         continue;
                     }
+                    if hedge_timeout.take().is_some() && is_timeout(&err) {
+                        // The p99 read window elapsed on a fresh socket:
+                        // hedge once, immediately, at the full timeout.
+                        // Not charged to the retry budget — the original
+                        // request may still complete server-side and the
+                        // re-issue is idempotent.
+                        self.stats.hedges += 1;
+                        if let Some(m) = &self.metrics {
+                            m.hedges_total.inc();
+                        }
+                        continue;
+                    }
+                    self.breaker.on_failure(Instant::now());
+                    if self.breaker.opened_total() > self.breaker_opens_seen {
+                        self.breaker_opens_seen = self.breaker.opened_total();
+                        if let Some(m) = &self.metrics {
+                            m.breaker_open_total.inc();
+                        }
+                    }
+                    self.publish_gauges();
                     if attempt >= self.config.retries {
                         return Err(err);
                     }
-                    std::thread::sleep(self.config.backoff * 2u32.saturating_pow(attempt));
+                    if !self.acquire_retry_token() {
+                        return Err(err);
+                    }
+                    let delay = self.next_backoff(attempt, self.config.backoff, None);
+                    std::thread::sleep(delay);
                     attempt += 1;
                     self.stats.retries += 1;
+                    if let Some(m) = &self.metrics {
+                        m.retries_total.inc();
+                    }
                 }
             }
         }
@@ -238,21 +543,68 @@ impl Session {
         self.conn = None;
     }
 
-    fn try_once(&mut self, req: &Request) -> Result<Response, ClientError> {
+    fn publish_gauges(&self) {
+        if let Some(m) = &self.metrics {
+            m.budget_tokens.set(self.budget.tokens() as i64);
+            m.breaker_state.set(self.breaker.state().as_gauge());
+        }
+    }
+
+    fn record_latency(&mut self, elapsed: Duration) {
+        let us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+        if self.latencies_us.len() >= LATENCY_WINDOW {
+            self.latencies_us.remove(0);
+        }
+        self.latencies_us.push(us);
+    }
+
+    /// The shortened first-read timeout for a hedgeable request, or
+    /// `None` when hedging does not apply.
+    fn hedge_timeout(&self, req: &Request) -> Option<Duration> {
+        if !self.config.hedge_gets
+            || req.method != Method::Get
+            || self.latencies_us.len() < HEDGE_MIN_SAMPLES
+        {
+            return None;
+        }
+        let mut sorted = self.latencies_us.clone();
+        sorted.sort_unstable();
+        let idx = (sorted.len() * 99 / 100).min(sorted.len() - 1);
+        let p99 = Duration::from_micros(sorted[idx]);
+        Some(p99.max(HEDGE_FLOOR).min(self.config.timeout))
+    }
+
+    fn try_once(
+        &mut self,
+        req: &Request,
+        read_timeout: Option<Duration>,
+    ) -> Result<Response, ClientError> {
         if self.conn.is_none() {
-            let stream = TcpStream::connect_timeout(&self.addr, self.config.timeout)
-                .map_err(ClientError::Io)?;
-            stream.set_read_timeout(Some(self.config.timeout)).map_err(ClientError::Io)?;
-            stream.set_write_timeout(Some(self.config.timeout)).map_err(ClientError::Io)?;
-            let writer = stream.try_clone().map_err(ClientError::Io)?;
-            self.conn = Some(Conn { writer, reader: BufReader::new(stream), served: 0 });
+            let wire =
+                self.transport.connect(self.addr, self.config.timeout).map_err(ClientError::Io)?;
+            self.conn = Some(Conn { stream: BufReader::new(wire), served: 0 });
             self.stats.connects += 1;
         }
         let conn = self.conn.as_mut().expect("connection just ensured");
-        req.write_to(&mut conn.writer).map_err(ClientError::Io)?;
-        let response = Response::read_from(&mut conn.reader, self.config.max_response_bytes)
+        let effective = read_timeout.unwrap_or(self.config.timeout);
+        conn.stream.get_ref().set_read_timeout(Some(effective)).map_err(ClientError::Io)?;
+        req.write_to(conn.stream.get_mut()).map_err(ClientError::Io)?;
+        let response = Response::read_from(&mut conn.stream, self.config.max_response_bytes)
             .map_err(ClientError::Parse)?;
         conn.served += 1;
         Ok(response)
     }
+}
+
+/// Whether an error is a socket read timeout (possibly wrapped in a
+/// parse error by `Response::read_from`).
+fn is_timeout(err: &ClientError) -> bool {
+    let io_err = match err {
+        ClientError::Io(e) => Some(e),
+        ClientError::Parse(HttpParseError::Io(e)) => Some(e),
+        _ => None,
+    };
+    io_err.is_some_and(|e| {
+        matches!(e.kind(), std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock)
+    })
 }

@@ -71,6 +71,9 @@ impl StatusCode {
     pub const INTERNAL_SERVER_ERROR: StatusCode = StatusCode(500);
     /// 503.
     pub const SERVICE_UNAVAILABLE: StatusCode = StatusCode(503);
+    /// 504 — the request's propagated deadline expired before (or while)
+    /// the server could work on it.
+    pub const GATEWAY_TIMEOUT: StatusCode = StatusCode(504);
 
     /// Standard reason phrase.
     pub fn reason(&self) -> &'static str {
@@ -86,6 +89,7 @@ impl StatusCode {
             431 => "Request Header Fields Too Large",
             500 => "Internal Server Error",
             503 => "Service Unavailable",
+            504 => "Gateway Timeout",
             _ => "Unknown",
         }
     }
@@ -215,6 +219,22 @@ impl Request {
         connection_close(&self.headers)
     }
 
+    /// The propagated client deadline (absolute epoch milliseconds) from
+    /// the [`crate::overload::DEADLINE_HEADER`], if the client stamped
+    /// one.
+    pub fn deadline_epoch_ms(&self) -> Option<u64> {
+        self.headers.get(crate::overload::DEADLINE_HEADER).and_then(|v| v.parse().ok())
+    }
+
+    /// How much of the client's deadline budget remains, in milliseconds
+    /// (negative once expired). `None` when the request carries no
+    /// deadline. Handlers use this to bail out of expensive work nobody
+    /// is waiting for anymore.
+    pub fn remaining_budget_ms(&self) -> Option<i64> {
+        self.deadline_epoch_ms()
+            .map(|deadline| deadline as i64 - crate::overload::epoch_ms() as i64)
+    }
+
     /// Serializes the request for sending (client side).
     ///
     /// # Errors
@@ -335,6 +355,24 @@ impl Response {
     /// Whether this response announces the connection will close after it.
     pub fn is_close(&self) -> bool {
         connection_close(&self.headers)
+    }
+
+    /// An overloaded-server response (`503` shed or `504` expired) with
+    /// the mandatory `retry-after` hint, in seconds. The hint is the
+    /// server's half of the backoff contract: clients cap their own
+    /// exponential backoff at it (see [`crate::overload`]).
+    pub fn overloaded(status: StatusCode, error: &str, retry_after_secs: u64) -> Self {
+        let mut r = Self::json_with_status(status, &serde_json::json!({ "error": error }));
+        r.headers.insert("retry-after".into(), retry_after_secs.to_string());
+        r
+    }
+
+    /// The `retry-after` hint, if the server sent one.
+    pub fn retry_after(&self) -> Option<std::time::Duration> {
+        self.headers
+            .get("retry-after")
+            .and_then(|v| v.parse::<u64>().ok())
+            .map(std::time::Duration::from_secs)
     }
 
     /// Reads one response from a stream (client side), rejecting declared

@@ -41,6 +41,7 @@ pub mod api;
 pub mod client;
 pub mod http;
 pub mod metrics;
+pub mod overload;
 pub mod reactor;
 pub mod router;
 pub mod server;
@@ -48,5 +49,6 @@ pub mod server;
 pub use client::Session;
 pub use http::{Method, Request, Response, StatusCode};
 pub use metrics::ServerMetrics;
+pub use overload::{BreakerState, CircuitBreaker, FullJitterBackoff, RetryBudget, DEADLINE_HEADER};
 pub use router::{Params, Router};
 pub use server::{DrainReport, HttpServer, ServerConfig};

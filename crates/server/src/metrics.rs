@@ -44,6 +44,16 @@ pub struct ServerMetrics {
     /// Connections refused with a 503 because the worker queue was full
     /// (`server.shed_total`).
     pub shed_total: Counter,
+    /// Requests 504-rejected at admission because their propagated
+    /// deadline had already passed (`server.expired_admission_total`).
+    pub expired_admission_total: Counter,
+    /// Queued requests dropped at worker dequeue because their deadline
+    /// expired while they waited — "never work for a dead request"
+    /// (`server.expired_dequeued_total`).
+    pub expired_dequeued_total: Counter,
+    /// Handlers that bailed out mid-work because the remaining deadline
+    /// budget hit zero (`server.expired_handler_total`).
+    pub expired_handler_total: Counter,
     /// 1 while the server is draining in-flight connections during
     /// shutdown, else 0 (`server.draining`).
     pub draining: Gauge,
@@ -86,6 +96,9 @@ impl ServerMetrics {
             body_too_large_total: registry.counter("server.body_too_large_total"),
             headers_too_large_total: registry.counter("server.headers_too_large_total"),
             shed_total: registry.counter("server.shed_total"),
+            expired_admission_total: registry.counter("server.expired_admission_total"),
+            expired_dequeued_total: registry.counter("server.expired_dequeued_total"),
+            expired_handler_total: registry.counter("server.expired_handler_total"),
             draining: registry.gauge("server.draining"),
             keepalive_reuses_total: registry.counter("server.keepalive_reuses_total"),
             shutdown_duration_ms: registry.histogram_with_buckets(

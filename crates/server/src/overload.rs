@@ -1,0 +1,388 @@
+//! Overload policy primitives: deadline propagation, full-jitter backoff,
+//! retry budgets, and a per-host circuit breaker (DESIGN.md §15).
+//!
+//! These are the two halves of one contract. The server's admission path
+//! refuses work nobody is waiting for (a request whose
+//! [`DEADLINE_HEADER`] has passed is answered `504` before it ever
+//! queues, and dropped again at worker dequeue if it expired while
+//! waiting); the client stops asking a server that cannot help it
+//! (jittered backoff desynchronizes a retrying fleet, the token-bucket
+//! [`RetryBudget`] caps retries at a fraction of successes so an outage
+//! converges instead of storming, and the [`CircuitBreaker`] fails fast
+//! once a host has proven itself down).
+//!
+//! Everything here is deterministic under a seed: jitter comes from a
+//! tiny [`SplitMix64`] stream, not a global RNG, so chaos tests replay
+//! bit-identically.
+
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+/// Request header carrying the absolute client deadline as integer epoch
+/// milliseconds: `x-kscope-deadline-ms: 1754550000123`. Clients derive it
+/// from their session-lease deadlines; every server admission point
+/// compares it against [`epoch_ms`].
+pub const DEADLINE_HEADER: &str = "x-kscope-deadline-ms";
+
+/// Milliseconds since the Unix epoch — the clock both ends of the
+/// deadline contract read.
+pub fn epoch_ms() -> u64 {
+    SystemTime::now().duration_since(UNIX_EPOCH).map_or(0, |d| d.as_millis() as u64)
+}
+
+/// SplitMix64: a tiny, seedable, allocation-free PRNG. Used for backoff
+/// jitter so the client crates need no external RNG dependency and two
+/// sessions with the same seed sleep the same schedule.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Full-jitter exponential backoff (the AWS scheme): attempt `n` sleeps a
+/// uniform draw from `[0, min(cap, base * 2^n)]`, so a fleet of clients
+/// knocked over by the same shed never reconverges on one retry clock —
+/// the defect the old `backoff * 2^attempt` had.
+///
+/// A server `Retry-After` hint replaces the exponential envelope: the
+/// server knows when capacity returns, so the sleep becomes
+/// `hint/2 + U[0, hint/2]` — never past the hint (the hint caps the
+/// backoff), never hammering before half of it has elapsed.
+#[derive(Debug, Clone)]
+pub struct FullJitterBackoff {
+    cap: Duration,
+    rng: SplitMix64,
+}
+
+impl FullJitterBackoff {
+    /// A backoff helper whose jitter stream starts at `seed` and whose
+    /// envelope never exceeds `cap`.
+    pub fn new(cap: Duration, seed: u64) -> Self {
+        Self { cap, rng: SplitMix64::new(seed) }
+    }
+
+    /// The sleep before retry number `attempt` (0-based) of an operation
+    /// whose first-retry envelope is `base`, honoring a server
+    /// `retry_after` hint when one was given.
+    pub fn delay(
+        &mut self,
+        base: Duration,
+        attempt: u32,
+        retry_after: Option<Duration>,
+    ) -> Duration {
+        if let Some(hint) = retry_after {
+            let hint = hint.min(self.cap);
+            let half = hint / 2;
+            return half + hint.mul_f64(0.5 * self.rng.next_f64());
+        }
+        let envelope = base.saturating_mul(2u32.saturating_pow(attempt)).min(self.cap);
+        envelope.mul_f64(self.rng.next_f64())
+    }
+}
+
+/// Token-bucket retry budget (gRPC-style retry throttling): every
+/// success deposits `ratio` tokens, every retry withdraws one, and the
+/// bucket holds at most `cap`. In steady state retries are bounded at
+/// ~`ratio` × successes; in a full outage (no deposits) a client gets at
+/// most `cap` retries total and then fails fast — the property that turns
+/// a fleet-wide retry storm into a bounded trickle.
+#[derive(Debug, Clone)]
+pub struct RetryBudget {
+    tokens: f64,
+    cap: f64,
+    ratio: f64,
+    spent: u64,
+    denied: u64,
+}
+
+impl RetryBudget {
+    /// A budget starting full at `cap` tokens, earning `ratio` per
+    /// success.
+    pub fn new(cap: f64, ratio: f64) -> Self {
+        Self { tokens: cap, cap, ratio, spent: 0, denied: 0 }
+    }
+
+    /// Deposits the success dividend.
+    pub fn on_success(&mut self) {
+        self.tokens = (self.tokens + self.ratio).min(self.cap);
+    }
+
+    /// Withdraws one token for a retry; `false` means the budget is
+    /// exhausted and the caller must surface the failure instead of
+    /// retrying.
+    pub fn try_spend(&mut self) -> bool {
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            self.spent += 1;
+            true
+        } else {
+            self.denied += 1;
+            false
+        }
+    }
+
+    /// Tokens currently banked.
+    pub fn tokens(&self) -> f64 {
+        self.tokens
+    }
+
+    /// Retries granted so far.
+    pub fn spent(&self) -> u64 {
+        self.spent
+    }
+
+    /// Retries denied so far.
+    pub fn denied(&self) -> u64 {
+        self.denied
+    }
+}
+
+/// Circuit-breaker state, exported as the `client.breaker_state` gauge
+/// (`0` closed, `1` open, `2` half-open).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Requests flow; consecutive failures are counted.
+    Closed,
+    /// The host is presumed down: requests fail fast until the cooldown
+    /// elapses.
+    Open,
+    /// Cooldown elapsed: exactly one probe request is in flight; its
+    /// outcome closes or re-opens the breaker.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Gauge encoding.
+    pub fn as_gauge(self) -> i64 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::Open => 1,
+            BreakerState::HalfOpen => 2,
+        }
+    }
+}
+
+/// Per-host circuit breaker: `threshold` consecutive transport failures
+/// open it; after `cooldown` one half-open probe is admitted; a probe
+/// success closes it, a probe failure re-opens it for another cooldown.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    state: BreakerState,
+    consecutive_failures: u32,
+    threshold: u32,
+    cooldown: Duration,
+    opened_at: Option<Instant>,
+    opened_total: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker tripping after `threshold` consecutive failures,
+    /// probing after `cooldown`.
+    pub fn new(threshold: u32, cooldown: Duration) -> Self {
+        Self {
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            threshold: threshold.max(1),
+            cooldown,
+            opened_at: None,
+            opened_total: 0,
+        }
+    }
+
+    /// Whether a request may proceed now. Transitions open → half-open
+    /// when the cooldown has elapsed (the admitted request is the probe).
+    pub fn admit(&mut self, now: Instant) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::HalfOpen => false,
+            BreakerState::Open => {
+                let elapsed = self
+                    .opened_at
+                    .is_none_or(|at| now.saturating_duration_since(at) >= self.cooldown);
+                if elapsed {
+                    self.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records a successful exchange: closes the breaker and resets the
+    /// failure streak.
+    pub fn on_success(&mut self) {
+        self.state = BreakerState::Closed;
+        self.consecutive_failures = 0;
+        self.opened_at = None;
+    }
+
+    /// Records a transport failure, opening the breaker when the streak
+    /// reaches the threshold (or immediately when a half-open probe
+    /// fails).
+    pub fn on_failure(&mut self, now: Instant) {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        let trip = self.state == BreakerState::HalfOpen
+            || (self.state == BreakerState::Closed && self.consecutive_failures >= self.threshold);
+        if trip {
+            self.state = BreakerState::Open;
+            self.opened_at = Some(now);
+            self.opened_total += 1;
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Times the breaker has opened.
+    pub fn opened_total(&self) -> u64 {
+        self.opened_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_uniformish() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(8);
+        let mean: f64 = (0..1000).map(|_| c.next_f64()).sum::<f64>() / 1000.0;
+        assert!((0.4..0.6).contains(&mean), "mean of U[0,1) draws was {mean}");
+    }
+
+    #[test]
+    fn full_jitter_stays_inside_the_envelope_and_replays() {
+        let base = Duration::from_millis(25);
+        let cap = Duration::from_secs(2);
+        let mut backoff = FullJitterBackoff::new(cap, 42);
+        let mut replay = FullJitterBackoff::new(cap, 42);
+        for attempt in 0..12 {
+            let envelope = base.saturating_mul(2u32.saturating_pow(attempt)).min(cap);
+            let d = backoff.delay(base, attempt, None);
+            assert!(d <= envelope, "attempt {attempt}: {d:?} > {envelope:?}");
+            assert_eq!(d, replay.delay(base, attempt, None), "same seed must replay");
+        }
+        // Two seeds must NOT produce the same schedule (that is the storm).
+        let mut other = FullJitterBackoff::new(cap, 43);
+        let same = (0..8).filter(|&a| {
+            FullJitterBackoff::new(cap, 42).delay(base, a, None) == other.delay(base, a, None)
+        });
+        assert!(same.count() < 8);
+    }
+
+    #[test]
+    fn retry_after_caps_the_backoff() {
+        let mut backoff = FullJitterBackoff::new(Duration::from_secs(2), 1);
+        let hint = Duration::from_millis(100);
+        for attempt in 0..10 {
+            let d = backoff.delay(Duration::from_secs(30), attempt, Some(hint));
+            assert!(d <= hint, "honored hint must cap the sleep: {d:?}");
+            assert!(d >= hint / 2, "never retry before half the hint: {d:?}");
+        }
+    }
+
+    #[test]
+    fn budget_bounds_retries_to_a_fraction_of_successes() {
+        let mut budget = RetryBudget::new(3.0, 0.1);
+        // Outage from a cold start: only the banked cap is spendable.
+        let granted = (0..50).filter(|_| budget.try_spend()).count();
+        assert_eq!(granted, 3, "a full outage gets exactly the banked cap");
+        assert_eq!(budget.denied(), 47);
+        // 100 successes earn 10 tokens → ~10% retry ratio.
+        for _ in 0..100 {
+            budget.on_success();
+        }
+        let granted = (0..50).filter(|_| budget.try_spend()).count();
+        assert!(granted <= 10, "retries must stay ≤ ~10% of successes, got {granted}");
+        assert_eq!(budget.spent(), 3 + granted as u64);
+    }
+
+    #[test]
+    fn budget_is_capped() {
+        let mut budget = RetryBudget::new(2.0, 1.0);
+        for _ in 0..100 {
+            budget.on_success();
+        }
+        assert!(budget.tokens() <= 2.0);
+    }
+
+    #[test]
+    fn breaker_walks_closed_open_halfopen() {
+        let t0 = Instant::now();
+        let mut breaker = CircuitBreaker::new(3, Duration::from_millis(100));
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        assert!(breaker.admit(t0));
+        breaker.on_failure(t0);
+        breaker.on_failure(t0);
+        assert_eq!(breaker.state(), BreakerState::Closed, "below threshold stays closed");
+        breaker.on_failure(t0);
+        assert_eq!(breaker.state(), BreakerState::Open);
+        assert_eq!(breaker.opened_total(), 1);
+        assert!(!breaker.admit(t0 + Duration::from_millis(50)), "open fails fast");
+        // Cooldown elapsed: one probe admitted, a second is not.
+        assert!(breaker.admit(t0 + Duration::from_millis(150)));
+        assert_eq!(breaker.state(), BreakerState::HalfOpen);
+        assert!(!breaker.admit(t0 + Duration::from_millis(150)));
+        // Probe fails: re-open.
+        breaker.on_failure(t0 + Duration::from_millis(151));
+        assert_eq!(breaker.state(), BreakerState::Open);
+        assert_eq!(breaker.opened_total(), 2);
+        // Next probe succeeds: closed, streak reset.
+        assert!(breaker.admit(t0 + Duration::from_millis(300)));
+        breaker.on_success();
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        breaker.on_failure(t0 + Duration::from_millis(301));
+        assert_eq!(breaker.state(), BreakerState::Closed, "streak was reset by the success");
+    }
+
+    #[test]
+    fn success_resets_a_failure_streak() {
+        let now = Instant::now();
+        let mut breaker = CircuitBreaker::new(2, Duration::from_millis(10));
+        breaker.on_failure(now);
+        breaker.on_success();
+        breaker.on_failure(now);
+        assert_eq!(breaker.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn epoch_clock_is_sane() {
+        let a = epoch_ms();
+        assert!(a > 1_600_000_000_000, "epoch clock must be past 2020");
+        assert!(epoch_ms() >= a);
+    }
+
+    #[test]
+    fn breaker_gauge_encoding() {
+        assert_eq!(BreakerState::Closed.as_gauge(), 0);
+        assert_eq!(BreakerState::Open.as_gauge(), 1);
+        assert_eq!(BreakerState::HalfOpen.as_gauge(), 2);
+    }
+}

@@ -457,6 +457,22 @@ impl Shard {
                             m.keepalive_reuses_total.inc();
                         }
                     }
+                    // Admission control: a request whose propagated
+                    // deadline has already passed is refused before it
+                    // ever queues — nobody is waiting for the answer.
+                    if request.deadline_epoch_ms().is_some_and(|d| crate::overload::epoch_ms() >= d)
+                    {
+                        if let Some(m) = &self.metrics {
+                            m.expired_admission_total.inc();
+                        }
+                        let response = Response::overloaded(
+                            StatusCode::GATEWAY_TIMEOUT,
+                            "deadline already expired",
+                            1,
+                        );
+                        Self::queue_close_response(conn, self.metrics.as_deref(), response);
+                        break 'advance;
+                    }
                     let close = self.stop.load(Ordering::SeqCst)
                         || conn.served >= self.config.max_requests_per_connection
                         || request.wants_close();
@@ -482,11 +498,11 @@ impl Shard {
                             if let Some(m) = &self.metrics {
                                 m.shed_total.inc();
                             }
-                            let mut response = Response::json_with_status(
+                            let response = Response::overloaded(
                                 StatusCode::SERVICE_UNAVAILABLE,
-                                &serde_json::json!({ "error": "server overloaded, retry later" }),
+                                "server overloaded, retry later",
+                                1,
                             );
-                            response.headers.insert("retry-after".into(), "1".into());
                             Self::queue_close_response(conn, self.metrics.as_deref(), response);
                             break 'advance;
                         }

@@ -345,6 +345,25 @@ fn worker_loop(rx: &Receiver<Job>, router: &Router, metrics: Option<&ServerMetri
     while let Ok(job) = rx.recv() {
         if let Some(m) = metrics {
             m.accept_queue_depth.dec();
+        }
+        // Never work for a dead request: if the propagated deadline
+        // expired while the job sat in the dispatch queue, the client has
+        // already given up — answer 504 without running the handler.
+        if job.request.deadline_epoch_ms().is_some_and(|d| crate::overload::epoch_ms() >= d) {
+            if let Some(m) = metrics {
+                m.expired_dequeued_total.inc();
+            }
+            let mut response =
+                Response::overloaded(StatusCode::GATEWAY_TIMEOUT, "deadline expired in queue", 1);
+            response.set_connection(job.close);
+            if let Some(m) = metrics {
+                m.record_response(response.status.0);
+            }
+            let _ = job.reply.send(Completion { token: job.token, close: job.close, response });
+            job.waker.wake();
+            continue;
+        }
+        if let Some(m) = metrics {
             m.workers_busy.inc();
         }
         // A panicking handler must not take the worker thread (and its
