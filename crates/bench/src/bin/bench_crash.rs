@@ -1,0 +1,94 @@
+//! Process-chaos benchmark: a crash-only supervised campaign SIGKILLed
+//! at seeded beacons and resumed until it concludes (DESIGN.md §16).
+//!
+//! Emits `BENCH_crash.json` (override with `--out <path>`) with the
+//! kill/restart counts, recovery-time and WAL-replay observations, and
+//! the zero-loss verdict against an undisturbed run of the same seed.
+//! `--quick` shrinks the matrix for CI smoke runs; `--seed` picks the
+//! campaign; `--kscope <path>` points at the binary under test (default:
+//! a `kscope` sitting next to this benchmark).
+
+use kscope_bench::crash::{run_crash_matrix, CrashConfig, KillPoint};
+use serde_json::json;
+use std::path::PathBuf;
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+/// Every `--kill phase:n` (or `phase-n`) argument, in order; an empty
+/// vec means "use the config's default matrix".
+fn kill_overrides(args: &[String]) -> Vec<KillPoint> {
+    args.windows(2)
+        .filter(|w| w[0] == "--kill")
+        .map(|w| {
+            let (phase, n) = w[1]
+                .split_once(':')
+                .or_else(|| w[1].split_once('-'))
+                .unwrap_or_else(|| panic!("--kill wants phase:n, got '{}'", w[1]));
+            KillPoint::at(phase, n.parse().expect("--kill n must be a number"))
+        })
+        .collect()
+}
+
+/// The `kscope` binary built into the same target directory as this
+/// benchmark — the default when `--kscope` is not given.
+fn sibling_kscope() -> PathBuf {
+    let mut path = std::env::current_exe().expect("benchmark has a path");
+    path.set_file_name("kscope");
+    path
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let seed: u64 = flag_value(&args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_crash.json".to_string());
+    let kscope = flag_value(&args, "--kscope").map(PathBuf::from).unwrap_or_else(sibling_kscope);
+    assert!(
+        kscope.exists(),
+        "kscope binary not found at {} — build it first or pass --kscope <path>",
+        kscope.display()
+    );
+    let scratch = std::env::temp_dir().join(format!("kscope-bench-crash-{}", std::process::id()));
+
+    let mut config = if quick {
+        CrashConfig::quick(kscope, scratch.clone(), seed)
+    } else {
+        CrashConfig::matrix(kscope, scratch.clone(), seed)
+    };
+    let overrides = kill_overrides(&args);
+    if !overrides.is_empty() {
+        config.kills = overrides;
+    }
+    let report = run_crash_matrix(&config).expect("crash matrix runs");
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let doc = json!({
+        "bench": "crash",
+        "seed": seed,
+        "quick": quick,
+        "participants": config.participants,
+        "kills": config.kills.iter().map(|k| format!("{}:{}", k.phase, k.n)).collect::<Vec<_>>(),
+        "matrix": report.to_json(),
+    });
+    println!(
+        "{} kills across {} incarnations (ledger counted {} resumes): report_match={} \
+         keys_match={} spend {}¢ vs {}¢ undisturbed; recovery {:?} ms, WAL replays {:?}",
+        report.kills_fired,
+        report.incarnations,
+        report.resumed_count,
+        report.report_match,
+        report.keys_match,
+        report.budget_cents_disturbed,
+        report.budget_cents_undisturbed,
+        report.recovery_ms,
+        report.replayed_records,
+    );
+    std::fs::write(&out_path, serde_json::to_string_pretty(&doc).expect("serialize"))
+        .expect("write crash report");
+    println!("wrote {out_path}");
+
+    assert!(report.kills_fired >= 1, "at least one SIGKILL must land");
+    assert!(report.zero_loss(), "kill -9 must not change the campaign outcome");
+}

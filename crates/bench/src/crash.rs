@@ -1,0 +1,337 @@
+//! Kill −9 process-chaos harness (DESIGN.md §16).
+//!
+//! Runs a crash-only supervised campaign (`kscope demo --supervised
+//! --data … --json`) in a child process, SIGKILLs it at seeded
+//! instants — the `KSCOPE-BEACON phase=… n=…` lines the CLI emits at
+//! every supervisor step — restarts it with `--resume`, and proves the
+//! final report, the stored response set, and the spend are exactly what
+//! an undisturbed run of the same seed produces. The kill is a real
+//! `SIGKILL` delivered mid-write to a separate process: no destructor,
+//! no flush, no atexit handler softens it.
+
+use kscope_store::Database;
+use serde_json::{json, Value};
+use std::collections::BTreeSet;
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::Instant;
+
+/// A beacon at which the child process is SIGKILLed: the incarnation
+/// dies the moment it prints `KSCOPE-BEACON phase={phase} n={n}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KillPoint {
+    /// Beacon phase: `refill`, `session`, `sweep`, `checkpoint`,
+    /// `resume`, or `concluded`.
+    pub phase: String,
+    /// The beacon's `n` value (session count, round number, …).
+    pub n: u64,
+}
+
+impl KillPoint {
+    /// A kill point at `phase`/`n`.
+    pub fn at(phase: &str, n: u64) -> Self {
+        Self { phase: phase.to_string(), n }
+    }
+
+    fn beacon_line(&self) -> String {
+        format!("KSCOPE-BEACON phase={} n={}", self.phase, self.n)
+    }
+}
+
+/// What to run and where to kill it.
+#[derive(Debug, Clone)]
+pub struct CrashConfig {
+    /// Path to the `kscope` binary under test.
+    pub kscope_bin: PathBuf,
+    /// Scratch directory; the harness creates `undisturbed/` and
+    /// `disturbed/` durable databases underneath and wipes both first.
+    pub scratch: PathBuf,
+    /// Demo corpus (`font`, `expand`, `uplt`, `ads`).
+    pub demo: String,
+    /// Recruited participants per refill round.
+    pub participants: usize,
+    /// Campaign seed — the whole point: one seed, one outcome, crashes
+    /// or not.
+    pub seed: u64,
+    /// Kill points, applied one per incarnation in order.
+    pub kills: Vec<KillPoint>,
+}
+
+impl CrashConfig {
+    /// The default kill matrix: early in recruitment, mid-session, at
+    /// the round boundary, and during the post-sweep checkpoint.
+    pub fn matrix(kscope_bin: PathBuf, scratch: PathBuf, seed: u64) -> Self {
+        Self {
+            kscope_bin,
+            scratch,
+            demo: "font".to_string(),
+            participants: 24,
+            seed,
+            kills: vec![
+                KillPoint::at("refill", 0),
+                KillPoint::at("session", 3),
+                KillPoint::at("session", 11),
+                KillPoint::at("sweep", 0),
+                KillPoint::at("checkpoint", 0),
+            ],
+        }
+    }
+
+    /// A two-kill matrix for CI smoke runs.
+    pub fn quick(kscope_bin: PathBuf, scratch: PathBuf, seed: u64) -> Self {
+        let mut config = Self::matrix(kscope_bin, scratch, seed);
+        config.participants = 16;
+        config.kills = vec![KillPoint::at("session", 2), KillPoint::at("sweep", 0)];
+        config
+    }
+}
+
+/// One child-process run: its stdout, whether the harness killed it,
+/// and its recovery timings.
+#[derive(Debug)]
+struct Incarnation {
+    lines: Vec<String>,
+    killed: bool,
+    success: bool,
+    /// Spawn → first beacon: process start plus recovery replay.
+    first_beacon_ms: Option<u64>,
+    /// WAL records replayed at open, from the `KSCOPE-RECOVERY` line.
+    replayed_records: Option<u64>,
+}
+
+/// The matrix verdict: every comparison between the disturbed and the
+/// undisturbed campaign, plus the recovery-cost observations.
+#[derive(Debug)]
+pub struct CrashReport {
+    /// Kill points that actually fired (a campaign can conclude before
+    /// a late kill point is reached).
+    pub kills_fired: usize,
+    /// Child processes spawned for the disturbed campaign.
+    pub incarnations: usize,
+    /// `resumed_count` recorded in the disturbed ledger.
+    pub resumed_count: u64,
+    /// Final report JSON identical to the undisturbed run's.
+    pub report_match: bool,
+    /// Stored `contributor|submission` response key sets identical.
+    pub keys_match: bool,
+    /// Ledger `budget_spent_cents`, disturbed run.
+    pub budget_cents_disturbed: i64,
+    /// Ledger `budget_spent_cents`, undisturbed run.
+    pub budget_cents_undisturbed: i64,
+    /// Spawn → first beacon per resumed incarnation, milliseconds.
+    pub recovery_ms: Vec<u64>,
+    /// WAL records replayed per resumed incarnation.
+    pub replayed_records: Vec<u64>,
+    /// The undisturbed run's final report JSON.
+    pub undisturbed: Value,
+    /// The disturbed run's final report JSON.
+    pub disturbed: Value,
+}
+
+impl CrashReport {
+    /// The tentpole invariant: crashes changed nothing — same report,
+    /// same stored responses, and not a cent more spent.
+    pub fn zero_loss(&self) -> bool {
+        self.report_match
+            && self.keys_match
+            && self.budget_cents_disturbed <= self.budget_cents_undisturbed
+    }
+
+    /// Machine-readable form for `BENCH_crash.json`.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "kills_fired": self.kills_fired,
+            "incarnations": self.incarnations,
+            "resumed_count": self.resumed_count,
+            "report_match": self.report_match,
+            "keys_match": self.keys_match,
+            "budget_cents": {
+                "disturbed": self.budget_cents_disturbed,
+                "undisturbed": self.budget_cents_undisturbed,
+            },
+            "recovery_ms": self.recovery_ms,
+            "replayed_records": self.replayed_records,
+            "zero_loss": self.zero_loss(),
+        })
+    }
+}
+
+fn io_err(msg: String) -> std::io::Error {
+    std::io::Error::other(msg)
+}
+
+/// Spawns one `kscope demo` incarnation against `data`, optionally
+/// SIGKILLing it the instant `kill`'s beacon line appears on stdout.
+fn run_incarnation(
+    config: &CrashConfig,
+    data: &Path,
+    resume: bool,
+    kill: Option<&KillPoint>,
+) -> std::io::Result<Incarnation> {
+    let mut cmd = Command::new(&config.kscope_bin);
+    cmd.arg("demo")
+        .arg(&config.demo)
+        .arg("--supervised")
+        .arg("--participants")
+        .arg(config.participants.to_string())
+        .arg("--seed")
+        .arg(config.seed.to_string())
+        .arg("--data")
+        .arg(data)
+        .arg("--json")
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    if resume {
+        cmd.arg("--resume");
+    }
+    let start = Instant::now();
+    let mut child = cmd.spawn()?;
+    let stdout = child.stdout.take().expect("stdout was piped");
+    let kill_line = kill.map(KillPoint::beacon_line);
+    let mut lines = Vec::new();
+    let mut killed = false;
+    let mut first_beacon_ms = None;
+    let mut replayed_records = None;
+    for line in BufReader::new(stdout).lines() {
+        let line = line?;
+        if line.starts_with("KSCOPE-BEACON ") && first_beacon_ms.is_none() {
+            first_beacon_ms = Some(u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX));
+        }
+        if let Some(rest) = line.split("replayed_records=").nth(1) {
+            replayed_records = rest.split_whitespace().next().and_then(|v| v.parse::<u64>().ok());
+        }
+        let is_kill = kill_line.as_deref() == Some(line.as_str());
+        lines.push(line);
+        if is_kill && !killed {
+            killed = true;
+            // SIGKILL — the child gets no chance to flush or unwind.
+            child.kill()?;
+        }
+    }
+    let status = child.wait()?;
+    Ok(Incarnation { lines, killed, success: status.success(), first_beacon_ms, replayed_records })
+}
+
+/// Extracts the pretty-printed report JSON a completed incarnation
+/// prints after its banner and beacon lines.
+fn parse_report(lines: &[String]) -> std::io::Result<Value> {
+    let body: String = lines
+        .iter()
+        .skip_while(|l| !l.starts_with('{'))
+        .map(String::as_str)
+        .collect::<Vec<_>>()
+        .join("\n");
+    serde_json::from_str(&body)
+        .map_err(|e| io_err(format!("child printed no parseable report: {e}")))
+}
+
+/// Stored response identities, the exactly-once unit of the campaign.
+fn response_keys(data: &Path) -> std::io::Result<BTreeSet<String>> {
+    let (db, _) = Database::open_durable(data).map_err(|e| io_err(e.to_string()))?;
+    Ok(db
+        .collection("responses")
+        .all()
+        .iter()
+        .map(|d| {
+            format!(
+                "{}|{}",
+                d["contributor_id"].as_str().unwrap_or("?"),
+                d["submission_id"].as_str().unwrap_or("?")
+            )
+        })
+        .collect())
+}
+
+/// The campaign-ledger document left in a durable database.
+fn ledger_doc(data: &Path) -> std::io::Result<Value> {
+    let (db, _) = Database::open_durable(data).map_err(|e| io_err(e.to_string()))?;
+    db.collection("campaign_ledger")
+        .all()
+        .into_iter()
+        .next()
+        .ok_or_else(|| io_err("no campaign ledger in the durable database".to_string()))
+}
+
+/// Runs the full matrix: one undisturbed campaign, then the same seed
+/// under the configured kill schedule, then every comparison.
+///
+/// # Errors
+///
+/// I/O errors spawning or reading the child, a child failing for any
+/// reason other than the harness's own SIGKILL, or an unparseable
+/// report.
+pub fn run_crash_matrix(config: &CrashConfig) -> std::io::Result<CrashReport> {
+    let undisturbed_dir = config.scratch.join("undisturbed");
+    let disturbed_dir = config.scratch.join("disturbed");
+    for dir in [&undisturbed_dir, &disturbed_dir] {
+        let _ = std::fs::remove_dir_all(dir);
+        std::fs::create_dir_all(dir)?;
+    }
+
+    let clean = run_incarnation(config, &undisturbed_dir, false, None)?;
+    if !clean.success {
+        return Err(io_err("undisturbed campaign failed".to_string()));
+    }
+    let undisturbed = parse_report(&clean.lines)?;
+
+    let mut kills_fired = 0;
+    let mut incarnations = 0;
+    let mut recovery_ms = Vec::new();
+    let mut replayed_records = Vec::new();
+    let mut resume = false;
+    let mut concluded: Option<Incarnation> = None;
+    for kill in &config.kills {
+        let inc = run_incarnation(config, &disturbed_dir, resume, Some(kill))?;
+        incarnations += 1;
+        if resume {
+            recovery_ms.extend(inc.first_beacon_ms);
+            replayed_records.extend(inc.replayed_records);
+        }
+        if inc.killed {
+            kills_fired += 1;
+            resume = true;
+        } else if inc.success {
+            // The campaign concluded before this kill point was reached.
+            concluded = Some(inc);
+            break;
+        } else {
+            return Err(io_err(format!(
+                "disturbed incarnation died without being killed (kill point {kill:?})"
+            )));
+        }
+    }
+    let finale = match concluded {
+        Some(inc) => inc,
+        None => {
+            let inc = run_incarnation(config, &disturbed_dir, true, None)?;
+            incarnations += 1;
+            if !inc.success {
+                return Err(io_err("final resume incarnation failed".to_string()));
+            }
+            recovery_ms.extend(inc.first_beacon_ms);
+            replayed_records.extend(inc.replayed_records);
+            inc
+        }
+    };
+    let disturbed = parse_report(&finale.lines)?;
+
+    let keys_match = response_keys(&undisturbed_dir)? == response_keys(&disturbed_dir)?;
+    let ledger_disturbed = ledger_doc(&disturbed_dir)?;
+    let ledger_undisturbed = ledger_doc(&undisturbed_dir)?;
+    let cents = |doc: &Value| doc.get("budget_spent_cents").and_then(Value::as_i64).unwrap_or(-1);
+    Ok(CrashReport {
+        kills_fired,
+        incarnations,
+        resumed_count: ledger_disturbed.get("resumed_count").and_then(Value::as_u64).unwrap_or(0),
+        report_match: undisturbed == disturbed,
+        keys_match,
+        budget_cents_disturbed: cents(&ledger_disturbed),
+        budget_cents_undisturbed: cents(&ledger_undisturbed),
+        recovery_ms,
+        replayed_records,
+        undisturbed,
+        disturbed,
+    })
+}

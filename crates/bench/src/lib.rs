@@ -9,6 +9,7 @@
 #![forbid(unsafe_code)]
 
 pub mod chaos;
+pub mod crash;
 
 use kscope_core::corpus;
 use kscope_core::{Aggregator, Campaign, CampaignOutcome, QuestionKind, TestParams};

@@ -72,6 +72,10 @@ pub enum CampaignError {
     /// client skipped a question and tried to advance). The orchestrator
     /// surfaces the fault instead of panicking.
     FlowFault(FlowError),
+    /// The durable campaign ledger disagrees with this run — a missing
+    /// ledger on resume, a seed mismatch, a newer schema version, or a
+    /// replay that diverged from the persisted accounting.
+    LedgerConflict(String),
 }
 
 impl fmt::Display for CampaignError {
@@ -82,6 +86,7 @@ impl fmt::Display for CampaignError {
                 write!(f, "question '{q}' has no answer model")
             }
             CampaignError::FlowFault(e) => write!(f, "session flow fault: {e}"),
+            CampaignError::LedgerConflict(msg) => write!(f, "campaign ledger conflict: {msg}"),
         }
     }
 }

@@ -22,6 +22,31 @@
 //!   [`CampaignHealth`] report instead of erroring;
 //! * cost accounting pays **only completed sessions** — abandoned and
 //!   never-returning workers cost nothing.
+//!
+//! # Crash-only campaigns
+//!
+//! [`CampaignSupervisor::run_durable`] makes the whole campaign
+//! **crash-only**: kill the process at any instant and a restarted
+//! supervisor ([`CampaignSupervisor::resume`]) concludes with the exact
+//! outcome an undisturbed run would have produced — same ranking, same
+//! response set, same spend, nothing acknowledged lost and nothing repaid.
+//!
+//! The mechanism is deterministic replay against an idempotent store.
+//! Every refill round draws from its own seeded RNG
+//! (`splitmix64(campaign_seed ^ round)`), so round *r*'s recruitment,
+//! faults, and session behaviour do not depend on how much randomness
+//! earlier rounds consumed. A restarted run replays rounds from zero:
+//! response inserts land on the unique `(test_id, contributor_id,
+//! submission_id)` key and dedupe against the crashed incarnation's rows,
+//! lease upserts are idempotent point writes, and the in-memory
+//! accounting (including spend — sessions are never paid twice because
+//! payment is an accumulator *rebuilt* by the replay, not an incremental
+//! ledger) reconverges on the same values. A versioned
+//! [`CAMPAIGN_LEDGER_COLLECTION`] document persisted at every round
+//! boundary records the seed, postings, spend, and accounting; on resume
+//! the replay is cross-checked against it when it reaches the same
+//! boundary, so a ledger that disagrees with the replay (wrong seed,
+//! edited store) fails loudly instead of silently double-counting.
 
 use crate::aggregator::PreparedTest;
 use crate::campaign::{Campaign, CampaignError, CampaignOutcome, DrivenSession, SessionResult};
@@ -31,9 +56,11 @@ use kscope_browser::SessionRecord;
 use kscope_crowd::faults::{FaultModel, SessionFault};
 use kscope_crowd::platform::{CostReport, JobSpec, Platform};
 use kscope_crowd::worker::WorkerId;
-use rand::Rng;
+use kscope_store::{Database, PersistError};
+use rand::{rngs::StdRng, Rng, SeedableRng};
 use serde_json::{json, Value};
 use std::fmt;
+use std::sync::Arc;
 
 /// Collection holding the supervisor's durable lease ledger: one document
 /// per `(test_id, contributor_id)` recording the lease window and how the
@@ -46,6 +73,58 @@ pub const LEASES_BY_WORKER_INDEX: &str = "leases_by_worker";
 /// a range scan `[test_id .. (test_id, now)]`, earliest deadline first,
 /// instead of a linear pass over every lease ever issued.
 pub const LEASES_BY_DEADLINE_INDEX: &str = "leases_by_deadline";
+/// Collection holding one durable campaign-ledger document per test: the
+/// seed, refill round, postings with rewards, spend in cents, the
+/// kept/deduped/abandoned accounting, and the auto-close state. This is
+/// what a restarted supervisor resumes from.
+pub const CAMPAIGN_LEDGER_COLLECTION: &str = "campaign_ledger";
+/// Unique index on `campaign_ledger(test_id)` — ledger reads and the
+/// per-round snapshot upsert are point lookups.
+pub const LEDGER_BY_TEST_INDEX: &str = "ledger_by_test";
+/// Schema version stamped on every ledger document; bump on layout
+/// changes so an old supervisor refuses a newer ledger loudly.
+pub const LEDGER_SCHEMA_VERSION: u64 = 1;
+
+/// Observer invoked at supervision phase boundaries: `(phase, n)` where
+/// `phase` is one of `resume`, `refill`, `session`, `sweep`, or
+/// `concluded`. The CLI prints these as flushed `KSCOPE-BEACON` lines so
+/// an external chaos harness can SIGKILL the process at a precise
+/// instant; it also piggybacks round-boundary checkpoints on `sweep`.
+pub type SupervisorHook = Arc<dyn Fn(&str, u64) + Send + Sync>;
+
+/// Mixes the campaign seed with a round number (splitmix64 finalizer) so
+/// every refill round draws from an independent, reproducible stream.
+fn mix_round_seed(seed: u64, round: usize) -> u64 {
+    let mut z = (seed ^ (round as u64)).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Round-scoped randomness. `External` threads one caller-supplied
+/// generator through every round (the legacy [`CampaignSupervisor::run`]
+/// contract, where round *r* depends on rounds before it). `Seeded`
+/// reseeds per round from the campaign seed, which is what makes durable
+/// resumption a deterministic replay.
+enum RoundRngs<'r> {
+    External(&'r mut dyn Rng),
+    Seeded { seed: u64, current: StdRng },
+}
+
+impl RoundRngs<'_> {
+    fn start_round(&mut self, round: usize) {
+        if let RoundRngs::Seeded { seed, current } = self {
+            *current = StdRng::seed_from_u64(mix_round_seed(*seed, round));
+        }
+    }
+
+    fn rng(&mut self) -> &mut dyn Rng {
+        match self {
+            RoundRngs::External(r) => *r,
+            RoundRngs::Seeded { current, .. } => current,
+        }
+    }
+}
 
 /// Knobs governing supervision. Defaults are deliberately forgiving: a
 /// 3× engagement lease, up to 8 refill rounds with a 15% reward
@@ -316,11 +395,22 @@ pub struct SupervisedOutcome {
 /// Runs a campaign under session leases with abandonment recovery and
 /// quota refill. Wraps a [`Campaign`] (which supplies storage, question
 /// models, behaviour, QC thresholds, and telemetry).
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct CampaignSupervisor<'a> {
     campaign: &'a Campaign,
     config: SupervisorConfig,
     faults: FaultModel,
+    hook: Option<SupervisorHook>,
+}
+
+impl fmt::Debug for CampaignSupervisor<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CampaignSupervisor")
+            .field("config", &self.config)
+            .field("faults", &self.faults)
+            .field("hook", &self.hook.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 struct SupervisorMetrics {
@@ -336,6 +426,9 @@ struct SupervisorMetrics {
 
 impl SupervisorMetrics {
     fn register(registry: &kscope_telemetry::Registry) -> Self {
+        // Registered (at zero) even before any crash, so the resumption
+        // series is always present in `/metrics` and `kscope snapshot`.
+        let _ = registry.counter("core.campaign_resumed_total");
         Self {
             lease_expired: registry.counter("core.session_lease_expired_total"),
             refill_rounds: registry.gauge("core.refill_rounds"),
@@ -348,17 +441,185 @@ impl SupervisorMetrics {
     }
 }
 
+/// Durable-run bookkeeping threaded through the engine: the campaign
+/// seed, whether this incarnation resumed an earlier one, and the crashed
+/// incarnation's last persisted snapshot (for the boundary cross-check).
+struct LedgerState {
+    seed: u64,
+    resumed: bool,
+    resumed_count: u64,
+    persisted: Option<Value>,
+}
+
+/// Retries a store write while the database is read-only under disk
+/// pressure: the supervisor *pauses* (recruiting included — nothing
+/// advances past a write that has not been accepted) until background
+/// compaction frees WAL space and clears the mode. Counted on
+/// `core.supervisor_write_pauses_total` once per pause episode.
+fn write_pausing<T>(
+    registry: Option<&kscope_telemetry::Registry>,
+    mut op: impl FnMut() -> Result<T, PersistError>,
+) -> T {
+    let mut paused = false;
+    let start = std::time::Instant::now();
+    loop {
+        match op() {
+            Ok(v) => return v,
+            Err(e) => {
+                if !paused {
+                    paused = true;
+                    if let Some(r) = registry {
+                        r.counter("core.supervisor_write_pauses_total").inc();
+                    }
+                }
+                assert!(
+                    start.elapsed() < std::time::Duration::from_secs(120),
+                    "supervisor write blocked for 120s: {e}"
+                );
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+/// Upserts the campaign-ledger document (point write through the unique
+/// `test_id` index), pausing through read-only windows.
+fn persist_ledger(
+    ledger: &kscope_store::Collection,
+    registry: Option<&kscope_telemetry::Registry>,
+    doc: &Value,
+) {
+    let key = json!({ "test_id": doc["test_id"] });
+    write_pausing(registry, || {
+        ledger.try_upsert_mutate(&key, doc.clone(), |d| {
+            if let (Some(obj), Some(src)) = (d.as_object_mut(), doc.as_object()) {
+                for (k, v) in src {
+                    obj.insert(k.clone(), v.clone());
+                }
+            }
+        })
+    });
+}
+
+/// The campaign-ledger document persisted at every round boundary.
+#[allow(clippy::too_many_arguments)]
+fn ledger_snapshot_doc(
+    test_id: &str,
+    seed: u64,
+    config: &SupervisorConfig,
+    health: &CampaignHealth,
+    postings: &[Value],
+    rounds_completed: usize,
+    now_ms: u64,
+    state: &str,
+    resumed_count: u64,
+) -> Value {
+    json!({
+        "test_id": test_id,
+        "schema_version": LEDGER_SCHEMA_VERSION,
+        "seed": seed,
+        "state": state,
+        "resumed_count": resumed_count,
+        "rounds_completed": rounds_completed,
+        "postings": postings,
+        "budget_spent_cents": (health.spend_usd * 100.0).round() as i64,
+        "accounting": {
+            "recruited": health.recruited,
+            "completed": health.completed,
+            "deduped": health.deduped,
+            "abandoned": health.abandoned,
+            "qc_kept": health.qc_kept,
+            "upload_retries": health.upload_retries,
+            "refill_recruited": health.refill_recruited,
+        },
+        "auto_close": {
+            "deadline_hit": health.deadline_hit,
+            "budget_hit": health.budget_hit,
+            "rounds_exhausted": health.rounds_exhausted,
+            "reached_target": health.reached_target(),
+        },
+        "now_ms": now_ms,
+        "config": {
+            "target_kept": config.target_kept,
+            "lease_slack": config.lease_slack,
+            "max_refill_rounds": config.max_refill_rounds,
+            "reward_escalation": config.reward_escalation,
+            "budget_cap_usd": config.budget_cap_usd,
+            "deadline_ms": config.deadline_ms,
+        },
+    })
+}
+
+/// Verifies a resumed replay against the crashed incarnation's persisted
+/// snapshot once the replay reaches the same round boundary. A mismatch
+/// means the ledger and the store disagree (edited files, wrong seed) —
+/// failing loudly beats silently double-paying sessions.
+fn check_replay_against_ledger(
+    persisted: &Value,
+    health: &CampaignHealth,
+    rounds_completed: usize,
+    now_ms: u64,
+) -> Result<(), CampaignError> {
+    if persisted.get("rounds_completed").and_then(Value::as_u64) != Some(rounds_completed as u64) {
+        return Ok(());
+    }
+    let acct = &persisted["accounting"];
+    let expect = [
+        ("recruited", health.recruited),
+        ("completed", health.completed),
+        ("deduped", health.deduped),
+        ("abandoned", health.abandoned),
+    ];
+    for (field, replayed) in expect {
+        let stored = acct.get(field).and_then(Value::as_u64).unwrap_or(u64::MAX);
+        if stored != replayed as u64 {
+            return Err(CampaignError::LedgerConflict(format!(
+                "replay diverged from the persisted ledger at round boundary \
+                 {rounds_completed}: {field} replayed {replayed}, ledger holds {stored}"
+            )));
+        }
+    }
+    let stored_cents = persisted.get("budget_spent_cents").and_then(Value::as_i64).unwrap_or(-1);
+    let replayed_cents = (health.spend_usd * 100.0).round() as i64;
+    if stored_cents != replayed_cents {
+        return Err(CampaignError::LedgerConflict(format!(
+            "replay diverged from the persisted ledger at round boundary {rounds_completed}: \
+             spend replayed {replayed_cents}¢, ledger holds {stored_cents}¢"
+        )));
+    }
+    let stored_now = persisted.get("now_ms").and_then(Value::as_u64).unwrap_or(u64::MAX);
+    if stored_now != now_ms {
+        return Err(CampaignError::LedgerConflict(format!(
+            "replay diverged from the persisted ledger at round boundary {rounds_completed}: \
+             virtual clock replayed {now_ms}, ledger holds {stored_now}"
+        )));
+    }
+    Ok(())
+}
+
 impl<'a> CampaignSupervisor<'a> {
     /// Creates a supervisor over an existing campaign with a reliable
     /// population (no faults).
     pub fn new(campaign: &'a Campaign, config: SupervisorConfig) -> Self {
-        Self { campaign, config, faults: FaultModel::none() }
+        Self { campaign, config, faults: FaultModel::none(), hook: None }
     }
 
     /// Injects a fault model (builder style).
     pub fn with_faults(mut self, faults: FaultModel) -> Self {
         self.faults = faults;
         self
+    }
+
+    /// Installs a phase observer (builder style) — see [`SupervisorHook`].
+    pub fn with_hook(mut self, hook: SupervisorHook) -> Self {
+        self.hook = Some(hook);
+        self
+    }
+
+    fn beacon(&self, phase: &str, n: u64) {
+        if let Some(hook) = &self.hook {
+            hook(phase, n);
+        }
     }
 
     /// Expected engagement per session in ms: configured value, or the
@@ -388,6 +649,147 @@ impl<'a> CampaignSupervisor<'a> {
         spec: &JobSpec,
         rng: &mut R,
     ) -> Result<SupervisedOutcome, CampaignError> {
+        let mut reborrow: &mut R = rng;
+        let mut rngs = RoundRngs::External(&mut reborrow);
+        self.engine(params, prepared, spec, &mut rngs, None)
+    }
+
+    /// Runs (or transparently **resumes**) a crash-only supervised
+    /// campaign against the campaign's database, which should be durable
+    /// for the crash-safety to mean anything. Each refill round draws
+    /// from its own seeded RNG and a versioned campaign-ledger document
+    /// is persisted at every round boundary, so a process killed at any
+    /// instant can be restarted with the same arguments and conclude
+    /// with the exact outcome an undisturbed run would have produced.
+    ///
+    /// If a ledger for this test already exists the run resumes: the
+    /// rounds are replayed deterministically (response inserts dedupe
+    /// against the crashed incarnation's rows; sessions are never paid
+    /// twice because spend is an accumulator rebuilt by the replay), the
+    /// replay is cross-checked against the persisted accounting, and
+    /// `core.campaign_resumed_total` is incremented.
+    ///
+    /// # Errors
+    ///
+    /// Setup faults as in [`CampaignSupervisor::run`], plus
+    /// [`CampaignError::LedgerConflict`] when an existing ledger carries
+    /// a different seed, a newer schema, or accounting the replay cannot
+    /// reproduce.
+    pub fn run_durable(
+        &self,
+        params: &TestParams,
+        prepared: &PreparedTest,
+        spec: &JobSpec,
+        seed: u64,
+    ) -> Result<SupervisedOutcome, CampaignError> {
+        let db = self.campaign.db();
+        let ledger = db.collection(CAMPAIGN_LEDGER_COLLECTION);
+        let registry = self.campaign.telemetry().cloned();
+        write_pausing(registry.as_deref(), || {
+            ledger.try_ensure_index(LEDGER_BY_TEST_INDEX, &["test_id"], true)
+        });
+        let mut state = LedgerState { seed, resumed: false, resumed_count: 0, persisted: None };
+        if let Some(doc) = Self::ledger(db, &prepared.test_id) {
+            let version = doc.get("schema_version").and_then(Value::as_u64).unwrap_or(0);
+            if version > LEDGER_SCHEMA_VERSION {
+                return Err(CampaignError::LedgerConflict(format!(
+                    "ledger schema v{version} is newer than this supervisor \
+                     (v{LEDGER_SCHEMA_VERSION})"
+                )));
+            }
+            let stored_seed = doc.get("seed").and_then(Value::as_u64);
+            if stored_seed != Some(seed) {
+                return Err(CampaignError::LedgerConflict(format!(
+                    "campaign was started with seed {stored_seed:?}, not {seed}; \
+                     resume with the original seed"
+                )));
+            }
+            state.resumed = true;
+            state.resumed_count = doc.get("resumed_count").and_then(Value::as_u64).unwrap_or(0) + 1;
+            // Record the resume itself durably before replaying: another
+            // crash ahead of the first round boundary must still count
+            // this incarnation.
+            let count = state.resumed_count;
+            let key = json!({ "test_id": prepared.test_id });
+            write_pausing(registry.as_deref(), || {
+                ledger.try_upsert_mutate(&key, key.clone(), |d| {
+                    if let Some(obj) = d.as_object_mut() {
+                        obj.insert("resumed_count".to_string(), json!(count));
+                    }
+                })
+            });
+            if let Some(r) = registry.as_deref() {
+                r.counter("core.campaign_resumed_total").inc();
+            }
+            let boundary = doc.get("rounds_completed").and_then(Value::as_u64).unwrap_or(0);
+            state.persisted = Some(doc);
+            self.beacon("resume", boundary);
+        } else {
+            // Stamp the ledger before the first posting so a crash during
+            // round 0 still leaves the seed on disk for the resume to find.
+            let fresh = CampaignHealth {
+                target_kept: self.config.target_kept,
+                budget_cap_usd: self.config.budget_cap_usd,
+                ..CampaignHealth::default()
+            };
+            let doc = ledger_snapshot_doc(
+                &prepared.test_id,
+                seed,
+                &self.config,
+                &fresh,
+                &[],
+                0,
+                0,
+                "running",
+                0,
+            );
+            persist_ledger(&ledger, registry.as_deref(), &doc);
+        }
+        let mut rngs =
+            RoundRngs::Seeded { seed, current: StdRng::seed_from_u64(mix_round_seed(seed, 0)) };
+        self.engine(params, prepared, spec, &mut rngs, Some(state))
+    }
+
+    /// Resumes a crashed durable campaign using the seed recorded in its
+    /// ledger document — the restart path when the operator has the test
+    /// but not the original seed at hand.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::LedgerConflict`] when no ledger exists for this
+    /// test; otherwise as [`CampaignSupervisor::run_durable`].
+    pub fn resume(
+        &self,
+        params: &TestParams,
+        prepared: &PreparedTest,
+        spec: &JobSpec,
+    ) -> Result<SupervisedOutcome, CampaignError> {
+        let doc = Self::ledger(self.campaign.db(), &prepared.test_id).ok_or_else(|| {
+            CampaignError::LedgerConflict(format!(
+                "no campaign ledger for test '{}' — nothing to resume",
+                prepared.test_id
+            ))
+        })?;
+        let seed = doc.get("seed").and_then(Value::as_u64).ok_or_else(|| {
+            CampaignError::LedgerConflict("ledger document carries no seed".to_string())
+        })?;
+        self.run_durable(params, prepared, spec, seed)
+    }
+
+    /// Reads the durable campaign-ledger document for `test_id`, if one
+    /// exists — what `kscope` prints as its recovery banner on start.
+    pub fn ledger(db: &Database, test_id: &str) -> Option<Value> {
+        db.collection(CAMPAIGN_LEDGER_COLLECTION).find_one(&json!({ "test_id": test_id }))
+    }
+
+    fn engine(
+        &self,
+        params: &TestParams,
+        prepared: &PreparedTest,
+        spec: &JobSpec,
+        rngs: &mut RoundRngs<'_>,
+        ledger_state: Option<LedgerState>,
+    ) -> Result<SupervisedOutcome, CampaignError> {
         self.campaign.validate_questions(params)?;
         let pages = self.campaign.load_pages(prepared)?;
         let questions: Vec<String> = params.question.iter().map(|q| q.text().to_string()).collect();
@@ -395,32 +797,49 @@ impl<'a> CampaignSupervisor<'a> {
         let responses = self.campaign.db().collection("responses");
         // The lease ledger mirrors the in-memory accounting into the
         // store, where operators (and restarts) can see it. Both writes
-        // and the expiry sweep go through secondary indexes.
+        // and the expiry sweep go through secondary indexes. All writes
+        // pause through read-only windows instead of failing: a campaign
+        // under disk pressure stalls until compaction frees space.
         let ledger = self.campaign.db().collection(LEASES_COLLECTION);
-        ledger.ensure_index(LEASES_BY_WORKER_INDEX, &["test_id", "contributor_id"], true);
-        ledger.ensure_index(LEASES_BY_DEADLINE_INDEX, &["test_id", "lease.deadline_ms"], false);
+        let registry = self.campaign.telemetry().cloned();
+        write_pausing(registry.as_deref(), || {
+            ledger.try_ensure_index(LEASES_BY_WORKER_INDEX, &["test_id", "contributor_id"], true)
+        });
+        write_pausing(registry.as_deref(), || {
+            ledger.try_ensure_index(
+                LEASES_BY_DEADLINE_INDEX,
+                &["test_id", "lease.deadline_ms"],
+                false,
+            )
+        });
         let stamp_lease = |contributor: &str, round: usize, issued: u64, deadline: u64| {
             let key = json!({ "test_id": prepared.test_id, "contributor_id": contributor });
-            ledger.upsert_mutate(&key, key.clone(), |d| {
-                if let Some(obj) = d.as_object_mut() {
-                    obj.insert("round".to_string(), json!(round));
-                    obj.insert(
-                        "lease".to_string(),
-                        json!({ "issued_ms": issued, "deadline_ms": deadline }),
-                    );
-                    obj.insert("state".to_string(), json!("leased"));
-                }
+            write_pausing(registry.as_deref(), || {
+                ledger.try_upsert_mutate(&key, key.clone(), |d| {
+                    if let Some(obj) = d.as_object_mut() {
+                        obj.insert("round".to_string(), json!(round));
+                        obj.insert(
+                            "lease".to_string(),
+                            json!({ "issued_ms": issued, "deadline_ms": deadline }),
+                        );
+                        obj.insert("state".to_string(), json!("leased"));
+                    }
+                })
             });
         };
-        let conclude_lease = |contributor: &str, state: &str| {
+        let conclude_lease = |contributor: &str, state: &str, paid_usd: Option<f64>| {
             let key = json!({ "test_id": prepared.test_id, "contributor_id": contributor });
-            ledger.upsert_mutate(&key, key.clone(), |d| {
-                if let Some(obj) = d.as_object_mut() {
-                    obj.insert("state".to_string(), json!(state));
-                }
+            write_pausing(registry.as_deref(), || {
+                ledger.try_upsert_mutate(&key, key.clone(), |d| {
+                    if let Some(obj) = d.as_object_mut() {
+                        obj.insert("state".to_string(), json!(state));
+                        if let Some(paid) = paid_usd {
+                            obj.insert("paid_usd".to_string(), json!(paid));
+                        }
+                    }
+                })
             });
         };
-        let registry = self.campaign.telemetry().cloned();
         let metrics = registry.as_deref().map(SupervisorMetrics::register);
         let abandon_metric = |phase: AbandonPhase| {
             if let Some(r) = registry.as_deref() {
@@ -445,8 +864,11 @@ impl<'a> CampaignSupervisor<'a> {
         let mut reward = spec.reward_usd;
         let mut round = 0usize;
         let mut quota = spec.quota;
+        let mut rounds_completed = 0usize;
+        let mut postings: Vec<Value> = Vec::new();
 
         loop {
+            rngs.start_round(round);
             // The budget cap is a *hard* spend ceiling: clamp every
             // posting — the initial one included, which used to go out
             // unchecked — to what the remaining budget can pay if every
@@ -468,8 +890,10 @@ impl<'a> CampaignSupervisor<'a> {
                 // and actually goes out.
                 health.refill_rounds = round;
             }
-            let mut recruitment =
-                Platform.post_job(&JobSpec { quota, reward_usd: reward, ..spec.clone() }, rng);
+            let mut recruitment = Platform
+                .post_job(&JobSpec { quota, reward_usd: reward, ..spec.clone() }, rngs.rng());
+            postings.push(json!({ "round": round, "quota": quota, "reward_usd": reward }));
+            self.beacon("refill", round as u64);
             if round > 0 {
                 // Re-tag refill recruits: `post_job` numbers every posting
                 // from w-00000, which would collide with round 0.
@@ -494,7 +918,8 @@ impl<'a> CampaignSupervisor<'a> {
                 let worker = &assignment.worker;
                 health.recruited += 1;
                 let lease_deadline = arrival + lease_ms;
-                let fault = self.faults.sample(worker, page_names.len(), questions.len(), rng);
+                let fault =
+                    self.faults.sample(worker, page_names.len(), questions.len(), rngs.rng());
                 let mut lease = SessionLease {
                     contributor_id: worker.id.0.clone(),
                     round,
@@ -513,10 +938,11 @@ impl<'a> CampaignSupervisor<'a> {
                     }
                     now_ms = now_ms.max(lease_deadline);
                     leases.push(lease);
+                    self.beacon("session", leases.len() as u64);
                     continue;
                 }
 
-                let behavior = self.campaign.session_behavior(worker, page_names.len(), rng);
+                let behavior = self.campaign.session_behavior(worker, page_names.len(), rngs.rng());
                 let driven = self.campaign.drive_flow(
                     &prepared.test_id,
                     worker,
@@ -525,7 +951,7 @@ impl<'a> CampaignSupervisor<'a> {
                     &questions,
                     &page_names,
                     Some(&fault),
-                    rng,
+                    rngs.rng(),
                 );
                 match driven {
                     Ok(DrivenSession::Completed(record)) => {
@@ -547,8 +973,18 @@ impl<'a> CampaignSupervisor<'a> {
                         // insert answers with the original row and the
                         // session is accounted as an idempotent dedupe,
                         // never an error.
+                        let already_stored = write_pausing(registry.as_deref(), || {
+                            responses.try_insert_if_absent(&key, record.to_json())
+                        })
+                        .is_err();
+                        // Crash-only replay: a row stored by this
+                        // campaign's crashed incarnation is the session's
+                        // own acknowledged upload, not a client duplicate
+                        // — classification must come from the (replayed)
+                        // fault so the resumed accounting matches an
+                        // undisturbed run exactly.
                         let mut deduped =
-                            responses.insert_if_absent(&key, record.to_json()).is_err();
+                            if ledger_state.is_some() { false } else { already_stored };
                         if retried {
                             health.upload_retries += 1;
                             if let Some(m) = &metrics {
@@ -559,7 +995,9 @@ impl<'a> CampaignSupervisor<'a> {
                             // The retry reached intake as a second copy;
                             // the unique-key insert answers with the
                             // original row instead of storing it twice.
-                            let replay = responses.insert_if_absent(&key, record.to_json());
+                            let replay = write_pausing(registry.as_deref(), || {
+                                responses.try_insert_if_absent(&key, record.to_json())
+                            });
                             assert!(replay.is_err(), "duplicate upload must be suppressed");
                             deduped = true;
                         }
@@ -569,11 +1007,11 @@ impl<'a> CampaignSupervisor<'a> {
                                 m.deduped.inc();
                             }
                             lease.outcome = LeaseOutcome::CompletedDeduped;
-                            conclude_lease(&worker.id.0, "deduped");
+                            conclude_lease(&worker.id.0, "deduped", Some(reward));
                         } else {
                             health.completed += 1;
                             lease.outcome = LeaseOutcome::Completed;
-                            conclude_lease(&worker.id.0, "completed");
+                            conclude_lease(&worker.id.0, "completed", Some(reward));
                         }
                         // Pay the completed session: reward at this
                         // round's rate plus the platform fee.
@@ -629,6 +1067,7 @@ impl<'a> CampaignSupervisor<'a> {
                     Err(e) => return Err(e),
                 }
                 leases.push(lease);
+                self.beacon("session", leases.len() as u64);
             }
 
             // Lease-expiry sweep: an ordered range scan over the
@@ -644,7 +1083,7 @@ impl<'a> CampaignSupervisor<'a> {
             for doc in expired_leases {
                 if doc.get("state").and_then(Value::as_str) == Some("leased") {
                     if let Some(cid) = doc.get("contributor_id").and_then(Value::as_str) {
-                        conclude_lease(cid, "reclaimed");
+                        conclude_lease(cid, "reclaimed", None);
                     }
                 }
             }
@@ -657,6 +1096,33 @@ impl<'a> CampaignSupervisor<'a> {
                 m.budget_spent.set((health.spend_usd * 100.0).round() as i64);
                 m.refill_rounds.set(health.refill_rounds as i64);
             }
+            rounds_completed = round + 1;
+
+            // Round boundary: cross-check a resumed replay against the
+            // crashed incarnation's persisted accounting, then persist
+            // this round's snapshot so the *next* crash resumes from it.
+            if let Some(ls) = &ledger_state {
+                if let Some(persisted) = &ls.persisted {
+                    check_replay_against_ledger(persisted, &health, rounds_completed, now_ms)?;
+                }
+                let doc = ledger_snapshot_doc(
+                    &prepared.test_id,
+                    ls.seed,
+                    &self.config,
+                    &health,
+                    &postings,
+                    rounds_completed,
+                    now_ms,
+                    "running",
+                    ls.resumed_count,
+                );
+                persist_ledger(
+                    &self.campaign.db().collection(CAMPAIGN_LEDGER_COLLECTION),
+                    registry.as_deref(),
+                    &doc,
+                );
+            }
+            self.beacon("sweep", round as u64);
 
             if health.reached_target() || health.deadline_hit {
                 break;
@@ -693,6 +1159,38 @@ impl<'a> CampaignSupervisor<'a> {
             m.budget_spent.set((health.spend_usd * 100.0).round() as i64);
             m.health.set(i64::from(health.reached_target()));
         }
+        assert!(
+            health.accounted(),
+            "supervisor accounting must balance: completed {} + deduped {} + abandoned {} != \
+             recruited {}",
+            health.completed,
+            health.deduped,
+            health.abandoned,
+            health.recruited
+        );
+
+        // Conclude the ledger: the final accounting and auto-close state,
+        // marked `concluded` so operators (and `kscope` banners) can tell
+        // a finished campaign from one a crash interrupted.
+        if let Some(ls) = &ledger_state {
+            let doc = ledger_snapshot_doc(
+                &prepared.test_id,
+                ls.seed,
+                &self.config,
+                &health,
+                &postings,
+                rounds_completed,
+                now_ms,
+                "concluded",
+                ls.resumed_count,
+            );
+            persist_ledger(
+                &self.campaign.db().collection(CAMPAIGN_LEDGER_COLLECTION),
+                registry.as_deref(),
+                &doc,
+            );
+        }
+        self.beacon("concluded", rounds_completed as u64);
 
         let outcome = CampaignOutcome {
             test_id: prepared.test_id.clone(),
@@ -946,6 +1444,216 @@ mod tests {
             0,
             "ledger queries must all plan onto an index"
         );
+    }
+
+    fn tempdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("kscope-sup-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// A fixture over a durable database. Page metadata goes to a scratch
+    /// in-memory store so re-preparing on resume does not duplicate rows
+    /// in the durable database; the grid (page HTML) is rebuilt
+    /// deterministically from the corpus seed.
+    fn durable_fixture(
+        dir: &std::path::Path,
+        participants: usize,
+        corpus_seed: u64,
+        registry: Option<Arc<kscope_telemetry::Registry>>,
+    ) -> Fixture {
+        let (store, params) = corpus::font_size_study(participants);
+        let (db, _) = Database::open_durable(dir).unwrap();
+        let db = match &registry {
+            Some(r) => db.with_telemetry(r),
+            None => db,
+        };
+        let grid = GridStore::new();
+        let mut rng = StdRng::seed_from_u64(corpus_seed);
+        let prepared = Aggregator::new(Database::new(), grid.clone())
+            .prepare(&params, &store, &mut rng)
+            .unwrap();
+        let mut campaign = Campaign::new(db.clone(), grid)
+            .with_question(params.question[0].text(), QuestionKind::FontReadability);
+        if let Some(r) = registry {
+            campaign = campaign.with_telemetry(r);
+        }
+        Fixture { params, prepared, campaign, db }
+    }
+
+    fn response_keys(db: &Database) -> std::collections::BTreeSet<String> {
+        db.collection("responses")
+            .all()
+            .iter()
+            .map(|d| {
+                format!(
+                    "{}|{}",
+                    d["contributor_id"].as_str().unwrap(),
+                    d["submission_id"].as_str().unwrap()
+                )
+            })
+            .collect()
+    }
+
+    const CAMPAIGN_SEED: u64 = 42;
+
+    fn crash_spec(test_id: &str) -> JobSpec {
+        JobSpec::new(test_id, 0.11, 30, Channel::Open)
+    }
+
+    #[test]
+    fn durable_run_resumes_after_a_crash_to_the_undisturbed_outcome() {
+        let dir_a = tempdir("undisturbed");
+        let dir_b = tempdir("crashed");
+
+        // The undisturbed reference run.
+        let fx_a = durable_fixture(&dir_a, 30, 7, None);
+        let spec = crash_spec(&fx_a.params.test_id);
+        let sup = CampaignSupervisor::new(&fx_a.campaign, SupervisorConfig::new(15))
+            .with_faults(FaultModel::flaky());
+        let undisturbed =
+            sup.run_durable(&fx_a.params, &fx_a.prepared, &spec, CAMPAIGN_SEED).unwrap();
+        assert!(undisturbed.health.accounted());
+
+        // The same campaign, killed mid-flight at the 5th settled session.
+        {
+            let fx_b = durable_fixture(&dir_b, 30, 7, None);
+            let sup = CampaignSupervisor::new(&fx_b.campaign, SupervisorConfig::new(15))
+                .with_faults(FaultModel::flaky())
+                .with_hook(Arc::new(|phase: &str, n: u64| {
+                    assert!(!(phase == "session" && n == 5), "chaos: simulated crash mid-campaign");
+                }));
+            let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                sup.run_durable(&fx_b.params, &fx_b.prepared, &spec, CAMPAIGN_SEED)
+            }));
+            assert!(crashed.is_err(), "the hook must abort the first incarnation");
+        }
+
+        // A fresh process resumes from the ledger and concludes with the
+        // exact undisturbed outcome: same health (spend included), same
+        // response key set, same ranking report.
+        let fx_b = durable_fixture(&dir_b, 30, 7, None);
+        let sup = CampaignSupervisor::new(&fx_b.campaign, SupervisorConfig::new(15))
+            .with_faults(FaultModel::flaky());
+        let resumed = sup.resume(&fx_b.params, &fx_b.prepared, &spec).unwrap();
+
+        assert_eq!(resumed.health, undisturbed.health, "accounting must replay exactly");
+        assert_eq!(response_keys(&fx_b.db), response_keys(&fx_a.db));
+        assert_eq!(
+            fx_b.db.collection("responses").len(),
+            fx_a.db.collection("responses").len(),
+            "no duplicate rows from the crashed incarnation"
+        );
+        assert_eq!(
+            resumed.outcome.to_report_json(&fx_b.params.question),
+            undisturbed.outcome.to_report_json(&fx_a.params.question),
+            "the concluded ranking must be identical"
+        );
+
+        let ledger = CampaignSupervisor::ledger(&fx_b.db, &fx_b.params.test_id).unwrap();
+        assert_eq!(ledger["state"], json!("concluded"));
+        assert_eq!(ledger["resumed_count"], json!(1));
+        assert_eq!(ledger["seed"], json!(CAMPAIGN_SEED));
+        std::fs::remove_dir_all(&dir_a).unwrap();
+        std::fs::remove_dir_all(&dir_b).unwrap();
+    }
+
+    #[test]
+    fn repeated_kills_at_different_phases_still_converge() {
+        let dir_ref = tempdir("conv-ref");
+        let dir = tempdir("conv-crash");
+
+        let fx_ref = durable_fixture(&dir_ref, 30, 7, None);
+        let spec = crash_spec(&fx_ref.params.test_id);
+        let sup = CampaignSupervisor::new(&fx_ref.campaign, SupervisorConfig::new(15))
+            .with_faults(FaultModel::flaky());
+        let undisturbed =
+            sup.run_durable(&fx_ref.params, &fx_ref.prepared, &spec, CAMPAIGN_SEED).unwrap();
+
+        // Kill the campaign over and over at different phase boundaries —
+        // every incarnation resumes the one before it.
+        let kill_points: [(&str, u64); 3] = [("session", 3), ("sweep", 0), ("session", 10)];
+        for (phase, n) in kill_points {
+            let fx = durable_fixture(&dir, 30, 7, None);
+            let sup = CampaignSupervisor::new(&fx.campaign, SupervisorConfig::new(15))
+                .with_faults(FaultModel::flaky())
+                .with_hook(Arc::new(move |p: &str, k: u64| {
+                    assert!(!(p == phase && k == n), "chaos: kill at {phase} #{n}");
+                }));
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                sup.run_durable(&fx.params, &fx.prepared, &spec, CAMPAIGN_SEED)
+            }));
+            assert!(result.is_err(), "kill point ({phase}, {n}) must fire");
+        }
+
+        let fx = durable_fixture(&dir, 30, 7, None);
+        let sup = CampaignSupervisor::new(&fx.campaign, SupervisorConfig::new(15))
+            .with_faults(FaultModel::flaky());
+        let finished = sup.resume(&fx.params, &fx.prepared, &spec).unwrap();
+        assert_eq!(finished.health, undisturbed.health);
+        assert_eq!(response_keys(&fx.db), response_keys(&fx_ref.db));
+        let ledger = CampaignSupervisor::ledger(&fx.db, &fx.params.test_id).unwrap();
+        assert_eq!(ledger["state"], json!("concluded"));
+        assert_eq!(ledger["resumed_count"], json!(3));
+        std::fs::remove_dir_all(&dir_ref).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_guards_the_ledger_seed_and_presence() {
+        let dir = tempdir("guards");
+        let registry = Arc::new(kscope_telemetry::Registry::new());
+        let fx = durable_fixture(&dir, 20, 5, Some(Arc::clone(&registry)));
+        let spec = JobSpec::new(&fx.params.test_id, 0.11, 20, Channel::HistoricallyTrustworthy);
+        let sup = CampaignSupervisor::new(&fx.campaign, SupervisorConfig::new(8));
+
+        // Nothing to resume on a fresh store.
+        let err = sup.resume(&fx.params, &fx.prepared, &spec).unwrap_err();
+        assert!(matches!(err, CampaignError::LedgerConflict(_)), "{err}");
+
+        let first = sup.run_durable(&fx.params, &fx.prepared, &spec, CAMPAIGN_SEED).unwrap();
+        assert_eq!(registry.counter_value("core.campaign_resumed_total", &[]), Some(0));
+
+        // A different seed cannot adopt this campaign's ledger.
+        let err = sup.run_durable(&fx.params, &fx.prepared, &spec, CAMPAIGN_SEED + 1).unwrap_err();
+        assert!(matches!(err, CampaignError::LedgerConflict(_)), "{err}");
+
+        // Re-running a concluded campaign is an idempotent replay.
+        let replay = sup.run_durable(&fx.params, &fx.prepared, &spec, CAMPAIGN_SEED).unwrap();
+        assert_eq!(replay.health, first.health);
+        assert_eq!(registry.counter_value("core.campaign_resumed_total", &[]), Some(1));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn supervisor_pauses_writes_while_the_store_is_read_only() {
+        let dir = tempdir("pause");
+        let registry = Arc::new(kscope_telemetry::Registry::new());
+        let fx = durable_fixture(&dir, 10, 3, Some(Arc::clone(&registry)));
+        let spec = JobSpec::new(&fx.params.test_id, 0.11, 10, Channel::HistoricallyTrustworthy);
+        let sup = CampaignSupervisor::new(&fx.campaign, SupervisorConfig::new(5));
+        let first = sup.run_durable(&fx.params, &fx.prepared, &spec, CAMPAIGN_SEED).unwrap();
+
+        // Disk pressure hits; a compactor (played here by a thread) frees
+        // space 200ms later. The resuming supervisor must pause — not
+        // fail, not skip — and then finish the replay normally.
+        assert!(fx.db.force_read_only(true));
+        let unblocker = {
+            let db = fx.db.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(200));
+                db.force_read_only(false);
+            })
+        };
+        let resumed = sup.run_durable(&fx.params, &fx.prepared, &spec, CAMPAIGN_SEED).unwrap();
+        unblocker.join().unwrap();
+        assert_eq!(resumed.health, first.health);
+        assert!(
+            registry.counter_value("core.supervisor_write_pauses_total", &[]).unwrap_or(0) >= 1,
+            "the pause must be visible on the pause counter"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use crate::http::Response;
 use crate::router::Router;
-use kscope_store::{Database, GridStore};
+use kscope_store::{Database, GridStore, PersistError};
 use kscope_telemetry::Registry;
 use serde_json::{json, Value};
 use std::collections::BTreeMap;
@@ -46,6 +46,24 @@ pub const SESSIONS_BY_WORKER_INDEX: &str = "sessions_by_worker";
 /// Ordered index on `sessions(test_id, deadline_ms)` — lease-expiry
 /// sweeps become a range scan, earliest deadline first.
 pub const SESSIONS_BY_DEADLINE_INDEX: &str = "sessions_by_deadline";
+
+/// How long a 507 tells writers to wait before retrying. The background
+/// compactor polls on a sub-second interval, so one checkpoint cycle is
+/// usually enough to clear read-only mode.
+const STORAGE_RETRY_AFTER_SECS: u64 = 5;
+
+/// Maps a persistence rejection onto the wire: a store that entered
+/// read-only mode under disk pressure answers every write with
+/// `507 Insufficient Storage` plus a `retry-after` hint, so clients
+/// back off while the compactor frees WAL space instead of hammering
+/// a store that cannot accept their data.
+fn persist_unavailable(err: &PersistError) -> Response {
+    Response::overloaded(
+        crate::http::StatusCode::INSUFFICIENT_STORAGE,
+        &format!("{err}"),
+        STORAGE_RETRY_AFTER_SECS,
+    )
+}
 
 /// Declares the server's secondary indexes on `db`. Idempotent: reopened
 /// durable databases replay their `ensure_index` records and this becomes
@@ -173,12 +191,13 @@ impl CoreServerApi {
                 // Atomic check-and-insert: two racing creates of the same
                 // test_id cannot both pass a separate existence check.
                 let tests = db.collection(TESTS_COLLECTION);
-                match tests.insert_if_absent(&json!({ "test_id": test_id }), body) {
-                    Ok(oid) => Response::json_with_status(
+                match tests.try_insert_if_absent(&json!({ "test_id": test_id }), body) {
+                    Ok(Ok(oid)) => Response::json_with_status(
                         crate::http::StatusCode::CREATED,
                         &json!({ "_id": oid.as_str(), "test_id": test_id }),
                     ),
-                    Err(_) => Response::bad_request("test_id already exists"),
+                    Ok(Err(_)) => Response::bad_request("test_id already exists"),
+                    Err(e) => persist_unavailable(&e),
                 }
             });
         }
@@ -264,12 +283,15 @@ impl CoreServerApi {
                         "contributor_id": contributor,
                         "submission_id": submission,
                     });
-                    return match db.collection(RESPONSES_COLLECTION).insert_if_absent(&key, body) {
-                        Ok(oid) => Response::json_with_status(
+                    return match db
+                        .collection(RESPONSES_COLLECTION)
+                        .try_insert_if_absent(&key, body)
+                    {
+                        Ok(Ok(oid)) => Response::json_with_status(
                             crate::http::StatusCode::CREATED,
                             &json!({ "_id": oid.as_str() }),
                         ),
-                        Err(existing) => {
+                        Ok(Err(existing)) => {
                             if let Some(registry) = &telemetry {
                                 registry.counter("server.responses_deduped_total").inc();
                                 registry.counter("server.upload_retries_total").inc();
@@ -279,15 +301,18 @@ impl CoreServerApi {
                                 "deduped": true,
                             }))
                         }
+                        Err(e) => persist_unavailable(&e),
                     };
                 }
                 // Legacy clients without an idempotency key keep the old
                 // always-insert behaviour.
-                let oid = db.collection(RESPONSES_COLLECTION).insert_one(body);
-                Response::json_with_status(
-                    crate::http::StatusCode::CREATED,
-                    &json!({ "_id": oid.as_str() }),
-                )
+                match db.collection(RESPONSES_COLLECTION).try_insert_one(body) {
+                    Ok(oid) => Response::json_with_status(
+                        crate::http::StatusCode::CREATED,
+                        &json!({ "_id": oid.as_str() }),
+                    ),
+                    Err(e) => persist_unavailable(&e),
+                }
             });
         }
         {
@@ -366,11 +391,13 @@ impl CoreServerApi {
                         }
                     }
                 }
-                let oid = db.collection(JOBS_COLLECTION).insert_one(body);
-                Response::json_with_status(
-                    crate::http::StatusCode::CREATED,
-                    &json!({ "job_id": oid.as_str() }),
-                )
+                match db.collection(JOBS_COLLECTION).try_insert_one(body) {
+                    Ok(oid) => Response::json_with_status(
+                        crate::http::StatusCode::CREATED,
+                        &json!({ "job_id": oid.as_str() }),
+                    ),
+                    Err(e) => persist_unavailable(&e),
+                }
             });
         }
         {
@@ -416,7 +443,7 @@ impl CoreServerApi {
                 // their increment, and `last_heartbeat_ms` only moves
                 // forward ($max semantics), so a slow request cannot roll
                 // the lease back to an older timestamp.
-                let doc = sessions.upsert_mutate(&key, seed, |d| {
+                let upserted = sessions.try_upsert_mutate(&key, seed, |d| {
                     if let Some(obj) = d.as_object_mut() {
                         let beats = obj.get("heartbeats").and_then(Value::as_u64).unwrap_or(0) + 1;
                         obj.insert("heartbeats".to_string(), json!(beats));
@@ -434,6 +461,10 @@ impl CoreServerApi {
                         obj.insert("deadline_ms".to_string(), json!(last + lease_ms));
                     }
                 });
+                let doc = match upserted {
+                    Ok(doc) => doc,
+                    Err(e) => return persist_unavailable(&e),
+                };
                 let beats = doc.get("heartbeats").and_then(Value::as_u64).unwrap_or(1);
                 let deadline =
                     doc.get("deadline_ms").and_then(Value::as_u64).unwrap_or(now_ms + lease_ms);
@@ -884,6 +915,75 @@ mod tests {
             Some(1)
         );
         server.shutdown();
+    }
+
+    #[test]
+    fn read_only_store_answers_writes_with_507_until_compaction() {
+        let dir = std::env::temp_dir().join(format!("kscope-api-507-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let (db, _) = Database::open_durable(&dir).unwrap();
+        let api = CoreServerApi::new(db.clone(), GridStore::new());
+        let server = HttpServer::bind("127.0.0.1:0", api.into_router(), 2).unwrap();
+        let addr = server.local_addr();
+
+        client::post_json(addr, "/api/tests", &json!({"test_id": "t-507"})).unwrap();
+
+        // Disk pressure: the store refuses writes end-to-end. Every
+        // write endpoint maps the rejection to 507 + retry-after, and
+        // nothing is applied in memory that the WAL did not accept.
+        assert!(db.force_read_only(true));
+        let create = client::post_json(addr, "/api/tests", &json!({"test_id": "t-other"})).unwrap();
+        assert_eq!(create.status.0, 507);
+        assert!(create.retry_after().is_some(), "507 carries a retry-after hint");
+        let upload = client::post_json(
+            addr,
+            "/api/tests/t-507/responses",
+            &json!({"contributor_id": "w-1", "submission_id": "s-1", "answers": {"q": "Left"}}),
+        )
+        .unwrap();
+        assert_eq!(upload.status.0, 507);
+        let legacy = client::post_json(
+            addr,
+            "/api/tests/t-507/responses",
+            &json!({"answers": {"q": "Left"}}),
+        )
+        .unwrap();
+        assert_eq!(legacy.status.0, 507);
+        let job = client::post_json(
+            addr,
+            "/api/platform/jobs",
+            &json!({"test_id": "t-507", "quota": 10}),
+        )
+        .unwrap();
+        assert_eq!(job.status.0, 507);
+        let beat = client::post_json(
+            addr,
+            "/api/tests/t-507/sessions/w-1/heartbeat",
+            &json!({"lease_ms": 60000}),
+        )
+        .unwrap();
+        assert_eq!(beat.status.0, 507);
+        assert_eq!(db.collection(RESPONSES_COLLECTION).len(), 0);
+        assert_eq!(db.collection(SESSIONS_COLLECTION).len(), 0);
+
+        // Reads still work while the store is read-only.
+        let listing = client::get(addr, "/api/tests").unwrap();
+        assert_eq!(listing.status.0, 200);
+
+        // A checkpoint folds the WAL away and clears the mode; the
+        // client's retry then lands normally.
+        db.checkpoint().unwrap();
+        let retry = client::post_json(
+            addr,
+            "/api/tests/t-507/responses",
+            &json!({"contributor_id": "w-1", "submission_id": "s-1", "answers": {"q": "Left"}}),
+        )
+        .unwrap();
+        assert_eq!(retry.status.0, 201);
+        server.shutdown();
+        drop(db);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -74,6 +74,9 @@ impl StatusCode {
     /// 504 — the request's propagated deadline expired before (or while)
     /// the server could work on it.
     pub const GATEWAY_TIMEOUT: StatusCode = StatusCode(504);
+    /// 507 — the store is in read-only mode (WAL append failed, usually
+    /// disk pressure); writes are rejected until a compaction frees space.
+    pub const INSUFFICIENT_STORAGE: StatusCode = StatusCode(507);
 
     /// Standard reason phrase.
     pub fn reason(&self) -> &'static str {
@@ -90,6 +93,7 @@ impl StatusCode {
             500 => "Internal Server Error",
             503 => "Service Unavailable",
             504 => "Gateway Timeout",
+            507 => "Insufficient Storage",
             _ => "Unknown",
         }
     }

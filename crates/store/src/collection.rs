@@ -15,6 +15,7 @@
 //! the global order is commit → shard → index; readers that probe the index
 //! first drop the index lock before touching any shard.
 
+use crate::database::PersistError;
 use crate::durable::Durability;
 use crate::filter::{lookup_path, matches_filter, set_path};
 use crate::index::{pad, Index, IndexDef, IndexSet, KeyPart};
@@ -564,17 +565,37 @@ impl Collection {
 
     /// Inserts one document, assigning and returning its `_id` (any `_id`
     /// already present is preserved and returned instead).
+    ///
+    /// # Panics
+    ///
+    /// On a durable database in read-only mode (crash-only semantics);
+    /// request-facing callers use [`Collection::try_insert_one`].
     pub fn insert_one(&self, doc: Value) -> ObjectId {
+        match self.try_insert_one(doc) {
+            Ok(id) => id,
+            Err(e) => panic!("infallible insert path hit a persistence failure: {e}"),
+        }
+    }
+
+    /// [`Collection::insert_one`] that surfaces read-only mode as
+    /// [`PersistError::ReadOnly`] instead of panicking: the write is
+    /// rejected *before* it is applied, never acknowledged non-durably.
+    /// Identical to `insert_one` on an in-memory collection.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::ReadOnly`] when the database rejects mutations.
+    pub fn try_insert_one(&self, doc: Value) -> Result<ObjectId, PersistError> {
         let _timer = self.observe_op(|m| &m.inserts);
         let (id, doc) = self.prepare_doc(doc);
         if let Some(d) = self.inner.durability.get() {
             // Log after id assignment so replay reproduces the exact doc.
             let op = json!({"op": "insert", "coll": d.name.clone(), "doc": doc.clone()});
-            d.dur.commit(op, || self.place_doc(doc));
+            d.dur.try_commit(op, || self.place_doc(doc))?;
         } else {
             self.place_doc(doc);
         }
-        id
+        Ok(id)
     }
 
     /// Inserts many documents atomically, returning their ids.
@@ -587,6 +608,23 @@ impl Collection {
     /// Each document still gets an `_id` exactly as
     /// [`Collection::insert_one`] would assign it.
     pub fn insert_many<I: IntoIterator<Item = Value>>(&self, docs: I) -> Vec<ObjectId> {
+        match self.try_insert_many(docs) {
+            Ok(ids) => ids,
+            Err(e) => panic!("infallible insert path hit a persistence failure: {e}"),
+        }
+    }
+
+    /// [`Collection::insert_many`] that surfaces read-only mode as
+    /// [`PersistError::ReadOnly`] instead of panicking; the batch is
+    /// rejected whole (it is one WAL record — all or nothing).
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::ReadOnly`] when the database rejects mutations.
+    pub fn try_insert_many<I: IntoIterator<Item = Value>>(
+        &self,
+        docs: I,
+    ) -> Result<Vec<ObjectId>, PersistError> {
         let mut batch: Vec<Value> = Vec::new();
         let mut ids = Vec::new();
         for doc in docs {
@@ -595,7 +633,7 @@ impl Collection {
             batch.push(doc);
         }
         if batch.is_empty() {
-            return ids;
+            return Ok(ids);
         }
         // Count every inserted document, but observe one latency sample —
         // the batch is one store operation.
@@ -606,11 +644,11 @@ impl Collection {
         if let Some(d) = self.inner.durability.get() {
             // Ids are assigned above so replay reproduces the exact docs.
             let op = json!({"op": "insert_many", "coll": d.name.clone(), "docs": batch.clone()});
-            d.dur.commit(op, || self.apply_insert_batch(batch));
+            d.dur.try_commit(op, || self.apply_insert_batch(batch))?;
         } else {
             self.apply_insert_batch(batch);
         }
-        ids
+        Ok(ids)
     }
 
     fn apply_insert_batch(&self, docs: Vec<Value>) {
@@ -637,7 +675,26 @@ impl Collection {
     ///
     /// Returns `Ok(id)` of the freshly inserted document, or `Err(id)` of
     /// the already-present match (the idempotent-replay answer).
-    pub fn insert_if_absent(&self, unique: &Value, mut doc: Value) -> Result<ObjectId, ObjectId> {
+    pub fn insert_if_absent(&self, unique: &Value, doc: Value) -> Result<ObjectId, ObjectId> {
+        match self.try_insert_if_absent(unique, doc) {
+            Ok(admitted) => admitted,
+            Err(e) => panic!("infallible insert path hit a persistence failure: {e}"),
+        }
+    }
+
+    /// [`Collection::insert_if_absent`] that surfaces read-only mode as
+    /// an outer [`PersistError::ReadOnly`] instead of panicking; the
+    /// inner `Result` keeps the admitted/duplicate distinction.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::ReadOnly`] when the database rejects mutations —
+    /// checked *before* the uniqueness probe, so nothing is mutated.
+    pub fn try_insert_if_absent(
+        &self,
+        unique: &Value,
+        mut doc: Value,
+    ) -> Result<Result<ObjectId, ObjectId>, PersistError> {
         let _timer = self.observe_op(|m| &m.inserts);
         if !doc.is_object() {
             doc = serde_json::json!({ "value": doc });
@@ -649,7 +706,7 @@ impl Collection {
         // op is only WAL-logged when the insert was admitted, so replay
         // needs no uniqueness re-check.
         if let Some(d) = self.inner.durability.get() {
-            d.dur.commit_conditional(|| match self.admit_unique(unique, doc) {
+            d.dur.try_commit_conditional(|| match self.admit_unique(unique, doc) {
                 Admit::Fresh(id, stored) => {
                     let op = json!({"op": "insert", "coll": d.name.clone(), "doc": stored});
                     (Some(op), Ok(id))
@@ -668,10 +725,10 @@ impl Collection {
                 }
             })
         } else {
-            match self.admit_unique(unique, doc) {
+            Ok(match self.admit_unique(unique, doc) {
                 Admit::Fresh(id, _) => Ok(id),
                 Admit::Exists(id) | Admit::Repaired(id, _) => Err(id),
-            }
+            })
         }
     }
 
@@ -716,6 +773,25 @@ impl Collection {
         seed: Value,
         mutate: impl FnOnce(&mut Value),
     ) -> Value {
+        match self.try_upsert_mutate(unique, seed, mutate) {
+            Ok(stored) => stored,
+            Err(e) => panic!("infallible upsert path hit a persistence failure: {e}"),
+        }
+    }
+
+    /// [`Collection::upsert_mutate`] that surfaces read-only mode as
+    /// [`PersistError::ReadOnly`] instead of panicking — checked before
+    /// `mutate` runs, so a rejected call mutates nothing.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::ReadOnly`] when the database rejects mutations.
+    pub fn try_upsert_mutate(
+        &self,
+        unique: &Value,
+        seed: Value,
+        mutate: impl FnOnce(&mut Value),
+    ) -> Result<Value, PersistError> {
         let _timer = self.observe_op(|m| &m.updates);
         if let Some(d) = self.inner.durability.get() {
             // Commit lock before shard locks (see insert_if_absent). The
@@ -723,7 +799,7 @@ impl Collection {
             // the *outcome*: a plain insert for a fresh document, or a
             // whole-document replace of the unique match (replay keeps
             // its `_id`, matching apply_update's replace semantics).
-            d.dur.commit_conditional(|| {
+            d.dur.try_commit_conditional(|| {
                 let (inserted, result) = self.apply_upsert_mutate(unique, seed, mutate);
                 let op = if inserted {
                     json!({"op": "insert", "coll": d.name.clone(), "doc": result.clone()})
@@ -738,7 +814,7 @@ impl Collection {
                 (Some(op), result)
             })
         } else {
-            self.apply_upsert_mutate(unique, seed, mutate).1
+            Ok(self.apply_upsert_mutate(unique, seed, mutate).1)
         }
     }
 
@@ -821,13 +897,29 @@ impl Collection {
     /// Building scans the collection once under the shard write locks;
     /// subsequent mutations maintain the index transactionally.
     pub fn ensure_index(&self, name: &str, keys: &[&str], unique: bool) -> bool {
+        match self.try_ensure_index(name, keys, unique) {
+            Ok(created) => created,
+            Err(e) => panic!("infallible ensure_index hit a persistence failure: {e}"),
+        }
+    }
+
+    /// [`Collection::ensure_index`] that surfaces persistence failures
+    /// instead of panicking — declaring an index on a read-only database
+    /// returns [`PersistError::ReadOnly`] even when the index already
+    /// exists, since the declaration cannot be WAL-logged either way.
+    pub fn try_ensure_index(
+        &self,
+        name: &str,
+        keys: &[&str],
+        unique: bool,
+    ) -> Result<bool, PersistError> {
         let def = IndexDef {
             name: name.to_string(),
             keys: keys.iter().map(|k| (*k).to_string()).collect(),
             unique,
         };
         if let Some(d) = self.inner.durability.get() {
-            d.dur.commit_conditional(|| {
+            d.dur.try_commit_conditional(|| {
                 if self.apply_ensure_index(def.clone()) {
                     let op = json!({
                         "op": "ensure_index",
@@ -840,7 +932,7 @@ impl Collection {
                 }
             })
         } else {
-            self.apply_ensure_index(def)
+            Ok(self.apply_ensure_index(def))
         }
     }
 
@@ -962,9 +1054,22 @@ impl Collection {
     /// Returns the number of documents updated. A zero-match update is not
     /// WAL-logged — quiet sweeps pay no fsync.
     pub fn update_many(&self, filter: &Value, update: &Value) -> usize {
+        match self.try_update_many(filter, update) {
+            Ok(n) => n,
+            Err(e) => panic!("infallible update path hit a persistence failure: {e}"),
+        }
+    }
+
+    /// [`Collection::update_many`] that surfaces read-only mode as
+    /// [`PersistError::ReadOnly`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::ReadOnly`] when the database rejects mutations.
+    pub fn try_update_many(&self, filter: &Value, update: &Value) -> Result<usize, PersistError> {
         let _timer = self.observe_op(|m| &m.updates);
         if let Some(d) = self.inner.durability.get() {
-            d.dur.commit_conditional(|| {
+            d.dur.try_commit_conditional(|| {
                 let n = self.apply_update(filter, update);
                 if n == 0 {
                     (None, 0)
@@ -979,7 +1084,7 @@ impl Collection {
                 }
             })
         } else {
-            self.apply_update(filter, update)
+            Ok(self.apply_update(filter, update))
         }
     }
 
@@ -1015,9 +1120,22 @@ impl Collection {
     /// Deletes matching documents, returning how many were removed. A
     /// zero-match delete is not WAL-logged — quiet sweeps pay no fsync.
     pub fn delete_many(&self, filter: &Value) -> usize {
+        match self.try_delete_many(filter) {
+            Ok(n) => n,
+            Err(e) => panic!("infallible delete path hit a persistence failure: {e}"),
+        }
+    }
+
+    /// [`Collection::delete_many`] that surfaces read-only mode as
+    /// [`PersistError::ReadOnly`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::ReadOnly`] when the database rejects mutations.
+    pub fn try_delete_many(&self, filter: &Value) -> Result<usize, PersistError> {
         let _timer = self.observe_op(|m| &m.deletes);
         if let Some(d) = self.inner.durability.get() {
-            d.dur.commit_conditional(|| {
+            d.dur.try_commit_conditional(|| {
                 let n = self.apply_delete(filter);
                 if n == 0 {
                     (None, 0)
@@ -1028,7 +1146,7 @@ impl Collection {
                 }
             })
         } else {
-            self.apply_delete(filter)
+            Ok(self.apply_delete(filter))
         }
     }
 

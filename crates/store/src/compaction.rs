@@ -1,0 +1,220 @@
+//! Background checkpoint compaction: a throttled thread that runs the
+//! crash-safe [`Database::checkpoint`] path *off* the write path whenever
+//! WAL pressure crosses a threshold — so a long campaign can't be killed
+//! by its own unbounded WAL growth — and that doubles as the escape hatch
+//! from read-only mode: when a WAL append fails (ENOSPC, EIO, …) the
+//! database rejects mutations until a checkpoint folds memory into a
+//! durable snapshot and truncates the log, and the compactor is the thing
+//! that runs that checkpoint without anyone asking.
+//!
+//! The thread polls [`Database::durability_status`] every
+//! `poll_interval`; between polls it sleeps on a condvar so
+//! [`CompactorHandle::nudge`] (wired to e.g. an operator endpoint or a
+//! failed-write handler) can wake it immediately. Compactions are
+//! throttled by `min_interval` — except when the database is read-only,
+//! where waiting only prolongs the outage.
+
+use crate::database::{Database, PersistError};
+use crate::durable::CheckpointStats;
+use kscope_telemetry::EventLevel;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Default WAL-bytes trigger (the `--compact-wal-bytes` default): 64 MiB.
+pub const DEFAULT_COMPACT_WAL_BYTES: u64 = 64 * 1024 * 1024;
+
+/// Default WAL-records trigger.
+pub const DEFAULT_COMPACT_WAL_RECORDS: u64 = 100_000;
+
+/// Millisecond buckets for `store.compaction_duration_ms`.
+const COMPACTION_BUCKETS_MS: &[u64] =
+    &[1, 2, 5, 10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 30_000, 60_000];
+
+/// Observer invoked after every successful compaction (test harness
+/// beacons, operator logs).
+pub type CompactObserver = Arc<dyn Fn(&CheckpointStats) + Send + Sync>;
+
+/// When the background compactor triggers and how hard it is throttled.
+#[derive(Clone)]
+pub struct CompactionConfig {
+    /// Checkpoint once the WAL holds at least this many bytes.
+    pub wal_bytes_threshold: u64,
+    /// Checkpoint once the WAL holds at least this many records.
+    pub wal_records_threshold: u64,
+    /// How often the thread re-examines WAL pressure.
+    pub poll_interval: Duration,
+    /// Minimum spacing between two compactions (ignored while the
+    /// database is read-only — then a checkpoint is the cure, not load).
+    pub min_interval: Duration,
+    /// Observer invoked after every successful compaction.
+    pub on_compact: Option<CompactObserver>,
+}
+
+impl Default for CompactionConfig {
+    fn default() -> Self {
+        Self {
+            wal_bytes_threshold: DEFAULT_COMPACT_WAL_BYTES,
+            wal_records_threshold: DEFAULT_COMPACT_WAL_RECORDS,
+            poll_interval: Duration::from_millis(250),
+            min_interval: Duration::from_secs(5),
+            on_compact: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for CompactionConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompactionConfig")
+            .field("wal_bytes_threshold", &self.wal_bytes_threshold)
+            .field("wal_records_threshold", &self.wal_records_threshold)
+            .field("poll_interval", &self.poll_interval)
+            .field("min_interval", &self.min_interval)
+            .field("on_compact", &self.on_compact.as_ref().map(|_| "Fn"))
+            .finish()
+    }
+}
+
+#[derive(Debug, Default)]
+struct Signal {
+    stop: AtomicBool,
+    nudged: Mutex<bool>,
+    cv: Condvar,
+}
+
+/// Owner handle for a running compactor thread; stops and joins it on
+/// [`CompactorHandle::stop`] or drop.
+#[derive(Debug)]
+pub struct CompactorHandle {
+    signal: Arc<Signal>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl CompactorHandle {
+    /// Wakes the compactor now instead of at the next poll tick — e.g.
+    /// right after a write was rejected with [`PersistError::ReadOnly`].
+    pub fn nudge(&self) {
+        *self.signal.nudged.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = true;
+        self.signal.cv.notify_all();
+    }
+
+    /// Stops the thread and joins it (idempotent).
+    pub fn stop(&mut self) {
+        self.signal.stop.store(true, Ordering::SeqCst);
+        self.signal.cv.notify_all();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for CompactorHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Spawns the background compaction thread for `db`.
+///
+/// # Errors
+///
+/// [`PersistError::NotDurable`] when `db` has no WAL to compact.
+pub fn spawn_compactor(
+    db: &Database,
+    config: CompactionConfig,
+) -> Result<CompactorHandle, PersistError> {
+    if !db.is_durable() {
+        return Err(PersistError::NotDurable);
+    }
+    let signal = Arc::new(Signal::default());
+    let thread_signal = Arc::clone(&signal);
+    let db = db.clone();
+    let thread = std::thread::Builder::new()
+        .name("kscope-compactor".into())
+        .spawn(move || run(&db, &config, &thread_signal))
+        .expect("spawn compactor thread");
+    Ok(CompactorHandle { signal, thread: Some(thread) })
+}
+
+fn run(db: &Database, config: &CompactionConfig, signal: &Signal) {
+    let metrics = db.telemetry().map(|r| {
+        (
+            r.counter("store.compactions_total"),
+            r.histogram_with_buckets("store.compaction_duration_ms", &[], COMPACTION_BUCKETS_MS),
+        )
+    });
+    let mut last_run: Option<Instant> = None;
+    loop {
+        // Sleep until the poll tick, a nudge, or stop.
+        {
+            let guard = signal.nudged.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            if !*guard && !signal.stop.load(Ordering::SeqCst) {
+                let (mut guard, _) = signal
+                    .cv
+                    .wait_timeout(guard, config.poll_interval)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                *guard = false;
+            } else {
+                let mut guard = guard;
+                *guard = false;
+            }
+        }
+        if signal.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Some(status) = db.durability_status() else { return };
+        let due = status.read_only
+            || status.wal_bytes >= config.wal_bytes_threshold
+            || status.wal_records >= config.wal_records_threshold;
+        if !due {
+            continue;
+        }
+        // Throttle back-to-back compactions — unless the store is
+        // read-only, where the checkpoint is what restores service.
+        if !status.read_only {
+            if let Some(t) = last_run {
+                if t.elapsed() < config.min_interval {
+                    continue;
+                }
+            }
+        }
+        let start = Instant::now();
+        match db.checkpoint() {
+            Ok(stats) => {
+                if let Some((compactions, duration_ms)) = &metrics {
+                    compactions.inc();
+                    duration_ms.observe(start.elapsed().as_millis() as u64);
+                }
+                if let Some(r) = db.telemetry() {
+                    r.event(
+                        EventLevel::Info,
+                        "store",
+                        "background compaction checkpointed the WAL",
+                        &[
+                            ("seq", &stats.seq.to_string()),
+                            ("wal_bytes_folded", &stats.wal_bytes_truncated.to_string()),
+                            ("was_read_only", &status.read_only.to_string()),
+                        ],
+                    );
+                }
+                if let Some(hook) = &config.on_compact {
+                    hook(&stats);
+                }
+            }
+            Err(e) => {
+                // Disk still full, most likely. Stay alive; the next
+                // trigger retries — read-only mode keeps the store safe
+                // in the meantime.
+                if let Some(r) = db.telemetry() {
+                    r.event(
+                        EventLevel::Warn,
+                        "store",
+                        "background compaction failed; will retry",
+                        &[("error", &e.to_string())],
+                    );
+                }
+            }
+        }
+        last_run = Some(Instant::now());
+    }
+}

@@ -194,6 +194,13 @@ pub enum PersistError {
     /// A durability-only operation (e.g. [`Database::checkpoint`]) was
     /// called on a database not opened with [`Database::open_durable`].
     NotDurable,
+    /// The database is in read-only mode: a WAL append or fsync failed
+    /// (ENOSPC, EIO, …), so durability can no longer be promised and
+    /// mutations are rejected instead of being acknowledged non-durably.
+    /// A successful checkpoint (usually driven by the background
+    /// compactor) folds the in-memory state into a durable snapshot,
+    /// truncates the WAL, and clears the mode.
+    ReadOnly,
 }
 
 impl PersistError {
@@ -217,6 +224,12 @@ impl fmt::Display for PersistError {
             }
             PersistError::NotDurable => {
                 write!(f, "operation requires a database opened with open_durable")
+            }
+            PersistError::ReadOnly => {
+                write!(
+                    f,
+                    "database is read-only (WAL write failed; awaiting a checkpoint to free space)"
+                )
             }
         }
     }

@@ -39,11 +39,11 @@ use crate::database::{Database, PersistError};
 use crate::index::IndexDef;
 use crate::io::{escape_component, unescape_component, RealIo, StoreIo};
 use crate::wal::{self, RecoveryReport, WAL_FILE};
-use kscope_telemetry::{Counter, EventLevel, Histogram, Registry};
+use kscope_telemetry::{Counter, EventLevel, Gauge, Histogram, Registry};
 use parking_lot::Mutex;
 use serde_json::{json, Value};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -89,11 +89,18 @@ impl std::fmt::Display for CheckpointStats {
 pub struct DurabilityStatus {
     /// Current checkpoint sequence number.
     pub seq: u64,
-    /// `true` after a WAL append has failed. Writes since then are
-    /// applied in memory but *not* logged (appending past a hole would
-    /// corrupt replay); a checkpoint that truncates the WAL captures them
-    /// and clears the flag.
+    /// `true` after a WAL append or fsync has failed: the database is in
+    /// read-only mode, mutations are rejected with
+    /// [`PersistError::ReadOnly`], and a checkpoint that truncates the
+    /// WAL clears the flag.
     pub degraded: bool,
+    /// Same condition as `degraded`, under the name the rest of the
+    /// system uses: writes are rejected until a checkpoint frees space.
+    pub read_only: bool,
+    /// Bytes currently in the write-ahead log.
+    pub wal_bytes: u64,
+    /// Records currently in the write-ahead log.
+    pub wal_records: u64,
     /// The directory backing this database.
     pub dir: PathBuf,
 }
@@ -113,6 +120,9 @@ struct DurabilityMetrics {
     checkpoint_ms: Histogram,
     group_batches: Counter,
     group_ops: Counter,
+    read_only: Gauge,
+    disk_wal: Gauge,
+    disk_ckpt: Gauge,
 }
 
 /// Group-commit bookkeeping: appended vs fsynced log sequence numbers,
@@ -122,6 +132,12 @@ struct DurabilityMetrics {
 struct GroupSync {
     appended_lsn: u64,
     synced_lsn: u64,
+    /// Highest LSN covered by a *failed* group fsync: the waiters at or
+    /// below it are released (`synced_lsn` advances past them) but must
+    /// report [`PersistError::ReadOnly`] rather than acknowledge
+    /// durability. Reset to 0 when a checkpoint folds every appended
+    /// record into durable state.
+    failed_lsn: u64,
     leader_busy: bool,
 }
 
@@ -140,63 +156,111 @@ pub(crate) struct Durability {
     window_ns: AtomicU64,
     group: StdMutex<GroupSync>,
     group_cv: Condvar,
+    /// Bytes currently sitting in the WAL (reset when a checkpoint
+    /// truncates it) — the compaction trigger and `store.disk_bytes{wal}`.
+    wal_bytes: AtomicU64,
+    /// Records currently sitting in the WAL (reset on truncation).
+    wal_records: AtomicU64,
+    /// How many checkpoint directories the post-checkpoint GC keeps
+    /// (newest first); clamped to ≥ 1 so `CURRENT` can never dangle.
+    retain: AtomicUsize,
+    /// `(seq, bytes)` of checkpoint directories still on disk, feeding
+    /// `store.disk_bytes{checkpoints}`.
+    ckpt_sizes: Mutex<Vec<(u64, u64)>>,
 }
 
 impl Durability {
     /// Appends `op` (stamped with the current checkpoint seq) to the WAL,
     /// then applies the in-memory mutation — both under the commit lock,
-    /// so WAL order is exactly apply order. A failed append marks the
-    /// database degraded (counted + evented) but still applies the
-    /// mutation: availability over durability, loudly. Once degraded,
-    /// logging is *suspended* entirely until a checkpoint truncates the
-    /// WAL: appending records after a hole would let replay run a suffix
-    /// against state missing the unlogged op (a filter-based update could
-    /// match differently), reconstructing a state that never existed —
-    /// recovery must see a consistent prefix, not a log with gaps.
+    /// so WAL order is exactly apply order. The append is strictly
+    /// WAL-first: if it fails (ENOSPC, EIO, …) the database enters
+    /// **read-only mode**, the mutation is *not* applied, and the caller
+    /// gets [`PersistError::ReadOnly`] — never an acknowledged-but-
+    /// unlogged write. Once read-only, every mutation is rejected until a
+    /// checkpoint truncates the WAL: appending records after a hole would
+    /// let replay run a suffix against state missing the unlogged op,
+    /// reconstructing a state that never existed.
     ///
     /// With a group-commit window armed the append skips its own fsync;
     /// the caller is instead blocked *after* releasing the commit lock
     /// until a batch leader has fsynced past its record — same durability
     /// guarantee at ack time, one fsync per window of concurrent commits.
-    pub(crate) fn commit<R>(&self, op: Value, apply: impl FnOnce() -> R) -> R {
+    /// A failed group fsync also yields `ReadOnly`: the record *was*
+    /// applied in memory but is reported undurable, so the client must
+    /// not treat it as acknowledged (it is at most replayed as the usual
+    /// unacknowledged in-flight write).
+    pub(crate) fn try_commit<R>(
+        &self,
+        op: Value,
+        apply: impl FnOnce() -> R,
+    ) -> Result<R, PersistError> {
         let window = self.window_ns.load(Ordering::SeqCst);
         if window == 0 {
             let state = self.state.lock();
-            self.append_locked(state.seq, op);
-            return apply();
+            self.append_locked(state.seq, op)?;
+            return Ok(apply());
         }
         let (lsn, result) = {
             let state = self.state.lock();
-            let lsn = self.append_nosync_locked(state.seq, op);
+            let lsn = self.append_nosync_locked(state.seq, op)?;
             (lsn, apply())
         };
-        if let Some(lsn) = lsn {
-            self.wait_synced(lsn, window);
+        self.wait_synced(lsn, window)?;
+        Ok(result)
+    }
+
+    /// [`try_commit`] for callers with no error path: panics on
+    /// [`PersistError::ReadOnly`]. Crash-only semantics — an internal
+    /// mutation that cannot be made durable has no way to be rolled back,
+    /// so dying (and recovering to the acknowledged prefix) is the honest
+    /// outcome. Request-facing paths use the `try_` variant and surface
+    /// 507 instead.
+    ///
+    /// [`try_commit`]: Durability::try_commit
+    pub(crate) fn commit<R>(&self, op: Value, apply: impl FnOnce() -> R) -> R {
+        match self.try_commit(op, apply) {
+            Ok(result) => result,
+            Err(e) => panic!("infallible commit path hit a persistence failure: {e}"),
         }
-        result
     }
 
     /// Commit variant for conditionally-admitted mutations (unique-key
     /// inserts, atomic upserts): `attempt` runs under the commit lock —
     /// it may acquire collection locks, which preserves the one global
-    /// lock order (commit lock → collection lock) that [`commit`] and
+    /// lock order (commit lock → collection lock) that [`try_commit`] and
     /// every other mutation path use — and returns the WAL op to log
     /// *iff* the mutation was admitted, plus the caller's result. The op
     /// is appended after apply, still under the commit lock, so WAL order
     /// is exactly apply order; a crash in the gap can only lose the one
-    /// write that was never acknowledged. Group commit applies exactly as
-    /// in [`commit`]: the ack blocks outside the lock until fsynced.
+    /// write that was never acknowledged.
     ///
-    /// [`commit`]: Durability::commit
-    pub(crate) fn commit_conditional<R>(&self, attempt: impl FnOnce() -> (Option<Value>, R)) -> R {
+    /// Read-only mode is checked *before* `attempt` runs, so a rejected
+    /// call mutates nothing. The one asymmetric window: if the append
+    /// itself fails *after* `attempt` already applied, the mutation stays
+    /// in memory but the caller gets `ReadOnly` — safe, because logging
+    /// is suspended from that instant (no later record can contradict
+    /// the unlogged one), the write was never acknowledged, and the
+    /// checkpoint that clears the mode folds the in-memory state —
+    /// including this write — into durable state. Group commit applies
+    /// exactly as in [`try_commit`]: the ack blocks outside the lock
+    /// until fsynced.
+    ///
+    /// [`try_commit`]: Durability::try_commit
+    pub(crate) fn try_commit_conditional<R>(
+        &self,
+        attempt: impl FnOnce() -> (Option<Value>, R),
+    ) -> Result<R, PersistError> {
         let window = self.window_ns.load(Ordering::SeqCst);
         let (lsn, result) = {
             let state = self.state.lock();
+            if self.degraded.load(Ordering::SeqCst) {
+                return Err(PersistError::ReadOnly);
+            }
             let (op, result) = attempt();
             let lsn = match op {
-                Some(op) if window > 0 => self.append_nosync_locked(state.seq, op),
+                Some(op) if window > 0 => Some(self.append_nosync_locked(state.seq, op)?),
                 Some(op) => {
-                    self.append_locked(state.seq, op);
+                    self.append_locked(state.seq, op)?;
                     None
                 }
                 None => None,
@@ -204,9 +268,9 @@ impl Durability {
             (lsn, result)
         };
         if let Some(lsn) = lsn {
-            self.wait_synced(lsn, window);
+            self.wait_synced(lsn, window)?;
         }
-        result
+        Ok(result)
     }
 
     /// Sets the group-commit window; `Duration::ZERO` disables.
@@ -220,11 +284,11 @@ impl Durability {
     }
 
     /// Appends without fsync (group-commit path), returning the record's
-    /// log sequence number to wait on — or `None` when the append failed
-    /// or logging is suspended (nothing to wait for).
-    fn append_nosync_locked(&self, seq: u64, mut op: Value) -> Option<u64> {
+    /// log sequence number to wait on — or [`PersistError::ReadOnly`]
+    /// when the append failed or the database already is read-only.
+    fn append_nosync_locked(&self, seq: u64, mut op: Value) -> Result<u64, PersistError> {
         if self.degraded.load(Ordering::SeqCst) {
-            return None;
+            return Err(PersistError::ReadOnly);
         }
         if let Some(obj) = op.as_object_mut() {
             obj.insert("seq".to_string(), json!(seq));
@@ -233,26 +297,14 @@ impl Durability {
         let frame = wal::encode_frame(payload.as_bytes());
         match self.io.append_nosync(&self.dir.join(WAL_FILE), &frame) {
             Ok(()) => {
-                if let Some(m) = self.metrics.get() {
-                    m.wal_appends.inc();
-                    m.wal_bytes.add(frame.len() as u64);
-                }
+                self.note_appended(frame.len() as u64);
                 let mut g = self.group_lock();
                 g.appended_lsn += 1;
-                Some(g.appended_lsn)
+                Ok(g.appended_lsn)
             }
             Err(e) => {
-                self.degraded.store(true, Ordering::SeqCst);
-                if let Some(m) = self.metrics.get() {
-                    m.wal_errors.inc();
-                    m.registry.event(
-                        EventLevel::Error,
-                        "store",
-                        "WAL append failed; database degraded until next checkpoint",
-                        &[("error", &e.to_string())],
-                    );
-                }
-                None
+                self.enter_read_only("append", &e.to_string());
+                Err(PersistError::ReadOnly)
             }
         }
     }
@@ -261,13 +313,20 @@ impl Durability {
     /// waiter becomes the batch leader: it sleeps out the window so
     /// concurrent commits can pile on, issues one fsync covering every
     /// record appended by then, and wakes all followers. A failed fsync
-    /// degrades the database (durability can no longer be promised) and
-    /// releases the waiters rather than hanging them.
-    fn wait_synced(&self, lsn: u64, window_ns: u64) {
+    /// turns the database read-only (durability can no longer be
+    /// promised) and releases the waiters with
+    /// [`PersistError::ReadOnly`] rather than hanging them.
+    fn wait_synced(&self, lsn: u64, window_ns: u64) -> Result<(), PersistError> {
         let mut g = self.group_lock();
         loop {
             if g.synced_lsn >= lsn {
-                return;
+                // Released — but by a *successful* fsync? `failed_lsn`
+                // covering this record means its batch leader could not
+                // make it durable.
+                if g.failed_lsn >= lsn {
+                    return Err(PersistError::ReadOnly);
+                }
+                return Ok(());
             }
             if g.leader_busy {
                 g = self.group_cv.wait(g).unwrap_or_else(std::sync::PoisonError::into_inner);
@@ -293,16 +352,8 @@ impl Durability {
                     }
                 }
                 Err(e) => {
-                    self.degraded.store(true, Ordering::SeqCst);
-                    if let Some(m) = self.metrics.get() {
-                        m.wal_errors.inc();
-                        m.registry.event(
-                            EventLevel::Error,
-                            "store",
-                            "WAL group fsync failed; database degraded until next checkpoint",
-                            &[("error", &e.to_string())],
-                        );
-                    }
+                    self.enter_read_only("group fsync", &e.to_string());
+                    after.failed_lsn = after.failed_lsn.max(target);
                     if target > after.synced_lsn {
                         after.synced_lsn = target;
                     }
@@ -314,20 +365,25 @@ impl Durability {
     }
 
     /// Marks every appended record as synced (the checkpoint folded them
-    /// into durable state) and releases any group-commit waiters.
+    /// into durable state) and releases any group-commit waiters. Also
+    /// clears the failure watermark: records the failed fsync could not
+    /// cover are in the durable checkpoint now, so late waiters can
+    /// acknowledge after all.
     fn mark_all_synced(&self) {
         let mut g = self.group_lock();
         g.synced_lsn = g.appended_lsn;
+        g.failed_lsn = 0;
         self.group_cv.notify_all();
     }
 
-    /// Stamps `op` with `seq` and appends it to the WAL. Must be called
-    /// with the commit (state) lock held. A failed append marks the
-    /// database degraded; once degraded, logging is suspended until a
-    /// checkpoint truncates the WAL (see [`Durability::commit`]).
-    fn append_locked(&self, seq: u64, mut op: Value) {
+    /// Stamps `op` with `seq` and appends it to the WAL (fsynced). Must
+    /// be called with the commit (state) lock held. A failed append turns
+    /// the database read-only and is rejected; once read-only, every
+    /// append is refused until a checkpoint truncates the WAL (see
+    /// [`Durability::try_commit`]).
+    fn append_locked(&self, seq: u64, mut op: Value) -> Result<(), PersistError> {
         if self.degraded.load(Ordering::SeqCst) {
-            return;
+            return Err(PersistError::ReadOnly);
         }
         if let Some(obj) = op.as_object_mut() {
             obj.insert("seq".to_string(), json!(seq));
@@ -336,24 +392,60 @@ impl Durability {
         let frame = wal::encode_frame(payload.as_bytes());
         match self.io.append(&self.dir.join(WAL_FILE), &frame) {
             Ok(()) => {
-                if let Some(m) = self.metrics.get() {
-                    m.wal_appends.inc();
-                    m.wal_bytes.add(frame.len() as u64);
-                }
+                self.note_appended(frame.len() as u64);
+                Ok(())
             }
             Err(e) => {
-                self.degraded.store(true, Ordering::SeqCst);
-                if let Some(m) = self.metrics.get() {
-                    m.wal_errors.inc();
-                    m.registry.event(
-                        EventLevel::Error,
-                        "store",
-                        "WAL append failed; database degraded until next checkpoint",
-                        &[("error", &e.to_string())],
-                    );
-                }
+                self.enter_read_only("append", &e.to_string());
+                Err(PersistError::ReadOnly)
             }
         }
+    }
+
+    /// Accounts a successful append in the WAL pressure counters (the
+    /// compaction trigger) and the disk/throughput metrics.
+    fn note_appended(&self, bytes: u64) {
+        let total = bytes + self.wal_bytes.fetch_add(bytes, Ordering::SeqCst);
+        self.wal_records.fetch_add(1, Ordering::SeqCst);
+        if let Some(m) = self.metrics.get() {
+            m.wal_appends.inc();
+            m.wal_bytes.add(bytes);
+            m.disk_wal.set(total as i64);
+        }
+    }
+
+    /// Flips the database into read-only mode (mutations rejected with
+    /// [`PersistError::ReadOnly`]) and surfaces it on the dashboards.
+    pub(crate) fn enter_read_only(&self, step: &str, error: &str) {
+        self.degraded.store(true, Ordering::SeqCst);
+        if let Some(m) = self.metrics.get() {
+            m.wal_errors.inc();
+            m.read_only.set(1);
+            m.registry.event(
+                EventLevel::Error,
+                "store",
+                "WAL write failed; database is read-only until a checkpoint frees space",
+                &[("step", step), ("error", error)],
+            );
+        }
+    }
+
+    /// Re-arms logging after a checkpoint left the WAL hole-free.
+    pub(crate) fn clear_read_only(&self) {
+        self.degraded.store(false, Ordering::SeqCst);
+        if let Some(m) = self.metrics.get() {
+            m.read_only.set(0);
+        }
+    }
+
+    /// Current WAL pressure as `(bytes, records)` — what the background
+    /// compactor polls against its thresholds.
+    pub(crate) fn wal_pressure(&self) -> (u64, u64) {
+        (self.wal_bytes.load(Ordering::SeqCst), self.wal_records.load(Ordering::SeqCst))
+    }
+
+    pub(crate) fn is_read_only(&self) -> bool {
+        self.degraded.load(Ordering::SeqCst)
     }
 
     pub(crate) fn attach_metrics(&self, registry: &Arc<Registry>) {
@@ -371,12 +463,19 @@ impl Durability {
             ),
             group_batches: registry.counter("store.group_commit_batches"),
             group_ops: registry.counter("store.group_commit_ops"),
+            read_only: registry.gauge("store.read_only"),
+            disk_wal: registry.gauge_with("store.disk_bytes", &[("file", "wal")]),
+            disk_ckpt: registry.gauge_with("store.disk_bytes", &[("file", "checkpoints")]),
         });
         if created {
             // Surface what recovery found on the operator's dashboards.
             registry
                 .counter("store.recovery_dropped_records")
                 .add(self.report.dropped_records as u64);
+            if let Some(m) = self.metrics.get() {
+                m.disk_wal.set(self.wal_bytes.load(Ordering::SeqCst) as i64);
+                m.read_only.set(i64::from(self.degraded.load(Ordering::SeqCst)));
+            }
         }
     }
 }
@@ -589,6 +688,15 @@ impl Database {
             report.wal_rewritten = true;
         }
 
+        // Seed the WAL pressure counters from what survived recovery, so
+        // a compactor attached right after open sees the true backlog.
+        let wal_path = dir.join(WAL_FILE);
+        let wal_len = if io.exists(&wal_path) {
+            io.read(&wal_path).map(|b| b.len() as u64).unwrap_or(0)
+        } else {
+            0
+        };
+        let wal_recs = scanned.records.iter().filter(|r| r.seq >= seq).count() as u64;
         let durability = Arc::new(Durability {
             dir,
             io,
@@ -599,6 +707,10 @@ impl Database {
             window_ns: AtomicU64::new(0),
             group: StdMutex::new(GroupSync::default()),
             group_cv: Condvar::new(),
+            wal_bytes: AtomicU64::new(wal_len),
+            wal_records: AtomicU64::new(wal_recs),
+            retain: AtomicUsize::new(2),
+            ckpt_sizes: Mutex::new(Vec::new()),
         });
         db.attach_durability(&durability);
         Ok((db, report))
@@ -700,7 +812,12 @@ impl Database {
         }
         if wal_truncated {
             // Only a truncated (hence hole-free) WAL re-arms logging.
-            d.degraded.store(false, Ordering::SeqCst);
+            d.clear_read_only();
+            d.wal_bytes.store(0, Ordering::SeqCst);
+            d.wal_records.store(0, Ordering::SeqCst);
+            if let Some(m) = d.metrics.get() {
+                m.disk_wal.set(0);
+            }
             // Every record appended so far is folded into the durable
             // checkpoint — release group-commit waiters still queued for
             // an fsync of WAL bytes that no longer exist.
@@ -708,14 +825,32 @@ impl Database {
         }
         drop(state);
 
+        d.ckpt_sizes.lock().push((next_seq, bytes));
         if dir_synced {
-            // Garbage-collect superseded checkpoints and stale temp dirs.
+            // Garbage-collect checkpoints beyond the retention window
+            // (newest `retain_checkpoints(K)` survive; the one CURRENT
+            // names is always the newest, so it can never dangle) plus
+            // stale temp dirs.
+            let retain = d.retain.load(Ordering::SeqCst).max(1);
+            let mut seqs: Vec<u64> =
+                d.io.read_dir_names(&d.dir)
+                    .unwrap_or_default()
+                    .iter()
+                    .filter_map(|e| parse_ckpt_seq(e))
+                    .collect();
+            seqs.sort_unstable_by(|a, b| b.cmp(a));
+            let keep: Vec<u64> = seqs.into_iter().take(retain).collect();
             for entry in d.io.read_dir_names(&d.dir).unwrap_or_default() {
-                let stale_ckpt = parse_ckpt_seq(&entry).is_some_and(|s| s < next_seq);
+                let stale_ckpt = parse_ckpt_seq(&entry).is_some_and(|s| !keep.contains(&s));
                 let stale_tmp = entry.ends_with(".tmp") && entry.starts_with("ckpt-");
                 if stale_ckpt || (stale_tmp && entry != format!("{name}.tmp")) {
                     let _ = d.io.remove_dir_all(&d.dir.join(&entry));
                 }
+            }
+            let mut sizes = d.ckpt_sizes.lock();
+            sizes.retain(|(s, _)| keep.contains(s));
+            if let Some(m) = d.metrics.get() {
+                m.disk_ckpt.set(sizes.iter().map(|(_, b)| *b as i64).sum());
             }
         }
         if !wal_truncated {
@@ -764,11 +899,62 @@ impl Database {
     /// Health of the durability layer, or `None` for an in-memory
     /// database.
     pub fn durability_status(&self) -> Option<DurabilityStatus> {
-        self.durability_handle().map(|d| DurabilityStatus {
-            seq: d.state.lock().seq,
-            degraded: d.degraded.load(Ordering::SeqCst),
-            dir: d.dir.clone(),
+        self.durability_handle().map(|d| {
+            let (wal_bytes, wal_records) = d.wal_pressure();
+            let read_only = d.is_read_only();
+            DurabilityStatus {
+                seq: d.state.lock().seq,
+                degraded: read_only,
+                read_only,
+                wal_bytes,
+                wal_records,
+                dir: d.dir.clone(),
+            }
         })
+    }
+
+    /// Whether the database currently rejects mutations with
+    /// [`PersistError::ReadOnly`]; always `false` for an in-memory
+    /// database.
+    pub fn is_read_only(&self) -> bool {
+        self.durability_handle().is_some_and(|d| d.is_read_only())
+    }
+
+    /// Forces read-only mode on or off — the operational/testing hook for
+    /// exercising the disk-pressure path end-to-end without a real
+    /// ENOSPC. Returns `false` on a non-durable database.
+    ///
+    /// Clearing with `on = false` only flips the flag; a mode entered by
+    /// a *real* append failure should instead be cleared by
+    /// [`Database::checkpoint`], which truncates the (possibly holed) WAL
+    /// before re-arming logging.
+    pub fn force_read_only(&self, on: bool) -> bool {
+        match self.durability_handle() {
+            Some(d) => {
+                if on {
+                    d.enter_read_only("forced", "operator/test hook");
+                } else {
+                    d.clear_read_only();
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Sets how many checkpoint directories the post-checkpoint GC keeps,
+    /// newest first (default 2: the live checkpoint plus one predecessor
+    /// for forensics). Clamped to ≥ 1 — the newest checkpoint is the one
+    /// `CURRENT` names, so it is never collected and the pointer cannot
+    /// dangle. Returns `false` on a non-durable database.
+    pub fn retain_checkpoints(&self, k: usize) -> bool {
+        match self.durability_handle() {
+            Some(d) => {
+                d.retain.store(k.max(1), Ordering::SeqCst);
+                true
+            }
+            None => false,
+        }
     }
 
     /// What recovery found when this database was opened, or `None` for

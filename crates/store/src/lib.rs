@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod collection;
+pub mod compaction;
 pub mod database;
 pub mod durable;
 pub mod filter;
@@ -45,6 +46,9 @@ pub mod io;
 pub mod wal;
 
 pub use collection::{Collection, ObjectId, SHARD_COUNT};
+pub use compaction::{
+    spawn_compactor, CompactObserver, CompactionConfig, CompactorHandle, DEFAULT_COMPACT_WAL_BYTES,
+};
 pub use database::{Database, PersistError};
 pub use durable::{CheckpointStats, DurabilityStatus};
 pub use filter::matches_filter;

@@ -1,0 +1,204 @@
+//! Background compaction, checkpoint retention, and read-only mode —
+//! the disk-pressure half of crash-only operation.
+
+use kscope_store::{spawn_compactor, CompactionConfig, Database, PersistError};
+use kscope_telemetry::Registry;
+use serde_json::json;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("kscope-compact-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn ckpt_dirs(dir: &PathBuf) -> Vec<String> {
+    let mut out: Vec<String> = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().is_dir())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("ckpt-") && !n.ends_with(".tmp"))
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn retain_checkpoints_deletes_old_dirs_and_current_never_dangles() {
+    let dir = tempdir("retain");
+    let (db, _) = Database::open_durable(&dir).unwrap();
+
+    // Default policy keeps the newest two checkpoints.
+    for i in 0..5 {
+        db.collection("c").insert_one(json!({"n": i}));
+        db.checkpoint().unwrap();
+    }
+    assert_eq!(
+        ckpt_dirs(&dir),
+        vec!["ckpt-00000004".to_string(), "ckpt-00000005".to_string()],
+        "default retention keeps the newest 2"
+    );
+
+    // Tightening to 1 takes effect at the next checkpoint; a request for
+    // 0 is clamped so the checkpoint CURRENT names always survives.
+    assert!(db.retain_checkpoints(0));
+    db.collection("c").insert_one(json!({"n": 5}));
+    db.checkpoint().unwrap();
+    assert_eq!(ckpt_dirs(&dir), vec!["ckpt-00000006".to_string()], "clamped to K=1");
+
+    // Widening keeps more history from here on.
+    assert!(db.retain_checkpoints(3));
+    for i in 6..9 {
+        db.collection("c").insert_one(json!({"n": i}));
+        db.checkpoint().unwrap();
+    }
+    assert_eq!(
+        ckpt_dirs(&dir),
+        vec!["ckpt-00000007".to_string(), "ckpt-00000008".to_string(), "ckpt-00000009".to_string()]
+    );
+    drop(db);
+
+    // CURRENT points into the retained set: recovery succeeds and sees
+    // every acknowledged write.
+    let (db, report) = Database::open_durable(&dir).unwrap();
+    assert!(report.clean());
+    assert_eq!(db.collection("c").len(), 9);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn retain_checkpoints_is_a_durable_database_operation() {
+    let db = Database::new();
+    assert!(!db.retain_checkpoints(3), "in-memory database has no checkpoints to retain");
+    assert!(!db.force_read_only(true), "in-memory database has no read-only mode");
+    assert!(!db.is_read_only());
+}
+
+#[test]
+fn compactor_checkpoints_when_wal_pressure_crosses_threshold() {
+    let dir = tempdir("pressure");
+    let registry = Arc::new(Registry::new());
+    let (db, _) = Database::open_durable(&dir).unwrap();
+    let db = db.with_telemetry(&registry);
+
+    let mut handle = spawn_compactor(
+        &db,
+        CompactionConfig {
+            wal_bytes_threshold: 512,
+            poll_interval: Duration::from_millis(10),
+            min_interval: Duration::ZERO,
+            ..CompactionConfig::default()
+        },
+    )
+    .unwrap();
+
+    for i in 0..50 {
+        db.collection("c").insert_one(json!({"n": i, "pad": "x".repeat(64)}));
+    }
+
+    // Wait for the background thread to fold WAL pressure into at least
+    // one checkpoint (a sub-threshold residue from writes racing the
+    // checkpoint may legitimately remain in the WAL).
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let compactions = registry.counter_value("store.compactions_total", &[]).unwrap_or(0);
+        let residue = db.durability_status().unwrap().wal_bytes;
+        if compactions >= 1 && residue < 512 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "compactor never relieved WAL pressure: {:?}",
+            db.durability_status()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    handle.stop();
+
+    let status = db.durability_status().unwrap();
+    assert!(status.seq >= 1, "checkpoint committed: {status:?}");
+    assert_eq!(
+        registry.gauge_value("store.disk_bytes", &[("file", "wal")]),
+        Some(status.wal_bytes as i64)
+    );
+    assert!(registry.gauge_value("store.disk_bytes", &[("file", "checkpoints")]).unwrap_or(0) > 0);
+    drop(db);
+
+    let (db, report) = Database::open_durable(&dir).unwrap();
+    assert!(report.clean());
+    assert_eq!(db.collection("c").len(), 50, "no write lost across background compactions");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn read_only_mode_rejects_writes_and_compaction_auto_clears_it() {
+    let dir = tempdir("read-only-clear");
+    let registry = Arc::new(Registry::new());
+    let (db, _) = Database::open_durable(&dir).unwrap();
+    let db = db.with_telemetry(&registry);
+    db.collection("c").insert_one(json!({"n": 0}));
+
+    assert!(db.force_read_only(true));
+    assert!(db.is_read_only());
+    assert_eq!(registry.gauge_value("store.read_only", &[]), Some(1));
+    let err = db.collection("c").try_insert_one(json!({"n": 1})).unwrap_err();
+    assert!(matches!(err, PersistError::ReadOnly));
+    assert!(db.collection("c").try_delete_many(&json!({"n": 0})).is_err());
+    assert!(db.collection("c").try_upsert_mutate(&json!({"n": 0}), json!({}), |_| {}).is_err());
+    assert_eq!(db.collection("c").len(), 1, "nothing applied while read-only");
+
+    // The compactor sees the mode and checkpoints immediately (the
+    // min-interval throttle does not apply to an outage).
+    let mut handle = spawn_compactor(
+        &db,
+        CompactionConfig {
+            poll_interval: Duration::from_millis(10),
+            min_interval: Duration::from_secs(3600),
+            ..CompactionConfig::default()
+        },
+    )
+    .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while db.is_read_only() {
+        assert!(Instant::now() < deadline, "compaction never cleared read-only mode");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    handle.stop();
+
+    assert_eq!(registry.gauge_value("store.read_only", &[]), Some(0));
+    db.collection("c").try_insert_one(json!({"n": 1})).unwrap();
+    drop(db);
+
+    let (db, report) = Database::open_durable(&dir).unwrap();
+    assert!(report.clean());
+    assert_eq!(db.collection("c").len(), 2);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn durability_status_reports_wal_pressure() {
+    let dir = tempdir("status");
+    let (db, _) = Database::open_durable(&dir).unwrap();
+    let before = db.durability_status().unwrap();
+    assert_eq!((before.wal_bytes, before.wal_records), (0, 0));
+    db.collection("c").insert_one(json!({"n": 0}));
+    db.collection("c").insert_one(json!({"n": 1}));
+    let after = db.durability_status().unwrap();
+    assert_eq!(after.wal_records, 2);
+    assert!(after.wal_bytes > 0);
+    drop(db);
+
+    // Reopening re-seeds the pressure counters from the surviving WAL.
+    let (db, _) = Database::open_durable(&dir).unwrap();
+    let reopened = db.durability_status().unwrap();
+    assert_eq!(reopened.wal_records, 2);
+    assert_eq!(reopened.wal_bytes, after.wal_bytes);
+    db.checkpoint().unwrap();
+    let folded = db.durability_status().unwrap();
+    assert_eq!((folded.wal_bytes, folded.wal_records), (0, 0));
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -10,7 +10,7 @@
 #![cfg(feature = "failpoints")]
 
 use kscope_store::io::fault::{Failpoint, Fault, FaultIo, OpKind};
-use kscope_store::{Database, GridStore, RealIo};
+use kscope_store::{Database, GridStore, PersistError, RealIo};
 use serde_json::json;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -30,7 +30,7 @@ fn ns(db: &Database, coll: &str) -> Vec<i64> {
 }
 
 #[test]
-fn enospc_on_wal_append_degrades_until_checkpoint() {
+fn enospc_on_wal_append_turns_the_store_read_only_until_checkpoint() {
     let dir = tempdir("enospc");
     let fio = FaultIo::new(Arc::new(RealIo)).with(Failpoint {
         kind: OpKind::Append,
@@ -39,26 +39,32 @@ fn enospc_on_wal_append_degrades_until_checkpoint() {
     });
     let (db, _) = Database::open_durable_with(&dir, Arc::new(fio)).unwrap();
 
-    db.collection("c").insert_one(json!({"n": 0}));
-    // The write is served from memory, but durability is honest about it.
-    assert_eq!(db.collection("c").len(), 1);
-    assert!(db.durability_status().unwrap().degraded);
+    // WAL-first: the append fails *before* the mutation applies, so the
+    // write is rejected with a typed error — never acknowledged
+    // non-durably, never served from memory.
+    let err = db.collection("c").try_insert_one(json!({"n": 0})).unwrap_err();
+    assert!(matches!(err, PersistError::ReadOnly), "typed rejection, got {err}");
+    assert_eq!(db.collection("c").len(), 0, "rejected write was not applied");
+    assert!(db.durability_status().unwrap().read_only);
+    // Every further mutation is refused while the mode holds.
+    assert!(db.collection("c").try_insert_one(json!({"n": 0})).is_err());
+    assert!(db.collection("c").try_update_many(&json!({}), &json!({"x": 1})).is_err());
 
-    // A successful checkpoint captures the in-memory state, clears the
-    // degraded flag, and re-arms WAL logging.
+    // A successful checkpoint truncates the WAL, clears the mode, and
+    // re-arms logging.
     db.checkpoint().unwrap();
-    assert!(!db.durability_status().unwrap().degraded);
-    db.collection("c").insert_one(json!({"n": 1}));
+    assert!(!db.durability_status().unwrap().read_only);
+    db.collection("c").try_insert_one(json!({"n": 0})).unwrap();
     drop(db);
 
     let (db, report) = Database::open_durable(&dir).unwrap();
     assert!(report.clean());
-    assert_eq!(ns(&db, "c"), vec![0, 1], "degraded write checkpointed, logging re-armed after");
+    assert_eq!(ns(&db, "c"), vec![0], "retried write durable after the checkpoint");
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]
-fn degraded_database_suspends_logging_to_keep_the_wal_hole_free() {
+fn read_only_mode_rejects_mutations_to_keep_the_wal_hole_free() {
     let dir = tempdir("wal-hole");
     let fio = FaultIo::new(Arc::new(RealIo)).with(Failpoint {
         kind: OpKind::Append,
@@ -66,11 +72,12 @@ fn degraded_database_suspends_logging_to_keep_the_wal_hole_free() {
         fault: Fault::Err("ENOSPC"),
     });
     let (db, _) = Database::open_durable_with(&dir, Arc::new(fio)).unwrap();
-    db.collection("c").insert_one(json!({"n": 0})); // logged
-    db.collection("c").insert_one(json!({"n": 1})); // append fails → degraded
-    db.collection("c").insert_one(json!({"n": 2})); // must NOT be logged past the hole
-    assert_eq!(db.collection("c").len(), 3, "all writes served from memory");
-    assert!(db.durability_status().unwrap().degraded);
+    db.collection("c").try_insert_one(json!({"n": 0})).unwrap(); // logged
+    let second = db.collection("c").try_insert_one(json!({"n": 1})); // append fails
+    let third = db.collection("c").try_insert_one(json!({"n": 2})); // refused outright
+    assert!(second.is_err() && third.is_err());
+    assert_eq!(db.collection("c").len(), 1, "only the acknowledged write is visible");
+    assert!(db.durability_status().unwrap().read_only);
     drop(db);
 
     // Recovery sees the consistent prefix up to the first failed append —
@@ -78,7 +85,7 @@ fn degraded_database_suspends_logging_to_keep_the_wal_hole_free() {
     // existed (e.g. a later filter-based update missing the unlogged doc).
     let (db, report) = Database::open_durable(&dir).unwrap();
     assert!(report.clean());
-    assert_eq!(ns(&db, "c"), vec![0], "prefix only: nothing logged after the hole");
+    assert_eq!(ns(&db, "c"), vec![0], "exactly what was acknowledged");
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
@@ -91,10 +98,13 @@ fn torn_wal_append_recovers_the_acknowledged_prefix() {
         fault: Fault::Torn { keep: 5 },
     });
     let (db, _) = Database::open_durable_with(&dir, Arc::new(fio)).unwrap();
-    for i in 0..5 {
-        db.collection("c").insert_one(json!({"n": i}));
+    for i in 0..4 {
+        db.collection("c").try_insert_one(json!({"n": i})).unwrap();
     }
-    assert!(db.durability_status().unwrap().degraded, "torn append flagged");
+    // The torn append reports failure, so the fifth write is rejected and
+    // the store goes read-only.
+    assert!(db.collection("c").try_insert_one(json!({"n": 4})).is_err());
+    assert!(db.durability_status().unwrap().read_only, "torn append flagged");
     drop(db);
 
     let (db, report) = Database::open_durable(&dir).unwrap();
@@ -341,13 +351,86 @@ fn crash_before_wal_append_loses_only_the_unacknowledged_write() {
         fault: Fault::CrashBefore,
     });
     let (db, _) = Database::open_durable_with(&dir, Arc::new(fio)).unwrap();
-    db.collection("c").insert_one(json!({"n": 0}));
-    db.collection("c").insert_one(json!({"n": 1}));
-    db.collection("c").insert_one(json!({"n": 2})); // append dies here
+    db.collection("c").try_insert_one(json!({"n": 0})).unwrap();
+    db.collection("c").try_insert_one(json!({"n": 1})).unwrap();
+    // The process "dies" at this append: the write is never acknowledged.
+    assert!(db.collection("c").try_insert_one(json!({"n": 2})).is_err());
     drop(db);
 
     let (db, report) = Database::open_durable(&dir).unwrap();
     assert!(report.clean(), "a pre-write crash tears nothing");
     assert_eq!(ns(&db, "c"), vec![0, 1], "exactly the acknowledged prefix");
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Satellite: the compaction/checkpoint commit point under concurrent
+/// writers. A burst of `try_insert_one` traffic races a checkpoint whose
+/// process crashes immediately before or after the `CURRENT` rename;
+/// recovery must contain *every* acknowledged write (either via the old
+/// WAL or the new checkpoint) and nothing that was never attempted.
+#[test]
+fn compaction_crash_around_current_rename_keeps_every_acknowledged_write() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Mutex;
+
+    // Rename 0 promotes the checkpoint dir; rename 1 swings CURRENT.
+    for (tag, nth, fault) in [
+        ("pre-promote", 0, Fault::CrashBefore),
+        ("post-promote", 0, Fault::CrashAfter),
+        ("pre-current", 1, Fault::CrashBefore),
+        ("post-current", 1, Fault::CrashAfter),
+    ] {
+        let dir = tempdir(&format!("compact-crash-{tag}"));
+        let fio =
+            FaultIo::new(Arc::new(RealIo)).with(Failpoint { kind: OpKind::Rename, nth, fault });
+        let (db, _) = Database::open_durable_with(&dir, Arc::new(fio)).unwrap();
+        for i in 0..3 {
+            db.collection("c").try_insert_one(json!({"n": i})).unwrap();
+        }
+
+        let acked = Arc::new(Mutex::new(vec![0i64, 1, 2]));
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut writers = Vec::new();
+        for t in 0..3i64 {
+            let db = db.clone();
+            let acked = Arc::clone(&acked);
+            let stop = Arc::clone(&stop);
+            writers.push(std::thread::spawn(move || {
+                for k in 0..50i64 {
+                    let n = 100 * (t + 1) + k;
+                    match db.collection("c").try_insert_one(json!({"n": n})) {
+                        Ok(_) => acked.lock().unwrap().push(n),
+                        // The crash fault fails every later op — stop.
+                        Err(_) => break,
+                    }
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                }
+            }));
+        }
+        // The checkpoint races the writers and dies at the armed rename.
+        let _ = db.checkpoint();
+        stop.store(true, Ordering::SeqCst);
+        for w in writers {
+            w.join().unwrap();
+        }
+        drop(db);
+
+        let (db, _) = Database::open_durable(&dir)
+            .unwrap_or_else(|e| panic!("recovery after {tag} crash must succeed: {e}"));
+        let recovered = ns(&db, "c");
+        let mut expected = acked.lock().unwrap().clone();
+        expected.sort_unstable();
+        for n in &expected {
+            assert!(recovered.contains(n), "{tag}: acknowledged write {n} lost");
+        }
+        // Nothing invented: every recovered doc was attempted by a writer.
+        for n in &recovered {
+            assert!((0..3).contains(n) || (100..=350).contains(n), "{tag}: unexpected doc {n}");
+        }
+        // The recovered store checkpoints cleanly despite crash debris.
+        db.checkpoint().unwrap_or_else(|e| panic!("post-recovery checkpoint ({tag}): {e}"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
 }

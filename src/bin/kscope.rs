@@ -10,14 +10,16 @@
 //! ```
 
 use kaleidoscope::core::corpus;
-use kaleidoscope::core::supervisor::{CampaignSupervisor, SupervisorConfig};
+use kaleidoscope::core::supervisor::{CampaignSupervisor, SupervisorConfig, SupervisorHook};
 use kaleidoscope::core::{Aggregator, Campaign, QuestionKind, TestParams};
 use kaleidoscope::crowd::faults::FaultModel;
 use kaleidoscope::crowd::platform::{Channel, JobSpec, Platform};
 use kaleidoscope::server::api::CoreServerApi;
 use kaleidoscope::server::HttpServer;
 use kaleidoscope::singlefile::ResourceStore;
-use kaleidoscope::store::{Database, GridStore};
+use kaleidoscope::store::{
+    spawn_compactor, CompactionConfig, Database, GridStore, DEFAULT_COMPACT_WAL_BYTES,
+};
 use kscope_telemetry::Registry;
 use rand::{rngs::StdRng, SeedableRng};
 use std::path::{Path, PathBuf};
@@ -60,7 +62,8 @@ fn print_usage() {
          kscope demo <font|expand|uplt|ads> [--participants N] [--seed N] [--in-lab] [--json]\n  \
          kscope snapshot <font|expand|uplt|ads> [--participants N] [--seed N] [--in-lab]\n  \
          kscope serve --data <dir> [--addr HOST:PORT] [--workers N] [--shards N]\n         \
-                      [--scan-poller] [--checkpoint-secs N] [--group-commit-us N]\n\n\
+                      [--scan-poller] [--checkpoint-secs N] [--group-commit-us N]\n         \
+                      [--compact-wal-bytes N] [--resume]\n\n\
          `demo`/`snapshot` supervision options (fault-tolerant campaign):\n  \
          --supervised              lease sessions, recover abandonment, refill quota\n  \
          --abandon R               total abandonment probability (default 0.2)\n  \
@@ -70,6 +73,11 @@ fn print_usage() {
          --deadline-hours H        campaign deadline in virtual hours\n  \
          --budget USD              hard spend cap (payments + fees)\n  \
          --reward-escalation X     reward multiplier per refill round (default 1.15)\n\n\
+         crash-only campaign options (require --supervised):\n  \
+         --data <dir>              run against a durable database in <dir>; the\n                            \
+         campaign ledger and every session survive kill -9\n  \
+         --resume                  resume the interrupted campaign recorded in the\n                            \
+         ledger at --data (same seed, identical outcome)\n\n\
          `snapshot` runs a demo with telemetry attached and prints the\n\
          metric registry (counters, gauges, latency quantiles, events).\n\
          `serve` exposes the same registry at GET /metrics (Prometheus\n\
@@ -300,13 +308,45 @@ fn run_demo(args: &[String], telemetry: Option<Arc<Registry>>) -> CliResult {
         other => return Err(format!("unknown demo '{other}' (font|expand|uplt|ads)").into()),
     };
 
-    let mut db = Database::new();
+    // Crash-only mode: --data runs the supervised campaign against a
+    // durable database so a kill -9 at any instant loses nothing, and
+    // --resume restarts the interrupted campaign from its ledger.
+    let durable_dir = opt(args, "--data").map(PathBuf::from);
+    let resume = has_flag(args, "--resume");
+    if (durable_dir.is_some() || resume) && !has_flag(args, "--supervised") {
+        return Err("--data/--resume drive crash-only campaigns; add --supervised".into());
+    }
+    if resume && durable_dir.is_none() {
+        return Err("--resume needs --data <dir> — the ledger lives in the durable database".into());
+    }
+
+    // In durable mode the aggregator prepares into a scratch in-memory
+    // database: page rows are derivable artifacts, and re-preparing on
+    // every (re)start against the durable store would duplicate them.
+    let (mut db, prep_db) = match &durable_dir {
+        Some(dir) => {
+            let (db, report) = Database::open_durable(dir)?;
+            println!(
+                "KSCOPE-RECOVERY clean={} checkpoint_seq={} replayed_records={} \
+                 dropped_records={}",
+                report.clean(),
+                report.checkpoint_seq,
+                report.replayed_records,
+                report.dropped_records
+            );
+            (db, Database::new())
+        }
+        None => {
+            let db = Database::new();
+            (db.clone(), db)
+        }
+    };
     if let Some(registry) = &telemetry {
         db = db.with_telemetry(registry);
     }
     let grid = GridStore::new();
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut aggregator = Aggregator::new(db.clone(), grid.clone());
+    let mut aggregator = Aggregator::new(prep_db, grid.clone());
     if let Some(registry) = &telemetry {
         aggregator = aggregator.with_telemetry(Arc::clone(registry));
     }
@@ -351,9 +391,41 @@ fn run_demo(args: &[String], telemetry: Option<Arc<Registry>>) -> CliResult {
         }
         let spec =
             JobSpec::new(&params.test_id, 0.11, participants, Channel::HistoricallyTrustworthy);
-        let supervised = CampaignSupervisor::new(&campaign, config)
-            .with_faults(faults)
-            .run(&params, &prepared, &spec, &mut rng)?;
+        let mut sup = CampaignSupervisor::new(&campaign, config).with_faults(faults);
+        if durable_dir.is_some() {
+            if let Some(doc) = CampaignSupervisor::ledger(&db, &params.test_id) {
+                println!(
+                    "KSCOPE-LEDGER test={} state={} rounds_completed={} resumed_count={}",
+                    params.test_id,
+                    doc.get("state").and_then(serde_json::Value::as_str).unwrap_or("?"),
+                    doc.get("rounds_completed").and_then(serde_json::Value::as_u64).unwrap_or(0),
+                    doc.get("resumed_count").and_then(serde_json::Value::as_u64).unwrap_or(0)
+                );
+            }
+            // Beacons give the process-chaos harness deterministic kill
+            // instants. The sweep checkpoint only bounds WAL replay time —
+            // the WAL alone already makes every instant crash-safe.
+            let beacon_db = db.clone();
+            let hook: SupervisorHook = Arc::new(move |phase: &str, n: u64| {
+                println!("KSCOPE-BEACON phase={phase} n={n}");
+                let _ = std::io::Write::flush(&mut std::io::stdout());
+                if phase == "sweep" && beacon_db.checkpoint().is_ok() {
+                    println!("KSCOPE-BEACON phase=checkpoint n={n}");
+                    let _ = std::io::Write::flush(&mut std::io::stdout());
+                }
+            });
+            sup = sup.with_hook(hook);
+        }
+        let supervised = if resume {
+            sup.resume(&params, &prepared, &spec)?
+        } else if durable_dir.is_some() {
+            sup.run_durable(&params, &prepared, &spec, seed)?
+        } else {
+            sup.run(&params, &prepared, &spec, &mut rng)?
+        };
+        if durable_dir.is_some() {
+            db.checkpoint()?;
+        }
 
         if has_flag(args, "--json") {
             let mut report = supervised.outcome.to_report_json(&params.question);
@@ -480,16 +552,48 @@ fn cmd_serve(args: &[String]) -> CliResult {
     // WAL group-commit window: concurrent intake commits arriving within
     // this many µs coalesce into one fsync. 0 = one fsync per commit.
     let group_commit_us: u64 = opt(args, "--group-commit-us").unwrap_or("250").parse()?;
+    // Background compaction threshold; 0 disables the compactor thread.
+    let compact_wal_bytes: u64 = match opt(args, "--compact-wal-bytes") {
+        Some(v) => v.parse()?,
+        None => DEFAULT_COMPACT_WAL_BYTES,
+    };
+    let resume = has_flag(args, "--resume");
     let data = PathBuf::from(data_dir);
 
     // Crash-safe open: latest checkpoint + WAL replay, tolerating a torn
     // tail from a previous crash. Legacy plain-JSONL snapshots import
     // transparently and get checkpointed on the first cycle.
+    let registry = Arc::new(Registry::new());
+    // Register the campaign-resume counter up front so /metrics always
+    // carries the series (campaigns sharing this registry bump it).
+    let _ = registry.counter("core.campaign_resumed_total");
     let (db, report) = Database::open_durable(data.join("db"))?;
+    let db = db.with_telemetry(&registry);
     if report.clean() {
         println!("database recovered: {report}");
     } else {
         eprintln!("warning: database recovered with losses: {report}");
+    }
+    // Surface campaigns the last incarnation left mid-flight: their
+    // ledgers record everything a restart needs, but the restart has to
+    // come from the campaign driver, not the server.
+    for doc in db.collection("campaign_ledger").all() {
+        if doc.get("state").and_then(serde_json::Value::as_str) == Some("running") {
+            println!(
+                "KSCOPE-RECOVERY interrupted campaign test={} rounds_completed={} \
+                 resumed_count={} — restart it with `kscope demo --supervised --data <dir> \
+                 --resume`",
+                doc.get("test_id").and_then(serde_json::Value::as_str).unwrap_or("?"),
+                doc.get("rounds_completed").and_then(serde_json::Value::as_u64).unwrap_or(0),
+                doc.get("resumed_count").and_then(serde_json::Value::as_u64).unwrap_or(0)
+            );
+        }
+    }
+    if resume {
+        // Fold the replayed WAL into a fresh snapshot before serving so
+        // the next crash recovers from the post-resume state directly.
+        let stats = db.checkpoint()?;
+        println!("start-up checkpoint folded recovered WAL: {stats}");
     }
     let grid = GridStore::load_from_dir(&data.join("files"))?;
     println!(
@@ -503,7 +607,22 @@ fn cmd_serve(args: &[String]) -> CliResult {
             "WAL group commit armed: {group_commit_us}µs window (--group-commit-us 0 to disable)"
         );
     }
-    let registry = Arc::new(Registry::new());
+    let mut compactor = if compact_wal_bytes > 0 {
+        let handle = spawn_compactor(
+            &db,
+            CompactionConfig {
+                wal_bytes_threshold: compact_wal_bytes,
+                ..CompactionConfig::default()
+            },
+        )?;
+        println!(
+            "background compactor armed: checkpoint at {compact_wal_bytes} WAL bytes \
+             (--compact-wal-bytes 0 to disable)"
+        );
+        Some(handle)
+    } else {
+        None
+    };
     let api = CoreServerApi::new(db.clone(), grid).with_telemetry(Arc::clone(&registry));
     let mut config = kaleidoscope::server::ServerConfig::with_workers(workers);
     config.reactor_shards = shards;
@@ -534,6 +653,9 @@ fn cmd_serve(args: &[String]) -> CliResult {
         }
     }
     println!("signal received: draining connections…");
+    if let Some(handle) = compactor.as_mut() {
+        handle.stop();
+    }
     // shutdown() joins the workers and fires the drain hook — the final
     // checkpoint — after the last in-flight request has landed.
     let report = server.shutdown();

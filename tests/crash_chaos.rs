@@ -1,0 +1,32 @@
+//! Process-chaos integration test: the real `kscope` binary SIGKILLed
+//! mid-campaign and resumed with `--resume` must conclude with exactly
+//! the outcome an undisturbed run produces (DESIGN.md §16).
+//!
+//! The bench harness (`kscope_bench::crash`) does the driving; this test
+//! pins the invariant into the tier-1 suite with the quick kill matrix.
+
+use kscope_bench::crash::{run_crash_matrix, CrashConfig};
+use std::path::PathBuf;
+
+#[test]
+fn sigkill_matrix_cannot_change_the_campaign_outcome() {
+    let scratch = std::env::temp_dir().join(format!("kscope-crash-chaos-{}", std::process::id()));
+    let config =
+        CrashConfig::quick(PathBuf::from(env!("CARGO_BIN_EXE_kscope")), scratch.clone(), 42);
+    let report = run_crash_matrix(&config).expect("crash matrix runs");
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    assert!(report.kills_fired >= 1, "at least one SIGKILL must land: {report:?}");
+    assert!(report.report_match, "final report diverged after crashes: {report:?}");
+    assert!(report.keys_match, "stored response sets diverged after crashes");
+    assert!(
+        report.budget_cents_disturbed <= report.budget_cents_undisturbed,
+        "crashes repaid work: {}¢ disturbed vs {}¢ undisturbed",
+        report.budget_cents_disturbed,
+        report.budget_cents_undisturbed
+    );
+    assert_eq!(
+        report.resumed_count, report.kills_fired as u64,
+        "every kill must be followed by exactly one counted resume"
+    );
+}
