@@ -256,6 +256,12 @@ impl Aggregator {
     /// and shared assets are base64-encoded once through the
     /// content-addressed cache no matter how many versions reference them.
     ///
+    /// Per-version compression runs the streaming single-pass inliner
+    /// (`kscope_singlefile::Inliner::inline`): untouched page bytes pass
+    /// through verbatim and only mutated tags are re-rendered, so the
+    /// only full parse → serialize round trip left is the one the reveal
+    /// planner needs (it computes layout over the inlined document).
+    ///
     /// # Errors
     ///
     /// Returns [`AggregateError`] on invalid parameters or missing webpage
@@ -294,7 +300,12 @@ impl Aggregator {
             let mut stream = StdRng::seed_from_u64(derive_stream_seed(base_seed, i as u64));
             let plan = RevealPlan::build(&doc, &layout, &load, &mut stream);
             plan.inject(&mut doc);
-            self.grid.put(&test_id, &version_files[i], doc.to_html().into_bytes());
+            // The injected page is the inlined page plus a small script;
+            // pre-sizing from the inliner's output avoids regrowing a
+            // MB-scale buffer during serialization.
+            let mut html = String::with_capacity(out.html.len() + out.html.len() / 16 + 4096);
+            doc.to_html_into(&mut html);
+            self.grid.put(&test_id, &version_files[i], html.into_bytes());
             drop(timer);
             if let Some(m) = &metrics {
                 m.versions.inc();

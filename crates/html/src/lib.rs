@@ -28,6 +28,7 @@
 
 pub mod dom;
 pub mod parser;
+pub mod rewriter;
 pub mod selector;
 pub mod serialize;
 pub mod style;
@@ -35,9 +36,10 @@ pub mod tokenizer;
 
 pub use dom::{Document, ElementData, Node, NodeId, NodeKind};
 pub use parser::parse_document;
+pub use rewriter::{rewrite_start_tags, Action, Fragment, StartTag};
 pub use selector::{Selector, SelectorParseError};
 pub use style::{computed_property, document_stylesheets, Stylesheet};
-pub use tokenizer::{tokenize, Token};
+pub use tokenizer::{tokenize, tokenize_spans, Token};
 
 /// Elements that never have children or end tags (HTML void elements).
 pub(crate) const VOID_ELEMENTS: &[&str] = &[

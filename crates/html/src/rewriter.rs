@@ -1,0 +1,363 @@
+//! Streaming single-pass HTML rewrite.
+//!
+//! The aggregation hot path used to parse every page into a DOM and
+//! serialize it back even when only a handful of tags changed — every
+//! byte of text was copied into node `String`s, entity-decoded, then
+//! re-escaped on the way out. This module replaces that round trip for
+//! the inliner: the tokenizer drives a rewriter that copies unmodified
+//! input spans verbatim (byte-slice passthrough, no re-escape of
+//! untouched text) and only materializes replacement fragments — in a
+//! reusable arena — for the tags a visitor actually rewrites.
+//!
+//! Invariants:
+//!
+//! - **Span passthrough.** [`tokenize_spans`] yields monotonically
+//!   increasing, non-overlapping byte ranges. The rewriter tracks the
+//!   end of the last byte it emitted; for every replaced tag it copies
+//!   `input[copied..span.start]` (all untouched tokens *and* the gap
+//!   bytes the tokenizer consumed without emitting a token) in one bulk
+//!   `push_str`, then renders the replacement. A visitor that keeps
+//!   every tag therefore reproduces the input byte-for-byte.
+//! - **Arena lifetime.** Replacement fragments never allocate per node:
+//!   all names, attribute strings and bodies are bump-appended into one
+//!   shared `String`, attributes into one shared `Vec`, nodes into one
+//!   shared `Vec`, all owned by the [`Arena`] that lives for the whole
+//!   rewrite and is reset (length zeroed, capacity kept) before each
+//!   visited tag. Fragment nodes refer to the arena by byte span, so a
+//!   fragment is plain old data and rendering is bulk copies.
+//! - **Serializer conventions.** Rendered replacement tags follow the
+//!   same rules as [`crate::serialize`]: lowercased names (the
+//!   tokenizer already lowercased them), double-quoted attribute values
+//!   escaped with [`escape_attr_into`], bare attribute names for empty
+//!   values, and `/>` preserved for tags that were self-closing in the
+//!   source so a later re-parse sees the same leaf structure.
+
+use crate::tokenizer::{escape_attr_into, escape_text_into, tokenize_spans, Token};
+
+type Span = std::ops::Range<usize>;
+
+/// Visitor decision for one start tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Emit the tag exactly as it appeared in the input (byte passthrough).
+    Keep,
+    /// Emit the fragment the visitor built instead of the source tag.
+    Replace,
+}
+
+/// Borrowed view of a start tag offered to the rewrite visitor.
+#[derive(Debug)]
+pub struct StartTag<'t> {
+    /// Lowercased tag name.
+    pub name: &'t str,
+    /// Attributes in document order; values entity-decoded, first wins.
+    pub attrs: &'t [(String, String)],
+    /// Whether the source tag ended with `/>`.
+    pub self_closing: bool,
+}
+
+impl StartTag<'_> {
+    /// Returns the value of attribute `name`, if present.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// One node of a replacement fragment. Spans index [`Arena::text`];
+/// `Open::attrs` indexes [`Arena::attrs`].
+#[derive(Debug)]
+enum FragNode {
+    /// `<name attrs…>` — an open tag only; anything after it in the source
+    /// stream (children, end tag) is untouched passthrough.
+    Open { name: Span, attrs: Span, self_closing: bool },
+    /// `</name>`.
+    Close { name: Span },
+    /// Character data, entity-escaped on render.
+    Text { text: Span },
+    /// Bytes emitted verbatim (raw-text bodies: script/style).
+    Raw { text: Span },
+}
+
+/// Bump arena backing replacement fragments. One per rewrite; reset
+/// (capacity retained) before each visited tag.
+#[derive(Debug, Default)]
+pub struct Arena {
+    text: String,
+    attrs: Vec<(Span, Span)>,
+    nodes: Vec<FragNode>,
+}
+
+impl Arena {
+    fn reset(&mut self) {
+        self.text.clear();
+        self.attrs.clear();
+        self.nodes.clear();
+    }
+
+    fn intern(&mut self, s: &str) -> Span {
+        let start = self.text.len();
+        self.text.push_str(s);
+        start..self.text.len()
+    }
+}
+
+/// Builder handed to the visitor for assembling a replacement fragment.
+#[derive(Debug)]
+pub struct Fragment<'a> {
+    arena: &'a mut Arena,
+}
+
+impl Fragment<'_> {
+    /// Appends an open tag (no children, no end tag). Add attributes via
+    /// the returned [`TagBuilder`], then drop it.
+    pub fn open_tag<'b>(&'b mut self, name: &str, self_closing: bool) -> TagBuilder<'b> {
+        let name = self.arena.intern(name);
+        let at = self.arena.attrs.len();
+        self.arena.nodes.push(FragNode::Open { name, attrs: at..at, self_closing });
+        let node = self.arena.nodes.len() - 1;
+        TagBuilder { arena: self.arena, node }
+    }
+
+    /// Appends a closing tag `</name>`.
+    pub fn close_tag(&mut self, name: &str) {
+        let name = self.arena.intern(name);
+        self.arena.nodes.push(FragNode::Close { name });
+    }
+
+    /// Appends character data (entity-escaped on render).
+    pub fn text(&mut self, text: &str) {
+        let text = self.arena.intern(text);
+        self.arena.nodes.push(FragNode::Text { text });
+    }
+
+    /// Appends bytes verbatim (for raw-text bodies: script/style).
+    pub fn raw(&mut self, text: &str) {
+        let text = self.arena.intern(text);
+        self.arena.nodes.push(FragNode::Raw { text });
+    }
+
+    /// Convenience: `<name>body</name>` with a verbatim (raw-text) body.
+    pub fn raw_text_element(&mut self, name: &str, body: &str) {
+        self.open_tag(name, false);
+        self.raw(body);
+        self.close_tag(name);
+    }
+}
+
+/// Appends attributes to the open tag it was created from. Holding the
+/// builder mutably borrows the fragment, so the attribute run stays
+/// contiguous in the arena.
+#[derive(Debug)]
+pub struct TagBuilder<'b> {
+    arena: &'b mut Arena,
+    node: usize,
+}
+
+impl TagBuilder<'_> {
+    /// Appends one attribute. An empty value renders as a bare name,
+    /// matching the serializer (`<input disabled>`).
+    pub fn attr(&mut self, name: &str, value: &str) -> &mut Self {
+        let n = self.arena.intern(name);
+        let v = self.arena.intern(value);
+        self.arena.attrs.push((n, v));
+        let end = self.arena.attrs.len();
+        if let FragNode::Open { attrs, .. } = &mut self.arena.nodes[self.node] {
+            attrs.end = end;
+        }
+        self
+    }
+}
+
+fn render(arena: &Arena, out: &mut String) {
+    for node in &arena.nodes {
+        match node {
+            FragNode::Open { name, attrs, self_closing } => {
+                out.push('<');
+                out.push_str(&arena.text[name.clone()]);
+                for (n, v) in &arena.attrs[attrs.clone()] {
+                    out.push(' ');
+                    out.push_str(&arena.text[n.clone()]);
+                    if !v.is_empty() {
+                        out.push_str("=\"");
+                        escape_attr_into(&arena.text[v.clone()], out);
+                        out.push('"');
+                    }
+                }
+                out.push_str(if *self_closing { "/>" } else { ">" });
+            }
+            FragNode::Close { name } => {
+                out.push_str("</");
+                out.push_str(&arena.text[name.clone()]);
+                out.push('>');
+            }
+            FragNode::Text { text } => escape_text_into(&arena.text[text.clone()], out),
+            FragNode::Raw { text } => out.push_str(&arena.text[text.clone()]),
+        }
+    }
+}
+
+/// Rewrites `input` in a single streaming pass.
+///
+/// The visitor sees every start tag in document order and either keeps it
+/// (source bytes pass through untouched) or replaces it with a fragment it
+/// builds into the shared arena. Everything that is not a replaced start
+/// tag — text, comments, doctypes, end tags, whitespace oddities,
+/// malformed markup — is copied from the input verbatim, in maximal runs.
+///
+/// Note the granularity: only the start tag's own bytes are replaced. An
+/// element's children and end tag remain in the stream, so a replacement
+/// that changes structure (e.g. folding `<link>` into `<style>…</style>`)
+/// must emit complete markup for the subtree it introduces.
+pub fn rewrite_start_tags<F>(input: &str, mut visit: F) -> String
+where
+    F: FnMut(&StartTag<'_>, &mut Fragment<'_>) -> Action,
+{
+    let tokens = tokenize_spans(input);
+    let mut out = String::with_capacity(input.len() + input.len() / 8);
+    let mut arena = Arena::default();
+    let mut copied = 0usize;
+    for (token, span) in &tokens {
+        let Token::StartTag { name, attrs, self_closing } = token else { continue };
+        arena.reset();
+        let tag = StartTag { name, attrs, self_closing: *self_closing };
+        let mut frag = Fragment { arena: &mut arena };
+        if visit(&tag, &mut frag) == Action::Replace {
+            out.push_str(&input[copied..span.start]);
+            render(&arena, &mut out);
+            copied = span.end;
+        }
+    }
+    out.push_str(&input[copied..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keep_everything_is_byte_identical() {
+        // Unquoted attrs, entities, raw text, comments, bogus markup, a
+        // lone '<', multibyte text, duplicate attributes: none of it may
+        // be normalized when the visitor keeps every tag.
+        let src = "<!DOCTYPE html><DIV Class=a class='b'  data-x  >1 < 2 &amp; &bogus;\
+                   <script>if (a<b) {}</script><style>p>a{}</style>\
+                   <!-- note --><img src=x.png/>岩狸</div >tail";
+        let out = rewrite_start_tags(src, |_, _| Action::Keep);
+        assert_eq!(out, src);
+    }
+
+    #[test]
+    fn replace_rewrites_only_the_tag_bytes() {
+        let src = "<p>before</p><img  src='a.png'  alt=\"x &amp; y\">after";
+        let out = rewrite_start_tags(src, |tag, frag| {
+            if tag.name != "img" {
+                return Action::Keep;
+            }
+            let mut t = frag.open_tag("img", tag.self_closing);
+            for (k, v) in tag.attrs {
+                t.attr(k, if k == "src" { "data:x" } else { v });
+            }
+            Action::Replace
+        });
+        assert_eq!(out, r#"<p>before</p><img src="data:x" alt="x &amp; y">after"#);
+    }
+
+    #[test]
+    fn replace_preserves_self_closing_slash() {
+        let out = rewrite_start_tags(r#"<img src="a"/>"#, |tag, frag| {
+            let mut t = frag.open_tag(tag.name, tag.self_closing);
+            t.attr("src", "b");
+            Action::Replace
+        });
+        assert_eq!(out, r#"<img src="b"/>"#);
+    }
+
+    #[test]
+    fn raw_text_element_body_is_not_escaped() {
+        let src = r#"<link rel=stylesheet href="m.css"><p>x</p>"#;
+        let out = rewrite_start_tags(src, |tag, frag| {
+            if tag.name == "link" {
+                frag.raw_text_element("style", "p > a { color: red } /* & */");
+                Action::Replace
+            } else {
+                Action::Keep
+            }
+        });
+        assert_eq!(out, "<style>p > a { color: red } /* & */</style><p>x</p>");
+    }
+
+    #[test]
+    fn script_start_tag_swap_keeps_source_end_tag() {
+        let src = r#"pre<script src="app.js" defer></script>post"#;
+        let out = rewrite_start_tags(src, |tag, frag| {
+            if tag.name != "script" {
+                return Action::Keep;
+            }
+            {
+                let mut t = frag.open_tag("script", false);
+                for (k, v) in tag.attrs {
+                    if k != "src" {
+                        t.attr(k, v);
+                    }
+                }
+            }
+            frag.raw("x();");
+            Action::Replace
+        });
+        assert_eq!(out, "pre<script defer>x();</script>post");
+    }
+
+    #[test]
+    fn empty_attr_value_renders_bare() {
+        let out = rewrite_start_tags("<input type=checkbox checked>", |tag, frag| {
+            let mut t = frag.open_tag(tag.name, false);
+            for (k, v) in tag.attrs {
+                t.attr(k, v);
+            }
+            Action::Replace
+        });
+        assert_eq!(out, r#"<input type="checkbox" checked>"#);
+    }
+
+    #[test]
+    fn attr_values_escape_quotes_on_render() {
+        let out = rewrite_start_tags("<p>", |_, frag| {
+            let mut t = frag.open_tag("p", false);
+            t.attr("title", r#"say "hi" & go"#);
+            Action::Replace
+        });
+        assert_eq!(out, r#"<p title="say &quot;hi&quot; &amp; go">"#);
+    }
+
+    #[test]
+    fn multiple_replacements_interleave_with_passthrough() {
+        let src = "<a href=1>one</a><a href=2>two</a><a href=3>three</a>";
+        let mut n = 0;
+        let out = rewrite_start_tags(src, |tag, frag| {
+            n += 1;
+            if n == 2 {
+                let mut t = frag.open_tag(tag.name, false);
+                t.attr("href", "swapped");
+                Action::Replace
+            } else {
+                Action::Keep
+            }
+        });
+        assert_eq!(out, r#"<a href=1>one</a><a href="swapped">two</a><a href=3>three</a>"#);
+    }
+
+    #[test]
+    fn arena_is_reused_across_tags() {
+        // Behavioural proxy: many replacements in one pass must not
+        // interfere with each other even though they share one arena.
+        let src: String = (0..50).map(|i| format!("<i id={i}>")).collect();
+        let out = rewrite_start_tags(&src, |tag, frag| {
+            let mut t = frag.open_tag("b", false);
+            t.attr("id", tag.attr("id").unwrap_or(""));
+            Action::Replace
+        });
+        let want: String = (0..50).map(|i| format!(r#"<b id="{i}">"#)).collect();
+        assert_eq!(out, want);
+    }
+}

@@ -1,7 +1,7 @@
 //! DOM → HTML text serialization.
 
 use crate::dom::{Document, NodeId, NodeKind};
-use crate::tokenizer::{escape_attr, escape_text};
+use crate::tokenizer::{escape_attr_into, escape_text_into};
 use crate::{is_raw_text, is_void};
 
 impl Document {
@@ -12,10 +12,19 @@ impl Document {
     /// structure-preserving.
     pub fn to_html(&self) -> String {
         let mut out = String::new();
-        for &child in self.children(self.root()) {
-            self.write_node(child, &mut out);
-        }
+        self.to_html_into(&mut out);
         out
+    }
+
+    /// Serializes the whole document into a caller-provided buffer.
+    ///
+    /// Lets hot paths (the aggregator emits one MB-scale page per version)
+    /// pre-size the output with a capacity hint instead of growing through
+    /// repeated reallocation.
+    pub fn to_html_into(&self, out: &mut String) {
+        for &child in self.children(self.root()) {
+            self.write_node(child, out);
+        }
     }
 
     /// Serializes the subtree rooted at `id` (including `id` itself).
@@ -56,7 +65,7 @@ impl Document {
                 out.push_str(text);
                 out.push_str("-->");
             }
-            NodeKind::Text(text) => out.push_str(&escape_text(text)),
+            NodeKind::Text(text) => escape_text_into(text, out),
             NodeKind::Element(el) => {
                 out.push('<');
                 out.push_str(&el.name);
@@ -65,7 +74,7 @@ impl Document {
                     out.push_str(name);
                     if !value.is_empty() {
                         out.push_str("=\"");
-                        out.push_str(&escape_attr(value));
+                        escape_attr_into(value, out);
                         out.push('"');
                     }
                 }

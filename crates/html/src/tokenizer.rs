@@ -42,13 +42,25 @@ pub enum Token {
 /// assert_eq!(toks.len(), 3);
 /// ```
 pub fn tokenize(input: &str) -> Vec<Token> {
+    Tokenizer::new(input).run().into_iter().map(|(tok, _)| tok).collect()
+}
+
+/// Tokenizes an HTML string, pairing every token with the byte range of the
+/// input it was lexed from.
+///
+/// Spans are non-overlapping and monotonically increasing, but not
+/// necessarily contiguous: bytes the tokenizer consumes without emitting a
+/// token (e.g. an empty raw-text body) fall in the gaps between spans. The
+/// streaming rewriter relies on this to copy untouched input verbatim —
+/// gap bytes plus unmodified token spans reproduce the input byte-for-byte.
+pub fn tokenize_spans(input: &str) -> Vec<(Token, std::ops::Range<usize>)> {
     Tokenizer::new(input).run()
 }
 
 struct Tokenizer<'a> {
     input: &'a [u8],
     pos: usize,
-    tokens: Vec<Token>,
+    tokens: Vec<(Token, std::ops::Range<usize>)>,
     /// When inside `<script>`/`<style>`, the element name we must see closed.
     raw_text_until: Option<String>,
 }
@@ -58,19 +70,29 @@ impl<'a> Tokenizer<'a> {
         Self { input: input.as_bytes(), pos: 0, tokens: Vec::new(), raw_text_until: None }
     }
 
-    fn run(mut self) -> Vec<Token> {
+    fn run(mut self) -> Vec<(Token, std::ops::Range<usize>)> {
         while self.pos < self.input.len() {
+            let start = self.pos;
+            let emitted = self.tokens.len();
             if let Some(name) = self.raw_text_until.take() {
                 self.consume_raw_text(&name);
-                continue;
-            }
-            if self.peek() == Some(b'<') {
+            } else if self.peek() == Some(b'<') {
                 self.consume_markup();
             } else {
                 self.consume_text();
             }
+            // Each consume_* pushes at most one token; stamp whatever was
+            // emitted with the byte range this dispatch consumed.
+            for slot in &mut self.tokens[emitted..] {
+                slot.1 = start..self.pos;
+            }
         }
         self.tokens
+    }
+
+    fn push(&mut self, token: Token) {
+        // Placeholder span; run() stamps the real range after each dispatch.
+        self.tokens.push((token, 0..0));
     }
 
     fn peek(&self) -> Option<u8> {
@@ -97,7 +119,7 @@ impl<'a> Tokenizer<'a> {
         }
         let raw = std::str::from_utf8(&self.input[start..self.pos]).unwrap_or_default();
         if !raw.is_empty() {
-            self.tokens.push(Token::Text(decode_entities(raw)));
+            self.push(Token::Text(decode_entities(raw)));
         }
     }
 
@@ -117,7 +139,7 @@ impl<'a> Tokenizer<'a> {
         }
         let raw = std::str::from_utf8(&self.input[start..self.pos]).unwrap_or_default();
         if !raw.is_empty() {
-            self.tokens.push(Token::Text(raw.to_string()));
+            self.push(Token::Text(raw.to_string()));
         }
         // The closing tag (if present) is handled by the main loop.
     }
@@ -136,7 +158,7 @@ impl<'a> Tokenizer<'a> {
             Some(c) if c.is_ascii_alphabetic() => self.consume_start_tag(),
             _ => {
                 // A lone '<' is text.
-                self.tokens.push(Token::Text("<".to_string()));
+                self.push(Token::Text("<".to_string()));
                 self.pos += 1;
             }
         }
@@ -152,7 +174,7 @@ impl<'a> Tokenizer<'a> {
             self.pos += 1;
         }
         let body = std::str::from_utf8(&self.input[start..self.pos]).unwrap_or_default();
-        self.tokens.push(Token::Comment(body.to_string()));
+        self.push(Token::Comment(body.to_string()));
         self.pos = (self.pos + 3).min(self.input.len());
     }
 
@@ -163,7 +185,7 @@ impl<'a> Tokenizer<'a> {
             self.pos += 1;
         }
         let body = std::str::from_utf8(&self.input[start..self.pos]).unwrap_or_default();
-        self.tokens.push(Token::Doctype(body.trim().to_string()));
+        self.push(Token::Doctype(body.trim().to_string()));
         self.pos = (self.pos + 1).min(self.input.len());
     }
 
@@ -176,7 +198,7 @@ impl<'a> Tokenizer<'a> {
         }
         self.pos = (self.pos + 1).min(self.input.len());
         if !name.is_empty() {
-            self.tokens.push(Token::EndTag { name });
+            self.push(Token::EndTag { name });
         }
     }
 
@@ -214,7 +236,7 @@ impl<'a> Tokenizer<'a> {
         if is_raw_text(&name) && !self_closing {
             self.raw_text_until = Some(name.clone());
         }
-        self.tokens.push(Token::StartTag { name, attrs, self_closing });
+        self.push(Token::StartTag { name, attrs, self_closing });
     }
 
     fn consume_tag_name(&mut self) -> String {
@@ -354,29 +376,57 @@ fn decode_one_entity(entity: &str) -> Option<String> {
 /// Escapes text for safe inclusion as HTML character data.
 pub fn escape_text(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '&' => out.push_str("&amp;"),
-            '<' => out.push_str("&lt;"),
-            '>' => out.push_str("&gt;"),
-            _ => out.push(c),
-        }
-    }
+    escape_text_into(s, &mut out);
     out
+}
+
+/// Appends `s` to `out`, escaping `&`, `<` and `>`.
+///
+/// Copies maximal clean runs with bulk `push_str` instead of pushing one
+/// char at a time — on MB-scale text (inlined `data:` URIs dominate the
+/// aggregation hot path) the common case is "nothing to escape", which
+/// degenerates to a single scan plus one memcpy.
+pub fn escape_text_into(s: &str, out: &mut String) {
+    let bytes = s.as_bytes();
+    let mut last = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        let rep = match b {
+            b'&' => "&amp;",
+            b'<' => "&lt;",
+            b'>' => "&gt;",
+            _ => continue,
+        };
+        out.push_str(&s[last..i]);
+        out.push_str(rep);
+        last = i + 1;
+    }
+    out.push_str(&s[last..]);
 }
 
 /// Escapes a string for use inside a double-quoted attribute value.
 pub fn escape_attr(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '&' => out.push_str("&amp;"),
-            '"' => out.push_str("&quot;"),
-            '<' => out.push_str("&lt;"),
-            _ => out.push(c),
-        }
-    }
+    escape_attr_into(s, &mut out);
     out
+}
+
+/// Appends `s` to `out`, escaping `&`, `"` and `<` (double-quoted attribute
+/// context). Bulk-copies clean runs; see [`escape_text_into`].
+pub fn escape_attr_into(s: &str, out: &mut String) {
+    let bytes = s.as_bytes();
+    let mut last = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        let rep = match b {
+            b'&' => "&amp;",
+            b'"' => "&quot;",
+            b'<' => "&lt;",
+            _ => continue,
+        };
+        out.push_str(&s[last..i]);
+        out.push_str(rep);
+        last = i + 1;
+    }
+    out.push_str(&s[last..]);
 }
 
 #[cfg(test)]
@@ -526,5 +576,43 @@ mod tests {
     #[test]
     fn empty_input() {
         assert!(tokenize("").is_empty());
+    }
+
+    #[test]
+    fn spans_slice_back_to_the_source_text() {
+        let src = r#"<p class=x>hi &amp; bye</p>"#;
+        let spans = tokenize_spans(src);
+        assert_eq!(&src[spans[0].1.clone()], "<p class=x>");
+        assert_eq!(&src[spans[1].1.clone()], "hi &amp; bye");
+        assert_eq!(&src[spans[2].1.clone()], "</p>");
+    }
+
+    #[test]
+    fn spans_are_monotonic_and_in_bounds() {
+        let src = "<!DOCTYPE html><script>1<2</script><!-- c --><br/>tail";
+        let mut last = 0;
+        for (_, span) in tokenize_spans(src) {
+            assert!(span.start >= last, "span {span:?} overlaps previous end {last}");
+            assert!(span.end <= src.len());
+            last = span.end;
+        }
+        assert_eq!(last, src.len());
+    }
+
+    #[test]
+    fn spans_agree_with_plain_tokenize() {
+        let src = r#"<div a="1" b>text<script>x<y</script><!--c--><img/></div>"#;
+        let with_spans: Vec<Token> = tokenize_spans(src).into_iter().map(|(t, _)| t).collect();
+        assert_eq!(with_spans, tokenize(src));
+    }
+
+    #[test]
+    fn bulk_escape_matches_per_char_semantics() {
+        assert_eq!(escape_text("a<b>&c"), "a&lt;b&gt;&amp;c");
+        assert_eq!(escape_text("no escapes at all"), "no escapes at all");
+        assert_eq!(escape_attr(r#"m&"q<"#), "m&amp;&quot;q&lt;");
+        let mut out = String::from("pre:");
+        escape_text_into("<x>", &mut out);
+        assert_eq!(out, "pre:&lt;x&gt;");
     }
 }

@@ -1,14 +1,62 @@
 //! Minimal standard-alphabet base64 (RFC 4648) for `data:` URIs.
+//!
+//! The encoder is the aggregation hot path: every image, stylesheet and
+//! script a page references is folded into a `data:` URI, so campaign
+//! preparation encodes megabytes per version. [`encode`] therefore runs
+//! word-at-a-time (SWAR): it loads 8 input bytes as one `u64`, slices the
+//! top 48 bits into eight sextets, and writes the eight output characters
+//! unrolled into a pre-sized `Vec<u8>` — no per-char `push`, no `unsafe`
+//! (the final `String::from_utf8` validates an all-ASCII buffer in one
+//! pass). [`encode_scalar`] keeps the original chunk-of-3 implementation
+//! as the differential-testing reference.
 
 const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
 
-/// Encodes bytes as padded standard base64.
+/// Encodes bytes as padded standard base64 (SWAR fast path).
 ///
 /// ```
 /// assert_eq!(kscope_singlefile::base64::encode(b"Man"), "TWFu");
 /// assert_eq!(kscope_singlefile::base64::encode(b"Ma"), "TWE=");
 /// ```
 pub fn encode(data: &[u8]) -> String {
+    let mut out = vec![0u8; data.len().div_ceil(3) * 4];
+    let mut i = 0;
+    let mut o = 0;
+    // Main loop: load 8 bytes, consume 6 (two 24-bit triples), emit 8
+    // characters. Reading 8 while consuming 6 needs a full word in
+    // bounds, hence `i + 8 <= len`; the tail falls through to the
+    // scalar loop below.
+    while i + 8 <= data.len() {
+        let w = u64::from_be_bytes(data[i..i + 8].try_into().expect("8-byte window"));
+        out[o] = ALPHABET[(w >> 58 & 0x3f) as usize];
+        out[o + 1] = ALPHABET[(w >> 52 & 0x3f) as usize];
+        out[o + 2] = ALPHABET[(w >> 46 & 0x3f) as usize];
+        out[o + 3] = ALPHABET[(w >> 40 & 0x3f) as usize];
+        out[o + 4] = ALPHABET[(w >> 34 & 0x3f) as usize];
+        out[o + 5] = ALPHABET[(w >> 28 & 0x3f) as usize];
+        out[o + 6] = ALPHABET[(w >> 22 & 0x3f) as usize];
+        out[o + 7] = ALPHABET[(w >> 16 & 0x3f) as usize];
+        i += 6;
+        o += 8;
+    }
+    for chunk in data[i..].chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let triple = (b0 << 16) | (b1 << 8) | b2;
+        out[o] = ALPHABET[(triple >> 18) as usize & 0x3f];
+        out[o + 1] = ALPHABET[(triple >> 12) as usize & 0x3f];
+        out[o + 2] = if chunk.len() > 1 { ALPHABET[(triple >> 6) as usize & 0x3f] } else { b'=' };
+        out[o + 3] = if chunk.len() > 2 { ALPHABET[triple as usize & 0x3f] } else { b'=' };
+        o += 4;
+    }
+    debug_assert_eq!(o, out.len());
+    String::from_utf8(out).expect("base64 output is ASCII")
+}
+
+/// Reference scalar encoder (the pre-SWAR implementation). Kept for
+/// differential property tests and the benchmark's PR 5 baseline path.
+pub fn encode_scalar(data: &[u8]) -> String {
     let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
     for chunk in data.chunks(3) {
         let b0 = chunk[0] as u32;
@@ -46,19 +94,30 @@ impl std::error::Error for DecodeBase64Error {}
 ///
 /// # Errors
 ///
-/// Returns [`DecodeBase64Error`] on characters outside the alphabet or a
-/// length that is not a multiple of four.
+/// Returns [`DecodeBase64Error`] on characters outside the alphabet, a
+/// length that is not a multiple of four, or malformed padding: `=` is
+/// only legal in the last one or two positions of the final four-char
+/// chunk (`"===="`, `"Z==="` and padding in a non-final chunk are all
+/// rejected, with the error pointing at the offending byte).
 pub fn decode(text: &str) -> Result<Vec<u8>, DecodeBase64Error> {
     let bytes = text.as_bytes();
     if !bytes.len().is_multiple_of(4) {
         return Err(DecodeBase64Error { position: bytes.len() });
     }
+    let last_chunk = (bytes.len() / 4).saturating_sub(1);
     let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
     for (chunk_idx, chunk) in bytes.chunks(4).enumerate() {
         let mut vals = [0u32; 4];
         let mut pad = 0;
         for (i, &b) in chunk.iter().enumerate() {
             if b == b'=' {
+                // '=' may only occupy the last two slots of the final
+                // chunk; anywhere else it would force a chunk with fewer
+                // than two data characters (no whole output byte) or
+                // split the stream mid-way.
+                if chunk_idx != last_chunk || i < 2 {
+                    return Err(DecodeBase64Error { position: chunk_idx * 4 + i });
+                }
                 pad += 1;
                 vals[i] = 0;
             } else {
@@ -109,6 +168,15 @@ mod tests {
     }
 
     #[test]
+    fn swar_matches_scalar_across_lengths() {
+        // Cover every main-loop/tail split around the 8-byte window.
+        for len in 0..64usize {
+            let data: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
+            assert_eq!(encode(&data), encode_scalar(&data), "len {len}");
+        }
+    }
+
+    #[test]
     fn decode_vectors() {
         assert_eq!(decode("Zm9vYmFy").unwrap(), b"foobar");
         assert_eq!(decode("Zg==").unwrap(), b"f");
@@ -135,5 +203,35 @@ mod tests {
     #[test]
     fn decode_rejects_data_after_padding() {
         assert!(decode("Zg=a").is_err());
+    }
+
+    #[test]
+    fn decode_rejects_all_padding_chunk() {
+        // Used to return Ok([0]): the first output byte was pushed
+        // unconditionally regardless of pad count.
+        let err = decode("====").unwrap_err();
+        assert_eq!(err.position, 0);
+    }
+
+    #[test]
+    fn decode_rejects_overpadded_chunk() {
+        // Used to emit a garbage byte decoded from a single sextet.
+        let err = decode("Z===").unwrap_err();
+        assert_eq!(err.position, 1);
+    }
+
+    #[test]
+    fn decode_rejects_padding_in_non_final_chunk() {
+        // Used to decode as if the stream ended mid-way.
+        let err = decode("Zg==AAAA").unwrap_err();
+        assert_eq!(err.position, 2);
+        let err = decode("AAAAZ=AA").unwrap_err();
+        assert_eq!(err.position, 5);
+    }
+
+    #[test]
+    fn decode_still_accepts_legal_padding() {
+        assert_eq!(decode("Zm8=").unwrap(), b"fo");
+        assert_eq!(decode("AAAAZg==").unwrap(), [0, 0, 0, b'f']);
     }
 }

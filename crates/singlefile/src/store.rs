@@ -52,6 +52,15 @@ impl ResourceStore {
         self.get(path).map(|r| String::from_utf8_lossy(&r.data).into_owned())
     }
 
+    /// Fetches a resource's contents as UTF-8 text without copying when the
+    /// bytes are already valid UTF-8 (the overwhelmingly common case for
+    /// stored HTML/CSS/JS). The inliner reads each MB-scale main document
+    /// through this accessor, so the borrow saves a full-page copy per
+    /// version.
+    pub fn get_str(&self, path: &str) -> Option<std::borrow::Cow<'_, str>> {
+        self.get(path).map(|r| String::from_utf8_lossy(&r.data))
+    }
+
     /// Whether a path exists.
     pub fn contains(&self, path: &str) -> bool {
         self.entries.contains_key(&normalize_path(path))

@@ -1,8 +1,42 @@
 //! Property tests: base64 and path handling are total and reversible.
 
-use kscope_singlefile::base64::{decode, encode};
+use kscope_singlefile::base64::{decode, encode, encode_scalar};
 use kscope_singlefile::{normalize_path, resolve_relative};
 use proptest::prelude::*;
+
+/// Deterministic pseudo-random bytes (SplitMix64) so the 0..4096-length
+/// sweeps below are seeded and reproducible with no wall-clock input.
+fn seeded_bytes(seed: u64, len: usize) -> Vec<u8> {
+    let mut state = seed;
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            (z ^ (z >> 31)) as u8
+        })
+        .collect()
+}
+
+#[test]
+fn base64_roundtrip_seeded_lengths_up_to_4096() {
+    // Every length in 0..64 (all SWAR main-loop/tail splits), then a
+    // seeded stride through the MB-scale-adjacent range up to 4096.
+    for len in (0..64).chain((64..=4096).step_by(61)) {
+        let data = seeded_bytes(0xDEC0_DE00 + len as u64, len);
+        let encoded = encode(&data);
+        assert_eq!(decode(&encoded).unwrap(), data, "roundtrip at len {len}");
+    }
+}
+
+#[test]
+fn swar_encoder_is_byte_identical_to_scalar() {
+    for len in (0..64).chain((64..=4096).step_by(61)) {
+        let data = seeded_bytes(0x5EED + len as u64, len);
+        assert_eq!(encode(&data), encode_scalar(&data), "SWAR vs scalar at len {len}");
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
@@ -21,6 +55,13 @@ proptest! {
     #[test]
     fn base64_decode_total(text in "[ -~]{0,100}") {
         let _ = decode(&text);
+    }
+
+    /// SWAR and scalar encoders agree on arbitrary inputs, not just the
+    /// seeded sweep.
+    #[test]
+    fn base64_swar_matches_scalar(data in prop::collection::vec(any::<u8>(), 0..512)) {
+        prop_assert_eq!(encode(&data), encode_scalar(&data));
     }
 
     /// Normalization removes every dot segment.

@@ -4,7 +4,7 @@
 
 use kaleidoscope::core::corpus;
 use kaleidoscope::core::Aggregator;
-use kaleidoscope::singlefile::AssetCache;
+use kaleidoscope::singlefile::{AssetCache, Inliner};
 use kaleidoscope::store::{Database, GridStore};
 use rand::{rngs::StdRng, SeedableRng};
 use std::sync::Arc;
@@ -73,6 +73,48 @@ fn warm_cache_reprepare_matches_cold_across_thread_counts() {
     assert_eq!(cold_prepared, warm_prepared);
     assert_identical_grids(&cold, &warm, &test_id);
     assert_eq!(cache.stats().entries, entries_after_cold, "warm run encoded no new blobs");
+}
+
+#[test]
+fn streaming_rewriter_matrix_threads_by_cache_state_is_byte_identical() {
+    // Version compression now runs the streaming single-pass rewriter;
+    // the full 2×2 matrix — {1 thread, 8 threads} × {cold, warm cache} —
+    // must emit byte-identical artifacts for the same campaign seed.
+    let cache_seq = Arc::new(AssetCache::new());
+    let cache_par = Arc::new(AssetCache::new());
+    let (cold_seq, p_cold_seq, test_id) = prepare_with(1, 4242, Some(Arc::clone(&cache_seq)));
+    let (warm_seq, p_warm_seq, _) = prepare_with(1, 4242, Some(cache_seq));
+    let (cold_par, p_cold_par, _) = prepare_with(8, 4242, Some(Arc::clone(&cache_par)));
+    let (warm_par, p_warm_par, _) = prepare_with(8, 4242, Some(cache_par));
+    assert_eq!(p_cold_seq, p_warm_seq);
+    assert_eq!(p_cold_seq, p_cold_par);
+    assert_eq!(p_cold_seq, p_warm_par);
+    assert_identical_grids(&cold_seq, &warm_seq, &test_id);
+    assert_identical_grids(&cold_seq, &cold_par, &test_id);
+    assert_identical_grids(&cold_seq, &warm_par, &test_id);
+}
+
+#[test]
+fn streaming_inliner_is_deterministic_under_concurrent_use() {
+    // The inliner itself (shared cache + css memo) must hand back the
+    // same bytes whether called once or raced from eight workers.
+    let (store, params) = corpus::font_size_study(8);
+    let cache = AssetCache::new();
+    let inliner = Inliner::new(&store).with_cache(&cache);
+    let mains: Vec<String> = params.webpages.iter().map(|w| w.main_file_path()).collect();
+    let reference: Vec<String> = mains.iter().map(|m| inliner.inline(m).unwrap().html).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                scope.spawn(|| {
+                    mains.iter().map(|m| inliner.inline(m).unwrap().html).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), reference, "concurrent inline diverged");
+        }
+    });
 }
 
 #[test]

@@ -1,0 +1,61 @@
+//! Span-passthrough invariant of the streaming rewriter, pinned against
+//! the seed sample corpus: a visitor that keeps every tag must reproduce
+//! each corpus page byte-for-byte — no re-escaping, no attribute
+//! normalization, no whitespace drift. This is the property that makes
+//! the single-pass inliner safe: anything it does not explicitly rewrite
+//! is guaranteed untouched.
+
+use kaleidoscope::core::corpus;
+use kaleidoscope::html::{parse_document, rewrite_start_tags, Action};
+use kaleidoscope::singlefile::{AssetCache, Inliner};
+
+/// All saved-page stores the seed corpus can generate.
+fn corpus_stores() -> Vec<kaleidoscope::singlefile::ResourceStore> {
+    vec![
+        corpus::font_size_study(10).0,
+        corpus::uplt_case_study(10).0,
+        corpus::expand_button_study(10).0,
+        corpus::ads_study(10).0,
+    ]
+}
+
+#[test]
+fn keep_all_round_trips_every_corpus_page_byte_for_byte() {
+    let mut pages = 0;
+    for store in &corpus_stores() {
+        let paths: Vec<String> =
+            store.paths().filter(|p| p.ends_with(".html")).map(str::to_string).collect();
+        for path in &paths {
+            let src = store.get_str(path).expect("listed path resolves");
+            let out = rewrite_start_tags(&src, |_, _| Action::Keep);
+            assert_eq!(out, *src, "passthrough must be byte-identical for {path}");
+            pages += 1;
+        }
+    }
+    assert!(pages >= 10, "corpus should contribute a real sample, got {pages} pages");
+}
+
+#[test]
+fn streaming_inline_agrees_with_dom_reference_on_the_corpus() {
+    // The escaping audit as an executable check: for every corpus page,
+    // the streaming inliner's output must normalize (one parse →
+    // serialize round trip) to exactly what the DOM reference
+    // implementation produces — raw-text bodies verbatim, attribute
+    // quoting escaped, everything else equivalent.
+    for store in &corpus_stores() {
+        let paths: Vec<String> =
+            store.paths().filter(|p| p.ends_with("index.html")).map(str::to_string).collect();
+        for path in &paths {
+            let cache = AssetCache::new();
+            let inliner = Inliner::new(store).with_cache(&cache);
+            let stream = inliner.inline(path).expect("stream inline");
+            let dom = inliner.inline_dom(path).expect("dom inline");
+            assert_eq!(
+                parse_document(&stream.html).to_html(),
+                parse_document(&dom.html).to_html(),
+                "streaming vs DOM divergence on {path}"
+            );
+            assert_eq!(stream.report.inlined, dom.report.inlined, "inline count on {path}");
+        }
+    }
+}
